@@ -1,0 +1,16 @@
+//! A2 — Checkpoint economics: what the measured MTTI (F3) implies for
+//! optimal checkpoint intervals and resilience overhead at each scale —
+//! the operational consequence of lessons (i) and (ii).
+
+use bw_bench::{banner, scenario};
+use logdiver::report;
+
+fn main() {
+    banner("A2", "checkpoint economics from measured MTTI");
+    let s = scenario();
+    // A full-scale dump to Lustre: ~10 minutes; restart: ~15 minutes.
+    println!("{}", report::checkpoint_table(&s.analysis.metrics, 10.0 / 60.0, 15.0 / 60.0));
+    println!();
+    // Sensitivity: a lighter incremental checkpoint.
+    println!("{}", report::checkpoint_table(&s.analysis.metrics, 2.0 / 60.0, 15.0 / 60.0));
+}

@@ -1,0 +1,57 @@
+//! A3 — Placement ablation: packed vs scattered allocations under
+//! blade-correlated failures.
+//!
+//! A blade failure kills four nodes at once. Packing an application onto
+//! few blades means one blade event rarely touches more than one
+//! application; scattering every application across many blades lets a
+//! single blade failure take out several at once. The simulator's blade
+//! rate is boosted so the contrast is densely sampled.
+
+use bw_sim::{MemoryOutput, SimConfig, Simulation, TrueOutcome};
+use bw_topology::PlacementPolicy;
+use logdiver_types::FailureCause;
+
+fn run(policy: PlacementPolicy) -> (u64, u64, f64) {
+    let mut config = SimConfig::scaled(32, 20).with_seed(4040).without_calibration();
+    config.placement = policy;
+    // Busy machine (placement only matters when blades are shared) and
+    // blade failures dominating; other node-scoped faults quiet.
+    for class in &mut config.workload.classes {
+        class.jobs_per_hour *= 8.0;
+    }
+    config.faults.blade_failure_per_blade_hour = 1.0e-3;
+    config.faults.xe_node_crash_per_node_hour = 1.0e-8;
+    config.faults.xk_node_crash_per_node_hour = 1.0e-8;
+    config.faults.gpu_fault_per_node_hour = 1.0e-8;
+    config.faults.link_failures_per_hour = 0.0;
+    config.faults.ost_failures_per_hour = 0.0;
+    config.faults.mds_failovers_per_hour = 0.0;
+    let mut raw = MemoryOutput::new();
+    let report = Simulation::new(config).expect("valid").run(&mut raw);
+    let hw_kills = raw
+        .truths
+        .iter()
+        .filter(|t| {
+            matches!(t.outcome, TrueOutcome::SystemFailure { cause: FailureCause::NodeHardware, .. })
+        })
+        .count() as u64;
+    let lost: f64 = raw
+        .truths
+        .iter()
+        .filter(|t| t.outcome.is_system())
+        .map(|t| t.node_hours())
+        .sum();
+    (report.lethal_faults, hw_kills, lost)
+}
+
+fn main() {
+    println!("A3 — placement policy vs blade-correlated failures (same fault seed)");
+    for (name, policy) in [("packed   ", PlacementPolicy::Packed), ("scattered", PlacementPolicy::Scattered)] {
+        let (lethal, kills, lost) = run(policy);
+        println!(
+            "  {name}: {lethal} lethal faults → {kills} blade-caused app kills, {lost:.0} node-hours lost ({:.2} kills/fault)",
+            kills as f64 / lethal.max(1) as f64
+        );
+    }
+    println!("\n(packing bounds the blast radius of a blade event; scattering trades\n that for torus-bandwidth balance — the classic placement tension)");
+}

@@ -1,0 +1,36 @@
+//! F2 — XK (GPU/hybrid) application failure probability vs scale.
+//! Anchors: 0.02 at "2,000 nodes" → 0.129 at full scale (≈ 6×).
+
+use bw_bench::{banner, scenario};
+use logdiver::report;
+use logdiver_types::NodeType;
+
+fn main() {
+    banner("F2", "XK failure probability vs scale");
+    let s = scenario();
+    let curve = s
+        .analysis
+        .metrics
+        .scale_curves
+        .iter()
+        .find(|c| c.node_type == NodeType::Xk)
+        .expect("XK curve");
+    println!("{}", report::scale_table(curve));
+    let buckets = &curve.buckets;
+    if buckets.len() >= 3 {
+        let mid = &buckets[buckets.len() - 3];
+        let full = &buckets[buckets.len() - 1];
+        println!(
+            "\nmid-anchor bucket  ({}–{}): P = {:.4} over {} runs (paper: 0.02)",
+            mid.lo, mid.hi, mid.probability, mid.runs
+        );
+        println!(
+            "full-scale bucket  ({}–{}): P = {:.4} over {} runs (paper: 0.129)",
+            full.lo, full.hi, full.probability, full.runs
+        );
+        if mid.probability > 0.0 {
+            println!("jump: {:.1}× (paper: ≈ 6×)", full.probability / mid.probability);
+        }
+    }
+    println!("\nCSV:\n{}", report::scale_curve_csv(curve));
+}

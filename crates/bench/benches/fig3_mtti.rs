@@ -1,0 +1,11 @@
+//! F3 — Mean time to (system) interrupt by application scale: the flip
+//! side of F1/F2 — a full-scale application sees an interrupt within hours.
+
+use bw_bench::{banner, scenario};
+use logdiver::report;
+
+fn main() {
+    banner("F3", "MTTI by scale");
+    let s = scenario();
+    println!("{}", report::mtti_table(&s.analysis.metrics));
+}

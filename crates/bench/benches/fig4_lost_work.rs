@@ -1,0 +1,34 @@
+//! F4 — Lost node-hours by failure cause, plus the distribution of
+//! per-incident lost work (the energy-cost view of lesson i).
+
+use bw_bench::{banner, scenario};
+use hpc_stats::Ecdf;
+use logdiver::report;
+
+fn main() {
+    banner("F4", "lost node-hours");
+    let s = scenario();
+    println!("{}", report::cause_table(&s.analysis.metrics));
+
+    let lost: Vec<f64> = s
+        .analysis
+        .runs
+        .iter()
+        .filter(|r| r.class.is_system_failure() && r.run.node_hours() > 0.0)
+        .map(|r| r.run.node_hours())
+        .collect();
+    if let Ok(ecdf) = Ecdf::from_sample(lost) {
+        println!("\nper-incident lost node-hours (CDF):");
+        println!("  p50  {:>12.1}", ecdf.quantile(0.5));
+        println!("  p90  {:>12.1}", ecdf.quantile(0.9));
+        println!("  p99  {:>12.1}", ecdf.quantile(0.99));
+        println!("  max  {:>12.1}", ecdf.max());
+        println!("  n =  {}", ecdf.len());
+        println!("\n(x, F(x)) plot points:");
+        for (x, f) in ecdf.plot_points(20) {
+            println!("  {x:>12.1}  {f:.3}");
+        }
+    } else {
+        println!("\nno system-failed runs with nonzero lost work in this window");
+    }
+}

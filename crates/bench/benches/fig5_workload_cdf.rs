@@ -1,0 +1,23 @@
+//! F5 — Workload characterization: CDFs of application sizes and durations
+//! per node class.
+
+use bw_bench::{banner, scenario};
+use logdiver::report;
+
+fn main() {
+    banner("F5", "workload CDFs");
+    let s = scenario();
+    println!("{}", report::workload_summary(&s.analysis.metrics));
+    for (ty, points) in &s.analysis.metrics.size_cdf {
+        println!("\n{ty} size CDF points (nodes, F):");
+        for (x, f) in points.iter().take(30) {
+            println!("  {x:>9.0}  {f:.4}");
+        }
+    }
+    for (ty, points) in &s.analysis.metrics.duration_cdf {
+        println!("\n{ty} duration CDF points (hours, F):");
+        for (x, f) in points.iter().take(30) {
+            println!("  {x:>9.3}  {f:.4}");
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! F6 — Interarrival of machine-scope lethal error events, with
+//! exponential and Weibull fits.
+
+use bw_bench::{banner, scenario};
+use logdiver::report;
+
+fn main() {
+    banner("F6", "system-event interarrival fit");
+    let s = scenario();
+    println!("{}", report::interarrival_summary(&s.analysis.metrics));
+    let wide = s.analysis.events.iter().filter(|e| e.system_scope && e.is_lethal()).count();
+    println!("\nmachine-scope lethal events in window: {wide}");
+}

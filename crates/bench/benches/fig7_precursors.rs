@@ -1,0 +1,45 @@
+//! F7 — Failure precursors: how many lethal node failures were preceded by
+//! warning events on the same blade, and with how much lead time (the
+//! proactive-management budget the paper's detection discussion asks for).
+//!
+//! Node-scoped faults are per-node-hour processes; this bench runs the
+//! boosted mechanism configuration (like the detection ablation) so the
+//! precursor channel is densely sampled.
+
+use bw_sim::{MemoryOutput, SimConfig, Simulation};
+use logdiver::{report, LogCollection, LogDiver};
+use logdiver_types::NodeType;
+
+fn main() {
+    let mut config = SimConfig::scaled(32, 20).with_seed(77).without_calibration();
+    config.faults.ce_floods_per_hour = 2.0;
+    config.faults.ce_flood_escalation_prob = 0.25;
+    config.faults.gpu_page_retirements_per_hour = 0.8;
+    config.faults.gpu_retirement_escalation_prob = 0.35;
+    config.faults.xe_node_crash_per_node_hour = 2.0e-4;
+    config.faults.xk_node_crash_per_node_hour = 2.0e-4;
+    config.faults.gpu_fault_per_node_hour = 1.0e-3;
+    for class in &mut config.workload.classes {
+        if class.node_type == NodeType::Xk {
+            class.jobs_per_hour *= 4.0;
+        }
+    }
+    println!("F7 — precursor analysis (boosted mechanism scenario, 1/32 machine, 20 days)");
+    let mut raw = MemoryOutput::new();
+    Simulation::new(config).expect("valid").run(&mut raw);
+    let mut logs = LogCollection::new();
+    logs.syslog = raw.syslog;
+    logs.hwerr = raw.hwerr;
+    logs.alps = raw.alps;
+    logs.torque = raw.torque;
+    logs.netwatch = raw.netwatch;
+    let analysis = LogDiver::new().analyze(&logs);
+    println!("{}", report::precursor_table(&analysis.metrics));
+    let leads = &analysis.metrics.precursors.lead_times_hours;
+    if !leads.is_empty() {
+        let mut v = leads.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        println!("\nlead-time distribution (hours): p10 {:.2}, p50 {:.2}, p90 {:.2}",
+                 v[v.len() / 10], v[v.len() / 2], v[v.len() * 9 / 10]);
+    }
+}

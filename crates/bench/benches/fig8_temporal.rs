@@ -1,0 +1,17 @@
+//! F8 — Temporal dispersion: are system failures steady or bursty over the
+//! production period?
+
+use bw_bench::{banner, scenario};
+use logdiver::report;
+
+fn main() {
+    banner("F8", "temporal dispersion of failures and events");
+    let s = scenario();
+    println!("{}", report::temporal_summary(&s.analysis.metrics));
+    let t = &s.analysis.metrics.temporal;
+    println!("\nsystem failures per day:");
+    for (d, chunk) in t.system_failures.counts.chunks(15).enumerate() {
+        let row: Vec<String> = chunk.iter().map(|c| format!("{c:>3}")).collect();
+        println!("  day {:>3}+ {}", d * 15, row.join(" "));
+    }
+}

@@ -1,0 +1,63 @@
+//! Criterion performance benches of LogDiver's pipeline stages.
+//!
+//! These measure the *tool* (parse / filter / coalesce / end-to-end
+//! analyze) on a fixed synthetic corpus — the throughput story that makes a
+//! 5 M-run field study tractable on one machine.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use bw_sim::{MemoryOutput, SimConfig, Simulation};
+use logdiver::filter::{filter_logs, PatternTable};
+use logdiver::coalesce::coalesce;
+use logdiver::parse::parse_collection;
+use logdiver::{LogCollection, LogDiver};
+use logdiver_types::SimDuration;
+
+fn corpus() -> LogCollection {
+    let config = SimConfig::scaled(48, 5).with_seed(77).without_calibration();
+    let mut raw = MemoryOutput::new();
+    Simulation::new(config).expect("valid config").run(&mut raw);
+    let mut logs = LogCollection::new();
+    logs.syslog = raw.syslog;
+    logs.hwerr = raw.hwerr;
+    logs.alps = raw.alps;
+    logs.torque = raw.torque;
+    logs.netwatch = raw.netwatch;
+    logs
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let logs = corpus();
+    let total_lines = logs.total_lines() as u64;
+    let parsed = parse_collection(&logs);
+    let (entries, _) = filter_logs(&parsed, &PatternTable::curated());
+
+    let mut group = c.benchmark_group("pipeline");
+    group.throughput(Throughput::Elements(total_lines));
+    group.bench_function("parse", |b| {
+        b.iter(|| black_box(parse_collection(black_box(&logs))))
+    });
+    group.throughput(Throughput::Elements(parsed.syslog.len() as u64));
+    group.bench_function("filter", |b| {
+        let table = PatternTable::curated();
+        b.iter(|| black_box(filter_logs(black_box(&parsed), &table)))
+    });
+    group.throughput(Throughput::Elements(entries.len().max(1) as u64));
+    group.bench_function("coalesce", |b| {
+        b.iter(|| black_box(coalesce(black_box(&entries), SimDuration::from_secs(300))))
+    });
+    group.throughput(Throughput::Elements(total_lines));
+    group.bench_function("analyze_end_to_end", |b| {
+        let tool = LogDiver::new();
+        b.iter(|| black_box(tool.analyze(black_box(&logs))))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pipeline
+}
+criterion_main!(benches);

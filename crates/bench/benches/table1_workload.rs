@@ -1,0 +1,46 @@
+//! T1 — Workload summary: runs, node-hours, class split, distribution
+//! summary (abstract anchor: the full period holds > 5 M application runs).
+
+use bw_bench::{banner, scenario};
+use logdiver::report;
+use logdiver_types::NodeType;
+
+fn main() {
+    banner("T1", "workload summary");
+    let s = scenario();
+    let m = &s.analysis.metrics;
+    println!("application runs : {}", m.total_runs);
+    println!("node-hours       : {:.0}", m.total_node_hours);
+    println!("measured days    : {:.1}", m.measured_days);
+    for ty in [NodeType::Xe, NodeType::Xk] {
+        let runs = s.analysis.runs.iter().filter(|r| r.run.node_type == ty).count();
+        let nh: f64 = s
+            .analysis
+            .runs
+            .iter()
+            .filter(|r| r.run.node_type == ty)
+            .map(|r| r.run.node_hours())
+            .sum();
+        println!("  {ty}: {runs} runs, {nh:.0} node-hours");
+    }
+    // Volume extrapolated to the paper's full period & machine.
+    let scale = s.config.machine_divisor as f64 * 518.0 / m.measured_days.max(0.1);
+    println!(
+        "extrapolated to full machine × 518 days: ≈ {:.1} M runs (paper: > 5 M)",
+        m.total_runs as f64 * scale / 1.0e6
+    );
+    println!();
+    println!("{}", report::workload_summary(m));
+
+    // Per-user concentration (the Zipf story behind the workload).
+    let users = logdiver::users::analyze_users(&s.analysis.runs);
+    println!("distinct users   : {}", users.distinct_users());
+    println!("top-5 users carry: {:.1}% of runs", users.top_k_share(5) * 100.0);
+    println!("top-20 users     : {:.1}% of runs", users.top_k_share(20) * 100.0);
+    if let Some((p10, p50, p90)) = users.failure_rate_spread(50) {
+        println!(
+            "user-failure rate spread across users (≥50 runs): p10 {:.1}%, median {:.1}%, p90 {:.1}%",
+            p10 * 100.0, p50 * 100.0, p90 * 100.0
+        );
+    }
+}

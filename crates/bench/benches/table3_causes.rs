@@ -1,0 +1,12 @@
+//! T3 — Breakdown of system-caused application failures by subsystem.
+
+use bw_bench::{banner, scenario};
+use logdiver::report;
+
+fn main() {
+    banner("T3", "system-failure cause breakdown");
+    let s = scenario();
+    println!("{}", report::cause_table(&s.analysis.metrics));
+    println!();
+    println!("{}", report::interarrival_summary(&s.analysis.metrics));
+}

@@ -1,0 +1,14 @@
+//! T4 — Error-detection coverage, XE vs XK (lesson iii: hybrid nodes lack
+//! adequate detection, so their failures are disproportionately
+//! unexplained).
+
+use bw_bench::{banner, scenario};
+use logdiver::report;
+
+fn main() {
+    banner("T4", "detection coverage XE vs XK");
+    let s = scenario();
+    println!("{}", report::detection_table(&s.analysis.metrics));
+    println!();
+    println!("note: node-scoped GPU faults are rare per node-hour; on scaled\nmachines run the ablation bench (ablation_detection) for a dense\nmeasurement of the same mechanism.");
+}

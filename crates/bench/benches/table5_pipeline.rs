@@ -1,0 +1,11 @@
+//! T5 — LogDiver pipeline effectiveness: raw lines → filtered entries →
+//! coalesced events.
+
+use bw_bench::{banner, scenario};
+use logdiver::report;
+
+fn main() {
+    banner("T5", "pipeline effectiveness");
+    let s = scenario();
+    println!("{}", report::pipeline_table(&s.analysis.stats));
+}

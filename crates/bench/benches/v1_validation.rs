@@ -1,0 +1,29 @@
+//! V1 — Tool validation: LogDiver's verdicts vs simulator ground truth
+//! (our stand-in for the paper's manual cross-validation).
+
+use std::collections::HashMap;
+
+use bw_bench::{banner, scenario};
+
+fn main() {
+    banner("V1", "attribution validation against ground truth");
+    let s = scenario();
+    let truth_by_apid: HashMap<u64, _> =
+        s.truths.iter().map(|t| (t.apid.value(), t)).collect();
+    let (mut tp, mut fp, mut fnc, mut tn) = (0u64, 0u64, 0u64, 0u64);
+    for run in &s.analysis.runs {
+        let Some(truth) = truth_by_apid.get(&run.run.apid.value()) else { continue };
+        match (truth.outcome.is_system(), run.class.is_system_failure()) {
+            (true, true) => tp += 1,
+            (false, true) => fp += 1,
+            (true, false) => fnc += 1,
+            (false, false) => tn += 1,
+        }
+    }
+    println!("true positives : {tp}");
+    println!("false positives: {fp}");
+    println!("false negatives: {fnc}");
+    println!("true negatives : {tn}");
+    println!("precision      : {:.3}", tp as f64 / (tp + fp).max(1) as f64);
+    println!("recall         : {:.3}", tp as f64 / (tp + fnc).max(1) as f64);
+}

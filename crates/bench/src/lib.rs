@@ -1,0 +1,102 @@
+//! # bw-bench
+//!
+//! Regeneration harnesses: one `cargo bench` target per table and figure of
+//! the field study (DESIGN.md §4), plus Criterion performance benches of
+//! LogDiver's pipeline stages.
+//!
+//! Every experiment target runs the same standard scenario — simulate a
+//! production period, analyze the raw logs with LogDiver — and prints the
+//! table/figure it owns. Scenario scale is controlled by environment
+//! variables so the identical binaries serve both CI and the full
+//! reproduction:
+//!
+//! | variable | default | meaning |
+//! |---|---|---|
+//! | `BW_DIVISOR` | 16 | machine scale divisor (1 = full Blue Waters) |
+//! | `BW_DAYS` | 60 | simulated production days (the paper: 518) |
+//! | `BW_SEED` | 2013 | RNG seed |
+//! | `BW_BOOST_CAPABILITY` | 1 | multiply capability-job frequency ×8 |
+//!
+//! `BW_DIVISOR=1 BW_DAYS=518 BW_BOOST_CAPABILITY=0 cargo bench` is the
+//! paper-faithful configuration (hours of wall-clock on one core).
+
+use std::sync::OnceLock;
+
+use bw_sim::{MemoryOutput, SimConfig, SimReport, Simulation};
+use logdiver::{Analysis, LogCollection, LogDiver};
+
+/// The standard scenario's outcome, shared by every experiment target.
+#[derive(Debug)]
+pub struct Scenario {
+    /// The configuration that ran (after calibration).
+    pub config: SimConfig,
+    /// Simulator ground truth + counters.
+    pub truths: Vec<bw_sim::AppTruth>,
+    /// Simulator report.
+    pub report: SimReport,
+    /// LogDiver's analysis of the raw logs.
+    pub analysis: Analysis,
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Builds the scenario configuration from the environment.
+pub fn scenario_config() -> SimConfig {
+    let divisor = env_u64("BW_DIVISOR", 16) as u32;
+    let days = env_u64("BW_DAYS", 60) as u32;
+    let seed = env_u64("BW_SEED", 2013);
+    let mut config = if divisor <= 1 {
+        SimConfig::blue_waters(days)
+    } else {
+        SimConfig::scaled(divisor, days)
+    }
+    .with_seed(seed);
+    if env_u64("BW_BOOST_CAPABILITY", 1) == 1 {
+        for class in &mut config.workload.classes {
+            class.capability_fraction *= 8.0;
+        }
+    }
+    config
+}
+
+/// Runs (once per process) and returns the standard scenario.
+pub fn scenario() -> &'static Scenario {
+    static SCENARIO: OnceLock<Scenario> = OnceLock::new();
+    SCENARIO.get_or_init(|| {
+        let config = scenario_config();
+        eprintln!(
+            "[scenario] divisor={} days={} seed={} — simulating…",
+            config.machine_divisor, config.days, config.seed
+        );
+        let sim = Simulation::new(config).expect("valid scenario config");
+        let config = sim.config().clone();
+        let mut raw = MemoryOutput::new();
+        let report = sim.run(&mut raw);
+        eprintln!(
+            "[scenario] {} jobs / {} apps / {:.0} node-hours; analyzing…",
+            report.jobs_submitted, report.apps_completed, report.node_hours
+        );
+        let mut logs = LogCollection::new();
+        logs.syslog = std::mem::take(&mut raw.syslog);
+        logs.hwerr = std::mem::take(&mut raw.hwerr);
+        logs.alps = std::mem::take(&mut raw.alps);
+        logs.torque = std::mem::take(&mut raw.torque);
+        logs.netwatch = std::mem::take(&mut raw.netwatch);
+        let analysis = LogDiver::new().analyze(&logs);
+        Scenario { config, truths: raw.truths, report, analysis }
+    })
+}
+
+/// Prints the standard experiment header.
+pub fn banner(id: &str, what: &str) {
+    let s = scenario();
+    println!("==================================================================");
+    println!("{id} — {what}");
+    println!(
+        "scenario: 1/{} machine, {} days, seed {} (paper period: full machine, 518 days)",
+        s.config.machine_divisor, s.config.days, s.config.seed
+    );
+    println!("==================================================================");
+}

@@ -1,0 +1,232 @@
+//! `logdiver` — command-line driver for the field-study toolkit.
+//!
+//! ```text
+//! logdiver simulate  --out DIR [--divisor N] [--days N] [--seed N]
+//! logdiver analyze   --logs DIR [--csv DIR]
+//! logdiver validate  --logs DIR
+//! logdiver reproduce [--divisor N] [--days N] [--seed N] [--boost-capability]
+//! logdiver swf       --out FILE [--divisor N] [--days N] [--seed N]
+//! ```
+//!
+//! `simulate` writes the five raw log files plus `ground_truth.jsonl`;
+//! `analyze` runs LogDiver over a log directory and prints the full report;
+//! `validate` additionally scores the verdicts against the ground truth;
+//! `reproduce` does simulate+analyze in memory and prints every table and
+//! figure (the benches call the same path per experiment).
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use bw_sim::{AppTruth, FileOutput, MemoryOutput, SimConfig, Simulation};
+use rand::SeedableRng;
+use logdiver::{report, LogCollection, LogDiver};
+
+fn usage() -> &'static str {
+    "usage:\n  logdiver simulate  --out DIR [--divisor N] [--days N] [--seed N]\n  logdiver analyze   --logs DIR [--csv DIR]\n  logdiver validate  --logs DIR\n  logdiver reproduce [--divisor N] [--days N] [--seed N] [--boost-capability]\n  logdiver swf       --out FILE [--divisor N] [--days N] [--seed N]\n\noptions:\n  --divisor N   machine scale divisor (1 = full Blue Waters; default 16)\n  --days N      production days to simulate (default 30; the paper is 518)\n  --seed N      RNG seed (default 1)\n  --out DIR     output directory for raw logs\n  --logs DIR    directory holding messages.log / hwerr.log / apsys.log /\n                torque.log / netwatch.log\n  --csv DIR     also write scale-curve CSVs there\n  --boost-capability  multiply capability-job frequency ×8 (dense sampling\n                of the full-scale buckets on small machines)"
+}
+
+#[derive(Debug, Default)]
+struct Args {
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = argv.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            match it.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    args.flags.insert(name.to_string(), it.next().expect("peeked").clone());
+                }
+                _ => args.switches.push(name.to_string()),
+            }
+        } else {
+            return Err(format!("unexpected argument {a:?}"));
+        }
+    }
+    Ok(args)
+}
+
+fn get_u64(args: &Args, name: &str, default: u64) -> Result<u64, String> {
+    match args.flags.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{name} expects a number, got {v:?}")),
+    }
+}
+
+fn build_config(args: &Args) -> Result<SimConfig, String> {
+    let divisor = get_u64(args, "divisor", 16)? as u32;
+    let days = get_u64(args, "days", 30)? as u32;
+    let seed = get_u64(args, "seed", 1)?;
+    let mut config = if divisor <= 1 {
+        SimConfig::blue_waters(days)
+    } else {
+        SimConfig::scaled(divisor, days)
+    }
+    .with_seed(seed);
+    if args.switches.iter().any(|s| s == "boost-capability") {
+        for class in &mut config.workload.classes {
+            class.capability_fraction *= 8.0;
+        }
+    }
+    Ok(config)
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    let out_dir = args.flags.get("out").ok_or("simulate needs --out DIR")?;
+    let config = build_config(args)?;
+    let sim = Simulation::new(config)?;
+    eprintln!(
+        "simulating {} for {} days (seed {})…",
+        sim.machine().name(),
+        sim.config().days,
+        sim.config().seed
+    );
+    let mut out = FileOutput::create(out_dir).map_err(|e| format!("cannot create {out_dir}: {e}"))?;
+    let report = sim.run(&mut out);
+    out.flush().map_err(|e| format!("flush failed: {e}"))?;
+    eprintln!(
+        "wrote {} log lines to {out_dir}: {} jobs, {} apps, {:.0} node-hours, {} faults",
+        out.total_lines(),
+        report.jobs_submitted,
+        report.apps_completed,
+        report.node_hours,
+        report.faults_injected
+    );
+    Ok(())
+}
+
+fn cmd_analyze(args: &Args) -> Result<(), String> {
+    let dir = args.flags.get("logs").ok_or("analyze needs --logs DIR")?;
+    // Streaming parse: the raw text never lives in memory.
+    let analysis = LogDiver::new().analyze_dir(dir).map_err(|e| e.to_string())?;
+    println!("{}", report::full_report(&analysis.metrics, &analysis.stats));
+    if let Some(csv_dir) = args.flags.get("csv") {
+        std::fs::create_dir_all(csv_dir).map_err(|e| format!("cannot create {csv_dir}: {e}"))?;
+        for curve in &analysis.metrics.scale_curves {
+            let name = format!("scale_{}.csv", curve.node_type.label().to_lowercase());
+            let path = std::path::Path::new(csv_dir).join(name);
+            std::fs::write(&path, report::scale_curve_csv(curve))
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        }
+        eprintln!("scale-curve CSVs written to {csv_dir}");
+    }
+    Ok(())
+}
+
+fn cmd_validate(args: &Args) -> Result<(), String> {
+    let dir = args.flags.get("logs").ok_or("validate needs --logs DIR")?;
+    let truth_path = std::path::Path::new(dir).join("ground_truth.jsonl");
+    let truth_text = std::fs::read_to_string(&truth_path)
+        .map_err(|e| format!("cannot read {}: {e}", truth_path.display()))?;
+    let mut truths: HashMap<u64, AppTruth> = HashMap::new();
+    for line in truth_text.lines() {
+        let t: AppTruth =
+            serde_json::from_str(line).map_err(|e| format!("bad ground-truth line: {e}"))?;
+        truths.insert(t.apid.value(), t);
+    }
+    let analysis = LogDiver::new().analyze_dir(dir).map_err(|e| e.to_string())?;
+    let (mut tp, mut fp, mut fnc, mut tn, mut unmatched) = (0u64, 0u64, 0u64, 0u64, 0u64);
+    for run in &analysis.runs {
+        let Some(truth) = truths.get(&run.run.apid.value()) else {
+            unmatched += 1;
+            continue;
+        };
+        match (truth.outcome.is_system(), run.class.is_system_failure()) {
+            (true, true) => tp += 1,
+            (false, true) => fp += 1,
+            (true, false) => fnc += 1,
+            (false, false) => tn += 1,
+        }
+    }
+    println!("V1 — attribution validation against ground truth");
+    println!("  runs matched      : {}", tp + fp + fnc + tn);
+    println!("  true positives    : {tp}");
+    println!("  false positives   : {fp}");
+    println!("  false negatives   : {fnc}");
+    println!("  true negatives    : {tn}");
+    if unmatched > 0 {
+        println!("  runs without truth: {unmatched}");
+    }
+    let precision = tp as f64 / (tp + fp).max(1) as f64;
+    let recall = tp as f64 / (tp + fnc).max(1) as f64;
+    println!("  precision         : {precision:.3}");
+    println!("  recall            : {recall:.3}");
+    Ok(())
+}
+
+fn cmd_reproduce(args: &Args) -> Result<(), String> {
+    let config = build_config(args)?;
+    let sim = Simulation::new(config)?;
+    eprintln!(
+        "simulating {} for {} days (seed {})…",
+        sim.machine().name(),
+        sim.config().days,
+        sim.config().seed
+    );
+    let mut raw = MemoryOutput::new();
+    let sim_report = sim.run(&mut raw);
+    eprintln!(
+        "simulated {} jobs / {} apps / {:.0} node-hours; analyzing…",
+        sim_report.jobs_submitted, sim_report.apps_completed, sim_report.node_hours
+    );
+    let mut logs = LogCollection::new();
+    logs.syslog = raw.syslog;
+    logs.hwerr = raw.hwerr;
+    logs.alps = raw.alps;
+    logs.torque = raw.torque;
+    logs.netwatch = raw.netwatch;
+    let analysis = LogDiver::new().analyze(&logs);
+    println!("{}", report::full_report(&analysis.metrics, &analysis.stats));
+    Ok(())
+}
+
+fn cmd_swf(args: &Args) -> Result<(), String> {
+    let out_path = args.flags.get("out").ok_or("swf needs --out FILE")?;
+    let config = build_config(args)?;
+    let machine = config.machine();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let mut generator =
+        bw_workload::WorkloadGenerator::new(config.workload.clone(), &mut rng)?;
+    let jobs = generator.generate(config.horizon(), &mut rng);
+    let text = bw_workload::swf::export_trace(machine.name(), machine.compute_nodes(), &jobs);
+    std::fs::write(out_path, &text).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    eprintln!("wrote {} SWF jobs to {out_path}", jobs.len());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprintln!("{}", usage());
+        return ExitCode::from(2);
+    };
+    let args = match parse_args(rest) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cmd.as_str() {
+        "simulate" => cmd_simulate(&args),
+        "analyze" => cmd_analyze(&args),
+        "validate" => cmd_validate(&args),
+        "reproduce" => cmd_reproduce(&args),
+        "swf" => cmd_swf(&args),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Smoke tests driving the installed binary end-to-end.
+
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_logdiver")
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = Command::new(bin()).arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("simulate"));
+    assert!(text.contains("reproduce"));
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let out = Command::new(bin()).arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown command"));
+}
+
+#[test]
+fn missing_args_fail_cleanly() {
+    let out = Command::new(bin()).arg("analyze").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--logs"));
+    let out = Command::new(bin()).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn simulate_validate_analyze_round_trip() {
+    let dir = std::env::temp_dir().join(format!("logdiver-cli-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let out = Command::new(bin())
+        .args(["simulate", "--out"])
+        .arg(&dir)
+        .args(["--divisor", "64", "--days", "2", "--seed", "3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    for f in ["messages.log", "hwerr.log", "apsys.log", "torque.log", "netwatch.log", "ground_truth.jsonl"] {
+        assert!(dir.join(f).exists(), "missing {f}");
+    }
+
+    let out = Command::new(bin()).args(["analyze", "--logs"]).arg(&dir).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("T2 — Application outcomes"));
+    assert!(text.contains("F1 — XE failure probability"));
+    assert!(text.contains("T5 — Pipeline effectiveness"));
+
+    let out = Command::new(bin()).args(["validate", "--logs"]).arg(&dir).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("precision"));
+    assert!(text.contains("recall"));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn analyze_missing_dir_fails() {
+    let out = Command::new(bin())
+        .args(["analyze", "--logs", "/nonexistent/definitely-not-here"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn swf_export_produces_parseable_trace() {
+    let path = std::env::temp_dir().join(format!("logdiver-swf-{}.swf", std::process::id()));
+    let out = Command::new(bin())
+        .args(["swf", "--out"])
+        .arg(&path)
+        .args(["--divisor", "64", "--days", "1", "--seed", "9"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&path).unwrap();
+    let jobs = bw_workload::swf::parse_trace(&text).unwrap();
+    assert!(jobs.len() > 10, "only {} jobs", jobs.len());
+    std::fs::remove_file(&path).unwrap();
+}

@@ -1,0 +1,313 @@
+//! Stage 3: coalescing — spatial-temporal tupling of filtered entries into
+//! error events.
+//!
+//! A single underlying problem produces many log entries (an MCE line, an
+//! EDAC dump, a heartbeat declaration; a correctable-error flood; a link
+//! failure plus the reroute bracket). Classic tupling groups entries that
+//! are close in **time** (gap-based window) and **space** (same blade for
+//! node-scoped entries; machine scope for fabric/filesystem entries), so
+//! the attribution stage reasons about *events*, not lines.
+
+use std::collections::HashMap;
+
+use bw_topology::location::NODES_PER_BLADE;
+use logdiver_types::category::ErrorScope;
+use logdiver_types::{ErrorCategory, NodeId, Severity, SimDuration, Timestamp};
+use serde::{Deserialize, Serialize};
+
+use crate::filter::FilteredEntry;
+
+/// A coalesced error event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorEvent {
+    /// Dense event id (index in the event table).
+    pub id: u32,
+    /// First member entry's timestamp.
+    pub start: Timestamp,
+    /// Last member entry's timestamp.
+    pub end: Timestamp,
+    /// Distinct categories seen, in first-seen order.
+    pub categories: Vec<ErrorCategory>,
+    /// Maximum severity over members.
+    pub severity: Severity,
+    /// Distinct nodes involved (empty for machine-scope events).
+    pub nodes: Vec<NodeId>,
+    /// True for machine-scope events (fabric, filesystem).
+    pub system_scope: bool,
+    /// Member entries folded in.
+    pub entry_count: u32,
+}
+
+impl ErrorEvent {
+    /// True when any member category can kill an application by itself.
+    pub fn is_lethal(&self) -> bool {
+        self.categories.iter().any(|c| c.is_application_lethal())
+    }
+
+    /// The root-cause category of the event.
+    ///
+    /// A lethal event typically contains a specific cause (MCE, GPU DBE,
+    /// kernel panic) *followed by* the generic heartbeat declaration the
+    /// health sweep adds when it finds the corpse. Root-cause preference:
+    /// the earliest-seen lethal category that is not the generic
+    /// declaration, then the earliest lethal one, then severity.
+    pub fn dominant_category(&self) -> ErrorCategory {
+        let generic = ErrorCategory::NodeHeartbeatFault;
+        self.categories
+            .iter()
+            .copied()
+            .find(|c| c.is_application_lethal() && *c != generic)
+            .or_else(|| self.categories.iter().copied().find(|c| c.is_application_lethal()))
+            .unwrap_or_else(|| {
+                *self
+                    .categories
+                    .iter()
+                    .max_by_key(|c| c.severity())
+                    .expect("events have at least one category")
+            })
+    }
+
+    /// Event duration.
+    pub fn span(&self) -> SimDuration {
+        self.end - self.start
+    }
+
+    fn absorb(&mut self, e: &FilteredEntry) {
+        self.end = self.end.max(e.timestamp);
+        self.severity = self.severity.max(e.severity);
+        if !self.categories.contains(&e.category) {
+            self.categories.push(e.category);
+        }
+        if let Some(n) = e.node {
+            if !self.nodes.contains(&n) {
+                self.nodes.push(n);
+            }
+        }
+        self.entry_count += 1;
+    }
+}
+
+/// Spatial grouping key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum GroupKey {
+    /// Machine-scope stream (fabric, filesystem, reroutes).
+    System,
+    /// Blade-scoped stream.
+    Blade(u32),
+    /// Launcher complaints: per-application point events. They must never
+    /// chain with (or extend) fabric/filesystem events — on a busy machine
+    /// launch errors arrive every few minutes, and letting them bridge the
+    /// gap would weld the whole machine-scope stream into one giant event.
+    Launcher,
+}
+
+fn key_of(e: &FilteredEntry) -> GroupKey {
+    if e.category == ErrorCategory::AlpsLaunchFailure {
+        return GroupKey::Launcher;
+    }
+    let system = e.category.scope() == ErrorScope::System || e.node.is_none();
+    match (system, e.node) {
+        (false, Some(n)) => GroupKey::Blade(n.value() / NODES_PER_BLADE),
+        _ => GroupKey::System,
+    }
+}
+
+/// Hard ceiling on one event's span: even a steady drizzle of related
+/// entries (each within the gap of the last) is cut after 30 minutes, the
+/// classic truncated-tupling rule that keeps events attributable.
+pub const MAX_EVENT_SPAN: SimDuration = SimDuration::from_secs(1_800);
+
+/// Coalesces time-sorted filtered entries with the given gap.
+///
+/// Every input entry lands in exactly one event; events of one spatial
+/// group never overlap (closing happens when the gap is exceeded), and no
+/// event spans more than [`MAX_EVENT_SPAN`].
+pub fn coalesce(entries: &[FilteredEntry], gap: SimDuration) -> Vec<ErrorEvent> {
+    debug_assert!(entries.windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
+    let mut events: Vec<ErrorEvent> = Vec::new();
+    let mut open: HashMap<GroupKey, usize> = HashMap::new();
+    for e in entries {
+        let key = key_of(e);
+        match open.get(&key) {
+            Some(&idx)
+                if e.timestamp - events[idx].end <= gap
+                    && e.timestamp - events[idx].start <= MAX_EVENT_SPAN =>
+            {
+                events[idx].absorb(e);
+            }
+            _ => {
+                let id = events.len() as u32;
+                events.push(ErrorEvent {
+                    id,
+                    start: e.timestamp,
+                    end: e.timestamp,
+                    categories: vec![e.category],
+                    severity: e.severity,
+                    nodes: e.node.into_iter().collect(),
+                    system_scope: key == GroupKey::System,
+                    entry_count: 1,
+                });
+                open.insert(key, events.len() - 1);
+            }
+        }
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::EntrySource;
+    use proptest::prelude::*;
+
+    fn entry(secs: i64, cat: ErrorCategory, node: Option<u32>) -> FilteredEntry {
+        FilteredEntry {
+            timestamp: Timestamp::PRODUCTION_EPOCH + SimDuration::from_secs(secs),
+            category: cat,
+            severity: cat.severity(),
+            node: node.map(NodeId::new),
+            source: EntrySource::Syslog,
+        }
+    }
+
+    #[test]
+    fn burst_on_one_node_becomes_one_event() {
+        let entries: Vec<_> = (0..10)
+            .map(|i| entry(i * 10, ErrorCategory::MemoryCorrectable, Some(8)))
+            .collect();
+        let events = coalesce(&entries, SimDuration::from_secs(60));
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].entry_count, 10);
+        assert_eq!(events[0].span(), SimDuration::from_secs(90));
+        assert!(!events[0].is_lethal());
+    }
+
+    #[test]
+    fn gap_splits_events() {
+        let entries = vec![
+            entry(0, ErrorCategory::MemoryCorrectable, Some(8)),
+            entry(30, ErrorCategory::MemoryCorrectable, Some(8)),
+            entry(500, ErrorCategory::MemoryCorrectable, Some(8)),
+        ];
+        let events = coalesce(&entries, SimDuration::from_secs(60));
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].entry_count, 2);
+        assert_eq!(events[1].entry_count, 1);
+    }
+
+    #[test]
+    fn blade_groups_nodes_together_but_not_across() {
+        // nids 8..11 share blade 2; nid 12 is blade 3.
+        let entries = vec![
+            entry(0, ErrorCategory::MachineCheckException, Some(8)),
+            entry(5, ErrorCategory::NodeHeartbeatFault, Some(9)),
+            entry(6, ErrorCategory::MachineCheckException, Some(12)),
+        ];
+        let events = coalesce(&entries, SimDuration::from_secs(60));
+        assert_eq!(events.len(), 2);
+        let blade2 = events.iter().find(|e| e.nodes.contains(&NodeId::new(8))).unwrap();
+        assert_eq!(blade2.entry_count, 2);
+        assert_eq!(blade2.categories.len(), 2);
+        assert!(blade2.is_lethal());
+        assert_eq!(blade2.severity, Severity::Fatal);
+    }
+
+    #[test]
+    fn system_scope_categories_merge_machine_wide() {
+        let entries = vec![
+            entry(0, ErrorCategory::GeminiLinkFailure, None),
+            entry(3, ErrorCategory::GeminiRouteReconfig, None),
+            entry(45, ErrorCategory::GeminiRouteReconfig, None),
+        ];
+        let events = coalesce(&entries, SimDuration::from_secs(300));
+        assert_eq!(events.len(), 1);
+        assert!(events[0].system_scope);
+        assert!(events[0].is_lethal());
+        assert_eq!(events[0].dominant_category(), ErrorCategory::GeminiLinkFailure);
+    }
+
+    #[test]
+    fn launcher_entries_never_bridge_system_events() {
+        // Launch errors every 2 min would otherwise chain reroutes (20 min
+        // apart) into one mega event.
+        let mut entries = Vec::new();
+        for k in 0..20 {
+            entries.push(entry(k * 120, ErrorCategory::AlpsLaunchFailure, None));
+        }
+        entries.push(entry(5, ErrorCategory::GeminiRouteReconfig, None));
+        entries.push(entry(1_500, ErrorCategory::GeminiRouteReconfig, None));
+        entries.sort_by_key(|e| e.timestamp);
+        let events = coalesce(&entries, SimDuration::from_secs(300));
+        let system: Vec<&ErrorEvent> = events
+            .iter()
+            .filter(|e| e.categories.contains(&ErrorCategory::GeminiRouteReconfig))
+            .collect();
+        assert_eq!(system.len(), 2, "reroutes must stay separate events");
+        for ev in system {
+            assert!(!ev.categories.contains(&ErrorCategory::AlpsLaunchFailure));
+        }
+    }
+
+    #[test]
+    fn max_span_truncates_steady_drizzle() {
+        // Entries every 200 s for 2 hours: the gap never closes the event,
+        // the span ceiling must.
+        let entries: Vec<_> = (0..36)
+            .map(|k| entry(k * 200, ErrorCategory::MemoryCorrectable, Some(8)))
+            .collect();
+        let events = coalesce(&entries, SimDuration::from_secs(300));
+        assert!(events.len() >= 3, "expected truncation, got {} events", events.len());
+        for ev in &events {
+            assert!(ev.span() <= MAX_EVENT_SPAN);
+        }
+        let total: u32 = events.iter().map(|e| e.entry_count).sum();
+        assert_eq!(total as usize, entries.len());
+    }
+
+    #[test]
+    fn node_scoped_link_entry_groups_by_blade() {
+        // A GeminiLinkFailure reported *by a node* still groups on the blade
+        // (scope Blade), while the netwatch one (node=None) is system-wide.
+        let entries = vec![
+            entry(0, ErrorCategory::MachineCheckException, Some(4)),
+            entry(1, ErrorCategory::GeminiRouteReconfig, None),
+        ];
+        let events = coalesce(&entries, SimDuration::from_secs(300));
+        assert_eq!(events.len(), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn every_entry_lands_in_exactly_one_event(
+            mut times in proptest::collection::vec(0i64..5_000, 1..120),
+            gap in 10i64..600,
+        ) {
+            times.sort_unstable();
+            let entries: Vec<_> = times
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| entry(t, ErrorCategory::MemoryUncorrectable, Some((i as u32 % 16) * 4)))
+                .collect();
+            let events = coalesce(&entries, SimDuration::from_secs(gap));
+            let total: u32 = events.iter().map(|e| e.entry_count).sum();
+            prop_assert_eq!(total as usize, entries.len());
+            for e in &events {
+                prop_assert!(e.start <= e.end);
+                prop_assert!(!e.categories.is_empty());
+            }
+            // Events in one blade group do not overlap and are gap-separated.
+            use std::collections::HashMap;
+            let mut by_first_node: HashMap<u32, Vec<&ErrorEvent>> = HashMap::new();
+            for e in &events {
+                if let Some(n) = e.nodes.first() {
+                    by_first_node.entry(n.value() / 4).or_default().push(e);
+                }
+            }
+            for group in by_first_node.values() {
+                for w in group.windows(2) {
+                    prop_assert!(w[1].start - w[0].end > SimDuration::from_secs(gap));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Analysis configuration: the knobs of the pipeline.
+
+use logdiver_types::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Tunables of the LogDiver pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogDiverConfig {
+    /// Coalescing gap: two filtered entries of the same spatial group merge
+    /// into one error event when separated by at most this much.
+    pub coalesce_gap: SimDuration,
+    /// How long before an application's death a node-scoped error event may
+    /// start and still be blamed (covers reporting latency).
+    pub attribution_lead: SimDuration,
+    /// How long after an error event ends an application death may occur
+    /// and still be attributed to it.
+    pub attribution_lag: SimDuration,
+    /// Tolerance when checking a signal-15 death against the job's
+    /// requested walltime.
+    pub walltime_tolerance: SimDuration,
+}
+
+impl Default for LogDiverConfig {
+    fn default() -> Self {
+        LogDiverConfig {
+            coalesce_gap: SimDuration::from_secs(300),
+            attribution_lead: SimDuration::from_secs(120),
+            attribution_lag: SimDuration::from_secs(120),
+            walltime_tolerance: SimDuration::from_secs(90),
+        }
+    }
+}
+
+impl LogDiverConfig {
+    /// Validation (all windows must be non-negative).
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, d) in [
+            ("coalesce_gap", self.coalesce_gap),
+            ("attribution_lead", self.attribution_lead),
+            ("attribution_lag", self.attribution_lag),
+            ("walltime_tolerance", self.walltime_tolerance),
+        ] {
+            if d.is_negative() {
+                return Err(format!("window {name} is negative"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        LogDiverConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn negative_window_rejected() {
+        let mut c = LogDiverConfig::default();
+        c.coalesce_gap = SimDuration::from_secs(-1);
+        assert!(c.validate().is_err());
+    }
+}

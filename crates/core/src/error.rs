@@ -1,0 +1,58 @@
+//! Error type for the analysis pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by LogDiver's fallible entry points (I/O-backed input).
+#[derive(Debug)]
+pub enum LogDiverError {
+    /// A log directory/file could not be read.
+    Io {
+        /// What was being read.
+        path: String,
+        /// Underlying error.
+        source: std::io::Error,
+    },
+    /// The input directory is missing every expected log file.
+    NoInput {
+        /// The directory inspected.
+        path: String,
+    },
+}
+
+impl fmt::Display for LogDiverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogDiverError::Io { path, source } => write!(f, "cannot read {path}: {source}"),
+            LogDiverError::NoInput { path } => {
+                write!(f, "no recognizable log files under {path}")
+            }
+        }
+    }
+}
+
+impl Error for LogDiverError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LogDiverError::Io { source, .. } => Some(source),
+            LogDiverError::NoInput { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = LogDiverError::NoInput { path: "/tmp/x".into() };
+        assert!(e.to_string().contains("/tmp/x"));
+        assert!(e.source().is_none());
+        let e = LogDiverError::Io {
+            path: "f".into(),
+            source: std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        };
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,124 @@
+//! Input: the raw log collection.
+//!
+//! LogDiver reads *lines*, nothing else — either handed over in memory or
+//! loaded from a directory using the conventional file names the collection
+//! tooling produces (`messages.log`, `hwerr.log`, `apsys.log`,
+//! `torque.log`, `netwatch.log`).
+
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+
+use crate::error::LogDiverError;
+
+/// Raw log lines, one vector per source.
+#[derive(Debug, Clone, Default)]
+pub struct LogCollection {
+    /// Consolidated syslog.
+    pub syslog: Vec<String>,
+    /// Hardware error log.
+    pub hwerr: Vec<String>,
+    /// ALPS `apsys` log.
+    pub alps: Vec<String>,
+    /// Torque accounting log.
+    pub torque: Vec<String>,
+    /// HSN netwatch log.
+    pub netwatch: Vec<String>,
+}
+
+impl LogCollection {
+    /// Creates an empty collection.
+    pub fn new() -> Self {
+        LogCollection::default()
+    }
+
+    /// Total lines across sources.
+    pub fn total_lines(&self) -> usize {
+        self.syslog.len() + self.hwerr.len() + self.alps.len() + self.torque.len()
+            + self.netwatch.len()
+    }
+
+    /// True when every source is empty.
+    pub fn is_empty(&self) -> bool {
+        self.total_lines() == 0
+    }
+
+    /// Loads a collection from a directory of conventionally named files.
+    /// Missing individual files are allowed (some sites lack a source);
+    /// a directory with *no* recognizable file is an error.
+    ///
+    /// # Errors
+    ///
+    /// [`LogDiverError::Io`] on read failures,
+    /// [`LogDiverError::NoInput`] when nothing was found.
+    pub fn from_dir(dir: impl AsRef<Path>) -> Result<Self, LogDiverError> {
+        let dir = dir.as_ref();
+        let read = |name: &str| -> Result<Vec<String>, LogDiverError> {
+            let path = dir.join(name);
+            if !path.exists() {
+                return Ok(Vec::new());
+            }
+            let file = File::open(&path).map_err(|source| LogDiverError::Io {
+                path: path.display().to_string(),
+                source,
+            })?;
+            let mut lines = Vec::new();
+            for line in BufReader::new(file).lines() {
+                lines.push(line.map_err(|source| LogDiverError::Io {
+                    path: path.display().to_string(),
+                    source,
+                })?);
+            }
+            Ok(lines)
+        };
+        let collection = LogCollection {
+            syslog: read("messages.log")?,
+            hwerr: read("hwerr.log")?,
+            alps: read("apsys.log")?,
+            torque: read("torque.log")?,
+            netwatch: read("netwatch.log")?,
+        };
+        if collection.is_empty() {
+            return Err(LogDiverError::NoInput { path: dir.display().to_string() });
+        }
+        Ok(collection)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_collection() {
+        let c = LogCollection::new();
+        assert!(c.is_empty());
+        assert_eq!(c.total_lines(), 0);
+    }
+
+    #[test]
+    fn from_dir_round_trip() {
+        let dir = std::env::temp_dir().join(format!("logdiver-input-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("apsys.log"), "line1\nline2\n").unwrap();
+        std::fs::write(dir.join("messages.log"), "syslog line\n").unwrap();
+        let c = LogCollection::from_dir(&dir).unwrap();
+        assert_eq!(c.alps, vec!["line1", "line2"]);
+        assert_eq!(c.syslog, vec!["syslog line"]);
+        assert!(c.torque.is_empty(), "missing files are tolerated");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn from_dir_requires_something() {
+        let dir = std::env::temp_dir().join(format!("logdiver-empty-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(matches!(
+            LogCollection::from_dir(&dir),
+            Err(LogDiverError::NoInput { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,230 @@
+//! Stage 1: parsing raw lines into typed records.
+//!
+//! Field data always contains corruption — truncated lines, interleaved
+//! writes, encoding damage. Every source is parsed line by line; failures
+//! are *counted per source* and never abort the analysis.
+
+use std::io::BufRead;
+use std::path::Path;
+
+use craylog::alps::AlpsRecord;
+use craylog::hwerr::HwErrRecord;
+use craylog::netwatch::NetwatchRecord;
+use craylog::syslog::SyslogRecord;
+use craylog::torque::TorqueRecord;
+use serde::{Deserialize, Serialize};
+
+use crate::error::LogDiverError;
+use crate::input::LogCollection;
+
+/// Per-source line accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ParseCounts {
+    /// Lines seen.
+    pub total: u64,
+    /// Lines that failed to parse.
+    pub bad: u64,
+}
+
+impl ParseCounts {
+    /// Lines successfully parsed.
+    pub fn good(&self) -> u64 {
+        self.total - self.bad
+    }
+}
+
+/// Everything stage 1 produces.
+#[derive(Debug, Default)]
+pub struct ParsedLogs {
+    /// Parsed syslog records.
+    pub syslog: Vec<SyslogRecord>,
+    /// Parsed hardware-error records.
+    pub hwerr: Vec<HwErrRecord>,
+    /// Parsed ALPS records.
+    pub alps: Vec<AlpsRecord>,
+    /// Parsed Torque records.
+    pub torque: Vec<TorqueRecord>,
+    /// Parsed netwatch records.
+    pub netwatch: Vec<NetwatchRecord>,
+    /// Accounting per source: `[syslog, hwerr, alps, torque, netwatch]`.
+    pub counts: [ParseCounts; 5],
+}
+
+impl ParsedLogs {
+    /// Total corrupt lines across sources.
+    pub fn total_bad(&self) -> u64 {
+        self.counts.iter().map(|c| c.bad).sum()
+    }
+}
+
+fn parse_all<T>(
+    lines: &[String],
+    counts: &mut ParseCounts,
+    parse: impl Fn(&str) -> Option<T>,
+) -> Vec<T> {
+    let mut out = Vec::with_capacity(lines.len());
+    for line in lines {
+        counts.total += 1;
+        if line.trim().is_empty() {
+            counts.bad += 1;
+            continue;
+        }
+        match parse(line) {
+            Some(rec) => out.push(rec),
+            None => counts.bad += 1,
+        }
+    }
+    out
+}
+
+/// Parses a whole collection.
+pub fn parse_collection(logs: &LogCollection) -> ParsedLogs {
+    let mut parsed = ParsedLogs::default();
+    parsed.syslog = parse_all(&logs.syslog, &mut parsed.counts[0], |l| {
+        SyslogRecord::parse(l).ok()
+    });
+    parsed.hwerr = parse_all(&logs.hwerr, &mut parsed.counts[1], |l| {
+        HwErrRecord::parse(l).ok()
+    });
+    parsed.alps = parse_all(&logs.alps, &mut parsed.counts[2], |l| AlpsRecord::parse(l).ok());
+    parsed.torque = parse_all(&logs.torque, &mut parsed.counts[3], |l| {
+        TorqueRecord::parse(l).ok()
+    });
+    parsed.netwatch = parse_all(&logs.netwatch, &mut parsed.counts[4], |l| {
+        NetwatchRecord::parse(l).ok()
+    });
+    parsed
+}
+
+fn parse_file<T>(
+    path: &Path,
+    counts: &mut ParseCounts,
+    out: &mut Vec<T>,
+    parse: impl Fn(&str) -> Option<T>,
+) -> Result<(), LogDiverError> {
+    if !path.exists() {
+        return Ok(());
+    }
+    let file = std::fs::File::open(path).map_err(|source| LogDiverError::Io {
+        path: path.display().to_string(),
+        source,
+    })?;
+    for line in std::io::BufReader::new(file).lines() {
+        let line = line.map_err(|source| LogDiverError::Io {
+            path: path.display().to_string(),
+            source,
+        })?;
+        counts.total += 1;
+        if line.trim().is_empty() {
+            counts.bad += 1;
+            continue;
+        }
+        match parse(&line) {
+            Some(rec) => out.push(rec),
+            None => counts.bad += 1,
+        }
+    }
+    Ok(())
+}
+
+/// Parses a log directory *streaming*: lines go straight from the reader
+/// into typed records without ever materializing the raw text — the memory
+/// profile a full 518-day analysis needs (raw logs are gigabytes; parsed
+/// records are a fraction of that).
+///
+/// # Errors
+///
+/// [`LogDiverError::Io`] on read failures, [`LogDiverError::NoInput`] when
+/// no recognizable file exists under `dir`.
+pub fn parse_dir(dir: impl AsRef<Path>) -> Result<ParsedLogs, LogDiverError> {
+    let dir = dir.as_ref();
+    let mut parsed = ParsedLogs::default();
+    parse_file(&dir.join("messages.log"), &mut parsed.counts[0], &mut parsed.syslog, |l| {
+        SyslogRecord::parse(l).ok()
+    })?;
+    parse_file(&dir.join("hwerr.log"), &mut parsed.counts[1], &mut parsed.hwerr, |l| {
+        HwErrRecord::parse(l).ok()
+    })?;
+    parse_file(&dir.join("apsys.log"), &mut parsed.counts[2], &mut parsed.alps, |l| {
+        AlpsRecord::parse(l).ok()
+    })?;
+    parse_file(&dir.join("torque.log"), &mut parsed.counts[3], &mut parsed.torque, |l| {
+        TorqueRecord::parse(l).ok()
+    })?;
+    parse_file(&dir.join("netwatch.log"), &mut parsed.counts[4], &mut parsed.netwatch, |l| {
+        NetwatchRecord::parse(l).ok()
+    })?;
+    if parsed.counts.iter().all(|c| c.total == 0) {
+        return Err(LogDiverError::NoInput { path: dir.display().to_string() });
+    }
+    Ok(parsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_good_and_bad() {
+        let mut logs = LogCollection::new();
+        logs.syslog.push("2013-03-28 12:30:00 nid00001 kernel: ok line".into());
+        logs.syslog.push("garbage".into());
+        logs.syslog.push("".into());
+        logs.alps.push(
+            "2013-03-28 12:30:00 apsys EXIT apid=1 code=0 signal=none node_failed=no runtime=60"
+                .into(),
+        );
+        let parsed = parse_collection(&logs);
+        assert_eq!(parsed.syslog.len(), 1);
+        assert_eq!(parsed.counts[0].total, 3);
+        assert_eq!(parsed.counts[0].bad, 2);
+        assert_eq!(parsed.counts[0].good(), 1);
+        assert_eq!(parsed.alps.len(), 1);
+        assert_eq!(parsed.total_bad(), 2);
+    }
+
+    #[test]
+    fn parse_dir_streams_and_matches_in_memory_path() {
+        let dir = std::env::temp_dir().join(format!("logdiver-parse-dir-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("messages.log"),
+            "2013-03-28 12:30:00 nid00001 kernel: ok line
+garbage
+",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("apsys.log"),
+            "2013-03-28 12:30:00 apsys EXIT apid=1 code=0 signal=none node_failed=no runtime=60
+",
+        )
+        .unwrap();
+        let streamed = parse_dir(&dir).unwrap();
+        let in_memory = {
+            let logs = crate::input::LogCollection::from_dir(&dir).unwrap();
+            parse_collection(&logs)
+        };
+        assert_eq!(streamed.syslog, in_memory.syslog);
+        assert_eq!(streamed.alps, in_memory.alps);
+        assert_eq!(streamed.counts, in_memory.counts);
+        std::fs::remove_dir_all(&dir).unwrap();
+
+        assert!(matches!(
+            parse_dir("/definitely/not/here"),
+            Err(LogDiverError::NoInput { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_lines_do_not_abort() {
+        let mut logs = LogCollection::new();
+        for i in 0..100 {
+            logs.hwerr.push(format!("corrupt record {i}"));
+        }
+        let parsed = parse_collection(&logs);
+        assert_eq!(parsed.hwerr.len(), 0);
+        assert_eq!(parsed.counts[1].bad, 100);
+    }
+}

@@ -1,0 +1,233 @@
+//! The end-to-end pipeline: one call from raw lines to metrics.
+
+use serde::{Deserialize, Serialize};
+
+use crate::classify::{classify_runs, ClassifiedRun};
+use crate::coalesce::{coalesce, ErrorEvent};
+use crate::config::LogDiverConfig;
+use crate::filter::{filter_logs, FilterStats, PatternTable};
+use crate::input::LogCollection;
+use crate::matcher::MatchIndex;
+use crate::metrics::{compute, MetricSet};
+use crate::error::LogDiverError;
+use crate::parse::{parse_collection, parse_dir, ParseCounts, ParsedLogs};
+use crate::workload::{reconstruct, WorkloadStats};
+
+/// Per-stage accounting (experiment T5: pipeline effectiveness).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PipelineStats {
+    /// Parse accounting `[syslog, hwerr, alps, torque, netwatch]`.
+    pub parse: [ParseCounts; 5],
+    /// Filter accounting.
+    pub filter: FilterStats,
+    /// Reconstruction accounting.
+    pub workload: WorkloadStats,
+    /// Filtered entries that entered coalescing.
+    pub entries: u64,
+    /// Error events after coalescing.
+    pub events: u64,
+    /// Of those, lethal events.
+    pub lethal_events: u64,
+}
+
+impl PipelineStats {
+    /// Compression from filtered entries to events.
+    pub fn coalescing_ratio(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.entries as f64 / self.events as f64
+        }
+    }
+}
+
+/// The result of an analysis.
+#[derive(Debug)]
+pub struct Analysis {
+    /// Every reconstructed run with its verdict.
+    pub runs: Vec<ClassifiedRun>,
+    /// Coalesced error events (sorted by start).
+    pub events: Vec<ErrorEvent>,
+    /// All computed metrics.
+    pub metrics: MetricSet,
+    /// Per-stage accounting.
+    pub stats: PipelineStats,
+}
+
+/// The LogDiver tool.
+///
+/// ```
+/// use logdiver::{LogDiver, LogCollection};
+/// let analysis = LogDiver::new().analyze(&LogCollection::new());
+/// assert_eq!(analysis.runs.len(), 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct LogDiver {
+    config: LogDiverConfig,
+    table: PatternTable,
+}
+
+impl LogDiver {
+    /// Creates the tool with default windows and the curated pattern table.
+    pub fn new() -> Self {
+        LogDiver::default()
+    }
+
+    /// Overrides the pipeline configuration.
+    pub fn with_config(mut self, config: LogDiverConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Overrides the pattern table.
+    pub fn with_patterns(mut self, table: PatternTable) -> Self {
+        self.table = table;
+        self
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &LogDiverConfig {
+        &self.config
+    }
+
+    /// Runs the whole pipeline on a log collection.
+    pub fn analyze(&self, logs: &LogCollection) -> Analysis {
+        self.analyze_parsed(parse_collection(logs))
+    }
+
+    /// Runs the pipeline on a log directory, parsing each file *streaming*
+    /// (the raw text never lives in memory — the mode a full 518-day
+    /// analysis runs in).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and empty-directory errors from
+    /// [`crate::parse::parse_dir`].
+    pub fn analyze_dir(&self, dir: impl AsRef<std::path::Path>) -> Result<Analysis, LogDiverError> {
+        Ok(self.analyze_parsed(parse_dir(dir)?))
+    }
+
+    /// Runs the pipeline stages downstream of parsing.
+    pub fn analyze_parsed(&self, parsed: ParsedLogs) -> Analysis {
+        let (entries, filter_stats) = filter_logs(&parsed, &self.table);
+        let events = coalesce(&entries, self.config.coalesce_gap);
+        let (runs, jobs, workload_stats) = reconstruct(&parsed);
+        let lethal_events = events.iter().filter(|e| e.is_lethal()).count() as u64;
+        let stats = PipelineStats {
+            parse: parsed.counts,
+            filter: filter_stats,
+            workload: workload_stats,
+            entries: entries.len() as u64,
+            events: events.len() as u64,
+            lethal_events,
+        };
+        let index = MatchIndex::new(events);
+        let classified = classify_runs(runs, &jobs, &index, &self.config);
+        let metrics = compute(&classified, index.events());
+        Analysis { runs: classified, events: index.events().to_vec(), metrics, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logdiver_types::{ExitClass, FailureCause};
+
+    /// A miniature hand-written field scenario covering the whole pipeline:
+    /// noise to discard, a node crash killing one app, a healthy app, and a
+    /// launch failure.
+    fn scenario() -> LogCollection {
+        let mut logs = LogCollection::new();
+        logs.torque.extend([
+            "2013-03-28 10:00:00;S;1.bw;user=u0001 queue=normal nodes=4 walltime=86400".to_string(),
+            "2013-03-28 10:00:00;S;2.bw;user=u0002 queue=small nodes=1 walltime=86400".to_string(),
+        ]);
+        logs.alps.extend([
+            "2013-03-28 10:00:05 apsys PLACED apid=100 batch=1.bw user=u0001 cmd=namd2 type=XE width=4 nodelist=nid[0-3]".to_string(),
+            "2013-03-28 10:00:06 apsys PLACED apid=200 batch=2.bw user=u0002 cmd=vasp type=XE width=1 nodelist=nid[100]".to_string(),
+            // apid 100 dies when nid 2 crashes at 12:00:00.
+            "2013-03-28 12:00:05 apsys EXIT apid=100 code=137 signal=9 node_failed=yes runtime=7200".to_string(),
+            // apid 200 completes.
+            "2013-03-28 13:00:06 apsys EXIT apid=200 code=0 signal=none node_failed=no runtime=10800".to_string(),
+            // apid 300 never launches.
+            "2013-03-28 14:00:00 apsys PLACED apid=300 batch=2.bw user=u0002 cmd=vasp type=XE width=1 nodelist=nid[101]".to_string(),
+            "2013-03-28 14:00:03 apsys LAUNCHERR apid=300 reason=placement failed: node unavailable".to_string(),
+        ]);
+        logs.syslog.extend([
+            // Noise before, during, after.
+            "2013-03-28 09:59:00 nid00050 ntpd: time slew +0.012s".to_string(),
+            "2013-03-28 12:00:00 nid00002 kernel: Machine Check Exception: bank 4 status 0xb200".to_string(),
+            "2013-03-28 12:00:31 smw xtnmd: node heartbeat fault: no response in 60s, declaring node dead".to_string(),
+            "2013-03-28 15:00:00 nid00051 sshd: Accepted publickey for user port 2222".to_string(),
+        ]);
+        logs.hwerr.extend([
+            "2013-03-28 12:00:01|c0-0c0s0n2|MCE|CRIT|bank=4".to_string(),
+            "2013-03-28 12:00:31|c0-0c0s0n2|NODE_DEAD|FATAL|".to_string(),
+        ]);
+        logs
+    }
+
+    #[test]
+    fn end_to_end_on_handwritten_scenario() {
+        let analysis = LogDiver::new().analyze(&scenario());
+        assert_eq!(analysis.runs.len(), 3);
+
+        let by_apid = |apid: u64| {
+            analysis
+                .runs
+                .iter()
+                .find(|r| r.run.apid.value() == apid)
+                .unwrap()
+        };
+        assert_eq!(by_apid(100).class, ExitClass::SystemFailure(FailureCause::Memory));
+        assert!(!by_apid(100).matched_events.is_empty());
+        assert_eq!(by_apid(200).class, ExitClass::Success);
+        assert_eq!(by_apid(300).class, ExitClass::SystemFailure(FailureCause::Launcher));
+
+        // The MCE syslog + hwerr + heartbeat lines coalesce around nid 2.
+        assert!(analysis.stats.events >= 1);
+        assert!(analysis.stats.lethal_events >= 1);
+        assert_eq!(analysis.stats.filter.syslog_examined, 4);
+        assert_eq!(analysis.stats.filter.syslog_kept, 2);
+
+        // Metrics line up with the classification.
+        assert_eq!(analysis.metrics.total_runs, 3);
+        assert!((analysis.metrics.system_failure_fraction - 2.0 / 3.0).abs() < 1e-9);
+        let mem = analysis
+            .metrics
+            .causes
+            .iter()
+            .find(|c| c.cause == FailureCause::Memory)
+            .unwrap();
+        assert_eq!(mem.runs, 1);
+        assert!((mem.lost_node_hours - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn analyze_is_deterministic() {
+        let a = LogDiver::new().analyze(&scenario());
+        let b = LogDiver::new().analyze(&scenario());
+        assert_eq!(a.runs, b.runs);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    fn empty_logs_yield_empty_analysis() {
+        let a = LogDiver::new().analyze(&LogCollection::new());
+        assert!(a.runs.is_empty());
+        assert!(a.events.is_empty());
+        assert_eq!(a.stats.coalescing_ratio(), 0.0);
+    }
+
+    #[test]
+    fn corrupt_lines_are_counted_not_fatal() {
+        let mut logs = scenario();
+        logs.syslog.push("¡corrupted±line···".to_string());
+        logs.alps.push("2013-03-28 garbage".to_string());
+        let a = LogDiver::new().analyze(&logs);
+        assert_eq!(a.runs.len(), 3, "analysis unchanged by corruption");
+        assert!(a.stats.parse[0].bad >= 1);
+        assert!(a.stats.parse[2].bad >= 1);
+    }
+}

@@ -1,0 +1,263 @@
+//! Precursor analysis: which lethal failures announced themselves?
+//!
+//! The paper's detection discussion asks whether log data carries enough
+//! warning to act proactively. This stage looks, for every lethal
+//! node-scoped error event, for *warning-only* events (correctable-error
+//! floods, GPU page-retirement pressure) on the same blade within a lookback
+//! window, and measures the fraction of failures with a precursor and the
+//! available lead time — the budget a proactive drain/migrate policy would
+//! have had.
+
+use bw_topology::location::NODES_PER_BLADE;
+use logdiver_types::{ErrorCategory, SimDuration};
+use serde::{Deserialize, Serialize};
+
+use crate::coalesce::ErrorEvent;
+
+/// Default lookback: generous enough to cover realistic escalation times.
+pub const DEFAULT_LOOKBACK: SimDuration = SimDuration::from_secs(3 * 3_600);
+
+/// Per-category precursor row.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrecursorRow {
+    /// Lethal category.
+    pub category: ErrorCategory,
+    /// Lethal node-scoped events of this category.
+    pub events: u64,
+    /// Of those, events with a warning precursor on the same blade.
+    pub with_precursor: u64,
+}
+
+/// The precursor report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrecursorReport {
+    /// Lethal node-scoped events examined.
+    pub lethal_events: u64,
+    /// Events with at least one warning precursor on the same blade.
+    pub with_precursor: u64,
+    /// Lookback window used.
+    pub lookback: SimDuration,
+    /// Lead times (hours) from the *latest* precursor's end to the failure.
+    pub lead_times_hours: Vec<f64>,
+    /// Per-category breakdown (only categories with events).
+    pub by_category: Vec<PrecursorRow>,
+}
+
+impl PrecursorReport {
+    /// Fraction of lethal events with a precursor.
+    pub fn fraction(&self) -> f64 {
+        if self.lethal_events == 0 {
+            0.0
+        } else {
+            self.with_precursor as f64 / self.lethal_events as f64
+        }
+    }
+
+    /// Median available lead time, if any precursors were found.
+    pub fn median_lead_hours(&self) -> Option<f64> {
+        let mut v = self.lead_times_hours.clone();
+        if v.is_empty() {
+            return None;
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).expect("lead times are finite"));
+        Some(v[v.len() / 2])
+    }
+}
+
+fn blades_of(ev: &ErrorEvent) -> impl Iterator<Item = u32> + '_ {
+    ev.nodes.iter().map(|n| n.value() / NODES_PER_BLADE)
+}
+
+/// Runs the precursor analysis over coalesced events.
+pub fn analyze_precursors(events: &[ErrorEvent], lookback: SimDuration) -> PrecursorReport {
+    // Index warning events (non-lethal, node-scoped) by blade.
+    let mut warnings_by_blade: std::collections::HashMap<u32, Vec<(i64, i64)>> =
+        std::collections::HashMap::new();
+    for ev in events {
+        if ev.is_lethal() || ev.system_scope {
+            continue;
+        }
+        for blade in blades_of(ev) {
+            warnings_by_blade
+                .entry(blade)
+                .or_default()
+                .push((ev.start.as_unix(), ev.end.as_unix()));
+        }
+    }
+    for v in warnings_by_blade.values_mut() {
+        v.sort_unstable();
+    }
+
+    let mut report = PrecursorReport {
+        lethal_events: 0,
+        with_precursor: 0,
+        lookback,
+        lead_times_hours: Vec::new(),
+        by_category: Vec::new(),
+    };
+    for ev in events {
+        if !ev.is_lethal() || ev.system_scope || ev.nodes.is_empty() {
+            continue;
+        }
+        report.lethal_events += 1;
+        let category = ev.dominant_category();
+        let t_fail = ev.start.as_unix();
+        let t_lo = t_fail - lookback.as_secs();
+        // Latest warning ending in [t_lo, t_fail) on any of the blades.
+        let mut best_end: Option<i64> = None;
+        for blade in blades_of(ev) {
+            if let Some(warnings) = warnings_by_blade.get(&blade) {
+                for &(w_start, w_end) in warnings.iter().rev() {
+                    if w_start >= t_fail {
+                        continue;
+                    }
+                    if w_end < t_lo {
+                        break; // sorted: everything earlier is out of window
+                    }
+                    if w_end < t_fail {
+                        best_end = Some(best_end.map_or(w_end, |b: i64| b.max(w_end)));
+                        break;
+                    }
+                }
+            }
+        }
+        let row = match report.by_category.iter_mut().find(|r| r.category == category) {
+            Some(row) => row,
+            None => {
+                report.by_category.push(PrecursorRow { category, events: 0, with_precursor: 0 });
+                report.by_category.last_mut().expect("just pushed")
+            }
+        };
+        row.events += 1;
+        if let Some(w_end) = best_end {
+            report.with_precursor += 1;
+            row.with_precursor += 1;
+            report.lead_times_hours.push((t_fail - w_end) as f64 / 3_600.0);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::EntrySource;
+    use crate::filter::FilteredEntry;
+    use logdiver_types::{NodeId, Timestamp};
+
+    fn entry(secs: i64, cat: ErrorCategory, nid: u32) -> FilteredEntry {
+        FilteredEntry {
+            timestamp: Timestamp::PRODUCTION_EPOCH + SimDuration::from_secs(secs),
+            category: cat,
+            severity: cat.severity(),
+            node: Some(NodeId::new(nid)),
+            source: EntrySource::Syslog,
+        }
+    }
+
+    fn events(entries: &[FilteredEntry]) -> Vec<ErrorEvent> {
+        let mut sorted = entries.to_vec();
+        sorted.sort_by_key(|e| e.timestamp);
+        crate::coalesce::coalesce(&sorted, SimDuration::from_secs(300))
+    }
+
+    #[test]
+    fn flood_before_ue_is_a_precursor() {
+        // CE flood on blade 2 at t=0, UE crash on the same blade 1 h later.
+        let evs = events(&[
+            entry(0, ErrorCategory::MemoryCorrectable, 8),
+            entry(3_600, ErrorCategory::MemoryUncorrectable, 9),
+        ]);
+        let report = analyze_precursors(&evs, DEFAULT_LOOKBACK);
+        assert_eq!(report.lethal_events, 1);
+        assert_eq!(report.with_precursor, 1);
+        assert!((report.fraction() - 1.0).abs() < 1e-12);
+        let lead = report.median_lead_hours().unwrap();
+        assert!((lead - 1.0).abs() < 0.01, "lead {lead}");
+    }
+
+    #[test]
+    fn warning_on_other_blade_does_not_count() {
+        let evs = events(&[
+            entry(0, ErrorCategory::MemoryCorrectable, 100),
+            entry(3_600, ErrorCategory::MemoryUncorrectable, 8),
+        ]);
+        let report = analyze_precursors(&evs, DEFAULT_LOOKBACK);
+        assert_eq!(report.lethal_events, 1);
+        assert_eq!(report.with_precursor, 0);
+    }
+
+    #[test]
+    fn warning_outside_window_does_not_count() {
+        let evs = events(&[
+            entry(0, ErrorCategory::MemoryCorrectable, 8),
+            entry(5 * 3_600, ErrorCategory::MemoryUncorrectable, 8),
+        ]);
+        let report = analyze_precursors(&evs, SimDuration::from_secs(3_600));
+        assert_eq!(report.with_precursor, 0);
+    }
+
+    #[test]
+    fn warning_after_failure_does_not_count() {
+        let evs = events(&[
+            entry(0, ErrorCategory::MemoryUncorrectable, 8),
+            entry(600, ErrorCategory::GpuPageRetirement, 8),
+        ]);
+        let report = analyze_precursors(&evs, DEFAULT_LOOKBACK);
+        assert_eq!(report.lethal_events, 1);
+        assert_eq!(report.with_precursor, 0);
+    }
+
+    #[test]
+    fn per_category_rows_partition() {
+        let evs = events(&[
+            entry(0, ErrorCategory::MemoryCorrectable, 8),
+            entry(3_000, ErrorCategory::MemoryUncorrectable, 8),
+            entry(10_000, ErrorCategory::KernelPanic, 40),
+            entry(20_000, ErrorCategory::GpuPageRetirement, 80),
+            entry(23_000, ErrorCategory::GpuDoubleBitError, 80),
+        ]);
+        let report = analyze_precursors(&evs, DEFAULT_LOOKBACK);
+        assert_eq!(report.lethal_events, 3);
+        assert_eq!(report.with_precursor, 2);
+        let total: u64 = report.by_category.iter().map(|r| r.events).sum();
+        assert_eq!(total, report.lethal_events);
+        let ue = report
+            .by_category
+            .iter()
+            .find(|r| r.category == ErrorCategory::MemoryUncorrectable)
+            .unwrap();
+        assert_eq!((ue.events, ue.with_precursor), (1, 1));
+        let panic = report
+            .by_category
+            .iter()
+            .find(|r| r.category == ErrorCategory::KernelPanic)
+            .unwrap();
+        assert_eq!((panic.events, panic.with_precursor), (1, 0));
+    }
+
+    #[test]
+    fn system_scope_events_are_ignored() {
+        let mut evs = events(&[entry(0, ErrorCategory::MemoryUncorrectable, 8)]);
+        evs.push(ErrorEvent {
+            id: 99,
+            start: Timestamp::PRODUCTION_EPOCH,
+            end: Timestamp::PRODUCTION_EPOCH,
+            categories: vec![ErrorCategory::GeminiLinkFailure],
+            severity: ErrorCategory::GeminiLinkFailure.severity(),
+            nodes: Vec::new(),
+            system_scope: true,
+            entry_count: 1,
+        });
+        let report = analyze_precursors(&evs, DEFAULT_LOOKBACK);
+        assert_eq!(report.lethal_events, 1, "only the node-scoped lethal event counts");
+    }
+
+    #[test]
+    fn empty_input_gives_empty_report() {
+        let report = analyze_precursors(&[], DEFAULT_LOOKBACK);
+        assert_eq!(report.lethal_events, 0);
+        assert_eq!(report.fraction(), 0.0);
+        assert!(report.median_lead_hours().is_none());
+    }
+}

@@ -1,0 +1,421 @@
+//! Rendering metric sets as report tables (and CSV for plotting).
+//!
+//! These renderers produce the rows the paper's tables/figures report; the
+//! bench harnesses print them, and EXPERIMENTS.md embeds them.
+
+use std::fmt::Write as _;
+
+use logdiver_types::NodeType;
+
+use crate::metrics::{MetricSet, ScaleCurve};
+use crate::pipeline::PipelineStats;
+
+fn hline(widths: &[usize]) -> String {
+    let mut s = String::from("+");
+    for w in widths {
+        s.push_str(&"-".repeat(w + 2));
+        s.push('+');
+    }
+    s
+}
+
+fn row(widths: &[usize], cells: &[String]) -> String {
+    let mut s = String::from("|");
+    for (w, c) in widths.iter().zip(cells) {
+        let _ = write!(s, " {c:<w$} |");
+    }
+    s
+}
+
+/// Generic fixed-width table renderer.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (i, c) in r.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&hline(&widths));
+    out.push('\n');
+    out.push_str(&row(&widths, &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>()));
+    out.push('\n');
+    out.push_str(&hline(&widths));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&row(&widths, r));
+        out.push('\n');
+    }
+    out.push_str(&hline(&widths));
+    out
+}
+
+/// T2: application outcome breakdown.
+pub fn outcome_table(m: &MetricSet) -> String {
+    let rows: Vec<Vec<String>> = m
+        .outcomes
+        .iter()
+        .map(|o| {
+            vec![
+                o.label.clone(),
+                o.runs.to_string(),
+                format!("{:.3}%", o.pct_runs * 100.0),
+                format!("{:.0}", o.node_hours),
+                format!("{:.2}%", o.pct_node_hours * 100.0),
+            ]
+        })
+        .collect();
+    format!(
+        "T2 — Application outcomes ({} runs, {:.0} node-hours, {:.0} days)\n{}\nsystem-failure fraction: {:.3}% of runs; failed runs consumed {:.2}% of node-hours",
+        m.total_runs,
+        m.total_node_hours,
+        m.measured_days,
+        render_table(&["outcome", "runs", "% runs", "node-hours", "% node-hours"], &rows),
+        m.system_failure_fraction * 100.0,
+        m.failed_node_hours_fraction * 100.0,
+    )
+}
+
+/// T3/F4: system-failure causes with lost work.
+pub fn cause_table(m: &MetricSet) -> String {
+    let rows: Vec<Vec<String>> = m
+        .causes
+        .iter()
+        .filter(|c| c.runs > 0)
+        .map(|c| {
+            vec![
+                c.cause.to_string(),
+                c.runs.to_string(),
+                format!("{:.1}%", c.pct_of_system * 100.0),
+                format!("{:.0}", c.lost_node_hours),
+            ]
+        })
+        .collect();
+    format!(
+        "T3 — System-failure causes (F4: lost node-hours)\n{}",
+        render_table(&["cause", "failed runs", "% of system", "lost node-hours"], &rows)
+    )
+}
+
+/// F1/F2: one scale curve.
+pub fn scale_table(curve: &ScaleCurve) -> String {
+    let fig = if curve.node_type == NodeType::Xk { "F2" } else { "F1" };
+    let rows: Vec<Vec<String>> = curve
+        .buckets
+        .iter()
+        .filter(|b| b.runs > 0)
+        .map(|b| {
+            vec![
+                format!("{}–{}", b.lo, b.hi),
+                b.runs.to_string(),
+                b.failures.to_string(),
+                format!("{:.4}", b.probability),
+                format!("[{:.4}, {:.4}]", b.ci.0, b.ci.1),
+            ]
+        })
+        .collect();
+    let exact = match &curve.exact_full {
+        Some(b) if b.runs > 0 => format!(
+            "\nat exactly {} nodes: P = {:.4} [{:.4}, {:.4}] over {} runs ({} failures)",
+            b.lo, b.probability, b.ci.0, b.ci.1, b.runs, b.failures
+        ),
+        _ => String::new(),
+    };
+    format!(
+        "{fig} — {} failure probability vs application scale\n{}{exact}",
+        curve.node_type,
+        render_table(&["nodes", "runs", "failures", "P(fail|system)", "95% CI"], &rows)
+    )
+}
+
+/// F3: MTTI per scale bucket.
+pub fn mtti_table(m: &MetricSet) -> String {
+    let rows: Vec<Vec<String>> = m
+        .mtti
+        .iter()
+        .filter(|r| r.runs > 0)
+        .map(|r| {
+            vec![
+                r.node_type.to_string(),
+                format!("{}–{}", r.lo, r.hi),
+                r.runs.to_string(),
+                r.interrupts.to_string(),
+                format!("{:.0}", r.exposure_hours),
+                r.mtti_hours.map_or("—".into(), |v| format!("{v:.1}")),
+                r.km_median_hours.map_or("—".into(), |v| format!("{v:.1}")),
+            ]
+        })
+        .collect();
+    format!(
+        "F3 — Mean time to (system) interrupt by scale\n{}",
+        render_table(
+            &["class", "nodes", "runs", "interrupts", "exposure h", "MTTI h", "KM median h"],
+            &rows
+        )
+    )
+}
+
+/// T4: detection coverage.
+pub fn detection_table(m: &MetricSet) -> String {
+    let rows: Vec<Vec<String>> = m
+        .detection
+        .iter()
+        .map(|d| {
+            vec![
+                d.node_type.to_string(),
+                d.system_failures.to_string(),
+                d.undetermined.to_string(),
+                format!("{:.1}%", d.fraction_undetermined * 100.0),
+            ]
+        })
+        .collect();
+    format!(
+        "T4 — Error-detection gap (system failures with no explaining error event)\n{}",
+        render_table(&["class", "system failures", "undetermined", "% undetermined"], &rows)
+    )
+}
+
+/// T5: pipeline effectiveness.
+pub fn pipeline_table(s: &PipelineStats) -> String {
+    let names = ["syslog", "hwerr", "alps", "torque", "netwatch"];
+    let mut rows: Vec<Vec<String>> = names
+        .iter()
+        .zip(s.parse.iter())
+        .map(|(n, c)| vec![n.to_string(), c.total.to_string(), c.bad.to_string()])
+        .collect();
+    rows.push(vec!["TOTAL".into(),
+                   s.parse.iter().map(|c| c.total).sum::<u64>().to_string(),
+                   s.parse.iter().map(|c| c.bad).sum::<u64>().to_string()]);
+    format!(
+        "T5 — Pipeline effectiveness\n{}\nsyslog kept: {} of {} ({:.2}% discarded as chatter)\nfiltered entries: {} → events: {} (coalescing ×{:.1}); lethal events: {}",
+        render_table(&["source", "lines", "corrupt"], &rows),
+        s.filter.syslog_kept,
+        s.filter.syslog_examined,
+        s.filter.syslog_discard_ratio() * 100.0,
+        s.entries,
+        s.events,
+        s.coalescing_ratio(),
+        s.lethal_events,
+    )
+}
+
+/// F6: interarrival fit summary.
+pub fn interarrival_summary(m: &MetricSet) -> String {
+    match &m.interarrival {
+        None => "F6 — too few machine-scope events for an interarrival fit".to_string(),
+        Some(f) => format!(
+            "F6 — Machine-scope lethal event interarrivals ({} events)\n  exponential: rate {:.4}/h (MTBF {:.1} h), KS = {:.3}\n  Weibull:     shape {:.2}, scale {:.1} h, KS = {:.3}",
+            f.events,
+            f.exp_rate_per_hour,
+            1.0 / f.exp_rate_per_hour.max(1e-12),
+            f.ks_exponential,
+            f.weibull_shape,
+            f.weibull_scale,
+            f.ks_weibull,
+        ),
+    }
+}
+
+/// F5: workload CDF summary (quartiles per class).
+pub fn workload_summary(m: &MetricSet) -> String {
+    let mut out = String::from("F5 — Workload distributions (CDF quartile summary)\n");
+    for (ty, pts) in &m.size_cdf {
+        if let Some(q) = quartiles(pts) {
+            let _ = writeln!(out, "  {ty} size nodes:      p25 {:.0}, median {:.0}, p75 {:.0}, max {:.0}", q.0, q.1, q.2, q.3);
+        }
+    }
+    for (ty, pts) in &m.duration_cdf {
+        if let Some(q) = quartiles(pts) {
+            let _ = writeln!(out, "  {ty} duration hours:  p25 {:.2}, median {:.2}, p75 {:.2}, max {:.1}", q.0, q.1, q.2, q.3);
+        }
+    }
+    out
+}
+
+fn quartiles(points: &[(f64, f64)]) -> Option<(f64, f64, f64, f64)> {
+    if points.is_empty() {
+        return None;
+    }
+    let at = |p: f64| {
+        points
+            .iter()
+            .find(|&&(_, f)| f >= p)
+            .map(|&(x, _)| x)
+            .unwrap_or(points.last().expect("non-empty").0)
+    };
+    Some((at(0.25), at(0.5), at(0.75), points.last().expect("non-empty").0))
+}
+
+/// A2: checkpoint advice derived from measured MTTI.
+pub fn checkpoint_table(m: &MetricSet, delta_hours: f64, restart_hours: f64) -> String {
+    let advice = crate::checkpoint::advise(m, delta_hours, restart_hours);
+    let rows: Vec<Vec<String>> = advice
+        .iter()
+        .map(|a| {
+            vec![
+                a.node_type.to_string(),
+                format!("{}–{}", a.lo, a.hi),
+                format!("{:.1}", a.mtti_hours),
+                format!("{:.2}", a.optimal_interval_hours),
+                format!("{:.1}%", a.waste_at_optimum * 100.0),
+            ]
+        })
+        .collect();
+    format!(
+        "A2 — Checkpoint economics (δ = {:.0} min write, {:.0} min restart; Daly optimum)
+{}",
+        delta_hours * 60.0,
+        restart_hours * 60.0,
+        render_table(
+            &["class", "nodes", "MTTI h", "optimal interval h", "min waste"],
+            &rows
+        )
+    )
+}
+
+/// F7: precursor summary.
+pub fn precursor_table(m: &MetricSet) -> String {
+    let p = &m.precursors;
+    let mut rows: Vec<Vec<String>> = p
+        .by_category
+        .iter()
+        .map(|r| {
+            vec![
+                r.category.token().to_string(),
+                r.events.to_string(),
+                r.with_precursor.to_string(),
+                if r.events > 0 {
+                    format!("{:.1}%", r.with_precursor as f64 / r.events as f64 * 100.0)
+                } else {
+                    "—".into()
+                },
+            ]
+        })
+        .collect();
+    rows.sort_by(|a, b| b[1].len().cmp(&a[1].len()).then(b[1].cmp(&a[1])));
+    format!(
+        "F7 — Failure precursors (warning events on the same blade, lookback {})
+{}
+precursor coverage: {}/{} lethal events ({:.1}%); median lead time {}",
+        p.lookback,
+        render_table(&["lethal category", "events", "with precursor", "coverage"], &rows),
+        p.with_precursor,
+        p.lethal_events,
+        p.fraction() * 100.0,
+        p.median_lead_hours().map_or("—".to_string(), |h| format!("{h:.2} h")),
+    )
+}
+
+/// F8: temporal dispersion summary.
+pub fn temporal_summary(m: &MetricSet) -> String {
+    let t = &m.temporal;
+    format!(
+        "F8 — Temporal dispersion over {} days
+  system failures/day : mean {:.2}, max {}, Fano {:.2}, quiet days {}
+  wide events/day     : mean {:.2}, max {}, Fano {:.2}
+  terminations/day    : mean {:.0}, max {}
+  (Fano 1 ≈ Poisson; ≫ 1 = bursty)",
+        t.days,
+        t.system_failures.mean,
+        t.system_failures.max,
+        t.system_failures.fano,
+        t.system_failures.quiet_days(),
+        t.wide_events.mean,
+        t.wide_events.max,
+        t.wide_events.fano,
+        t.terminations.mean,
+        t.terminations.max,
+    ) + &match t.system_failures.lag1_autocorrelation() {
+        Some(acf) => format!(
+            "\n  failure clustering  : lag-1 ACF {:.2}, longest bad streak {} days",
+            acf,
+            t.system_failures.longest_bad_streak()
+        ),
+        None => String::new(),
+    }
+}
+
+/// The whole report.
+pub fn full_report(m: &MetricSet, stats: &PipelineStats) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}\n", outcome_table(m));
+    let _ = writeln!(out, "{}\n", cause_table(m));
+    for curve in &m.scale_curves {
+        let _ = writeln!(out, "{}\n", scale_table(curve));
+    }
+    let _ = writeln!(out, "{}\n", mtti_table(m));
+    let _ = writeln!(out, "{}\n", detection_table(m));
+    let _ = writeln!(out, "{}\n", interarrival_summary(m));
+    let _ = writeln!(out, "{}\n", precursor_table(m));
+    let _ = writeln!(out, "{}\n", temporal_summary(m));
+    let _ = writeln!(out, "{}", workload_summary(m));
+    let _ = writeln!(out, "{}", pipeline_table(stats));
+    out
+}
+
+/// CSV export of a scale curve (for external plotting).
+pub fn scale_curve_csv(curve: &ScaleCurve) -> String {
+    let mut out = String::from("lo,hi,runs,failures,probability,ci_lo,ci_hi\n");
+    for b in &curve.buckets {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{:.6},{:.6},{:.6}",
+            b.lo, b.hi, b.runs, b.failures, b.probability, b.ci.0, b.ci.1
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::compute;
+
+    #[test]
+    fn tables_render_without_panicking_on_empty() {
+        let m = compute(&[], &[]);
+        let stats = PipelineStats::default();
+        let report = full_report(&m, &stats);
+        assert!(report.contains("T2"));
+        assert!(report.contains("T4"));
+        assert!(report.contains("F7"));
+        assert!(report.contains("F8"));
+        assert!(report.contains("F6"));
+        assert!(report.contains("T5"));
+    }
+
+    #[test]
+    fn render_table_aligns_columns() {
+        let t = render_table(
+            &["a", "long header"],
+            &[vec!["x".into(), "y".into()], vec!["wide cell".into(), "z".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert!(lines.len() >= 5);
+        let lens: std::collections::HashSet<usize> = lines.iter().map(|l| l.len()).collect();
+        assert_eq!(lens.len(), 1, "all lines same width:\n{t}");
+    }
+
+    #[test]
+    fn csv_export_has_header_and_rows() {
+        use crate::metrics::{ScaleBucket, ScaleCurve};
+        use logdiver_types::NodeType;
+        let curve = ScaleCurve {
+            node_type: NodeType::Xe,
+            exact_full: None,
+            buckets: vec![ScaleBucket {
+                lo: 1,
+                hi: 4,
+                runs: 10,
+                failures: 1,
+                probability: 0.1,
+                ci: (0.01, 0.4),
+            }],
+        };
+        let csv = scale_curve_csv(&curve);
+        assert!(csv.starts_with("lo,hi,"));
+        assert!(csv.contains("1,4,10,1,0.100000"));
+    }
+}

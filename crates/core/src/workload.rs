@@ -1,0 +1,229 @@
+//! Stage 4: reconstructing application runs from the workload logs.
+//!
+//! ALPS gives the placement (apid → nodes, user, class) and the exit
+//! record; Torque gives job-level context (requested walltime, needed to
+//! recognize walltime kills). The join is by apid / batch id. Orphans —
+//! exits without placements, placements without exits — are counted, not
+//! dropped silently.
+
+use std::collections::HashMap;
+
+use craylog::alps::AlpsRecord;
+use craylog::torque::TorqueEventKind;
+use logdiver_types::{AppId, ExitStatus, JobId, NodeType, SimDuration, Timestamp, UserId};
+use serde::{Deserialize, Serialize};
+
+use crate::parse::ParsedLogs;
+use crate::ranges::RangeSet;
+
+/// How a reconstructed run terminated, as far as the logs say.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Termination {
+    /// A normal ALPS exit record exists.
+    Exited(ExitStatus),
+    /// The launcher failed the run before execution.
+    LaunchFailed,
+    /// Placed, but no termination record was found (censored/corrupt).
+    Missing,
+}
+
+/// One reconstructed application run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppRun {
+    /// Application id.
+    pub apid: AppId,
+    /// Enclosing batch job.
+    pub job: JobId,
+    /// Submitting user.
+    pub user: UserId,
+    /// Node class.
+    pub node_type: NodeType,
+    /// Width in nodes.
+    pub width: u32,
+    /// Placement.
+    pub nodes: RangeSet,
+    /// Launch time.
+    pub start: Timestamp,
+    /// Termination time (equals `start` when missing).
+    pub end: Timestamp,
+    /// Termination record.
+    pub termination: Termination,
+}
+
+impl AppRun {
+    /// Wall-clock runtime.
+    pub fn runtime(&self) -> SimDuration {
+        self.end - self.start
+    }
+
+    /// Node-hours consumed.
+    pub fn node_hours(&self) -> f64 {
+        self.width as f64 * self.runtime().as_hours_f64().max(0.0)
+    }
+}
+
+/// Job-level context from Torque.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobInfo {
+    /// Requested walltime.
+    pub walltime: SimDuration,
+    /// Job start (from the E record), when known.
+    pub start: Option<Timestamp>,
+    /// Job-script exit status, when known.
+    pub exit_status: Option<i32>,
+}
+
+/// Accounting for the reconstruction stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct WorkloadStats {
+    /// Placement records seen.
+    pub placed: u64,
+    /// Exit records joined to a placement.
+    pub exited: u64,
+    /// Launch failures joined to a placement.
+    pub launch_failed: u64,
+    /// Termination records with no matching placement.
+    pub orphan_terminations: u64,
+    /// Placements with no termination record.
+    pub missing_terminations: u64,
+    /// Jobs with Torque context.
+    pub jobs: u64,
+}
+
+/// Reconstructs runs and job context from parsed logs.
+pub fn reconstruct(parsed: &ParsedLogs) -> (Vec<AppRun>, HashMap<u64, JobInfo>, WorkloadStats) {
+    let mut stats = WorkloadStats::default();
+    let mut runs: Vec<AppRun> = Vec::new();
+    let mut index: HashMap<u64, usize> = HashMap::new();
+
+    for rec in &parsed.alps {
+        match rec {
+            AlpsRecord::Placed(p) => {
+                stats.placed += 1;
+                let idx = runs.len();
+                runs.push(AppRun {
+                    apid: p.apid,
+                    job: p.job,
+                    user: p.user,
+                    node_type: p.node_type,
+                    width: p.width,
+                    nodes: RangeSet::from_node_set(&p.nodes),
+                    start: p.timestamp,
+                    end: p.timestamp,
+                    termination: Termination::Missing,
+                });
+                index.insert(p.apid.value(), idx);
+            }
+            AlpsRecord::Exit(e) => match index.get(&e.apid.value()) {
+                Some(&idx) => {
+                    let run = &mut runs[idx];
+                    run.end = e.timestamp;
+                    run.termination = Termination::Exited(e.exit);
+                    stats.exited += 1;
+                }
+                None => stats.orphan_terminations += 1,
+            },
+            AlpsRecord::LaunchErr(l) => match index.get(&l.apid.value()) {
+                Some(&idx) => {
+                    let run = &mut runs[idx];
+                    run.end = l.timestamp;
+                    run.termination = Termination::LaunchFailed;
+                    stats.launch_failed += 1;
+                }
+                None => stats.orphan_terminations += 1,
+            },
+        }
+    }
+    stats.missing_terminations = runs
+        .iter()
+        .filter(|r| r.termination == Termination::Missing)
+        .count() as u64;
+
+    let mut jobs: HashMap<u64, JobInfo> = HashMap::new();
+    for rec in &parsed.torque {
+        let info = jobs.entry(rec.job.value()).or_insert(JobInfo {
+            walltime: SimDuration::from_secs(rec.walltime_secs),
+            start: None,
+            exit_status: None,
+        });
+        info.walltime = SimDuration::from_secs(rec.walltime_secs);
+        if rec.kind == TorqueEventKind::End {
+            info.start = rec.start;
+            info.exit_status = rec.exit_status;
+        } else if info.start.is_none() {
+            info.start = Some(rec.timestamp);
+        }
+    }
+    stats.jobs = jobs.len() as u64;
+    (runs, jobs, stats)
+}
+
+/// Convenience for tests: total node-hours over runs.
+pub fn total_node_hours(runs: &[AppRun]) -> f64 {
+    runs.iter().map(AppRun::node_hours).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::LogCollection;
+    use crate::parse::parse_collection;
+
+    fn logs() -> LogCollection {
+        let mut logs = LogCollection::new();
+        logs.alps.extend([
+            "2013-03-28 12:00:00 apsys PLACED apid=1 batch=10.bw user=u0001 cmd=a.out type=XE width=4 nodelist=nid[0-3]".to_string(),
+            "2013-03-28 13:00:00 apsys EXIT apid=1 code=0 signal=none node_failed=no runtime=3600".to_string(),
+            "2013-03-28 12:05:00 apsys PLACED apid=2 batch=10.bw user=u0001 cmd=b.out type=XK width=2 nodelist=nid[100-101]".to_string(),
+            "2013-03-28 12:05:03 apsys LAUNCHERR apid=2 reason=placement failed".to_string(),
+            "2013-03-28 12:06:00 apsys PLACED apid=3 batch=11.bw user=u0002 cmd=c.out type=XE width=1 nodelist=nid[7]".to_string(),
+            "2013-03-28 14:00:00 apsys EXIT apid=99 code=1 signal=none node_failed=no runtime=10".to_string(),
+        ]);
+        logs.torque.extend([
+            "2013-03-28 11:59:00;S;10.bw;user=u0001 queue=normal nodes=4 walltime=7200".to_string(),
+            "2013-03-28 13:01:00;E;10.bw;user=u0001 queue=normal nodes=4 walltime=7200 start=1364472000 end=1364475660 exit_status=0".to_string(),
+        ]);
+        logs
+    }
+
+    #[test]
+    fn joins_placements_with_terminations() {
+        let parsed = parse_collection(&logs());
+        let (runs, jobs, stats) = reconstruct(&parsed);
+        assert_eq!(runs.len(), 3);
+        assert_eq!(stats.placed, 3);
+        assert_eq!(stats.exited, 1);
+        assert_eq!(stats.launch_failed, 1);
+        assert_eq!(stats.orphan_terminations, 1);
+        assert_eq!(stats.missing_terminations, 1);
+        assert_eq!(stats.jobs, 1);
+
+        let run1 = &runs[0];
+        assert_eq!(run1.apid, AppId::new(1));
+        assert_eq!(run1.runtime(), SimDuration::from_hours(1));
+        assert!((run1.node_hours() - 4.0).abs() < 1e-9);
+        assert!(matches!(run1.termination, Termination::Exited(e) if e.is_clean()));
+
+        let run2 = &runs[1];
+        assert_eq!(run2.termination, Termination::LaunchFailed);
+        assert_eq!(run2.node_type, NodeType::Xk);
+
+        let run3 = &runs[2];
+        assert_eq!(run3.termination, Termination::Missing);
+        assert_eq!(run3.runtime(), SimDuration::ZERO);
+
+        let job = jobs.get(&10).unwrap();
+        assert_eq!(job.walltime, SimDuration::from_secs(7200));
+        assert_eq!(job.exit_status, Some(0));
+        assert!(job.start.is_some());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let parsed = parse_collection(&LogCollection::new());
+        let (runs, jobs, stats) = reconstruct(&parsed);
+        assert!(runs.is_empty());
+        assert!(jobs.is_empty());
+        assert_eq!(stats, WorkloadStats::default());
+    }
+}

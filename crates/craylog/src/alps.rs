@@ -1,0 +1,341 @@
+//! ALPS (Application Level Placement Scheduler) logs.
+//!
+//! The paper's unit of analysis is the *application run* — one `aprun`
+//! launch inside a batch job, identified by its **apid**. The `apsys` log
+//! records placement at launch and the exit status at teardown:
+//!
+//! ```text
+//! 2013-03-28 12:30:00 apsys PLACED apid=1000321 batch=98765.bw user=u0421 cmd=namd2 type=XE width=4096 nodelist=nid[0-4095]
+//! 2013-03-28 16:30:00 apsys EXIT apid=1000321 code=0 signal=none node_failed=no runtime=14400
+//! 2013-03-28 12:29:59 apsys LAUNCHERR apid=1000322 reason=placement timeout
+//! ```
+
+use std::fmt;
+
+use logdiver_types::{AppId, ExitStatus, JobId, NodeSet, NodeType, Timestamp, UserId};
+use serde::{Deserialize, Serialize};
+
+use crate::error::CraylogError;
+use crate::nodelist::{format_nodelist, parse_nodelist};
+
+/// Application placement record, written at launch.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AppPlacedRecord {
+    /// Launch time.
+    pub timestamp: Timestamp,
+    /// Application id.
+    pub apid: AppId,
+    /// Enclosing batch job.
+    pub job: JobId,
+    /// Anonymized user.
+    pub user: UserId,
+    /// Executable name.
+    pub command: String,
+    /// Node class the application runs on.
+    pub node_type: NodeType,
+    /// Number of nodes (redundant with the nodelist; kept because the real
+    /// log keeps it and it lets the parser cross-check).
+    pub width: u32,
+    /// Placed nodes.
+    pub nodes: NodeSet,
+}
+
+/// Application exit record, written at teardown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AppExitRecord {
+    /// Teardown time.
+    pub timestamp: Timestamp,
+    /// Application id.
+    pub apid: AppId,
+    /// Exit status as the launcher saw it.
+    pub exit: ExitStatus,
+    /// Wall-clock runtime in seconds.
+    pub runtime_secs: i64,
+}
+
+/// Launch-failure record: ALPS could not start the application at all.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AppLaunchErrRecord {
+    /// Failure time.
+    pub timestamp: Timestamp,
+    /// Application id that failed to launch.
+    pub apid: AppId,
+    /// Reason text.
+    pub reason: String,
+}
+
+/// Any line of the `apsys` log.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AlpsRecord {
+    /// Placement at launch.
+    Placed(AppPlacedRecord),
+    /// Exit at teardown.
+    Exit(AppExitRecord),
+    /// Launch failure.
+    LaunchErr(AppLaunchErrRecord),
+}
+
+impl AlpsRecord {
+    /// Timestamp of the record, whatever its kind.
+    pub fn timestamp(&self) -> Timestamp {
+        match self {
+            AlpsRecord::Placed(r) => r.timestamp,
+            AlpsRecord::Exit(r) => r.timestamp,
+            AlpsRecord::LaunchErr(r) => r.timestamp,
+        }
+    }
+
+    /// Apid of the record, whatever its kind.
+    pub fn apid(&self) -> AppId {
+        match self {
+            AlpsRecord::Placed(r) => r.apid,
+            AlpsRecord::Exit(r) => r.apid,
+            AlpsRecord::LaunchErr(r) => r.apid,
+        }
+    }
+
+    /// Parses one `apsys` line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CraylogError`] when the line is not a well-formed PLACED,
+    /// EXIT or LAUNCHERR record.
+    pub fn parse(line: &str) -> Result<Self, CraylogError> {
+        let err = |reason: &str| CraylogError::new("alps", reason.to_string(), line);
+        if line.len() < 20 {
+            return Err(err("line shorter than a timestamp"));
+        }
+        let (ts_str, rest) = line
+            .split_at_checked(19)
+            .ok_or_else(|| err("timestamp spans a non-ASCII boundary"))?;
+        let timestamp: Timestamp = ts_str.parse().map_err(|_| err("bad timestamp"))?;
+        let rest = rest.strip_prefix(" apsys ").ok_or_else(|| err("missing apsys tag"))?;
+        let (verb, fields_str) = rest.split_once(' ').ok_or_else(|| err("missing verb"))?;
+
+        // key=value fields; values never contain spaces except `reason`,
+        // which is always last.
+        let get = |key: &str| -> Option<&str> {
+            let pat = format!("{key}=");
+            fields_str.split(' ').find_map(|f| f.strip_prefix(pat.as_str()))
+        };
+
+        match verb {
+            "PLACED" => {
+                let apid = AppId::new(
+                    get("apid").ok_or_else(|| err("missing apid"))?.parse().map_err(|_| err("bad apid"))?,
+                );
+                let job_str = get("batch").ok_or_else(|| err("missing batch"))?;
+                let job_num = job_str
+                    .strip_suffix(".bw")
+                    .ok_or_else(|| err("bad batch id"))?
+                    .parse()
+                    .map_err(|_| err("bad batch id"))?;
+                let user_str = get("user").ok_or_else(|| err("missing user"))?;
+                let user = UserId::new(
+                    user_str
+                        .strip_prefix('u')
+                        .ok_or_else(|| err("bad user"))?
+                        .parse()
+                        .map_err(|_| err("bad user"))?,
+                );
+                let command = get("cmd").ok_or_else(|| err("missing cmd"))?.to_string();
+                let node_type = NodeType::parse_label(get("type").ok_or_else(|| err("missing type"))?)
+                    .ok_or_else(|| err("bad node type"))?;
+                let width: u32 =
+                    get("width").ok_or_else(|| err("missing width"))?.parse().map_err(|_| err("bad width"))?;
+                let nodes = parse_nodelist(get("nodelist").ok_or_else(|| err("missing nodelist"))?)
+                    .map_err(|e| err(e.reason()))?;
+                if nodes.len() as u32 != width {
+                    return Err(err("width disagrees with nodelist"));
+                }
+                Ok(AlpsRecord::Placed(AppPlacedRecord {
+                    timestamp,
+                    apid,
+                    job: JobId::new(job_num),
+                    user,
+                    command,
+                    node_type,
+                    width,
+                    nodes,
+                }))
+            }
+            "EXIT" => {
+                let apid = AppId::new(
+                    get("apid").ok_or_else(|| err("missing apid"))?.parse().map_err(|_| err("bad apid"))?,
+                );
+                let code: i32 =
+                    get("code").ok_or_else(|| err("missing code"))?.parse().map_err(|_| err("bad code"))?;
+                let signal = match get("signal").ok_or_else(|| err("missing signal"))? {
+                    "none" => None,
+                    s => Some(s.parse().map_err(|_| err("bad signal"))?),
+                };
+                let node_failed = match get("node_failed").ok_or_else(|| err("missing node_failed"))? {
+                    "yes" => true,
+                    "no" => false,
+                    _ => return Err(err("bad node_failed")),
+                };
+                let runtime_secs: i64 = get("runtime")
+                    .ok_or_else(|| err("missing runtime"))?
+                    .parse()
+                    .map_err(|_| err("bad runtime"))?;
+                Ok(AlpsRecord::Exit(AppExitRecord {
+                    timestamp,
+                    apid,
+                    exit: ExitStatus { code, signal, node_failed },
+                    runtime_secs,
+                }))
+            }
+            "LAUNCHERR" => {
+                let apid = AppId::new(
+                    get("apid").ok_or_else(|| err("missing apid"))?.parse().map_err(|_| err("bad apid"))?,
+                );
+                let reason = fields_str
+                    .split_once("reason=")
+                    .map(|(_, r)| r.to_string())
+                    .ok_or_else(|| err("missing reason"))?;
+                Ok(AlpsRecord::LaunchErr(AppLaunchErrRecord { timestamp, apid, reason }))
+            }
+            other => Err(err(&format!("unknown verb {other}"))),
+        }
+    }
+}
+
+impl fmt::Display for AlpsRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlpsRecord::Placed(r) => write!(
+                f,
+                "{} apsys PLACED apid={} batch={} user={} cmd={} type={} width={} nodelist={}",
+                r.timestamp,
+                r.apid,
+                r.job,
+                r.user,
+                r.command,
+                r.node_type,
+                r.width,
+                format_nodelist(&r.nodes)
+            ),
+            AlpsRecord::Exit(r) => {
+                let signal = match r.exit.signal {
+                    Some(s) => s.to_string(),
+                    None => "none".to_string(),
+                };
+                write!(
+                    f,
+                    "{} apsys EXIT apid={} code={} signal={} node_failed={} runtime={}",
+                    r.timestamp,
+                    r.apid,
+                    r.exit.code,
+                    signal,
+                    if r.exit.node_failed { "yes" } else { "no" },
+                    r.runtime_secs
+                )
+            }
+            AlpsRecord::LaunchErr(r) => {
+                write!(f, "{} apsys LAUNCHERR apid={} reason={}", r.timestamp, r.apid, r.reason)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logdiver_types::NodeId;
+    use proptest::prelude::*;
+
+    fn placed() -> AlpsRecord {
+        AlpsRecord::Placed(AppPlacedRecord {
+            timestamp: Timestamp::from_ymd_hms(2013, 3, 28, 12, 30, 0),
+            apid: AppId::new(1_000_321),
+            job: JobId::new(98_765),
+            user: UserId::new(421),
+            command: "namd2".into(),
+            node_type: NodeType::Xe,
+            width: 3,
+            nodes: [0u32, 1, 2].into_iter().map(NodeId::new).collect(),
+        })
+    }
+
+    #[test]
+    fn placed_round_trip() {
+        let rec = placed();
+        let line = rec.to_string();
+        assert!(line.contains("PLACED"));
+        assert!(line.contains("nodelist=nid[0-2]"));
+        assert_eq!(AlpsRecord::parse(&line).unwrap(), rec);
+    }
+
+    #[test]
+    fn exit_round_trip_clean_and_signal() {
+        for exit in [
+            ExitStatus::SUCCESS,
+            ExitStatus::with_code(137),
+            ExitStatus::with_signal(11),
+            ExitStatus::with_signal(9).and_node_failed(),
+        ] {
+            let rec = AlpsRecord::Exit(AppExitRecord {
+                timestamp: Timestamp::from_ymd_hms(2013, 3, 28, 16, 30, 0),
+                apid: AppId::new(7),
+                exit,
+                runtime_secs: 14_400,
+            });
+            assert_eq!(AlpsRecord::parse(&rec.to_string()).unwrap(), rec);
+        }
+    }
+
+    #[test]
+    fn launcherr_keeps_multiword_reason() {
+        let rec = AlpsRecord::LaunchErr(AppLaunchErrRecord {
+            timestamp: Timestamp::from_ymd_hms(2013, 3, 28, 12, 29, 59),
+            apid: AppId::new(1_000_322),
+            reason: "placement timeout on gemini quiesce".into(),
+        });
+        let back = AlpsRecord::parse(&rec.to_string()).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn width_mismatch_is_rejected() {
+        let line = "2013-03-28 12:30:00 apsys PLACED apid=1 batch=2.bw user=u0001 cmd=x type=XE width=5 nodelist=nid[0-2]";
+        assert!(AlpsRecord::parse(line).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(AlpsRecord::parse("").is_err());
+        assert!(AlpsRecord::parse("2013-03-28 12:30:00 apsys NOPE apid=1").is_err());
+        assert!(AlpsRecord::parse("2013-03-28 12:30:00 apsys EXIT apid=1 code=x signal=none node_failed=no runtime=1").is_err());
+        assert!(AlpsRecord::parse("2013-03-28 12:30:00 other EXIT apid=1").is_err());
+    }
+
+    #[test]
+    fn accessors_cover_all_variants() {
+        let p = placed();
+        assert_eq!(p.apid(), AppId::new(1_000_321));
+        let e = AlpsRecord::Exit(AppExitRecord {
+            timestamp: Timestamp::from_unix(0),
+            apid: AppId::new(9),
+            exit: ExitStatus::SUCCESS,
+            runtime_secs: 1,
+        });
+        assert_eq!(e.apid(), AppId::new(9));
+        assert_eq!(e.timestamp(), Timestamp::from_unix(0));
+    }
+
+    proptest! {
+        #[test]
+        fn exit_round_trip_property(apid in 0u64..10_000_000,
+                                    code in -128i32..256,
+                                    runtime in 0i64..1_000_000,
+                                    node_failed in any::<bool>()) {
+            let rec = AlpsRecord::Exit(AppExitRecord {
+                timestamp: Timestamp::from_unix(1_400_000_000),
+                apid: AppId::new(apid),
+                exit: ExitStatus { code, signal: None, node_failed },
+                runtime_secs: runtime,
+            });
+            prop_assert_eq!(AlpsRecord::parse(&rec.to_string()).unwrap(), rec);
+        }
+    }
+}

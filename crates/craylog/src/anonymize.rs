@@ -1,0 +1,85 @@
+//! User anonymization.
+//!
+//! The study anonymizes usernames before analysis. This module provides a
+//! stable mapping from raw identity strings to [`UserId`] tokens: the same
+//! input always maps to the same token within one [`Anonymizer`], and the
+//! raw strings are never stored.
+
+use std::collections::HashMap;
+
+use logdiver_types::UserId;
+
+/// FNV-1a 64-bit hash — stable across runs and platforms.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Maps raw identity strings to dense anonymized [`UserId`]s.
+///
+/// Assignment is first-come-first-served (dense ids), with the hash kept
+/// only to detect that a string was seen before — the raw string is
+/// discarded immediately.
+#[derive(Debug, Clone, Default)]
+pub struct Anonymizer {
+    seen: HashMap<u64, UserId>,
+    next: u32,
+}
+
+impl Anonymizer {
+    /// Creates an empty anonymizer.
+    pub fn new() -> Self {
+        Anonymizer::default()
+    }
+
+    /// Returns the stable anonymized id for `raw`.
+    pub fn anonymize(&mut self, raw: &str) -> UserId {
+        let h = fnv1a(raw.as_bytes());
+        *self.seen.entry(h).or_insert_with(|| {
+            let id = UserId::new(self.next);
+            self.next += 1;
+            id
+        })
+    }
+
+    /// Number of distinct identities seen.
+    pub fn distinct(&self) -> usize {
+        self.seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_input_same_token() {
+        let mut a = Anonymizer::new();
+        let u1 = a.anonymize("alice@ncsa");
+        let u2 = a.anonymize("bob@ncsa");
+        assert_ne!(u1, u2);
+        assert_eq!(a.anonymize("alice@ncsa"), u1);
+        assert_eq!(a.distinct(), 2);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered_by_first_sight() {
+        let mut a = Anonymizer::new();
+        assert_eq!(a.anonymize("x").value(), 0);
+        assert_eq!(a.anonymize("y").value(), 1);
+        assert_eq!(a.anonymize("z").value(), 2);
+        assert_eq!(a.anonymize("y").value(), 1);
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Known FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+}

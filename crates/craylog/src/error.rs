@@ -1,0 +1,70 @@
+//! Error type for log parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while parsing log records.
+///
+/// Parsers are intentionally strict about their own format but the analysis
+/// pipeline treats a `CraylogError` as "count it and move on" — field data
+/// always contains corrupt lines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CraylogError {
+    source_name: &'static str,
+    reason: String,
+    line: String,
+}
+
+impl CraylogError {
+    /// Creates a parse error, truncating the offending line for storage.
+    pub fn new(source_name: &'static str, reason: impl Into<String>, line: &str) -> Self {
+        let mut line = line.to_string();
+        if line.len() > 160 {
+            line.truncate(160);
+            line.push('…');
+        }
+        CraylogError { source_name, reason: reason.into(), line }
+    }
+
+    /// Which log source the line claimed to be from.
+    pub fn source_name(&self) -> &'static str {
+        self.source_name
+    }
+
+    /// Why the line failed to parse.
+    pub fn reason(&self) -> &str {
+        &self.reason
+    }
+
+    /// The (truncated) offending line.
+    pub fn line(&self) -> &str {
+        &self.line
+    }
+}
+
+impl fmt::Display for CraylogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad {} record ({}): {:?}", self.source_name, self.reason, self.line)
+    }
+}
+
+impl Error for CraylogError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn long_lines_are_truncated() {
+        let long = "x".repeat(500);
+        let e = CraylogError::new("syslog", "no timestamp", &long);
+        assert!(e.line().len() < 200);
+        assert!(e.to_string().contains("syslog"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CraylogError>();
+    }
+}

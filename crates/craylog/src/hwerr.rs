@@ -1,0 +1,146 @@
+//! The Cray hardware error log.
+//!
+//! Pipe-separated structured records keyed by physical *location code*:
+//!
+//! ```text
+//! 2013-03-28 12:30:00|c12-3c1s5n2|MEM_UE|CRIT|dimm=3 syndrome=0x9f
+//! ```
+//!
+//! Unlike syslog, these records carry the machine-room location rather than
+//! a hostname — LogDiver must map locations back to nids through the
+//! topology model, exactly as the real tool resolves Cray location codes.
+
+use std::fmt;
+
+use bw_topology::Location;
+use logdiver_types::{ErrorCategory, Severity, Timestamp};
+use serde::{Deserialize, Serialize};
+
+use crate::error::CraylogError;
+
+/// One hardware-error-log record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HwErrRecord {
+    /// Wall-clock timestamp.
+    pub timestamp: Timestamp,
+    /// Physical location of the reporting component.
+    pub location: Location,
+    /// Error category token.
+    pub category: ErrorCategory,
+    /// Severity as recorded by the hardware supervisory system.
+    pub severity: Severity,
+    /// Free-form detail field (`key=value` pairs by convention).
+    pub detail: String,
+}
+
+impl HwErrRecord {
+    /// Creates a record with the category's default severity.
+    pub fn new(
+        timestamp: Timestamp,
+        location: Location,
+        category: ErrorCategory,
+        detail: String,
+    ) -> Self {
+        HwErrRecord { timestamp, location, category, severity: category.severity(), detail }
+    }
+
+    /// Parses one record line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CraylogError`] when a field is missing or malformed.
+    pub fn parse(line: &str) -> Result<Self, CraylogError> {
+        let err = |reason: &str| CraylogError::new("hwerr", reason.to_string(), line);
+        let mut fields = line.splitn(5, '|');
+        let ts = fields.next().ok_or_else(|| err("missing timestamp"))?;
+        let timestamp: Timestamp = ts.parse().map_err(|_| err("bad timestamp"))?;
+        let loc = fields.next().ok_or_else(|| err("missing location"))?;
+        let location = Location::parse(loc).ok_or_else(|| err("bad location code"))?;
+        let cat = fields.next().ok_or_else(|| err("missing category"))?;
+        let category = ErrorCategory::parse_token(cat).ok_or_else(|| err("unknown category"))?;
+        let sev = fields.next().ok_or_else(|| err("missing severity"))?;
+        let severity = Severity::parse_label(sev).ok_or_else(|| err("unknown severity"))?;
+        let detail = fields.next().unwrap_or("").to_string();
+        Ok(HwErrRecord { timestamp, location, category, severity, detail })
+    }
+}
+
+impl fmt::Display for HwErrRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}|{}|{}|{}|{}",
+            self.timestamp, self.location, self.category, self.severity, self.detail
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logdiver_types::NodeId;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parse_canonical_record() {
+        let line = "2013-03-28 12:30:00|c12-3c1s5n2|MEM_UE|FATAL|dimm=3 syndrome=0x9f";
+        let r = HwErrRecord::parse(line).unwrap();
+        assert_eq!(r.category, ErrorCategory::MemoryUncorrectable);
+        assert_eq!(r.severity, Severity::Fatal);
+        assert_eq!(r.location.chassis, 1);
+        assert_eq!(r.detail, "dimm=3 syndrome=0x9f");
+        assert_eq!(r.to_string(), line);
+    }
+
+    #[test]
+    fn empty_detail_is_allowed() {
+        let line = "2013-03-28 12:30:00|c0-0c0s0n0|KPANIC|FATAL|";
+        let r = HwErrRecord::parse(line).unwrap();
+        assert_eq!(r.detail, "");
+        assert_eq!(r.to_string(), line);
+    }
+
+    #[test]
+    fn detail_may_contain_pipes_in_last_field() {
+        let line = "2013-03-28 12:30:00|c0-0c0s0n0|MCE|CRIT|status=a|b";
+        let r = HwErrRecord::parse(line).unwrap();
+        assert_eq!(r.detail, "status=a|b");
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(HwErrRecord::parse("").is_err());
+        assert!(HwErrRecord::parse("2013-03-28 12:30:00|badloc|MCE|CRIT|x").is_err());
+        assert!(HwErrRecord::parse("2013-03-28 12:30:00|c0-0c0s0n0|NOPE|CRIT|x").is_err());
+        assert!(HwErrRecord::parse("2013-03-28 12:30:00|c0-0c0s0n0|MCE|LOUD|x").is_err());
+        assert!(HwErrRecord::parse("nots|c0-0c0s0n0|MCE|CRIT|x").is_err());
+    }
+
+    #[test]
+    fn new_uses_default_severity() {
+        let r = HwErrRecord::new(
+            Timestamp::PRODUCTION_EPOCH,
+            Location::of_nid(NodeId::new(0)),
+            ErrorCategory::MemoryCorrectable,
+            String::new(),
+        );
+        assert_eq!(r.severity, Severity::Warning);
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip(ts in 1_300_000_000i64..1_500_000_000,
+                      nid in 0u32..27_648,
+                      cat_idx in 0usize..ErrorCategory::ALL.len(),
+                      detail in "[a-z=0-9 ]{0,40}") {
+            let rec = HwErrRecord::new(
+                Timestamp::from_unix(ts),
+                Location::of_nid(NodeId::new(nid)),
+                ErrorCategory::ALL[cat_idx],
+                detail,
+            );
+            let back = HwErrRecord::parse(&rec.to_string()).unwrap();
+            prop_assert_eq!(back, rec);
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! The HSN network watcher log (Gemini link health).
+//!
+//! ```text
+//! 2013-03-28 12:30:00 netwatch LINK_FAILED coord=(12,3,20) dim=X
+//! 2013-03-28 12:30:05 netwatch LANE_DEGRADE coord=(4,0,9) dim=Z lanes=2
+//! 2013-03-28 12:30:12 netwatch REROUTE_START affected=41472
+//! 2013-03-28 12:31:02 netwatch REROUTE_DONE duration=50
+//! ```
+//!
+//! A failed link triggers a machine-wide route recomputation during which
+//! the fabric quiesces; the `REROUTE_*` pair brackets the stall. These are
+//! the events behind the paper's interconnect-related failure bucket.
+
+use std::fmt;
+
+use bw_topology::torus::Dim;
+use bw_topology::TorusCoord;
+use logdiver_types::Timestamp;
+use serde::{Deserialize, Serialize};
+
+use crate::error::CraylogError;
+
+/// Body of a netwatch record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NetwatchEvent {
+    /// A link went down; identifies the lower endpoint and direction.
+    LinkFailed {
+        /// Lower endpoint of the link.
+        coord: TorusCoord,
+        /// Direction of the link.
+        dim: Dim,
+    },
+    /// A link lost lanes but still carries traffic.
+    LaneDegrade {
+        /// Lower endpoint of the link.
+        coord: TorusCoord,
+        /// Direction of the link.
+        dim: Dim,
+        /// Lanes remaining.
+        lanes: u8,
+    },
+    /// Route recomputation began (fabric quiesced).
+    RerouteStart {
+        /// Number of links in the routing domain.
+        affected: u32,
+    },
+    /// Route recomputation finished.
+    RerouteDone {
+        /// Stall duration in seconds.
+        duration_secs: u32,
+    },
+}
+
+/// One netwatch line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetwatchRecord {
+    /// Event time.
+    pub timestamp: Timestamp,
+    /// What happened.
+    pub event: NetwatchEvent,
+}
+
+fn dim_label(d: Dim) -> &'static str {
+    match d {
+        Dim::X => "X",
+        Dim::Y => "Y",
+        Dim::Z => "Z",
+    }
+}
+
+fn parse_dim(s: &str) -> Option<Dim> {
+    match s {
+        "X" => Some(Dim::X),
+        "Y" => Some(Dim::Y),
+        "Z" => Some(Dim::Z),
+        _ => None,
+    }
+}
+
+fn parse_coord(s: &str) -> Option<TorusCoord> {
+    let inner = s.strip_prefix('(')?.strip_suffix(')')?;
+    let mut it = inner.split(',');
+    let x = it.next()?.parse().ok()?;
+    let y = it.next()?.parse().ok()?;
+    let z = it.next()?.parse().ok()?;
+    if it.next().is_some() {
+        return None;
+    }
+    Some(TorusCoord { x, y, z })
+}
+
+impl NetwatchRecord {
+    /// Parses one netwatch line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CraylogError`] for malformed records.
+    pub fn parse(line: &str) -> Result<Self, CraylogError> {
+        let err = |reason: &str| CraylogError::new("netwatch", reason.to_string(), line);
+        if line.len() < 20 {
+            return Err(err("line shorter than a timestamp"));
+        }
+        let (ts_str, rest) = line
+            .split_at_checked(19)
+            .ok_or_else(|| err("timestamp spans a non-ASCII boundary"))?;
+        let timestamp: Timestamp = ts_str.parse().map_err(|_| err("bad timestamp"))?;
+        let rest = rest.strip_prefix(" netwatch ").ok_or_else(|| err("missing netwatch tag"))?;
+        let (verb, fields_str) = rest.split_once(' ').unwrap_or((rest, ""));
+        let get = |key: &str| -> Option<&str> {
+            let pat = format!("{key}=");
+            fields_str.split(' ').find_map(|f| f.strip_prefix(pat.as_str()))
+        };
+        let event = match verb {
+            "LINK_FAILED" => NetwatchEvent::LinkFailed {
+                coord: parse_coord(get("coord").ok_or_else(|| err("missing coord"))?)
+                    .ok_or_else(|| err("bad coord"))?,
+                dim: parse_dim(get("dim").ok_or_else(|| err("missing dim"))?)
+                    .ok_or_else(|| err("bad dim"))?,
+            },
+            "LANE_DEGRADE" => NetwatchEvent::LaneDegrade {
+                coord: parse_coord(get("coord").ok_or_else(|| err("missing coord"))?)
+                    .ok_or_else(|| err("bad coord"))?,
+                dim: parse_dim(get("dim").ok_or_else(|| err("missing dim"))?)
+                    .ok_or_else(|| err("bad dim"))?,
+                lanes: get("lanes").ok_or_else(|| err("missing lanes"))?.parse().map_err(|_| err("bad lanes"))?,
+            },
+            "REROUTE_START" => NetwatchEvent::RerouteStart {
+                affected: get("affected")
+                    .ok_or_else(|| err("missing affected"))?
+                    .parse()
+                    .map_err(|_| err("bad affected"))?,
+            },
+            "REROUTE_DONE" => NetwatchEvent::RerouteDone {
+                duration_secs: get("duration")
+                    .ok_or_else(|| err("missing duration"))?
+                    .parse()
+                    .map_err(|_| err("bad duration"))?,
+            },
+            other => return Err(err(&format!("unknown verb {other}"))),
+        };
+        Ok(NetwatchRecord { timestamp, event })
+    }
+}
+
+impl fmt::Display for NetwatchRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} netwatch ", self.timestamp)?;
+        match self.event {
+            NetwatchEvent::LinkFailed { coord, dim } => {
+                write!(f, "LINK_FAILED coord={coord} dim={}", dim_label(dim))
+            }
+            NetwatchEvent::LaneDegrade { coord, dim, lanes } => {
+                write!(f, "LANE_DEGRADE coord={coord} dim={} lanes={lanes}", dim_label(dim))
+            }
+            NetwatchEvent::RerouteStart { affected } => {
+                write!(f, "REROUTE_START affected={affected}")
+            }
+            NetwatchEvent::RerouteDone { duration_secs } => {
+                write!(f, "REROUTE_DONE duration={duration_secs}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ts() -> Timestamp {
+        Timestamp::from_ymd_hms(2013, 3, 28, 12, 30, 0)
+    }
+
+    #[test]
+    fn link_failed_round_trip() {
+        let rec = NetwatchRecord {
+            timestamp: ts(),
+            event: NetwatchEvent::LinkFailed { coord: TorusCoord { x: 12, y: 3, z: 20 }, dim: Dim::X },
+        };
+        let line = rec.to_string();
+        assert_eq!(line, "2013-03-28 12:30:00 netwatch LINK_FAILED coord=(12,3,20) dim=X");
+        assert_eq!(NetwatchRecord::parse(&line).unwrap(), rec);
+    }
+
+    #[test]
+    fn all_variants_round_trip() {
+        let recs = [
+            NetwatchEvent::LinkFailed { coord: TorusCoord { x: 0, y: 0, z: 0 }, dim: Dim::Z },
+            NetwatchEvent::LaneDegrade { coord: TorusCoord { x: 4, y: 0, z: 9 }, dim: Dim::Z, lanes: 2 },
+            NetwatchEvent::RerouteStart { affected: 41_472 },
+            NetwatchEvent::RerouteDone { duration_secs: 50 },
+        ];
+        for event in recs {
+            let rec = NetwatchRecord { timestamp: ts(), event };
+            assert_eq!(NetwatchRecord::parse(&rec.to_string()).unwrap(), rec);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(NetwatchRecord::parse("").is_err());
+        assert!(NetwatchRecord::parse("2013-03-28 12:30:00 netwatch NOPE x=1").is_err());
+        assert!(NetwatchRecord::parse("2013-03-28 12:30:00 netwatch LINK_FAILED coord=(1,2) dim=X").is_err());
+        assert!(NetwatchRecord::parse("2013-03-28 12:30:00 netwatch LINK_FAILED coord=(1,2,3) dim=W").is_err());
+        assert!(NetwatchRecord::parse("2013-03-28 12:30:00 other LINK_FAILED coord=(1,2,3) dim=X").is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn coord_round_trip(x in 0u16..24, y in 0u16..24, z in 0u16..24, lanes in 1u8..4) {
+            let rec = NetwatchRecord {
+                timestamp: ts(),
+                event: NetwatchEvent::LaneDegrade { coord: TorusCoord { x, y, z }, dim: Dim::Y, lanes },
+            };
+            prop_assert_eq!(NetwatchRecord::parse(&rec.to_string()).unwrap(), rec);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! The compressed-node-list (`cnl`) codec.
+//!
+//! ALPS records render application placements as `nid[100-227,300]`;
+//! this module parses that notation back into a [`NodeSet`]. Formatting is
+//! provided by [`NodeSet`]'s `Display`; [`format_nodelist`] is a thin alias
+//! so both directions live next to each other.
+
+use logdiver_types::{NodeId, NodeSet};
+
+use crate::error::CraylogError;
+
+/// Formats a node set in `nid[...]` notation (same as `set.to_string()`).
+pub fn format_nodelist(set: &NodeSet) -> String {
+    set.to_string()
+}
+
+/// Parses `nid[100-227,300]` notation.
+///
+/// # Errors
+///
+/// Returns [`CraylogError`] on malformed syntax, inverted ranges, or
+/// numbers that do not fit in a nid.
+pub fn parse_nodelist(s: &str) -> Result<NodeSet, CraylogError> {
+    let err = |reason: &str| CraylogError::new("nodelist", reason.to_string(), s);
+    let inner = s
+        .strip_prefix("nid[")
+        .and_then(|r| r.strip_suffix(']'))
+        .ok_or_else(|| err("missing nid[...] wrapper"))?;
+    let mut set = NodeSet::new();
+    if inner.is_empty() {
+        return Ok(set);
+    }
+    for part in inner.split(',') {
+        match part.split_once('-') {
+            Some((a, b)) => {
+                let first: u32 = a.parse().map_err(|_| err("bad range start"))?;
+                let last: u32 = b.parse().map_err(|_| err("bad range end"))?;
+                if first > last {
+                    return Err(err("inverted range"));
+                }
+                if last - first > 1_000_000 {
+                    return Err(err("range implausibly large"));
+                }
+                for nid in first..=last {
+                    set.insert(NodeId::new(nid));
+                }
+            }
+            None => {
+                let nid: u32 = part.parse().map_err(|_| err("bad nid"))?;
+                set.insert(NodeId::new(nid));
+            }
+        }
+    }
+    Ok(set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn set_of(nids: &[u32]) -> NodeSet {
+        nids.iter().copied().map(NodeId::new).collect()
+    }
+
+    #[test]
+    fn parse_known_forms() {
+        assert_eq!(parse_nodelist("nid[]").unwrap(), NodeSet::new());
+        assert_eq!(parse_nodelist("nid[7]").unwrap(), set_of(&[7]));
+        assert_eq!(parse_nodelist("nid[1-3,100]").unwrap(), set_of(&[1, 2, 3, 100]));
+        assert_eq!(parse_nodelist("nid[0,2-4,9-10]").unwrap(), set_of(&[0, 2, 3, 4, 9, 10]));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse_nodelist("").is_err());
+        assert!(parse_nodelist("nid[").is_err());
+        assert!(parse_nodelist("[1-3]").is_err());
+        assert!(parse_nodelist("nid[3-1]").is_err());
+        assert!(parse_nodelist("nid[a-b]").is_err());
+        assert!(parse_nodelist("nid[1,,2]").is_err());
+        assert!(parse_nodelist("nid[0-99999999]").is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip(nids in proptest::collection::btree_set(0u32..5_000, 0..100)) {
+            let set: NodeSet = nids.iter().copied().map(NodeId::new).collect();
+            let text = format_nodelist(&set);
+            let back = parse_nodelist(&text).unwrap();
+            prop_assert_eq!(back, set);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! The consolidated syslog stream.
+//!
+//! Format: `<YYYY-MM-DD HH:MM:SS> <host> <tag>: <message>` — the loosest of
+//! the five sources (free-text messages), and by far the highest-volume one:
+//! the overwhelming majority of lines are operational chatter that
+//! LogDiver's filtering stage must discard.
+
+use std::fmt;
+
+use logdiver_types::{NodeId, Timestamp};
+use serde::{Deserialize, Serialize};
+
+use crate::error::CraylogError;
+
+/// One syslog line.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyslogRecord {
+    /// Wall-clock timestamp.
+    pub timestamp: Timestamp,
+    /// Reporting host (`nid04008`, `smw`, `boot`, …).
+    pub host: String,
+    /// Subsystem tag (`kernel`, `lustre`, `alps`, `xtnlrd`, …).
+    pub tag: String,
+    /// Free-text message.
+    pub message: String,
+}
+
+impl SyslogRecord {
+    /// Creates a record reported by a compute node.
+    pub fn from_node(timestamp: Timestamp, nid: NodeId, tag: &str, message: String) -> Self {
+        SyslogRecord { timestamp, host: nid.hostname(), tag: tag.to_string(), message }
+    }
+
+    /// The reporting node, when the host is a nid hostname.
+    pub fn node(&self) -> Option<NodeId> {
+        NodeId::parse_hostname(&self.host)
+    }
+
+    /// Parses one syslog line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CraylogError`] when the line does not follow
+    /// `<ts> <host> <tag>: <message>`.
+    pub fn parse(line: &str) -> Result<Self, CraylogError> {
+        let err = |reason: &str| CraylogError::new("syslog", reason.to_string(), line);
+        if line.len() < 21 {
+            return Err(err("line shorter than a timestamp"));
+        }
+        let (ts_str, rest) = line
+            .split_at_checked(19)
+            .ok_or_else(|| err("timestamp spans a non-ASCII boundary"))?;
+        let timestamp: Timestamp =
+            ts_str.parse().map_err(|_| err("bad timestamp"))?;
+        let rest = rest.strip_prefix(' ').ok_or_else(|| err("missing space after timestamp"))?;
+        let (host, rest) = rest.split_once(' ').ok_or_else(|| err("missing host field"))?;
+        if host.is_empty() {
+            return Err(err("empty host"));
+        }
+        let (tag, message) = rest.split_once(": ").ok_or_else(|| err("missing tag separator"))?;
+        if tag.is_empty() || tag.contains(' ') {
+            return Err(err("bad tag"));
+        }
+        Ok(SyslogRecord {
+            timestamp,
+            host: host.to_string(),
+            tag: tag.to_string(),
+            message: message.to_string(),
+        })
+    }
+}
+
+impl fmt::Display for SyslogRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}: {}", self.timestamp, self.host, self.tag, self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parse_node_line() {
+        let line = "2013-03-28 12:30:00 nid04008 kernel: Machine Check Exception: bank 4";
+        let r = SyslogRecord::parse(line).unwrap();
+        assert_eq!(r.node(), Some(NodeId::new(4008)));
+        assert_eq!(r.tag, "kernel");
+        assert_eq!(r.message, "Machine Check Exception: bank 4");
+        assert_eq!(r.to_string(), line);
+    }
+
+    #[test]
+    fn parse_service_host_line() {
+        let line = "2013-03-28 00:00:01 smw xtnlrd: heartbeat sweep complete";
+        let r = SyslogRecord::parse(line).unwrap();
+        assert_eq!(r.node(), None);
+        assert_eq!(r.host, "smw");
+    }
+
+    #[test]
+    fn message_may_contain_colons() {
+        let line = "2013-03-28 00:00:01 nid00001 lustre: LustreError: 11-0: snx-OST0010: operation failed";
+        let r = SyslogRecord::parse(line).unwrap();
+        assert_eq!(r.message, "LustreError: 11-0: snx-OST0010: operation failed");
+        assert_eq!(r.to_string(), line);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(SyslogRecord::parse("").is_err());
+        assert!(SyslogRecord::parse("short").is_err());
+        assert!(SyslogRecord::parse("2013-03-28 12:30:00").is_err());
+        assert!(SyslogRecord::parse("2013-03-28 12:30:00 host").is_err());
+        assert!(SyslogRecord::parse("2013-03-28 12:30:00 host no-separator").is_err());
+        assert!(SyslogRecord::parse("not-a-date 12:30:00 h k: m").is_err());
+    }
+
+    #[test]
+    fn from_node_sets_hostname() {
+        let r = SyslogRecord::from_node(
+            Timestamp::PRODUCTION_EPOCH,
+            NodeId::new(12),
+            "kernel",
+            "panic".into(),
+        );
+        assert_eq!(r.host, "nid00012");
+        assert_eq!(r.node(), Some(NodeId::new(12)));
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip(ts in 1_300_000_000i64..1_500_000_000,
+                      nid in 0u32..30_000,
+                      tag in "[a-z]{2,8}",
+                      msg in "[ -~]{0,80}") {
+            // Avoid messages that start in a way that breaks the tag parse.
+            let rec = SyslogRecord::from_node(
+                Timestamp::from_unix(ts), NodeId::new(nid), &tag, msg);
+            let back = SyslogRecord::parse(&rec.to_string()).unwrap();
+            prop_assert_eq!(back, rec);
+        }
+    }
+}

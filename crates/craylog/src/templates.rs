@@ -1,0 +1,147 @@
+//! Syslog message templates.
+//!
+//! The simulator renders error conditions into the free-text phrasings a
+//! real Cray's consolidated syslog uses — several variants per category,
+//! with variable numeric fields — plus a large family of benign operational
+//! messages ("noise") that a filtering stage must learn to discard.
+//!
+//! LogDiver (in the `logdiver` crate) ships its own *independent* pattern
+//! table; nothing in its filter imports this module, mirroring the reality
+//! that the tool's templates were reverse-engineered from the logs.
+
+use logdiver_types::ErrorCategory;
+
+/// The syslog `tag` (program name) conventionally carrying a category.
+pub fn tag_for(category: ErrorCategory) -> &'static str {
+    use ErrorCategory::*;
+    match category {
+        MachineCheckException | MemoryCorrectable | MemoryUncorrectable | KernelPanic => "kernel",
+        GeminiLinkFailure | GeminiLaneDegrade | GeminiRouteReconfig => "xtnlrd",
+        NodeHeartbeatFault | BladeControllerFailure | VoltageFault | NodeHang
+        | MaintenanceNotice => "xtnmd",
+        LustreOstFailure | LustreMdsFailover | LustreClientEviction => "lustre",
+        GpuDoubleBitError | GpuBusError | GpuPageRetirement => "nvrm",
+        AlpsLaunchFailure => "apsched",
+    }
+}
+
+/// Renders a message for `category`. `variant` selects a phrasing and
+/// derives the variable fields, so equal variants render identical text
+/// (deterministic across runs).
+pub fn error_message(category: ErrorCategory, variant: u32) -> String {
+    use ErrorCategory::*;
+    let v = variant as u64;
+    match category {
+        MachineCheckException => match variant % 2 {
+            0 => format!(
+                "Machine Check Exception: bank {} status 0x{:016x}",
+                v % 8,
+                0xb200_0000_0000_0000u64 | (v * 0x9e37) % 0xffff
+            ),
+            _ => format!("[Hardware Error]: CPU {} Machine Check: unrecoverable", v % 32),
+        },
+        MemoryCorrectable => format!(
+            "EDAC MC{}: CE row {} channel {} (corrected)",
+            v % 4,
+            v % 16,
+            v % 2
+        ),
+        MemoryUncorrectable => match variant % 2 {
+            0 => format!("EDAC MC{}: UE row {} — uncorrectable memory error", v % 4, v % 16),
+            _ => format!("Northbridge Error: DRAM ECC error detected on node memory, dimm {}", v % 8),
+        },
+        GeminiLinkFailure => format!("HSN ASIC LCB lane shutdown, link failed ({})", v % 48),
+        GeminiLaneDegrade => format!("HSN link running degraded: {} of 3 lanes up", 1 + v % 2),
+        GeminiRouteReconfig => "HSN route table recomputation in progress; traffic quiesced".to_string(),
+        NodeHeartbeatFault => "node heartbeat fault: no response in 60s, declaring node dead".to_string(),
+        BladeControllerFailure => format!("L0 controller unresponsive (attempt {}), blade power-cycled", 1 + v % 3),
+        VoltageFault => format!("VRM fault: VDD rail {:.2}V out of tolerance", 0.9 + (v % 30) as f64 / 100.0),
+        KernelPanic => match variant % 2 {
+            0 => "Kernel panic - not syncing: Fatal exception in interrupt".to_string(),
+            _ => format!("BUG: unable to handle kernel paging request at {:016x}", v * 0x1000),
+        },
+        NodeHang => "node unresponsive: console wedged, softlockup detected".to_string(),
+        LustreOstFailure => format!(
+            "LustreError: {}-{}: snx-OST{:04x}: Connection to service was lost",
+            11 + v % 5,
+            v % 9,
+            v % 1440
+        ),
+        LustreMdsFailover => "Lustre: MDS failover in progress, requests will be resent".to_string(),
+        LustreClientEviction => format!(
+            "LustreError: client evicted by snx-OST{:04x}: lock callback timer expired",
+            v % 1440
+        ),
+        GpuDoubleBitError => format!(
+            "Xid (PCI:0000:02:00): 48, Double Bit ECC Error at 0x{:08x}",
+            (v * 0x40) % 0xffff_ffff
+        ),
+        GpuBusError => "Xid (PCI:0000:02:00): 79, GPU has fallen off the bus".to_string(),
+        GpuPageRetirement => format!("GPU dynamic page retirement: {} pages pending", 1 + v % 60),
+        AlpsLaunchFailure => format!("apsched: placement failed for apid {}: node unavailable", v),
+        MaintenanceNotice => "blade scheduled for warm swap; draining workload".to_string(),
+    }
+}
+
+/// Benign operational messages (filter fodder). `variant` selects phrasing.
+pub fn noise_message(variant: u32) -> (&'static str, String) {
+    let v = variant as u64;
+    match variant % 8 {
+        0 => ("ntpd", format!("time slew {:+.3}s", (v % 200) as f64 / 1000.0 - 0.1)),
+        1 => ("sshd", format!("Accepted publickey for user port {}", 1024 + v % 50_000)),
+        2 => ("kernel", format!("eth0: link up, 10000 Mbps, full duplex (check {})", v % 7)),
+        3 => ("rsyslogd", "rsyslogd was HUPed".to_string()),
+        4 => ("cron", format!("(root) CMD (run-parts /etc/cron.hourly) [{}]", v % 24)),
+        5 => ("lustre", format!("Lustre: snx-OST{:04x}: haven't heard from client (idle)", v % 1440)),
+        6 => ("apinit", format!("apid {} environment propagated", v)),
+        _ => ("xtnmd", format!("periodic health sweep complete: {} nodes polled", 27_000 + v % 648)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_category_has_tag_and_message() {
+        for cat in ErrorCategory::ALL {
+            let tag = tag_for(cat);
+            assert!(!tag.is_empty() && !tag.contains(' '));
+            for variant in 0..8 {
+                let msg = error_message(cat, variant);
+                assert!(!msg.is_empty(), "{cat} variant {variant}");
+                assert!(!msg.contains('\n'));
+            }
+        }
+    }
+
+    #[test]
+    fn messages_are_deterministic() {
+        for cat in ErrorCategory::ALL {
+            assert_eq!(error_message(cat, 42), error_message(cat, 42));
+        }
+        assert_eq!(noise_message(7), noise_message(7));
+    }
+
+    #[test]
+    fn variants_differ() {
+        // At least the numeric fields should vary with the variant.
+        let a = error_message(ErrorCategory::MemoryCorrectable, 1);
+        let b = error_message(ErrorCategory::MemoryCorrectable, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn noise_covers_multiple_tags() {
+        let tags: std::collections::HashSet<&str> =
+            (0..16).map(|v| noise_message(v).0).collect();
+        assert!(tags.len() >= 6);
+    }
+
+    #[test]
+    fn gpu_messages_mention_xid_or_retirement() {
+        assert!(error_message(ErrorCategory::GpuDoubleBitError, 0).contains("Xid"));
+        assert!(error_message(ErrorCategory::GpuBusError, 0).contains("fallen off the bus"));
+        assert!(error_message(ErrorCategory::GpuPageRetirement, 0).contains("retirement"));
+    }
+}

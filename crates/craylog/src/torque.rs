@@ -1,0 +1,268 @@
+//! Torque/Moab batch accounting records.
+//!
+//! Semicolon-separated accounting lines, one per job event:
+//!
+//! ```text
+//! 2013-03-28 12:00:00;S;98765.bw;user=u0421 queue=normal nodes=4096 walltime=86400
+//! 2013-03-29 02:00:00;E;98765.bw;user=u0421 queue=normal nodes=4096 walltime=86400 start=1364472000 end=1364522400 exit_status=0
+//! ```
+//!
+//! Jobs wrap application runs: one job may `aprun` many applications. The
+//! study joins jobs (Torque) with applications (ALPS) through the batch id.
+
+use std::fmt;
+
+use logdiver_types::{JobId, Timestamp, UserId};
+use serde::{Deserialize, Serialize};
+
+use crate::error::CraylogError;
+
+/// Kind of accounting event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TorqueEventKind {
+    /// Job started.
+    Start,
+    /// Job ended.
+    End,
+}
+
+impl TorqueEventKind {
+    /// One-letter code used in the accounting file.
+    pub const fn code(self) -> char {
+        match self {
+            TorqueEventKind::Start => 'S',
+            TorqueEventKind::End => 'E',
+        }
+    }
+}
+
+/// One accounting record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TorqueRecord {
+    /// Event time.
+    pub timestamp: Timestamp,
+    /// Start or end.
+    pub kind: TorqueEventKind,
+    /// Job id.
+    pub job: JobId,
+    /// Anonymized user.
+    pub user: UserId,
+    /// Queue name.
+    pub queue: String,
+    /// Nodes requested.
+    pub nodes: u32,
+    /// Requested walltime in seconds.
+    pub walltime_secs: i64,
+    /// For `End` records: job start time (unix).
+    pub start: Option<Timestamp>,
+    /// For `End` records: job end time (unix).
+    pub end: Option<Timestamp>,
+    /// For `End` records: shell exit status of the job script.
+    pub exit_status: Option<i32>,
+}
+
+impl TorqueRecord {
+    /// Creates a start record.
+    pub fn start(
+        timestamp: Timestamp,
+        job: JobId,
+        user: UserId,
+        queue: &str,
+        nodes: u32,
+        walltime_secs: i64,
+    ) -> Self {
+        TorqueRecord {
+            timestamp,
+            kind: TorqueEventKind::Start,
+            job,
+            user,
+            queue: queue.to_string(),
+            nodes,
+            walltime_secs,
+            start: None,
+            end: None,
+            exit_status: None,
+        }
+    }
+
+    /// Creates an end record.
+    #[allow(clippy::too_many_arguments)]
+    pub fn end(
+        timestamp: Timestamp,
+        job: JobId,
+        user: UserId,
+        queue: &str,
+        nodes: u32,
+        walltime_secs: i64,
+        start: Timestamp,
+        exit_status: i32,
+    ) -> Self {
+        TorqueRecord {
+            timestamp,
+            kind: TorqueEventKind::End,
+            job,
+            user,
+            queue: queue.to_string(),
+            nodes,
+            walltime_secs,
+            start: Some(start),
+            end: Some(timestamp),
+            exit_status: Some(exit_status),
+        }
+    }
+
+    /// Parses one accounting line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CraylogError`] for malformed records.
+    pub fn parse(line: &str) -> Result<Self, CraylogError> {
+        let err = |reason: &str| CraylogError::new("torque", reason.to_string(), line);
+        let mut parts = line.splitn(4, ';');
+        let ts = parts.next().ok_or_else(|| err("missing timestamp"))?;
+        let timestamp: Timestamp = ts.parse().map_err(|_| err("bad timestamp"))?;
+        let kind = match parts.next().ok_or_else(|| err("missing kind"))? {
+            "S" => TorqueEventKind::Start,
+            "E" => TorqueEventKind::End,
+            _ => return Err(err("unknown kind")),
+        };
+        let job_str = parts.next().ok_or_else(|| err("missing job id"))?;
+        let job = JobId::new(
+            job_str
+                .strip_suffix(".bw")
+                .ok_or_else(|| err("bad job id"))?
+                .parse()
+                .map_err(|_| err("bad job id"))?,
+        );
+        let fields_str = parts.next().ok_or_else(|| err("missing fields"))?;
+        let get = |key: &str| -> Option<&str> {
+            let pat = format!("{key}=");
+            fields_str.split(' ').find_map(|f| f.strip_prefix(pat.as_str()))
+        };
+        let user_str = get("user").ok_or_else(|| err("missing user"))?;
+        let user = UserId::new(
+            user_str
+                .strip_prefix('u')
+                .ok_or_else(|| err("bad user"))?
+                .parse()
+                .map_err(|_| err("bad user"))?,
+        );
+        let queue = get("queue").ok_or_else(|| err("missing queue"))?.to_string();
+        let nodes: u32 =
+            get("nodes").ok_or_else(|| err("missing nodes"))?.parse().map_err(|_| err("bad nodes"))?;
+        let walltime_secs: i64 = get("walltime")
+            .ok_or_else(|| err("missing walltime"))?
+            .parse()
+            .map_err(|_| err("bad walltime"))?;
+        let (start, end, exit_status) = match kind {
+            TorqueEventKind::Start => (None, None, None),
+            TorqueEventKind::End => {
+                let s: i64 =
+                    get("start").ok_or_else(|| err("missing start"))?.parse().map_err(|_| err("bad start"))?;
+                let e: i64 =
+                    get("end").ok_or_else(|| err("missing end"))?.parse().map_err(|_| err("bad end"))?;
+                let x: i32 = get("exit_status")
+                    .ok_or_else(|| err("missing exit_status"))?
+                    .parse()
+                    .map_err(|_| err("bad exit_status"))?;
+                (Some(Timestamp::from_unix(s)), Some(Timestamp::from_unix(e)), Some(x))
+            }
+        };
+        Ok(TorqueRecord {
+            timestamp,
+            kind,
+            job,
+            user,
+            queue,
+            nodes,
+            walltime_secs,
+            start,
+            end,
+            exit_status,
+        })
+    }
+}
+
+impl fmt::Display for TorqueRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{};{};{};user={} queue={} nodes={} walltime={}",
+            self.timestamp,
+            self.kind.code(),
+            self.job,
+            self.user,
+            self.queue,
+            self.nodes,
+            self.walltime_secs
+        )?;
+        if self.kind == TorqueEventKind::End {
+            write!(
+                f,
+                " start={} end={} exit_status={}",
+                self.start.map(Timestamp::as_unix).unwrap_or(0),
+                self.end.map(Timestamp::as_unix).unwrap_or(0),
+                self.exit_status.unwrap_or(0)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn start_round_trip() {
+        let rec = TorqueRecord::start(
+            Timestamp::from_ymd_hms(2013, 3, 28, 12, 0, 0),
+            JobId::new(98_765),
+            UserId::new(421),
+            "normal",
+            4_096,
+            86_400,
+        );
+        let line = rec.to_string();
+        assert!(line.contains(";S;98765.bw;"));
+        assert_eq!(TorqueRecord::parse(&line).unwrap(), rec);
+    }
+
+    #[test]
+    fn end_round_trip() {
+        let start = Timestamp::from_ymd_hms(2013, 3, 28, 12, 0, 0);
+        let end = Timestamp::from_ymd_hms(2013, 3, 29, 2, 0, 0);
+        let rec = TorqueRecord::end(end, JobId::new(1), UserId::new(2), "debug", 16, 3_600, start, 271);
+        let back = TorqueRecord::parse(&rec.to_string()).unwrap();
+        assert_eq!(back, rec);
+        assert_eq!(back.exit_status, Some(271));
+        assert_eq!(back.start, Some(start));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(TorqueRecord::parse("").is_err());
+        assert!(TorqueRecord::parse("2013-03-28 12:00:00;X;1.bw;user=u1 queue=q nodes=1 walltime=1").is_err());
+        assert!(TorqueRecord::parse("2013-03-28 12:00:00;S;1;user=u0001 queue=q nodes=1 walltime=1").is_err());
+        assert!(TorqueRecord::parse("2013-03-28 12:00:00;E;1.bw;user=u0001 queue=q nodes=1 walltime=1").is_err(),
+                "end record without start/end/exit fields");
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_property(job in 0u64..10_000_000, user in 0u32..10_000,
+                               nodes in 1u32..30_000, wall in 60i64..200_000,
+                               is_end in any::<bool>()) {
+            let t0 = Timestamp::from_unix(1_400_000_000);
+            let rec = if is_end {
+                TorqueRecord::end(t0 + logdiver_types::SimDuration::from_secs(wall),
+                                  JobId::new(job), UserId::new(user), "normal",
+                                  nodes, wall, t0, 0)
+            } else {
+                TorqueRecord::start(t0, JobId::new(job), UserId::new(user), "normal", nodes, wall)
+            };
+            prop_assert_eq!(TorqueRecord::parse(&rec.to_string()).unwrap(), rec);
+        }
+    }
+}

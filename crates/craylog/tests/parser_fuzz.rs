@@ -1,0 +1,85 @@
+//! Fuzz-style property tests: no parser may panic on arbitrary input, and
+//! every parser must reject what the others emit (format confusion is an
+//! error, not a misparse).
+
+use craylog::alps::AlpsRecord;
+use craylog::hwerr::HwErrRecord;
+use craylog::netwatch::NetwatchRecord;
+use craylog::syslog::SyslogRecord;
+use craylog::torque::TorqueRecord;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn no_parser_panics_on_arbitrary_bytes(line in "\\PC*") {
+        let _ = SyslogRecord::parse(&line);
+        let _ = HwErrRecord::parse(&line);
+        let _ = AlpsRecord::parse(&line);
+        let _ = TorqueRecord::parse(&line);
+        let _ = NetwatchRecord::parse(&line);
+        let _ = craylog::parse_nodelist(&line);
+    }
+
+    #[test]
+    fn no_parser_panics_on_almost_valid_lines(
+        prefix in "2013-03-28 12:30:0[0-9]",
+        middle in "[ -~]{0,60}",
+    ) {
+        let line = format!("{prefix} {middle}");
+        let _ = SyslogRecord::parse(&line);
+        let _ = HwErrRecord::parse(&line);
+        let _ = AlpsRecord::parse(&line);
+        let _ = TorqueRecord::parse(&line);
+        let _ = NetwatchRecord::parse(&line);
+    }
+
+    #[test]
+    fn truncation_never_panics(cut in 0usize..80) {
+        let lines = [
+            "2013-03-28 12:30:00 nid04008 kernel: Machine Check Exception: bank 4",
+            "2013-03-28 12:30:00|c12-3c1s5n2|MEM_UE|FATAL|dimm=3",
+            "2013-03-28 12:30:00 apsys PLACED apid=1 batch=2.bw user=u0001 cmd=x type=XE width=1 nodelist=nid[0]",
+            "2013-03-28 12:00:00;E;1.bw;user=u0001 queue=q nodes=1 walltime=1 start=0 end=1 exit_status=0",
+            "2013-03-28 12:30:00 netwatch LINK_FAILED coord=(1,2,3) dim=X",
+        ];
+        for full in lines {
+            let cut = cut.min(full.len());
+            let line = &full[..cut];
+            let _ = SyslogRecord::parse(line);
+            let _ = HwErrRecord::parse(line);
+            let _ = AlpsRecord::parse(line);
+            let _ = TorqueRecord::parse(line);
+            let _ = NetwatchRecord::parse(line);
+        }
+    }
+}
+
+#[test]
+fn parsers_reject_each_others_formats() {
+    let syslog = "2013-03-28 12:30:00 nid04008 kernel: hello world";
+    let hwerr = "2013-03-28 12:30:00|c12-3c1s5n2|MEM_UE|FATAL|dimm=3";
+    let alps = "2013-03-28 12:30:00 apsys EXIT apid=1 code=0 signal=none node_failed=no runtime=1";
+    let torque = "2013-03-28 12:00:00;S;1.bw;user=u0001 queue=q nodes=1 walltime=1";
+    let netwatch = "2013-03-28 12:30:00 netwatch REROUTE_DONE duration=50";
+
+    assert!(HwErrRecord::parse(syslog).is_err());
+    assert!(TorqueRecord::parse(syslog).is_err());
+    assert!(NetwatchRecord::parse(syslog).is_err());
+    assert!(AlpsRecord::parse(syslog).is_err());
+
+    assert!(SyslogRecord::parse(hwerr).is_err());
+    assert!(AlpsRecord::parse(hwerr).is_err());
+    assert!(TorqueRecord::parse(hwerr).is_err());
+
+    assert!(HwErrRecord::parse(alps).is_err());
+    assert!(TorqueRecord::parse(alps).is_err());
+    assert!(NetwatchRecord::parse(alps).is_err());
+
+    assert!(AlpsRecord::parse(torque).is_err());
+    assert!(NetwatchRecord::parse(torque).is_err());
+
+    assert!(AlpsRecord::parse(netwatch).is_err());
+    assert!(HwErrRecord::parse(netwatch).is_err());
+}

@@ -1,0 +1,316 @@
+//! Fault-process configuration.
+
+use logdiver_types::NodeType;
+use serde::{Deserialize, Serialize};
+
+use crate::kinds::WideKillModel;
+
+/// Non-stationary "burn-in" rate profile: young systems fail more, and the
+/// rate decays toward the steady state as weak components are weeded out
+/// and software stabilizes (the maturation effect every field study of a
+/// new machine reports).
+///
+/// The multiplier applied to every lethal fault process at age `t` days is
+/// `1 + (initial_multiplier − 1) · exp(−t / decay_days)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BurnIn {
+    /// Rate multiplier at day 0 (≥ 1).
+    pub initial_multiplier: f64,
+    /// e-folding time of the decay, in days.
+    pub decay_days: f64,
+}
+
+impl BurnIn {
+    /// The multiplier at machine age `days`.
+    pub fn multiplier_at(&self, days: f64) -> f64 {
+        1.0 + (self.initial_multiplier - 1.0) * (-days / self.decay_days).exp()
+    }
+
+    /// Validation.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.initial_multiplier >= 1.0 && self.initial_multiplier.is_finite()) {
+            return Err(format!("burn-in initial multiplier invalid: {}", self.initial_multiplier));
+        }
+        if !(self.decay_days > 0.0 && self.decay_days.is_finite()) {
+            return Err(format!("burn-in decay invalid: {}", self.decay_days));
+        }
+        Ok(())
+    }
+}
+
+/// Rates and models for every fault process.
+///
+/// All rates are *per hour*; per-node rates are per node-hour. The defaults
+/// are engineering priors in the range reported for petascale Cray systems;
+/// the wide-kill laws and the launch-failure probability are then solved by
+/// `bw-sim::calibration` so the end-to-end measured curves hit the
+/// abstract's anchored numbers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// XE node crash rate per node-hour (MCE, UE, panic, VRM, hang).
+    pub xe_node_crash_per_node_hour: f64,
+    /// XK node crash rate per node-hour (CPU-side causes only).
+    pub xk_node_crash_per_node_hour: f64,
+    /// GPU fault rate per XK-node-hour (DBE, bus-off).
+    pub gpu_fault_per_node_hour: f64,
+    /// Blade-controller failure rate per blade-hour.
+    pub blade_failure_per_blade_hour: f64,
+    /// Gemini link failures per hour over the whole fabric.
+    pub link_failures_per_hour: f64,
+    /// Lustre OST failures per hour over the whole filesystem.
+    pub ost_failures_per_hour: f64,
+    /// MDS failovers per hour.
+    pub mds_failovers_per_hour: f64,
+    /// Correctable-memory flood episodes per hour (machine-wide, warnings).
+    pub ce_floods_per_hour: f64,
+    /// GPU page-retirement episodes per hour (XK region, warnings).
+    pub gpu_page_retirements_per_hour: f64,
+    /// Scheduled blade warm-swap notices per hour (informational).
+    pub maintenance_per_hour: f64,
+    /// Probability an application run dies at launch to infrastructure
+    /// problems (ALPS placement/teardown) — scale-independent.
+    pub launch_failure_prob: f64,
+    /// Kill law applied to XE applications by machine-wide events.
+    pub wide_kill_xe: WideKillModel,
+    /// Kill law applied to XK applications by machine-wide events.
+    pub wide_kill_xk: WideKillModel,
+    /// Probability that a correctable-memory flood escalates into an
+    /// uncorrectable error (node crash) on the same node shortly after —
+    /// the error-propagation channel the paper's detection discussion
+    /// targets (precursors that a proactive system could act on).
+    pub ce_flood_escalation_prob: f64,
+    /// Probability that GPU page-retirement pressure escalates into a GPU
+    /// double-bit error on the same node.
+    pub gpu_retirement_escalation_prob: f64,
+    /// Shortest precursor lead time in seconds.
+    pub escalation_lead_min_secs: i64,
+    /// Longest precursor lead time in seconds.
+    pub escalation_lead_max_secs: i64,
+    /// Mean node repair time in hours (log-normal, σ = 0.8).
+    pub node_repair_mean_hours: f64,
+    /// Mean blade repair time in hours (log-normal, σ = 0.8).
+    pub blade_repair_mean_hours: f64,
+    /// Mean Gemini reroute stall in seconds.
+    pub reroute_stall_mean_secs: f64,
+    /// Optional non-stationary burn-in profile. `None` (the default and the
+    /// calibrated mode) keeps every process stationary; enabling it trades
+    /// anchor fidelity for early-life realism (see the a5 bench).
+    pub burn_in: Option<BurnIn>,
+}
+
+impl FaultConfig {
+    /// Defaults for the full Blue Waters-scale machine.
+    ///
+    /// The wide-kill parameters here are placeholders overwritten by the
+    /// calibration solve; the node-scoped rates are the priors the solve
+    /// keeps fixed.
+    pub fn blue_waters() -> Self {
+        FaultConfig {
+            xe_node_crash_per_node_hour: 2.0e-7,
+            xk_node_crash_per_node_hour: 2.5e-7,
+            gpu_fault_per_node_hour: 3.5e-6,
+            blade_failure_per_blade_hour: 4.0e-8,
+            link_failures_per_hour: 0.20,
+            ost_failures_per_hour: 0.03,
+            mds_failovers_per_hour: 0.005,
+            ce_floods_per_hour: 1.5,
+            gpu_page_retirements_per_hour: 0.4,
+            maintenance_per_hour: 0.08,
+            launch_failure_prob: 0.012,
+            ce_flood_escalation_prob: 0.003,
+            gpu_retirement_escalation_prob: 0.02,
+            escalation_lead_min_secs: 600,
+            escalation_lead_max_secs: 7_200,
+            wide_kill_xe: WideKillModel { q_max: 0.75, gamma: 4.5 },
+            wide_kill_xk: WideKillModel { q_max: 0.35, gamma: 2.8 },
+            node_repair_mean_hours: 4.0,
+            blade_repair_mean_hours: 12.0,
+            reroute_stall_mean_secs: 45.0,
+            burn_in: None,
+        }
+    }
+
+    /// Scaled configuration for [`bw_topology::Machine::blue_waters_scaled`].
+    ///
+    /// Per-node rates are intensive and stay put. The machine-wide lethal
+    /// event rate *also* stays put — it is the hazard an application feels
+    /// per hour regardless of machine size, and keeping it intensive is
+    /// what preserves the anchored `p(w/N)` failure curves on scaled
+    /// machines (a real quarter-size Cray would see fewer link failures,
+    /// but then its full-scale failure probability would genuinely differ
+    /// from Blue Waters'; for reproduction we preserve behaviour, not link
+    /// counts). Only the warning/noise volumes shrink with the machine.
+    pub fn scaled(divisor: u32) -> Self {
+        let mut cfg = Self::blue_waters();
+        let d = divisor.max(1) as f64;
+        cfg.ce_floods_per_hour /= d;
+        cfg.gpu_page_retirements_per_hour /= d;
+        cfg.maintenance_per_hour /= d;
+        cfg
+    }
+
+    /// The node-crash rate for a class.
+    pub fn node_crash_rate(&self, ty: NodeType) -> f64 {
+        match ty {
+            NodeType::Xe => self.xe_node_crash_per_node_hour,
+            NodeType::Xk => self.xk_node_crash_per_node_hour,
+            NodeType::Service => 0.0,
+        }
+    }
+
+    /// The wide-kill law for a class.
+    pub fn wide_kill(&self, ty: NodeType) -> WideKillModel {
+        match ty {
+            NodeType::Xk => self.wide_kill_xk,
+            _ => self.wide_kill_xe,
+        }
+    }
+
+    /// Total rate of machine-wide lethal events per hour.
+    pub fn wide_event_rate(&self) -> f64 {
+        self.link_failures_per_hour + self.ost_failures_per_hour + self.mds_failovers_per_hour
+    }
+
+    /// Validation used by the injector.
+    pub fn validate(&self) -> Result<(), String> {
+        let rates = [
+            ("xe_node_crash", self.xe_node_crash_per_node_hour),
+            ("xk_node_crash", self.xk_node_crash_per_node_hour),
+            ("gpu_fault", self.gpu_fault_per_node_hour),
+            ("blade_failure", self.blade_failure_per_blade_hour),
+            ("link_failures", self.link_failures_per_hour),
+            ("ost_failures", self.ost_failures_per_hour),
+            ("mds_failovers", self.mds_failovers_per_hour),
+            ("ce_floods", self.ce_floods_per_hour),
+            ("gpu_page_retirements", self.gpu_page_retirements_per_hour),
+            ("maintenance", self.maintenance_per_hour),
+        ];
+        for (name, r) in rates {
+            if !(r.is_finite() && r >= 0.0) {
+                return Err(format!("rate {name} invalid: {r}"));
+            }
+        }
+        if !(0.0..1.0).contains(&self.launch_failure_prob) {
+            return Err(format!("launch_failure_prob invalid: {}", self.launch_failure_prob));
+        }
+        for (name, p) in [
+            ("ce_flood_escalation_prob", self.ce_flood_escalation_prob),
+            ("gpu_retirement_escalation_prob", self.gpu_retirement_escalation_prob),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} invalid: {p}"));
+            }
+        }
+        if self.escalation_lead_min_secs <= 0
+            || self.escalation_lead_max_secs < self.escalation_lead_min_secs
+        {
+            return Err("escalation lead window invalid".into());
+        }
+        for (name, m) in [("wide_kill_xe", self.wide_kill_xe), ("wide_kill_xk", self.wide_kill_xk)] {
+            if !(0.0..=1.0).contains(&m.q_max) || !(m.gamma.is_finite() && m.gamma > 0.0) {
+                return Err(format!("{name} invalid: {m:?}"));
+            }
+        }
+        if self.node_repair_mean_hours <= 0.0 || self.blade_repair_mean_hours <= 0.0 {
+            return Err("repair means must be positive".into());
+        }
+        if self.reroute_stall_mean_secs <= 0.0 {
+            return Err("reroute stall mean must be positive".into());
+        }
+        if let Some(b) = &self.burn_in {
+            b.validate()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        FaultConfig::blue_waters().validate().unwrap();
+        FaultConfig::scaled(16).validate().unwrap();
+    }
+
+    #[test]
+    fn scaling_shrinks_noise_rates_only() {
+        let full = FaultConfig::blue_waters();
+        let small = FaultConfig::scaled(10);
+        assert!((small.ce_floods_per_hour - full.ce_floods_per_hour / 10.0).abs() < 1e-12);
+        // Lethal hazards are intensive: they preserve the anchored curves.
+        assert_eq!(small.link_failures_per_hour, full.link_failures_per_hour);
+        assert_eq!(small.xe_node_crash_per_node_hour, full.xe_node_crash_per_node_hour);
+        assert_eq!(small.launch_failure_prob, full.launch_failure_prob);
+    }
+
+    #[test]
+    fn per_class_accessors() {
+        let cfg = FaultConfig::blue_waters();
+        assert!(cfg.node_crash_rate(NodeType::Xk) >= cfg.node_crash_rate(NodeType::Xe));
+        assert_eq!(cfg.node_crash_rate(NodeType::Service), 0.0);
+        assert!(cfg.wide_kill(NodeType::Xe).gamma > cfg.wide_kill(NodeType::Xk).gamma);
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        let mut cfg = FaultConfig::blue_waters();
+        cfg.link_failures_per_hour = -1.0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = FaultConfig::blue_waters();
+        cfg.launch_failure_prob = 1.5;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = FaultConfig::blue_waters();
+        cfg.wide_kill_xe.gamma = 0.0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = FaultConfig::blue_waters();
+        cfg.node_repair_mean_hours = 0.0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn escalation_defaults_are_sane() {
+        let cfg = FaultConfig::blue_waters();
+        // Escalations must stay a modest addition to the base crash hazard
+        // (the calibration includes them; runaway values would starve the
+        // wide-kill budget).
+        let esc_per_node_hour = cfg.ce_floods_per_hour * cfg.ce_flood_escalation_prob / 26_864.0;
+        assert!(esc_per_node_hour < 2.0 * cfg.xe_node_crash_per_node_hour,
+                "escalation hazard {esc_per_node_hour} dwarfs the base rate");
+        let mut bad = cfg.clone();
+        bad.ce_flood_escalation_prob = 1.5;
+        assert!(bad.validate().is_err());
+        let mut bad = cfg.clone();
+        bad.escalation_lead_max_secs = 1;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn burn_in_profile_decays_to_one() {
+        let b = BurnIn { initial_multiplier: 3.0, decay_days: 30.0 };
+        b.validate().unwrap();
+        assert!((b.multiplier_at(0.0) - 3.0).abs() < 1e-12);
+        assert!((b.multiplier_at(30.0) - (1.0 + 2.0 / std::f64::consts::E)).abs() < 1e-12);
+        assert!(b.multiplier_at(300.0) < 1.01);
+        assert!(BurnIn { initial_multiplier: 0.5, decay_days: 30.0 }.validate().is_err());
+        assert!(BurnIn { initial_multiplier: 2.0, decay_days: 0.0 }.validate().is_err());
+        let mut cfg = FaultConfig::blue_waters();
+        cfg.burn_in = Some(BurnIn { initial_multiplier: 2.0, decay_days: -1.0 });
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn expected_node_failures_are_plausible() {
+        // Over 518 days the full machine should lose on the order of
+        // hundreds to a few thousand nodes — not zero, not tens of thousands.
+        let cfg = FaultConfig::blue_waters();
+        let hours = 518.0 * 24.0;
+        let expected = cfg.xe_node_crash_per_node_hour * 22_640.0 * hours
+            + (cfg.xk_node_crash_per_node_hour + cfg.gpu_fault_per_node_hour) * 4_224.0 * hours;
+        assert!(expected > 50.0 && expected < 20_000.0, "expected {expected}");
+    }
+}

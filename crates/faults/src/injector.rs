@@ -1,0 +1,596 @@
+//! The fault injector: a streaming, time-ordered source of fault events.
+//!
+//! Nine independent Poisson processes (per-class node crashes, GPU faults,
+//! blade failures, link failures, OST/MDS failovers, and two warning-only
+//! noise processes) are merged into one ordered stream, exactly like the
+//! workload generator's arrival merge. The simulator consumes events one at
+//! a time, so a 518-day injection never materializes in memory.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use bw_topology::Machine;
+use hpc_stats::dist::Distribution;
+use hpc_stats::{Exponential, LogNormal};
+use logdiver_types::{NodeId, NodeType, SimDuration, Timestamp};
+use rand::Rng;
+
+use crate::config::FaultConfig;
+use crate::detection::DetectionModel;
+use crate::kinds::{FaultEvent, FaultKind, GpuFaultKind, NodeCrashCause};
+
+/// Identifies one of the merged processes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Process {
+    XeCrash,
+    XkCrash,
+    Gpu,
+    Blade,
+    Link,
+    Ost,
+    Mds,
+    CeFlood,
+    GpuPageRetire,
+    Maintenance,
+}
+
+const PROCESSES: [Process; 10] = [
+    Process::XeCrash,
+    Process::XkCrash,
+    Process::Gpu,
+    Process::Blade,
+    Process::Link,
+    Process::Ost,
+    Process::Mds,
+    Process::CeFlood,
+    Process::GpuPageRetire,
+    Process::Maintenance,
+];
+
+struct Stream {
+    process: Process,
+    interarrival: Option<Exponential>, // None = process disabled (rate 0)
+    next: Timestamp,
+}
+
+/// A scheduled escalation: a warning that will become a lethal fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct PendingEscalation {
+    time: Timestamp,
+    seq: u64,
+    nid: u32,
+    gpu: bool,
+}
+
+/// Streaming fault-event source over a machine.
+pub struct FaultInjector {
+    machine: Machine,
+    start: Timestamp,
+    config: FaultConfig,
+    detection: DetectionModel,
+    streams: Vec<Stream>,
+    pending: BinaryHeap<Reverse<PendingEscalation>>,
+    pending_seq: u64,
+    escalations_scheduled: u64,
+    node_repair: LogNormal,
+    blade_repair: LogNormal,
+    reroute_stall: Exponential,
+    xe_range: (u32, u32),
+    xk_range: (u32, u32),
+}
+
+impl std::fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("machine", &self.machine.name())
+            .field("streams", &self.streams.len())
+            .finish()
+    }
+}
+
+/// Builds a log-normal with a target mean and log-space sigma.
+fn lognormal_with_mean(mean: f64, sigma: f64) -> LogNormal {
+    let mu = mean.ln() - sigma * sigma / 2.0;
+    LogNormal::new(mu, sigma).expect("positive parameters")
+}
+
+impl FaultInjector {
+    /// Creates an injector starting at `start`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation message for an inconsistent configuration.
+    pub fn new<R: Rng>(
+        machine: &Machine,
+        config: FaultConfig,
+        detection: DetectionModel,
+        start: Timestamp,
+        rng: &mut R,
+    ) -> Result<Self, String> {
+        config.validate()?;
+        detection.validate()?;
+        let n_xe = machine.count_of(NodeType::Xe) as f64;
+        let n_xk = machine.count_of(NodeType::Xk) as f64;
+        let n_blades = machine.total_nodes() as f64 / 4.0;
+        let rates = |p: Process| -> f64 {
+            match p {
+                Process::XeCrash => config.xe_node_crash_per_node_hour * n_xe,
+                Process::XkCrash => config.xk_node_crash_per_node_hour * n_xk,
+                Process::Gpu => config.gpu_fault_per_node_hour * n_xk,
+                Process::Blade => config.blade_failure_per_blade_hour * n_blades,
+                Process::Link => config.link_failures_per_hour,
+                Process::Ost => config.ost_failures_per_hour,
+                Process::Mds => config.mds_failovers_per_hour,
+                Process::CeFlood => config.ce_floods_per_hour,
+                Process::GpuPageRetire => {
+                    if n_xk > 0.0 {
+                        config.gpu_page_retirements_per_hour
+                    } else {
+                        0.0
+                    }
+                }
+                Process::Maintenance => config.maintenance_per_hour,
+            }
+        };
+        // With a burn-in profile, lethal processes run at the *peak* rate
+        // and events are thinned back to the instantaneous rate (Lewis
+        // thinning for a non-homogeneous Poisson process).
+        let peak = config.burn_in.map(|b| b.initial_multiplier).unwrap_or(1.0);
+        let mut streams = Vec::with_capacity(PROCESSES.len());
+        for p in PROCESSES {
+            let lethal_scaling = match p {
+                Process::CeFlood | Process::GpuPageRetire | Process::Maintenance => 1.0,
+                _ => peak,
+            };
+            let rate = rates(p) * lethal_scaling;
+            let interarrival = if rate > 0.0 {
+                Some(Exponential::new(rate / 3_600.0).map_err(|e| e.to_string())?)
+            } else {
+                None
+            };
+            let mut s = Stream { process: p, interarrival, next: start };
+            s.advance(rng);
+            streams.push(s);
+        }
+        // Contiguous class layout (see bw-topology docs) lets us draw a
+        // uniform class member with one random index.
+        let xe_first = machine.nodes_of_type(NodeType::Xe).next().map(|n| n.value()).unwrap_or(0);
+        let xk_first = machine.nodes_of_type(NodeType::Xk).next().map(|n| n.value()).unwrap_or(0);
+        let xe_range = (xe_first, xe_first + machine.count_of(NodeType::Xe).max(1));
+        let xk_range = (xk_first, xk_first + machine.count_of(NodeType::Xk).max(1));
+        Ok(FaultInjector {
+            machine: machine.clone(),
+            start,
+            node_repair: lognormal_with_mean(config.node_repair_mean_hours, 0.8),
+            blade_repair: lognormal_with_mean(config.blade_repair_mean_hours, 0.8),
+            reroute_stall: Exponential::from_mean(config.reroute_stall_mean_secs)
+                .map_err(|e| e.to_string())?,
+            config,
+            detection,
+            streams,
+            pending: BinaryHeap::new(),
+            pending_seq: 0,
+            escalations_scheduled: 0,
+            xe_range,
+            xk_range,
+        })
+    }
+
+    /// How many precursor escalations have been scheduled so far.
+    pub fn escalations_scheduled(&self) -> u64 {
+        self.escalations_scheduled
+    }
+
+    /// The detection model in effect.
+    pub fn detection(&self) -> &DetectionModel {
+        &self.detection
+    }
+
+    /// The fault configuration in effect.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Time of the soonest pending event without consuming it.
+    pub fn peek_time(&self) -> Timestamp {
+        let stream_t = self
+            .streams
+            .iter()
+            .filter(|s| s.interarrival.is_some())
+            .map(|s| s.next)
+            .min()
+            .unwrap_or(Timestamp::from_unix(i64::MAX / 2));
+        match self.pending.peek() {
+            Some(Reverse(p)) if p.time < stream_t => p.time,
+            _ => stream_t,
+        }
+    }
+
+    /// Produces the next fault event in time order.
+    pub fn next_fault<R: Rng>(&mut self, rng: &mut R) -> FaultEvent {
+        let stream_idx = self
+            .streams
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.interarrival.is_some())
+            .min_by_key(|(_, s)| s.next)
+            .map(|(i, _)| i)
+            .expect("at least one enabled process");
+        // Scheduled escalations interleave with the Poisson streams.
+        if let Some(Reverse(p)) = self.pending.peek().copied() {
+            if p.time < self.streams[stream_idx].next {
+                self.pending.pop();
+                return self.make_escalation(p, rng);
+            }
+        }
+        let time = self.streams[stream_idx].next;
+        let process = self.streams[stream_idx].process;
+        self.streams[stream_idx].advance(rng);
+        // Burn-in thinning: keep the event with probability m(t)/m_peak
+        // (warning/noise processes stay stationary).
+        if let Some(b) = self.config.burn_in {
+            let lethal = !matches!(
+                process,
+                Process::CeFlood | Process::GpuPageRetire | Process::Maintenance
+            );
+            if lethal {
+                let age_days = (time - self.start).as_days_f64().max(0.0);
+                let keep = b.multiplier_at(age_days) / b.initial_multiplier;
+                if rng.random::<f64>() >= keep {
+                    return self.next_fault(rng);
+                }
+            }
+        }
+        self.make_event(process, time, rng)
+    }
+
+    /// Turns a scheduled escalation into the lethal follow-up fault.
+    fn make_escalation<R: Rng>(&mut self, p: PendingEscalation, rng: &mut R) -> FaultEvent {
+        let nid = NodeId::new(p.nid);
+        let (kind, repair, class) = if p.gpu {
+            let repair = SimDuration::from_hours_f64(
+                (self.node_repair.sample(rng) * 0.15).clamp(0.1, 12.0),
+            );
+            (FaultKind::GpuFault { nid, kind: GpuFaultKind::DoubleBitEcc }, repair, NodeType::Xk)
+        } else {
+            let repair =
+                SimDuration::from_hours_f64(self.node_repair.sample(rng).clamp(0.25, 72.0));
+            let ty = self.machine.node_type(nid).unwrap_or(NodeType::Xe);
+            (
+                FaultKind::NodeCrash { nid, cause: NodeCrashCause::MemoryUncorrectable },
+                repair,
+                ty,
+            )
+        };
+        let detected = self.detection.sample_detected(&kind, class, rng);
+        FaultEvent { time: p.time, kind, repair, detected }
+    }
+
+    /// Possibly schedules the lethal follow-up to a warning event.
+    fn maybe_escalate<R: Rng>(&mut self, time: Timestamp, nid: NodeId, gpu: bool, rng: &mut R) {
+        let prob = if gpu {
+            self.config.gpu_retirement_escalation_prob
+        } else {
+            self.config.ce_flood_escalation_prob
+        };
+        if rng.random::<f64>() >= prob {
+            return;
+        }
+        let lead = rng.random_range(
+            self.config.escalation_lead_min_secs..=self.config.escalation_lead_max_secs,
+        );
+        self.pending_seq += 1;
+        self.escalations_scheduled += 1;
+        self.pending.push(Reverse(PendingEscalation {
+            time: time + SimDuration::from_secs(lead),
+            seq: self.pending_seq,
+            nid: nid.value(),
+            gpu,
+        }));
+    }
+
+    fn pick_node<R: Rng>(&self, range: (u32, u32), rng: &mut R) -> NodeId {
+        NodeId::new(rng.random_range(range.0..range.1))
+    }
+
+    fn make_event<R: Rng>(&mut self, process: Process, time: Timestamp, rng: &mut R) -> FaultEvent {
+        let (kind, repair, class) = match process {
+            Process::XeCrash | Process::XkCrash => {
+                let (range, ty) = if process == Process::XeCrash {
+                    (self.xe_range, NodeType::Xe)
+                } else {
+                    (self.xk_range, NodeType::Xk)
+                };
+                let nid = self.pick_node(range, rng);
+                let cause = sample_crash_cause(rng);
+                let repair = SimDuration::from_hours_f64(self.node_repair.sample(rng).clamp(0.25, 72.0));
+                (FaultKind::NodeCrash { nid, cause }, repair, ty)
+            }
+            Process::Gpu => {
+                let nid = self.pick_node(self.xk_range, rng);
+                let kind = if rng.random::<f64>() < 0.6 {
+                    GpuFaultKind::DoubleBitEcc
+                } else {
+                    GpuFaultKind::BusOff
+                };
+                // GPU faults usually clear with a reboot.
+                let repair = SimDuration::from_hours_f64(
+                    (self.node_repair.sample(rng) * 0.15).clamp(0.1, 12.0),
+                );
+                (FaultKind::GpuFault { nid, kind }, repair, NodeType::Xk)
+            }
+            Process::Blade => {
+                let blade = rng.random_range(0..self.machine.total_nodes() / 4);
+                let repair =
+                    SimDuration::from_hours_f64(self.blade_repair.sample(rng).clamp(1.0, 168.0));
+                let ty = self
+                    .machine
+                    .node_type(NodeId::new(blade * 4))
+                    .unwrap_or(NodeType::Xe);
+                (FaultKind::BladeFailure { blade }, repair, ty)
+            }
+            Process::Link => {
+                let torus = self.machine.torus();
+                let link = torus.link_by_index(rng.random_range(0..torus.link_count()));
+                let stall = SimDuration::from_secs(
+                    (self.reroute_stall.sample(rng) as i64).clamp(10, 600),
+                );
+                (FaultKind::GeminiLinkFailure { link, stall }, SimDuration::ZERO, NodeType::Xe)
+            }
+            Process::Ost => {
+                let ost = bw_topology::OstId::new(
+                    rng.random_range(0..self.machine.lustre().ost_count()),
+                );
+                (FaultKind::LustreOstFailure { ost }, SimDuration::ZERO, NodeType::Xe)
+            }
+            Process::Mds => {
+                let mds = bw_topology::MdsId::new(
+                    rng.random_range(0..self.machine.lustre().mds_count()),
+                );
+                (FaultKind::LustreMdsFailover { mds }, SimDuration::ZERO, NodeType::Xe)
+            }
+            Process::CeFlood => {
+                // Any compute node can flood; weight by class population.
+                let total = (self.xe_range.1 - self.xe_range.0) + (self.xk_range.1 - self.xk_range.0);
+                let pick = rng.random_range(0..total.max(1));
+                let nid = if pick < self.xe_range.1 - self.xe_range.0 {
+                    NodeId::new(self.xe_range.0 + pick)
+                } else {
+                    NodeId::new(self.xk_range.0 + (pick - (self.xe_range.1 - self.xe_range.0)))
+                };
+                self.maybe_escalate(time, nid, false, rng);
+                (FaultKind::MemoryCeFlood { nid }, SimDuration::ZERO, NodeType::Xe)
+            }
+            Process::GpuPageRetire => {
+                let nid = self.pick_node(self.xk_range, rng);
+                self.maybe_escalate(time, nid, true, rng);
+                (FaultKind::GpuPageRetirement { nid }, SimDuration::ZERO, NodeType::Xk)
+            }
+            Process::Maintenance => {
+                let blade = rng.random_range(0..self.machine.total_nodes() / 4);
+                (FaultKind::Maintenance { blade }, SimDuration::ZERO, NodeType::Xe)
+            }
+        };
+        let detected = self.detection.sample_detected(&kind, class, rng);
+        FaultEvent { time, kind, repair, detected }
+    }
+}
+
+impl Stream {
+    fn advance<R: Rng>(&mut self, rng: &mut R) {
+        if let Some(d) = &self.interarrival {
+            let gap = d.sample(rng).max(0.5);
+            self.next = self.next + SimDuration::from_secs(gap as i64 + 1);
+        }
+    }
+}
+
+fn sample_crash_cause<R: Rng>(rng: &mut R) -> NodeCrashCause {
+    match (rng.random::<f64>() * 100.0) as u32 {
+        0..=29 => NodeCrashCause::MachineCheck,
+        30..=54 => NodeCrashCause::MemoryUncorrectable,
+        55..=74 => NodeCrashCause::KernelPanic,
+        75..=87 => NodeCrashCause::VoltageFault,
+        _ => NodeCrashCause::Hang,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn injector(seed: u64) -> (FaultInjector, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let machine = Machine::blue_waters_scaled(16);
+        let inj = FaultInjector::new(
+            &machine,
+            FaultConfig::scaled(16),
+            DetectionModel::blue_waters(),
+            Timestamp::PRODUCTION_EPOCH,
+            &mut rng,
+        )
+        .unwrap();
+        (inj, rng)
+    }
+
+    #[test]
+    fn events_come_in_time_order() {
+        let (mut inj, mut rng) = injector(1);
+        let mut prev = Timestamp::from_unix(0);
+        for _ in 0..2_000 {
+            let e = inj.next_fault(&mut rng);
+            assert!(e.time >= prev, "events out of order");
+            prev = e.time;
+        }
+    }
+
+    #[test]
+    fn node_events_target_the_right_class() {
+        let (mut inj, mut rng) = injector(2);
+        let machine = Machine::blue_waters_scaled(16);
+        for _ in 0..3_000 {
+            let e = inj.next_fault(&mut rng);
+            match e.kind {
+                FaultKind::GpuFault { nid, .. } | FaultKind::GpuPageRetirement { nid } => {
+                    assert_eq!(machine.node_type(nid), Some(NodeType::Xk), "{nid}");
+                }
+                FaultKind::NodeCrash { nid, .. } => {
+                    assert!(machine.node_type(nid).is_some_and(|t| t.is_compute()));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn lethal_node_faults_carry_repair_times() {
+        let (mut inj, mut rng) = injector(3);
+        for _ in 0..3_000 {
+            let e = inj.next_fault(&mut rng);
+            match e.kind {
+                FaultKind::NodeCrash { .. } | FaultKind::BladeFailure { .. } => {
+                    assert!(e.repair > SimDuration::ZERO);
+                    assert!(e.repair <= SimDuration::from_hours(168));
+                }
+                FaultKind::MemoryCeFlood { .. } => assert_eq!(e.repair, SimDuration::ZERO),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn gpu_faults_are_often_undetected() {
+        let (mut inj, mut rng) = injector(4);
+        let mut gpu = 0u32;
+        let mut gpu_detected = 0u32;
+        let mut crash = 0u32;
+        let mut crash_detected = 0u32;
+        for _ in 0..300_000 {
+            let e = inj.next_fault(&mut rng);
+            match e.kind {
+                FaultKind::GpuFault { .. } => {
+                    gpu += 1;
+                    gpu_detected += e.detected as u32;
+                }
+                FaultKind::NodeCrash { .. } => {
+                    crash += 1;
+                    crash_detected += e.detected as u32;
+                }
+                _ => {}
+            }
+        }
+        assert!(gpu > 50, "too few GPU faults sampled: {gpu}");
+        let gpu_rate = gpu_detected as f64 / gpu as f64;
+        let crash_rate = crash_detected as f64 / crash as f64;
+        assert!(gpu_rate < 0.6, "gpu detection {gpu_rate}");
+        assert!(crash_rate > 0.9, "crash detection {crash_rate}");
+    }
+
+    #[test]
+    fn event_mix_includes_wide_events() {
+        let (mut inj, mut rng) = injector(5);
+        let mut wide = 0;
+        for _ in 0..50_000 {
+            if inj.next_fault(&mut rng).kind.is_wide() {
+                wide += 1;
+            }
+        }
+        assert!(wide > 0, "no wide events in 50k draws");
+    }
+
+    #[test]
+    fn escalations_follow_their_warnings() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let machine = Machine::blue_waters_scaled(16);
+        let mut cfg = FaultConfig::scaled(16);
+        // Force the escalation path to fire often.
+        cfg.ce_flood_escalation_prob = 0.9;
+        cfg.gpu_retirement_escalation_prob = 0.9;
+        let mut inj = FaultInjector::new(
+            &machine,
+            cfg.clone(),
+            DetectionModel::blue_waters(),
+            Timestamp::PRODUCTION_EPOCH,
+            &mut rng,
+        )
+        .unwrap();
+        let mut warnings: std::collections::HashMap<u32, Timestamp> = Default::default();
+        let mut matched = 0u32;
+        let mut prev = Timestamp::from_unix(0);
+        for _ in 0..5_000 {
+            let e = inj.next_fault(&mut rng);
+            assert!(e.time >= prev, "escalations must preserve time order");
+            prev = e.time;
+            match e.kind {
+                FaultKind::MemoryCeFlood { nid } | FaultKind::GpuPageRetirement { nid } => {
+                    warnings.insert(nid.value(), e.time);
+                }
+                FaultKind::NodeCrash { nid, cause: NodeCrashCause::MemoryUncorrectable }
+                | FaultKind::GpuFault { nid, kind: GpuFaultKind::DoubleBitEcc } => {
+                    if let Some(&warn_t) = warnings.get(&nid.value()) {
+                        let lead = (e.time - warn_t).as_secs();
+                        if (cfg.escalation_lead_min_secs..=cfg.escalation_lead_max_secs)
+                            .contains(&lead)
+                        {
+                            matched += 1;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        assert!(inj.escalations_scheduled() > 100, "{}", inj.escalations_scheduled());
+        assert!(matched > 50, "only {matched} escalations landed on their precursor node");
+    }
+
+    #[test]
+    fn burn_in_concentrates_lethal_faults_early() {
+        use crate::config::BurnIn;
+        let mut rng = StdRng::seed_from_u64(11);
+        let machine = Machine::blue_waters_scaled(16);
+        let mut cfg = FaultConfig::scaled(16);
+        cfg.burn_in = Some(BurnIn { initial_multiplier: 4.0, decay_days: 20.0 });
+        let mut inj = FaultInjector::new(
+            &machine,
+            cfg,
+            DetectionModel::blue_waters(),
+            Timestamp::PRODUCTION_EPOCH,
+            &mut rng,
+        )
+        .unwrap();
+        let horizon = Timestamp::PRODUCTION_EPOCH + SimDuration::from_days(120);
+        let mut early = 0u32;
+        let mut late = 0u32;
+        loop {
+            let e = inj.next_fault(&mut rng);
+            if e.time >= horizon {
+                break;
+            }
+            if e.kind.is_lethal() {
+                if e.time < Timestamp::PRODUCTION_EPOCH + SimDuration::from_days(60) {
+                    early += 1;
+                } else {
+                    late += 1;
+                }
+            }
+        }
+        assert!(early + late > 200, "too few lethal faults: {}", early + late);
+        // With 4× initial rate decaying over 20 days, the first half of the
+        // window must carry well over half the lethal faults.
+        assert!(
+            early as f64 > 1.5 * late as f64,
+            "burn-in invisible: early {early} vs late {late}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (mut a, mut ra) = injector(42);
+        let (mut b, mut rb) = injector(42);
+        for _ in 0..500 {
+            assert_eq!(a.next_fault(&mut ra), b.next_fault(&mut rb));
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Fault kinds and their mapping to error categories / spatial scopes.
+
+use bw_topology::torus::Link;
+use bw_topology::{OstId, MdsId};
+use logdiver_types::{ErrorCategory, NodeId, NodeType, SimDuration, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// Root cause of a node crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeCrashCause {
+    /// Machine-check exception.
+    MachineCheck,
+    /// Uncorrectable memory error.
+    MemoryUncorrectable,
+    /// Kernel panic.
+    KernelPanic,
+    /// Voltage-regulator fault.
+    VoltageFault,
+    /// Software wedge — node hangs and is power-cycled.
+    Hang,
+}
+
+impl NodeCrashCause {
+    /// All causes, in sampling order.
+    pub const ALL: [NodeCrashCause; 5] = [
+        NodeCrashCause::MachineCheck,
+        NodeCrashCause::MemoryUncorrectable,
+        NodeCrashCause::KernelPanic,
+        NodeCrashCause::VoltageFault,
+        NodeCrashCause::Hang,
+    ];
+
+    /// The error category this cause logs as (when detected).
+    pub const fn category(self) -> ErrorCategory {
+        match self {
+            NodeCrashCause::MachineCheck => ErrorCategory::MachineCheckException,
+            NodeCrashCause::MemoryUncorrectable => ErrorCategory::MemoryUncorrectable,
+            NodeCrashCause::KernelPanic => ErrorCategory::KernelPanic,
+            NodeCrashCause::VoltageFault => ErrorCategory::VoltageFault,
+            NodeCrashCause::Hang => ErrorCategory::NodeHang,
+        }
+    }
+}
+
+/// Kind of GPU fault on a hybrid node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GpuFaultKind {
+    /// Double-bit ECC error in device memory.
+    DoubleBitEcc,
+    /// GPU dropped off the PCIe bus.
+    BusOff,
+}
+
+impl GpuFaultKind {
+    /// The error category this fault logs as (when detected).
+    pub const fn category(self) -> ErrorCategory {
+        match self {
+            GpuFaultKind::DoubleBitEcc => ErrorCategory::GpuDoubleBitError,
+            GpuFaultKind::BusOff => ErrorCategory::GpuBusError,
+        }
+    }
+}
+
+/// What broke.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A single node crashed; it needs repair before returning to service.
+    NodeCrash {
+        /// Victim node.
+        nid: NodeId,
+        /// Root cause.
+        cause: NodeCrashCause,
+    },
+    /// A GPU failed on a hybrid node; the node reboots.
+    GpuFault {
+        /// Victim node (must be XK).
+        nid: NodeId,
+        /// Kind of GPU failure.
+        kind: GpuFaultKind,
+    },
+    /// A blade controller failed: all four nodes of the blade go down.
+    BladeFailure {
+        /// Blade ordinal (nid / 4).
+        blade: u32,
+    },
+    /// A Gemini link failed: the owning blade wobbles and the whole fabric
+    /// reroutes (quiesce), threatening wide applications machine-wide.
+    GeminiLinkFailure {
+        /// The failed link.
+        link: Link,
+        /// Duration of the routing quiesce.
+        stall: SimDuration,
+    },
+    /// An object storage target failed over; in-flight I/O errors out.
+    LustreOstFailure {
+        /// The failed OST.
+        ost: OstId,
+    },
+    /// Metadata server failover; namespace operations stall.
+    LustreMdsFailover {
+        /// The failing-over MDS.
+        mds: MdsId,
+    },
+    /// Correctable-memory error flood on a node (warning only).
+    MemoryCeFlood {
+        /// Reporting node.
+        nid: NodeId,
+    },
+    /// GPU page-retirement pressure on a hybrid node (warning only).
+    GpuPageRetirement {
+        /// Reporting node.
+        nid: NodeId,
+    },
+    /// Scheduled blade warm-swap notice (informational only).
+    Maintenance {
+        /// Blade ordinal being serviced.
+        blade: u32,
+    },
+}
+
+impl FaultKind {
+    /// True when the fault can kill applications.
+    pub const fn is_lethal(&self) -> bool {
+        !matches!(
+            self,
+            FaultKind::MemoryCeFlood { .. }
+                | FaultKind::GpuPageRetirement { .. }
+                | FaultKind::Maintenance { .. }
+        )
+    }
+
+    /// True when the fault is machine-wide (kills by the width-fraction
+    /// law rather than by node intersection).
+    pub const fn is_wide(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::GeminiLinkFailure { .. }
+                | FaultKind::LustreOstFailure { .. }
+                | FaultKind::LustreMdsFailover { .. }
+        )
+    }
+
+    /// The error category the fault logs under when detected.
+    pub const fn category(&self) -> ErrorCategory {
+        match self {
+            FaultKind::NodeCrash { cause, .. } => cause.category(),
+            FaultKind::GpuFault { kind, .. } => kind.category(),
+            FaultKind::BladeFailure { .. } => ErrorCategory::BladeControllerFailure,
+            FaultKind::GeminiLinkFailure { .. } => ErrorCategory::GeminiLinkFailure,
+            FaultKind::LustreOstFailure { .. } => ErrorCategory::LustreOstFailure,
+            FaultKind::LustreMdsFailover { .. } => ErrorCategory::LustreMdsFailover,
+            FaultKind::MemoryCeFlood { .. } => ErrorCategory::MemoryCorrectable,
+            FaultKind::GpuPageRetirement { .. } => ErrorCategory::GpuPageRetirement,
+            FaultKind::Maintenance { .. } => ErrorCategory::MaintenanceNotice,
+        }
+    }
+}
+
+/// One sampled fault occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// When it strikes.
+    pub time: Timestamp,
+    /// What broke.
+    pub kind: FaultKind,
+    /// How long the broken component stays out of service (zero for
+    /// warning-only and wide events that down nothing).
+    pub repair: SimDuration,
+    /// Whether the fault leaves evidence in the error logs (sampled from
+    /// the [`crate::DetectionModel`] at injection time).
+    pub detected: bool,
+}
+
+/// The width-fraction kill law for machine-wide events.
+///
+/// A wide event kills a running application of width `w` (class size `n`)
+/// with probability `q_max · (w / n)^gamma`. Calibrated per node class by
+/// `bw-sim` against the abstract's anchors.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WideKillModel {
+    /// Kill probability at full class width.
+    pub q_max: f64,
+    /// Super-linearity exponent (> 1 ⇒ wide apps disproportionately hit).
+    pub gamma: f64,
+}
+
+impl WideKillModel {
+    /// Kill probability for an application of `width` nodes out of a class
+    /// of `class_size`.
+    pub fn kill_probability(&self, width: u32, class_size: u32) -> f64 {
+        if class_size == 0 || width == 0 {
+            return 0.0;
+        }
+        let frac = (width.min(class_size) as f64) / class_size as f64;
+        (self.q_max * frac.powf(self.gamma)).clamp(0.0, 1.0)
+    }
+}
+
+/// Which node class a wide event's kill law applies to (`None` = both with
+/// the same law).
+pub fn wide_kill_class(kind: &FaultKind) -> Option<NodeType> {
+    match kind {
+        // Interconnect quiesce threatens everything on the torus.
+        FaultKind::GeminiLinkFailure { .. } => None,
+        // Filesystem events likewise hit both classes.
+        FaultKind::LustreOstFailure { .. } | FaultKind::LustreMdsFailover { .. } => None,
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bw_topology::torus::{Dim, Link};
+    use bw_topology::TorusCoord;
+
+    #[test]
+    fn lethality_classification() {
+        let crash = FaultKind::NodeCrash { nid: NodeId::new(1), cause: NodeCrashCause::KernelPanic };
+        assert!(crash.is_lethal());
+        assert!(!crash.is_wide());
+        let flood = FaultKind::MemoryCeFlood { nid: NodeId::new(1) };
+        assert!(!flood.is_lethal());
+        let link = FaultKind::GeminiLinkFailure {
+            link: Link { coord: TorusCoord { x: 0, y: 0, z: 0 }, dim: Dim::X },
+            stall: SimDuration::from_secs(45),
+        };
+        assert!(link.is_lethal());
+        assert!(link.is_wide());
+    }
+
+    #[test]
+    fn categories_match_causes() {
+        for cause in NodeCrashCause::ALL {
+            let k = FaultKind::NodeCrash { nid: NodeId::new(0), cause };
+            assert_eq!(k.category(), cause.category());
+        }
+        assert_eq!(
+            FaultKind::GpuFault { nid: NodeId::new(0), kind: GpuFaultKind::BusOff }.category(),
+            ErrorCategory::GpuBusError
+        );
+        assert_eq!(
+            FaultKind::LustreOstFailure { ost: OstId::new(3) }.category(),
+            ErrorCategory::LustreOstFailure
+        );
+    }
+
+    #[test]
+    fn wide_kill_law_is_superlinear() {
+        let m = WideKillModel { q_max: 0.8, gamma: 4.0 };
+        let full = m.kill_probability(22_640, 22_640);
+        let half = m.kill_probability(11_320, 22_640);
+        assert!((full - 0.8).abs() < 1e-12);
+        assert!((half - 0.05).abs() < 1e-12, "half width: {half}"); // 0.8 / 16
+        assert_eq!(m.kill_probability(0, 22_640), 0.0);
+        assert_eq!(m.kill_probability(10, 0), 0.0);
+        // Clamped at 1 even for pathological parameters.
+        let wild = WideKillModel { q_max: 5.0, gamma: 0.1 };
+        assert_eq!(wild.kill_probability(22_640, 22_640), 1.0);
+    }
+
+    #[test]
+    fn width_is_clamped_to_class() {
+        let m = WideKillModel { q_max: 0.5, gamma: 2.0 };
+        assert_eq!(m.kill_probability(30_000, 22_640), 0.5);
+    }
+}

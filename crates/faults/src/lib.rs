@@ -1,0 +1,54 @@
+//! # bw-faults
+//!
+//! Stochastic fault model of a Cray XE/XK hybrid machine: what breaks, how
+//! often, what it takes down, how long repair takes, and — crucially for the
+//! paper's lesson (iii) — whether the failure leaves *log evidence*.
+//!
+//! ## Mechanisms
+//!
+//! Three kinds of processes generate the system problems that kill
+//! applications:
+//!
+//! 1. **Node-scoped faults** ([`FaultKind::NodeCrash`],
+//!    [`FaultKind::GpuFault`], [`FaultKind::BladeFailure`]): Poisson per
+//!    node/blade; they take the node(s) out of service and kill whatever
+//!    application occupies them. Exposure grows linearly with `nodes ×
+//!    hours`, giving the baseline component of the scale curve.
+//! 2. **Machine-wide events** ([`FaultKind::GeminiLinkFailure`],
+//!    [`FaultKind::LustreOstFailure`], [`FaultKind::LustreMdsFailover`]):
+//!    Poisson over the whole fabric/filesystem. Each event kills a running
+//!    application of width `w` and class `τ` with probability
+//!    `q_max(τ) · (w / N_τ)^γ(τ)` — wide applications are dramatically more
+//!    exposed (they span more of the fabric, have more in-flight I/O and
+//!    cannot ride out a quiesce), which produces the super-linear jump the
+//!    abstract reports (20× from 10 k → 22 k nodes). The exponents are
+//!    solved by `bw-sim`'s calibration module against the abstract's
+//!    anchors.
+//! 3. **Launch infrastructure failures**: a scale-independent per-run
+//!    Bernoulli (ALPS placement/teardown), dominating the failure mass of
+//!    the millions of small runs.
+//!
+//! Warning-only processes (correctable-memory floods, GPU page
+//! retirements) produce log noise and leading indicators without killing
+//! anything — fodder for LogDiver's filtering stage.
+//!
+//! ## Detection
+//!
+//! [`DetectionModel`] assigns each lethal fault a probability of leaving log
+//! evidence. CPU-side faults on XE nodes are well instrumented (MCA, EDAC,
+//! heartbeats); GPU faults on XK hybrid nodes are not — a large fraction
+//! kill the application with nothing in the error logs, which is exactly
+//! the paper's "inadequate error detection in hybrid nodes".
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod config;
+pub mod detection;
+pub mod injector;
+pub mod kinds;
+
+pub use config::{BurnIn, FaultConfig};
+pub use detection::{DetectionModel, Detectability};
+pub use injector::FaultInjector;
+pub use kinds::{FaultEvent, FaultKind, GpuFaultKind, NodeCrashCause, WideKillModel};

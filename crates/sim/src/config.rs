@@ -1,0 +1,135 @@
+//! Simulation configuration.
+
+use bw_faults::{DetectionModel, FaultConfig};
+use bw_topology::{Machine, PlacementPolicy};
+use bw_workload::WorkloadConfig;
+use logdiver_types::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Everything a simulation run needs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Geometry divisor: 1 = full Blue Waters, larger = scaled machine.
+    pub machine_divisor: u32,
+    /// Length of the simulated production period in days.
+    pub days: u32,
+    /// RNG seed — same seed, same machine ⇒ identical logs and truth.
+    pub seed: u64,
+    /// Workload model.
+    pub workload: WorkloadConfig,
+    /// Fault processes.
+    pub faults: FaultConfig,
+    /// Detection coverage.
+    pub detection: DetectionModel,
+    /// Benign syslog chatter rate (lines per hour, machine-wide).
+    pub noise_lines_per_hour: f64,
+    /// How the scheduler lays allocations onto the machine.
+    pub placement: PlacementPolicy,
+    /// When true, the wide-kill laws and launch-failure probability are
+    /// re-solved against the paper anchors at simulation start
+    /// (see [`crate::calibration`]).
+    pub calibrate: bool,
+}
+
+impl SimConfig {
+    /// Full-scale Blue Waters for the given number of days (the paper's
+    /// period is 518).
+    pub fn blue_waters(days: u32) -> Self {
+        SimConfig {
+            machine_divisor: 1,
+            days,
+            seed: 1,
+            workload: WorkloadConfig::blue_waters(),
+            faults: FaultConfig::blue_waters(),
+            detection: DetectionModel::blue_waters(),
+            noise_lines_per_hour: 240.0,
+            placement: PlacementPolicy::Packed,
+            calibrate: true,
+        }
+    }
+
+    /// A machine scaled down by `divisor`, for tests and examples.
+    pub fn scaled(divisor: u32, days: u32) -> Self {
+        SimConfig {
+            machine_divisor: divisor,
+            days,
+            seed: 1,
+            workload: WorkloadConfig::scaled(divisor),
+            faults: FaultConfig::scaled(divisor),
+            detection: DetectionModel::blue_waters(),
+            noise_lines_per_hour: (240.0 / divisor.max(1) as f64).max(5.0),
+            placement: PlacementPolicy::Packed,
+            calibrate: true,
+        }
+    }
+
+    /// Sets the seed (builder-style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Disables the calibration solve, keeping the configured fault model
+    /// as-is (builder-style).
+    pub fn without_calibration(mut self) -> Self {
+        self.calibrate = false;
+        self
+    }
+
+    /// Builds the machine for this configuration.
+    pub fn machine(&self) -> Machine {
+        Machine::blue_waters_scaled(self.machine_divisor)
+    }
+
+    /// The simulated period.
+    pub fn horizon(&self) -> SimDuration {
+        SimDuration::from_days(self.days as i64)
+    }
+
+    /// Validation of the composite configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.days == 0 {
+            return Err("simulation must cover at least one day".into());
+        }
+        if !(self.noise_lines_per_hour.is_finite() && self.noise_lines_per_hour >= 0.0) {
+            return Err(format!("bad noise rate {}", self.noise_lines_per_hour));
+        }
+        self.workload.validate()?;
+        self.faults.validate()?;
+        self.detection.validate()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        SimConfig::blue_waters(518).validate().unwrap();
+        SimConfig::scaled(16, 7).validate().unwrap();
+        SimConfig::scaled(64, 1).validate().unwrap();
+    }
+
+    #[test]
+    fn builder_methods() {
+        let c = SimConfig::scaled(8, 3).with_seed(99).without_calibration();
+        assert_eq!(c.seed, 99);
+        assert!(!c.calibrate);
+        assert_eq!(c.horizon(), SimDuration::from_days(3));
+    }
+
+    #[test]
+    fn machine_matches_divisor() {
+        let c = SimConfig::scaled(16, 1);
+        let m = c.machine();
+        assert_eq!(m.count_of(logdiver_types::NodeType::Xe),
+                   c.workload.class(logdiver_types::NodeType::Xe).unwrap().max_nodes);
+    }
+
+    #[test]
+    fn zero_days_rejected() {
+        assert!(SimConfig::scaled(16, 0).validate().is_err());
+    }
+}

@@ -1,0 +1,843 @@
+//! The discrete-event engine.
+//!
+//! One ordered loop over three event sources — the workload generator's
+//! arrivals, the fault injector's strikes, and an internal heap (application
+//! ends, walltime kills, node repairs, noise ticks) — maintaining the
+//! machine, the scheduler and the set of running jobs, and emitting raw log
+//! lines plus ground truth through a [`SimOutput`].
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+use bw_faults::{FaultEvent, FaultInjector, FaultKind};
+use bw_topology::{Location, Machine};
+use std::collections::VecDeque;
+
+use bw_workload::scheduler::StartedJob;
+use bw_workload::{JobSpec, Scheduler, SchedulerStats, WorkloadGenerator};
+use bw_workload::job::IntrinsicOutcome;
+use logdiver_types::{
+    AppId, ExitStatus, FailureCause, NodeId, NodeSet, NodeType, SimDuration, Timestamp,
+    UserFailureKind,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::SimConfig;
+use crate::emit;
+use crate::output::SimOutput;
+use crate::truth::{AppTruth, TrueOutcome};
+
+/// Aggregate counters from one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SimReport {
+    /// Jobs submitted to the scheduler.
+    pub jobs_submitted: u64,
+    /// Jobs that ran to an end record.
+    pub jobs_completed: u64,
+    /// Application runs recorded (every PLACED or LAUNCHERR).
+    pub apps_completed: u64,
+    /// Node-hours actually consumed by application runs.
+    pub node_hours: f64,
+    /// Fault events injected (all kinds).
+    pub faults_injected: u64,
+    /// Lethal fault events.
+    pub lethal_faults: u64,
+    /// Machine-wide events.
+    pub wide_events: u64,
+    /// Applications killed by system problems (ground truth).
+    pub system_kills: u64,
+    /// Scheduler statistics at the end of the run.
+    pub scheduler: SchedulerStats,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    AppEnd { job: u64, apid: u64 },
+    WalltimeKill { job: u64 },
+    NodeRepair { nid: u32 },
+    NoiseTick,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Event {
+    time: Timestamp,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Where the simulation's jobs come from.
+#[derive(Debug)]
+enum JobSource {
+    /// The stochastic generator (the default).
+    Generator(WorkloadGenerator),
+    /// An explicit arrival-ordered trace (e.g. replayed from SWF).
+    Replay(VecDeque<JobSpec>),
+}
+
+impl JobSource {
+    fn peek_arrival(&self) -> Option<Timestamp> {
+        match self {
+            JobSource::Generator(g) => Some(g.peek_arrival()),
+            JobSource::Replay(q) => q.front().map(|j| j.arrival),
+        }
+    }
+
+    fn next_job(&mut self, rng: &mut StdRng) -> Option<JobSpec> {
+        match self {
+            JobSource::Generator(g) => Some(g.next_job(rng)),
+            JobSource::Replay(q) => q.pop_front(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct RunningJob {
+    spec: JobSpec,
+    nodes: NodeSet,
+    app_index: usize,
+    app_start: Timestamp,
+    current_apid: Option<AppId>,
+    current_nodes: NodeSet,
+    started: Timestamp,
+}
+
+/// A configured simulation, ready to run.
+#[derive(Debug)]
+pub struct Simulation {
+    config: SimConfig,
+    machine: Machine,
+    rng: StdRng,
+    source: JobSource,
+    injector: FaultInjector,
+    scheduler: Scheduler,
+    running: BTreeMap<u64, RunningJob>,
+    heap: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    end: Timestamp,
+    arrivals_done: bool,
+    report: SimReport,
+}
+
+impl Simulation {
+    /// Builds a simulation from a configuration, running the calibration
+    /// solve first when `config.calibrate` is set.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation/calibration message on inconsistent input.
+    pub fn new(mut config: SimConfig) -> Result<Self, String> {
+        config.validate()?;
+        if config.calibrate {
+            let solved = crate::calibration::calibrate(&config.workload, &config.faults)?;
+            config.faults = solved;
+        }
+        let machine = config.machine();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let source = JobSource::Generator(WorkloadGenerator::new(config.workload.clone(), &mut rng)?);
+        let injector = FaultInjector::new(
+            &machine,
+            config.faults.clone(),
+            config.detection,
+            Timestamp::PRODUCTION_EPOCH,
+            &mut rng,
+        )?;
+        let scheduler = Scheduler::with_policy(&machine, config.placement);
+        let end = Timestamp::PRODUCTION_EPOCH + config.horizon();
+        Ok(Simulation {
+            config,
+            machine,
+            rng,
+            source,
+            injector,
+            scheduler,
+            running: BTreeMap::new(),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            end,
+            arrivals_done: false,
+            report: SimReport::default(),
+        })
+    }
+
+    /// The (possibly calibrated) configuration in effect.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The machine being simulated.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Replaces the stochastic workload with an explicit, arrival-ordered
+    /// job trace (builder-style) — e.g. a replayed SWF archive trace. Fault
+    /// injection, detection and log emission are unchanged, so any trace
+    /// can be run through the same fault world.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the trace is not sorted by arrival or a job fails
+    /// [`JobSpec::validate`].
+    pub fn with_job_trace(mut self, jobs: Vec<JobSpec>) -> Self {
+        assert!(
+            jobs.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+            "job trace must be arrival-ordered"
+        );
+        for job in &jobs {
+            if let Err(e) = job.validate() {
+                panic!("invalid job in trace: {e}");
+            }
+        }
+        self.source = JobSource::Replay(jobs.into());
+        self
+    }
+
+    /// Runs the simulation to the horizon, writing everything to `out`.
+    pub fn run(mut self, out: &mut dyn SimOutput) -> SimReport {
+        self.schedule(Timestamp::PRODUCTION_EPOCH, EventKind::NoiseTick);
+        loop {
+            let heap_t = self.heap.peek().map(|Reverse(e)| e.time);
+            let arrival_t = if self.arrivals_done { None } else { self.source.peek_arrival() };
+            let fault_t = Some(self.injector.peek_time());
+
+            // Pick the earliest source; heap wins ties so repairs/ends apply
+            // before new work lands at the same instant.
+            let next = [heap_t, arrival_t, fault_t].into_iter().flatten().min();
+            let Some(t) = next else { break };
+            if t >= self.end {
+                break;
+            }
+
+            if heap_t == Some(t) {
+                let Reverse(event) = self.heap.pop().expect("peeked");
+                self.handle_event(event, out);
+            } else if arrival_t == Some(t) {
+                match self.source.next_job(&mut self.rng) {
+                    Some(job) => {
+                        self.report.jobs_submitted += 1;
+                        let started = self.scheduler.submit(job, t);
+                        self.handle_started(started, out);
+                    }
+                    None => self.arrivals_done = true,
+                }
+            } else {
+                let fault = self.injector.next_fault(&mut self.rng);
+                self.handle_fault(fault, out);
+            }
+        }
+        self.finalize(out);
+        self.report.scheduler = self.scheduler.stats();
+        self.report
+    }
+
+    fn schedule(&mut self, time: Timestamp, kind: EventKind) {
+        self.seq += 1;
+        self.heap.push(Reverse(Event { time, seq: self.seq, kind }));
+    }
+
+    // ----- job/application lifecycle -------------------------------------
+
+    fn handle_started(&mut self, started: Vec<StartedJob>, out: &mut dyn SimOutput) {
+        for sj in started {
+            let t = sj.start;
+            emit::job_start(
+                out,
+                t,
+                sj.spec.job,
+                sj.spec.user,
+                &sj.spec.queue,
+                sj.spec.nodes,
+                sj.spec.walltime,
+            );
+            let job_key = sj.spec.job.value();
+            let deadline = t + sj.spec.walltime;
+            self.schedule(deadline, EventKind::WalltimeKill { job: job_key });
+            self.running.insert(
+                job_key,
+                RunningJob {
+                    spec: sj.spec,
+                    nodes: sj.nodes,
+                    app_index: 0,
+                    app_start: t,
+                    current_apid: None,
+                    current_nodes: NodeSet::new(),
+                    started: t,
+                },
+            );
+            self.start_next_app(job_key, t, out);
+        }
+    }
+
+    fn start_next_app(&mut self, job_key: u64, mut t: Timestamp, out: &mut dyn SimOutput) {
+        loop {
+            let Some(rj) = self.running.get_mut(&job_key) else { return };
+            if rj.app_index >= rj.spec.apps.len() {
+                self.end_job(job_key, t, 0, out);
+                return;
+            }
+            let app = rj.spec.apps[rj.app_index].clone();
+            // The app occupies the first `width` nodes of the allocation.
+            let app_nodes: NodeSet = rj.nodes.iter().take(app.nodes as usize).collect();
+            if self.rng.random::<f64>() < self.config.faults.launch_failure_prob {
+                // ALPS fails the launch: the run exists (it has an apid and a
+                // placement attempt) but never executes.
+                emit::app_placed(
+                    out, t, app.apid, rj.spec.job, rj.spec.user, &app.command, app.node_type,
+                    &app_nodes,
+                );
+                emit::launch_error(out, t + SimDuration::from_secs(3), app.apid,
+                                   "placement failed: node unavailable");
+                let truth = AppTruth {
+                    apid: app.apid,
+                    job: rj.spec.job,
+                    user: rj.spec.user,
+                    node_type: app.node_type,
+                    width: app.nodes,
+                    start: t,
+                    end: t + SimDuration::from_secs(3),
+                    outcome: TrueOutcome::SystemFailure {
+                        cause: FailureCause::Launcher,
+                        detected: true,
+                    },
+                };
+                rj.app_index += 1;
+                self.report.system_kills += 1;
+                self.record_truth(truth, out);
+                t = t + SimDuration::from_secs(10);
+                continue;
+            }
+            emit::app_placed(
+                out, t, app.apid, rj.spec.job, rj.spec.user, &app.command, app.node_type,
+                &app_nodes,
+            );
+            rj.app_start = t;
+            rj.current_apid = Some(app.apid);
+            rj.current_nodes = app_nodes;
+            let natural_end = t + app.duration;
+            self.schedule(
+                natural_end,
+                EventKind::AppEnd { job: job_key, apid: app.apid.value() },
+            );
+            return;
+        }
+    }
+
+    fn handle_event(&mut self, event: Event, out: &mut dyn SimOutput) {
+        match event.kind {
+            EventKind::AppEnd { job, apid } => self.handle_app_end(job, apid, event.time, out),
+            EventKind::WalltimeKill { job } => self.handle_walltime_kill(job, event.time, out),
+            EventKind::NodeRepair { nid } => {
+                let started = self.scheduler.node_up(NodeId::new(nid), event.time);
+                self.handle_started(started, out);
+            }
+            EventKind::NoiseTick => {
+                self.handle_noise_tick(event.time, out);
+            }
+        }
+    }
+
+    fn handle_app_end(&mut self, job_key: u64, apid: u64, t: Timestamp, out: &mut dyn SimOutput) {
+        let Some(rj) = self.running.get_mut(&job_key) else { return };
+        if rj.current_apid != Some(AppId::new(apid)) {
+            return; // stale event: the app was killed earlier
+        }
+        let app = rj.spec.apps[rj.app_index].clone();
+        let runtime = t - rj.app_start;
+        let (exit, outcome) = match app.intrinsic {
+            // An intrinsic overrun that still fit the walltime simply ran long.
+            IntrinsicOutcome::Success | IntrinsicOutcome::WalltimeExceeded => {
+                (ExitStatus::SUCCESS, TrueOutcome::Success)
+            }
+            IntrinsicOutcome::Segfault => (
+                ExitStatus::with_signal(11),
+                TrueOutcome::UserFailure(UserFailureKind::Segfault),
+            ),
+            IntrinsicOutcome::Abort => (
+                ExitStatus::with_signal(6),
+                TrueOutcome::UserFailure(UserFailureKind::Abort),
+            ),
+            IntrinsicOutcome::OutOfMemory => (
+                ExitStatus::with_signal(9),
+                TrueOutcome::UserFailure(UserFailureKind::OutOfMemory),
+            ),
+            IntrinsicOutcome::NonzeroExit => (
+                ExitStatus::with_code(1 + (apid % 125) as i32),
+                TrueOutcome::UserFailure(UserFailureKind::NonzeroExit),
+            ),
+        };
+        emit::app_exit(out, t, app.apid, exit, runtime);
+        let truth = AppTruth {
+            apid: app.apid,
+            job: rj.spec.job,
+            user: rj.spec.user,
+            node_type: app.node_type,
+            width: app.nodes,
+            start: rj.app_start,
+            end: t,
+            outcome,
+        };
+        rj.current_apid = None;
+        rj.app_index += 1;
+        self.record_truth(truth, out);
+        self.start_next_app(job_key, t + SimDuration::from_secs(2), out);
+    }
+
+    fn handle_walltime_kill(&mut self, job_key: u64, t: Timestamp, out: &mut dyn SimOutput) {
+        let Some(rj) = self.running.get_mut(&job_key) else { return };
+        if t < rj.started + rj.spec.walltime {
+            return; // stale (job restarted? cannot happen, but be safe)
+        }
+        if let Some(apid) = rj.current_apid {
+            let app = rj.spec.apps[rj.app_index].clone();
+            let runtime = t - rj.app_start;
+            emit::app_exit(out, t, apid, ExitStatus::with_signal(15), runtime);
+            let truth = AppTruth {
+                apid,
+                job: rj.spec.job,
+                user: rj.spec.user,
+                node_type: app.node_type,
+                width: app.nodes,
+                start: rj.app_start,
+                end: t,
+                outcome: TrueOutcome::WalltimeExceeded,
+            };
+            self.record_truth(truth, out);
+            if let Some(rj) = self.running.get_mut(&job_key) {
+                rj.current_apid = None;
+            }
+        }
+        self.end_job(job_key, t, 271, out); // PBS walltime-exceeded status
+    }
+
+    fn end_job(&mut self, job_key: u64, t: Timestamp, exit_status: i32, out: &mut dyn SimOutput) {
+        let Some(rj) = self.running.remove(&job_key) else { return };
+        emit::job_end(
+            out,
+            t,
+            rj.spec.job,
+            rj.spec.user,
+            &rj.spec.queue,
+            rj.spec.nodes,
+            rj.spec.walltime,
+            rj.started,
+            exit_status,
+        );
+        self.report.jobs_completed += 1;
+        let started = self.scheduler.job_finished(rj.spec.job, &rj.nodes, t);
+        self.handle_started(started, out);
+    }
+
+    // ----- faults ---------------------------------------------------------
+
+    fn handle_fault(&mut self, fault: FaultEvent, out: &mut dyn SimOutput) {
+        self.report.faults_injected += 1;
+        let t = fault.time;
+        let variant = self.rng.random::<u32>();
+        if !fault.kind.is_lethal() {
+            // Warnings always leave log evidence.
+            emit::fault_evidence(out, &self.machine, &fault, variant);
+            return;
+        }
+        self.report.lethal_faults += 1;
+        if fault.detected {
+            emit::fault_evidence(out, &self.machine, &fault, variant);
+        }
+        if fault.kind.is_wide() {
+            self.report.wide_events += 1;
+            self.handle_wide_kill(&fault, t, out);
+            return;
+        }
+        // Node-scoped: which nodes died?
+        let affected: Vec<NodeId> = match fault.kind {
+            FaultKind::NodeCrash { nid, .. } | FaultKind::GpuFault { nid, .. } => vec![nid],
+            FaultKind::BladeFailure { blade } => Location::of_nid(NodeId::new(blade * 4))
+                .blade_nids()
+                .into_iter()
+                .filter(|n| self.machine.node_type(*n).is_some())
+                .collect(),
+            _ => unreachable!("wide and warning kinds handled above"),
+        };
+        for &nid in &affected {
+            self.scheduler.node_down(nid);
+            if fault.repair > SimDuration::ZERO {
+                self.schedule(t + fault.repair, EventKind::NodeRepair { nid: nid.value() });
+            }
+        }
+        // Kill every running job whose allocation lost a node.
+        let victims: Vec<u64> = self
+            .running
+            .iter()
+            .filter(|(_, rj)| affected.iter().any(|n| rj.nodes.contains(*n)))
+            .map(|(k, _)| *k)
+            .collect();
+        let cause = FailureCause::from(fault.kind.category().subsystem());
+        for job_key in victims {
+            self.kill_job_by_system(job_key, t, cause, fault.detected, true, out);
+        }
+    }
+
+    fn handle_wide_kill(&mut self, fault: &FaultEvent, t: Timestamp, out: &mut dyn SimOutput) {
+        let cause = FailureCause::from(fault.kind.category().subsystem());
+        // Decide victims first (borrow), then kill (mutate).
+        let mut victims: Vec<u64> = Vec::new();
+        let class_sizes = (
+            self.machine.count_of(NodeType::Xe),
+            self.machine.count_of(NodeType::Xk),
+        );
+        let mut draws: Vec<(u64, f64)> = Vec::new();
+        for (k, rj) in &self.running {
+            let Some(_) = rj.current_apid else { continue };
+            let width = rj.spec.apps[rj.app_index].nodes;
+            let class_size = match rj.spec.node_type {
+                NodeType::Xk => class_sizes.1,
+                _ => class_sizes.0,
+            };
+            let q = self
+                .config
+                .faults
+                .wide_kill(rj.spec.node_type)
+                .kill_probability(width, class_size);
+            if q > 0.0 {
+                draws.push((*k, q));
+            }
+        }
+        for (k, q) in draws {
+            if self.rng.random::<f64>() < q {
+                victims.push(k);
+            }
+        }
+        for job_key in victims {
+            // Wide kills do not take nodes down; the launcher sees the app
+            // die without a node failure.
+            self.kill_job_by_system(job_key, t, cause, fault.detected, false, out);
+        }
+    }
+
+    /// Kills a running job's current application with a system cause and
+    /// terminates the job.
+    fn kill_job_by_system(
+        &mut self,
+        job_key: u64,
+        t: Timestamp,
+        cause: FailureCause,
+        detected: bool,
+        node_lost: bool,
+        out: &mut dyn SimOutput,
+    ) {
+        let Some(rj) = self.running.get_mut(&job_key) else { return };
+        if let Some(apid) = rj.current_apid {
+            let app = rj.spec.apps[rj.app_index].clone();
+            let runtime = (t - rj.app_start).clamp(SimDuration::ZERO, SimDuration::from_days(30));
+            // How the launcher records the death depends on detection: an
+            // undetected node loss is *sometimes* still flagged by the health
+            // sweep; otherwise the run looks like a plain crash.
+            let exit = if node_lost {
+                if detected
+                    || self.rng.random::<f64>() < self.config.detection.undetected_node_flag
+                {
+                    ExitStatus::with_signal(9).and_node_failed()
+                } else {
+                    ExitStatus::with_signal(11)
+                }
+            } else {
+                // Killed by a machine-wide event: I/O errors / aborted
+                // collectives, no node death from ALPS's point of view.
+                ExitStatus::with_signal(9)
+            };
+            emit::app_exit(out, t, apid, exit, runtime);
+            let truth = AppTruth {
+                apid,
+                job: rj.spec.job,
+                user: rj.spec.user,
+                node_type: app.node_type,
+                width: app.nodes,
+                start: rj.app_start,
+                end: t,
+                outcome: TrueOutcome::SystemFailure { cause, detected },
+            };
+            self.report.system_kills += 1;
+            if let Some(rj) = self.running.get_mut(&job_key) {
+                rj.current_apid = None;
+            }
+            self.record_truth(truth, out);
+        }
+        self.end_job(job_key, t, 265, out); // 256 + SIGKILL
+    }
+
+    // ----- noise and wrap-up ----------------------------------------------
+
+    fn handle_noise_tick(&mut self, t: Timestamp, out: &mut dyn SimOutput) {
+        const TICK: i64 = 600; // 10 minutes
+        let expected = self.config.noise_lines_per_hour * (TICK as f64 / 3_600.0);
+        // Poisson via thinning of a small fixed budget (expected is small).
+        let n = sample_poisson(expected, &mut self.rng);
+        for _ in 0..n {
+            let offset = SimDuration::from_secs(self.rng.random_range(0..TICK));
+            let variant = self.rng.random::<u32>();
+            emit::noise(out, &self.machine, t + offset, variant);
+        }
+        let next = t + SimDuration::from_secs(TICK);
+        if next < self.end {
+            self.schedule(next, EventKind::NoiseTick);
+        }
+    }
+
+    fn record_truth(&mut self, truth: AppTruth, out: &mut dyn SimOutput) {
+        self.report.apps_completed += 1;
+        self.report.node_hours += truth.node_hours();
+        out.app_truth(truth);
+    }
+
+    /// Censors everything still running at the horizon: the measurement
+    /// window closed on them (they get a clean exit at the boundary, as the
+    /// paper's accounting window would).
+    fn finalize(&mut self, out: &mut dyn SimOutput) {
+        let keys: Vec<u64> = self.running.keys().copied().collect();
+        for job_key in keys {
+            let Some(rj) = self.running.get_mut(&job_key) else { continue };
+            if let Some(apid) = rj.current_apid {
+                let app = rj.spec.apps[rj.app_index].clone();
+                let runtime = self.end - rj.app_start;
+                emit::app_exit(out, self.end, apid, ExitStatus::SUCCESS, runtime);
+                let truth = AppTruth {
+                    apid,
+                    job: rj.spec.job,
+                    user: rj.spec.user,
+                    node_type: app.node_type,
+                    width: app.nodes,
+                    start: rj.app_start,
+                    end: self.end,
+                    outcome: TrueOutcome::Success,
+                };
+                if let Some(rj) = self.running.get_mut(&job_key) {
+                    rj.current_apid = None;
+                }
+                self.record_truth(truth, out);
+            }
+            if let Some(rj) = self.running.remove(&job_key) {
+                emit::job_end(
+                    out,
+                    self.end,
+                    rj.spec.job,
+                    rj.spec.user,
+                    &rj.spec.queue,
+                    rj.spec.nodes,
+                    rj.spec.walltime,
+                    rj.started,
+                    0,
+                );
+                self.report.jobs_completed += 1;
+            }
+        }
+    }
+}
+
+/// Knuth's Poisson sampler (fine for small means; noise ticks use ≤ ~40).
+fn sample_poisson<R: Rng>(mean: f64, rng: &mut R) -> u32 {
+    if mean <= 0.0 {
+        return 0;
+    }
+    let l = (-mean).exp();
+    let mut k = 0u32;
+    let mut p = 1.0;
+    loop {
+        p *= rng.random::<f64>();
+        if p <= l || k > 10_000 {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::output::MemoryOutput;
+    use craylog::alps::AlpsRecord;
+    use std::collections::HashMap;
+
+    fn run_small(seed: u64, days: u32) -> (MemoryOutput, SimReport) {
+        let config = SimConfig::scaled(64, days).with_seed(seed).without_calibration();
+        let mut out = MemoryOutput::new();
+        let report = Simulation::new(config).unwrap().run(&mut out);
+        (out, report)
+    }
+
+    #[test]
+    fn produces_work_and_logs() {
+        let (out, report) = run_small(1, 2);
+        assert!(report.jobs_submitted > 50, "{report:?}");
+        assert!(report.apps_completed > 50);
+        assert!(report.node_hours > 0.0);
+        assert!(!out.alps.is_empty());
+        assert!(!out.torque.is_empty());
+        assert!(!out.syslog.is_empty());
+        assert_eq!(out.truths.len() as u64, report.apps_completed);
+    }
+
+    #[test]
+    fn every_placed_app_has_exactly_one_termination() {
+        let (out, _) = run_small(2, 3);
+        let mut placed: HashMap<u64, u32> = HashMap::new();
+        let mut ended: HashMap<u64, u32> = HashMap::new();
+        for line in &out.alps {
+            match AlpsRecord::parse(line).unwrap() {
+                AlpsRecord::Placed(r) => *placed.entry(r.apid.value()).or_default() += 1,
+                AlpsRecord::Exit(r) => *ended.entry(r.apid.value()).or_default() += 1,
+                AlpsRecord::LaunchErr(r) => *ended.entry(r.apid.value()).or_default() += 1,
+            }
+        }
+        for (apid, n) in &placed {
+            assert_eq!(*n, 1, "apid {apid} placed {n} times");
+            assert_eq!(
+                ended.get(apid),
+                Some(&1),
+                "apid {apid} has no unique termination"
+            );
+        }
+        assert_eq!(placed.len(), ended.len());
+    }
+
+    #[test]
+    fn truths_match_alps_exits() {
+        let (out, _) = run_small(3, 2);
+        let truth_by_apid: HashMap<u64, &AppTruth> =
+            out.truths.iter().map(|t| (t.apid.value(), t)).collect();
+        let mut checked = 0;
+        for line in &out.alps {
+            if let AlpsRecord::Exit(r) = AlpsRecord::parse(line).unwrap() {
+                let truth = truth_by_apid[&r.apid.value()];
+                match truth.outcome {
+                    TrueOutcome::Success => assert!(r.exit.is_clean(), "apid {}", r.apid),
+                    TrueOutcome::UserFailure(_) => {
+                        assert!(!r.exit.is_clean() && !r.exit.node_failed)
+                    }
+                    TrueOutcome::WalltimeExceeded => assert_eq!(r.exit.signal, Some(15)),
+                    TrueOutcome::SystemFailure { .. } => assert!(!r.exit.is_clean()),
+                }
+                checked += 1;
+            }
+        }
+        assert!(checked > 50);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (a, ra) = run_small(42, 2);
+        let (b, rb) = run_small(42, 2);
+        assert_eq!(ra, rb);
+        assert_eq!(a.alps, b.alps);
+        assert_eq!(a.syslog, b.syslog);
+        assert_eq!(a.truths, b.truths);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (a, _) = run_small(1, 2);
+        let (b, _) = run_small(2, 2);
+        assert_ne!(a.alps, b.alps);
+    }
+
+    #[test]
+    fn system_kills_happen_over_a_long_window() {
+        // At /64 scale wide events still fire; run long enough to see
+        // launch failures at minimum.
+        let (out, report) = run_small(4, 10);
+        assert!(report.system_kills > 0, "no system kills in 10 days: {report:?}");
+        let sys = out
+            .truths
+            .iter()
+            .filter(|t| t.outcome.is_system())
+            .count() as u64;
+        assert_eq!(sys, report.system_kills);
+    }
+
+    #[test]
+    fn walltime_kills_emit_signal_15() {
+        let (out, _) = run_small(5, 5);
+        let wt: Vec<&AppTruth> = out
+            .truths
+            .iter()
+            .filter(|t| t.outcome == TrueOutcome::WalltimeExceeded)
+            .collect();
+        assert!(!wt.is_empty(), "no walltime kills in 5 days");
+    }
+
+    #[test]
+    fn node_hours_are_plausible() {
+        let (out, report) = run_small(6, 3);
+        let machine = Machine::blue_waters_scaled(64);
+        let capacity = machine.compute_nodes() as f64 * 72.0;
+        assert!(report.node_hours > 0.02 * capacity, "{}", report.node_hours);
+        assert!(report.node_hours < 1.01 * capacity, "{}", report.node_hours);
+        let sum: f64 = out.truths.iter().map(|t| t.node_hours()).sum();
+        assert!((sum - report.node_hours).abs() < 1e-6);
+    }
+
+    #[test]
+    fn replayed_trace_runs_through_the_fault_world() {
+        use bw_workload::generator::WorkloadGenerator as Gen;
+        use bw_workload::WorkloadConfig;
+        use rand::SeedableRng as _;
+
+        // Generate a small trace, then replay it: the replayed run must see
+        // exactly that many jobs and the same apids.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut generator = Gen::new(WorkloadConfig::scaled(64), &mut rng).unwrap();
+        let jobs = generator.generate(SimDuration::from_days(1), &mut rng);
+        assert!(jobs.len() > 20);
+        let expected_apids: std::collections::BTreeSet<u64> =
+            jobs.iter().flat_map(|j| &j.apps).map(|a| a.apid.value()).collect();
+
+        let config = SimConfig::scaled(64, 2).with_seed(6).without_calibration();
+        let mut out = MemoryOutput::new();
+        let report = Simulation::new(config)
+            .unwrap()
+            .with_job_trace(jobs.clone())
+            .run(&mut out);
+        assert_eq!(report.jobs_submitted as usize, jobs.len());
+        let seen: std::collections::BTreeSet<u64> =
+            out.truths.iter().map(|t| t.apid.value()).collect();
+        // Every app either ran or was cut by a system kill of its job —
+        // all ground-truth apids must come from the trace.
+        assert!(seen.is_subset(&expected_apids));
+        assert!(seen.len() as f64 > 0.8 * expected_apids.len() as f64);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival-ordered")]
+    fn unsorted_trace_is_rejected() {
+        use bw_workload::generator::WorkloadGenerator as Gen;
+        use bw_workload::WorkloadConfig;
+        use rand::SeedableRng as _;
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut generator = Gen::new(WorkloadConfig::scaled(64), &mut rng).unwrap();
+        let mut jobs = generator.generate(SimDuration::from_days(1), &mut rng);
+        jobs.reverse();
+        let config = SimConfig::scaled(64, 2).with_seed(6).without_calibration();
+        let _ = Simulation::new(config).unwrap().with_job_trace(jobs);
+    }
+
+    #[test]
+    fn poisson_sampler_mean() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let total: u32 = (0..n).map(|_| sample_poisson(3.0, &mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "{mean}");
+        assert_eq!(sample_poisson(0.0, &mut rng), 0);
+    }
+}

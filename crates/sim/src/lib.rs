@@ -1,0 +1,51 @@
+//! # bw-sim
+//!
+//! Discrete-event simulator of Blue Waters production: the substitute for
+//! the proprietary field data (see DESIGN.md §2).
+//!
+//! The simulator composes the substrates:
+//!
+//! - a [`bw_topology::Machine`] with its torus and Lustre layout,
+//! - a [`bw_workload::WorkloadGenerator`] + [`bw_workload::Scheduler`]
+//!   placing jobs on concrete node sets,
+//! - a [`bw_faults::FaultInjector`] striking nodes, blades, links and
+//!   filesystem components,
+//!
+//! and produces two artifacts:
+//!
+//! 1. **Raw log files** in the five `craylog` formats — the only thing
+//!    LogDiver is allowed to read, and
+//! 2. **Ground truth** ([`AppTruth`] per application run) — used solely to
+//!    validate LogDiver's attribution quality (experiment V1), never by the
+//!    tool itself.
+//!
+//! [`calibration`] solves the wide-event kill laws and the launch-failure
+//! probability so that the *measured* resilience curves land on the
+//! abstract's anchored numbers (DESIGN.md §5).
+//!
+//! ## Example
+//!
+//! ```
+//! use bw_sim::{SimConfig, Simulation, MemoryOutput};
+//!
+//! let config = SimConfig::scaled(64, 2).with_seed(7); // tiny machine, 2 days
+//! let mut out = MemoryOutput::new();
+//! let report = Simulation::new(config).unwrap().run(&mut out);
+//! assert!(report.apps_completed > 0);
+//! assert!(!out.alps.is_empty());
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod calibration;
+pub mod config;
+pub mod emit;
+pub mod engine;
+pub mod output;
+pub mod truth;
+
+pub use config::SimConfig;
+pub use engine::{SimReport, Simulation};
+pub use output::{FileOutput, MemoryOutput, SimOutput};
+pub use truth::{AppTruth, TrueOutcome};

@@ -1,0 +1,244 @@
+//! Simulation output sinks.
+//!
+//! The simulator writes log *lines* (already formatted by `craylog`
+//! emitters) plus ground-truth records through the [`SimOutput`] trait, so
+//! a 518-day full-scale run can stream to disk while tests keep everything
+//! in memory.
+
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+
+use crate::truth::AppTruth;
+
+/// Which log file a line belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LogStream {
+    /// Consolidated syslog (`messages`).
+    Syslog,
+    /// Hardware error log.
+    HwErr,
+    /// ALPS `apsys` log.
+    Alps,
+    /// Torque accounting log.
+    Torque,
+    /// HSN netwatch log.
+    Netwatch,
+}
+
+impl LogStream {
+    /// All streams in file order.
+    pub const ALL: [LogStream; 5] = [
+        LogStream::Syslog,
+        LogStream::HwErr,
+        LogStream::Alps,
+        LogStream::Torque,
+        LogStream::Netwatch,
+    ];
+
+    /// Conventional file name for the stream.
+    pub const fn file_name(self) -> &'static str {
+        match self {
+            LogStream::Syslog => "messages.log",
+            LogStream::HwErr => "hwerr.log",
+            LogStream::Alps => "apsys.log",
+            LogStream::Torque => "torque.log",
+            LogStream::Netwatch => "netwatch.log",
+        }
+    }
+}
+
+/// Receives everything the simulation produces.
+pub trait SimOutput {
+    /// One formatted log line for `stream`.
+    fn log_line(&mut self, stream: LogStream, line: &str);
+    /// Ground truth for one completed application run.
+    fn app_truth(&mut self, truth: AppTruth);
+}
+
+/// In-memory sink: five line vectors plus the ground-truth table.
+#[derive(Debug, Default)]
+pub struct MemoryOutput {
+    /// Syslog lines.
+    pub syslog: Vec<String>,
+    /// Hardware-error lines.
+    pub hwerr: Vec<String>,
+    /// ALPS lines.
+    pub alps: Vec<String>,
+    /// Torque accounting lines.
+    pub torque: Vec<String>,
+    /// Netwatch lines.
+    pub netwatch: Vec<String>,
+    /// Ground truth per application.
+    pub truths: Vec<AppTruth>,
+}
+
+impl MemoryOutput {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        MemoryOutput::default()
+    }
+
+    /// Total log lines across all streams.
+    pub fn total_lines(&self) -> usize {
+        self.syslog.len()
+            + self.hwerr.len()
+            + self.alps.len()
+            + self.torque.len()
+            + self.netwatch.len()
+    }
+
+    /// Lines of one stream.
+    pub fn lines(&self, stream: LogStream) -> &[String] {
+        match stream {
+            LogStream::Syslog => &self.syslog,
+            LogStream::HwErr => &self.hwerr,
+            LogStream::Alps => &self.alps,
+            LogStream::Torque => &self.torque,
+            LogStream::Netwatch => &self.netwatch,
+        }
+    }
+}
+
+impl SimOutput for MemoryOutput {
+    fn log_line(&mut self, stream: LogStream, line: &str) {
+        let v = match stream {
+            LogStream::Syslog => &mut self.syslog,
+            LogStream::HwErr => &mut self.hwerr,
+            LogStream::Alps => &mut self.alps,
+            LogStream::Torque => &mut self.torque,
+            LogStream::Netwatch => &mut self.netwatch,
+        };
+        v.push(line.to_string());
+    }
+
+    fn app_truth(&mut self, truth: AppTruth) {
+        self.truths.push(truth);
+    }
+}
+
+/// File-backed sink: one file per stream plus `ground_truth.jsonl`.
+#[derive(Debug)]
+pub struct FileOutput {
+    dir: PathBuf,
+    writers: Vec<BufWriter<File>>, // indexed like LogStream::ALL
+    truth: BufWriter<File>,
+    lines: u64,
+}
+
+impl FileOutput {
+    /// Creates (or truncates) the five log files and the ground-truth file
+    /// under `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from file creation.
+    pub fn create(dir: impl AsRef<Path>) -> std::io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let mut writers = Vec::with_capacity(LogStream::ALL.len());
+        for s in LogStream::ALL {
+            writers.push(BufWriter::new(File::create(dir.join(s.file_name()))?));
+        }
+        let truth = BufWriter::new(File::create(dir.join("ground_truth.jsonl"))?);
+        Ok(FileOutput { dir, writers, truth, lines: 0 })
+    }
+
+    /// Directory the files live in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Total lines written so far.
+    pub fn total_lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Flushes all buffers. Called automatically on drop; call explicitly to
+    /// observe I/O errors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from flushing.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        for w in &mut self.writers {
+            w.flush()?;
+        }
+        self.truth.flush()
+    }
+}
+
+impl Drop for FileOutput {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+impl SimOutput for FileOutput {
+    fn log_line(&mut self, stream: LogStream, line: &str) {
+        let idx = LogStream::ALL.iter().position(|s| *s == stream).expect("known stream");
+        // Errors surface at flush(); per-line handling would swamp the hot path.
+        let _ = writeln!(self.writers[idx], "{line}");
+        self.lines += 1;
+    }
+
+    fn app_truth(&mut self, truth: AppTruth) {
+        if let Ok(json) = serde_json::to_string(&truth) {
+            let _ = writeln!(self.truth, "{json}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logdiver_types::{AppId, JobId, NodeType, Timestamp, UserId};
+
+    fn truth() -> AppTruth {
+        AppTruth {
+            apid: AppId::new(1),
+            job: JobId::new(1),
+            user: UserId::new(0),
+            node_type: NodeType::Xe,
+            width: 4,
+            start: Timestamp::PRODUCTION_EPOCH,
+            end: Timestamp::PRODUCTION_EPOCH,
+            outcome: crate::truth::TrueOutcome::Success,
+        }
+    }
+
+    #[test]
+    fn memory_output_routes_streams() {
+        let mut out = MemoryOutput::new();
+        out.log_line(LogStream::Syslog, "a");
+        out.log_line(LogStream::Alps, "b");
+        out.log_line(LogStream::Alps, "c");
+        out.app_truth(truth());
+        assert_eq!(out.syslog, vec!["a"]);
+        assert_eq!(out.alps, vec!["b", "c"]);
+        assert_eq!(out.total_lines(), 3);
+        assert_eq!(out.truths.len(), 1);
+        assert_eq!(out.lines(LogStream::Alps).len(), 2);
+    }
+
+    #[test]
+    fn file_output_writes_files() {
+        let dir = std::env::temp_dir().join(format!("bw-sim-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut out = FileOutput::create(&dir).unwrap();
+            out.log_line(LogStream::Syslog, "hello syslog");
+            out.log_line(LogStream::Torque, "hello torque");
+            out.app_truth(truth());
+            out.flush().unwrap();
+            assert_eq!(out.total_lines(), 2);
+        }
+        let syslog = std::fs::read_to_string(dir.join("messages.log")).unwrap();
+        assert_eq!(syslog, "hello syslog\n");
+        let torque = std::fs::read_to_string(dir.join("torque.log")).unwrap();
+        assert_eq!(torque, "hello torque\n");
+        let gt = std::fs::read_to_string(dir.join("ground_truth.jsonl")).unwrap();
+        assert!(gt.contains("\"Success\""));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,92 @@
+//! Ground truth: what actually happened to every application run.
+//!
+//! The simulator knows; LogDiver must infer. Comparing the two is
+//! experiment V1 (attribution precision/recall), this reproduction's
+//! stand-in for the paper's manual cross-validation against operator
+//! failure reports.
+
+use logdiver_types::{
+    AppId, FailureCause, JobId, NodeType, Timestamp, UserFailureKind, UserId,
+};
+use serde::{Deserialize, Serialize};
+
+/// The true fate of one application run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrueOutcome {
+    /// Ran to completion.
+    Success,
+    /// Died of its own bug / environment.
+    UserFailure(UserFailureKind),
+    /// Cut off by the scheduler at the walltime limit.
+    WalltimeExceeded,
+    /// Killed by a system problem.
+    SystemFailure {
+        /// Which subsystem killed it.
+        cause: FailureCause,
+        /// Whether the underlying fault left log evidence.
+        detected: bool,
+    },
+}
+
+impl TrueOutcome {
+    /// True for any system-caused death.
+    pub const fn is_system(self) -> bool {
+        matches!(self, TrueOutcome::SystemFailure { .. })
+    }
+}
+
+/// Ground-truth record for one application run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AppTruth {
+    /// Application id (joins with the ALPS log).
+    pub apid: AppId,
+    /// Enclosing job.
+    pub job: JobId,
+    /// Submitting user.
+    pub user: UserId,
+    /// Node class.
+    pub node_type: NodeType,
+    /// Width in nodes.
+    pub width: u32,
+    /// Launch time.
+    pub start: Timestamp,
+    /// Termination time.
+    pub end: Timestamp,
+    /// What actually happened.
+    pub outcome: TrueOutcome,
+}
+
+impl AppTruth {
+    /// Node-hours consumed by the run.
+    pub fn node_hours(&self) -> f64 {
+        self.width as f64 * (self.end - self.start).as_hours_f64().max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logdiver_types::SimDuration;
+
+    #[test]
+    fn node_hours_accumulate() {
+        let t = AppTruth {
+            apid: AppId::new(1),
+            job: JobId::new(1),
+            user: UserId::new(0),
+            node_type: NodeType::Xe,
+            width: 100,
+            start: Timestamp::PRODUCTION_EPOCH,
+            end: Timestamp::PRODUCTION_EPOCH + SimDuration::from_hours(3),
+            outcome: TrueOutcome::Success,
+        };
+        assert!((t.node_hours() - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn system_predicate() {
+        assert!(TrueOutcome::SystemFailure { cause: FailureCause::Gpu, detected: false }.is_system());
+        assert!(!TrueOutcome::Success.is_system());
+        assert!(!TrueOutcome::UserFailure(UserFailureKind::Abort).is_system());
+    }
+}

@@ -1,0 +1,129 @@
+//! Percentile-bootstrap confidence intervals.
+//!
+//! Field-study metrics (MTTI, mean lost node-hours per failure, …) come from
+//! skewed samples; the bootstrap gives distribution-free intervals for the
+//! report tables.
+
+use rand::Rng;
+
+use crate::error::StatsError;
+
+/// A two-sided confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate on the original sample.
+    pub estimate: f64,
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// Confidence level, e.g. 0.95.
+    pub level: f64,
+}
+
+/// Percentile-bootstrap confidence interval for an arbitrary statistic.
+///
+/// Resamples `sample` with replacement `resamples` times, applies `stat` to
+/// each resample and returns the empirical `(1−level)/2` and `(1+level)/2`
+/// quantiles of the resulting distribution.
+///
+/// # Errors
+///
+/// [`StatsError::EmptySample`] for an empty sample;
+/// [`StatsError::BadParameter`] for `level` outside `(0, 1)` or
+/// `resamples == 0`.
+///
+/// # Example
+///
+/// ```
+/// use hpc_stats::bootstrap_ci;
+/// use rand::SeedableRng;
+///
+/// let sample: Vec<f64> = (1..=100).map(f64::from).collect();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let ci = bootstrap_ci(&sample, 500, 0.95, &mut rng,
+///                       |xs| xs.iter().sum::<f64>() / xs.len() as f64)?;
+/// assert!(ci.lo < 50.5 && 50.5 < ci.hi);
+/// # Ok::<(), hpc_stats::StatsError>(())
+/// ```
+pub fn bootstrap_ci<R, F>(
+    sample: &[f64],
+    resamples: usize,
+    level: f64,
+    rng: &mut R,
+    stat: F,
+) -> Result<ConfidenceInterval, StatsError>
+where
+    R: Rng + ?Sized,
+    F: Fn(&[f64]) -> f64,
+{
+    if sample.is_empty() {
+        return Err(StatsError::EmptySample);
+    }
+    if !(level > 0.0 && level < 1.0) {
+        return Err(StatsError::BadParameter { name: "level", value: level });
+    }
+    if resamples == 0 {
+        return Err(StatsError::BadParameter { name: "resamples", value: 0.0 });
+    }
+    let estimate = stat(sample);
+    let mut stats = Vec::with_capacity(resamples);
+    let mut buf = vec![0.0; sample.len()];
+    for _ in 0..resamples {
+        for slot in buf.iter_mut() {
+            *slot = sample[rng.random_range(0..sample.len())];
+        }
+        stats.push(stat(&buf));
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("statistics are finite"));
+    let lo_idx = (((1.0 - level) / 2.0) * resamples as f64) as usize;
+    let hi_idx = ((((1.0 + level) / 2.0) * resamples as f64) as usize).min(resamples - 1);
+    Ok(ConfidenceInterval { estimate, lo: stats[lo_idx], hi: stats[hi_idx], level })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean(xs: &[f64]) -> f64 {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+
+    #[test]
+    fn interval_contains_true_mean_for_clean_data() {
+        let sample: Vec<f64> = (0..200).map(|i| (i % 10) as f64).collect(); // mean 4.5
+        let mut rng = StdRng::seed_from_u64(42);
+        let ci = bootstrap_ci(&sample, 1000, 0.95, &mut rng, mean).unwrap();
+        assert!((ci.estimate - 4.5).abs() < 1e-9);
+        assert!(ci.lo <= 4.5 && 4.5 <= ci.hi);
+        assert!(ci.hi - ci.lo < 1.5, "interval suspiciously wide");
+    }
+
+    #[test]
+    fn interval_is_ordered() {
+        let sample = vec![1.0, 5.0, 2.0, 8.0, 3.0];
+        let mut rng = StdRng::seed_from_u64(7);
+        let ci = bootstrap_ci(&sample, 200, 0.9, &mut rng, mean).unwrap();
+        assert!(ci.lo <= ci.estimate + 1e-9);
+        assert!(ci.estimate <= ci.hi + 1e-9);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(bootstrap_ci(&[], 10, 0.9, &mut rng, mean), Err(StatsError::EmptySample));
+        assert!(bootstrap_ci(&[1.0], 10, 1.5, &mut rng, mean).is_err());
+        assert!(bootstrap_ci(&[1.0], 0, 0.9, &mut rng, mean).is_err());
+    }
+
+    #[test]
+    fn degenerate_sample_gives_point_interval() {
+        let sample = vec![3.0; 20];
+        let mut rng = StdRng::seed_from_u64(9);
+        let ci = bootstrap_ci(&sample, 100, 0.95, &mut rng, mean).unwrap();
+        assert_eq!(ci.lo, 3.0);
+        assert_eq!(ci.hi, 3.0);
+    }
+}

@@ -1,0 +1,934 @@
+//! Probability distributions: sampling, densities, quantiles and
+//! maximum-likelihood fitting.
+//!
+//! The workload and fault models of the study are built from these
+//! distributions (heavy-tailed application sizes, Weibull repair/failure
+//! processes, log-normal runtimes, Zipf users), and the metric pipeline fits
+//! them back to measured data. Implemented from scratch over a uniform
+//! source; numerical helpers (`ln Γ`, `erf`, normal quantile) use standard
+//! published approximations and are unit-tested against known values.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::StatsError;
+
+/// A continuous univariate distribution.
+///
+/// The trait is object-safe so heterogeneous model tables can hold
+/// `Box<dyn Distribution>`.
+pub trait Distribution: std::fmt::Debug {
+    /// Draws one sample.
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64;
+
+    /// Probability density at `x` (0 outside the support).
+    fn pdf(&self, x: f64) -> f64;
+
+    /// Cumulative distribution function at `x`.
+    fn cdf(&self, x: f64) -> f64;
+
+    /// Quantile function (inverse CDF) for `p ∈ (0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when `p` is outside `(0, 1)`.
+    fn quantile(&self, p: f64) -> f64;
+
+    /// Mean of the distribution (may be infinite, e.g. Pareto with α ≤ 1).
+    fn mean(&self) -> f64;
+}
+
+fn check_positive(name: &'static str, value: f64) -> Result<f64, StatsError> {
+    if value.is_finite() && value > 0.0 {
+        Ok(value)
+    } else {
+        Err(StatsError::BadParameter { name, value })
+    }
+}
+
+fn uniform_open(rng: &mut dyn rand::RngCore) -> f64 {
+    // In (0, 1): avoids ln(0) in inverse-CDF transforms.
+    loop {
+        let u: f64 = rng.random();
+        if u > 0.0 {
+            return u;
+        }
+    }
+}
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7, n = 9).
+///
+/// Accurate to ~1e-13 for `x > 0`.
+pub fn ln_gamma(x: f64) -> f64 {
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Error function, Abramowitz & Stegun 7.1.26 (|ε| ≤ 1.5e-7).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
+            * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal CDF.
+pub fn std_normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Standard normal quantile (Acklam's rational approximation, |ε| < 1.15e-9).
+///
+/// # Panics
+///
+/// Panics when `p` is outside `(0, 1)`.
+pub fn std_normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile probability out of (0,1): {p}");
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_690e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.024_25;
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+    // One Halley refinement step using the high-accuracy CDF.
+    let e = std_normal_cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+// ---------------------------------------------------------------------------
+// Exponential
+// ---------------------------------------------------------------------------
+
+/// Exponential distribution with rate `λ` (mean `1/λ`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::BadParameter`] unless `rate > 0` and finite.
+    pub fn new(rate: f64) -> Result<Self, StatsError> {
+        Ok(Exponential { rate: check_positive("rate", rate)? })
+    }
+
+    /// Creates from the mean (`rate = 1/mean`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::BadParameter`] unless `mean > 0` and finite.
+    pub fn from_mean(mean: f64) -> Result<Self, StatsError> {
+        Self::new(1.0 / check_positive("mean", mean)?)
+    }
+
+    /// The rate parameter λ.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Maximum-likelihood fit: `λ̂ = 1 / x̄`.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::EmptySample`] for empty input,
+    /// [`StatsError::OutOfSupport`] if any value is negative.
+    pub fn fit_mle(sample: &[f64]) -> Result<Self, StatsError> {
+        if sample.is_empty() {
+            return Err(StatsError::EmptySample);
+        }
+        if let Some(&bad) = sample.iter().find(|&&x| x < 0.0 || !x.is_finite()) {
+            return Err(StatsError::OutOfSupport { value: bad });
+        }
+        let mean = sample.iter().sum::<f64>() / sample.len() as f64;
+        Self::from_mean(mean)
+    }
+
+    /// Log-likelihood of a sample under this distribution.
+    pub fn log_likelihood(&self, sample: &[f64]) -> f64 {
+        sample.iter().map(|&x| self.pdf(x).max(f64::MIN_POSITIVE).ln()).sum()
+    }
+}
+
+impl Distribution for Exponential {
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        -uniform_open(rng).ln() / self.rate
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            self.rate * (-self.rate * x).exp()
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            1.0 - (-self.rate * x).exp()
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile probability out of (0,1): {p}");
+        -(1.0 - p).ln() / self.rate
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Weibull
+// ---------------------------------------------------------------------------
+
+/// Weibull distribution with shape `k` and scale `λ`.
+///
+/// `k < 1` models infant mortality (decreasing hazard), `k = 1` is
+/// exponential, `k > 1` wear-out — the standard vocabulary of dependability
+/// field studies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Weibull {
+    shape: f64,
+    scale: f64,
+}
+
+impl Weibull {
+    /// Creates a Weibull distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::BadParameter`] unless both parameters are
+    /// positive and finite.
+    pub fn new(shape: f64, scale: f64) -> Result<Self, StatsError> {
+        Ok(Weibull {
+            shape: check_positive("shape", shape)?,
+            scale: check_positive("scale", scale)?,
+        })
+    }
+
+    /// Shape parameter k.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Scale parameter λ.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Maximum-likelihood fit via Newton iteration on the shape equation.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::EmptySample`], [`StatsError::OutOfSupport`] (values must
+    /// be strictly positive), or [`StatsError::NoConvergence`].
+    pub fn fit_mle(sample: &[f64]) -> Result<Self, StatsError> {
+        if sample.len() < 2 {
+            return Err(StatsError::EmptySample);
+        }
+        if let Some(&bad) = sample.iter().find(|&&x| x <= 0.0 || !x.is_finite()) {
+            return Err(StatsError::OutOfSupport { value: bad });
+        }
+        let n = sample.len() as f64;
+        let mean_ln: f64 = sample.iter().map(|x| x.ln()).sum::<f64>() / n;
+        // Solve f(k) = Σ xᵏ ln x / Σ xᵏ − 1/k − mean_ln = 0.
+        let mut k: f64 = 1.0;
+        for iter in 0..200 {
+            let (mut s0, mut s1, mut s2) = (0.0f64, 0.0f64, 0.0f64);
+            for &x in sample {
+                let xk = x.powf(k);
+                let lx = x.ln();
+                s0 += xk;
+                s1 += xk * lx;
+                s2 += xk * lx * lx;
+            }
+            let f = s1 / s0 - 1.0 / k - mean_ln;
+            let fp = (s2 * s0 - s1 * s1) / (s0 * s0) + 1.0 / (k * k);
+            let step = f / fp;
+            k -= step;
+            if !(k.is_finite() && k > 0.0) {
+                return Err(StatsError::NoConvergence { iterations: iter + 1 });
+            }
+            if step.abs() < 1e-10 * k.max(1.0) {
+                let scale = (sample.iter().map(|x| x.powf(k)).sum::<f64>() / n).powf(1.0 / k);
+                return Weibull::new(k, scale);
+            }
+        }
+        Err(StatsError::NoConvergence { iterations: 200 })
+    }
+
+    /// Log-likelihood of a sample under this distribution.
+    pub fn log_likelihood(&self, sample: &[f64]) -> f64 {
+        sample.iter().map(|&x| self.pdf(x).max(f64::MIN_POSITIVE).ln()).sum()
+    }
+}
+
+impl Distribution for Weibull {
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        self.scale * (-uniform_open(rng).ln()).powf(1.0 / self.shape)
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return 0.0;
+        }
+        let z = x / self.scale;
+        (self.shape / self.scale) * z.powf(self.shape - 1.0) * (-z.powf(self.shape)).exp()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            1.0 - (-(x / self.scale).powf(self.shape)).exp()
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile probability out of (0,1): {p}");
+        self.scale * (-(1.0 - p).ln()).powf(1.0 / self.shape)
+    }
+
+    fn mean(&self) -> f64 {
+        self.scale * (ln_gamma(1.0 + 1.0 / self.shape)).exp()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Normal / LogNormal
+// ---------------------------------------------------------------------------
+
+/// Normal distribution `N(μ, σ²)`, sampled by Box–Muller.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::BadParameter`] unless `sigma > 0` and finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, StatsError> {
+        if !mu.is_finite() {
+            return Err(StatsError::BadParameter { name: "mu", value: mu });
+        }
+        Ok(Normal { mu, sigma: check_positive("sigma", sigma)? })
+    }
+
+    /// Mean μ.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Standard deviation σ.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+}
+
+impl Distribution for Normal {
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        let u1 = uniform_open(rng);
+        let u2: f64 = rng.random();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        self.mu + self.sigma * z
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.sigma;
+        (-0.5 * z * z).exp() / (self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        std_normal_cdf((x - self.mu) / self.sigma)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        self.mu + self.sigma * std_normal_quantile(p)
+    }
+
+    fn mean(&self) -> f64 {
+        self.mu
+    }
+}
+
+/// Log-normal distribution: `ln X ~ N(μ, σ²)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// Creates a log-normal with the given log-space parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::BadParameter`] unless `sigma > 0` and finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, StatsError> {
+        Ok(LogNormal { norm: Normal::new(mu, sigma)? })
+    }
+
+    /// Creates a log-normal from a target *linear-space* mean and median.
+    ///
+    /// Handy for workload modelling: "median runtime 20 min, mean 1.6 h".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::BadParameter`] unless `0 < median < mean`.
+    pub fn from_mean_median(mean: f64, median: f64) -> Result<Self, StatsError> {
+        check_positive("median", median)?;
+        if !(mean > median) {
+            return Err(StatsError::BadParameter { name: "mean", value: mean });
+        }
+        let mu = median.ln();
+        let sigma = (2.0 * (mean.ln() - mu)).sqrt();
+        Self::new(mu, sigma)
+    }
+
+    /// Log-space mean μ.
+    pub fn mu(&self) -> f64 {
+        self.norm.mu()
+    }
+
+    /// Log-space standard deviation σ.
+    pub fn sigma(&self) -> f64 {
+        self.norm.sigma()
+    }
+
+    /// Maximum-likelihood fit from the log moments.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::EmptySample`] or [`StatsError::OutOfSupport`] (values
+    /// must be strictly positive).
+    pub fn fit_mle(sample: &[f64]) -> Result<Self, StatsError> {
+        if sample.len() < 2 {
+            return Err(StatsError::EmptySample);
+        }
+        if let Some(&bad) = sample.iter().find(|&&x| x <= 0.0 || !x.is_finite()) {
+            return Err(StatsError::OutOfSupport { value: bad });
+        }
+        let n = sample.len() as f64;
+        let mu = sample.iter().map(|x| x.ln()).sum::<f64>() / n;
+        let var = sample.iter().map(|x| (x.ln() - mu).powi(2)).sum::<f64>() / n;
+        Self::new(mu, var.sqrt().max(1e-12))
+    }
+}
+
+impl Distribution for LogNormal {
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            self.norm.pdf(x.ln()) / x
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            self.norm.cdf(x.ln())
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        self.norm.quantile(p).exp()
+    }
+
+    fn mean(&self) -> f64 {
+        (self.norm.mu() + self.norm.sigma().powi(2) / 2.0).exp()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pareto (optionally truncated)
+// ---------------------------------------------------------------------------
+
+/// Pareto distribution with scale `x_min` and shape `α`, optionally
+/// right-truncated at `x_max` — the workhorse for heavy-tailed application
+/// sizes where a hard machine-size cap exists.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pareto {
+    x_min: f64,
+    alpha: f64,
+    x_max: Option<f64>,
+}
+
+impl Pareto {
+    /// Creates an (untruncated) Pareto distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::BadParameter`] unless both parameters are
+    /// positive and finite.
+    pub fn new(x_min: f64, alpha: f64) -> Result<Self, StatsError> {
+        Ok(Pareto {
+            x_min: check_positive("x_min", x_min)?,
+            alpha: check_positive("alpha", alpha)?,
+            x_max: None,
+        })
+    }
+
+    /// Right-truncates the distribution at `x_max`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::BadParameter`] unless `x_max > x_min`.
+    pub fn truncated(x_min: f64, alpha: f64, x_max: f64) -> Result<Self, StatsError> {
+        let mut p = Self::new(x_min, alpha)?;
+        if !(x_max > p.x_min) || !x_max.is_finite() {
+            return Err(StatsError::BadParameter { name: "x_max", value: x_max });
+        }
+        p.x_max = Some(x_max);
+        Ok(p)
+    }
+
+    /// Scale (minimum) parameter.
+    pub fn x_min(&self) -> f64 {
+        self.x_min
+    }
+
+    /// Tail index α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Truncation point, if any.
+    pub fn x_max(&self) -> Option<f64> {
+        self.x_max
+    }
+
+    /// CDF mass at the truncation point (1.0 when untruncated).
+    fn trunc_mass(&self) -> f64 {
+        match self.x_max {
+            Some(m) => 1.0 - (self.x_min / m).powf(self.alpha),
+            None => 1.0,
+        }
+    }
+
+    /// Hill estimator of the tail index with known `x_min` (MLE).
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::EmptySample`] or [`StatsError::OutOfSupport`] (all
+    /// values must be ≥ `x_min`).
+    pub fn fit_alpha_mle(sample: &[f64], x_min: f64) -> Result<Self, StatsError> {
+        if sample.is_empty() {
+            return Err(StatsError::EmptySample);
+        }
+        check_positive("x_min", x_min)?;
+        if let Some(&bad) = sample.iter().find(|&&x| x < x_min || !x.is_finite()) {
+            return Err(StatsError::OutOfSupport { value: bad });
+        }
+        let n = sample.len() as f64;
+        let s: f64 = sample.iter().map(|&x| (x / x_min).ln()).sum();
+        if s <= 0.0 {
+            return Err(StatsError::EmptySample);
+        }
+        Self::new(x_min, n / s)
+    }
+}
+
+impl Distribution for Pareto {
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        let u: f64 = rng.random::<f64>() * self.trunc_mass();
+        self.x_min / (1.0 - u).powf(1.0 / self.alpha)
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        if x < self.x_min || self.x_max.is_some_and(|m| x > m) {
+            return 0.0;
+        }
+        (self.alpha * self.x_min.powf(self.alpha) / x.powf(self.alpha + 1.0)) / self.trunc_mass()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x < self.x_min {
+            return 0.0;
+        }
+        if let Some(m) = self.x_max {
+            if x >= m {
+                return 1.0;
+            }
+        }
+        (1.0 - (self.x_min / x).powf(self.alpha)) / self.trunc_mass()
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile probability out of (0,1): {p}");
+        let u = p * self.trunc_mass();
+        self.x_min / (1.0 - u).powf(1.0 / self.alpha)
+    }
+
+    fn mean(&self) -> f64 {
+        match self.x_max {
+            None if self.alpha <= 1.0 => f64::INFINITY,
+            None => self.alpha * self.x_min / (self.alpha - 1.0),
+            Some(m) => {
+                // E[X] for a truncated Pareto.
+                let a = self.alpha;
+                if (a - 1.0).abs() < 1e-12 {
+                    self.x_min * (m / self.x_min).ln() / self.trunc_mass()
+                } else {
+                    (a * self.x_min.powf(a) / (a - 1.0))
+                        * (self.x_min.powf(1.0 - a) - m.powf(1.0 - a))
+                        / self.trunc_mass()
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Zipf (discrete)
+// ---------------------------------------------------------------------------
+
+/// Zipf distribution over ranks `1..=n` with exponent `s`:
+/// `P(k) ∝ k^(-s)`. Used for user/project activity skew.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+    s: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n` ranks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::BadParameter`] when `n == 0` or `s` is not
+    /// finite/non-negative.
+    pub fn new(n: usize, s: f64) -> Result<Self, StatsError> {
+        if n == 0 {
+            return Err(StatsError::BadParameter { name: "n", value: 0.0 });
+        }
+        if !s.is_finite() || s < 0.0 {
+            return Err(StatsError::BadParameter { name: "s", value: s });
+        }
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cumulative.push(acc);
+        }
+        let total = acc;
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Ok(Zipf { cumulative, s })
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Exponent s.
+    pub fn s(&self) -> f64 {
+        self.s
+    }
+
+    /// Draws a rank in `1..=n`.
+    pub fn sample_rank(&self, rng: &mut dyn rand::RngCore) -> usize {
+        let u: f64 = rng.random();
+        let idx = self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cumulative probabilities are finite"))
+            .map(|i| i + 1) // u landed exactly on a boundary: CDF is inclusive
+            .unwrap_or_else(|i| i);
+        (idx + 1).min(self.cumulative.len())
+    }
+
+    /// Probability of rank `k` (1-based); 0 outside `1..=n`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 || k > self.cumulative.len() {
+            return 0.0;
+        }
+        let hi = self.cumulative[k - 1];
+        let lo = if k >= 2 { self.cumulative[k - 2] } else { 0.0 };
+        hi - lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn sample_n<D: Distribution>(d: &D, n: usize, seed: u64) -> Vec<f64> {
+        let mut r = rng(seed);
+        (0..n).map(|_| d.sample(&mut r)).collect()
+    }
+
+    fn mean(xs: &[f64]) -> f64 {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(5) = 24, Γ(0.5) = √π.
+        assert!((ln_gamma(1.0)).abs() < 1e-10);
+        assert!((ln_gamma(2.0)).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn erf_known_values() {
+        assert!((erf(0.0)).abs() < 1e-6);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-6);
+        assert!((erf(3.0) - 0.999_977_9).abs() < 1e-5);
+    }
+
+    #[test]
+    fn normal_quantile_inverts_cdf() {
+        for p in [0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999] {
+            let x = std_normal_quantile(p);
+            assert!((std_normal_cdf(x) - p).abs() < 1e-6, "p = {p}");
+        }
+        assert!(std_normal_quantile(0.5).abs() < 1e-6);
+        assert!((std_normal_quantile(0.975) - 1.959_964).abs() < 1e-4);
+    }
+
+    #[test]
+    fn exponential_moments_and_fit() {
+        let d = Exponential::new(0.5).unwrap();
+        let xs = sample_n(&d, 50_000, 1);
+        assert!((mean(&xs) - 2.0).abs() < 0.05, "mean was {}", mean(&xs));
+        let fit = Exponential::fit_mle(&xs).unwrap();
+        assert!((fit.rate() - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn exponential_rejects_bad_inputs() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(f64::NAN).is_err());
+        assert!(Exponential::fit_mle(&[]).is_err());
+        assert!(Exponential::fit_mle(&[1.0, -2.0]).is_err());
+    }
+
+    #[test]
+    fn weibull_fit_recovers_parameters() {
+        let d = Weibull::new(1.7, 3.0).unwrap();
+        let xs = sample_n(&d, 40_000, 2);
+        let fit = Weibull::fit_mle(&xs).unwrap();
+        assert!((fit.shape() - 1.7).abs() < 0.05, "shape {}", fit.shape());
+        assert!((fit.scale() - 3.0).abs() < 0.1, "scale {}", fit.scale());
+    }
+
+    #[test]
+    fn weibull_shape_one_is_exponential() {
+        let w = Weibull::new(1.0, 2.0).unwrap();
+        let e = Exponential::new(0.5).unwrap();
+        for x in [0.1, 0.5, 1.0, 2.0, 5.0] {
+            assert!((w.cdf(x) - e.cdf(x)).abs() < 1e-12);
+        }
+        assert!((w.mean() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lognormal_fit_and_mean() {
+        let d = LogNormal::new(1.0, 0.5).unwrap();
+        let xs = sample_n(&d, 50_000, 3);
+        let fit = LogNormal::fit_mle(&xs).unwrap();
+        assert!((fit.mu() - 1.0).abs() < 0.02);
+        assert!((fit.sigma() - 0.5).abs() < 0.02);
+        let expected_mean = (1.0f64 + 0.125).exp();
+        assert!((mean(&xs) - expected_mean).abs() / expected_mean < 0.02);
+        assert!((d.mean() - expected_mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lognormal_from_mean_median() {
+        let d = LogNormal::from_mean_median(2.0, 1.0).unwrap();
+        assert!((d.quantile(0.5) - 1.0).abs() < 1e-6);
+        assert!((d.mean() - 2.0).abs() < 1e-9);
+        assert!(LogNormal::from_mean_median(1.0, 2.0).is_err());
+    }
+
+    #[test]
+    fn pareto_truncated_stays_in_bounds() {
+        let d = Pareto::truncated(8.0, 1.1, 22_640.0).unwrap();
+        let xs = sample_n(&d, 20_000, 4);
+        assert!(xs.iter().all(|&x| (8.0..=22_640.0).contains(&x)));
+        // Empirical mean should match the analytic truncated mean.
+        let m = d.mean();
+        assert!((mean(&xs) - m).abs() / m < 0.05, "mean {} vs {}", mean(&xs), m);
+    }
+
+    #[test]
+    fn pareto_alpha_fit() {
+        let d = Pareto::new(1.0, 2.5).unwrap();
+        let xs = sample_n(&d, 50_000, 5);
+        let fit = Pareto::fit_alpha_mle(&xs, 1.0).unwrap();
+        assert!((fit.alpha() - 2.5).abs() < 0.05, "alpha {}", fit.alpha());
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_normalized() {
+        let z = Zipf::new(100, 1.2).unwrap();
+        let total: f64 = (1..=100).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(z.pmf(1) > 10.0 * z.pmf(50));
+        assert_eq!(z.pmf(0), 0.0);
+        assert_eq!(z.pmf(101), 0.0);
+
+        let mut r = rng(6);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..50_000 {
+            let k = z.sample_rank(&mut r);
+            assert!((1..=100).contains(&k));
+            counts[k - 1] += 1;
+        }
+        // Rank 1 should be sampled close to its pmf.
+        let p1 = counts[0] as f64 / 50_000.0;
+        assert!((p1 - z.pmf(1)).abs() < 0.01, "p1 {} pmf {}", p1, z.pmf(1));
+    }
+
+    #[test]
+    fn distribution_trait_is_object_safe() {
+        let dists: Vec<Box<dyn Distribution>> = vec![
+            Box::new(Exponential::new(1.0).unwrap()),
+            Box::new(Weibull::new(0.8, 10.0).unwrap()),
+            Box::new(LogNormal::new(0.0, 1.0).unwrap()),
+            Box::new(Pareto::new(1.0, 2.0).unwrap()),
+        ];
+        let mut r = rng(7);
+        for d in &dists {
+            let x = d.sample(&mut r);
+            assert!(x.is_finite());
+            assert!(d.pdf(x) >= 0.0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn quantile_inverts_cdf_exponential(rate in 0.01f64..100.0, p in 0.001f64..0.999) {
+            let d = Exponential::new(rate).unwrap();
+            let x = d.quantile(p);
+            prop_assert!((d.cdf(x) - p).abs() < 1e-9);
+        }
+
+        #[test]
+        fn quantile_inverts_cdf_weibull(shape in 0.2f64..5.0, scale in 0.1f64..100.0, p in 0.001f64..0.999) {
+            let d = Weibull::new(shape, scale).unwrap();
+            let x = d.quantile(p);
+            prop_assert!((d.cdf(x) - p).abs() < 1e-8);
+        }
+
+        #[test]
+        fn quantile_inverts_cdf_pareto(alpha in 0.3f64..5.0, p in 0.001f64..0.999) {
+            let d = Pareto::new(2.0, alpha).unwrap();
+            let x = d.quantile(p);
+            prop_assert!((d.cdf(x) - p).abs() < 1e-9);
+        }
+
+        #[test]
+        fn cdf_is_monotone_lognormal(mu in -2.0f64..2.0, sigma in 0.1f64..2.0,
+                                     a in 0.01f64..50.0, b in 0.01f64..50.0) {
+            let d = LogNormal::new(mu, sigma).unwrap();
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            prop_assert!(d.cdf(lo) <= d.cdf(hi) + 1e-12);
+        }
+
+        #[test]
+        fn samples_stay_in_support(seed in 0u64..1000) {
+            let mut r = rng(seed);
+            let w = Weibull::new(0.7, 5.0).unwrap();
+            let p = Pareto::truncated(4.0, 1.3, 100.0).unwrap();
+            for _ in 0..50 {
+                prop_assert!(w.sample(&mut r) >= 0.0);
+                let x = p.sample(&mut r);
+                prop_assert!((4.0..=100.0 + 1e-9).contains(&x));
+            }
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Used for the workload-characterization figures (CDFs of application sizes
+//! and durations, F5) and anywhere a measured distribution needs plotting or
+//! quantile extraction.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::StatsError;
+
+/// An empirical CDF built from a sample.
+///
+/// ```
+/// use hpc_stats::Ecdf;
+/// let e = Ecdf::from_sample(vec![1.0, 2.0, 2.0, 10.0])?;
+/// assert_eq!(e.eval(0.5), 0.0);
+/// assert_eq!(e.eval(2.0), 0.75);
+/// assert_eq!(e.eval(100.0), 1.0);
+/// assert_eq!(e.quantile(0.5), 2.0);
+/// # Ok::<(), hpc_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF, consuming and sorting the sample.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::EmptySample`] when the sample is empty or contains
+    /// non-finite values.
+    pub fn from_sample(mut sample: Vec<f64>) -> Result<Self, StatsError> {
+        if sample.is_empty() || sample.iter().any(|x| !x.is_finite()) {
+            return Err(StatsError::EmptySample);
+        }
+        sample.sort_by(|a, b| a.partial_cmp(b).expect("values checked finite"));
+        Ok(Ecdf { sorted: sample })
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when the ECDF holds no observations (cannot happen after a
+    /// successful construction; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of observations `≤ x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Empirical quantile: the smallest observation `v` with
+    /// `F(v) ≥ p`, for `p ∈ (0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is outside `(0, 1]`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p <= 1.0, "quantile probability out of (0,1]: {p}");
+        let n = self.sorted.len();
+        let idx = ((p * n as f64).ceil() as usize).clamp(1, n) - 1;
+        self.sorted[idx]
+    }
+
+    /// Minimum observation.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Maximum observation.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty by construction")
+    }
+
+    /// Evenly spaced `(x, F(x))` points suitable for plotting, deduplicated.
+    ///
+    /// Produces at most `max_points` points covering the whole support.
+    pub fn plot_points(&self, max_points: usize) -> Vec<(f64, f64)> {
+        let n = self.sorted.len();
+        let step = (n / max_points.max(1)).max(1);
+        let mut pts: Vec<(f64, f64)> = Vec::new();
+        for i in (0..n).step_by(step) {
+            let x = self.sorted[i];
+            let y = (i + 1) as f64 / n as f64;
+            if pts.last().map(|&(px, _)| px) != Some(x) {
+                pts.push((x, y));
+            } else if let Some(last) = pts.last_mut() {
+                last.1 = y;
+            }
+        }
+        if let Some(last) = pts.last_mut() {
+            if last.0 == self.max() {
+                last.1 = 1.0;
+            } else {
+                pts.push((self.max(), 1.0));
+            }
+        }
+        pts
+    }
+
+    /// Kolmogorov–Smirnov statistic against a model CDF.
+    pub fn ks_statistic<F: Fn(f64) -> f64>(&self, model_cdf: F) -> f64 {
+        let n = self.sorted.len() as f64;
+        let mut d: f64 = 0.0;
+        for (i, &x) in self.sorted.iter().enumerate() {
+            let f = model_cdf(x);
+            let hi = (i + 1) as f64 / n - f;
+            let lo = f - i as f64 / n;
+            d = d.max(hi.max(lo));
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_bad_samples() {
+        assert!(Ecdf::from_sample(vec![]).is_err());
+        assert!(Ecdf::from_sample(vec![1.0, f64::NAN]).is_err());
+        assert!(Ecdf::from_sample(vec![f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn eval_steps_correctly() {
+        let e = Ecdf::from_sample(vec![3.0, 1.0, 2.0, 2.0]).unwrap();
+        assert_eq!(e.eval(0.0), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(1.5), 0.25);
+        assert_eq!(e.eval(2.0), 0.75);
+        assert_eq!(e.eval(3.0), 1.0);
+        assert_eq!(e.min(), 1.0);
+        assert_eq!(e.max(), 3.0);
+    }
+
+    #[test]
+    fn quantiles_hit_order_statistics() {
+        let e = Ecdf::from_sample((1..=100).map(f64::from).collect()).unwrap();
+        assert_eq!(e.quantile(0.01), 1.0);
+        assert_eq!(e.quantile(0.5), 50.0);
+        assert_eq!(e.quantile(0.99), 99.0);
+        assert_eq!(e.quantile(1.0), 100.0);
+    }
+
+    #[test]
+    fn plot_points_reach_one() {
+        let e = Ecdf::from_sample((1..=1000).map(f64::from).collect()).unwrap();
+        let pts = e.plot_points(50);
+        assert!(pts.len() <= 52);
+        assert_eq!(pts.last().unwrap().1, 1.0);
+        // Monotone in both coordinates.
+        for w in pts.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn ks_statistic_of_perfect_fit_is_small() {
+        // Uniform sample vs uniform CDF: D_n = O(1/n) for a stratified grid.
+        let n = 1000;
+        let xs: Vec<f64> = (0..n).map(|i| (i as f64 + 0.5) / n as f64).collect();
+        let e = Ecdf::from_sample(xs).unwrap();
+        assert!(e.ks_statistic(|x| x.clamp(0.0, 1.0)) < 0.002);
+        // Against a very wrong model it should be large.
+        assert!(e.ks_statistic(|_| 0.0) > 0.9);
+    }
+
+    proptest! {
+        #[test]
+        fn eval_matches_counting(sample in proptest::collection::vec(-100.0f64..100.0, 1..50),
+                                 x in -120.0f64..120.0) {
+            let e = Ecdf::from_sample(sample.clone()).unwrap();
+            let expected = sample.iter().filter(|&&v| v <= x).count() as f64 / sample.len() as f64;
+            prop_assert!((e.eval(x) - expected).abs() < 1e-12);
+        }
+
+        #[test]
+        fn quantile_is_inverse_of_eval(sample in proptest::collection::vec(0.0f64..10.0, 1..50),
+                                       p in 0.01f64..1.0) {
+            let e = Ecdf::from_sample(sample).unwrap();
+            let q = e.quantile(p);
+            prop_assert!(e.eval(q) >= p - 1e-12);
+        }
+    }
+}

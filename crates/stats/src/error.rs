@@ -1,0 +1,67 @@
+//! Error type for statistical routines.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by construction and fitting routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// A distribution parameter was non-positive / out of its domain.
+    BadParameter {
+        /// Which parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A fit or estimator was asked to run on an empty or unusable sample.
+    EmptySample,
+    /// Sample contained a value outside the distribution's support.
+    OutOfSupport {
+        /// The offending value.
+        value: f64,
+    },
+    /// An iterative fit failed to converge.
+    NoConvergence {
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::BadParameter { name, value } => {
+                write!(f, "parameter {name} out of domain: {value}")
+            }
+            StatsError::EmptySample => f.write_str("sample is empty or degenerate"),
+            StatsError::OutOfSupport { value } => {
+                write!(f, "sample value {value} outside distribution support")
+            }
+            StatsError::NoConvergence { iterations } => {
+                write!(f, "estimator failed to converge after {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages_are_concise() {
+        assert_eq!(
+            StatsError::BadParameter { name: "rate", value: -1.0 }.to_string(),
+            "parameter rate out of domain: -1"
+        );
+        assert_eq!(StatsError::EmptySample.to_string(), "sample is empty or degenerate");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StatsError>();
+    }
+}

@@ -1,0 +1,242 @@
+//! Histograms with linear or logarithmic binning.
+//!
+//! The scale-sensitivity figures (F1/F2) bucket application runs by node
+//! count on a logarithmic axis; the lost-work figure (F4) uses linear
+//! time bins. Both share this implementation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::StatsError;
+
+/// Bin layout of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Binning {
+    /// `count` equal-width bins over `[lo, hi)`.
+    Linear,
+    /// `count` bins with geometrically increasing widths over `[lo, hi)`.
+    /// Requires `lo > 0`.
+    Logarithmic,
+}
+
+/// A fixed-bin histogram over `[lo, hi)` with overflow/underflow counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    binning: Binning,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    /// Sum of all accepted values, for mean computation.
+    sum: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::BadParameter`] when `lo ≥ hi`, `bins == 0`, or
+    /// logarithmic binning is requested with `lo ≤ 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize, binning: Binning) -> Result<Self, StatsError> {
+        if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+            return Err(StatsError::BadParameter { name: "hi", value: hi });
+        }
+        if bins == 0 {
+            return Err(StatsError::BadParameter { name: "bins", value: 0.0 });
+        }
+        if matches!(binning, Binning::Logarithmic) && lo <= 0.0 {
+            return Err(StatsError::BadParameter { name: "lo", value: lo });
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            binning,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            sum: 0.0,
+        })
+    }
+
+    /// Number of bins (excluding under/overflow).
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Index of the bin that would hold `x`, or `None` for out-of-range.
+    pub fn bin_index(&self, x: f64) -> Option<usize> {
+        if !x.is_finite() || x < self.lo || x >= self.hi {
+            return None;
+        }
+        let n = self.counts.len() as f64;
+        let idx = match self.binning {
+            Binning::Linear => ((x - self.lo) / (self.hi - self.lo) * n) as usize,
+            Binning::Logarithmic => {
+                ((x / self.lo).ln() / (self.hi / self.lo).ln() * n) as usize
+            }
+        };
+        Some(idx.min(self.counts.len() - 1))
+    }
+
+    /// Boundaries `(left, right)` of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn bin_bounds(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.counts.len(), "bin index out of range");
+        let n = self.counts.len() as f64;
+        match self.binning {
+            Binning::Linear => {
+                let w = (self.hi - self.lo) / n;
+                (self.lo + w * i as f64, self.lo + w * (i as f64 + 1.0))
+            }
+            Binning::Logarithmic => {
+                let r = (self.hi / self.lo).powf(1.0 / n);
+                (self.lo * r.powi(i as i32), self.lo * r.powi(i as i32 + 1))
+            }
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        match self.bin_index(x) {
+            Some(i) => {
+                self.counts[i] += 1;
+                self.sum += x;
+            }
+            None if x < self.lo => self.underflow += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Records an observation with an integral weight (e.g. node-hours).
+    pub fn record_weighted(&mut self, x: f64, weight: u64) {
+        match self.bin_index(x) {
+            Some(i) => {
+                self.counts[i] += weight;
+                self.sum += x * weight as f64;
+            }
+            None if x < self.lo => self.underflow += weight,
+            None => self.overflow += weight,
+        }
+    }
+
+    /// Count in bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Observations below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total in-range observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Mean of in-range observations (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        let t = self.total();
+        (t > 0).then(|| self.sum / t as f64)
+    }
+
+    /// Iterates `(left, right, count)` rows for reporting.
+    pub fn rows(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
+        (0..self.counts.len()).map(move |i| {
+            let (l, r) = self.bin_bounds(i);
+            (l, r, self.counts[i])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_validation() {
+        assert!(Histogram::new(1.0, 0.0, 4, Binning::Linear).is_err());
+        assert!(Histogram::new(0.0, 1.0, 0, Binning::Linear).is_err());
+        assert!(Histogram::new(0.0, 1.0, 4, Binning::Logarithmic).is_err());
+        assert!(Histogram::new(0.5, 1.0, 4, Binning::Logarithmic).is_ok());
+    }
+
+    #[test]
+    fn linear_binning_places_values() {
+        let mut h = Histogram::new(0.0, 10.0, 10, Binning::Linear).unwrap();
+        h.record(0.0);
+        h.record(0.99);
+        h.record(5.0);
+        h.record(9.999);
+        h.record(-1.0); // underflow
+        h.record(10.0); // overflow (right-open)
+        assert_eq!(h.count(0), 2);
+        assert_eq!(h.count(5), 1);
+        assert_eq!(h.count(9), 1);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn log_binning_covers_decades() {
+        let h = Histogram::new(1.0, 10_000.0, 4, Binning::Logarithmic).unwrap();
+        // Bins should be [1,10), [10,100), [100,1000), [1000,10000).
+        for (i, lo) in [1.0, 10.0, 100.0, 1000.0].iter().enumerate() {
+            let (l, r) = h.bin_bounds(i);
+            assert!((l - lo).abs() / lo < 1e-9);
+            assert!((r - lo * 10.0).abs() / (lo * 10.0) < 1e-9);
+        }
+        assert_eq!(h.bin_index(1.0), Some(0));
+        assert_eq!(h.bin_index(99.0), Some(1));
+        assert_eq!(h.bin_index(9_999.0), Some(3));
+        assert_eq!(h.bin_index(10_000.0), None);
+    }
+
+    #[test]
+    fn weighted_recording_and_mean() {
+        let mut h = Histogram::new(0.0, 100.0, 10, Binning::Linear).unwrap();
+        h.record_weighted(10.0, 3);
+        h.record_weighted(30.0, 1);
+        assert_eq!(h.total(), 4);
+        assert!((h.mean().unwrap() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_mean_is_none() {
+        let h = Histogram::new(0.0, 1.0, 2, Binning::Linear).unwrap();
+        assert_eq!(h.mean(), None);
+    }
+
+    proptest! {
+        #[test]
+        fn every_in_range_value_lands_in_its_bounds(x in 0.0f64..99.999, bins in 1usize..30) {
+            let h = Histogram::new(0.0, 100.0, bins, Binning::Linear).unwrap();
+            let i = h.bin_index(x).unwrap();
+            let (l, r) = h.bin_bounds(i);
+            prop_assert!(l <= x && x < r + 1e-9);
+        }
+
+        #[test]
+        fn log_bins_partition_the_range(x in 1.0f64..9999.0, bins in 1usize..20) {
+            let h = Histogram::new(1.0, 10_000.0, bins, Binning::Logarithmic).unwrap();
+            let i = h.bin_index(x).unwrap();
+            let (l, r) = h.bin_bounds(i);
+            prop_assert!(l <= x * (1.0 + 1e-12) && x < r * (1.0 + 1e-12));
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! # hpc-stats
+//!
+//! Statistics substrate for the LogDiver field study: probability
+//! distributions with sampling / density / quantile / maximum-likelihood
+//! fitting, empirical CDFs, histograms, summary statistics, bootstrap
+//! confidence intervals, binomial proportion intervals, and Kaplan–Meier
+//! survival estimation.
+//!
+//! Everything is implemented from first principles on top of a [`rand`]
+//! uniform source — the field-study pipeline needs to *fit* these
+//! distributions to measured data (e.g. error-event interarrival times,
+//! Figure F6) as much as it needs to sample them, and keeping both sides in
+//! one tested crate guarantees that `fit(sample(θ)) ≈ θ`.
+//!
+//! ## Example
+//!
+//! ```
+//! use hpc_stats::dist::{Distribution, Exponential};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let exp = Exponential::new(2.0)?;
+//! let xs: Vec<f64> = (0..10_000).map(|_| exp.sample(&mut rng)).collect();
+//! let fitted = Exponential::fit_mle(&xs)?;
+//! assert!((fitted.rate() - 2.0).abs() < 0.1);
+//! # Ok::<(), hpc_stats::StatsError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod bootstrap;
+pub mod dist;
+pub mod ecdf;
+pub mod error;
+pub mod histogram;
+pub mod proportion;
+pub mod series;
+pub mod summary;
+pub mod survival;
+
+pub use bootstrap::bootstrap_ci;
+pub use dist::{Distribution, Exponential, LogNormal, Normal, Pareto, Weibull, Zipf};
+pub use ecdf::Ecdf;
+pub use error::StatsError;
+pub use histogram::Histogram;
+pub use proportion::wilson_interval;
+pub use series::{autocorrelation, longest_run_above_mean};
+pub use summary::Summary;
+pub use survival::{KaplanMeier, NelsonAalen};

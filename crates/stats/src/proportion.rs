@@ -1,0 +1,134 @@
+//! Confidence intervals for binomial proportions.
+//!
+//! Failure *probabilities* (the paper's headline scale-sensitivity numbers,
+//! e.g. "0.162 at 22,000 nodes") are binomial proportions estimated from a
+//! handful of full-scale runs — exactly the regime where the naive Wald
+//! interval collapses; we use the Wilson score interval.
+
+use crate::dist::std_normal_quantile;
+use crate::error::StatsError;
+
+/// A binomial proportion with its Wilson score interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProportionEstimate {
+    /// Number of successes (e.g. failed runs).
+    pub successes: u64,
+    /// Number of trials (e.g. total runs in the bucket).
+    pub trials: u64,
+    /// Point estimate `successes / trials`.
+    pub p_hat: f64,
+    /// Lower Wilson bound.
+    pub lo: f64,
+    /// Upper Wilson bound.
+    pub hi: f64,
+    /// Confidence level used.
+    pub level: f64,
+}
+
+/// Wilson score interval for a binomial proportion.
+///
+/// # Errors
+///
+/// [`StatsError::EmptySample`] when `trials == 0`;
+/// [`StatsError::BadParameter`] when `successes > trials` or `level`
+/// is outside `(0, 1)`.
+///
+/// # Example
+///
+/// ```
+/// use hpc_stats::wilson_interval;
+/// let est = wilson_interval(3, 1000, 0.95)?;
+/// assert!((est.p_hat - 0.003).abs() < 1e-12);
+/// assert!(est.lo > 0.0 && est.hi < 0.01);
+/// # Ok::<(), hpc_stats::StatsError>(())
+/// ```
+pub fn wilson_interval(
+    successes: u64,
+    trials: u64,
+    level: f64,
+) -> Result<ProportionEstimate, StatsError> {
+    if trials == 0 {
+        return Err(StatsError::EmptySample);
+    }
+    if successes > trials {
+        return Err(StatsError::BadParameter { name: "successes", value: successes as f64 });
+    }
+    if !(level > 0.0 && level < 1.0) {
+        return Err(StatsError::BadParameter { name: "level", value: level });
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z = std_normal_quantile(0.5 + level / 2.0);
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    Ok(ProportionEstimate {
+        successes,
+        trials,
+        p_hat: p,
+        lo: (center - half).max(0.0),
+        hi: (center + half).min(1.0),
+        level,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn point_estimate_is_ratio() {
+        let e = wilson_interval(162, 1000, 0.95).unwrap();
+        assert!((e.p_hat - 0.162).abs() < 1e-12);
+        assert!(e.lo < 0.162 && 0.162 < e.hi);
+    }
+
+    #[test]
+    fn zero_successes_has_nonzero_upper_bound() {
+        let e = wilson_interval(0, 100, 0.95).unwrap();
+        assert_eq!(e.lo, 0.0);
+        assert!(e.hi > 0.0 && e.hi < 0.06);
+    }
+
+    #[test]
+    fn all_successes_has_nonunit_lower_bound() {
+        let e = wilson_interval(100, 100, 0.95).unwrap();
+        assert_eq!(e.hi, 1.0);
+        assert!(e.lo < 1.0 && e.lo > 0.94);
+    }
+
+    #[test]
+    fn matches_known_value() {
+        // Classic check: 5/10 at 95 % → (0.2366, 0.7634) approximately.
+        let e = wilson_interval(5, 10, 0.95).unwrap();
+        assert!((e.lo - 0.2366).abs() < 5e-3, "lo {}", e.lo);
+        assert!((e.hi - 0.7634).abs() < 5e-3, "hi {}", e.hi);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(wilson_interval(1, 0, 0.95).is_err());
+        assert!(wilson_interval(5, 4, 0.95).is_err());
+        assert!(wilson_interval(1, 10, 1.0).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn interval_is_proper(s in 0u64..1000, extra in 0u64..1000, level in 0.5f64..0.999) {
+            let n = s + extra.max(1);
+            let e = wilson_interval(s, n, level).unwrap();
+            prop_assert!(0.0 <= e.lo && e.lo <= e.p_hat + 1e-12);
+            prop_assert!(e.p_hat <= e.hi + 1e-12 && e.hi <= 1.0);
+        }
+
+        #[test]
+        fn wider_level_gives_wider_interval(s in 1u64..100, extra in 1u64..100) {
+            let n = s + extra;
+            let narrow = wilson_interval(s, n, 0.8).unwrap();
+            let wide = wilson_interval(s, n, 0.99).unwrap();
+            prop_assert!(wide.hi - wide.lo >= narrow.hi - narrow.lo - 1e-12);
+        }
+    }
+}

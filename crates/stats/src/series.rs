@@ -1,0 +1,91 @@
+//! Time-series helpers: autocorrelation and runs-above-mean burst tests.
+
+use crate::error::StatsError;
+
+/// Sample autocorrelation of `xs` at `lag` (biased estimator, the standard
+/// ACF): `r(k) = Σ (x_t − x̄)(x_{t+k} − x̄) / Σ (x_t − x̄)²`.
+///
+/// # Errors
+///
+/// [`StatsError::EmptySample`] when the series is shorter than `lag + 2`
+/// or has zero variance.
+pub fn autocorrelation(xs: &[f64], lag: usize) -> Result<f64, StatsError> {
+    if xs.len() < lag + 2 {
+        return Err(StatsError::EmptySample);
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let denom: f64 = xs.iter().map(|x| (x - mean).powi(2)).sum();
+    if denom <= 0.0 {
+        return Err(StatsError::EmptySample);
+    }
+    let num: f64 = xs
+        .windows(lag + 1)
+        .map(|w| (w[0] - mean) * (w[lag] - mean))
+        .sum();
+    Ok(num / denom)
+}
+
+/// Longest run of consecutive values strictly above the series mean — a
+/// crude but robust burst indicator for daily failure counts.
+pub fn longest_run_above_mean(xs: &[f64]) -> usize {
+    if xs.is_empty() {
+        return 0;
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    let mut best = 0;
+    let mut current = 0;
+    for &x in xs {
+        if x > mean {
+            current += 1;
+            best = best.max(current);
+        } else {
+            current = 0;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_series_has_no_acf() {
+        assert!(autocorrelation(&[3.0; 10], 1).is_err());
+        assert!(autocorrelation(&[1.0, 2.0], 1).is_err());
+    }
+
+    #[test]
+    fn alternating_series_is_anticorrelated() {
+        let xs: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let r1 = autocorrelation(&xs, 1).unwrap();
+        let r2 = autocorrelation(&xs, 2).unwrap();
+        assert!(r1 < -0.9, "lag-1 {r1}");
+        assert!(r2 > 0.9, "lag-2 {r2}");
+    }
+
+    #[test]
+    fn trending_series_is_positively_correlated() {
+        let xs: Vec<f64> = (0..50).map(f64::from).collect();
+        let r = autocorrelation(&xs, 1).unwrap();
+        assert!(r > 0.8, "{r}");
+    }
+
+    #[test]
+    fn acf_is_bounded() {
+        let xs: Vec<f64> = (0..100).map(|i| ((i * 37) % 11) as f64).collect();
+        for lag in 1..5 {
+            let r = autocorrelation(&xs, lag).unwrap();
+            assert!((-1.0..=1.0).contains(&r), "lag {lag}: {r}");
+        }
+    }
+
+    #[test]
+    fn runs_above_mean() {
+        assert_eq!(longest_run_above_mean(&[]), 0);
+        assert_eq!(longest_run_above_mean(&[1.0, 1.0]), 0, "nothing above the mean");
+        assert_eq!(longest_run_above_mean(&[0.0, 5.0, 5.0, 0.0, 5.0]), 2);
+        assert_eq!(longest_run_above_mean(&[0.0, 0.0, 0.0, 9.0]), 1);
+    }
+}

@@ -1,0 +1,160 @@
+//! One-pass summary statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming summary of a univariate sample: count, mean, variance
+/// (Welford), min and max. Percentiles need the data and live on
+/// [`crate::Ecdf`]; this type is for cheap aggregate rows in report tables.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Summary {
+    fn default() -> Self {
+        Summary { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary::default()
+    }
+
+    /// Builds a summary from a slice in one pass.
+    pub fn of(sample: &[f64]) -> Self {
+        let mut s = Summary::new();
+        for &x in sample {
+            s.record(x);
+        }
+        s
+    }
+
+    /// Records one observation (Welford update).
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another summary into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Unbiased sample variance (`None` with fewer than 2 observations).
+    pub fn variance(&self) -> Option<f64> {
+        (self.count > 1).then(|| self.m2 / (self.count - 1) as f64)
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Minimum (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.mean * self.count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_summary_returns_none() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.variance(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count(), 8);
+        assert!((s.mean().unwrap() - 5.0).abs() < 1e-12);
+        // Population variance is 4; unbiased = 4 * 8/7.
+        assert!((s.variance().unwrap() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+        assert!((s.sum() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_observation_has_no_variance() {
+        let s = Summary::of(&[3.5]);
+        assert_eq!(s.mean(), Some(3.5));
+        assert_eq!(s.variance(), None);
+    }
+
+    proptest! {
+        #[test]
+        fn merge_equals_concatenation(a in proptest::collection::vec(-50.0f64..50.0, 0..40),
+                                      b in proptest::collection::vec(-50.0f64..50.0, 0..40)) {
+            let mut merged = Summary::of(&a);
+            merged.merge(&Summary::of(&b));
+            let mut all = a.clone();
+            all.extend_from_slice(&b);
+            let direct = Summary::of(&all);
+            prop_assert_eq!(merged.count(), direct.count());
+            match (merged.mean(), direct.mean()) {
+                (Some(m1), Some(m2)) => prop_assert!((m1 - m2).abs() < 1e-9),
+                (None, None) => {}
+                _ => prop_assert!(false, "mean presence mismatch"),
+            }
+            match (merged.variance(), direct.variance()) {
+                (Some(v1), Some(v2)) => prop_assert!((v1 - v2).abs() < 1e-6),
+                (None, None) => {}
+                _ => prop_assert!(false, "variance presence mismatch"),
+            }
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! Kaplan–Meier survival estimation.
+//!
+//! Time-to-interrupt data is right-censored: most application runs end
+//! (successfully or by user error) *before* a system interrupt would have
+//! hit them. The Kaplan–Meier product-limit estimator recovers the
+//! distribution of time-to-system-interrupt from such censored observations,
+//! which is how the MTTI figure (F3) avoids the bias of only averaging
+//! observed failures.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::StatsError;
+
+/// One observation for survival analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SurvivalObservation {
+    /// Observed duration (time to event or to censoring).
+    pub time: f64,
+    /// True when the event (failure) was observed; false when censored
+    /// (the run ended for an unrelated reason).
+    pub event: bool,
+}
+
+/// A point of the fitted survival curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SurvivalPoint {
+    /// Event time.
+    pub time: f64,
+    /// Survival probability S(t) just after `time`.
+    pub survival: f64,
+    /// Individuals at risk just before `time`.
+    pub at_risk: u64,
+    /// Events at `time`.
+    pub events: u64,
+}
+
+/// Kaplan–Meier product-limit estimator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KaplanMeier {
+    points: Vec<SurvivalPoint>,
+    n: usize,
+}
+
+impl KaplanMeier {
+    /// Fits the estimator to a set of possibly-censored observations.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::EmptySample`] when no observations are given;
+    /// [`StatsError::OutOfSupport`] for negative or non-finite times.
+    pub fn fit(observations: &[SurvivalObservation]) -> Result<Self, StatsError> {
+        if observations.is_empty() {
+            return Err(StatsError::EmptySample);
+        }
+        if let Some(bad) = observations.iter().find(|o| !o.time.is_finite() || o.time < 0.0) {
+            return Err(StatsError::OutOfSupport { value: bad.time });
+        }
+        let mut obs: Vec<SurvivalObservation> = observations.to_vec();
+        obs.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("times checked finite"));
+
+        let mut points = Vec::new();
+        let mut at_risk = obs.len() as u64;
+        let mut survival = 1.0;
+        let mut i = 0;
+        while i < obs.len() {
+            let t = obs[i].time;
+            let mut events = 0u64;
+            let mut removed = 0u64;
+            while i < obs.len() && obs[i].time == t {
+                if obs[i].event {
+                    events += 1;
+                }
+                removed += 1;
+                i += 1;
+            }
+            if events > 0 {
+                survival *= 1.0 - events as f64 / at_risk as f64;
+                points.push(SurvivalPoint { time: t, survival, at_risk, events });
+            }
+            at_risk -= removed;
+        }
+        Ok(KaplanMeier { points, n: obs.len() })
+    }
+
+    /// The fitted curve: one point per distinct event time.
+    pub fn points(&self) -> &[SurvivalPoint] {
+        &self.points
+    }
+
+    /// Number of observations the fit used.
+    pub fn sample_size(&self) -> usize {
+        self.n
+    }
+
+    /// Survival probability at time `t`.
+    pub fn survival_at(&self, t: f64) -> f64 {
+        let idx = self.points.partition_point(|p| p.time <= t);
+        if idx == 0 {
+            1.0
+        } else {
+            self.points[idx - 1].survival
+        }
+    }
+
+    /// Median survival time, if the curve drops below 0.5.
+    pub fn median(&self) -> Option<f64> {
+        self.points.iter().find(|p| p.survival <= 0.5).map(|p| p.time)
+    }
+
+    /// Restricted mean survival time up to `horizon`: the area under the
+    /// survival curve on `[0, horizon]`. With full follow-up this converges
+    /// to the MTTI.
+    pub fn restricted_mean(&self, horizon: f64) -> f64 {
+        let mut area = 0.0;
+        let mut prev_t = 0.0;
+        let mut prev_s = 1.0;
+        for p in &self.points {
+            if p.time >= horizon {
+                break;
+            }
+            area += prev_s * (p.time - prev_t);
+            prev_t = p.time;
+            prev_s = p.survival;
+        }
+        area + prev_s * (horizon - prev_t).max(0.0)
+    }
+}
+
+/// A point of the Nelson–Aalen cumulative-hazard estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HazardPoint {
+    /// Event time.
+    pub time: f64,
+    /// Cumulative hazard Λ(t) just after `time`.
+    pub cumulative_hazard: f64,
+}
+
+/// Nelson–Aalen cumulative-hazard estimator for right-censored data:
+/// `Λ(t) = Σ_{tᵢ ≤ t} dᵢ / nᵢ` (events over at-risk at each event time).
+///
+/// For exponential data `Λ(t) = λ·t`, so the slope estimates the failure
+/// rate directly — the standard companion to [`KaplanMeier`] when the
+/// question is "how does the interrupt *rate* evolve over a run's life".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NelsonAalen {
+    points: Vec<HazardPoint>,
+}
+
+impl NelsonAalen {
+    /// Fits the estimator.
+    ///
+    /// # Errors
+    ///
+    /// Same domain errors as [`KaplanMeier::fit`].
+    pub fn fit(observations: &[SurvivalObservation]) -> Result<Self, StatsError> {
+        // Reuse KM's validation and tie-handling by refitting on the same
+        // grouped walk.
+        if observations.is_empty() {
+            return Err(StatsError::EmptySample);
+        }
+        if let Some(bad) = observations.iter().find(|o| !o.time.is_finite() || o.time < 0.0) {
+            return Err(StatsError::OutOfSupport { value: bad.time });
+        }
+        let mut obs: Vec<SurvivalObservation> = observations.to_vec();
+        obs.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("times checked finite"));
+        let mut points = Vec::new();
+        let mut at_risk = obs.len() as u64;
+        let mut cumulative = 0.0;
+        let mut i = 0;
+        while i < obs.len() {
+            let t = obs[i].time;
+            let mut events = 0u64;
+            let mut removed = 0u64;
+            while i < obs.len() && obs[i].time == t {
+                if obs[i].event {
+                    events += 1;
+                }
+                removed += 1;
+                i += 1;
+            }
+            if events > 0 {
+                cumulative += events as f64 / at_risk as f64;
+                points.push(HazardPoint { time: t, cumulative_hazard: cumulative });
+            }
+            at_risk -= removed;
+        }
+        Ok(NelsonAalen { points })
+    }
+
+    /// The step points of the estimate.
+    pub fn points(&self) -> &[HazardPoint] {
+        &self.points
+    }
+
+    /// Cumulative hazard at time `t`.
+    pub fn cumulative_hazard_at(&self, t: f64) -> f64 {
+        let idx = self.points.partition_point(|p| p.time <= t);
+        if idx == 0 {
+            0.0
+        } else {
+            self.points[idx - 1].cumulative_hazard
+        }
+    }
+
+    /// Average hazard *rate* over `[0, horizon]` — for exponential data
+    /// this estimates λ (and `1/λ` the MTTI).
+    pub fn mean_rate(&self, horizon: f64) -> f64 {
+        if horizon <= 0.0 {
+            return 0.0;
+        }
+        self.cumulative_hazard_at(horizon) / horizon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(time: f64) -> SurvivalObservation {
+        SurvivalObservation { time, event: true }
+    }
+
+    fn cens(time: f64) -> SurvivalObservation {
+        SurvivalObservation { time, event: false }
+    }
+
+    #[test]
+    fn uncensored_km_matches_ecdf_complement() {
+        let obs: Vec<_> = [1.0, 2.0, 3.0, 4.0].iter().map(|&t| ev(t)).collect();
+        let km = KaplanMeier::fit(&obs).unwrap();
+        assert!((km.survival_at(0.5) - 1.0).abs() < 1e-12);
+        assert!((km.survival_at(1.0) - 0.75).abs() < 1e-12);
+        assert!((km.survival_at(2.5) - 0.5).abs() < 1e-12);
+        assert!((km.survival_at(4.0) - 0.0).abs() < 1e-12);
+        assert_eq!(km.median(), Some(2.0));
+    }
+
+    #[test]
+    fn textbook_censored_example() {
+        // Events at 1 and 3; censored at 2: S(1) = 5/6, S(3) = 5/6 * (1 - 1/3).
+        let obs = vec![ev(1.0), cens(2.0), ev(3.0), cens(4.0), cens(5.0), cens(6.0)];
+        let km = KaplanMeier::fit(&obs).unwrap();
+        assert!((km.survival_at(1.0) - 5.0 / 6.0).abs() < 1e-12);
+        let expected = (5.0 / 6.0) * (1.0 - 1.0 / 4.0);
+        assert!((km.survival_at(3.0) - expected).abs() < 1e-12, "{}", km.survival_at(3.0));
+    }
+
+    #[test]
+    fn censoring_raises_survival_vs_treating_as_events() {
+        let censored = vec![ev(1.0), cens(1.5), ev(2.0), cens(2.5), ev(3.0)];
+        let as_events: Vec<_> =
+            censored.iter().map(|o| ev(o.time)).collect();
+        let km_c = KaplanMeier::fit(&censored).unwrap();
+        let km_e = KaplanMeier::fit(&as_events).unwrap();
+        assert!(km_c.survival_at(2.0) > km_e.survival_at(2.0));
+    }
+
+    #[test]
+    fn ties_are_handled() {
+        let obs = vec![ev(2.0), ev(2.0), ev(2.0), cens(2.0), ev(5.0)];
+        let km = KaplanMeier::fit(&obs).unwrap();
+        // At t=2: 5 at risk, 3 events → S = 2/5.
+        assert!((km.survival_at(2.0) - 0.4).abs() < 1e-12);
+        // At t=5: 1 at risk, 1 event → S = 0.
+        assert!((km.survival_at(5.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn restricted_mean_of_exponential_like_data() {
+        // All events at time 2 → area under S on [0,4] = 1*2 + 0*2 = 2.
+        let obs = vec![ev(2.0), ev(2.0)];
+        let km = KaplanMeier::fit(&obs).unwrap();
+        assert!((km.restricted_mean(4.0) - 2.0).abs() < 1e-12);
+        // Horizon before the event: area = horizon.
+        assert!((km.restricted_mean(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_censored_curve_stays_at_one() {
+        let obs = vec![cens(1.0), cens(2.0)];
+        let km = KaplanMeier::fit(&obs).unwrap();
+        assert_eq!(km.points().len(), 0);
+        assert_eq!(km.survival_at(10.0), 1.0);
+        assert_eq!(km.median(), None);
+        assert!((km.restricted_mean(5.0) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(KaplanMeier::fit(&[]).is_err());
+        assert!(KaplanMeier::fit(&[ev(-1.0)]).is_err());
+        assert!(KaplanMeier::fit(&[ev(f64::NAN)]).is_err());
+        assert!(NelsonAalen::fit(&[]).is_err());
+        assert!(NelsonAalen::fit(&[ev(-1.0)]).is_err());
+    }
+
+    #[test]
+    fn nelson_aalen_textbook_values() {
+        // Events at 1,2,3 with 3 at risk, then 2, then 1:
+        // Λ = 1/3, 1/3+1/2, 1/3+1/2+1.
+        let na = NelsonAalen::fit(&[ev(1.0), ev(2.0), ev(3.0)]).unwrap();
+        let p = na.points();
+        assert_eq!(p.len(), 3);
+        assert!((p[0].cumulative_hazard - 1.0 / 3.0).abs() < 1e-12);
+        assert!((p[1].cumulative_hazard - (1.0 / 3.0 + 0.5)).abs() < 1e-12);
+        assert!((p[2].cumulative_hazard - (1.0 / 3.0 + 0.5 + 1.0)).abs() < 1e-12);
+        assert_eq!(na.cumulative_hazard_at(0.5), 0.0);
+        assert!((na.cumulative_hazard_at(2.5) - (1.0 / 3.0 + 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nelson_aalen_censoring_reduces_risk_set_only() {
+        // Censored at 1.5 shrinks the risk set without a hazard step.
+        let na = NelsonAalen::fit(&[ev(1.0), cens(1.5), ev(2.0)]).unwrap();
+        let p = na.points();
+        assert_eq!(p.len(), 2);
+        assert!((p[0].cumulative_hazard - 1.0 / 3.0).abs() < 1e-12);
+        assert!((p[1].cumulative_hazard - (1.0 / 3.0 + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nelson_aalen_recovers_exponential_rate() {
+        use crate::dist::{Distribution, Exponential};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(3);
+        let exp = Exponential::new(0.25).unwrap();
+        // Observe each subject to at most 2 time units (heavy censoring).
+        let obs: Vec<SurvivalObservation> = (0..20_000)
+            .map(|_| {
+                let t = exp.sample(&mut rng);
+                if t > 2.0 {
+                    SurvivalObservation { time: 2.0, event: false }
+                } else {
+                    SurvivalObservation { time: t, event: true }
+                }
+            })
+            .collect();
+        let na = NelsonAalen::fit(&obs).unwrap();
+        let rate = na.mean_rate(2.0);
+        assert!((rate - 0.25).abs() < 0.02, "estimated rate {rate}");
+    }
+
+    #[test]
+    fn km_and_na_agree_via_exp_transform() {
+        // S(t) ≈ exp(−Λ(t)) when event counts per step are small.
+        let obs: Vec<SurvivalObservation> =
+            (1..=50).map(|i| ev(i as f64)).chain((1..=150).map(|i| cens(i as f64 + 0.5))).collect();
+        let km = KaplanMeier::fit(&obs).unwrap();
+        let na = NelsonAalen::fit(&obs).unwrap();
+        for t in [5.0, 20.0, 45.0] {
+            let s_km = km.survival_at(t);
+            let s_na = (-na.cumulative_hazard_at(t)).exp();
+            assert!((s_km - s_na).abs() < 0.02, "t={t}: {s_km} vs {s_na}");
+        }
+    }
+}

@@ -1,0 +1,400 @@
+//! Node allocation state for the batch-scheduler simulation.
+//!
+//! Tracks which compute nodes are free, allocated to an application, or out
+//! of service, per node class. Allocation takes the lowest free nids, which
+//! approximates the contiguous placement real schedulers aim for and gives
+//! wide applications realistically large torus spans.
+
+use std::collections::BTreeSet;
+
+use logdiver_types::{NodeId, NodeSet, NodeType};
+use serde::{Deserialize, Serialize};
+
+use crate::location::NODES_PER_BLADE;
+use crate::machine::Machine;
+
+/// How allocations are laid out on the machine.
+///
+/// Placement interacts with correlated failures: a blade failure takes out
+/// four nodes at once, so *packing* an application onto few blades exposes
+/// fewer applications per blade event, while *scattering* spreads every
+/// application across many blades and lets one blade failure hit many
+/// applications. The a3 ablation bench measures exactly this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// Lowest free nids first: contiguous-ish, few blades per application.
+    #[default]
+    Packed,
+    /// Round-robin across blades: maximal blade spread per application.
+    Scattered,
+}
+
+/// Allocation state over a machine's compute nodes.
+#[derive(Debug, Clone)]
+pub struct NodeAllocator {
+    /// Free nids per class, ordered.
+    free_xe: BTreeSet<u32>,
+    free_xk: BTreeSet<u32>,
+    /// Currently allocated nodes.
+    allocated: NodeSet,
+    /// Nodes out of service (down), whether or not also allocated.
+    down: NodeSet,
+    /// Node class lookup (indexed by nid).
+    types: Vec<NodeType>,
+    /// Layout policy.
+    policy: PlacementPolicy,
+}
+
+impl NodeAllocator {
+    /// Creates an allocator with every compute node of `machine` free and
+    /// the default packed placement.
+    pub fn new(machine: &Machine) -> Self {
+        Self::with_policy(machine, PlacementPolicy::Packed)
+    }
+
+    /// Creates an allocator with an explicit placement policy.
+    pub fn with_policy(machine: &Machine, policy: PlacementPolicy) -> Self {
+        let types: Vec<NodeType> = (0..machine.total_nodes())
+            .map(|n| machine.node_type(NodeId::new(n)).expect("nid in range"))
+            .collect();
+        let free_xe = machine.nodes_of_type(NodeType::Xe).map(|n| n.value()).collect();
+        let free_xk = machine.nodes_of_type(NodeType::Xk).map(|n| n.value()).collect();
+        NodeAllocator {
+            free_xe,
+            free_xk,
+            allocated: NodeSet::with_capacity(machine.total_nodes()),
+            down: NodeSet::with_capacity(machine.total_nodes()),
+            types,
+            policy,
+        }
+    }
+
+    /// The placement policy in effect.
+    pub fn policy(&self) -> PlacementPolicy {
+        self.policy
+    }
+
+    fn pool(&mut self, ty: NodeType) -> &mut BTreeSet<u32> {
+        match ty {
+            NodeType::Xe => &mut self.free_xe,
+            NodeType::Xk => &mut self.free_xk,
+            NodeType::Service => panic!("service nodes are not allocatable"),
+        }
+    }
+
+    /// Free nodes currently available in a class.
+    pub fn free_count(&self, ty: NodeType) -> u32 {
+        match ty {
+            NodeType::Xe => self.free_xe.len() as u32,
+            NodeType::Xk => self.free_xk.len() as u32,
+            NodeType::Service => 0,
+        }
+    }
+
+    /// Nodes currently allocated (any class).
+    pub fn allocated_count(&self) -> u32 {
+        self.allocated.len() as u32
+    }
+
+    /// Nodes currently out of service (any class).
+    pub fn down_count(&self) -> u32 {
+        self.down.len() as u32
+    }
+
+    /// True when `nid` is currently allocated to an application.
+    pub fn is_allocated(&self, nid: NodeId) -> bool {
+        self.allocated.contains(nid)
+    }
+
+    /// True when `nid` is currently out of service.
+    pub fn is_down(&self, nid: NodeId) -> bool {
+        self.down.contains(nid)
+    }
+
+    /// Allocates `n` nodes of class `ty`, lowest nids first.
+    ///
+    /// Returns `None` (allocating nothing) when fewer than `n` are free.
+    ///
+    /// # Panics
+    ///
+    /// Panics when asked for service nodes or `n == 0`.
+    pub fn allocate(&mut self, ty: NodeType, n: u32) -> Option<NodeSet> {
+        assert!(n > 0, "cannot allocate zero nodes");
+        let policy = self.policy;
+        let pool = self.pool(ty);
+        if (pool.len() as u32) < n {
+            return None;
+        }
+        let picked: Vec<u32> = match policy {
+            PlacementPolicy::Packed => pool.iter().take(n as usize).copied().collect(),
+            PlacementPolicy::Scattered => {
+                // Round-robin over blades: the first free node of each
+                // distinct blade, then the second of each, and so on —
+                // maximal blade spread for the allocation. One pass groups
+                // the pool by blade; rounds then interleave the groups.
+                let mut by_blade: Vec<Vec<u32>> = Vec::new();
+                let mut prev_blade = u32::MAX;
+                for &nid in pool.iter() {
+                    let blade = nid / NODES_PER_BLADE;
+                    if blade != prev_blade {
+                        prev_blade = blade;
+                        by_blade.push(Vec::with_capacity(NODES_PER_BLADE as usize));
+                    }
+                    by_blade.last_mut().expect("group exists").push(nid);
+                }
+                let mut picked = Vec::with_capacity(n as usize);
+                let mut round = 0usize;
+                'outer: while picked.len() < n as usize {
+                    let mut advanced = false;
+                    for group in &by_blade {
+                        if let Some(&nid) = group.get(round) {
+                            picked.push(nid);
+                            advanced = true;
+                            if picked.len() == n as usize {
+                                break 'outer;
+                            }
+                        }
+                    }
+                    if !advanced {
+                        break;
+                    }
+                    round += 1;
+                }
+                picked
+            }
+        };
+        for &nid in &picked {
+            pool.remove(&nid);
+        }
+        let set: NodeSet = picked.into_iter().map(NodeId::new).collect();
+        self.allocated.union_with(&set);
+        Some(set)
+    }
+
+    /// Releases an allocation. Nodes that went down while allocated stay
+    /// out of the free pool until [`NodeAllocator::mark_up`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when a node of `set` was not allocated (double release).
+    pub fn release(&mut self, set: &NodeSet) {
+        for nid in set {
+            assert!(self.allocated.remove(nid), "release of unallocated node {nid}");
+            if !self.down.contains(nid) {
+                let ty = self.types[nid.value() as usize];
+                if ty.is_compute() {
+                    self.pool(ty).insert(nid.value());
+                }
+            }
+        }
+    }
+
+    /// Takes a node out of service. If it was free it leaves the pool; if it
+    /// was allocated it is flagged and will not return to the pool on
+    /// release. Returns true when the node was *newly* marked down.
+    pub fn mark_down(&mut self, nid: NodeId) -> bool {
+        if !self.down.insert(nid) {
+            return false;
+        }
+        let ty = self.types.get(nid.value() as usize).copied();
+        if let Some(ty) = ty {
+            if ty.is_compute() {
+                self.pool(ty).remove(&nid.value());
+            }
+        }
+        true
+    }
+
+    /// Returns a repaired node to service (and to the free pool unless it is
+    /// still allocated). Returns true when the node was down.
+    pub fn mark_up(&mut self, nid: NodeId) -> bool {
+        if !self.down.remove(nid) {
+            return false;
+        }
+        if !self.allocated.contains(nid) {
+            let ty = self.types[nid.value() as usize];
+            if ty.is_compute() {
+                self.pool(ty).insert(nid.value());
+            }
+        }
+        true
+    }
+
+    /// Consistency check: pools, allocated and down sets are disjoint where
+    /// they must be. Used by tests and debug assertions.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (&pool, ty) in [(&self.free_xe, NodeType::Xe), (&self.free_xk, NodeType::Xk)]
+            .iter()
+            .map(|(p, t)| (p, t))
+        {
+            for &nid in pool.iter() {
+                let id = NodeId::new(nid);
+                if self.allocated.contains(id) {
+                    return Err(format!("node {id} both free and allocated"));
+                }
+                if self.down.contains(id) {
+                    return Err(format!("node {id} both free and down"));
+                }
+                if self.types[nid as usize] != *ty {
+                    return Err(format!("node {id} in wrong pool"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineBuilder;
+    use proptest::prelude::*;
+
+    fn small_machine() -> Machine {
+        MachineBuilder::new("alloc-test").xe_nodes(32).xk_nodes(8).service_nodes(8).build()
+    }
+
+    #[test]
+    fn allocate_takes_lowest_nids() {
+        let m = small_machine();
+        let mut a = NodeAllocator::new(&m);
+        let s = a.allocate(NodeType::Xe, 4).unwrap();
+        let nids: Vec<u32> = s.iter().map(|n| n.value()).collect();
+        assert_eq!(nids, vec![0, 1, 2, 3]);
+        assert_eq!(a.free_count(NodeType::Xe), 28);
+        assert_eq!(a.allocated_count(), 4);
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn xk_pool_is_separate() {
+        let m = small_machine();
+        let mut a = NodeAllocator::new(&m);
+        let s = a.allocate(NodeType::Xk, 2).unwrap();
+        // XK nids start after the 32 XE nodes.
+        assert!(s.iter().all(|n| n.value() >= 32));
+        assert_eq!(a.free_count(NodeType::Xe), 32);
+        assert_eq!(a.free_count(NodeType::Xk), 6);
+    }
+
+    #[test]
+    fn oversized_request_is_refused_without_side_effects() {
+        let m = small_machine();
+        let mut a = NodeAllocator::new(&m);
+        assert!(a.allocate(NodeType::Xk, 9).is_none());
+        assert_eq!(a.free_count(NodeType::Xk), 8);
+        assert_eq!(a.allocated_count(), 0);
+    }
+
+    #[test]
+    fn release_returns_nodes() {
+        let m = small_machine();
+        let mut a = NodeAllocator::new(&m);
+        let s = a.allocate(NodeType::Xe, 10).unwrap();
+        a.release(&s);
+        assert_eq!(a.free_count(NodeType::Xe), 32);
+        assert_eq!(a.allocated_count(), 0);
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "release of unallocated node")]
+    fn double_release_panics() {
+        let m = small_machine();
+        let mut a = NodeAllocator::new(&m);
+        let s = a.allocate(NodeType::Xe, 2).unwrap();
+        a.release(&s);
+        a.release(&s);
+    }
+
+    #[test]
+    fn down_node_skips_pool_until_repaired() {
+        let m = small_machine();
+        let mut a = NodeAllocator::new(&m);
+        let s = a.allocate(NodeType::Xe, 2).unwrap();
+        let victim = s.first().unwrap();
+        assert!(a.mark_down(victim));
+        assert!(!a.mark_down(victim), "second mark_down is a no-op");
+        a.release(&s);
+        // Victim stays out; the other node returns.
+        assert_eq!(a.free_count(NodeType::Xe), 31);
+        assert!(a.is_down(victim));
+        assert!(a.mark_up(victim));
+        assert_eq!(a.free_count(NodeType::Xe), 32);
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn down_free_node_leaves_pool_immediately() {
+        let m = small_machine();
+        let mut a = NodeAllocator::new(&m);
+        assert!(a.mark_down(NodeId::new(0)));
+        let s = a.allocate(NodeType::Xe, 1).unwrap();
+        assert_eq!(s.first().unwrap().value(), 1, "downed node must not be allocated");
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn scattered_spreads_across_blades() {
+        let m = MachineBuilder::new("spread").xe_nodes(64).xk_nodes(4).service_nodes(4).build();
+        let mut packed = NodeAllocator::new(&m);
+        let mut scattered = NodeAllocator::with_policy(&m, PlacementPolicy::Scattered);
+        assert_eq!(scattered.policy(), PlacementPolicy::Scattered);
+        let blades = |s: &NodeSet| -> std::collections::HashSet<u32> {
+            s.iter().map(|n| n.value() / 4).collect()
+        };
+        let a = packed.allocate(NodeType::Xe, 8).unwrap();
+        let b = scattered.allocate(NodeType::Xe, 8).unwrap();
+        assert_eq!(blades(&a).len(), 2, "packed: 8 nodes = 2 blades");
+        assert_eq!(blades(&b).len(), 8, "scattered: one node per blade");
+        packed.check_invariants().unwrap();
+        scattered.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn scattered_allocations_are_exact_and_disjoint() {
+        let m = MachineBuilder::new("spread2").xe_nodes(32).xk_nodes(4).service_nodes(4).build();
+        let mut a = NodeAllocator::with_policy(&m, PlacementPolicy::Scattered);
+        let s1 = a.allocate(NodeType::Xe, 10).unwrap();
+        let s2 = a.allocate(NodeType::Xe, 10).unwrap();
+        assert_eq!(s1.len(), 10);
+        assert_eq!(s2.len(), 10);
+        assert!(!s1.intersects(&s2));
+        assert_eq!(a.free_count(NodeType::Xe), 12);
+        // Release and reallocate everything: the pool is whole again.
+        a.release(&s1);
+        a.release(&s2);
+        let s3 = a.allocate(NodeType::Xe, 32).unwrap();
+        assert_eq!(s3.len(), 32);
+        a.check_invariants().unwrap();
+    }
+
+    proptest! {
+        #[test]
+        fn never_double_allocates(ops in proptest::collection::vec(0u8..4, 1..60)) {
+            let m = small_machine();
+            let mut a = NodeAllocator::new(&m);
+            let mut live: Vec<NodeSet> = Vec::new();
+            for op in ops {
+                match op {
+                    0 => {
+                        if let Some(s) = a.allocate(NodeType::Xe, 3) {
+                            for existing in &live {
+                                prop_assert!(!s.intersects(existing), "double allocation");
+                            }
+                            live.push(s);
+                        }
+                    }
+                    1 => {
+                        if let Some(s) = live.pop() {
+                            a.release(&s);
+                        }
+                    }
+                    2 => { a.mark_down(NodeId::new(5)); }
+                    _ => { a.mark_up(NodeId::new(5)); }
+                }
+                prop_assert!(a.check_invariants().is_ok());
+            }
+        }
+    }
+}

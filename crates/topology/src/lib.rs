@@ -1,0 +1,56 @@
+//! # bw-topology
+//!
+//! Structural model of a Cray XE6/XK7 hybrid machine in the image of Blue
+//! Waters: cabinets of chassis of blades of nodes, a Gemini 3-D torus
+//! interconnect, a Lustre parallel filesystem, and a node allocator used by
+//! the batch-scheduler simulation.
+//!
+//! The geometry here feeds two consumers:
+//!
+//! 1. the **simulator** (`bw-sim`), which uses it to place applications and
+//!    to propagate faults spatially (a blade failure kills 4 nodes, a
+//!    cabinet event kills 96, a torus link failure triggers a system-wide
+//!    reroute), and
+//! 2. **LogDiver** (`logdiver`), whose coalescing stage groups error-log
+//!    entries by blade/cabinet proximity — exactly what the real tool does
+//!    with Cray location codes.
+//!
+//! ## Geometry (documented simplification)
+//!
+//! A cabinet holds 3 chassis × 8 blades × 4 nodes = 96 nodes. Each blade
+//! carries 2 Gemini ASICs (one per node pair), and the ASICs form a
+//! 24×24×24 3-D torus — 13,824 ASICs serving 27,648 node slots across 288
+//! cabinets (24 floor columns × 12 rows). Blue Waters' published composition
+//! (22,640 XE + 4,224 XK compute nodes) fills most slots; the remainder act
+//! as service nodes. Real Cray floor layouts interleave service blades; we
+//! place node classes in contiguous blade ranges, which preserves everything
+//! the study measures (class sizes, spatial correlation scopes, torus
+//! distances) while keeping nid arithmetic transparent.
+//!
+//! ## Example
+//!
+//! ```
+//! use bw_topology::Machine;
+//! use logdiver_types::NodeType;
+//!
+//! let m = Machine::blue_waters();
+//! assert_eq!(m.count_of(NodeType::Xe), 22_640);
+//! assert_eq!(m.count_of(NodeType::Xk), 4_224);
+//! let nid = m.nodes_of_type(NodeType::Xk).next().unwrap();
+//! assert_eq!(m.node_type(nid), Some(NodeType::Xk));
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod allocation;
+pub mod location;
+pub mod lustre;
+pub mod machine;
+pub mod torus;
+
+pub use allocation::{NodeAllocator, PlacementPolicy};
+pub use location::Location;
+pub use lustre::{LustreSystem, MdsId, OssId, OstId};
+pub use machine::{Machine, MachineBuilder};
+pub use torus::{Torus, TorusCoord};

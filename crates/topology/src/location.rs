@@ -1,0 +1,208 @@
+//! Physical location of a node: cabinet / chassis / blade slot / node.
+//!
+//! Rendered in the Cray convention `cX-Y c C s S n N` (e.g. `c12-3c1s5n2`)
+//! — the location codes that appear in hardware error logs and that
+//! LogDiver's spatial coalescing keys on.
+
+use std::fmt;
+
+use logdiver_types::{CabinetId, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Nodes per blade (Cray XE/XK blades carry four nodes).
+pub const NODES_PER_BLADE: u32 = 4;
+/// Blades per chassis.
+pub const BLADES_PER_CHASSIS: u32 = 8;
+/// Chassis per cabinet.
+pub const CHASSIS_PER_CABINET: u32 = 3;
+/// Nodes per cabinet (3 × 8 × 4).
+pub const NODES_PER_CABINET: u32 = NODES_PER_BLADE * BLADES_PER_CHASSIS * CHASSIS_PER_CABINET;
+/// Cabinet columns on the floor.
+pub const CABINET_COLUMNS: u16 = 24;
+
+/// Physical location of one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Location {
+    /// Cabinet on the machine-room floor.
+    pub cabinet: CabinetId,
+    /// Chassis (cage) within the cabinet, 0–2.
+    pub chassis: u8,
+    /// Blade slot within the chassis, 0–7.
+    pub slot: u8,
+    /// Node within the blade, 0–3.
+    pub node: u8,
+}
+
+impl Location {
+    /// Computes the location of a nid under the canonical dense layout.
+    pub fn of_nid(nid: NodeId) -> Self {
+        let n = nid.value();
+        let blade = n / NODES_PER_BLADE;
+        let node = (n % NODES_PER_BLADE) as u8;
+        let chassis_idx = blade / BLADES_PER_CHASSIS;
+        let slot = (blade % BLADES_PER_CHASSIS) as u8;
+        let cabinet_idx = chassis_idx / CHASSIS_PER_CABINET;
+        let chassis = (chassis_idx % CHASSIS_PER_CABINET) as u8;
+        let column = (cabinet_idx % CABINET_COLUMNS as u32) as u16;
+        let row = (cabinet_idx / CABINET_COLUMNS as u32) as u16;
+        Location { cabinet: CabinetId::new(column, row), chassis, slot, node }
+    }
+
+    /// The nid occupying this location under the canonical dense layout.
+    pub fn to_nid(self) -> NodeId {
+        let cabinet_idx =
+            self.cabinet.row as u32 * CABINET_COLUMNS as u32 + self.cabinet.column as u32;
+        let chassis_idx = cabinet_idx * CHASSIS_PER_CABINET + self.chassis as u32;
+        let blade = chassis_idx * BLADES_PER_CHASSIS + self.slot as u32;
+        NodeId::new(blade * NODES_PER_BLADE + self.node as u32)
+    }
+
+    /// Global blade ordinal (shared by the 4 nodes of a blade).
+    pub fn blade_ordinal(self) -> u32 {
+        self.to_nid().value() / NODES_PER_BLADE
+    }
+
+    /// Global cabinet ordinal (shared by the 96 nodes of a cabinet).
+    pub fn cabinet_ordinal(self) -> u32 {
+        self.to_nid().value() / NODES_PER_CABINET
+    }
+
+    /// All four nids on the same blade as this location.
+    pub fn blade_nids(self) -> [NodeId; NODES_PER_BLADE as usize] {
+        let base = self.blade_ordinal() * NODES_PER_BLADE;
+        [
+            NodeId::new(base),
+            NodeId::new(base + 1),
+            NodeId::new(base + 2),
+            NodeId::new(base + 3),
+        ]
+    }
+
+    /// Range of nids `(first, last)` inclusive covering this cabinet.
+    pub fn cabinet_nid_range(self) -> (NodeId, NodeId) {
+        let base = self.cabinet_ordinal() * NODES_PER_CABINET;
+        (NodeId::new(base), NodeId::new(base + NODES_PER_CABINET - 1))
+    }
+
+    /// Parses the Cray rendering produced by the `Display` implementation,
+    /// e.g. `c12-3c1s5n2`.
+    pub fn parse(s: &str) -> Option<Self> {
+        let rest = s.strip_prefix('c')?;
+        let dash = rest.find('-')?;
+        let column: u16 = rest[..dash].parse().ok()?;
+        let rest = &rest[dash + 1..];
+        let c_pos = rest.find('c')?;
+        let row: u16 = rest[..c_pos].parse().ok()?;
+        let rest = &rest[c_pos + 1..];
+        let s_pos = rest.find('s')?;
+        let chassis: u8 = rest[..s_pos].parse().ok()?;
+        let rest = &rest[s_pos + 1..];
+        let n_pos = rest.find('n')?;
+        let slot: u8 = rest[..n_pos].parse().ok()?;
+        let node: u8 = rest[n_pos + 1..].parse().ok()?;
+        if chassis >= CHASSIS_PER_CABINET as u8
+            || slot >= BLADES_PER_CHASSIS as u8
+            || node >= NODES_PER_BLADE as u8
+        {
+            return None;
+        }
+        Some(Location { cabinet: CabinetId::new(column, row), chassis, slot, node })
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "c{}-{}c{}s{}n{}",
+            self.cabinet.column, self.cabinet.row, self.chassis, self.slot, self.node
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn nid_zero_is_origin() {
+        let loc = Location::of_nid(NodeId::new(0));
+        assert_eq!(loc.cabinet, CabinetId::new(0, 0));
+        assert_eq!((loc.chassis, loc.slot, loc.node), (0, 0, 0));
+        assert_eq!(loc.to_string(), "c0-0c0s0n0");
+    }
+
+    #[test]
+    fn cabinet_boundaries() {
+        // nid 95 is the last node of cabinet 0; nid 96 starts cabinet 1.
+        let last = Location::of_nid(NodeId::new(95));
+        assert_eq!(last.cabinet, CabinetId::new(0, 0));
+        assert_eq!((last.chassis, last.slot, last.node), (2, 7, 3));
+        let first = Location::of_nid(NodeId::new(96));
+        assert_eq!(first.cabinet, CabinetId::new(1, 0));
+        assert_eq!((first.chassis, first.slot, first.node), (0, 0, 0));
+    }
+
+    #[test]
+    fn row_wraps_after_24_columns() {
+        let nid = NodeId::new(24 * NODES_PER_CABINET); // first node of cabinet 24
+        let loc = Location::of_nid(nid);
+        assert_eq!(loc.cabinet, CabinetId::new(0, 1));
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        for nid in [0u32, 1, 95, 96, 4_008, 26_863, 27_647] {
+            let loc = Location::of_nid(NodeId::new(nid));
+            let parsed = Location::parse(&loc.to_string()).unwrap();
+            assert_eq!(parsed, loc);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_out_of_range_fields() {
+        assert!(Location::parse("c0-0c3s0n0").is_none()); // chassis 3
+        assert!(Location::parse("c0-0c0s8n0").is_none()); // slot 8
+        assert!(Location::parse("c0-0c0s0n4").is_none()); // node 4
+        assert!(Location::parse("garbage").is_none());
+        assert!(Location::parse("c0-0c0s0").is_none());
+    }
+
+    #[test]
+    fn blade_nids_share_a_blade() {
+        let loc = Location::of_nid(NodeId::new(4_010));
+        let nids = loc.blade_nids();
+        let ords: Vec<u32> =
+            nids.iter().map(|&n| Location::of_nid(n).blade_ordinal()).collect();
+        assert!(ords.windows(2).all(|w| w[0] == w[1]));
+        assert!(nids.contains(&NodeId::new(4_010)));
+    }
+
+    #[test]
+    fn cabinet_range_covers_96_nodes() {
+        let loc = Location::of_nid(NodeId::new(200));
+        let (first, last) = loc.cabinet_nid_range();
+        assert_eq!(last.value() - first.value() + 1, NODES_PER_CABINET);
+        assert!(first.value() <= 200 && 200 <= last.value());
+    }
+
+    proptest! {
+        #[test]
+        fn of_nid_to_nid_round_trip(nid in 0u32..27_648) {
+            let loc = Location::of_nid(NodeId::new(nid));
+            prop_assert_eq!(loc.to_nid(), NodeId::new(nid));
+        }
+
+        #[test]
+        fn neighbors_on_blade_share_location_prefix(nid in 0u32..27_644) {
+            let a = Location::of_nid(NodeId::new(nid));
+            let b = Location::of_nid(NodeId::new(nid + 1));
+            if nid % NODES_PER_BLADE != NODES_PER_BLADE - 1 {
+                prop_assert_eq!(a.blade_ordinal(), b.blade_ordinal());
+            } else {
+                prop_assert_eq!(a.blade_ordinal() + 1, b.blade_ordinal());
+            }
+        }
+    }
+}

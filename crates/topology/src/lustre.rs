@@ -1,0 +1,200 @@
+//! Structural model of the Lustre parallel filesystem.
+//!
+//! Blue Waters' storage ("Sonexion") exposes object storage targets (OSTs)
+//! grouped under object storage servers (OSSes), plus metadata servers
+//! (MDSes). The field study cares about *which* component failed (an OST
+//! failure affects every client touching its stripes; an MDS failover stalls
+//! the whole namespace), so the model is structural: ids and group
+//! membership, no data path.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an object storage target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OstId(u32);
+
+impl OstId {
+    /// Creates an OST id.
+    pub const fn new(id: u32) -> Self {
+        OstId(id)
+    }
+
+    /// Raw index.
+    pub const fn value(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for OstId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Lustre convention: fsname-OSTxxxx in hex.
+        write!(f, "snx-OST{:04x}", self.0)
+    }
+}
+
+/// Identifier of an object storage server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OssId(u32);
+
+impl OssId {
+    /// Creates an OSS id.
+    pub const fn new(id: u32) -> Self {
+        OssId(id)
+    }
+
+    /// Raw index.
+    pub const fn value(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for OssId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "oss{:03}", self.0)
+    }
+}
+
+/// Identifier of a metadata server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MdsId(u32);
+
+impl MdsId {
+    /// Creates an MDS id.
+    pub const fn new(id: u32) -> Self {
+        MdsId(id)
+    }
+
+    /// Raw index.
+    pub const fn value(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for MdsId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mds{:02}", self.0)
+    }
+}
+
+/// The filesystem layout: `ost_count` OSTs spread evenly over `oss_count`
+/// OSSes, plus `mds_count` metadata servers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LustreSystem {
+    oss_count: u32,
+    osts_per_oss: u32,
+    mds_count: u32,
+}
+
+impl LustreSystem {
+    /// Creates a filesystem layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any count is zero.
+    pub fn new(oss_count: u32, osts_per_oss: u32, mds_count: u32) -> Self {
+        assert!(
+            oss_count > 0 && osts_per_oss > 0 && mds_count > 0,
+            "lustre layout counts must be positive"
+        );
+        LustreSystem { oss_count, osts_per_oss, mds_count }
+    }
+
+    /// The Blue Waters-scale layout: 180 OSSes × 8 OSTs (1,440 OSTs) and
+    /// 3 metadata servers (home/project/scratch).
+    pub fn blue_waters() -> Self {
+        LustreSystem::new(180, 8, 3)
+    }
+
+    /// A layout scaled down by `divisor` (at least 1 OSS / 1 MDS).
+    pub fn scaled(divisor: u32) -> Self {
+        let full = Self::blue_waters();
+        LustreSystem::new(
+            (full.oss_count / divisor.max(1)).max(1),
+            full.osts_per_oss,
+            ((full.mds_count) / divisor.max(1)).max(1),
+        )
+    }
+
+    /// Number of OSSes.
+    pub fn oss_count(&self) -> u32 {
+        self.oss_count
+    }
+
+    /// Number of OSTs.
+    pub fn ost_count(&self) -> u32 {
+        self.oss_count * self.osts_per_oss
+    }
+
+    /// Number of metadata servers.
+    pub fn mds_count(&self) -> u32 {
+        self.mds_count
+    }
+
+    /// The OSS serving an OST.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the OST is out of range.
+    pub fn oss_of(&self, ost: OstId) -> OssId {
+        assert!(ost.value() < self.ost_count(), "ost out of range");
+        OssId::new(ost.value() / self.osts_per_oss)
+    }
+
+    /// The OSTs served by an OSS.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the OSS is out of range.
+    pub fn osts_of(&self, oss: OssId) -> impl Iterator<Item = OstId> {
+        assert!(oss.value() < self.oss_count, "oss out of range");
+        let base = oss.value() * self.osts_per_oss;
+        (base..base + self.osts_per_oss).map(OstId::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blue_waters_layout() {
+        let l = LustreSystem::blue_waters();
+        assert_eq!(l.ost_count(), 1_440);
+        assert_eq!(l.oss_count(), 180);
+        assert_eq!(l.mds_count(), 3);
+    }
+
+    #[test]
+    fn oss_ost_mapping_round_trips() {
+        let l = LustreSystem::new(10, 4, 1);
+        for oss in 0..10 {
+            for ost in l.osts_of(OssId::new(oss)) {
+                assert_eq!(l.oss_of(ost), OssId::new(oss));
+            }
+        }
+        assert_eq!(l.osts_of(OssId::new(3)).count(), 4);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(OstId::new(255).to_string(), "snx-OST00ff");
+        assert_eq!(OssId::new(7).to_string(), "oss007");
+        assert_eq!(MdsId::new(1).to_string(), "mds01");
+    }
+
+    #[test]
+    fn scaled_never_reaches_zero() {
+        let l = LustreSystem::scaled(10_000);
+        assert!(l.oss_count() >= 1);
+        assert!(l.mds_count() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "ost out of range")]
+    fn oss_of_checks_range() {
+        let l = LustreSystem::new(2, 2, 1);
+        let _ = l.oss_of(OstId::new(4));
+    }
+}

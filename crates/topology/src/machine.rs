@@ -1,0 +1,365 @@
+//! The whole machine: node inventory, class layout, torus fabric, Lustre.
+
+use logdiver_types::{NodeId, NodeSet, NodeType};
+use serde::{Deserialize, Serialize};
+
+use crate::location::{Location, NODES_PER_BLADE, NODES_PER_CABINET};
+use crate::lustre::LustreSystem;
+use crate::torus::Torus;
+
+/// A fully specified machine.
+///
+/// The node inventory is stored as one `NodeType` per nid; locations and
+/// torus coordinates are pure functions of the nid (see [`Location`] and
+/// [`Torus`]), so even the full 27,648-slot machine costs a few tens of KiB.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Machine {
+    name: String,
+    node_types: Vec<NodeType>,
+    torus: Torus,
+    lustre: LustreSystem,
+    xe_count: u32,
+    xk_count: u32,
+}
+
+impl Machine {
+    /// The full Blue Waters configuration: 22,640 XE + 4,224 XK compute
+    /// nodes and 784 service nodes on a 24×24×24 Gemini torus.
+    pub fn blue_waters() -> Self {
+        MachineBuilder::new("blue-waters")
+            .xe_nodes(22_640)
+            .xk_nodes(4_224)
+            .torus(Torus::blue_waters())
+            .lustre(LustreSystem::blue_waters())
+            .build()
+    }
+
+    /// A geometry-preserving scale-down of Blue Waters by `divisor`
+    /// (node counts divided, rounded to whole blades; torus shrunk to fit).
+    ///
+    /// Used by tests, examples and CI-speed benches. `divisor = 1` is the
+    /// full machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `divisor == 0`.
+    pub fn blue_waters_scaled(divisor: u32) -> Self {
+        assert!(divisor > 0, "divisor must be positive");
+        if divisor == 1 {
+            return Self::blue_waters();
+        }
+        let round_blades = |n: u32| ((n / divisor).div_ceil(NODES_PER_BLADE)) * NODES_PER_BLADE;
+        let xe = round_blades(22_640).max(NODES_PER_BLADE);
+        let xk = round_blades(4_224).max(NODES_PER_BLADE);
+        let svc = round_blades(784).max(NODES_PER_BLADE);
+        // Smallest cube torus that serves all the slots.
+        let total = xe + xk + svc;
+        let mut dim = 2u16;
+        while 2 * (dim as u32).pow(3) < total {
+            dim += 1;
+        }
+        MachineBuilder::new(format!("blue-waters/{divisor}"))
+            .xe_nodes(xe)
+            .xk_nodes(xk)
+            .service_nodes(svc)
+            .torus(Torus::new(dim, dim, dim))
+            .lustre(LustreSystem::scaled(divisor))
+            .build()
+    }
+
+    /// Machine name (appears in log headers).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total node slots (compute + service).
+    pub fn total_nodes(&self) -> u32 {
+        self.node_types.len() as u32
+    }
+
+    /// Number of nodes of a class.
+    pub fn count_of(&self, ty: NodeType) -> u32 {
+        match ty {
+            NodeType::Xe => self.xe_count,
+            NodeType::Xk => self.xk_count,
+            NodeType::Service => self.total_nodes() - self.xe_count - self.xk_count,
+        }
+    }
+
+    /// Number of compute nodes (XE + XK).
+    pub fn compute_nodes(&self) -> u32 {
+        self.xe_count + self.xk_count
+    }
+
+    /// The class of a nid, or `None` outside the machine.
+    pub fn node_type(&self, nid: NodeId) -> Option<NodeType> {
+        self.node_types.get(nid.value() as usize).copied()
+    }
+
+    /// True when the nid exists and runs applications.
+    pub fn is_compute(&self, nid: NodeId) -> bool {
+        self.node_type(nid).is_some_and(NodeType::is_compute)
+    }
+
+    /// Iterates all nids of a class in ascending order.
+    pub fn nodes_of_type(&self, ty: NodeType) -> impl Iterator<Item = NodeId> + '_ {
+        self.node_types
+            .iter()
+            .enumerate()
+            .filter(move |(_, &t)| t == ty)
+            .map(|(i, _)| NodeId::new(i as u32))
+    }
+
+    /// All nids of a class as a [`NodeSet`].
+    pub fn node_set_of_type(&self, ty: NodeType) -> NodeSet {
+        self.nodes_of_type(ty).collect()
+    }
+
+    /// Physical location of a nid.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the nid is outside the machine.
+    pub fn location(&self, nid: NodeId) -> Location {
+        assert!(
+            (nid.value() as usize) < self.node_types.len(),
+            "nid {nid} outside machine"
+        );
+        Location::of_nid(nid)
+    }
+
+    /// The interconnect fabric.
+    pub fn torus(&self) -> &Torus {
+        &self.torus
+    }
+
+    /// The filesystem.
+    pub fn lustre(&self) -> &LustreSystem {
+        &self.lustre
+    }
+
+    /// Number of whole cabinets (including a possibly partial last one).
+    pub fn cabinet_count(&self) -> u32 {
+        (self.total_nodes()).div_ceil(NODES_PER_CABINET)
+    }
+
+    /// The nids sharing a blade with `nid` that exist on this machine.
+    pub fn blade_peers(&self, nid: NodeId) -> Vec<NodeId> {
+        Location::of_nid(nid)
+            .blade_nids()
+            .into_iter()
+            .filter(|n| (n.value() as usize) < self.node_types.len())
+            .collect()
+    }
+}
+
+/// Builder for custom machines (C-BUILDER).
+///
+/// ```
+/// use bw_topology::{MachineBuilder, Torus};
+/// let m = MachineBuilder::new("test-rig")
+///     .xe_nodes(96)
+///     .xk_nodes(32)
+///     .torus(Torus::new(4, 4, 4))
+///     .build();
+/// assert_eq!(m.compute_nodes(), 128);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MachineBuilder {
+    name: String,
+    xe: u32,
+    xk: u32,
+    service: u32,
+    torus: Option<Torus>,
+    lustre: Option<LustreSystem>,
+}
+
+impl MachineBuilder {
+    /// Starts a builder for a machine with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        MachineBuilder {
+            name: name.into(),
+            xe: 0,
+            xk: 0,
+            service: 0,
+            torus: None,
+            lustre: None,
+        }
+    }
+
+    /// Sets the XE (CPU) node count.
+    pub fn xe_nodes(mut self, n: u32) -> Self {
+        self.xe = n;
+        self
+    }
+
+    /// Sets the XK (hybrid) node count.
+    pub fn xk_nodes(mut self, n: u32) -> Self {
+        self.xk = n;
+        self
+    }
+
+    /// Sets the service node count (default: whatever fills the torus, or
+    /// 16 when no torus is specified).
+    pub fn service_nodes(mut self, n: u32) -> Self {
+        self.service = n;
+        self
+    }
+
+    /// Sets the torus fabric (default: smallest cube that fits the nodes).
+    pub fn torus(mut self, torus: Torus) -> Self {
+        self.torus = Some(torus);
+        self
+    }
+
+    /// Sets the Lustre configuration (default: scaled preset).
+    pub fn lustre(mut self, lustre: LustreSystem) -> Self {
+        self.lustre = Some(lustre);
+        self
+    }
+
+    /// Finalizes the machine.
+    ///
+    /// Node classes are laid out in contiguous nid ranges:
+    /// XE first, then XK, then service (see crate docs for why this
+    /// simplification is safe).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a supplied torus is too small for the requested nodes,
+    /// or when no compute nodes were requested.
+    pub fn build(self) -> Machine {
+        assert!(self.xe + self.xk > 0, "machine needs at least one compute node");
+        let service = if self.service > 0 {
+            self.service
+        } else if let Some(t) = &self.torus {
+            t.node_slots().saturating_sub(self.xe + self.xk)
+        } else {
+            16
+        };
+        let total = self.xe + self.xk + service;
+        let torus = self.torus.unwrap_or_else(|| {
+            let mut dim = 2u16;
+            while 2 * (dim as u32).pow(3) < total {
+                dim += 1;
+            }
+            Torus::new(dim, dim, dim)
+        });
+        assert!(
+            torus.node_slots() >= total,
+            "torus serves {} slots but {} nodes requested",
+            torus.node_slots(),
+            total
+        );
+        let mut node_types = Vec::with_capacity(total as usize);
+        node_types.extend(std::iter::repeat_n(NodeType::Xe, self.xe as usize));
+        node_types.extend(std::iter::repeat_n(NodeType::Xk, self.xk as usize));
+        node_types.extend(std::iter::repeat_n(NodeType::Service, service as usize));
+        Machine {
+            name: self.name,
+            node_types,
+            torus,
+            lustre: self.lustre.unwrap_or_else(|| LustreSystem::scaled(16)),
+            xe_count: self.xe,
+            xk_count: self.xk,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blue_waters_inventory() {
+        let m = Machine::blue_waters();
+        assert_eq!(m.count_of(NodeType::Xe), 22_640);
+        assert_eq!(m.count_of(NodeType::Xk), 4_224);
+        assert_eq!(m.count_of(NodeType::Service), 784);
+        assert_eq!(m.total_nodes(), 27_648);
+        assert_eq!(m.compute_nodes(), 26_864);
+        assert_eq!(m.cabinet_count(), 288);
+        assert_eq!(m.torus().node_slots(), 27_648);
+    }
+
+    #[test]
+    fn class_layout_is_contiguous() {
+        let m = Machine::blue_waters();
+        assert_eq!(m.node_type(NodeId::new(0)), Some(NodeType::Xe));
+        assert_eq!(m.node_type(NodeId::new(22_639)), Some(NodeType::Xe));
+        assert_eq!(m.node_type(NodeId::new(22_640)), Some(NodeType::Xk));
+        assert_eq!(m.node_type(NodeId::new(26_863)), Some(NodeType::Xk));
+        assert_eq!(m.node_type(NodeId::new(26_864)), Some(NodeType::Service));
+        assert_eq!(m.node_type(NodeId::new(27_647)), Some(NodeType::Service));
+        assert_eq!(m.node_type(NodeId::new(27_648)), None);
+    }
+
+    #[test]
+    fn scaled_machine_preserves_ratio_roughly() {
+        let m = Machine::blue_waters_scaled(16);
+        let xe = m.count_of(NodeType::Xe) as f64;
+        let xk = m.count_of(NodeType::Xk) as f64;
+        let ratio = xe / xk;
+        let full_ratio = 22_640.0 / 4_224.0;
+        assert!((ratio - full_ratio).abs() / full_ratio < 0.1, "ratio {ratio}");
+        assert!(m.torus().node_slots() >= m.total_nodes());
+        // Node counts land on blade boundaries.
+        assert_eq!(m.count_of(NodeType::Xe) % NODES_PER_BLADE, 0);
+        assert_eq!(m.count_of(NodeType::Xk) % NODES_PER_BLADE, 0);
+    }
+
+    #[test]
+    fn scaled_by_one_is_full_machine() {
+        assert_eq!(Machine::blue_waters_scaled(1), Machine::blue_waters());
+    }
+
+    #[test]
+    fn nodes_of_type_matches_counts() {
+        let m = Machine::blue_waters_scaled(32);
+        for ty in NodeType::ALL {
+            assert_eq!(m.nodes_of_type(ty).count() as u32, m.count_of(ty), "{ty}");
+            assert_eq!(m.node_set_of_type(ty).len() as u32, m.count_of(ty));
+        }
+    }
+
+    #[test]
+    fn builder_defaults_pick_fitting_torus() {
+        let m = MachineBuilder::new("tiny").xe_nodes(100).build();
+        assert!(m.torus().node_slots() >= m.total_nodes());
+        assert_eq!(m.count_of(NodeType::Xe), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "torus serves")]
+    fn builder_rejects_undersized_torus() {
+        let _ = MachineBuilder::new("broken")
+            .xe_nodes(1_000)
+            .torus(Torus::new(2, 2, 2))
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one compute node")]
+    fn builder_rejects_empty_machine() {
+        let _ = MachineBuilder::new("empty").build();
+    }
+
+    #[test]
+    fn blade_peers_stay_in_machine() {
+        let m = MachineBuilder::new("t").xe_nodes(6).service_nodes(0).build();
+        // Machine has 6 XE + default-fill service; peers of nid 4 exist.
+        let peers = m.blade_peers(NodeId::new(4));
+        assert!(peers.contains(&NodeId::new(4)));
+        assert!(peers.iter().all(|n| m.node_type(*n).is_some()));
+    }
+
+    #[test]
+    fn is_compute_distinguishes_service() {
+        let m = Machine::blue_waters_scaled(64);
+        let svc = m.nodes_of_type(NodeType::Service).next().unwrap();
+        let xe = m.nodes_of_type(NodeType::Xe).next().unwrap();
+        assert!(!m.is_compute(svc));
+        assert!(m.is_compute(xe));
+        assert!(!m.is_compute(NodeId::new(u32::MAX)));
+    }
+}

@@ -1,0 +1,416 @@
+//! The Gemini 3-D torus interconnect.
+//!
+//! Each blade carries two Gemini ASICs; each ASIC serves two nodes and is a
+//! vertex of a 3-D torus. Link failures on this fabric trigger a
+//! machine-wide *route reconfiguration* during which traffic quiesces — the
+//! mechanism behind the paper's finding that wide applications suffer
+//! disproportionately from interconnect events.
+
+use logdiver_types::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Coordinates of a Gemini ASIC in the torus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TorusCoord {
+    /// X coordinate.
+    pub x: u16,
+    /// Y coordinate.
+    pub y: u16,
+    /// Z coordinate.
+    pub z: u16,
+}
+
+impl std::fmt::Display for TorusCoord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({},{},{})", self.x, self.y, self.z)
+    }
+}
+
+/// A torus dimension, used to identify the direction of a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Dim {
+    /// X dimension.
+    X,
+    /// Y dimension.
+    Y,
+    /// Z dimension.
+    Z,
+}
+
+/// A (directed-normalized) torus link: from `coord` toward +`dim`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Link {
+    /// Source vertex.
+    pub coord: TorusCoord,
+    /// Positive direction of travel.
+    pub dim: Dim,
+}
+
+/// A 3-D torus of Gemini ASICs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Torus {
+    dims: (u16, u16, u16),
+}
+
+/// Nodes served by one Gemini ASIC.
+pub const NODES_PER_GEMINI: u32 = 2;
+
+impl Torus {
+    /// Creates a torus with the given dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any dimension is zero.
+    pub fn new(x: u16, y: u16, z: u16) -> Self {
+        assert!(x > 0 && y > 0 && z > 0, "torus dimensions must be positive");
+        Torus { dims: (x, y, z) }
+    }
+
+    /// The Blue Waters-scale torus: 24 × 24 × 24.
+    pub fn blue_waters() -> Self {
+        Torus::new(24, 24, 24)
+    }
+
+    /// Dimensions `(x, y, z)`.
+    pub fn dims(&self) -> (u16, u16, u16) {
+        self.dims
+    }
+
+    /// Number of vertices (Gemini ASICs).
+    pub fn vertex_count(&self) -> u32 {
+        self.dims.0 as u32 * self.dims.1 as u32 * self.dims.2 as u32
+    }
+
+    /// Number of (undirected) links: 3 per vertex on a full torus.
+    pub fn link_count(&self) -> u32 {
+        self.vertex_count() * 3
+    }
+
+    /// Number of node slots the fabric serves.
+    pub fn node_slots(&self) -> u32 {
+        self.vertex_count() * NODES_PER_GEMINI
+    }
+
+    /// The Gemini ordinal serving a nid (two nids per ASIC).
+    pub fn gemini_of_nid(&self, nid: NodeId) -> u32 {
+        nid.value() / NODES_PER_GEMINI
+    }
+
+    /// Torus coordinates of a Gemini ordinal.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the ordinal is out of range.
+    pub fn coord_of_gemini(&self, gemini: u32) -> TorusCoord {
+        assert!(gemini < self.vertex_count(), "gemini ordinal out of range");
+        let (dx, dy, _dz) = self.dims;
+        let plane = dx as u32 * dy as u32;
+        TorusCoord {
+            z: (gemini / plane) as u16,
+            y: ((gemini % plane) / dx as u32) as u16,
+            x: (gemini % dx as u32) as u16,
+        }
+    }
+
+    /// Torus coordinates serving a nid.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the nid is outside the fabric.
+    pub fn coord_of_nid(&self, nid: NodeId) -> TorusCoord {
+        self.coord_of_gemini(self.gemini_of_nid(nid))
+    }
+
+    /// Gemini ordinal at a coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the coordinate is out of range.
+    pub fn gemini_at(&self, c: TorusCoord) -> u32 {
+        let (dx, dy, dz) = self.dims;
+        assert!(c.x < dx && c.y < dy && c.z < dz, "coordinate out of range");
+        c.z as u32 * dx as u32 * dy as u32 + c.y as u32 * dx as u32 + c.x as u32
+    }
+
+    /// The two nids served by the Gemini at a coordinate.
+    pub fn nids_at(&self, c: TorusCoord) -> [NodeId; 2] {
+        let g = self.gemini_at(c);
+        [NodeId::new(g * NODES_PER_GEMINI), NodeId::new(g * NODES_PER_GEMINI + 1)]
+    }
+
+    /// Shortest-path hop distance between two coordinates with wraparound.
+    pub fn distance(&self, a: TorusCoord, b: TorusCoord) -> u32 {
+        fn axis(a: u16, b: u16, dim: u16) -> u32 {
+            let d = (a as i32 - b as i32).unsigned_abs();
+            d.min(dim as u32 - d)
+        }
+        axis(a.x, b.x, self.dims.0) + axis(a.y, b.y, self.dims.1) + axis(a.z, b.z, self.dims.2)
+    }
+
+    /// The six neighbors of a coordinate.
+    pub fn neighbors(&self, c: TorusCoord) -> [TorusCoord; 6] {
+        let (dx, dy, dz) = self.dims;
+        let wrap = |v: i32, d: u16| ((v + d as i32) % d as i32) as u16;
+        [
+            TorusCoord { x: wrap(c.x as i32 + 1, dx), ..c },
+            TorusCoord { x: wrap(c.x as i32 - 1, dx), ..c },
+            TorusCoord { y: wrap(c.y as i32 + 1, dy), ..c },
+            TorusCoord { y: wrap(c.y as i32 - 1, dy), ..c },
+            TorusCoord { z: wrap(c.z as i32 + 1, dz), ..c },
+            TorusCoord { z: wrap(c.z as i32 - 1, dz), ..c },
+        ]
+    }
+
+    /// The link leaving Gemini ordinal `gemini` in direction `dim`
+    /// (normalized: every undirected link is named by its lower endpoint in
+    /// the positive direction).
+    pub fn link(&self, gemini: u32, dim: Dim) -> Link {
+        Link { coord: self.coord_of_gemini(gemini), dim }
+    }
+
+    /// Picks the link with the given flat index in `0..link_count()` —
+    /// handy for uniform random link selection in fault injection.
+    pub fn link_by_index(&self, index: u32) -> Link {
+        let v = self.vertex_count();
+        assert!(index < self.link_count(), "link index out of range");
+        let dim = match index / v {
+            0 => Dim::X,
+            1 => Dim::Y,
+            _ => Dim::Z,
+        };
+        Link { coord: self.coord_of_gemini(index % v), dim }
+    }
+
+    /// Shortest signed step along one axis with wraparound: the per-hop
+    /// delta (−1, 0 or +1) dimension-ordered routing takes.
+    fn axis_step(from: u16, to: u16, dim: u16) -> i32 {
+        if from == to {
+            return 0;
+        }
+        let forward = (to as i32 - from as i32).rem_euclid(dim as i32);
+        let backward = dim as i32 - forward;
+        if forward <= backward {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Dimension-ordered (X, then Y, then Z) shortest route between two
+    /// coordinates, inclusive of both endpoints.
+    ///
+    /// This is the deterministic routing Gemini-class toruses use as their
+    /// baseline; the path length always equals [`Torus::distance`] + 1.
+    pub fn route(&self, a: TorusCoord, b: TorusCoord) -> Vec<TorusCoord> {
+        let (dx, dy, dz) = self.dims;
+        let mut path = vec![a];
+        let mut cur = a;
+        let wrap = |v: i32, d: u16| v.rem_euclid(d as i32) as u16;
+        while cur.x != b.x {
+            cur.x = wrap(cur.x as i32 + Self::axis_step(cur.x, b.x, dx), dx);
+            path.push(cur);
+        }
+        while cur.y != b.y {
+            cur.y = wrap(cur.y as i32 + Self::axis_step(cur.y, b.y, dy), dy);
+            path.push(cur);
+        }
+        while cur.z != b.z {
+            cur.z = wrap(cur.z as i32 + Self::axis_step(cur.z, b.z, dz), dz);
+            path.push(cur);
+        }
+        path
+    }
+
+    /// True when dimension-ordered traffic between `a` and `b` crosses the
+    /// given link (in either direction).
+    pub fn route_uses_link(&self, a: TorusCoord, b: TorusCoord, link: &Link) -> bool {
+        let path = self.route(a, b);
+        path.windows(2).any(|w| {
+            let (lo, hi) = (w[0], w[1]);
+            let step = match link.dim {
+                Dim::X => TorusCoord { x: (link.coord.x + 1) % self.dims.0, ..link.coord },
+                Dim::Y => TorusCoord { y: (link.coord.y + 1) % self.dims.1, ..link.coord },
+                Dim::Z => TorusCoord { z: (link.coord.z + 1) % self.dims.2, ..link.coord },
+            };
+            (lo == link.coord && hi == step) || (lo == step && hi == link.coord)
+        })
+    }
+
+    /// Span (maximum pairwise distance) of a set of nids — a measure of how
+    /// much of the fabric an application allocation stretches across.
+    ///
+    /// Cost is O(n²) in the number of *distinct Gemini*; callers pass
+    /// allocations, which are contiguous-ish, so deduplication keeps this
+    /// tractable for reporting.
+    pub fn span_of<I: IntoIterator<Item = NodeId>>(&self, nids: I) -> u32 {
+        let mut coords: Vec<TorusCoord> = Vec::new();
+        let mut last_gemini = u32::MAX;
+        for nid in nids {
+            let g = self.gemini_of_nid(nid);
+            if g != last_gemini {
+                coords.push(self.coord_of_gemini(g));
+                last_gemini = g;
+            }
+        }
+        coords.sort_unstable();
+        coords.dedup();
+        let mut span = 0;
+        for i in 0..coords.len() {
+            for j in (i + 1)..coords.len() {
+                span = span.max(self.distance(coords[i], coords[j]));
+            }
+        }
+        span
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn blue_waters_dimensions() {
+        let t = Torus::blue_waters();
+        assert_eq!(t.vertex_count(), 13_824);
+        assert_eq!(t.node_slots(), 27_648);
+        assert_eq!(t.link_count(), 41_472);
+    }
+
+    #[test]
+    fn coord_round_trip() {
+        let t = Torus::blue_waters();
+        for g in [0u32, 1, 23, 24, 575, 576, 13_823] {
+            assert_eq!(t.gemini_at(t.coord_of_gemini(g)), g);
+        }
+    }
+
+    #[test]
+    fn nids_share_gemini_in_pairs() {
+        let t = Torus::blue_waters();
+        assert_eq!(t.gemini_of_nid(NodeId::new(0)), t.gemini_of_nid(NodeId::new(1)));
+        assert_ne!(t.gemini_of_nid(NodeId::new(1)), t.gemini_of_nid(NodeId::new(2)));
+        let c = t.coord_of_nid(NodeId::new(100));
+        assert!(t.nids_at(c).contains(&NodeId::new(100)));
+    }
+
+    #[test]
+    fn distance_with_wraparound() {
+        let t = Torus::new(10, 10, 10);
+        let a = TorusCoord { x: 0, y: 0, z: 0 };
+        let b = TorusCoord { x: 9, y: 0, z: 0 };
+        assert_eq!(t.distance(a, b), 1); // wraps
+        let c = TorusCoord { x: 5, y: 5, z: 5 };
+        assert_eq!(t.distance(a, c), 15);
+        assert_eq!(t.distance(a, a), 0);
+    }
+
+    #[test]
+    fn neighbors_are_at_distance_one() {
+        let t = Torus::new(5, 7, 3);
+        let c = TorusCoord { x: 4, y: 0, z: 2 };
+        for n in t.neighbors(c) {
+            assert_eq!(t.distance(c, n), 1, "neighbor {n} not adjacent to {c}");
+        }
+    }
+
+    #[test]
+    fn link_by_index_covers_all_dims() {
+        let t = Torus::new(2, 2, 2);
+        let mut dims = std::collections::HashSet::new();
+        for i in 0..t.link_count() {
+            dims.insert(t.link_by_index(i).dim);
+        }
+        assert_eq!(dims.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "link index out of range")]
+    fn link_by_index_panics_out_of_range() {
+        let t = Torus::new(2, 2, 2);
+        let _ = t.link_by_index(t.link_count());
+    }
+
+    #[test]
+    fn span_of_contiguous_allocation_is_small() {
+        let t = Torus::blue_waters();
+        // 96 contiguous nids = 48 contiguous Gemini = at most 2 rows of X.
+        let nids: Vec<NodeId> = (0..96).map(NodeId::new).collect();
+        let span_small = t.span_of(nids);
+        let nids_wide: Vec<NodeId> = (0..27_648).step_by(1_000).map(NodeId::new).collect();
+        let span_wide = t.span_of(nids_wide);
+        assert!(span_small < span_wide, "{span_small} vs {span_wide}");
+    }
+
+    #[test]
+    fn route_follows_dimension_order() {
+        let t = Torus::new(8, 8, 8);
+        let a = TorusCoord { x: 1, y: 2, z: 3 };
+        let b = TorusCoord { x: 6, y: 0, z: 3 };
+        let path = t.route(a, b);
+        // X first (wraps backward: 1→0→7→6 is 3 hops), then Y (2→1→0).
+        assert_eq!(path.first(), Some(&a));
+        assert_eq!(path.last(), Some(&b));
+        assert_eq!(path.len() as u32, t.distance(a, b) + 1);
+        // After the X phase, x is fixed at the target.
+        let x_done = path.iter().position(|c| c.x == b.x).unwrap();
+        assert!(path[x_done..].iter().all(|c| c.x == b.x));
+    }
+
+    #[test]
+    fn route_to_self_is_trivial() {
+        let t = Torus::new(4, 4, 4);
+        let a = TorusCoord { x: 2, y: 2, z: 2 };
+        assert_eq!(t.route(a, a), vec![a]);
+    }
+
+    #[test]
+    fn route_uses_link_detects_crossing() {
+        let t = Torus::new(8, 8, 8);
+        let a = TorusCoord { x: 0, y: 0, z: 0 };
+        let b = TorusCoord { x: 2, y: 0, z: 0 };
+        let on_path = Link { coord: TorusCoord { x: 1, y: 0, z: 0 }, dim: Dim::X };
+        let off_path = Link { coord: TorusCoord { x: 1, y: 1, z: 0 }, dim: Dim::X };
+        assert!(t.route_uses_link(a, b, &on_path));
+        assert!(!t.route_uses_link(a, b, &off_path));
+        // Reverse direction crosses the same undirected link.
+        assert!(t.route_uses_link(b, a, &on_path));
+    }
+
+    proptest! {
+        #[test]
+        fn route_length_equals_distance(ax in 0u16..10, ay in 0u16..10, az in 0u16..10,
+                                        bx in 0u16..10, by in 0u16..10, bz in 0u16..10) {
+            let t = Torus::new(10, 10, 10);
+            let a = TorusCoord { x: ax, y: ay, z: az };
+            let b = TorusCoord { x: bx, y: by, z: bz };
+            let path = t.route(a, b);
+            prop_assert_eq!(path.len() as u32, t.distance(a, b) + 1);
+            // Each hop is a unit move.
+            for w in path.windows(2) {
+                prop_assert_eq!(t.distance(w[0], w[1]), 1);
+            }
+        }
+
+        #[test]
+        fn distance_is_a_metric(ax in 0u16..24, ay in 0u16..24, az in 0u16..24,
+                                bx in 0u16..24, by in 0u16..24, bz in 0u16..24,
+                                cx in 0u16..24, cy in 0u16..24, cz in 0u16..24) {
+            let t = Torus::blue_waters();
+            let a = TorusCoord { x: ax, y: ay, z: az };
+            let b = TorusCoord { x: bx, y: by, z: bz };
+            let c = TorusCoord { x: cx, y: cy, z: cz };
+            prop_assert_eq!(t.distance(a, b), t.distance(b, a));
+            prop_assert_eq!(t.distance(a, a), 0);
+            prop_assert!(t.distance(a, c) <= t.distance(a, b) + t.distance(b, c));
+            // Diameter of a 24-cube torus is 36.
+            prop_assert!(t.distance(a, b) <= 36);
+        }
+
+        #[test]
+        fn gemini_round_trip(g in 0u32..13_824) {
+            let t = Torus::blue_waters();
+            prop_assert_eq!(t.gemini_at(t.coord_of_gemini(g)), g);
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Error type for fallible operations in this crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by parsing/validation functions in `logdiver-types`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypesError {
+    /// A timestamp string did not match `YYYY-MM-DD HH:MM:SS`.
+    BadTimestamp(String),
+    /// A node-id was outside the universe of a [`crate::NodeSet`].
+    NodeOutOfRange {
+        /// The offending nid.
+        nid: u32,
+        /// The exclusive upper bound of the universe.
+        universe: u32,
+    },
+}
+
+impl fmt::Display for TypesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypesError::BadTimestamp(s) => write!(f, "invalid timestamp syntax: {s:?}"),
+            TypesError::NodeOutOfRange { nid, universe } => {
+                write!(f, "node id {nid} outside universe of {universe} nodes")
+            }
+        }
+    }
+}
+
+impl Error for TypesError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = TypesError::BadTimestamp("xyz".into());
+        assert!(e.to_string().starts_with("invalid timestamp"));
+        let e = TypesError::NodeOutOfRange { nid: 9, universe: 4 };
+        assert_eq!(e.to_string(), "node id 9 outside universe of 4 nodes");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TypesError>();
+    }
+}

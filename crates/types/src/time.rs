@@ -1,0 +1,378 @@
+//! Time handling for the field study.
+//!
+//! The study spans 518 production days; log lines carry wall-clock
+//! timestamps. We represent instants as seconds since the Unix epoch
+//! ([`Timestamp`]) and spans as signed seconds ([`SimDuration`]), and provide
+//! civil-date formatting/parsing (`YYYY-MM-DD HH:MM:SS`) without pulling in
+//! an external time crate — the proleptic-Gregorian conversions below are the
+//! classic *days-from-civil* / *civil-from-days* algorithms.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TypesError;
+
+/// An instant in time: seconds since the Unix epoch (UTC).
+///
+/// ```
+/// use logdiver_types::Timestamp;
+/// let t = Timestamp::from_ymd_hms(2013, 3, 28, 0, 0, 0);
+/// assert_eq!(t.to_string(), "2013-03-28 00:00:00");
+/// let u: Timestamp = "2013-03-28 00:00:00".parse()?;
+/// assert_eq!(t, u);
+/// # Ok::<(), logdiver_types::TypesError>(())
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(i64);
+
+/// A span of time in seconds. May be negative (difference of two instants).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(i64);
+
+/// Days from civil date, proleptic Gregorian calendar.
+///
+/// Returns the number of days since 1970-01-01. Valid for the whole i32 year
+/// range we care about.
+fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = (m as i64 + 9) % 12; // [0, 11], Mar=0
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe - 719468
+}
+
+/// Civil date from days since 1970-01-01 (inverse of [`days_from_civil`]).
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+impl Timestamp {
+    /// The conventional start of the measured production period
+    /// (Blue Waters entered full production in late March 2013).
+    pub const PRODUCTION_EPOCH: Timestamp = Timestamp(1_364_342_400); // 2013-03-27 00:00:00 UTC
+
+    /// Creates a timestamp from raw seconds since the Unix epoch.
+    pub const fn from_unix(secs: i64) -> Self {
+        Timestamp(secs)
+    }
+
+    /// Returns seconds since the Unix epoch.
+    pub const fn as_unix(self) -> i64 {
+        self.0
+    }
+
+    /// Builds a timestamp from a civil date and time of day (UTC).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `month`, `day`, `hour`, `min` or `sec` are out of range.
+    pub fn from_ymd_hms(year: i64, month: u32, day: u32, hour: u32, min: u32, sec: u32) -> Self {
+        assert!((1..=12).contains(&month), "month out of range: {month}");
+        assert!((1..=31).contains(&day), "day out of range: {day}");
+        assert!(hour < 24 && min < 60 && sec < 60, "time of day out of range");
+        let days = days_from_civil(year, month, day);
+        Timestamp(days * 86_400 + hour as i64 * 3_600 + min as i64 * 60 + sec as i64)
+    }
+
+    /// Decomposes the timestamp into `(year, month, day, hour, min, sec)` UTC.
+    pub fn to_ymd_hms(self) -> (i64, u32, u32, u32, u32, u32) {
+        let days = self.0.div_euclid(86_400);
+        let secs = self.0.rem_euclid(86_400);
+        let (y, m, d) = civil_from_days(days);
+        (
+            y,
+            m,
+            d,
+            (secs / 3_600) as u32,
+            ((secs % 3_600) / 60) as u32,
+            (secs % 60) as u32,
+        )
+    }
+
+    /// Number of whole days since [`Timestamp::PRODUCTION_EPOCH`].
+    ///
+    /// Negative before production start.
+    pub fn production_day(self) -> i64 {
+        (self.0 - Self::PRODUCTION_EPOCH.0).div_euclid(86_400)
+    }
+
+    /// Saturating addition of a duration.
+    pub fn saturating_add(self, d: SimDuration) -> Self {
+        Timestamp(self.0.saturating_add(d.0))
+    }
+
+    /// Absolute difference between two instants.
+    pub fn abs_diff(self, other: Timestamp) -> SimDuration {
+        SimDuration((self.0 - other.0).abs())
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, mo, d, h, mi, s) = self.to_ymd_hms();
+        write!(f, "{y:04}-{mo:02}-{d:02} {h:02}:{mi:02}:{s:02}")
+    }
+}
+
+impl FromStr for Timestamp {
+    type Err = TypesError;
+
+    /// Parses `YYYY-MM-DD HH:MM:SS` (the format used across our log sources).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bad = || TypesError::BadTimestamp(s.to_string());
+        let (date, tod) = s.split_once(' ').ok_or_else(bad)?;
+        let mut dit = date.split('-');
+        let y: i64 = dit.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let mo: u32 = dit.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let d: u32 = dit.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        if dit.next().is_some() {
+            return Err(bad());
+        }
+        let mut tit = tod.split(':');
+        let h: u32 = tit.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let mi: u32 = tit.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let sec: u32 = tit.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        if tit.next().is_some() {
+            return Err(bad());
+        }
+        if !(1..=12).contains(&mo) || !(1..=31).contains(&d) || h >= 24 || mi >= 60 || sec >= 60 {
+            return Err(bad());
+        }
+        Ok(Timestamp::from_ymd_hms(y, mo, d, h, mi, sec))
+    }
+}
+
+impl Add<SimDuration> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, rhs: SimDuration) -> Timestamp {
+        Timestamp(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for Timestamp {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for Timestamp {
+    type Output = Timestamp;
+    fn sub(self, rhs: SimDuration) -> Timestamp {
+        Timestamp(self.0 - rhs.0)
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = SimDuration;
+    fn sub(self, rhs: Timestamp) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from seconds.
+    pub const fn from_secs(secs: i64) -> Self {
+        SimDuration(secs)
+    }
+
+    /// Creates a duration from whole minutes.
+    pub const fn from_mins(mins: i64) -> Self {
+        SimDuration(mins * 60)
+    }
+
+    /// Creates a duration from whole hours.
+    pub const fn from_hours(hours: i64) -> Self {
+        SimDuration(hours * 3_600)
+    }
+
+    /// Creates a duration from whole days.
+    pub const fn from_days(days: i64) -> Self {
+        SimDuration(days * 86_400)
+    }
+
+    /// Creates a duration from fractional hours, rounding to whole seconds.
+    pub fn from_hours_f64(hours: f64) -> Self {
+        SimDuration((hours * 3_600.0).round() as i64)
+    }
+
+    /// The duration in seconds.
+    pub const fn as_secs(self) -> i64 {
+        self.0
+    }
+
+    /// The duration in fractional hours.
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / 3_600.0
+    }
+
+    /// The duration in fractional days.
+    pub fn as_days_f64(self) -> f64 {
+        self.0 as f64 / 86_400.0
+    }
+
+    /// True when the duration is negative.
+    pub const fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+
+    /// Absolute value.
+    pub const fn abs(self) -> Self {
+        SimDuration(self.0.abs())
+    }
+
+    /// Clamps the duration into `[lo, hi]`.
+    pub fn clamp(self, lo: SimDuration, hi: SimDuration) -> Self {
+        SimDuration(self.0.clamp(lo.0, hi.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.0.abs();
+        let sign = if self.0 < 0 { "-" } else { "" };
+        let (h, m, s) = (total / 3_600, (total % 3_600) / 60, total % 60);
+        write!(f, "{sign}{h:02}:{m:02}:{s:02}")
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_1970() {
+        let t = Timestamp::from_ymd_hms(1970, 1, 1, 0, 0, 0);
+        assert_eq!(t.as_unix(), 0);
+    }
+
+    #[test]
+    fn known_date_round_trips() {
+        // 2013-03-27 00:00:00 UTC == 1364342400 (production epoch).
+        let t = Timestamp::from_ymd_hms(2013, 3, 27, 0, 0, 0);
+        assert_eq!(t, Timestamp::PRODUCTION_EPOCH);
+        assert_eq!(t.to_ymd_hms(), (2013, 3, 27, 0, 0, 0));
+    }
+
+    #[test]
+    fn leap_year_handling() {
+        let feb29 = Timestamp::from_ymd_hms(2016, 2, 29, 12, 0, 0);
+        assert_eq!(feb29.to_ymd_hms(), (2016, 2, 29, 12, 0, 0));
+        let mar1 = feb29 + SimDuration::from_hours(12);
+        assert_eq!(mar1.to_ymd_hms(), (2016, 3, 1, 0, 0, 0));
+    }
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        for secs in [0i64, 1_364_342_400, 1_400_000_123, -86_400] {
+            let t = Timestamp::from_unix(secs);
+            let s = t.to_string();
+            let back: Timestamp = s.parse().unwrap();
+            assert_eq!(back, t, "round trip failed for {s}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!("2013-03-27".parse::<Timestamp>().is_err());
+        assert!("2013/03/27 00:00:00".parse::<Timestamp>().is_err());
+        assert!("2013-13-27 00:00:00".parse::<Timestamp>().is_err());
+        assert!("2013-03-27 25:00:00".parse::<Timestamp>().is_err());
+        assert!("2013-03-27 00:00:00:00".parse::<Timestamp>().is_err());
+        assert!("garbage".parse::<Timestamp>().is_err());
+    }
+
+    #[test]
+    fn production_day_counts_from_epoch() {
+        let t = Timestamp::PRODUCTION_EPOCH + SimDuration::from_days(517) + SimDuration::from_hours(23);
+        assert_eq!(t.production_day(), 517);
+        let before = Timestamp::PRODUCTION_EPOCH - SimDuration::from_secs(1);
+        assert_eq!(before.production_day(), -1);
+    }
+
+    #[test]
+    fn duration_arithmetic_and_display() {
+        let d = SimDuration::from_hours(2) + SimDuration::from_mins(3) + SimDuration::from_secs(4);
+        assert_eq!(d.to_string(), "02:03:04");
+        assert_eq!((SimDuration::ZERO - d).to_string(), "-02:03:04");
+        assert!((SimDuration::ZERO - d).is_negative());
+        assert_eq!((SimDuration::ZERO - d).abs(), d);
+    }
+
+    #[test]
+    fn duration_conversions() {
+        assert_eq!(SimDuration::from_hours_f64(1.5).as_secs(), 5_400);
+        assert!((SimDuration::from_secs(5_400).as_hours_f64() - 1.5).abs() < 1e-12);
+        assert!((SimDuration::from_days(2).as_days_f64() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timestamp_subtraction_gives_duration() {
+        let a = Timestamp::from_ymd_hms(2013, 3, 27, 0, 0, 0);
+        let b = Timestamp::from_ymd_hms(2013, 3, 28, 6, 0, 0);
+        assert_eq!(b - a, SimDuration::from_hours(30));
+        assert_eq!(a.abs_diff(b), SimDuration::from_hours(30));
+    }
+
+    #[test]
+    fn civil_conversion_exhaustive_span() {
+        // Round-trip every day across several years including leap years.
+        let start = days_from_civil(2012, 1, 1);
+        let end = days_from_civil(2016, 12, 31);
+        let mut prev = None;
+        for z in start..=end {
+            let (y, m, d) = civil_from_days(z);
+            assert_eq!(days_from_civil(y, m, d), z);
+            if let Some(p) = prev {
+                assert_eq!(z, p + 1);
+            }
+            prev = Some(z);
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Workload configuration.
+
+use bw_topology::Machine;
+use logdiver_types::NodeType;
+use serde::{Deserialize, Serialize};
+
+/// Per-node-class workload parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassMix {
+    /// Node class these jobs run on.
+    pub node_type: NodeType,
+    /// Poisson arrival rate, jobs per hour.
+    pub jobs_per_hour: f64,
+    /// Largest allocatable width (the class size of the machine).
+    pub max_nodes: u32,
+    /// Probability a job is single-node (the dominant mode in the field).
+    pub single_node_fraction: f64,
+    /// Tail index of the truncated-Pareto body of the size distribution.
+    pub pareto_alpha: f64,
+    /// Probability a job is a capability run (top of the size range).
+    pub capability_fraction: f64,
+    /// Lower edge of the capability band, as a fraction of `max_nodes`.
+    pub capability_lo_frac: f64,
+    /// Probability a capability run uses the full class (`max_nodes`).
+    pub capability_full_frac: f64,
+    /// Duration multiplier for capability runs (they run much longer than
+    /// the small-job background, which is what makes them dominate
+    /// node-hours while being rare in count).
+    pub capability_duration_multiplier: f64,
+    /// Median application duration in seconds (log-normal).
+    pub duration_median_secs: f64,
+    /// Log-space sigma of the duration distribution.
+    pub duration_sigma: f64,
+    /// Mean applications per job (geometric, ≥ 1).
+    pub apps_per_job_mean: f64,
+}
+
+impl ClassMix {
+    /// Mean width in nodes implied by the mixture (used for capacity
+    /// planning in tests; exact for the single-node and capability parts,
+    /// analytic for the Pareto body).
+    pub fn mean_nodes(&self) -> f64 {
+        let body_frac = 1.0 - self.single_node_fraction - self.capability_fraction;
+        let body_mean = hpc_stats::Pareto::truncated(2.0, self.pareto_alpha, self.max_nodes as f64)
+            .map(|p| hpc_stats::Distribution::mean(&p))
+            .unwrap_or(2.0);
+        // Capability band: mix of full-scale and log-uniform over the band.
+        let lo = self.capability_lo_frac * self.max_nodes as f64;
+        let hi = self.max_nodes as f64;
+        let log_uniform_mean = (hi - lo) / (hi / lo).ln();
+        let cap_mean = self.capability_full_frac * hi
+            + (1.0 - self.capability_full_frac) * log_uniform_mean;
+        self.single_node_fraction + body_frac * body_mean + self.capability_fraction * cap_mean
+    }
+}
+
+/// Full workload configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// One entry per node class (XE, XK).
+    pub classes: Vec<ClassMix>,
+    /// Number of distinct users.
+    pub n_users: usize,
+    /// Zipf exponent of user activity.
+    pub zipf_s: f64,
+    /// Base probability that an application fails for user reasons.
+    pub base_user_failure: f64,
+    /// Base probability that a job underestimates its walltime.
+    pub base_walltime_miss: f64,
+    /// Hard cap on a single application's duration, in seconds.
+    pub max_app_duration_secs: f64,
+}
+
+impl WorkloadConfig {
+    /// The full Blue Waters-scale configuration.
+    ///
+    /// Rates are set so that 518 days produce > 5 M application runs at
+    /// roughly 70–80 % machine utilization: ~200 jobs/hour × ~2 apps/job ×
+    /// 12,432 hours ≈ 5.1 M applications.
+    pub fn blue_waters() -> Self {
+        WorkloadConfig {
+            classes: vec![
+                ClassMix {
+                    node_type: NodeType::Xe,
+                    jobs_per_hour: 160.0,
+                    max_nodes: 22_640,
+                    single_node_fraction: 0.40,
+                    pareto_alpha: 0.85,
+                    capability_fraction: 0.0011,
+                    capability_lo_frac: 0.40,
+                    capability_full_frac: 0.50,
+                    capability_duration_multiplier: 3.0,
+                    duration_median_secs: 900.0,
+                    duration_sigma: 1.5,
+                    apps_per_job_mean: 2.0,
+                },
+                ClassMix {
+                    node_type: NodeType::Xk,
+                    jobs_per_hour: 42.0,
+                    max_nodes: 4_224,
+                    single_node_fraction: 0.45,
+                    pareto_alpha: 0.90,
+                    capability_fraction: 0.004,
+                    capability_lo_frac: 0.40,
+                    capability_full_frac: 0.50,
+                    capability_duration_multiplier: 3.0,
+                    duration_median_secs: 800.0,
+                    duration_sigma: 1.4,
+                    apps_per_job_mean: 2.0,
+                },
+            ],
+            n_users: 900,
+            zipf_s: 1.05,
+            base_user_failure: 0.18,
+            base_walltime_miss: 0.04,
+            max_app_duration_secs: 24.0 * 3_600.0,
+        }
+    }
+
+    /// A configuration matched to [`Machine::blue_waters_scaled`]: class
+    /// sizes follow the scaled machine and arrival rates shrink by the same
+    /// divisor, preserving utilization.
+    pub fn scaled(divisor: u32) -> Self {
+        let machine = Machine::blue_waters_scaled(divisor);
+        Self::for_machine(&machine, divisor)
+    }
+
+    /// Derives a configuration for an arbitrary machine, dividing the full
+    /// Blue Waters arrival rates by `rate_divisor`.
+    pub fn for_machine(machine: &Machine, rate_divisor: u32) -> Self {
+        let mut cfg = Self::blue_waters();
+        for class in &mut cfg.classes {
+            class.max_nodes = machine.count_of(class.node_type).max(1);
+            class.jobs_per_hour /= rate_divisor.max(1) as f64;
+        }
+        cfg.n_users = (cfg.n_users / rate_divisor.max(1) as usize).max(20);
+        cfg
+    }
+
+    /// The class entry for a node type, if configured.
+    pub fn class(&self, ty: NodeType) -> Option<&ClassMix> {
+        self.classes.iter().find(|c| c.node_type == ty)
+    }
+
+    /// Validation used at generator construction.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.classes.is_empty() {
+            return Err("no classes configured".into());
+        }
+        for c in &self.classes {
+            if !c.node_type.is_compute() {
+                return Err(format!("class {} is not a compute class", c.node_type));
+            }
+            if c.jobs_per_hour <= 0.0 || !c.jobs_per_hour.is_finite() {
+                return Err(format!("class {}: bad arrival rate", c.node_type));
+            }
+            if c.max_nodes == 0 {
+                return Err(format!("class {}: zero max_nodes", c.node_type));
+            }
+            let frac_sum = c.single_node_fraction + c.capability_fraction;
+            if !(0.0..1.0).contains(&frac_sum) {
+                return Err(format!("class {}: mixture fractions sum to {frac_sum}", c.node_type));
+            }
+            if c.apps_per_job_mean < 1.0 {
+                return Err(format!("class {}: apps per job mean below 1", c.node_type));
+            }
+            if !(0.0..1.0).contains(&c.capability_lo_frac)
+                || !(0.0..=1.0).contains(&c.capability_full_frac)
+            {
+                return Err(format!("class {}: bad capability band", c.node_type));
+            }
+            if !(c.capability_duration_multiplier >= 1.0) {
+                return Err(format!("class {}: bad capability duration multiplier", c.node_type));
+            }
+        }
+        if self.n_users == 0 {
+            return Err("no users".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blue_waters_config_is_valid() {
+        let cfg = WorkloadConfig::blue_waters();
+        cfg.validate().unwrap();
+        assert_eq!(cfg.class(NodeType::Xe).unwrap().max_nodes, 22_640);
+        assert_eq!(cfg.class(NodeType::Xk).unwrap().max_nodes, 4_224);
+        assert!(cfg.class(NodeType::Service).is_none());
+    }
+
+    #[test]
+    fn volume_reaches_five_million_apps() {
+        let cfg = WorkloadConfig::blue_waters();
+        let hours = 518.0 * 24.0;
+        let apps: f64 = cfg
+            .classes
+            .iter()
+            .map(|c| c.jobs_per_hour * hours * c.apps_per_job_mean)
+            .sum();
+        assert!(apps > 5.0e6, "only {apps:.0} apps configured");
+        assert!(apps < 7.0e6, "implausibly many apps: {apps:.0}");
+    }
+
+    #[test]
+    fn utilization_is_plausible() {
+        // Mean node-hours demanded per hour must be below capacity but above
+        // half of it (the paper's machine ran hot).
+        let cfg = WorkloadConfig::blue_waters();
+        let mut demand = 0.0;
+        for c in &cfg.classes {
+            let mean_duration_h =
+                (c.duration_median_secs / 3_600.0) * (c.duration_sigma.powi(2) / 2.0).exp();
+            // Split the mixture: capability runs carry the duration multiplier.
+            let lo = c.capability_lo_frac * c.max_nodes as f64;
+            let hi = c.max_nodes as f64;
+            let cap_mean_nodes = c.capability_full_frac * hi
+                + (1.0 - c.capability_full_frac) * (hi - lo) / (hi / lo).ln();
+            let body_frac = 1.0 - c.single_node_fraction - c.capability_fraction;
+            let body_mean = hpc_stats::Pareto::truncated(2.0, c.pareto_alpha, hi)
+                .map(|p| hpc_stats::Distribution::mean(&p))
+                .unwrap_or(2.0);
+            let base = c.single_node_fraction + body_frac * body_mean;
+            let cap = c.capability_fraction * cap_mean_nodes * c.capability_duration_multiplier;
+            demand += c.jobs_per_hour * c.apps_per_job_mean * (base + cap) * mean_duration_h;
+        }
+        let capacity = 26_864.0;
+        let util = demand / capacity;
+        assert!(util > 0.45 && util < 0.98, "utilization {util:.2}");
+    }
+
+    #[test]
+    fn scaled_config_matches_scaled_machine() {
+        let cfg = WorkloadConfig::scaled(16);
+        let m = Machine::blue_waters_scaled(16);
+        assert_eq!(cfg.class(NodeType::Xe).unwrap().max_nodes, m.count_of(NodeType::Xe));
+        assert_eq!(cfg.class(NodeType::Xk).unwrap().max_nodes, m.count_of(NodeType::Xk));
+        cfg.validate().unwrap();
+        let full = WorkloadConfig::blue_waters();
+        assert!(cfg.class(NodeType::Xe).unwrap().jobs_per_hour
+                < full.class(NodeType::Xe).unwrap().jobs_per_hour / 10.0);
+    }
+
+    #[test]
+    fn validate_rejects_bad_configs() {
+        let mut cfg = WorkloadConfig::blue_waters();
+        cfg.classes[0].jobs_per_hour = 0.0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = WorkloadConfig::blue_waters();
+        cfg.classes[0].single_node_fraction = 1.2;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = WorkloadConfig::blue_waters();
+        cfg.n_users = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = WorkloadConfig::blue_waters();
+        cfg.classes[0].node_type = NodeType::Service;
+        assert!(cfg.validate().is_err());
+    }
+}

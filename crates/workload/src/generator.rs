@@ -1,0 +1,425 @@
+//! The stochastic workload generator.
+//!
+//! Produces an endless, arrival-ordered stream of [`JobSpec`]s by merging
+//! one Poisson arrival process per node class. Streaming matters: the full
+//! field study is ~2.5 M jobs / 5 M applications, which the simulator
+//! consumes one at a time without materializing the trace.
+
+use hpc_stats::dist::Distribution;
+use hpc_stats::{Exponential, LogNormal, Pareto};
+use logdiver_types::{AppId, JobId, SimDuration, Timestamp, UserId};
+use rand::Rng;
+
+use crate::config::{ClassMix, WorkloadConfig};
+use crate::job::{ApplicationSpec, IntrinsicOutcome, JobSpec};
+use crate::users::UserPool;
+
+/// Synthetic executable names, assigned per (user, small variation).
+const COMMANDS: [&str; 12] = [
+    "namd2", "chroma", "vasp", "milc", "amber.x", "cactus", "wrf.exe", "qmcpack", "gromacs",
+    "enzo", "lammps", "nwchem",
+];
+
+struct ClassState {
+    mix: ClassMix,
+    interarrival: Exponential,
+    duration: LogNormal,
+    body: Pareto,
+    next_arrival: Timestamp,
+}
+
+/// Streaming generator of jobs in arrival order.
+pub struct WorkloadGenerator {
+    classes: Vec<ClassState>,
+    users: UserPool,
+    next_job_id: u64,
+    next_apid: u64,
+    max_app_duration: SimDuration,
+}
+
+impl std::fmt::Debug for WorkloadGenerator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkloadGenerator")
+            .field("classes", &self.classes.len())
+            .field("users", &self.users.len())
+            .field("next_job_id", &self.next_job_id)
+            .field("next_apid", &self.next_apid)
+            .finish()
+    }
+}
+
+impl WorkloadGenerator {
+    /// Creates a generator starting at [`Timestamp::PRODUCTION_EPOCH`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation message for an inconsistent configuration.
+    pub fn new<R: Rng>(config: WorkloadConfig, rng: &mut R) -> Result<Self, String> {
+        Self::starting_at(config, Timestamp::PRODUCTION_EPOCH, rng)
+    }
+
+    /// Creates a generator whose first arrivals fall after `start`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation message for an inconsistent configuration.
+    pub fn starting_at<R: Rng>(
+        config: WorkloadConfig,
+        start: Timestamp,
+        rng: &mut R,
+    ) -> Result<Self, String> {
+        config.validate()?;
+        let users = UserPool::new(
+            config.n_users,
+            config.zipf_s,
+            config.base_user_failure,
+            config.base_walltime_miss,
+            rng,
+        );
+        let mut classes = Vec::with_capacity(config.classes.len());
+        for mix in &config.classes {
+            let interarrival = Exponential::new(mix.jobs_per_hour / 3_600.0)
+                .map_err(|e| format!("class {}: {e}", mix.node_type))?;
+            let duration = LogNormal::new(mix.duration_median_secs.ln(), mix.duration_sigma)
+                .map_err(|e| format!("class {}: {e}", mix.node_type))?;
+            let body = Pareto::truncated(2.0, mix.pareto_alpha, mix.max_nodes.max(3) as f64)
+                .map_err(|e| format!("class {}: {e}", mix.node_type))?;
+            let mut state = ClassState {
+                mix: mix.clone(),
+                interarrival,
+                duration,
+                body,
+                next_arrival: start,
+            };
+            state.advance_arrival(rng);
+            classes.push(state);
+        }
+        Ok(WorkloadGenerator {
+            classes,
+            users,
+            next_job_id: 1,
+            next_apid: 1_000_000,
+            max_app_duration: SimDuration::from_secs(config.max_app_duration_secs as i64),
+        })
+    }
+
+    /// The user pool (profiles are useful for downstream diagnostics).
+    pub fn users(&self) -> &UserPool {
+        &self.users
+    }
+
+    /// Arrival time of the next job, without consuming it.
+    pub fn peek_arrival(&self) -> Timestamp {
+        self.classes
+            .iter()
+            .map(|c| c.next_arrival)
+            .min()
+            .expect("at least one class by validation")
+    }
+
+    /// Produces the next job in global arrival order.
+    pub fn next_job<R: Rng>(&mut self, rng: &mut R) -> JobSpec {
+        let idx = self
+            .classes
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| c.next_arrival)
+            .map(|(i, _)| i)
+            .expect("at least one class by validation");
+        let arrival = self.classes[idx].next_arrival;
+        self.classes[idx].advance_arrival(rng);
+        let job_id = JobId::new(self.next_job_id);
+        self.next_job_id += 1;
+        let user = self.users.sample(rng);
+        let profile = self.users.profile(user);
+
+        let (mix_nodes, node_type, queue, apps_mean) = {
+            let c = &self.classes[idx];
+            let nodes = c.sample_width(rng);
+            (nodes, c.mix.node_type, queue_for(nodes, c.mix.max_nodes), c.mix.apps_per_job_mean)
+        };
+
+        // Applications: geometric count, widths within the allocation.
+        let n_apps = sample_geometric(apps_mean, rng);
+        let mut apps = Vec::with_capacity(n_apps);
+        // Walltime requests are based on what the user *planned* — an app
+        // that would overrun (intrinsic WalltimeExceeded) is budgeted at its
+        // planned length, so the inflated actual duration hits the limit.
+        let mut planned_secs: i64 = 0;
+        for k in 0..n_apps {
+            let width = if k == 0 || rng.random::<f64>() < 0.7 {
+                mix_nodes
+            } else {
+                // A preparatory/post-processing step on part of the allocation.
+                1 + (rng.random::<f64>() * mix_nodes as f64) as u32
+            };
+            let mut raw = self.classes[idx].duration.sample(rng);
+            // Capability-scale runs are long: they dominate node-hours while
+            // staying rare in count (see DESIGN.md §5).
+            let mix = &self.classes[idx].mix;
+            if (width as f64) >= mix.capability_lo_frac * mix.max_nodes as f64 {
+                raw *= mix.capability_duration_multiplier;
+            }
+            let duration = SimDuration::from_secs((raw as i64).max(30))
+                .clamp(SimDuration::from_secs(30), self.max_app_duration);
+            let intrinsic = sample_intrinsic(profile.user_failure_prob, rng);
+            planned_secs += duration.as_secs();
+            // A user failure usually strikes partway through the run; a
+            // would-be walltime overrun means the code runs far longer than
+            // the user planned for (the deadline then cuts it off).
+            let duration = match intrinsic {
+                IntrinsicOutcome::Success => duration,
+                IntrinsicOutcome::WalltimeExceeded => {
+                    let inflate = 3.0 + 4.0 * rng.random::<f64>();
+                    SimDuration::from_secs((duration.as_secs() as f64 * inflate) as i64)
+                        .clamp(SimDuration::from_secs(60), self.max_app_duration)
+                }
+                _ => {
+                    let frac = 0.05 + 0.95 * rng.random::<f64>();
+                    SimDuration::from_secs(((duration.as_secs() as f64 * frac) as i64).max(10))
+                }
+            };
+            apps.push(ApplicationSpec {
+                apid: AppId::new(self.next_apid),
+                node_type,
+                nodes: width.clamp(1, mix_nodes),
+                duration,
+                command: command_for(user, k),
+                intrinsic,
+            });
+            self.next_apid += 1;
+        }
+
+        // Walltime: padded over the *planned* duration unless the user
+        // habitually underestimates, in which case the job will be cut off.
+        let walltime = if rng.random::<f64>() < profile.walltime_miss_prob {
+            let frac = 0.3 + 0.6 * rng.random::<f64>();
+            SimDuration::from_secs(((planned_secs as f64 * frac) as i64).max(60))
+        } else {
+            SimDuration::from_secs(
+                ((planned_secs as f64 * profile.walltime_padding) as i64).clamp(300, 48 * 3_600),
+            )
+        };
+
+        let job = JobSpec {
+            job: job_id,
+            user,
+            queue,
+            arrival,
+            node_type,
+            nodes: mix_nodes,
+            walltime,
+            apps,
+        };
+        debug_assert_eq!(job.validate(), Ok(()));
+        job
+    }
+
+    /// Collects every job arriving within `horizon` of the epoch.
+    pub fn generate<R: Rng>(&mut self, horizon: SimDuration, rng: &mut R) -> Vec<JobSpec> {
+        let end = Timestamp::PRODUCTION_EPOCH + horizon;
+        let mut jobs = Vec::new();
+        loop {
+            let soonest = self
+                .classes
+                .iter()
+                .map(|c| c.next_arrival)
+                .min()
+                .expect("at least one class");
+            if soonest >= end {
+                break;
+            }
+            jobs.push(self.next_job(rng));
+        }
+        jobs
+    }
+}
+
+impl ClassState {
+    fn advance_arrival<R: Rng>(&mut self, rng: &mut R) {
+        let gap = self.interarrival.sample(rng).max(0.001);
+        self.next_arrival = self.next_arrival + SimDuration::from_secs((gap as i64).max(1));
+    }
+
+    /// Samples a job width from the three-part mixture.
+    fn sample_width<R: Rng>(&self, rng: &mut R) -> u32 {
+        sample_job_width(&self.mix, &self.body, rng)
+    }
+}
+
+/// Samples a job width from a class's three-part size mixture
+/// (single-node mass / truncated-Pareto body / capability band).
+///
+/// Exposed so the calibration solver in `bw-sim` can integrate over the
+/// exact size distribution the generator uses.
+pub fn sample_width_for_mix<R: Rng>(mix: &ClassMix, rng: &mut R) -> u32 {
+    let body = Pareto::truncated(2.0, mix.pareto_alpha, mix.max_nodes.max(3) as f64)
+        .expect("validated parameters");
+    sample_job_width(mix, &body, rng)
+}
+
+fn sample_job_width<R: Rng>(mix: &ClassMix, body: &Pareto, rng: &mut R) -> u32 {
+    let u: f64 = rng.random();
+    if u < mix.single_node_fraction {
+        return 1;
+    }
+    if u < mix.single_node_fraction + mix.capability_fraction {
+        // Capability band: sometimes the full class, otherwise
+        // log-uniform across the band.
+        if rng.random::<f64>() < mix.capability_full_frac {
+            return mix.max_nodes;
+        }
+        let lo = (mix.capability_lo_frac * mix.max_nodes as f64).max(2.0);
+        let hi = mix.max_nodes as f64;
+        let x = (lo.ln() + rng.random::<f64>() * (hi.ln() - lo.ln())).exp();
+        return (x as u32).clamp(2, mix.max_nodes);
+    }
+    (body.sample(rng) as u32).clamp(2, mix.max_nodes)
+}
+
+fn queue_for(nodes: u32, max_nodes: u32) -> String {
+    if nodes >= max_nodes / 2 {
+        "capability".to_string()
+    } else if nodes <= 2 {
+        "small".to_string()
+    } else {
+        "normal".to_string()
+    }
+}
+
+fn command_for(user: UserId, app_index: usize) -> String {
+    let base = COMMANDS[(user.value() as usize + app_index) % COMMANDS.len()];
+    base.to_string()
+}
+
+/// Geometric number of applications with the given mean (≥ 1).
+fn sample_geometric<R: Rng>(mean: f64, rng: &mut R) -> usize {
+    let p = (1.0 / mean.max(1.0)).clamp(0.05, 1.0);
+    let mut k = 1;
+    while k < 64 && rng.random::<f64>() > p {
+        k += 1;
+    }
+    k
+}
+
+fn sample_intrinsic<R: Rng>(user_failure_prob: f64, rng: &mut R) -> IntrinsicOutcome {
+    if rng.random::<f64>() >= user_failure_prob {
+        return IntrinsicOutcome::Success;
+    }
+    match (rng.random::<f64>() * 100.0) as u32 {
+        0..=34 => IntrinsicOutcome::Segfault,
+        35..=64 => IntrinsicOutcome::NonzeroExit,
+        65..=79 => IntrinsicOutcome::Abort,
+        80..=89 => IntrinsicOutcome::OutOfMemory,
+        _ => IntrinsicOutcome::WalltimeExceeded,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logdiver_types::NodeType;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn generator(seed: u64) -> (WorkloadGenerator, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let generator = WorkloadGenerator::new(WorkloadConfig::scaled(16), &mut rng).unwrap();
+        (generator, rng)
+    }
+
+    #[test]
+    fn jobs_arrive_in_order_and_validate() {
+        let (mut generator, mut rng) = generator(1);
+        let jobs = generator.generate(SimDuration::from_days(2), &mut rng);
+        assert!(jobs.len() > 100, "only {} jobs in 2 days", jobs.len());
+        for w in jobs.windows(2) {
+            assert!(w[0].arrival <= w[1].arrival);
+            assert!(w[0].job < w[1].job);
+        }
+        for job in &jobs {
+            job.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn apids_are_unique_and_increasing() {
+        let (mut generator, mut rng) = generator(2);
+        let jobs = generator.generate(SimDuration::from_days(1), &mut rng);
+        let apids: Vec<u64> = jobs.iter().flat_map(|j| &j.apps).map(|a| a.apid.value()).collect();
+        let mut sorted = apids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), apids.len());
+    }
+
+    #[test]
+    fn both_classes_appear() {
+        let (mut generator, mut rng) = generator(3);
+        let jobs = generator.generate(SimDuration::from_days(3), &mut rng);
+        let xe = jobs.iter().filter(|j| j.node_type == NodeType::Xe).count();
+        let xk = jobs.iter().filter(|j| j.node_type == NodeType::Xk).count();
+        assert!(xe > 0 && xk > 0);
+        assert!(xe > xk, "XE should dominate: {xe} vs {xk}");
+    }
+
+    #[test]
+    fn size_mixture_has_expected_shape() {
+        let (mut generator, mut rng) = generator(4);
+        let jobs = generator.generate(SimDuration::from_days(20), &mut rng);
+        let xe: Vec<&JobSpec> = jobs.iter().filter(|j| j.node_type == NodeType::Xe).collect();
+        let singles = xe.iter().filter(|j| j.nodes == 1).count() as f64 / xe.len() as f64;
+        assert!((singles - 0.40).abs() < 0.06, "single-node fraction {singles}");
+        let max = xe.iter().map(|j| j.nodes).max().unwrap();
+        let cfg_max = WorkloadConfig::scaled(16).class(NodeType::Xe).unwrap().max_nodes;
+        assert!(max <= cfg_max);
+    }
+
+    #[test]
+    fn durations_respect_cap_and_floor() {
+        let (mut generator, mut rng) = generator(5);
+        let jobs = generator.generate(SimDuration::from_days(5), &mut rng);
+        for app in jobs.iter().flat_map(|j| &j.apps) {
+            assert!(app.duration.as_secs() >= 10);
+            assert!(app.duration.as_hours_f64() <= 24.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn user_failures_occur_at_configured_rate() {
+        let (mut generator, mut rng) = generator(6);
+        let jobs = generator.generate(SimDuration::from_days(10), &mut rng);
+        let apps: Vec<_> = jobs.iter().flat_map(|j| &j.apps).collect();
+        let failed = apps.iter().filter(|a| !a.intrinsic.is_success()).count() as f64;
+        let rate = failed / apps.len() as f64;
+        // Base is 0.18 but per-user spread recenters it; accept a wide band.
+        assert!(rate > 0.05 && rate < 0.45, "user failure rate {rate}");
+    }
+
+    #[test]
+    fn walltime_misses_exist_but_are_minority() {
+        let (mut generator, mut rng) = generator(7);
+        let jobs = generator.generate(SimDuration::from_days(10), &mut rng);
+        let misses = jobs.iter().filter(|j| j.walltime < j.natural_duration()).count() as f64;
+        let rate = misses / jobs.len() as f64;
+        assert!(rate > 0.0 && rate < 0.2, "walltime miss rate {rate}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (mut g1, mut r1) = generator(42);
+        let (mut g2, mut r2) = generator(42);
+        let a = g1.generate(SimDuration::from_days(1), &mut r1);
+        let b = g2.generate(SimDuration::from_days(1), &mut r2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn geometric_mean_is_close() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let n = 20_000;
+        let total: usize = (0..n).map(|_| sample_geometric(2.0, &mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "geometric mean {mean}");
+    }
+}

@@ -1,0 +1,186 @@
+//! Job and application specifications produced by the generator.
+
+use logdiver_types::{AppId, JobId, NodeType, SimDuration, Timestamp, UserId};
+use serde::{Deserialize, Serialize};
+
+/// What an application run would do if no system problem interfered.
+///
+/// This is generator-side *ground truth*; the simulator may override it with
+/// a system-caused failure, and LogDiver never sees it directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IntrinsicOutcome {
+    /// Runs to completion and exits 0.
+    Success,
+    /// Dies on SIGSEGV/SIGBUS at some fraction of its natural duration.
+    Segfault,
+    /// Aborts itself (assertion, SIGABRT).
+    Abort,
+    /// Exceeds its memory and is OOM-killed.
+    OutOfMemory,
+    /// Exits with a nonzero code.
+    NonzeroExit,
+    /// Would run longer than the job's remaining walltime.
+    WalltimeExceeded,
+}
+
+impl IntrinsicOutcome {
+    /// True when the run would have succeeded absent system problems.
+    pub const fn is_success(self) -> bool {
+        matches!(self, IntrinsicOutcome::Success)
+    }
+}
+
+/// One application run (aprun) inside a job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApplicationSpec {
+    /// Application id, unique across the whole generated trace.
+    pub apid: AppId,
+    /// Node class the application needs.
+    pub node_type: NodeType,
+    /// Width in nodes (≤ the enclosing job's allocation).
+    pub nodes: u32,
+    /// Natural runtime absent interference.
+    pub duration: SimDuration,
+    /// Executable name (synthetic but stable per user/application mix).
+    pub command: String,
+    /// What happens if the system behaves.
+    pub intrinsic: IntrinsicOutcome,
+}
+
+/// One batch job: an allocation request plus a sequence of applications run
+/// back-to-back inside it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Job id, unique and increasing with arrival order.
+    pub job: JobId,
+    /// Submitting user.
+    pub user: UserId,
+    /// Queue name.
+    pub queue: String,
+    /// Submission time.
+    pub arrival: Timestamp,
+    /// Node class.
+    pub node_type: NodeType,
+    /// Allocation width in nodes (the max over its applications).
+    pub nodes: u32,
+    /// Requested walltime.
+    pub walltime: SimDuration,
+    /// Applications, run in order.
+    pub apps: Vec<ApplicationSpec>,
+}
+
+impl JobSpec {
+    /// Natural runtime of the whole job: the sum of its applications'
+    /// durations (plus nothing — inter-aprun gaps are folded into the
+    /// durations), never negative.
+    pub fn natural_duration(&self) -> SimDuration {
+        self.apps.iter().fold(SimDuration::ZERO, |acc, a| acc + a.duration)
+    }
+
+    /// Node-hours the job would consume if it ran its natural duration.
+    pub fn natural_node_hours(&self) -> f64 {
+        self.apps
+            .iter()
+            .map(|a| a.nodes as f64 * a.duration.as_hours_f64())
+            .sum()
+    }
+
+    /// Basic well-formedness check used by tests and debug assertions.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.apps.is_empty() {
+            return Err(format!("job {} has no applications", self.job));
+        }
+        if self.nodes == 0 {
+            return Err(format!("job {} requests zero nodes", self.job));
+        }
+        for app in &self.apps {
+            if app.nodes == 0 || app.nodes > self.nodes {
+                return Err(format!(
+                    "app {} width {} outside job allocation {}",
+                    app.apid, app.nodes, self.nodes
+                ));
+            }
+            if app.node_type != self.node_type {
+                return Err(format!("app {} class differs from job", app.apid));
+            }
+            if app.duration <= SimDuration::ZERO {
+                return Err(format!("app {} has non-positive duration", app.apid));
+            }
+        }
+        if self.walltime <= SimDuration::ZERO {
+            return Err(format!("job {} has non-positive walltime", self.job));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn app(apid: u64, nodes: u32, secs: i64) -> ApplicationSpec {
+        ApplicationSpec {
+            apid: AppId::new(apid),
+            node_type: NodeType::Xe,
+            nodes,
+            duration: SimDuration::from_secs(secs),
+            command: "a.out".into(),
+            intrinsic: IntrinsicOutcome::Success,
+        }
+    }
+
+    fn job() -> JobSpec {
+        JobSpec {
+            job: JobId::new(1),
+            user: UserId::new(0),
+            queue: "normal".into(),
+            arrival: Timestamp::PRODUCTION_EPOCH,
+            node_type: NodeType::Xe,
+            nodes: 8,
+            walltime: SimDuration::from_hours(2),
+            apps: vec![app(1, 8, 1800), app(2, 4, 1800)],
+        }
+    }
+
+    #[test]
+    fn natural_duration_sums_apps() {
+        let j = job();
+        assert_eq!(j.natural_duration(), SimDuration::from_hours(1));
+        assert!((j.natural_node_hours() - (8.0 * 0.5 + 4.0 * 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        assert!(job().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_catches_problems() {
+        let mut j = job();
+        j.apps.clear();
+        assert!(j.validate().is_err());
+
+        let mut j = job();
+        j.apps[0].nodes = 16; // exceeds allocation
+        assert!(j.validate().is_err());
+
+        let mut j = job();
+        j.apps[1].node_type = NodeType::Xk;
+        assert!(j.validate().is_err());
+
+        let mut j = job();
+        j.apps[0].duration = SimDuration::ZERO;
+        assert!(j.validate().is_err());
+
+        let mut j = job();
+        j.walltime = SimDuration::ZERO;
+        assert!(j.validate().is_err());
+    }
+
+    #[test]
+    fn intrinsic_success_predicate() {
+        assert!(IntrinsicOutcome::Success.is_success());
+        assert!(!IntrinsicOutcome::Segfault.is_success());
+        assert!(!IntrinsicOutcome::WalltimeExceeded.is_success());
+    }
+}

@@ -1,0 +1,56 @@
+//! # bw-workload
+//!
+//! Synthetic Blue-Waters-like batch workload: users, jobs, application runs
+//! (apruns), a stochastic workload generator, and a FCFS-with-backfill
+//! scheduler state machine.
+//!
+//! ## Model
+//!
+//! - **Users** are Zipf-distributed: a few heavy projects dominate
+//!   submission volume (as on any production machine).
+//! - **Jobs** arrive by a Poisson process per node class (XE / XK). A job
+//!   requests `n` nodes and a walltime, and runs `k ≥ 1` applications
+//!   (aprun launches) back-to-back inside its allocation — the paper's unit
+//!   of analysis is the application run, of which Blue Waters saw > 5 M in
+//!   518 days.
+//! - **Sizes** are heavy-tailed (mixture of single-node mass and a truncated
+//!   Pareto body) with a small capability-run component at full machine
+//!   scale so the scale-sensitivity figures have samples all the way out.
+//! - **Durations** are log-normal; requested walltimes add user-specific
+//!   padding.
+//! - Each application carries an **intrinsic outcome** — what would happen
+//!   absent any system problem (success, a user-caused failure, or hitting
+//!   the walltime limit). The simulator overrides it when a system fault
+//!   strikes the allocation, which is exactly the ground-truth distinction
+//!   LogDiver is later asked to recover from the logs.
+//!
+//! ## Example
+//!
+//! ```
+//! use bw_workload::{WorkloadConfig, WorkloadGenerator};
+//! use logdiver_types::SimDuration;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let config = WorkloadConfig::scaled(16);
+//! let mut generator = WorkloadGenerator::new(config, &mut rng).unwrap();
+//! let jobs = generator.generate(SimDuration::from_days(1), &mut rng);
+//! assert!(!jobs.is_empty());
+//! assert!(jobs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod config;
+pub mod generator;
+pub mod job;
+pub mod scheduler;
+pub mod swf;
+pub mod users;
+
+pub use config::{ClassMix, WorkloadConfig};
+pub use generator::WorkloadGenerator;
+pub use job::{ApplicationSpec, IntrinsicOutcome, JobSpec};
+pub use scheduler::{Scheduler, SchedulerStats};
+pub use users::UserPool;

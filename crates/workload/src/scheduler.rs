@@ -1,0 +1,401 @@
+//! Batch-scheduler state machine: FCFS with EASY backfill.
+//!
+//! The policy matters for two reasons: (1) applications must occupy
+//! *concrete node sets over concrete time windows* so faults intersect them
+//! realistically, and (2) full-machine capability jobs must run without
+//! collapsing utilization. EASY backfill achieves both: the head of the
+//! queue gets a **reservation** at the earliest time enough nodes are
+//! guaranteed free (computed from running jobs' walltime bounds), and a
+//! waiting job may jump the queue only if it cannot delay that reservation
+//! — either it ends before the shadow time, or it fits in the nodes the
+//! head will not need.
+
+use std::collections::{HashMap, VecDeque};
+
+use bw_topology::{Machine, NodeAllocator, PlacementPolicy};
+use logdiver_types::{JobId, NodeId, NodeSet, NodeType, SimDuration, Timestamp};
+use serde::{Deserialize, Serialize};
+
+use crate::job::JobSpec;
+
+/// A job the scheduler has just started.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StartedJob {
+    /// The job specification.
+    pub spec: JobSpec,
+    /// Concrete nodes granted.
+    pub nodes: NodeSet,
+    /// Start time.
+    pub start: Timestamp,
+}
+
+/// Aggregate scheduler statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SchedulerStats {
+    /// Jobs started so far.
+    pub started: u64,
+    /// Jobs submitted so far.
+    pub submitted: u64,
+    /// Sum of queue waits in seconds (over started jobs).
+    pub total_wait_secs: i64,
+    /// Largest queue length observed.
+    pub max_queue_len: usize,
+    /// Jobs started by backfilling past a blocked head.
+    pub backfilled: u64,
+}
+
+impl SchedulerStats {
+    /// Mean queue wait over started jobs.
+    pub fn mean_wait(&self) -> SimDuration {
+        if self.started == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_secs(self.total_wait_secs / self.started as i64)
+        }
+    }
+}
+
+/// What the scheduler remembers about a running job (for reservations).
+#[derive(Debug, Clone, Copy)]
+struct RunningInfo {
+    walltime_end: Timestamp,
+    nodes: u32,
+    node_type: NodeType,
+}
+
+/// The scheduler.
+#[derive(Debug)]
+pub struct Scheduler {
+    allocator: NodeAllocator,
+    queue: VecDeque<(JobSpec, Timestamp)>,
+    running: HashMap<u64, RunningInfo>,
+    stats: SchedulerStats,
+}
+
+impl Scheduler {
+    /// Creates a scheduler over a machine with every compute node free and
+    /// packed placement.
+    pub fn new(machine: &Machine) -> Self {
+        Self::with_policy(machine, PlacementPolicy::Packed)
+    }
+
+    /// Creates a scheduler with an explicit placement policy.
+    pub fn with_policy(machine: &Machine, policy: PlacementPolicy) -> Self {
+        Scheduler {
+            allocator: NodeAllocator::with_policy(machine, policy),
+            queue: VecDeque::new(),
+            running: HashMap::new(),
+            stats: SchedulerStats::default(),
+        }
+    }
+
+    /// Submits a job; returns every job that starts as a result.
+    pub fn submit(&mut self, job: JobSpec, now: Timestamp) -> Vec<StartedJob> {
+        self.stats.submitted += 1;
+        self.queue.push_back((job, now));
+        self.stats.max_queue_len = self.stats.max_queue_len.max(self.queue.len());
+        self.try_start(now)
+    }
+
+    /// Reports a job completion, releasing its nodes; returns every queued
+    /// job that starts as a result.
+    pub fn job_finished(&mut self, job: JobId, nodes: &NodeSet, now: Timestamp) -> Vec<StartedJob> {
+        self.running.remove(&job.value());
+        self.allocator.release(nodes);
+        self.try_start(now)
+    }
+
+    /// Takes a node out of service (it will not be granted to new jobs).
+    pub fn node_down(&mut self, nid: NodeId) -> bool {
+        self.allocator.mark_down(nid)
+    }
+
+    /// Returns a repaired node to service; may start queued jobs.
+    pub fn node_up(&mut self, nid: NodeId, now: Timestamp) -> Vec<StartedJob> {
+        if self.allocator.mark_up(nid) {
+            self.try_start(now)
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Jobs waiting in the queue.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Nodes currently allocated.
+    pub fn allocated_nodes(&self) -> u32 {
+        self.allocator.allocated_count()
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> SchedulerStats {
+        self.stats
+    }
+
+    /// Direct access to allocation state (used by the simulator to decide
+    /// fault impact).
+    pub fn allocator(&self) -> &NodeAllocator {
+        &self.allocator
+    }
+
+    /// Earliest time at which `needed` nodes of class `ty` are guaranteed
+    /// free, assuming every running job holds its nodes until its walltime
+    /// bound, plus the node surplus at that time (`free_at_shadow − needed`).
+    /// Returns `None` when even all running jobs ending cannot free enough
+    /// (capacity shrank below the request — the job waits for repairs).
+    fn reservation(&self, needed: u32, ty: NodeType) -> Option<(Timestamp, u32)> {
+        let mut free = self.allocator.free_count(ty);
+        if free >= needed {
+            return Some((Timestamp::from_unix(i64::MIN / 2), free - needed));
+        }
+        let mut ends: Vec<(Timestamp, u32)> = self
+            .running
+            .values()
+            .filter(|r| r.node_type == ty)
+            .map(|r| (r.walltime_end, r.nodes))
+            .collect();
+        ends.sort_unstable_by_key(|&(t, _)| t);
+        for (t, n) in ends {
+            free += n;
+            if free >= needed {
+                return Some((t, free - needed));
+            }
+        }
+        None
+    }
+
+    fn start_at(&mut self, idx: usize, now: Timestamp) -> StartedJob {
+        let (job, submitted) = self.queue.remove(idx).expect("index in range");
+        let nodes = self
+            .allocator
+            .allocate(job.node_type, job.nodes)
+            .expect("caller checked free count");
+        self.stats.started += 1;
+        if idx > 0 {
+            self.stats.backfilled += 1;
+        }
+        self.stats.total_wait_secs += (now - submitted).as_secs().max(0);
+        self.running.insert(
+            job.job.value(),
+            RunningInfo {
+                walltime_end: now + job.walltime,
+                nodes: job.nodes,
+                node_type: job.node_type,
+            },
+        );
+        StartedJob { spec: job, nodes, start: now }
+    }
+
+    fn try_start(&mut self, now: Timestamp) -> Vec<StartedJob> {
+        let mut started = Vec::new();
+        'outer: loop {
+            let Some((head, _)) = self.queue.front() else { break };
+            // FCFS: the head starts whenever it fits.
+            if self.allocator.free_count(head.node_type) >= head.nodes {
+                started.push(self.start_at(0, now));
+                continue;
+            }
+            // Head blocked: compute its reservation and backfill around it.
+            // Jobs of the *other* class never delay the head (separate
+            // pools); same-class jobs must not push the shadow time back.
+            let head_ty = head.node_type;
+            let head_needed = head.nodes;
+            let reservation = self.reservation(head_needed, head_ty);
+            for idx in 1..self.queue.len() {
+                let (job, _) = &self.queue[idx];
+                if self.allocator.free_count(job.node_type) < job.nodes {
+                    continue;
+                }
+                let ok = if job.node_type != head_ty {
+                    true
+                } else {
+                    match reservation {
+                        // Ends before the reservation, or fits in nodes the
+                        // head will leave over.
+                        Some((shadow, extra)) => {
+                            now + job.walltime <= shadow || job.nodes <= extra
+                        }
+                        // No reservation exists (capacity shortfall): the
+                        // head cannot start until repairs; do not let it
+                        // starve behind an unbounded backfill stream of
+                        // *long* jobs, but short ones keep the machine busy.
+                        None => true,
+                    }
+                };
+                if ok {
+                    started.push(self.start_at(idx, now));
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        started
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{ApplicationSpec, IntrinsicOutcome};
+    use bw_topology::MachineBuilder;
+    use logdiver_types::{AppId, NodeType, UserId};
+
+    fn machine() -> Machine {
+        MachineBuilder::new("sched-test").xe_nodes(16).xk_nodes(4).service_nodes(4).build()
+    }
+
+    fn job_with_walltime(id: u64, nodes: u32, walltime_hours: i64) -> JobSpec {
+        JobSpec {
+            job: JobId::new(id),
+            user: UserId::new(0),
+            queue: "normal".into(),
+            arrival: Timestamp::PRODUCTION_EPOCH,
+            node_type: NodeType::Xe,
+            nodes,
+            walltime: SimDuration::from_hours(walltime_hours),
+            apps: vec![ApplicationSpec {
+                apid: AppId::new(id * 10),
+                node_type: NodeType::Xe,
+                nodes,
+                duration: SimDuration::from_mins(30),
+                command: "a.out".into(),
+                intrinsic: IntrinsicOutcome::Success,
+            }],
+        }
+    }
+
+    fn job(id: u64, nodes: u32) -> JobSpec {
+        job_with_walltime(id, nodes, 1)
+    }
+
+    fn t(hours: i64) -> Timestamp {
+        Timestamp::PRODUCTION_EPOCH + SimDuration::from_hours(hours)
+    }
+
+    #[test]
+    fn immediate_start_when_nodes_free() {
+        let mut s = Scheduler::new(&machine());
+        let started = s.submit(job(1, 8), t(0));
+        assert_eq!(started.len(), 1);
+        assert_eq!(started[0].nodes.len(), 8);
+        assert_eq!(s.allocated_nodes(), 8);
+        assert_eq!(s.queue_len(), 0);
+    }
+
+    #[test]
+    fn queueing_and_release() {
+        let mut s = Scheduler::new(&machine());
+        let a = s.submit(job(1, 12), t(0));
+        assert_eq!(a.len(), 1);
+        let b = s.submit(job(2, 12), t(0));
+        assert!(b.is_empty(), "12 nodes not free");
+        assert_eq!(s.queue_len(), 1);
+        let c = s.job_finished(JobId::new(1), &a[0].nodes, t(1));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].spec.job, JobId::new(2));
+        assert_eq!(s.stats().mean_wait(), SimDuration::from_mins(30));
+    }
+
+    #[test]
+    fn backfill_only_when_head_is_not_delayed() {
+        let mut s = Scheduler::new(&machine());
+        // Running job holds 10 nodes until t+2h (its walltime).
+        let a = s.submit(job_with_walltime(1, 10, 2), t(0));
+        assert_eq!(a.len(), 1);
+        // Head needs 16: reservation at t+2h, extra = (6+10)−16 = 0.
+        assert!(s.submit(job_with_walltime(2, 16, 2), t(0)).is_empty());
+        // A short job (1 h ≤ 2 h shadow) backfills…
+        let c = s.submit(job_with_walltime(3, 4, 1), t(0));
+        assert_eq!(c.len(), 1, "short job should backfill");
+        assert_eq!(c[0].spec.job, JobId::new(3));
+        // …but a long one (3 h > shadow) must not delay the head.
+        let d = s.submit(job_with_walltime(4, 2, 3), t(0));
+        assert!(d.is_empty(), "long job would delay the reservation");
+        assert_eq!(s.stats().backfilled, 1);
+    }
+
+    #[test]
+    fn head_starts_at_reservation_time() {
+        let mut s = Scheduler::new(&machine());
+        let a = s.submit(job_with_walltime(1, 10, 2), t(0));
+        assert!(s.submit(job_with_walltime(2, 16, 2), t(0)).is_empty());
+        let started = s.job_finished(JobId::new(1), &a[0].nodes, t(2));
+        assert_eq!(started.len(), 1);
+        assert_eq!(started[0].spec.job, JobId::new(2));
+    }
+
+    #[test]
+    fn other_class_jobs_always_backfill() {
+        let mut s = Scheduler::new(&machine());
+        let _a = s.submit(job_with_walltime(1, 10, 2), t(0));
+        assert!(s.submit(job_with_walltime(2, 16, 48), t(0)).is_empty());
+        // An XK job uses a different pool: it can never delay the XE head.
+        let mut xk = job_with_walltime(3, 4, 48);
+        xk.node_type = NodeType::Xk;
+        xk.apps[0].node_type = NodeType::Xk;
+        let c = s.submit(xk, t(0));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn extra_nodes_admit_long_small_jobs() {
+        let mut s = Scheduler::new(&machine());
+        // Running: 4 nodes until t+2. Head needs 14 → shadow t+2,
+        // extra = (12+4)−14 = 2.
+        let _a = s.submit(job_with_walltime(1, 4, 2), t(0));
+        assert!(s.submit(job_with_walltime(2, 14, 2), t(0)).is_empty());
+        // A 2-node job of any length fits in the extra.
+        let c = s.submit(job_with_walltime(3, 2, 40), t(0));
+        assert_eq!(c.len(), 1, "fits in the head's surplus");
+        // A 3-node long job would eat reserved nodes.
+        let d = s.submit(job_with_walltime(4, 3, 40), t(0));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn down_node_shrinks_capacity() {
+        let mut s = Scheduler::new(&machine());
+        assert!(s.node_down(NodeId::new(0)));
+        let a = s.submit(job(1, 16), t(0));
+        assert!(a.is_empty(), "only 15 XE nodes in service");
+        let b = s.node_up(NodeId::new(0), t(1));
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn capacity_shortfall_does_not_block_short_work() {
+        let mut s = Scheduler::new(&machine());
+        for nid in 0..8 {
+            s.node_down(NodeId::new(nid));
+        }
+        // Head wants 16 but only 8 XE nodes are in service and none running:
+        // no reservation exists; smaller jobs still flow.
+        assert!(s.submit(job(1, 16), t(0)).is_empty());
+        let b = s.submit(job(2, 4), t(0));
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn stats_track_submissions() {
+        let mut s = Scheduler::new(&machine());
+        s.submit(job(1, 16), t(0));
+        s.submit(job(2, 16), t(0));
+        assert_eq!(s.stats().submitted, 2);
+        assert_eq!(s.stats().started, 1);
+        assert_eq!(s.stats().max_queue_len, 1);
+    }
+
+    #[test]
+    fn fcfs_order_is_preserved_among_equal_jobs() {
+        let mut s = Scheduler::new(&machine());
+        let a = s.submit(job_with_walltime(1, 16, 1), t(0));
+        assert_eq!(a.len(), 1);
+        assert!(s.submit(job(2, 10), t(0)).is_empty());
+        assert!(s.submit(job(3, 10), t(0)).is_empty());
+        let started = s.job_finished(JobId::new(1), &a[0].nodes, t(1));
+        assert_eq!(started.len(), 1);
+        assert_eq!(started[0].spec.job, JobId::new(2), "FCFS among equals");
+    }
+}

@@ -1,0 +1,132 @@
+//! The user population.
+//!
+//! Submission volume on production machines is heavily skewed: a few teams
+//! drive most of the load. Users are Zipf-distributed over submission
+//! probability, and each carries a per-user failure proneness (some codes
+//! segfault a lot, some teams pad walltimes well) sampled once at pool
+//! construction — which produces the realistic per-user clustering of
+//! user-caused failures.
+
+use hpc_stats::Zipf;
+use logdiver_types::UserId;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Per-user behavioural profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UserProfile {
+    /// Probability that an application fails for a user-attributable reason.
+    pub user_failure_prob: f64,
+    /// Probability that a job underestimates its walltime.
+    pub walltime_miss_prob: f64,
+    /// Multiplier applied to requested walltime over natural duration.
+    pub walltime_padding: f64,
+}
+
+/// A population of users with Zipf-skewed activity.
+#[derive(Debug, Clone)]
+pub struct UserPool {
+    zipf: Zipf,
+    profiles: Vec<UserProfile>,
+}
+
+impl UserPool {
+    /// Creates a pool of `n` users with activity exponent `s` and profiles
+    /// drawn around the given base rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0` or base rates are outside `[0, 1)`.
+    pub fn new<R: Rng>(
+        n: usize,
+        s: f64,
+        base_user_failure: f64,
+        base_walltime_miss: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(n > 0, "user pool cannot be empty");
+        assert!((0.0..1.0).contains(&base_user_failure), "base_user_failure out of [0,1)");
+        assert!((0.0..1.0).contains(&base_walltime_miss), "base_walltime_miss out of [0,1)");
+        let zipf = Zipf::new(n, s).expect("validated parameters");
+        let profiles = (0..n)
+            .map(|_| {
+                // Spread each rate by a ×0.25..×2.5 factor around the base.
+                let spread = |base: f64, r: &mut R| -> f64 {
+                    (base * (0.25 + 2.25 * r.random::<f64>())).clamp(0.0, 0.95)
+                };
+                UserProfile {
+                    user_failure_prob: spread(base_user_failure, rng),
+                    walltime_miss_prob: spread(base_walltime_miss, rng),
+                    walltime_padding: 1.2 + 2.0 * rng.random::<f64>(),
+                }
+            })
+            .collect();
+        UserPool { zipf, profiles }
+    }
+
+    /// Number of users.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// True when the pool is empty (cannot happen after construction).
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// Draws a submitting user (rank 1 = most active → `UserId(0)`).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> UserId {
+        UserId::new((self.zipf.sample_rank(rng) - 1) as u32)
+    }
+
+    /// Profile of a user.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a user id outside the pool.
+    pub fn profile(&self, user: UserId) -> UserProfile {
+        self.profiles[user.value() as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn activity_is_skewed() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pool = UserPool::new(200, 1.1, 0.2, 0.05, &mut rng);
+        let mut counts = vec![0u32; 200];
+        for _ in 0..20_000 {
+            counts[pool.sample(&mut rng).value() as usize] += 1;
+        }
+        assert!(counts[0] > counts[100] * 5, "{} vs {}", counts[0], counts[100]);
+    }
+
+    #[test]
+    fn profiles_are_in_range_and_varied() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pool = UserPool::new(100, 1.0, 0.2, 0.05, &mut rng);
+        let mut min_f: f64 = 1.0;
+        let mut max_f: f64 = 0.0;
+        for u in 0..100 {
+            let p = pool.profile(UserId::new(u));
+            assert!((0.0..=0.95).contains(&p.user_failure_prob));
+            assert!((0.0..=0.95).contains(&p.walltime_miss_prob));
+            assert!(p.walltime_padding >= 1.2);
+            min_f = min_f.min(p.user_failure_prob);
+            max_f = max_f.max(p.user_failure_prob);
+        }
+        assert!(max_f > 2.0 * min_f, "profiles should vary across users");
+    }
+
+    #[test]
+    #[should_panic(expected = "user pool cannot be empty")]
+    fn empty_pool_panics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = UserPool::new(0, 1.0, 0.1, 0.1, &mut rng);
+    }
+}

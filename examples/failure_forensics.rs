@@ -1,0 +1,75 @@
+//! Per-incident forensics: the view LogDiver gives an analyst for one
+//! failed application — its placement, its death, and the error events the
+//! tool blames.
+//!
+//! ```sh
+//! cargo run --release --example failure_forensics
+//! ```
+
+use bw_sim::{MemoryOutput, SimConfig, Simulation};
+use logdiver::{LogCollection, LogDiver};
+use logdiver_types::ExitClass;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = SimConfig::scaled(24, 14).with_seed(99);
+    let mut raw = MemoryOutput::new();
+    Simulation::new(config)?.run(&mut raw);
+
+    let mut logs = LogCollection::new();
+    logs.syslog = raw.syslog;
+    logs.hwerr = raw.hwerr;
+    logs.alps = raw.alps;
+    logs.torque = raw.torque;
+    logs.netwatch = raw.netwatch;
+    let analysis = LogDiver::new().analyze(&logs);
+
+    // Pick the system-failed runs with evidence, largest first.
+    let mut suspects: Vec<_> = analysis
+        .runs
+        .iter()
+        .filter(|r| r.class.is_system_failure() && !r.matched_events.is_empty())
+        .collect();
+    suspects.sort_by_key(|r| std::cmp::Reverse(r.run.width));
+
+    let Some(case) = suspects.first() else {
+        println!("no attributable system failures in this window — rerun with another seed");
+        return Ok(());
+    };
+
+    println!("=== incident report: apid {} ===", case.run.apid);
+    println!("  user       : {}", case.run.user);
+    println!("  job        : {}", case.run.job);
+    println!("  class      : {} × {} nodes", case.run.node_type, case.run.width);
+    println!("  placement  : first nid {}", case.run.nodes.first().map(|n| n.to_string()).unwrap_or_else(|| "?".into()));
+    println!("  launched   : {}", case.run.start);
+    println!("  died       : {}  (ran {})", case.run.end, case.run.runtime());
+    println!("  verdict    : {}", case.class);
+    println!("  lost work  : {:.1} node-hours", case.run.node_hours());
+    println!("\n  blamed error events:");
+    for id in &case.matched_events {
+        if let Some(ev) = analysis.events.iter().find(|e| e.id == *id) {
+            println!(
+                "    [{} – {}] {:>7}  {} entries, scope {}, categories {:?}",
+                ev.start,
+                ev.end,
+                ev.severity.label(),
+                ev.entry_count,
+                if ev.system_scope { "machine" } else { "blade" },
+                ev.categories.iter().map(|c| c.token()).collect::<Vec<_>>(),
+            );
+        }
+    }
+
+    // How common was this verdict?
+    let same: usize = analysis.runs.iter().filter(|r| r.class == case.class).count();
+    println!("\n  {} runs share this verdict in the window", same);
+    let unexplained = analysis
+        .runs
+        .iter()
+        .filter(|r| {
+            matches!(r.class, ExitClass::SystemFailure(c) if c == logdiver_types::FailureCause::Undetermined)
+        })
+        .count();
+    println!("  {} system failures had no explaining event at all", unexplained);
+    Ok(())
+}

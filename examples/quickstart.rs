@@ -1,0 +1,49 @@
+//! Quickstart: simulate a week of production on a small machine, run
+//! LogDiver over the raw logs, and print the headline tables.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use bw_sim::{MemoryOutput, SimConfig, Simulation};
+use logdiver::{report, LogCollection, LogDiver};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Simulate: a 1/32-scale Blue Waters for 7 production days.
+    //    (The simulator stands in for the machine; in a real deployment the
+    //    logs below are collected from the site's syslog/ALPS/Torque.)
+    let config = SimConfig::scaled(32, 7).with_seed(2013);
+    let sim = Simulation::new(config)?;
+    println!(
+        "simulating {} ({} XE + {} XK nodes) for 7 days…",
+        sim.machine().name(),
+        sim.machine().count_of(logdiver_types::NodeType::Xe),
+        sim.machine().count_of(logdiver_types::NodeType::Xk),
+    );
+    let mut raw = MemoryOutput::new();
+    let sim_report = sim.run(&mut raw);
+    println!(
+        "  {} jobs, {} application runs, {:.0} node-hours, {} faults injected\n",
+        sim_report.jobs_submitted,
+        sim_report.apps_completed,
+        sim_report.node_hours,
+        sim_report.faults_injected,
+    );
+
+    // 2. Hand LogDiver the raw log lines — nothing else.
+    let mut logs = LogCollection::new();
+    logs.syslog = raw.syslog;
+    logs.hwerr = raw.hwerr;
+    logs.alps = raw.alps;
+    logs.torque = raw.torque;
+    logs.netwatch = raw.netwatch;
+
+    // 3. Analyze and report.
+    let analysis = LogDiver::new().analyze(&logs);
+    println!("{}", report::outcome_table(&analysis.metrics));
+    println!();
+    println!("{}", report::cause_table(&analysis.metrics));
+    println!();
+    println!("{}", report::pipeline_table(&analysis.stats));
+    Ok(())
+}

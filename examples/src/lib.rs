@@ -1,0 +1,1 @@
+//! Shared helpers for the examples live here if needed.

@@ -1,0 +1,36 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use bw_sim::{MemoryOutput, SimConfig, SimReport, Simulation};
+use logdiver::{Analysis, LogCollection, LogDiver};
+
+/// Bundle of everything an end-to-end test needs.
+#[derive(Debug)]
+pub struct EndToEnd {
+    /// The simulator's raw output (logs + ground truth).
+    pub sim: MemoryOutput,
+    /// The simulator's aggregate report.
+    pub report: SimReport,
+    /// LogDiver's analysis of the raw logs.
+    pub analysis: Analysis,
+}
+
+/// Converts simulator output into the tool's input: the five raw log files,
+/// nothing else (ground truth stays on the simulator side).
+pub fn to_log_collection(out: &MemoryOutput) -> LogCollection {
+    let mut logs = LogCollection::new();
+    logs.syslog = out.syslog.clone();
+    logs.hwerr = out.hwerr.clone();
+    logs.alps = out.alps.clone();
+    logs.torque = out.torque.clone();
+    logs.netwatch = out.netwatch.clone();
+    logs
+}
+
+/// Runs a simulation and analyzes its logs with a default LogDiver.
+pub fn run_end_to_end(config: SimConfig) -> EndToEnd {
+    let mut sim_out = MemoryOutput::new();
+    let report = Simulation::new(config).expect("valid config").run(&mut sim_out);
+    let logs = to_log_collection(&sim_out);
+    let analysis = LogDiver::new().analyze(&logs);
+    EndToEnd { sim: sim_out, report, analysis }
+}

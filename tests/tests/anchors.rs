@@ -1,0 +1,112 @@
+//! The abstract's anchored numbers, measured end-to-end on the scaled
+//! machine (the full-machine versions are the F1/F2 bench targets; this
+//! test pins the *relative* curve, which is scale-invariant by design).
+
+use bw_sim::SimConfig;
+use logdiver_integration::{run_end_to_end, EndToEnd};
+use logdiver_types::NodeType;
+
+/// The anchor measurements need a usable sample of capability-scale runs.
+/// On a geometry-scaled machine those arrive every few days at the paper's
+/// mix, so the anchor tests raise the capability *frequency* (count share)
+/// — per-run failure probabilities are anchored per width fraction and are
+/// unaffected; the calibration solve runs on the modified mix.
+fn anchor_run(seed: u64, days: u32) -> EndToEnd {
+    let mut config = SimConfig::scaled(16, days).with_seed(seed);
+    for class in &mut config.workload.classes {
+        class.capability_fraction *= 8.0;
+    }
+    run_end_to_end(config)
+}
+
+#[test]
+fn full_scale_failure_probability_matches_anchor_band() {
+    // 60 days at /16 scale with boosted capability frequency gives a few
+    // hundred capability runs per class.
+    let e2e = anchor_run(31, 60);
+    let m = &e2e.analysis.metrics;
+    for (ty, full_anchor) in [(NodeType::Xe, 0.162), (NodeType::Xk, 0.129)] {
+        let curve = m.scale_curves.iter().find(|c| c.node_type == ty).unwrap();
+        let max_nodes = curve.buckets.last().unwrap().hi;
+        let full = curve.bucket_containing(max_nodes).unwrap();
+        assert!(full.runs >= 30, "{ty}: only {} full-scale runs", full.runs);
+        // The Wilson interval must overlap a band around the anchor.
+        assert!(
+            full.ci.0 < full_anchor * 1.6 && full.ci.1 > full_anchor * 0.6,
+            "{ty}: P(full)={:.3} CI [{:.3},{:.3}] vs anchor {full_anchor}",
+            full.probability, full.ci.0, full.ci.1
+        );
+    }
+}
+
+#[test]
+fn scale_curve_rises_steeply_toward_full_machine() {
+    let e2e = anchor_run(32, 60);
+    let m = &e2e.analysis.metrics;
+    let xe = m.scale_curves.iter().find(|c| c.node_type == NodeType::Xe).unwrap();
+    // Probability in the largest bucket must dwarf the small-app buckets.
+    let small: Vec<_> = xe.buckets.iter().filter(|b| b.hi <= 1_024 && b.runs > 50).collect();
+    let full = xe.buckets.last().unwrap();
+    assert!(full.runs > 0);
+    for b in small {
+        assert!(
+            full.probability > 5.0 * b.probability.max(0.002),
+            "full {:.4} vs bucket {}-{} {:.4}",
+            full.probability, b.lo, b.hi, b.probability
+        );
+    }
+}
+
+#[test]
+fn blend_sits_near_the_paper_value() {
+    let e2e = anchor_run(33, 60);
+    let f = e2e.analysis.metrics.system_failure_fraction;
+    // Paper: 1.53 %. Allow sampling noise at this volume.
+    assert!(f > 0.010 && f < 0.022, "system-failure fraction {f}");
+}
+
+#[test]
+fn failed_runs_carry_outsized_node_hours() {
+    let e2e = anchor_run(34, 60);
+    let m = &e2e.analysis.metrics;
+    // Paper: 1.53 % of runs ↔ ~9 % of node-hours. Our simulator lands in
+    // the same regime (count share ≪ node-hour share); see EXPERIMENTS.md
+    // for the measured full-scale number and its analysis.
+    assert!(
+        m.failed_node_hours_fraction > 2.0 * m.system_failure_fraction,
+        "node-hour share {:.4} vs count share {:.4}",
+        m.failed_node_hours_fraction,
+        m.system_failure_fraction
+    );
+    assert!(m.failed_node_hours_fraction > 0.02 && m.failed_node_hours_fraction < 0.20,
+            "node-hour share {:.4}", m.failed_node_hours_fraction);
+}
+
+#[test]
+fn hybrid_detection_gap_shows_up() {
+    // Lesson (iii) is carried by node-scoped GPU faults, which are
+    // per-node-hour processes — invisible on a small machine over weeks.
+    // Boost them (mechanism test; calibration skipped) to make the XE/XK
+    // contrast measurable; the full-machine bench shows it at paper rates.
+    let mut config = SimConfig::scaled(32, 20).with_seed(35).without_calibration();
+    config.faults.gpu_fault_per_node_hour = 2.0e-2;
+    config.faults.xk_node_crash_per_node_hour = 1.0e-3;
+    config.faults.xe_node_crash_per_node_hour = 1.0e-3;
+    for class in &mut config.workload.classes {
+        if class.node_type == NodeType::Xk {
+            class.jobs_per_hour *= 4.0; // keep XK nodes busy enough to be hit
+        }
+    }
+    let e2e = run_end_to_end(config);
+    let m = &e2e.analysis.metrics;
+    let xe = m.detection.iter().find(|d| d.node_type == NodeType::Xe).unwrap();
+    let xk = m.detection.iter().find(|d| d.node_type == NodeType::Xk).unwrap();
+    assert!(xk.system_failures > 20, "too few XK system failures: {}", xk.system_failures);
+    // Lesson (iii): hybrid failures are far more often unexplained.
+    assert!(
+        xk.fraction_undetermined > 1.5 * xe.fraction_undetermined.max(0.01),
+        "XK {:.3} vs XE {:.3}",
+        xk.fraction_undetermined,
+        xe.fraction_undetermined
+    );
+}

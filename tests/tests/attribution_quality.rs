@@ -1,0 +1,152 @@
+//! Experiment V1: LogDiver's attribution quality against ground truth.
+//!
+//! The paper validated LogDiver against operator failure reports; our
+//! simulator gives exact ground truth instead. The tool never sees it —
+//! this test compares its verdicts after the fact.
+
+use std::collections::HashMap;
+
+use bw_sim::{AppTruth, SimConfig, TrueOutcome};
+use logdiver_integration::run_end_to_end;
+use logdiver_types::{ExitClass, FailureCause};
+
+fn confusion(
+    truths: &[AppTruth],
+    runs: &[logdiver::ClassifiedRun],
+) -> (u64, u64, u64, u64) {
+    let truth_by_apid: HashMap<u64, &AppTruth> =
+        truths.iter().map(|t| (t.apid.value(), t)).collect();
+    let (mut tp, mut fp, mut fnc, mut tn) = (0u64, 0u64, 0u64, 0u64);
+    for run in runs {
+        let truth = truth_by_apid
+            .get(&run.run.apid.value())
+            .expect("every run has ground truth");
+        let is_sys_truth = truth.outcome.is_system();
+        let is_sys_measured = run.class.is_system_failure();
+        match (is_sys_truth, is_sys_measured) {
+            (true, true) => tp += 1,
+            (false, true) => fp += 1,
+            (true, false) => fnc += 1,
+            (false, false) => tn += 1,
+        }
+    }
+    (tp, fp, fnc, tn)
+}
+
+#[test]
+fn system_failure_attribution_has_high_precision_and_recall() {
+    let e2e = run_end_to_end(SimConfig::scaled(24, 20).with_seed(21));
+    let (tp, fp, fnc, tn) = confusion(&e2e.sim.truths, &e2e.analysis.runs);
+    assert!(tp + fp + fnc + tn > 1_000, "not enough runs");
+    assert!(tp > 10, "too few true system failures to judge: tp={tp}");
+    let precision = tp as f64 / (tp + fp).max(1) as f64;
+    let recall = tp as f64 / (tp + fnc).max(1) as f64;
+    // The detection gap makes perfect recall impossible (undetected GPU
+    // deaths that the health sweep also misses look like user crashes) —
+    // that is the paper's point. Precision suffers only from coincidental
+    // overlaps with wide events.
+    assert!(precision > 0.88, "precision {precision} (tp={tp} fp={fp})");
+    assert!(recall > 0.85, "recall {recall} (tp={tp} fn={fnc})");
+}
+
+#[test]
+fn cause_attribution_matches_when_detected() {
+    let e2e = run_end_to_end(SimConfig::scaled(24, 20).with_seed(22));
+    let truth_by_apid: HashMap<u64, &AppTruth> =
+        e2e.sim.truths.iter().map(|t| (t.apid.value(), t)).collect();
+    let mut agree = 0u64;
+    let mut total = 0u64;
+    for run in &e2e.analysis.runs {
+        let truth = truth_by_apid[&run.run.apid.value()];
+        let (TrueOutcome::SystemFailure { cause, detected: true },
+             ExitClass::SystemFailure(measured)) = (truth.outcome, run.class)
+        else {
+            continue;
+        };
+        // Undetermined is not a cause claim; skip.
+        if measured == FailureCause::Undetermined {
+            continue;
+        }
+        total += 1;
+        if measured == cause {
+            agree += 1;
+        }
+    }
+    assert!(total > 10, "too few detected system failures: {total}");
+    let accuracy = agree as f64 / total as f64;
+    assert!(accuracy > 0.80, "cause accuracy {accuracy} ({agree}/{total})");
+}
+
+#[test]
+fn walltime_and_user_failures_are_not_blamed_on_the_system() {
+    let e2e = run_end_to_end(SimConfig::scaled(24, 15).with_seed(23));
+    let truth_by_apid: HashMap<u64, &AppTruth> =
+        e2e.sim.truths.iter().map(|t| (t.apid.value(), t)).collect();
+    let mut user_total = 0u64;
+    let mut user_misblamed = 0u64;
+    let mut walltime_total = 0u64;
+    let mut walltime_correct = 0u64;
+    for run in &e2e.analysis.runs {
+        let truth = truth_by_apid[&run.run.apid.value()];
+        match truth.outcome {
+            TrueOutcome::UserFailure(_) => {
+                user_total += 1;
+                if run.class.is_system_failure() {
+                    user_misblamed += 1;
+                }
+            }
+            TrueOutcome::WalltimeExceeded => {
+                walltime_total += 1;
+                if run.class == ExitClass::WalltimeExceeded {
+                    walltime_correct += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    assert!(user_total > 100);
+    let misblame = user_misblamed as f64 / user_total as f64;
+    assert!(misblame < 0.03, "user failures misattributed at {misblame}");
+    assert!(walltime_total > 10, "no walltime kills in 15 days?");
+    let wt = walltime_correct as f64 / walltime_total as f64;
+    assert!(wt > 0.9, "walltime recognition {wt} ({walltime_correct}/{walltime_total})");
+}
+
+#[test]
+fn undetected_failures_surface_as_undetermined_or_missed() {
+    // Node/GPU faults are per-node-hour processes; at small machine scale
+    // they are vanishingly rare, so this *mechanism* test boosts their
+    // rates (and skips the anchor calibration, which those rates would
+    // violate) to exercise the detection-gap path heavily.
+    let mut config = SimConfig::scaled(32, 10).with_seed(24).without_calibration();
+    config.faults.gpu_fault_per_node_hour = 2.0e-2;
+    config.faults.xk_node_crash_per_node_hour = 2.0e-3;
+    config.faults.xe_node_crash_per_node_hour = 5.0e-4;
+    let e2e = run_end_to_end(config);
+    let truth_by_apid: HashMap<u64, &AppTruth> =
+        e2e.sim.truths.iter().map(|t| (t.apid.value(), t)).collect();
+    let mut undetected_total = 0u64;
+    let mut flagged_undetermined = 0u64;
+    let mut missed = 0u64;
+    for run in &e2e.analysis.runs {
+        let truth = truth_by_apid[&run.run.apid.value()];
+        if let TrueOutcome::SystemFailure { detected: false, .. } = truth.outcome {
+            undetected_total += 1;
+            match run.class {
+                ExitClass::SystemFailure(FailureCause::Undetermined) => flagged_undetermined += 1,
+                c if !c.is_system_failure() => missed += 1,
+                _ => {}
+            }
+        }
+    }
+    assert!(undetected_total > 5, "too few undetected system kills: {undetected_total}");
+    // An undetected failure is usually flagged undetermined (the health
+    // sweep caught the corpse) or missed entirely. At these boosted rates a
+    // few pick up a cause from an unrelated coincident event — itself a
+    // realistic tool behaviour — so demand a dominant share, not totality.
+    assert!(flagged_undetermined > 0, "health-sweep path never taken");
+    assert!(
+        (flagged_undetermined + missed) as f64 >= 0.7 * undetected_total as f64,
+        "flagged {flagged_undetermined} + missed {missed} of {undetected_total}"
+    );
+}

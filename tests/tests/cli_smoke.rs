@@ -1,0 +1,16 @@
+//! The CLI's own smoke tests live in `crates/cli/tests/smoke.rs` (where the
+//! binary path is available); this cross-crate test exercises the same
+//! reproduce path through the library API to keep it covered here too.
+
+use bw_sim::SimConfig;
+use logdiver::report;
+use logdiver_integration::run_end_to_end;
+
+#[test]
+fn full_report_renders_from_a_real_run() {
+    let e2e = run_end_to_end(SimConfig::scaled(64, 2).with_seed(55));
+    let text = report::full_report(&e2e.analysis.metrics, &e2e.analysis.stats);
+    for needle in ["T2", "T3", "F1", "F2", "F3", "T4", "F6", "F5", "T5"] {
+        assert!(text.contains(needle), "missing {needle} in report");
+    }
+}

@@ -1,0 +1,65 @@
+//! End-to-end precursor analysis: the simulator's escalation channel (CE
+//! flood → uncorrectable error on the same node) must surface in
+//! LogDiver's F7 report with the configured lead-time window.
+
+use bw_sim::SimConfig;
+use logdiver_integration::run_end_to_end;
+use logdiver_types::ErrorCategory;
+
+fn boosted() -> SimConfig {
+    let mut config = SimConfig::scaled(32, 20).with_seed(61).without_calibration();
+    config.faults.ce_floods_per_hour = 2.0;
+    config.faults.ce_flood_escalation_prob = 0.25;
+    config.faults.xe_node_crash_per_node_hour = 1.0e-5; // mostly escalations
+    config.faults.xk_node_crash_per_node_hour = 1.0e-5;
+    config
+}
+
+#[test]
+fn escalated_failures_show_their_precursors() {
+    let e2e = run_end_to_end(boosted());
+    let p = &e2e.analysis.metrics.precursors;
+    assert!(p.lethal_events > 20, "too few lethal node events: {}", p.lethal_events);
+    // Escalations dominate node crashes in this config, so coverage is high.
+    assert!(
+        p.fraction() > 0.5,
+        "precursor coverage {:.2} over {} events",
+        p.fraction(),
+        p.lethal_events
+    );
+    // Lead times must fall inside the configured escalation window (plus
+    // the CE-flood burst span).
+    let (lo, hi) = (
+        e2e.analysis.metrics.precursors.lookback.as_hours_f64() * 0.0,
+        e2e.analysis.metrics.precursors.lookback.as_hours_f64(),
+    );
+    for &lead in &p.lead_times_hours {
+        assert!(lead >= lo && lead <= hi, "lead {lead} outside [{lo}, {hi}]");
+    }
+    let median = p.median_lead_hours().unwrap();
+    assert!(median > 0.1 && median < 2.1, "median lead {median}");
+    // The memory channel carries the coverage.
+    let ue = p
+        .by_category
+        .iter()
+        .find(|r| r.category == ErrorCategory::MemoryUncorrectable);
+    assert!(ue.is_some_and(|r| r.with_precursor > 10), "{:?}", p.by_category);
+}
+
+#[test]
+fn baseline_rates_have_low_precursor_coverage() {
+    // Without the escalation channel, warnings and crashes are independent;
+    // coverage should be near the coincidence floor.
+    let mut config = boosted();
+    config.faults.ce_flood_escalation_prob = 0.0;
+    config.faults.xe_node_crash_per_node_hour = 2.0e-4; // independent crashes
+    config.faults.xk_node_crash_per_node_hour = 2.0e-4;
+    let e2e = run_end_to_end(config);
+    let p = &e2e.analysis.metrics.precursors;
+    assert!(p.lethal_events > 10, "{}", p.lethal_events);
+    assert!(
+        p.fraction() < 0.25,
+        "independent faults should rarely have precursors: {:.2}",
+        p.fraction()
+    );
+}

@@ -1,0 +1,86 @@
+//! Failure injection on the tool itself: corrupted, truncated and
+//! out-of-order input must degrade gracefully, never panic.
+
+use bw_sim::SimConfig;
+use logdiver::{LogCollection, LogDiver};
+use logdiver_integration::{run_end_to_end, to_log_collection};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+fn corrupt(line: &str, rng: &mut impl Rng) -> String {
+    let mut s = line.to_string();
+    match rng.random_range(0..4) {
+        0 => s.truncate(s.len() / 2),                    // truncated write
+        1 => s = format!("{s}{s}"),                      // doubled write
+        2 => s = s.replace(' ', ""),                     // mangled separators
+        _ => s = format!("\u{fffd}{s}"),                 // encoding damage
+    }
+    s
+}
+
+#[test]
+fn corrupted_lines_never_panic_and_are_counted() {
+    let e2e = run_end_to_end(SimConfig::scaled(48, 3).with_seed(41));
+    let mut logs = to_log_collection(&e2e.sim);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    // Corrupt 10 % of every stream.
+    for stream in [&mut logs.syslog, &mut logs.hwerr, &mut logs.alps, &mut logs.torque, &mut logs.netwatch] {
+        let n = stream.len();
+        for _ in 0..n / 10 {
+            let i = rng.random_range(0..stream.len());
+            stream[i] = corrupt(&stream[i], &mut rng);
+        }
+    }
+    let analysis = LogDiver::new().analyze(&logs);
+    let bad: u64 = analysis.stats.parse.iter().map(|c| c.bad).sum();
+    assert!(bad > 0, "corruption must be detected");
+    // Most runs still reconstruct and classify.
+    assert!(analysis.runs.len() as f64 > 0.7 * e2e.analysis.runs.len() as f64);
+}
+
+#[test]
+fn shuffled_input_yields_identical_events() {
+    let e2e = run_end_to_end(SimConfig::scaled(48, 3).with_seed(42));
+    let mut logs = to_log_collection(&e2e.sim);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+    logs.syslog.shuffle(&mut rng);
+    logs.hwerr.shuffle(&mut rng);
+    logs.netwatch.shuffle(&mut rng);
+    let analysis = LogDiver::new().analyze(&logs);
+    assert_eq!(analysis.events.len(), e2e.analysis.events.len());
+    assert_eq!(
+        analysis.metrics.system_failure_fraction,
+        e2e.analysis.metrics.system_failure_fraction
+    );
+}
+
+#[test]
+fn missing_sources_degrade_gracefully() {
+    let e2e = run_end_to_end(SimConfig::scaled(48, 5).with_seed(43));
+    // Without error logs, everything that needs evidence becomes
+    // undetermined/user, but the workload reconstruction is unaffected.
+    let mut logs = to_log_collection(&e2e.sim);
+    logs.syslog.clear();
+    logs.hwerr.clear();
+    logs.netwatch.clear();
+    let analysis = LogDiver::new().analyze(&logs);
+    assert_eq!(analysis.runs.len(), e2e.analysis.runs.len());
+    assert!(analysis.events.is_empty());
+    // Without torque, walltime kills cannot be recognized.
+    let mut logs2 = to_log_collection(&e2e.sim);
+    logs2.torque.clear();
+    let analysis2 = LogDiver::new().analyze(&logs2);
+    assert_eq!(analysis2.runs.len(), e2e.analysis.runs.len());
+    let wt = analysis2
+        .runs
+        .iter()
+        .filter(|r| r.class == logdiver_types::ExitClass::WalltimeExceeded)
+        .count();
+    assert_eq!(wt, 0, "walltime verdicts need torque context");
+}
+
+#[test]
+fn empty_collection_is_fine() {
+    let analysis = LogDiver::new().analyze(&LogCollection::new());
+    assert_eq!(analysis.metrics.total_runs, 0);
+}

@@ -1,0 +1,70 @@
+//! Serialization round-trips: configurations and reports are data (C-SERDE)
+//! — they must survive JSON round-trips so runs can be described in config
+//! files and results archived.
+
+use bw_sim::SimConfig;
+use logdiver_integration::run_end_to_end;
+
+#[test]
+fn sim_config_round_trips() {
+    let config = SimConfig::scaled(16, 30).with_seed(9);
+    let json = serde_json::to_string_pretty(&config).unwrap();
+    let back: SimConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, config);
+    assert!(json.contains("machine_divisor"));
+    assert!(json.contains("wide_kill_xe"));
+}
+
+#[test]
+fn fault_and_detection_configs_round_trip() {
+    let faults = bw_faults::FaultConfig::blue_waters();
+    let back: bw_faults::FaultConfig =
+        serde_json::from_str(&serde_json::to_string(&faults).unwrap()).unwrap();
+    assert_eq!(back, faults);
+
+    let detection = bw_faults::DetectionModel::hardened_gpu();
+    let back: bw_faults::DetectionModel =
+        serde_json::from_str(&serde_json::to_string(&detection).unwrap()).unwrap();
+    assert_eq!(back, detection);
+}
+
+#[test]
+fn metric_set_round_trips_with_data() {
+    // JSON float text can drop the last ULP on the first pass, so the
+    // correctness property is *idempotence*: the second round trip is exact
+    // and all integer-valued fields survive the first one unchanged.
+    let e2e = run_end_to_end(SimConfig::scaled(48, 3).with_seed(10));
+    let m = &e2e.analysis.metrics;
+    let json = serde_json::to_string(m).unwrap();
+    assert!(json.contains("scale_curves"));
+    assert!(json.contains("precursors"));
+    let once: logdiver::MetricSet = serde_json::from_str(&json).unwrap();
+    assert_eq!(once.total_runs, m.total_runs);
+    assert_eq!(once.outcomes.len(), m.outcomes.len());
+    for (a, b) in once.outcomes.iter().zip(&m.outcomes) {
+        assert_eq!(a.runs, b.runs);
+        assert!((a.node_hours - b.node_hours).abs() < 1e-9);
+    }
+    assert_eq!(once.scale_curves, m.scale_curves);
+    let json2 = serde_json::to_string(&once).unwrap();
+    let twice: logdiver::MetricSet = serde_json::from_str(&json2).unwrap();
+    assert_eq!(twice, once, "JSON round trip must be idempotent");
+}
+
+#[test]
+fn classified_runs_round_trip() {
+    let e2e = run_end_to_end(SimConfig::scaled(64, 2).with_seed(11));
+    let runs = &e2e.analysis.runs;
+    assert!(!runs.is_empty());
+    let json = serde_json::to_string(runs).unwrap();
+    let back: Vec<logdiver::ClassifiedRun> = serde_json::from_str(&json).unwrap();
+    assert_eq!(&back, runs);
+}
+
+#[test]
+fn machine_round_trips() {
+    let m = bw_topology::Machine::blue_waters_scaled(32);
+    let back: bw_topology::Machine =
+        serde_json::from_str(&serde_json::to_string(&m).unwrap()).unwrap();
+    assert_eq!(back, m);
+}
