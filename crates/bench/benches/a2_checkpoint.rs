@@ -9,8 +9,14 @@ fn main() {
     banner("A2", "checkpoint economics from measured MTTI");
     let s = scenario();
     // A full-scale dump to Lustre: ~10 minutes; restart: ~15 minutes.
-    println!("{}", report::checkpoint_table(&s.analysis.metrics, 10.0 / 60.0, 15.0 / 60.0));
+    println!(
+        "{}",
+        report::checkpoint_table(&s.analysis.metrics, 10.0 / 60.0, 15.0 / 60.0)
+    );
     println!();
     // Sensitivity: a lighter incremental checkpoint.
-    println!("{}", report::checkpoint_table(&s.analysis.metrics, 2.0 / 60.0, 15.0 / 60.0));
+    println!(
+        "{}",
+        report::checkpoint_table(&s.analysis.metrics, 2.0 / 60.0, 15.0 / 60.0)
+    );
 }

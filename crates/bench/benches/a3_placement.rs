@@ -12,7 +12,9 @@ use bw_topology::PlacementPolicy;
 use logdiver_types::FailureCause;
 
 fn run(policy: PlacementPolicy) -> (u64, u64, f64) {
-    let mut config = SimConfig::scaled(32, 20).with_seed(4040).without_calibration();
+    let mut config = SimConfig::scaled(32, 20)
+        .with_seed(4040)
+        .without_calibration();
     config.placement = policy;
     // Busy machine (placement only matters when blades are shared) and
     // blade failures dominating; other node-scoped faults quiet.
@@ -32,7 +34,13 @@ fn run(policy: PlacementPolicy) -> (u64, u64, f64) {
         .truths
         .iter()
         .filter(|t| {
-            matches!(t.outcome, TrueOutcome::SystemFailure { cause: FailureCause::NodeHardware, .. })
+            matches!(
+                t.outcome,
+                TrueOutcome::SystemFailure {
+                    cause: FailureCause::NodeHardware,
+                    ..
+                }
+            )
         })
         .count() as u64;
     let lost: f64 = raw
@@ -46,7 +54,10 @@ fn run(policy: PlacementPolicy) -> (u64, u64, f64) {
 
 fn main() {
     println!("A3 — placement policy vs blade-correlated failures (same fault seed)");
-    for (name, policy) in [("packed   ", PlacementPolicy::Packed), ("scattered", PlacementPolicy::Scattered)] {
+    for (name, policy) in [
+        ("packed   ", PlacementPolicy::Packed),
+        ("scattered", PlacementPolicy::Scattered),
+    ] {
         let (lethal, kills, lost) = run(policy);
         println!(
             "  {name}: {lethal} lethal faults → {kills} blade-caused app kills, {lost:.0} node-hours lost ({:.2} kills/fault)",

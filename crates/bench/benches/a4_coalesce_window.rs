@@ -17,7 +17,9 @@ fn main() {
     let s = scenario();
     let config = s.config.clone();
     let mut raw = bw_sim::MemoryOutput::new();
-    bw_sim::Simulation::new(config).expect("valid").run(&mut raw);
+    bw_sim::Simulation::new(config)
+        .expect("valid")
+        .run(&mut raw);
     let mut logs = LogCollection::new();
     logs.syslog = raw.syslog;
     logs.hwerr = raw.hwerr;
@@ -26,10 +28,15 @@ fn main() {
     logs.netwatch = raw.netwatch;
 
     println!("A4 — coalescing-gap sensitivity (same raw logs)");
-    println!("{:>8}  {:>8}  {:>8}  {:>10}  {:>12}", "gap s", "events", "lethal", "coalesce ×", "sys-fail %");
+    println!(
+        "{:>8}  {:>8}  {:>8}  {:>10}  {:>12}",
+        "gap s", "events", "lethal", "coalesce ×", "sys-fail %"
+    );
     for gap_secs in [15i64, 60, 300, 900, 3_600] {
-        let mut cfg = LogDiverConfig::default();
-        cfg.coalesce_gap = SimDuration::from_secs(gap_secs);
+        let cfg = LogDiverConfig {
+            coalesce_gap: SimDuration::from_secs(gap_secs),
+            ..LogDiverConfig::default()
+        };
         let analysis = LogDiver::new().with_config(cfg).analyze(&logs);
         println!(
             "{:>8}  {:>8}  {:>8}  {:>10.1}  {:>11.3}%",

@@ -15,7 +15,10 @@ fn main() {
     for class in &mut config.workload.classes {
         class.capability_fraction *= 8.0;
     }
-    config.faults.burn_in = Some(BurnIn { initial_multiplier: 3.0, decay_days: 25.0 });
+    config.faults.burn_in = Some(BurnIn {
+        initial_multiplier: 3.0,
+        decay_days: 25.0,
+    });
     println!("A5 — burn-in (3× initial lethal-fault rate, 25-day decay), 120 days, 1/16 machine");
     let mut raw = MemoryOutput::new();
     Simulation::new(config).expect("valid").run(&mut raw);
@@ -30,11 +33,19 @@ fn main() {
     println!("\nmachine-scope lethal events per 30-day month (the fault processes):");
     for (month, chunk) in t.wide_events.counts.chunks(30).enumerate() {
         let total: u64 = chunk.iter().sum();
-        println!("  month {:>2}: {total:>5}  {}", month + 1, "#".repeat((total / 20) as usize));
+        println!(
+            "  month {:>2}: {total:>5}  {}",
+            month + 1,
+            "#".repeat((total / 20) as usize)
+        );
     }
     println!("\napplication system failures per month (diluted by the scale-\nindependent launch-failure floor — lesson: count metrics hide maturation):");
     for (month, chunk) in t.system_failures.counts.chunks(30).enumerate() {
         let total: u64 = chunk.iter().sum();
-        println!("  month {:>2}: {total:>5}  {}", month + 1, "#".repeat((total / 20) as usize));
+        println!(
+            "  month {:>2}: {total:>5}  {}",
+            month + 1,
+            "#".repeat((total / 20) as usize)
+        );
     }
 }

@@ -9,7 +9,9 @@ use logdiver::{report, LogCollection, LogDiver};
 use logdiver_types::NodeType;
 
 fn run(detection: DetectionModel) -> logdiver::MetricSet {
-    let mut config = SimConfig::scaled(32, 14).with_seed(4224).without_calibration();
+    let mut config = SimConfig::scaled(32, 14)
+        .with_seed(4224)
+        .without_calibration();
     config.detection = detection;
     config.faults.gpu_fault_per_node_hour = 2.0e-2;
     config.faults.xk_node_crash_per_node_hour = 1.0e-3;

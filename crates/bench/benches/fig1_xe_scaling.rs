@@ -29,7 +29,10 @@ fn main() {
             full.lo, full.hi, full.probability, full.runs
         );
         if mid.probability > 0.0 {
-            println!("jump: {:.1}× (paper: ≈ 20×)", full.probability / mid.probability);
+            println!(
+                "jump: {:.1}× (paper: ≈ 20×)",
+                full.probability / mid.probability
+            );
         }
     }
     println!("\nCSV:\n{}", report::scale_curve_csv(curve));

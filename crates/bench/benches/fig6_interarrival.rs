@@ -8,6 +8,11 @@ fn main() {
     banner("F6", "system-event interarrival fit");
     let s = scenario();
     println!("{}", report::interarrival_summary(&s.analysis.metrics));
-    let wide = s.analysis.events.iter().filter(|e| e.system_scope && e.is_lethal()).count();
+    let wide = s
+        .analysis
+        .events
+        .iter()
+        .filter(|e| e.system_scope && e.is_lethal())
+        .count();
     println!("\nmachine-scope lethal events in window: {wide}");
 }

@@ -11,7 +11,9 @@ use logdiver::{report, LogCollection, LogDiver};
 use logdiver_types::NodeType;
 
 fn main() {
-    let mut config = SimConfig::scaled(32, 20).with_seed(77).without_calibration();
+    let mut config = SimConfig::scaled(32, 20)
+        .with_seed(77)
+        .without_calibration();
     config.faults.ce_floods_per_hour = 2.0;
     config.faults.ce_flood_escalation_prob = 0.25;
     config.faults.gpu_page_retirements_per_hour = 0.8;
@@ -39,7 +41,11 @@ fn main() {
     if !leads.is_empty() {
         let mut v = leads.clone();
         v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        println!("\nlead-time distribution (hours): p10 {:.2}, p50 {:.2}, p90 {:.2}",
-                 v[v.len() / 10], v[v.len() / 2], v[v.len() * 9 / 10]);
+        println!(
+            "\nlead-time distribution (hours): p10 {:.2}, p50 {:.2}, p90 {:.2}",
+            v[v.len() / 10],
+            v[v.len() / 2],
+            v[v.len() * 9 / 10]
+        );
     }
 }

@@ -8,8 +8,8 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 use bw_sim::{MemoryOutput, SimConfig, Simulation};
-use logdiver::filter::{filter_logs, PatternTable};
 use logdiver::coalesce::coalesce;
+use logdiver::filter::{filter_logs, PatternTable};
 use logdiver::parse::parse_collection;
 use logdiver::{LogCollection, LogDiver};
 use logdiver_types::SimDuration;

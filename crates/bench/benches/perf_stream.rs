@@ -1,0 +1,132 @@
+//! P2 — streaming-engine throughput: lines/sec through `StreamEngine`
+//! with 1 vs N syslog parse workers, against the batch pipeline baseline.
+//!
+//! Writes `BENCH_stream.json` (shard sweep + baseline) for tracking.
+
+use std::time::Instant;
+
+use bw_bench::banner;
+use bw_sim::{MemoryOutput, SimConfig, Simulation};
+use logdiver::{LogCollection, LogDiver};
+use logdiver_stream::{Source, StreamConfig, StreamEngine};
+use logdiver_types::SimDuration;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ShardPoint {
+    syslog_shards: usize,
+    lines_per_sec: f64,
+    vs_batch: f64,
+}
+
+#[derive(Serialize)]
+struct StreamBench {
+    bench: String,
+    total_lines: usize,
+    reps: usize,
+    batch_lines_per_sec: f64,
+    stream: Vec<ShardPoint>,
+}
+
+fn corpus() -> LogCollection {
+    // Heavy syslog chatter: parsing + pattern-table filtering must dominate,
+    // since that is the work the syslog shards parallelize.
+    let mut config = SimConfig::scaled(48, 4).with_seed(77).without_calibration();
+    config.noise_lines_per_hour = 3_600.0;
+    let mut raw = MemoryOutput::new();
+    Simulation::new(config).expect("valid config").run(&mut raw);
+    let mut logs = LogCollection::new();
+    logs.syslog = raw.syslog;
+    logs.hwerr = raw.hwerr;
+    logs.alps = raw.alps;
+    logs.torque = raw.torque;
+    logs.netwatch = raw.netwatch;
+    logs
+}
+
+/// Streams the whole corpus in round-robin 1024-line chunks and drains.
+fn stream_once(logs: &LogCollection, shards: usize) -> f64 {
+    let config = StreamConfig::default()
+        .with_lateness(SimDuration::from_secs(3_600))
+        .with_syslog_shards(shards);
+    let mut engine = StreamEngine::new(config);
+    let sources = [
+        (Source::Syslog, &logs.syslog),
+        (Source::HwErr, &logs.hwerr),
+        (Source::Alps, &logs.alps),
+        (Source::Torque, &logs.torque),
+        (Source::Netwatch, &logs.netwatch),
+    ];
+    let start = Instant::now();
+    let mut offsets = [0usize; 5];
+    loop {
+        let mut moved = false;
+        for (i, (source, lines)) in sources.iter().enumerate() {
+            let lo = offsets[i];
+            let hi = (lo + 1024).min(lines.len());
+            if lo < hi {
+                engine
+                    .push_batch(*source, lines[lo..hi].iter().cloned())
+                    .unwrap();
+                offsets[i] = hi;
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    let analysis = engine.drain();
+    let secs = start.elapsed().as_secs_f64();
+    assert!(!analysis.runs.is_empty(), "bench corpus must produce runs");
+    logs.total_lines() as f64 / secs
+}
+
+fn main() {
+    banner("P2", "streaming-engine throughput (1 vs N parse workers)");
+    let logs = corpus();
+    let total = logs.total_lines();
+    println!("corpus           : {total} lines");
+
+    let batch_rate = {
+        let tool = LogDiver::new();
+        let start = Instant::now();
+        let analysis = tool.analyze(&logs);
+        let secs = start.elapsed().as_secs_f64();
+        assert!(!analysis.runs.is_empty());
+        total as f64 / secs
+    };
+    println!("batch analyze    : {batch_rate:>10.0} lines/s");
+
+    const REPS: usize = 3;
+    let mut sweep = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let best = (0..REPS)
+            .map(|_| stream_once(&logs, shards))
+            .fold(0.0f64, f64::max);
+        println!(
+            "stream, {shards} shard{s}: {best:>10.0} lines/s ({:.2}x batch)",
+            best / batch_rate,
+            s = if shards == 1 { " " } else { "s" },
+        );
+        sweep.push(ShardPoint {
+            syslog_shards: shards,
+            lines_per_sec: best,
+            vs_batch: best / batch_rate,
+        });
+    }
+
+    let out = StreamBench {
+        bench: "perf_stream".to_string(),
+        total_lines: total,
+        reps: REPS,
+        batch_lines_per_sec: batch_rate,
+        stream: sweep,
+    };
+    let text = serde_json::to_string_pretty(&out).expect("serializable");
+    let path = "BENCH_stream.json";
+    match std::fs::write(path, text) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+}

@@ -13,7 +13,12 @@ fn main() {
     println!("node-hours       : {:.0}", m.total_node_hours);
     println!("measured days    : {:.1}", m.measured_days);
     for ty in [NodeType::Xe, NodeType::Xk] {
-        let runs = s.analysis.runs.iter().filter(|r| r.run.node_type == ty).count();
+        let runs = s
+            .analysis
+            .runs
+            .iter()
+            .filter(|r| r.run.node_type == ty)
+            .count();
         let nh: f64 = s
             .analysis
             .runs
@@ -35,8 +40,14 @@ fn main() {
     // Per-user concentration (the Zipf story behind the workload).
     let users = logdiver::users::analyze_users(&s.analysis.runs);
     println!("distinct users   : {}", users.distinct_users());
-    println!("top-5 users carry: {:.1}% of runs", users.top_k_share(5) * 100.0);
-    println!("top-20 users     : {:.1}% of runs", users.top_k_share(20) * 100.0);
+    println!(
+        "top-5 users carry: {:.1}% of runs",
+        users.top_k_share(5) * 100.0
+    );
+    println!(
+        "top-20 users     : {:.1}% of runs",
+        users.top_k_share(20) * 100.0
+    );
     if let Some((p10, p50, p90)) = users.failure_rate_spread(50) {
         println!(
             "user-failure rate spread across users (≥50 runs): p10 {:.1}%, median {:.1}%, p90 {:.1}%",

@@ -8,11 +8,12 @@ use bw_bench::{banner, scenario};
 fn main() {
     banner("V1", "attribution validation against ground truth");
     let s = scenario();
-    let truth_by_apid: HashMap<u64, _> =
-        s.truths.iter().map(|t| (t.apid.value(), t)).collect();
+    let truth_by_apid: HashMap<u64, _> = s.truths.iter().map(|t| (t.apid.value(), t)).collect();
     let (mut tp, mut fp, mut fnc, mut tn) = (0u64, 0u64, 0u64, 0u64);
     for run in &s.analysis.runs {
-        let Some(truth) = truth_by_apid.get(&run.run.apid.value()) else { continue };
+        let Some(truth) = truth_by_apid.get(&run.run.apid.value()) else {
+            continue;
+        };
         match (truth.outcome.is_system(), run.class.is_system_failure()) {
             (true, true) => tp += 1,
             (false, true) => fp += 1,
@@ -24,6 +25,12 @@ fn main() {
     println!("false positives: {fp}");
     println!("false negatives: {fnc}");
     println!("true negatives : {tn}");
-    println!("precision      : {:.3}", tp as f64 / (tp + fp).max(1) as f64);
-    println!("recall         : {:.3}", tp as f64 / (tp + fnc).max(1) as f64);
+    println!(
+        "precision      : {:.3}",
+        tp as f64 / (tp + fp).max(1) as f64
+    );
+    println!(
+        "recall         : {:.3}",
+        tp as f64 / (tp + fnc).max(1) as f64
+    );
 }

@@ -39,7 +39,10 @@ pub struct Scenario {
 }
 
 fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Builds the scenario configuration from the environment.
@@ -85,7 +88,12 @@ pub fn scenario() -> &'static Scenario {
         logs.torque = std::mem::take(&mut raw.torque);
         logs.netwatch = std::mem::take(&mut raw.netwatch);
         let analysis = LogDiver::new().analyze(&logs);
-        Scenario { config, truths: raw.truths, report, analysis }
+        Scenario {
+            config,
+            truths: raw.truths,
+            report,
+            analysis,
+        }
     })
 }
 

@@ -4,6 +4,7 @@
 //! logdiver simulate  --out DIR [--divisor N] [--days N] [--seed N]
 //! logdiver analyze   --logs DIR [--csv DIR]
 //! logdiver validate  --logs DIR
+//! logdiver stream    --logs DIR [--chunk N] [--follow] [--shards N] [--lateness SECS]
 //! logdiver reproduce [--divisor N] [--days N] [--seed N] [--boost-capability]
 //! logdiver swf       --out FILE [--divisor N] [--days N] [--seed N]
 //! ```
@@ -11,19 +12,62 @@
 //! `simulate` writes the five raw log files plus `ground_truth.jsonl`;
 //! `analyze` runs LogDiver over a log directory and prints the full report;
 //! `validate` additionally scores the verdicts against the ground truth;
-//! `reproduce` does simulate+analyze in memory and prints every table and
-//! figure (the benches call the same path per experiment).
+//! `stream` feeds the same files through the online engine
+//! (`logdiver-stream`), printing live progress, and `--follow` keeps
+//! tailing them; `reproduce` does simulate+analyze in memory and prints
+//! every table and figure (the benches call the same path per experiment).
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 
 use bw_sim::{AppTruth, FileOutput, MemoryOutput, SimConfig, Simulation};
-use rand::SeedableRng;
 use logdiver::{report, LogCollection, LogDiver};
+use rand::SeedableRng;
 
 fn usage() -> &'static str {
-    "usage:\n  logdiver simulate  --out DIR [--divisor N] [--days N] [--seed N]\n  logdiver analyze   --logs DIR [--csv DIR]\n  logdiver validate  --logs DIR\n  logdiver reproduce [--divisor N] [--days N] [--seed N] [--boost-capability]\n  logdiver swf       --out FILE [--divisor N] [--days N] [--seed N]\n\noptions:\n  --divisor N   machine scale divisor (1 = full Blue Waters; default 16)\n  --days N      production days to simulate (default 30; the paper is 518)\n  --seed N      RNG seed (default 1)\n  --out DIR     output directory for raw logs\n  --logs DIR    directory holding messages.log / hwerr.log / apsys.log /\n                torque.log / netwatch.log\n  --csv DIR     also write scale-curve CSVs there\n  --boost-capability  multiply capability-job frequency ×8 (dense sampling\n                of the full-scale buckets on small machines)"
+    "usage:\n  logdiver simulate  --out DIR [--divisor N] [--days N] [--seed N]\n  logdiver analyze   --logs DIR [--csv DIR]\n  logdiver validate  --logs DIR\n  logdiver stream    --logs DIR [--chunk N] [--follow] [--shards N] [--lateness SECS]\n  logdiver reproduce [--divisor N] [--days N] [--seed N] [--boost-capability]\n  logdiver swf       --out FILE [--divisor N] [--days N] [--seed N]\n\noptions:\n  --divisor N   machine scale divisor (1 = full Blue Waters; default 16)\n  --days N      production days to simulate (default 30; the paper is 518)\n  --seed N      RNG seed (default 1)\n  --out DIR     output directory for raw logs\n  --logs DIR    directory holding messages.log / hwerr.log / apsys.log /\n                torque.log / netwatch.log\n  --csv DIR     also write scale-curve CSVs there\n  --chunk N     lines pushed per source per round when streaming (default 1024)\n  --follow      keep tailing the log files for appended lines (SIGINT stops)\n  --shards N    parallel syslog parse workers (default 2)\n  --lateness SECS  allowed out-of-order lateness within a source (default 60)\n  --boost-capability  multiply capability-job frequency ×8 (dense sampling\n                of the full-scale buckets on small machines)"
 }
+
+/// What one subcommand accepts: value-taking options and bare switches.
+/// Anything else is a usage error.
+struct CommandSpec {
+    name: &'static str,
+    flags: &'static [&'static str],
+    switches: &'static [&'static str],
+}
+
+const COMMANDS: &[CommandSpec] = &[
+    CommandSpec {
+        name: "simulate",
+        flags: &["out", "divisor", "days", "seed"],
+        switches: &["boost-capability"],
+    },
+    CommandSpec {
+        name: "analyze",
+        flags: &["logs", "csv"],
+        switches: &[],
+    },
+    CommandSpec {
+        name: "validate",
+        flags: &["logs"],
+        switches: &[],
+    },
+    CommandSpec {
+        name: "stream",
+        flags: &["logs", "chunk", "shards", "lateness"],
+        switches: &["follow"],
+    },
+    CommandSpec {
+        name: "reproduce",
+        flags: &["divisor", "days", "seed"],
+        switches: &["boost-capability"],
+    },
+    CommandSpec {
+        name: "swf",
+        flags: &["out", "divisor", "days", "seed"],
+        switches: &["boost-capability"],
+    },
+];
 
 #[derive(Debug, Default)]
 struct Args {
@@ -31,19 +75,38 @@ struct Args {
     switches: Vec<String>,
 }
 
-fn parse_args(argv: &[String]) -> Result<Args, String> {
+fn parse_args(spec: &CommandSpec, argv: &[String]) -> Result<Args, String> {
     let mut args = Args::default();
-    let mut it = argv.iter().peekable();
+    let mut it = argv.iter();
     while let Some(a) = it.next() {
-        if let Some(name) = a.strip_prefix("--") {
-            match it.peek() {
-                Some(v) if !v.starts_with("--") => {
-                    args.flags.insert(name.to_string(), it.next().expect("peeked").clone());
-                }
-                _ => args.switches.push(name.to_string()),
+        let Some(raw) = a.strip_prefix("--") else {
+            return Err(format!("unexpected argument {a:?}"));
+        };
+        // Accept both `--name value` and `--name=value`.
+        let (name, inline) = match raw.split_once('=') {
+            Some((n, v)) => (n, Some(v.to_string())),
+            None => (raw, None),
+        };
+        if spec.flags.contains(&name) {
+            let value = match inline {
+                Some(v) => v,
+                None => it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| format!("option --{name} requires a value"))?,
+            };
+            if args.flags.insert(name.to_string(), value).is_some() {
+                return Err(format!("option --{name} given more than once"));
+            }
+        } else if spec.switches.contains(&name) {
+            if let Some(v) = inline {
+                return Err(format!("switch --{name} does not take a value (got {v:?})"));
+            }
+            if !args.switches.iter().any(|s| s == name) {
+                args.switches.push(name.to_string());
             }
         } else {
-            return Err(format!("unexpected argument {a:?}"));
+            return Err(format!("unknown option --{name} for {:?}", spec.name));
         }
     }
     Ok(args)
@@ -52,7 +115,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
 fn get_u64(args: &Args, name: &str, default: u64) -> Result<u64, String> {
     match args.flags.get(name) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("--{name} expects a number, got {v:?}")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name} expects a number, got {v:?}")),
     }
 }
 
@@ -84,7 +149,8 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         sim.config().days,
         sim.config().seed
     );
-    let mut out = FileOutput::create(out_dir).map_err(|e| format!("cannot create {out_dir}: {e}"))?;
+    let mut out =
+        FileOutput::create(out_dir).map_err(|e| format!("cannot create {out_dir}: {e}"))?;
     let report = sim.run(&mut out);
     out.flush().map_err(|e| format!("flush failed: {e}"))?;
     eprintln!(
@@ -101,8 +167,13 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
 fn cmd_analyze(args: &Args) -> Result<(), String> {
     let dir = args.flags.get("logs").ok_or("analyze needs --logs DIR")?;
     // Streaming parse: the raw text never lives in memory.
-    let analysis = LogDiver::new().analyze_dir(dir).map_err(|e| e.to_string())?;
-    println!("{}", report::full_report(&analysis.metrics, &analysis.stats));
+    let analysis = LogDiver::new()
+        .analyze_dir(dir)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "{}",
+        report::full_report(&analysis.metrics, &analysis.stats)
+    );
     if let Some(csv_dir) = args.flags.get("csv") {
         std::fs::create_dir_all(csv_dir).map_err(|e| format!("cannot create {csv_dir}: {e}"))?;
         for curve in &analysis.metrics.scale_curves {
@@ -127,7 +198,9 @@ fn cmd_validate(args: &Args) -> Result<(), String> {
             serde_json::from_str(line).map_err(|e| format!("bad ground-truth line: {e}"))?;
         truths.insert(t.apid.value(), t);
     }
-    let analysis = LogDiver::new().analyze_dir(dir).map_err(|e| e.to_string())?;
+    let analysis = LogDiver::new()
+        .analyze_dir(dir)
+        .map_err(|e| e.to_string())?;
     let (mut tp, mut fp, mut fnc, mut tn, mut unmatched) = (0u64, 0u64, 0u64, 0u64, 0u64);
     for run in &analysis.runs {
         let Some(truth) = truths.get(&run.run.apid.value()) else {
@@ -179,8 +252,122 @@ fn cmd_reproduce(args: &Args) -> Result<(), String> {
     logs.torque = raw.torque;
     logs.netwatch = raw.netwatch;
     let analysis = LogDiver::new().analyze(&logs);
-    println!("{}", report::full_report(&analysis.metrics, &analysis.stats));
+    println!(
+        "{}",
+        report::full_report(&analysis.metrics, &analysis.stats)
+    );
     Ok(())
+}
+
+/// Reads whole lines appended to `path` since `offset`. A trailing partial
+/// line (no newline yet) is left for the next poll.
+fn read_new_lines(path: &std::path::Path, offset: u64) -> std::io::Result<(Vec<String>, u64)> {
+    use std::io::{Read, Seek, SeekFrom};
+    let mut file = std::fs::File::open(path)?;
+    let len = file.metadata()?.len();
+    if len <= offset {
+        return Ok((Vec::new(), offset.min(len)));
+    }
+    file.seek(SeekFrom::Start(offset))?;
+    let mut text = String::new();
+    file.take(len - offset).read_to_string(&mut text)?;
+    let Some(last_newline) = text.rfind('\n') else {
+        return Ok((Vec::new(), offset));
+    };
+    let consumed = offset + last_newline as u64 + 1;
+    let lines = text[..=last_newline].lines().map(str::to_string).collect();
+    Ok((lines, consumed))
+}
+
+fn cmd_stream(args: &Args) -> Result<(), String> {
+    use logdiver_stream::{Source, StreamConfig, StreamEngine};
+    use std::collections::VecDeque;
+
+    let dir = args.flags.get("logs").ok_or("stream needs --logs DIR")?;
+    let chunk = get_u64(args, "chunk", 1024)?.max(1) as usize;
+    let shards = get_u64(args, "shards", 2)?.max(1) as usize;
+    let lateness = get_u64(args, "lateness", 60)?;
+    let follow = args.switches.iter().any(|s| s == "follow");
+
+    let config = StreamConfig::default()
+        .with_lateness(logdiver_types::SimDuration::from_secs(lateness as i64))
+        .with_syslog_shards(shards);
+    let mut engine = StreamEngine::new(config);
+
+    // One tail per source file present in the directory; absent sources are
+    // closed up front so they do not hold the watermark down.
+    let mut tails: Vec<(Source, std::path::PathBuf, u64)> = Vec::new();
+    for source in Source::ALL {
+        let path = std::path::Path::new(dir).join(source.file_name());
+        if path.is_file() {
+            tails.push((source, path, 0));
+        } else {
+            eprintln!("[stream] {} absent, source closed", source.file_name());
+            engine.close(source);
+        }
+    }
+    if tails.is_empty() {
+        return Err(format!("no log files found in {dir}"));
+    }
+
+    let mut pending: Vec<VecDeque<String>> = tails.iter().map(|_| VecDeque::new()).collect();
+    let mut exhausted = false;
+    let mut rounds = 0u64;
+    while !exhausted {
+        exhausted = true;
+        for (i, (source, path, offset)) in tails.iter_mut().enumerate() {
+            if pending[i].is_empty() {
+                let (lines, consumed) = read_new_lines(path, *offset)
+                    .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+                *offset = consumed;
+                pending[i].extend(lines);
+            }
+            let take = chunk.min(pending[i].len());
+            if take > 0 {
+                engine
+                    .push_batch(*source, pending[i].drain(..take))
+                    .map_err(|e| e.to_string())?;
+                exhausted = false;
+            }
+        }
+        rounds += 1;
+        if rounds.is_multiple_of(64) {
+            print_progress(&engine);
+        }
+        if exhausted && follow {
+            print_progress(&engine);
+            std::thread::sleep(std::time::Duration::from_millis(500));
+            exhausted = false;
+        }
+    }
+
+    print_progress(&engine);
+    let analysis = engine.drain();
+    println!(
+        "{}",
+        report::full_report(&analysis.metrics, &analysis.stats)
+    );
+    Ok(())
+}
+
+fn print_progress(engine: &logdiver_stream::StreamEngine) {
+    let snap = engine.snapshot();
+    let bad: u64 = snap.parse.iter().map(|c| c.bad).sum();
+    let total: u64 = snap.parse.iter().map(|c| c.total).sum();
+    let watermark = match snap.watermark {
+        Some(w) => w.to_string(),
+        None => "blocked".to_string(),
+    };
+    eprintln!(
+        "[stream] lines={total} bad={bad} watermark={watermark} runs={}/{} open \
+         events={}/{} open buffered={} late_dropped={}",
+        snap.classified_runs,
+        snap.open_runs,
+        snap.closed_events,
+        snap.open_events,
+        snap.buffered_entries,
+        snap.late_dropped
+    );
 }
 
 fn cmd_swf(args: &Args) -> Result<(), String> {
@@ -188,8 +375,7 @@ fn cmd_swf(args: &Args) -> Result<(), String> {
     let config = build_config(args)?;
     let machine = config.machine();
     let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
-    let mut generator =
-        bw_workload::WorkloadGenerator::new(config.workload.clone(), &mut rng)?;
+    let mut generator = bw_workload::WorkloadGenerator::new(config.workload.clone(), &mut rng)?;
     let jobs = generator.generate(config.horizon(), &mut rng);
     let text = bw_workload::swf::export_trace(machine.name(), machine.compute_nodes(), &jobs);
     std::fs::write(out_path, &text).map_err(|e| format!("cannot write {out_path}: {e}"))?;
@@ -203,24 +389,29 @@ fn main() -> ExitCode {
         eprintln!("{}", usage());
         return ExitCode::from(2);
     };
-    let args = match parse_args(rest) {
+    if matches!(cmd.as_str(), "help" | "--help" | "-h") {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    let Some(spec) = COMMANDS.iter().find(|s| s.name == cmd.as_str()) else {
+        eprintln!("error: unknown command {cmd:?}\n\n{}", usage());
+        return ExitCode::from(2);
+    };
+    let args = match parse_args(spec, rest) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n\n{}", usage());
             return ExitCode::from(2);
         }
     };
-    let result = match cmd.as_str() {
+    let result = match spec.name {
         "simulate" => cmd_simulate(&args),
         "analyze" => cmd_analyze(&args),
         "validate" => cmd_validate(&args),
+        "stream" => cmd_stream(&args),
         "reproduce" => cmd_reproduce(&args),
         "swf" => cmd_swf(&args),
-        "help" | "--help" | "-h" => {
-            println!("{}", usage());
-            Ok(())
-        }
-        other => Err(format!("unknown command {other:?}")),
+        _ => unreachable!("dispatch covers every CommandSpec"),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -228,5 +419,73 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(name: &str) -> &'static CommandSpec {
+        COMMANDS.iter().find(|s| s.name == name).unwrap()
+    }
+
+    fn argv(words: &[&str]) -> Vec<String> {
+        words.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn known_flags_and_switches_parse() {
+        let args = parse_args(
+            spec("simulate"),
+            &argv(&["--out", "d", "--seed=7", "--boost-capability"]),
+        )
+        .unwrap();
+        assert_eq!(args.flags.get("out").unwrap(), "d");
+        assert_eq!(args.flags.get("seed").unwrap(), "7");
+        assert_eq!(args.switches, vec!["boost-capability".to_string()]);
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected() {
+        let err = parse_args(spec("analyze"), &argv(&["--logs", "d", "--typo", "x"])).unwrap_err();
+        assert!(err.contains("unknown option --typo"), "{err}");
+    }
+
+    #[test]
+    fn unknown_switch_is_rejected() {
+        let err = parse_args(spec("stream"), &argv(&["--logs", "d", "--folow"])).unwrap_err();
+        assert!(err.contains("unknown option --folow"), "{err}");
+    }
+
+    #[test]
+    fn flag_without_value_is_rejected() {
+        let err = parse_args(spec("analyze"), &argv(&["--logs"])).unwrap_err();
+        assert!(err.contains("requires a value"), "{err}");
+    }
+
+    #[test]
+    fn switch_with_value_is_rejected() {
+        let err = parse_args(spec("stream"), &argv(&["--follow=yes"])).unwrap_err();
+        assert!(err.contains("does not take a value"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_flag_is_rejected() {
+        let err = parse_args(spec("analyze"), &argv(&["--logs", "a", "--logs", "b"])).unwrap_err();
+        assert!(err.contains("more than once"), "{err}");
+    }
+
+    #[test]
+    fn positional_arguments_are_rejected() {
+        let err = parse_args(spec("validate"), &argv(&["d"])).unwrap_err();
+        assert!(err.contains("unexpected argument"), "{err}");
+    }
+
+    #[test]
+    fn every_command_rejects_another_commands_flags() {
+        // --csv belongs to analyze only; validate must refuse it.
+        let err = parse_args(spec("validate"), &argv(&["--csv", "d"])).unwrap_err();
+        assert!(err.contains("unknown option --csv"), "{err}");
     }
 }

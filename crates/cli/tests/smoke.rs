@@ -43,20 +43,47 @@ fn simulate_validate_analyze_round_trip() {
         .args(["--divisor", "64", "--days", "2", "--seed", "3"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
-    for f in ["messages.log", "hwerr.log", "apsys.log", "torque.log", "netwatch.log", "ground_truth.jsonl"] {
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    for f in [
+        "messages.log",
+        "hwerr.log",
+        "apsys.log",
+        "torque.log",
+        "netwatch.log",
+        "ground_truth.jsonl",
+    ] {
         assert!(dir.join(f).exists(), "missing {f}");
     }
 
-    let out = Command::new(bin()).args(["analyze", "--logs"]).arg(&dir).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = Command::new(bin())
+        .args(["analyze", "--logs"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("T2 — Application outcomes"));
     assert!(text.contains("F1 — XE failure probability"));
     assert!(text.contains("T5 — Pipeline effectiveness"));
 
-    let out = Command::new(bin()).args(["validate", "--logs"]).arg(&dir).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = Command::new(bin())
+        .args(["validate", "--logs"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("precision"));
     assert!(text.contains("recall"));
@@ -82,7 +109,11 @@ fn swf_export_produces_parseable_trace() {
         .args(["--divisor", "64", "--days", "1", "--seed", "9"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = std::fs::read_to_string(&path).unwrap();
     let jobs = bw_workload::swf::parse_trace(&text).unwrap();
     assert!(jobs.len() > 10, "only {} jobs", jobs.len());

@@ -30,7 +30,10 @@ use crate::metrics::MetricSet;
 ///
 /// Panics when `delta_hours` or `mtti_hours` is not positive.
 pub fn young_interval(delta_hours: f64, mtti_hours: f64) -> f64 {
-    assert!(delta_hours > 0.0 && mtti_hours > 0.0, "costs must be positive");
+    assert!(
+        delta_hours > 0.0 && mtti_hours > 0.0,
+        "costs must be positive"
+    );
     (2.0 * delta_hours * mtti_hours).sqrt()
 }
 
@@ -45,7 +48,10 @@ pub fn young_interval(delta_hours: f64, mtti_hours: f64) -> f64 {
 ///
 /// Panics when `delta_hours` or `mtti_hours` is not positive.
 pub fn daly_interval(delta_hours: f64, mtti_hours: f64) -> f64 {
-    assert!(delta_hours > 0.0 && mtti_hours > 0.0, "costs must be positive");
+    assert!(
+        delta_hours > 0.0 && mtti_hours > 0.0,
+        "costs must be positive"
+    );
     if delta_hours >= mtti_hours / 2.0 {
         return mtti_hours;
     }
@@ -58,8 +64,16 @@ pub fn daly_interval(delta_hours: f64, mtti_hours: f64) -> f64 {
 /// # Panics
 ///
 /// Panics when any argument is not positive (`restart_hours` may be zero).
-pub fn waste_fraction(tau_hours: f64, delta_hours: f64, mtti_hours: f64, restart_hours: f64) -> f64 {
-    assert!(tau_hours > 0.0 && delta_hours > 0.0 && mtti_hours > 0.0, "costs must be positive");
+pub fn waste_fraction(
+    tau_hours: f64,
+    delta_hours: f64,
+    mtti_hours: f64,
+    restart_hours: f64,
+) -> f64 {
+    assert!(
+        tau_hours > 0.0 && delta_hours > 0.0 && mtti_hours > 0.0,
+        "costs must be positive"
+    );
     assert!(restart_hours >= 0.0, "restart cost cannot be negative");
     (delta_hours / tau_hours + (tau_hours / 2.0 + delta_hours + restart_hours) / mtti_hours)
         .min(1.0)
@@ -164,8 +178,8 @@ mod tests {
 
     #[test]
     fn advise_covers_buckets_with_mtti() {
-        use crate::metrics::compute;
         use crate::classify::ClassifiedRun;
+        use crate::metrics::compute;
         use crate::ranges::RangeSet;
         use crate::workload::{AppRun, Termination};
         use logdiver_types::{

@@ -25,7 +25,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::coalesce::ErrorEvent;
 use crate::config::LogDiverConfig;
-use crate::matcher::MatchIndex;
+use crate::matcher::{EventLookup, MatchIndex};
 use crate::workload::{AppRun, JobInfo, Termination};
 
 /// A run together with LogDiver's verdict.
@@ -63,8 +63,8 @@ fn explains_other_deaths(ev: &ErrorEvent) -> bool {
 
 /// Picks the best explanatory event: lethal and causal, preferring
 /// node-scoped over machine-scope, then higher severity.
-fn best_cause(
-    index: &MatchIndex,
+fn best_cause<I: EventLookup + ?Sized>(
+    index: &I,
     matched: &[u32],
     death: logdiver_types::Timestamp,
 ) -> Option<(bool, FailureCause)> {
@@ -77,9 +77,7 @@ fn best_cause(
         let node_scoped = !ev.system_scope;
         let better = match best {
             None => true,
-            Some((cur, cur_node)) => {
-                (node_scoped, ev.severity) > (cur_node, cur.severity)
-            }
+            Some((cur, cur_node)) => (node_scoped, ev.severity) > (cur_node, cur.severity),
         };
         if better {
             best = Some((ev, node_scoped));
@@ -112,10 +110,13 @@ pub fn classify_runs(
         .collect()
 }
 
-fn classify_one(
+/// Classifies one run against any event table. The streaming engine calls
+/// this as soon as a run becomes finalizable; the batch path calls it for
+/// every run at once — one decision tree, two drivers.
+pub fn classify_one<I: EventLookup + ?Sized>(
     run: AppRun,
     jobs: &HashMap<u64, JobInfo>,
-    index: &MatchIndex,
+    index: &I,
     config: &LogDiverConfig,
 ) -> ClassifiedRun {
     let exit = match run.termination {
@@ -127,13 +128,21 @@ fn classify_one(
             };
         }
         Termination::Missing => {
-            return ClassifiedRun { run, class: ExitClass::Unknown, matched_events: Vec::new() };
+            return ClassifiedRun {
+                run,
+                class: ExitClass::Unknown,
+                matched_events: Vec::new(),
+            };
         }
         Termination::Exited(exit) => exit,
     };
 
     if exit.is_clean() {
-        return ClassifiedRun { run, class: ExitClass::Success, matched_events: Vec::new() };
+        return ClassifiedRun {
+            run,
+            class: ExitClass::Success,
+            matched_events: Vec::new(),
+        };
     }
 
     // Walltime: SIGTERM with the job at (or past) its requested limit.
@@ -182,7 +191,11 @@ fn classify_one(
             },
         }
     };
-    ClassifiedRun { run, class, matched_events: matched }
+    ClassifiedRun {
+        run,
+        class,
+        matched_events: matched,
+    }
 }
 
 #[cfg(test)]
@@ -213,7 +226,14 @@ mod tests {
         }
     }
 
-    fn event(id: u32, start: i64, end: i64, nodes: &[u32], system: bool, cat: ErrorCategory) -> ErrorEvent {
+    fn event(
+        id: u32,
+        start: i64,
+        end: i64,
+        nodes: &[u32],
+        system: bool,
+        cat: ErrorCategory,
+    ) -> ErrorEvent {
         ErrorEvent {
             id,
             start: t(start),
@@ -226,14 +246,22 @@ mod tests {
         }
     }
 
-    fn classify(run: AppRun, events: Vec<ErrorEvent>, jobs: &HashMap<u64, JobInfo>) -> ClassifiedRun {
+    fn classify(
+        run: AppRun,
+        events: Vec<ErrorEvent>,
+        jobs: &HashMap<u64, JobInfo>,
+    ) -> ClassifiedRun {
         let index = MatchIndex::new(events);
         classify_one(run, jobs, &index, &LogDiverConfig::default())
     }
 
     #[test]
     fn launch_failures_are_launcher_caused() {
-        let c = classify(run(Termination::LaunchFailed, 3, &[0]), vec![], &HashMap::new());
+        let c = classify(
+            run(Termination::LaunchFailed, 3, &[0]),
+            vec![],
+            &HashMap::new(),
+        );
         assert_eq!(c.class, ExitClass::SystemFailure(FailureCause::Launcher));
     }
 
@@ -258,10 +286,18 @@ mod tests {
         let mut jobs = HashMap::new();
         jobs.insert(
             10,
-            JobInfo { walltime: SimDuration::from_secs(3_600), start: Some(t(0)), exit_status: None },
+            JobInfo {
+                walltime: SimDuration::from_secs(3_600),
+                start: Some(t(0)),
+                exit_status: None,
+            },
         );
         let c = classify(
-            run(Termination::Exited(ExitStatus::with_signal(15)), 3_600, &[0]),
+            run(
+                Termination::Exited(ExitStatus::with_signal(15)),
+                3_600,
+                &[0],
+            ),
             vec![],
             &jobs,
         );
@@ -273,7 +309,11 @@ mod tests {
         let mut jobs = HashMap::new();
         jobs.insert(
             10,
-            JobInfo { walltime: SimDuration::from_secs(36_000), start: Some(t(0)), exit_status: None },
+            JobInfo {
+                walltime: SimDuration::from_secs(36_000),
+                start: Some(t(0)),
+                exit_status: None,
+            },
         );
         let c = classify(
             run(Termination::Exited(ExitStatus::with_signal(15)), 600, &[0]),
@@ -285,7 +325,14 @@ mod tests {
 
     #[test]
     fn node_failed_with_evidence_gets_the_cause() {
-        let ev = event(0, 3_590, 3_625, &[0], false, ErrorCategory::MemoryUncorrectable);
+        let ev = event(
+            0,
+            3_590,
+            3_625,
+            &[0],
+            false,
+            ErrorCategory::MemoryUncorrectable,
+        );
         let c = classify(
             run(
                 Termination::Exited(ExitStatus::with_signal(9).and_node_failed()),
@@ -310,7 +357,10 @@ mod tests {
             vec![],
             &HashMap::new(),
         );
-        assert_eq!(c.class, ExitClass::SystemFailure(FailureCause::Undetermined));
+        assert_eq!(
+            c.class,
+            ExitClass::SystemFailure(FailureCause::Undetermined)
+        );
     }
 
     #[test]
@@ -321,7 +371,10 @@ mod tests {
             vec![ev],
             &HashMap::new(),
         );
-        assert_eq!(c.class, ExitClass::SystemFailure(FailureCause::Interconnect));
+        assert_eq!(
+            c.class,
+            ExitClass::SystemFailure(FailureCause::Interconnect)
+        );
     }
 
     #[test]
@@ -332,7 +385,10 @@ mod tests {
             vec![ev],
             &HashMap::new(),
         );
-        assert_eq!(c.class, ExitClass::UserFailure(UserFailureKind::NonzeroExit));
+        assert_eq!(
+            c.class,
+            ExitClass::UserFailure(UserFailureKind::NonzeroExit)
+        );
     }
 
     #[test]
@@ -355,12 +411,22 @@ mod tests {
             vec![],
             &HashMap::new(),
         );
-        assert_eq!(c.class, ExitClass::UserFailure(UserFailureKind::NonzeroExit));
+        assert_eq!(
+            c.class,
+            ExitClass::UserFailure(UserFailureKind::NonzeroExit)
+        );
     }
 
     #[test]
     fn node_scoped_beats_system_scoped_explanation() {
-        let local = event(0, 3_595, 3_630, &[0], false, ErrorCategory::GpuDoubleBitError);
+        let local = event(
+            0,
+            3_595,
+            3_630,
+            &[0],
+            false,
+            ErrorCategory::GpuDoubleBitError,
+        );
         let wide = event(1, 3_580, 3_640, &[], true, ErrorCategory::LustreOstFailure);
         let c = classify(
             run(Termination::Exited(ExitStatus::with_signal(9)), 3_600, &[0]),
@@ -373,10 +439,21 @@ mod tests {
 
     #[test]
     fn warning_events_never_explain_deaths() {
-        let warn = event(0, 3_590, 3_610, &[0], false, ErrorCategory::MemoryCorrectable);
+        let warn = event(
+            0,
+            3_590,
+            3_610,
+            &[0],
+            false,
+            ErrorCategory::MemoryCorrectable,
+        );
         assert_eq!(warn.severity, Severity::Warning);
         let c = classify(
-            run(Termination::Exited(ExitStatus::with_signal(11)), 3_600, &[0]),
+            run(
+                Termination::Exited(ExitStatus::with_signal(11)),
+                3_600,
+                &[0],
+            ),
             vec![warn],
             &HashMap::new(),
         );
@@ -387,7 +464,11 @@ mod tests {
     fn events_on_other_nodes_are_ignored() {
         let ev = event(0, 3_590, 3_610, &[500], false, ErrorCategory::KernelPanic);
         let c = classify(
-            run(Termination::Exited(ExitStatus::with_signal(11)), 3_600, &[0, 1]),
+            run(
+                Termination::Exited(ExitStatus::with_signal(11)),
+                3_600,
+                &[0, 1],
+            ),
             vec![ev],
             &HashMap::new(),
         );

@@ -57,7 +57,12 @@ impl ErrorEvent {
             .iter()
             .copied()
             .find(|c| c.is_application_lethal() && *c != generic)
-            .or_else(|| self.categories.iter().copied().find(|c| c.is_application_lethal()))
+            .or_else(|| {
+                self.categories
+                    .iter()
+                    .copied()
+                    .find(|c| c.is_application_lethal())
+            })
             .unwrap_or_else(|| {
                 *self
                     .categories
@@ -117,28 +122,47 @@ fn key_of(e: &FilteredEntry) -> GroupKey {
 /// classic truncated-tupling rule that keeps events attributable.
 pub const MAX_EVENT_SPAN: SimDuration = SimDuration::from_secs(1_800);
 
-/// Coalesces time-sorted filtered entries with the given gap.
+/// Incremental tupling: entries go in one at a time (non-decreasing
+/// timestamps), events come out as they become final.
 ///
-/// Every input entry lands in exactly one event; events of one spatial
-/// group never overlap (closing happens when the gap is exceeded), and no
-/// event spans more than [`MAX_EVENT_SPAN`].
-pub fn coalesce(entries: &[FilteredEntry], gap: SimDuration) -> Vec<ErrorEvent> {
-    debug_assert!(entries.windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
-    let mut events: Vec<ErrorEvent> = Vec::new();
-    let mut open: HashMap<GroupKey, usize> = HashMap::new();
-    for e in entries {
+/// This is the single coalescing implementation; the batch [`coalesce`]
+/// drives it in one shot, the streaming engine feeds it record by record
+/// and harvests closed events on every watermark advance. An open event
+/// closes once no future entry at or after the watermark could absorb it —
+/// its gap has lapsed or its span ceiling is reached.
+#[derive(Debug)]
+pub struct Coalescer {
+    gap: SimDuration,
+    open: HashMap<GroupKey, ErrorEvent>,
+    closed: Vec<ErrorEvent>,
+    next_id: u32,
+}
+
+impl Coalescer {
+    /// Creates a coalescer with the given chaining gap.
+    pub fn new(gap: SimDuration) -> Self {
+        Coalescer {
+            gap,
+            open: HashMap::new(),
+            closed: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Feeds one entry. Entries must arrive in non-decreasing timestamp
+    /// order (the batch driver sorts; the streaming engine's reorder buffer
+    /// guarantees it).
+    pub fn push(&mut self, e: &FilteredEntry) {
         let key = key_of(e);
-        match open.get(&key) {
-            Some(&idx)
-                if e.timestamp - events[idx].end <= gap
-                    && e.timestamp - events[idx].start <= MAX_EVENT_SPAN =>
+        match self.open.get_mut(&key) {
+            Some(ev)
+                if e.timestamp - ev.end <= self.gap && e.timestamp - ev.start <= MAX_EVENT_SPAN =>
             {
-                events[idx].absorb(e);
+                ev.absorb(e);
             }
-            _ => {
-                let id = events.len() as u32;
-                events.push(ErrorEvent {
-                    id,
+            slot => {
+                let fresh = ErrorEvent {
+                    id: self.next_id,
                     start: e.timestamp,
                     end: e.timestamp,
                     categories: vec![e.category],
@@ -146,12 +170,60 @@ pub fn coalesce(entries: &[FilteredEntry], gap: SimDuration) -> Vec<ErrorEvent> 
                     nodes: e.node.into_iter().collect(),
                     system_scope: key == GroupKey::System,
                     entry_count: 1,
-                });
-                open.insert(key, events.len() - 1);
+                };
+                self.next_id += 1;
+                match slot {
+                    Some(ev) => self.closed.push(std::mem::replace(ev, fresh)),
+                    None => {
+                        self.open.insert(key, fresh);
+                    }
+                }
             }
         }
     }
-    events
+
+    /// Closes every open event that no entry at or after `watermark` could
+    /// still absorb, and drains all events closed so far.
+    pub fn take_closed(&mut self, watermark: Timestamp) -> Vec<ErrorEvent> {
+        let gap = self.gap;
+        let mut newly_closed: Vec<ErrorEvent> = Vec::new();
+        self.open.retain(|_, ev| {
+            let still_open = watermark - ev.end <= gap && watermark - ev.start <= MAX_EVENT_SPAN;
+            if !still_open {
+                newly_closed.push(ev.clone());
+            }
+            still_open
+        });
+        self.closed.append(&mut newly_closed);
+        std::mem::take(&mut self.closed)
+    }
+
+    /// Number of events still open.
+    pub fn open_len(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Closes everything and returns all not-yet-taken events in id
+    /// (creation) order.
+    pub fn finish(mut self) -> Vec<ErrorEvent> {
+        self.closed.extend(self.open.into_values());
+        self.closed.sort_by_key(|e| e.id);
+        self.closed
+    }
+}
+
+/// Coalesces time-sorted filtered entries with the given gap.
+///
+/// Every input entry lands in exactly one event; events of one spatial
+/// group never overlap (closing happens when the gap is exceeded), and no
+/// event spans more than [`MAX_EVENT_SPAN`].
+pub fn coalesce(entries: &[FilteredEntry], gap: SimDuration) -> Vec<ErrorEvent> {
+    debug_assert!(entries.windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
+    let mut coalescer = Coalescer::new(gap);
+    for e in entries {
+        coalescer.push(e);
+    }
+    coalescer.finish()
 }
 
 #[cfg(test)]
@@ -205,7 +277,10 @@ mod tests {
         ];
         let events = coalesce(&entries, SimDuration::from_secs(60));
         assert_eq!(events.len(), 2);
-        let blade2 = events.iter().find(|e| e.nodes.contains(&NodeId::new(8))).unwrap();
+        let blade2 = events
+            .iter()
+            .find(|e| e.nodes.contains(&NodeId::new(8)))
+            .unwrap();
         assert_eq!(blade2.entry_count, 2);
         assert_eq!(blade2.categories.len(), 2);
         assert!(blade2.is_lethal());
@@ -223,7 +298,10 @@ mod tests {
         assert_eq!(events.len(), 1);
         assert!(events[0].system_scope);
         assert!(events[0].is_lethal());
-        assert_eq!(events[0].dominant_category(), ErrorCategory::GeminiLinkFailure);
+        assert_eq!(
+            events[0].dominant_category(),
+            ErrorCategory::GeminiLinkFailure
+        );
     }
 
     #[test]
@@ -256,7 +334,11 @@ mod tests {
             .map(|k| entry(k * 200, ErrorCategory::MemoryCorrectable, Some(8)))
             .collect();
         let events = coalesce(&entries, SimDuration::from_secs(300));
-        assert!(events.len() >= 3, "expected truncation, got {} events", events.len());
+        assert!(
+            events.len() >= 3,
+            "expected truncation, got {} events",
+            events.len()
+        );
         for ev in &events {
             assert!(ev.span() <= MAX_EVENT_SPAN);
         }

@@ -59,8 +59,10 @@ mod tests {
 
     #[test]
     fn negative_window_rejected() {
-        let mut c = LogDiverConfig::default();
-        c.coalesce_gap = SimDuration::from_secs(-1);
+        let c = LogDiverConfig {
+            coalesce_gap: SimDuration::from_secs(-1),
+            ..LogDiverConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 }

@@ -46,7 +46,9 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = LogDiverError::NoInput { path: "/tmp/x".into() };
+        let e = LogDiverError::NoInput {
+            path: "/tmp/x".into(),
+        };
         assert!(e.to_string().contains("/tmp/x"));
         assert!(e.source().is_none());
         let e = LogDiverError::Io {

@@ -64,34 +64,118 @@ impl PatternTable {
     pub fn curated() -> Self {
         use ErrorCategory::*;
         let patterns = vec![
-            Pattern { fragments: &["Machine Check Exception"], category: MachineCheckException },
-            Pattern { fragments: &["Machine Check", "unrecoverable"], category: MachineCheckException },
-            Pattern { fragments: &["DRAM ECC error"], category: MemoryUncorrectable },
-            Pattern { fragments: &["EDAC", "UE row"], category: MemoryUncorrectable },
-            Pattern { fragments: &["uncorrectable memory error"], category: MemoryUncorrectable },
-            Pattern { fragments: &["EDAC", "CE row"], category: MemoryCorrectable },
-            Pattern { fragments: &["LCB lane shutdown"], category: GeminiLinkFailure },
-            Pattern { fragments: &["link failed"], category: GeminiLinkFailure },
-            Pattern { fragments: &["running degraded", "lanes up"], category: GeminiLaneDegrade },
-            Pattern { fragments: &["route table recomputation"], category: GeminiRouteReconfig },
-            Pattern { fragments: &["traffic quiesced"], category: GeminiRouteReconfig },
-            Pattern { fragments: &["heartbeat fault"], category: NodeHeartbeatFault },
-            Pattern { fragments: &["declaring node dead"], category: NodeHeartbeatFault },
-            Pattern { fragments: &["L0 controller unresponsive"], category: BladeControllerFailure },
-            Pattern { fragments: &["VRM fault"], category: VoltageFault },
-            Pattern { fragments: &["Kernel panic"], category: KernelPanic },
-            Pattern { fragments: &["unable to handle kernel paging request"], category: KernelPanic },
-            Pattern { fragments: &["softlockup detected"], category: NodeHang },
-            Pattern { fragments: &["node unresponsive"], category: NodeHang },
-            Pattern { fragments: &["Connection to service was lost"], category: LustreOstFailure },
-            Pattern { fragments: &["failed over", "I/O will block"], category: LustreOstFailure },
-            Pattern { fragments: &["MDS failover"], category: LustreMdsFailover },
-            Pattern { fragments: &["client evicted"], category: LustreClientEviction },
-            Pattern { fragments: &["Double Bit ECC Error"], category: GpuDoubleBitError },
-            Pattern { fragments: &["fallen off the bus"], category: GpuBusError },
-            Pattern { fragments: &["page retirement"], category: GpuPageRetirement },
-            Pattern { fragments: &["placement failed"], category: AlpsLaunchFailure },
-            Pattern { fragments: &["warm swap"], category: MaintenanceNotice },
+            Pattern {
+                fragments: &["Machine Check Exception"],
+                category: MachineCheckException,
+            },
+            Pattern {
+                fragments: &["Machine Check", "unrecoverable"],
+                category: MachineCheckException,
+            },
+            Pattern {
+                fragments: &["DRAM ECC error"],
+                category: MemoryUncorrectable,
+            },
+            Pattern {
+                fragments: &["EDAC", "UE row"],
+                category: MemoryUncorrectable,
+            },
+            Pattern {
+                fragments: &["uncorrectable memory error"],
+                category: MemoryUncorrectable,
+            },
+            Pattern {
+                fragments: &["EDAC", "CE row"],
+                category: MemoryCorrectable,
+            },
+            Pattern {
+                fragments: &["LCB lane shutdown"],
+                category: GeminiLinkFailure,
+            },
+            Pattern {
+                fragments: &["link failed"],
+                category: GeminiLinkFailure,
+            },
+            Pattern {
+                fragments: &["running degraded", "lanes up"],
+                category: GeminiLaneDegrade,
+            },
+            Pattern {
+                fragments: &["route table recomputation"],
+                category: GeminiRouteReconfig,
+            },
+            Pattern {
+                fragments: &["traffic quiesced"],
+                category: GeminiRouteReconfig,
+            },
+            Pattern {
+                fragments: &["heartbeat fault"],
+                category: NodeHeartbeatFault,
+            },
+            Pattern {
+                fragments: &["declaring node dead"],
+                category: NodeHeartbeatFault,
+            },
+            Pattern {
+                fragments: &["L0 controller unresponsive"],
+                category: BladeControllerFailure,
+            },
+            Pattern {
+                fragments: &["VRM fault"],
+                category: VoltageFault,
+            },
+            Pattern {
+                fragments: &["Kernel panic"],
+                category: KernelPanic,
+            },
+            Pattern {
+                fragments: &["unable to handle kernel paging request"],
+                category: KernelPanic,
+            },
+            Pattern {
+                fragments: &["softlockup detected"],
+                category: NodeHang,
+            },
+            Pattern {
+                fragments: &["node unresponsive"],
+                category: NodeHang,
+            },
+            Pattern {
+                fragments: &["Connection to service was lost"],
+                category: LustreOstFailure,
+            },
+            Pattern {
+                fragments: &["failed over", "I/O will block"],
+                category: LustreOstFailure,
+            },
+            Pattern {
+                fragments: &["MDS failover"],
+                category: LustreMdsFailover,
+            },
+            Pattern {
+                fragments: &["client evicted"],
+                category: LustreClientEviction,
+            },
+            Pattern {
+                fragments: &["Double Bit ECC Error"],
+                category: GpuDoubleBitError,
+            },
+            Pattern {
+                fragments: &["fallen off the bus"],
+                category: GpuBusError,
+            },
+            Pattern {
+                fragments: &["page retirement"],
+                category: GpuPageRetirement,
+            },
+            Pattern {
+                fragments: &["placement failed"],
+                category: AlpsLaunchFailure,
+            },
+            Pattern {
+                fragments: &["warm swap"],
+                category: MaintenanceNotice,
+            },
         ];
         PatternTable { patterns }
     }
@@ -137,6 +221,57 @@ impl FilterStats {
     }
 }
 
+/// Filters one syslog record; `None` means "operational chatter, discard".
+pub fn entry_from_syslog(
+    rec: &craylog::syslog::SyslogRecord,
+    table: &PatternTable,
+) -> Option<FilteredEntry> {
+    table.classify(&rec.message).map(|category| FilteredEntry {
+        timestamp: rec.timestamp,
+        category,
+        severity: category.severity(),
+        node: rec.node(),
+        source: EntrySource::Syslog,
+    })
+}
+
+/// Converts one hardware-error record (always kept).
+pub fn entry_from_hwerr(rec: &craylog::hwerr::HwErrRecord) -> FilteredEntry {
+    FilteredEntry {
+        timestamp: rec.timestamp,
+        category: rec.category,
+        severity: rec.severity,
+        node: Some(rec.location.to_nid()),
+        source: EntrySource::HwErr,
+    }
+}
+
+/// Converts one netwatch record (always kept).
+pub fn entry_from_netwatch(rec: &craylog::netwatch::NetwatchRecord) -> FilteredEntry {
+    use craylog::netwatch::NetwatchEvent::*;
+    let category = match rec.event {
+        LinkFailed { .. } => ErrorCategory::GeminiLinkFailure,
+        LaneDegrade { .. } => ErrorCategory::GeminiLaneDegrade,
+        RerouteStart { .. } | RerouteDone { .. } => ErrorCategory::GeminiRouteReconfig,
+    };
+    FilteredEntry {
+        timestamp: rec.timestamp,
+        category,
+        severity: category.severity(),
+        node: None,
+        source: EntrySource::Netwatch,
+    }
+}
+
+/// The key the entry stream is ordered by: time, then node (node-less
+/// entries last), with source order (syslog, hwerr, netwatch) breaking the
+/// remaining ties — exactly the order the batch path's stable sort
+/// produces. The streaming reorder buffer sorts by this same key so both
+/// drivers feed the coalescer identically.
+pub fn entry_sort_key(e: &FilteredEntry) -> (Timestamp, u32) {
+    (e.timestamp, e.node.map(|n| n.value()).unwrap_or(u32::MAX))
+}
+
 /// Runs the filter over parsed logs.
 pub fn filter_logs(parsed: &ParsedLogs, table: &PatternTable) -> (Vec<FilteredEntry>, FilterStats) {
     let mut entries = Vec::new();
@@ -144,44 +279,20 @@ pub fn filter_logs(parsed: &ParsedLogs, table: &PatternTable) -> (Vec<FilteredEn
 
     for rec in &parsed.syslog {
         stats.syslog_examined += 1;
-        if let Some(category) = table.classify(&rec.message) {
+        if let Some(entry) = entry_from_syslog(rec, table) {
             stats.syslog_kept += 1;
-            entries.push(FilteredEntry {
-                timestamp: rec.timestamp,
-                category,
-                severity: category.severity(),
-                node: rec.node(),
-                source: EntrySource::Syslog,
-            });
+            entries.push(entry);
         }
     }
     for rec in &parsed.hwerr {
         stats.structured_kept += 1;
-        entries.push(FilteredEntry {
-            timestamp: rec.timestamp,
-            category: rec.category,
-            severity: rec.severity,
-            node: Some(rec.location.to_nid()),
-            source: EntrySource::HwErr,
-        });
+        entries.push(entry_from_hwerr(rec));
     }
     for rec in &parsed.netwatch {
-        use craylog::netwatch::NetwatchEvent::*;
-        let category = match rec.event {
-            LinkFailed { .. } => ErrorCategory::GeminiLinkFailure,
-            LaneDegrade { .. } => ErrorCategory::GeminiLaneDegrade,
-            RerouteStart { .. } | RerouteDone { .. } => ErrorCategory::GeminiRouteReconfig,
-        };
         stats.structured_kept += 1;
-        entries.push(FilteredEntry {
-            timestamp: rec.timestamp,
-            category,
-            severity: category.severity(),
-            node: None,
-            source: EntrySource::Netwatch,
-        });
+        entries.push(entry_from_netwatch(rec));
     }
-    entries.sort_by_key(|e| (e.timestamp, e.node.map(|n| n.value()).unwrap_or(u32::MAX)));
+    entries.sort_by_key(entry_sort_key);
     (entries, stats)
 }
 
@@ -221,9 +332,12 @@ mod tests {
             "2013-03-28 12:30:00 nid00004 kernel: Machine Check Exception: bank 2 status 0xdead"
                 .into(),
         );
-        logs.syslog.push("2013-03-28 12:30:01 nid00004 ntpd: time slew +0.001s".into());
-        logs.hwerr.push("2013-03-28 12:30:02|c0-0c0s1n0|MEM_UE|FATAL|dimm=1".into());
-        logs.netwatch.push("2013-03-28 12:30:03 netwatch LINK_FAILED coord=(1,2,3) dim=X".into());
+        logs.syslog
+            .push("2013-03-28 12:30:01 nid00004 ntpd: time slew +0.001s".into());
+        logs.hwerr
+            .push("2013-03-28 12:30:02|c0-0c0s1n0|MEM_UE|FATAL|dimm=1".into());
+        logs.netwatch
+            .push("2013-03-28 12:30:03 netwatch LINK_FAILED coord=(1,2,3) dim=X".into());
         let parsed = crate::parse::parse_collection(&logs);
         let (entries, stats) = filter_logs(&parsed, &PatternTable::curated());
         assert_eq!(entries.len(), 3);
@@ -243,7 +357,10 @@ mod tests {
         let table = PatternTable::curated();
         // A message with both MCE and panic fragments hits the earlier rule.
         let msg = "Machine Check Exception: then Kernel panic followed";
-        assert_eq!(table.classify(msg), Some(ErrorCategory::MachineCheckException));
+        assert_eq!(
+            table.classify(msg),
+            Some(ErrorCategory::MachineCheckException)
+        );
     }
 
     #[test]

@@ -34,7 +34,10 @@ impl LogCollection {
 
     /// Total lines across sources.
     pub fn total_lines(&self) -> usize {
-        self.syslog.len() + self.hwerr.len() + self.alps.len() + self.torque.len()
+        self.syslog.len()
+            + self.hwerr.len()
+            + self.alps.len()
+            + self.torque.len()
             + self.netwatch.len()
     }
 
@@ -79,7 +82,9 @@ impl LogCollection {
             netwatch: read("netwatch.log")?,
         };
         if collection.is_empty() {
-            return Err(LogDiverError::NoInput { path: dir.display().to_string() });
+            return Err(LogDiverError::NoInput {
+                path: dir.display().to_string(),
+            });
         }
         Ok(collection)
     }

@@ -76,13 +76,23 @@ pub fn analyze_jobs(runs: &[ClassifiedRun]) -> JobReport {
     let mut outcomes: Vec<JobOutcome> = by_job.into_values().collect();
     outcomes.sort_by_key(|o| o.job);
     let jobs = outcomes.len() as u64;
-    let job_system =
-        outcomes.iter().filter(|o| o.verdict.is_system_failure()).count() as u64;
+    let job_system = outcomes
+        .iter()
+        .filter(|o| o.verdict.is_system_failure())
+        .count() as u64;
     let total_apps: u64 = outcomes.iter().map(|o| o.app_runs).sum();
     JobReport {
         jobs,
-        apps_per_job: if jobs > 0 { total_apps as f64 / jobs as f64 } else { 0.0 },
-        job_system_failure_fraction: if jobs > 0 { job_system as f64 / jobs as f64 } else { 0.0 },
+        apps_per_job: if jobs > 0 {
+            total_apps as f64 / jobs as f64
+        } else {
+            0.0
+        },
+        job_system_failure_fraction: if jobs > 0 {
+            job_system as f64 / jobs as f64
+        } else {
+            0.0
+        },
         app_system_failure_fraction: if runs.is_empty() {
             0.0
         } else {
@@ -132,10 +142,18 @@ mod tests {
         let report = analyze_jobs(&runs);
         assert_eq!(report.jobs, 2);
         assert!((report.apps_per_job - 2.5).abs() < 1e-12);
-        let j1 = report.outcomes.iter().find(|o| o.job == JobId::new(1)).unwrap();
+        let j1 = report
+            .outcomes
+            .iter()
+            .find(|o| o.job == JobId::new(1))
+            .unwrap();
         assert_eq!(j1.verdict, ExitClass::SystemFailure(FailureCause::Memory));
         assert_eq!(j1.app_runs, 3);
-        let j2 = report.outcomes.iter().find(|o| o.job == JobId::new(2)).unwrap();
+        let j2 = report
+            .outcomes
+            .iter()
+            .find(|o| o.job == JobId::new(2))
+            .unwrap();
         assert_eq!(j2.verdict, ExitClass::WalltimeExceeded);
     }
 

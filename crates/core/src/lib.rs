@@ -64,14 +64,16 @@ pub mod users;
 pub mod workload;
 
 pub use classify::ClassifiedRun;
-pub use coalesce::ErrorEvent;
+pub use coalesce::{Coalescer, ErrorEvent};
 pub use config::LogDiverConfig;
 pub use error::LogDiverError;
 pub use input::LogCollection;
 pub use jobs::JobReport;
+pub use matcher::{EventLookup, MatchIndex};
 pub use metrics::MetricSet;
+pub use pipeline::{Analysis, LogDiver, PipelineStats};
 pub use precursor::PrecursorReport;
 pub use temporal::TemporalReport;
 pub use users::UserReport;
-pub use pipeline::{Analysis, LogDiver, PipelineStats};
 pub use workload::AppRun;
+pub use workload::RunReconstructor;

@@ -14,6 +14,25 @@ use logdiver_types::{SimDuration, Timestamp};
 use crate::coalesce::ErrorEvent;
 use crate::ranges::RangeSet;
 
+/// What the classifier needs from an event table: window queries and id
+/// lookups. Implemented by the batch [`MatchIndex`] and by the streaming
+/// engine's live index, so classification is one code path with two
+/// drivers.
+pub trait EventLookup {
+    /// Event ids whose `[start, end]` overlaps `[death − lead, death + lag]`
+    /// and which touch the run spatially, in (start, id) order.
+    fn matches_for(
+        &self,
+        death: Timestamp,
+        nodes: &RangeSet,
+        lead: SimDuration,
+        lag: SimDuration,
+    ) -> Vec<u32>;
+
+    /// Looks up an event by id.
+    fn by_id(&self, id: u32) -> Option<&ErrorEvent>;
+}
+
 /// Time-indexed event table.
 #[derive(Debug)]
 pub struct MatchIndex {
@@ -92,6 +111,22 @@ impl MatchIndex {
     }
 }
 
+impl EventLookup for MatchIndex {
+    fn matches_for(
+        &self,
+        death: Timestamp,
+        nodes: &RangeSet,
+        lead: SimDuration,
+        lag: SimDuration,
+    ) -> Vec<u32> {
+        MatchIndex::matches_for(self, death, nodes, lead, lag)
+    }
+
+    fn by_id(&self, id: u32) -> Option<&ErrorEvent> {
+        MatchIndex::by_id(self, id)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,8 +169,12 @@ mod tests {
     #[test]
     fn system_scope_matches_without_nodes() {
         let idx = MatchIndex::new(vec![event(0, 100, 150, &[], true)]);
-        let m = idx.matches_for(t(160), &ranges(&[7_000]),
-                                SimDuration::from_secs(60), SimDuration::from_secs(60));
+        let m = idx.matches_for(
+            t(160),
+            &ranges(&[7_000]),
+            SimDuration::from_secs(60),
+            SimDuration::from_secs(60),
+        );
         assert_eq!(m, vec![0]);
     }
 
@@ -158,15 +197,25 @@ mod tests {
     fn long_spanning_event_is_found() {
         // An event spanning [0, 1000] must match a death at 900 even though
         // its start is far before the window.
-        let idx = MatchIndex::new(vec![event(0, 0, 1_000, &[4], false), event(1, 850, 860, &[9], false)]);
-        let m = idx.matches_for(t(900), &ranges(&[4]),
-                                SimDuration::from_secs(10), SimDuration::from_secs(10));
+        let idx = MatchIndex::new(vec![
+            event(0, 0, 1_000, &[4], false),
+            event(1, 850, 860, &[9], false),
+        ]);
+        let m = idx.matches_for(
+            t(900),
+            &ranges(&[4]),
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(10),
+        );
         assert_eq!(m, vec![0]);
     }
 
     #[test]
     fn by_id_finds_events_after_sorting() {
-        let idx = MatchIndex::new(vec![event(1, 200, 210, &[0], false), event(0, 10, 20, &[4], false)]);
+        let idx = MatchIndex::new(vec![
+            event(1, 200, 210, &[0], false),
+            event(0, 10, 20, &[4], false),
+        ]);
         assert_eq!(idx.by_id(1).unwrap().start, t(200));
         assert_eq!(idx.by_id(0).unwrap().start, t(10));
         assert!(idx.by_id(7).is_none());

@@ -4,8 +4,8 @@
 //! simulator internals). The experiment ids (T2, F1, …) refer to
 //! DESIGN.md §4.
 
-use hpc_stats::{wilson_interval, Ecdf, Exponential, KaplanMeier, Weibull};
 use hpc_stats::survival::SurvivalObservation;
+use hpc_stats::{wilson_interval, Ecdf, Exponential, KaplanMeier, Weibull};
 use logdiver_types::{ExitClass, FailureCause, NodeType, UserFailureKind};
 use serde::{Deserialize, Serialize};
 
@@ -250,42 +250,68 @@ pub fn compute(runs: &[ClassifiedRun], events: &[ErrorEvent]) -> MetricSet {
 
     // ---- T2: outcomes ----------------------------------------------------
     let mut outcome_acc: Vec<(String, u64, f64)> = Vec::new();
-    let bump = |label: String, nh: f64, acc: &mut Vec<(String, u64, f64)>| {
-        match acc.iter_mut().find(|(l, _, _)| *l == label) {
-            Some(row) => {
-                row.1 += 1;
-                row.2 += nh;
-            }
-            None => acc.push((label, 1, nh)),
+    let bump = |label: String, nh: f64, acc: &mut Vec<(String, u64, f64)>| match acc
+        .iter_mut()
+        .find(|(l, _, _)| *l == label)
+    {
+        Some(row) => {
+            row.1 += 1;
+            row.2 += nh;
         }
+        None => acc.push((label, 1, nh)),
     };
     for r in runs {
-        bump(r.class.bucket_name().to_string(), r.run.node_hours(), &mut outcome_acc);
+        bump(
+            r.class.bucket_name().to_string(),
+            r.run.node_hours(),
+            &mut outcome_acc,
+        );
     }
-    outcome_acc.sort_by(|a, b| b.1.cmp(&a.1));
+    outcome_acc.sort_by_key(|row| std::cmp::Reverse(row.1));
     let outcomes: Vec<OutcomeRow> = outcome_acc
         .into_iter()
         .map(|(label, n, nh)| OutcomeRow {
             label,
             runs: n,
-            pct_runs: if total_runs > 0 { n as f64 / total_runs as f64 } else { 0.0 },
+            pct_runs: if total_runs > 0 {
+                n as f64 / total_runs as f64
+            } else {
+                0.0
+            },
             node_hours: nh,
-            pct_node_hours: if total_node_hours > 0.0 { nh / total_node_hours } else { 0.0 },
+            pct_node_hours: if total_node_hours > 0.0 {
+                nh / total_node_hours
+            } else {
+                0.0
+            },
         })
         .collect();
 
-    let system_failed: Vec<&ClassifiedRun> =
-        runs.iter().filter(|r| r.class.is_system_failure()).collect();
-    let system_failure_fraction =
-        if total_runs > 0 { system_failed.len() as f64 / total_runs as f64 } else { 0.0 };
+    let system_failed: Vec<&ClassifiedRun> = runs
+        .iter()
+        .filter(|r| r.class.is_system_failure())
+        .collect();
+    let system_failure_fraction = if total_runs > 0 {
+        system_failed.len() as f64 / total_runs as f64
+    } else {
+        0.0
+    };
     let failed_nh: f64 = system_failed.iter().map(|r| r.run.node_hours()).sum();
-    let failed_node_hours_fraction =
-        if total_node_hours > 0.0 { failed_nh / total_node_hours } else { 0.0 };
+    let failed_node_hours_fraction = if total_node_hours > 0.0 {
+        failed_nh / total_node_hours
+    } else {
+        0.0
+    };
 
     // ---- T3/F4: causes ---------------------------------------------------
     let mut causes: Vec<CauseRow> = FailureCause::ALL
         .iter()
-        .map(|&cause| CauseRow { cause, runs: 0, pct_of_system: 0.0, lost_node_hours: 0.0 })
+        .map(|&cause| CauseRow {
+            cause,
+            runs: 0,
+            pct_of_system: 0.0,
+            lost_node_hours: 0.0,
+        })
         .collect();
     for r in &system_failed {
         if let ExitClass::SystemFailure(cause) = r.class {
@@ -299,7 +325,11 @@ pub fn compute(runs: &[ClassifiedRun], events: &[ErrorEvent]) -> MetricSet {
     }
     let n_sys = system_failed.len() as f64;
     for row in &mut causes {
-        row.pct_of_system = if n_sys > 0.0 { row.runs as f64 / n_sys } else { 0.0 };
+        row.pct_of_system = if n_sys > 0.0 {
+            row.runs as f64 / n_sys
+        } else {
+            0.0
+        };
     }
 
     // ---- F1/F2: scale curves, F3: MTTI, T4: detection ---------------------
@@ -319,17 +349,28 @@ pub fn compute(runs: &[ClassifiedRun], events: &[ErrorEvent]) -> MetricSet {
                 .filter(|r| (lo..=hi).contains(&r.run.width))
                 .collect();
             let n = in_bucket.len() as u64;
-            let failures =
-                in_bucket.iter().filter(|r| r.class.is_system_failure()).count() as u64;
+            let failures = in_bucket
+                .iter()
+                .filter(|r| r.class.is_system_failure())
+                .count() as u64;
             let (probability, ci) = match wilson_interval(failures, n.max(1), 0.95) {
                 Ok(e) if n > 0 => (e.p_hat, (e.lo, e.hi)),
                 _ => (0.0, (0.0, 0.0)),
             };
-            buckets.push(ScaleBucket { lo, hi, runs: n, failures, probability, ci });
+            buckets.push(ScaleBucket {
+                lo,
+                hi,
+                runs: n,
+                failures,
+                probability,
+                ci,
+            });
 
             // F3 per bucket.
-            let exposure: f64 =
-                in_bucket.iter().map(|r| r.run.runtime().as_hours_f64().max(0.0)).sum();
+            let exposure: f64 = in_bucket
+                .iter()
+                .map(|r| r.run.runtime().as_hours_f64().max(0.0))
+                .sum();
             let km = {
                 let obs: Vec<SurvivalObservation> = in_bucket
                     .iter()
@@ -352,22 +393,40 @@ pub fn compute(runs: &[ClassifiedRun], events: &[ErrorEvent]) -> MetricSet {
             });
         }
         let exact_full = (class_max > 0).then(|| {
-            let at_full: Vec<&&ClassifiedRun> =
-                class_runs.iter().filter(|r| r.run.width == class_max).collect();
+            let at_full: Vec<&&ClassifiedRun> = class_runs
+                .iter()
+                .filter(|r| r.run.width == class_max)
+                .collect();
             let n = at_full.len() as u64;
-            let failures = at_full.iter().filter(|r| r.class.is_system_failure()).count() as u64;
+            let failures = at_full
+                .iter()
+                .filter(|r| r.class.is_system_failure())
+                .count() as u64;
             let (probability, ci) = match wilson_interval(failures, n.max(1), 0.95) {
                 Ok(e) if n > 0 => (e.p_hat, (e.lo, e.hi)),
                 _ => (0.0, (0.0, 0.0)),
             };
-            ScaleBucket { lo: class_max, hi: class_max, runs: n, failures, probability, ci }
+            ScaleBucket {
+                lo: class_max,
+                hi: class_max,
+                runs: n,
+                failures,
+                probability,
+                ci,
+            }
         });
-        scale_curves.push(ScaleCurve { node_type: ty, buckets, exact_full });
+        scale_curves.push(ScaleCurve {
+            node_type: ty,
+            buckets,
+            exact_full,
+        });
 
         // T4 (all runs of the class, launch failures excluded: the launcher
         // reports those itself, so they say nothing about detection).
-        let sys: Vec<&&ClassifiedRun> =
-            class_runs.iter().filter(|r| r.class.is_system_failure()).collect();
+        let sys: Vec<&&ClassifiedRun> = class_runs
+            .iter()
+            .filter(|r| r.class.is_system_failure())
+            .collect();
         let undet = sys
             .iter()
             .filter(|r| r.class == ExitClass::SystemFailure(FailureCause::Undetermined))
@@ -404,8 +463,7 @@ pub fn compute(runs: &[ClassifiedRun], events: &[ErrorEvent]) -> MetricSet {
                 exp_rate_per_hour: exp.rate(),
                 weibull_shape: wei.shape(),
                 weibull_scale: wei.scale(),
-                ks_exponential: ecdf
-                    .ks_statistic(|x| hpc_stats::dist::Distribution::cdf(&exp, x)),
+                ks_exponential: ecdf.ks_statistic(|x| hpc_stats::dist::Distribution::cdf(&exp, x)),
                 ks_weibull: ecdf.ks_statistic(|x| hpc_stats::dist::Distribution::cdf(&wei, x)),
             }),
             _ => None,
@@ -461,7 +519,10 @@ pub fn user_failure_breakdown(runs: &[ClassifiedRun]) -> Vec<(UserFailureKind, u
         UserFailureKind::ALL.iter().map(|&k| (k, 0)).collect();
     for r in runs {
         if let ExitClass::UserFailure(kind) = r.class {
-            rows.iter_mut().find(|(k, _)| *k == kind).expect("all kinds present").1 += 1;
+            rows.iter_mut()
+                .find(|(k, _)| *k == kind)
+                .expect("all kinds present")
+                .1 += 1;
         }
     }
     rows
@@ -472,7 +533,9 @@ mod tests {
     use super::*;
     use crate::ranges::RangeSet;
     use crate::workload::AppRun;
-    use logdiver_types::{AppId, ExitStatus, JobId, NodeId, NodeSet, SimDuration, Timestamp, UserId};
+    use logdiver_types::{
+        AppId, ExitStatus, JobId, NodeId, NodeSet, SimDuration, Timestamp, UserId,
+    };
 
     fn t(secs: i64) -> Timestamp {
         Timestamp::PRODUCTION_EPOCH + SimDuration::from_secs(secs)
@@ -514,8 +577,20 @@ mod tests {
         let runs = vec![
             made_run(1, NodeType::Xe, 1, 1, ExitClass::Success),
             made_run(2, NodeType::Xe, 1, 1, ExitClass::Success),
-            made_run(3, NodeType::Xe, 100, 2, ExitClass::SystemFailure(FailureCause::Memory)),
-            made_run(4, NodeType::Xk, 1, 1, ExitClass::UserFailure(UserFailureKind::Abort)),
+            made_run(
+                3,
+                NodeType::Xe,
+                100,
+                2,
+                ExitClass::SystemFailure(FailureCause::Memory),
+            ),
+            made_run(
+                4,
+                NodeType::Xk,
+                1,
+                1,
+                ExitClass::UserFailure(UserFailureKind::Abort),
+            ),
         ];
         let m = compute(&runs, &[]);
         assert_eq!(m.total_runs, 4);
@@ -531,15 +606,37 @@ mod tests {
     #[test]
     fn causes_partition_system_failures() {
         let runs = vec![
-            made_run(1, NodeType::Xe, 4, 1, ExitClass::SystemFailure(FailureCause::Memory)),
-            made_run(2, NodeType::Xe, 4, 1, ExitClass::SystemFailure(FailureCause::Memory)),
-            made_run(3, NodeType::Xe, 4, 1, ExitClass::SystemFailure(FailureCause::Interconnect)),
+            made_run(
+                1,
+                NodeType::Xe,
+                4,
+                1,
+                ExitClass::SystemFailure(FailureCause::Memory),
+            ),
+            made_run(
+                2,
+                NodeType::Xe,
+                4,
+                1,
+                ExitClass::SystemFailure(FailureCause::Memory),
+            ),
+            made_run(
+                3,
+                NodeType::Xe,
+                4,
+                1,
+                ExitClass::SystemFailure(FailureCause::Interconnect),
+            ),
             made_run(4, NodeType::Xe, 4, 1, ExitClass::Success),
         ];
         let m = compute(&runs, &[]);
         let total: u64 = m.causes.iter().map(|c| c.runs).sum();
         assert_eq!(total, 3);
-        let mem = m.causes.iter().find(|c| c.cause == FailureCause::Memory).unwrap();
+        let mem = m
+            .causes
+            .iter()
+            .find(|c| c.cause == FailureCause::Memory)
+            .unwrap();
         assert_eq!(mem.runs, 2);
         assert!((mem.pct_of_system - 2.0 / 3.0).abs() < 1e-12);
     }
@@ -551,14 +648,28 @@ mod tests {
             runs.push(made_run(i, NodeType::Xe, 20_000, 1, ExitClass::Success));
         }
         for i in 100..120 {
-            runs.push(made_run(i, NodeType::Xe, 20_000, 1,
-                               ExitClass::SystemFailure(FailureCause::Interconnect)));
+            runs.push(made_run(
+                i,
+                NodeType::Xe,
+                20_000,
+                1,
+                ExitClass::SystemFailure(FailureCause::Interconnect),
+            ));
         }
         // Launch failures must not enter the curve.
-        runs.push(made_run(999, NodeType::Xe, 20_000, 0,
-                           ExitClass::SystemFailure(FailureCause::Launcher)));
+        runs.push(made_run(
+            999,
+            NodeType::Xe,
+            20_000,
+            0,
+            ExitClass::SystemFailure(FailureCause::Launcher),
+        ));
         let m = compute(&runs, &[]);
-        let xe = m.scale_curves.iter().find(|c| c.node_type == NodeType::Xe).unwrap();
+        let xe = m
+            .scale_curves
+            .iter()
+            .find(|c| c.node_type == NodeType::Xe)
+            .unwrap();
         let bucket = xe.bucket_containing(20_000).unwrap();
         assert_eq!(bucket.runs, 120);
         assert_eq!(bucket.failures, 20);
@@ -571,7 +682,13 @@ mod tests {
         let runs = vec![
             made_run(1, NodeType::Xe, 1, 10, ExitClass::Success),
             made_run(2, NodeType::Xe, 1, 10, ExitClass::Success),
-            made_run(3, NodeType::Xe, 1, 10, ExitClass::SystemFailure(FailureCause::Memory)),
+            made_run(
+                3,
+                NodeType::Xe,
+                1,
+                10,
+                ExitClass::SystemFailure(FailureCause::Memory),
+            ),
         ];
         let m = compute(&runs, &[]);
         let row = m
@@ -587,16 +704,42 @@ mod tests {
     #[test]
     fn detection_rows_catch_undetermined() {
         let runs = vec![
-            made_run(1, NodeType::Xk, 4, 1, ExitClass::SystemFailure(FailureCause::Undetermined)),
-            made_run(2, NodeType::Xk, 4, 1, ExitClass::SystemFailure(FailureCause::Gpu)),
-            made_run(3, NodeType::Xe, 4, 1, ExitClass::SystemFailure(FailureCause::Memory)),
+            made_run(
+                1,
+                NodeType::Xk,
+                4,
+                1,
+                ExitClass::SystemFailure(FailureCause::Undetermined),
+            ),
+            made_run(
+                2,
+                NodeType::Xk,
+                4,
+                1,
+                ExitClass::SystemFailure(FailureCause::Gpu),
+            ),
+            made_run(
+                3,
+                NodeType::Xe,
+                4,
+                1,
+                ExitClass::SystemFailure(FailureCause::Memory),
+            ),
         ];
         let m = compute(&runs, &[]);
-        let xk = m.detection.iter().find(|d| d.node_type == NodeType::Xk).unwrap();
+        let xk = m
+            .detection
+            .iter()
+            .find(|d| d.node_type == NodeType::Xk)
+            .unwrap();
         assert_eq!(xk.system_failures, 2);
         assert_eq!(xk.undetermined, 1);
         assert!((xk.fraction_undetermined - 0.5).abs() < 1e-12);
-        let xe = m.detection.iter().find(|d| d.node_type == NodeType::Xe).unwrap();
+        let xe = m
+            .detection
+            .iter()
+            .find(|d| d.node_type == NodeType::Xe)
+            .unwrap();
         assert_eq!(xe.fraction_undetermined, 0.0);
     }
 
@@ -666,12 +809,42 @@ mod tests {
     #[test]
     fn user_breakdown_counts_kinds() {
         let runs = vec![
-            made_run(1, NodeType::Xe, 1, 1, ExitClass::UserFailure(UserFailureKind::Segfault)),
-            made_run(2, NodeType::Xe, 1, 1, ExitClass::UserFailure(UserFailureKind::Segfault)),
-            made_run(3, NodeType::Xe, 1, 1, ExitClass::UserFailure(UserFailureKind::Abort)),
+            made_run(
+                1,
+                NodeType::Xe,
+                1,
+                1,
+                ExitClass::UserFailure(UserFailureKind::Segfault),
+            ),
+            made_run(
+                2,
+                NodeType::Xe,
+                1,
+                1,
+                ExitClass::UserFailure(UserFailureKind::Segfault),
+            ),
+            made_run(
+                3,
+                NodeType::Xe,
+                1,
+                1,
+                ExitClass::UserFailure(UserFailureKind::Abort),
+            ),
         ];
         let rows = user_failure_breakdown(&runs);
-        assert_eq!(rows.iter().find(|(k, _)| *k == UserFailureKind::Segfault).unwrap().1, 2);
-        assert_eq!(rows.iter().find(|(k, _)| *k == UserFailureKind::Abort).unwrap().1, 1);
+        assert_eq!(
+            rows.iter()
+                .find(|(k, _)| *k == UserFailureKind::Segfault)
+                .unwrap()
+                .1,
+            2
+        );
+        assert_eq!(
+            rows.iter()
+                .find(|(k, _)| *k == UserFailureKind::Abort)
+                .unwrap()
+                .1,
+            1
+        );
     }
 }

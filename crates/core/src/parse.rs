@@ -57,6 +57,29 @@ impl ParsedLogs {
     }
 }
 
+/// Parses one raw line with the stage-1 counting rules: every line bumps
+/// `total`; blank and unparseable lines bump `bad` and yield `None`. The
+/// batch paths and the streaming engine's parse workers all route through
+/// this so corrupt-line accounting can never drift between drivers.
+pub fn parse_counted<T>(
+    line: &str,
+    counts: &mut ParseCounts,
+    parse: impl FnOnce(&str) -> Option<T>,
+) -> Option<T> {
+    counts.total += 1;
+    if line.trim().is_empty() {
+        counts.bad += 1;
+        return None;
+    }
+    match parse(line) {
+        Some(rec) => Some(rec),
+        None => {
+            counts.bad += 1;
+            None
+        }
+    }
+}
+
 fn parse_all<T>(
     lines: &[String],
     counts: &mut ParseCounts,
@@ -64,15 +87,7 @@ fn parse_all<T>(
 ) -> Vec<T> {
     let mut out = Vec::with_capacity(lines.len());
     for line in lines {
-        counts.total += 1;
-        if line.trim().is_empty() {
-            counts.bad += 1;
-            continue;
-        }
-        match parse(line) {
-            Some(rec) => out.push(rec),
-            None => counts.bad += 1,
-        }
+        out.extend(parse_counted(line, counts, &parse));
     }
     out
 }
@@ -86,7 +101,9 @@ pub fn parse_collection(logs: &LogCollection) -> ParsedLogs {
     parsed.hwerr = parse_all(&logs.hwerr, &mut parsed.counts[1], |l| {
         HwErrRecord::parse(l).ok()
     });
-    parsed.alps = parse_all(&logs.alps, &mut parsed.counts[2], |l| AlpsRecord::parse(l).ok());
+    parsed.alps = parse_all(&logs.alps, &mut parsed.counts[2], |l| {
+        AlpsRecord::parse(l).ok()
+    });
     parsed.torque = parse_all(&logs.torque, &mut parsed.counts[3], |l| {
         TorqueRecord::parse(l).ok()
     });
@@ -114,15 +131,7 @@ fn parse_file<T>(
             path: path.display().to_string(),
             source,
         })?;
-        counts.total += 1;
-        if line.trim().is_empty() {
-            counts.bad += 1;
-            continue;
-        }
-        match parse(&line) {
-            Some(rec) => out.push(rec),
-            None => counts.bad += 1,
-        }
+        out.extend(parse_counted(&line, counts, &parse));
     }
     Ok(())
 }
@@ -139,23 +148,40 @@ fn parse_file<T>(
 pub fn parse_dir(dir: impl AsRef<Path>) -> Result<ParsedLogs, LogDiverError> {
     let dir = dir.as_ref();
     let mut parsed = ParsedLogs::default();
-    parse_file(&dir.join("messages.log"), &mut parsed.counts[0], &mut parsed.syslog, |l| {
-        SyslogRecord::parse(l).ok()
-    })?;
-    parse_file(&dir.join("hwerr.log"), &mut parsed.counts[1], &mut parsed.hwerr, |l| {
-        HwErrRecord::parse(l).ok()
-    })?;
-    parse_file(&dir.join("apsys.log"), &mut parsed.counts[2], &mut parsed.alps, |l| {
-        AlpsRecord::parse(l).ok()
-    })?;
-    parse_file(&dir.join("torque.log"), &mut parsed.counts[3], &mut parsed.torque, |l| {
-        TorqueRecord::parse(l).ok()
-    })?;
-    parse_file(&dir.join("netwatch.log"), &mut parsed.counts[4], &mut parsed.netwatch, |l| {
-        NetwatchRecord::parse(l).ok()
-    })?;
+    parse_file(
+        &dir.join("messages.log"),
+        &mut parsed.counts[0],
+        &mut parsed.syslog,
+        |l| SyslogRecord::parse(l).ok(),
+    )?;
+    parse_file(
+        &dir.join("hwerr.log"),
+        &mut parsed.counts[1],
+        &mut parsed.hwerr,
+        |l| HwErrRecord::parse(l).ok(),
+    )?;
+    parse_file(
+        &dir.join("apsys.log"),
+        &mut parsed.counts[2],
+        &mut parsed.alps,
+        |l| AlpsRecord::parse(l).ok(),
+    )?;
+    parse_file(
+        &dir.join("torque.log"),
+        &mut parsed.counts[3],
+        &mut parsed.torque,
+        |l| TorqueRecord::parse(l).ok(),
+    )?;
+    parse_file(
+        &dir.join("netwatch.log"),
+        &mut parsed.counts[4],
+        &mut parsed.netwatch,
+        |l| NetwatchRecord::parse(l).ok(),
+    )?;
     if parsed.counts.iter().all(|c| c.total == 0) {
-        return Err(LogDiverError::NoInput { path: dir.display().to_string() });
+        return Err(LogDiverError::NoInput {
+            path: dir.display().to_string(),
+        });
     }
     Ok(parsed)
 }
@@ -167,7 +193,8 @@ mod tests {
     #[test]
     fn counts_good_and_bad() {
         let mut logs = LogCollection::new();
-        logs.syslog.push("2013-03-28 12:30:00 nid00001 kernel: ok line".into());
+        logs.syslog
+            .push("2013-03-28 12:30:00 nid00001 kernel: ok line".into());
         logs.syslog.push("garbage".into());
         logs.syslog.push("".into());
         logs.alps.push(

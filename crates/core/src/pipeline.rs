@@ -5,11 +5,11 @@ use serde::{Deserialize, Serialize};
 use crate::classify::{classify_runs, ClassifiedRun};
 use crate::coalesce::{coalesce, ErrorEvent};
 use crate::config::LogDiverConfig;
+use crate::error::LogDiverError;
 use crate::filter::{filter_logs, FilterStats, PatternTable};
 use crate::input::LogCollection;
 use crate::matcher::MatchIndex;
 use crate::metrics::{compute, MetricSet};
-use crate::error::LogDiverError;
 use crate::parse::{parse_collection, parse_dir, ParseCounts, ParsedLogs};
 use crate::workload::{reconstruct, WorkloadStats};
 
@@ -124,7 +124,12 @@ impl LogDiver {
         let index = MatchIndex::new(events);
         let classified = classify_runs(runs, &jobs, &index, &self.config);
         let metrics = compute(&classified, index.events());
-        Analysis { runs: classified, events: index.events().to_vec(), metrics, stats }
+        Analysis {
+            runs: classified,
+            events: index.events().to_vec(),
+            metrics,
+            stats,
+        }
     }
 }
 
@@ -179,10 +184,16 @@ mod tests {
                 .find(|r| r.run.apid.value() == apid)
                 .unwrap()
         };
-        assert_eq!(by_apid(100).class, ExitClass::SystemFailure(FailureCause::Memory));
+        assert_eq!(
+            by_apid(100).class,
+            ExitClass::SystemFailure(FailureCause::Memory)
+        );
         assert!(!by_apid(100).matched_events.is_empty());
         assert_eq!(by_apid(200).class, ExitClass::Success);
-        assert_eq!(by_apid(300).class, ExitClass::SystemFailure(FailureCause::Launcher));
+        assert_eq!(
+            by_apid(300).class,
+            ExitClass::SystemFailure(FailureCause::Launcher)
+        );
 
         // The MCE syslog + hwerr + heartbeat lines coalesce around nid 2.
         assert!(analysis.stats.events >= 1);

@@ -121,10 +121,18 @@ pub fn analyze_precursors(events: &[ErrorEvent], lookback: SimDuration) -> Precu
                 }
             }
         }
-        let row = match report.by_category.iter_mut().find(|r| r.category == category) {
+        let row = match report
+            .by_category
+            .iter_mut()
+            .find(|r| r.category == category)
+        {
             Some(row) => row,
             None => {
-                report.by_category.push(PrecursorRow { category, events: 0, with_precursor: 0 });
+                report.by_category.push(PrecursorRow {
+                    category,
+                    events: 0,
+                    with_precursor: 0,
+                });
                 report.by_category.last_mut().expect("just pushed")
             }
         };
@@ -132,7 +140,9 @@ pub fn analyze_precursors(events: &[ErrorEvent], lookback: SimDuration) -> Precu
         if let Some(w_end) = best_end {
             report.with_precursor += 1;
             row.with_precursor += 1;
-            report.lead_times_hours.push((t_fail - w_end) as f64 / 3_600.0);
+            report
+                .lead_times_hours
+                .push((t_fail - w_end) as f64 / 3_600.0);
         }
     }
     report
@@ -250,7 +260,10 @@ mod tests {
             entry_count: 1,
         });
         let report = analyze_precursors(&evs, DEFAULT_LOOKBACK);
-        assert_eq!(report.lethal_events, 1, "only the node-scoped lethal event counts");
+        assert_eq!(
+            report.lethal_events, 1,
+            "only the node-scoped lethal event counts"
+        );
     }
 
     #[test]

@@ -21,8 +21,7 @@ pub struct RangeSet {
 impl RangeSet {
     /// Builds from a [`NodeSet`] (which yields maximal sorted runs).
     pub fn from_node_set(set: &NodeSet) -> Self {
-        let runs: Vec<(u32, u32)> =
-            set.ranges().map(|(a, b)| (a.value(), b.value())).collect();
+        let runs: Vec<(u32, u32)> = set.ranges().map(|(a, b)| (a.value(), b.value())).collect();
         let len = runs.iter().map(|(a, b)| b - a + 1).sum();
         RangeSet { runs, len }
     }
@@ -65,7 +64,9 @@ impl RangeSet {
 
     /// Iterates all nids (ascending).
     pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.runs.iter().flat_map(|&(a, b)| (a..=b).map(NodeId::new))
+        self.runs
+            .iter()
+            .flat_map(|&(a, b)| (a..=b).map(NodeId::new))
     }
 
     /// The sorted runs themselves.

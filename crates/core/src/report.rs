@@ -40,7 +40,10 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut out = String::new();
     out.push_str(&hline(&widths));
     out.push('\n');
-    out.push_str(&row(&widths, &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>()));
+    out.push_str(&row(
+        &widths,
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+    ));
     out.push('\n');
     out.push_str(&hline(&widths));
     out.push('\n');
@@ -95,13 +98,20 @@ pub fn cause_table(m: &MetricSet) -> String {
         .collect();
     format!(
         "T3 — System-failure causes (F4: lost node-hours)\n{}",
-        render_table(&["cause", "failed runs", "% of system", "lost node-hours"], &rows)
+        render_table(
+            &["cause", "failed runs", "% of system", "lost node-hours"],
+            &rows
+        )
     )
 }
 
 /// F1/F2: one scale curve.
 pub fn scale_table(curve: &ScaleCurve) -> String {
-    let fig = if curve.node_type == NodeType::Xk { "F2" } else { "F1" };
+    let fig = if curve.node_type == NodeType::Xk {
+        "F2"
+    } else {
+        "F1"
+    };
     let rows: Vec<Vec<String>> = curve
         .buckets
         .iter()
@@ -126,7 +136,10 @@ pub fn scale_table(curve: &ScaleCurve) -> String {
     format!(
         "{fig} — {} failure probability vs application scale\n{}{exact}",
         curve.node_type,
-        render_table(&["nodes", "runs", "failures", "P(fail|system)", "95% CI"], &rows)
+        render_table(
+            &["nodes", "runs", "failures", "P(fail|system)", "95% CI"],
+            &rows
+        )
     )
 }
 
@@ -151,7 +164,15 @@ pub fn mtti_table(m: &MetricSet) -> String {
     format!(
         "F3 — Mean time to (system) interrupt by scale\n{}",
         render_table(
-            &["class", "nodes", "runs", "interrupts", "exposure h", "MTTI h", "KM median h"],
+            &[
+                "class",
+                "nodes",
+                "runs",
+                "interrupts",
+                "exposure h",
+                "MTTI h",
+                "KM median h"
+            ],
             &rows
         )
     )
@@ -173,7 +194,10 @@ pub fn detection_table(m: &MetricSet) -> String {
         .collect();
     format!(
         "T4 — Error-detection gap (system failures with no explaining error event)\n{}",
-        render_table(&["class", "system failures", "undetermined", "% undetermined"], &rows)
+        render_table(
+            &["class", "system failures", "undetermined", "% undetermined"],
+            &rows
+        )
     )
 }
 
@@ -185,9 +209,11 @@ pub fn pipeline_table(s: &PipelineStats) -> String {
         .zip(s.parse.iter())
         .map(|(n, c)| vec![n.to_string(), c.total.to_string(), c.bad.to_string()])
         .collect();
-    rows.push(vec!["TOTAL".into(),
-                   s.parse.iter().map(|c| c.total).sum::<u64>().to_string(),
-                   s.parse.iter().map(|c| c.bad).sum::<u64>().to_string()]);
+    rows.push(vec![
+        "TOTAL".into(),
+        s.parse.iter().map(|c| c.total).sum::<u64>().to_string(),
+        s.parse.iter().map(|c| c.bad).sum::<u64>().to_string(),
+    ]);
     format!(
         "T5 — Pipeline effectiveness\n{}\nsyslog kept: {} of {} ({:.2}% discarded as chatter)\nfiltered entries: {} → events: {} (coalescing ×{:.1}); lethal events: {}",
         render_table(&["source", "lines", "corrupt"], &rows),
@@ -223,12 +249,20 @@ pub fn workload_summary(m: &MetricSet) -> String {
     let mut out = String::from("F5 — Workload distributions (CDF quartile summary)\n");
     for (ty, pts) in &m.size_cdf {
         if let Some(q) = quartiles(pts) {
-            let _ = writeln!(out, "  {ty} size nodes:      p25 {:.0}, median {:.0}, p75 {:.0}, max {:.0}", q.0, q.1, q.2, q.3);
+            let _ = writeln!(
+                out,
+                "  {ty} size nodes:      p25 {:.0}, median {:.0}, p75 {:.0}, max {:.0}",
+                q.0, q.1, q.2, q.3
+            );
         }
     }
     for (ty, pts) in &m.duration_cdf {
         if let Some(q) = quartiles(pts) {
-            let _ = writeln!(out, "  {ty} duration hours:  p25 {:.2}, median {:.2}, p75 {:.2}, max {:.1}", q.0, q.1, q.2, q.3);
+            let _ = writeln!(
+                out,
+                "  {ty} duration hours:  p25 {:.2}, median {:.2}, p75 {:.2}, max {:.1}",
+                q.0, q.1, q.2, q.3
+            );
         }
     }
     out
@@ -245,7 +279,12 @@ fn quartiles(points: &[(f64, f64)]) -> Option<(f64, f64, f64, f64)> {
             .map(|&(x, _)| x)
             .unwrap_or(points.last().expect("non-empty").0)
     };
-    Some((at(0.25), at(0.5), at(0.75), points.last().expect("non-empty").0))
+    Some((
+        at(0.25),
+        at(0.5),
+        at(0.75),
+        points.last().expect("non-empty").0,
+    ))
 }
 
 /// A2: checkpoint advice derived from measured MTTI.
@@ -269,7 +308,13 @@ pub fn checkpoint_table(m: &MetricSet, delta_hours: f64, restart_hours: f64) -> 
         delta_hours * 60.0,
         restart_hours * 60.0,
         render_table(
-            &["class", "nodes", "MTTI h", "optimal interval h", "min waste"],
+            &[
+                "class",
+                "nodes",
+                "MTTI h",
+                "optimal interval h",
+                "min waste"
+            ],
             &rows
         )
     )
@@ -300,11 +345,15 @@ pub fn precursor_table(m: &MetricSet) -> String {
 {}
 precursor coverage: {}/{} lethal events ({:.1}%); median lead time {}",
         p.lookback,
-        render_table(&["lethal category", "events", "with precursor", "coverage"], &rows),
+        render_table(
+            &["lethal category", "events", "with precursor", "coverage"],
+            &rows
+        ),
         p.with_precursor,
         p.lethal_events,
         p.fraction() * 100.0,
-        p.median_lead_hours().map_or("—".to_string(), |h| format!("{h:.2} h")),
+        p.median_lead_hours()
+            .map_or("—".to_string(), |h| format!("{h:.2} h")),
     )
 }
 
@@ -390,7 +439,10 @@ mod tests {
     fn render_table_aligns_columns() {
         let t = render_table(
             &["a", "long header"],
-            &[vec!["x".into(), "y".into()], vec!["wide cell".into(), "z".into()]],
+            &[
+                vec!["x".into(), "y".into()],
+                vec!["wide cell".into(), "z".into()],
+            ],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert!(lines.len() >= 5);

@@ -50,7 +50,11 @@ impl DailySeries {
         }
         let n = counts.len() as f64;
         let mean = counts.iter().sum::<u64>() as f64 / n;
-        let var = counts.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>() / n;
+        let var = counts
+            .iter()
+            .map(|&c| (c as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
         DailySeries {
             max: counts.iter().copied().max().unwrap_or(0),
             fano: if mean > 0.0 { var / mean } else { 0.0 },
@@ -182,7 +186,11 @@ mod tests {
         runs.push(run_on_day(999, 29, false)); // extend the window
         let report = analyze_temporal(&runs, &[]);
         assert_eq!(report.days, 30);
-        assert!(report.system_failures.fano > 10.0, "{}", report.system_failures.fano);
+        assert!(
+            report.system_failures.fano > 10.0,
+            "{}",
+            report.system_failures.fano
+        );
     }
 
     #[test]

@@ -103,7 +103,10 @@ pub fn analyze_users(runs: &[ClassifiedRun]) -> UserReport {
     }
     let mut rows: Vec<UserRow> = map.into_values().collect();
     rows.sort_by(|a, b| b.runs.cmp(&a.runs).then(a.user.cmp(&b.user)));
-    UserReport { total_runs: runs.len() as u64, rows }
+    UserReport {
+        total_runs: runs.len() as u64,
+        rows,
+    }
 }
 
 #[cfg(test)]

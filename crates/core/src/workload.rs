@@ -6,10 +6,10 @@
 //! exits without placements, placements without exits — are counted, not
 //! dropped silently.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use craylog::alps::AlpsRecord;
-use craylog::torque::TorqueEventKind;
+use craylog::torque::{TorqueEventKind, TorqueRecord};
 use logdiver_types::{AppId, ExitStatus, JobId, NodeType, SimDuration, Timestamp, UserId};
 use serde::{Deserialize, Serialize};
 
@@ -90,58 +90,82 @@ pub struct WorkloadStats {
     pub jobs: u64,
 }
 
-/// Reconstructs runs and job context from parsed logs.
-pub fn reconstruct(parsed: &ParsedLogs) -> (Vec<AppRun>, HashMap<u64, JobInfo>, WorkloadStats) {
-    let mut stats = WorkloadStats::default();
-    let mut runs: Vec<AppRun> = Vec::new();
-    let mut index: HashMap<u64, usize> = HashMap::new();
+/// Incremental run reconstruction: ALPS and Torque records go in one at a
+/// time (per-source input order), finished runs come out as they become
+/// final.
+///
+/// This is the single reconstruction implementation; the batch
+/// [`reconstruct`] drives it in one shot, the streaming engine feeds it
+/// record by record and harvests finalizable runs on every watermark
+/// advance. Runs are keyed by a dense placement sequence number so the
+/// final ordering (placement order) survives out-of-band harvesting, and
+/// the apid index always points at the *newest* placement for an apid —
+/// matching the batch behavior for duplicate placements, where the older
+/// run survives but stops receiving termination records.
+#[derive(Debug, Default)]
+pub struct RunReconstructor {
+    runs: BTreeMap<usize, AppRun>,
+    index: HashMap<u64, usize>,
+    jobs: HashMap<u64, JobInfo>,
+    stats: WorkloadStats,
+    next_seq: usize,
+}
 
-    for rec in &parsed.alps {
+impl RunReconstructor {
+    /// Creates an empty reconstructor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one ALPS record (placement, exit, or launch error).
+    pub fn push_alps(&mut self, rec: &AlpsRecord) {
         match rec {
             AlpsRecord::Placed(p) => {
-                stats.placed += 1;
-                let idx = runs.len();
-                runs.push(AppRun {
-                    apid: p.apid,
-                    job: p.job,
-                    user: p.user,
-                    node_type: p.node_type,
-                    width: p.width,
-                    nodes: RangeSet::from_node_set(&p.nodes),
-                    start: p.timestamp,
-                    end: p.timestamp,
-                    termination: Termination::Missing,
-                });
-                index.insert(p.apid.value(), idx);
+                self.stats.placed += 1;
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.runs.insert(
+                    seq,
+                    AppRun {
+                        apid: p.apid,
+                        job: p.job,
+                        user: p.user,
+                        node_type: p.node_type,
+                        width: p.width,
+                        nodes: RangeSet::from_node_set(&p.nodes),
+                        start: p.timestamp,
+                        end: p.timestamp,
+                        termination: Termination::Missing,
+                    },
+                );
+                self.index.insert(p.apid.value(), seq);
             }
-            AlpsRecord::Exit(e) => match index.get(&e.apid.value()) {
-                Some(&idx) => {
-                    let run = &mut runs[idx];
-                    run.end = e.timestamp;
-                    run.termination = Termination::Exited(e.exit);
-                    stats.exited += 1;
+            AlpsRecord::Exit(e) => match self.index.get(&e.apid.value()) {
+                Some(&seq) => {
+                    self.stats.exited += 1;
+                    if let Some(run) = self.runs.get_mut(&seq) {
+                        run.end = e.timestamp;
+                        run.termination = Termination::Exited(e.exit);
+                    }
                 }
-                None => stats.orphan_terminations += 1,
+                None => self.stats.orphan_terminations += 1,
             },
-            AlpsRecord::LaunchErr(l) => match index.get(&l.apid.value()) {
-                Some(&idx) => {
-                    let run = &mut runs[idx];
-                    run.end = l.timestamp;
-                    run.termination = Termination::LaunchFailed;
-                    stats.launch_failed += 1;
+            AlpsRecord::LaunchErr(l) => match self.index.get(&l.apid.value()) {
+                Some(&seq) => {
+                    self.stats.launch_failed += 1;
+                    if let Some(run) = self.runs.get_mut(&seq) {
+                        run.end = l.timestamp;
+                        run.termination = Termination::LaunchFailed;
+                    }
                 }
-                None => stats.orphan_terminations += 1,
+                None => self.stats.orphan_terminations += 1,
             },
         }
     }
-    stats.missing_terminations = runs
-        .iter()
-        .filter(|r| r.termination == Termination::Missing)
-        .count() as u64;
 
-    let mut jobs: HashMap<u64, JobInfo> = HashMap::new();
-    for rec in &parsed.torque {
-        let info = jobs.entry(rec.job.value()).or_insert(JobInfo {
+    /// Feeds one Torque record.
+    pub fn push_torque(&mut self, rec: &TorqueRecord) {
+        let info = self.jobs.entry(rec.job.value()).or_insert(JobInfo {
             walltime: SimDuration::from_secs(rec.walltime_secs),
             start: None,
             exit_status: None,
@@ -154,8 +178,73 @@ pub fn reconstruct(parsed: &ParsedLogs) -> (Vec<AppRun>, HashMap<u64, JobInfo>, 
             info.start = Some(rec.timestamp);
         }
     }
-    stats.jobs = jobs.len() as u64;
-    (runs, jobs, stats)
+
+    /// Job context accumulated so far.
+    pub fn jobs(&self) -> &HashMap<u64, JobInfo> {
+        &self.jobs
+    }
+
+    /// Number of runs still held (not yet taken).
+    pub fn open_len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Removes and returns, in placement order, every terminated run whose
+    /// end time is strictly before `cutoff`.
+    ///
+    /// The caller picks a cutoff such that no error event closing later
+    /// can fall inside the run's attribution window — then classifying the
+    /// run now gives the same verdict the batch path would.
+    pub fn take_finalizable(&mut self, cutoff: Timestamp) -> Vec<(usize, AppRun)> {
+        let seqs: Vec<usize> = self
+            .runs
+            .iter()
+            .filter(|(_, r)| r.termination != Termination::Missing && r.end < cutoff)
+            .map(|(&seq, _)| seq)
+            .collect();
+        seqs.into_iter()
+            .map(|seq| (seq, self.runs.remove(&seq).expect("seq was just observed")))
+            .collect()
+    }
+
+    /// Current stats, with the live-state counters (missing terminations,
+    /// job count) filled in from the open state.
+    pub fn stats_snapshot(&self) -> WorkloadStats {
+        let mut stats = self.stats;
+        stats.missing_terminations = self
+            .runs
+            .values()
+            .filter(|r| r.termination == Termination::Missing)
+            .count() as u64;
+        stats.jobs = self.jobs.len() as u64;
+        stats
+    }
+
+    /// Removes and returns every remaining run (placement order), with its
+    /// placement sequence number.
+    pub fn take_all(&mut self) -> Vec<(usize, AppRun)> {
+        std::mem::take(&mut self.runs).into_iter().collect()
+    }
+
+    /// Finalizes: returns the remaining runs in placement order, the job
+    /// context, and the stats.
+    pub fn finish(mut self) -> (Vec<AppRun>, HashMap<u64, JobInfo>, WorkloadStats) {
+        let stats = self.stats_snapshot();
+        let runs = self.take_all().into_iter().map(|(_, run)| run).collect();
+        (runs, self.jobs, stats)
+    }
+}
+
+/// Reconstructs runs and job context from parsed logs.
+pub fn reconstruct(parsed: &ParsedLogs) -> (Vec<AppRun>, HashMap<u64, JobInfo>, WorkloadStats) {
+    let mut reconstructor = RunReconstructor::new();
+    for rec in &parsed.alps {
+        reconstructor.push_alps(rec);
+    }
+    for rec in &parsed.torque {
+        reconstructor.push_torque(rec);
+    }
+    reconstructor.finish()
 }
 
 /// Convenience for tests: total node-hours over runs.

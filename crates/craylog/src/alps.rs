@@ -109,20 +109,27 @@ impl AlpsRecord {
             .split_at_checked(19)
             .ok_or_else(|| err("timestamp spans a non-ASCII boundary"))?;
         let timestamp: Timestamp = ts_str.parse().map_err(|_| err("bad timestamp"))?;
-        let rest = rest.strip_prefix(" apsys ").ok_or_else(|| err("missing apsys tag"))?;
+        let rest = rest
+            .strip_prefix(" apsys ")
+            .ok_or_else(|| err("missing apsys tag"))?;
         let (verb, fields_str) = rest.split_once(' ').ok_or_else(|| err("missing verb"))?;
 
         // key=value fields; values never contain spaces except `reason`,
         // which is always last.
         let get = |key: &str| -> Option<&str> {
             let pat = format!("{key}=");
-            fields_str.split(' ').find_map(|f| f.strip_prefix(pat.as_str()))
+            fields_str
+                .split(' ')
+                .find_map(|f| f.strip_prefix(pat.as_str()))
         };
 
         match verb {
             "PLACED" => {
                 let apid = AppId::new(
-                    get("apid").ok_or_else(|| err("missing apid"))?.parse().map_err(|_| err("bad apid"))?,
+                    get("apid")
+                        .ok_or_else(|| err("missing apid"))?
+                        .parse()
+                        .map_err(|_| err("bad apid"))?,
                 );
                 let job_str = get("batch").ok_or_else(|| err("missing batch"))?;
                 let job_num = job_str
@@ -139,10 +146,13 @@ impl AlpsRecord {
                         .map_err(|_| err("bad user"))?,
                 );
                 let command = get("cmd").ok_or_else(|| err("missing cmd"))?.to_string();
-                let node_type = NodeType::parse_label(get("type").ok_or_else(|| err("missing type"))?)
-                    .ok_or_else(|| err("bad node type"))?;
-                let width: u32 =
-                    get("width").ok_or_else(|| err("missing width"))?.parse().map_err(|_| err("bad width"))?;
+                let node_type =
+                    NodeType::parse_label(get("type").ok_or_else(|| err("missing type"))?)
+                        .ok_or_else(|| err("bad node type"))?;
+                let width: u32 = get("width")
+                    .ok_or_else(|| err("missing width"))?
+                    .parse()
+                    .map_err(|_| err("bad width"))?;
                 let nodes = parse_nodelist(get("nodelist").ok_or_else(|| err("missing nodelist"))?)
                     .map_err(|e| err(e.reason()))?;
                 if nodes.len() as u32 != width {
@@ -161,19 +171,25 @@ impl AlpsRecord {
             }
             "EXIT" => {
                 let apid = AppId::new(
-                    get("apid").ok_or_else(|| err("missing apid"))?.parse().map_err(|_| err("bad apid"))?,
+                    get("apid")
+                        .ok_or_else(|| err("missing apid"))?
+                        .parse()
+                        .map_err(|_| err("bad apid"))?,
                 );
-                let code: i32 =
-                    get("code").ok_or_else(|| err("missing code"))?.parse().map_err(|_| err("bad code"))?;
+                let code: i32 = get("code")
+                    .ok_or_else(|| err("missing code"))?
+                    .parse()
+                    .map_err(|_| err("bad code"))?;
                 let signal = match get("signal").ok_or_else(|| err("missing signal"))? {
                     "none" => None,
                     s => Some(s.parse().map_err(|_| err("bad signal"))?),
                 };
-                let node_failed = match get("node_failed").ok_or_else(|| err("missing node_failed"))? {
-                    "yes" => true,
-                    "no" => false,
-                    _ => return Err(err("bad node_failed")),
-                };
+                let node_failed =
+                    match get("node_failed").ok_or_else(|| err("missing node_failed"))? {
+                        "yes" => true,
+                        "no" => false,
+                        _ => return Err(err("bad node_failed")),
+                    };
                 let runtime_secs: i64 = get("runtime")
                     .ok_or_else(|| err("missing runtime"))?
                     .parse()
@@ -181,19 +197,30 @@ impl AlpsRecord {
                 Ok(AlpsRecord::Exit(AppExitRecord {
                     timestamp,
                     apid,
-                    exit: ExitStatus { code, signal, node_failed },
+                    exit: ExitStatus {
+                        code,
+                        signal,
+                        node_failed,
+                    },
                     runtime_secs,
                 }))
             }
             "LAUNCHERR" => {
                 let apid = AppId::new(
-                    get("apid").ok_or_else(|| err("missing apid"))?.parse().map_err(|_| err("bad apid"))?,
+                    get("apid")
+                        .ok_or_else(|| err("missing apid"))?
+                        .parse()
+                        .map_err(|_| err("bad apid"))?,
                 );
                 let reason = fields_str
                     .split_once("reason=")
                     .map(|(_, r)| r.to_string())
                     .ok_or_else(|| err("missing reason"))?;
-                Ok(AlpsRecord::LaunchErr(AppLaunchErrRecord { timestamp, apid, reason }))
+                Ok(AlpsRecord::LaunchErr(AppLaunchErrRecord {
+                    timestamp,
+                    apid,
+                    reason,
+                }))
             }
             other => Err(err(&format!("unknown verb {other}"))),
         }
@@ -232,7 +259,11 @@ impl fmt::Display for AlpsRecord {
                 )
             }
             AlpsRecord::LaunchErr(r) => {
-                write!(f, "{} apsys LAUNCHERR apid={} reason={}", r.timestamp, r.apid, r.reason)
+                write!(
+                    f,
+                    "{} apsys LAUNCHERR apid={} reason={}",
+                    r.timestamp, r.apid, r.reason
+                )
             }
         }
     }
@@ -305,7 +336,10 @@ mod tests {
     fn rejects_malformed() {
         assert!(AlpsRecord::parse("").is_err());
         assert!(AlpsRecord::parse("2013-03-28 12:30:00 apsys NOPE apid=1").is_err());
-        assert!(AlpsRecord::parse("2013-03-28 12:30:00 apsys EXIT apid=1 code=x signal=none node_failed=no runtime=1").is_err());
+        assert!(AlpsRecord::parse(
+            "2013-03-28 12:30:00 apsys EXIT apid=1 code=x signal=none node_failed=no runtime=1"
+        )
+        .is_err());
         assert!(AlpsRecord::parse("2013-03-28 12:30:00 other EXIT apid=1").is_err());
     }
 

@@ -23,7 +23,11 @@ impl CraylogError {
             line.truncate(160);
             line.push('…');
         }
-        CraylogError { source_name, reason: reason.into(), line }
+        CraylogError {
+            source_name,
+            reason: reason.into(),
+            line,
+        }
     }
 
     /// Which log source the line claimed to be from.
@@ -44,7 +48,11 @@ impl CraylogError {
 
 impl fmt::Display for CraylogError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "bad {} record ({}): {:?}", self.source_name, self.reason, self.line)
+        write!(
+            f,
+            "bad {} record ({}): {:?}",
+            self.source_name, self.reason, self.line
+        )
     }
 }
 

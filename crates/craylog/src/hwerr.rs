@@ -41,7 +41,13 @@ impl HwErrRecord {
         category: ErrorCategory,
         detail: String,
     ) -> Self {
-        HwErrRecord { timestamp, location, category, severity: category.severity(), detail }
+        HwErrRecord {
+            timestamp,
+            location,
+            category,
+            severity: category.severity(),
+            detail,
+        }
     }
 
     /// Parses one record line.
@@ -61,7 +67,13 @@ impl HwErrRecord {
         let sev = fields.next().ok_or_else(|| err("missing severity"))?;
         let severity = Severity::parse_label(sev).ok_or_else(|| err("unknown severity"))?;
         let detail = fields.next().unwrap_or("").to_string();
-        Ok(HwErrRecord { timestamp, location, category, severity, detail })
+        Ok(HwErrRecord {
+            timestamp,
+            location,
+            category,
+            severity,
+            detail,
+        })
     }
 }
 

@@ -104,11 +104,15 @@ impl NetwatchRecord {
             .split_at_checked(19)
             .ok_or_else(|| err("timestamp spans a non-ASCII boundary"))?;
         let timestamp: Timestamp = ts_str.parse().map_err(|_| err("bad timestamp"))?;
-        let rest = rest.strip_prefix(" netwatch ").ok_or_else(|| err("missing netwatch tag"))?;
+        let rest = rest
+            .strip_prefix(" netwatch ")
+            .ok_or_else(|| err("missing netwatch tag"))?;
         let (verb, fields_str) = rest.split_once(' ').unwrap_or((rest, ""));
         let get = |key: &str| -> Option<&str> {
             let pat = format!("{key}=");
-            fields_str.split(' ').find_map(|f| f.strip_prefix(pat.as_str()))
+            fields_str
+                .split(' ')
+                .find_map(|f| f.strip_prefix(pat.as_str()))
         };
         let event = match verb {
             "LINK_FAILED" => NetwatchEvent::LinkFailed {
@@ -122,7 +126,10 @@ impl NetwatchRecord {
                     .ok_or_else(|| err("bad coord"))?,
                 dim: parse_dim(get("dim").ok_or_else(|| err("missing dim"))?)
                     .ok_or_else(|| err("bad dim"))?,
-                lanes: get("lanes").ok_or_else(|| err("missing lanes"))?.parse().map_err(|_| err("bad lanes"))?,
+                lanes: get("lanes")
+                    .ok_or_else(|| err("missing lanes"))?
+                    .parse()
+                    .map_err(|_| err("bad lanes"))?,
             },
             "REROUTE_START" => NetwatchEvent::RerouteStart {
                 affected: get("affected")
@@ -150,7 +157,11 @@ impl fmt::Display for NetwatchRecord {
                 write!(f, "LINK_FAILED coord={coord} dim={}", dim_label(dim))
             }
             NetwatchEvent::LaneDegrade { coord, dim, lanes } => {
-                write!(f, "LANE_DEGRADE coord={coord} dim={} lanes={lanes}", dim_label(dim))
+                write!(
+                    f,
+                    "LANE_DEGRADE coord={coord} dim={} lanes={lanes}",
+                    dim_label(dim)
+                )
             }
             NetwatchEvent::RerouteStart { affected } => {
                 write!(f, "REROUTE_START affected={affected}")
@@ -175,23 +186,39 @@ mod tests {
     fn link_failed_round_trip() {
         let rec = NetwatchRecord {
             timestamp: ts(),
-            event: NetwatchEvent::LinkFailed { coord: TorusCoord { x: 12, y: 3, z: 20 }, dim: Dim::X },
+            event: NetwatchEvent::LinkFailed {
+                coord: TorusCoord { x: 12, y: 3, z: 20 },
+                dim: Dim::X,
+            },
         };
         let line = rec.to_string();
-        assert_eq!(line, "2013-03-28 12:30:00 netwatch LINK_FAILED coord=(12,3,20) dim=X");
+        assert_eq!(
+            line,
+            "2013-03-28 12:30:00 netwatch LINK_FAILED coord=(12,3,20) dim=X"
+        );
         assert_eq!(NetwatchRecord::parse(&line).unwrap(), rec);
     }
 
     #[test]
     fn all_variants_round_trip() {
         let recs = [
-            NetwatchEvent::LinkFailed { coord: TorusCoord { x: 0, y: 0, z: 0 }, dim: Dim::Z },
-            NetwatchEvent::LaneDegrade { coord: TorusCoord { x: 4, y: 0, z: 9 }, dim: Dim::Z, lanes: 2 },
+            NetwatchEvent::LinkFailed {
+                coord: TorusCoord { x: 0, y: 0, z: 0 },
+                dim: Dim::Z,
+            },
+            NetwatchEvent::LaneDegrade {
+                coord: TorusCoord { x: 4, y: 0, z: 9 },
+                dim: Dim::Z,
+                lanes: 2,
+            },
             NetwatchEvent::RerouteStart { affected: 41_472 },
             NetwatchEvent::RerouteDone { duration_secs: 50 },
         ];
         for event in recs {
-            let rec = NetwatchRecord { timestamp: ts(), event };
+            let rec = NetwatchRecord {
+                timestamp: ts(),
+                event,
+            };
             assert_eq!(NetwatchRecord::parse(&rec.to_string()).unwrap(), rec);
         }
     }
@@ -200,9 +227,18 @@ mod tests {
     fn rejects_malformed() {
         assert!(NetwatchRecord::parse("").is_err());
         assert!(NetwatchRecord::parse("2013-03-28 12:30:00 netwatch NOPE x=1").is_err());
-        assert!(NetwatchRecord::parse("2013-03-28 12:30:00 netwatch LINK_FAILED coord=(1,2) dim=X").is_err());
-        assert!(NetwatchRecord::parse("2013-03-28 12:30:00 netwatch LINK_FAILED coord=(1,2,3) dim=W").is_err());
-        assert!(NetwatchRecord::parse("2013-03-28 12:30:00 other LINK_FAILED coord=(1,2,3) dim=X").is_err());
+        assert!(NetwatchRecord::parse(
+            "2013-03-28 12:30:00 netwatch LINK_FAILED coord=(1,2) dim=X"
+        )
+        .is_err());
+        assert!(NetwatchRecord::parse(
+            "2013-03-28 12:30:00 netwatch LINK_FAILED coord=(1,2,3) dim=W"
+        )
+        .is_err());
+        assert!(
+            NetwatchRecord::parse("2013-03-28 12:30:00 other LINK_FAILED coord=(1,2,3) dim=X")
+                .is_err()
+        );
     }
 
     proptest! {

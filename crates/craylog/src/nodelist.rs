@@ -67,8 +67,14 @@ mod tests {
     fn parse_known_forms() {
         assert_eq!(parse_nodelist("nid[]").unwrap(), NodeSet::new());
         assert_eq!(parse_nodelist("nid[7]").unwrap(), set_of(&[7]));
-        assert_eq!(parse_nodelist("nid[1-3,100]").unwrap(), set_of(&[1, 2, 3, 100]));
-        assert_eq!(parse_nodelist("nid[0,2-4,9-10]").unwrap(), set_of(&[0, 2, 3, 4, 9, 10]));
+        assert_eq!(
+            parse_nodelist("nid[1-3,100]").unwrap(),
+            set_of(&[1, 2, 3, 100])
+        );
+        assert_eq!(
+            parse_nodelist("nid[0,2-4,9-10]").unwrap(),
+            set_of(&[0, 2, 3, 4, 9, 10])
+        );
     }
 
     #[test]

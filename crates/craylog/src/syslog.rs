@@ -28,7 +28,12 @@ pub struct SyslogRecord {
 impl SyslogRecord {
     /// Creates a record reported by a compute node.
     pub fn from_node(timestamp: Timestamp, nid: NodeId, tag: &str, message: String) -> Self {
-        SyslogRecord { timestamp, host: nid.hostname(), tag: tag.to_string(), message }
+        SyslogRecord {
+            timestamp,
+            host: nid.hostname(),
+            tag: tag.to_string(),
+            message,
+        }
     }
 
     /// The reporting node, when the host is a nid hostname.
@@ -50,14 +55,19 @@ impl SyslogRecord {
         let (ts_str, rest) = line
             .split_at_checked(19)
             .ok_or_else(|| err("timestamp spans a non-ASCII boundary"))?;
-        let timestamp: Timestamp =
-            ts_str.parse().map_err(|_| err("bad timestamp"))?;
-        let rest = rest.strip_prefix(' ').ok_or_else(|| err("missing space after timestamp"))?;
-        let (host, rest) = rest.split_once(' ').ok_or_else(|| err("missing host field"))?;
+        let timestamp: Timestamp = ts_str.parse().map_err(|_| err("bad timestamp"))?;
+        let rest = rest
+            .strip_prefix(' ')
+            .ok_or_else(|| err("missing space after timestamp"))?;
+        let (host, rest) = rest
+            .split_once(' ')
+            .ok_or_else(|| err("missing host field"))?;
         if host.is_empty() {
             return Err(err("empty host"));
         }
-        let (tag, message) = rest.split_once(": ").ok_or_else(|| err("missing tag separator"))?;
+        let (tag, message) = rest
+            .split_once(": ")
+            .ok_or_else(|| err("missing tag separator"))?;
         if tag.is_empty() || tag.contains(' ') {
             return Err(err("bad tag"));
         }
@@ -72,7 +82,11 @@ impl SyslogRecord {
 
 impl fmt::Display for SyslogRecord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} {} {}: {}", self.timestamp, self.host, self.tag, self.message)
+        write!(
+            f,
+            "{} {} {}: {}",
+            self.timestamp, self.host, self.tag, self.message
+        )
     }
 }
 
@@ -101,9 +115,13 @@ mod tests {
 
     #[test]
     fn message_may_contain_colons() {
-        let line = "2013-03-28 00:00:01 nid00001 lustre: LustreError: 11-0: snx-OST0010: operation failed";
+        let line =
+            "2013-03-28 00:00:01 nid00001 lustre: LustreError: 11-0: snx-OST0010: operation failed";
         let r = SyslogRecord::parse(line).unwrap();
-        assert_eq!(r.message, "LustreError: 11-0: snx-OST0010: operation failed");
+        assert_eq!(
+            r.message,
+            "LustreError: 11-0: snx-OST0010: operation failed"
+        );
         assert_eq!(r.to_string(), line);
     }
 

@@ -17,7 +17,10 @@ pub fn tag_for(category: ErrorCategory) -> &'static str {
     match category {
         MachineCheckException | MemoryCorrectable | MemoryUncorrectable | KernelPanic => "kernel",
         GeminiLinkFailure | GeminiLaneDegrade | GeminiRouteReconfig => "xtnlrd",
-        NodeHeartbeatFault | BladeControllerFailure | VoltageFault | NodeHang
+        NodeHeartbeatFault
+        | BladeControllerFailure
+        | VoltageFault
+        | NodeHang
         | MaintenanceNotice => "xtnmd",
         LustreOstFailure | LustreMdsFailover | LustreClientEviction => "lustre",
         GpuDoubleBitError | GpuBusError | GpuPageRetirement => "nvrm",
@@ -36,9 +39,12 @@ pub fn error_message(category: ErrorCategory, variant: u32) -> String {
             0 => format!(
                 "Machine Check Exception: bank {} status 0x{:016x}",
                 v % 8,
-                0xb200_0000_0000_0000u64 | (v * 0x9e37) % 0xffff
+                0xb200_0000_0000_0000u64 | ((v * 0x9e37) % 0xffff)
             ),
-            _ => format!("[Hardware Error]: CPU {} Machine Check: unrecoverable", v % 32),
+            _ => format!(
+                "[Hardware Error]: CPU {} Machine Check: unrecoverable",
+                v % 32
+            ),
         },
         MemoryCorrectable => format!(
             "EDAC MC{}: CE row {} channel {} (corrected)",
@@ -47,18 +53,38 @@ pub fn error_message(category: ErrorCategory, variant: u32) -> String {
             v % 2
         ),
         MemoryUncorrectable => match variant % 2 {
-            0 => format!("EDAC MC{}: UE row {} — uncorrectable memory error", v % 4, v % 16),
-            _ => format!("Northbridge Error: DRAM ECC error detected on node memory, dimm {}", v % 8),
+            0 => format!(
+                "EDAC MC{}: UE row {} — uncorrectable memory error",
+                v % 4,
+                v % 16
+            ),
+            _ => format!(
+                "Northbridge Error: DRAM ECC error detected on node memory, dimm {}",
+                v % 8
+            ),
         },
         GeminiLinkFailure => format!("HSN ASIC LCB lane shutdown, link failed ({})", v % 48),
         GeminiLaneDegrade => format!("HSN link running degraded: {} of 3 lanes up", 1 + v % 2),
-        GeminiRouteReconfig => "HSN route table recomputation in progress; traffic quiesced".to_string(),
-        NodeHeartbeatFault => "node heartbeat fault: no response in 60s, declaring node dead".to_string(),
-        BladeControllerFailure => format!("L0 controller unresponsive (attempt {}), blade power-cycled", 1 + v % 3),
-        VoltageFault => format!("VRM fault: VDD rail {:.2}V out of tolerance", 0.9 + (v % 30) as f64 / 100.0),
+        GeminiRouteReconfig => {
+            "HSN route table recomputation in progress; traffic quiesced".to_string()
+        }
+        NodeHeartbeatFault => {
+            "node heartbeat fault: no response in 60s, declaring node dead".to_string()
+        }
+        BladeControllerFailure => format!(
+            "L0 controller unresponsive (attempt {}), blade power-cycled",
+            1 + v % 3
+        ),
+        VoltageFault => format!(
+            "VRM fault: VDD rail {:.2}V out of tolerance",
+            0.9 + (v % 30) as f64 / 100.0
+        ),
         KernelPanic => match variant % 2 {
             0 => "Kernel panic - not syncing: Fatal exception in interrupt".to_string(),
-            _ => format!("BUG: unable to handle kernel paging request at {:016x}", v * 0x1000),
+            _ => format!(
+                "BUG: unable to handle kernel paging request at {:016x}",
+                v * 0x1000
+            ),
         },
         NodeHang => "node unresponsive: console wedged, softlockup detected".to_string(),
         LustreOstFailure => format!(
@@ -67,7 +93,9 @@ pub fn error_message(category: ErrorCategory, variant: u32) -> String {
             v % 9,
             v % 1440
         ),
-        LustreMdsFailover => "Lustre: MDS failover in progress, requests will be resent".to_string(),
+        LustreMdsFailover => {
+            "Lustre: MDS failover in progress, requests will be resent".to_string()
+        }
         LustreClientEviction => format!(
             "LustreError: client evicted by snx-OST{:04x}: lock callback timer expired",
             v % 1440
@@ -87,14 +115,38 @@ pub fn error_message(category: ErrorCategory, variant: u32) -> String {
 pub fn noise_message(variant: u32) -> (&'static str, String) {
     let v = variant as u64;
     match variant % 8 {
-        0 => ("ntpd", format!("time slew {:+.3}s", (v % 200) as f64 / 1000.0 - 0.1)),
-        1 => ("sshd", format!("Accepted publickey for user port {}", 1024 + v % 50_000)),
-        2 => ("kernel", format!("eth0: link up, 10000 Mbps, full duplex (check {})", v % 7)),
+        0 => (
+            "ntpd",
+            format!("time slew {:+.3}s", (v % 200) as f64 / 1000.0 - 0.1),
+        ),
+        1 => (
+            "sshd",
+            format!("Accepted publickey for user port {}", 1024 + v % 50_000),
+        ),
+        2 => (
+            "kernel",
+            format!("eth0: link up, 10000 Mbps, full duplex (check {})", v % 7),
+        ),
         3 => ("rsyslogd", "rsyslogd was HUPed".to_string()),
-        4 => ("cron", format!("(root) CMD (run-parts /etc/cron.hourly) [{}]", v % 24)),
-        5 => ("lustre", format!("Lustre: snx-OST{:04x}: haven't heard from client (idle)", v % 1440)),
+        4 => (
+            "cron",
+            format!("(root) CMD (run-parts /etc/cron.hourly) [{}]", v % 24),
+        ),
+        5 => (
+            "lustre",
+            format!(
+                "Lustre: snx-OST{:04x}: haven't heard from client (idle)",
+                v % 1440
+            ),
+        ),
         6 => ("apinit", format!("apid {} environment propagated", v)),
-        _ => ("xtnmd", format!("periodic health sweep complete: {} nodes polled", 27_000 + v % 648)),
+        _ => (
+            "xtnmd",
+            format!(
+                "periodic health sweep complete: {} nodes polled",
+                27_000 + v % 648
+            ),
+        ),
     }
 }
 
@@ -133,8 +185,7 @@ mod tests {
 
     #[test]
     fn noise_covers_multiple_tags() {
-        let tags: std::collections::HashSet<&str> =
-            (0..16).map(|v| noise_message(v).0).collect();
+        let tags: std::collections::HashSet<&str> = (0..16).map(|v| noise_message(v).0).collect();
         assert!(tags.len() >= 6);
     }
 

@@ -137,7 +137,9 @@ impl TorqueRecord {
         let fields_str = parts.next().ok_or_else(|| err("missing fields"))?;
         let get = |key: &str| -> Option<&str> {
             let pat = format!("{key}=");
-            fields_str.split(' ').find_map(|f| f.strip_prefix(pat.as_str()))
+            fields_str
+                .split(' ')
+                .find_map(|f| f.strip_prefix(pat.as_str()))
         };
         let user_str = get("user").ok_or_else(|| err("missing user"))?;
         let user = UserId::new(
@@ -147,9 +149,13 @@ impl TorqueRecord {
                 .parse()
                 .map_err(|_| err("bad user"))?,
         );
-        let queue = get("queue").ok_or_else(|| err("missing queue"))?.to_string();
-        let nodes: u32 =
-            get("nodes").ok_or_else(|| err("missing nodes"))?.parse().map_err(|_| err("bad nodes"))?;
+        let queue = get("queue")
+            .ok_or_else(|| err("missing queue"))?
+            .to_string();
+        let nodes: u32 = get("nodes")
+            .ok_or_else(|| err("missing nodes"))?
+            .parse()
+            .map_err(|_| err("bad nodes"))?;
         let walltime_secs: i64 = get("walltime")
             .ok_or_else(|| err("missing walltime"))?
             .parse()
@@ -157,15 +163,23 @@ impl TorqueRecord {
         let (start, end, exit_status) = match kind {
             TorqueEventKind::Start => (None, None, None),
             TorqueEventKind::End => {
-                let s: i64 =
-                    get("start").ok_or_else(|| err("missing start"))?.parse().map_err(|_| err("bad start"))?;
-                let e: i64 =
-                    get("end").ok_or_else(|| err("missing end"))?.parse().map_err(|_| err("bad end"))?;
+                let s: i64 = get("start")
+                    .ok_or_else(|| err("missing start"))?
+                    .parse()
+                    .map_err(|_| err("bad start"))?;
+                let e: i64 = get("end")
+                    .ok_or_else(|| err("missing end"))?
+                    .parse()
+                    .map_err(|_| err("bad end"))?;
                 let x: i32 = get("exit_status")
                     .ok_or_else(|| err("missing exit_status"))?
                     .parse()
                     .map_err(|_| err("bad exit_status"))?;
-                (Some(Timestamp::from_unix(s)), Some(Timestamp::from_unix(e)), Some(x))
+                (
+                    Some(Timestamp::from_unix(s)),
+                    Some(Timestamp::from_unix(e)),
+                    Some(x),
+                )
             }
         };
         Ok(TorqueRecord {
@@ -233,7 +247,16 @@ mod tests {
     fn end_round_trip() {
         let start = Timestamp::from_ymd_hms(2013, 3, 28, 12, 0, 0);
         let end = Timestamp::from_ymd_hms(2013, 3, 29, 2, 0, 0);
-        let rec = TorqueRecord::end(end, JobId::new(1), UserId::new(2), "debug", 16, 3_600, start, 271);
+        let rec = TorqueRecord::end(
+            end,
+            JobId::new(1),
+            UserId::new(2),
+            "debug",
+            16,
+            3_600,
+            start,
+            271,
+        );
         let back = TorqueRecord::parse(&rec.to_string()).unwrap();
         assert_eq!(back, rec);
         assert_eq!(back.exit_status, Some(271));
@@ -243,10 +266,19 @@ mod tests {
     #[test]
     fn rejects_malformed() {
         assert!(TorqueRecord::parse("").is_err());
-        assert!(TorqueRecord::parse("2013-03-28 12:00:00;X;1.bw;user=u1 queue=q nodes=1 walltime=1").is_err());
-        assert!(TorqueRecord::parse("2013-03-28 12:00:00;S;1;user=u0001 queue=q nodes=1 walltime=1").is_err());
-        assert!(TorqueRecord::parse("2013-03-28 12:00:00;E;1.bw;user=u0001 queue=q nodes=1 walltime=1").is_err(),
-                "end record without start/end/exit fields");
+        assert!(TorqueRecord::parse(
+            "2013-03-28 12:00:00;X;1.bw;user=u1 queue=q nodes=1 walltime=1"
+        )
+        .is_err());
+        assert!(TorqueRecord::parse(
+            "2013-03-28 12:00:00;S;1;user=u0001 queue=q nodes=1 walltime=1"
+        )
+        .is_err());
+        assert!(
+            TorqueRecord::parse("2013-03-28 12:00:00;E;1.bw;user=u0001 queue=q nodes=1 walltime=1")
+                .is_err(),
+            "end record without start/end/exit fields"
+        );
     }
 
     proptest! {

@@ -29,7 +29,10 @@ impl BurnIn {
     /// Validation.
     pub fn validate(&self) -> Result<(), String> {
         if !(self.initial_multiplier >= 1.0 && self.initial_multiplier.is_finite()) {
-            return Err(format!("burn-in initial multiplier invalid: {}", self.initial_multiplier));
+            return Err(format!(
+                "burn-in initial multiplier invalid: {}",
+                self.initial_multiplier
+            ));
         }
         if !(self.decay_days > 0.0 && self.decay_days.is_finite()) {
             return Err(format!("burn-in decay invalid: {}", self.decay_days));
@@ -121,8 +124,14 @@ impl FaultConfig {
             gpu_retirement_escalation_prob: 0.02,
             escalation_lead_min_secs: 600,
             escalation_lead_max_secs: 7_200,
-            wide_kill_xe: WideKillModel { q_max: 0.75, gamma: 4.5 },
-            wide_kill_xk: WideKillModel { q_max: 0.35, gamma: 2.8 },
+            wide_kill_xe: WideKillModel {
+                q_max: 0.75,
+                gamma: 4.5,
+            },
+            wide_kill_xk: WideKillModel {
+                q_max: 0.35,
+                gamma: 2.8,
+            },
             node_repair_mean_hours: 4.0,
             blade_repair_mean_hours: 12.0,
             reroute_stall_mean_secs: 45.0,
@@ -191,11 +200,17 @@ impl FaultConfig {
             }
         }
         if !(0.0..1.0).contains(&self.launch_failure_prob) {
-            return Err(format!("launch_failure_prob invalid: {}", self.launch_failure_prob));
+            return Err(format!(
+                "launch_failure_prob invalid: {}",
+                self.launch_failure_prob
+            ));
         }
         for (name, p) in [
             ("ce_flood_escalation_prob", self.ce_flood_escalation_prob),
-            ("gpu_retirement_escalation_prob", self.gpu_retirement_escalation_prob),
+            (
+                "gpu_retirement_escalation_prob",
+                self.gpu_retirement_escalation_prob,
+            ),
         ] {
             if !(0.0..=1.0).contains(&p) {
                 return Err(format!("{name} invalid: {p}"));
@@ -206,8 +221,11 @@ impl FaultConfig {
         {
             return Err("escalation lead window invalid".into());
         }
-        for (name, m) in [("wide_kill_xe", self.wide_kill_xe), ("wide_kill_xk", self.wide_kill_xk)] {
-            if !(0.0..=1.0).contains(&m.q_max) || !(m.gamma.is_finite() && m.gamma > 0.0) {
+        for (name, m) in [
+            ("wide_kill_xe", self.wide_kill_xe),
+            ("wide_kill_xk", self.wide_kill_xk),
+        ] {
+            if !(0.0..=1.0).contains(&m.q_max) || !m.gamma.is_finite() || m.gamma <= 0.0 {
                 return Err(format!("{name} invalid: {m:?}"));
             }
         }
@@ -241,7 +259,10 @@ mod tests {
         assert!((small.ce_floods_per_hour - full.ce_floods_per_hour / 10.0).abs() < 1e-12);
         // Lethal hazards are intensive: they preserve the anchored curves.
         assert_eq!(small.link_failures_per_hour, full.link_failures_per_hour);
-        assert_eq!(small.xe_node_crash_per_node_hour, full.xe_node_crash_per_node_hour);
+        assert_eq!(
+            small.xe_node_crash_per_node_hour,
+            full.xe_node_crash_per_node_hour
+        );
         assert_eq!(small.launch_failure_prob, full.launch_failure_prob);
     }
 
@@ -279,8 +300,10 @@ mod tests {
         // (the calibration includes them; runaway values would starve the
         // wide-kill budget).
         let esc_per_node_hour = cfg.ce_floods_per_hour * cfg.ce_flood_escalation_prob / 26_864.0;
-        assert!(esc_per_node_hour < 2.0 * cfg.xe_node_crash_per_node_hour,
-                "escalation hazard {esc_per_node_hour} dwarfs the base rate");
+        assert!(
+            esc_per_node_hour < 2.0 * cfg.xe_node_crash_per_node_hour,
+            "escalation hazard {esc_per_node_hour} dwarfs the base rate"
+        );
         let mut bad = cfg.clone();
         bad.ce_flood_escalation_prob = 1.5;
         assert!(bad.validate().is_err());
@@ -291,15 +314,31 @@ mod tests {
 
     #[test]
     fn burn_in_profile_decays_to_one() {
-        let b = BurnIn { initial_multiplier: 3.0, decay_days: 30.0 };
+        let b = BurnIn {
+            initial_multiplier: 3.0,
+            decay_days: 30.0,
+        };
         b.validate().unwrap();
         assert!((b.multiplier_at(0.0) - 3.0).abs() < 1e-12);
         assert!((b.multiplier_at(30.0) - (1.0 + 2.0 / std::f64::consts::E)).abs() < 1e-12);
         assert!(b.multiplier_at(300.0) < 1.01);
-        assert!(BurnIn { initial_multiplier: 0.5, decay_days: 30.0 }.validate().is_err());
-        assert!(BurnIn { initial_multiplier: 2.0, decay_days: 0.0 }.validate().is_err());
+        assert!(BurnIn {
+            initial_multiplier: 0.5,
+            decay_days: 30.0
+        }
+        .validate()
+        .is_err());
+        assert!(BurnIn {
+            initial_multiplier: 2.0,
+            decay_days: 0.0
+        }
+        .validate()
+        .is_err());
         let mut cfg = FaultConfig::blue_waters();
-        cfg.burn_in = Some(BurnIn { initial_multiplier: 2.0, decay_days: -1.0 });
+        cfg.burn_in = Some(BurnIn {
+            initial_multiplier: 2.0,
+            decay_days: -1.0,
+        });
         assert!(cfg.validate().is_err());
     }
 
@@ -311,6 +350,9 @@ mod tests {
         let hours = 518.0 * 24.0;
         let expected = cfg.xe_node_crash_per_node_hour * 22_640.0 * hours
             + (cfg.xk_node_crash_per_node_hour + cfg.gpu_fault_per_node_hour) * 4_224.0 * hours;
-        assert!(expected > 50.0 && expected < 20_000.0, "expected {expected}");
+        assert!(
+            expected > 50.0 && expected < 20_000.0,
+            "expected {expected}"
+        );
     }
 }

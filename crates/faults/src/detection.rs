@@ -70,7 +70,11 @@ impl DetectionModel {
     /// ablation bench to quantify how much of the hybrid-resilience gap is
     /// pure detection.
     pub fn hardened_gpu() -> Self {
-        DetectionModel { gpu_dbe: 0.95, gpu_bus_off: 0.92, ..Self::blue_waters() }
+        DetectionModel {
+            gpu_dbe: 0.95,
+            gpu_bus_off: 0.92,
+            ..Self::blue_waters()
+        }
     }
 
     /// Probability that `kind` leaves log evidence.
@@ -163,8 +167,14 @@ mod tests {
     fn gpu_coverage_is_much_weaker() {
         let m = DetectionModel::blue_waters();
         m.validate().unwrap();
-        let gpu = FaultKind::GpuFault { nid: NodeId::new(0), kind: GpuFaultKind::BusOff };
-        let cpu = FaultKind::NodeCrash { nid: NodeId::new(0), cause: NodeCrashCause::MachineCheck };
+        let gpu = FaultKind::GpuFault {
+            nid: NodeId::new(0),
+            kind: GpuFaultKind::BusOff,
+        };
+        let cpu = FaultKind::NodeCrash {
+            nid: NodeId::new(0),
+            cause: NodeCrashCause::MachineCheck,
+        };
         assert!(
             m.log_probability_for_class(&gpu, NodeType::Xk)
                 < 0.5 * m.log_probability_for_class(&cpu, NodeType::Xe)
@@ -181,13 +191,21 @@ mod tests {
     #[test]
     fn warnings_are_always_logged() {
         let m = DetectionModel::blue_waters();
-        assert_eq!(m.log_probability(&FaultKind::MemoryCeFlood { nid: NodeId::new(0) }), 1.0);
+        assert_eq!(
+            m.log_probability(&FaultKind::MemoryCeFlood {
+                nid: NodeId::new(0)
+            }),
+            1.0
+        );
     }
 
     #[test]
     fn sampling_matches_probability() {
         let m = DetectionModel::blue_waters();
-        let gpu = FaultKind::GpuFault { nid: NodeId::new(0), kind: GpuFaultKind::DoubleBitEcc };
+        let gpu = FaultKind::GpuFault {
+            nid: NodeId::new(0),
+            kind: GpuFaultKind::DoubleBitEcc,
+        };
         let mut rng = StdRng::seed_from_u64(1);
         let n = 20_000;
         let hits = (0..n)
@@ -199,9 +217,14 @@ mod tests {
     #[test]
     fn latencies_are_reasonable() {
         let m = DetectionModel::blue_waters();
-        let crash = FaultKind::NodeCrash { nid: NodeId::new(0), cause: NodeCrashCause::Hang };
+        let crash = FaultKind::NodeCrash {
+            nid: NodeId::new(0),
+            cause: NodeCrashCause::Hang,
+        };
         assert!(m.reporting_latency(&crash).as_secs() >= 1);
-        let flood = FaultKind::MemoryCeFlood { nid: NodeId::new(0) };
+        let flood = FaultKind::MemoryCeFlood {
+            nid: NodeId::new(0),
+        };
         assert_eq!(m.reporting_latency(&flood), SimDuration::ZERO);
     }
 

@@ -148,14 +148,26 @@ impl FaultInjector {
             } else {
                 None
             };
-            let mut s = Stream { process: p, interarrival, next: start };
+            let mut s = Stream {
+                process: p,
+                interarrival,
+                next: start,
+            };
             s.advance(rng);
             streams.push(s);
         }
         // Contiguous class layout (see bw-topology docs) lets us draw a
         // uniform class member with one random index.
-        let xe_first = machine.nodes_of_type(NodeType::Xe).next().map(|n| n.value()).unwrap_or(0);
-        let xk_first = machine.nodes_of_type(NodeType::Xk).next().map(|n| n.value()).unwrap_or(0);
+        let xe_first = machine
+            .nodes_of_type(NodeType::Xe)
+            .next()
+            .map(|n| n.value())
+            .unwrap_or(0);
+        let xk_first = machine
+            .nodes_of_type(NodeType::Xk)
+            .next()
+            .map(|n| n.value())
+            .unwrap_or(0);
         let xe_range = (xe_first, xe_first + machine.count_of(NodeType::Xe).max(1));
         let xk_range = (xk_first, xk_first + machine.count_of(NodeType::Xk).max(1));
         Ok(FaultInjector {
@@ -248,22 +260,36 @@ impl FaultInjector {
     fn make_escalation<R: Rng>(&mut self, p: PendingEscalation, rng: &mut R) -> FaultEvent {
         let nid = NodeId::new(p.nid);
         let (kind, repair, class) = if p.gpu {
-            let repair = SimDuration::from_hours_f64(
-                (self.node_repair.sample(rng) * 0.15).clamp(0.1, 12.0),
-            );
-            (FaultKind::GpuFault { nid, kind: GpuFaultKind::DoubleBitEcc }, repair, NodeType::Xk)
+            let repair =
+                SimDuration::from_hours_f64((self.node_repair.sample(rng) * 0.15).clamp(0.1, 12.0));
+            (
+                FaultKind::GpuFault {
+                    nid,
+                    kind: GpuFaultKind::DoubleBitEcc,
+                },
+                repair,
+                NodeType::Xk,
+            )
         } else {
             let repair =
                 SimDuration::from_hours_f64(self.node_repair.sample(rng).clamp(0.25, 72.0));
             let ty = self.machine.node_type(nid).unwrap_or(NodeType::Xe);
             (
-                FaultKind::NodeCrash { nid, cause: NodeCrashCause::MemoryUncorrectable },
+                FaultKind::NodeCrash {
+                    nid,
+                    cause: NodeCrashCause::MemoryUncorrectable,
+                },
                 repair,
                 ty,
             )
         };
         let detected = self.detection.sample_detected(&kind, class, rng);
-        FaultEvent { time: p.time, kind, repair, detected }
+        FaultEvent {
+            time: p.time,
+            kind,
+            repair,
+            detected,
+        }
     }
 
     /// Possibly schedules the lethal follow-up to a warning event.
@@ -303,7 +329,8 @@ impl FaultInjector {
                 };
                 let nid = self.pick_node(range, rng);
                 let cause = sample_crash_cause(rng);
-                let repair = SimDuration::from_hours_f64(self.node_repair.sample(rng).clamp(0.25, 72.0));
+                let repair =
+                    SimDuration::from_hours_f64(self.node_repair.sample(rng).clamp(0.25, 72.0));
                 (FaultKind::NodeCrash { nid, cause }, repair, ty)
             }
             Process::Gpu => {
@@ -332,26 +359,36 @@ impl FaultInjector {
             Process::Link => {
                 let torus = self.machine.torus();
                 let link = torus.link_by_index(rng.random_range(0..torus.link_count()));
-                let stall = SimDuration::from_secs(
-                    (self.reroute_stall.sample(rng) as i64).clamp(10, 600),
-                );
-                (FaultKind::GeminiLinkFailure { link, stall }, SimDuration::ZERO, NodeType::Xe)
+                let stall =
+                    SimDuration::from_secs((self.reroute_stall.sample(rng) as i64).clamp(10, 600));
+                (
+                    FaultKind::GeminiLinkFailure { link, stall },
+                    SimDuration::ZERO,
+                    NodeType::Xe,
+                )
             }
             Process::Ost => {
-                let ost = bw_topology::OstId::new(
-                    rng.random_range(0..self.machine.lustre().ost_count()),
-                );
-                (FaultKind::LustreOstFailure { ost }, SimDuration::ZERO, NodeType::Xe)
+                let ost =
+                    bw_topology::OstId::new(rng.random_range(0..self.machine.lustre().ost_count()));
+                (
+                    FaultKind::LustreOstFailure { ost },
+                    SimDuration::ZERO,
+                    NodeType::Xe,
+                )
             }
             Process::Mds => {
-                let mds = bw_topology::MdsId::new(
-                    rng.random_range(0..self.machine.lustre().mds_count()),
-                );
-                (FaultKind::LustreMdsFailover { mds }, SimDuration::ZERO, NodeType::Xe)
+                let mds =
+                    bw_topology::MdsId::new(rng.random_range(0..self.machine.lustre().mds_count()));
+                (
+                    FaultKind::LustreMdsFailover { mds },
+                    SimDuration::ZERO,
+                    NodeType::Xe,
+                )
             }
             Process::CeFlood => {
                 // Any compute node can flood; weight by class population.
-                let total = (self.xe_range.1 - self.xe_range.0) + (self.xk_range.1 - self.xk_range.0);
+                let total =
+                    (self.xe_range.1 - self.xe_range.0) + (self.xk_range.1 - self.xk_range.0);
                 let pick = rng.random_range(0..total.max(1));
                 let nid = if pick < self.xe_range.1 - self.xe_range.0 {
                     NodeId::new(self.xe_range.0 + pick)
@@ -359,20 +396,37 @@ impl FaultInjector {
                     NodeId::new(self.xk_range.0 + (pick - (self.xe_range.1 - self.xe_range.0)))
                 };
                 self.maybe_escalate(time, nid, false, rng);
-                (FaultKind::MemoryCeFlood { nid }, SimDuration::ZERO, NodeType::Xe)
+                (
+                    FaultKind::MemoryCeFlood { nid },
+                    SimDuration::ZERO,
+                    NodeType::Xe,
+                )
             }
             Process::GpuPageRetire => {
                 let nid = self.pick_node(self.xk_range, rng);
                 self.maybe_escalate(time, nid, true, rng);
-                (FaultKind::GpuPageRetirement { nid }, SimDuration::ZERO, NodeType::Xk)
+                (
+                    FaultKind::GpuPageRetirement { nid },
+                    SimDuration::ZERO,
+                    NodeType::Xk,
+                )
             }
             Process::Maintenance => {
                 let blade = rng.random_range(0..self.machine.total_nodes() / 4);
-                (FaultKind::Maintenance { blade }, SimDuration::ZERO, NodeType::Xe)
+                (
+                    FaultKind::Maintenance { blade },
+                    SimDuration::ZERO,
+                    NodeType::Xe,
+                )
             }
         };
         let detected = self.detection.sample_detected(&kind, class, rng);
-        FaultEvent { time, kind, repair, detected }
+        FaultEvent {
+            time,
+            kind,
+            repair,
+            detected,
+        }
     }
 }
 
@@ -380,7 +434,7 @@ impl Stream {
     fn advance<R: Rng>(&mut self, rng: &mut R) {
         if let Some(d) = &self.interarrival {
             let gap = d.sample(rng).max(0.5);
-            self.next = self.next + SimDuration::from_secs(gap as i64 + 1);
+            self.next += SimDuration::from_secs(gap as i64 + 1);
         }
     }
 }
@@ -527,8 +581,14 @@ mod tests {
                 FaultKind::MemoryCeFlood { nid } | FaultKind::GpuPageRetirement { nid } => {
                     warnings.insert(nid.value(), e.time);
                 }
-                FaultKind::NodeCrash { nid, cause: NodeCrashCause::MemoryUncorrectable }
-                | FaultKind::GpuFault { nid, kind: GpuFaultKind::DoubleBitEcc } => {
+                FaultKind::NodeCrash {
+                    nid,
+                    cause: NodeCrashCause::MemoryUncorrectable,
+                }
+                | FaultKind::GpuFault {
+                    nid,
+                    kind: GpuFaultKind::DoubleBitEcc,
+                } => {
                     if let Some(&warn_t) = warnings.get(&nid.value()) {
                         let lead = (e.time - warn_t).as_secs();
                         if (cfg.escalation_lead_min_secs..=cfg.escalation_lead_max_secs)
@@ -541,8 +601,15 @@ mod tests {
                 _ => {}
             }
         }
-        assert!(inj.escalations_scheduled() > 100, "{}", inj.escalations_scheduled());
-        assert!(matched > 50, "only {matched} escalations landed on their precursor node");
+        assert!(
+            inj.escalations_scheduled() > 100,
+            "{}",
+            inj.escalations_scheduled()
+        );
+        assert!(
+            matched > 50,
+            "only {matched} escalations landed on their precursor node"
+        );
     }
 
     #[test]
@@ -551,7 +618,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let machine = Machine::blue_waters_scaled(16);
         let mut cfg = FaultConfig::scaled(16);
-        cfg.burn_in = Some(BurnIn { initial_multiplier: 4.0, decay_days: 20.0 });
+        cfg.burn_in = Some(BurnIn {
+            initial_multiplier: 4.0,
+            decay_days: 20.0,
+        });
         let mut inj = FaultInjector::new(
             &machine,
             cfg,
@@ -576,7 +646,11 @@ mod tests {
                 }
             }
         }
-        assert!(early + late > 200, "too few lethal faults: {}", early + late);
+        assert!(
+            early + late > 200,
+            "too few lethal faults: {}",
+            early + late
+        );
         // With 4× initial rate decaying over 20 days, the first half of the
         // window must carry well over half the lethal faults.
         assert!(

@@ -1,7 +1,7 @@
 //! Fault kinds and their mapping to error categories / spatial scopes.
 
 use bw_topology::torus::Link;
-use bw_topology::{OstId, MdsId};
+use bw_topology::{MdsId, OstId};
 use logdiver_types::{ErrorCategory, NodeId, NodeType, SimDuration, Timestamp};
 use serde::{Deserialize, Serialize};
 
@@ -216,13 +216,21 @@ mod tests {
 
     #[test]
     fn lethality_classification() {
-        let crash = FaultKind::NodeCrash { nid: NodeId::new(1), cause: NodeCrashCause::KernelPanic };
+        let crash = FaultKind::NodeCrash {
+            nid: NodeId::new(1),
+            cause: NodeCrashCause::KernelPanic,
+        };
         assert!(crash.is_lethal());
         assert!(!crash.is_wide());
-        let flood = FaultKind::MemoryCeFlood { nid: NodeId::new(1) };
+        let flood = FaultKind::MemoryCeFlood {
+            nid: NodeId::new(1),
+        };
         assert!(!flood.is_lethal());
         let link = FaultKind::GeminiLinkFailure {
-            link: Link { coord: TorusCoord { x: 0, y: 0, z: 0 }, dim: Dim::X },
+            link: Link {
+                coord: TorusCoord { x: 0, y: 0, z: 0 },
+                dim: Dim::X,
+            },
             stall: SimDuration::from_secs(45),
         };
         assert!(link.is_lethal());
@@ -232,11 +240,18 @@ mod tests {
     #[test]
     fn categories_match_causes() {
         for cause in NodeCrashCause::ALL {
-            let k = FaultKind::NodeCrash { nid: NodeId::new(0), cause };
+            let k = FaultKind::NodeCrash {
+                nid: NodeId::new(0),
+                cause,
+            };
             assert_eq!(k.category(), cause.category());
         }
         assert_eq!(
-            FaultKind::GpuFault { nid: NodeId::new(0), kind: GpuFaultKind::BusOff }.category(),
+            FaultKind::GpuFault {
+                nid: NodeId::new(0),
+                kind: GpuFaultKind::BusOff
+            }
+            .category(),
             ErrorCategory::GpuBusError
         );
         assert_eq!(
@@ -247,7 +262,10 @@ mod tests {
 
     #[test]
     fn wide_kill_law_is_superlinear() {
-        let m = WideKillModel { q_max: 0.8, gamma: 4.0 };
+        let m = WideKillModel {
+            q_max: 0.8,
+            gamma: 4.0,
+        };
         let full = m.kill_probability(22_640, 22_640);
         let half = m.kill_probability(11_320, 22_640);
         assert!((full - 0.8).abs() < 1e-12);
@@ -255,13 +273,19 @@ mod tests {
         assert_eq!(m.kill_probability(0, 22_640), 0.0);
         assert_eq!(m.kill_probability(10, 0), 0.0);
         // Clamped at 1 even for pathological parameters.
-        let wild = WideKillModel { q_max: 5.0, gamma: 0.1 };
+        let wild = WideKillModel {
+            q_max: 5.0,
+            gamma: 0.1,
+        };
         assert_eq!(wild.kill_probability(22_640, 22_640), 1.0);
     }
 
     #[test]
     fn width_is_clamped_to_class() {
-        let m = WideKillModel { q_max: 0.5, gamma: 2.0 };
+        let m = WideKillModel {
+            q_max: 0.5,
+            gamma: 2.0,
+        };
         assert_eq!(m.kill_probability(30_000, 22_640), 0.5);
     }
 }

@@ -49,6 +49,6 @@ pub mod injector;
 pub mod kinds;
 
 pub use config::{BurnIn, FaultConfig};
-pub use detection::{DetectionModel, Detectability};
+pub use detection::{Detectability, DetectionModel};
 pub use injector::FaultInjector;
 pub use kinds::{FaultEvent, FaultKind, GpuFaultKind, NodeCrashCause, WideKillModel};

@@ -53,8 +53,14 @@ pub struct Anchors {
 /// Paper anchors for a class.
 pub fn paper_anchors(ty: NodeType) -> Anchors {
     match ty {
-        NodeType::Xk => Anchors { mid: (2_000.0 / 4_224.0, 0.02), full: 0.129 },
-        _ => Anchors { mid: (10_000.0 / 22_640.0, 0.008), full: 0.162 },
+        NodeType::Xk => Anchors {
+            mid: (2_000.0 / 4_224.0, 0.02),
+            full: 0.129,
+        },
+        _ => Anchors {
+            mid: (10_000.0 / 22_640.0, 0.008),
+            full: 0.162,
+        },
     }
 }
 
@@ -63,7 +69,12 @@ pub const BLEND_TARGET: f64 = 0.0153;
 
 /// `E_t[1 − e^{−h·t}]` over a log-normal duration (hours) given by
 /// `(median_secs · multiplier, sigma)`, by quantile quadrature.
-fn expected_failure_prob(hazard_per_hour: f64, median_secs: f64, sigma: f64, multiplier: f64) -> f64 {
+fn expected_failure_prob(
+    hazard_per_hour: f64,
+    median_secs: f64,
+    sigma: f64,
+    multiplier: f64,
+) -> f64 {
     if hazard_per_hour <= 0.0 {
         return 0.0;
     }
@@ -83,7 +94,11 @@ fn expected_failure_prob(hazard_per_hour: f64, median_secs: f64, sigma: f64, mul
 /// including the precursor-escalation channels (CE floods spread over all
 /// compute nodes; page-retirement escalations over the XK class).
 fn node_hazard(cfg: &FaultConfig, ty: NodeType, total_compute: f64, n_xk: f64) -> f64 {
-    let gpu = if ty == NodeType::Xk { cfg.gpu_fault_per_node_hour } else { 0.0 };
+    let gpu = if ty == NodeType::Xk {
+        cfg.gpu_fault_per_node_hour
+    } else {
+        0.0
+    };
     let ce_escalation =
         cfg.ce_floods_per_hour * cfg.ce_flood_escalation_prob / total_compute.max(1.0);
     let gpu_escalation = if ty == NodeType::Xk {
@@ -91,7 +106,9 @@ fn node_hazard(cfg: &FaultConfig, ty: NodeType, total_compute: f64, n_xk: f64) -
     } else {
         0.0
     };
-    cfg.node_crash_rate(ty) + gpu + cfg.blade_failure_per_blade_hour / 4.0
+    cfg.node_crash_rate(ty)
+        + gpu
+        + cfg.blade_failure_per_blade_hour / 4.0
         + ce_escalation
         + gpu_escalation
 }
@@ -243,7 +260,7 @@ pub fn solve_launch_prob(workload: &WorkloadConfig, faults: &FaultConfig) -> f64
         weight_sum += weight;
     }
     let p_exec = p_sum / weight_sum.max(1e-12);
-    (((BLEND_TARGET - p_exec) / (1.0 - p_exec)).max(0.0005)).min(0.2)
+    ((BLEND_TARGET - p_exec) / (1.0 - p_exec)).clamp(0.0005, 0.2)
 }
 
 /// Full calibration: solve both classes' wide-kill laws and the launch
@@ -277,7 +294,10 @@ mod tests {
             calibrate(&WorkloadConfig::blue_waters(), &FaultConfig::blue_waters()).unwrap();
         assert!(solved.wide_kill_xe.q_max > 0.0 && solved.wide_kill_xe.q_max <= 1.0);
         assert!(solved.wide_kill_xk.q_max > 0.0 && solved.wide_kill_xk.q_max <= 1.0);
-        assert!(solved.wide_kill_xe.gamma > 1.0, "XE law must be super-linear");
+        assert!(
+            solved.wide_kill_xe.gamma > 1.0,
+            "XE law must be super-linear"
+        );
         assert!(solved.launch_failure_prob > 0.001 && solved.launch_failure_prob < 0.03);
     }
 
@@ -327,8 +347,10 @@ mod tests {
         let solved = calibrate(&workload, &FaultConfig::blue_waters()).unwrap();
         let mix = workload.class(NodeType::Xe).unwrap();
         let widths = [1u32, 100, 1_000, 10_000, 16_000, 22_640];
-        let ps: Vec<f64> =
-            widths.iter().map(|&w| exec_failure_prob_for(&workload, &solved, mix, w)).collect();
+        let ps: Vec<f64> = widths
+            .iter()
+            .map(|&w| exec_failure_prob_for(&workload, &solved, mix, w))
+            .collect();
         for w in ps.windows(2) {
             assert!(w[0] <= w[1] + 1e-9, "not monotone: {ps:?}");
         }

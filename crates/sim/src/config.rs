@@ -124,8 +124,13 @@ mod tests {
     fn machine_matches_divisor() {
         let c = SimConfig::scaled(16, 1);
         let m = c.machine();
-        assert_eq!(m.count_of(logdiver_types::NodeType::Xe),
-                   c.workload.class(logdiver_types::NodeType::Xe).unwrap().max_nodes);
+        assert_eq!(
+            m.count_of(logdiver_types::NodeType::Xe),
+            c.workload
+                .class(logdiver_types::NodeType::Xe)
+                .unwrap()
+                .max_nodes
+        );
     }
 
     #[test]

@@ -46,7 +46,16 @@ pub fn job_end(
     started: Timestamp,
     exit_status: i32,
 ) {
-    let rec = TorqueRecord::end(t, job, user, queue, nodes, walltime.as_secs(), started, exit_status);
+    let rec = TorqueRecord::end(
+        t,
+        job,
+        user,
+        queue,
+        nodes,
+        walltime.as_secs(),
+        started,
+        exit_status,
+    );
     out.log_line(LogStream::Torque, &rec.to_string());
 }
 
@@ -118,7 +127,12 @@ pub fn launch_error(out: &mut dyn SimOutput, t: Timestamp, apid: AppId, reason: 
 /// Every lethal hardware fault produces a structured hardware-error record
 /// keyed by location, plus one or more free-text syslog lines; interconnect
 /// and filesystem events produce their own streams.
-pub fn fault_evidence(out: &mut dyn SimOutput, machine: &Machine, event: &FaultEvent, variant: u32) {
+pub fn fault_evidence(
+    out: &mut dyn SimOutput,
+    machine: &Machine,
+    event: &FaultEvent,
+    variant: u32,
+) {
     let t = event.time;
     match &event.kind {
         FaultKind::NodeCrash { nid, cause } => {
@@ -146,7 +160,10 @@ pub fn fault_evidence(out: &mut dyn SimOutput, machine: &Machine, event: &FaultE
                 LogStream::Netwatch,
                 &NetwatchRecord {
                     timestamp: t,
-                    event: NetwatchEvent::LinkFailed { coord: link.coord, dim: link.dim },
+                    event: NetwatchEvent::LinkFailed {
+                        coord: link.coord,
+                        dim: link.dim,
+                    },
                 }
                 .to_string(),
             );
@@ -172,9 +189,19 @@ pub fn fault_evidence(out: &mut dyn SimOutput, machine: &Machine, event: &FaultE
             );
             // The nodes behind the Gemini see the link drop too.
             let [a, _b] = machine.torus().nids_at(link.coord);
-            syslog_error(out, t, a, logdiver_types::ErrorCategory::GeminiLinkFailure, variant);
-            smw_line(out, t + SimDuration::from_secs(3),
-                     logdiver_types::ErrorCategory::GeminiRouteReconfig, variant);
+            syslog_error(
+                out,
+                t,
+                a,
+                logdiver_types::ErrorCategory::GeminiLinkFailure,
+                variant,
+            );
+            smw_line(
+                out,
+                t + SimDuration::from_secs(3),
+                logdiver_types::ErrorCategory::GeminiRouteReconfig,
+                variant,
+            );
         }
         FaultKind::LustreOstFailure { ost } => {
             let sys = SyslogRecord {
@@ -190,8 +217,10 @@ pub fn fault_evidence(out: &mut dyn SimOutput, machine: &Machine, event: &FaultE
             out.log_line(LogStream::Syslog, &sys.to_string());
             // Evictions ripple to a few random-ish clients.
             for k in 0..3u32 {
-                let nid = NodeId::new((variant.wrapping_mul(2_654_435_761).wrapping_add(k * 97))
-                    % machine.compute_nodes().max(1));
+                let nid = NodeId::new(
+                    (variant.wrapping_mul(2_654_435_761).wrapping_add(k * 97))
+                        % machine.compute_nodes().max(1),
+                );
                 syslog_error(
                     out,
                     t + SimDuration::from_secs(5 + k as i64),
@@ -225,15 +254,38 @@ pub fn fault_evidence(out: &mut dyn SimOutput, machine: &Machine, event: &FaultE
                     variant + k,
                 );
             }
-            hwerr_line(out, t, *nid, logdiver_types::ErrorCategory::MemoryCorrectable, variant);
+            hwerr_line(
+                out,
+                t,
+                *nid,
+                logdiver_types::ErrorCategory::MemoryCorrectable,
+                variant,
+            );
         }
         FaultKind::GpuPageRetirement { nid } => {
-            syslog_error(out, t, *nid, logdiver_types::ErrorCategory::GpuPageRetirement, variant);
+            syslog_error(
+                out,
+                t,
+                *nid,
+                logdiver_types::ErrorCategory::GpuPageRetirement,
+                variant,
+            );
         }
         FaultKind::Maintenance { blade } => {
             let nid = NodeId::new(blade * 4);
-            syslog_error(out, t, nid, logdiver_types::ErrorCategory::MaintenanceNotice, variant);
-            smw_line(out, t, logdiver_types::ErrorCategory::MaintenanceNotice, variant);
+            syslog_error(
+                out,
+                t,
+                nid,
+                logdiver_types::ErrorCategory::MaintenanceNotice,
+                variant,
+            );
+            smw_line(
+                out,
+                t,
+                logdiver_types::ErrorCategory::MaintenanceNotice,
+                variant,
+            );
         }
     }
 }
@@ -241,12 +293,17 @@ pub fn fault_evidence(out: &mut dyn SimOutput, machine: &Machine, event: &FaultE
 /// Emits one benign chatter line.
 pub fn noise(out: &mut dyn SimOutput, machine: &Machine, t: Timestamp, variant: u32) {
     let (tag, message) = templates::noise_message(variant);
-    let host = if variant % 5 == 0 {
+    let host = if variant.is_multiple_of(5) {
         "smw".to_string()
     } else {
         NodeId::new(variant.wrapping_mul(48_271) % machine.total_nodes().max(1)).hostname()
     };
-    let rec = SyslogRecord { timestamp: t, host, tag: tag.to_string(), message };
+    let rec = SyslogRecord {
+        timestamp: t,
+        host,
+        tag: tag.to_string(),
+        message,
+    };
     out.log_line(LogStream::Syslog, &rec.to_string());
 }
 
@@ -268,8 +325,12 @@ fn syslog_error(
     cat: logdiver_types::ErrorCategory,
     variant: u32,
 ) {
-    let rec = SyslogRecord::from_node(t, nid, templates::tag_for(cat),
-                                      templates::error_message(cat, variant));
+    let rec = SyslogRecord::from_node(
+        t,
+        nid,
+        templates::tag_for(cat),
+        templates::error_message(cat, variant),
+    );
     out.log_line(LogStream::Syslog, &rec.to_string());
 }
 
@@ -303,9 +364,23 @@ mod tests {
     fn emitted_alps_lines_parse_back() {
         let mut out = MemoryOutput::new();
         let nodes: NodeSet = (0..4).map(NodeId::new).collect();
-        app_placed(&mut out, t0(), AppId::new(5), JobId::new(2), UserId::new(1), "namd2",
-                   NodeType::Xe, &nodes);
-        app_exit(&mut out, t0(), AppId::new(5), ExitStatus::SUCCESS, SimDuration::from_hours(1));
+        app_placed(
+            &mut out,
+            t0(),
+            AppId::new(5),
+            JobId::new(2),
+            UserId::new(1),
+            "namd2",
+            NodeType::Xe,
+            &nodes,
+        );
+        app_exit(
+            &mut out,
+            t0(),
+            AppId::new(5),
+            ExitStatus::SUCCESS,
+            SimDuration::from_hours(1),
+        );
         launch_error(&mut out, t0(), AppId::new(6), "placement timeout");
         for line in &out.alps {
             AlpsRecord::parse(line).unwrap();
@@ -317,10 +392,26 @@ mod tests {
     #[test]
     fn emitted_torque_lines_parse_back() {
         let mut out = MemoryOutput::new();
-        job_start(&mut out, t0(), JobId::new(9), UserId::new(3), "normal", 128,
-                  SimDuration::from_hours(4));
-        job_end(&mut out, t0() + SimDuration::from_hours(2), JobId::new(9), UserId::new(3),
-                "normal", 128, SimDuration::from_hours(4), t0(), 0);
+        job_start(
+            &mut out,
+            t0(),
+            JobId::new(9),
+            UserId::new(3),
+            "normal",
+            128,
+            SimDuration::from_hours(4),
+        );
+        job_end(
+            &mut out,
+            t0() + SimDuration::from_hours(2),
+            JobId::new(9),
+            UserId::new(3),
+            "normal",
+            128,
+            SimDuration::from_hours(4),
+            t0(),
+            0,
+        );
         for line in &out.torque {
             TorqueRecord::parse(line).unwrap();
         }
@@ -332,7 +423,10 @@ mod tests {
         let mut out = MemoryOutput::new();
         let ev = FaultEvent {
             time: t0(),
-            kind: FaultKind::NodeCrash { nid: NodeId::new(7), cause: NodeCrashCause::MachineCheck },
+            kind: FaultKind::NodeCrash {
+                nid: NodeId::new(7),
+                cause: NodeCrashCause::MachineCheck,
+            },
             repair: SimDuration::from_hours(4),
             detected: true,
         };
@@ -354,7 +448,10 @@ mod tests {
         let link = machine.torus().link_by_index(0);
         let ev = FaultEvent {
             time: t0(),
-            kind: FaultKind::GeminiLinkFailure { link, stall: SimDuration::from_secs(45) },
+            kind: FaultKind::GeminiLinkFailure {
+                link,
+                stall: SimDuration::from_secs(45),
+            },
             repair: SimDuration::ZERO,
             detected: true,
         };
@@ -373,12 +470,18 @@ mod tests {
         let mut out = MemoryOutput::new();
         let ev = FaultEvent {
             time: t0(),
-            kind: FaultKind::MemoryCeFlood { nid: NodeId::new(3) },
+            kind: FaultKind::MemoryCeFlood {
+                nid: NodeId::new(3),
+            },
             repair: SimDuration::ZERO,
             detected: true,
         };
         fault_evidence(&mut out, &machine, &ev, 20);
-        assert!(out.syslog.len() >= 4, "flood should burst: {}", out.syslog.len());
+        assert!(
+            out.syslog.len() >= 4,
+            "flood should burst: {}",
+            out.syslog.len()
+        );
     }
 
     #[test]
@@ -388,7 +491,10 @@ mod tests {
         let nid = machine.nodes_of_type(NodeType::Xk).next().unwrap();
         let ev = FaultEvent {
             time: t0(),
-            kind: FaultKind::GpuFault { nid, kind: GpuFaultKind::DoubleBitEcc },
+            kind: FaultKind::GpuFault {
+                nid,
+                kind: GpuFaultKind::DoubleBitEcc,
+            },
             repair: SimDuration::from_hours(1),
             detected: true,
         };

@@ -13,9 +13,9 @@ use bw_faults::{FaultEvent, FaultInjector, FaultKind};
 use bw_topology::{Location, Machine};
 use std::collections::VecDeque;
 
+use bw_workload::job::IntrinsicOutcome;
 use bw_workload::scheduler::StartedJob;
 use bw_workload::{JobSpec, Scheduler, SchedulerStats, WorkloadGenerator};
-use bw_workload::job::IntrinsicOutcome;
 use logdiver_types::{
     AppId, ExitStatus, FailureCause, NodeId, NodeSet, NodeType, SimDuration, Timestamp,
     UserFailureKind,
@@ -146,7 +146,8 @@ impl Simulation {
         }
         let machine = config.machine();
         let mut rng = StdRng::seed_from_u64(config.seed);
-        let source = JobSource::Generator(WorkloadGenerator::new(config.workload.clone(), &mut rng)?);
+        let source =
+            JobSource::Generator(WorkloadGenerator::new(config.workload.clone(), &mut rng)?);
         let injector = FaultInjector::new(
             &machine,
             config.faults.clone(),
@@ -210,7 +211,11 @@ impl Simulation {
         self.schedule(Timestamp::PRODUCTION_EPOCH, EventKind::NoiseTick);
         loop {
             let heap_t = self.heap.peek().map(|Reverse(e)| e.time);
-            let arrival_t = if self.arrivals_done { None } else { self.source.peek_arrival() };
+            let arrival_t = if self.arrivals_done {
+                None
+            } else {
+                self.source.peek_arrival()
+            };
             let fault_t = Some(self.injector.peek_time());
 
             // Pick the earliest source; heap wins ties so repairs/ends apply
@@ -245,7 +250,11 @@ impl Simulation {
 
     fn schedule(&mut self, time: Timestamp, kind: EventKind) {
         self.seq += 1;
-        self.heap.push(Reverse(Event { time, seq: self.seq, kind }));
+        self.heap.push(Reverse(Event {
+            time,
+            seq: self.seq,
+            kind,
+        }));
     }
 
     // ----- job/application lifecycle -------------------------------------
@@ -283,7 +292,9 @@ impl Simulation {
 
     fn start_next_app(&mut self, job_key: u64, mut t: Timestamp, out: &mut dyn SimOutput) {
         loop {
-            let Some(rj) = self.running.get_mut(&job_key) else { return };
+            let Some(rj) = self.running.get_mut(&job_key) else {
+                return;
+            };
             if rj.app_index >= rj.spec.apps.len() {
                 self.end_job(job_key, t, 0, out);
                 return;
@@ -295,11 +306,21 @@ impl Simulation {
                 // ALPS fails the launch: the run exists (it has an apid and a
                 // placement attempt) but never executes.
                 emit::app_placed(
-                    out, t, app.apid, rj.spec.job, rj.spec.user, &app.command, app.node_type,
+                    out,
+                    t,
+                    app.apid,
+                    rj.spec.job,
+                    rj.spec.user,
+                    &app.command,
+                    app.node_type,
                     &app_nodes,
                 );
-                emit::launch_error(out, t + SimDuration::from_secs(3), app.apid,
-                                   "placement failed: node unavailable");
+                emit::launch_error(
+                    out,
+                    t + SimDuration::from_secs(3),
+                    app.apid,
+                    "placement failed: node unavailable",
+                );
                 let truth = AppTruth {
                     apid: app.apid,
                     job: rj.spec.job,
@@ -316,11 +337,17 @@ impl Simulation {
                 rj.app_index += 1;
                 self.report.system_kills += 1;
                 self.record_truth(truth, out);
-                t = t + SimDuration::from_secs(10);
+                t += SimDuration::from_secs(10);
                 continue;
             }
             emit::app_placed(
-                out, t, app.apid, rj.spec.job, rj.spec.user, &app.command, app.node_type,
+                out,
+                t,
+                app.apid,
+                rj.spec.job,
+                rj.spec.user,
+                &app.command,
+                app.node_type,
                 &app_nodes,
             );
             rj.app_start = t;
@@ -329,7 +356,10 @@ impl Simulation {
             let natural_end = t + app.duration;
             self.schedule(
                 natural_end,
-                EventKind::AppEnd { job: job_key, apid: app.apid.value() },
+                EventKind::AppEnd {
+                    job: job_key,
+                    apid: app.apid.value(),
+                },
             );
             return;
         }
@@ -350,7 +380,9 @@ impl Simulation {
     }
 
     fn handle_app_end(&mut self, job_key: u64, apid: u64, t: Timestamp, out: &mut dyn SimOutput) {
-        let Some(rj) = self.running.get_mut(&job_key) else { return };
+        let Some(rj) = self.running.get_mut(&job_key) else {
+            return;
+        };
         if rj.current_apid != Some(AppId::new(apid)) {
             return; // stale event: the app was killed earlier
         }
@@ -396,7 +428,9 @@ impl Simulation {
     }
 
     fn handle_walltime_kill(&mut self, job_key: u64, t: Timestamp, out: &mut dyn SimOutput) {
-        let Some(rj) = self.running.get_mut(&job_key) else { return };
+        let Some(rj) = self.running.get_mut(&job_key) else {
+            return;
+        };
         if t < rj.started + rj.spec.walltime {
             return; // stale (job restarted? cannot happen, but be safe)
         }
@@ -423,7 +457,9 @@ impl Simulation {
     }
 
     fn end_job(&mut self, job_key: u64, t: Timestamp, exit_status: i32, out: &mut dyn SimOutput) {
-        let Some(rj) = self.running.remove(&job_key) else { return };
+        let Some(rj) = self.running.remove(&job_key) else {
+            return;
+        };
         emit::job_end(
             out,
             t,
@@ -537,7 +573,9 @@ impl Simulation {
         node_lost: bool,
         out: &mut dyn SimOutput,
     ) {
-        let Some(rj) = self.running.get_mut(&job_key) else { return };
+        let Some(rj) = self.running.get_mut(&job_key) else {
+            return;
+        };
         if let Some(apid) = rj.current_apid {
             let app = rj.spec.apps[rj.app_index].clone();
             let runtime = (t - rj.app_start).clamp(SimDuration::ZERO, SimDuration::from_days(30));
@@ -545,8 +583,7 @@ impl Simulation {
             // undetected node loss is *sometimes* still flagged by the health
             // sweep; otherwise the run looks like a plain crash.
             let exit = if node_lost {
-                if detected
-                    || self.rng.random::<f64>() < self.config.detection.undetected_node_flag
+                if detected || self.rng.random::<f64>() < self.config.detection.undetected_node_flag
                 {
                     ExitStatus::with_signal(9).and_node_failed()
                 } else {
@@ -607,7 +644,9 @@ impl Simulation {
     fn finalize(&mut self, out: &mut dyn SimOutput) {
         let keys: Vec<u64> = self.running.keys().copied().collect();
         for job_key in keys {
-            let Some(rj) = self.running.get_mut(&job_key) else { continue };
+            let Some(rj) = self.running.get_mut(&job_key) else {
+                continue;
+            };
             if let Some(apid) = rj.current_apid {
                 let app = rj.spec.apps[rj.app_index].clone();
                 let runtime = self.end - rj.app_start;
@@ -670,7 +709,9 @@ mod tests {
     use std::collections::HashMap;
 
     fn run_small(seed: u64, days: u32) -> (MemoryOutput, SimReport) {
-        let config = SimConfig::scaled(64, days).with_seed(seed).without_calibration();
+        let config = SimConfig::scaled(64, days)
+            .with_seed(seed)
+            .without_calibration();
         let mut out = MemoryOutput::new();
         let report = Simulation::new(config).unwrap().run(&mut out);
         (out, report)
@@ -756,12 +797,11 @@ mod tests {
         // At /64 scale wide events still fire; run long enough to see
         // launch failures at minimum.
         let (out, report) = run_small(4, 10);
-        assert!(report.system_kills > 0, "no system kills in 10 days: {report:?}");
-        let sys = out
-            .truths
-            .iter()
-            .filter(|t| t.outcome.is_system())
-            .count() as u64;
+        assert!(
+            report.system_kills > 0,
+            "no system kills in 10 days: {report:?}"
+        );
+        let sys = out.truths.iter().filter(|t| t.outcome.is_system()).count() as u64;
         assert_eq!(sys, report.system_kills);
     }
 
@@ -799,8 +839,11 @@ mod tests {
         let mut generator = Gen::new(WorkloadConfig::scaled(64), &mut rng).unwrap();
         let jobs = generator.generate(SimDuration::from_days(1), &mut rng);
         assert!(jobs.len() > 20);
-        let expected_apids: std::collections::BTreeSet<u64> =
-            jobs.iter().flat_map(|j| &j.apps).map(|a| a.apid.value()).collect();
+        let expected_apids: std::collections::BTreeSet<u64> = jobs
+            .iter()
+            .flat_map(|j| &j.apps)
+            .map(|a| a.apid.value())
+            .collect();
 
         let config = SimConfig::scaled(64, 2).with_seed(6).without_calibration();
         let mut out = MemoryOutput::new();

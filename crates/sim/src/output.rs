@@ -141,7 +141,12 @@ impl FileOutput {
             writers.push(BufWriter::new(File::create(dir.join(s.file_name()))?));
         }
         let truth = BufWriter::new(File::create(dir.join("ground_truth.jsonl"))?);
-        Ok(FileOutput { dir, writers, truth, lines: 0 })
+        Ok(FileOutput {
+            dir,
+            writers,
+            truth,
+            lines: 0,
+        })
     }
 
     /// Directory the files live in.
@@ -176,7 +181,10 @@ impl Drop for FileOutput {
 
 impl SimOutput for FileOutput {
     fn log_line(&mut self, stream: LogStream, line: &str) {
-        let idx = LogStream::ALL.iter().position(|s| *s == stream).expect("known stream");
+        let idx = LogStream::ALL
+            .iter()
+            .position(|s| *s == stream)
+            .expect("known stream");
         // Errors surface at flush(); per-line handling would swamp the hot path.
         let _ = writeln!(self.writers[idx], "{line}");
         self.lines += 1;

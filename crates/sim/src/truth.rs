@@ -5,9 +5,7 @@
 //! stand-in for the paper's manual cross-validation against operator
 //! failure reports.
 
-use logdiver_types::{
-    AppId, FailureCause, JobId, NodeType, Timestamp, UserFailureKind, UserId,
-};
+use logdiver_types::{AppId, FailureCause, JobId, NodeType, Timestamp, UserFailureKind, UserId};
 use serde::{Deserialize, Serialize};
 
 /// The true fate of one application run.
@@ -85,7 +83,11 @@ mod tests {
 
     #[test]
     fn system_predicate() {
-        assert!(TrueOutcome::SystemFailure { cause: FailureCause::Gpu, detected: false }.is_system());
+        assert!(TrueOutcome::SystemFailure {
+            cause: FailureCause::Gpu,
+            detected: false
+        }
+        .is_system());
         assert!(!TrueOutcome::Success.is_system());
         assert!(!TrueOutcome::UserFailure(UserFailureKind::Abort).is_system());
     }

@@ -61,10 +61,16 @@ where
         return Err(StatsError::EmptySample);
     }
     if !(level > 0.0 && level < 1.0) {
-        return Err(StatsError::BadParameter { name: "level", value: level });
+        return Err(StatsError::BadParameter {
+            name: "level",
+            value: level,
+        });
     }
     if resamples == 0 {
-        return Err(StatsError::BadParameter { name: "resamples", value: 0.0 });
+        return Err(StatsError::BadParameter {
+            name: "resamples",
+            value: 0.0,
+        });
     }
     let estimate = stat(sample);
     let mut stats = Vec::with_capacity(resamples);
@@ -78,7 +84,12 @@ where
     stats.sort_by(|a, b| a.partial_cmp(b).expect("statistics are finite"));
     let lo_idx = (((1.0 - level) / 2.0) * resamples as f64) as usize;
     let hi_idx = ((((1.0 + level) / 2.0) * resamples as f64) as usize).min(resamples - 1);
-    Ok(ConfidenceInterval { estimate, lo: stats[lo_idx], hi: stats[hi_idx], level })
+    Ok(ConfidenceInterval {
+        estimate,
+        lo: stats[lo_idx],
+        hi: stats[hi_idx],
+        level,
+    })
 }
 
 #[cfg(test)]
@@ -113,7 +124,10 @@ mod tests {
     #[test]
     fn validation_errors() {
         let mut rng = StdRng::seed_from_u64(1);
-        assert_eq!(bootstrap_ci(&[], 10, 0.9, &mut rng, mean), Err(StatsError::EmptySample));
+        assert_eq!(
+            bootstrap_ci(&[], 10, 0.9, &mut rng, mean),
+            Err(StatsError::EmptySample)
+        );
         assert!(bootstrap_ci(&[1.0], 10, 1.5, &mut rng, mean).is_err());
         assert!(bootstrap_ci(&[1.0], 0, 0.9, &mut rng, mean).is_err());
     }

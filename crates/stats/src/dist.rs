@@ -62,14 +62,14 @@ fn uniform_open(rng: &mut dyn rand::RngCore) -> f64 {
 pub fn ln_gamma(x: f64) -> f64 {
     const G: f64 = 7.0;
     const COEF: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,
-        9.984_369_578_019_571_6e-6,
+        9.984_369_578_019_572e-6,
         1.505_632_735_149_311_6e-7,
     ];
     if x < 0.5 {
@@ -92,8 +92,7 @@ pub fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();
@@ -116,7 +115,7 @@ pub fn std_normal_quantile(p: f64) -> f64 {
         -3.969_683_028_665_376e1,
         2.209_460_984_245_205e2,
         -2.759_285_104_469_687e2,
-        1.383_577_518_672_690e2,
+        1.383_577_518_672_69e2,
         -3.066_479_806_614_716e1,
         2.506_628_277_459_239,
     ];
@@ -179,7 +178,9 @@ impl Exponential {
     ///
     /// Returns [`StatsError::BadParameter`] unless `rate > 0` and finite.
     pub fn new(rate: f64) -> Result<Self, StatsError> {
-        Ok(Exponential { rate: check_positive("rate", rate)? })
+        Ok(Exponential {
+            rate: check_positive("rate", rate)?,
+        })
     }
 
     /// Creates from the mean (`rate = 1/mean`).
@@ -215,7 +216,10 @@ impl Exponential {
 
     /// Log-likelihood of a sample under this distribution.
     pub fn log_likelihood(&self, sample: &[f64]) -> f64 {
-        sample.iter().map(|&x| self.pdf(x).max(f64::MIN_POSITIVE).ln()).sum()
+        sample
+            .iter()
+            .map(|&x| self.pdf(x).max(f64::MIN_POSITIVE).ln())
+            .sum()
     }
 }
 
@@ -320,7 +324,9 @@ impl Weibull {
             let step = f / fp;
             k -= step;
             if !(k.is_finite() && k > 0.0) {
-                return Err(StatsError::NoConvergence { iterations: iter + 1 });
+                return Err(StatsError::NoConvergence {
+                    iterations: iter + 1,
+                });
             }
             if step.abs() < 1e-10 * k.max(1.0) {
                 let scale = (sample.iter().map(|x| x.powf(k)).sum::<f64>() / n).powf(1.0 / k);
@@ -332,7 +338,10 @@ impl Weibull {
 
     /// Log-likelihood of a sample under this distribution.
     pub fn log_likelihood(&self, sample: &[f64]) -> f64 {
-        sample.iter().map(|&x| self.pdf(x).max(f64::MIN_POSITIVE).ln()).sum()
+        sample
+            .iter()
+            .map(|&x| self.pdf(x).max(f64::MIN_POSITIVE).ln())
+            .sum()
     }
 }
 
@@ -386,9 +395,15 @@ impl Normal {
     /// Returns [`StatsError::BadParameter`] unless `sigma > 0` and finite.
     pub fn new(mu: f64, sigma: f64) -> Result<Self, StatsError> {
         if !mu.is_finite() {
-            return Err(StatsError::BadParameter { name: "mu", value: mu });
+            return Err(StatsError::BadParameter {
+                name: "mu",
+                value: mu,
+            });
         }
-        Ok(Normal { mu, sigma: check_positive("sigma", sigma)? })
+        Ok(Normal {
+            mu,
+            sigma: check_positive("sigma", sigma)?,
+        })
     }
 
     /// Mean μ.
@@ -441,7 +456,9 @@ impl LogNormal {
     ///
     /// Returns [`StatsError::BadParameter`] unless `sigma > 0` and finite.
     pub fn new(mu: f64, sigma: f64) -> Result<Self, StatsError> {
-        Ok(LogNormal { norm: Normal::new(mu, sigma)? })
+        Ok(LogNormal {
+            norm: Normal::new(mu, sigma)?,
+        })
     }
 
     /// Creates a log-normal from a target *linear-space* mean and median.
@@ -453,8 +470,12 @@ impl LogNormal {
     /// Returns [`StatsError::BadParameter`] unless `0 < median < mean`.
     pub fn from_mean_median(mean: f64, median: f64) -> Result<Self, StatsError> {
         check_positive("median", median)?;
-        if !(mean > median) {
-            return Err(StatsError::BadParameter { name: "mean", value: mean });
+        // NaN means must fail this check, so compare via partial_cmp.
+        if mean.partial_cmp(&median) != Some(std::cmp::Ordering::Greater) {
+            return Err(StatsError::BadParameter {
+                name: "mean",
+                value: mean,
+            });
         }
         let mu = median.ln();
         let sigma = (2.0 * (mean.ln() - mu)).sqrt();
@@ -557,8 +578,11 @@ impl Pareto {
     /// Returns [`StatsError::BadParameter`] unless `x_max > x_min`.
     pub fn truncated(x_min: f64, alpha: f64, x_max: f64) -> Result<Self, StatsError> {
         let mut p = Self::new(x_min, alpha)?;
-        if !(x_max > p.x_min) || !x_max.is_finite() {
-            return Err(StatsError::BadParameter { name: "x_max", value: x_max });
+        if x_max.partial_cmp(&p.x_min) != Some(std::cmp::Ordering::Greater) || !x_max.is_finite() {
+            return Err(StatsError::BadParameter {
+                name: "x_max",
+                value: x_max,
+            });
         }
         p.x_max = Some(x_max);
         Ok(p)
@@ -681,10 +705,16 @@ impl Zipf {
     /// finite/non-negative.
     pub fn new(n: usize, s: f64) -> Result<Self, StatsError> {
         if n == 0 {
-            return Err(StatsError::BadParameter { name: "n", value: 0.0 });
+            return Err(StatsError::BadParameter {
+                name: "n",
+                value: 0.0,
+            });
         }
         if !s.is_finite() || s < 0.0 {
-            return Err(StatsError::BadParameter { name: "s", value: s });
+            return Err(StatsError::BadParameter {
+                name: "s",
+                value: s,
+            });
         }
         let mut cumulative = Vec::with_capacity(n);
         let mut acc = 0.0;
@@ -714,7 +744,10 @@ impl Zipf {
         let u: f64 = rng.random();
         let idx = self
             .cumulative
-            .binary_search_by(|c| c.partial_cmp(&u).expect("cumulative probabilities are finite"))
+            .binary_search_by(|c| {
+                c.partial_cmp(&u)
+                    .expect("cumulative probabilities are finite")
+            })
             .map(|i| i + 1) // u landed exactly on a boundary: CDF is inclusive
             .unwrap_or_else(|i| i);
         (idx + 1).min(self.cumulative.len())
@@ -841,7 +874,12 @@ mod tests {
         assert!(xs.iter().all(|&x| (8.0..=22_640.0).contains(&x)));
         // Empirical mean should match the analytic truncated mean.
         let m = d.mean();
-        assert!((mean(&xs) - m).abs() / m < 0.05, "mean {} vs {}", mean(&xs), m);
+        assert!(
+            (mean(&xs) - m).abs() / m < 0.05,
+            "mean {} vs {}",
+            mean(&xs),
+            m
+        );
     }
 
     #[test]

@@ -63,7 +63,10 @@ impl Ecdf {
     ///
     /// Panics when `p` is outside `(0, 1]`.
     pub fn quantile(&self, p: f64) -> f64 {
-        assert!(p > 0.0 && p <= 1.0, "quantile probability out of (0,1]: {p}");
+        assert!(
+            p > 0.0 && p <= 1.0,
+            "quantile probability out of (0,1]: {p}"
+        );
         let n = self.sorted.len();
         let idx = ((p * n as f64).ceil() as usize).clamp(1, n) - 1;
         self.sorted[idx]

@@ -38,7 +38,10 @@ impl fmt::Display for StatsError {
                 write!(f, "sample value {value} outside distribution support")
             }
             StatsError::NoConvergence { iterations } => {
-                write!(f, "estimator failed to converge after {iterations} iterations")
+                write!(
+                    f,
+                    "estimator failed to converge after {iterations} iterations"
+                )
             }
         }
     }
@@ -53,10 +56,17 @@ mod tests {
     #[test]
     fn error_messages_are_concise() {
         assert_eq!(
-            StatsError::BadParameter { name: "rate", value: -1.0 }.to_string(),
+            StatsError::BadParameter {
+                name: "rate",
+                value: -1.0
+            }
+            .to_string(),
             "parameter rate out of domain: -1"
         );
-        assert_eq!(StatsError::EmptySample.to_string(), "sample is empty or degenerate");
+        assert_eq!(
+            StatsError::EmptySample.to_string(),
+            "sample is empty or degenerate"
+        );
     }
 
     #[test]

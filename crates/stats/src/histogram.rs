@@ -39,14 +39,26 @@ impl Histogram {
     /// [`StatsError::BadParameter`] when `lo ≥ hi`, `bins == 0`, or
     /// logarithmic binning is requested with `lo ≤ 0`.
     pub fn new(lo: f64, hi: f64, bins: usize, binning: Binning) -> Result<Self, StatsError> {
-        if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
-            return Err(StatsError::BadParameter { name: "hi", value: hi });
+        if lo.partial_cmp(&hi) != Some(std::cmp::Ordering::Less)
+            || !lo.is_finite()
+            || !hi.is_finite()
+        {
+            return Err(StatsError::BadParameter {
+                name: "hi",
+                value: hi,
+            });
         }
         if bins == 0 {
-            return Err(StatsError::BadParameter { name: "bins", value: 0.0 });
+            return Err(StatsError::BadParameter {
+                name: "bins",
+                value: 0.0,
+            });
         }
         if matches!(binning, Binning::Logarithmic) && lo <= 0.0 {
-            return Err(StatsError::BadParameter { name: "lo", value: lo });
+            return Err(StatsError::BadParameter {
+                name: "lo",
+                value: lo,
+            });
         }
         Ok(Histogram {
             lo,
@@ -72,9 +84,7 @@ impl Histogram {
         let n = self.counts.len() as f64;
         let idx = match self.binning {
             Binning::Linear => ((x - self.lo) / (self.hi - self.lo) * n) as usize,
-            Binning::Logarithmic => {
-                ((x / self.lo).ln() / (self.hi / self.lo).ln() * n) as usize
-            }
+            Binning::Logarithmic => ((x / self.lo).ln() / (self.hi / self.lo).ln() * n) as usize,
         };
         Some(idx.min(self.counts.len() - 1))
     }

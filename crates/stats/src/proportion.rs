@@ -51,10 +51,16 @@ pub fn wilson_interval(
         return Err(StatsError::EmptySample);
     }
     if successes > trials {
-        return Err(StatsError::BadParameter { name: "successes", value: successes as f64 });
+        return Err(StatsError::BadParameter {
+            name: "successes",
+            value: successes as f64,
+        });
     }
     if !(level > 0.0 && level < 1.0) {
-        return Err(StatsError::BadParameter { name: "level", value: level });
+        return Err(StatsError::BadParameter {
+            name: "level",
+            value: level,
+        });
     }
     let n = trials as f64;
     let p = successes as f64 / n;

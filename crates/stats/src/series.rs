@@ -58,7 +58,9 @@ mod tests {
 
     #[test]
     fn alternating_series_is_anticorrelated() {
-        let xs: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let xs: Vec<f64> = (0..40)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let r1 = autocorrelation(&xs, 1).unwrap();
         let r2 = autocorrelation(&xs, 2).unwrap();
         assert!(r1 < -0.9, "lag-1 {r1}");
@@ -84,7 +86,11 @@ mod tests {
     #[test]
     fn runs_above_mean() {
         assert_eq!(longest_run_above_mean(&[]), 0);
-        assert_eq!(longest_run_above_mean(&[1.0, 1.0]), 0, "nothing above the mean");
+        assert_eq!(
+            longest_run_above_mean(&[1.0, 1.0]),
+            0,
+            "nothing above the mean"
+        );
         assert_eq!(longest_run_above_mean(&[0.0, 5.0, 5.0, 0.0, 5.0]), 2);
         assert_eq!(longest_run_above_mean(&[0.0, 0.0, 0.0, 9.0]), 1);
     }

@@ -52,7 +52,10 @@ impl KaplanMeier {
         if observations.is_empty() {
             return Err(StatsError::EmptySample);
         }
-        if let Some(bad) = observations.iter().find(|o| !o.time.is_finite() || o.time < 0.0) {
+        if let Some(bad) = observations
+            .iter()
+            .find(|o| !o.time.is_finite() || o.time < 0.0)
+        {
             return Err(StatsError::OutOfSupport { value: bad.time });
         }
         let mut obs: Vec<SurvivalObservation> = observations.to_vec();
@@ -75,11 +78,19 @@ impl KaplanMeier {
             }
             if events > 0 {
                 survival *= 1.0 - events as f64 / at_risk as f64;
-                points.push(SurvivalPoint { time: t, survival, at_risk, events });
+                points.push(SurvivalPoint {
+                    time: t,
+                    survival,
+                    at_risk,
+                    events,
+                });
             }
             at_risk -= removed;
         }
-        Ok(KaplanMeier { points, n: obs.len() })
+        Ok(KaplanMeier {
+            points,
+            n: obs.len(),
+        })
     }
 
     /// The fitted curve: one point per distinct event time.
@@ -104,7 +115,10 @@ impl KaplanMeier {
 
     /// Median survival time, if the curve drops below 0.5.
     pub fn median(&self) -> Option<f64> {
-        self.points.iter().find(|p| p.survival <= 0.5).map(|p| p.time)
+        self.points
+            .iter()
+            .find(|p| p.survival <= 0.5)
+            .map(|p| p.time)
     }
 
     /// Restricted mean survival time up to `horizon`: the area under the
@@ -158,7 +172,10 @@ impl NelsonAalen {
         if observations.is_empty() {
             return Err(StatsError::EmptySample);
         }
-        if let Some(bad) = observations.iter().find(|o| !o.time.is_finite() || o.time < 0.0) {
+        if let Some(bad) = observations
+            .iter()
+            .find(|o| !o.time.is_finite() || o.time < 0.0)
+        {
             return Err(StatsError::OutOfSupport { value: bad.time });
         }
         let mut obs: Vec<SurvivalObservation> = observations.to_vec();
@@ -180,7 +197,10 @@ impl NelsonAalen {
             }
             if events > 0 {
                 cumulative += events as f64 / at_risk as f64;
-                points.push(HazardPoint { time: t, cumulative_hazard: cumulative });
+                points.push(HazardPoint {
+                    time: t,
+                    cumulative_hazard: cumulative,
+                });
             }
             at_risk -= removed;
         }
@@ -242,14 +262,17 @@ mod tests {
         let km = KaplanMeier::fit(&obs).unwrap();
         assert!((km.survival_at(1.0) - 5.0 / 6.0).abs() < 1e-12);
         let expected = (5.0 / 6.0) * (1.0 - 1.0 / 4.0);
-        assert!((km.survival_at(3.0) - expected).abs() < 1e-12, "{}", km.survival_at(3.0));
+        assert!(
+            (km.survival_at(3.0) - expected).abs() < 1e-12,
+            "{}",
+            km.survival_at(3.0)
+        );
     }
 
     #[test]
     fn censoring_raises_survival_vs_treating_as_events() {
         let censored = vec![ev(1.0), cens(1.5), ev(2.0), cens(2.5), ev(3.0)];
-        let as_events: Vec<_> =
-            censored.iter().map(|o| ev(o.time)).collect();
+        let as_events: Vec<_> = censored.iter().map(|o| ev(o.time)).collect();
         let km_c = KaplanMeier::fit(&censored).unwrap();
         let km_e = KaplanMeier::fit(&as_events).unwrap();
         assert!(km_c.survival_at(2.0) > km_e.survival_at(2.0));
@@ -330,9 +353,15 @@ mod tests {
             .map(|_| {
                 let t = exp.sample(&mut rng);
                 if t > 2.0 {
-                    SurvivalObservation { time: 2.0, event: false }
+                    SurvivalObservation {
+                        time: 2.0,
+                        event: false,
+                    }
                 } else {
-                    SurvivalObservation { time: t, event: true }
+                    SurvivalObservation {
+                        time: t,
+                        event: true,
+                    }
                 }
             })
             .collect();
@@ -344,8 +373,10 @@ mod tests {
     #[test]
     fn km_and_na_agree_via_exp_transform() {
         // S(t) ≈ exp(−Λ(t)) when event counts per step are small.
-        let obs: Vec<SurvivalObservation> =
-            (1..=50).map(|i| ev(i as f64)).chain((1..=150).map(|i| cens(i as f64 + 0.5))).collect();
+        let obs: Vec<SurvivalObservation> = (1..=50)
+            .map(|i| ev(i as f64))
+            .chain((1..=150).map(|i| cens(i as f64 + 0.5)))
+            .collect();
         let km = KaplanMeier::fit(&obs).unwrap();
         let na = NelsonAalen::fit(&obs).unwrap();
         for t in [5.0, 20.0, 45.0] {

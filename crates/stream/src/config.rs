@@ -1,0 +1,141 @@
+//! Streaming-engine configuration.
+
+use logdiver::filter::PatternTable;
+use logdiver::LogDiverConfig;
+use logdiver_types::SimDuration;
+
+/// The five log sources the engine accepts lines from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Source {
+    /// Consolidated syslog (`messages.log`).
+    Syslog,
+    /// Hardware error log (`hwerr.log`).
+    HwErr,
+    /// ALPS apsys log (`apsys.log`).
+    Alps,
+    /// Torque accounting log (`torque.log`).
+    Torque,
+    /// HSN netwatch log (`netwatch.log`).
+    Netwatch,
+}
+
+impl Source {
+    /// All sources, in the canonical `[syslog, hwerr, alps, torque,
+    /// netwatch]` order used by [`logdiver::pipeline::PipelineStats`].
+    pub const ALL: [Source; 5] = [
+        Source::Syslog,
+        Source::HwErr,
+        Source::Alps,
+        Source::Torque,
+        Source::Netwatch,
+    ];
+
+    /// Canonical index (position in [`Source::ALL`]).
+    pub fn index(self) -> usize {
+        match self {
+            Source::Syslog => 0,
+            Source::HwErr => 1,
+            Source::Alps => 2,
+            Source::Torque => 3,
+            Source::Netwatch => 4,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Source::Syslog => "syslog",
+            Source::HwErr => "hwerr",
+            Source::Alps => "alps",
+            Source::Torque => "torque",
+            Source::Netwatch => "netwatch",
+        }
+    }
+
+    /// Conventional file name in a log directory.
+    pub fn file_name(self) -> &'static str {
+        match self {
+            Source::Syslog => "messages.log",
+            Source::HwErr => "hwerr.log",
+            Source::Alps => "apsys.log",
+            Source::Torque => "torque.log",
+            Source::Netwatch => "netwatch.log",
+        }
+    }
+
+    /// True for the sources that produce filtered error entries (as opposed
+    /// to workload records).
+    pub fn is_entry(self) -> bool {
+        matches!(self, Source::Syslog | Source::HwErr | Source::Netwatch)
+    }
+}
+
+/// Configuration for [`crate::StreamEngine`].
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// The batch pipeline's windows (coalescing gap, attribution windows).
+    pub logdiver: LogDiverConfig,
+    /// The syslog pattern table (matched inside the parse workers, so more
+    /// shards also parallelize filtering).
+    pub table: PatternTable,
+    /// Allowed out-of-order lateness *within* a source: a record may arrive
+    /// up to this much earlier than the newest record already seen on its
+    /// source and still be processed. Records later than that are counted
+    /// in `late_dropped` and skipped.
+    pub lateness: SimDuration,
+    /// Parse workers for the syslog source (the only high-volume one).
+    pub syslog_shards: usize,
+    /// Capacity of each bounded channel; full channels apply backpressure
+    /// to [`crate::StreamEngine::push`].
+    pub channel_capacity: usize,
+    /// How many recent corrupt lines to keep per source for inspection.
+    pub quarantine_keep: usize,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            logdiver: LogDiverConfig::default(),
+            table: PatternTable::curated(),
+            lateness: SimDuration::from_secs(60),
+            syslog_shards: 2,
+            channel_capacity: 4_096,
+            quarantine_keep: 16,
+        }
+    }
+}
+
+impl StreamConfig {
+    /// Overrides the allowed lateness.
+    pub fn with_lateness(mut self, lateness: SimDuration) -> Self {
+        self.lateness = lateness;
+        self
+    }
+
+    /// Overrides the syslog shard count.
+    pub fn with_syslog_shards(mut self, shards: usize) -> Self {
+        self.syslog_shards = shards.max(1);
+        self
+    }
+
+    /// Overrides the batch-pipeline configuration.
+    pub fn with_logdiver(mut self, config: LogDiverConfig) -> Self {
+        self.logdiver = config;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_indices_are_canonical() {
+        for (i, s) in Source::ALL.into_iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+        assert!(Source::Syslog.is_entry());
+        assert!(!Source::Alps.is_entry());
+        assert_eq!(Source::Netwatch.file_name(), "netwatch.log");
+    }
+}

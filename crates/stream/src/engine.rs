@@ -1,0 +1,319 @@
+//! The threaded shell: per-source parse workers, bounded channels, and the
+//! coordinator that owns the [`StreamCore`].
+//!
+//! ```text
+//!  push(source, line)
+//!    │  bounded input channel per shard (backpressure)
+//!    ▼
+//!  parse workers — syslog is shardable; workers also run the pattern
+//!    │             table, so filtering parallelizes with parsing
+//!    ▼  bounded result channel
+//!  coordinator — re-sequences per source, advances watermarks, feeds the
+//!    │           incremental coalescer/reconstructor/classifier
+//!    ▼
+//!  StreamCore behind parking_lot::Mutex — snapshot() reads it live,
+//!                                         drain() consumes it
+//! ```
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use craylog::alps::AlpsRecord;
+use craylog::hwerr::HwErrRecord;
+use craylog::netwatch::NetwatchRecord;
+use craylog::syslog::SyslogRecord;
+use craylog::torque::TorqueRecord;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use logdiver::filter::{
+    entry_from_hwerr, entry_from_netwatch, entry_from_syslog, FilterStats, PatternTable,
+};
+use logdiver::metrics::{compute, MetricSet};
+use logdiver::parse::ParseCounts;
+use logdiver::pipeline::Analysis;
+use logdiver_types::Timestamp;
+use parking_lot::Mutex;
+
+use crate::config::{Source, StreamConfig};
+use crate::state::{Body, Parsed, StreamCore};
+
+/// Errors the push API can report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamError {
+    /// The source was closed with [`StreamEngine::close`]; no more lines
+    /// can be pushed to it.
+    SourceClosed(Source),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::SourceClosed(s) => write!(f, "source {} is closed", s.name()),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// A live view of the engine, cheap to take while ingestion continues.
+#[derive(Debug, Clone)]
+pub struct StreamSnapshot {
+    /// The run watermark: everything older is fully processed. `None`
+    /// until every open source has produced at least one record.
+    pub watermark: Option<Timestamp>,
+    /// Per-source parse accounting (`[syslog, hwerr, alps, torque,
+    /// netwatch]`); `bad` is the corrupt-line quarantine counter.
+    pub parse: [ParseCounts; 5],
+    /// Filter accounting so far.
+    pub filter: FilterStats,
+    /// Entries that arrived later than the allowed lateness and were
+    /// skipped.
+    pub late_dropped: u64,
+    /// Entries waiting in the reorder buffer.
+    pub buffered_entries: usize,
+    /// Error events still open in the coalescer.
+    pub open_events: usize,
+    /// Error events closed and indexed.
+    pub closed_events: usize,
+    /// Of those, lethal events.
+    pub lethal_events: u64,
+    /// Reconstructed runs not yet finalized.
+    pub open_runs: usize,
+    /// Runs classified so far.
+    pub classified_runs: usize,
+    /// Metrics over the closed/classified state — the same [`MetricSet`]
+    /// the batch pipeline computes, restricted to what has finalized.
+    pub metrics: MetricSet,
+}
+
+enum CoordMsg {
+    Line {
+        source: Source,
+        seq: u64,
+        body: Body,
+    },
+    ShardDone(Source),
+}
+
+/// The online streaming ingestion engine.
+///
+/// Push raw lines in arrival order; parsing fans out to worker threads,
+/// results are re-sequenced, and the pipeline runs incrementally behind
+/// watermarks. [`StreamEngine::drain`] returns the same
+/// [`Analysis`] the batch [`logdiver::LogDiver`] produces on the same
+/// lines, for any chunking of the input (within the lateness allowance).
+#[derive(Debug)]
+pub struct StreamEngine {
+    inputs: Vec<Vec<Sender<(u64, String)>>>,
+    seqs: [u64; 5],
+    core: Arc<Mutex<StreamCore>>,
+    workers: Vec<JoinHandle<()>>,
+    coordinator: Option<JoinHandle<()>>,
+}
+
+impl StreamEngine {
+    /// Starts the engine: one parse worker per source, plus
+    /// `config.syslog_shards` for syslog, plus the coordinator.
+    pub fn new(config: StreamConfig) -> Self {
+        let capacity = config.channel_capacity.max(1);
+        let table = Arc::new(config.table.clone());
+        let core = Arc::new(Mutex::new(StreamCore::new(config.clone())));
+        let (out_tx, out_rx) = bounded::<CoordMsg>(capacity);
+
+        let mut inputs = Vec::with_capacity(5);
+        let mut workers = Vec::new();
+        for source in Source::ALL {
+            let shards = if source == Source::Syslog {
+                config.syslog_shards.max(1)
+            } else {
+                1
+            };
+            let mut senders = Vec::with_capacity(shards);
+            for _ in 0..shards {
+                let (in_tx, in_rx) = bounded::<(u64, String)>(capacity);
+                let tx = out_tx.clone();
+                let table = Arc::clone(&table);
+                workers.push(std::thread::spawn(move || {
+                    worker(source, &table, &in_rx, &tx)
+                }));
+                senders.push(in_tx);
+            }
+            inputs.push(senders);
+        }
+        drop(out_tx);
+
+        let coord_core = Arc::clone(&core);
+        let coordinator = std::thread::spawn(move || coordinate(&out_rx, &coord_core));
+        StreamEngine {
+            inputs,
+            seqs: [0; 5],
+            core,
+            workers,
+            coordinator: Some(coordinator),
+        }
+    }
+
+    /// Feeds one raw line. Blocks when the source's parse worker is behind
+    /// (bounded-channel backpressure).
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::SourceClosed`] after [`StreamEngine::close`] on this
+    /// source.
+    pub fn push(&mut self, source: Source, line: impl Into<String>) -> Result<(), StreamError> {
+        let i = source.index();
+        let senders = &self.inputs[i];
+        if senders.is_empty() {
+            return Err(StreamError::SourceClosed(source));
+        }
+        let seq = self.seqs[i];
+        let shard = (seq % senders.len() as u64) as usize;
+        senders[shard]
+            .send((seq, line.into()))
+            .map_err(|_| StreamError::SourceClosed(source))?;
+        self.seqs[i] = seq + 1;
+        Ok(())
+    }
+
+    /// Feeds many lines to one source.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::SourceClosed`] after [`StreamEngine::close`] on this
+    /// source.
+    pub fn push_batch<L: Into<String>>(
+        &mut self,
+        source: Source,
+        lines: impl IntoIterator<Item = L>,
+    ) -> Result<(), StreamError> {
+        for line in lines {
+            self.push(source, line)?;
+        }
+        Ok(())
+    }
+
+    /// Declares a source exhausted: its parse workers finish and it stops
+    /// holding the watermarks down. Use this when a log file is absent or
+    /// fully read and other sources are still flowing.
+    pub fn close(&mut self, source: Source) {
+        self.inputs[source.index()].clear();
+    }
+
+    /// Lines accepted per source so far.
+    pub fn pushed(&self, source: Source) -> u64 {
+        self.seqs[source.index()]
+    }
+
+    /// Takes a live snapshot. Holds the state lock only long enough to
+    /// clone the finalized runs and closed events; metrics are computed
+    /// outside the lock.
+    pub fn snapshot(&self) -> StreamSnapshot {
+        let (counters, runs, events) = {
+            let core = self.core.lock();
+            (core.counters(), core.finished_runs(), core.closed_events())
+        };
+        StreamSnapshot {
+            watermark: counters.watermark,
+            parse: counters.parse,
+            filter: counters.filter,
+            late_dropped: counters.late_dropped,
+            buffered_entries: counters.buffered_entries,
+            open_events: counters.open_events,
+            closed_events: counters.closed_events,
+            lethal_events: counters.lethal_events,
+            open_runs: counters.open_runs,
+            classified_runs: counters.classified_runs,
+            metrics: compute(&runs, &events),
+        }
+    }
+
+    /// The corrupt-line quarantine for one source: total count and up to
+    /// `quarantine_keep` most recent raw lines.
+    pub fn quarantined(&self, source: Source) -> (u64, Vec<String>) {
+        self.core.lock().quarantined(source)
+    }
+
+    /// Closes every source, waits for all in-flight lines to be processed,
+    /// and produces the full analysis — equal to
+    /// [`logdiver::LogDiver::analyze`] on the same lines.
+    pub fn drain(mut self) -> Analysis {
+        for senders in &mut self.inputs {
+            senders.clear();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.coordinator.take() {
+            let _ = handle.join();
+        }
+        let core = Arc::try_unwrap(self.core)
+            .expect("all engine threads joined")
+            .into_inner();
+        core.finalize()
+    }
+}
+
+fn worker(
+    source: Source,
+    table: &PatternTable,
+    input: &Receiver<(u64, String)>,
+    out: &Sender<CoordMsg>,
+) {
+    for (seq, line) in input.iter() {
+        let body = parse_line(source, &line, table);
+        if out.send(CoordMsg::Line { source, seq, body }).is_err() {
+            return;
+        }
+    }
+    let _ = out.send(CoordMsg::ShardDone(source));
+}
+
+/// Parses one raw line with the batch pipeline's rules: blank lines are
+/// corrupt; entry sources run the filter right here so the pattern table's
+/// substring scans parallelize across shards.
+fn parse_line(source: Source, line: &str, table: &PatternTable) -> Body {
+    if line.trim().is_empty() {
+        return Body::Bad(line.to_string());
+    }
+    let parsed = match source {
+        Source::Syslog => SyslogRecord::parse(line).ok().map(|rec| Parsed::Syslog {
+            timestamp: rec.timestamp,
+            entry: entry_from_syslog(&rec, table),
+        }),
+        Source::HwErr => HwErrRecord::parse(line)
+            .ok()
+            .map(|rec| Parsed::HwErr(entry_from_hwerr(&rec))),
+        Source::Alps => AlpsRecord::parse(line).ok().map(Parsed::Alps),
+        Source::Torque => TorqueRecord::parse(line).ok().map(Parsed::Torque),
+        Source::Netwatch => NetwatchRecord::parse(line)
+            .ok()
+            .map(|rec| Parsed::Netwatch(entry_from_netwatch(&rec))),
+    };
+    match parsed {
+        Some(p) => Body::Ok(p),
+        None => Body::Bad(line.to_string()),
+    }
+}
+
+fn coordinate(input: &Receiver<CoordMsg>, core: &Mutex<StreamCore>) {
+    loop {
+        let Ok(first) = input.recv() else { return };
+        let mut guard = core.lock();
+        deliver(&mut guard, first);
+        // Batch whatever else is already queued under one lock hold, then
+        // advance the watermarks once.
+        for _ in 0..255 {
+            match input.try_recv() {
+                Ok(msg) => deliver(&mut guard, msg),
+                Err(_) => break,
+            }
+        }
+        guard.advance();
+    }
+}
+
+fn deliver(core: &mut StreamCore, msg: CoordMsg) {
+    match msg {
+        CoordMsg::Line { source, seq, body } => core.accept(source, seq, body),
+        CoordMsg::ShardDone(source) => core.shard_done(source),
+    }
+}

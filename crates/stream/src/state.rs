@@ -1,0 +1,397 @@
+//! The coordinator state machine: sequencing, watermarks, and the
+//! incremental pipeline.
+//!
+//! Everything here is single-threaded and deterministic. The engine's
+//! worker threads only parse; every state transition funnels through
+//! [`StreamCore::accept`] (per-source sequence order) and
+//! [`StreamCore::advance`] (watermark progress), so the final analysis is
+//! independent of thread scheduling.
+//!
+//! ## Watermarks
+//!
+//! Each source tracks the newest timestamp it has produced. Under the
+//! engine's lateness contract (a record may arrive at most
+//! [`crate::StreamConfig::lateness`] earlier than its source's newest
+//! timestamp), `progress − lateness` is a low watermark: no future record
+//! from that source can carry an earlier timestamp. Two aggregate marks
+//! drive the pipeline:
+//!
+//! - the **entry watermark** (minimum over the open *entry* sources)
+//!   releases the reorder buffer into the coalescer and closes events;
+//! - the **run watermark** (minimum over *all* open sources) finalizes
+//!   runs: a terminated run is classified once `end + lag + MAX_EVENT_SPAN`
+//!   is below it, because by then every event that could overlap its
+//!   attribution window has closed.
+//!
+//! A source that has produced nothing holds its mark down (nothing
+//! finalizes) until it produces or is closed.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use craylog::alps::AlpsRecord;
+use craylog::torque::TorqueRecord;
+use logdiver::classify::{classify_one, ClassifiedRun};
+use logdiver::coalesce::{Coalescer, ErrorEvent, MAX_EVENT_SPAN};
+use logdiver::filter::{entry_sort_key, EntrySource, FilterStats, FilteredEntry};
+use logdiver::parse::ParseCounts;
+use logdiver::pipeline::{Analysis, PipelineStats};
+use logdiver::workload::RunReconstructor;
+use logdiver_types::{SimDuration, Timestamp};
+
+use crate::config::{Source, StreamConfig};
+use crate::index::StreamIndex;
+
+/// One record as parsed (and, for entry sources, filtered) by a worker.
+#[derive(Debug)]
+pub(crate) enum Parsed {
+    /// A syslog line: its timestamp, plus the filtered entry when the
+    /// pattern table kept it (`None` = operational chatter).
+    Syslog {
+        /// The record's timestamp (tracked even for discarded lines, so
+        /// chatter still advances the watermark).
+        timestamp: Timestamp,
+        /// The kept entry, if any.
+        entry: Option<FilteredEntry>,
+    },
+    /// A hardware-error record (always kept).
+    HwErr(FilteredEntry),
+    /// A netwatch record (always kept).
+    Netwatch(FilteredEntry),
+    /// An ALPS record.
+    Alps(AlpsRecord),
+    /// A Torque record.
+    Torque(TorqueRecord),
+}
+
+/// Worker verdict on one raw line.
+#[derive(Debug)]
+pub(crate) enum Body {
+    /// Parsed (and filtered) successfully.
+    Ok(Parsed),
+    /// Blank or unparseable; the raw line goes to quarantine.
+    Bad(String),
+}
+
+/// Aggregate watermark over a set of sources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mark {
+    /// Some open source has produced nothing yet: cannot advance.
+    Blocked,
+    /// Low watermark over the open sources.
+    At(Timestamp),
+    /// Every source in the set is closed: no more input can come.
+    Done,
+}
+
+/// A timestamp beyond any log data, used to flush once sources close.
+fn far_future() -> Timestamp {
+    Timestamp::PRODUCTION_EPOCH + SimDuration::from_secs(i64::MAX / 4)
+}
+
+/// Live counters for [`crate::StreamSnapshot`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Counters {
+    pub parse: [ParseCounts; 5],
+    pub filter: FilterStats,
+    pub late_dropped: u64,
+    pub buffered_entries: usize,
+    pub open_events: usize,
+    pub closed_events: usize,
+    pub open_runs: usize,
+    pub classified_runs: usize,
+    pub lethal_events: u64,
+    pub watermark: Option<Timestamp>,
+}
+
+/// The deterministic heart of the engine.
+#[derive(Debug)]
+pub(crate) struct StreamCore {
+    config: StreamConfig,
+    // Per-source sequencing and progress (canonical source order).
+    next_seq: [u64; 5],
+    pending: [BTreeMap<u64, Body>; 5],
+    progress: [Option<Timestamp>; 5],
+    open: [bool; 5],
+    shards: [usize; 5],
+    done_shards: [usize; 5],
+    counts: [ParseCounts; 5],
+    quarantine: [VecDeque<String>; 5],
+    filter_stats: FilterStats,
+    // Reorder buffer, keyed by the batch sort key plus source rank and a
+    // per-arrival tiebreaker that preserves per-source order.
+    buffer: BTreeMap<(Timestamp, u32, u8, u64), FilteredEntry>,
+    entry_seq: u64,
+    late_dropped: u64,
+    released: Option<Timestamp>,
+    // Incremental pipeline stages (shared with the batch path).
+    coalescer: Coalescer,
+    index: StreamIndex,
+    reconstructor: RunReconstructor,
+    done: BTreeMap<usize, ClassifiedRun>,
+}
+
+impl StreamCore {
+    pub(crate) fn new(config: StreamConfig) -> Self {
+        let gap = config.logdiver.coalesce_gap;
+        let mut shards = [1usize; 5];
+        shards[Source::Syslog.index()] = config.syslog_shards.max(1);
+        StreamCore {
+            config,
+            next_seq: [0; 5],
+            pending: Default::default(),
+            progress: [None; 5],
+            open: [true; 5],
+            shards,
+            done_shards: [0; 5],
+            counts: [ParseCounts::default(); 5],
+            quarantine: Default::default(),
+            filter_stats: FilterStats::default(),
+            buffer: BTreeMap::new(),
+            entry_seq: 0,
+            late_dropped: 0,
+            released: None,
+            coalescer: Coalescer::new(gap),
+            index: StreamIndex::new(),
+            reconstructor: RunReconstructor::new(),
+            done: BTreeMap::new(),
+        }
+    }
+
+    /// Accepts one worker result, applying it (and any held-back
+    /// successors) in per-source sequence order.
+    pub(crate) fn accept(&mut self, source: Source, seq: u64, body: Body) {
+        let i = source.index();
+        if seq != self.next_seq[i] {
+            self.pending[i].insert(seq, body);
+            return;
+        }
+        self.apply(source, body);
+        self.next_seq[i] += 1;
+        while let Some(held) = self.pending[i].remove(&self.next_seq[i]) {
+            self.apply(source, held);
+            self.next_seq[i] += 1;
+        }
+    }
+
+    /// Records that one parse shard of `source` has exhausted its input.
+    /// When the last shard finishes, the source stops gating watermarks.
+    pub(crate) fn shard_done(&mut self, source: Source) {
+        let i = source.index();
+        self.done_shards[i] += 1;
+        if self.done_shards[i] >= self.shards[i] {
+            self.open[i] = false;
+        }
+    }
+
+    fn apply(&mut self, source: Source, body: Body) {
+        let i = source.index();
+        self.counts[i].total += 1;
+        match body {
+            Body::Bad(line) => {
+                self.counts[i].bad += 1;
+                if self.config.quarantine_keep > 0 {
+                    let q = &mut self.quarantine[i];
+                    if q.len() == self.config.quarantine_keep {
+                        q.pop_front();
+                    }
+                    q.push_back(line);
+                }
+            }
+            Body::Ok(parsed) => match parsed {
+                Parsed::Syslog { timestamp, entry } => {
+                    self.filter_stats.syslog_examined += 1;
+                    self.bump(i, timestamp);
+                    if let Some(e) = entry {
+                        self.filter_stats.syslog_kept += 1;
+                        self.buffer_entry(e);
+                    }
+                }
+                Parsed::HwErr(e) | Parsed::Netwatch(e) => {
+                    self.filter_stats.structured_kept += 1;
+                    self.bump(i, e.timestamp);
+                    self.buffer_entry(e);
+                }
+                Parsed::Alps(rec) => {
+                    self.bump(i, alps_timestamp(&rec));
+                    self.reconstructor.push_alps(&rec);
+                }
+                Parsed::Torque(rec) => {
+                    self.bump(i, rec.timestamp);
+                    self.reconstructor.push_torque(&rec);
+                }
+            },
+        }
+    }
+
+    fn bump(&mut self, i: usize, ts: Timestamp) {
+        self.progress[i] = Some(self.progress[i].map_or(ts, |p| p.max(ts)));
+    }
+
+    fn buffer_entry(&mut self, entry: FilteredEntry) {
+        if self.released.is_some_and(|w| entry.timestamp < w) {
+            // Later than the allowance: its window may already be closed.
+            self.late_dropped += 1;
+            return;
+        }
+        let (ts, node) = entry_sort_key(&entry);
+        let rank = match entry.source {
+            EntrySource::Syslog => 0u8,
+            EntrySource::HwErr => 1,
+            EntrySource::Netwatch => 2,
+        };
+        self.buffer.insert((ts, node, rank, self.entry_seq), entry);
+        self.entry_seq += 1;
+    }
+
+    fn mark(&self, entry_only: bool) -> Mark {
+        let mut low: Option<Timestamp> = None;
+        let mut any_open = false;
+        for s in Source::ALL {
+            if entry_only && !s.is_entry() {
+                continue;
+            }
+            let i = s.index();
+            if !self.open[i] {
+                continue;
+            }
+            any_open = true;
+            match self.progress[i] {
+                None => return Mark::Blocked,
+                Some(p) => {
+                    let w = p - self.config.lateness;
+                    low = Some(low.map_or(w, |c| c.min(w)));
+                }
+            }
+        }
+        match low {
+            _ if !any_open => Mark::Done,
+            Some(w) => Mark::At(w),
+            None => Mark::Blocked,
+        }
+    }
+
+    /// Advances both watermarks: releases ripe entries into the coalescer,
+    /// harvests closed events into the live index, and classifies every
+    /// newly finalizable run.
+    pub(crate) fn advance(&mut self) {
+        match self.mark(true) {
+            Mark::Blocked => {}
+            Mark::At(w) => self.release_until(w),
+            Mark::Done => self.release_until(far_future()),
+        }
+        match self.mark(false) {
+            Mark::Blocked => {}
+            Mark::At(w) => self.finalize_runs(w),
+            Mark::Done => self.finalize_runs(far_future()),
+        }
+    }
+
+    fn release_until(&mut self, watermark: Timestamp) {
+        if self.released.is_some_and(|r| watermark <= r) {
+            return;
+        }
+        self.released = Some(watermark);
+        // Keys strictly below (watermark, 0, 0, 0) have timestamp <
+        // watermark; everything at or after the watermark stays buffered
+        // because an in-flight record could still sort before it.
+        let rest = self.buffer.split_off(&(watermark, 0, 0, 0));
+        let ripe = std::mem::replace(&mut self.buffer, rest);
+        for entry in ripe.values() {
+            self.coalescer.push(entry);
+        }
+        for event in self.coalescer.take_closed(watermark) {
+            self.index.insert(event);
+        }
+    }
+
+    fn finalize_runs(&mut self, watermark: Timestamp) {
+        // Safe once no event overlapping [end − lead, end + lag] can still
+        // be open: open events start within MAX_EVENT_SPAN of the entry
+        // watermark, which the run watermark never exceeds.
+        let cutoff = watermark - MAX_EVENT_SPAN - self.config.logdiver.attribution_lag;
+        for (seq, run) in self.reconstructor.take_finalizable(cutoff) {
+            let verdict = classify_one(
+                run,
+                self.reconstructor.jobs(),
+                &self.index,
+                &self.config.logdiver,
+            );
+            self.done.insert(seq, verdict);
+        }
+    }
+
+    pub(crate) fn counters(&self) -> Counters {
+        Counters {
+            parse: self.counts,
+            filter: self.filter_stats,
+            late_dropped: self.late_dropped,
+            buffered_entries: self.buffer.len(),
+            open_events: self.coalescer.open_len(),
+            closed_events: self.index.len(),
+            open_runs: self.reconstructor.open_len(),
+            classified_runs: self.done.len(),
+            lethal_events: self.index.lethal_count(),
+            watermark: match self.mark(false) {
+                Mark::At(w) => Some(w),
+                _ => None,
+            },
+        }
+    }
+
+    pub(crate) fn finished_runs(&self) -> Vec<ClassifiedRun> {
+        self.done.values().cloned().collect()
+    }
+
+    pub(crate) fn closed_events(&self) -> Vec<ErrorEvent> {
+        self.index.events_in_order()
+    }
+
+    pub(crate) fn quarantined(&self, source: Source) -> (u64, Vec<String>) {
+        let i = source.index();
+        (
+            self.counts[i].bad,
+            self.quarantine[i].iter().cloned().collect(),
+        )
+    }
+
+    /// Flushes everything and produces the full batch-equivalent analysis.
+    pub(crate) fn finalize(mut self) -> Analysis {
+        self.open = [false; 5];
+        self.release_until(far_future());
+        let workload_stats = self.reconstructor.stats_snapshot();
+        for (seq, run) in self.reconstructor.take_all() {
+            let verdict = classify_one(
+                run,
+                self.reconstructor.jobs(),
+                &self.index,
+                &self.config.logdiver,
+            );
+            self.done.insert(seq, verdict);
+        }
+        let runs: Vec<ClassifiedRun> = self.done.into_values().collect();
+        let events = self.index.events_in_order();
+        let stats = PipelineStats {
+            parse: self.counts,
+            filter: self.filter_stats,
+            workload: workload_stats,
+            entries: self.filter_stats.syslog_kept + self.filter_stats.structured_kept,
+            events: events.len() as u64,
+            lethal_events: self.index.lethal_count(),
+        };
+        let metrics = logdiver::metrics::compute(&runs, &events);
+        Analysis {
+            runs,
+            events,
+            metrics,
+            stats,
+        }
+    }
+}
+
+fn alps_timestamp(rec: &AlpsRecord) -> Timestamp {
+    match rec {
+        AlpsRecord::Placed(p) => p.timestamp,
+        AlpsRecord::Exit(e) => e.timestamp,
+        AlpsRecord::LaunchErr(l) => l.timestamp,
+    }
+}

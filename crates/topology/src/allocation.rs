@@ -57,8 +57,14 @@ impl NodeAllocator {
         let types: Vec<NodeType> = (0..machine.total_nodes())
             .map(|n| machine.node_type(NodeId::new(n)).expect("nid in range"))
             .collect();
-        let free_xe = machine.nodes_of_type(NodeType::Xe).map(|n| n.value()).collect();
-        let free_xk = machine.nodes_of_type(NodeType::Xk).map(|n| n.value()).collect();
+        let free_xe = machine
+            .nodes_of_type(NodeType::Xe)
+            .map(|n| n.value())
+            .collect();
+        let free_xk = machine
+            .nodes_of_type(NodeType::Xk)
+            .map(|n| n.value())
+            .collect();
         NodeAllocator {
             free_xe,
             free_xk,
@@ -179,7 +185,10 @@ impl NodeAllocator {
     /// Panics when a node of `set` was not allocated (double release).
     pub fn release(&mut self, set: &NodeSet) {
         for nid in set {
-            assert!(self.allocated.remove(nid), "release of unallocated node {nid}");
+            assert!(
+                self.allocated.remove(nid),
+                "release of unallocated node {nid}"
+            );
             if !self.down.contains(nid) {
                 let ty = self.types[nid.value() as usize];
                 if ty.is_compute() {
@@ -251,7 +260,11 @@ mod tests {
     use proptest::prelude::*;
 
     fn small_machine() -> Machine {
-        MachineBuilder::new("alloc-test").xe_nodes(32).xk_nodes(8).service_nodes(8).build()
+        MachineBuilder::new("alloc-test")
+            .xe_nodes(32)
+            .xk_nodes(8)
+            .service_nodes(8)
+            .build()
     }
 
     #[test]
@@ -330,13 +343,21 @@ mod tests {
         let mut a = NodeAllocator::new(&m);
         assert!(a.mark_down(NodeId::new(0)));
         let s = a.allocate(NodeType::Xe, 1).unwrap();
-        assert_eq!(s.first().unwrap().value(), 1, "downed node must not be allocated");
+        assert_eq!(
+            s.first().unwrap().value(),
+            1,
+            "downed node must not be allocated"
+        );
         a.check_invariants().unwrap();
     }
 
     #[test]
     fn scattered_spreads_across_blades() {
-        let m = MachineBuilder::new("spread").xe_nodes(64).xk_nodes(4).service_nodes(4).build();
+        let m = MachineBuilder::new("spread")
+            .xe_nodes(64)
+            .xk_nodes(4)
+            .service_nodes(4)
+            .build();
         let mut packed = NodeAllocator::new(&m);
         let mut scattered = NodeAllocator::with_policy(&m, PlacementPolicy::Scattered);
         assert_eq!(scattered.policy(), PlacementPolicy::Scattered);
@@ -353,7 +374,11 @@ mod tests {
 
     #[test]
     fn scattered_allocations_are_exact_and_disjoint() {
-        let m = MachineBuilder::new("spread2").xe_nodes(32).xk_nodes(4).service_nodes(4).build();
+        let m = MachineBuilder::new("spread2")
+            .xe_nodes(32)
+            .xk_nodes(4)
+            .service_nodes(4)
+            .build();
         let mut a = NodeAllocator::with_policy(&m, PlacementPolicy::Scattered);
         let s1 = a.allocate(NodeType::Xe, 10).unwrap();
         let s2 = a.allocate(NodeType::Xe, 10).unwrap();

@@ -45,7 +45,12 @@ impl Location {
         let chassis = (chassis_idx % CHASSIS_PER_CABINET) as u8;
         let column = (cabinet_idx % CABINET_COLUMNS as u32) as u16;
         let row = (cabinet_idx / CABINET_COLUMNS as u32) as u16;
-        Location { cabinet: CabinetId::new(column, row), chassis, slot, node }
+        Location {
+            cabinet: CabinetId::new(column, row),
+            chassis,
+            slot,
+            node,
+        }
     }
 
     /// The nid occupying this location under the canonical dense layout.
@@ -106,7 +111,12 @@ impl Location {
         {
             return None;
         }
-        Some(Location { cabinet: CabinetId::new(column, row), chassis, slot, node })
+        Some(Location {
+            cabinet: CabinetId::new(column, row),
+            chassis,
+            slot,
+            node,
+        })
     }
 }
 
@@ -173,8 +183,10 @@ mod tests {
     fn blade_nids_share_a_blade() {
         let loc = Location::of_nid(NodeId::new(4_010));
         let nids = loc.blade_nids();
-        let ords: Vec<u32> =
-            nids.iter().map(|&n| Location::of_nid(n).blade_ordinal()).collect();
+        let ords: Vec<u32> = nids
+            .iter()
+            .map(|&n| Location::of_nid(n).blade_ordinal())
+            .collect();
         assert!(ords.windows(2).all(|w| w[0] == w[1]));
         assert!(nids.contains(&NodeId::new(4_010)));
     }

@@ -98,7 +98,11 @@ impl LustreSystem {
             oss_count > 0 && osts_per_oss > 0 && mds_count > 0,
             "lustre layout counts must be positive"
         );
-        LustreSystem { oss_count, osts_per_oss, mds_count }
+        LustreSystem {
+            oss_count,
+            osts_per_oss,
+            mds_count,
+        }
     }
 
     /// The Blue Waters-scale layout: 180 OSSes × 8 OSTs (1,440 OSTs) and

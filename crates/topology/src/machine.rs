@@ -229,7 +229,10 @@ impl MachineBuilder {
     /// Panics when a supplied torus is too small for the requested nodes,
     /// or when no compute nodes were requested.
     pub fn build(self) -> Machine {
-        assert!(self.xe + self.xk > 0, "machine needs at least one compute node");
+        assert!(
+            self.xe + self.xk > 0,
+            "machine needs at least one compute node"
+        );
         let service = if self.service > 0 {
             self.service
         } else if let Some(t) = &self.torus {
@@ -301,7 +304,10 @@ mod tests {
         let xk = m.count_of(NodeType::Xk) as f64;
         let ratio = xe / xk;
         let full_ratio = 22_640.0 / 4_224.0;
-        assert!((ratio - full_ratio).abs() / full_ratio < 0.1, "ratio {ratio}");
+        assert!(
+            (ratio - full_ratio).abs() / full_ratio < 0.1,
+            "ratio {ratio}"
+        );
         assert!(m.torus().node_slots() >= m.total_nodes());
         // Node counts land on blade boundaries.
         assert_eq!(m.count_of(NodeType::Xe) % NODES_PER_BLADE, 0);
@@ -346,7 +352,10 @@ mod tests {
 
     #[test]
     fn blade_peers_stay_in_machine() {
-        let m = MachineBuilder::new("t").xe_nodes(6).service_nodes(0).build();
+        let m = MachineBuilder::new("t")
+            .xe_nodes(6)
+            .service_nodes(0)
+            .build();
         // Machine has 6 XE + default-fill service; peers of nid 4 exist.
         let peers = m.blade_peers(NodeId::new(4));
         assert!(peers.contains(&NodeId::new(4)));

@@ -135,7 +135,10 @@ impl Torus {
     /// The two nids served by the Gemini at a coordinate.
     pub fn nids_at(&self, c: TorusCoord) -> [NodeId; 2] {
         let g = self.gemini_at(c);
-        [NodeId::new(g * NODES_PER_GEMINI), NodeId::new(g * NODES_PER_GEMINI + 1)]
+        [
+            NodeId::new(g * NODES_PER_GEMINI),
+            NodeId::new(g * NODES_PER_GEMINI + 1),
+        ]
     }
 
     /// Shortest-path hop distance between two coordinates with wraparound.
@@ -152,12 +155,30 @@ impl Torus {
         let (dx, dy, dz) = self.dims;
         let wrap = |v: i32, d: u16| ((v + d as i32) % d as i32) as u16;
         [
-            TorusCoord { x: wrap(c.x as i32 + 1, dx), ..c },
-            TorusCoord { x: wrap(c.x as i32 - 1, dx), ..c },
-            TorusCoord { y: wrap(c.y as i32 + 1, dy), ..c },
-            TorusCoord { y: wrap(c.y as i32 - 1, dy), ..c },
-            TorusCoord { z: wrap(c.z as i32 + 1, dz), ..c },
-            TorusCoord { z: wrap(c.z as i32 - 1, dz), ..c },
+            TorusCoord {
+                x: wrap(c.x as i32 + 1, dx),
+                ..c
+            },
+            TorusCoord {
+                x: wrap(c.x as i32 - 1, dx),
+                ..c
+            },
+            TorusCoord {
+                y: wrap(c.y as i32 + 1, dy),
+                ..c
+            },
+            TorusCoord {
+                y: wrap(c.y as i32 - 1, dy),
+                ..c
+            },
+            TorusCoord {
+                z: wrap(c.z as i32 + 1, dz),
+                ..c
+            },
+            TorusCoord {
+                z: wrap(c.z as i32 - 1, dz),
+                ..c
+            },
         ]
     }
 
@@ -165,7 +186,10 @@ impl Torus {
     /// (normalized: every undirected link is named by its lower endpoint in
     /// the positive direction).
     pub fn link(&self, gemini: u32, dim: Dim) -> Link {
-        Link { coord: self.coord_of_gemini(gemini), dim }
+        Link {
+            coord: self.coord_of_gemini(gemini),
+            dim,
+        }
     }
 
     /// Picks the link with the given flat index in `0..link_count()` —
@@ -178,7 +202,10 @@ impl Torus {
             1 => Dim::Y,
             _ => Dim::Z,
         };
-        Link { coord: self.coord_of_gemini(index % v), dim }
+        Link {
+            coord: self.coord_of_gemini(index % v),
+            dim,
+        }
     }
 
     /// Shortest signed step along one axis with wraparound: the per-hop
@@ -228,9 +255,18 @@ impl Torus {
         path.windows(2).any(|w| {
             let (lo, hi) = (w[0], w[1]);
             let step = match link.dim {
-                Dim::X => TorusCoord { x: (link.coord.x + 1) % self.dims.0, ..link.coord },
-                Dim::Y => TorusCoord { y: (link.coord.y + 1) % self.dims.1, ..link.coord },
-                Dim::Z => TorusCoord { z: (link.coord.z + 1) % self.dims.2, ..link.coord },
+                Dim::X => TorusCoord {
+                    x: (link.coord.x + 1) % self.dims.0,
+                    ..link.coord
+                },
+                Dim::Y => TorusCoord {
+                    y: (link.coord.y + 1) % self.dims.1,
+                    ..link.coord
+                },
+                Dim::Z => TorusCoord {
+                    z: (link.coord.z + 1) % self.dims.2,
+                    ..link.coord
+                },
             };
             (lo == link.coord && hi == step) || (lo == step && hi == link.coord)
         })
@@ -288,8 +324,14 @@ mod tests {
     #[test]
     fn nids_share_gemini_in_pairs() {
         let t = Torus::blue_waters();
-        assert_eq!(t.gemini_of_nid(NodeId::new(0)), t.gemini_of_nid(NodeId::new(1)));
-        assert_ne!(t.gemini_of_nid(NodeId::new(1)), t.gemini_of_nid(NodeId::new(2)));
+        assert_eq!(
+            t.gemini_of_nid(NodeId::new(0)),
+            t.gemini_of_nid(NodeId::new(1))
+        );
+        assert_ne!(
+            t.gemini_of_nid(NodeId::new(1)),
+            t.gemini_of_nid(NodeId::new(2))
+        );
         let c = t.coord_of_nid(NodeId::new(100));
         assert!(t.nids_at(c).contains(&NodeId::new(100)));
     }
@@ -369,8 +411,14 @@ mod tests {
         let t = Torus::new(8, 8, 8);
         let a = TorusCoord { x: 0, y: 0, z: 0 };
         let b = TorusCoord { x: 2, y: 0, z: 0 };
-        let on_path = Link { coord: TorusCoord { x: 1, y: 0, z: 0 }, dim: Dim::X };
-        let off_path = Link { coord: TorusCoord { x: 1, y: 1, z: 0 }, dim: Dim::X };
+        let on_path = Link {
+            coord: TorusCoord { x: 1, y: 0, z: 0 },
+            dim: Dim::X,
+        };
+        let off_path = Link {
+            coord: TorusCoord { x: 1, y: 1, z: 0 },
+            dim: Dim::X,
+        };
         assert!(t.route_uses_link(a, b, &on_path));
         assert!(!t.route_uses_link(a, b, &off_path));
         // Reverse direction crosses the same undirected link.

@@ -221,8 +221,14 @@ impl ErrorCategory {
             MachineCheckException | GeminiLinkFailure | AlpsLaunchFailure | NodeHang => {
                 Severity::Critical
             }
-            MemoryUncorrectable | NodeHeartbeatFault | BladeControllerFailure | VoltageFault
-            | KernelPanic | LustreOstFailure | GpuDoubleBitError | GpuBusError => Severity::Fatal,
+            MemoryUncorrectable
+            | NodeHeartbeatFault
+            | BladeControllerFailure
+            | VoltageFault
+            | KernelPanic
+            | LustreOstFailure
+            | GpuDoubleBitError
+            | GpuBusError => Severity::Fatal,
         }
     }
 
@@ -239,10 +245,8 @@ impl ErrorCategory {
     /// True when an error of this category can, by itself, terminate an
     /// application running on the affected scope.
     pub const fn is_application_lethal(self) -> bool {
-        matches!(
-            self.severity(),
-            Severity::Critical | Severity::Fatal
-        ) && !matches!(self, ErrorCategory::MaintenanceNotice)
+        matches!(self.severity(), Severity::Critical | Severity::Fatal)
+            && !matches!(self, ErrorCategory::MaintenanceNotice)
     }
 
     /// True for categories that only occur on GPU-carrying (XK) nodes.
@@ -341,10 +345,16 @@ mod tests {
 
     #[test]
     fn system_scope_categories() {
-        assert_eq!(ErrorCategory::GeminiRouteReconfig.scope(), ErrorScope::System);
+        assert_eq!(
+            ErrorCategory::GeminiRouteReconfig.scope(),
+            ErrorScope::System
+        );
         assert_eq!(ErrorCategory::LustreOstFailure.scope(), ErrorScope::System);
         assert_eq!(ErrorCategory::KernelPanic.scope(), ErrorScope::Node);
-        assert_eq!(ErrorCategory::BladeControllerFailure.scope(), ErrorScope::Blade);
+        assert_eq!(
+            ErrorCategory::BladeControllerFailure.scope(),
+            ErrorScope::Blade
+        );
     }
 
     #[test]

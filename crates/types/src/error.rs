@@ -38,7 +38,10 @@ mod tests {
     fn display_is_lowercase_and_concise() {
         let e = TypesError::BadTimestamp("xyz".into());
         assert!(e.to_string().starts_with("invalid timestamp"));
-        let e = TypesError::NodeOutOfRange { nid: 9, universe: 4 };
+        let e = TypesError::NodeOutOfRange {
+            nid: 9,
+            universe: 4,
+        };
         assert_eq!(e.to_string(), "node id 9 outside universe of 4 nodes");
     }
 

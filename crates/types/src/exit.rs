@@ -26,16 +26,28 @@ pub struct ExitStatus {
 
 impl ExitStatus {
     /// A clean, successful exit.
-    pub const SUCCESS: ExitStatus = ExitStatus { code: 0, signal: None, node_failed: false };
+    pub const SUCCESS: ExitStatus = ExitStatus {
+        code: 0,
+        signal: None,
+        node_failed: false,
+    };
 
     /// Builds a plain exit with the given code.
     pub const fn with_code(code: i32) -> Self {
-        ExitStatus { code, signal: None, node_failed: false }
+        ExitStatus {
+            code,
+            signal: None,
+            node_failed: false,
+        }
     }
 
     /// Builds a signal death.
     pub const fn with_signal(signal: i32) -> Self {
-        ExitStatus { code: 128 + signal, signal: Some(signal), node_failed: false }
+        ExitStatus {
+            code: 128 + signal,
+            signal: Some(signal),
+            node_failed: false,
+        }
     }
 
     /// Marks the status as involving a node loss observed by the launcher.

@@ -18,7 +18,9 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(nid.to_string(), "nid04008");
 /// assert_eq!(NodeId::parse_hostname("nid04008"), Some(nid));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct NodeId(u32);
 
 impl NodeId {
@@ -68,7 +70,9 @@ impl From<NodeId> for u32 {
 }
 
 /// Identifier of a batch job (Torque/Moab job id).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct JobId(u64);
 
 impl JobId {
@@ -100,7 +104,9 @@ impl From<u64> for JobId {
 ///
 /// Mirrors the ALPS *apid*. A job may launch many applications; the paper's
 /// unit of analysis is the application run, not the job.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct AppId(u64);
 
 impl AppId {
@@ -131,7 +137,9 @@ impl From<u64> for AppId {
 ///
 /// Field data is anonymized before analysis (as in the paper); users are
 /// numbered and rendered as `u0421`-style tokens.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct UserId(u32);
 
 impl UserId {
@@ -160,7 +168,9 @@ impl From<u32> for UserId {
 
 /// Identifier of a cabinet in the machine room, addressed as `cX-Y`
 /// (column/row), mirroring Cray cabinet naming.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct CabinetId {
     /// Column of the cabinet on the machine-room floor.
     pub column: u16,

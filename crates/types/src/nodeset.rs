@@ -40,7 +40,10 @@ impl NodeSet {
 
     /// Creates an empty set pre-sized for nids `< capacity`.
     pub fn with_capacity(capacity: u32) -> Self {
-        NodeSet { words: vec![0; (capacity as usize).div_ceil(WORD_BITS)], len: 0 }
+        NodeSet {
+            words: vec![0; (capacity as usize).div_ceil(WORD_BITS)],
+            len: 0,
+        }
     }
 
     /// Creates the set `{first, first+1, ..., last}` (inclusive).
@@ -69,7 +72,10 @@ impl NodeSet {
 
     /// Inserts a node; returns true if it was newly inserted.
     pub fn insert(&mut self, node: NodeId) -> bool {
-        let (w, b) = (node.value() as usize / WORD_BITS, node.value() as usize % WORD_BITS);
+        let (w, b) = (
+            node.value() as usize / WORD_BITS,
+            node.value() as usize % WORD_BITS,
+        );
         if w >= self.words.len() {
             self.words.resize(w + 1, 0);
         }
@@ -85,7 +91,10 @@ impl NodeSet {
 
     /// Removes a node; returns true if it was present.
     pub fn remove(&mut self, node: NodeId) -> bool {
-        let (w, b) = (node.value() as usize / WORD_BITS, node.value() as usize % WORD_BITS);
+        let (w, b) = (
+            node.value() as usize / WORD_BITS,
+            node.value() as usize % WORD_BITS,
+        );
         if w >= self.words.len() {
             return false;
         }
@@ -101,8 +110,13 @@ impl NodeSet {
 
     /// Membership test.
     pub fn contains(&self, node: NodeId) -> bool {
-        let (w, b) = (node.value() as usize / WORD_BITS, node.value() as usize % WORD_BITS);
-        self.words.get(w).is_some_and(|word| word & (1u64 << b) != 0)
+        let (w, b) = (
+            node.value() as usize / WORD_BITS,
+            node.value() as usize % WORD_BITS,
+        );
+        self.words
+            .get(w)
+            .is_some_and(|word| word & (1u64 << b) != 0)
     }
 
     /// Removes all nodes, keeping the allocation.
@@ -165,13 +179,20 @@ impl NodeSet {
 
     /// Iterates the nids in ascending order.
     pub fn iter(&self) -> Iter<'_> {
-        Iter { set: self, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+        Iter {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
     }
 
     /// Iterates maximal runs of consecutive nids as `(first, last)` pairs
     /// (inclusive) — the basis of the `cnl`-style compressed rendering.
     pub fn ranges(&self) -> Ranges<'_> {
-        Ranges { inner: self.iter(), pending: None }
+        Ranges {
+            inner: self.iter(),
+            pending: None,
+        }
     }
 
     /// The smallest nid in the set, if any.

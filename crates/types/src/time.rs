@@ -87,7 +87,10 @@ impl Timestamp {
     pub fn from_ymd_hms(year: i64, month: u32, day: u32, hour: u32, min: u32, sec: u32) -> Self {
         assert!((1..=12).contains(&month), "month out of range: {month}");
         assert!((1..=31).contains(&day), "day out of range: {day}");
-        assert!(hour < 24 && min < 60 && sec < 60, "time of day out of range");
+        assert!(
+            hour < 24 && min < 60 && sec < 60,
+            "time of day out of range"
+        );
         let days = days_from_civil(year, month, day);
         Timestamp(days * 86_400 + hour as i64 * 3_600 + min as i64 * 60 + sec as i64)
     }
@@ -330,7 +333,8 @@ mod tests {
 
     #[test]
     fn production_day_counts_from_epoch() {
-        let t = Timestamp::PRODUCTION_EPOCH + SimDuration::from_days(517) + SimDuration::from_hours(23);
+        let t =
+            Timestamp::PRODUCTION_EPOCH + SimDuration::from_days(517) + SimDuration::from_hours(23);
         assert_eq!(t.production_day(), 517);
         let before = Timestamp::PRODUCTION_EPOCH - SimDuration::from_secs(1);
         assert_eq!(before.production_day(), -1);

@@ -48,8 +48,8 @@ impl ClassMix {
         let lo = self.capability_lo_frac * self.max_nodes as f64;
         let hi = self.max_nodes as f64;
         let log_uniform_mean = (hi - lo) / (hi / lo).ln();
-        let cap_mean = self.capability_full_frac * hi
-            + (1.0 - self.capability_full_frac) * log_uniform_mean;
+        let cap_mean =
+            self.capability_full_frac * hi + (1.0 - self.capability_full_frac) * log_uniform_mean;
         self.single_node_fraction + body_frac * body_mean + self.capability_fraction * cap_mean
     }
 }
@@ -159,7 +159,10 @@ impl WorkloadConfig {
             }
             let frac_sum = c.single_node_fraction + c.capability_fraction;
             if !(0.0..1.0).contains(&frac_sum) {
-                return Err(format!("class {}: mixture fractions sum to {frac_sum}", c.node_type));
+                return Err(format!(
+                    "class {}: mixture fractions sum to {frac_sum}",
+                    c.node_type
+                ));
             }
             if c.apps_per_job_mean < 1.0 {
                 return Err(format!("class {}: apps per job mean below 1", c.node_type));
@@ -169,8 +172,15 @@ impl WorkloadConfig {
             {
                 return Err(format!("class {}: bad capability band", c.node_type));
             }
-            if !(c.capability_duration_multiplier >= 1.0) {
-                return Err(format!("class {}: bad capability duration multiplier", c.node_type));
+            // NaN multipliers must fail this check, hence partial_cmp.
+            if c.capability_duration_multiplier
+                .partial_cmp(&1.0)
+                .is_none_or(|o| o == std::cmp::Ordering::Less)
+            {
+                return Err(format!(
+                    "class {}: bad capability duration multiplier",
+                    c.node_type
+                ));
             }
         }
         if self.n_users == 0 {
@@ -237,12 +247,20 @@ mod tests {
     fn scaled_config_matches_scaled_machine() {
         let cfg = WorkloadConfig::scaled(16);
         let m = Machine::blue_waters_scaled(16);
-        assert_eq!(cfg.class(NodeType::Xe).unwrap().max_nodes, m.count_of(NodeType::Xe));
-        assert_eq!(cfg.class(NodeType::Xk).unwrap().max_nodes, m.count_of(NodeType::Xk));
+        assert_eq!(
+            cfg.class(NodeType::Xe).unwrap().max_nodes,
+            m.count_of(NodeType::Xe)
+        );
+        assert_eq!(
+            cfg.class(NodeType::Xk).unwrap().max_nodes,
+            m.count_of(NodeType::Xk)
+        );
         cfg.validate().unwrap();
         let full = WorkloadConfig::blue_waters();
-        assert!(cfg.class(NodeType::Xe).unwrap().jobs_per_hour
-                < full.class(NodeType::Xe).unwrap().jobs_per_hour / 10.0);
+        assert!(
+            cfg.class(NodeType::Xe).unwrap().jobs_per_hour
+                < full.class(NodeType::Xe).unwrap().jobs_per_hour / 10.0
+        );
     }
 
     #[test]

@@ -136,7 +136,12 @@ impl WorkloadGenerator {
         let (mix_nodes, node_type, queue, apps_mean) = {
             let c = &self.classes[idx];
             let nodes = c.sample_width(rng);
-            (nodes, c.mix.node_type, queue_for(nodes, c.mix.max_nodes), c.mix.apps_per_job_mean)
+            (
+                nodes,
+                c.mix.node_type,
+                queue_for(nodes, c.mix.max_nodes),
+                c.mix.apps_per_job_mean,
+            )
         };
 
         // Applications: geometric count, widths within the allocation.
@@ -238,7 +243,7 @@ impl WorkloadGenerator {
 impl ClassState {
     fn advance_arrival<R: Rng>(&mut self, rng: &mut R) {
         let gap = self.interarrival.sample(rng).max(0.001);
-        self.next_arrival = self.next_arrival + SimDuration::from_secs((gap as i64).max(1));
+        self.next_arrival += SimDuration::from_secs((gap as i64).max(1));
     }
 
     /// Samples a job width from the three-part mixture.
@@ -346,7 +351,11 @@ mod tests {
     fn apids_are_unique_and_increasing() {
         let (mut generator, mut rng) = generator(2);
         let jobs = generator.generate(SimDuration::from_days(1), &mut rng);
-        let apids: Vec<u64> = jobs.iter().flat_map(|j| &j.apps).map(|a| a.apid.value()).collect();
+        let apids: Vec<u64> = jobs
+            .iter()
+            .flat_map(|j| &j.apps)
+            .map(|a| a.apid.value())
+            .collect();
         let mut sorted = apids.clone();
         sorted.sort_unstable();
         sorted.dedup();
@@ -367,11 +376,20 @@ mod tests {
     fn size_mixture_has_expected_shape() {
         let (mut generator, mut rng) = generator(4);
         let jobs = generator.generate(SimDuration::from_days(20), &mut rng);
-        let xe: Vec<&JobSpec> = jobs.iter().filter(|j| j.node_type == NodeType::Xe).collect();
+        let xe: Vec<&JobSpec> = jobs
+            .iter()
+            .filter(|j| j.node_type == NodeType::Xe)
+            .collect();
         let singles = xe.iter().filter(|j| j.nodes == 1).count() as f64 / xe.len() as f64;
-        assert!((singles - 0.40).abs() < 0.06, "single-node fraction {singles}");
+        assert!(
+            (singles - 0.40).abs() < 0.06,
+            "single-node fraction {singles}"
+        );
         let max = xe.iter().map(|j| j.nodes).max().unwrap();
-        let cfg_max = WorkloadConfig::scaled(16).class(NodeType::Xe).unwrap().max_nodes;
+        let cfg_max = WorkloadConfig::scaled(16)
+            .class(NodeType::Xe)
+            .unwrap()
+            .max_nodes;
         assert!(max <= cfg_max);
     }
 
@@ -400,7 +418,10 @@ mod tests {
     fn walltime_misses_exist_but_are_minority() {
         let (mut generator, mut rng) = generator(7);
         let jobs = generator.generate(SimDuration::from_days(10), &mut rng);
-        let misses = jobs.iter().filter(|j| j.walltime < j.natural_duration()).count() as f64;
+        let misses = jobs
+            .iter()
+            .filter(|j| j.walltime < j.natural_duration())
+            .count() as f64;
         let rate = misses / jobs.len() as f64;
         assert!(rate > 0.0 && rate < 0.2, "walltime miss rate {rate}");
     }

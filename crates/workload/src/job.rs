@@ -74,7 +74,9 @@ impl JobSpec {
     /// durations (plus nothing — inter-aprun gaps are folded into the
     /// durations), never negative.
     pub fn natural_duration(&self) -> SimDuration {
-        self.apps.iter().fold(SimDuration::ZERO, |acc, a| acc + a.duration)
+        self.apps
+            .iter()
+            .fold(SimDuration::ZERO, |acc, a| acc + a.duration)
     }
 
     /// Node-hours the job would consume if it ran its natural duration.

@@ -185,13 +185,16 @@ impl Scheduler {
                 node_type: job.node_type,
             },
         );
-        StartedJob { spec: job, nodes, start: now }
+        StartedJob {
+            spec: job,
+            nodes,
+            start: now,
+        }
     }
 
     fn try_start(&mut self, now: Timestamp) -> Vec<StartedJob> {
         let mut started = Vec::new();
-        'outer: loop {
-            let Some((head, _)) = self.queue.front() else { break };
+        'outer: while let Some((head, _)) = self.queue.front() {
             // FCFS: the head starts whenever it fits.
             if self.allocator.free_count(head.node_type) >= head.nodes {
                 started.push(self.start_at(0, now));
@@ -214,9 +217,7 @@ impl Scheduler {
                     match reservation {
                         // Ends before the reservation, or fits in nodes the
                         // head will leave over.
-                        Some((shadow, extra)) => {
-                            now + job.walltime <= shadow || job.nodes <= extra
-                        }
+                        Some((shadow, extra)) => now + job.walltime <= shadow || job.nodes <= extra,
                         // No reservation exists (capacity shortfall): the
                         // head cannot start until repairs; do not let it
                         // starve behind an unbounded backfill stream of
@@ -243,7 +244,11 @@ mod tests {
     use logdiver_types::{AppId, NodeType, UserId};
 
     fn machine() -> Machine {
-        MachineBuilder::new("sched-test").xe_nodes(16).xk_nodes(4).service_nodes(4).build()
+        MachineBuilder::new("sched-test")
+            .xe_nodes(16)
+            .xk_nodes(4)
+            .service_nodes(4)
+            .build()
     }
 
     fn job_with_walltime(id: u64, nodes: u32, walltime_hours: i64) -> JobSpec {

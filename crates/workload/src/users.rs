@@ -45,8 +45,14 @@ impl UserPool {
         rng: &mut R,
     ) -> Self {
         assert!(n > 0, "user pool cannot be empty");
-        assert!((0.0..1.0).contains(&base_user_failure), "base_user_failure out of [0,1)");
-        assert!((0.0..1.0).contains(&base_walltime_miss), "base_walltime_miss out of [0,1)");
+        assert!(
+            (0.0..1.0).contains(&base_user_failure),
+            "base_user_failure out of [0,1)"
+        );
+        assert!(
+            (0.0..1.0).contains(&base_walltime_miss),
+            "base_walltime_miss out of [0,1)"
+        );
         let zipf = Zipf::new(n, s).expect("validated parameters");
         let profiles = (0..n)
             .map(|_| {
@@ -103,7 +109,12 @@ mod tests {
         for _ in 0..20_000 {
             counts[pool.sample(&mut rng).value() as usize] += 1;
         }
-        assert!(counts[0] > counts[100] * 5, "{} vs {}", counts[0], counts[100]);
+        assert!(
+            counts[0] > counts[100] * 5,
+            "{} vs {}",
+            counts[0],
+            counts[100]
+        );
     }
 
     #[test]

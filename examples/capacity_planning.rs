@@ -35,11 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}\n", report::outcome_table(&m));
     println!("{}\n", report::cause_table(&m));
 
-    let lost_nh: f64 = m
-        .causes
-        .iter()
-        .map(|c| c.lost_node_hours)
-        .sum();
+    let lost_nh: f64 = m.causes.iter().map(|c| c.lost_node_hours).sum();
     let lost_kwh = lost_nh * WATTS_PER_NODE / 1_000.0;
     println!("capacity wasted on system-failed runs:");
     println!("  {lost_nh:.0} node-hours over {:.0} days", m.measured_days);
@@ -47,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  = {:.2}% of delivered node-hours (paper: ~9% on the full machine)",
         m.failed_node_hours_fraction * 100.0
     );
-    println!("  ≈ {lost_kwh:.0} kWh ≈ ${:.0} in electricity", lost_kwh * DOLLARS_PER_KWH);
+    println!(
+        "  ≈ {lost_kwh:.0} kWh ≈ ${:.0} in electricity",
+        lost_kwh * DOLLARS_PER_KWH
+    );
 
     // Scale the waste to the full machine and the full 518-day period.
     let scale = 16.0 * (518.0 / m.measured_days.max(1.0));

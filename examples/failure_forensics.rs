@@ -39,10 +39,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("=== incident report: apid {} ===", case.run.apid);
     println!("  user       : {}", case.run.user);
     println!("  job        : {}", case.run.job);
-    println!("  class      : {} × {} nodes", case.run.node_type, case.run.width);
-    println!("  placement  : first nid {}", case.run.nodes.first().map(|n| n.to_string()).unwrap_or_else(|| "?".into()));
+    println!(
+        "  class      : {} × {} nodes",
+        case.run.node_type, case.run.width
+    );
+    println!(
+        "  placement  : first nid {}",
+        case.run
+            .nodes
+            .first()
+            .map(|n| n.to_string())
+            .unwrap_or_else(|| "?".into())
+    );
     println!("  launched   : {}", case.run.start);
-    println!("  died       : {}  (ran {})", case.run.end, case.run.runtime());
+    println!(
+        "  died       : {}  (ran {})",
+        case.run.end,
+        case.run.runtime()
+    );
     println!("  verdict    : {}", case.class);
     println!("  lost work  : {:.1} node-hours", case.run.node_hours());
     println!("\n  blamed error events:");
@@ -61,7 +75,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // How common was this verdict?
-    let same: usize = analysis.runs.iter().filter(|r| r.class == case.class).count();
+    let same: usize = analysis
+        .runs
+        .iter()
+        .filter(|r| r.class == case.class)
+        .count();
     println!("\n  {} runs share this verdict in the window", same);
     let unexplained = analysis
         .runs
@@ -70,6 +88,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             matches!(r.class, ExitClass::SystemFailure(c) if c == logdiver_types::FailureCause::Undetermined)
         })
         .count();
-    println!("  {} system failures had no explaining event at all", unexplained);
+    println!(
+        "  {} system failures had no explaining event at all",
+        unexplained
+    );
     Ok(())
 }

@@ -19,7 +19,9 @@ fn run_with(detection: DetectionModel) -> Result<MetricSet, Box<dyn std::error::
     // Mechanism demo: node-scoped fault rates are boosted far above the
     // calibrated priors so a 2-week, 1/32-scale window contains enough GPU
     // faults to measure coverage (see DESIGN.md §5 on scaling).
-    let mut config = SimConfig::scaled(32, 14).with_seed(4224).without_calibration();
+    let mut config = SimConfig::scaled(32, 14)
+        .with_seed(4224)
+        .without_calibration();
     config.detection = detection;
     config.faults.gpu_fault_per_node_hour = 2.0e-2;
     config.faults.xk_node_crash_per_node_hour = 1.0e-3;

@@ -19,7 +19,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut generator = WorkloadGenerator::new(WorkloadConfig::scaled(32), &mut rng)?;
     let jobs = generator.generate(SimDuration::from_days(3), &mut rng);
     let trace = swf::export_trace("blue-waters/32", 840, &jobs);
-    println!("exported {} jobs as SWF ({} bytes)", jobs.len(), trace.len());
+    println!(
+        "exported {} jobs as SWF ({} bytes)",
+        jobs.len(),
+        trace.len()
+    );
 
     // 2. Parse it back, as one would parse an archive trace.
     let parsed = swf::parse_trace(&trace)?;

@@ -29,8 +29,14 @@ pub fn to_log_collection(out: &MemoryOutput) -> LogCollection {
 /// Runs a simulation and analyzes its logs with a default LogDiver.
 pub fn run_end_to_end(config: SimConfig) -> EndToEnd {
     let mut sim_out = MemoryOutput::new();
-    let report = Simulation::new(config).expect("valid config").run(&mut sim_out);
+    let report = Simulation::new(config)
+        .expect("valid config")
+        .run(&mut sim_out);
     let logs = to_log_collection(&sim_out);
     let analysis = LogDiver::new().analyze(&logs);
-    EndToEnd { sim: sim_out, report, analysis }
+    EndToEnd {
+        sim: sim_out,
+        report,
+        analysis,
+    }
 }

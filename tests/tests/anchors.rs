@@ -34,7 +34,9 @@ fn full_scale_failure_probability_matches_anchor_band() {
         assert!(
             full.ci.0 < full_anchor * 1.6 && full.ci.1 > full_anchor * 0.6,
             "{ty}: P(full)={:.3} CI [{:.3},{:.3}] vs anchor {full_anchor}",
-            full.probability, full.ci.0, full.ci.1
+            full.probability,
+            full.ci.0,
+            full.ci.1
         );
     }
 }
@@ -43,16 +45,27 @@ fn full_scale_failure_probability_matches_anchor_band() {
 fn scale_curve_rises_steeply_toward_full_machine() {
     let e2e = anchor_run(32, 60);
     let m = &e2e.analysis.metrics;
-    let xe = m.scale_curves.iter().find(|c| c.node_type == NodeType::Xe).unwrap();
+    let xe = m
+        .scale_curves
+        .iter()
+        .find(|c| c.node_type == NodeType::Xe)
+        .unwrap();
     // Probability in the largest bucket must dwarf the small-app buckets.
-    let small: Vec<_> = xe.buckets.iter().filter(|b| b.hi <= 1_024 && b.runs > 50).collect();
+    let small: Vec<_> = xe
+        .buckets
+        .iter()
+        .filter(|b| b.hi <= 1_024 && b.runs > 50)
+        .collect();
     let full = xe.buckets.last().unwrap();
     assert!(full.runs > 0);
     for b in small {
         assert!(
             full.probability > 5.0 * b.probability.max(0.002),
             "full {:.4} vs bucket {}-{} {:.4}",
-            full.probability, b.lo, b.hi, b.probability
+            full.probability,
+            b.lo,
+            b.hi,
+            b.probability
         );
     }
 }
@@ -78,8 +91,11 @@ fn failed_runs_carry_outsized_node_hours() {
         m.failed_node_hours_fraction,
         m.system_failure_fraction
     );
-    assert!(m.failed_node_hours_fraction > 0.02 && m.failed_node_hours_fraction < 0.20,
-            "node-hour share {:.4}", m.failed_node_hours_fraction);
+    assert!(
+        m.failed_node_hours_fraction > 0.02 && m.failed_node_hours_fraction < 0.20,
+        "node-hour share {:.4}",
+        m.failed_node_hours_fraction
+    );
 }
 
 #[test]
@@ -88,7 +104,9 @@ fn hybrid_detection_gap_shows_up() {
     // per-node-hour processes — invisible on a small machine over weeks.
     // Boost them (mechanism test; calibration skipped) to make the XE/XK
     // contrast measurable; the full-machine bench shows it at paper rates.
-    let mut config = SimConfig::scaled(32, 20).with_seed(35).without_calibration();
+    let mut config = SimConfig::scaled(32, 20)
+        .with_seed(35)
+        .without_calibration();
     config.faults.gpu_fault_per_node_hour = 2.0e-2;
     config.faults.xk_node_crash_per_node_hour = 1.0e-3;
     config.faults.xe_node_crash_per_node_hour = 1.0e-3;
@@ -99,9 +117,21 @@ fn hybrid_detection_gap_shows_up() {
     }
     let e2e = run_end_to_end(config);
     let m = &e2e.analysis.metrics;
-    let xe = m.detection.iter().find(|d| d.node_type == NodeType::Xe).unwrap();
-    let xk = m.detection.iter().find(|d| d.node_type == NodeType::Xk).unwrap();
-    assert!(xk.system_failures > 20, "too few XK system failures: {}", xk.system_failures);
+    let xe = m
+        .detection
+        .iter()
+        .find(|d| d.node_type == NodeType::Xe)
+        .unwrap();
+    let xk = m
+        .detection
+        .iter()
+        .find(|d| d.node_type == NodeType::Xk)
+        .unwrap();
+    assert!(
+        xk.system_failures > 20,
+        "too few XK system failures: {}",
+        xk.system_failures
+    );
     // Lesson (iii): hybrid failures are far more often unexplained.
     assert!(
         xk.fraction_undetermined > 1.5 * xe.fraction_undetermined.max(0.01),

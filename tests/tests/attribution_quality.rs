@@ -10,10 +10,7 @@ use bw_sim::{AppTruth, SimConfig, TrueOutcome};
 use logdiver_integration::run_end_to_end;
 use logdiver_types::{ExitClass, FailureCause};
 
-fn confusion(
-    truths: &[AppTruth],
-    runs: &[logdiver::ClassifiedRun],
-) -> (u64, u64, u64, u64) {
+fn confusion(truths: &[AppTruth], runs: &[logdiver::ClassifiedRun]) -> (u64, u64, u64, u64) {
     let truth_by_apid: HashMap<u64, &AppTruth> =
         truths.iter().map(|t| (t.apid.value(), t)).collect();
     let (mut tp, mut fp, mut fnc, mut tn) = (0u64, 0u64, 0u64, 0u64);
@@ -58,8 +55,13 @@ fn cause_attribution_matches_when_detected() {
     let mut total = 0u64;
     for run in &e2e.analysis.runs {
         let truth = truth_by_apid[&run.run.apid.value()];
-        let (TrueOutcome::SystemFailure { cause, detected: true },
-             ExitClass::SystemFailure(measured)) = (truth.outcome, run.class)
+        let (
+            TrueOutcome::SystemFailure {
+                cause,
+                detected: true,
+            },
+            ExitClass::SystemFailure(measured),
+        ) = (truth.outcome, run.class)
         else {
             continue;
         };
@@ -74,7 +76,10 @@ fn cause_attribution_matches_when_detected() {
     }
     assert!(total > 10, "too few detected system failures: {total}");
     let accuracy = agree as f64 / total as f64;
-    assert!(accuracy > 0.80, "cause accuracy {accuracy} ({agree}/{total})");
+    assert!(
+        accuracy > 0.80,
+        "cause accuracy {accuracy} ({agree}/{total})"
+    );
 }
 
 #[test]
@@ -109,7 +114,10 @@ fn walltime_and_user_failures_are_not_blamed_on_the_system() {
     assert!(misblame < 0.03, "user failures misattributed at {misblame}");
     assert!(walltime_total > 10, "no walltime kills in 15 days?");
     let wt = walltime_correct as f64 / walltime_total as f64;
-    assert!(wt > 0.9, "walltime recognition {wt} ({walltime_correct}/{walltime_total})");
+    assert!(
+        wt > 0.9,
+        "walltime recognition {wt} ({walltime_correct}/{walltime_total})"
+    );
 }
 
 #[test]
@@ -118,7 +126,9 @@ fn undetected_failures_surface_as_undetermined_or_missed() {
     // they are vanishingly rare, so this *mechanism* test boosts their
     // rates (and skips the anchor calibration, which those rates would
     // violate) to exercise the detection-gap path heavily.
-    let mut config = SimConfig::scaled(32, 10).with_seed(24).without_calibration();
+    let mut config = SimConfig::scaled(32, 10)
+        .with_seed(24)
+        .without_calibration();
     config.faults.gpu_fault_per_node_hour = 2.0e-2;
     config.faults.xk_node_crash_per_node_hour = 2.0e-3;
     config.faults.xe_node_crash_per_node_hour = 5.0e-4;
@@ -130,7 +140,10 @@ fn undetected_failures_surface_as_undetermined_or_missed() {
     let mut missed = 0u64;
     for run in &e2e.analysis.runs {
         let truth = truth_by_apid[&run.run.apid.value()];
-        if let TrueOutcome::SystemFailure { detected: false, .. } = truth.outcome {
+        if let TrueOutcome::SystemFailure {
+            detected: false, ..
+        } = truth.outcome
+        {
             undetected_total += 1;
             match run.class {
                 ExitClass::SystemFailure(FailureCause::Undetermined) => flagged_undetermined += 1,
@@ -139,7 +152,10 @@ fn undetected_failures_surface_as_undetermined_or_missed() {
             }
         }
     }
-    assert!(undetected_total > 5, "too few undetected system kills: {undetected_total}");
+    assert!(
+        undetected_total > 5,
+        "too few undetected system kills: {undetected_total}"
+    );
     // An undetected failure is usually flagged undetermined (the health
     // sweep caught the corpse) or missed entirely. At these boosted rates a
     // few pick up a cause from an unrelated coincident event — itself a

@@ -2,8 +2,8 @@
 //! and check that the measured picture is coherent.
 
 use bw_sim::SimConfig;
-use logdiver_integration::{run_end_to_end, to_log_collection};
 use logdiver::LogDiver;
+use logdiver_integration::{run_end_to_end, to_log_collection};
 use logdiver_types::ExitClass;
 
 #[test]
@@ -100,8 +100,10 @@ fn analysis_is_stable_under_log_shuffling() {
     logs.netwatch.reverse();
     let analysis2 = LogDiver::new().analyze(&logs);
     // Filtering sorts by time, so events and verdicts are unchanged.
-    assert_eq!(analysis2.metrics.system_failure_fraction,
-               e2e.analysis.metrics.system_failure_fraction);
+    assert_eq!(
+        analysis2.metrics.system_failure_fraction,
+        e2e.analysis.metrics.system_failure_fraction
+    );
     assert_eq!(analysis2.events.len(), e2e.analysis.events.len());
 }
 
@@ -118,8 +120,17 @@ fn scheduler_sustains_throughput_with_capability_jobs() {
     let r = &e2e.report;
     assert!(r.jobs_submitted > 1_000);
     let completion = r.jobs_completed as f64 / r.jobs_submitted as f64;
-    assert!(completion > 0.95, "only {completion:.2} of jobs ran — queue collapse");
+    assert!(
+        completion > 0.95,
+        "only {completion:.2} of jobs ran — queue collapse"
+    );
     let apps_per_job = r.apps_completed as f64 / r.jobs_completed.max(1) as f64;
-    assert!(apps_per_job > 1.6, "apps/job {apps_per_job:.2} — jobs truncated");
-    assert!(r.scheduler.backfilled > 0, "EASY should backfill around capability heads");
+    assert!(
+        apps_per_job > 1.6,
+        "apps/job {apps_per_job:.2} — jobs truncated"
+    );
+    assert!(
+        r.scheduler.backfilled > 0,
+        "EASY should backfill around capability heads"
+    );
 }

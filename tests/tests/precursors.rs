@@ -7,7 +7,9 @@ use logdiver_integration::run_end_to_end;
 use logdiver_types::ErrorCategory;
 
 fn boosted() -> SimConfig {
-    let mut config = SimConfig::scaled(32, 20).with_seed(61).without_calibration();
+    let mut config = SimConfig::scaled(32, 20)
+        .with_seed(61)
+        .without_calibration();
     config.faults.ce_floods_per_hour = 2.0;
     config.faults.ce_flood_escalation_prob = 0.25;
     config.faults.xe_node_crash_per_node_hour = 1.0e-5; // mostly escalations
@@ -19,7 +21,11 @@ fn boosted() -> SimConfig {
 fn escalated_failures_show_their_precursors() {
     let e2e = run_end_to_end(boosted());
     let p = &e2e.analysis.metrics.precursors;
-    assert!(p.lethal_events > 20, "too few lethal node events: {}", p.lethal_events);
+    assert!(
+        p.lethal_events > 20,
+        "too few lethal node events: {}",
+        p.lethal_events
+    );
     // Escalations dominate node crashes in this config, so coverage is high.
     assert!(
         p.fraction() > 0.5,
@@ -43,7 +49,11 @@ fn escalated_failures_show_their_precursors() {
         .by_category
         .iter()
         .find(|r| r.category == ErrorCategory::MemoryUncorrectable);
-    assert!(ue.is_some_and(|r| r.with_precursor > 10), "{:?}", p.by_category);
+    assert!(
+        ue.is_some_and(|r| r.with_precursor > 10),
+        "{:?}",
+        p.by_category
+    );
 }
 
 #[test]

@@ -10,10 +10,10 @@ use rand::{Rng, SeedableRng};
 fn corrupt(line: &str, rng: &mut impl Rng) -> String {
     let mut s = line.to_string();
     match rng.random_range(0..4) {
-        0 => s.truncate(s.len() / 2),                    // truncated write
-        1 => s = format!("{s}{s}"),                      // doubled write
-        2 => s = s.replace(' ', ""),                     // mangled separators
-        _ => s = format!("\u{fffd}{s}"),                 // encoding damage
+        0 => s.truncate(s.len() / 2),    // truncated write
+        1 => s = format!("{s}{s}"),      // doubled write
+        2 => s = s.replace(' ', ""),     // mangled separators
+        _ => s = format!("\u{fffd}{s}"), // encoding damage
     }
     s
 }
@@ -24,7 +24,13 @@ fn corrupted_lines_never_panic_and_are_counted() {
     let mut logs = to_log_collection(&e2e.sim);
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
     // Corrupt 10 % of every stream.
-    for stream in [&mut logs.syslog, &mut logs.hwerr, &mut logs.alps, &mut logs.torque, &mut logs.netwatch] {
+    for stream in [
+        &mut logs.syslog,
+        &mut logs.hwerr,
+        &mut logs.alps,
+        &mut logs.torque,
+        &mut logs.netwatch,
+    ] {
         let n = stream.len();
         for _ in 0..n / 10 {
             let i = rng.random_range(0..stream.len());

@@ -1,0 +1,176 @@
+//! The streaming engine's hard correctness bar: for *any* chunking of the
+//! same logs — including chunk boundaries mid-burst — and any
+//! within-lateness reordering inside a source, `StreamEngine::drain()`
+//! must equal `LogDiver::analyze()` verdict-for-verdict.
+
+use std::sync::OnceLock;
+
+use bw_sim::SimConfig;
+use logdiver::{Analysis, LogCollection};
+use logdiver_integration::{run_end_to_end, to_log_collection};
+use logdiver_stream::{Source, StreamConfig, StreamEngine};
+use logdiver_types::{SimDuration, Timestamp};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+/// Simulated corpora, generated once and shared across proptest cases.
+fn corpus(which: usize) -> &'static (LogCollection, Analysis) {
+    static CORPORA: [OnceLock<(LogCollection, Analysis)>; 2] = [OnceLock::new(), OnceLock::new()];
+    CORPORA[which].get_or_init(|| {
+        let seed = 1201 + which as u64;
+        let e2e = run_end_to_end(SimConfig::scaled(64, 2).with_seed(seed));
+        (to_log_collection(&e2e.sim), e2e.analysis)
+    })
+}
+
+/// Moves each line at most `jitter` positions, simulating bounded
+/// out-of-order arrival within one source.
+fn jitter_lines(lines: &mut [String], jitter: usize, rng: &mut impl Rng) {
+    if jitter == 0 || lines.len() < 2 {
+        return;
+    }
+    for i in 0..lines.len() {
+        let j = (i + rng.random_range(0..=jitter)).min(lines.len() - 1);
+        lines.swap(i, j);
+    }
+}
+
+fn line_timestamp(line: &str) -> Option<Timestamp> {
+    line.get(..19)?.parse().ok()
+}
+
+/// The smallest allowed lateness under which no line in `lines` is late:
+/// the largest backward timestamp jump, plus a second of slack.
+fn needed_lateness(sources: &[&[String]]) -> SimDuration {
+    let mut worst = SimDuration::ZERO;
+    for lines in sources {
+        let mut high: Option<Timestamp> = None;
+        for line in *lines {
+            let Some(ts) = line_timestamp(line) else {
+                continue;
+            };
+            if let Some(h) = high {
+                worst = worst.max(h - ts);
+            }
+            high = Some(high.map_or(ts, |h| h.max(ts)));
+        }
+    }
+    worst + SimDuration::from_secs(1)
+}
+
+/// Pushes the five logs as interleaved chunks of `chunk` lines per source
+/// per round — an arbitrary chunking of the arrival stream.
+fn stream_in_chunks(logs: &LogCollection, chunk: usize, lateness: SimDuration) -> Analysis {
+    let config = StreamConfig::default().with_lateness(lateness);
+    let mut engine = StreamEngine::new(config);
+    let sources = [
+        (Source::Syslog, &logs.syslog),
+        (Source::HwErr, &logs.hwerr),
+        (Source::Alps, &logs.alps),
+        (Source::Torque, &logs.torque),
+        (Source::Netwatch, &logs.netwatch),
+    ];
+    let mut offsets = [0usize; 5];
+    loop {
+        let mut moved = false;
+        for (i, (source, lines)) in sources.iter().enumerate() {
+            let lo = offsets[i];
+            let hi = (lo + chunk).min(lines.len());
+            if lo < hi {
+                engine
+                    .push_batch(*source, lines[lo..hi].iter().cloned())
+                    .unwrap();
+                offsets[i] = hi;
+                moved = true;
+            } else if lo == lines.len() {
+                engine.close(*source);
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    engine.drain()
+}
+
+fn in_order_lateness(logs: &LogCollection) -> SimDuration {
+    needed_lateness(&[
+        &logs.syslog,
+        &logs.hwerr,
+        &logs.alps,
+        &logs.torque,
+        &logs.netwatch,
+    ])
+}
+
+fn assert_analyses_equal(streamed: &Analysis, batch: &Analysis) {
+    assert_eq!(streamed.runs.len(), batch.runs.len(), "run count");
+    for (s, b) in streamed.runs.iter().zip(&batch.runs) {
+        assert_eq!(s, b, "run {:?} classified differently", b.run.apid);
+    }
+    assert_eq!(streamed.events, batch.events, "closed events");
+    assert_eq!(streamed.metrics, batch.metrics, "metric set");
+    assert_eq!(streamed.stats, batch.stats, "pipeline stats");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any chunk size, any corpus, any bounded reorder: drain == analyze.
+    #[test]
+    fn drain_equals_batch_for_any_chunking(
+        which in 0usize..2,
+        chunk in 1usize..64,
+        jitter in 0usize..4,
+        rng_seed in 0u64..1_000,
+    ) {
+        let (logs, batch) = corpus(which);
+        let mut jittered = logs.clone();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(rng_seed);
+        for lines in [&mut jittered.syslog, &mut jittered.hwerr, &mut jittered.netwatch] {
+            jitter_lines(lines, jitter, &mut rng);
+        }
+        let lateness = needed_lateness(&[
+            &jittered.syslog,
+            &jittered.hwerr,
+            &jittered.alps,
+            &jittered.torque,
+            &jittered.netwatch,
+        ]);
+        let streamed = stream_in_chunks(&jittered, chunk, lateness);
+        // The batch pipeline sorts entries itself, so the jittered logs give
+        // it the same answer as the pristine ones.
+        prop_assert_eq!(&streamed.runs, &batch.runs);
+        prop_assert_eq!(&streamed.events, &batch.events);
+        prop_assert_eq!(&streamed.metrics, &batch.metrics);
+        prop_assert_eq!(&streamed.stats, &batch.stats);
+    }
+}
+
+/// Line-at-a-time arrival (chunk = 1) — the most adversarial chunking —
+/// checked exhaustively against the batch result.
+#[test]
+fn line_at_a_time_equals_batch() {
+    let (logs, batch) = corpus(0);
+    let streamed = stream_in_chunks(logs, 1, in_order_lateness(logs));
+    assert_analyses_equal(&streamed, batch);
+}
+
+/// A chunk boundary that splits an error burst and a PLACED/EXIT pair must
+/// not change the coalesced events or the verdicts.
+#[test]
+fn mid_burst_chunk_boundaries_are_harmless() {
+    let (logs, batch) = corpus(1);
+    for chunk in [2, 3, 7, 17] {
+        let streamed = stream_in_chunks(logs, chunk, in_order_lateness(logs));
+        assert_analyses_equal(&streamed, batch);
+    }
+}
+
+/// One big push per source (chunk = everything) is the degenerate chunking.
+#[test]
+fn single_chunk_equals_batch() {
+    let (logs, batch) = corpus(0);
+    let streamed = stream_in_chunks(logs, usize::MAX / 2, in_order_lateness(logs));
+    assert_analyses_equal(&streamed, batch);
+}

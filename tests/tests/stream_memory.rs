@@ -1,0 +1,154 @@
+//! The streaming engine's memory bar: on an arbitrarily long stream, open
+//! state (reorder buffer, open events, unfinalized runs) stays bounded by
+//! the configured windows — it must not grow with stream length — and
+//! `snapshot()` stays queryable the whole time.
+
+use std::time::{Duration, Instant};
+
+use logdiver_stream::{Source, StreamConfig, StreamEngine, StreamSnapshot};
+use logdiver_types::{SimDuration, Timestamp};
+
+/// One synthetic 3-minute cycle of activity across all five sources: a
+/// batch job, an aprun that exits next cycle, an MCE burst on a rotating
+/// node, and a link failure.
+fn cycle_lines(i: u64) -> [(Source, Vec<String>); 5] {
+    let t = Timestamp::PRODUCTION_EPOCH + SimDuration::from_secs(i as i64 * 180);
+    let t1 = t + SimDuration::from_secs(1);
+    let nid = 2 + (i % 48);
+    let slot = i % 4;
+    let blade = (i / 4) % 8;
+    let mut alps = vec![format!(
+        "{t} apsys PLACED apid={i} batch={i}.bw user=u0001 cmd=a.out type=XE width=1 nodelist=nid[{n}]",
+        n = 1000 + nid
+    )];
+    if i > 0 {
+        alps.push(format!(
+            "{t1} apsys EXIT apid={p} code=0 signal=none node_failed=no runtime=180",
+            p = i - 1
+        ));
+    }
+    [
+        (
+            Source::Torque,
+            vec![format!(
+                "{t};S;{i}.bw;user=u0001 queue=normal nodes=1 walltime=86400"
+            )],
+        ),
+        (Source::Alps, alps),
+        (
+            Source::Syslog,
+            vec![
+                format!("{t} nid{nid:05} kernel: Machine Check Exception: bank 4 status 0xb200"),
+                format!("{t1} nid00900 ntpd: time slew +0.012s"),
+            ],
+        ),
+        (
+            Source::HwErr,
+            vec![format!("{t}|c0-0c0s{blade}n{slot}|MCE|CRIT|bank=4")],
+        ),
+        (
+            Source::Netwatch,
+            vec![format!("{t} netwatch LINK_FAILED coord=(0,0,0) dim=X")],
+        ),
+    ]
+}
+
+/// Polls until the coordinator has processed every pushed line, so counter
+/// assertions are about settled state rather than channel lag.
+fn settled_snapshot(engine: &StreamEngine, pushed: u64) -> StreamSnapshot {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let snap = engine.snapshot();
+        let delivered: u64 = snap.parse.iter().map(|c| c.total).sum();
+        if delivered == pushed {
+            return snap;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "engine stalled: {delivered}/{pushed} lines"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+#[test]
+fn open_state_is_bounded_on_a_long_stream() {
+    // 120 cycles x 180 s = 6 h of logs: 12x the 1800 s max event span, with
+    // a tight 60 s lateness so the watermarks actually close things.
+    const CYCLES: u64 = 120;
+    const BUFFER_CAP: usize = 64;
+    const OPEN_EVENT_CAP: usize = 32;
+    const OPEN_RUN_CAP: usize = 40;
+
+    let config = StreamConfig::default().with_lateness(SimDuration::from_secs(60));
+    let mut engine = StreamEngine::new(config);
+    let mut pushed = 0u64;
+    let mut peak_buffered = 0usize;
+    let mut peak_open_events = 0usize;
+    let mut peak_open_runs = 0usize;
+
+    for i in 0..CYCLES {
+        for (source, lines) in cycle_lines(i) {
+            pushed += lines.len() as u64;
+            engine.push_batch(source, lines).unwrap();
+        }
+        // Queryable on every cycle, even while workers are mid-line.
+        let live = engine.snapshot();
+        assert_eq!(live.late_dropped, 0);
+
+        if i % 10 == 9 {
+            let snap = settled_snapshot(&engine, pushed);
+            peak_buffered = peak_buffered.max(snap.buffered_entries);
+            peak_open_events = peak_open_events.max(snap.open_events);
+            peak_open_runs = peak_open_runs.max(snap.open_runs);
+            assert!(
+                snap.buffered_entries < BUFFER_CAP,
+                "cycle {i}: reorder buffer grew to {}",
+                snap.buffered_entries
+            );
+            assert!(
+                snap.open_events < OPEN_EVENT_CAP,
+                "cycle {i}: {} events stuck open",
+                snap.open_events
+            );
+            assert!(
+                snap.open_runs < OPEN_RUN_CAP,
+                "cycle {i}: {} runs stuck open",
+                snap.open_runs
+            );
+        }
+    }
+
+    let snap = settled_snapshot(&engine, pushed);
+    assert!(
+        snap.classified_runs >= 100,
+        "only {} of {CYCLES} runs classified before drain — finalization is not incremental",
+        snap.classified_runs
+    );
+    // Adjacent-node MCEs chain into per-blade events, so there are fewer
+    // events than cycles — but far more than could ever be open at once.
+    assert!(
+        snap.closed_events > 40,
+        "only {} events closed",
+        snap.closed_events
+    );
+    assert!(snap.watermark.is_some(), "watermark never advanced");
+    assert!(
+        snap.metrics.total_runs >= 100,
+        "live metrics missing finalized runs"
+    );
+
+    let analysis = engine.drain();
+    assert_eq!(
+        analysis.runs.len(),
+        CYCLES as usize,
+        "every run must surface at drain"
+    );
+    assert_eq!(
+        analysis.stats.parse.iter().map(|c| c.total).sum::<u64>(),
+        pushed
+    );
+    // The whole stream closed far more events than were ever open at once.
+    assert!(analysis.events.len() > 3 * peak_open_events);
+    assert!(peak_open_runs < OPEN_RUN_CAP && peak_buffered < BUFFER_CAP);
+}

@@ -1,0 +1,260 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the benchmarking surface the workspace uses — `Criterion`,
+//! `benchmark_group`, `Throughput`, `bench_function`, `criterion_group!`,
+//! `criterion_main!` — with simple wall-clock median-of-samples timing and
+//! plain-text reporting. No statistical analysis, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(500),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Target time spent measuring each benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Applies a substring filter from the command line, as `cargo bench --
+    /// <filter>` does.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--bench" | "--test" | "--nocapture" | "--quiet" | "--exact" => {}
+                flag if flag.starts_with("--") => {
+                    // Flags with values we don't honour (e.g. --save-baseline x).
+                    let _ = args.next();
+                }
+                filter => self.filter = Some(filter.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let filter = self.filter.clone();
+        let sample_size = self.sample_size;
+        let measurement_time = self.measurement_time;
+        run_one(id, None, &filter, sample_size, measurement_time, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to report rates for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    /// Times one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(
+            &full,
+            self.throughput,
+            &self.criterion.filter.clone(),
+            self.criterion.sample_size,
+            self.criterion.measurement_time,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] exactly once.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, first estimating a per-sample iteration count, then
+    /// recording `sample_size` samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: how many iterations fit in one sample slot?
+        let calibration = Instant::now();
+        let mut calls = 0u64;
+        while calibration.elapsed() < Duration::from_millis(50) {
+            black_box(routine());
+            calls += 1;
+            if calls >= 1_000_000 {
+                break;
+            }
+        }
+        let per_call = calibration.elapsed().as_secs_f64() / calls as f64;
+        let slot = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((slot / per_call.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters_per_sample as u32);
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    throughput: Option<Throughput>,
+    filter: &Option<String>,
+    sample_size: usize,
+    measurement_time: Duration,
+    mut f: F,
+) {
+    if let Some(filter) = filter {
+        if !id.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        sample_size,
+        measurement_time,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{id:<40} (no samples — closure never called iter)");
+        return;
+    }
+    bencher.samples.sort_unstable();
+    let median = bencher.samples[bencher.samples.len() / 2];
+    let lo = bencher.samples[0];
+    let hi = bencher.samples[bencher.samples.len() - 1];
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => {
+            format!("  {:>12.0} elem/s", n as f64 / median.as_secs_f64())
+        }
+        Throughput::Bytes(n) => {
+            format!("  {:>12.0} B/s", n as f64 / median.as_secs_f64())
+        }
+    });
+    println!(
+        "{id:<40} time: [{} {} {}]{}",
+        fmt_duration(lo),
+        fmt_duration(median),
+        fmt_duration(hi),
+        rate.unwrap_or_default()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group, mirroring criterion's two macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30));
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.finish();
+    }
+}

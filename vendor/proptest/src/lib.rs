@@ -1,0 +1,593 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset this workspace uses: `proptest!` test blocks with
+//! `pattern in strategy` bindings, numeric range strategies, tuple strategies,
+//! `any::<T>()`, `collection::{vec, btree_set}`, regex-ish string strategies,
+//! `prop_assert!`/`prop_assert_eq!`, and `ProptestConfig::with_cases`.
+//! Cases are generated from a seed derived from the test name, so runs are
+//! deterministic. There is no shrinking: a failing case reports its inputs
+//! via the assertion message and case index instead.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod strategy {
+    use super::*;
+
+    /// A generator of values for one `pattern in strategy` binding.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+    int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            self.start + rng.random::<f64>() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut StdRng) -> f32 {
+            self.start + rng.random::<f32>() * (self.end - self.start)
+        }
+    }
+
+    /// String literals act as regex-subset strategies (see [`regex`]).
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut StdRng) -> String {
+            regex::generate(self, rng)
+        }
+    }
+
+    impl Strategy for String {
+        type Value = String;
+        fn generate(&self, rng: &mut StdRng) -> String {
+            regex::generate(self, rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident : $idx:tt),+)),+ $(,)?) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+    tuple_strategy!(
+        (A: 0, B: 1),
+        (A: 0, B: 1, C: 2),
+        (A: 0, B: 1, C: 2, D: 3),
+    );
+}
+
+pub mod arbitrary {
+    use super::*;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "whole domain" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> bool {
+            rng.random::<bool>()
+        }
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty : $via:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> $t {
+                    rng.random::<$via>() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8: u32, u16: u32, u32: u32, u64: u64, usize: u64,
+             i8: i32, i16: i32, i32: i32, i64: i64, isize: i64);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut StdRng) -> f64 {
+            // Finite, sign-symmetric, wide dynamic range.
+            let mag = (rng.random::<f64>() * 600.0 - 300.0).exp2();
+            if rng.random::<bool>() {
+                mag
+            } else {
+                -mag
+            }
+        }
+    }
+
+    /// Strategy wrapper returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> super::strategy::Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::*;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors of `element` values with lengths in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = sample_len(&self.size, rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<T>` targeting a size in `size`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates sets of `element` values with sizes at most `size.end - 1`.
+    pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> BTreeSet<S::Value> {
+            let target = sample_len(&self.size, rng);
+            let mut out = BTreeSet::new();
+            // Duplicates shrink the set below target; retry a bounded number
+            // of times so narrow domains still terminate.
+            for _ in 0..target.saturating_mul(4).max(8) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+
+    fn sample_len(size: &Range<usize>, rng: &mut StdRng) -> usize {
+        assert!(size.start < size.end, "empty size range");
+        rng.random_range(size.clone())
+    }
+}
+
+pub mod regex {
+    //! Tiny regex-subset string generator covering the patterns used in this
+    //! workspace: literal characters, `[...]` classes with ranges, `\PC`
+    //! (any non-control char), `.`, and the quantifiers `*`, `+`, `?`,
+    //! `{n}`, `{m,n}`.
+
+    use super::*;
+
+    enum Atom {
+        Literal(char),
+        Class(Vec<(char, char)>),
+        AnyPrintable,
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    /// Generates one string matching `pattern`.
+    pub fn generate(pattern: &str, rng: &mut StdRng) -> String {
+        let pieces = parse(pattern);
+        let mut out = String::new();
+        for piece in &pieces {
+            let n = if piece.min == piece.max {
+                piece.min
+            } else {
+                rng.random_range(piece.min..=piece.max)
+            };
+            for _ in 0..n {
+                out.push(sample_atom(&piece.atom, rng));
+            }
+        }
+        out
+    }
+
+    fn sample_atom(atom: &Atom, rng: &mut StdRng) -> char {
+        match atom {
+            Atom::Literal(c) => *c,
+            Atom::Class(ranges) => {
+                let total: u32 = ranges
+                    .iter()
+                    .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                    .sum();
+                let mut pick = rng.random_range(0..total);
+                for (lo, hi) in ranges {
+                    let span = *hi as u32 - *lo as u32 + 1;
+                    if pick < span {
+                        return char::from_u32(*lo as u32 + pick).unwrap_or(*lo);
+                    }
+                    pick -= span;
+                }
+                ranges[0].0
+            }
+            Atom::AnyPrintable => {
+                // Mostly ASCII printable with occasional wider unicode.
+                if rng.random_range(0..8u32) == 0 {
+                    char::from_u32(rng.random_range(0xA1u32..0x2000)).unwrap_or('§')
+                } else {
+                    char::from_u32(rng.random_range(0x20u32..0x7F)).unwrap()
+                }
+            }
+        }
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pieces = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '\\' => {
+                    i += 1;
+                    match chars.get(i) {
+                        Some('P') => {
+                            // `\PC` — not-a-control-character.
+                            i += 1; // past 'P'
+                            if chars.get(i) == Some(&'C') {
+                                i += 1;
+                            }
+                            Atom::AnyPrintable
+                        }
+                        Some('d') => {
+                            i += 1;
+                            Atom::Class(vec![('0', '9')])
+                        }
+                        Some(&c) => {
+                            i += 1;
+                            Atom::Literal(match c {
+                                'n' => '\n',
+                                'r' => '\r',
+                                't' => '\t',
+                                other => other,
+                            })
+                        }
+                        None => Atom::Literal('\\'),
+                    }
+                }
+                '[' => {
+                    i += 1;
+                    let mut ranges = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = if chars[i] == '\\' {
+                            i += 1;
+                            chars[i]
+                        } else {
+                            chars[i]
+                        };
+                        i += 1;
+                        if i + 1 < chars.len() && chars[i] == '-' && chars[i + 1] != ']' {
+                            let hi = chars[i + 1];
+                            i += 2;
+                            ranges.push((lo, hi));
+                        } else {
+                            ranges.push((lo, lo));
+                        }
+                    }
+                    i += 1; // past ']'
+                    Atom::Class(ranges)
+                }
+                '.' => {
+                    i += 1;
+                    Atom::AnyPrintable
+                }
+                c => {
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+            let (min, max) = match chars.get(i) {
+                Some('*') => {
+                    i += 1;
+                    (0, 16)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 16)
+                }
+                Some('?') => {
+                    i += 1;
+                    (0, 1)
+                }
+                Some('{') => {
+                    let close = chars[i..].iter().position(|&c| c == '}').map(|p| p + i);
+                    match close {
+                        Some(close) => {
+                            let inner: String = chars[i + 1..close].iter().collect();
+                            i = close + 1;
+                            if let Some((lo, hi)) = inner.split_once(',') {
+                                (
+                                    lo.trim().parse().unwrap_or(0),
+                                    hi.trim().parse().unwrap_or(16),
+                                )
+                            } else {
+                                let n = inner.trim().parse().unwrap_or(1);
+                                (n, n)
+                            }
+                        }
+                        None => (1, 1),
+                    }
+                }
+                _ => (1, 1),
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+}
+
+pub mod test_runner {
+    /// Per-block configuration. Only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// A failed property case.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+}
+
+/// Deterministic per-test seed (FNV-1a over the test name).
+pub fn seed_for(name: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Fresh generator for a named test.
+pub fn rng_for(name: &str) -> StdRng {
+    StdRng::seed_from_u64(seed_for(name))
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($cfg:expr)
+     $(
+         $(#[$meta:meta])+
+         fn $name:ident($($p:pat_param in $s:expr),+ $(,)?) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let __config = $cfg;
+                let mut __rng = $crate::rng_for(stringify!($name));
+                for __case in 0..__config.cases {
+                    $(let $p = $crate::strategy::Strategy::generate(&$s, &mut __rng);)+
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(err) = __outcome {
+                        panic!(
+                            "proptest {} failed at case {}/{} (seed {}): {}",
+                            stringify!($name),
+                            __case,
+                            __config.cases,
+                            $crate::seed_for(stringify!($name)),
+                            err,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            // No shrinking/rejection machinery: treat as a vacuous pass.
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples(v in 5u32..10, pair in (0i64..4, any::<bool>())) {
+            prop_assert!((5..10).contains(&v));
+            prop_assert!((0..4).contains(&pair.0));
+        }
+
+        #[test]
+        fn collections(mut xs in crate::collection::vec(0u8..4, 1..60),
+                       set in crate::collection::btree_set(0u32..512, 0..64)) {
+            xs.sort_unstable();
+            prop_assert!(!xs.is_empty() && xs.len() < 60);
+            prop_assert!(set.len() < 64);
+            prop_assert!(set.iter().all(|&x| x < 512));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn regex_subset(s in "[a-z]{2,8}", t in "2013-03-28 12:30:0[0-9]", u in "\\PC*") {
+            prop_assert!(s.len() >= 2 && s.len() <= 8);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            prop_assert!(t.starts_with("2013-03-28 12:30:0"));
+            prop_assert!(t.chars().last().unwrap().is_ascii_digit());
+            prop_assert!(u.chars().all(|c| !c.is_control()));
+        }
+    }
+}

@@ -1,0 +1,433 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! This container has no access to crates.io, so the real serde cannot be
+//! vendored. The workspace instead patches `serde`/`serde_json` with small
+//! local crates built around a concrete JSON-like `Value` data model, and
+//! this proc-macro derives those traits for the plain data shapes the
+//! workspace actually uses: structs with named fields, tuple structs, unit
+//! structs, and enums whose variants are unit, tuple, or struct-like.
+//! Generics and `#[serde(...)]` attributes are intentionally unsupported —
+//! the derive panics loudly rather than miscompiling them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives the stub `serde::Serialize` (serialization into `serde::Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_item(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derives the stub `serde::Deserialize` (reconstruction from `serde::Value`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_item(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// item parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Parsed {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde stub derive: expected struct/enum, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde stub derive: expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stub derive: generic type {name} is unsupported");
+    }
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("serde stub derive: malformed struct {name}: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde stub derive: malformed enum {name}: {other:?}"),
+        },
+        other => panic!("serde stub derive: cannot derive for {other} {name}"),
+    };
+    Parsed { name, shape }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` and the bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names of a `{ ... }` body, angle-bracket aware so that commas inside
+/// `HashMap<K, V>` do not split fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde stub derive: expected field name, found {other}"),
+        };
+        fields.push(name);
+        i += 1;
+        match &tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde stub derive: expected ':' after field, found {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+    }
+    fields
+}
+
+/// Advances past one type, stopping after the field-separating comma.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut fields = 1;
+    let mut angle_depth = 0i32;
+    let mut saw_content_since_comma = true;
+    for (k, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if k + 1 < tokens.len() {
+                    fields += 1;
+                    saw_content_since_comma = false;
+                }
+            }
+            _ => saw_content_since_comma = true,
+        }
+    }
+    let _ = saw_content_since_comma;
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde stub derive: expected variant name, found {other}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(p: &Parsed) -> String {
+    let name = &p.name;
+    let body = match &p.shape {
+        Shape::NamedStruct(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::serialize_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{}])", pairs.join(", "))
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::serialize_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::serialize_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", elems.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vn} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from(\"{vn}\"), \
+                              ::serde::Serialize::serialize_value(__f0))]),"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                            let elems: Vec<String> = (0..*n)
+                                .map(|k| format!("::serde::Serialize::serialize_value(__f{k})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(::std::vec![\
+                                 (::std::string::String::from(\"{vn}\"), \
+                                  ::serde::Value::Array(::std::vec![{}]))]),",
+                                binds.join(", "),
+                                elems.join(", ")
+                            )
+                        }
+                        VariantShape::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let pairs: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::serialize_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(::std::vec![\
+                                 (::std::string::String::from(\"{vn}\"), \
+                                  ::serde::Value::Object(::std::vec![{}]))]),",
+                                pairs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(p: &Parsed) -> String {
+    let name = &p.name;
+    let body = match &p.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize_value(\
+                         ::serde::get_field(__obj, \"{f}\", \"{name}\")?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "let __obj = __v.as_object().ok_or_else(|| \
+                 ::serde::DeError::custom(\"expected object for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(" ")
+            )
+        }
+        Shape::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize_value(__v)?))"
+        ),
+        Shape::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::deserialize_value(&__arr[{k}])?"))
+                .collect();
+            format!(
+                "let __arr = __v.as_array().ok_or_else(|| \
+                 ::serde::DeError::custom(\"expected array for {name}\"))?;\n\
+                 if __arr.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::DeError::custom(\"wrong arity for {name}\")); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => None,
+                        VariantShape::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::deserialize_value(__payload)?)),"
+                        )),
+                        VariantShape::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|k| {
+                                    format!("::serde::Deserialize::deserialize_value(&__arr[{k}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{ let __arr = __payload.as_array().ok_or_else(|| \
+                                 ::serde::DeError::custom(\"expected array for {name}::{vn}\"))?; \
+                                 if __arr.len() != {n} {{ return ::std::result::Result::Err(\
+                                 ::serde::DeError::custom(\"wrong arity for {name}::{vn}\")); }} \
+                                 ::std::result::Result::Ok({name}::{vn}({})) }}",
+                                elems.join(", ")
+                            ))
+                        }
+                        VariantShape::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::deserialize_value(\
+                                         ::serde::get_field(__fields, \"{f}\", \"{name}::{vn}\")?)?,"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{ let __fields = __payload.as_object().ok_or_else(|| \
+                                 ::serde::DeError::custom(\"expected object for {name}::{vn}\"))?; \
+                                 ::std::result::Result::Ok({name}::{vn} {{ {} }}) }}",
+                                inits.join(" ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit}\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 &format!(\"unknown variant {{__other}} of {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                 let (__tag, __payload) = (&__pairs[0].0, &__pairs[0].1);\n\
+                 match __tag.as_str() {{\n\
+                 {data}\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 &format!(\"unknown variant {{__other}} of {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 _ => ::std::result::Result::Err(::serde::DeError::custom(\
+                 \"expected string or single-key object for {name}\")),\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                data = data_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}
