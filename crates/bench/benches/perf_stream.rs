@@ -1,7 +1,10 @@
 //! P2 — streaming-engine throughput: lines/sec through `StreamEngine`
-//! with 1 vs N syslog parse workers, against the batch pipeline baseline.
+//! with 1 vs N syslog parse workers, against the batch pipeline baseline,
+//! plus the cost of crash-safety (periodic quiescent checkpoints written
+//! atomically to disk, as `stream --checkpoint` does).
 //!
-//! Writes `BENCH_stream.json` (shard sweep + baseline) for tracking.
+//! Writes `BENCH_stream.json` (shard sweep + baseline + checkpoint
+//! overhead) for tracking.
 
 use std::time::Instant;
 
@@ -20,12 +23,21 @@ struct ShardPoint {
 }
 
 #[derive(Serialize)]
+struct CheckpointPoint {
+    every_lines: u64,
+    checkpoints_written: u64,
+    lines_per_sec: f64,
+    overhead_vs_no_ckpt: f64,
+}
+
+#[derive(Serialize)]
 struct StreamBench {
     bench: String,
     total_lines: usize,
     reps: usize,
     batch_lines_per_sec: f64,
     stream: Vec<ShardPoint>,
+    checkpoint: Vec<CheckpointPoint>,
 }
 
 fn corpus() -> LogCollection {
@@ -45,7 +57,11 @@ fn corpus() -> LogCollection {
 }
 
 /// Streams the whole corpus in round-robin 1024-line chunks and drains.
-fn stream_once(logs: &LogCollection, shards: usize) -> f64 {
+/// With `ckpt = Some((path, every))`, takes a quiescent checkpoint and
+/// writes it atomically each time `every` more lines have been pushed —
+/// the crash-safety cost `stream --checkpoint` pays. Returns the rate and
+/// how many checkpoints were written.
+fn stream_once(logs: &LogCollection, shards: usize, ckpt: Option<(&str, u64)>) -> (f64, u64) {
     let config = StreamConfig::default()
         .with_lateness(SimDuration::from_secs(3_600))
         .with_syslog_shards(shards);
@@ -59,6 +75,8 @@ fn stream_once(logs: &LogCollection, shards: usize) -> f64 {
     ];
     let start = Instant::now();
     let mut offsets = [0usize; 5];
+    let mut since_ckpt = 0u64;
+    let mut written = 0u64;
     loop {
         let mut moved = false;
         for (i, (source, lines)) in sources.iter().enumerate() {
@@ -69,7 +87,18 @@ fn stream_once(logs: &LogCollection, shards: usize) -> f64 {
                     .push_batch(*source, lines[lo..hi].iter().cloned())
                     .unwrap();
                 offsets[i] = hi;
+                since_ckpt += (hi - lo) as u64;
                 moved = true;
+            }
+        }
+        if let Some((path, every)) = ckpt {
+            if since_ckpt >= every {
+                engine
+                    .checkpoint([0; 5])
+                    .write_atomic(std::path::Path::new(path))
+                    .expect("checkpoint write");
+                since_ckpt = 0;
+                written += 1;
             }
         }
         if !moved {
@@ -79,7 +108,7 @@ fn stream_once(logs: &LogCollection, shards: usize) -> f64 {
     let analysis = engine.drain();
     let secs = start.elapsed().as_secs_f64();
     assert!(!analysis.runs.is_empty(), "bench corpus must produce runs");
-    logs.total_lines() as f64 / secs
+    (logs.total_lines() as f64 / secs, written)
 }
 
 fn main() {
@@ -102,7 +131,7 @@ fn main() {
     let mut sweep = Vec::new();
     for shards in [1usize, 2, 4] {
         let best = (0..REPS)
-            .map(|_| stream_once(&logs, shards))
+            .map(|_| stream_once(&logs, shards, None).0)
             .fold(0.0f64, f64::max);
         println!(
             "stream, {shards} shard{s}: {best:>10.0} lines/s ({:.2}x batch)",
@@ -116,12 +145,40 @@ fn main() {
         });
     }
 
+    // Checkpoint overhead: the 2-shard run again, now paying a quiescent
+    // snapshot + atomic file write every N lines.
+    let no_ckpt = sweep[1].lines_per_sec;
+    let ckpt_dir = std::env::temp_dir().join("logdiver-perf-ckpt");
+    std::fs::create_dir_all(&ckpt_dir).expect("temp dir");
+    let ckpt_path = ckpt_dir.join("bench.ckpt");
+    let ckpt_path = ckpt_path.to_str().expect("utf-8 temp path");
+    let mut ckpt_sweep = Vec::new();
+    for every in [50_000u64, 10_000] {
+        let (best, written) = (0..REPS)
+            .map(|_| stream_once(&logs, 2, Some((ckpt_path, every))))
+            .fold((0.0f64, 0u64), |acc, r| (acc.0.max(r.0), acc.1.max(r.1)));
+        let overhead = 1.0 - best / no_ckpt;
+        println!(
+            "ckpt every {every:>6}: {best:>10.0} lines/s ({written} checkpoints, \
+             {:+.1}% overhead)",
+            overhead * 100.0
+        );
+        ckpt_sweep.push(CheckpointPoint {
+            every_lines: every,
+            checkpoints_written: written,
+            lines_per_sec: best,
+            overhead_vs_no_ckpt: overhead,
+        });
+    }
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+
     let out = StreamBench {
         bench: "perf_stream".to_string(),
         total_lines: total,
         reps: REPS,
         batch_lines_per_sec: batch_rate,
         stream: sweep,
+        checkpoint: ckpt_sweep,
     };
     let text = serde_json::to_string_pretty(&out).expect("serializable");
     let path = "BENCH_stream.json";

@@ -4,7 +4,10 @@
 //! logdiver simulate  --out DIR [--divisor N] [--days N] [--seed N]
 //! logdiver analyze   --logs DIR [--csv DIR]
 //! logdiver validate  --logs DIR
-//! logdiver stream    --logs DIR [--chunk N] [--follow] [--shards N] [--lateness SECS]
+//! logdiver stream    --logs DIR [--chunk N] [--follow] [--shards N]
+//!                    [--lateness SECS] [--checkpoint FILE] [--resume FILE]
+//!                    [--checkpoint-every N] [--checkpoint-secs N]
+//!                    [--quarantine-out FILE] [--quarantine-keep N]
 //! logdiver reproduce [--divisor N] [--days N] [--seed N] [--boost-capability]
 //! logdiver swf       --out FILE [--divisor N] [--days N] [--seed N]
 //! ```
@@ -14,8 +17,11 @@
 //! `validate` additionally scores the verdicts against the ground truth;
 //! `stream` feeds the same files through the online engine
 //! (`logdiver-stream`), printing live progress, and `--follow` keeps
-//! tailing them; `reproduce` does simulate+analyze in memory and prints
-//! every table and figure (the benches call the same path per experiment).
+//! tailing them — surviving file rotation, circuit-breaking sources that
+//! turn to garbage, writing crash-safe checkpoints (`--checkpoint`) that a
+//! later `--resume` picks up exactly, and exiting cleanly on Ctrl-C;
+//! `reproduce` does simulate+analyze in memory and prints every table and
+//! figure (the benches call the same path per experiment).
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -25,7 +31,7 @@ use logdiver::{report, LogCollection, LogDiver};
 use rand::SeedableRng;
 
 fn usage() -> &'static str {
-    "usage:\n  logdiver simulate  --out DIR [--divisor N] [--days N] [--seed N]\n  logdiver analyze   --logs DIR [--csv DIR]\n  logdiver validate  --logs DIR\n  logdiver stream    --logs DIR [--chunk N] [--follow] [--shards N] [--lateness SECS]\n  logdiver reproduce [--divisor N] [--days N] [--seed N] [--boost-capability]\n  logdiver swf       --out FILE [--divisor N] [--days N] [--seed N]\n\noptions:\n  --divisor N   machine scale divisor (1 = full Blue Waters; default 16)\n  --days N      production days to simulate (default 30; the paper is 518)\n  --seed N      RNG seed (default 1)\n  --out DIR     output directory for raw logs\n  --logs DIR    directory holding messages.log / hwerr.log / apsys.log /\n                torque.log / netwatch.log\n  --csv DIR     also write scale-curve CSVs there\n  --chunk N     lines pushed per source per round when streaming (default 1024)\n  --follow      keep tailing the log files for appended lines (SIGINT stops)\n  --shards N    parallel syslog parse workers (default 2)\n  --lateness SECS  allowed out-of-order lateness within a source (default 60)\n  --boost-capability  multiply capability-job frequency ×8 (dense sampling\n                of the full-scale buckets on small machines)"
+    "usage:\n  logdiver simulate  --out DIR [--divisor N] [--days N] [--seed N]\n  logdiver analyze   --logs DIR [--csv DIR]\n  logdiver validate  --logs DIR\n  logdiver stream    --logs DIR [--chunk N] [--follow] [--shards N]\n                     [--lateness SECS] [--checkpoint FILE] [--resume FILE]\n                     [--checkpoint-every N] [--checkpoint-secs N]\n                     [--quarantine-out FILE] [--quarantine-keep N]\n  logdiver reproduce [--divisor N] [--days N] [--seed N] [--boost-capability]\n  logdiver swf       --out FILE [--divisor N] [--days N] [--seed N]\n\noptions:\n  --divisor N   machine scale divisor (1 = full Blue Waters; default 16)\n  --days N      production days to simulate (default 30; the paper is 518)\n  --seed N      RNG seed (default 1)\n  --out DIR     output directory for raw logs\n  --logs DIR    directory holding messages.log / hwerr.log / apsys.log /\n                torque.log / netwatch.log\n  --csv DIR     also write scale-curve CSVs there\n  --chunk N     lines pushed per source per round when streaming (default 1024)\n  --follow      keep tailing the log files for appended lines; SIGINT writes\n                a final checkpoint and report, then exits cleanly\n  --shards N    parallel syslog parse workers (default 2)\n  --lateness SECS  allowed out-of-order lateness within a source (default 60)\n  --checkpoint FILE     write crash-safe checkpoints to FILE (atomic\n                temp+rename); resume later with --resume FILE\n  --resume FILE         restore engine state and file offsets from a\n                checkpoint; also the checkpoint target unless --checkpoint\n                says otherwise\n  --checkpoint-every N  checkpoint after N accepted lines (default 50000)\n  --checkpoint-secs N   also checkpoint every N seconds while lines flow\n                (default 5)\n  --quarantine-out FILE append every quarantined (corrupt) raw line to FILE\n  --quarantine-keep N   recent corrupt lines kept in memory per source\n                (default 16)\n  --boost-capability  multiply capability-job frequency ×8 (dense sampling\n                of the full-scale buckets on small machines)"
 }
 
 /// What one subcommand accepts: value-taking options and bare switches.
@@ -54,7 +60,18 @@ const COMMANDS: &[CommandSpec] = &[
     },
     CommandSpec {
         name: "stream",
-        flags: &["logs", "chunk", "shards", "lateness"],
+        flags: &[
+            "logs",
+            "chunk",
+            "shards",
+            "lateness",
+            "checkpoint",
+            "checkpoint-every",
+            "checkpoint-secs",
+            "resume",
+            "quarantine-out",
+            "quarantine-keep",
+        ],
         switches: &["follow"],
     },
     CommandSpec {
@@ -259,48 +276,146 @@ fn cmd_reproduce(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// Reads whole lines appended to `path` since `offset`. A trailing partial
-/// line (no newline yet) is left for the next poll.
-fn read_new_lines(path: &std::path::Path, offset: u64) -> std::io::Result<(Vec<String>, u64)> {
-    use std::io::{Read, Seek, SeekFrom};
-    let mut file = std::fs::File::open(path)?;
-    let len = file.metadata()?.len();
-    if len <= offset {
-        return Ok((Vec::new(), offset.min(len)));
+/// Graceful Ctrl-C for `stream --follow`: the handler only flips a flag;
+/// the feeder loop notices it between rounds and runs the normal shutdown
+/// path (final checkpoint, spill drain, drain, report).
+#[cfg(unix)]
+mod sigint {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static STOP: AtomicBool = AtomicBool::new(false);
+
+    type SigHandler = extern "C" fn(i32);
+
+    extern "C" {
+        fn signal(signum: i32, handler: SigHandler) -> usize;
     }
-    file.seek(SeekFrom::Start(offset))?;
-    let mut text = String::new();
-    file.take(len - offset).read_to_string(&mut text)?;
-    let Some(last_newline) = text.rfind('\n') else {
-        return Ok((Vec::new(), offset));
-    };
-    let consumed = offset + last_newline as u64 + 1;
-    let lines = text[..=last_newline].lines().map(str::to_string).collect();
-    Ok((lines, consumed))
+
+    extern "C" fn on_sigint(_signum: i32) {
+        STOP.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        unsafe {
+            signal(SIGINT, on_sigint);
+        }
+    }
+
+    pub fn pending() -> bool {
+        STOP.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sigint {
+    pub fn install() {}
+    pub fn pending() -> bool {
+        false
+    }
+}
+
+/// One tailed source file: the tailer, lines read but not yet accepted by
+/// the engine, and the byte offset checkpoints may safely record.
+struct TailState {
+    source: logdiver_stream::Source,
+    tail: logdiver_stream::tail::Tailer<logdiver_stream::tail::FsLogFile>,
+    /// Each pending line carries the offset that becomes durable once the
+    /// engine accepts it — so a checkpoint taken mid-chunk never claims
+    /// bytes the engine has not seen.
+    pending: std::collections::VecDeque<(String, u64)>,
+    /// Offset of the last line the engine accepted; what checkpoints record.
+    ckpt_offset: u64,
+    last_len: u64,
+    last_growth: std::time::Instant,
+    stalled: bool,
+    /// While the source's circuit breaker is open: when to half-open it.
+    probe_at: Option<std::time::Instant>,
+    closed: bool,
 }
 
 fn cmd_stream(args: &Args) -> Result<(), String> {
-    use logdiver_stream::{Source, StreamConfig, StreamEngine};
-    use std::collections::VecDeque;
+    use logdiver_stream::tail::{FsLogFile, Tailer};
+    use logdiver_stream::{Source, StreamCheckpoint, StreamConfig, StreamEngine, StreamError};
+    use std::io::Write as _;
+    use std::time::{Duration, Instant};
+
+    /// A file that stops growing for this long, while another source keeps
+    /// growing, is reported to the engine as stalled (degrading it so it
+    /// cannot hold the watermark forever).
+    const STALL_AFTER: Duration = Duration::from_secs(30);
 
     let dir = args.flags.get("logs").ok_or("stream needs --logs DIR")?;
     let chunk = get_u64(args, "chunk", 1024)?.max(1) as usize;
     let shards = get_u64(args, "shards", 2)?.max(1) as usize;
     let lateness = get_u64(args, "lateness", 60)?;
     let follow = args.switches.iter().any(|s| s == "follow");
+    let ckpt_every = get_u64(args, "checkpoint-every", 50_000)?.max(1);
+    let ckpt_interval = Duration::from_secs(get_u64(args, "checkpoint-secs", 5)?.max(1));
+    let quarantine_keep = get_u64(args, "quarantine-keep", 16)? as usize;
+    let resume_from = args.flags.get("resume").map(std::path::PathBuf::from);
+    let ckpt_path = args
+        .flags
+        .get("checkpoint")
+        .map(std::path::PathBuf::from)
+        .or_else(|| resume_from.clone());
 
-    let config = StreamConfig::default()
+    let mut config = StreamConfig::default()
         .with_lateness(logdiver_types::SimDuration::from_secs(lateness as i64))
-        .with_syslog_shards(shards);
-    let mut engine = StreamEngine::new(config);
+        .with_syslog_shards(shards)
+        .with_quarantine_keep(quarantine_keep);
+    let mut quarantine_out = match args.flags.get("quarantine-out") {
+        Some(path) => {
+            config = config.with_quarantine_spill();
+            let file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .map_err(|e| format!("cannot open {path}: {e}"))?;
+            Some(std::io::BufWriter::new(file))
+        }
+        None => None,
+    };
+
+    let (mut engine, start_offsets) = match &resume_from {
+        Some(path) => {
+            let ckpt = StreamCheckpoint::read(path)
+                .map_err(|e| format!("cannot resume from {}: {e}", path.display()))?;
+            let mut offsets = [0u64; 5];
+            for source in Source::ALL {
+                offsets[source.index()] = ckpt.offset(source);
+            }
+            let engine = StreamEngine::resume(config, &ckpt)
+                .map_err(|e| format!("cannot resume from {}: {e}", path.display()))?;
+            eprintln!(
+                "[stream] resumed from {}: {} lines already applied",
+                path.display(),
+                ckpt.records_applied()
+            );
+            (engine, offsets)
+        }
+        None => (StreamEngine::new(config), [0u64; 5]),
+    };
 
     // One tail per source file present in the directory; absent sources are
     // closed up front so they do not hold the watermark down.
-    let mut tails: Vec<(Source, std::path::PathBuf, u64)> = Vec::new();
+    let start = Instant::now();
+    let mut tails: Vec<TailState> = Vec::new();
     for source in Source::ALL {
         let path = std::path::Path::new(dir).join(source.file_name());
         if path.is_file() {
-            tails.push((source, path, 0));
+            let offset = start_offsets[source.index()];
+            tails.push(TailState {
+                source,
+                tail: Tailer::resume_at(FsLogFile::new(path), offset),
+                pending: std::collections::VecDeque::new(),
+                ckpt_offset: offset,
+                last_len: offset,
+                last_growth: start,
+                stalled: false,
+                probe_at: None,
+                closed: false,
+            });
         } else {
             eprintln!("[stream] {} absent, source closed", source.file_name());
             engine.close(source);
@@ -310,43 +425,217 @@ fn cmd_stream(args: &Args) -> Result<(), String> {
         return Err(format!("no log files found in {dir}"));
     }
 
-    let mut pending: Vec<VecDeque<String>> = tails.iter().map(|_| VecDeque::new()).collect();
-    let mut exhausted = false;
+    sigint::install();
     let mut rounds = 0u64;
-    while !exhausted {
-        exhausted = true;
-        for (i, (source, path, offset)) in tails.iter_mut().enumerate() {
-            if pending[i].is_empty() {
-                let (lines, consumed) = read_new_lines(path, *offset)
-                    .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-                *offset = consumed;
-                pending[i].extend(lines);
+    let mut pushed_since_ckpt = 0u64;
+    let mut last_ckpt = Instant::now();
+    let mut interrupted = false;
+
+    loop {
+        let mut idle = true;
+        for t in tails.iter_mut() {
+            if t.closed {
+                continue;
             }
-            let take = chunk.min(pending[i].len());
-            if take > 0 {
-                engine
-                    .push_batch(*source, pending[i].drain(..take))
-                    .map_err(|e| e.to_string())?;
-                exhausted = false;
+            // Open circuit: wait out the breaker's backoff, then half-open
+            // it with a probe; the retried pending lines are the probe.
+            if let Some(at) = t.probe_at {
+                if Instant::now() < at {
+                    continue;
+                }
+                engine.probe(t.source);
+                t.probe_at = None;
+            }
+            if t.pending.is_empty() {
+                let poll = t
+                    .tail
+                    .poll()
+                    .map_err(|e| format!("cannot read {}: {e}", t.source.file_name()))?;
+                if poll.rotated {
+                    eprintln!(
+                        "[stream] {} rotated or truncated; re-reading from the start",
+                        t.source.file_name()
+                    );
+                    t.ckpt_offset = 0;
+                }
+                if poll.len != t.last_len || !poll.lines.is_empty() {
+                    t.last_len = poll.len;
+                    t.last_growth = Instant::now();
+                    if t.stalled {
+                        t.stalled = false;
+                        engine.mark_recovered(t.source);
+                        eprintln!("[stream] {} is growing again", t.source.file_name());
+                    }
+                }
+                t.pending.extend(poll.lines.into_iter().zip(poll.ends));
+            }
+            let mut taken = 0;
+            while taken < chunk {
+                let Some((line, _)) = t.pending.front() else {
+                    break;
+                };
+                match engine.push(t.source, line.clone()) {
+                    Ok(()) => {
+                        let (_, end) = t.pending.pop_front().expect("front checked above");
+                        t.ckpt_offset = end;
+                        pushed_since_ckpt += 1;
+                        taken += 1;
+                        idle = false;
+                    }
+                    Err(StreamError::CircuitOpen(source)) => {
+                        let backoff = engine.health(source).backoff_ms.max(1);
+                        eprintln!(
+                            "[stream] {}: circuit open, probing again in {backoff}ms",
+                            source.file_name()
+                        );
+                        t.probe_at = Some(Instant::now() + Duration::from_millis(backoff));
+                        break;
+                    }
+                    Err(StreamError::SourceClosed(source)) => {
+                        // Only possible when a checkpoint recorded the
+                        // source as closed; honor that and stop feeding it.
+                        eprintln!(
+                            "[stream] {}: closed at checkpoint time, ignoring its file",
+                            source.file_name()
+                        );
+                        t.closed = true;
+                        t.pending.clear();
+                        break;
+                    }
+                }
             }
         }
+
+        // A source whose file froze while others keep growing would pin the
+        // watermark forever; report the stall so the engine degrades it.
+        if follow {
+            let now = Instant::now();
+            let any_growing = tails
+                .iter()
+                .any(|t| !t.closed && now.duration_since(t.last_growth) < STALL_AFTER);
+            if any_growing {
+                for t in tails.iter_mut() {
+                    if !t.closed && !t.stalled && now.duration_since(t.last_growth) >= STALL_AFTER {
+                        t.stalled = true;
+                        engine.mark_stalled(t.source);
+                        eprintln!(
+                            "[stream] {} has not grown for {}s while others have; degrading",
+                            t.source.file_name(),
+                            STALL_AFTER.as_secs()
+                        );
+                    }
+                }
+            }
+        }
+
+        if let Some(out) = quarantine_out.as_mut() {
+            write_spill(&mut engine, out)?;
+        }
+        if let Some(path) = &ckpt_path {
+            let due = pushed_since_ckpt >= ckpt_every
+                || (pushed_since_ckpt > 0 && last_ckpt.elapsed() >= ckpt_interval);
+            if due {
+                write_checkpoint(&engine, &tails, path)?;
+                pushed_since_ckpt = 0;
+                last_ckpt = Instant::now();
+            }
+        }
+
         rounds += 1;
         if rounds.is_multiple_of(64) {
             print_progress(&engine);
         }
-        if exhausted && follow {
-            print_progress(&engine);
-            std::thread::sleep(std::time::Duration::from_millis(500));
-            exhausted = false;
+        if sigint::pending() {
+            interrupted = true;
+            break;
+        }
+        if idle {
+            let waiting_on_probe = tails.iter().any(|t| !t.closed && t.probe_at.is_some());
+            if follow {
+                print_progress(&engine);
+                std::thread::sleep(Duration::from_millis(500));
+            } else if waiting_on_probe {
+                std::thread::sleep(Duration::from_millis(50));
+            } else {
+                break;
+            }
         }
     }
 
+    // One-shot reads will never see a torn final line completed: consume
+    // it now (it parses or it quarantines — either is accounted for).
+    if !follow && !interrupted {
+        for t in tails.iter_mut() {
+            if t.closed {
+                continue;
+            }
+            if let Ok(Some(partial)) = t.tail.finish() {
+                if engine.push(t.source, partial).is_ok() {
+                    t.ckpt_offset = t.tail.offset();
+                }
+            }
+        }
+    }
+
+    // Quiesce once so the final spill drain and checkpoint both see every
+    // pushed line applied.
+    let final_ckpt = (ckpt_path.is_some() || quarantine_out.is_some()).then(|| {
+        let mut offsets = [0u64; 5];
+        for t in &tails {
+            offsets[t.source.index()] = t.ckpt_offset;
+        }
+        engine.checkpoint(offsets)
+    });
+    if let Some(out) = quarantine_out.as_mut() {
+        write_spill(&mut engine, out)?;
+        out.flush()
+            .map_err(|e| format!("cannot flush quarantine spill: {e}"))?;
+    }
+    if let (Some(path), Some(ckpt)) = (&ckpt_path, &final_ckpt) {
+        ckpt.write_atomic(path)
+            .map_err(|e| format!("cannot write checkpoint {}: {e}", path.display()))?;
+        eprintln!("[stream] final checkpoint written to {}", path.display());
+    }
     print_progress(&engine);
+    if interrupted {
+        eprintln!("[stream] interrupted; draining what was ingested");
+    }
     let analysis = engine.drain();
     println!(
         "{}",
         report::full_report(&analysis.metrics, &analysis.stats)
     );
+    Ok(())
+}
+
+/// Takes a quiescent checkpoint with the feeder's durable offsets and
+/// writes it atomically.
+fn write_checkpoint(
+    engine: &logdiver_stream::StreamEngine,
+    tails: &[TailState],
+    path: &std::path::Path,
+) -> Result<(), String> {
+    let mut offsets = [0u64; 5];
+    for t in tails {
+        offsets[t.source.index()] = t.ckpt_offset;
+    }
+    engine
+        .checkpoint(offsets)
+        .write_atomic(path)
+        .map_err(|e| format!("cannot write checkpoint {}: {e}", path.display()))
+}
+
+/// Drains spilled quarantine lines to the `--quarantine-out` file, one
+/// `source\tline` record per line.
+fn write_spill(
+    engine: &mut logdiver_stream::StreamEngine,
+    out: &mut std::io::BufWriter<std::fs::File>,
+) -> Result<(), String> {
+    use std::io::Write as _;
+    for (source, line) in engine.take_spilled() {
+        writeln!(out, "{}\t{}", source.name(), line)
+            .map_err(|e| format!("cannot write quarantine spill: {e}"))?;
+    }
     Ok(())
 }
 
@@ -358,15 +647,22 @@ fn print_progress(engine: &logdiver_stream::StreamEngine) {
         Some(w) => w.to_string(),
         None => "blocked".to_string(),
     };
+    let health: Vec<&str> = snap.health.iter().map(|h| h.state.label()).collect();
+    let spill = if snap.spill_dropped > 0 {
+        format!(" spill_dropped={}", snap.spill_dropped)
+    } else {
+        String::new()
+    };
     eprintln!(
         "[stream] lines={total} bad={bad} watermark={watermark} runs={}/{} open \
-         events={}/{} open buffered={} late_dropped={}",
+         events={}/{} open buffered={} late_dropped={} health={}{spill}",
         snap.classified_runs,
         snap.open_runs,
         snap.closed_events,
         snap.open_events,
         snap.buffered_entries,
-        snap.late_dropped
+        snap.late_dropped,
+        health.join(",")
     );
 }
 
@@ -480,6 +776,30 @@ mod tests {
     fn positional_arguments_are_rejected() {
         let err = parse_args(spec("validate"), &argv(&["d"])).unwrap_err();
         assert!(err.contains("unexpected argument"), "{err}");
+    }
+
+    #[test]
+    fn stream_checkpoint_flags_parse() {
+        let args = parse_args(
+            spec("stream"),
+            &argv(&[
+                "--logs",
+                "d",
+                "--resume",
+                "state.ckpt",
+                "--checkpoint-every=1000",
+                "--checkpoint-secs",
+                "2",
+                "--quarantine-out",
+                "bad.tsv",
+                "--quarantine-keep=64",
+            ]),
+        )
+        .unwrap();
+        assert_eq!(args.flags.get("resume").unwrap(), "state.ckpt");
+        assert_eq!(args.flags.get("checkpoint-every").unwrap(), "1000");
+        assert_eq!(args.flags.get("quarantine-out").unwrap(), "bad.tsv");
+        assert_eq!(get_u64(&args, "quarantine-keep", 16).unwrap(), 64);
     }
 
     #[test]

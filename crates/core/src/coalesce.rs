@@ -93,8 +93,12 @@ impl ErrorEvent {
 }
 
 /// Spatial grouping key.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum GroupKey {
+///
+/// Public only so a [`Coalescer`]'s open state can be externalized with
+/// [`Coalescer::state`] and rebuilt with [`Coalescer::restore`] — e.g. by
+/// the streaming engine's checkpoint machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum GroupKey {
     /// Machine-scope stream (fabric, filesystem, reroutes).
     System,
     /// Blade-scoped stream.
@@ -210,6 +214,43 @@ impl Coalescer {
         self.closed.sort_by_key(|e| e.id);
         self.closed
     }
+
+    /// Externalizes the open state (serializable, deterministic ordering)
+    /// so a crashed driver can rebuild an equivalent coalescer with
+    /// [`Coalescer::restore`].
+    pub fn state(&self) -> CoalescerState {
+        let mut open: Vec<(GroupKey, ErrorEvent)> =
+            self.open.iter().map(|(k, v)| (*k, v.clone())).collect();
+        open.sort_by_key(|(k, _)| *k);
+        CoalescerState {
+            open,
+            closed: self.closed.clone(),
+            next_id: self.next_id,
+        }
+    }
+
+    /// Rebuilds a coalescer from externalized state. With the same `gap`
+    /// the restored coalescer behaves identically to the original on any
+    /// further input.
+    pub fn restore(gap: SimDuration, state: CoalescerState) -> Self {
+        Coalescer {
+            gap,
+            open: state.open.into_iter().collect(),
+            closed: state.closed,
+            next_id: state.next_id,
+        }
+    }
+}
+
+/// Serializable open state of a [`Coalescer`] (see [`Coalescer::state`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoalescerState {
+    /// Open events by spatial group, sorted by key for determinism.
+    open: Vec<(GroupKey, ErrorEvent)>,
+    /// Events closed but not yet taken.
+    closed: Vec<ErrorEvent>,
+    /// Next event id to assign.
+    next_id: u32,
 }
 
 /// Coalesces time-sorted filtered entries with the given gap.
@@ -356,6 +397,37 @@ mod tests {
         ];
         let events = coalesce(&entries, SimDuration::from_secs(300));
         assert_eq!(events.len(), 2);
+    }
+
+    #[test]
+    fn state_round_trip_preserves_behavior() {
+        let entries: Vec<_> = (0..40)
+            .map(|k| {
+                entry(
+                    k * 70,
+                    ErrorCategory::MemoryCorrectable,
+                    Some((k as u32 % 8) * 4),
+                )
+            })
+            .collect();
+        let gap = SimDuration::from_secs(120);
+        for split in [0usize, 1, 7, 20, 39, 40] {
+            let mut whole = Coalescer::new(gap);
+            let mut first = Coalescer::new(gap);
+            for e in &entries[..split] {
+                whole.push(e);
+                first.push(e);
+            }
+            // Serialize mid-stream, rebuild, and continue on the copy.
+            let json = serde_json::to_string(&first.state()).unwrap();
+            let state: CoalescerState = serde_json::from_str(&json).unwrap();
+            let mut resumed = Coalescer::restore(gap, state);
+            for e in &entries[split..] {
+                whole.push(e);
+                resumed.push(e);
+            }
+            assert_eq!(resumed.finish(), whole.finish(), "split at {split}");
+        }
     }
 
     proptest! {

@@ -233,6 +233,68 @@ impl RunReconstructor {
         let runs = self.take_all().into_iter().map(|(_, run)| run).collect();
         (runs, self.jobs, stats)
     }
+
+    /// Externalizes the open state (serializable, deterministic ordering)
+    /// so a crashed driver can rebuild an equivalent reconstructor with
+    /// [`RunReconstructor::restore`].
+    pub fn state(&self) -> ReconstructorState {
+        let mut index: Vec<(u64, u64)> = self
+            .index
+            .iter()
+            .map(|(&apid, &seq)| (apid, seq as u64))
+            .collect();
+        index.sort_unstable();
+        let mut jobs: Vec<(u64, JobInfo)> = self.jobs.iter().map(|(&j, info)| (j, *info)).collect();
+        jobs.sort_unstable_by_key(|(j, _)| *j);
+        ReconstructorState {
+            runs: self
+                .runs
+                .iter()
+                .map(|(&seq, run)| (seq as u64, run.clone()))
+                .collect(),
+            index,
+            jobs,
+            stats: self.stats,
+            next_seq: self.next_seq as u64,
+        }
+    }
+
+    /// Rebuilds a reconstructor from externalized state. The restored
+    /// reconstructor behaves identically to the original on any further
+    /// input.
+    pub fn restore(state: ReconstructorState) -> Self {
+        RunReconstructor {
+            runs: state
+                .runs
+                .into_iter()
+                .map(|(seq, run)| (seq as usize, run))
+                .collect(),
+            index: state
+                .index
+                .into_iter()
+                .map(|(apid, seq)| (apid, seq as usize))
+                .collect(),
+            jobs: state.jobs.into_iter().collect(),
+            stats: state.stats,
+            next_seq: state.next_seq as usize,
+        }
+    }
+}
+
+/// Serializable open state of a [`RunReconstructor`]
+/// (see [`RunReconstructor::state`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReconstructorState {
+    /// Unfinalized runs with their placement sequence numbers.
+    runs: Vec<(u64, AppRun)>,
+    /// apid → placement sequence (newest placement wins), sorted by apid.
+    index: Vec<(u64, u64)>,
+    /// Job context, sorted by job id.
+    jobs: Vec<(u64, JobInfo)>,
+    /// Join accounting so far.
+    stats: WorkloadStats,
+    /// Next placement sequence number.
+    next_seq: u64,
 }
 
 /// Reconstructs runs and job context from parsed logs.
@@ -305,6 +367,39 @@ mod tests {
         assert_eq!(job.walltime, SimDuration::from_secs(7200));
         assert_eq!(job.exit_status, Some(0));
         assert!(job.start.is_some());
+    }
+
+    #[test]
+    fn state_round_trip_preserves_behavior() {
+        let parsed = parse_collection(&logs());
+        let records: usize = parsed.alps.len() + parsed.torque.len();
+        for split in 0..=records {
+            let mut whole = RunReconstructor::new();
+            let mut first = RunReconstructor::new();
+            let feed = |r: &mut RunReconstructor, lo: usize, hi: usize| {
+                for (k, rec) in parsed.alps.iter().enumerate() {
+                    if (lo..hi).contains(&k) {
+                        r.push_alps(rec);
+                    }
+                }
+                for (k, rec) in parsed.torque.iter().enumerate() {
+                    if (lo..hi).contains(&(parsed.alps.len() + k)) {
+                        r.push_torque(rec);
+                    }
+                }
+            };
+            feed(&mut whole, 0, records);
+            feed(&mut first, 0, split);
+            let json = serde_json::to_string(&first.state()).unwrap();
+            let state: ReconstructorState = serde_json::from_str(&json).unwrap();
+            let mut resumed = RunReconstructor::restore(state);
+            feed(&mut resumed, split, records);
+            let (runs_a, jobs_a, stats_a) = whole.finish();
+            let (runs_b, jobs_b, stats_b) = resumed.finish();
+            assert_eq!(runs_a, runs_b, "split at {split}");
+            assert_eq!(stats_a, stats_b, "split at {split}");
+            assert_eq!(jobs_a.len(), jobs_b.len(), "split at {split}");
+        }
     }
 
     #[test]

@@ -35,6 +35,31 @@ proptest! {
         let _ = NetwatchRecord::parse(&line);
     }
 
+    /// What a tailer hands the parsers after a torn write: the line was cut
+    /// at an arbitrary *byte* (possibly mid-UTF-8-sequence) and decoded
+    /// lossily, so the parser sees replacement characters, not invalid
+    /// bytes. No parser may panic, and every such fragment must parse or be
+    /// cleanly rejected (→ quarantine), never produce a misparse of the
+    /// wrong source.
+    #[test]
+    fn lossy_utf8_truncation_never_panics(cut in 1usize..120, which in 0usize..4) {
+        let lines = [
+            // Multibyte payloads in every position a field can hold them.
+            "2013-03-28 12:30:00 nid04008 sshd: Accepted publickey for Çelik·α from 10.0.0.1",
+            "2013-03-28 12:30:00|c12-3c1s5n2|MEM_UE|FATAL|dimm=3 note=κρίσιμο",
+            "2013-03-28 12:30:00 apsys PLACED apid=1 batch=2.bw user=u0001 cmd=Ünïcode type=XE width=1 nodelist=nid[0]",
+            "2013-03-28 12:30:00 netwatch LINK_FAILED coord=(1,2,3) dim=X läne=ü",
+        ];
+        let full = lines[which].as_bytes();
+        let cut = cut.min(full.len());
+        let line = String::from_utf8_lossy(&full[..cut]);
+        let _ = SyslogRecord::parse(&line);
+        let _ = HwErrRecord::parse(&line);
+        let _ = AlpsRecord::parse(&line);
+        let _ = TorqueRecord::parse(&line);
+        let _ = NetwatchRecord::parse(&line);
+    }
+
     #[test]
     fn truncation_never_panics(cut in 0usize..80) {
         let lines = [
@@ -53,6 +78,43 @@ proptest! {
             let _ = TorqueRecord::parse(line);
             let _ = NetwatchRecord::parse(line);
         }
+    }
+}
+
+/// Empty trailing fragments — what a reader yields for the blank artifacts
+/// of torn writes, double newlines, and truncated-to-nothing records. Every
+/// parser must reject them (so the stream engine quarantines them) without
+/// panicking.
+#[test]
+fn empty_and_blank_fragments_are_rejected() {
+    for line in ["", " ", "\t", "   \t ", "\u{FFFD}", "\u{FFFD}\u{FFFD}"] {
+        assert!(SyslogRecord::parse(line).is_err(), "syslog took {line:?}");
+        assert!(HwErrRecord::parse(line).is_err(), "hwerr took {line:?}");
+        assert!(AlpsRecord::parse(line).is_err(), "alps took {line:?}");
+        assert!(TorqueRecord::parse(line).is_err(), "torque took {line:?}");
+        assert!(
+            NetwatchRecord::parse(line).is_err(),
+            "netwatch took {line:?}"
+        );
+    }
+}
+
+/// A record whose timestamp itself was cut mid-digit — the most common torn
+/// shape — must be rejected, not parsed with a garbage time.
+#[test]
+fn torn_timestamp_is_rejected() {
+    for line in [
+        "2013-03-28 12:3",
+        "2013-03-28 12:30:0",
+        "2013-03-2",
+        "2013-03-28 ",
+    ] {
+        assert!(SyslogRecord::parse(line).is_err(), "syslog took {line:?}");
+        assert!(AlpsRecord::parse(line).is_err(), "alps took {line:?}");
+        assert!(
+            NetwatchRecord::parse(line).is_err(),
+            "netwatch took {line:?}"
+        );
     }
 }
 

@@ -1,0 +1,255 @@
+//! Deterministic I/O fault injection for the ingestion path.
+//!
+//! The rest of this crate breaks the *machine*; this module breaks the
+//! *log files themselves* — the failure modes a long-running collector
+//! actually meets on shared filesystems:
+//!
+//! - **torn writes**: the writer flushes half a line, the rest arrives
+//!   (much) later or never;
+//! - **truncation**: bytes vanish off the end (a crashed writer, a
+//!   copy-truncate racing the reader);
+//! - **rotation**: the file is replaced wholesale and restarts short;
+//! - **duplicate replay**: a line is delivered twice (syslog relays love
+//!   doing this after reconnects).
+//!
+//! Everything is driven by a caller-seeded [`rand::Rng`], so a failing
+//! chaos case replays exactly from its seed. [`SimulatedLog`] is a plain
+//! in-memory byte file; the stream crate's tailer reads it through its own
+//! `LogFile` abstraction, exercising the identical consumption code that
+//! runs against the filesystem.
+
+use rand::Rng;
+
+/// An in-memory log file whose content evolves under fault injection.
+#[derive(Debug, Clone, Default)]
+pub struct SimulatedLog {
+    data: Vec<u8>,
+    /// Unflushed second half of a torn write; the next append flushes it
+    /// first (the writer finally got scheduled again).
+    pending: Vec<u8>,
+    rotations: u64,
+}
+
+impl SimulatedLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        SimulatedLog::default()
+    }
+
+    /// Current visible length in bytes.
+    pub fn len(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    /// True when nothing is visible yet.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Reads up to `max` bytes at `offset` — the tailer's view.
+    pub fn read_at(&self, offset: u64, max: usize) -> Vec<u8> {
+        let lo = (offset as usize).min(self.data.len());
+        let hi = lo.saturating_add(max).min(self.data.len());
+        self.data[lo..hi].to_vec()
+    }
+
+    /// Times the file has been rotated (content replaced).
+    pub fn rotations(&self) -> u64 {
+        self.rotations
+    }
+
+    /// True when a torn write's tail has not been flushed yet.
+    pub fn has_torn_tail(&self) -> bool {
+        !self.pending.is_empty()
+    }
+}
+
+/// Which fault (if any) one [`ChaosWriter::append_line`] call injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFault {
+    /// The line was written cleanly.
+    None,
+    /// Only a prefix of the line reached the file; the rest flushes on the
+    /// next append.
+    TornWrite,
+    /// Bytes were chopped off the end of the file after the write.
+    Truncated,
+    /// The file was rotated: visible content cleared before the write.
+    Rotated,
+    /// The line was delivered twice.
+    Duplicated,
+}
+
+/// Per-append fault probabilities (each checked independently, torn
+/// first; at most one fault fires per append).
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosWriter {
+    /// Probability a write is torn mid-line.
+    pub torn_prob: f64,
+    /// Probability trailing bytes are truncated after the write.
+    pub truncate_prob: f64,
+    /// Probability the file rotates before the write.
+    pub rotate_prob: f64,
+    /// Probability the line is replayed (written twice).
+    pub duplicate_prob: f64,
+}
+
+impl Default for ChaosWriter {
+    fn default() -> Self {
+        ChaosWriter {
+            torn_prob: 0.03,
+            truncate_prob: 0.01,
+            rotate_prob: 0.005,
+            duplicate_prob: 0.02,
+        }
+    }
+}
+
+impl ChaosWriter {
+    /// A writer that never misbehaves (control runs).
+    pub fn clean() -> Self {
+        ChaosWriter {
+            torn_prob: 0.0,
+            truncate_prob: 0.0,
+            rotate_prob: 0.0,
+            duplicate_prob: 0.0,
+        }
+    }
+
+    /// Appends `line` (a newline is added) to `log`, possibly injecting
+    /// one fault. Any torn tail left by a previous append is flushed
+    /// first. Returns what happened.
+    pub fn append_line<R: Rng>(&self, log: &mut SimulatedLog, line: &str, rng: &mut R) -> IoFault {
+        // The wedged writer from last time finally flushes.
+        if !log.pending.is_empty() {
+            let tail = std::mem::take(&mut log.pending);
+            log.data.extend_from_slice(&tail);
+        }
+        let mut full = line.as_bytes().to_vec();
+        full.push(b'\n');
+
+        if self.torn_prob > 0.0 && rng.random::<f64>() < self.torn_prob && full.len() > 1 {
+            // Split anywhere, including mid-UTF-8-sequence: the visible
+            // prefix may be an invalid-UTF-8 fragment with no newline.
+            let split = rng.random_range(1..full.len());
+            log.data.extend_from_slice(&full[..split]);
+            log.pending = full[split..].to_vec();
+            return IoFault::TornWrite;
+        }
+        if self.rotate_prob > 0.0 && rng.random::<f64>() < self.rotate_prob {
+            log.data.clear();
+            log.rotations += 1;
+            log.data.extend_from_slice(&full);
+            return IoFault::Rotated;
+        }
+        if self.duplicate_prob > 0.0 && rng.random::<f64>() < self.duplicate_prob {
+            log.data.extend_from_slice(&full);
+            log.data.extend_from_slice(&full);
+            return IoFault::Duplicated;
+        }
+        log.data.extend_from_slice(&full);
+        if self.truncate_prob > 0.0 && rng.random::<f64>() < self.truncate_prob {
+            let chop = rng.random_range(1..=full.len().min(24));
+            let keep = log.data.len().saturating_sub(chop);
+            log.data.truncate(keep);
+            return IoFault::Truncated;
+        }
+        IoFault::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn lines(log: &SimulatedLog) -> Vec<String> {
+        String::from_utf8_lossy(&log.data)
+            .split('\n')
+            .map(str::to_owned)
+            .collect()
+    }
+
+    #[test]
+    fn clean_writer_is_faithful() {
+        let w = ChaosWriter::clean();
+        let mut log = SimulatedLog::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        for i in 0..50 {
+            assert_eq!(
+                w.append_line(&mut log, &format!("line {i}"), &mut rng),
+                IoFault::None
+            );
+        }
+        let got = lines(&log);
+        assert_eq!(got.len(), 51); // trailing empty after final newline
+        assert_eq!(got[0], "line 0");
+        assert_eq!(got[49], "line 49");
+        assert!(!log.has_torn_tail());
+    }
+
+    #[test]
+    fn torn_write_heals_on_next_append() {
+        let w = ChaosWriter {
+            torn_prob: 1.0,
+            ..ChaosWriter::clean()
+        };
+        let mut log = SimulatedLog::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(
+            w.append_line(&mut log, "abcdefgh", &mut rng),
+            IoFault::TornWrite
+        );
+        assert!(log.has_torn_tail());
+        let visible_before = log.len();
+        assert!(visible_before < 9);
+        // Next append flushes the old tail before (tearing) the new line.
+        w.append_line(&mut log, "second", &mut rng);
+        let text = String::from_utf8_lossy(&log.data).into_owned();
+        assert!(text.starts_with("abcdefgh\n"), "{text:?}");
+    }
+
+    #[test]
+    fn rotation_resets_and_counts() {
+        let w = ChaosWriter {
+            rotate_prob: 1.0,
+            ..ChaosWriter::clean()
+        };
+        let mut log = SimulatedLog::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        w.append_line(&mut log, "first", &mut rng);
+        w.append_line(&mut log, "second", &mut rng);
+        assert_eq!(log.rotations(), 2);
+        assert_eq!(String::from_utf8_lossy(&log.data), "second\n");
+    }
+
+    #[test]
+    fn determinism_under_fixed_seed() {
+        let w = ChaosWriter::default();
+        let run = |seed: u64| {
+            let mut log = SimulatedLog::new();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let faults: Vec<IoFault> = (0..200)
+                .map(|i| w.append_line(&mut log, &format!("entry {i}"), &mut rng))
+                .collect();
+            (log.data.clone(), faults)
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42).0, run(43).0);
+    }
+
+    #[test]
+    fn duplicate_writes_line_twice() {
+        let w = ChaosWriter {
+            duplicate_prob: 1.0,
+            ..ChaosWriter::clean()
+        };
+        let mut log = SimulatedLog::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        assert_eq!(
+            w.append_line(&mut log, "dup", &mut rng),
+            IoFault::Duplicated
+        );
+        assert_eq!(String::from_utf8_lossy(&log.data), "dup\ndup\n");
+    }
+}

@@ -46,6 +46,7 @@
 pub mod config;
 pub mod detection;
 pub mod injector;
+pub mod io;
 pub mod kinds;
 
 pub use config::{BurnIn, FaultConfig};

@@ -1,0 +1,246 @@
+//! Crash-safe checkpoints of the streaming engine.
+//!
+//! A [`StreamCheckpoint`] captures everything the coordinator knows —
+//! per-source watermarks, the reorder buffer, open coalescer windows, open
+//! runs, health machines, and every counter — plus the per-file byte
+//! offsets the feeder had consumed. Together they make `kill -9` a
+//! recoverable event: [`crate::StreamEngine::resume`] rebuilds an engine
+//! whose future output is identical to one that never died, and the feeder
+//! seeks each log file past [`StreamCheckpoint::offset`].
+//!
+//! ## Quiescence
+//!
+//! Checkpoints are taken at *quiescence*: every pushed line has been
+//! applied by the coordinator ([`crate::StreamEngine::checkpoint`] waits
+//! for that). At quiescence the core holds no un-serializable in-flight
+//! parse results, and its state is a deterministic function of the line
+//! prefixes consumed so far — which is exactly what makes
+//! crash-plus-resume equal to an uninterrupted run (the chaos proptests
+//! enforce this).
+//!
+//! ## Durability
+//!
+//! [`StreamCheckpoint::write_atomic`] writes to a temporary sibling, syncs
+//! it, then renames over the target: a crash mid-write leaves the previous
+//! checkpoint intact, never a torn file.
+//!
+//! Quarantine *spill* lines queued for
+//! [`crate::StreamEngine::take_spilled`] are deliberately not captured —
+//! drivers drain the spill to disk before checkpointing, so carrying them
+//! would duplicate lines after a resume.
+
+use std::fmt;
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+use logdiver::classify::ClassifiedRun;
+use logdiver::coalesce::{CoalescerState, ErrorEvent};
+use logdiver::filter::{FilterStats, FilteredEntry};
+use logdiver::parse::ParseCounts;
+use logdiver::workload::ReconstructorState;
+use logdiver_types::Timestamp;
+use serde::{Deserialize, Serialize};
+
+use crate::config::Source;
+use crate::health::HealthState;
+
+/// Serialized open state of the coordinator core. Maps keyed by integers
+/// are carried as sorted pairs (the JSON layer only supports string keys);
+/// the reorder buffer stores only `(entry_seq, entry)` because the rest of
+/// its key is recomputed from the entry itself on restore.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct CoreState {
+    pub(crate) next_seq: [u64; 5],
+    pub(crate) progress: [Option<Timestamp>; 5],
+    pub(crate) open: [bool; 5],
+    pub(crate) counts: [ParseCounts; 5],
+    pub(crate) quarantine: Vec<Vec<String>>,
+    pub(crate) filter_stats: FilterStats,
+    pub(crate) buffer: Vec<(u64, FilteredEntry)>,
+    pub(crate) entry_seq: u64,
+    pub(crate) late_dropped: u64,
+    pub(crate) released: Option<Timestamp>,
+    pub(crate) coalescer: CoalescerState,
+    pub(crate) events: Vec<ErrorEvent>,
+    pub(crate) reconstructor: ReconstructorState,
+    pub(crate) done: Vec<(u64, ClassifiedRun)>,
+    pub(crate) health: Vec<HealthState>,
+    pub(crate) spill_dropped: u64,
+}
+
+/// A serializable snapshot of a quiescent [`crate::StreamEngine`] plus the
+/// feeder's per-file byte offsets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamCheckpoint {
+    /// Format version; [`crate::StreamEngine::resume`] rejects others.
+    pub version: u32,
+    /// The engine's allowed lateness when the checkpoint was taken. Resume
+    /// requires the same value: the released watermark already encodes it.
+    pub lateness_secs: i64,
+    /// Consumed byte offset per source file, in [`Source::ALL`] order.
+    /// Only *complete* lines count — a partially written tail line is
+    /// re-read after resume.
+    pub offsets: [u64; 5],
+    pub(crate) core: CoreState,
+}
+
+impl StreamCheckpoint {
+    /// Current checkpoint format version.
+    pub const VERSION: u32 = 1;
+
+    /// The consumed byte offset recorded for one source.
+    pub fn offset(&self, source: Source) -> u64 {
+        self.offsets[source.index()]
+    }
+
+    /// Total lines applied across all sources when the checkpoint was
+    /// taken (drives `--checkpoint-every` cadence).
+    pub fn records_applied(&self) -> u64 {
+        self.core.next_seq.iter().sum()
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("checkpoint serialization is infallible")
+    }
+
+    /// Parses a checkpoint, rejecting unknown versions.
+    ///
+    /// # Errors
+    ///
+    /// [`ResumeError::Corrupt`] on malformed JSON, [`ResumeError::Version`]
+    /// on a version this build does not understand.
+    pub fn from_json(text: &str) -> Result<Self, ResumeError> {
+        let ckpt: StreamCheckpoint =
+            serde_json::from_str(text).map_err(|e| ResumeError::Corrupt(e.to_string()))?;
+        if ckpt.version != Self::VERSION {
+            return Err(ResumeError::Version(ckpt.version));
+        }
+        Ok(ckpt)
+    }
+
+    /// Writes the checkpoint atomically: temp sibling, sync, rename. A
+    /// crash at any point leaves either the old checkpoint or the new one,
+    /// never a torn file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from create/write/sync/rename.
+    pub fn write_atomic(&self, path: &Path) -> std::io::Result<()> {
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        {
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(self.to_json().as_bytes())?;
+            file.write_all(b"\n")?;
+            file.sync_all()?;
+        }
+        fs::rename(&tmp, path)
+    }
+
+    /// Reads and validates a checkpoint file.
+    ///
+    /// # Errors
+    ///
+    /// [`ResumeError::Io`] when the file cannot be read; see
+    /// [`StreamCheckpoint::from_json`] for the rest.
+    pub fn read(path: &Path) -> Result<Self, ResumeError> {
+        let text = fs::read_to_string(path)
+            .map_err(|e| ResumeError::Io(format!("{}: {e}", path.display())))?;
+        Self::from_json(&text)
+    }
+}
+
+/// Why a checkpoint could not be loaded or resumed from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResumeError {
+    /// The checkpoint file could not be read.
+    Io(String),
+    /// The file's contents did not parse as a checkpoint.
+    Corrupt(String),
+    /// The checkpoint was written by an incompatible format version.
+    Version(u32),
+    /// The engine config's lateness differs from the checkpoint's; the
+    /// released watermark already baked the old value in.
+    LatenessMismatch {
+        /// Lateness (seconds) recorded in the checkpoint.
+        checkpoint: i64,
+        /// Lateness (seconds) in the config passed to resume.
+        config: i64,
+    },
+    /// The checkpoint's internal shape is inconsistent (wrong array
+    /// lengths).
+    Malformed(String),
+}
+
+impl fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResumeError::Io(msg) => write!(f, "cannot read checkpoint: {msg}"),
+            ResumeError::Corrupt(msg) => write!(f, "corrupt checkpoint: {msg}"),
+            ResumeError::Version(v) => write!(
+                f,
+                "checkpoint version {v} is not supported (this build writes {})",
+                StreamCheckpoint::VERSION
+            ),
+            ResumeError::LatenessMismatch { checkpoint, config } => write!(
+                f,
+                "lateness mismatch: checkpoint was taken with {checkpoint}s, config says {config}s"
+            ),
+            ResumeError::Malformed(msg) => write!(f, "malformed checkpoint: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StreamConfig;
+    use crate::engine::StreamEngine;
+
+    #[test]
+    fn write_atomic_round_trips_and_leaves_no_temp() {
+        let engine = StreamEngine::new(StreamConfig::default());
+        let ckpt = engine.checkpoint([7, 0, 0, 0, 0]);
+        engine.drain();
+
+        let dir = std::env::temp_dir().join("logdiver-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.ckpt");
+        ckpt.write_atomic(&path).unwrap();
+        let back = StreamCheckpoint::read(&path).unwrap();
+        assert_eq!(back, ckpt);
+        assert_eq!(back.offset(Source::Syslog), 7);
+        assert!(!dir.join("state.ckpt.tmp").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unknown_version_is_rejected() {
+        let engine = StreamEngine::new(StreamConfig::default());
+        let mut ckpt = engine.checkpoint([0; 5]);
+        engine.drain();
+        ckpt.version = 99;
+        let text = ckpt.to_json();
+        assert!(matches!(
+            StreamCheckpoint::from_json(&text),
+            Err(ResumeError::Version(99))
+        ));
+    }
+
+    #[test]
+    fn garbage_is_corrupt_not_panic() {
+        assert!(matches!(
+            StreamCheckpoint::from_json("{\"not\": \"a checkpoint\""),
+            Err(ResumeError::Corrupt(_))
+        ));
+        assert!(matches!(
+            StreamCheckpoint::read(Path::new("/nonexistent/x.ckpt")),
+            Err(ResumeError::Io(_))
+        ));
+    }
+}

@@ -4,6 +4,8 @@ use logdiver::filter::PatternTable;
 use logdiver::LogDiverConfig;
 use logdiver_types::SimDuration;
 
+use crate::health::HealthPolicy;
+
 /// The five log sources the engine accepts lines from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Source {
@@ -90,6 +92,17 @@ pub struct StreamConfig {
     pub channel_capacity: usize,
     /// How many recent corrupt lines to keep per source for inspection.
     pub quarantine_keep: usize,
+    /// When `true`, every quarantined raw line (subject to degraded-state
+    /// sampling) is also queued for [`crate::StreamEngine::take_spilled`]
+    /// so a driver can write it to disk.
+    pub spill_quarantined: bool,
+    /// Ceiling on queued spill lines between
+    /// [`crate::StreamEngine::take_spilled`] calls; beyond it lines are
+    /// dropped (counted, not kept) so an unpolled spill cannot grow
+    /// without bound.
+    pub spill_capacity: usize,
+    /// Escalation thresholds and backoff policy for per-source health.
+    pub health: HealthPolicy,
 }
 
 impl Default for StreamConfig {
@@ -101,6 +114,9 @@ impl Default for StreamConfig {
             syslog_shards: 2,
             channel_capacity: 4_096,
             quarantine_keep: 16,
+            spill_quarantined: false,
+            spill_capacity: 65_536,
+            health: HealthPolicy::default(),
         }
     }
 }
@@ -121,6 +137,25 @@ impl StreamConfig {
     /// Overrides the batch-pipeline configuration.
     pub fn with_logdiver(mut self, config: LogDiverConfig) -> Self {
         self.logdiver = config;
+        self
+    }
+
+    /// Overrides the health policy.
+    pub fn with_health(mut self, health: HealthPolicy) -> Self {
+        self.health = health;
+        self
+    }
+
+    /// Enables quarantine spilling (see
+    /// [`crate::StreamEngine::take_spilled`]).
+    pub fn with_quarantine_spill(mut self) -> Self {
+        self.spill_quarantined = true;
+        self
+    }
+
+    /// Overrides the per-source quarantine ring size.
+    pub fn with_quarantine_keep(mut self, keep: usize) -> Self {
+        self.quarantine_keep = keep;
         self
     }
 }

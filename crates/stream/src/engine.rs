@@ -30,11 +30,13 @@ use logdiver::filter::{
 use logdiver::metrics::{compute, MetricSet};
 use logdiver::parse::ParseCounts;
 use logdiver::pipeline::Analysis;
-use logdiver_types::Timestamp;
+use logdiver_types::{SimDuration, Timestamp};
 use parking_lot::Mutex;
 
+use crate::checkpoint::{ResumeError, StreamCheckpoint};
 use crate::config::{Source, StreamConfig};
-use crate::state::{Body, Parsed, StreamCore};
+use crate::health::HealthReport;
+use crate::state::{cell_is_open, new_health_cells, Body, HealthCells, Parsed, StreamCore};
 
 /// Errors the push API can report.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,12 +44,19 @@ pub enum StreamError {
     /// The source was closed with [`StreamEngine::close`]; no more lines
     /// can be pushed to it.
     SourceClosed(Source),
+    /// The source's circuit breaker is open: the line was rejected (and
+    /// counted). Wait [`HealthReport::backoff_ms`], call
+    /// [`StreamEngine::probe`], then retry.
+    CircuitOpen(Source),
 }
 
 impl std::fmt::Display for StreamError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             StreamError::SourceClosed(s) => write!(f, "source {} is closed", s.name()),
+            StreamError::CircuitOpen(s) => {
+                write!(f, "source {}: circuit breaker is open", s.name())
+            }
         }
     }
 }
@@ -83,6 +92,11 @@ pub struct StreamSnapshot {
     /// Metrics over the closed/classified state — the same [`MetricSet`]
     /// the batch pipeline computes, restricted to what has finalized.
     pub metrics: MetricSet,
+    /// Per-source health (`[syslog, hwerr, alps, torque, netwatch]`).
+    pub health: [HealthReport; 5],
+    /// Quarantined lines dropped because the spill queue was full (see
+    /// [`StreamEngine::take_spilled`]).
+    pub spill_dropped: u64,
 }
 
 enum CoordMsg {
@@ -105,7 +119,9 @@ enum CoordMsg {
 pub struct StreamEngine {
     inputs: Vec<Vec<Sender<(u64, String)>>>,
     seqs: [u64; 5],
+    lateness: SimDuration,
     core: Arc<Mutex<StreamCore>>,
+    cells: HealthCells,
     workers: Vec<JoinHandle<()>>,
     coordinator: Option<JoinHandle<()>>,
 }
@@ -114,9 +130,63 @@ impl StreamEngine {
     /// Starts the engine: one parse worker per source, plus
     /// `config.syslog_shards` for syslog, plus the coordinator.
     pub fn new(config: StreamConfig) -> Self {
+        let cells = new_health_cells();
+        let core = StreamCore::new(config.clone(), Arc::clone(&cells));
+        Self::launch(config, core, cells, [0; 5], [true; 5])
+    }
+
+    /// Rebuilds an engine from a [`StreamCheckpoint`], resuming exactly
+    /// where the checkpointed engine left off: watermarks, reorder buffer,
+    /// open events and runs, counters, and health machines all carry over.
+    /// The caller feeds each source from
+    /// [`StreamCheckpoint::offset`] onward; the resumed engine's future
+    /// output equals an engine that never stopped.
+    ///
+    /// # Errors
+    ///
+    /// [`ResumeError::LatenessMismatch`] when `config.lateness` differs
+    /// from the checkpoint's (the released watermark baked the old value
+    /// in), [`ResumeError::Malformed`] when the checkpoint's internal
+    /// arrays have the wrong shape.
+    pub fn resume(
+        config: StreamConfig,
+        checkpoint: &StreamCheckpoint,
+    ) -> Result<Self, ResumeError> {
+        if config.lateness.as_secs() != checkpoint.lateness_secs {
+            return Err(ResumeError::LatenessMismatch {
+                checkpoint: checkpoint.lateness_secs,
+                config: config.lateness.as_secs(),
+            });
+        }
+        if checkpoint.core.health.len() != 5 || checkpoint.core.quarantine.len() != 5 {
+            return Err(ResumeError::Malformed(format!(
+                "expected 5 sources, found {} health / {} quarantine entries",
+                checkpoint.core.health.len(),
+                checkpoint.core.quarantine.len()
+            )));
+        }
+        let cells = new_health_cells();
+        let core =
+            StreamCore::from_state(config.clone(), Arc::clone(&cells), checkpoint.core.clone());
+        Ok(Self::launch(
+            config,
+            core,
+            cells,
+            checkpoint.core.next_seq,
+            checkpoint.core.open,
+        ))
+    }
+
+    fn launch(
+        config: StreamConfig,
+        core: StreamCore,
+        cells: HealthCells,
+        seqs: [u64; 5],
+        open: [bool; 5],
+    ) -> Self {
         let capacity = config.channel_capacity.max(1);
         let table = Arc::new(config.table.clone());
-        let core = Arc::new(Mutex::new(StreamCore::new(config.clone())));
+        let core = Arc::new(Mutex::new(core));
         let (out_tx, out_rx) = bounded::<CoordMsg>(capacity);
 
         let mut inputs = Vec::with_capacity(5);
@@ -137,6 +207,11 @@ impl StreamEngine {
                 }));
                 senders.push(in_tx);
             }
+            // A source that was already closed at checkpoint time stays
+            // closed: dropping the senders lets its workers finish.
+            if !open[source.index()] {
+                senders.clear();
+            }
             inputs.push(senders);
         }
         drop(out_tx);
@@ -145,8 +220,10 @@ impl StreamEngine {
         let coordinator = std::thread::spawn(move || coordinate(&out_rx, &coord_core));
         StreamEngine {
             inputs,
-            seqs: [0; 5],
+            seqs,
+            lateness: config.lateness,
             core,
+            cells,
             workers,
             coordinator: Some(coordinator),
         }
@@ -158,12 +235,17 @@ impl StreamEngine {
     /// # Errors
     ///
     /// [`StreamError::SourceClosed`] after [`StreamEngine::close`] on this
-    /// source.
+    /// source; [`StreamError::CircuitOpen`] while the source's circuit
+    /// breaker is open.
     pub fn push(&mut self, source: Source, line: impl Into<String>) -> Result<(), StreamError> {
         let i = source.index();
         let senders = &self.inputs[i];
         if senders.is_empty() {
             return Err(StreamError::SourceClosed(source));
+        }
+        if cell_is_open(&self.cells, i) {
+            self.core.lock().note_rejected(source);
+            return Err(StreamError::CircuitOpen(source));
         }
         let seq = self.seqs[i];
         let shard = (seq % senders.len() as u64) as usize;
@@ -223,6 +305,8 @@ impl StreamEngine {
             open_runs: counters.open_runs,
             classified_runs: counters.classified_runs,
             metrics: compute(&runs, &events),
+            health: counters.health,
+            spill_dropped: counters.spill_dropped,
         }
     }
 
@@ -230,6 +314,62 @@ impl StreamEngine {
     /// `quarantine_keep` most recent raw lines.
     pub fn quarantined(&self, source: Source) -> (u64, Vec<String>) {
         self.core.lock().quarantined(source)
+    }
+
+    /// Current health of one source.
+    pub fn health(&self, source: Source) -> HealthReport {
+        self.core.lock().health_report(source)
+    }
+
+    /// Half-opens an Open circuit so a bounded probe can flow. The driver
+    /// calls this after waiting [`HealthReport::backoff_ms`]. Returns
+    /// `false` (no-op) when the circuit is not open.
+    pub fn probe(&mut self, source: Source) -> bool {
+        self.core.lock().probe(source)
+    }
+
+    /// Driver verdict: the source is stalled (its file is not growing
+    /// while others are). Degrades a Healthy source; see
+    /// [`StreamEngine::mark_recovered`].
+    pub fn mark_stalled(&mut self, source: Source) {
+        self.core.lock().mark_stalled(source);
+    }
+
+    /// Driver verdict: the stall cleared. A source degraded only by the
+    /// stall returns to Healthy.
+    pub fn mark_recovered(&mut self, source: Source) {
+        self.core.lock().mark_recovered(source);
+    }
+
+    /// Drains the quarantine spill queue (raw corrupt lines with their
+    /// source), in arrival order. Only populated when
+    /// [`StreamConfig::spill_quarantined`] is set. Drivers persist these
+    /// (e.g. `--quarantine-out`) so bounded in-memory quarantine loses
+    /// nothing.
+    pub fn take_spilled(&mut self) -> Vec<(Source, String)> {
+        self.core.lock().take_spilled()
+    }
+
+    /// Captures a [`StreamCheckpoint`] of the engine plus the caller's
+    /// per-file byte `offsets` (in [`Source::ALL`] order). Waits for
+    /// quiescence — every pushed line applied — so the checkpoint is a
+    /// pure function of the consumed line prefixes; callers must pass
+    /// offsets that match what they have pushed.
+    pub fn checkpoint(&self, offsets: [u64; 5]) -> StreamCheckpoint {
+        loop {
+            {
+                let core = self.core.lock();
+                if core.is_quiescent(&self.seqs) {
+                    return StreamCheckpoint {
+                        version: StreamCheckpoint::VERSION,
+                        lateness_secs: self.lateness.as_secs(),
+                        offsets,
+                        core: core.checkpoint_state(),
+                    };
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
     }
 
     /// Closes every source, waits for all in-flight lines to be processed,

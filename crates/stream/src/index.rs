@@ -82,6 +82,24 @@ impl StreamIndex {
             .map(|&(_, _, pos)| self.events[pos].clone())
             .collect()
     }
+
+    /// The events in insertion order. [`StreamIndex::from_events`] on this
+    /// vector rebuilds an identical index — the checkpoint round trip.
+    pub fn events_in_insertion_order(&self) -> Vec<ErrorEvent> {
+        self.events.clone()
+    }
+
+    /// Rebuilds an index by inserting `events` in order. Inverse of
+    /// [`StreamIndex::events_in_insertion_order`]: every derived structure
+    /// (sorted view, id map, max span, lethal count) is a deterministic
+    /// function of the insertion sequence.
+    pub fn from_events(events: Vec<ErrorEvent>) -> Self {
+        let mut index = StreamIndex::new();
+        for event in events {
+            index.insert(event);
+        }
+        index
+    }
 }
 
 impl EventLookup for StreamIndex {

@@ -49,13 +49,18 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+mod checkpoint;
 mod config;
 mod engine;
+mod health;
 mod index;
 mod state;
+pub mod tail;
 
+pub use checkpoint::{ResumeError, StreamCheckpoint};
 pub use config::{Source, StreamConfig};
 pub use engine::{StreamEngine, StreamError, StreamSnapshot};
+pub use health::{HealthPolicy, HealthReport, SourceHealth};
 pub use index::StreamIndex;
 
 #[cfg(test)]

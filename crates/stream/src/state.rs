@@ -27,6 +27,8 @@
 //! finalizes) until it produces or is closed.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
 
 use craylog::alps::AlpsRecord;
 use craylog::torque::TorqueRecord;
@@ -38,8 +40,32 @@ use logdiver::pipeline::{Analysis, PipelineStats};
 use logdiver::workload::RunReconstructor;
 use logdiver_types::{SimDuration, Timestamp};
 
+use crate::checkpoint::CoreState;
 use crate::config::{Source, StreamConfig};
+use crate::health::{HealthReport, HealthState, SourceHealth};
 use crate::index::StreamIndex;
+
+/// Lock-free mirror of the per-source health states, shared with the
+/// engine so [`crate::StreamEngine::push`] can reject circuit-open pushes
+/// without taking the core lock.
+pub(crate) type HealthCells = Arc<[AtomicU8; 5]>;
+
+pub(crate) fn new_health_cells() -> HealthCells {
+    Arc::new([const { AtomicU8::new(0) }; 5])
+}
+
+pub(crate) fn cell_encode(state: SourceHealth) -> u8 {
+    match state {
+        SourceHealth::Healthy => 0,
+        SourceHealth::Degraded => 1,
+        SourceHealth::Open => 2,
+        SourceHealth::HalfOpen => 3,
+    }
+}
+
+pub(crate) fn cell_is_open(cells: &HealthCells, i: usize) -> bool {
+    cells[i].load(Ordering::Relaxed) == 2
+}
 
 /// One record as parsed (and, for entry sources, filtered) by a worker.
 #[derive(Debug)]
@@ -101,6 +127,8 @@ pub(crate) struct Counters {
     pub classified_runs: usize,
     pub lethal_events: u64,
     pub watermark: Option<Timestamp>,
+    pub health: [HealthReport; 5],
+    pub spill_dropped: u64,
 }
 
 /// The deterministic heart of the engine.
@@ -128,10 +156,17 @@ pub(crate) struct StreamCore {
     index: StreamIndex,
     reconstructor: RunReconstructor,
     done: BTreeMap<usize, ClassifiedRun>,
+    // Per-source health machines, mirrored into the lock-free cells the
+    // engine's push path reads.
+    health: [HealthState; 5],
+    cells: HealthCells,
+    // Quarantined raw lines queued for the driver to spill to disk.
+    spill: VecDeque<(Source, String)>,
+    spill_dropped: u64,
 }
 
 impl StreamCore {
-    pub(crate) fn new(config: StreamConfig) -> Self {
+    pub(crate) fn new(config: StreamConfig, cells: HealthCells) -> Self {
         let gap = config.logdiver.coalesce_gap;
         let mut shards = [1usize; 5];
         shards[Source::Syslog.index()] = config.syslog_shards.max(1);
@@ -154,6 +189,10 @@ impl StreamCore {
             index: StreamIndex::new(),
             reconstructor: RunReconstructor::new(),
             done: BTreeMap::new(),
+            health: Default::default(),
+            cells,
+            spill: VecDeque::new(),
+            spill_dropped: 0,
         }
     }
 
@@ -188,7 +227,20 @@ impl StreamCore {
         self.counts[i].total += 1;
         match body {
             Body::Bad(line) => {
+                let ordinal = self.counts[i].bad;
                 self.counts[i].bad += 1;
+                let keep = self.health[i].record_bad(&self.config.health, ordinal);
+                self.sync_cell(i);
+                if !keep {
+                    return;
+                }
+                if self.config.spill_quarantined {
+                    if self.spill.len() < self.config.spill_capacity {
+                        self.spill.push_back((source, line.clone()));
+                    } else {
+                        self.spill_dropped += 1;
+                    }
+                }
                 if self.config.quarantine_keep > 0 {
                     let q = &mut self.quarantine[i];
                     if q.len() == self.config.quarantine_keep {
@@ -197,30 +249,42 @@ impl StreamCore {
                     q.push_back(line);
                 }
             }
-            Body::Ok(parsed) => match parsed {
-                Parsed::Syslog { timestamp, entry } => {
-                    self.filter_stats.syslog_examined += 1;
-                    self.bump(i, timestamp);
-                    if let Some(e) = entry {
-                        self.filter_stats.syslog_kept += 1;
-                        self.buffer_entry(e);
-                    }
-                }
-                Parsed::HwErr(e) | Parsed::Netwatch(e) => {
-                    self.filter_stats.structured_kept += 1;
-                    self.bump(i, e.timestamp);
+            Body::Ok(parsed) => {
+                self.health[i].record_good(&self.config.health);
+                self.sync_cell(i);
+                self.apply_parsed(i, parsed);
+            }
+        }
+    }
+
+    fn apply_parsed(&mut self, i: usize, parsed: Parsed) {
+        match parsed {
+            Parsed::Syslog { timestamp, entry } => {
+                self.filter_stats.syslog_examined += 1;
+                self.bump(i, timestamp);
+                if let Some(e) = entry {
+                    self.filter_stats.syslog_kept += 1;
                     self.buffer_entry(e);
                 }
-                Parsed::Alps(rec) => {
-                    self.bump(i, alps_timestamp(&rec));
-                    self.reconstructor.push_alps(&rec);
-                }
-                Parsed::Torque(rec) => {
-                    self.bump(i, rec.timestamp);
-                    self.reconstructor.push_torque(&rec);
-                }
-            },
+            }
+            Parsed::HwErr(e) | Parsed::Netwatch(e) => {
+                self.filter_stats.structured_kept += 1;
+                self.bump(i, e.timestamp);
+                self.buffer_entry(e);
+            }
+            Parsed::Alps(rec) => {
+                self.bump(i, alps_timestamp(&rec));
+                self.reconstructor.push_alps(&rec);
+            }
+            Parsed::Torque(rec) => {
+                self.bump(i, rec.timestamp);
+                self.reconstructor.push_torque(&rec);
+            }
         }
+    }
+
+    fn sync_cell(&self, i: usize) {
+        self.cells[i].store(cell_encode(self.health[i].state), Ordering::Relaxed);
     }
 
     fn bump(&mut self, i: usize, ts: Timestamp) {
@@ -244,8 +308,20 @@ impl StreamCore {
     }
 
     fn mark(&self, entry_only: bool) -> Mark {
+        // The most advanced open source (any health) anchors the clamp on
+        // Degraded stragglers.
+        let mut leader: Option<Timestamp> = None;
+        for s in Source::ALL {
+            let i = s.index();
+            if self.open[i] {
+                if let Some(p) = self.progress[i] {
+                    leader = Some(leader.map_or(p, |l| l.max(p)));
+                }
+            }
+        }
         let mut low: Option<Timestamp> = None;
         let mut any_open = false;
+        let mut any_gating = false;
         for s in Source::ALL {
             if entry_only && !s.is_entry() {
                 continue;
@@ -255,16 +331,36 @@ impl StreamCore {
                 continue;
             }
             any_open = true;
-            match self.progress[i] {
-                None => return Mark::Blocked,
-                Some(p) => {
-                    let w = p - self.config.lateness;
-                    low = Some(low.map_or(w, |c| c.min(w)));
-                }
+            let health = self.health[i].state;
+            if matches!(health, SourceHealth::Open | SourceHealth::HalfOpen) {
+                // Circuit broken: the source must not block the others.
+                continue;
             }
+            any_gating = true;
+            let clamp = match (health, leader) {
+                (SourceHealth::Degraded, Some(l)) => Some(l - self.config.health.degraded_hold),
+                _ => None,
+            };
+            let gate = match (self.progress[i], clamp) {
+                (None, None) => return Mark::Blocked,
+                // Degraded before producing anything: ride the clamp alone.
+                (None, Some(c)) => c,
+                (Some(p), None) => p - self.config.lateness,
+                // Degraded straggler: may lag the leader by at most
+                // `degraded_hold` (late records become `late_dropped`).
+                (Some(p), Some(c)) => (p - self.config.lateness).max(c),
+            };
+            low = Some(low.map_or(gate, |c| c.min(gate)));
+        }
+        if !any_open {
+            return Mark::Done;
+        }
+        if !any_gating {
+            // Every still-open source is circuit-broken: hold position
+            // rather than flushing — a probe may bring one back.
+            return Mark::Blocked;
         }
         match low {
-            _ if !any_open => Mark::Done,
             Some(w) => Mark::At(w),
             None => Mark::Blocked,
         }
@@ -335,7 +431,132 @@ impl StreamCore {
                 Mark::At(w) => Some(w),
                 _ => None,
             },
+            health: self.health_reports(),
+            spill_dropped: self.spill_dropped,
         }
+    }
+
+    pub(crate) fn health_reports(&self) -> [HealthReport; 5] {
+        std::array::from_fn(|i| self.health[i].report(&self.config.health, i))
+    }
+
+    pub(crate) fn health_report(&self, source: Source) -> HealthReport {
+        let i = source.index();
+        self.health[i].report(&self.config.health, i)
+    }
+
+    pub(crate) fn note_rejected(&mut self, source: Source) {
+        self.health[source.index()].rejected_while_open += 1;
+    }
+
+    pub(crate) fn probe(&mut self, source: Source) -> bool {
+        let i = source.index();
+        let moved = self.health[i].probe(&self.config.health);
+        self.sync_cell(i);
+        moved
+    }
+
+    pub(crate) fn mark_stalled(&mut self, source: Source) {
+        let i = source.index();
+        self.health[i].mark_stalled();
+        self.sync_cell(i);
+    }
+
+    pub(crate) fn mark_recovered(&mut self, source: Source) {
+        let i = source.index();
+        self.health[i].mark_recovered(&self.config.health);
+        self.sync_cell(i);
+    }
+
+    pub(crate) fn take_spilled(&mut self) -> Vec<(Source, String)> {
+        self.spill.drain(..).collect()
+    }
+
+    /// True once every pushed line has been applied in sequence order —
+    /// the precondition for [`StreamCore::checkpoint_state`].
+    pub(crate) fn is_quiescent(&self, pushed: &[u64; 5]) -> bool {
+        (0..5).all(|i| self.next_seq[i] == pushed[i] && self.pending[i].is_empty())
+    }
+
+    /// Serializes the open state. Callers must have established quiescence
+    /// (see [`StreamCore::is_quiescent`]): held-back out-of-order parse
+    /// results cannot be externalized.
+    pub(crate) fn checkpoint_state(&self) -> CoreState {
+        debug_assert!(
+            self.pending.iter().all(BTreeMap::is_empty),
+            "checkpoint requires quiescence"
+        );
+        CoreState {
+            next_seq: self.next_seq,
+            progress: self.progress,
+            open: self.open,
+            counts: self.counts,
+            quarantine: self
+                .quarantine
+                .iter()
+                .map(|q| q.iter().cloned().collect())
+                .collect(),
+            filter_stats: self.filter_stats,
+            buffer: self
+                .buffer
+                .iter()
+                .map(|(&(_, _, _, seq), entry)| (seq, *entry))
+                .collect(),
+            entry_seq: self.entry_seq,
+            late_dropped: self.late_dropped,
+            released: self.released,
+            coalescer: self.coalescer.state(),
+            events: self.index.events_in_insertion_order(),
+            reconstructor: self.reconstructor.state(),
+            done: self
+                .done
+                .iter()
+                .map(|(&seq, run)| (seq as u64, run.clone()))
+                .collect(),
+            health: self.health.to_vec(),
+            spill_dropped: self.spill_dropped,
+        }
+    }
+
+    /// Rebuilds a core from a checkpoint. Inverse of
+    /// [`StreamCore::checkpoint_state`] up to the spill queue (drained
+    /// before checkpointing by contract).
+    pub(crate) fn from_state(config: StreamConfig, cells: HealthCells, state: CoreState) -> Self {
+        let mut core = StreamCore::new(config, cells);
+        core.next_seq = state.next_seq;
+        core.progress = state.progress;
+        core.open = state.open;
+        core.counts = state.counts;
+        for (i, lines) in state.quarantine.into_iter().take(5).enumerate() {
+            core.quarantine[i] = lines.into();
+        }
+        core.filter_stats = state.filter_stats;
+        for (seq, entry) in state.buffer {
+            let (ts, node) = entry_sort_key(&entry);
+            let rank = match entry.source {
+                EntrySource::Syslog => 0u8,
+                EntrySource::HwErr => 1,
+                EntrySource::Netwatch => 2,
+            };
+            core.buffer.insert((ts, node, rank, seq), entry);
+        }
+        core.entry_seq = state.entry_seq;
+        core.late_dropped = state.late_dropped;
+        core.released = state.released;
+        core.coalescer = Coalescer::restore(core.config.logdiver.coalesce_gap, state.coalescer);
+        core.index = StreamIndex::from_events(state.events);
+        core.reconstructor = RunReconstructor::restore(state.reconstructor);
+        core.done = state
+            .done
+            .into_iter()
+            .map(|(seq, run)| (seq as usize, run))
+            .collect();
+        for (i, health) in state.health.into_iter().take(5).enumerate() {
+            core.health[i] = health;
+            core.sync_cell(i);
+        }
+        core.spill_dropped = state.spill_dropped;
+        core
     }
 
     pub(crate) fn finished_runs(&self) -> Vec<ClassifiedRun> {

@@ -1,0 +1,363 @@
+//! Byte-offset file tailing that survives rotation, truncation, and torn
+//! writes.
+//!
+//! The feeder side of `--follow` used to slurp "everything past offset"
+//! with `read_to_string`, which fails on invalid UTF-8, silently clamps on
+//! shrink, and happily consumes half-written lines. [`Tailer`] fixes all
+//! three:
+//!
+//! - **Complete lines only.** The consumed offset only ever advances past
+//!   a terminating `\n`. A torn write (writer died or flushed mid-line)
+//!   stays unconsumed and is re-read on the next poll once the rest
+//!   arrives — so a checkpointed offset is always a clean line boundary.
+//! - **Rotation/truncation.** A file shorter than the consumed offset
+//!   means the file was rotated or truncated in place; the tailer restarts
+//!   from byte 0 and reports it ([`TailPoll::rotated`]).
+//! - **Encoding.** Lines are split on raw bytes and decoded lossily, so a
+//!   mid-record UTF-8 truncation yields a quarantinable line instead of an
+//!   I/O error that kills the whole feeder.
+//!
+//! The file behind a tailer is abstract ([`LogFile`]) so the chaos harness
+//! can drive the exact same code against an in-memory fault injector.
+
+use std::fs;
+use std::io::{self, Read, Seek, SeekFrom};
+use std::path::PathBuf;
+
+/// Largest read per poll. A single "line" longer than this (no newline in
+/// a full chunk with more bytes behind it) is force-split — it is garbage
+/// by any log's standards and must not wedge the tailer.
+const MAX_POLL_READ: usize = 8 << 20;
+
+/// A byte-addressable, growing (or rotating) log file.
+#[allow(clippy::len_without_is_empty)] // len is fallible and racy; an is_empty would mislead
+pub trait LogFile {
+    /// Current length in bytes. A missing file reads as empty — absent and
+    /// not-yet-created are the same thing to a tailer.
+    ///
+    /// # Errors
+    ///
+    /// Underlying I/O failures other than the file being absent.
+    fn len(&mut self) -> io::Result<u64>;
+
+    /// Reads up to `max` bytes starting at `offset`. Short reads are fine.
+    ///
+    /// # Errors
+    ///
+    /// Underlying I/O failures other than the file being absent (which
+    /// reads as empty).
+    fn read_at(&mut self, offset: u64, max: usize) -> io::Result<Vec<u8>>;
+}
+
+/// A [`LogFile`] over a filesystem path. The file is reopened on every
+/// call, so rename-style rotation (new inode at the same path) is picked
+/// up without holding a stale descriptor.
+#[derive(Debug)]
+pub struct FsLogFile {
+    path: PathBuf,
+}
+
+impl FsLogFile {
+    /// Tails the file at `path` (which need not exist yet).
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        FsLogFile { path: path.into() }
+    }
+}
+
+impl LogFile for FsLogFile {
+    fn len(&mut self) -> io::Result<u64> {
+        match fs::metadata(&self.path) {
+            Ok(meta) => Ok(meta.len()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(0),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn read_at(&mut self, offset: u64, max: usize) -> io::Result<Vec<u8>> {
+        let mut file = match fs::File::open(&self.path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        file.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; max];
+        let mut filled = 0;
+        while filled < buf.len() {
+            match file.read(&mut buf[filled..]) {
+                Ok(0) => break,
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        buf.truncate(filled);
+        Ok(buf)
+    }
+}
+
+/// Result of one [`Tailer::poll`].
+#[derive(Debug, Default)]
+pub struct TailPoll {
+    /// Complete lines consumed, terminators stripped, lossily decoded.
+    pub lines: Vec<String>,
+    /// Byte offset just past each line's terminator, parallel to `lines`.
+    /// `ends[k]` is the exact offset to resume from if `lines[..=k]` have
+    /// been durably consumed — what checkpointing feeders record.
+    pub ends: Vec<u64>,
+    /// The file shrank below the consumed offset (rotation or in-place
+    /// truncation); consumption restarted from byte 0.
+    pub rotated: bool,
+    /// File length observed this poll (after any rotation reset).
+    pub len: u64,
+}
+
+/// Incremental line reader over a [`LogFile`].
+#[derive(Debug)]
+pub struct Tailer<F> {
+    file: F,
+    offset: u64,
+    rotations: u64,
+}
+
+impl<F: LogFile> Tailer<F> {
+    /// Starts tailing from the beginning of `file`.
+    pub fn new(file: F) -> Self {
+        Tailer {
+            file,
+            offset: 0,
+            rotations: 0,
+        }
+    }
+
+    /// Starts tailing from a previously checkpointed consumed offset. If
+    /// the file was rotated while the tailer was away (now shorter than
+    /// `offset`), the first poll detects it and restarts from 0.
+    pub fn resume_at(file: F, offset: u64) -> Self {
+        Tailer {
+            file,
+            offset,
+            rotations: 0,
+        }
+    }
+
+    /// Bytes consumed so far — always a complete-line boundary, safe to
+    /// checkpoint.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Rotations/truncations detected so far.
+    pub fn rotations(&self) -> u64 {
+        self.rotations
+    }
+
+    /// Reads whatever complete lines have appeared since the last poll.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying file; the consumed
+    /// offset is unchanged on error, so polling again is always safe.
+    pub fn poll(&mut self) -> io::Result<TailPoll> {
+        let mut out = TailPoll::default();
+        let len = self.file.len()?;
+        if len < self.offset {
+            self.offset = 0;
+            self.rotations += 1;
+            out.rotated = true;
+        }
+        out.len = len;
+        if len == self.offset {
+            return Ok(out);
+        }
+        let want = usize::try_from(len - self.offset)
+            .unwrap_or(MAX_POLL_READ)
+            .min(MAX_POLL_READ);
+        let chunk = self.file.read_at(self.offset, want)?;
+        if chunk.is_empty() {
+            return Ok(out);
+        }
+        let complete = match chunk.iter().rposition(|&b| b == b'\n') {
+            Some(last_nl) => last_nl + 1,
+            // No newline anywhere: an in-progress tail line — unless the
+            // chunk is full *and* more bytes exist, in which case this is
+            // a pathological monster line; force-split so we cannot wedge.
+            None if chunk.len() == MAX_POLL_READ && len - self.offset > chunk.len() as u64 => {
+                chunk.len()
+            }
+            None => return Ok(out),
+        };
+        // Strip the final terminator before splitting so the trailing
+        // empty artifact disappears; interior blank lines (two adjacent
+        // newlines) still come through — they are quarantine fodder, not
+        // data loss.
+        let body = &chunk[..complete];
+        let terminated = body.ends_with(b"\n");
+        let body = body.strip_suffix(b"\n").unwrap_or(body);
+        let mut cursor = self.offset;
+        let slices: Vec<&[u8]> = body.split(|&b| b == b'\n').collect();
+        for (k, raw) in slices.iter().enumerate() {
+            // Every slice but possibly the last (a force-split monster
+            // line) is followed by one terminator byte in the file.
+            let sep = u64::from(k + 1 < slices.len() || terminated);
+            cursor += raw.len() as u64 + sep;
+            out.lines.push(String::from_utf8_lossy(raw).into_owned());
+            out.ends.push(cursor);
+        }
+        debug_assert_eq!(cursor, self.offset + complete as u64);
+        self.offset += complete as u64;
+        Ok(out)
+    }
+
+    /// Consumes an unterminated final line, if any — for one-shot (non
+    /// follow) reads where no further write will ever complete it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying file.
+    pub fn finish(&mut self) -> io::Result<Option<String>> {
+        let len = self.file.len()?;
+        if len <= self.offset {
+            return Ok(None);
+        }
+        let want = usize::try_from(len - self.offset).unwrap_or(MAX_POLL_READ);
+        let chunk = self.file.read_at(self.offset, want)?;
+        if chunk.is_empty() {
+            return Ok(None);
+        }
+        self.offset += chunk.len() as u64;
+        Ok(Some(String::from_utf8_lossy(&chunk).into_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// In-memory log for unit tests: a shared byte buffer the "writer"
+    /// mutates between polls.
+    #[derive(Debug, Clone, Default)]
+    struct MemLog(Rc<RefCell<Vec<u8>>>);
+
+    impl MemLog {
+        fn write(&self, bytes: &[u8]) {
+            self.0.borrow_mut().extend_from_slice(bytes);
+        }
+        fn truncate_to(&self, len: usize) {
+            self.0.borrow_mut().truncate(len);
+        }
+    }
+
+    impl LogFile for MemLog {
+        fn len(&mut self) -> io::Result<u64> {
+            Ok(self.0.borrow().len() as u64)
+        }
+        fn read_at(&mut self, offset: u64, max: usize) -> io::Result<Vec<u8>> {
+            let data = self.0.borrow();
+            let lo = (offset as usize).min(data.len());
+            let hi = (lo + max).min(data.len());
+            Ok(data[lo..hi].to_vec())
+        }
+    }
+
+    #[test]
+    fn consumes_only_complete_lines() {
+        let log = MemLog::default();
+        let mut tail = Tailer::new(log.clone());
+        log.write(b"alpha\nbra");
+        let p = tail.poll().unwrap();
+        assert_eq!(p.lines, vec!["alpha"]);
+        assert_eq!(tail.offset(), 6);
+        // The torn tail arrives; both halves join into one line.
+        log.write(b"vo\ncharlie\n");
+        let p = tail.poll().unwrap();
+        assert_eq!(p.lines, vec!["bravo", "charlie"]);
+        assert_eq!(tail.offset(), 20);
+        assert!(tail.poll().unwrap().lines.is_empty());
+    }
+
+    #[test]
+    fn rotation_restarts_from_zero() {
+        let log = MemLog::default();
+        let mut tail = Tailer::new(log.clone());
+        log.write(b"one\ntwo\n");
+        assert_eq!(tail.poll().unwrap().lines.len(), 2);
+        // Rotate: new, shorter file at the same path.
+        log.truncate_to(0);
+        log.write(b"fresh\n");
+        let p = tail.poll().unwrap();
+        assert!(p.rotated);
+        assert_eq!(p.lines, vec!["fresh"]);
+        assert_eq!(tail.rotations(), 1);
+    }
+
+    #[test]
+    fn invalid_utf8_is_lossy_not_fatal() {
+        let log = MemLog::default();
+        let mut tail = Tailer::new(log.clone());
+        log.write(b"good line\n\xe4\xb8\n");
+        let p = tail.poll().unwrap();
+        assert_eq!(p.lines.len(), 2);
+        assert_eq!(p.lines[0], "good line");
+        assert!(p.lines[1].contains('\u{FFFD}'));
+    }
+
+    #[test]
+    fn ends_are_exact_resume_offsets() {
+        let log = MemLog::default();
+        let mut tail = Tailer::new(log.clone());
+        log.write(b"ab\ncdef\n\ng\n");
+        let p = tail.poll().unwrap();
+        assert_eq!(p.lines, vec!["ab", "cdef", "", "g"]);
+        assert_eq!(p.ends, vec![3, 8, 9, 11]);
+        assert_eq!(tail.offset(), 11);
+        // Resuming at any recorded end yields exactly the suffix.
+        let mut resumed = Tailer::resume_at(log.clone(), 8);
+        assert_eq!(resumed.poll().unwrap().lines, vec!["", "g"]);
+    }
+
+    #[test]
+    fn interior_blank_lines_come_through() {
+        let log = MemLog::default();
+        let mut tail = Tailer::new(log.clone());
+        log.write(b"a\n\nb\n");
+        let p = tail.poll().unwrap();
+        assert_eq!(p.lines, vec!["a", "", "b"]);
+    }
+
+    #[test]
+    fn resume_at_skips_consumed_prefix() {
+        let log = MemLog::default();
+        log.write(b"seen\nunseen\n");
+        let mut tail = Tailer::resume_at(log.clone(), 5);
+        let p = tail.poll().unwrap();
+        assert_eq!(p.lines, vec!["unseen"]);
+        // Resume past a rotation: offset beyond the (new) file.
+        let mut tail = Tailer::resume_at(log.clone(), 9_999);
+        let p = tail.poll().unwrap();
+        assert!(p.rotated);
+        assert_eq!(p.lines, vec!["seen", "unseen"]);
+    }
+
+    #[test]
+    fn finish_takes_unterminated_tail() {
+        let log = MemLog::default();
+        log.write(b"whole\npartial");
+        let mut tail = Tailer::new(log.clone());
+        assert_eq!(tail.poll().unwrap().lines, vec!["whole"]);
+        assert_eq!(tail.finish().unwrap(), Some("partial".to_string()));
+        assert_eq!(tail.finish().unwrap(), None);
+        assert_eq!(tail.offset(), 13);
+    }
+
+    #[test]
+    fn fs_log_file_absent_reads_empty() {
+        let mut f = FsLogFile::new("/nonexistent/logdiver-test/zzz.log");
+        assert_eq!(f.len().unwrap(), 0);
+        assert!(f.read_at(0, 16).unwrap().is_empty());
+        let mut tail = Tailer::new(f);
+        let p = tail.poll().unwrap();
+        assert!(p.lines.is_empty() && !p.rotated);
+    }
+}
