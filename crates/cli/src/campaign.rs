@@ -1,0 +1,487 @@
+//! `logdiver campaign` — adversarial-robustness sweeps, plus the
+//! attribution scorer shared with `logdiver validate`.
+//!
+//! A campaign simulates a machine once per seed, then replays LogDiver
+//! over progressively nastier copies of the same logs: a severity grid
+//! scales clock skew, record loss, duplicate replay, corruption, a silent
+//! hwerr outage, and apid recycling (via
+//! [`bw_faults::perturb::PerturbationPipeline`]). Each point is scored
+//! against the simulator's ground truth, giving degradation curves —
+//! precision / recall / F1 versus severity — that locate the cliff where
+//! skew pushes evidence outside the attribution window. Results land in
+//! `campaign.csv` (one row per seed × severity) and `BENCH_campaign.json`
+//! (mean curves plus the predicted and observed cliff).
+
+use std::collections::{HashMap, HashSet};
+
+use bw_faults::perturb::{PerturbSource, Perturbation, PerturbationPipeline, RawLogs};
+use bw_sim::{AppTruth, MemoryOutput, SimConfig, Simulation};
+use logdiver::{ClassifiedRun, LogCollection, LogDiver, LogDiverConfig};
+use logdiver_types::{SimDuration, Timestamp};
+use serde::Serialize;
+
+use super::{get_u64, Args};
+
+/// Full-severity syslog clock skew. The attribution window is ±120 s, so
+/// the cliff is predicted where `severity × 400 s` crosses it — severity
+/// ≈ 0.3 — well inside the default grid. (Machine-scope causality uses an
+/// even tighter ±45 s slack, so those verdicts flip first.)
+const SKEW_FULL_SECS: i64 = 400;
+
+/// Confusion matrix of verdicts against ground truth.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct Score {
+    /// System failures called system failures.
+    pub true_positives: u64,
+    /// Healthy/user runs called system failures.
+    pub false_positives: u64,
+    /// System failures missed.
+    pub false_negatives: u64,
+    /// Healthy/user runs correctly cleared.
+    pub true_negatives: u64,
+    /// Reconstructed runs with no ground-truth record.
+    pub unmatched: u64,
+    /// Runs excluded as identity-ambiguous (recycled apids).
+    pub excluded: u64,
+}
+
+impl Score {
+    /// Fraction of system-failure verdicts that were right.
+    pub fn precision(&self) -> f64 {
+        self.true_positives as f64 / (self.true_positives + self.false_positives).max(1) as f64
+    }
+
+    /// Fraction of true system failures that were caught.
+    pub fn recall(&self) -> f64 {
+        self.true_positives as f64 / (self.true_positives + self.false_negatives).max(1) as f64
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Loads `ground_truth.jsonl` from a log directory, keyed by apid.
+pub fn load_truths(dir: &str) -> Result<HashMap<u64, AppTruth>, String> {
+    let path = std::path::Path::new(dir).join("ground_truth.jsonl");
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut truths = HashMap::new();
+    for line in text.lines() {
+        let t: AppTruth =
+            serde_json::from_str(line).map_err(|e| format!("bad ground-truth line: {e}"))?;
+        truths.insert(t.apid.value(), t);
+    }
+    Ok(truths)
+}
+
+/// Scores classified runs against ground truth, skipping apids made
+/// identity-ambiguous by recycling.
+pub fn score_runs(
+    runs: &[ClassifiedRun],
+    truths: &HashMap<u64, AppTruth>,
+    exclude: &HashSet<u64>,
+) -> Score {
+    let mut score = Score::default();
+    for run in runs {
+        let apid = run.run.apid.value();
+        if exclude.contains(&apid) {
+            score.excluded += 1;
+            continue;
+        }
+        let Some(truth) = truths.get(&apid) else {
+            score.unmatched += 1;
+            continue;
+        };
+        match (truth.outcome.is_system(), run.class.is_system_failure()) {
+            (true, true) => score.true_positives += 1,
+            (false, true) => score.false_positives += 1,
+            (true, false) => score.false_negatives += 1,
+            (false, false) => score.true_negatives += 1,
+        }
+    }
+    score
+}
+
+/// The severity-scaled adversary: every knob grows linearly with
+/// `severity ∈ [0, 1]`; severity 0 is the identity pipeline.
+fn severity_pipeline(
+    seed: u64,
+    severity: f64,
+    extent: Option<(Timestamp, Timestamp)>,
+) -> PerturbationPipeline {
+    let mut p = PerturbationPipeline::new(seed);
+    if severity <= 0.0 {
+        return p;
+    }
+    p = p
+        .with(Perturbation::ClockSkew {
+            source: PerturbSource::Syslog,
+            offset: SimDuration::from_secs((severity * SKEW_FULL_SECS as f64) as i64),
+        })
+        .with(Perturbation::RecordDrop {
+            source: PerturbSource::Alps,
+            prob: 0.35 * severity,
+        })
+        .with(Perturbation::RecordDrop {
+            source: PerturbSource::Syslog,
+            prob: 0.3 * severity,
+        })
+        .with(Perturbation::DuplicateReplay {
+            source: PerturbSource::Syslog,
+            prob: 0.3 * severity,
+        })
+        .with(Perturbation::Corrupt {
+            source: PerturbSource::Netwatch,
+            prob: 0.05 * severity,
+        });
+    if let Some((lo, hi)) = extent {
+        let span = (hi - lo).as_secs();
+        let outage = (span as f64 * 0.15 * severity) as i64;
+        if outage > 0 {
+            p = p.with(Perturbation::SourceOutage {
+                source: PerturbSource::Syslog,
+                start: lo + SimDuration::from_secs(span / 4),
+                duration: SimDuration::from_secs(outage),
+            });
+        }
+    }
+    let recycle = (severity * 6.0).round() as usize;
+    if recycle > 0 {
+        p = p.with(Perturbation::ApidRecycle { count: recycle });
+    }
+    p
+}
+
+/// One scored grid point (a single seed at a single severity).
+#[derive(Debug, Clone, Serialize)]
+struct GridPoint {
+    seed: u64,
+    severity: f64,
+    score: Score,
+    precision: f64,
+    recall: f64,
+    f1: f64,
+    degraded_runs: u64,
+    coverage_gaps: u64,
+    duplicates: u64,
+    skew_secs: i64,
+}
+
+/// Mean curve point across seeds, as published in `BENCH_campaign.json`.
+#[derive(Debug, Clone, Serialize)]
+struct CurvePoint {
+    severity: f64,
+    skew_secs: i64,
+    precision: f64,
+    recall: f64,
+    f1: f64,
+    degraded_runs: f64,
+    coverage_gaps: f64,
+    duplicates: f64,
+}
+
+/// The whole campaign summary, serialized to `BENCH_campaign.json`.
+#[derive(Debug, Serialize)]
+struct CampaignBench {
+    divisor: u64,
+    days: u64,
+    seeds: Vec<u64>,
+    severities: Vec<f64>,
+    skew_full_secs: i64,
+    attribution_window_secs: i64,
+    predicted_cliff_severity: f64,
+    curve: Vec<CurvePoint>,
+    monotone_f1: bool,
+    observed_cliff_severity: Option<f64>,
+}
+
+fn parse_severities(args: &Args) -> Result<Vec<f64>, String> {
+    let text = args
+        .flags
+        .get("severities")
+        .map(String::as_str)
+        .unwrap_or("0,0.25,0.5,0.75,1");
+    let mut out = Vec::new();
+    for part in text.split(',') {
+        let s: f64 = part
+            .trim()
+            .parse()
+            .map_err(|_| format!("--severities expects numbers in [0,1], got {part:?}"))?;
+        if !(0.0..=1.0).contains(&s) {
+            return Err(format!("severity {s} is outside [0, 1]"));
+        }
+        out.push(s);
+    }
+    if out.is_empty() {
+        return Err("--severities needs at least one point".to_string());
+    }
+    out.sort_by(|a, b| a.partial_cmp(b).expect("severities are finite"));
+    out.dedup();
+    Ok(out)
+}
+
+/// Parses an optional numeric threshold flag (`--min-precision`,
+/// `--min-recall`, `--gate-f1`).
+pub fn threshold(args: &Args, name: &str) -> Result<Option<f64>, String> {
+    match args.flags.get(name) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("--{name} expects a number, got {v:?}")),
+    }
+}
+
+/// Machine-readable shape of `logdiver validate --json`.
+#[derive(Debug, Serialize)]
+pub struct ValidationReport {
+    /// Confusion matrix against ground truth.
+    pub score: Score,
+    /// Derived precision.
+    pub precision: f64,
+    /// Derived recall.
+    pub recall: f64,
+    /// Derived F1.
+    pub f1: f64,
+    /// Verdicts qualified as degraded by the coverage tracker.
+    pub degraded_runs: u64,
+    /// Silent per-source coverage gaps detected.
+    pub coverage_gaps: u64,
+}
+
+impl ValidationReport {
+    /// Builds the report from a scored confusion matrix.
+    pub fn new(score: Score, degraded_runs: u64, coverage_gaps: u64) -> Self {
+        ValidationReport {
+            score,
+            precision: score.precision(),
+            recall: score.recall(),
+            f1: score.f1(),
+            degraded_runs,
+            coverage_gaps,
+        }
+    }
+}
+
+/// Runs the sweep: simulate per seed, perturb per severity, score, write
+/// `campaign.csv` + `BENCH_campaign.json`, and gate on `--gate-f1`.
+pub fn cmd_campaign(args: &Args) -> Result<(), String> {
+    let out_dir = args.flags.get("out").ok_or("campaign needs --out DIR")?;
+    let divisor = get_u64(args, "divisor", 64)?.max(1);
+    let days = get_u64(args, "days", 2)?.max(1);
+    let seed0 = get_u64(args, "seed", 1)?;
+    let n_seeds = get_u64(args, "seeds", 2)?.max(1);
+    let severities = parse_severities(args)?;
+    let gate_f1 = threshold(args, "gate-f1")?;
+    let seeds: Vec<u64> = (0..n_seeds).map(|k| seed0 + k).collect();
+
+    let mut grid: Vec<GridPoint> = Vec::new();
+    for &seed in &seeds {
+        let config = SimConfig::scaled(divisor as u32, days as u32).with_seed(seed);
+        let sim = Simulation::new(config)?;
+        let mut raw = MemoryOutput::new();
+        let sim_report = sim.run(&mut raw);
+        eprintln!(
+            "[campaign] seed {seed}: {} apps over {days} day(s) at divisor {divisor}",
+            sim_report.apps_completed
+        );
+        let mut truths: HashMap<u64, AppTruth> = HashMap::new();
+        for t in &raw.truths {
+            truths.insert(t.apid.value(), *t);
+        }
+        let mut base = RawLogs::new();
+        *base.lines_mut(PerturbSource::Syslog) = raw.syslog.clone();
+        *base.lines_mut(PerturbSource::HwErr) = raw.hwerr.clone();
+        *base.lines_mut(PerturbSource::Alps) = raw.alps.clone();
+        *base.lines_mut(PerturbSource::Torque) = raw.torque.clone();
+        *base.lines_mut(PerturbSource::Netwatch) = raw.netwatch.clone();
+        let extent = base.extent();
+
+        for &severity in &severities {
+            let mut logs = base.clone();
+            let pipeline = severity_pipeline(seed, severity, extent);
+            let truth = pipeline.apply(&mut logs);
+            let exclude: HashSet<u64> = truth.recycled_apids().into_iter().collect();
+
+            let mut collection = LogCollection::new();
+            collection.syslog = logs.lines(PerturbSource::Syslog).to_vec();
+            collection.hwerr = logs.lines(PerturbSource::HwErr).to_vec();
+            collection.alps = logs.lines(PerturbSource::Alps).to_vec();
+            collection.torque = logs.lines(PerturbSource::Torque).to_vec();
+            collection.netwatch = logs.lines(PerturbSource::Netwatch).to_vec();
+            let analysis = LogDiver::new().analyze(&collection);
+            let score = score_runs(&analysis.runs, &truths, &exclude);
+            let degraded = analysis
+                .runs
+                .iter()
+                .filter(|r| r.confidence.is_degraded())
+                .count() as u64;
+            eprintln!(
+                "[campaign] seed {seed} severity {severity:.2}: P={:.3} R={:.3} F1={:.3} \
+                 degraded={degraded} gaps={} dups={}",
+                score.precision(),
+                score.recall(),
+                score.f1(),
+                analysis.coverage.len(),
+                analysis.stats.duplicates
+            );
+            grid.push(GridPoint {
+                seed,
+                severity,
+                score,
+                precision: score.precision(),
+                recall: score.recall(),
+                f1: score.f1(),
+                degraded_runs: degraded,
+                coverage_gaps: analysis.coverage.len() as u64,
+                duplicates: analysis.stats.duplicates,
+                skew_secs: truth.max_displacement_secs(),
+            });
+        }
+    }
+
+    // Mean curve across seeds, per severity.
+    let mut curve: Vec<CurvePoint> = Vec::new();
+    for &severity in &severities {
+        let pts: Vec<&GridPoint> = grid.iter().filter(|g| g.severity == severity).collect();
+        let n = pts.len() as f64;
+        let mean = |f: &dyn Fn(&GridPoint) -> f64| pts.iter().map(|g| f(g)).sum::<f64>() / n;
+        curve.push(CurvePoint {
+            severity,
+            skew_secs: pts.iter().map(|g| g.skew_secs).max().unwrap_or(0),
+            precision: mean(&|g| g.precision),
+            recall: mean(&|g| g.recall),
+            f1: mean(&|g| g.f1),
+            degraded_runs: mean(&|g| g.degraded_runs as f64),
+            coverage_gaps: mean(&|g| g.coverage_gaps as f64),
+            duplicates: mean(&|g| g.duplicates as f64),
+        });
+    }
+
+    // The cliff: the severity step with the largest mean-F1 drop (if any
+    // step loses more than 0.05), and whether the curve only degrades.
+    let monotone_f1 = curve.windows(2).all(|w| w[1].f1 <= w[0].f1 + 0.02);
+    let observed_cliff_severity = curve
+        .windows(2)
+        .map(|w| (w[1].severity, w[0].f1 - w[1].f1))
+        .filter(|&(_, drop)| drop > 0.05)
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("drops are finite"))
+        .map(|(s, _)| s);
+    let window = LogDiverConfig::default().attribution_lag.as_secs();
+    let bench = CampaignBench {
+        divisor,
+        days,
+        seeds: seeds.clone(),
+        severities: severities.clone(),
+        skew_full_secs: SKEW_FULL_SECS,
+        attribution_window_secs: window,
+        predicted_cliff_severity: window as f64 / SKEW_FULL_SECS as f64,
+        curve,
+        monotone_f1,
+        observed_cliff_severity,
+    };
+
+    std::fs::create_dir_all(out_dir).map_err(|e| format!("cannot create {out_dir}: {e}"))?;
+    let csv_path = std::path::Path::new(out_dir).join("campaign.csv");
+    let mut csv = String::from(
+        "seed,severity,precision,recall,f1,tp,fp,fn,tn,excluded,degraded_runs,coverage_gaps,duplicates,skew_secs\n",
+    );
+    for g in &grid {
+        csv.push_str(&format!(
+            "{},{},{:.4},{:.4},{:.4},{},{},{},{},{},{},{},{},{}\n",
+            g.seed,
+            g.severity,
+            g.precision,
+            g.recall,
+            g.f1,
+            g.score.true_positives,
+            g.score.false_positives,
+            g.score.false_negatives,
+            g.score.true_negatives,
+            g.score.excluded,
+            g.degraded_runs,
+            g.coverage_gaps,
+            g.duplicates,
+            g.skew_secs
+        ));
+    }
+    std::fs::write(&csv_path, csv)
+        .map_err(|e| format!("cannot write {}: {e}", csv_path.display()))?;
+    let json_path = std::path::Path::new(out_dir).join("BENCH_campaign.json");
+    let json =
+        serde_json::to_string_pretty(&bench).map_err(|e| format!("cannot serialize bench: {e}"))?;
+    std::fs::write(&json_path, format!("{json}\n"))
+        .map_err(|e| format!("cannot write {}: {e}", json_path.display()))?;
+    eprintln!(
+        "[campaign] wrote {} and {}",
+        csv_path.display(),
+        json_path.display()
+    );
+    println!("severity  precision  recall  f1      degraded  gaps  dups");
+    for c in &bench.curve {
+        println!(
+            "{:>8.2}  {:>9.3}  {:>6.3}  {:>6.3}  {:>8.1}  {:>4.1}  {:>4.0}",
+            c.severity, c.precision, c.recall, c.f1, c.degraded_runs, c.coverage_gaps, c.duplicates
+        );
+    }
+
+    if let Some(floor) = gate_f1 {
+        let clean = bench.curve.first().expect("severities is non-empty");
+        if clean.f1 < floor {
+            return Err(format!(
+                "F1 gate breached: clean-point (severity {}) F1 {:.3} is below --gate-f1 {floor}",
+                clean.severity, clean.f1
+            ));
+        }
+        eprintln!(
+            "[campaign] F1 gate passed: {:.3} >= {floor} at severity {}",
+            clean.f1, clean.severity
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f1_is_harmonic_and_safe_on_zero() {
+        let zero = Score::default();
+        assert_eq!(zero.f1(), 0.0);
+        let s = Score {
+            true_positives: 8,
+            false_positives: 2,
+            false_negatives: 2,
+            ..Score::default()
+        };
+        assert!((s.precision() - 0.8).abs() < 1e-12);
+        assert!((s.recall() - 0.8).abs() < 1e-12);
+        assert!((s.f1() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn severity_zero_is_the_identity_pipeline() {
+        let p = severity_pipeline(1, 0.0, None);
+        assert!(p.steps().is_empty());
+        let full = severity_pipeline(1, 1.0, None);
+        assert!(full.steps().len() >= 4);
+    }
+
+    #[test]
+    fn severity_grid_parses_sorts_and_dedups() {
+        let mut args = Args::default();
+        args.flags
+            .insert("severities".to_string(), "1, 0.5,0,0.5".to_string());
+        assert_eq!(parse_severities(&args).unwrap(), vec![0.0, 0.5, 1.0]);
+        args.flags.insert("severities".to_string(), "2".to_string());
+        assert!(parse_severities(&args).unwrap_err().contains("outside"));
+    }
+}

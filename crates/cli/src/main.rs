@@ -3,7 +3,9 @@
 //! ```text
 //! logdiver simulate  --out DIR [--divisor N] [--days N] [--seed N]
 //! logdiver analyze   --logs DIR [--csv DIR]
-//! logdiver validate  --logs DIR
+//! logdiver validate  --logs DIR [--json] [--min-precision X] [--min-recall X]
+//! logdiver campaign  --out DIR [--divisor N] [--days N] [--seed N]
+//!                    [--seeds N] [--severities LIST] [--gate-f1 X]
 //! logdiver stream    --logs DIR [--chunk N] [--follow] [--shards N]
 //!                    [--lateness SECS] [--checkpoint FILE] [--resume FILE]
 //!                    [--checkpoint-every N] [--checkpoint-secs N]
@@ -14,7 +16,12 @@
 //!
 //! `simulate` writes the five raw log files plus `ground_truth.jsonl`;
 //! `analyze` runs LogDiver over a log directory and prints the full report;
-//! `validate` additionally scores the verdicts against the ground truth;
+//! `validate` additionally scores the verdicts against the ground truth
+//! (`--json` for machine-readable output; `--min-precision`/`--min-recall`
+//! exit nonzero when attribution quality falls below the floor);
+//! `campaign` sweeps a severity grid of adversarial log perturbations ×
+//! seeds and writes precision/recall/F1 degradation curves
+//! (see [`campaign`]);
 //! `stream` feeds the same files through the online engine
 //! (`logdiver-stream`), printing live progress, and `--follow` keeps
 //! tailing them — surviving file rotation, circuit-breaking sources that
@@ -23,15 +30,17 @@
 //! `reproduce` does simulate+analyze in memory and prints every table and
 //! figure (the benches call the same path per experiment).
 
-use std::collections::HashMap;
+mod campaign;
+
+use std::collections::{HashMap, HashSet};
 use std::process::ExitCode;
 
-use bw_sim::{AppTruth, FileOutput, MemoryOutput, SimConfig, Simulation};
+use bw_sim::{FileOutput, MemoryOutput, SimConfig, Simulation};
 use logdiver::{report, LogCollection, LogDiver};
 use rand::SeedableRng;
 
 fn usage() -> &'static str {
-    "usage:\n  logdiver simulate  --out DIR [--divisor N] [--days N] [--seed N]\n  logdiver analyze   --logs DIR [--csv DIR]\n  logdiver validate  --logs DIR\n  logdiver stream    --logs DIR [--chunk N] [--follow] [--shards N]\n                     [--lateness SECS] [--checkpoint FILE] [--resume FILE]\n                     [--checkpoint-every N] [--checkpoint-secs N]\n                     [--quarantine-out FILE] [--quarantine-keep N]\n  logdiver reproduce [--divisor N] [--days N] [--seed N] [--boost-capability]\n  logdiver swf       --out FILE [--divisor N] [--days N] [--seed N]\n\noptions:\n  --divisor N   machine scale divisor (1 = full Blue Waters; default 16)\n  --days N      production days to simulate (default 30; the paper is 518)\n  --seed N      RNG seed (default 1)\n  --out DIR     output directory for raw logs\n  --logs DIR    directory holding messages.log / hwerr.log / apsys.log /\n                torque.log / netwatch.log\n  --csv DIR     also write scale-curve CSVs there\n  --chunk N     lines pushed per source per round when streaming (default 1024)\n  --follow      keep tailing the log files for appended lines; SIGINT writes\n                a final checkpoint and report, then exits cleanly\n  --shards N    parallel syslog parse workers (default 2)\n  --lateness SECS  allowed out-of-order lateness within a source (default 60)\n  --checkpoint FILE     write crash-safe checkpoints to FILE (atomic\n                temp+rename); resume later with --resume FILE\n  --resume FILE         restore engine state and file offsets from a\n                checkpoint; also the checkpoint target unless --checkpoint\n                says otherwise\n  --checkpoint-every N  checkpoint after N accepted lines (default 50000)\n  --checkpoint-secs N   also checkpoint every N seconds while lines flow\n                (default 5)\n  --quarantine-out FILE append every quarantined (corrupt) raw line to FILE\n  --quarantine-keep N   recent corrupt lines kept in memory per source\n                (default 16)\n  --boost-capability  multiply capability-job frequency ×8 (dense sampling\n                of the full-scale buckets on small machines)"
+    "usage:\n  logdiver simulate  --out DIR [--divisor N] [--days N] [--seed N]\n  logdiver analyze   --logs DIR [--csv DIR]\n  logdiver validate  --logs DIR [--json] [--min-precision X] [--min-recall X]\n  logdiver campaign  --out DIR [--divisor N] [--days N] [--seed N] [--seeds N]\n                     [--severities LIST] [--gate-f1 X]\n  logdiver stream    --logs DIR [--chunk N] [--follow] [--shards N]\n                     [--lateness SECS] [--checkpoint FILE] [--resume FILE]\n                     [--checkpoint-every N] [--checkpoint-secs N]\n                     [--quarantine-out FILE] [--quarantine-keep N]\n  logdiver reproduce [--divisor N] [--days N] [--seed N] [--boost-capability]\n  logdiver swf       --out FILE [--divisor N] [--days N] [--seed N]\n\noptions:\n  --divisor N   machine scale divisor (1 = full Blue Waters; default 16)\n  --days N      production days to simulate (default 30; the paper is 518)\n  --seed N      RNG seed (default 1)\n  --out DIR     output directory for raw logs\n  --logs DIR    directory holding messages.log / hwerr.log / apsys.log /\n                torque.log / netwatch.log\n  --csv DIR     also write scale-curve CSVs there\n  --json        print validation results as JSON instead of text\n  --min-precision X  exit nonzero when attribution precision < X\n  --min-recall X     exit nonzero when attribution recall < X\n  --seeds N     campaign: number of consecutive seeds to sweep (default 2)\n  --severities LIST  campaign: comma-separated severity grid in [0,1]\n                (default 0,0.25,0.5,0.75,1)\n  --gate-f1 X   campaign: exit nonzero when the clean point's F1 < X\n  --chunk N     lines pushed per source per round when streaming (default 1024)\n  --follow      keep tailing the log files for appended lines; SIGINT writes\n                a final checkpoint and report, then exits cleanly\n  --shards N    parallel syslog parse workers (default 2)\n  --lateness SECS  allowed out-of-order lateness within a source (default 60)\n  --checkpoint FILE     write crash-safe checkpoints to FILE (atomic\n                temp+rename); resume later with --resume FILE\n  --resume FILE         restore engine state and file offsets from a\n                checkpoint; also the checkpoint target unless --checkpoint\n                says otherwise\n  --checkpoint-every N  checkpoint after N accepted lines (default 50000)\n  --checkpoint-secs N   also checkpoint every N seconds while lines flow\n                (default 5)\n  --quarantine-out FILE append every quarantined (corrupt) raw line to FILE\n  --quarantine-keep N   recent corrupt lines kept in memory per source\n                (default 16)\n  --boost-capability  multiply capability-job frequency ×8 (dense sampling\n                of the full-scale buckets on small machines)"
 }
 
 /// What one subcommand accepts: value-taking options and bare switches.
@@ -55,7 +64,20 @@ const COMMANDS: &[CommandSpec] = &[
     },
     CommandSpec {
         name: "validate",
-        flags: &["logs"],
+        flags: &["logs", "min-precision", "min-recall"],
+        switches: &["json"],
+    },
+    CommandSpec {
+        name: "campaign",
+        flags: &[
+            "out",
+            "divisor",
+            "days",
+            "seed",
+            "seeds",
+            "severities",
+            "gate-f1",
+        ],
         switches: &[],
     },
     CommandSpec {
@@ -206,45 +228,67 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
 
 fn cmd_validate(args: &Args) -> Result<(), String> {
     let dir = args.flags.get("logs").ok_or("validate needs --logs DIR")?;
-    let truth_path = std::path::Path::new(dir).join("ground_truth.jsonl");
-    let truth_text = std::fs::read_to_string(&truth_path)
-        .map_err(|e| format!("cannot read {}: {e}", truth_path.display()))?;
-    let mut truths: HashMap<u64, AppTruth> = HashMap::new();
-    for line in truth_text.lines() {
-        let t: AppTruth =
-            serde_json::from_str(line).map_err(|e| format!("bad ground-truth line: {e}"))?;
-        truths.insert(t.apid.value(), t);
-    }
+    let truths = campaign::load_truths(dir)?;
     let analysis = LogDiver::new()
         .analyze_dir(dir)
         .map_err(|e| e.to_string())?;
-    let (mut tp, mut fp, mut fnc, mut tn, mut unmatched) = (0u64, 0u64, 0u64, 0u64, 0u64);
-    for run in &analysis.runs {
-        let Some(truth) = truths.get(&run.run.apid.value()) else {
-            unmatched += 1;
-            continue;
-        };
-        match (truth.outcome.is_system(), run.class.is_system_failure()) {
-            (true, true) => tp += 1,
-            (false, true) => fp += 1,
-            (true, false) => fnc += 1,
-            (false, false) => tn += 1,
+    let score = campaign::score_runs(&analysis.runs, &truths, &HashSet::new());
+    let degraded = analysis
+        .runs
+        .iter()
+        .filter(|r| r.confidence.is_degraded())
+        .count() as u64;
+    let report = campaign::ValidationReport::new(score, degraded, analysis.coverage.len() as u64);
+    if args.switches.iter().any(|s| s == "json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report)
+                .map_err(|e| format!("cannot serialize report: {e}"))?
+        );
+    } else {
+        println!("V1 — attribution validation against ground truth");
+        println!(
+            "  runs matched      : {}",
+            score.true_positives
+                + score.false_positives
+                + score.false_negatives
+                + score.true_negatives
+        );
+        println!("  true positives    : {}", score.true_positives);
+        println!("  false positives   : {}", score.false_positives);
+        println!("  false negatives   : {}", score.false_negatives);
+        println!("  true negatives    : {}", score.true_negatives);
+        if score.unmatched > 0 {
+            println!("  runs without truth: {}", score.unmatched);
+        }
+        println!("  precision         : {:.3}", report.precision);
+        println!("  recall            : {:.3}", report.recall);
+        println!("  f1                : {:.3}", report.f1);
+        println!("  degraded verdicts : {degraded}");
+        println!("  coverage gaps     : {}", analysis.coverage.len());
+    }
+    let mut breaches = Vec::new();
+    if let Some(floor) = campaign::threshold(args, "min-precision")? {
+        if report.precision < floor {
+            breaches.push(format!(
+                "precision {:.3} is below --min-precision {floor}",
+                report.precision
+            ));
         }
     }
-    println!("V1 — attribution validation against ground truth");
-    println!("  runs matched      : {}", tp + fp + fnc + tn);
-    println!("  true positives    : {tp}");
-    println!("  false positives   : {fp}");
-    println!("  false negatives   : {fnc}");
-    println!("  true negatives    : {tn}");
-    if unmatched > 0 {
-        println!("  runs without truth: {unmatched}");
+    if let Some(floor) = campaign::threshold(args, "min-recall")? {
+        if report.recall < floor {
+            breaches.push(format!(
+                "recall {:.3} is below --min-recall {floor}",
+                report.recall
+            ));
+        }
     }
-    let precision = tp as f64 / (tp + fp).max(1) as f64;
-    let recall = tp as f64 / (tp + fnc).max(1) as f64;
-    println!("  precision         : {precision:.3}");
-    println!("  recall            : {recall:.3}");
-    Ok(())
+    if breaches.is_empty() {
+        Ok(())
+    } else {
+        Err(breaches.join("; "))
+    }
 }
 
 fn cmd_reproduce(args: &Args) -> Result<(), String> {
@@ -704,6 +748,7 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(&args),
         "analyze" => cmd_analyze(&args),
         "validate" => cmd_validate(&args),
+        "campaign" => campaign::cmd_campaign(&args),
         "stream" => cmd_stream(&args),
         "reproduce" => cmd_reproduce(&args),
         "swf" => cmd_swf(&args),

@@ -206,6 +206,7 @@ mod tests {
             },
             class,
             matched_events: Vec::new(),
+            confidence: crate::classify::AttributionConfidence::Full,
         };
         let runs = vec![
             mk(1, ExitClass::Success),

@@ -28,6 +28,30 @@ use crate::config::LogDiverConfig;
 use crate::matcher::{EventLookup, MatchIndex};
 use crate::workload::{AppRun, JobInfo, Termination};
 
+/// How much log evidence stood behind a verdict.
+///
+/// The decision tree always emits [`AttributionConfidence::Full`]; the
+/// coverage post-pass ([`crate::coverage::qualify_runs`]) downgrades
+/// absence-of-evidence verdicts whose attribution window overlaps a
+/// detected per-source outage — a qualified answer instead of a silently
+/// wrong one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum AttributionConfidence {
+    /// Every entry source was demonstrably producing around the death.
+    #[default]
+    Full,
+    /// The attribution window overlaps a source-coverage gap: evidence
+    /// that would change the verdict may never have been recorded.
+    Degraded,
+}
+
+impl AttributionConfidence {
+    /// True for [`AttributionConfidence::Degraded`].
+    pub fn is_degraded(self) -> bool {
+        self == AttributionConfidence::Degraded
+    }
+}
+
 /// A run together with LogDiver's verdict.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClassifiedRun {
@@ -37,6 +61,8 @@ pub struct ClassifiedRun {
     pub class: ExitClass,
     /// Ids of error events attributed to the death (empty for clean runs).
     pub matched_events: Vec<u32>,
+    /// Evidence qualifier for the verdict.
+    pub confidence: AttributionConfidence,
 }
 
 fn cause_of(event: &ErrorEvent) -> FailureCause {
@@ -125,6 +151,7 @@ pub fn classify_one<I: EventLookup + ?Sized>(
                 run,
                 class: ExitClass::SystemFailure(FailureCause::Launcher),
                 matched_events: Vec::new(),
+                confidence: AttributionConfidence::Full,
             };
         }
         Termination::Missing => {
@@ -132,6 +159,7 @@ pub fn classify_one<I: EventLookup + ?Sized>(
                 run,
                 class: ExitClass::Unknown,
                 matched_events: Vec::new(),
+                confidence: AttributionConfidence::Full,
             };
         }
         Termination::Exited(exit) => exit,
@@ -142,6 +170,7 @@ pub fn classify_one<I: EventLookup + ?Sized>(
             run,
             class: ExitClass::Success,
             matched_events: Vec::new(),
+            confidence: AttributionConfidence::Full,
         };
     }
 
@@ -155,6 +184,7 @@ pub fn classify_one<I: EventLookup + ?Sized>(
                         run,
                         class: ExitClass::WalltimeExceeded,
                         matched_events: Vec::new(),
+                        confidence: AttributionConfidence::Full,
                     };
                 }
             }
@@ -195,6 +225,7 @@ pub fn classify_one<I: EventLookup + ?Sized>(
         run,
         class,
         matched_events: matched,
+        confidence: AttributionConfidence::Full,
     }
 }
 

@@ -134,12 +134,32 @@ pub const MAX_EVENT_SPAN: SimDuration = SimDuration::from_secs(1_800);
 /// and harvests closed events on every watermark advance. An open event
 /// closes once no future entry at or after the watermark could absorb it —
 /// its gap has lapsed or its span ceiling is reached.
+///
+/// Coalescing is **idempotent under exact duplicates**: a replayed record
+/// (identical timestamp, category, severity, node and source — the shape a
+/// syslog relay reconnect or an adversarial replay produces) folds into
+/// the event at most once, and the collapse count is reported via
+/// [`Coalescer::duplicates`]. The dedup window is one timestamp per
+/// spatial group, which is exactly where a replay can land: duplicates
+/// share their original's timestamp by construction.
 #[derive(Debug)]
 pub struct Coalescer {
     gap: SimDuration,
     open: HashMap<GroupKey, ErrorEvent>,
     closed: Vec<ErrorEvent>,
     next_id: u32,
+    /// Distinct entries already absorbed at each group's newest timestamp
+    /// (order-insensitive, so both pipeline drivers dedup identically
+    /// regardless of how ties were sequenced).
+    seen: HashMap<GroupKey, SeenSlot>,
+    duplicates: u64,
+}
+
+/// The distinct entries one group has absorbed at its newest timestamp.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct SeenSlot {
+    at: Timestamp,
+    entries: Vec<FilteredEntry>,
 }
 
 impl Coalescer {
@@ -150,14 +170,47 @@ impl Coalescer {
             open: HashMap::new(),
             closed: Vec::new(),
             next_id: 0,
+            seen: HashMap::new(),
+            duplicates: 0,
         }
+    }
+
+    /// Exact-duplicate entries collapsed so far (see [`Coalescer::push`]).
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
     }
 
     /// Feeds one entry. Entries must arrive in non-decreasing timestamp
     /// order (the batch driver sorts; the streaming engine's reorder buffer
-    /// guarantees it).
+    /// guarantees it). An entry identical to one already absorbed at the
+    /// same timestamp in the same spatial group is a replay: it is counted
+    /// and dropped, never double-absorbed.
     pub fn push(&mut self, e: &FilteredEntry) {
         let key = key_of(e);
+        match self.seen.get_mut(&key) {
+            Some(slot) if slot.at == e.timestamp => {
+                if slot.entries.contains(e) {
+                    self.duplicates += 1;
+                    return;
+                }
+                slot.entries.push(*e);
+            }
+            Some(slot) => {
+                *slot = SeenSlot {
+                    at: e.timestamp,
+                    entries: vec![*e],
+                };
+            }
+            None => {
+                self.seen.insert(
+                    key,
+                    SeenSlot {
+                        at: e.timestamp,
+                        entries: vec![*e],
+                    },
+                );
+            }
+        }
         match self.open.get_mut(&key) {
             Some(ev)
                 if e.timestamp - ev.end <= self.gap && e.timestamp - ev.start <= MAX_EVENT_SPAN =>
@@ -199,6 +252,12 @@ impl Coalescer {
             still_open
         });
         self.closed.append(&mut newly_closed);
+        // A replay always carries its original's timestamp, so once a
+        // group's event is closed (its end is a full gap behind the
+        // watermark and later input is at/after the watermark) its dedup
+        // slot can never match again — drop it to keep state bounded.
+        let open = &self.open;
+        self.seen.retain(|k, _| open.contains_key(k));
         std::mem::take(&mut self.closed)
     }
 
@@ -222,10 +281,15 @@ impl Coalescer {
         let mut open: Vec<(GroupKey, ErrorEvent)> =
             self.open.iter().map(|(k, v)| (*k, v.clone())).collect();
         open.sort_by_key(|(k, _)| *k);
+        let mut seen: Vec<(GroupKey, SeenSlot)> =
+            self.seen.iter().map(|(k, v)| (*k, v.clone())).collect();
+        seen.sort_by_key(|(k, _)| *k);
         CoalescerState {
             open,
             closed: self.closed.clone(),
             next_id: self.next_id,
+            seen,
+            duplicates: self.duplicates,
         }
     }
 
@@ -238,6 +302,8 @@ impl Coalescer {
             open: state.open.into_iter().collect(),
             closed: state.closed,
             next_id: state.next_id,
+            seen: state.seen.into_iter().collect(),
+            duplicates: state.duplicates,
         }
     }
 }
@@ -251,11 +317,16 @@ pub struct CoalescerState {
     closed: Vec<ErrorEvent>,
     /// Next event id to assign.
     next_id: u32,
+    /// Per-group dedup slots, sorted by key for determinism.
+    seen: Vec<(GroupKey, SeenSlot)>,
+    /// Exact duplicates collapsed so far.
+    duplicates: u64,
 }
 
 /// Coalesces time-sorted filtered entries with the given gap.
 ///
-/// Every input entry lands in exactly one event; events of one spatial
+/// Every *distinct* input entry lands in exactly one event (exact
+/// duplicates collapse — see [`Coalescer::push`]); events of one spatial
 /// group never overlap (closing happens when the gap is exceeded), and no
 /// event spans more than [`MAX_EVENT_SPAN`].
 pub fn coalesce(entries: &[FilteredEntry], gap: SimDuration) -> Vec<ErrorEvent> {
@@ -430,6 +501,79 @@ mod tests {
         }
     }
 
+    #[test]
+    fn exact_duplicate_replay_is_collapsed() {
+        // A syslog relay reconnect replays two lines; the event must count
+        // each underlying entry once and report the collapse.
+        let a = entry(0, ErrorCategory::MachineCheckException, Some(8));
+        let b = entry(40, ErrorCategory::NodeHeartbeatFault, Some(9));
+        let mut co = Coalescer::new(SimDuration::from_secs(60));
+        for e in [&a, &a, &b, &b, &b] {
+            co.push(e);
+        }
+        assert_eq!(co.duplicates(), 3);
+        let events = co.finish();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].entry_count, 2, "duplicates must not inflate");
+        assert_eq!(events[0].categories.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_replay_is_idempotent() {
+        // Replaying every entry once yields byte-identical events.
+        let entries: Vec<_> = (0..30)
+            .map(|k| {
+                entry(
+                    k * 37,
+                    ErrorCategory::MemoryUncorrectable,
+                    Some((k as u32 % 4) * 4),
+                )
+            })
+            .collect();
+        let gap = SimDuration::from_secs(120);
+        let clean = coalesce(&entries, gap);
+        let mut replayed = Vec::new();
+        for e in &entries {
+            replayed.push(*e);
+            replayed.push(*e);
+        }
+        let doubled = coalesce(&replayed, gap);
+        assert_eq!(doubled, clean);
+    }
+
+    #[test]
+    fn distinct_same_second_entries_are_not_deduped() {
+        // Two *different* categories on one blade in the same second are
+        // genuinely distinct records, not a replay.
+        let entries = vec![
+            entry(0, ErrorCategory::MachineCheckException, Some(8)),
+            entry(0, ErrorCategory::NodeHeartbeatFault, Some(8)),
+        ];
+        let mut co = Coalescer::new(SimDuration::from_secs(60));
+        for e in &entries {
+            co.push(e);
+        }
+        assert_eq!(co.duplicates(), 0);
+        let events = co.finish();
+        assert_eq!(events[0].entry_count, 2);
+    }
+
+    #[test]
+    fn dedup_state_survives_round_trip() {
+        // Checkpoint between an entry and its replay: the resumed
+        // coalescer must still recognize the duplicate.
+        let a = entry(0, ErrorCategory::MachineCheckException, Some(8));
+        let mut co = Coalescer::new(SimDuration::from_secs(60));
+        co.push(&a);
+        let json = serde_json::to_string(&co.state()).unwrap();
+        let state: CoalescerState = serde_json::from_str(&json).unwrap();
+        let mut resumed = Coalescer::restore(SimDuration::from_secs(60), state);
+        resumed.push(&a);
+        assert_eq!(resumed.duplicates(), 1);
+        let events = resumed.finish();
+        assert_eq!(events[0].entry_count, 1);
+    }
+
     proptest! {
         #[test]
         fn every_entry_lands_in_exactly_one_event(
@@ -444,7 +588,13 @@ mod tests {
                 .collect();
             let events = coalesce(&entries, SimDuration::from_secs(gap));
             let total: u32 = events.iter().map(|e| e.entry_count).sum();
-            prop_assert_eq!(total as usize, entries.len());
+            // Same blade + same second + same category means the generator
+            // produced an exact duplicate, which the coalescer collapses.
+            let distinct: std::collections::HashSet<_> = entries
+                .iter()
+                .map(|e| (e.timestamp, e.node))
+                .collect();
+            prop_assert_eq!(total as usize, distinct.len());
             for e in &events {
                 prop_assert!(e.start <= e.end);
                 prop_assert!(!e.categories.is_empty());

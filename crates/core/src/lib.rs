@@ -48,6 +48,7 @@ pub mod checkpoint;
 pub mod classify;
 pub mod coalesce;
 pub mod config;
+pub mod coverage;
 pub mod error;
 pub mod filter;
 pub mod input;
@@ -63,9 +64,10 @@ pub mod temporal;
 pub mod users;
 pub mod workload;
 
-pub use classify::ClassifiedRun;
+pub use classify::{AttributionConfidence, ClassifiedRun};
 pub use coalesce::{Coalescer, ErrorEvent};
 pub use config::LogDiverConfig;
+pub use coverage::{CoverageConfig, CoverageGap, CoverageMap};
 pub use error::LogDiverError;
 pub use input::LogCollection;
 pub use jobs::JobReport;

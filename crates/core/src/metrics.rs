@@ -569,6 +569,7 @@ mod tests {
             },
             class,
             matched_events: Vec::new(),
+            confidence: crate::classify::AttributionConfidence::Full,
         }
     }
 

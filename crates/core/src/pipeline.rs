@@ -3,10 +3,11 @@
 use serde::{Deserialize, Serialize};
 
 use crate::classify::{classify_runs, ClassifiedRun};
-use crate::coalesce::{coalesce, ErrorEvent};
+use crate::coalesce::{Coalescer, ErrorEvent};
 use crate::config::LogDiverConfig;
+use crate::coverage::{qualify_runs, CoverageConfig, CoverageGap, CoverageMap};
 use crate::error::LogDiverError;
-use crate::filter::{filter_logs, FilterStats, PatternTable};
+use crate::filter::{filter_logs, EntrySource, FilterStats, PatternTable};
 use crate::input::LogCollection;
 use crate::matcher::MatchIndex;
 use crate::metrics::{compute, MetricSet};
@@ -24,6 +25,8 @@ pub struct PipelineStats {
     pub workload: WorkloadStats,
     /// Filtered entries that entered coalescing.
     pub entries: u64,
+    /// Exact-duplicate entries collapsed by the coalescer (replays).
+    pub duplicates: u64,
     /// Error events after coalescing.
     pub events: u64,
     /// Of those, lethal events.
@@ -52,6 +55,10 @@ pub struct Analysis {
     pub metrics: MetricSet,
     /// Per-stage accounting.
     pub stats: PipelineStats,
+    /// Detected per-source coverage gaps (silent outages). Runs whose
+    /// attribution window overlaps one carry a degraded
+    /// [`crate::classify::AttributionConfidence`].
+    pub coverage: Vec<CoverageGap>,
 }
 
 /// The LogDiver tool.
@@ -110,7 +117,24 @@ impl LogDiver {
     /// Runs the pipeline stages downstream of parsing.
     pub fn analyze_parsed(&self, parsed: ParsedLogs) -> Analysis {
         let (entries, filter_stats) = filter_logs(&parsed, &self.table);
-        let events = coalesce(&entries, self.config.coalesce_gap);
+        // Coverage watches every parsed record — kept *and* discarded:
+        // operational chatter is what proves a source alive.
+        let mut coverage = CoverageMap::new(CoverageConfig::default());
+        for rec in &parsed.syslog {
+            coverage.observe(EntrySource::Syslog, rec.timestamp);
+        }
+        for rec in &parsed.hwerr {
+            coverage.observe(EntrySource::HwErr, rec.timestamp);
+        }
+        for rec in &parsed.netwatch {
+            coverage.observe(EntrySource::Netwatch, rec.timestamp);
+        }
+        let mut coalescer = Coalescer::new(self.config.coalesce_gap);
+        for e in &entries {
+            coalescer.push(e);
+        }
+        let duplicates = coalescer.duplicates();
+        let events = coalescer.finish();
         let (runs, jobs, workload_stats) = reconstruct(&parsed);
         let lethal_events = events.iter().filter(|e| e.is_lethal()).count() as u64;
         let stats = PipelineStats {
@@ -118,17 +142,21 @@ impl LogDiver {
             filter: filter_stats,
             workload: workload_stats,
             entries: entries.len() as u64,
+            duplicates,
             events: events.len() as u64,
             lethal_events,
         };
         let index = MatchIndex::new(events);
-        let classified = classify_runs(runs, &jobs, &index, &self.config);
+        let mut classified = classify_runs(runs, &jobs, &index, &self.config);
+        let gaps = coverage.gaps();
+        qualify_runs(&mut classified, &gaps, &self.config);
         let metrics = compute(&classified, index.events());
         Analysis {
             runs: classified,
             events: index.events().to_vec(),
             metrics,
             stats,
+            coverage: gaps,
         }
     }
 }
@@ -229,6 +257,67 @@ mod tests {
         assert!(a.runs.is_empty());
         assert!(a.events.is_empty());
         assert_eq!(a.stats.coalescing_ratio(), 0.0);
+    }
+
+    #[test]
+    fn duplicate_replay_does_not_inflate_events() {
+        let clean = LogDiver::new().analyze(&scenario());
+        let mut logs = scenario();
+        // A syslog relay reconnect replays the error lines verbatim.
+        let replayed: Vec<String> = logs.syslog.clone();
+        logs.syslog.extend(replayed);
+        let doubled = LogDiver::new().analyze(&logs);
+        assert_eq!(doubled.events, clean.events, "replay must be idempotent");
+        assert_eq!(doubled.runs, clean.runs);
+        assert!(doubled.stats.duplicates >= 2);
+        assert_eq!(clean.stats.duplicates, 0);
+    }
+
+    #[test]
+    fn outage_overlapping_death_degrades_the_verdict() {
+        use crate::classify::AttributionConfidence;
+        use logdiver_types::Timestamp;
+
+        let mut logs = LogCollection::new();
+        // Steady chatter proves syslog alive once a minute for 10 hours —
+        // except a silent outage between hours 4 and 6.
+        let t0 = Timestamp::from_ymd_hms(2013, 3, 28, 0, 0, 0);
+        for m in 0..600 {
+            let ts = t0 + logdiver_types::SimDuration::from_mins(m);
+            if !(240..360).contains(&m) {
+                logs.syslog
+                    .push(format!("{ts} nid00050 ntpd: time slew +0.012s"));
+            }
+        }
+        // Two identical node-failed deaths with no explaining evidence:
+        // one inside the outage (hour 5), one after it (hour 8).
+        logs.alps.extend([
+            format!("{} apsys PLACED apid=1 batch=1.bw user=u0001 cmd=a.out type=XE width=2 nodelist=nid[0-1]", t0),
+            format!("{} apsys EXIT apid=1 code=137 signal=9 node_failed=yes runtime=18000",
+                t0 + logdiver_types::SimDuration::from_hours(5)),
+            format!("{} apsys PLACED apid=2 batch=1.bw user=u0001 cmd=a.out type=XE width=2 nodelist=nid[4-5]", t0),
+            format!("{} apsys EXIT apid=2 code=137 signal=9 node_failed=yes runtime=28800",
+                t0 + logdiver_types::SimDuration::from_hours(8)),
+        ]);
+        let analysis = LogDiver::new().analyze(&logs);
+        assert_eq!(analysis.coverage.len(), 1, "{:?}", analysis.coverage);
+        let by_apid = |apid: u64| {
+            analysis
+                .runs
+                .iter()
+                .find(|r| r.run.apid.value() == apid)
+                .unwrap()
+        };
+        assert_eq!(
+            by_apid(1).class,
+            ExitClass::SystemFailure(FailureCause::Undetermined)
+        );
+        assert_eq!(by_apid(1).confidence, AttributionConfidence::Degraded);
+        assert_eq!(
+            by_apid(2).class,
+            ExitClass::SystemFailure(FailureCause::Undetermined)
+        );
+        assert_eq!(by_apid(2).confidence, AttributionConfidence::Full);
     }
 
     #[test]

@@ -151,6 +151,7 @@ mod tests {
                 ExitClass::Success
             },
             matched_events: Vec::new(),
+            confidence: crate::classify::AttributionConfidence::Full,
         }
     }
 

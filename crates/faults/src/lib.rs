@@ -48,8 +48,13 @@ pub mod detection;
 pub mod injector;
 pub mod io;
 pub mod kinds;
+pub mod perturb;
 
 pub use config::{BurnIn, FaultConfig};
 pub use detection::{Detectability, DetectionModel};
 pub use injector::FaultInjector;
 pub use kinds::{FaultEvent, FaultKind, GpuFaultKind, NodeCrashCause, WideKillModel};
+pub use perturb::{
+    Mutation, PerturbSource, Perturbation, PerturbationPipeline, PerturbationTruth, RawLogs,
+    StreamPerturber,
+};

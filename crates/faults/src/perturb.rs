@@ -1,0 +1,1293 @@
+//! Adversarial log perturbation: seeded, composable corruptions of raw
+//! log text, with a machine-readable record of exactly what was mutated.
+//!
+//! The rest of this crate breaks the machine and [`crate::io`] breaks the
+//! file I/O; this module breaks the *content* of the logs the way real
+//! collection infrastructure does over a 518-day campaign:
+//!
+//! - **clock skew / drift**: one source's clock is offset or slowly
+//!   wanders from the others;
+//! - **duplicate replay**: a relay reconnect delivers lines twice;
+//! - **record drop**: lines silently vanish;
+//! - **reordering**: a line arrives long after its timestamp — beyond any
+//!   reasonable lateness window;
+//! - **source outage**: a source emits *nothing* for hours (the failure a
+//!   coverage tracker must catch);
+//! - **corruption**: a line is mangled past parseability;
+//! - **apid / jobid recycling**: the launcher reuses identifiers, aliasing
+//!   unrelated runs.
+//!
+//! Every perturbation is driven by a seeded RNG (a failing case replays
+//! exactly) and reports a [`PerturbationTruth`]: the campaign runner
+//! scores attribution quality against simulator ground truth while
+//! *knowing* what was done to the logs, and the stream property tests
+//! check that health-machine quarantines line up with the injected
+//! corruption.
+//!
+//! Per-line perturbations use one RNG stream *per source*, so feeding a
+//! live interleaved stream ([`StreamPerturber`]) and rewriting a log
+//! directory ([`PerturbationPipeline::apply`]) produce byte-identical
+//! results for the same seed. Identifier recycling needs the whole file
+//! and is therefore directory-only.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use logdiver_types::{SimDuration, Timestamp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A raw log source, mirroring the five files a collection directory
+/// holds. (Named to avoid clashing with the stream engine's `Source`.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PerturbSource {
+    /// Consolidated syslog (`messages.log`).
+    Syslog,
+    /// Hardware error log (`hwerr.log`).
+    HwErr,
+    /// ALPS `apsys` log (`apsys.log`).
+    Alps,
+    /// Torque accounting log (`torque.log`).
+    Torque,
+    /// HSN netwatch log (`netwatch.log`).
+    Netwatch,
+}
+
+impl PerturbSource {
+    /// All sources in canonical file order.
+    pub const ALL: [PerturbSource; 5] = [
+        PerturbSource::Syslog,
+        PerturbSource::HwErr,
+        PerturbSource::Alps,
+        PerturbSource::Torque,
+        PerturbSource::Netwatch,
+    ];
+
+    /// Dense index in [`PerturbSource::ALL`] order.
+    pub const fn index(self) -> usize {
+        match self {
+            PerturbSource::Syslog => 0,
+            PerturbSource::HwErr => 1,
+            PerturbSource::Alps => 2,
+            PerturbSource::Torque => 3,
+            PerturbSource::Netwatch => 4,
+        }
+    }
+
+    /// Conventional file name inside a log directory.
+    pub const fn file_name(self) -> &'static str {
+        match self {
+            PerturbSource::Syslog => "messages.log",
+            PerturbSource::HwErr => "hwerr.log",
+            PerturbSource::Alps => "apsys.log",
+            PerturbSource::Torque => "torque.log",
+            PerturbSource::Netwatch => "netwatch.log",
+        }
+    }
+}
+
+/// An in-memory copy of a five-file log directory.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RawLogs {
+    lines: [Vec<String>; 5],
+}
+
+impl RawLogs {
+    /// Empty logs.
+    pub fn new() -> Self {
+        RawLogs::default()
+    }
+
+    /// The lines of one source.
+    pub fn lines(&self, source: PerturbSource) -> &[String] {
+        &self.lines[source.index()]
+    }
+
+    /// Mutable lines of one source.
+    pub fn lines_mut(&mut self, source: PerturbSource) -> &mut Vec<String> {
+        &mut self.lines[source.index()]
+    }
+
+    /// Appends a line to one source.
+    pub fn push(&mut self, source: PerturbSource, line: impl Into<String>) {
+        self.lines[source.index()].push(line.into());
+    }
+
+    /// Total lines across all sources.
+    pub fn total_lines(&self) -> usize {
+        self.lines.iter().map(Vec::len).sum()
+    }
+
+    /// Earliest and latest parseable timestamp across all sources.
+    pub fn extent(&self) -> Option<(Timestamp, Timestamp)> {
+        let mut lo: Option<Timestamp> = None;
+        let mut hi: Option<Timestamp> = None;
+        for lines in &self.lines {
+            for line in lines {
+                if let Some(ts) = line_timestamp(line) {
+                    lo = Some(lo.map_or(ts, |l| l.min(ts)));
+                    hi = Some(hi.map_or(ts, |h| h.max(ts)));
+                }
+            }
+        }
+        Some((lo?, hi?))
+    }
+
+    /// Reads a log directory (absent files load as empty sources).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors other than "file not found".
+    pub fn read_dir(dir: impl AsRef<Path>) -> io::Result<Self> {
+        let dir = dir.as_ref();
+        let mut logs = RawLogs::new();
+        for s in PerturbSource::ALL {
+            let path = dir.join(s.file_name());
+            match fs::read_to_string(&path) {
+                Ok(text) => {
+                    logs.lines[s.index()] = text.lines().map(str::to_owned).collect();
+                }
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(logs)
+    }
+
+    /// Writes all five files into `dir` (created if missing).
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation and write failures.
+    pub fn write_dir(&self, dir: impl AsRef<Path>) -> io::Result<()> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        for s in PerturbSource::ALL {
+            let mut text = self.lines[s.index()].join("\n");
+            if !text.is_empty() {
+                text.push('\n');
+            }
+            fs::write(dir.join(s.file_name()), text)?;
+        }
+        Ok(())
+    }
+}
+
+/// Timestamp of a log line (all five formats lead with
+/// `YYYY-MM-DD HH:MM:SS`).
+pub fn line_timestamp(line: &str) -> Option<Timestamp> {
+    line.get(..19)?.parse().ok()
+}
+
+/// Rewrites the leading timestamp of a line.
+fn with_timestamp(line: &str, ts: Timestamp) -> String {
+    match line.get(19..) {
+        Some(rest) => format!("{ts}{rest}"),
+        None => line.to_string(),
+    }
+}
+
+/// Mangles a line past parseability (a torn or garbled write).
+fn corrupt_line(line: &str) -> String {
+    let keep = line.len().min(24);
+    format!("~CORRUPT~{}", &line[..keep])
+}
+
+/// One composable corruption. See the module docs for the field-failure
+/// each models.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Perturbation {
+    /// Shift every timestamp of one source by a constant offset.
+    ClockSkew {
+        /// The skewed source.
+        source: PerturbSource,
+        /// The constant offset (may be negative).
+        offset: SimDuration,
+    },
+    /// Let one source's clock wander: each line is shifted by
+    /// `drift_per_hour × hours-since-the-source's-first-line`.
+    ClockDrift {
+        /// The drifting source.
+        source: PerturbSource,
+        /// Accumulated drift per elapsed hour.
+        drift_per_hour: SimDuration,
+    },
+    /// Deliver each line twice with probability `prob`.
+    DuplicateReplay {
+        /// The replayed source.
+        source: PerturbSource,
+        /// Per-line replay probability.
+        prob: f64,
+    },
+    /// Silently delete each line with probability `prob`.
+    RecordDrop {
+        /// The lossy source.
+        source: PerturbSource,
+        /// Per-line drop probability.
+        prob: f64,
+    },
+    /// Delay each line (with probability `prob`) so it arrives after
+    /// every line timestamped up to `delay` later — out-of-order past any
+    /// lateness window shorter than `delay`. Timestamps are unchanged.
+    Reorder {
+        /// The reordered source.
+        source: PerturbSource,
+        /// Per-line delay probability.
+        prob: f64,
+        /// Arrival delay of a displaced line.
+        delay: SimDuration,
+    },
+    /// Drop *everything* one source produced inside a window — the silent
+    /// outage a coverage tracker must detect.
+    SourceOutage {
+        /// The silent source.
+        source: PerturbSource,
+        /// Window start.
+        start: Timestamp,
+        /// Window length.
+        duration: SimDuration,
+    },
+    /// Mangle each line past parseability with probability `prob`.
+    Corrupt {
+        /// The garbled source.
+        source: PerturbSource,
+        /// Per-line corruption probability.
+        prob: f64,
+    },
+    /// Rewrite the apids of the last `count` applications to reuse the
+    /// apids of the first `count` — the launcher's id counter wrapped.
+    /// Directory-only.
+    ApidRecycle {
+        /// How many identifiers to alias.
+        count: usize,
+    },
+    /// Rewrite the job ids of the last `count` jobs (in Torque *and* the
+    /// ALPS `batch=` field) to reuse the first `count`. Directory-only.
+    JobIdRecycle {
+        /// How many identifiers to alias.
+        count: usize,
+    },
+}
+
+impl Perturbation {
+    /// The source a per-line perturbation targets (`None` for the
+    /// whole-corpus recycling kinds).
+    pub fn source(&self) -> Option<PerturbSource> {
+        match self {
+            Perturbation::ClockSkew { source, .. }
+            | Perturbation::ClockDrift { source, .. }
+            | Perturbation::DuplicateReplay { source, .. }
+            | Perturbation::RecordDrop { source, .. }
+            | Perturbation::Reorder { source, .. }
+            | Perturbation::SourceOutage { source, .. }
+            | Perturbation::Corrupt { source, .. } => Some(*source),
+            Perturbation::ApidRecycle { .. } | Perturbation::JobIdRecycle { .. } => None,
+        }
+    }
+
+    /// True when the perturbation can run line-by-line over a live stream.
+    pub fn is_stream_safe(&self) -> bool {
+        self.source().is_some()
+    }
+}
+
+/// What one applied perturbation actually did — the ground truth the
+/// campaign scorer and the stream property tests consume.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Mutation {
+    /// Constant skew applied.
+    ClockSkew {
+        /// Skewed source.
+        source: PerturbSource,
+        /// Offset in seconds.
+        offset_secs: i64,
+        /// Lines rewritten.
+        lines: u64,
+    },
+    /// Drift applied.
+    ClockDrift {
+        /// Drifting source.
+        source: PerturbSource,
+        /// Largest accumulated shift, in seconds.
+        max_drift_secs: i64,
+        /// Lines rewritten.
+        lines: u64,
+    },
+    /// Lines delivered twice.
+    Duplicated {
+        /// Replayed source.
+        source: PerturbSource,
+        /// Lines duplicated.
+        count: u64,
+    },
+    /// Lines silently deleted.
+    Dropped {
+        /// Lossy source.
+        source: PerturbSource,
+        /// Lines deleted.
+        count: u64,
+    },
+    /// Lines delayed past their timestamp order.
+    Reordered {
+        /// Reordered source.
+        source: PerturbSource,
+        /// Lines displaced.
+        count: u64,
+        /// Arrival delay in seconds.
+        delay_secs: i64,
+    },
+    /// A silent source window.
+    Outage {
+        /// Silent source.
+        source: PerturbSource,
+        /// Window start.
+        start: Timestamp,
+        /// Window end.
+        end: Timestamp,
+        /// Lines swallowed by the window.
+        dropped: u64,
+    },
+    /// Lines mangled past parseability.
+    Corrupted {
+        /// Garbled source.
+        source: PerturbSource,
+        /// Lines mangled.
+        count: u64,
+    },
+    /// Apids aliased: `(late_original, reused_early_id)` pairs.
+    ApidRecycled {
+        /// Aliased identifier pairs.
+        pairs: Vec<(u64, u64)>,
+    },
+    /// Job ids aliased: `(late_original, reused_early_id)` pairs.
+    JobIdRecycled {
+        /// Aliased identifier pairs.
+        pairs: Vec<(u64, u64)>,
+    },
+}
+
+/// Machine-readable record of everything a pipeline run mutated.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerturbationTruth {
+    /// The seed the pipeline ran with.
+    pub seed: u64,
+    /// One record per applied perturbation, in pipeline order.
+    pub mutations: Vec<Mutation>,
+}
+
+impl PerturbationTruth {
+    /// Lines mangled past parseability for one source.
+    pub fn corrupted(&self, source: PerturbSource) -> u64 {
+        self.mutations
+            .iter()
+            .map(|m| match m {
+                Mutation::Corrupted { source: s, count } if *s == source => *count,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Lines duplicated for one source.
+    pub fn duplicated(&self, source: PerturbSource) -> u64 {
+        self.mutations
+            .iter()
+            .map(|m| match m {
+                Mutation::Duplicated { source: s, count } if *s == source => *count,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Every apid touched by recycling (originals and reused ids) — the
+    /// runs a scorer must exclude as identity-ambiguous.
+    pub fn recycled_apids(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for m in &self.mutations {
+            if let Mutation::ApidRecycled { pairs } = m {
+                for &(a, b) in pairs {
+                    out.push(a);
+                    out.push(b);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The largest absolute timestamp displacement any mutation applied
+    /// (skew, drift, or arrival delay), in seconds.
+    pub fn max_displacement_secs(&self) -> i64 {
+        self.mutations
+            .iter()
+            .map(|m| match m {
+                Mutation::ClockSkew { offset_secs, .. } => offset_secs.abs(),
+                Mutation::ClockDrift { max_drift_secs, .. } => max_drift_secs.abs(),
+                Mutation::Reordered { delay_secs, .. } => *delay_secs,
+                _ => 0,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total silent-outage seconds injected.
+    pub fn outage_secs(&self) -> i64 {
+        self.mutations
+            .iter()
+            .map(|m| match m {
+                Mutation::Outage { start, end, .. } => (*end - *start).as_secs(),
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+/// Why a pipeline cannot run in a given mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PerturbError {
+    /// A directory-only perturbation was handed to [`StreamPerturber`].
+    NotStreamSafe(&'static str),
+}
+
+impl fmt::Display for PerturbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PerturbError::NotStreamSafe(kind) => {
+                write!(
+                    f,
+                    "perturbation {kind} needs the whole file; it cannot run over a live stream"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PerturbError {}
+
+/// Per-step accumulator shared by the directory and stream drivers.
+#[derive(Debug, Clone, Copy, Default)]
+struct StepStats {
+    applied: u64,
+    max_secs: i64,
+}
+
+/// Per-line perturbation engine for one source: one RNG stream, one held
+/// buffer for reordering, one drift anchor.
+#[derive(Debug)]
+struct SourceEngine {
+    rng: StdRng,
+    drift_anchor: Option<Timestamp>,
+    /// Lines held back by `Reorder`: `(release_at, seq, line)`.
+    held: Vec<(Timestamp, u64, String)>,
+    held_seq: u64,
+}
+
+impl SourceEngine {
+    fn new(seed: u64, source: PerturbSource) -> Self {
+        // Distinct deterministic RNG stream per source, so interleaving
+        // sources (live) vs. whole files (directory) draws identically.
+        SourceEngine {
+            rng: StdRng::seed_from_u64(
+                seed ^ (0x9e37_79b9_7f4a_7c15u64 ^ (source.index() as u64) << 32),
+            ),
+            drift_anchor: None,
+            held: Vec::new(),
+            held_seq: 0,
+        }
+    }
+
+    /// Runs one line through every step targeting `source`, appending the
+    /// resulting output lines (possibly none, possibly several once
+    /// replays and released held lines are counted) to `out`.
+    fn push(
+        &mut self,
+        source: PerturbSource,
+        line: &str,
+        steps: &[Perturbation],
+        stats: &mut [StepStats],
+        out: &mut Vec<String>,
+    ) {
+        // (order key, text); the key survives corruption so reordering
+        // still releases on the original clock.
+        let mut items: Vec<(Option<Timestamp>, String)> =
+            vec![(line_timestamp(line), line.to_string())];
+        let mut hold = false;
+        let mut hold_delay = SimDuration::ZERO;
+        for (idx, step) in steps.iter().enumerate() {
+            if step.source() != Some(source) {
+                continue;
+            }
+            match *step {
+                Perturbation::ClockSkew { offset, .. } => {
+                    for (ts, text) in items.iter_mut() {
+                        if let Some(t) = ts {
+                            *t += offset;
+                            *text = with_timestamp(text, *t);
+                            stats[idx].applied += 1;
+                        }
+                    }
+                }
+                Perturbation::ClockDrift { drift_per_hour, .. } => {
+                    for (ts, text) in items.iter_mut() {
+                        if let Some(t) = ts {
+                            let anchor = *self.drift_anchor.get_or_insert(*t);
+                            let elapsed = (*t - anchor).as_secs();
+                            let drift = drift_per_hour.as_secs() * elapsed / 3_600;
+                            *t += SimDuration::from_secs(drift);
+                            *text = with_timestamp(text, *t);
+                            stats[idx].applied += 1;
+                            stats[idx].max_secs = stats[idx].max_secs.max(drift.abs());
+                        }
+                    }
+                }
+                Perturbation::SourceOutage {
+                    start, duration, ..
+                } => {
+                    items.retain(|(ts, _)| {
+                        let inside = ts.is_some_and(|t| t >= start && t < start + duration);
+                        if inside {
+                            stats[idx].applied += 1;
+                        }
+                        !inside
+                    });
+                }
+                Perturbation::RecordDrop { prob, .. } => {
+                    items.retain(|_| {
+                        let drop = self.rng.random::<f64>() < prob;
+                        if drop {
+                            stats[idx].applied += 1;
+                        }
+                        !drop
+                    });
+                }
+                Perturbation::Corrupt { prob, .. } => {
+                    for (_, text) in items.iter_mut() {
+                        if self.rng.random::<f64>() < prob {
+                            *text = corrupt_line(text);
+                            stats[idx].applied += 1;
+                        }
+                    }
+                }
+                Perturbation::DuplicateReplay { prob, .. } => {
+                    let mut replayed = Vec::new();
+                    for item in &items {
+                        if self.rng.random::<f64>() < prob {
+                            replayed.push(item.clone());
+                            stats[idx].applied += 1;
+                        }
+                    }
+                    items.extend(replayed);
+                }
+                Perturbation::Reorder { prob, delay, .. } => {
+                    if !items.is_empty() && self.rng.random::<f64>() < prob {
+                        hold = true;
+                        hold_delay = delay;
+                        stats[idx].applied += items.len() as u64;
+                        stats[idx].max_secs = stats[idx].max_secs.max(delay.as_secs());
+                    }
+                }
+                Perturbation::ApidRecycle { .. } | Perturbation::JobIdRecycle { .. } => {}
+            }
+        }
+        let now = items.iter().filter_map(|(ts, _)| *ts).max();
+        if hold {
+            for (ts, text) in items {
+                let release_at = ts.map_or_else(far_past, |t| t + hold_delay);
+                self.held.push((release_at, self.held_seq, text));
+                self.held_seq += 1;
+            }
+        } else {
+            // Late lines come home: everything held whose delay has
+            // elapsed on this source's clock surfaces *after* the current
+            // line — which is exactly what makes it late.
+            for (_, text) in items {
+                out.push(text);
+            }
+        }
+        if let Some(now) = now {
+            self.release(now, out);
+        }
+    }
+
+    fn release(&mut self, now: Timestamp, out: &mut Vec<String>) {
+        if self.held.iter().any(|(at, _, _)| *at <= now) {
+            self.held.sort_by_key(|h| (h.0, h.1));
+            while let Some((at, _, _)) = self.held.first() {
+                if *at > now {
+                    break;
+                }
+                out.push(self.held.remove(0).2);
+            }
+        }
+    }
+
+    fn flush(&mut self, out: &mut Vec<String>) {
+        self.held.sort_by_key(|h| (h.0, h.1));
+        for (_, _, text) in self.held.drain(..) {
+            out.push(text);
+        }
+    }
+}
+
+fn far_past() -> Timestamp {
+    Timestamp::from_unix(i64::MIN / 4)
+}
+
+/// A seeded, ordered list of perturbations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerturbationPipeline {
+    seed: u64,
+    steps: Vec<Perturbation>,
+}
+
+impl PerturbationPipeline {
+    /// An empty pipeline with the given seed.
+    pub fn new(seed: u64) -> Self {
+        PerturbationPipeline {
+            seed,
+            steps: Vec::new(),
+        }
+    }
+
+    /// Appends a perturbation (applied in insertion order).
+    pub fn with(mut self, p: Perturbation) -> Self {
+        self.steps.push(p);
+        self
+    }
+
+    /// The configured steps.
+    pub fn steps(&self) -> &[Perturbation] {
+        &self.steps
+    }
+
+    /// The seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// True when every step can run over a live stream.
+    pub fn is_stream_safe(&self) -> bool {
+        self.steps.iter().all(Perturbation::is_stream_safe)
+    }
+
+    /// Applies every perturbation to an in-memory log directory and
+    /// reports exactly what changed.
+    pub fn apply(&self, logs: &mut RawLogs) -> PerturbationTruth {
+        let mut stats = vec![StepStats::default(); self.steps.len()];
+        // Per-line steps first, via the same engine the stream mode uses.
+        for source in PerturbSource::ALL {
+            if !self.steps.iter().any(|s| s.source() == Some(source)) {
+                continue;
+            }
+            let mut engine = SourceEngine::new(self.seed, source);
+            let mut out = Vec::new();
+            for line in logs.lines(source) {
+                engine.push(source, line, &self.steps, &mut stats, &mut out);
+            }
+            engine.flush(&mut out);
+            *logs.lines_mut(source) = out;
+        }
+        // Whole-corpus identifier recycling second.
+        let mut mutations = Vec::new();
+        for (idx, step) in self.steps.iter().enumerate() {
+            let m = match *step {
+                Perturbation::ClockSkew { source, offset } => Mutation::ClockSkew {
+                    source,
+                    offset_secs: offset.as_secs(),
+                    lines: stats[idx].applied,
+                },
+                Perturbation::ClockDrift { source, .. } => Mutation::ClockDrift {
+                    source,
+                    max_drift_secs: stats[idx].max_secs,
+                    lines: stats[idx].applied,
+                },
+                Perturbation::DuplicateReplay { source, .. } => Mutation::Duplicated {
+                    source,
+                    count: stats[idx].applied,
+                },
+                Perturbation::RecordDrop { source, .. } => Mutation::Dropped {
+                    source,
+                    count: stats[idx].applied,
+                },
+                Perturbation::Reorder { source, delay, .. } => Mutation::Reordered {
+                    source,
+                    count: stats[idx].applied,
+                    delay_secs: delay.as_secs(),
+                },
+                Perturbation::SourceOutage {
+                    source,
+                    start,
+                    duration,
+                } => Mutation::Outage {
+                    source,
+                    start,
+                    end: start + duration,
+                    dropped: stats[idx].applied,
+                },
+                Perturbation::Corrupt { source, .. } => Mutation::Corrupted {
+                    source,
+                    count: stats[idx].applied,
+                },
+                Perturbation::ApidRecycle { count } => Mutation::ApidRecycled {
+                    pairs: recycle_apids(logs, count),
+                },
+                Perturbation::JobIdRecycle { count } => Mutation::JobIdRecycled {
+                    pairs: recycle_jobids(logs, count),
+                },
+            };
+            mutations.push(m);
+        }
+        PerturbationTruth {
+            seed: self.seed,
+            mutations,
+        }
+    }
+}
+
+/// Live-stream driver for a stream-safe pipeline: feed lines as they
+/// arrive (any interleaving of sources), collect the perturbed lines to
+/// forward. Produces byte-identical output to
+/// [`PerturbationPipeline::apply`] on the same per-source line sequences.
+#[derive(Debug)]
+pub struct StreamPerturber {
+    steps: Vec<Perturbation>,
+    seed: u64,
+    engines: Vec<SourceEngine>,
+    stats: Vec<StepStats>,
+}
+
+impl StreamPerturber {
+    /// Builds a live driver for `pipeline`.
+    ///
+    /// # Errors
+    ///
+    /// [`PerturbError::NotStreamSafe`] when the pipeline contains a
+    /// directory-only perturbation (identifier recycling).
+    pub fn new(pipeline: &PerturbationPipeline) -> Result<Self, PerturbError> {
+        for step in &pipeline.steps {
+            match step {
+                Perturbation::ApidRecycle { .. } => {
+                    return Err(PerturbError::NotStreamSafe("ApidRecycle"));
+                }
+                Perturbation::JobIdRecycle { .. } => {
+                    return Err(PerturbError::NotStreamSafe("JobIdRecycle"));
+                }
+                _ => {}
+            }
+        }
+        Ok(StreamPerturber {
+            steps: pipeline.steps.clone(),
+            seed: pipeline.seed,
+            engines: PerturbSource::ALL
+                .iter()
+                .map(|&s| SourceEngine::new(pipeline.seed, s))
+                .collect(),
+            stats: vec![StepStats::default(); pipeline.steps.len()],
+        })
+    }
+
+    /// Feeds one arriving line; returns the lines to forward now (empty
+    /// when dropped or held for reordering, several when a replay or a
+    /// held line's release rides along).
+    pub fn push(&mut self, source: PerturbSource, line: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        self.engines[source.index()].push(source, line, &self.steps, &mut self.stats, &mut out);
+        out
+    }
+
+    /// Flushes lines still held for one source (call at end of stream).
+    pub fn close(&mut self, source: PerturbSource) -> Vec<String> {
+        let mut out = Vec::new();
+        self.engines[source.index()].flush(&mut out);
+        out
+    }
+
+    /// The truth record for everything perturbed so far.
+    pub fn truth(&self) -> PerturbationTruth {
+        let mutations = self
+            .steps
+            .iter()
+            .enumerate()
+            .map(|(idx, step)| match *step {
+                Perturbation::ClockSkew { source, offset } => Mutation::ClockSkew {
+                    source,
+                    offset_secs: offset.as_secs(),
+                    lines: self.stats[idx].applied,
+                },
+                Perturbation::ClockDrift { source, .. } => Mutation::ClockDrift {
+                    source,
+                    max_drift_secs: self.stats[idx].max_secs,
+                    lines: self.stats[idx].applied,
+                },
+                Perturbation::DuplicateReplay { source, .. } => Mutation::Duplicated {
+                    source,
+                    count: self.stats[idx].applied,
+                },
+                Perturbation::RecordDrop { source, .. } => Mutation::Dropped {
+                    source,
+                    count: self.stats[idx].applied,
+                },
+                Perturbation::Reorder { source, delay, .. } => Mutation::Reordered {
+                    source,
+                    count: self.stats[idx].applied,
+                    delay_secs: delay.as_secs(),
+                },
+                Perturbation::SourceOutage {
+                    source,
+                    start,
+                    duration,
+                } => Mutation::Outage {
+                    source,
+                    start,
+                    end: start + duration,
+                    dropped: self.stats[idx].applied,
+                },
+                Perturbation::Corrupt { source, .. } => Mutation::Corrupted {
+                    source,
+                    count: self.stats[idx].applied,
+                },
+                Perturbation::ApidRecycle { .. } | Perturbation::JobIdRecycle { .. } => {
+                    unreachable!("rejected at construction")
+                }
+            })
+            .collect();
+        PerturbationTruth {
+            seed: self.seed,
+            mutations,
+        }
+    }
+}
+
+/// Parses the decimal value right after `key` in `line`.
+fn field_u64(line: &str, key: &str) -> Option<(usize, usize, u64)> {
+    let at = line.find(key)? + key.len();
+    let rest = &line[at..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    if end == 0 {
+        return None;
+    }
+    let value = rest[..end].parse().ok()?;
+    Some((at, at + end, value))
+}
+
+/// Rewrites `key=<old>` to `key=<new>` when present.
+fn replace_u64_field(line: &mut String, key: &str, old: u64, new: u64) -> bool {
+    if let Some((s, e, v)) = field_u64(line, key) {
+        if v == old {
+            line.replace_range(s..e, &new.to_string());
+            return true;
+        }
+    }
+    false
+}
+
+/// Distinct apids in first-appearance order.
+fn apids_in_order(logs: &RawLogs) -> Vec<u64> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for line in logs.lines(PerturbSource::Alps) {
+        if let Some((_, _, apid)) = field_u64(line, "apid=") {
+            if seen.insert(apid) {
+                out.push(apid);
+            }
+        }
+    }
+    out
+}
+
+/// Aliases the last `count` apids onto the first `count`.
+fn recycle_apids(logs: &mut RawLogs, count: usize) -> Vec<(u64, u64)> {
+    let ids = apids_in_order(logs);
+    let count = count.min(ids.len() / 2);
+    let mut pairs = Vec::with_capacity(count);
+    for k in 0..count {
+        let old = ids[ids.len() - count + k];
+        let new = ids[k];
+        for line in logs.lines_mut(PerturbSource::Alps).iter_mut() {
+            replace_u64_field(line, "apid=", old, new);
+        }
+        pairs.push((old, new));
+    }
+    pairs
+}
+
+/// Distinct numeric job ids in first-appearance order (Torque first, then
+/// ALPS `batch=` references).
+fn jobids_in_order(logs: &RawLogs) -> Vec<u64> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for line in logs.lines(PerturbSource::Torque) {
+        if let Some(job) = torque_jobid(line) {
+            if seen.insert(job) {
+                out.push(job);
+            }
+        }
+    }
+    for line in logs.lines(PerturbSource::Alps) {
+        if let Some((_, _, job)) = field_u64(line, "batch=") {
+            if seen.insert(job) {
+                out.push(job);
+            }
+        }
+    }
+    out
+}
+
+/// The numeric job id of a Torque accounting line (`ts;S;123.bw;…`).
+fn torque_jobid(line: &str) -> Option<u64> {
+    let mut parts = line.splitn(4, ';');
+    parts.next()?;
+    parts.next()?;
+    let job = parts.next()?;
+    job.strip_suffix(".bw")?.parse().ok()
+}
+
+/// Rewrites the job field of a Torque line in place.
+fn replace_torque_jobid(line: &mut String, old: u64, new: u64) -> bool {
+    let old_token = format!(";{old}.bw;");
+    if let Some(at) = line.find(&old_token) {
+        line.replace_range(at..at + old_token.len(), &format!(";{new}.bw;"));
+        return true;
+    }
+    false
+}
+
+/// Aliases the last `count` job ids onto the first `count`.
+fn recycle_jobids(logs: &mut RawLogs, count: usize) -> Vec<(u64, u64)> {
+    let ids = jobids_in_order(logs);
+    let count = count.min(ids.len() / 2);
+    let mut pairs = Vec::with_capacity(count);
+    for k in 0..count {
+        let old = ids[ids.len() - count + k];
+        let new = ids[k];
+        for line in logs.lines_mut(PerturbSource::Torque).iter_mut() {
+            replace_torque_jobid(line, old, new);
+        }
+        for line in logs.lines_mut(PerturbSource::Alps).iter_mut() {
+            replace_u64_field(line, "batch=", old, new);
+        }
+        pairs.push((old, new));
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: i64) -> Timestamp {
+        Timestamp::PRODUCTION_EPOCH + SimDuration::from_secs(secs)
+    }
+
+    fn sample_logs() -> RawLogs {
+        let mut logs = RawLogs::new();
+        for k in 0..100i64 {
+            logs.push(
+                PerturbSource::Syslog,
+                format!("{} nid{:05} kernel: tick {k}", t(k * 60), k % 8),
+            );
+        }
+        for k in 0..10i64 {
+            logs.push(
+                PerturbSource::HwErr,
+                format!("{}|c0-0c0s0n{}|MCE|CRIT|bank=4", t(k * 500), k % 4),
+            );
+        }
+        for k in 0..6u64 {
+            let placed = t(k as i64 * 900);
+            let exit = t(k as i64 * 900 + 600);
+            logs.push(
+                PerturbSource::Alps,
+                format!("{placed} apsys PLACED apid={} batch={}.bw user=u0001 cmd=a.out type=XE width=2 nodelist=nid[0-1]", 100 + k, 10 + k),
+            );
+            logs.push(
+                PerturbSource::Alps,
+                format!(
+                    "{exit} apsys EXIT apid={} code=0 signal=none node_failed=no runtime=600",
+                    100 + k
+                ),
+            );
+            logs.push(
+                PerturbSource::Torque,
+                format!(
+                    "{placed};S;{}.bw;user=u0001 queue=normal nodes=2 walltime=3600",
+                    10 + k
+                ),
+            );
+        }
+        logs
+    }
+
+    #[test]
+    fn seeded_pipeline_is_deterministic() {
+        let pipeline = PerturbationPipeline::new(42)
+            .with(Perturbation::RecordDrop {
+                source: PerturbSource::Syslog,
+                prob: 0.2,
+            })
+            .with(Perturbation::DuplicateReplay {
+                source: PerturbSource::HwErr,
+                prob: 0.3,
+            })
+            .with(Perturbation::Corrupt {
+                source: PerturbSource::Syslog,
+                prob: 0.1,
+            });
+        let run = |seed: u64| {
+            let mut logs = sample_logs();
+            let mut p = pipeline.clone();
+            p.seed = seed;
+            let truth = p.apply(&mut logs);
+            (logs, truth)
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42).0, run(43).0);
+    }
+
+    #[test]
+    fn clock_skew_rewrites_every_timestamp() {
+        let mut logs = sample_logs();
+        let truth = PerturbationPipeline::new(1)
+            .with(Perturbation::ClockSkew {
+                source: PerturbSource::HwErr,
+                offset: SimDuration::from_secs(120),
+            })
+            .apply(&mut logs);
+        for (k, line) in logs.lines(PerturbSource::HwErr).iter().enumerate() {
+            assert_eq!(line_timestamp(line), Some(t(k as i64 * 500 + 120)));
+        }
+        assert_eq!(
+            truth.mutations,
+            vec![Mutation::ClockSkew {
+                source: PerturbSource::HwErr,
+                offset_secs: 120,
+                lines: 10,
+            }]
+        );
+        assert_eq!(truth.max_displacement_secs(), 120);
+    }
+
+    #[test]
+    fn drift_accumulates_with_elapsed_time() {
+        let mut logs = sample_logs();
+        let truth = PerturbationPipeline::new(1)
+            .with(Perturbation::ClockDrift {
+                source: PerturbSource::Syslog,
+                drift_per_hour: SimDuration::from_secs(60),
+            })
+            .apply(&mut logs);
+        // First line anchors (no shift); line k is k minutes in, so the
+        // drift at line k is k*60*60/3600 = k seconds.
+        let lines = logs.lines(PerturbSource::Syslog);
+        assert_eq!(line_timestamp(&lines[0]), Some(t(0)));
+        assert_eq!(line_timestamp(&lines[60]), Some(t(60 * 60 + 60)));
+        match &truth.mutations[0] {
+            Mutation::ClockDrift { max_drift_secs, .. } => assert_eq!(*max_drift_secs, 99),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_replay_inserts_adjacent_copies() {
+        let mut logs = sample_logs();
+        let before = logs.lines(PerturbSource::HwErr).to_vec();
+        let truth = PerturbationPipeline::new(7)
+            .with(Perturbation::DuplicateReplay {
+                source: PerturbSource::HwErr,
+                prob: 1.0,
+            })
+            .apply(&mut logs);
+        let after = logs.lines(PerturbSource::HwErr);
+        assert_eq!(after.len(), before.len() * 2);
+        for (k, orig) in before.iter().enumerate() {
+            assert_eq!(&after[2 * k], orig);
+            assert_eq!(&after[2 * k + 1], orig);
+        }
+        assert_eq!(truth.duplicated(PerturbSource::HwErr), 10);
+    }
+
+    #[test]
+    fn outage_swallows_the_window_exactly() {
+        let mut logs = sample_logs();
+        let truth = PerturbationPipeline::new(1)
+            .with(Perturbation::SourceOutage {
+                source: PerturbSource::Syslog,
+                start: t(30 * 60),
+                duration: SimDuration::from_mins(20),
+            })
+            .apply(&mut logs);
+        let lines = logs.lines(PerturbSource::Syslog);
+        assert_eq!(lines.len(), 80);
+        assert!(lines.iter().all(|l| {
+            let ts = line_timestamp(l).unwrap();
+            ts < t(30 * 60) || ts >= t(50 * 60)
+        }));
+        assert_eq!(truth.outage_secs(), 1_200);
+        match &truth.mutations[0] {
+            Mutation::Outage { dropped, .. } => assert_eq!(*dropped, 20),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_lines_lose_their_timestamps() {
+        let mut logs = sample_logs();
+        let truth = PerturbationPipeline::new(3)
+            .with(Perturbation::Corrupt {
+                source: PerturbSource::Syslog,
+                prob: 1.0,
+            })
+            .apply(&mut logs);
+        assert_eq!(truth.corrupted(PerturbSource::Syslog), 100);
+        for line in logs.lines(PerturbSource::Syslog) {
+            assert!(line_timestamp(line).is_none(), "still parses: {line:?}");
+        }
+    }
+
+    #[test]
+    fn reorder_delays_lines_past_their_window() {
+        let mut logs = sample_logs();
+        let truth = PerturbationPipeline::new(11)
+            .with(Perturbation::Reorder {
+                source: PerturbSource::Syslog,
+                prob: 0.3,
+                delay: SimDuration::from_mins(10),
+            })
+            .apply(&mut logs);
+        let lines = logs.lines(PerturbSource::Syslog);
+        assert_eq!(lines.len(), 100, "reorder must not lose lines");
+        let displaced: u64 = match &truth.mutations[0] {
+            Mutation::Reordered { count, .. } => *count,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(displaced > 0);
+        // Some line must now sit behind a later-stamped one.
+        let times: Vec<_> = lines.iter().filter_map(|l| line_timestamp(l)).collect();
+        assert!(times.windows(2).any(|w| w[0] > w[1]));
+        // And no line arrives more than delay + one interval late.
+        let mut max_seen = times[0];
+        for &ts in &times {
+            assert!(max_seen - ts <= SimDuration::from_secs(600));
+            max_seen = max_seen.max(ts);
+        }
+    }
+
+    #[test]
+    fn apid_recycling_aliases_late_runs_onto_early_ids() {
+        let mut logs = sample_logs();
+        let truth = PerturbationPipeline::new(1)
+            .with(Perturbation::ApidRecycle { count: 2 })
+            .apply(&mut logs);
+        let pairs = match &truth.mutations[0] {
+            Mutation::ApidRecycled { pairs } => pairs.clone(),
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(pairs, vec![(104, 100), (105, 101)]);
+        let text = logs.lines(PerturbSource::Alps).join("\n");
+        assert!(!text.contains("apid=104"));
+        assert!(!text.contains("apid=105"));
+        assert_eq!(text.matches("apid=100").count(), 4);
+        assert_eq!(truth.recycled_apids(), vec![100, 101, 104, 105]);
+    }
+
+    #[test]
+    fn jobid_recycling_rewrites_both_sources() {
+        let mut logs = sample_logs();
+        let truth = PerturbationPipeline::new(1)
+            .with(Perturbation::JobIdRecycle { count: 1 })
+            .apply(&mut logs);
+        match &truth.mutations[0] {
+            Mutation::JobIdRecycled { pairs } => assert_eq!(pairs, &vec![(15, 10)]),
+            other => panic!("unexpected {other:?}"),
+        }
+        let torque = logs.lines(PerturbSource::Torque).join("\n");
+        let alps = logs.lines(PerturbSource::Alps).join("\n");
+        assert!(!torque.contains(";15.bw;"));
+        assert!(!alps.contains("batch=15.bw"));
+        assert_eq!(torque.matches(";10.bw;").count(), 2);
+    }
+
+    #[test]
+    fn stream_perturber_matches_directory_mode() {
+        let pipeline = PerturbationPipeline::new(99)
+            .with(Perturbation::ClockSkew {
+                source: PerturbSource::HwErr,
+                offset: SimDuration::from_secs(-45),
+            })
+            .with(Perturbation::RecordDrop {
+                source: PerturbSource::Syslog,
+                prob: 0.25,
+            })
+            .with(Perturbation::DuplicateReplay {
+                source: PerturbSource::Syslog,
+                prob: 0.2,
+            })
+            .with(Perturbation::Reorder {
+                source: PerturbSource::HwErr,
+                prob: 0.5,
+                delay: SimDuration::from_mins(5),
+            })
+            .with(Perturbation::Corrupt {
+                source: PerturbSource::Torque,
+                prob: 0.4,
+            });
+        let mut dir_logs = sample_logs();
+        let dir_truth = pipeline.apply(&mut dir_logs);
+
+        // Live mode: interleave sources aggressively; per-source RNG
+        // streams make the interleaving irrelevant.
+        let input = sample_logs();
+        let mut live = StreamPerturber::new(&pipeline).unwrap();
+        let mut got = RawLogs::new();
+        let max_len = PerturbSource::ALL
+            .iter()
+            .map(|&s| input.lines(s).len())
+            .max()
+            .unwrap();
+        for k in 0..max_len {
+            for s in PerturbSource::ALL {
+                if let Some(line) = input.lines(s).get(k) {
+                    for out in live.push(s, line) {
+                        got.push(s, out);
+                    }
+                }
+            }
+        }
+        for s in PerturbSource::ALL {
+            for out in live.close(s) {
+                got.push(s, out);
+            }
+        }
+        assert_eq!(got, dir_logs);
+        assert_eq!(live.truth(), dir_truth);
+    }
+
+    #[test]
+    fn recycling_is_rejected_for_streams() {
+        let pipeline = PerturbationPipeline::new(1).with(Perturbation::ApidRecycle { count: 1 });
+        assert!(!pipeline.is_stream_safe());
+        assert_eq!(
+            StreamPerturber::new(&pipeline).unwrap_err(),
+            PerturbError::NotStreamSafe("ApidRecycle")
+        );
+    }
+
+    #[test]
+    fn raw_logs_round_trip_directory() {
+        let dir = std::env::temp_dir().join("logdiver-perturb-rawlogs");
+        let _ = std::fs::remove_dir_all(&dir);
+        let logs = sample_logs();
+        logs.write_dir(&dir).unwrap();
+        let back = RawLogs::read_dir(&dir).unwrap();
+        assert_eq!(back, logs);
+        let (lo, hi) = back.extent().unwrap();
+        assert_eq!(lo, t(0));
+        assert_eq!(hi, t(99 * 60));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -36,6 +36,7 @@ use std::path::Path;
 
 use logdiver::classify::ClassifiedRun;
 use logdiver::coalesce::{CoalescerState, ErrorEvent};
+use logdiver::coverage::CoverageState;
 use logdiver::filter::{FilterStats, FilteredEntry};
 use logdiver::parse::ParseCounts;
 use logdiver::workload::ReconstructorState;
@@ -67,6 +68,7 @@ pub(crate) struct CoreState {
     pub(crate) done: Vec<(u64, ClassifiedRun)>,
     pub(crate) health: Vec<HealthState>,
     pub(crate) spill_dropped: u64,
+    pub(crate) coverage: CoverageState,
 }
 
 /// A serializable snapshot of a quiescent [`crate::StreamEngine`] plus the
@@ -86,8 +88,11 @@ pub struct StreamCheckpoint {
 }
 
 impl StreamCheckpoint {
-    /// Current checkpoint format version.
-    pub const VERSION: u32 = 1;
+    /// Current checkpoint format version. Version 2 added the coalescer
+    /// dedup slots, per-run attribution confidence, and the source-coverage
+    /// tracker; version-1 checkpoints are rejected rather than resumed with
+    /// silently absent coverage state.
+    pub const VERSION: u32 = 2;
 
     /// The consumed byte offset recorded for one source.
     pub fn offset(&self, source: Source) -> u64 {

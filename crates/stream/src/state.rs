@@ -34,6 +34,7 @@ use craylog::alps::AlpsRecord;
 use craylog::torque::TorqueRecord;
 use logdiver::classify::{classify_one, ClassifiedRun};
 use logdiver::coalesce::{Coalescer, ErrorEvent, MAX_EVENT_SPAN};
+use logdiver::coverage::{qualify_runs, CoverageConfig, CoverageMap};
 use logdiver::filter::{entry_sort_key, EntrySource, FilterStats, FilteredEntry};
 use logdiver::parse::ParseCounts;
 use logdiver::pipeline::{Analysis, PipelineStats};
@@ -156,6 +157,9 @@ pub(crate) struct StreamCore {
     index: StreamIndex,
     reconstructor: RunReconstructor,
     done: BTreeMap<usize, ClassifiedRun>,
+    // Source-coverage tracker (order-insensitive by construction, so it
+    // matches the batch path no matter how records interleaved).
+    coverage: CoverageMap,
     // Per-source health machines, mirrored into the lock-free cells the
     // engine's push path reads.
     health: [HealthState; 5],
@@ -189,6 +193,7 @@ impl StreamCore {
             index: StreamIndex::new(),
             reconstructor: RunReconstructor::new(),
             done: BTreeMap::new(),
+            coverage: CoverageMap::new(CoverageConfig::default()),
             health: Default::default(),
             cells,
             spill: VecDeque::new(),
@@ -262,6 +267,9 @@ impl StreamCore {
             Parsed::Syslog { timestamp, entry } => {
                 self.filter_stats.syslog_examined += 1;
                 self.bump(i, timestamp);
+                // Coverage sees every parsed record, chatter included —
+                // exactly what the batch path observes.
+                self.coverage.observe(EntrySource::Syslog, timestamp);
                 if let Some(e) = entry {
                     self.filter_stats.syslog_kept += 1;
                     self.buffer_entry(e);
@@ -270,6 +278,7 @@ impl StreamCore {
             Parsed::HwErr(e) | Parsed::Netwatch(e) => {
                 self.filter_stats.structured_kept += 1;
                 self.bump(i, e.timestamp);
+                self.coverage.observe(e.source, e.timestamp);
                 self.buffer_entry(e);
             }
             Parsed::Alps(rec) => {
@@ -515,6 +524,7 @@ impl StreamCore {
                 .collect(),
             health: self.health.to_vec(),
             spill_dropped: self.spill_dropped,
+            coverage: self.coverage.state(),
         }
     }
 
@@ -556,6 +566,7 @@ impl StreamCore {
             core.sync_cell(i);
         }
         core.spill_dropped = state.spill_dropped;
+        core.coverage = CoverageMap::restore(CoverageConfig::default(), state.coverage);
         core
     }
 
@@ -589,22 +600,29 @@ impl StreamCore {
             );
             self.done.insert(seq, verdict);
         }
-        let runs: Vec<ClassifiedRun> = self.done.into_values().collect();
+        let mut runs: Vec<ClassifiedRun> = self.done.into_values().collect();
         let events = self.index.events_in_order();
         let stats = PipelineStats {
             parse: self.counts,
             filter: self.filter_stats,
             workload: workload_stats,
             entries: self.filter_stats.syslog_kept + self.filter_stats.structured_kept,
+            duplicates: self.coalescer.duplicates(),
             events: events.len() as u64,
             lethal_events: self.index.lethal_count(),
         };
+        // The coverage post-pass runs at finalize, once the tracker has
+        // seen the whole stream — a gap near a run may only become
+        // detectable after the run was incrementally classified.
+        let gaps = self.coverage.gaps();
+        qualify_runs(&mut runs, &gaps, &self.config.logdiver);
         let metrics = logdiver::metrics::compute(&runs, &events);
         Analysis {
             runs,
             events,
             metrics,
             stats,
+            coverage: gaps,
         }
     }
 }

@@ -1,0 +1,323 @@
+//! Adversarial-input property tests: the streaming engine must agree with
+//! the batch pipeline verdict-for-verdict on *perturbed* logs, not just
+//! clean ones.
+//!
+//! A seeded [`PerturbationPipeline`] mangles a simulated corpus — skewed
+//! clocks, duplicate replay, record loss, out-of-window reordering, silent
+//! outages, corruption — and the invariants are:
+//!
+//! 1. **stream == batch** on the same perturbed lines (given a lateness
+//!    window wide enough for the injected disorder), including the
+//!    coverage gaps each side detects;
+//! 2. duplicate replay changes *nothing* but the duplicate counter
+//!    (coalescer idempotence, end to end);
+//! 3. the quarantine ledger lines up with the [`PerturbationTruth`]: every
+//!    corrupted line, and only those, is counted bad.
+
+use std::sync::OnceLock;
+
+use bw_faults::perturb::{
+    PerturbSource, Perturbation, PerturbationPipeline, PerturbationTruth, RawLogs,
+};
+use bw_sim::{MemoryOutput, SimConfig, Simulation};
+use logdiver::{Analysis, LogCollection, LogDiver};
+use logdiver_stream::{Source, StreamConfig, StreamEngine};
+use logdiver_types::{SimDuration, Timestamp};
+use proptest::prelude::*;
+
+/// One simulated corpus, shared across cases. Seeded apart from the other
+/// suites so failures here shrink independently.
+fn corpus() -> &'static RawLogs {
+    static CORPUS: OnceLock<RawLogs> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        let sim = Simulation::new(SimConfig::scaled(64, 2).with_seed(4242)).unwrap();
+        let mut raw = MemoryOutput::new();
+        sim.run(&mut raw);
+        let mut logs = RawLogs::new();
+        *logs.lines_mut(PerturbSource::Syslog) = raw.syslog;
+        *logs.lines_mut(PerturbSource::HwErr) = raw.hwerr;
+        *logs.lines_mut(PerturbSource::Alps) = raw.alps;
+        *logs.lines_mut(PerturbSource::Torque) = raw.torque;
+        *logs.lines_mut(PerturbSource::Netwatch) = raw.netwatch;
+        logs
+    })
+}
+
+fn to_collection(logs: &RawLogs) -> LogCollection {
+    let mut c = LogCollection::new();
+    c.syslog = logs.lines(PerturbSource::Syslog).to_vec();
+    c.hwerr = logs.lines(PerturbSource::HwErr).to_vec();
+    c.alps = logs.lines(PerturbSource::Alps).to_vec();
+    c.torque = logs.lines(PerturbSource::Torque).to_vec();
+    c.netwatch = logs.lines(PerturbSource::Netwatch).to_vec();
+    c
+}
+
+fn line_timestamp(line: &str) -> Option<Timestamp> {
+    line.get(..19)?.parse().ok()
+}
+
+/// The smallest allowed lateness under which no line is dropped as late:
+/// the largest backward timestamp jump within any source, plus slack.
+fn needed_lateness(logs: &LogCollection) -> SimDuration {
+    let mut worst = SimDuration::ZERO;
+    for lines in [
+        &logs.syslog,
+        &logs.hwerr,
+        &logs.alps,
+        &logs.torque,
+        &logs.netwatch,
+    ] {
+        let mut high: Option<Timestamp> = None;
+        for line in lines {
+            let Some(ts) = line_timestamp(line) else {
+                continue;
+            };
+            if let Some(h) = high {
+                worst = worst.max(h - ts);
+            }
+            high = Some(high.map_or(ts, |h| h.max(ts)));
+        }
+    }
+    worst + SimDuration::from_secs(1)
+}
+
+/// Pushes the five logs as interleaved chunks of `chunk` lines per source
+/// per round, then drains.
+fn stream_in_chunks(logs: &LogCollection, chunk: usize, lateness: SimDuration) -> Analysis {
+    let mut engine = StreamEngine::new(StreamConfig::default().with_lateness(lateness));
+    let sources = [
+        (Source::Syslog, &logs.syslog),
+        (Source::HwErr, &logs.hwerr),
+        (Source::Alps, &logs.alps),
+        (Source::Torque, &logs.torque),
+        (Source::Netwatch, &logs.netwatch),
+    ];
+    let mut offsets = [0usize; 5];
+    loop {
+        let mut moved = false;
+        for (i, (source, lines)) in sources.iter().enumerate() {
+            let lo = offsets[i];
+            let hi = (lo + chunk).min(lines.len());
+            if lo < hi {
+                engine
+                    .push_batch(*source, lines[lo..hi].iter().cloned())
+                    .unwrap();
+                offsets[i] = hi;
+                moved = true;
+            } else if lo == lines.len() {
+                engine.close(*source);
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    engine.drain()
+}
+
+fn assert_analyses_equal(streamed: &Analysis, batch: &Analysis) {
+    assert_eq!(streamed.runs.len(), batch.runs.len(), "run count");
+    for (s, b) in streamed.runs.iter().zip(&batch.runs) {
+        assert_eq!(s, b, "run {:?} classified differently", b.run.apid);
+    }
+    assert_eq!(streamed.events, batch.events, "closed events");
+    assert_eq!(streamed.coverage, batch.coverage, "coverage gaps");
+    assert_eq!(streamed.metrics, batch.metrics, "metric set");
+    assert_eq!(streamed.stats, batch.stats, "pipeline stats");
+}
+
+/// Outage window placed mid-corpus, sized as a fraction of the extent.
+fn mid_outage(logs: &RawLogs, source: PerturbSource, fraction: f64) -> Perturbation {
+    let (lo, hi) = corpus_extent(logs);
+    let span = (hi - lo).as_secs();
+    Perturbation::SourceOutage {
+        source,
+        start: lo + SimDuration::from_secs(span / 3),
+        duration: SimDuration::from_secs((span as f64 * fraction) as i64),
+    }
+}
+
+fn corpus_extent(logs: &RawLogs) -> (Timestamp, Timestamp) {
+    logs.extent().expect("corpus is non-empty")
+}
+
+/// One pipeline per perturbation kind, plus an everything-at-once blend.
+fn pipeline_for(kind: usize, seed: u64, logs: &RawLogs) -> PerturbationPipeline {
+    let p = PerturbationPipeline::new(seed);
+    match kind {
+        0 => p.with(Perturbation::ClockSkew {
+            source: PerturbSource::HwErr,
+            offset: SimDuration::from_secs(if seed.is_multiple_of(2) { 450 } else { -450 }),
+        }),
+        1 => p.with(Perturbation::DuplicateReplay {
+            source: PerturbSource::Syslog,
+            prob: 0.4,
+        }),
+        2 => p
+            .with(Perturbation::RecordDrop {
+                source: PerturbSource::Syslog,
+                prob: 0.3,
+            })
+            .with(Perturbation::RecordDrop {
+                source: PerturbSource::Alps,
+                prob: 0.2,
+            }),
+        3 => p.with(Perturbation::Reorder {
+            source: PerturbSource::Syslog,
+            prob: 0.3,
+            delay: SimDuration::from_mins(10),
+        }),
+        4 => p
+            .with(mid_outage(logs, PerturbSource::Syslog, 0.2))
+            .with(Perturbation::Corrupt {
+                source: PerturbSource::Netwatch,
+                prob: 0.2,
+            }),
+        _ => p
+            .with(Perturbation::ClockSkew {
+                source: PerturbSource::HwErr,
+                offset: SimDuration::from_secs(300),
+            })
+            .with(Perturbation::ClockDrift {
+                source: PerturbSource::Netwatch,
+                drift_per_hour: SimDuration::from_secs(30),
+            })
+            .with(Perturbation::DuplicateReplay {
+                source: PerturbSource::Syslog,
+                prob: 0.25,
+            })
+            .with(Perturbation::RecordDrop {
+                source: PerturbSource::Syslog,
+                prob: 0.2,
+            })
+            .with(Perturbation::Reorder {
+                source: PerturbSource::HwErr,
+                prob: 0.3,
+                delay: SimDuration::from_mins(5),
+            })
+            .with(mid_outage(logs, PerturbSource::Syslog, 0.15))
+            .with(Perturbation::Corrupt {
+                source: PerturbSource::Torque,
+                prob: 0.1,
+            }),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Every perturbation kind, any chunking: drain == analyze on the same
+    /// perturbed lines, coverage gaps included.
+    #[test]
+    fn perturbed_stream_equals_batch(
+        kind in 0usize..6,
+        chunk in 1usize..48,
+        seed in 0u64..500,
+    ) {
+        let mut logs = corpus().clone();
+        let pipeline = pipeline_for(kind, seed, &logs);
+        pipeline.apply(&mut logs);
+        let perturbed = to_collection(&logs);
+        let batch = LogDiver::new().analyze(&perturbed);
+        let streamed = stream_in_chunks(&perturbed, chunk, needed_lateness(&perturbed));
+        prop_assert_eq!(&streamed.runs, &batch.runs);
+        prop_assert_eq!(&streamed.events, &batch.events);
+        prop_assert_eq!(&streamed.coverage, &batch.coverage);
+        prop_assert_eq!(&streamed.metrics, &batch.metrics);
+        prop_assert_eq!(&streamed.stats, &batch.stats);
+    }
+
+    /// Duplicate replay is invisible: verdicts, events, metrics, and
+    /// coverage all equal the clean run; only the duplicate counter moves.
+    #[test]
+    fn duplicate_replay_changes_nothing_but_the_counter(
+        seed in 0u64..500,
+        prob in 0.1f64..0.9,
+    ) {
+        let clean = LogDiver::new().analyze(&to_collection(corpus()));
+        let mut logs = corpus().clone();
+        let truth = PerturbationPipeline::new(seed)
+            .with(Perturbation::DuplicateReplay {
+                source: PerturbSource::Syslog,
+                prob,
+            })
+            .with(Perturbation::DuplicateReplay {
+                source: PerturbSource::HwErr,
+                prob,
+            })
+            .apply(&mut logs);
+        let doubled = LogDiver::new().analyze(&to_collection(&logs));
+        prop_assert_eq!(&doubled.runs, &clean.runs);
+        prop_assert_eq!(&doubled.events, &clean.events);
+        prop_assert_eq!(&doubled.coverage, &clean.coverage);
+        prop_assert_eq!(&doubled.metrics, &clean.metrics);
+        // Raw replays inflate the parse totals exactly; the ones that
+        // survive filtering are exactly what the coalescer collapsed.
+        let replayed = truth.duplicated(PerturbSource::Syslog)
+            + truth.duplicated(PerturbSource::HwErr);
+        let parsed = |a: &Analysis| a.stats.parse.iter().map(|c| c.total).sum::<u64>();
+        prop_assert_eq!(parsed(&doubled), parsed(&clean) + replayed);
+        prop_assert_eq!(
+            doubled.stats.duplicates,
+            doubled.stats.entries - clean.stats.entries
+        );
+        prop_assert_eq!(clean.stats.duplicates, 0);
+    }
+}
+
+/// The quarantine ledger equals the corruption truth: the clean corpus has
+/// zero bad lines, so after perturbation every bad line is an injected one
+/// — in both engines.
+#[test]
+fn quarantines_line_up_with_perturbation_truth() {
+    let clean = LogDiver::new().analyze(&to_collection(corpus()));
+    assert_eq!(
+        clean.stats.parse.iter().map(|c| c.bad).sum::<u64>(),
+        0,
+        "clean corpus must parse fully for this test to mean anything"
+    );
+    let mut logs = corpus().clone();
+    let truth: PerturbationTruth = PerturbationPipeline::new(77)
+        .with(Perturbation::Corrupt {
+            source: PerturbSource::Syslog,
+            prob: 0.03,
+        })
+        .with(Perturbation::Corrupt {
+            source: PerturbSource::Netwatch,
+            prob: 0.5,
+        })
+        .apply(&mut logs);
+    let perturbed = to_collection(&logs);
+    let batch = LogDiver::new().analyze(&perturbed);
+    let streamed = stream_in_chunks(&perturbed, 7, needed_lateness(&perturbed));
+    for (i, source) in [PerturbSource::Syslog, PerturbSource::Netwatch]
+        .into_iter()
+        .zip([0usize, 4])
+        .map(|(s, i)| (i, s))
+    {
+        let injected = truth.corrupted(source);
+        assert!(injected > 0, "pipeline must have corrupted {source:?}");
+        assert_eq!(batch.stats.parse[i].bad, injected, "batch bad[{i}]");
+        assert_eq!(streamed.stats.parse[i].bad, injected, "stream bad[{i}]");
+    }
+}
+
+/// A silent mid-corpus syslog outage is reported identically by both
+/// engines, and some absence-of-evidence verdict in the window is
+/// downgraded rather than silently trusted.
+#[test]
+fn outage_coverage_gap_is_identical_in_both_modes() {
+    let mut logs = corpus().clone();
+    PerturbationPipeline::new(5)
+        .with(mid_outage(&logs, PerturbSource::Syslog, 0.25))
+        .apply(&mut logs);
+    let perturbed = to_collection(&logs);
+    let batch = LogDiver::new().analyze(&perturbed);
+    let streamed = stream_in_chunks(&perturbed, 13, needed_lateness(&perturbed));
+    assert!(
+        !batch.coverage.is_empty(),
+        "a quarter-corpus outage must be detected"
+    );
+    assert_analyses_equal(&streamed, &batch);
+}

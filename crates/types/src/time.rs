@@ -311,13 +311,59 @@ mod tests {
         assert_eq!(mar1.to_ymd_hms(), (2016, 3, 1, 0, 0, 0));
     }
 
+    /// Unix-seconds range whose displayed years stay in 0001..=9999 — the
+    /// window the four-digit `YYYY-MM-DD HH:MM:SS` format can represent.
+    const MIN_FOUR_DIGIT_UNIX: i64 = -62_135_596_800; // 0001-01-01 00:00:00
+    const MAX_FOUR_DIGIT_UNIX: i64 = 253_402_300_799; // 9999-12-31 23:59:59
+
     #[test]
-    fn display_and_parse_round_trip() {
-        for secs in [0i64, 1_364_342_400, 1_400_000_123, -86_400] {
+    fn display_and_parse_round_trip_at_boundaries() {
+        for secs in [
+            MIN_FOUR_DIGIT_UNIX,
+            -86_400,
+            -1,
+            0,
+            1,
+            1_364_342_400,
+            1_400_000_123,
+            MAX_FOUR_DIGIT_UNIX,
+        ] {
             let t = Timestamp::from_unix(secs);
             let s = t.to_string();
+            assert_eq!(s.len(), 19, "fixed-width format violated by {s:?}");
             let back: Timestamp = s.parse().unwrap();
             assert_eq!(back, t, "round trip failed for {s}");
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(256))]
+
+        /// Any representable second displays as exactly 19 characters and
+        /// parses back to the same instant.
+        #[test]
+        fn display_and_parse_round_trip_everywhere(
+            secs in MIN_FOUR_DIGIT_UNIX..MAX_FOUR_DIGIT_UNIX + 1,
+        ) {
+            let t = Timestamp::from_unix(secs);
+            let shown = t.to_string();
+            proptest::prop_assert_eq!(shown.len(), 19);
+            let back: Timestamp = shown.parse().unwrap();
+            proptest::prop_assert_eq!(back, t);
+        }
+
+        /// Round trips survive adversarial clock skew, and the textual path
+        /// agrees with the `to_ymd_hms`/`from_ymd_hms` field path.
+        #[test]
+        fn skewed_timestamps_round_trip(
+            base in MIN_FOUR_DIGIT_UNIX + 500_000..MAX_FOUR_DIGIT_UNIX - 500_000,
+            skew in -400_000i64..400_000,
+        ) {
+            let t = Timestamp::from_unix(base) + SimDuration::from_secs(skew);
+            let back: Timestamp = t.to_string().parse().unwrap();
+            proptest::prop_assert_eq!(back, t);
+            let (y, mo, d, h, mi, s) = t.to_ymd_hms();
+            proptest::prop_assert_eq!(Timestamp::from_ymd_hms(y, mo, d, h, mi, s), t);
         }
     }
 

@@ -109,6 +109,7 @@ fn assert_analyses_equal(streamed: &Analysis, batch: &Analysis) {
         assert_eq!(s, b, "run {:?} classified differently", b.run.apid);
     }
     assert_eq!(streamed.events, batch.events, "closed events");
+    assert_eq!(streamed.coverage, batch.coverage, "coverage gaps");
     assert_eq!(streamed.metrics, batch.metrics, "metric set");
     assert_eq!(streamed.stats, batch.stats, "pipeline stats");
 }
@@ -142,6 +143,7 @@ proptest! {
         // it the same answer as the pristine ones.
         prop_assert_eq!(&streamed.runs, &batch.runs);
         prop_assert_eq!(&streamed.events, &batch.events);
+        prop_assert_eq!(&streamed.coverage, &batch.coverage);
         prop_assert_eq!(&streamed.metrics, &batch.metrics);
         prop_assert_eq!(&streamed.stats, &batch.stats);
     }
