@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! logdiver simulate  --out DIR [--divisor N] [--days N] [--seed N]
-//! logdiver analyze   --logs DIR [--csv DIR]
+//! logdiver analyze   --logs DIR [--csv DIR] [--threads N] [--timings]
 //! logdiver validate  --logs DIR [--json] [--min-precision X] [--min-recall X]
 //! logdiver campaign  --out DIR [--divisor N] [--days N] [--seed N]
 //!                    [--seeds N] [--severities LIST] [--gate-f1 X]
@@ -40,7 +40,7 @@ use logdiver::{report, LogCollection, LogDiver};
 use rand::SeedableRng;
 
 fn usage() -> &'static str {
-    "usage:\n  logdiver simulate  --out DIR [--divisor N] [--days N] [--seed N]\n  logdiver analyze   --logs DIR [--csv DIR]\n  logdiver validate  --logs DIR [--json] [--min-precision X] [--min-recall X]\n  logdiver campaign  --out DIR [--divisor N] [--days N] [--seed N] [--seeds N]\n                     [--severities LIST] [--gate-f1 X]\n  logdiver stream    --logs DIR [--chunk N] [--follow] [--shards N]\n                     [--lateness SECS] [--checkpoint FILE] [--resume FILE]\n                     [--checkpoint-every N] [--checkpoint-secs N]\n                     [--quarantine-out FILE] [--quarantine-keep N]\n  logdiver reproduce [--divisor N] [--days N] [--seed N] [--boost-capability]\n  logdiver swf       --out FILE [--divisor N] [--days N] [--seed N]\n\noptions:\n  --divisor N   machine scale divisor (1 = full Blue Waters; default 16)\n  --days N      production days to simulate (default 30; the paper is 518)\n  --seed N      RNG seed (default 1)\n  --out DIR     output directory for raw logs\n  --logs DIR    directory holding messages.log / hwerr.log / apsys.log /\n                torque.log / netwatch.log\n  --csv DIR     also write scale-curve CSVs there\n  --json        print validation results as JSON instead of text\n  --min-precision X  exit nonzero when attribution precision < X\n  --min-recall X     exit nonzero when attribution recall < X\n  --seeds N     campaign: number of consecutive seeds to sweep (default 2)\n  --severities LIST  campaign: comma-separated severity grid in [0,1]\n                (default 0,0.25,0.5,0.75,1)\n  --gate-f1 X   campaign: exit nonzero when the clean point's F1 < X\n  --chunk N     lines pushed per source per round when streaming (default 1024)\n  --follow      keep tailing the log files for appended lines; SIGINT writes\n                a final checkpoint and report, then exits cleanly\n  --shards N    parallel syslog parse workers (default 2)\n  --lateness SECS  allowed out-of-order lateness within a source (default 60)\n  --checkpoint FILE     write crash-safe checkpoints to FILE (atomic\n                temp+rename); resume later with --resume FILE\n  --resume FILE         restore engine state and file offsets from a\n                checkpoint; also the checkpoint target unless --checkpoint\n                says otherwise\n  --checkpoint-every N  checkpoint after N accepted lines (default 50000)\n  --checkpoint-secs N   also checkpoint every N seconds while lines flow\n                (default 5)\n  --quarantine-out FILE append every quarantined (corrupt) raw line to FILE\n  --quarantine-keep N   recent corrupt lines kept in memory per source\n                (default 16)\n  --boost-capability  multiply capability-job frequency ×8 (dense sampling\n                of the full-scale buckets on small machines)"
+    "usage:\n  logdiver simulate  --out DIR [--divisor N] [--days N] [--seed N]\n  logdiver analyze   --logs DIR [--csv DIR] [--threads N] [--timings]\n  logdiver validate  --logs DIR [--json] [--min-precision X] [--min-recall X]\n  logdiver campaign  --out DIR [--divisor N] [--days N] [--seed N] [--seeds N]\n                     [--severities LIST] [--gate-f1 X]\n  logdiver stream    --logs DIR [--chunk N] [--follow] [--shards N]\n                     [--lateness SECS] [--checkpoint FILE] [--resume FILE]\n                     [--checkpoint-every N] [--checkpoint-secs N]\n                     [--quarantine-out FILE] [--quarantine-keep N]\n  logdiver reproduce [--divisor N] [--days N] [--seed N] [--boost-capability]\n  logdiver swf       --out FILE [--divisor N] [--days N] [--seed N]\n\noptions:\n  --divisor N   machine scale divisor (1 = full Blue Waters; default 16)\n  --days N      production days to simulate (default 30; the paper is 518)\n  --seed N      RNG seed (default 1)\n  --out DIR     output directory for raw logs\n  --logs DIR    directory holding messages.log / hwerr.log / apsys.log /\n                torque.log / netwatch.log\n  --csv DIR     also write scale-curve CSVs there\n  --threads N   worker threads for the parallel analyze stages (default: all\n                cores; output is identical for every N)\n  --timings     print a per-stage wall-clock breakdown to stderr\n  --json        print validation results as JSON instead of text\n  --min-precision X  exit nonzero when attribution precision < X\n  --min-recall X     exit nonzero when attribution recall < X\n  --seeds N     campaign: number of consecutive seeds to sweep (default 2)\n  --severities LIST  campaign: comma-separated severity grid in [0,1]\n                (default 0,0.25,0.5,0.75,1)\n  --gate-f1 X   campaign: exit nonzero when the clean point's F1 < X\n  --chunk N     lines pushed per source per round when streaming (default 1024)\n  --follow      keep tailing the log files for appended lines; SIGINT writes\n                a final checkpoint and report, then exits cleanly\n  --shards N    parallel syslog parse workers (default 2)\n  --lateness SECS  allowed out-of-order lateness within a source (default 60)\n  --checkpoint FILE     write crash-safe checkpoints to FILE (atomic\n                temp+rename); resume later with --resume FILE\n  --resume FILE         restore engine state and file offsets from a\n                checkpoint; also the checkpoint target unless --checkpoint\n                says otherwise\n  --checkpoint-every N  checkpoint after N accepted lines (default 50000)\n  --checkpoint-secs N   also checkpoint every N seconds while lines flow\n                (default 5)\n  --quarantine-out FILE append every quarantined (corrupt) raw line to FILE\n  --quarantine-keep N   recent corrupt lines kept in memory per source\n                (default 16)\n  --boost-capability  multiply capability-job frequency ×8 (dense sampling\n                of the full-scale buckets on small machines)"
 }
 
 /// What one subcommand accepts: value-taking options and bare switches.
@@ -59,8 +59,8 @@ const COMMANDS: &[CommandSpec] = &[
     },
     CommandSpec {
         name: "analyze",
-        flags: &["logs", "csv"],
-        switches: &[],
+        flags: &["logs", "csv", "threads"],
+        switches: &["timings"],
     },
     CommandSpec {
         name: "validate",
@@ -205,14 +205,37 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
 
 fn cmd_analyze(args: &Args) -> Result<(), String> {
     let dir = args.flags.get("logs").ok_or("analyze needs --logs DIR")?;
+    let threads = match args.flags.get("threads") {
+        Some(_) => get_u64(args, "threads", 1)?.max(1) as usize,
+        None => logdiver::exec::default_threads(),
+    };
     // Streaming parse: the raw text never lives in memory.
-    let analysis = LogDiver::new()
-        .analyze_dir(dir)
+    let (analysis, timings) = LogDiver::new()
+        .with_threads(threads)
+        .analyze_dir_timed(dir)
         .map_err(|e| e.to_string())?;
     println!(
         "{}",
         report::full_report(&analysis.metrics, &analysis.stats)
     );
+    if args.switches.iter().any(|s| s == "timings") {
+        let lines_total: u64 = analysis.stats.parse.iter().map(|c| c.total).sum();
+        eprintln!("stage timings ({threads} thread(s), {lines_total} lines):");
+        eprintln!("  parse        {:>9.3}s", timings.parse_secs);
+        eprintln!("  filter       {:>9.3}s", timings.filter_secs);
+        eprintln!("  coverage     {:>9.3}s", timings.coverage_secs);
+        eprintln!("  coalesce     {:>9.3}s", timings.coalesce_secs);
+        eprintln!("  reconstruct  {:>9.3}s", timings.reconstruct_secs);
+        eprintln!("  classify     {:>9.3}s", timings.classify_secs);
+        eprintln!("  metrics      {:>9.3}s", timings.metrics_secs);
+        eprintln!("  total        {:>9.3}s", timings.total_secs);
+        if timings.total_secs > 0.0 {
+            eprintln!(
+                "  throughput   {:>9.0} lines/s",
+                lines_total as f64 / timings.total_secs
+            );
+        }
+    }
     if let Some(csv_dir) = args.flags.get("csv") {
         std::fs::create_dir_all(csv_dir).map_err(|e| format!("cannot create {csv_dir}: {e}"))?;
         for curve in &analysis.metrics.scale_curves {
@@ -845,6 +868,24 @@ mod tests {
         assert_eq!(args.flags.get("checkpoint-every").unwrap(), "1000");
         assert_eq!(args.flags.get("quarantine-out").unwrap(), "bad.tsv");
         assert_eq!(get_u64(&args, "quarantine-keep", 16).unwrap(), 64);
+    }
+
+    #[test]
+    fn analyze_threads_and_timings_parse() {
+        let args = parse_args(
+            spec("analyze"),
+            &argv(&["--logs", "d", "--threads=4", "--timings"]),
+        )
+        .unwrap();
+        assert_eq!(get_u64(&args, "threads", 1).unwrap(), 4);
+        assert_eq!(args.switches, vec!["timings".to_string()]);
+        // --timings is a switch, not a flag.
+        let err = parse_args(spec("analyze"), &argv(&["--timings=on"])).unwrap_err();
+        assert!(err.contains("does not take a value"), "{err}");
+        // --threads belongs to analyze only.
+        let err =
+            parse_args(spec("stream"), &argv(&["--logs", "d", "--threads", "4"])).unwrap_err();
+        assert!(err.contains("unknown option --threads"), "{err}");
     }
 
     #[test]

@@ -131,9 +131,23 @@ pub fn classify_runs(
     index: &MatchIndex,
     config: &LogDiverConfig,
 ) -> Vec<ClassifiedRun> {
-    runs.into_iter()
-        .map(|run| classify_one(run, jobs, index, config))
-        .collect()
+    classify_runs_threads(runs, jobs, index, config, 1)
+}
+
+/// Classifies every run across `threads` workers.
+///
+/// [`classify_one`] is a pure function of `(run, jobs, index, config)` and
+/// the index is read-only after construction, so runs classify in parallel;
+/// [`crate::exec::par_map`] returns verdicts in input order, which keeps
+/// the output identical to the serial path.
+pub fn classify_runs_threads(
+    runs: Vec<AppRun>,
+    jobs: &HashMap<u64, JobInfo>,
+    index: &MatchIndex,
+    config: &LogDiverConfig,
+    threads: usize,
+) -> Vec<ClassifiedRun> {
+    crate::exec::par_map(threads, runs, |run| classify_one(run, jobs, index, config))
 }
 
 /// Classifies one run against any event table. The streaming engine calls

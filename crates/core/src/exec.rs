@@ -1,0 +1,319 @@
+//! Deterministic parallel execution for the batch pipeline.
+//!
+//! Two primitives, both with a hard ordering contract: **results come back
+//! in input order**, no matter how work was scheduled across threads. That
+//! contract is what lets `analyze --threads N` produce output byte-identical
+//! to the serial path — every parallel stage is an order-preserving map, and
+//! every merge is a deterministic index-ordered concatenation (DESIGN.md
+//! §13).
+//!
+//! - [`par_map`] — map over an in-memory `Vec` on a work-stealing pool.
+//!   Items go into a shared [`Injector`]; each worker drains its local deque
+//!   first, refills from the injector in batches, and steals from siblings
+//!   when both are dry. Tagging every item with its index makes the merge
+//!   trivially deterministic.
+//! - [`par_map_stream`] — map over a *sequentially produced* stream of work
+//!   items (file chunks read by the caller) with bounded in-flight work, so
+//!   a multi-gigabyte log file never materializes in memory just to be
+//!   fanned out.
+//!
+//! Both fall back to a plain serial loop for `threads <= 1` or trivially
+//! small inputs, so the serial pipeline does not pay for thread spawns.
+
+use crossbeam::channel;
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+
+/// Below this many items a parallel map is all overhead; run serial.
+const PAR_MIN_ITEMS: usize = 2;
+
+/// How many in-flight chunks [`par_map_stream`] allows per worker before the
+/// producer blocks. Small: bounds raw-text memory during file parsing.
+const STREAM_INFLIGHT_PER_WORKER: usize = 2;
+
+/// Maps `f` over `items` using `threads` workers, returning results in
+/// input order.
+///
+/// Work is distributed by work stealing: all items start in a shared
+/// injector; workers pull batches into local deques and steal from each
+/// other when starved, so uneven per-item cost (one chunk full of corrupt
+/// lines, one run with thousands of candidate events) cannot idle a core.
+///
+/// Determinism: `f` is applied exactly once per item and the output vector
+/// is assembled by item index, so the result equals
+/// `items.into_iter().map(f).collect()` for any thread count — only faster.
+pub fn par_map<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let len = items.len();
+    if threads <= 1 || len < PAR_MIN_ITEMS {
+        return items.into_iter().map(f).collect();
+    }
+    let workers = threads.min(len);
+
+    let injector = Injector::new();
+    for task in items.into_iter().enumerate() {
+        injector.push(task);
+    }
+
+    let locals: Vec<Worker<(usize, T)>> = (0..workers).map(|_| Worker::new_fifo()).collect();
+    let stealers: Vec<Stealer<(usize, T)>> = locals.iter().map(Worker::stealer).collect();
+    let (tx, rx) = channel::unbounded::<(usize, R)>();
+
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(len);
+    slots.resize_with(len, || None);
+
+    std::thread::scope(|scope| {
+        for (wi, local) in locals.into_iter().enumerate() {
+            let tx = tx.clone();
+            let injector = &injector;
+            let stealers = &stealers;
+            let f = &f;
+            scope.spawn(move || {
+                while let Some((idx, item)) = next_task(&local, injector, stealers, wi) {
+                    // The receiver outlives all workers (it is drained in
+                    // this scope after the senders drop), so send cannot
+                    // fail while work remains.
+                    let _ = tx.send((idx, f(item)));
+                }
+            });
+        }
+        drop(tx);
+        for (idx, result) in rx.iter() {
+            slots[idx] = Some(result);
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|r| r.expect("par_map worker dropped a task"))
+        .collect()
+}
+
+/// One scheduling step: local deque first, then an injector batch, then a
+/// sweep over sibling deques. `None` means no task was observable anywhere —
+/// with a fixed task population that worker is done (any task it missed is
+/// held by the worker that will execute it).
+fn next_task<T>(
+    local: &Worker<T>,
+    injector: &Injector<T>,
+    stealers: &[Stealer<T>],
+    own_index: usize,
+) -> Option<T> {
+    if let Some(task) = local.pop() {
+        return Some(task);
+    }
+    loop {
+        match injector.steal_batch_and_pop(local) {
+            Steal::Success(task) => return Some(task),
+            Steal::Retry => continue,
+            Steal::Empty => break,
+        }
+    }
+    for (si, stealer) in stealers.iter().enumerate() {
+        if si == own_index {
+            continue;
+        }
+        loop {
+            match stealer.steal_batch_and_pop(local) {
+                Steal::Success(task) => return Some(task),
+                Steal::Retry => continue,
+                Steal::Empty => break,
+            }
+        }
+    }
+    None
+}
+
+/// Maps `f` over a stream of work items pulled one at a time from `source`,
+/// with bounded in-flight work, returning results in production order.
+///
+/// The producer (this thread) pulls items and feeds a bounded channel;
+/// `threads` consumers apply `f`. At most `threads ×`
+/// [`STREAM_INFLIGHT_PER_WORKER`] items are buffered, so when items are
+/// chunks of raw log text the unparsed bytes in memory stay bounded
+/// regardless of file size.
+///
+/// If `source` returns an error, feeding stops, in-flight work is drained,
+/// and the error is returned.
+pub fn par_map_stream<T, R, E, S, F>(threads: usize, mut source: S, f: F) -> Result<Vec<R>, E>
+where
+    T: Send,
+    R: Send,
+    E: Send,
+    S: FnMut() -> Result<Option<T>, E>,
+    F: Fn(T) -> R + Sync,
+{
+    if threads <= 1 {
+        let mut out = Vec::new();
+        while let Some(item) = source()? {
+            out.push(f(item));
+        }
+        return Ok(out);
+    }
+
+    let (work_tx, work_rx) = channel::bounded::<(usize, T)>(threads * STREAM_INFLIGHT_PER_WORKER);
+    let (res_tx, res_rx) = channel::unbounded::<(usize, R)>();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let work_rx = work_rx.clone();
+            let res_tx = res_tx.clone();
+            let f = &f;
+            scope.spawn(move || {
+                for (seq, item) in work_rx.iter() {
+                    let _ = res_tx.send((seq, f(item)));
+                }
+            });
+        }
+        drop(work_rx);
+        drop(res_tx);
+
+        let mut feed_err = None;
+        let mut seq = 0usize;
+        loop {
+            match source() {
+                Ok(Some(item)) => {
+                    if work_tx.send((seq, item)).is_err() {
+                        break; // all workers gone; cannot happen while we hold work
+                    }
+                    seq += 1;
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    feed_err = Some(e);
+                    break;
+                }
+            }
+        }
+        drop(work_tx);
+
+        let mut results: Vec<(usize, R)> = res_rx.iter().collect();
+        if let Some(e) = feed_err {
+            return Err(e);
+        }
+        results.sort_by_key(|(s, _)| *s);
+        Ok(results.into_iter().map(|(_, r)| r).collect())
+    })
+}
+
+/// Splits `items` into at most `pieces` contiguous chunks of near-equal
+/// size, preserving order. Used by pipeline stages that parallelize over
+/// chunks (parse, filter) so per-item dispatch cost amortizes; chunk
+/// results are concatenated in chunk order, which equals input order.
+pub fn chunked<T>(items: Vec<T>, pieces: usize) -> Vec<Vec<T>> {
+    let len = items.len();
+    if len == 0 {
+        return Vec::new();
+    }
+    let pieces = pieces.clamp(1, len);
+    let base = len / pieces;
+    let extra = len % pieces;
+    let mut chunks = Vec::with_capacity(pieces);
+    let mut it = items.into_iter();
+    for i in 0..pieces {
+        let take = base + usize::from(i < extra);
+        chunks.push(it.by_ref().take(take).collect());
+    }
+    chunks
+}
+
+/// The worker count to use for "all cores": the machine's available
+/// parallelism, with a serial fallback when it cannot be queried.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZero::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        for threads in [1, 2, 4, 8] {
+            let items: Vec<u64> = (0..10_000).collect();
+            let out = par_map(threads, items.clone(), |x| x * 3 + 1);
+            let expect: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+            assert_eq!(out, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_uneven_work() {
+        // A few very expensive items early on must not serialize the rest.
+        let items: Vec<usize> = (0..256).collect();
+        let out = par_map(4, items, |i| {
+            let spins = if i < 4 { 200_000 } else { 10 };
+            let mut acc = i as u64;
+            for _ in 0..spins {
+                acc = acc.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            }
+            (i, acc)
+        });
+        assert_eq!(out.len(), 256);
+        for (idx, (i, _)) in out.iter().enumerate() {
+            assert_eq!(idx, *i);
+        }
+    }
+
+    #[test]
+    fn par_map_empty_and_tiny() {
+        assert_eq!(par_map(8, Vec::<u32>::new(), |x| x), Vec::<u32>::new());
+        assert_eq!(par_map(8, vec![7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_map_stream_matches_serial() {
+        for threads in [1, 2, 4] {
+            let mut n = 0u64;
+            let source = move || -> Result<Option<u64>, ()> {
+                if n < 500 {
+                    n += 1;
+                    Ok(Some(n))
+                } else {
+                    Ok(None)
+                }
+            };
+            let out = par_map_stream(threads, source, |x| x * x).unwrap();
+            let expect: Vec<u64> = (1..=500).map(|x| x * x).collect();
+            assert_eq!(out, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_stream_propagates_source_error() {
+        let mut n = 0u32;
+        let source = move || -> Result<Option<u32>, &'static str> {
+            n += 1;
+            if n > 10 {
+                Err("disk on fire")
+            } else {
+                Ok(Some(n))
+            }
+        };
+        let err = par_map_stream(4, source, |x| x).unwrap_err();
+        assert_eq!(err, "disk on fire");
+    }
+
+    #[test]
+    fn chunked_covers_everything_in_order() {
+        let items: Vec<u32> = (0..97).collect();
+        for pieces in [1, 2, 3, 8, 97, 200] {
+            let chunks = chunked(items.clone(), pieces);
+            assert!(chunks.len() <= pieces.max(1));
+            assert!(chunks.iter().all(|c| !c.is_empty()));
+            let flat: Vec<u32> = chunks.into_iter().flatten().collect();
+            assert_eq!(flat, items, "pieces={pieces}");
+        }
+        assert!(chunked(Vec::<u32>::new(), 4).is_empty());
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -274,16 +274,52 @@ pub fn entry_sort_key(e: &FilteredEntry) -> (Timestamp, u32) {
 
 /// Runs the filter over parsed logs.
 pub fn filter_logs(parsed: &ParsedLogs, table: &PatternTable) -> (Vec<FilteredEntry>, FilterStats) {
+    filter_logs_threads(parsed, table, 1)
+}
+
+/// Below this many syslog records the parallel scan is all overhead.
+const PAR_FILTER_MIN_RECORDS: usize = 4096;
+
+/// Runs the filter across `threads` workers, producing exactly what
+/// [`filter_logs`] produces.
+///
+/// Only the syslog scan (the volume) parallelizes; per-chunk keeps are
+/// concatenated in chunk order — i.e. record order — before the same stable
+/// sort the serial path runs, so ties resolve identically.
+pub fn filter_logs_threads(
+    parsed: &ParsedLogs,
+    table: &PatternTable,
+    threads: usize,
+) -> (Vec<FilteredEntry>, FilterStats) {
     let mut entries = Vec::new();
     let mut stats = FilterStats::default();
 
-    for rec in &parsed.syslog {
-        stats.syslog_examined += 1;
-        if let Some(entry) = entry_from_syslog(rec, table) {
-            stats.syslog_kept += 1;
-            entries.push(entry);
+    if threads <= 1 || parsed.syslog.len() < PAR_FILTER_MIN_RECORDS {
+        for rec in &parsed.syslog {
+            stats.syslog_examined += 1;
+            if let Some(entry) = entry_from_syslog(rec, table) {
+                stats.syslog_kept += 1;
+                entries.push(entry);
+            }
+        }
+    } else {
+        let chunk_len = (parsed.syslog.len() / (threads * 4)).max(PAR_FILTER_MIN_RECORDS / 4);
+        let chunks: Vec<&[craylog::syslog::SyslogRecord]> =
+            parsed.syslog.chunks(chunk_len).collect();
+        let results = crate::exec::par_map(threads, chunks, |recs| {
+            let kept: Vec<FilteredEntry> = recs
+                .iter()
+                .filter_map(|rec| entry_from_syslog(rec, table))
+                .collect();
+            (recs.len() as u64, kept)
+        });
+        for (examined, kept) in results {
+            stats.syslog_examined += examined;
+            stats.syslog_kept += kept.len() as u64;
+            entries.extend(kept);
         }
     }
+
     for rec in &parsed.hwerr {
         stats.structured_kept += 1;
         entries.push(entry_from_hwerr(rec));

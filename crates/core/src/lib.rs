@@ -50,6 +50,7 @@ pub mod coalesce;
 pub mod config;
 pub mod coverage;
 pub mod error;
+pub mod exec;
 pub mod filter;
 pub mod input;
 pub mod jobs;
@@ -73,7 +74,7 @@ pub use input::LogCollection;
 pub use jobs::JobReport;
 pub use matcher::{EventLookup, MatchIndex};
 pub use metrics::MetricSet;
-pub use pipeline::{Analysis, LogDiver, PipelineStats};
+pub use pipeline::{Analysis, LogDiver, PipelineStats, StageTimings};
 pub use precursor::PrecursorReport;
 pub use temporal::TemporalReport;
 pub use users::UserReport;

@@ -44,7 +44,13 @@ impl MatchIndex {
     /// Builds the index (events must be the output of
     /// [`crate::coalesce::coalesce`], which is start-ordered).
     pub fn new(mut events: Vec<ErrorEvent>) -> Self {
-        events.sort_by_key(|e| e.start);
+        // The coalescer already emits start-ordered events, so the common
+        // caller skips the sort entirely; unordered external input still
+        // gets sorted as a fallback.
+        if !events.is_sorted_by_key(|e| e.start) {
+            events.sort_by_key(|e| e.start);
+        }
+        debug_assert!(events.is_sorted_by_key(|e| e.start));
         let max_span = events
             .iter()
             .map(ErrorEvent::span)

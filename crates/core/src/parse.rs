@@ -92,24 +92,58 @@ fn parse_all<T>(
     out
 }
 
+/// Aim for several chunks per worker so stealing can even out corrupt-line
+/// hotspots, but never chunks so small that dispatch dominates.
+const MIN_CHUNK_LINES: usize = 1024;
+
+/// Parses one source's lines across `threads` workers. Chunk results are
+/// concatenated in chunk order (= line order) and the per-chunk counts are
+/// summed, so the output is identical to the serial scan.
+fn parse_lines_par<T: Send>(
+    lines: &[String],
+    threads: usize,
+    parse: impl Fn(&str) -> Option<T> + Sync,
+) -> (Vec<T>, ParseCounts) {
+    let mut counts = ParseCounts::default();
+    if threads <= 1 || lines.len() < 2 * MIN_CHUNK_LINES {
+        let out = parse_all(lines, &mut counts, parse);
+        return (out, counts);
+    }
+    let chunk_len = (lines.len() / (threads * 4)).max(MIN_CHUNK_LINES);
+    let chunks: Vec<&[String]> = lines.chunks(chunk_len).collect();
+    let results = crate::exec::par_map(threads, chunks, |chunk| {
+        let mut c = ParseCounts::default();
+        let recs = parse_all(chunk, &mut c, &parse);
+        (recs, c)
+    });
+    let mut out = Vec::with_capacity(lines.len());
+    for (recs, c) in results {
+        out.extend(recs);
+        counts.total += c.total;
+        counts.bad += c.bad;
+    }
+    (out, counts)
+}
+
 /// Parses a whole collection.
 pub fn parse_collection(logs: &LogCollection) -> ParsedLogs {
+    parse_collection_threads(logs, 1)
+}
+
+/// Parses a whole collection across `threads` workers, producing exactly
+/// what [`parse_collection`] produces.
+pub fn parse_collection_threads(logs: &LogCollection, threads: usize) -> ParsedLogs {
     let mut parsed = ParsedLogs::default();
-    parsed.syslog = parse_all(&logs.syslog, &mut parsed.counts[0], |l| {
-        SyslogRecord::parse(l).ok()
-    });
-    parsed.hwerr = parse_all(&logs.hwerr, &mut parsed.counts[1], |l| {
-        HwErrRecord::parse(l).ok()
-    });
-    parsed.alps = parse_all(&logs.alps, &mut parsed.counts[2], |l| {
-        AlpsRecord::parse(l).ok()
-    });
-    parsed.torque = parse_all(&logs.torque, &mut parsed.counts[3], |l| {
-        TorqueRecord::parse(l).ok()
-    });
-    parsed.netwatch = parse_all(&logs.netwatch, &mut parsed.counts[4], |l| {
-        NetwatchRecord::parse(l).ok()
-    });
+    (parsed.syslog, parsed.counts[0]) =
+        parse_lines_par(&logs.syslog, threads, |l| SyslogRecord::parse(l).ok());
+    (parsed.hwerr, parsed.counts[1]) =
+        parse_lines_par(&logs.hwerr, threads, |l| HwErrRecord::parse(l).ok());
+    (parsed.alps, parsed.counts[2]) =
+        parse_lines_par(&logs.alps, threads, |l| AlpsRecord::parse(l).ok());
+    (parsed.torque, parsed.counts[3]) =
+        parse_lines_par(&logs.torque, threads, |l| TorqueRecord::parse(l).ok());
+    (parsed.netwatch, parsed.counts[4]) =
+        parse_lines_par(&logs.netwatch, threads, |l| NetwatchRecord::parse(l).ok());
     parsed
 }
 
@@ -146,34 +180,61 @@ fn parse_file<T>(
 /// [`LogDiverError::Io`] on read failures, [`LogDiverError::NoInput`] when
 /// no recognizable file exists under `dir`.
 pub fn parse_dir(dir: impl AsRef<Path>) -> Result<ParsedLogs, LogDiverError> {
+    parse_dir_threads(dir, 1)
+}
+
+/// How many lines of raw text travel to a parse worker at a time. Bounds
+/// in-flight raw text: at most `threads × 2` chunks exist unparsed.
+const FILE_CHUNK_LINES: usize = 4096;
+
+/// Parses a log directory across `threads` workers, producing exactly what
+/// [`parse_dir`] produces.
+///
+/// The reader stays sequential (one pass per file); chunks of raw lines fan
+/// out to workers over a bounded channel and the typed results are merged
+/// in chunk order, so memory stays bounded and output order is the file
+/// order.
+///
+/// # Errors
+///
+/// Same as [`parse_dir`].
+pub fn parse_dir_threads(
+    dir: impl AsRef<Path>,
+    threads: usize,
+) -> Result<ParsedLogs, LogDiverError> {
     let dir = dir.as_ref();
     let mut parsed = ParsedLogs::default();
-    parse_file(
+    parse_file_par(
         &dir.join("messages.log"),
+        threads,
         &mut parsed.counts[0],
         &mut parsed.syslog,
         |l| SyslogRecord::parse(l).ok(),
     )?;
-    parse_file(
+    parse_file_par(
         &dir.join("hwerr.log"),
+        threads,
         &mut parsed.counts[1],
         &mut parsed.hwerr,
         |l| HwErrRecord::parse(l).ok(),
     )?;
-    parse_file(
+    parse_file_par(
         &dir.join("apsys.log"),
+        threads,
         &mut parsed.counts[2],
         &mut parsed.alps,
         |l| AlpsRecord::parse(l).ok(),
     )?;
-    parse_file(
+    parse_file_par(
         &dir.join("torque.log"),
+        threads,
         &mut parsed.counts[3],
         &mut parsed.torque,
         |l| TorqueRecord::parse(l).ok(),
     )?;
-    parse_file(
+    parse_file_par(
         &dir.join("netwatch.log"),
+        threads,
         &mut parsed.counts[4],
         &mut parsed.netwatch,
         |l| NetwatchRecord::parse(l).ok(),
@@ -184,6 +245,45 @@ pub fn parse_dir(dir: impl AsRef<Path>) -> Result<ParsedLogs, LogDiverError> {
         });
     }
     Ok(parsed)
+}
+
+fn parse_file_par<T: Send>(
+    path: &Path,
+    threads: usize,
+    counts: &mut ParseCounts,
+    out: &mut Vec<T>,
+    parse: impl Fn(&str) -> Option<T> + Sync,
+) -> Result<(), LogDiverError> {
+    if threads <= 1 {
+        return parse_file(path, counts, out, parse);
+    }
+    if !path.exists() {
+        return Ok(());
+    }
+    let io_err = |source: std::io::Error| LogDiverError::Io {
+        path: path.display().to_string(),
+        source,
+    };
+    let file = std::fs::File::open(path).map_err(io_err)?;
+    let mut lines = std::io::BufReader::new(file).lines();
+    let source = move || -> Result<Option<Vec<String>>, LogDiverError> {
+        let mut chunk = Vec::with_capacity(FILE_CHUNK_LINES);
+        for line in lines.by_ref().take(FILE_CHUNK_LINES) {
+            chunk.push(line.map_err(io_err)?);
+        }
+        Ok(if chunk.is_empty() { None } else { Some(chunk) })
+    };
+    let results = crate::exec::par_map_stream(threads, source, |chunk: Vec<String>| {
+        let mut c = ParseCounts::default();
+        let recs = parse_all(&chunk, &mut c, &parse);
+        (recs, c)
+    })?;
+    for (recs, c) in results {
+        out.extend(recs);
+        counts.total += c.total;
+        counts.bad += c.bad;
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -2,16 +2,18 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::classify::{classify_runs, ClassifiedRun};
+use std::time::Instant;
+
+use crate::classify::{classify_runs_threads, ClassifiedRun};
 use crate::coalesce::{Coalescer, ErrorEvent};
 use crate::config::LogDiverConfig;
 use crate::coverage::{qualify_runs, CoverageConfig, CoverageGap, CoverageMap};
 use crate::error::LogDiverError;
-use crate::filter::{filter_logs, EntrySource, FilterStats, PatternTable};
+use crate::filter::{filter_logs_threads, EntrySource, FilterStats, PatternTable};
 use crate::input::LogCollection;
 use crate::matcher::MatchIndex;
 use crate::metrics::{compute, MetricSet};
-use crate::parse::{parse_collection, parse_dir, ParseCounts, ParsedLogs};
+use crate::parse::{parse_collection_threads, parse_dir_threads, ParseCounts, ParsedLogs};
 use crate::workload::{reconstruct, WorkloadStats};
 
 /// Per-stage accounting (experiment T5: pipeline effectiveness).
@@ -44,6 +46,29 @@ impl PipelineStats {
     }
 }
 
+/// Wall-clock seconds spent in each pipeline stage, for `--timings` and the
+/// pipeline bench. Kept outside [`Analysis`] so identical inputs keep
+/// producing identical analyses.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
+pub struct StageTimings {
+    /// Raw lines → typed records.
+    pub parse_secs: f64,
+    /// Records → categorized entries (includes the sort).
+    pub filter_secs: f64,
+    /// Per-source liveness observation.
+    pub coverage_secs: f64,
+    /// Entries → error events.
+    pub coalesce_secs: f64,
+    /// ALPS ⋈ Torque → runs.
+    pub reconstruct_secs: f64,
+    /// Run classification (index build + decision tree + coverage pass).
+    pub classify_secs: f64,
+    /// Metric computation.
+    pub metrics_secs: f64,
+    /// End-to-end, including glue not attributed above.
+    pub total_secs: f64,
+}
+
 /// The result of an analysis.
 #[derive(Debug)]
 pub struct Analysis {
@@ -68,10 +93,21 @@ pub struct Analysis {
 /// let analysis = LogDiver::new().analyze(&LogCollection::new());
 /// assert_eq!(analysis.runs.len(), 0);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct LogDiver {
     config: LogDiverConfig,
     table: PatternTable,
+    threads: usize,
+}
+
+impl Default for LogDiver {
+    fn default() -> Self {
+        LogDiver {
+            config: LogDiverConfig::default(),
+            table: PatternTable::default(),
+            threads: 1,
+        }
+    }
 }
 
 impl LogDiver {
@@ -92,14 +128,38 @@ impl LogDiver {
         self
     }
 
+    /// Sets the worker-thread count for the parallel stages (parse, filter,
+    /// classify). `0` and `1` both mean serial. The analysis produced is
+    /// identical for every thread count — parallel stages are
+    /// order-preserving maps with deterministic merges (see DESIGN.md §13).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
     /// The configuration in effect.
     pub fn config(&self) -> &LogDiverConfig {
         &self.config
     }
 
+    /// The worker-thread count in effect.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
     /// Runs the whole pipeline on a log collection.
     pub fn analyze(&self, logs: &LogCollection) -> Analysis {
-        self.analyze_parsed(parse_collection(logs))
+        self.analyze_timed(logs).0
+    }
+
+    /// Runs the whole pipeline on a log collection, also reporting
+    /// per-stage wall-clock timings.
+    pub fn analyze_timed(&self, logs: &LogCollection) -> (Analysis, StageTimings) {
+        let started = Instant::now();
+        let parse_started = Instant::now();
+        let parsed = parse_collection_threads(logs, self.threads);
+        let parse_secs = parse_started.elapsed().as_secs_f64();
+        self.finish_timed(parsed, parse_secs, started)
     }
 
     /// Runs the pipeline on a log directory, parsing each file *streaming*
@@ -111,14 +171,49 @@ impl LogDiver {
     /// Propagates I/O and empty-directory errors from
     /// [`crate::parse::parse_dir`].
     pub fn analyze_dir(&self, dir: impl AsRef<std::path::Path>) -> Result<Analysis, LogDiverError> {
-        Ok(self.analyze_parsed(parse_dir(dir)?))
+        Ok(self.analyze_dir_timed(dir)?.0)
+    }
+
+    /// Runs the pipeline on a log directory, also reporting per-stage
+    /// wall-clock timings.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LogDiver::analyze_dir`].
+    pub fn analyze_dir_timed(
+        &self,
+        dir: impl AsRef<std::path::Path>,
+    ) -> Result<(Analysis, StageTimings), LogDiverError> {
+        let started = Instant::now();
+        let parse_started = Instant::now();
+        let parsed = parse_dir_threads(dir, self.threads)?;
+        let parse_secs = parse_started.elapsed().as_secs_f64();
+        Ok(self.finish_timed(parsed, parse_secs, started))
     }
 
     /// Runs the pipeline stages downstream of parsing.
     pub fn analyze_parsed(&self, parsed: ParsedLogs) -> Analysis {
-        let (entries, filter_stats) = filter_logs(&parsed, &self.table);
+        self.finish_timed(parsed, 0.0, Instant::now()).0
+    }
+
+    fn finish_timed(
+        &self,
+        parsed: ParsedLogs,
+        parse_secs: f64,
+        started: Instant,
+    ) -> (Analysis, StageTimings) {
+        let mut timings = StageTimings {
+            parse_secs,
+            ..StageTimings::default()
+        };
+
+        let stage = Instant::now();
+        let (entries, filter_stats) = filter_logs_threads(&parsed, &self.table, self.threads);
+        timings.filter_secs = stage.elapsed().as_secs_f64();
+
         // Coverage watches every parsed record — kept *and* discarded:
         // operational chatter is what proves a source alive.
+        let stage = Instant::now();
         let mut coverage = CoverageMap::new(CoverageConfig::default());
         for rec in &parsed.syslog {
             coverage.observe(EntrySource::Syslog, rec.timestamp);
@@ -129,13 +224,21 @@ impl LogDiver {
         for rec in &parsed.netwatch {
             coverage.observe(EntrySource::Netwatch, rec.timestamp);
         }
+        timings.coverage_secs = stage.elapsed().as_secs_f64();
+
+        let stage = Instant::now();
         let mut coalescer = Coalescer::new(self.config.coalesce_gap);
         for e in &entries {
             coalescer.push(e);
         }
         let duplicates = coalescer.duplicates();
         let events = coalescer.finish();
+        timings.coalesce_secs = stage.elapsed().as_secs_f64();
+
+        let stage = Instant::now();
         let (runs, jobs, workload_stats) = reconstruct(&parsed);
+        timings.reconstruct_secs = stage.elapsed().as_secs_f64();
+
         let lethal_events = events.iter().filter(|e| e.is_lethal()).count() as u64;
         let stats = PipelineStats {
             parse: parsed.counts,
@@ -146,18 +249,30 @@ impl LogDiver {
             events: events.len() as u64,
             lethal_events,
         };
+
+        let stage = Instant::now();
+        // Coalescer output is start-ordered, so the index build skips its
+        // fallback sort (see MatchIndex::new).
+        debug_assert!(events.is_sorted_by_key(|e| e.start));
         let index = MatchIndex::new(events);
-        let mut classified = classify_runs(runs, &jobs, &index, &self.config);
+        let mut classified = classify_runs_threads(runs, &jobs, &index, &self.config, self.threads);
         let gaps = coverage.gaps();
         qualify_runs(&mut classified, &gaps, &self.config);
+        timings.classify_secs = stage.elapsed().as_secs_f64();
+
+        let stage = Instant::now();
         let metrics = compute(&classified, index.events());
-        Analysis {
+        timings.metrics_secs = stage.elapsed().as_secs_f64();
+
+        timings.total_secs = started.elapsed().as_secs_f64();
+        let analysis = Analysis {
             runs: classified,
             events: index.events().to_vec(),
             metrics,
             stats,
             coverage: gaps,
-        }
+        };
+        (analysis, timings)
     }
 }
 

@@ -12,7 +12,7 @@
 
 use std::fmt;
 
-use logdiver_types::{AppId, ExitStatus, JobId, NodeSet, NodeType, Timestamp, UserId};
+use logdiver_types::{AppId, ExitStatus, JobId, NodeSet, NodeType, Sym, Timestamp, UserId};
 use serde::{Deserialize, Serialize};
 
 use crate::error::CraylogError;
@@ -29,8 +29,9 @@ pub struct AppPlacedRecord {
     pub job: JobId,
     /// Anonymized user.
     pub user: UserId,
-    /// Executable name.
-    pub command: String,
+    /// Executable name. Interned — the same few hundred executables account
+    /// for millions of launches.
+    pub command: Sym,
     /// Node class the application runs on.
     pub node_type: NodeType,
     /// Number of nodes (redundant with the nodelist; kept because the real
@@ -101,7 +102,7 @@ impl AlpsRecord {
     /// Returns [`CraylogError`] when the line is not a well-formed PLACED,
     /// EXIT or LAUNCHERR record.
     pub fn parse(line: &str) -> Result<Self, CraylogError> {
-        let err = |reason: &str| CraylogError::new("alps", reason.to_string(), line);
+        let err = |reason: &'static str| CraylogError::new("alps", reason, line);
         if line.len() < 20 {
             return Err(err("line shorter than a timestamp"));
         }
@@ -145,7 +146,7 @@ impl AlpsRecord {
                         .parse()
                         .map_err(|_| err("bad user"))?,
                 );
-                let command = get("cmd").ok_or_else(|| err("missing cmd"))?.to_string();
+                let command = Sym::intern(get("cmd").ok_or_else(|| err("missing cmd"))?);
                 let node_type =
                     NodeType::parse_label(get("type").ok_or_else(|| err("missing type"))?)
                         .ok_or_else(|| err("bad node type"))?;
@@ -154,7 +155,7 @@ impl AlpsRecord {
                     .parse()
                     .map_err(|_| err("bad width"))?;
                 let nodes = parse_nodelist(get("nodelist").ok_or_else(|| err("missing nodelist"))?)
-                    .map_err(|e| err(e.reason()))?;
+                    .map_err(|e| CraylogError::new("alps", e.reason().to_string(), line))?;
                 if nodes.len() as u32 != width {
                     return Err(err("width disagrees with nodelist"));
                 }
@@ -222,7 +223,11 @@ impl AlpsRecord {
                     reason,
                 }))
             }
-            other => Err(err(&format!("unknown verb {other}"))),
+            other => Err(CraylogError::new(
+                "alps",
+                format!("unknown verb {other}"),
+                line,
+            )),
         }
     }
 }

@@ -1,5 +1,6 @@
 //! Error type for log parsing.
 
+use std::borrow::Cow;
 use std::error::Error;
 use std::fmt;
 
@@ -11,13 +12,21 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CraylogError {
     source_name: &'static str,
-    reason: String,
+    reason: Cow<'static, str>,
     line: String,
 }
 
 impl CraylogError {
     /// Creates a parse error, truncating the offending line for storage.
-    pub fn new(source_name: &'static str, reason: impl Into<String>, line: &str) -> Self {
+    ///
+    /// `reason` is a `Cow` so the common case — a fixed diagnostic string on
+    /// a hot quarantine path — costs no allocation per rejected line; only
+    /// reasons built with `format!` pay for a `String`.
+    pub fn new(
+        source_name: &'static str,
+        reason: impl Into<Cow<'static, str>>,
+        line: &str,
+    ) -> Self {
         let mut line = line.to_string();
         if line.len() > 160 {
             line.truncate(160);

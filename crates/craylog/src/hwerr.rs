@@ -56,7 +56,7 @@ impl HwErrRecord {
     ///
     /// Returns [`CraylogError`] when a field is missing or malformed.
     pub fn parse(line: &str) -> Result<Self, CraylogError> {
-        let err = |reason: &str| CraylogError::new("hwerr", reason.to_string(), line);
+        let err = |reason: &'static str| CraylogError::new("hwerr", reason, line);
         let mut fields = line.splitn(5, '|');
         let ts = fields.next().ok_or_else(|| err("missing timestamp"))?;
         let timestamp: Timestamp = ts.parse().map_err(|_| err("bad timestamp"))?;

@@ -96,7 +96,7 @@ impl NetwatchRecord {
     ///
     /// Returns [`CraylogError`] for malformed records.
     pub fn parse(line: &str) -> Result<Self, CraylogError> {
-        let err = |reason: &str| CraylogError::new("netwatch", reason.to_string(), line);
+        let err = |reason: &'static str| CraylogError::new("netwatch", reason, line);
         if line.len() < 20 {
             return Err(err("line shorter than a timestamp"));
         }
@@ -143,7 +143,13 @@ impl NetwatchRecord {
                     .parse()
                     .map_err(|_| err("bad duration"))?,
             },
-            other => return Err(err(&format!("unknown verb {other}"))),
+            other => {
+                return Err(CraylogError::new(
+                    "netwatch",
+                    format!("unknown verb {other}"),
+                    line,
+                ))
+            }
         };
         Ok(NetwatchRecord { timestamp, event })
     }

@@ -21,7 +21,7 @@ pub fn format_nodelist(set: &NodeSet) -> String {
 /// Returns [`CraylogError`] on malformed syntax, inverted ranges, or
 /// numbers that do not fit in a nid.
 pub fn parse_nodelist(s: &str) -> Result<NodeSet, CraylogError> {
-    let err = |reason: &str| CraylogError::new("nodelist", reason.to_string(), s);
+    let err = |reason: &'static str| CraylogError::new("nodelist", reason, s);
     let inner = s
         .strip_prefix("nid[")
         .and_then(|r| r.strip_suffix(']'))

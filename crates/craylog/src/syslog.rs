@@ -7,7 +7,7 @@
 
 use std::fmt;
 
-use logdiver_types::{NodeId, Timestamp};
+use logdiver_types::{NodeId, Sym, Timestamp};
 use serde::{Deserialize, Serialize};
 
 use crate::error::CraylogError;
@@ -17,10 +17,11 @@ use crate::error::CraylogError;
 pub struct SyslogRecord {
     /// Wall-clock timestamp.
     pub timestamp: Timestamp,
-    /// Reporting host (`nid04008`, `smw`, `boot`, …).
-    pub host: String,
-    /// Subsystem tag (`kernel`, `lustre`, `alps`, `xtnlrd`, …).
-    pub tag: String,
+    /// Reporting host (`nid04008`, `smw`, `boot`, …). Interned: a few tens
+    /// of thousands of distinct hosts across hundreds of millions of lines.
+    pub host: Sym,
+    /// Subsystem tag (`kernel`, `lustre`, `alps`, `xtnlrd`, …). Interned.
+    pub tag: Sym,
     /// Free-text message.
     pub message: String,
 }
@@ -30,15 +31,15 @@ impl SyslogRecord {
     pub fn from_node(timestamp: Timestamp, nid: NodeId, tag: &str, message: String) -> Self {
         SyslogRecord {
             timestamp,
-            host: nid.hostname(),
-            tag: tag.to_string(),
+            host: nid.hostname().into(),
+            tag: tag.into(),
             message,
         }
     }
 
     /// The reporting node, when the host is a nid hostname.
     pub fn node(&self) -> Option<NodeId> {
-        NodeId::parse_hostname(&self.host)
+        NodeId::parse_hostname(self.host.as_str())
     }
 
     /// Parses one syslog line.
@@ -48,7 +49,7 @@ impl SyslogRecord {
     /// Returns [`CraylogError`] when the line does not follow
     /// `<ts> <host> <tag>: <message>`.
     pub fn parse(line: &str) -> Result<Self, CraylogError> {
-        let err = |reason: &str| CraylogError::new("syslog", reason.to_string(), line);
+        let err = |reason: &'static str| CraylogError::new("syslog", reason, line);
         if line.len() < 21 {
             return Err(err("line shorter than a timestamp"));
         }
@@ -73,8 +74,8 @@ impl SyslogRecord {
         }
         Ok(SyslogRecord {
             timestamp,
-            host: host.to_string(),
-            tag: tag.to_string(),
+            host: Sym::intern(host),
+            tag: Sym::intern(tag),
             message: message.to_string(),
         })
     }

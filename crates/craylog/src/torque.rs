@@ -12,7 +12,7 @@
 
 use std::fmt;
 
-use logdiver_types::{JobId, Timestamp, UserId};
+use logdiver_types::{JobId, Sym, Timestamp, UserId};
 use serde::{Deserialize, Serialize};
 
 use crate::error::CraylogError;
@@ -47,8 +47,8 @@ pub struct TorqueRecord {
     pub job: JobId,
     /// Anonymized user.
     pub user: UserId,
-    /// Queue name.
-    pub queue: String,
+    /// Queue name. Interned — a machine has a handful of queues.
+    pub queue: Sym,
     /// Nodes requested.
     pub nodes: u32,
     /// Requested walltime in seconds.
@@ -76,7 +76,7 @@ impl TorqueRecord {
             kind: TorqueEventKind::Start,
             job,
             user,
-            queue: queue.to_string(),
+            queue: queue.into(),
             nodes,
             walltime_secs,
             start: None,
@@ -102,7 +102,7 @@ impl TorqueRecord {
             kind: TorqueEventKind::End,
             job,
             user,
-            queue: queue.to_string(),
+            queue: queue.into(),
             nodes,
             walltime_secs,
             start: Some(start),
@@ -117,7 +117,7 @@ impl TorqueRecord {
     ///
     /// Returns [`CraylogError`] for malformed records.
     pub fn parse(line: &str) -> Result<Self, CraylogError> {
-        let err = |reason: &str| CraylogError::new("torque", reason.to_string(), line);
+        let err = |reason: &'static str| CraylogError::new("torque", reason, line);
         let mut parts = line.splitn(4, ';');
         let ts = parts.next().ok_or_else(|| err("missing timestamp"))?;
         let timestamp: Timestamp = ts.parse().map_err(|_| err("bad timestamp"))?;
@@ -149,9 +149,7 @@ impl TorqueRecord {
                 .parse()
                 .map_err(|_| err("bad user"))?,
         );
-        let queue = get("queue")
-            .ok_or_else(|| err("missing queue"))?
-            .to_string();
+        let queue = Sym::intern(get("queue").ok_or_else(|| err("missing queue"))?);
         let nodes: u32 = get("nodes")
             .ok_or_else(|| err("missing nodes"))?
             .parse()

@@ -76,7 +76,7 @@ pub fn app_placed(
         apid,
         job,
         user,
-        command: command.to_string(),
+        command: command.into(),
         node_type,
         width: nodes.len() as u32,
         nodes: nodes.clone(),
@@ -112,8 +112,8 @@ pub fn launch_error(out: &mut dyn SimOutput, t: Timestamp, apid: AppId, reason: 
     // The launcher also complains in syslog from a service host.
     let sys = SyslogRecord {
         timestamp: t,
-        host: "boot".to_string(),
-        tag: "apsched".to_string(),
+        host: "boot".into(),
+        tag: "apsched".into(),
         message: templates::error_message(
             logdiver_types::ErrorCategory::AlpsLaunchFailure,
             apid.value() as u32,
@@ -206,8 +206,8 @@ pub fn fault_evidence(
         FaultKind::LustreOstFailure { ost } => {
             let sys = SyslogRecord {
                 timestamp: t,
-                host: machine.lustre().oss_of(*ost).to_string(),
-                tag: "lustre".to_string(),
+                host: machine.lustre().oss_of(*ost).to_string().into(),
+                tag: "lustre".into(),
                 message: format!(
                     "LustreError: {}: {} failed over, client I/O will block",
                     137 + variant % 20,
@@ -233,8 +233,8 @@ pub fn fault_evidence(
         FaultKind::LustreMdsFailover { mds } => {
             let sys = SyslogRecord {
                 timestamp: t,
-                host: mds.to_string(),
-                tag: "lustre".to_string(),
+                host: mds.to_string().into(),
+                tag: "lustre".into(),
                 message: templates::error_message(
                     logdiver_types::ErrorCategory::LustreMdsFailover,
                     variant,
@@ -300,8 +300,8 @@ pub fn noise(out: &mut dyn SimOutput, machine: &Machine, t: Timestamp, variant: 
     };
     let rec = SyslogRecord {
         timestamp: t,
-        host,
-        tag: tag.to_string(),
+        host: host.into(),
+        tag: tag.into(),
         message,
     };
     out.log_line(LogStream::Syslog, &rec.to_string());
@@ -342,8 +342,8 @@ fn smw_line(
 ) {
     let rec = SyslogRecord {
         timestamp: t,
-        host: "smw".to_string(),
-        tag: templates::tag_for(cat).to_string(),
+        host: "smw".into(),
+        tag: templates::tag_for(cat).into(),
         message: templates::error_message(cat, variant),
     };
     out.log_line(LogStream::Syslog, &rec.to_string());

@@ -22,6 +22,8 @@
 //!   classification ([`ExitClass`], [`FailureCause`], [`UserFailureKind`]).
 //! - [`nodeset`] — [`NodeSet`], a compact bitmap over node ids used for the
 //!   spatial joins at the heart of LogDiver.
+//! - [`intern`] — [`Sym`], a global string interner for hot repeated log
+//!   fields (hostnames, tags, commands, queues).
 //!
 //! ## Example
 //!
@@ -54,6 +56,7 @@
 //! [`FailureCause`]: exit::FailureCause
 //! [`UserFailureKind`]: exit::UserFailureKind
 //! [`NodeSet`]: nodeset::NodeSet
+//! [`Sym`]: intern::Sym
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
@@ -62,6 +65,7 @@ pub mod category;
 pub mod error;
 pub mod exit;
 pub mod ids;
+pub mod intern;
 pub mod node;
 pub mod nodeset;
 pub mod time;
@@ -70,6 +74,7 @@ pub use category::{ErrorCategory, Severity, Subsystem};
 pub use error::TypesError;
 pub use exit::{ExitClass, ExitStatus, FailureCause, UserFailureKind};
 pub use ids::{AppId, CabinetId, JobId, NodeId, UserId};
+pub use intern::Sym;
 pub use node::NodeType;
 pub use nodeset::NodeSet;
 pub use time::{SimDuration, Timestamp};

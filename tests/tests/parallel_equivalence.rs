@@ -1,0 +1,134 @@
+//! The parallel batch pipeline's hard correctness bar: `analyze` with any
+//! thread count must produce a result identical to the serial path — same
+//! verdicts, same events, same metrics, same per-stage accounting. Every
+//! parallel stage is an order-preserving map with a deterministic merge
+//! (DESIGN.md §13); these tests are the enforcement.
+
+use std::sync::OnceLock;
+
+use bw_sim::SimConfig;
+use logdiver::{Analysis, LogCollection, LogDiver};
+use logdiver_integration::{run_end_to_end, to_log_collection};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+/// Simulated corpora, generated once and shared across proptest cases.
+/// The stored analysis is the serial (1-thread) reference.
+fn corpus(which: usize) -> &'static (LogCollection, Analysis) {
+    static CORPORA: [OnceLock<(LogCollection, Analysis)>; 2] = [OnceLock::new(), OnceLock::new()];
+    CORPORA[which].get_or_init(|| {
+        let seed = 2401 + which as u64;
+        let e2e = run_end_to_end(SimConfig::scaled(64, 2).with_seed(seed));
+        (to_log_collection(&e2e.sim), e2e.analysis)
+    })
+}
+
+fn assert_analyses_equal(parallel: &Analysis, serial: &Analysis) {
+    assert_eq!(parallel.runs.len(), serial.runs.len(), "run count");
+    for (p, s) in parallel.runs.iter().zip(&serial.runs) {
+        assert_eq!(p, s, "run {:?} classified differently", s.run.apid);
+    }
+    assert_eq!(parallel.events, serial.events, "events");
+    assert_eq!(parallel.coverage, serial.coverage, "coverage gaps");
+    assert_eq!(parallel.metrics, serial.metrics, "metric set");
+    assert_eq!(parallel.stats, serial.stats, "pipeline stats");
+}
+
+/// Corrupts a deterministic sample of lines, so the corrupt-line counting
+/// paths (which differ per chunk in the parallel scan) are exercised too.
+fn corrupt_some(logs: &mut LogCollection, fraction_pct: u64, rng: &mut impl Rng) {
+    for lines in [
+        &mut logs.syslog,
+        &mut logs.hwerr,
+        &mut logs.alps,
+        &mut logs.torque,
+        &mut logs.netwatch,
+    ] {
+        for line in lines.iter_mut() {
+            if rng.random_range(0..100u64) < fraction_pct {
+                let mut keep = line.len() / 2;
+                while keep > 0 && !line.is_char_boundary(keep) {
+                    keep -= 1;
+                }
+                line.truncate(keep);
+            }
+        }
+    }
+}
+
+/// Every thread count gives the serial answer, byte for byte.
+#[test]
+fn thread_counts_agree_with_serial() {
+    let (logs, _) = corpus(0);
+    let serial = LogDiver::new().with_threads(1).analyze(logs);
+    for threads in [2, 4, 8] {
+        let parallel = LogDiver::new().with_threads(threads).analyze(logs);
+        assert_analyses_equal(&parallel, &serial);
+    }
+}
+
+/// The directory (streaming-parse) path agrees across thread counts too.
+#[test]
+fn analyze_dir_threads_agree_with_serial() {
+    let (logs, _) = corpus(1);
+    let dir = std::env::temp_dir().join(format!("logdiver-par-eq-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    for (name, lines) in [
+        ("messages.log", &logs.syslog),
+        ("hwerr.log", &logs.hwerr),
+        ("apsys.log", &logs.alps),
+        ("torque.log", &logs.torque),
+        ("netwatch.log", &logs.netwatch),
+    ] {
+        let mut text = lines.join("\n");
+        if !text.is_empty() {
+            text.push('\n');
+        }
+        std::fs::write(dir.join(name), text).unwrap();
+    }
+    let serial = LogDiver::new().with_threads(1).analyze_dir(&dir).unwrap();
+    for threads in [2, 4, 8] {
+        let parallel = LogDiver::new()
+            .with_threads(threads)
+            .analyze_dir(&dir)
+            .unwrap();
+        assert_analyses_equal(&parallel, &serial);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Arbitrary corpus + arbitrary corruption + arbitrary thread count:
+    /// parallel == serial, including the parse/filter accounting.
+    #[test]
+    fn parallel_equals_serial_for_arbitrary_collections(
+        which in 0usize..2,
+        threads in 2usize..=8,
+        corrupt_pct in 0u64..30,
+        rng_seed in 0u64..1_000,
+    ) {
+        let (logs, _) = corpus(which);
+        let mut mutated = logs.clone();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(rng_seed);
+        corrupt_some(&mut mutated, corrupt_pct, &mut rng);
+        let serial = LogDiver::new().with_threads(1).analyze(&mutated);
+        let parallel = LogDiver::new().with_threads(threads).analyze(&mutated);
+        prop_assert_eq!(&parallel.runs, &serial.runs);
+        prop_assert_eq!(&parallel.events, &serial.events);
+        prop_assert_eq!(&parallel.coverage, &serial.coverage);
+        prop_assert_eq!(&parallel.metrics, &serial.metrics);
+        prop_assert_eq!(&parallel.stats, &serial.stats);
+    }
+}
+
+/// `with_threads(1)` and the plain constructor are the same pipeline — the
+/// serial reference stored in the corpus came from the default path.
+#[test]
+fn default_is_serial() {
+    let (logs, reference) = corpus(0);
+    let explicit = LogDiver::new().with_threads(1).analyze(logs);
+    assert_analyses_equal(&explicit, reference);
+}

@@ -5,6 +5,220 @@
 //! capacity (backpressure) and both ends are cloneable. Disconnection
 //! follows crossbeam semantics — `recv` drains remaining messages before
 //! reporting disconnect; `send` fails once all receivers are gone.
+//!
+//! Also provides the `crossbeam::deque` work-stealing surface
+//! (`Injector` / `Worker` / `Stealer` / `Steal`) used by the parallel batch
+//! executor, implemented with mutex-guarded deques: the *scheduling
+//! behavior* (local FIFO queues, batch stealing from the injector and from
+//! sibling workers) matches crossbeam-deque, while the lock-free internals
+//! are traded for simplicity.
+
+pub mod deque {
+    //! Work-stealing deques: a shared FIFO [`Injector`] plus per-thread
+    //! [`Worker`] queues whose [`Stealer`] handles let idle threads take
+    //! work from busy ones.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// How many tasks a batch steal moves at most (matches the spirit of
+    /// crossbeam's batch-steal limit).
+    const MAX_BATCH: usize = 32;
+
+    /// The result of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The operation lost a race and may be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen task, if the steal succeeded.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+
+        /// True when the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+
+        /// True when the steal should be retried.
+        pub fn is_retry(&self) -> bool {
+            matches!(self, Steal::Retry)
+        }
+    }
+
+    /// A shared FIFO queue every thread may push to and steal from.
+    #[derive(Debug)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Injector::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Appends a task.
+        pub fn push(&self, task: T) {
+            self.queue.lock().unwrap().push_back(task);
+        }
+
+        /// Steals one task from the front.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().unwrap().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Steals a batch of tasks into `dest` and pops one of them.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let batch = {
+                let mut queue = self.queue.lock().unwrap();
+                let take = (queue.len() / 2).clamp(1, MAX_BATCH);
+                drain_front(&mut queue, take)
+            };
+            finish_batch(batch, dest)
+        }
+
+        /// True when no tasks are queued.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().unwrap().is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.queue.lock().unwrap().len()
+        }
+    }
+
+    /// A per-thread FIFO work queue.
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Default for Worker<T> {
+        fn default() -> Self {
+            Worker::new_fifo()
+        }
+    }
+
+    impl<T> Worker<T> {
+        /// Creates an empty FIFO worker queue.
+        pub fn new_fifo() -> Self {
+            Worker {
+                inner: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Pushes a task onto the queue.
+        pub fn push(&self, task: T) {
+            self.inner.lock().unwrap().push_back(task);
+        }
+
+        /// Pops the next local task.
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().unwrap().pop_front()
+        }
+
+        /// A handle other threads use to steal from this queue.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+
+        /// True when the local queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().unwrap().is_empty()
+        }
+
+        /// Number of locally queued tasks.
+        pub fn len(&self) -> usize {
+            self.inner.lock().unwrap().len()
+        }
+    }
+
+    /// A handle for stealing tasks from another thread's [`Worker`].
+    #[derive(Debug)]
+    pub struct Stealer<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals one task from the victim's queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.inner.lock().unwrap().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Steals a batch from the victim into `dest` and pops one task.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let batch = {
+                let mut victim = self.inner.lock().unwrap();
+                let take = (victim.len() / 2).clamp(1, MAX_BATCH);
+                drain_front(&mut victim, take)
+            };
+            finish_batch(batch, dest)
+        }
+    }
+
+    /// Takes up to `take` tasks from the front of `queue`.
+    fn drain_front<T>(queue: &mut VecDeque<T>, take: usize) -> Vec<T> {
+        let mut out = Vec::with_capacity(take.min(queue.len()));
+        for _ in 0..take {
+            match queue.pop_front() {
+                Some(t) => out.push(t),
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Moves a stolen batch into `dest`, popping the first task. Both locks
+    /// are never held at once (the victim's was released by the caller), so
+    /// mutual steals between two workers cannot deadlock.
+    fn finish_batch<T>(batch: Vec<T>, dest: &Worker<T>) -> Steal<T> {
+        let mut it = batch.into_iter();
+        let Some(first) = it.next() else {
+            return Steal::Empty;
+        };
+        let mut local = dest.inner.lock().unwrap();
+        for t in it {
+            local.push_back(t);
+        }
+        Steal::Success(first)
+    }
+}
 
 pub mod channel {
     use std::collections::VecDeque;
@@ -314,8 +528,98 @@ pub mod channel {
 
 #[cfg(test)]
 mod tests {
-    use super::channel;
+    use super::{channel, deque};
     use std::thread;
+
+    #[test]
+    fn deque_injector_fifo_order() {
+        let inj = deque::Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        assert_eq!(inj.len(), 10);
+        let mut got = Vec::new();
+        while let deque::Steal::Success(t) = inj.steal() {
+            got.push(t);
+        }
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        assert!(inj.steal().is_empty());
+    }
+
+    #[test]
+    fn deque_workers_steal_everything_exactly_once() {
+        let inj = std::sync::Arc::new(deque::Injector::new());
+        const N: usize = 10_000;
+        for i in 0..N {
+            inj.push(i);
+        }
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let inj = std::sync::Arc::clone(&inj);
+                thread::spawn(move || {
+                    let local = deque::Worker::new_fifo();
+                    let mut got = Vec::new();
+                    loop {
+                        if let Some(t) = local.pop() {
+                            got.push(t);
+                            continue;
+                        }
+                        match inj.steal_batch_and_pop(&local) {
+                            deque::Steal::Success(t) => got.push(t),
+                            deque::Steal::Empty => break,
+                            deque::Steal::Retry => continue,
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut all: Vec<usize> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..N).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deque_mutual_steals_do_not_deadlock() {
+        let a = deque::Worker::new_fifo();
+        let b = deque::Worker::new_fifo();
+        for i in 0..1000 {
+            a.push(i);
+            b.push(i + 1000);
+        }
+        let steal_a = a.stealer();
+        let steal_b = b.stealer();
+        let ha = thread::spawn(move || {
+            let mut n = 0;
+            loop {
+                if a.pop().is_some() {
+                    n += 1;
+                } else if steal_b.steal_batch_and_pop(&a).success().is_some() {
+                    n += 1;
+                } else {
+                    break;
+                }
+            }
+            n
+        });
+        let hb = thread::spawn(move || {
+            let mut n = 0;
+            loop {
+                if b.pop().is_some() {
+                    n += 1;
+                } else if steal_a.steal_batch_and_pop(&b).success().is_some() {
+                    n += 1;
+                } else {
+                    break;
+                }
+            }
+            n
+        });
+        assert_eq!(ha.join().unwrap() + hb.join().unwrap(), 2000);
+    }
 
     #[test]
     fn bounded_round_trip_across_threads() {
