@@ -12,6 +12,7 @@
 //!                    [--quarantine-out FILE] [--quarantine-keep N]
 //! logdiver reproduce [--divisor N] [--days N] [--seed N] [--boost-capability]
 //! logdiver swf       --out FILE [--divisor N] [--days N] [--seed N]
+//! logdiver lint      [--json] [--deny warnings] [--root DIR] [--rules]
 //! ```
 //!
 //! `simulate` writes the five raw log files plus `ground_truth.jsonl`;
@@ -28,7 +29,10 @@
 //! turn to garbage, writing crash-safe checkpoints (`--checkpoint`) that a
 //! later `--resume` picks up exactly, and exiting cleanly on Ctrl-C;
 //! `reproduce` does simulate+analyze in memory and prints every table and
-//! figure (the benches call the same path per experiment).
+//! figure (the benches call the same path per experiment);
+//! `lint` statically verifies the classification rule set and the
+//! workspace's invariants (`logdiver-lint`) — CI runs it with
+//! `--deny warnings`.
 
 mod campaign;
 
@@ -40,7 +44,7 @@ use logdiver::{report, LogCollection, LogDiver};
 use rand::SeedableRng;
 
 fn usage() -> &'static str {
-    "usage:\n  logdiver simulate  --out DIR [--divisor N] [--days N] [--seed N]\n  logdiver analyze   --logs DIR [--csv DIR] [--threads N] [--timings]\n  logdiver validate  --logs DIR [--json] [--min-precision X] [--min-recall X]\n  logdiver campaign  --out DIR [--divisor N] [--days N] [--seed N] [--seeds N]\n                     [--severities LIST] [--gate-f1 X]\n  logdiver stream    --logs DIR [--chunk N] [--follow] [--shards N]\n                     [--lateness SECS] [--checkpoint FILE] [--resume FILE]\n                     [--checkpoint-every N] [--checkpoint-secs N]\n                     [--quarantine-out FILE] [--quarantine-keep N]\n  logdiver reproduce [--divisor N] [--days N] [--seed N] [--boost-capability]\n  logdiver swf       --out FILE [--divisor N] [--days N] [--seed N]\n\noptions:\n  --divisor N   machine scale divisor (1 = full Blue Waters; default 16)\n  --days N      production days to simulate (default 30; the paper is 518)\n  --seed N      RNG seed (default 1)\n  --out DIR     output directory for raw logs\n  --logs DIR    directory holding messages.log / hwerr.log / apsys.log /\n                torque.log / netwatch.log\n  --csv DIR     also write scale-curve CSVs there\n  --threads N   worker threads for the parallel analyze stages (default: all\n                cores; output is identical for every N)\n  --timings     print a per-stage wall-clock breakdown to stderr\n  --json        print validation results as JSON instead of text\n  --min-precision X  exit nonzero when attribution precision < X\n  --min-recall X     exit nonzero when attribution recall < X\n  --seeds N     campaign: number of consecutive seeds to sweep (default 2)\n  --severities LIST  campaign: comma-separated severity grid in [0,1]\n                (default 0,0.25,0.5,0.75,1)\n  --gate-f1 X   campaign: exit nonzero when the clean point's F1 < X\n  --chunk N     lines pushed per source per round when streaming (default 1024)\n  --follow      keep tailing the log files for appended lines; SIGINT writes\n                a final checkpoint and report, then exits cleanly\n  --shards N    parallel syslog parse workers (default 2)\n  --lateness SECS  allowed out-of-order lateness within a source (default 60)\n  --checkpoint FILE     write crash-safe checkpoints to FILE (atomic\n                temp+rename); resume later with --resume FILE\n  --resume FILE         restore engine state and file offsets from a\n                checkpoint; also the checkpoint target unless --checkpoint\n                says otherwise\n  --checkpoint-every N  checkpoint after N accepted lines (default 50000)\n  --checkpoint-secs N   also checkpoint every N seconds while lines flow\n                (default 5)\n  --quarantine-out FILE append every quarantined (corrupt) raw line to FILE\n  --quarantine-keep N   recent corrupt lines kept in memory per source\n                (default 16)\n  --boost-capability  multiply capability-job frequency ×8 (dense sampling\n                of the full-scale buckets on small machines)"
+    "usage:\n  logdiver simulate  --out DIR [--divisor N] [--days N] [--seed N]\n  logdiver analyze   --logs DIR [--csv DIR] [--threads N] [--timings]\n  logdiver validate  --logs DIR [--json] [--min-precision X] [--min-recall X]\n  logdiver campaign  --out DIR [--divisor N] [--days N] [--seed N] [--seeds N]\n                     [--severities LIST] [--gate-f1 X]\n  logdiver stream    --logs DIR [--chunk N] [--follow] [--shards N]\n                     [--lateness SECS] [--checkpoint FILE] [--resume FILE]\n                     [--checkpoint-every N] [--checkpoint-secs N]\n                     [--quarantine-out FILE] [--quarantine-keep N]\n  logdiver reproduce [--divisor N] [--days N] [--seed N] [--boost-capability]\n  logdiver swf       --out FILE [--divisor N] [--days N] [--seed N]\n  logdiver lint      [--json] [--deny warnings] [--root DIR] [--rules]\n\noptions:\n  --divisor N   machine scale divisor (1 = full Blue Waters; default 16)\n  --days N      production days to simulate (default 30; the paper is 518)\n  --seed N      RNG seed (default 1)\n  --out DIR     output directory for raw logs\n  --logs DIR    directory holding messages.log / hwerr.log / apsys.log /\n                torque.log / netwatch.log\n  --csv DIR     also write scale-curve CSVs there\n  --threads N   worker threads for the parallel analyze stages (default: all\n                cores; output is identical for every N)\n  --timings     print a per-stage wall-clock breakdown to stderr\n  --json        print validation results as JSON instead of text\n  --min-precision X  exit nonzero when attribution precision < X\n  --min-recall X     exit nonzero when attribution recall < X\n  --seeds N     campaign: number of consecutive seeds to sweep (default 2)\n  --severities LIST  campaign: comma-separated severity grid in [0,1]\n                (default 0,0.25,0.5,0.75,1)\n  --gate-f1 X   campaign: exit nonzero when the clean point's F1 < X\n  --chunk N     lines pushed per source per round when streaming (default 1024)\n  --follow      keep tailing the log files for appended lines; SIGINT writes\n                a final checkpoint and report, then exits cleanly\n  --shards N    parallel syslog parse workers (default 2)\n  --lateness SECS  allowed out-of-order lateness within a source (default 60)\n  --checkpoint FILE     write crash-safe checkpoints to FILE (atomic\n                temp+rename); resume later with --resume FILE\n  --resume FILE         restore engine state and file offsets from a\n                checkpoint; also the checkpoint target unless --checkpoint\n                says otherwise\n  --checkpoint-every N  checkpoint after N accepted lines (default 50000)\n  --checkpoint-secs N   also checkpoint every N seconds while lines flow\n                (default 5)\n  --quarantine-out FILE append every quarantined (corrupt) raw line to FILE\n  --quarantine-keep N   recent corrupt lines kept in memory per source\n                (default 16)\n  --boost-capability  multiply capability-job frequency ×8 (dense sampling\n                of the full-scale buckets on small machines)\n  --deny warnings  lint: fail on warnings too, not just errors (CI mode)\n  --root DIR    lint: workspace root (default: walk up from the cwd)\n  --rules       lint: print the rule catalog and exit"
 }
 
 /// What one subcommand accepts: value-taking options and bare switches.
@@ -105,6 +109,11 @@ const COMMANDS: &[CommandSpec] = &[
         name: "swf",
         flags: &["out", "divisor", "days", "seed"],
         switches: &["boost-capability"],
+    },
+    CommandSpec {
+        name: "lint",
+        flags: &["deny", "root"],
+        switches: &["json", "rules"],
     },
 ];
 
@@ -746,6 +755,39 @@ fn cmd_swf(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_lint(args: &Args) -> Result<(), String> {
+    use logdiver_lint::{driver, report as lint_report};
+    if args.switches.iter().any(|s| s == "rules") {
+        print!("{}", driver::rule_catalog());
+        return Ok(());
+    }
+    let deny_warnings = match args.flags.get("deny").map(String::as_str) {
+        None => false,
+        Some("warnings") => true,
+        Some(other) => return Err(format!("--deny takes `warnings`, got {other:?}")),
+    };
+    let root = args.flags.get("root").map(std::path::PathBuf::from);
+    let report = driver::run_analyzers(root)?;
+    if args.switches.iter().any(|s| s == "json") {
+        println!("{}", lint_report::render_json(&report));
+    } else {
+        print!("{}", lint_report::render_text(&report));
+    }
+    if report.failed(deny_warnings) {
+        return Err(format!(
+            "lint failed: {} error(s), {} warning(s){}",
+            report.errors(),
+            report.warnings(),
+            if deny_warnings {
+                " (warnings denied)"
+            } else {
+                ""
+            }
+        ));
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = argv.split_first() else {
@@ -775,6 +817,7 @@ fn main() -> ExitCode {
         "stream" => cmd_stream(&args),
         "reproduce" => cmd_reproduce(&args),
         "swf" => cmd_swf(&args),
+        "lint" => cmd_lint(&args),
         _ => unreachable!("dispatch covers every CommandSpec"),
     };
     match result {

@@ -63,13 +63,11 @@ impl ErrorEvent {
                     .copied()
                     .find(|c| c.is_application_lethal())
             })
-            .unwrap_or_else(|| {
-                *self
-                    .categories
-                    .iter()
-                    .max_by_key(|c| c.severity())
-                    .expect("events have at least one category")
-            })
+            .or_else(|| self.categories.iter().copied().max_by_key(|c| c.severity()))
+            // Events absorb at least one entry, so the category list is
+            // never empty; the Info-severity maintenance notice is the
+            // inert fallback the type demands instead of a panic path.
+            .unwrap_or(ErrorCategory::MaintenanceNotice)
     }
 
     /// Event duration.

@@ -88,6 +88,7 @@ where
 
     slots
         .into_iter()
+        // lint: allow(no-panic) the scope join above guarantees every slot was filled; a panicking worker has already propagated through the scope
         .map(|r| r.expect("par_map worker dropped a task"))
         .collect()
 }

@@ -47,10 +47,51 @@ pub struct Pattern {
     category: ErrorCategory,
 }
 
+impl Pattern {
+    /// Builds a pattern from its fragments and target category.
+    pub const fn new(fragments: &'static [&'static str], category: ErrorCategory) -> Self {
+        Pattern {
+            fragments,
+            category,
+        }
+    }
+
+    /// The conjunction fragments, in declaration order.
+    pub fn fragments(&self) -> &'static [&'static str] {
+        self.fragments
+    }
+
+    /// The category assigned on a match.
+    pub fn category(&self) -> ErrorCategory {
+        self.category
+    }
+
+    /// True when every fragment occurs in `message`.
+    pub fn matches(&self, message: &str) -> bool {
+        self.fragments.iter().all(|f| message.contains(f))
+    }
+}
+
+/// A declared precedence between two lexically overlapping rules of
+/// *different* categories: messages matching both are intentionally won by
+/// the earlier rule. `logdiver lint` demands one of these (with a reason)
+/// for every cross-category overlap it detects — the in-table record of
+/// ordering intent that first-match-wins otherwise leaves implicit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct OverlapWaiver {
+    /// First fragment of the earlier (winning) rule.
+    pub earlier: &'static str,
+    /// First fragment of the later (yielding) rule.
+    pub later: &'static str,
+    /// Why the earlier rule winning is correct. Required.
+    pub reason: &'static str,
+}
+
 /// The curated pattern table (first match wins).
 #[derive(Debug, Clone)]
 pub struct PatternTable {
     patterns: Vec<Pattern>,
+    waivers: Vec<OverlapWaiver>,
 }
 
 impl Default for PatternTable {
@@ -61,6 +102,14 @@ impl Default for PatternTable {
 
 impl PatternTable {
     /// The curated table for Cray XE/XK syslog streams.
+    ///
+    /// Ordering is load-bearing (first match wins). Within a subsystem the
+    /// more specific phrasing precedes the generic one (`"LCB lane
+    /// shutdown"` before `"link failed"`, `"UE row"` before `"CE row"`),
+    /// and every cross-category overlap is recorded as an
+    /// [`OverlapWaiver`] below — `logdiver lint` verifies the list is
+    /// exact: no unwaived overlap, no stale waiver, and every waived
+    /// pair's witness string actually classifies to the earlier rule.
     pub fn curated() -> Self {
         use ErrorCategory::*;
         let patterns = vec![
@@ -177,7 +226,93 @@ impl PatternTable {
                 category: MaintenanceNotice,
             },
         ];
-        PatternTable { patterns }
+        // Ordering intent for every cross-category lexical overlap in the
+        // table above. Each entry says: a message matching both rules is
+        // *meant* to be won by the earlier one, and why.
+        let waivers = vec![
+            OverlapWaiver {
+                earlier: "DRAM ECC error",
+                later: "Double Bit ECC Error",
+                reason: "generic word `error`; host-memory ECC text outranks GPU Xid text — \
+                         real GPU lines carry `Double Bit`/`Xid`, which host rules never match",
+            },
+            OverlapWaiver {
+                earlier: "EDAC",
+                later: "EDAC",
+                reason: "UE row is checked before CE row so an uncorrectable report that also \
+                         mentions the corrected counter is never downgraded to a warning",
+            },
+            OverlapWaiver {
+                earlier: "uncorrectable memory error",
+                later: "Double Bit ECC Error",
+                reason: "generic word `error`; a line naming an uncorrectable host memory error \
+                         attributes to Memory even if GPU ECC chatter is appended",
+            },
+            OverlapWaiver {
+                earlier: "link failed",
+                later: "failed over",
+                reason: "generic word `failed`; an HSN link failure that triggers Lustre \
+                         failover text is root-caused to the interconnect",
+            },
+            OverlapWaiver {
+                earlier: "link failed",
+                later: "placement failed",
+                reason: "generic word `failed`; a link failure aborting a placement is the \
+                         interconnect's fault, not the launcher's",
+            },
+            OverlapWaiver {
+                earlier: "failed over",
+                later: "placement failed",
+                reason: "generic word `failed`; filesystem failover noted in a placement \
+                         message outranks the launcher symptom",
+            },
+            OverlapWaiver {
+                earlier: "heartbeat fault",
+                later: "VRM fault",
+                reason: "generic word `fault`; a heartbeat loss co-reported with a voltage \
+                         fault is counted once, as the node-death signal",
+            },
+            OverlapWaiver {
+                earlier: "declaring node dead",
+                later: "node unresponsive",
+                reason: "generic word `node`; a declared node death subsumes the softer \
+                         hang/unresponsive phrasing",
+            },
+            OverlapWaiver {
+                earlier: "L0 controller unresponsive",
+                later: "node unresponsive",
+                reason: "shared word `unresponsive`; the blade-controller diagnosis is more \
+                         specific than a generic node hang",
+            },
+        ];
+        PatternTable { patterns, waivers }
+    }
+
+    /// Builds a table from user-supplied rules (first match wins), with no
+    /// overlap waivers declared. Chain [`PatternTable::with_waivers`] to
+    /// record ordering intent for cross-category overlaps.
+    pub fn from_rules(patterns: Vec<Pattern>) -> Self {
+        PatternTable {
+            patterns,
+            waivers: Vec::new(),
+        }
+    }
+
+    /// Replaces the declared overlap waivers.
+    #[must_use]
+    pub fn with_waivers(mut self, waivers: Vec<OverlapWaiver>) -> Self {
+        self.waivers = waivers;
+        self
+    }
+
+    /// The rules, in match-priority order.
+    pub fn rules(&self) -> &[Pattern] {
+        &self.patterns
+    }
+
+    /// The declared cross-category precedence waivers.
+    pub fn waivers(&self) -> &[OverlapWaiver] {
+        &self.waivers
     }
 
     /// Number of patterns.
@@ -192,10 +327,17 @@ impl PatternTable {
 
     /// Classifies a message; `None` means "operational chatter, discard".
     pub fn classify(&self, message: &str) -> Option<ErrorCategory> {
+        self.classify_index(message).map(|(_, category)| category)
+    }
+
+    /// Classifies a message, also reporting *which* rule (0-based index in
+    /// [`PatternTable::rules`]) won — the introspection hook the rule-set
+    /// verifier uses to prove its witness strings resolve as claimed.
+    pub fn classify_index(&self, message: &str) -> Option<(usize, ErrorCategory)> {
         self.patterns
             .iter()
-            .find(|p| p.fragments.iter().all(|f| message.contains(f)))
-            .map(|p| p.category)
+            .position(|p| p.matches(message))
+            .map(|i| (i, self.patterns[i].category))
     }
 }
 
@@ -405,5 +547,71 @@ mod tests {
         assert_eq!(table.classify(""), None);
         assert!(!table.is_empty());
         assert!(table.len() > 20);
+    }
+
+    /// Locks the verified rule ordering: the specific phrasing precedes the
+    /// generic one wherever the rule-set verifier found an overlap, and the
+    /// waiver list records exactly the pairs the verifier flags. Reordering
+    /// the table invalidates the verification — this test makes that a
+    /// loud failure instead of a silent semantics change.
+    #[test]
+    fn curated_ordering_intent_is_locked() {
+        let table = PatternTable::curated();
+        let pos = |first_fragment: &str, cat: ErrorCategory| {
+            table
+                .rules()
+                .iter()
+                .position(|p| p.fragments()[0] == first_fragment && p.category() == cat)
+                .unwrap_or_else(|| panic!("rule {first_fragment:?} missing"))
+        };
+        use ErrorCategory::*;
+        // Specific-before-generic within the interconnect rules.
+        assert!(
+            pos("LCB lane shutdown", GeminiLinkFailure) < pos("link failed", GeminiLinkFailure)
+        );
+        // Uncorrectable before correctable for EDAC rows.
+        assert!(pos("EDAC", MemoryUncorrectable) < pos("EDAC", MemoryCorrectable));
+        // Host-memory ECC before GPU ECC (shared word `error`).
+        assert!(
+            pos("DRAM ECC error", MemoryUncorrectable)
+                < pos("Double Bit ECC Error", GpuDoubleBitError)
+        );
+        // Node-death signals before generic hang/unresponsive phrasings.
+        assert!(
+            pos("declaring node dead", NodeHeartbeatFault) < pos("node unresponsive", NodeHang)
+        );
+        assert!(
+            pos("L0 controller unresponsive", BladeControllerFailure)
+                < pos("node unresponsive", NodeHang)
+        );
+        // Heartbeat loss before voltage fault (shared word `fault`).
+        assert!(pos("heartbeat fault", NodeHeartbeatFault) < pos("VRM fault", VoltageFault));
+        // `failed` chain: interconnect > filesystem > launcher.
+        assert!(pos("link failed", GeminiLinkFailure) < pos("failed over", LustreOstFailure));
+        assert!(pos("failed over", LustreOstFailure) < pos("placement failed", AlpsLaunchFailure));
+        // Every waiver names rules that exist, earlier-first.
+        for w in table.waivers() {
+            let earlier = table
+                .rules()
+                .iter()
+                .position(|p| p.fragments()[0] == w.earlier);
+            let later = table
+                .rules()
+                .iter()
+                .rposition(|p| p.fragments()[0] == w.later);
+            let (Some(e), Some(l)) = (earlier, later) else {
+                panic!(
+                    "waiver ({:?}, {:?}) names a missing rule",
+                    w.earlier, w.later
+                );
+            };
+            assert!(
+                e < l,
+                "waiver ({:?}, {:?}) is not earlier-first",
+                w.earlier,
+                w.later
+            );
+            assert!(!w.reason.trim().is_empty(), "waiver reasons are required");
+        }
     }
 }

@@ -86,6 +86,16 @@ pub struct Analysis {
     pub coverage: Vec<CoverageGap>,
 }
 
+/// The single wall-clock read site for stage timing telemetry.
+///
+/// Timings are observability only — they never feed the analysis, so the
+/// determinism contract (`--threads N` byte-identical to serial) is
+/// untouched. Centralized here so the workspace linter's wall-clock rule
+/// has exactly one annotated exception in this module.
+fn stage_clock() -> Instant {
+    Instant::now() // lint: allow(wall-clock) stage-timing telemetry only; StageTimings never feeds Analysis
+}
+
 /// The LogDiver tool.
 ///
 /// ```
@@ -155,8 +165,8 @@ impl LogDiver {
     /// Runs the whole pipeline on a log collection, also reporting
     /// per-stage wall-clock timings.
     pub fn analyze_timed(&self, logs: &LogCollection) -> (Analysis, StageTimings) {
-        let started = Instant::now();
-        let parse_started = Instant::now();
+        let started = stage_clock();
+        let parse_started = stage_clock();
         let parsed = parse_collection_threads(logs, self.threads);
         let parse_secs = parse_started.elapsed().as_secs_f64();
         self.finish_timed(parsed, parse_secs, started)
@@ -184,8 +194,8 @@ impl LogDiver {
         &self,
         dir: impl AsRef<std::path::Path>,
     ) -> Result<(Analysis, StageTimings), LogDiverError> {
-        let started = Instant::now();
-        let parse_started = Instant::now();
+        let started = stage_clock();
+        let parse_started = stage_clock();
         let parsed = parse_dir_threads(dir, self.threads)?;
         let parse_secs = parse_started.elapsed().as_secs_f64();
         Ok(self.finish_timed(parsed, parse_secs, started))
@@ -193,7 +203,7 @@ impl LogDiver {
 
     /// Runs the pipeline stages downstream of parsing.
     pub fn analyze_parsed(&self, parsed: ParsedLogs) -> Analysis {
-        self.finish_timed(parsed, 0.0, Instant::now()).0
+        self.finish_timed(parsed, 0.0, stage_clock()).0
     }
 
     fn finish_timed(
@@ -207,13 +217,13 @@ impl LogDiver {
             ..StageTimings::default()
         };
 
-        let stage = Instant::now();
+        let stage = stage_clock();
         let (entries, filter_stats) = filter_logs_threads(&parsed, &self.table, self.threads);
         timings.filter_secs = stage.elapsed().as_secs_f64();
 
         // Coverage watches every parsed record — kept *and* discarded:
         // operational chatter is what proves a source alive.
-        let stage = Instant::now();
+        let stage = stage_clock();
         let mut coverage = CoverageMap::new(CoverageConfig::default());
         for rec in &parsed.syslog {
             coverage.observe(EntrySource::Syslog, rec.timestamp);
@@ -226,7 +236,7 @@ impl LogDiver {
         }
         timings.coverage_secs = stage.elapsed().as_secs_f64();
 
-        let stage = Instant::now();
+        let stage = stage_clock();
         let mut coalescer = Coalescer::new(self.config.coalesce_gap);
         for e in &entries {
             coalescer.push(e);
@@ -235,7 +245,7 @@ impl LogDiver {
         let events = coalescer.finish();
         timings.coalesce_secs = stage.elapsed().as_secs_f64();
 
-        let stage = Instant::now();
+        let stage = stage_clock();
         let (runs, jobs, workload_stats) = reconstruct(&parsed);
         timings.reconstruct_secs = stage.elapsed().as_secs_f64();
 
@@ -250,7 +260,7 @@ impl LogDiver {
             lethal_events,
         };
 
-        let stage = Instant::now();
+        let stage = stage_clock();
         // Coalescer output is start-ordered, so the index build skips its
         // fallback sort (see MatchIndex::new).
         debug_assert!(events.is_sorted_by_key(|e| e.start));
@@ -260,7 +270,7 @@ impl LogDiver {
         qualify_runs(&mut classified, &gaps, &self.config);
         timings.classify_secs = stage.elapsed().as_secs_f64();
 
-        let stage = Instant::now();
+        let stage = stage_clock();
         let metrics = compute(&classified, index.events());
         timings.metrics_secs = stage.elapsed().as_secs_f64();
 

@@ -150,6 +150,44 @@ pub fn noise_message(variant: u32) -> (&'static str, String) {
     }
 }
 
+/// Number of distinct phrasings [`error_message`] can render for
+/// `category` (the `variant % N` selector inside the template).
+///
+/// Part of the template *enumeration* API: `logdiver lint` walks every
+/// phrasing of every category and proves the analysis tool's independent
+/// pattern table classifies each rendering back to the category it was
+/// rendered from — the sim↔tool drift check, done statically instead of by
+/// runtime sampling.
+pub const fn phrasing_count(category: ErrorCategory) -> u32 {
+    use ErrorCategory::*;
+    match category {
+        MachineCheckException | MemoryUncorrectable | KernelPanic => 2,
+        _ => 1,
+    }
+}
+
+/// How many instantiations per phrasing [`template_samples`] yields.
+/// Several, so variable numeric fields get exercised too.
+const SAMPLES_PER_PHRASING: u32 = 8;
+
+/// Enumerates sample renderings of `category`: every phrasing, several
+/// numeric-field instantiations each.
+pub fn template_samples(category: ErrorCategory) -> impl Iterator<Item = String> {
+    (0..phrasing_count(category) * SAMPLES_PER_PHRASING).map(move |v| error_message(category, v))
+}
+
+/// Number of distinct noise phrasings [`noise_message`] renders.
+pub const fn noise_phrasing_count() -> u32 {
+    8
+}
+
+/// Enumerates `(tag, message)` samples of the benign-noise corpus: every
+/// phrasing, several instantiations each. A filter table must discard all
+/// of them.
+pub fn noise_samples() -> impl Iterator<Item = (&'static str, String)> {
+    (0..noise_phrasing_count() * SAMPLES_PER_PHRASING).map(noise_message)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,6 +225,27 @@ mod tests {
     fn noise_covers_multiple_tags() {
         let tags: std::collections::HashSet<&str> = (0..16).map(|v| noise_message(v).0).collect();
         assert!(tags.len() >= 6);
+    }
+
+    #[test]
+    fn enumeration_covers_every_phrasing() {
+        for cat in ErrorCategory::ALL {
+            let n = phrasing_count(cat);
+            assert!(n >= 1, "{cat}");
+            // Distinct phrasings really are distinct (beyond numeric fields):
+            // consecutive variants with n > 1 differ structurally.
+            if n > 1 {
+                let heads: std::collections::HashSet<String> = (0..n)
+                    .map(|v| error_message(cat, v).chars().take(12).collect())
+                    .collect();
+                assert_eq!(heads.len(), n as usize, "{cat} phrasings overlap");
+            }
+            assert_eq!(template_samples(cat).count(), (n * 8) as usize);
+        }
+        assert_eq!(
+            noise_samples().count(),
+            (noise_phrasing_count() * 8) as usize
+        );
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! The command-line driver, shared by the `logdiver-lint` binary and the
+//! `logdiver lint` subcommand.
+
+use std::path::PathBuf;
+
+use logdiver::filter::PatternTable;
+
+use crate::rules::{verify_table, TableCheckOptions};
+use crate::source::{find_workspace_root, lint_workspace};
+use crate::{report, LintReport, RULES};
+
+/// Parsed command-line options.
+pub struct Options {
+    /// Emit the machine-readable JSON envelope instead of text.
+    pub json: bool,
+    /// Fail on warnings too, not just errors.
+    pub deny_warnings: bool,
+    /// Workspace root override; autodetected from the cwd when `None`.
+    pub root: Option<PathBuf>,
+    /// Print the rule catalog and exit.
+    pub list_rules: bool,
+}
+
+/// Parses `--json`, `--deny warnings`, `--root DIR`, `--rules`.
+///
+/// # Errors
+///
+/// A usage message on an unknown or malformed argument (also for
+/// `--help`, which callers print and exit 0 or 2 as appropriate).
+pub fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        json: false,
+        deny_warnings: false,
+        root: None,
+        list_rules: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => opts.json = true,
+            "--rules" => opts.list_rules = true,
+            "--deny" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("warnings") => opts.deny_warnings = true,
+                    other => {
+                        return Err(format!(
+                            "--deny takes `warnings`, got {}",
+                            other.unwrap_or("nothing")
+                        ))
+                    }
+                }
+            }
+            "--root" => {
+                i += 1;
+                let dir = args.get(i).ok_or("--root takes a directory")?;
+                opts.root = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: logdiver-lint [--json] [--deny warnings] [--root DIR] [--rules]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+/// The rule catalog, one line per rule, as `--rules` prints it.
+pub fn rule_catalog() -> String {
+    let mut out = String::new();
+    for (id, level, desc) in RULES {
+        out.push_str(&format!("{level:>7}  {id:<22} {desc}\n"));
+    }
+    out
+}
+
+/// Runs both analyzers over the curated table and the workspace under
+/// `root` (autodetected when `None`).
+///
+/// # Errors
+///
+/// A message when no workspace root can be found or a source file cannot
+/// be read.
+pub fn run_analyzers(root: Option<PathBuf>) -> Result<LintReport, String> {
+    let root = root
+        .or_else(|| find_workspace_root(&std::env::current_dir().unwrap_or_default()))
+        .ok_or("cannot find a workspace root (no Cargo.toml with [workspace]); use --root")?;
+    let mut report = LintReport::default();
+    report.findings.extend(verify_table(
+        &PatternTable::curated(),
+        &TableCheckOptions::default(),
+    ));
+    report.findings.extend(lint_workspace(&root)?);
+    Ok(report)
+}
+
+/// Full driver: parse, analyze, render to stdout. Returns the process exit
+/// status (0 pass, 1 findings failed the run, 2 usage/I-O error).
+pub fn run(args: &[String]) -> u8 {
+    let opts = match parse_args(args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return 2;
+        }
+    };
+    if opts.list_rules {
+        print!("{}", rule_catalog());
+        return 0;
+    }
+    let report = match run_analyzers(opts.root) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("lint: {msg}");
+            return 2;
+        }
+    };
+    if opts.json {
+        println!("{}", report::render_json(&report));
+    } else {
+        print!("{}", report::render_text(&report));
+    }
+    u8::from(report.failed(opts.deny_warnings))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(args: &[&str]) -> Vec<String> {
+        args.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn args_parse() {
+        let o = parse_args(&s(&["--json", "--deny", "warnings"])).unwrap();
+        assert!(o.json && o.deny_warnings && o.root.is_none());
+        let o = parse_args(&s(&["--root", "/tmp/x"])).unwrap();
+        assert_eq!(o.root.as_deref(), Some(std::path::Path::new("/tmp/x")));
+        assert!(parse_args(&s(&["--deny", "everything"])).is_err());
+        assert!(parse_args(&s(&["--frobnicate"])).is_err());
+        assert!(parse_args(&s(&["--help"])).is_err());
+    }
+
+    #[test]
+    fn rule_catalog_lists_every_rule() {
+        let cat = rule_catalog();
+        for (id, _, _) in RULES {
+            assert!(cat.contains(id), "missing {id}");
+        }
+    }
+}

@@ -1,0 +1,442 @@
+//! A small Rust source scanner — no rustc internals.
+//!
+//! Produces what the invariant rules need and nothing more:
+//!
+//! - **cleaned lines**: the source with comments and string/char literals
+//!   blanked out (newlines preserved), so token searches cannot be fooled
+//!   by `"panic!"` inside a string or `.unwrap()` inside a doc comment;
+//! - a **test mask**: which lines sit inside a `#[cfg(test)]` item
+//!   (`mod tests { … }` and friends), where repo policy does not apply;
+//! - the **allow annotations**: every `// lint: allow(<rule>) <reason>`
+//!   comment, with its rule id and whether a reason was actually given.
+//!
+//! The scanner understands line comments, nested block comments, string
+//! literals with escapes, raw strings (`r"…"`, `r#"…"#`), byte strings,
+//! char literals, and tells lifetimes (`'a`) apart from char literals
+//! (`'x'`). It is line-oriented on output: multi-line token sequences
+//! (`Instant::\nnow`) are out of scope, which `rustfmt --check` in CI makes
+//! a non-issue.
+
+/// One `// lint: allow(<rule>) <reason>` annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// 1-based line the comment sits on. The allow covers this line and
+    /// the next one (so it can ride on the finding's line or directly
+    /// above it).
+    pub line: u32,
+    /// The rule id inside the parentheses.
+    pub rule: String,
+    /// The justification after the closing paren, trimmed.
+    pub reason: String,
+}
+
+/// Scanner output for one source file.
+#[derive(Debug, Clone)]
+pub struct CleanSource {
+    /// Source lines with comments and literals blanked (1-based indexing
+    /// via `line(n)`).
+    pub lines: Vec<String>,
+    /// `true` for lines inside `#[cfg(test)]` items.
+    pub test_mask: Vec<bool>,
+    /// Every allow annotation found, in line order.
+    pub allows: Vec<Allow>,
+}
+
+impl CleanSource {
+    /// The cleaned text of 1-based line `n` (empty for out-of-range).
+    pub fn line(&self, n: u32) -> &str {
+        self.lines
+            .get((n as usize).saturating_sub(1))
+            .map(String::as_str)
+            .unwrap_or("")
+    }
+
+    /// True when 1-based line `n` is inside a `#[cfg(test)]` region.
+    pub fn is_test_line(&self, n: u32) -> bool {
+        self.test_mask
+            .get((n as usize).saturating_sub(1))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// True when an allow for `rule` covers 1-based line `n` (the
+    /// annotation sits on `n` or on `n - 1`).
+    pub fn allowed(&self, rule: &str, n: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.rule == rule && (a.line == n || a.line + 1 == n))
+    }
+}
+
+/// True for characters that can continue a Rust identifier.
+pub fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Scans `text` into cleaned lines + test mask + allow annotations.
+pub fn scan(text: &str) -> CleanSource {
+    let mut cleaned = String::with_capacity(text.len());
+    let mut allows = Vec::new();
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Blank `n` characters (newlines kept so line numbers survive).
+    fn blank(cleaned: &mut String, chars: &[char], from: usize, to: usize, line: &mut u32) {
+        for &c in &chars[from..to] {
+            if c == '\n' {
+                cleaned.push('\n');
+                *line += 1;
+            } else {
+                cleaned.push(' ');
+            }
+        }
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+
+        // Line comment — capture for allow parsing, then blank.
+        if c == '/' && next == Some('/') {
+            let start = i;
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            let comment: String = chars[start..i].iter().collect();
+            if let Some(a) = parse_allow(&comment, line) {
+                allows.push(a);
+            }
+            blank(&mut cleaned, &chars, start, i, &mut line);
+            continue;
+        }
+
+        // Block comment, possibly nested.
+        if c == '/' && next == Some('*') {
+            let start = i;
+            let mut depth = 1usize;
+            i += 2;
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            blank(&mut cleaned, &chars, start, i, &mut line);
+            continue;
+        }
+
+        // Raw / byte string prefixes: r"…", r#"…"#, b"…", br#"…"#, b'…'.
+        let prev_is_ident = i > 0 && is_ident_char(chars[i - 1]);
+        if (c == 'r' || c == 'b') && !prev_is_ident {
+            let mut j = i + 1;
+            if c == 'b' && chars.get(j) == Some(&'r') {
+                j += 1;
+            }
+            let raw = chars.get(j) == Some(&'#') || (j > i + 1 || c == 'r');
+            if raw {
+                let mut hashes = 0usize;
+                while chars.get(j) == Some(&'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if chars.get(j) == Some(&'"') {
+                    // Raw string: ends at `"` followed by `hashes` hashes.
+                    let start = i;
+                    j += 1;
+                    'raw: while j < chars.len() {
+                        if chars[j] == '"' {
+                            let mut k = 0usize;
+                            while k < hashes && chars.get(j + 1 + k) == Some(&'#') {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                j += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        j += 1;
+                    }
+                    blank(&mut cleaned, &chars, start, j, &mut line);
+                    i = j;
+                    continue;
+                }
+            }
+            if c == 'b' && chars.get(i + 1) == Some(&'"') {
+                let end = skip_string(&chars, i + 1);
+                blank(&mut cleaned, &chars, i, end, &mut line);
+                i = end;
+                continue;
+            }
+            if c == 'b' && chars.get(i + 1) == Some(&'\'') {
+                let end = skip_char_literal(&chars, i + 1);
+                blank(&mut cleaned, &chars, i, end, &mut line);
+                i = end;
+                continue;
+            }
+            // Plain identifier starting with r/b.
+            cleaned.push(c);
+            i += 1;
+            continue;
+        }
+
+        // String literal.
+        if c == '"' {
+            let end = skip_string(&chars, i);
+            blank(&mut cleaned, &chars, i, end, &mut line);
+            i = end;
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' {
+            if is_char_literal(&chars, i) {
+                let end = skip_char_literal(&chars, i);
+                blank(&mut cleaned, &chars, i, end, &mut line);
+                i = end;
+                continue;
+            }
+            cleaned.push(c);
+            i += 1;
+            continue;
+        }
+
+        if c == '\n' {
+            line += 1;
+        }
+        cleaned.push(c);
+        i += 1;
+    }
+
+    let lines: Vec<String> = cleaned.lines().map(str::to_string).collect();
+    let test_mask = test_mask(&lines);
+    CleanSource {
+        lines,
+        test_mask,
+        allows,
+    }
+}
+
+/// Consumes a `"…"` literal starting at `chars[start] == '"'`; returns the
+/// index one past the closing quote.
+fn skip_string(chars: &[char], start: usize) -> usize {
+    let mut i = start + 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// True when the `'` at `start` opens a char literal rather than a lifetime.
+fn is_char_literal(chars: &[char], start: usize) -> bool {
+    match chars.get(start + 1) {
+        Some('\\') => true,
+        Some(_) => chars.get(start + 2) == Some(&'\''),
+        None => false,
+    }
+}
+
+/// Consumes a `'…'` char literal; returns the index one past the close.
+fn skip_char_literal(chars: &[char], start: usize) -> usize {
+    let mut i = start + 1;
+    if chars.get(i) == Some(&'\\') {
+        i += 2;
+        // Escapes like \u{1F600} run to the closing quote.
+        while i < chars.len() && chars[i] != '\'' {
+            i += 1;
+        }
+        return (i + 1).min(chars.len());
+    }
+    i += 1;
+    if chars.get(i) == Some(&'\'') {
+        return i + 1;
+    }
+    i
+}
+
+/// Parses `// lint: allow(<rule>) <reason>` out of a line comment. Only a
+/// comment whose *content* starts with the grammar counts — prose that
+/// merely mentions `lint: allow(...)` mid-sentence (like this doc comment)
+/// is not an annotation.
+fn parse_allow(comment: &str, line: u32) -> Option<Allow> {
+    let content = comment
+        .trim_start_matches('/')
+        .trim_start_matches('!')
+        .trim_start();
+    if !content.starts_with("lint: allow(") {
+        return None;
+    }
+    let rest = &content["lint: allow(".len()..];
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_string();
+    let reason = rest[close + 1..].trim().to_string();
+    Some(Allow { line, rule, reason })
+}
+
+/// Marks every line covered by a `#[cfg(test)]` item: from the attribute to
+/// the end of the braced block it introduces (or the terminating `;` for
+/// brace-less items).
+fn test_mask(lines: &[String]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let joined: String = lines.join("\n");
+    let bytes = joined.as_bytes();
+    let mut search_from = 0usize;
+    while let Some(rel) = joined[search_from..].find("#[cfg(test)]") {
+        let attr_at = search_from + rel;
+        let after = attr_at + "#[cfg(test)]".len();
+        // Find the item's body: first `{` or `;`, whichever comes first.
+        let mut j = after;
+        let mut end = joined.len();
+        while j < joined.len() {
+            match bytes[j] {
+                b'{' => {
+                    end = match_brace(bytes, j);
+                    break;
+                }
+                b';' => {
+                    end = j + 1;
+                    break;
+                }
+                _ => j += 1,
+            }
+        }
+        let start_line = joined[..attr_at].matches('\n').count();
+        let end_line = joined[..end.min(joined.len())].matches('\n').count();
+        for m in mask
+            .iter_mut()
+            .take((end_line + 1).min(lines.len()))
+            .skip(start_line)
+        {
+            *m = true;
+        }
+        search_from = end.max(after);
+    }
+    mask
+}
+
+/// Index one past the brace that closes the `{` at `open` (strings and
+/// comments are already blanked, so raw brace counting is sound).
+fn match_brace(bytes: &[u8], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    bytes.len()
+}
+
+/// Positions (byte offsets) where `ident` occurs in `line` as a standalone
+/// identifier token (no identifier characters on either side).
+pub fn ident_positions(line: &str, ident: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(rel) = line[from..].find(ident) {
+        let at = from + rel;
+        let before_ok = at == 0 || !line[..at].chars().next_back().is_some_and(is_ident_char);
+        let after = at + ident.len();
+        let after_ok = !line[after..].chars().next().is_some_and(is_ident_char);
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        from = at + ident.len().max(1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let src = "let a = \"panic!\"; // .unwrap() here\nlet b = 1; /* todo!() */ let c = 2;\n";
+        let s = scan(src);
+        assert!(!s.line(1).contains("panic"));
+        assert!(!s.line(1).contains("unwrap"));
+        assert!(s.line(2).contains("let c = 2;"));
+        assert!(!s.line(2).contains("todo"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_blanked() {
+        let src = "let a = r#\"x \"quoted\" panic!\"#;\nlet b = 'x';\nlet c: &'static str = \"\";\nlet d = b\"unwrap()\";\n";
+        let s = scan(src);
+        assert!(!s.line(1).contains("panic"));
+        assert!(s.line(2).contains("let b ="));
+        assert!(
+            s.line(3).contains("'static str"),
+            "lifetime survives: {:?}",
+            s.line(3)
+        );
+        assert!(!s.line(4).contains("unwrap"));
+    }
+
+    #[test]
+    fn multiline_string_keeps_line_numbers() {
+        let src = "let a = \"line one\n line two\";\nfn f() {}\n";
+        let s = scan(src);
+        assert_eq!(s.lines.len(), 3);
+        assert!(s.line(3).contains("fn f()"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ fn f() {}\n";
+        let s = scan(src);
+        assert!(s.line(1).contains("fn f()"));
+        assert!(!s.line(1).contains("inner"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_masked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn live2() {}\n";
+        let s = scan(src);
+        assert!(!s.is_test_line(1));
+        assert!(s.is_test_line(2));
+        assert!(s.is_test_line(4));
+        assert!(s.is_test_line(5));
+        assert!(!s.is_test_line(6));
+    }
+
+    #[test]
+    fn allow_annotations_parse() {
+        let src = "x.unwrap(); // lint: allow(no-panic) invariant: joined above\n// lint: allow(wall-clock)\ny();\n";
+        let s = scan(src);
+        assert_eq!(s.allows.len(), 2);
+        assert_eq!(s.allows[0].rule, "no-panic");
+        assert!(!s.allows[0].reason.is_empty());
+        assert_eq!(s.allows[1].rule, "wall-clock");
+        assert!(s.allows[1].reason.is_empty());
+        assert!(s.allowed("no-panic", 1));
+        assert!(s.allowed("wall-clock", 3));
+        assert!(!s.allowed("no-panic", 3));
+    }
+
+    #[test]
+    fn ident_positions_respect_boundaries() {
+        assert_eq!(ident_positions("a.unwrap()", "unwrap"), vec![2]);
+        assert!(ident_positions("a.unwrap_or(b)", "unwrap").is_empty());
+        assert!(ident_positions("Arc::try_unwrap(x)", "unwrap").is_empty());
+        assert_eq!(ident_positions("panic!(\"\")", "panic"), vec![0]);
+        assert!(ident_positions("should_panic", "panic").is_empty());
+    }
+}

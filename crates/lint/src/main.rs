@@ -1,0 +1,17 @@
+//! `logdiver-lint` — static verification of the classification rule set
+//! plus the workspace invariant linter.
+//!
+//! ```text
+//! logdiver-lint [--json] [--deny warnings] [--root DIR] [--rules]
+//! ```
+//!
+//! Exit status: 0 when the run passes, 1 when findings fail it (any error,
+//! or any finding at all under `--deny warnings`), 2 on usage or I/O
+//! problems.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    ExitCode::from(logdiver_lint::driver::run(&args))
+}

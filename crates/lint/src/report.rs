@@ -1,0 +1,85 @@
+//! Rendering lint results as text or machine-readable JSON.
+
+use crate::LintReport;
+
+/// Human-readable rendering: one block per finding, then a summary line.
+pub fn render_text(report: &LintReport) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        out.push_str(&f.to_string());
+        out.push('\n');
+    }
+    let (e, w) = (report.errors(), report.warnings());
+    if e == 0 && w == 0 {
+        out.push_str("lint: clean (0 findings)\n");
+    } else {
+        out.push_str(&format!(
+            "lint: {e} error{} and {w} warning{}\n",
+            if e == 1 { "" } else { "s" },
+            if w == 1 { "" } else { "s" },
+        ));
+    }
+    out
+}
+
+/// Machine-readable rendering: a JSON object with summary counts and the
+/// findings array (stable field names; `witness` is `null` when absent).
+pub fn render_json(report: &LintReport) -> String {
+    #[derive(serde::Serialize)]
+    struct Envelope {
+        errors: usize,
+        warnings: usize,
+        findings: Vec<crate::Finding>,
+    }
+    serde_json::to_string_pretty(&Envelope {
+        errors: report.errors(),
+        warnings: report.warnings(),
+        findings: report.findings.clone(),
+    })
+    .unwrap_or_else(|_| "{\"error\": \"serialization failed\"}".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Finding, Level};
+
+    fn sample() -> LintReport {
+        LintReport {
+            findings: vec![Finding {
+                file: "crates/core/src/classify.rs".into(),
+                line: 7,
+                rule: "no-panic",
+                level: Level::Error,
+                message: ".unwrap() in guarded non-test code".into(),
+                hint: "return a typed error".into(),
+                witness: None,
+            }],
+        }
+    }
+
+    #[test]
+    fn text_carries_location_rule_and_summary() {
+        let text = render_text(&sample());
+        assert!(text.contains("crates/core/src/classify.rs:7"));
+        assert!(text.contains("[no-panic]"));
+        assert!(text.contains("1 error and 0 warnings"));
+        assert!(render_text(&LintReport::default()).contains("clean"));
+    }
+
+    #[test]
+    fn json_is_parseable_with_counts() {
+        let json = render_json(&sample());
+        let v = serde_json::parse(&json).unwrap();
+        let top = v.as_object().unwrap();
+        let field = |obj: &[(String, serde_json::Value)], key: &str| {
+            obj.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone())
+        };
+        assert_eq!(field(top, "errors").unwrap().as_u64(), Some(1));
+        let findings = field(top, "findings").unwrap();
+        let first = findings.as_array().unwrap()[0].as_object().unwrap().clone();
+        assert_eq!(field(&first, "rule").unwrap().as_str(), Some("no-panic"));
+        assert_eq!(field(&first, "line").unwrap().as_u64(), Some(7));
+        assert!(field(&first, "witness").unwrap().is_null());
+    }
+}

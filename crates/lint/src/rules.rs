@@ -1,0 +1,470 @@
+//! The rule-set verifier.
+//!
+//! [`logdiver::filter::PatternTable`] rules are substring conjunctions under
+//! first-match-wins, which makes the interesting questions *decidable*
+//! (DESIGN.md §14 has the full argument):
+//!
+//! - **Shadowing.** Rule `i` (earlier) shadows rule `j` (later) exactly when
+//!   every fragment of `i` is a substring of some single fragment of `j`.
+//!   If so, any message matching `j` matches `i`, and `j` is dead. If not,
+//!   some fragment `f` of `i` fits in no fragment of `j`, and the witness
+//!   built from `j`'s fragments joined by a separator avoids `f` — so `j`
+//!   is live.
+//! - **Ambiguity.** Any two conjunctions are jointly satisfiable (just
+//!   concatenate), so flagging every cross-category pair would be noise.
+//!   The verifier flags pairs that *lexically overlap* — they share a
+//!   lowercased word of ≥ 4 characters, or a fragment of one contains a
+//!   fragment of the other — because those are the pairs real log lines can
+//!   plausibly hit together. For each flagged pair it constructs a concrete
+//!   witness matching both rules and replays it through
+//!   [`classify_index`](logdiver::filter::PatternTable::classify_index):
+//!   the earlier rule must win (declared via an
+//!   [`OverlapWaiver`](logdiver::filter::OverlapWaiver)), a same-category
+//!   earlier rule may win (the tie-breaker already resolves the pair), and
+//!   a *third*-category hijack is always an error.
+//! - **Coverage.** Every [`ErrorCategory`] must be producible by some rule,
+//!   every [`Subsystem`] must be reachable through the table, and the
+//!   `subsystem`/`severity` mappings are exercised for totality.
+//! - **Sim↔tool drift.** Every message phrasing the craylog simulator can
+//!   emit must classify back to the category it was emitted for, and no
+//!   noise phrasing may match at all.
+
+use std::collections::BTreeSet;
+
+use logdiver::filter::{Pattern, PatternTable};
+use logdiver_types::{ErrorCategory, Subsystem};
+
+use crate::{Finding, Level};
+
+/// Which optional check groups [`verify_table`] runs. Structural checks
+/// (shadowing, ambiguity, waiver hygiene) always run; coverage and template
+/// checks only make sense for the curated table, not for small synthetic
+/// tables built in tests.
+#[derive(Debug, Clone, Copy)]
+pub struct TableCheckOptions {
+    /// Require every `ErrorCategory` and `Subsystem` to be reachable.
+    pub coverage: bool,
+    /// Replay the craylog simulator's template corpus through the table.
+    pub templates: bool,
+}
+
+impl Default for TableCheckOptions {
+    fn default() -> Self {
+        TableCheckOptions {
+            coverage: true,
+            templates: true,
+        }
+    }
+}
+
+/// One detected cross-category lexical overlap, with its verified witness —
+/// the structured form behind the `ambiguous-pair`/`misresolved-pair`
+/// findings, exposed for property tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OverlapReport {
+    /// 0-based index of the earlier rule.
+    pub earlier: usize,
+    /// 0-based index of the later rule.
+    pub later: usize,
+    /// Why the pair was flagged (shared word or fragment containment).
+    pub via: String,
+    /// A message matching both rules, built by fragment concatenation.
+    pub witness: String,
+    /// What `classify_index` said about the witness.
+    pub winner: Option<(usize, ErrorCategory)>,
+    /// True when an [`OverlapWaiver`](logdiver::filter::OverlapWaiver)
+    /// covers the pair.
+    pub waived: bool,
+}
+
+/// True when `earlier` shadows `later`: every message matching `later` also
+/// matches `earlier`, so `later` can never win under first-match-wins.
+pub fn shadows(earlier: &Pattern, later: &Pattern) -> bool {
+    earlier
+        .fragments()
+        .iter()
+        .all(|f| later.fragments().iter().any(|g| g.contains(f)))
+}
+
+/// The lowercased words (alphanumeric runs of ≥ 4 characters) across a
+/// rule's fragments.
+fn rule_words(p: &Pattern) -> BTreeSet<String> {
+    let mut words = BTreeSet::new();
+    for frag in p.fragments() {
+        for word in frag.split(|c: char| !c.is_alphanumeric()) {
+            if word.chars().count() >= 4 {
+                words.insert(word.to_lowercase());
+            }
+        }
+    }
+    words
+}
+
+/// Why two rules lexically overlap, if they do.
+fn overlap_reason(a: &Pattern, b: &Pattern) -> Option<String> {
+    if let Some(shared) = rule_words(a).intersection(&rule_words(b)).next() {
+        return Some(format!("shared word {shared:?}"));
+    }
+    for f in a.fragments() {
+        for g in b.fragments() {
+            if f.contains(g) || g.contains(f) {
+                return Some(format!("fragment containment ({f:?} / {g:?})"));
+            }
+        }
+    }
+    None
+}
+
+/// A message matching both rules: the union of their fragments, joined with
+/// spaces, skipping fragments already present as substrings.
+pub fn build_witness(a: &Pattern, b: &Pattern) -> String {
+    let mut witness = String::new();
+    for frag in a.fragments().iter().chain(b.fragments()) {
+        if !witness.contains(frag) {
+            if !witness.is_empty() {
+                witness.push(' ');
+            }
+            witness.push_str(frag);
+        }
+    }
+    witness
+}
+
+/// Detects every cross-category lexical overlap in `table` and replays its
+/// witness through the table.
+pub fn table_overlaps(table: &PatternTable) -> Vec<OverlapReport> {
+    let rules = table.rules();
+    let mut out = Vec::new();
+    for i in 0..rules.len() {
+        for j in i + 1..rules.len() {
+            if rules[i].category() == rules[j].category() {
+                continue;
+            }
+            let Some(via) = overlap_reason(&rules[i], &rules[j]) else {
+                continue;
+            };
+            let witness = build_witness(&rules[i], &rules[j]);
+            let waived = table.waivers().iter().any(|w| {
+                w.earlier == rules[i].fragments()[0] && w.later == rules[j].fragments()[0]
+            });
+            out.push(OverlapReport {
+                earlier: i,
+                later: j,
+                via,
+                witness: witness.clone(),
+                winner: table.classify_index(&witness),
+                waived,
+            });
+        }
+    }
+    out
+}
+
+fn describe(rules: &[Pattern], i: usize) -> String {
+    format!(
+        "rule {} ({:?} -> {})",
+        i + 1,
+        rules[i].fragments(),
+        rules[i].category()
+    )
+}
+
+/// Runs the rule-set verifier over `table`.
+pub fn verify_table(table: &PatternTable, options: &TableCheckOptions) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let rules = table.rules();
+    let at = |line: u32| ("<ruleset>".to_string(), line);
+
+    // Shadowing: a later rule that can never win is dead configuration.
+    for i in 0..rules.len() {
+        for j in i + 1..rules.len() {
+            if shadows(&rules[i], &rules[j]) {
+                let (file, line) = at(j as u32 + 1);
+                findings.push(Finding {
+                    file,
+                    line,
+                    rule: "shadowed-rule",
+                    level: Level::Error,
+                    message: format!(
+                        "{} is shadowed by {}: every fragment of the earlier rule fits inside \
+                         a fragment of the later one, so the later rule can never win",
+                        describe(rules, j),
+                        describe(rules, i)
+                    ),
+                    hint: "delete the dead rule, or add a distinguishing fragment the earlier \
+                           rule does not cover"
+                        .into(),
+                    witness: None,
+                });
+            }
+        }
+    }
+
+    // Cross-category overlaps: each needs declared intent, and the witness
+    // must actually resolve to the earlier rule.
+    for o in table_overlaps(table) {
+        match o.winner {
+            Some((w, _)) if w == o.earlier => {
+                if !o.waived {
+                    let (file, line) = at(o.later as u32 + 1);
+                    findings.push(Finding {
+                        file,
+                        line,
+                        rule: "ambiguous-pair",
+                        level: Level::Warning,
+                        message: format!(
+                            "{} and {} overlap ({}) with no declared ordering intent; the \
+                             witness resolves to the earlier rule by position alone",
+                            describe(rules, o.earlier),
+                            describe(rules, o.later),
+                            o.via
+                        ),
+                        hint: format!(
+                            "add OverlapWaiver {{ earlier: {:?}, later: {:?}, reason: \"...\" }} \
+                             to record why the earlier rule should win, or make the fragments \
+                             disjoint",
+                            rules[o.earlier].fragments()[0],
+                            rules[o.later].fragments()[0]
+                        ),
+                        witness: Some(o.witness),
+                    });
+                }
+            }
+            Some((w, cat)) if rules[o.earlier].category() == cat => {
+                // A same-category rule ahead of the pair absorbs the
+                // witness: the outcome is the one the waiver would declare,
+                // so the pair is already resolved by a tie-breaker.
+                let _ = w;
+            }
+            Some((w, cat)) => {
+                let (file, line) = at(o.later as u32 + 1);
+                findings.push(Finding {
+                    file,
+                    line,
+                    rule: "misresolved-pair",
+                    level: Level::Error,
+                    message: format!(
+                        "the witness for the overlap between {} and {} is hijacked by {} \
+                         (category {}), which neither side of the pair intends",
+                        describe(rules, o.earlier),
+                        describe(rules, o.later),
+                        describe(rules, w),
+                        cat
+                    ),
+                    hint: "reorder the table or specialize the hijacking rule's fragments so \
+                           the declared earlier rule actually wins"
+                        .into(),
+                    witness: Some(o.witness),
+                });
+            }
+            None => {
+                let (file, line) = at(o.later as u32 + 1);
+                findings.push(Finding {
+                    file,
+                    line,
+                    rule: "misresolved-pair",
+                    level: Level::Error,
+                    message: format!(
+                        "internal inconsistency: the witness for {} / {} matches neither rule \
+                         through classify",
+                        describe(rules, o.earlier),
+                        describe(rules, o.later)
+                    ),
+                    hint: "this indicates a verifier bug; please report it".into(),
+                    witness: Some(o.witness),
+                });
+            }
+        }
+    }
+
+    // Waiver hygiene: every declared waiver must cite a real detected
+    // overlap and carry a reason.
+    let overlaps = table_overlaps(table);
+    for (k, w) in table.waivers().iter().enumerate() {
+        let (file, line) = at(k as u32 + 1);
+        if w.reason.trim().is_empty() {
+            findings.push(Finding {
+                file,
+                line,
+                rule: "stale-waiver",
+                level: Level::Warning,
+                message: format!(
+                    "waiver ({:?}, {:?}) has no reason; ordering intent must be justified",
+                    w.earlier, w.later
+                ),
+                hint: "explain why the earlier rule winning is correct".into(),
+                witness: None,
+            });
+            continue;
+        }
+        let cited = overlaps.iter().any(|o| {
+            rules[o.earlier].fragments()[0] == w.earlier && rules[o.later].fragments()[0] == w.later
+        });
+        if !cited {
+            findings.push(Finding {
+                file,
+                line,
+                rule: "stale-waiver",
+                level: Level::Warning,
+                message: format!(
+                    "waiver ({:?}, {:?}) matches no detected cross-category overlap",
+                    w.earlier, w.later
+                ),
+                hint: "delete the waiver, or fix the fragment names so it cites the intended \
+                       pair (earlier rule first)"
+                    .into(),
+                witness: None,
+            });
+        }
+    }
+
+    if options.coverage {
+        for cat in ErrorCategory::ALL {
+            if !rules.iter().any(|p| p.category() == cat) {
+                let (file, _) = at(0);
+                findings.push(Finding {
+                    file,
+                    line: 0,
+                    rule: "unreachable-category",
+                    level: Level::Error,
+                    message: format!(
+                        "no pattern produces {cat} ({}); the category can never be assigned \
+                         from syslog",
+                        cat.subsystem()
+                    ),
+                    hint: "add a pattern for the category's message phrasing, or retire the \
+                           category"
+                        .into(),
+                    witness: None,
+                });
+            }
+        }
+        // Totality of the rollup mappings, and subsystem reachability
+        // through the table.
+        for sub in Subsystem::ALL {
+            let reachable = rules.iter().any(|p| {
+                let c = p.category();
+                // Exercise both mappings for every rule while we are here.
+                let _ = c.severity();
+                c.subsystem() == sub
+            });
+            if !reachable {
+                findings.push(Finding {
+                    file: "<ruleset>".into(),
+                    line: 0,
+                    rule: "unreachable-category",
+                    level: Level::Error,
+                    message: format!("no pattern reaches subsystem {sub}"),
+                    hint: "the subsystem's failure share would silently read as zero; add a \
+                           pattern for one of its categories"
+                        .into(),
+                    witness: None,
+                });
+            }
+        }
+    }
+
+    if options.templates {
+        for cat in ErrorCategory::ALL {
+            for msg in craylog::templates::template_samples(cat) {
+                let got = table.classify(&msg);
+                if got != Some(cat) {
+                    findings.push(Finding {
+                        file: "<templates>".into(),
+                        line: 0,
+                        rule: "template-drift",
+                        level: Level::Error,
+                        message: format!(
+                            "simulator template for {cat} classifies as {}",
+                            got.map(|c| c.token()).unwrap_or("nothing")
+                        ),
+                        hint: "the simulator and the pattern table drifted apart; update the \
+                               table (or the template) so emitted phrasings round-trip"
+                            .into(),
+                        witness: Some(msg),
+                    });
+                }
+            }
+        }
+        for (tag, msg) in craylog::templates::noise_samples() {
+            if let Some(cat) = table.classify(&msg) {
+                findings.push(Finding {
+                    file: "<templates>".into(),
+                    line: 0,
+                    rule: "noise-matched",
+                    level: Level::Error,
+                    message: format!("noise template {tag:?} classifies as {cat}"),
+                    hint: "tighten the matching rule's fragments; operational chatter must \
+                           not survive the filter"
+                        .into(),
+                    witness: Some(msg),
+                });
+            }
+        }
+    }
+
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ErrorCategory::*;
+
+    fn bare(table: &PatternTable) -> Vec<Finding> {
+        verify_table(
+            table,
+            &TableCheckOptions {
+                coverage: false,
+                templates: false,
+            },
+        )
+    }
+
+    #[test]
+    fn shadow_is_exact() {
+        let broad = Pattern::new(&["link"], GeminiLinkFailure);
+        let narrow = Pattern::new(&["link failed"], GeminiLinkFailure);
+        assert!(shadows(&broad, &narrow));
+        assert!(!shadows(&narrow, &broad));
+        let two = Pattern::new(&["EDAC", "UE row"], MemoryUncorrectable);
+        let other = Pattern::new(&["EDAC", "CE row"], MemoryCorrectable);
+        assert!(!shadows(&two, &other));
+    }
+
+    #[test]
+    fn witness_matches_both_rules() {
+        let a = Pattern::new(&["heartbeat fault"], NodeHeartbeatFault);
+        let b = Pattern::new(&["VRM fault"], VoltageFault);
+        let w = build_witness(&a, &b);
+        assert!(a.matches(&w) && b.matches(&w));
+    }
+
+    #[test]
+    fn clean_synthetic_table_has_no_findings() {
+        let table = PatternTable::from_rules(vec![
+            Pattern::new(&["Kernel panic"], KernelPanic),
+            Pattern::new(&["warm swap"], MaintenanceNotice),
+        ]);
+        assert!(bare(&table).is_empty());
+    }
+
+    #[test]
+    fn same_category_earlier_rule_resolves_overlap() {
+        // The witness for (declaring node dead, node unresponsive) could be
+        // absorbed by an even-earlier NodeHeartbeatFault rule: same category
+        // as the pair's earlier side, so no finding.
+        let table = PatternTable::from_rules(vec![
+            Pattern::new(&["node dead"], NodeHeartbeatFault),
+            Pattern::new(&["declaring node dead"], NodeHeartbeatFault),
+            Pattern::new(&["node unresponsive"], NodeHang),
+        ]);
+        let findings = bare(&table);
+        // Pair (1,3) witness "declaring node dead node unresponsive" is won
+        // by rule 0 with the same category — resolved. Pair (0,2) still
+        // needs a waiver.
+        assert!(findings
+            .iter()
+            .all(|f| f.rule == "ambiguous-pair" || f.rule == "shadowed-rule"));
+    }
+}

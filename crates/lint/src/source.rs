@@ -1,0 +1,392 @@
+//! The workspace invariant linter.
+//!
+//! Scans `crates/**` Rust sources (skipping `tests/` and `benches/`
+//! directories and `#[cfg(test)]` regions) for repo-policy violations:
+//!
+//! - **`no-panic`** — `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!`
+//!   in the guarded pipeline modules (`core::{parse, filter, coalesce,
+//!   matcher, classify, pipeline, exec}`) and everything in
+//!   `crates/stream/src`. These are the crash-safety-bearing paths: a
+//!   panic there kills a streaming coordinator mid-checkpoint.
+//! - **`wall-clock`** — `Instant::now`/`SystemTime::now` anywhere except
+//!   the CLI, the bench crate, and `core/src/exec.rs`. Determinism
+//!   (parallel == serial, resume == uninterrupted) depends on the engine
+//!   never reading the host clock.
+//! - **`thread-spawn`** — `std::thread::spawn` outside the same exempt
+//!   set. Concurrency is confined to the executor and the streaming
+//!   engine's audited pool (which carries explicit allows).
+//! - **`checkpoint-state-clock`** — the *types* `Instant`/`SystemTime`
+//!   named at all in checkpointable-state modules; state that survives a
+//!   resume must be wall-clock-free by construction.
+//!
+//! Escapes: `// lint: allow(<rule>) <reason>` on the finding's line or the
+//! line above. The reason is mandatory and the rule id must exist —
+//! violations of the annotation grammar are themselves findings
+//! (**`bad-allow`**).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lexer;
+use crate::{Finding, Level};
+
+/// `core` modules under the `no-panic` guard (the deterministic pipeline
+/// spine; the rest of `core` is reporting/analysis code where a panic is
+/// an ordinary bug, not a crash-safety hole).
+const GUARDED_CORE: &[&str] = &[
+    "parse.rs",
+    "filter.rs",
+    "coalesce.rs",
+    "matcher.rs",
+    "classify.rs",
+    "pipeline.rs",
+    "exec.rs",
+];
+
+/// Modules whose state ends up inside checkpoints (or defines the logical
+/// clock): no wall-clock *type* may appear at all.
+const CHECKPOINT_STATE: &[&str] = &[
+    "crates/stream/src/checkpoint.rs",
+    "crates/stream/src/state.rs",
+    "crates/stream/src/index.rs",
+    "crates/stream/src/health.rs",
+    "crates/core/src/checkpoint.rs",
+    "crates/types/src/time.rs",
+];
+
+/// Is `path` (workspace-relative, `/`-separated) under the panic guard?
+fn no_panic_scope(path: &str) -> bool {
+    if let Some(rest) = path.strip_prefix("crates/core/src/") {
+        return GUARDED_CORE.contains(&rest);
+    }
+    path.starts_with("crates/stream/src/")
+}
+
+/// Files allowed to read the wall clock / spawn threads freely: the CLI
+/// (progress display, watch loops), the bench harness, and the executor.
+fn clock_exempt(path: &str) -> bool {
+    path.starts_with("crates/cli/")
+        || path.starts_with("crates/bench/")
+        || path == "crates/core/src/exec.rs"
+}
+
+/// True when the path contains a `tests` or `benches` directory component —
+/// integration tests and benchmarks are exempt wholesale.
+fn in_exempt_dir(path: &str) -> bool {
+    path.split('/').any(|c| c == "tests" || c == "benches")
+}
+
+fn finding(
+    path: &str,
+    line: u32,
+    rule: &'static str,
+    message: String,
+    hint: &str,
+    out: &mut Vec<Finding>,
+) {
+    out.push(Finding {
+        file: path.to_string(),
+        line,
+        rule,
+        level: crate::rule_level(rule).unwrap_or(Level::Error),
+        message,
+        hint: hint.to_string(),
+        witness: None,
+    });
+}
+
+/// The identifier token ending immediately before byte `at` in `line`, if
+/// `at` is preceded by `::`.
+fn path_qualifier(line: &str, at: usize) -> Option<&str> {
+    let before = &line[..at];
+    let before = before.strip_suffix("::")?;
+    let start = before
+        .rfind(|c: char| !lexer::is_ident_char(c))
+        .map(|i| i + 1)
+        .unwrap_or(0);
+    let ident = &before[start..];
+    (!ident.is_empty()).then_some(ident)
+}
+
+/// Lints one file's text under its workspace-relative path. Pure: the
+/// mutation self-tests feed it doctored copies of real sources.
+pub fn lint_source(path: &str, text: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if in_exempt_dir(path) || !path.ends_with(".rs") {
+        return out;
+    }
+    let src = lexer::scan(text);
+
+    // Annotation grammar first: a malformed allow silently not applying is
+    // the worst failure mode a lint escape hatch can have.
+    for a in &src.allows {
+        if crate::rule_level(&a.rule).is_none() {
+            finding(
+                path,
+                a.line,
+                "bad-allow",
+                format!("allow names unknown rule {:?}", a.rule),
+                "use one of the rule ids from `logdiver lint --rules`",
+                &mut out,
+            );
+        } else if a.reason.trim().is_empty() {
+            finding(
+                path,
+                a.line,
+                "bad-allow",
+                format!("allow({}) has no reason", a.rule),
+                "write `// lint: allow(<rule>) <why this site is sound>`",
+                &mut out,
+            );
+        }
+    }
+
+    let guard_panics = no_panic_scope(path);
+    let guard_clock = !clock_exempt(path);
+    let guard_state = CHECKPOINT_STATE.contains(&path);
+
+    for (idx, line) in src.lines.iter().enumerate() {
+        let ln = idx as u32 + 1;
+        if src.is_test_line(ln) {
+            continue;
+        }
+
+        if guard_panics && !src.allowed("no-panic", ln) {
+            for method in ["unwrap", "expect"] {
+                for at in lexer::ident_positions(line, method) {
+                    if line[..at].ends_with('.') {
+                        finding(
+                            path,
+                            ln,
+                            "no-panic",
+                            format!(".{method}() in guarded non-test code"),
+                            "return a typed error, provide an infallible fallback, or annotate \
+                             with `// lint: allow(no-panic) <invariant>`",
+                            &mut out,
+                        );
+                    }
+                }
+            }
+            for mac in ["panic", "todo", "unimplemented"] {
+                for at in lexer::ident_positions(line, mac) {
+                    if line[at + mac.len()..].starts_with('!') {
+                        finding(
+                            path,
+                            ln,
+                            "no-panic",
+                            format!("{mac}! in guarded non-test code"),
+                            "convert the condition into a typed error on the stage's error \
+                             path",
+                            &mut out,
+                        );
+                    }
+                }
+            }
+        }
+
+        if guard_clock && !src.allowed("wall-clock", ln) {
+            for at in lexer::ident_positions(line, "now") {
+                if let Some(q) = path_qualifier(line, at) {
+                    if q == "Instant" || q == "SystemTime" {
+                        finding(
+                            path,
+                            ln,
+                            "wall-clock",
+                            format!("{q}::now() outside the sanctioned timing sites"),
+                            "thread a logical Timestamp through instead; wall-clock reads \
+                             belong in the CLI or core/src/exec.rs",
+                            &mut out,
+                        );
+                    }
+                }
+            }
+        }
+
+        if guard_clock && !src.allowed("thread-spawn", ln) {
+            for at in lexer::ident_positions(line, "spawn") {
+                if path_qualifier(line, at) == Some("thread") {
+                    finding(
+                        path,
+                        ln,
+                        "thread-spawn",
+                        "std::thread::spawn outside the executor".to_string(),
+                        "route parallelism through core::exec::par_map (or annotate an audited \
+                         engine site with `// lint: allow(thread-spawn) <determinism argument>`)",
+                        &mut out,
+                    );
+                }
+            }
+        }
+
+        if guard_state && !src.allowed("checkpoint-state-clock", ln) {
+            for ty in ["Instant", "SystemTime"] {
+                if !lexer::ident_positions(line, ty).is_empty() {
+                    finding(
+                        path,
+                        ln,
+                        "checkpoint-state-clock",
+                        format!("wall-clock type {ty} named in checkpointable state"),
+                        "checkpointed state must be wall-clock-free so resume is \
+                         deterministic; carry a logical Timestamp or drop the field",
+                        &mut out,
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Walks up from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+fn collect_rs(dir: &Path, acc: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.filter_map(Result::ok).map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, acc);
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            acc.push(path);
+        }
+    }
+}
+
+/// Lints every `.rs` file under `<root>/crates`, in sorted path order.
+///
+/// # Errors
+///
+/// Returns a message when a discovered source file cannot be read.
+pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, String> {
+    let mut files = Vec::new();
+    collect_rs(&root.join("crates"), &mut files);
+    let mut findings = Vec::new();
+    for file in files {
+        let rel: String = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let text = fs::read_to_string(&file).map_err(|e| format!("{}: {e}", file.display()))?;
+        findings.extend(lint_source(&rel, &text));
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scopes_are_as_documented() {
+        assert!(no_panic_scope("crates/core/src/classify.rs"));
+        assert!(no_panic_scope("crates/stream/src/engine.rs"));
+        assert!(!no_panic_scope("crates/core/src/report.rs"));
+        assert!(!no_panic_scope("crates/stats/src/lib.rs"));
+        assert!(clock_exempt("crates/cli/src/main.rs"));
+        assert!(clock_exempt("crates/core/src/exec.rs"));
+        assert!(!clock_exempt("crates/core/src/pipeline.rs"));
+        assert!(in_exempt_dir("crates/stream/tests/chaos.rs"));
+        assert!(in_exempt_dir("crates/bench/benches/perf_stream.rs"));
+        assert!(!in_exempt_dir("crates/stream/src/engine.rs"));
+    }
+
+    #[test]
+    fn unwrap_in_guarded_code_is_flagged_and_allows_work() {
+        let bad = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let got = lint_source("crates/core/src/classify.rs", bad);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].rule, "no-panic");
+        assert_eq!(got[0].line, 1);
+
+        let allowed = "// lint: allow(no-panic) caller checked is_some\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert!(lint_source("crates/core/src/classify.rs", allowed).is_empty());
+
+        // Outside the guard, unwrap is not a finding.
+        assert!(lint_source("crates/stats/src/lib.rs", bad).is_empty());
+        // In a test region, not a finding either.
+        let test_only = "#[cfg(test)]\nmod tests { fn f(x: Option<u8>) -> u8 { x.unwrap() } }\n";
+        assert!(lint_source("crates/core/src/classify.rs", test_only).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_is_not_a_panic_path() {
+        let ok = "fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }\n";
+        assert!(lint_source("crates/core/src/classify.rs", ok).is_empty());
+        let arc = "fn f(a: std::sync::Arc<u8>) { let _ = std::sync::Arc::try_unwrap(a); }\n";
+        assert!(lint_source("crates/core/src/classify.rs", arc).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_and_spawn_are_scoped() {
+        let clock = "fn f() { let _t = std::time::Instant::now(); }\n";
+        let got = lint_source("crates/stream/src/engine.rs", clock);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].rule, "wall-clock");
+        assert!(lint_source("crates/cli/src/main.rs", clock).is_empty());
+        assert!(lint_source("crates/core/src/exec.rs", clock).is_empty());
+
+        let spawn = "fn f() { std::thread::spawn(|| {}); }\n";
+        let got = lint_source("crates/craylog/src/lib.rs", spawn);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].rule, "thread-spawn");
+        // `scope.spawn` (the executor's audited API) is not std::thread.
+        let scoped = "fn f() { scope.spawn(|| {}); }\n";
+        assert!(lint_source("crates/craylog/src/lib.rs", scoped).is_empty());
+    }
+
+    #[test]
+    fn checkpoint_state_bans_the_type_not_just_the_call() {
+        let field = "pub struct S { started: std::time::Instant }\n";
+        let got = lint_source("crates/stream/src/state.rs", field);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].rule, "checkpoint-state-clock");
+        // The same field is fine in a non-state module (wall-clock only
+        // fires on ::now()).
+        assert!(lint_source("crates/stream/src/config.rs", field).is_empty());
+    }
+
+    #[test]
+    fn bad_allows_are_flagged() {
+        let unknown = "// lint: allow(no-such-rule) because\nfn f() {}\n";
+        let got = lint_source("crates/core/src/classify.rs", unknown);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].rule, "bad-allow");
+
+        let unreasoned = "fn f(x: Option<u8>) -> u8 {\n// lint: allow(no-panic)\nx.unwrap() }\n";
+        let got = lint_source("crates/core/src/classify.rs", unreasoned);
+        // The allow still suppresses, but is itself a warning.
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].rule, "bad-allow");
+        assert_eq!(got[0].level, crate::Level::Warning);
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_trip_rules() {
+        let src = "// calls unwrap() conceptually\nfn f() { let s = \"panic! Instant::now\"; let _ = s; }\n";
+        assert!(lint_source("crates/core/src/classify.rs", src).is_empty());
+        assert!(lint_source("crates/stream/src/state.rs", src).is_empty());
+    }
+}

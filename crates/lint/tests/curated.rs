@@ -1,0 +1,81 @@
+//! Locks the verified state of the committed tree: the curated table passes
+//! every rule-set check, its waiver list is exact (all cited, none stale),
+//! and the whole workspace lints clean — the regression test behind the
+//! "zero findings on the committed tree" guarantee CI enforces.
+
+use std::path::PathBuf;
+
+use logdiver::filter::PatternTable;
+use logdiver_lint::rules::{table_overlaps, verify_table, TableCheckOptions};
+use logdiver_lint::{driver, source};
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn curated_table_verifies_clean() {
+    let findings = verify_table(&PatternTable::curated(), &TableCheckOptions::default());
+    assert!(
+        findings.is_empty(),
+        "curated table has findings: {findings:#?}"
+    );
+}
+
+#[test]
+fn curated_overlaps_are_exactly_the_waivers() {
+    let table = PatternTable::curated();
+    let overlaps = table_overlaps(&table);
+    assert_eq!(
+        overlaps.len(),
+        table.waivers().len(),
+        "every detected overlap needs a waiver and every waiver a detected overlap"
+    );
+    for o in &overlaps {
+        assert!(o.waived, "unwaived overlap: {o:#?}");
+        let (winner, category) = o.winner.expect("witness must classify");
+        assert_eq!(winner, o.earlier, "witness hijacked: {o:#?}");
+        assert_eq!(category, table.rules()[o.earlier].category());
+        // The witness really demonstrates joint satisfiability.
+        assert!(table.rules()[o.earlier].matches(&o.witness));
+        assert!(table.rules()[o.later].matches(&o.witness));
+    }
+}
+
+#[test]
+fn workspace_lints_clean() {
+    let findings = source::lint_workspace(&workspace_root()).expect("workspace scan");
+    assert!(findings.is_empty(), "workspace has findings: {findings:#?}");
+}
+
+#[test]
+fn full_run_passes_with_deny_warnings() {
+    let report = driver::run_analyzers(Some(workspace_root())).expect("analyzers run");
+    assert_eq!(report.errors(), 0);
+    assert_eq!(report.warnings(), 0);
+    assert!(!report.failed(true), "must survive --deny warnings");
+}
+
+#[test]
+fn guarded_scope_files_exist() {
+    // The invariant scopes name real files; a rename must update the linter
+    // (otherwise a guard silently stops applying).
+    let root = workspace_root();
+    for rel in [
+        "crates/core/src/parse.rs",
+        "crates/core/src/filter.rs",
+        "crates/core/src/coalesce.rs",
+        "crates/core/src/matcher.rs",
+        "crates/core/src/classify.rs",
+        "crates/core/src/pipeline.rs",
+        "crates/core/src/exec.rs",
+        "crates/stream/src/checkpoint.rs",
+        "crates/stream/src/state.rs",
+        "crates/stream/src/index.rs",
+        "crates/stream/src/health.rs",
+        "crates/core/src/checkpoint.rs",
+        "crates/types/src/time.rs",
+    ] {
+        assert!(root.join(rel).is_file(), "guarded file {rel} is missing");
+    }
+}

@@ -1,0 +1,242 @@
+//! Mutation self-tests: seed each class of defect the linter exists to
+//! catch — into the *real* curated table and the *real* workspace sources —
+//! and demand exactly the expected finding, at the expected span, and
+//! nothing else. A verifier that cannot see a planted bug is worse than no
+//! verifier; these tests are the proof the analyzers bite.
+
+use std::path::PathBuf;
+
+use logdiver::filter::{OverlapWaiver, Pattern, PatternTable};
+use logdiver_lint::rules::{verify_table, TableCheckOptions};
+use logdiver_lint::source::lint_source;
+use logdiver_types::ErrorCategory::*;
+
+fn structural_only() -> TableCheckOptions {
+    TableCheckOptions {
+        coverage: false,
+        templates: false,
+    }
+}
+
+/// The curated rules plus one appended rule, waivers preserved.
+fn curated_plus(extra: Pattern) -> PatternTable {
+    let curated = PatternTable::curated();
+    let mut rules = curated.rules().to_vec();
+    rules.push(extra);
+    PatternTable::from_rules(rules).with_waivers(curated.waivers().to_vec())
+}
+
+/// Reads a real workspace source file.
+fn workspace_file(rel: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+// ---------------------------------------------------------------------------
+// (a) a shadowed pattern
+// ---------------------------------------------------------------------------
+
+#[test]
+fn seeded_shadowed_rule_in_curated_table() {
+    // "LCB lane shutdown" (rule 7) fits inside the seeded rule's only
+    // fragment, so the seeded rule can never win.
+    let table = curated_plus(Pattern::new(&["LCB lane shutdown now"], GeminiLinkFailure));
+    let findings = verify_table(&table, &structural_only());
+    assert_eq!(findings.len(), 1, "exactly one finding: {findings:#?}");
+    assert_eq!(findings[0].rule, "shadowed-rule");
+    assert_eq!(findings[0].file, "<ruleset>");
+    assert_eq!(
+        findings[0].line as usize,
+        table.len(),
+        "span is the dead (later) rule"
+    );
+}
+
+#[test]
+fn seeded_shadowed_rule_minimal() {
+    let table = PatternTable::from_rules(vec![
+        Pattern::new(&["link"], GeminiLinkFailure),
+        Pattern::new(&["link failed"], GeminiLinkFailure),
+    ]);
+    let findings = verify_table(&table, &structural_only());
+    assert_eq!(findings.len(), 1);
+    assert_eq!((findings[0].rule, findings[0].line), ("shadowed-rule", 2));
+}
+
+// ---------------------------------------------------------------------------
+// (b) a cross-category ambiguous pattern
+// ---------------------------------------------------------------------------
+
+#[test]
+fn seeded_ambiguous_pair_in_curated_table() {
+    // Shares the word "heartbeat" with rule "heartbeat fault"
+    // (NodeHeartbeatFault) under a different category, with no waiver.
+    let table = curated_plus(Pattern::new(&["heartbeat timeout"], NodeHang));
+    let findings = verify_table(&table, &structural_only());
+    assert_eq!(findings.len(), 1, "exactly one finding: {findings:#?}");
+    assert_eq!(findings[0].rule, "ambiguous-pair");
+    assert_eq!(findings[0].line as usize, table.len());
+    let witness = findings[0]
+        .witness
+        .as_deref()
+        .expect("ambiguity carries a witness");
+    assert!(witness.contains("heartbeat fault") && witness.contains("heartbeat timeout"));
+}
+
+#[test]
+fn seeded_ambiguous_pair_minimal_and_waiver_silences_it() {
+    let rules = || {
+        vec![
+            Pattern::new(&["node dead"], NodeHeartbeatFault),
+            Pattern::new(&["node hung"], NodeHang),
+        ]
+    };
+    let findings = verify_table(&PatternTable::from_rules(rules()), &structural_only());
+    assert_eq!(findings.len(), 1);
+    assert_eq!((findings[0].rule, findings[0].line), ("ambiguous-pair", 2));
+
+    let waived = PatternTable::from_rules(rules()).with_waivers(vec![OverlapWaiver {
+        earlier: "node dead",
+        later: "node hung",
+        reason: "a dead node subsumes a hung one",
+    }]);
+    assert!(verify_table(&waived, &structural_only()).is_empty());
+}
+
+#[test]
+fn seeded_misresolved_pair_is_an_error() {
+    // The witness for (rule 2, rule 3) is "node dead node hung"; rule 1's
+    // "dead node" occurs across the junction and hijacks it with a third
+    // category. Waivers keep rule 1's own overlaps out of the way so the
+    // hijack is the single finding.
+    let table = PatternTable::from_rules(vec![
+        Pattern::new(&["dead node"], KernelPanic),
+        Pattern::new(&["node dead"], NodeHeartbeatFault),
+        Pattern::new(&["node hung"], NodeHang),
+    ])
+    .with_waivers(vec![
+        OverlapWaiver {
+            earlier: "dead node",
+            later: "node dead",
+            reason: "test fixture",
+        },
+        OverlapWaiver {
+            earlier: "dead node",
+            later: "node hung",
+            reason: "test fixture",
+        },
+    ]);
+    let findings = verify_table(&table, &structural_only());
+    assert_eq!(findings.len(), 1, "exactly one finding: {findings:#?}");
+    assert_eq!(
+        (findings[0].rule, findings[0].line),
+        ("misresolved-pair", 3)
+    );
+}
+
+// ---------------------------------------------------------------------------
+// (c) an unwrap() seeded into core/src/classify.rs
+// ---------------------------------------------------------------------------
+
+#[test]
+fn seeded_unwrap_in_classify() {
+    let clean = workspace_file("crates/core/src/classify.rs");
+    assert!(
+        lint_source("crates/core/src/classify.rs", &clean).is_empty(),
+        "the committed file must lint clean for the seed to be attributable"
+    );
+    let mut mutated = clean.clone();
+    mutated.push_str("fn seeded(x: Option<u8>) -> u8 { x.unwrap() }\n");
+    let expected_line = clean.lines().count() as u32 + 1;
+    let findings = lint_source("crates/core/src/classify.rs", &mutated);
+    assert_eq!(findings.len(), 1, "exactly one finding: {findings:#?}");
+    assert_eq!(findings[0].rule, "no-panic");
+    assert_eq!(findings[0].file, "crates/core/src/classify.rs");
+    assert_eq!(findings[0].line, expected_line);
+}
+
+// ---------------------------------------------------------------------------
+// (d) an Instant::now() seeded into crates/stream
+// ---------------------------------------------------------------------------
+
+#[test]
+fn seeded_instant_now_in_stream_engine() {
+    let clean = workspace_file("crates/stream/src/engine.rs");
+    assert!(lint_source("crates/stream/src/engine.rs", &clean).is_empty());
+    let mut mutated = clean.clone();
+    mutated.push_str("fn seeded_clock() -> std::time::Instant { std::time::Instant::now() }\n");
+    let expected_line = clean.lines().count() as u32 + 1;
+    let findings = lint_source("crates/stream/src/engine.rs", &mutated);
+    assert_eq!(findings.len(), 1, "exactly one finding: {findings:#?}");
+    assert_eq!(findings[0].rule, "wall-clock");
+    assert_eq!(findings[0].line, expected_line);
+}
+
+// ---------------------------------------------------------------------------
+// further seeds: thread spawns, checkpoint-state clocks, template drift
+// ---------------------------------------------------------------------------
+
+#[test]
+fn seeded_thread_spawn_in_stream_tail() {
+    let clean = workspace_file("crates/stream/src/tail.rs");
+    assert!(lint_source("crates/stream/src/tail.rs", &clean).is_empty());
+    let mut mutated = clean.clone();
+    mutated.push_str("fn seeded_bg() { std::thread::spawn(|| {}); }\n");
+    let findings = lint_source("crates/stream/src/tail.rs", &mutated);
+    assert_eq!(findings.len(), 1, "exactly one finding: {findings:#?}");
+    assert_eq!(findings[0].rule, "thread-spawn");
+    assert_eq!(findings[0].line, clean.lines().count() as u32 + 1);
+}
+
+#[test]
+fn seeded_wall_clock_type_in_checkpoint_state() {
+    let clean = workspace_file("crates/stream/src/state.rs");
+    assert!(lint_source("crates/stream/src/state.rs", &clean).is_empty());
+    let mut mutated = clean.clone();
+    mutated.push_str("struct SeededClock { at: std::time::Instant }\n");
+    let findings = lint_source("crates/stream/src/state.rs", &mutated);
+    assert_eq!(findings.len(), 1, "exactly one finding: {findings:#?}");
+    assert_eq!(findings[0].rule, "checkpoint-state-clock");
+    assert_eq!(findings[0].line, clean.lines().count() as u32 + 1);
+}
+
+#[test]
+fn dropping_a_rule_surfaces_template_drift_and_coverage() {
+    // Remove the MaintenanceNotice rule: its templates stop classifying and
+    // the category becomes unreachable.
+    let curated = PatternTable::curated();
+    let rules: Vec<Pattern> = curated
+        .rules()
+        .iter()
+        .filter(|p| p.category() != MaintenanceNotice)
+        .cloned()
+        .collect();
+    let table = PatternTable::from_rules(rules).with_waivers(curated.waivers().to_vec());
+    let findings = verify_table(&table, &TableCheckOptions::default());
+    assert!(
+        findings.iter().any(|f| f.rule == "template-drift"),
+        "templates for the dropped category must drift: {findings:#?}"
+    );
+    assert!(findings.iter().any(|f| f.rule == "unreachable-category"));
+    assert!(findings
+        .iter()
+        .all(|f| f.rule == "template-drift" || f.rule == "unreachable-category"));
+}
+
+#[test]
+fn stale_waiver_is_flagged() {
+    let table = PatternTable::from_rules(vec![
+        Pattern::new(&["Kernel panic"], KernelPanic),
+        Pattern::new(&["warm swap"], MaintenanceNotice),
+    ])
+    .with_waivers(vec![OverlapWaiver {
+        earlier: "Kernel panic",
+        later: "warm swap",
+        reason: "these rules never overlapped",
+    }]);
+    let findings = verify_table(&table, &structural_only());
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].rule, "stale-waiver");
+}

@@ -1,0 +1,118 @@
+//! Property tests for the ambiguity machinery: every witness the verifier
+//! constructs must (1) match both rules it cites — the pair really is
+//! jointly satisfiable — and (2) when the verifier claims the earlier rule
+//! wins, replaying the witness through `classify` must return the earlier
+//! rule's category. Runs over the curated table and over randomly composed
+//! tables drawn from a pool of realistic fragments.
+
+use logdiver::filter::{Pattern, PatternTable};
+use logdiver_lint::rules::{build_witness, table_overlaps};
+use logdiver_types::ErrorCategory;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fragment conjunctions to compose random tables from — a mix of curated
+/// phrasings, overlapping variants, and disjoint noise.
+const POOL: &[&[&str]] = &[
+    &["Machine Check Exception"],
+    &["Machine Check", "unrecoverable"],
+    &["DRAM ECC error"],
+    &["EDAC", "UE row"],
+    &["EDAC", "CE row"],
+    &["link failed"],
+    &["LCB lane shutdown"],
+    &["heartbeat fault"],
+    &["declaring node dead"],
+    &["node unresponsive"],
+    &["node dead"],
+    &["dead node"],
+    &["VRM fault"],
+    &["Kernel panic"],
+    &["failed over", "I/O will block"],
+    &["placement failed"],
+    &["Double Bit ECC Error"],
+    &["warm swap"],
+    &["traffic quiesced"],
+    &["client evicted"],
+];
+
+fn random_table(seed: u64) -> PatternTable {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let len = rng.random_range(2..=8usize);
+    let rules = (0..len)
+        .map(|_| {
+            let frags = POOL[rng.random_range(0..POOL.len())];
+            let cat = ErrorCategory::ALL[rng.random_range(0..ErrorCategory::ALL.len())];
+            Pattern::new(frags, cat)
+        })
+        .collect();
+    PatternTable::from_rules(rules)
+}
+
+fn assert_overlap_invariants(table: &PatternTable) {
+    for o in table_overlaps(table) {
+        let earlier = &table.rules()[o.earlier];
+        let later = &table.rules()[o.later];
+        // (1) The witness demonstrates joint satisfiability of the pair.
+        assert!(
+            earlier.matches(&o.witness),
+            "witness misses earlier rule: {o:#?}"
+        );
+        assert!(
+            later.matches(&o.witness),
+            "witness misses later rule: {o:#?}"
+        );
+        // First-match-wins can only be won by the earlier side or an even
+        // earlier rule — never the later side, never nothing.
+        let (winner, category) = o.winner.expect("a matching table cannot classify to None");
+        assert!(winner <= o.earlier, "winner after earlier rule: {o:#?}");
+        // (2) When the verifier reports the earlier rule as winner, the
+        // public classify() agrees, category included.
+        if winner == o.earlier {
+            assert_eq!(table.classify(&o.witness), Some(earlier.category()));
+            assert_eq!(category, earlier.category());
+        }
+    }
+}
+
+#[test]
+fn curated_witnesses_match_and_resolve_to_earlier_rule() {
+    let table = PatternTable::curated();
+    assert_overlap_invariants(&table);
+    // On the curated table specifically, *every* overlap resolves to the
+    // earlier member of the pair (no tie-breaker absorption).
+    for o in table_overlaps(&table) {
+        assert_eq!(o.winner.map(|(w, _)| w), Some(o.earlier));
+    }
+}
+
+#[test]
+fn witness_skips_contained_fragments() {
+    let a = Pattern::new(&["EDAC", "UE row"], ErrorCategory::MemoryUncorrectable);
+    let b = Pattern::new(&["EDAC", "CE row"], ErrorCategory::MemoryCorrectable);
+    let w = build_witness(&a, &b);
+    assert_eq!(w, "EDAC UE row CE row", "duplicate fragment joined once");
+    assert!(a.matches(&w) && b.matches(&w));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Overlap invariants hold for arbitrary tables composed from the pool.
+    #[test]
+    fn random_table_witnesses_hold(seed in 0u64..10_000) {
+        assert_overlap_invariants(&random_table(seed));
+    }
+
+    /// A witness for any two pool rules matches both, regardless of table
+    /// membership — joint satisfiability is a property of the pair alone.
+    #[test]
+    fn any_pair_witness_matches_both(a in 0usize..POOL.len(), b in 0usize..POOL.len()) {
+        let pa = Pattern::new(POOL[a], ErrorCategory::KernelPanic);
+        let pb = Pattern::new(POOL[b], ErrorCategory::NodeHang);
+        let w = build_witness(&pa, &pb);
+        prop_assert!(pa.matches(&w));
+        prop_assert!(pb.matches(&w));
+    }
+}

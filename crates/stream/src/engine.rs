@@ -202,6 +202,7 @@ impl StreamEngine {
                 let (in_tx, in_rx) = bounded::<(u64, String)>(capacity);
                 let tx = out_tx.clone();
                 let table = Arc::clone(&table);
+                // lint: allow(thread-spawn) the parse-worker pool IS the engine's concurrency; merges are seq-stamped, so output stays deterministic (DESIGN §10)
                 workers.push(std::thread::spawn(move || {
                     worker(source, &table, &in_rx, &tx)
                 }));
@@ -217,6 +218,7 @@ impl StreamEngine {
         drop(out_tx);
 
         let coord_core = Arc::clone(&core);
+        // lint: allow(thread-spawn) single coordinator thread applying seq-ordered records; determinism argument in DESIGN §10
         let coordinator = std::thread::spawn(move || coordinate(&out_rx, &coord_core));
         StreamEngine {
             inputs,
@@ -386,6 +388,7 @@ impl StreamEngine {
             let _ = handle.join();
         }
         let core = Arc::try_unwrap(self.core)
+            // lint: allow(no-panic) every worker and the coordinator were joined above, so this is the last Arc by construction
             .expect("all engine threads joined")
             .into_inner();
         core.finalize()

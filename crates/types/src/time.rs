@@ -6,6 +6,12 @@
 //! civil-date formatting/parsing (`YYYY-MM-DD HH:MM:SS`) without pulling in
 //! an external time crate — the proleptic-Gregorian conversions below are the
 //! classic *days-from-civil* / *civil-from-days* algorithms.
+//!
+//! **Logical clock contract:** [`Timestamp`] values only ever come from the
+//! data (parsed log lines) or from arithmetic on such values — never from
+//! the host clock. This module is inside the `checkpoint-state-clock`
+//! guard of `logdiver lint`: a `SystemTime`/`Instant` appearing here (or in
+//! any checkpointable state) breaks resume determinism and fails CI.
 
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub, SubAssign};
