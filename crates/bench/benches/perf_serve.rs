@@ -1,0 +1,225 @@
+//! P3 — multi-tenant serve-core throughput: a load generator driving
+//! 10 → 500 concurrent tenants through `ServeCore`'s protocol path with
+//! bursty arrivals and a mid-run daemon crash, recording lines/sec, p99
+//! push latency, crash-recovery time (resume every tenant from its
+//! checkpoint), and the saturation knee of the tenant sweep.
+//!
+//! Writes `BENCH_serve.json` for tracking (the CI `serve-smoke` job
+//! uploads it as an artifact).
+
+use std::time::Instant;
+
+use bw_bench::banner;
+use bw_sim::{MemoryOutput, SimConfig, Simulation};
+use logdiver_serve::{BudgetPolicy, ServeConfig, ServeCore};
+use logdiver_stream::{Source, StreamConfig};
+use logdiver_types::SimDuration;
+use serde::Serialize;
+
+/// Roughly how many pushes each sweep point spends, split across its
+/// tenants — keeps every point comparable in total work.
+const PUSH_BUDGET: usize = 240_000;
+
+/// Burst sizes cycled per delivery round: clients arrive in clumps, not
+/// a smooth drip.
+const BURSTS: [usize; 4] = [1, 8, 64, 256];
+
+#[derive(Serialize)]
+struct SweepPoint {
+    tenants: usize,
+    pushes: usize,
+    lines_per_sec: f64,
+    p99_push_us: f64,
+    recovery_secs: f64,
+    resumed_tenants: usize,
+}
+
+#[derive(Serialize)]
+struct ServeBench {
+    bench: String,
+    push_budget: usize,
+    bursts: Vec<usize>,
+    sweep: Vec<SweepPoint>,
+    peak_lines_per_sec: f64,
+    /// First tenant count from which throughput *stays* below 80% of the
+    /// peak for the rest of the sweep (null when it never saturates) —
+    /// "stays" so a single noisy dip is not mistaken for the knee.
+    saturation_knee_tenants: Option<usize>,
+}
+
+/// One shared per-tenant line set: protocol command *suffixes*
+/// (`<source> <index> <line>`), round-robin across sources so every
+/// tenant exercises all five engines.
+fn command_suffixes() -> Vec<String> {
+    let mut config = SimConfig::scaled(64, 1)
+        .with_seed(1201)
+        .without_calibration();
+    config.noise_lines_per_hour = 600.0;
+    let mut raw = MemoryOutput::new();
+    Simulation::new(config).expect("valid config").run(&mut raw);
+    let sources: [(Source, &Vec<String>); 5] = [
+        (Source::Syslog, &raw.syslog),
+        (Source::HwErr, &raw.hwerr),
+        (Source::Alps, &raw.alps),
+        (Source::Torque, &raw.torque),
+        (Source::Netwatch, &raw.netwatch),
+    ];
+    let mut suffixes = Vec::new();
+    let mut offsets = [0usize; 5];
+    loop {
+        let mut moved = false;
+        for (i, (source, lines)) in sources.iter().enumerate() {
+            if let Some(line) = lines.get(offsets[i]) {
+                suffixes.push(format!("{} {} {line}", source.name(), offsets[i]));
+                offsets[i] += 1;
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    suffixes
+}
+
+fn serve_config(dir: &std::path::Path) -> ServeConfig {
+    ServeConfig {
+        tenants_dir: Some(dir.to_path_buf()),
+        budget: BudgetPolicy {
+            global_bytes: usize::MAX / 2,
+            quota_bytes: usize::MAX / 4,
+        },
+        shards: 4,
+        checkpoint_every: 0,
+        stream: StreamConfig::default().with_lateness(SimDuration::from_secs(3_600)),
+    }
+}
+
+/// Pushes `commands[lo..hi]` for every tenant in bursty rounds, timing
+/// each protocol call. Returns (elapsed secs, per-push latencies in ns).
+fn drive(core: &mut ServeCore, commands: &[Vec<String>], lo: usize, hi: usize) -> (f64, Vec<u64>) {
+    let mut latencies = Vec::with_capacity(commands.len() * (hi - lo));
+    let mut errors = 0usize;
+    let start = Instant::now();
+    let mut cursor = lo;
+    let mut burst_idx = 0;
+    while cursor < hi {
+        let burst = BURSTS[burst_idx % BURSTS.len()];
+        burst_idx += 1;
+        let end = (cursor + burst).min(hi);
+        for tenant_cmds in commands {
+            for command in &tenant_cmds[cursor..end] {
+                let t0 = Instant::now();
+                let resp = core.handle_line(command);
+                latencies.push(t0.elapsed().as_nanos() as u64);
+                if !resp.starts_with("OK") {
+                    errors += 1;
+                }
+            }
+        }
+        cursor = end;
+    }
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(errors, 0, "load generator saw rejected pushes");
+    (secs, latencies)
+}
+
+fn p99_us(latencies: &mut [u64]) -> f64 {
+    if latencies.is_empty() {
+        return 0.0;
+    }
+    latencies.sort_unstable();
+    let idx = (latencies.len() as f64 * 0.99) as usize;
+    latencies[idx.min(latencies.len() - 1)] as f64 / 1_000.0
+}
+
+fn main() {
+    banner(
+        "P3",
+        "multi-tenant serve-core throughput (10 -> 500 tenants)",
+    );
+    let suffixes = command_suffixes();
+    println!(
+        "corpus           : {} lines per tenant (max)",
+        suffixes.len()
+    );
+
+    let dir = std::env::temp_dir().join("logdiver-perf-serve");
+    let mut sweep = Vec::new();
+    for tenants in [10usize, 50, 100, 250, 500] {
+        let per_tenant = (PUSH_BUDGET / tenants).clamp(64, suffixes.len());
+        let commands: Vec<Vec<String>> = (0..tenants)
+            .map(|t| {
+                suffixes[..per_tenant]
+                    .iter()
+                    .map(|s| format!("PUSH t{t:03} {s}"))
+                    .collect()
+            })
+            .collect();
+        let pushes = tenants * per_tenant;
+
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut core = ServeCore::new(serve_config(&dir)).expect("serve core");
+
+        // First half, then a hard crash: checkpoint, drop the core on the
+        // floor, and time how long a cold start takes to resume the fleet.
+        let half = per_tenant / 2;
+        let (secs_a, mut lat_a) = drive(&mut core, &commands, 0, half);
+        core.checkpoint_all().expect("checkpoint");
+        drop(core);
+        let t0 = Instant::now();
+        let mut core = ServeCore::new(serve_config(&dir)).expect("resume");
+        let recovery = t0.elapsed().as_secs_f64();
+        let resumed = core.tenant_names().len();
+        assert_eq!(resumed, tenants, "every tenant must resume");
+
+        // Second half against the resumed fleet, then drain the queues.
+        let (secs_b, lat_b) = drive(&mut core, &commands, half, per_tenant);
+        let t0 = Instant::now();
+        core.pump();
+        let pump_secs = t0.elapsed().as_secs_f64();
+
+        lat_a.extend(lat_b);
+        let secs = secs_a + secs_b + pump_secs;
+        let rate = pushes as f64 / secs;
+        let p99 = p99_us(&mut lat_a);
+        println!(
+            "{tenants:>4} tenants     : {rate:>10.0} lines/s  p99 {p99:>7.1} us  \
+             recovery {:>6.1} ms ({resumed} resumed)",
+            recovery * 1_000.0
+        );
+        sweep.push(SweepPoint {
+            tenants,
+            pushes,
+            lines_per_sec: rate,
+            p99_push_us: p99,
+            recovery_secs: recovery,
+            resumed_tenants: resumed,
+        });
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let peak = sweep.iter().map(|p| p.lines_per_sec).fold(0.0f64, f64::max);
+    let knee = (0..sweep.len())
+        .find(|&i| sweep[i..].iter().all(|p| p.lines_per_sec < 0.8 * peak))
+        .map(|i| sweep[i].tenants);
+    match knee {
+        Some(t) => println!("saturation knee  : {t} tenants (< 80% of peak)"),
+        None => println!("saturation knee  : not reached in this sweep"),
+    }
+
+    let out = ServeBench {
+        bench: "perf_serve".to_string(),
+        push_budget: PUSH_BUDGET,
+        bursts: BURSTS.to_vec(),
+        sweep,
+        peak_lines_per_sec: peak,
+        saturation_knee_tenants: knee,
+    };
+    let text = serde_json::to_string_pretty(&out).expect("serializable");
+    let path = "BENCH_serve.json";
+    match std::fs::write(path, text) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+}

@@ -13,6 +13,8 @@
 //! logdiver reproduce [--divisor N] [--days N] [--seed N] [--boost-capability]
 //! logdiver swf       --out FILE [--divisor N] [--days N] [--seed N]
 //! logdiver lint      [--json] [--deny warnings] [--root DIR] [--rules]
+//! logdiver serve     [--listen ADDR] [--tenants-dir DIR]
+//!                    [--checkpoint-every N] [--mem-budget BYTES] [--shards N]
 //! ```
 //!
 //! `simulate` writes the five raw log files plus `ground_truth.jsonl`;
@@ -32,7 +34,11 @@
 //! figure (the benches call the same path per experiment);
 //! `lint` statically verifies the classification rule set and the
 //! workspace's invariants (`logdiver-lint`) — CI runs it with
-//! `--deny warnings`.
+//! `--deny warnings`;
+//! `serve` runs the multi-tenant streaming ingestion daemon
+//! (`logdiver-serve`): fleets of clusters push their raw logs over a TCP
+//! line protocol, each tenant gets its own engine and checkpoints, and a
+//! killed daemon resumes every tenant (see DESIGN.md §15).
 
 mod campaign;
 
@@ -44,7 +50,7 @@ use logdiver::{report, LogCollection, LogDiver};
 use rand::SeedableRng;
 
 fn usage() -> &'static str {
-    "usage:\n  logdiver simulate  --out DIR [--divisor N] [--days N] [--seed N]\n  logdiver analyze   --logs DIR [--csv DIR] [--threads N] [--timings]\n  logdiver validate  --logs DIR [--json] [--min-precision X] [--min-recall X]\n  logdiver campaign  --out DIR [--divisor N] [--days N] [--seed N] [--seeds N]\n                     [--severities LIST] [--gate-f1 X]\n  logdiver stream    --logs DIR [--chunk N] [--follow] [--shards N]\n                     [--lateness SECS] [--checkpoint FILE] [--resume FILE]\n                     [--checkpoint-every N] [--checkpoint-secs N]\n                     [--quarantine-out FILE] [--quarantine-keep N]\n  logdiver reproduce [--divisor N] [--days N] [--seed N] [--boost-capability]\n  logdiver swf       --out FILE [--divisor N] [--days N] [--seed N]\n  logdiver lint      [--json] [--deny warnings] [--root DIR] [--rules]\n\noptions:\n  --divisor N   machine scale divisor (1 = full Blue Waters; default 16)\n  --days N      production days to simulate (default 30; the paper is 518)\n  --seed N      RNG seed (default 1)\n  --out DIR     output directory for raw logs\n  --logs DIR    directory holding messages.log / hwerr.log / apsys.log /\n                torque.log / netwatch.log\n  --csv DIR     also write scale-curve CSVs there\n  --threads N   worker threads for the parallel analyze stages (default: all\n                cores; output is identical for every N)\n  --timings     print a per-stage wall-clock breakdown to stderr\n  --json        print validation results as JSON instead of text\n  --min-precision X  exit nonzero when attribution precision < X\n  --min-recall X     exit nonzero when attribution recall < X\n  --seeds N     campaign: number of consecutive seeds to sweep (default 2)\n  --severities LIST  campaign: comma-separated severity grid in [0,1]\n                (default 0,0.25,0.5,0.75,1)\n  --gate-f1 X   campaign: exit nonzero when the clean point's F1 < X\n  --chunk N     lines pushed per source per round when streaming (default 1024)\n  --follow      keep tailing the log files for appended lines; SIGINT writes\n                a final checkpoint and report, then exits cleanly\n  --shards N    parallel syslog parse workers (default 2)\n  --lateness SECS  allowed out-of-order lateness within a source (default 60)\n  --checkpoint FILE     write crash-safe checkpoints to FILE (atomic\n                temp+rename); resume later with --resume FILE\n  --resume FILE         restore engine state and file offsets from a\n                checkpoint; also the checkpoint target unless --checkpoint\n                says otherwise\n  --checkpoint-every N  checkpoint after N accepted lines (default 50000)\n  --checkpoint-secs N   also checkpoint every N seconds while lines flow\n                (default 5)\n  --quarantine-out FILE append every quarantined (corrupt) raw line to FILE\n  --quarantine-keep N   recent corrupt lines kept in memory per source\n                (default 16)\n  --boost-capability  multiply capability-job frequency ×8 (dense sampling\n                of the full-scale buckets on small machines)\n  --deny warnings  lint: fail on warnings too, not just errors (CI mode)\n  --root DIR    lint: workspace root (default: walk up from the cwd)\n  --rules       lint: print the rule catalog and exit"
+    "usage:\n  logdiver simulate  --out DIR [--divisor N] [--days N] [--seed N]\n  logdiver analyze   --logs DIR [--csv DIR] [--threads N] [--timings]\n  logdiver validate  --logs DIR [--json] [--min-precision X] [--min-recall X]\n  logdiver campaign  --out DIR [--divisor N] [--days N] [--seed N] [--seeds N]\n                     [--severities LIST] [--gate-f1 X]\n  logdiver stream    --logs DIR [--chunk N] [--follow] [--shards N]\n                     [--lateness SECS] [--checkpoint FILE] [--resume FILE]\n                     [--checkpoint-every N] [--checkpoint-secs N]\n                     [--quarantine-out FILE] [--quarantine-keep N]\n  logdiver reproduce [--divisor N] [--days N] [--seed N] [--boost-capability]\n  logdiver swf       --out FILE [--divisor N] [--days N] [--seed N]\n  logdiver lint      [--json] [--deny warnings] [--root DIR] [--rules]\n  logdiver serve     [--listen ADDR] [--tenants-dir DIR] [--checkpoint-every N]\n                     [--mem-budget BYTES] [--shards N]\n\noptions:\n  --divisor N   machine scale divisor (1 = full Blue Waters; default 16)\n  --days N      production days to simulate (default 30; the paper is 518)\n  --seed N      RNG seed (default 1)\n  --out DIR     output directory for raw logs\n  --logs DIR    directory holding messages.log / hwerr.log / apsys.log /\n                torque.log / netwatch.log\n  --csv DIR     also write scale-curve CSVs there\n  --threads N   worker threads for the parallel analyze stages (default: all\n                cores; output is identical for every N)\n  --timings     print a per-stage wall-clock breakdown to stderr\n  --json        print validation results as JSON instead of text\n  --min-precision X  exit nonzero when attribution precision < X\n  --min-recall X     exit nonzero when attribution recall < X\n  --seeds N     campaign: number of consecutive seeds to sweep (default 2)\n  --severities LIST  campaign: comma-separated severity grid in [0,1]\n                (default 0,0.25,0.5,0.75,1)\n  --gate-f1 X   campaign: exit nonzero when the clean point's F1 < X\n  --chunk N     lines pushed per source per round when streaming (default 1024)\n  --follow      keep tailing the log files for appended lines; SIGINT writes\n                a final checkpoint and report, then exits cleanly\n  --shards N    parallel syslog parse workers (default 2)\n  --lateness SECS  allowed out-of-order lateness within a source (default 60)\n  --checkpoint FILE     write crash-safe checkpoints to FILE (atomic\n                temp+rename); resume later with --resume FILE\n  --resume FILE         restore engine state and file offsets from a\n                checkpoint; also the checkpoint target unless --checkpoint\n                says otherwise\n  --checkpoint-every N  checkpoint after N accepted lines (default 50000)\n  --checkpoint-secs N   also checkpoint every N seconds while lines flow\n                (default 5)\n  --quarantine-out FILE append every quarantined (corrupt) raw line to FILE\n  --quarantine-keep N   recent corrupt lines kept in memory per source\n                (default 16)\n  --boost-capability  multiply capability-job frequency ×8 (dense sampling\n                of the full-scale buckets on small machines)\n  --deny warnings  lint: fail on warnings too, not just errors (CI mode)\n  --root DIR    lint: workspace root (default: walk up from the cwd)\n  --rules       lint: print the rule catalog and exit\n  --listen ADDR serve: bind address (default 127.0.0.1:7044; port 0 picks an\n                ephemeral port, printed on startup)\n  --tenants-dir DIR     serve: checkpoint directory, one <tenant>.ckpt per\n                tenant (default ./tenants); a restarted daemon resumes every\n                tenant found there\n  --mem-budget BYTES    serve: global open-state budget; per-tenant quota is\n                an eighth of it (default 268435456)\n\nserve reuses --checkpoint-every (auto-checkpoint every N applied records,\ndefault 10000) and --shards (pump worker threads, default: CPU count)."
 }
 
 /// What one subcommand accepts: value-taking options and bare switches.
@@ -114,6 +120,17 @@ const COMMANDS: &[CommandSpec] = &[
         name: "lint",
         flags: &["deny", "root"],
         switches: &["json", "rules"],
+    },
+    CommandSpec {
+        name: "serve",
+        flags: &[
+            "listen",
+            "tenants-dir",
+            "checkpoint-every",
+            "mem-budget",
+            "shards",
+        ],
+        switches: &[],
     },
 ];
 
@@ -755,6 +772,25 @@ fn cmd_swf(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    use logdiver_serve::daemon;
+    let mut config = daemon::DaemonConfig::default();
+    if let Some(listen) = args.flags.get("listen") {
+        config.listen = listen.clone();
+    }
+    if let Some(dir) = args.flags.get("tenants-dir") {
+        config.tenants_dir = std::path::PathBuf::from(dir);
+    }
+    config.checkpoint_every = get_u64(args, "checkpoint-every", config.checkpoint_every)?;
+    config.mem_budget = get_u64(args, "mem-budget", config.mem_budget as u64)? as usize;
+    let shards = get_u64(args, "shards", config.shards as u64)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".to_string());
+    }
+    config.shards = shards as usize;
+    daemon::run(config).map_err(|e| format!("serve: {e}"))
+}
+
 fn cmd_lint(args: &Args) -> Result<(), String> {
     use logdiver_lint::{driver, report as lint_report};
     if args.switches.iter().any(|s| s == "rules") {
@@ -818,6 +854,7 @@ fn main() -> ExitCode {
         "reproduce" => cmd_reproduce(&args),
         "swf" => cmd_swf(&args),
         "lint" => cmd_lint(&args),
+        "serve" => cmd_serve(&args),
         _ => unreachable!("dispatch covers every CommandSpec"),
     };
     match result {
@@ -936,5 +973,49 @@ mod tests {
         // --csv belongs to analyze only; validate must refuse it.
         let err = parse_args(spec("validate"), &argv(&["--csv", "d"])).unwrap_err();
         assert!(err.contains("unknown option --csv"), "{err}");
+    }
+
+    #[test]
+    fn serve_flags_parse() {
+        let args = parse_args(
+            spec("serve"),
+            &argv(&[
+                "--listen",
+                "127.0.0.1:0",
+                "--tenants-dir=/tmp/tenants",
+                "--checkpoint-every",
+                "500",
+                "--mem-budget=1048576",
+                "--shards",
+                "4",
+            ]),
+        )
+        .unwrap();
+        assert_eq!(args.flags.get("listen").unwrap(), "127.0.0.1:0");
+        assert_eq!(args.flags.get("tenants-dir").unwrap(), "/tmp/tenants");
+        assert_eq!(get_u64(&args, "checkpoint-every", 0).unwrap(), 500);
+        assert_eq!(get_u64(&args, "mem-budget", 0).unwrap(), 1 << 20);
+        assert_eq!(get_u64(&args, "shards", 0).unwrap(), 4);
+    }
+
+    #[test]
+    fn serve_rejects_unknown_and_foreign_flags() {
+        let err = parse_args(spec("serve"), &argv(&["--port", "7044"])).unwrap_err();
+        assert!(err.contains("unknown option --port"), "{err}");
+        // --logs belongs to analyze/stream; serve must refuse it.
+        let err = parse_args(spec("serve"), &argv(&["--logs", "d"])).unwrap_err();
+        assert!(err.contains("unknown option --logs"), "{err}");
+        let err = parse_args(spec("serve"), &argv(&["--listen"])).unwrap_err();
+        assert!(err.contains("requires a value"), "{err}");
+        let err =
+            parse_args(spec("serve"), &argv(&["--shards", "2", "--shards", "4"])).unwrap_err();
+        assert!(err.contains("more than once"), "{err}");
+    }
+
+    #[test]
+    fn serve_zero_shards_is_rejected_at_dispatch() {
+        let args = parse_args(spec("serve"), &argv(&["--shards", "0"])).unwrap();
+        let err = cmd_serve(&args).unwrap_err();
+        assert!(err.contains("--shards must be at least 1"), "{err}");
     }
 }

@@ -1,0 +1,318 @@
+//! Deterministic *connection* chaos for a line-protocol push server.
+//!
+//! [`io`](crate::io) breaks log files; this module breaks the **network
+//! sessions** that carry them to `logdiver-serve` — the failure modes a
+//! fleet of pushing clients actually produces:
+//!
+//! - **mid-line disconnects**: a connection dies with half a command on
+//!   the wire; the server must discard the fragment and the client
+//!   replays the whole command on its next connection;
+//! - **duplicate pushes**: after a reconnect the client replays from its
+//!   last acknowledged cursor, re-sending commands the server already
+//!   accepted (syslog relays do exactly this);
+//! - **interleaved tenant streams**: one connection can carry several
+//!   tenants' pushes, and several connections carry one tenant's, in any
+//!   shuffle;
+//! - **half-open sockets**: the peer vanishes without a FIN — the
+//!   connection is never cleanly closed, its buffered fragment never
+//!   completes.
+//!
+//! The generator is pure and caller-seeded: the same streams + config +
+//! seed produce byte-identical transcripts, so a failing chaos case
+//! replays exactly. The delivery invariant — every command is eventually
+//! sent *to completion* at least once, in per-stream order, with any
+//! number of duplicates and fragments around it — is what an idempotent
+//! (indexed) push protocol needs to reach exactly-once intake; the serve
+//! equivalence proptests drive [`chaos_transcripts`] straight into the
+//! server core and require the final analyses to match batch.
+
+use rand::Rng;
+
+/// One client's ordered command stream (e.g. all of one tenant's `PUSH`
+/// lines). Commands carry no trailing newline; the generator adds
+/// framing.
+#[derive(Debug, Clone)]
+pub struct ChaosStream {
+    /// Label for diagnostics (tenant name, tenant/source pair, …).
+    pub key: String,
+    /// The commands to deliver, in order.
+    pub commands: Vec<String>,
+}
+
+/// One generated connection: the bytes the server's reader sees, and
+/// whether the peer closed cleanly. A half-open connection (`closed ==
+/// false`) is never `close_conn`ed by the driver — its trailing fragment
+/// sits in the server's buffer forever, which must not block other
+/// connections or leak into their streams.
+#[derive(Debug, Clone)]
+pub struct Connection {
+    /// Raw bytes, possibly ending mid-command.
+    pub bytes: Vec<u8>,
+    /// `false` models a peer that vanished without closing.
+    pub closed: bool,
+}
+
+/// Probabilities and shape knobs for [`chaos_transcripts`].
+#[derive(Debug, Clone, Copy)]
+pub struct ConnChaosConfig {
+    /// Chance that a command is torn mid-line, killing the connection.
+    pub disconnect_prob: f64,
+    /// Chance that a delivered command is immediately delivered again.
+    pub duplicate_prob: f64,
+    /// Chance that, before a command, an already-acknowledged earlier
+    /// command from the same stream is replayed (stale-cursor retry).
+    pub replay_prob: f64,
+    /// Chance that a connection ends half-open instead of closing.
+    pub half_open_prob: f64,
+    /// Most commands a single connection carries before reconnecting.
+    pub max_burst: usize,
+    /// Most streams interleaved on one connection.
+    pub max_interleave: usize,
+}
+
+impl Default for ConnChaosConfig {
+    fn default() -> Self {
+        ConnChaosConfig {
+            disconnect_prob: 0.05,
+            duplicate_prob: 0.05,
+            replay_prob: 0.05,
+            half_open_prob: 0.1,
+            max_burst: 32,
+            max_interleave: 3,
+        }
+    }
+}
+
+impl ConnChaosConfig {
+    /// A calmer profile for large corpora: same failure modes, lower
+    /// rates, bigger bursts (keeps transcript blowup bounded).
+    pub fn mild() -> Self {
+        ConnChaosConfig {
+            disconnect_prob: 0.01,
+            duplicate_prob: 0.01,
+            replay_prob: 0.01,
+            half_open_prob: 0.05,
+            max_burst: 256,
+            max_interleave: 3,
+        }
+    }
+}
+
+/// Turns per-stream command lists into a chaotic but *complete* sequence
+/// of connection transcripts: every command appears newline-terminated at
+/// least once, streams stay internally ordered (modulo injected replays
+/// of already-delivered commands), and the failure modes in the module
+/// docs are sprinkled per the config. Deterministic for a given `rng`
+/// state.
+pub fn chaos_transcripts<R: Rng>(
+    streams: &[ChaosStream],
+    config: &ConnChaosConfig,
+    rng: &mut R,
+) -> Vec<Connection> {
+    let mut cursors = vec![0usize; streams.len()];
+    let mut connections = Vec::new();
+    loop {
+        let active: Vec<usize> = (0..streams.len())
+            .filter(|&s| cursors[s] < streams[s].commands.len())
+            .collect();
+        if active.is_empty() {
+            break;
+        }
+        // Pick which streams this connection interleaves.
+        let take = rng
+            .random_range(1..=config.max_interleave.max(1))
+            .min(active.len());
+        let mut chosen = active.clone();
+        // Partial shuffle: the first `take` entries become this
+        // connection's streams.
+        for i in 0..take {
+            let j = rng.random_range(i..chosen.len());
+            chosen.swap(i, j);
+        }
+        chosen.truncate(take);
+
+        let mut bytes = Vec::new();
+        let mut torn = false;
+        let burst = rng.random_range(1..=config.max_burst.max(1));
+        'conn: for n in 0..burst {
+            // Round-robin over the chosen streams that still have work.
+            let s = chosen[n % chosen.len()];
+            let cursor = cursors[s];
+            let commands = &streams[s].commands;
+            if cursor >= commands.len() {
+                if chosen
+                    .iter()
+                    .all(|&c| cursors[c] >= streams[c].commands.len())
+                {
+                    break 'conn;
+                }
+                continue;
+            }
+            // Stale-cursor replay of something already acknowledged.
+            if cursor > 0 && rng.random::<f64>() < config.replay_prob {
+                let old = rng.random_range(0..cursor);
+                bytes.extend_from_slice(commands[old].as_bytes());
+                bytes.push(b'\n');
+            }
+            let command = &commands[cursor];
+            if rng.random::<f64>() < config.disconnect_prob {
+                // Torn mid-line: a prefix with no newline, then the
+                // connection dies. The cursor does NOT advance — the
+                // client replays this command on its next connection.
+                let cut = rng.random_range(0..command.len().max(1));
+                bytes.extend_from_slice(&command.as_bytes()[..cut]);
+                torn = true;
+                break 'conn;
+            }
+            bytes.extend_from_slice(command.as_bytes());
+            bytes.push(b'\n');
+            cursors[s] = cursor + 1;
+            if rng.random::<f64>() < config.duplicate_prob {
+                bytes.extend_from_slice(command.as_bytes());
+                bytes.push(b'\n');
+            }
+        }
+        // A torn connection is by definition not cleanly closed; an
+        // intact one may still go half-open.
+        let closed = !torn && rng.random::<f64>() >= config.half_open_prob;
+        connections.push(Connection { bytes, closed });
+    }
+    connections
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn streams() -> Vec<ChaosStream> {
+        (0..3)
+            .map(|t| ChaosStream {
+                key: format!("tenant{t}"),
+                commands: (0..40)
+                    .map(|i| format!("PUSH tenant{t} syslog {i} line-{i}"))
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Reassembles what a server would apply: complete lines only,
+    /// fragments discarded at connection end.
+    fn delivered_complete(connections: &[Connection]) -> Vec<String> {
+        let mut lines = Vec::new();
+        for conn in connections {
+            let mut buf: &[u8] = &conn.bytes;
+            while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+                lines.push(String::from_utf8_lossy(&buf[..pos]).into_owned());
+                buf = &buf[pos + 1..];
+            }
+            // Remainder: a torn fragment, dropped with the connection.
+        }
+        lines
+    }
+
+    #[test]
+    fn every_command_is_delivered_in_order_per_stream() {
+        let streams = streams();
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let conns = chaos_transcripts(&streams, &ConnChaosConfig::default(), &mut rng);
+            let lines = delivered_complete(&conns);
+            for stream in &streams {
+                // First-delivery order must match command order.
+                let mut expect = stream.commands.iter();
+                let mut seen = std::collections::HashSet::new();
+                for line in lines.iter().filter(|l| stream.commands.contains(l)) {
+                    if seen.contains(line.as_str()) {
+                        continue; // duplicate or replay — allowed anywhere after first
+                    }
+                    assert_eq!(
+                        Some(line.as_str()),
+                        expect.next().map(String::as_str),
+                        "seed {seed}: stream {} out of order",
+                        stream.key
+                    );
+                    seen.insert(line.as_str());
+                }
+                assert_eq!(
+                    seen.len(),
+                    stream.commands.len(),
+                    "seed {seed}: stream {} incomplete",
+                    stream.key
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transcripts_are_deterministic_under_a_seed() {
+        let streams = streams();
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let ca = chaos_transcripts(&streams, &ConnChaosConfig::default(), &mut a);
+        let cb = chaos_transcripts(&streams, &ConnChaosConfig::default(), &mut b);
+        assert_eq!(ca.len(), cb.len());
+        for (x, y) in ca.iter().zip(&cb) {
+            assert_eq!(x.bytes, y.bytes);
+            assert_eq!(x.closed, y.closed);
+        }
+    }
+
+    #[test]
+    fn chaos_actually_happens() {
+        let streams = streams();
+        let mut rng = StdRng::seed_from_u64(3);
+        let config = ConnChaosConfig {
+            disconnect_prob: 0.2,
+            duplicate_prob: 0.2,
+            replay_prob: 0.2,
+            half_open_prob: 0.3,
+            max_burst: 8,
+            max_interleave: 3,
+        };
+        let conns = chaos_transcripts(&streams, &config, &mut rng);
+        assert!(conns.iter().any(|c| !c.closed), "some half-open/torn");
+        assert!(
+            conns
+                .iter()
+                .any(|c| !c.bytes.is_empty() && c.bytes.last() != Some(&b'\n')),
+            "some torn fragment"
+        );
+        let lines = delivered_complete(&conns);
+        let unique: std::collections::HashSet<&String> = lines.iter().collect();
+        assert!(lines.len() > unique.len(), "some duplicates were injected");
+        assert!(conns.len() > 10, "many reconnects");
+    }
+
+    #[test]
+    fn interleaving_mixes_streams_within_one_connection() {
+        let streams = streams();
+        let mut rng = StdRng::seed_from_u64(11);
+        let config = ConnChaosConfig {
+            disconnect_prob: 0.0,
+            duplicate_prob: 0.0,
+            replay_prob: 0.0,
+            half_open_prob: 0.0,
+            max_burst: 64,
+            max_interleave: 3,
+        };
+        let conns = chaos_transcripts(&streams, &config, &mut rng);
+        let mixed = conns.iter().any(|c| {
+            let text = String::from_utf8_lossy(&c.bytes);
+            let mut tenants: Vec<&str> = text
+                .lines()
+                .filter_map(|l| l.split_whitespace().nth(1))
+                .collect();
+            tenants.dedup();
+            tenants.len() > 1
+        });
+        assert!(mixed, "at least one connection carries several tenants");
+    }
+
+    #[test]
+    fn empty_streams_produce_no_connections() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let conns = chaos_transcripts(&[], &ConnChaosConfig::default(), &mut rng);
+        assert!(conns.is_empty());
+    }
+}

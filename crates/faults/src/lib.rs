@@ -44,6 +44,7 @@
 #![deny(missing_debug_implementations)]
 
 pub mod config;
+pub mod conn;
 pub mod detection;
 pub mod injector;
 pub mod io;
@@ -51,6 +52,7 @@ pub mod kinds;
 pub mod perturb;
 
 pub use config::{BurnIn, FaultConfig};
+pub use conn::{chaos_transcripts, ChaosStream, ConnChaosConfig, Connection};
 pub use detection::{Detectability, DetectionModel};
 pub use injector::FaultInjector;
 pub use kinds::{FaultEvent, FaultKind, GpuFaultKind, NodeCrashCause, WideKillModel};

@@ -7,7 +7,7 @@ use logdiver::filter::PatternTable;
 
 use crate::rules::{verify_table, TableCheckOptions};
 use crate::source::{find_workspace_root, lint_workspace};
-use crate::{report, LintReport, RULES};
+use crate::{report, LintReport, MODULE_ALLOWANCES, RULES};
 
 /// Parsed command-line options.
 pub struct Options {
@@ -69,11 +69,19 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
     Ok(opts)
 }
 
-/// The rule catalog, one line per rule, as `--rules` prints it.
+/// The rule catalog, one line per rule, as `--rules` prints it — followed
+/// by the declared module-level allowances so the policy's waivers are as
+/// visible as the policy itself.
 pub fn rule_catalog() -> String {
     let mut out = String::new();
     for (id, level, desc) in RULES {
         out.push_str(&format!("{level:>7}  {id:<22} {desc}\n"));
+    }
+    if !MODULE_ALLOWANCES.is_empty() {
+        out.push_str("\nmodule allowances (whole-file waivers, declared in the catalog):\n");
+        for (path, rule, reason) in MODULE_ALLOWANCES {
+            out.push_str(&format!("  allow  {rule:<22} {path}\n         {reason}\n"));
+        }
     }
     out
 }

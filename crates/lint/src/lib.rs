@@ -161,6 +161,46 @@ pub fn rule_level(rule: &str) -> Option<Level> {
         .map(|(_, level, _)| *level)
 }
 
+/// Declared module-level rule allowances: `(workspace-relative path, rule
+/// id, reason)`.
+///
+/// Some modules are *architecturally* exempt from a rule — their entire
+/// job is the thing the rule bans elsewhere. Scattering per-line
+/// `// lint: allow` comments through such a file buries the real policy
+/// decision in noise; declaring the allowance here keeps it in one
+/// audited place, with the reason next to it, printed by
+/// `logdiver lint --rules` alongside the rules themselves.
+///
+/// An allowance waives exactly one rule for exactly one file. Everything
+/// else in the file — and every other file in its crate — is still
+/// linted, so e.g. a `thread::spawn` creeping into the serve *core*
+/// (`server.rs`, which must stay deterministic for the equivalence
+/// proptests) is still flagged.
+pub const MODULE_ALLOWANCES: &[(&str, &str, &str)] = &[
+    (
+        "crates/serve/src/daemon.rs",
+        "thread-spawn",
+        "the daemon's accept loop spawns one lockstep handler per connection plus one idle \
+         ticker; all state lives behind one mutex in the deterministic ServeCore, which stays \
+         under the ban",
+    ),
+    (
+        "crates/serve/src/daemon.rs",
+        "wall-clock",
+        "the idle ticker sleeps on a wall-clock cadence to advance watermarks between pushes; \
+         the duration never enters ServeCore, checkpoints, or any analysis result",
+    ),
+];
+
+/// The declared reason when `path` carries a module-level allowance for
+/// `rule`, `None` otherwise.
+pub fn module_allowance(path: &str, rule: &str) -> Option<&'static str> {
+    MODULE_ALLOWANCES
+        .iter()
+        .find(|(p, r, _)| *p == path && *r == rule)
+        .map(|(_, _, reason)| *reason)
+}
+
 /// The combined result of a lint run.
 #[derive(Debug, Clone, Default, Serialize)]
 pub struct LintReport {

@@ -23,6 +23,13 @@
 //! line above. The reason is mandatory and the rule id must exist —
 //! violations of the annotation grammar are themselves findings
 //! (**`bad-allow`**).
+//!
+//! Modules whose whole purpose is the banned operation (e.g. the serve
+//! daemon's socket shell, which exists to spawn connection handlers and
+//! tick a timer) carry declared allowances in
+//! [`crate::MODULE_ALLOWANCES`] instead of per-line comment spam: one
+//! `(path, rule, reason)` entry waives that one rule for that one file,
+//! visible in `logdiver lint --rules` next to the rules it waives.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -55,11 +62,13 @@ const CHECKPOINT_STATE: &[&str] = &[
 ];
 
 /// Is `path` (workspace-relative, `/`-separated) under the panic guard?
+/// The serve crate is included wholesale: a panic in a tenant's ingest
+/// path kills the daemon for every other tenant.
 fn no_panic_scope(path: &str) -> bool {
     if let Some(rest) = path.strip_prefix("crates/core/src/") {
         return GUARDED_CORE.contains(&rest);
     }
-    path.starts_with("crates/stream/src/")
+    path.starts_with("crates/stream/src/") || path.starts_with("crates/serve/src/")
 }
 
 /// Files allowed to read the wall clock / spawn threads freely: the CLI
@@ -141,9 +150,13 @@ pub fn lint_source(path: &str, text: &str) -> Vec<Finding> {
         }
     }
 
-    let guard_panics = no_panic_scope(path);
-    let guard_clock = !clock_exempt(path);
-    let guard_state = CHECKPOINT_STATE.contains(&path);
+    // A declared module-level allowance waives one rule for one file.
+    let waived = |rule: &str| crate::module_allowance(path, rule).is_some();
+    let guard_panics = no_panic_scope(path) && !waived("no-panic");
+    let exempt_clock = clock_exempt(path);
+    let guard_wall_clock = !exempt_clock && !waived("wall-clock");
+    let guard_spawn = !exempt_clock && !waived("thread-spawn");
+    let guard_state = CHECKPOINT_STATE.contains(&path) && !waived("checkpoint-state-clock");
 
     for (idx, line) in src.lines.iter().enumerate() {
         let ln = idx as u32 + 1;
@@ -184,7 +197,7 @@ pub fn lint_source(path: &str, text: &str) -> Vec<Finding> {
             }
         }
 
-        if guard_clock && !src.allowed("wall-clock", ln) {
+        if guard_wall_clock && !src.allowed("wall-clock", ln) {
             for at in lexer::ident_positions(line, "now") {
                 if let Some(q) = path_qualifier(line, at) {
                     if q == "Instant" || q == "SystemTime" {
@@ -202,7 +215,7 @@ pub fn lint_source(path: &str, text: &str) -> Vec<Finding> {
             }
         }
 
-        if guard_clock && !src.allowed("thread-spawn", ln) {
+        if guard_spawn && !src.allowed("thread-spawn", ln) {
             for at in lexer::ident_positions(line, "spawn") {
                 if path_qualifier(line, at) == Some("thread") {
                     finding(
@@ -303,6 +316,8 @@ mod tests {
     fn scopes_are_as_documented() {
         assert!(no_panic_scope("crates/core/src/classify.rs"));
         assert!(no_panic_scope("crates/stream/src/engine.rs"));
+        assert!(no_panic_scope("crates/serve/src/server.rs"));
+        assert!(no_panic_scope("crates/serve/src/daemon.rs"));
         assert!(!no_panic_scope("crates/core/src/report.rs"));
         assert!(!no_panic_scope("crates/stats/src/lib.rs"));
         assert!(clock_exempt("crates/cli/src/main.rs"));
@@ -355,6 +370,56 @@ mod tests {
         // `scope.spawn` (the executor's audited API) is not std::thread.
         let scoped = "fn f() { scope.spawn(|| {}); }\n";
         assert!(lint_source("crates/craylog/src/lib.rs", scoped).is_empty());
+    }
+
+    #[test]
+    fn module_allowances_waive_exactly_their_file_and_rule() {
+        let spawn = "fn f() { std::thread::spawn(|| {}); }\n";
+        let clock = "fn f() { let _t = std::time::Instant::now(); }\n";
+        // The daemon's declared allowances cover spawn and clock there...
+        assert!(lint_source("crates/serve/src/daemon.rs", spawn).is_empty());
+        assert!(lint_source("crates/serve/src/daemon.rs", clock).is_empty());
+        // ...but not in the deterministic serve core next door...
+        assert_eq!(
+            lint_source("crates/serve/src/server.rs", spawn)[0].rule,
+            "thread-spawn"
+        );
+        assert_eq!(
+            lint_source("crates/serve/src/server.rs", clock)[0].rule,
+            "wall-clock"
+        );
+        // ...and not other rules in the daemon itself: serve is under the
+        // panic guard, allowance or no allowance.
+        let bad = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert_eq!(
+            lint_source("crates/serve/src/daemon.rs", bad)[0].rule,
+            "no-panic"
+        );
+        assert_eq!(
+            lint_source("crates/serve/src/tenant.rs", bad)[0].rule,
+            "no-panic"
+        );
+    }
+
+    #[test]
+    fn module_allowances_are_well_formed() {
+        for (path, rule, reason) in crate::MODULE_ALLOWANCES {
+            assert!(
+                crate::rule_level(rule).is_some(),
+                "allowance for {path} names unknown rule {rule:?}"
+            );
+            assert!(
+                !reason.trim().is_empty(),
+                "allowance {path}/{rule} has no reason"
+            );
+            // A dangling path would make the allowance silently inert.
+            let root =
+                find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+            assert!(
+                root.join(path).is_file(),
+                "allowance path {path} does not exist"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! The global memory budget and per-tenant quotas.
+//!
+//! Each [`crate::tenant::Tenant`] is charged for its *open state*: the
+//! bytes queued but not yet applied (exact) plus a conservative estimate
+//! of the engine's reorder buffer, open events/runs, and retained results
+//! ([`logdiver_stream::InlineEngine::open_cost`]). Two limits apply, both
+//! enforced at `PUSH` time with machine-readable rejections:
+//!
+//! * **quota** — no single tenant may hold more than
+//!   [`BudgetPolicy::quota_bytes`]; over it, that tenant's pushes get
+//!   `ERR code=over-quota` until it flushes or its watermarks advance.
+//! * **global budget** — when the *fleet's* total charge exceeds
+//!   [`BudgetPolicy::global_bytes`], pushes are shed (`ERR
+//!   code=over-budget`), but only for tenants holding more than their
+//!   fair share (`global / active tenants`). A small tenant keeps
+//!   streaming while a hog is pressured, so one noisy cluster cannot
+//!   starve the fleet.
+//!
+//! Rejected pushes are *not* accepted: the cursor does not advance, and
+//! the client retries the same index after backoff — exactly-once intake
+//! is preserved under shedding.
+
+use serde::Serialize;
+
+/// Memory-budget limits, in bytes of estimated open state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct BudgetPolicy {
+    /// Total open state allowed across every tenant.
+    pub global_bytes: usize,
+    /// Open state allowed for any single tenant.
+    pub quota_bytes: usize,
+}
+
+impl Default for BudgetPolicy {
+    fn default() -> Self {
+        BudgetPolicy {
+            global_bytes: 256 << 20,
+            quota_bytes: 32 << 20,
+        }
+    }
+}
+
+impl BudgetPolicy {
+    /// A policy sized from a `--mem-budget` value: the per-tenant quota is
+    /// an eighth of the global budget (clamped to at least 64 KiB) so a
+    /// single tenant can burst but not monopolize.
+    pub fn from_global(global_bytes: usize) -> Self {
+        BudgetPolicy {
+            global_bytes,
+            quota_bytes: (global_bytes / 8).max(64 << 10),
+        }
+    }
+
+    /// Each tenant's fair share of the global budget.
+    pub fn fair_share(&self, active_tenants: usize) -> usize {
+        self.global_bytes / active_tenants.max(1)
+    }
+}
+
+/// The verdict for one incoming push of `line_bytes` more state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Under both limits; accept.
+    Admit,
+    /// The tenant would exceed its own quota.
+    OverQuota {
+        /// The tenant's current charge.
+        used: usize,
+        /// The per-tenant limit it would break.
+        quota: usize,
+    },
+    /// The fleet is over the global budget and this tenant is above its
+    /// fair share, so its pushes are shed first.
+    OverBudget {
+        /// The fleet's current total charge.
+        total: usize,
+        /// The global limit.
+        global: usize,
+        /// This tenant's fair share right now.
+        share: usize,
+    },
+}
+
+impl Admission {
+    /// Decides whether a push may be admitted.
+    pub fn decide(
+        policy: &BudgetPolicy,
+        tenant_used: usize,
+        fleet_used: usize,
+        active_tenants: usize,
+        line_bytes: usize,
+    ) -> Admission {
+        if tenant_used + line_bytes > policy.quota_bytes {
+            return Admission::OverQuota {
+                used: tenant_used,
+                quota: policy.quota_bytes,
+            };
+        }
+        let share = policy.fair_share(active_tenants);
+        if fleet_used + line_bytes > policy.global_bytes && tenant_used + line_bytes > share {
+            return Admission::OverBudget {
+                total: fleet_used,
+                global: policy.global_bytes,
+                share,
+            };
+        }
+        Admission::Admit
+    }
+
+    /// The `ERR …` response line for a rejection (`None` for
+    /// [`Admission::Admit`]).
+    pub fn rejection(&self, tenant: &str) -> Option<String> {
+        match self {
+            Admission::Admit => None,
+            Admission::OverQuota { used, quota } => Some(format!(
+                "ERR code=over-quota tenant={tenant} used={used} quota={quota}"
+            )),
+            Admission::OverBudget {
+                total,
+                global,
+                share,
+            } => Some(format!(
+                "ERR code=over-budget tenant={tenant} total={total} global={global} share={share}"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> BudgetPolicy {
+        BudgetPolicy {
+            global_bytes: 1000,
+            quota_bytes: 400,
+        }
+    }
+
+    #[test]
+    fn under_both_limits_admits() {
+        let a = Admission::decide(&policy(), 100, 500, 4, 50);
+        assert_eq!(a, Admission::Admit);
+        assert_eq!(a.rejection("t"), None);
+    }
+
+    #[test]
+    fn quota_is_per_tenant() {
+        let a = Admission::decide(&policy(), 390, 500, 4, 20);
+        assert!(matches!(a, Admission::OverQuota { .. }));
+        let msg = a.rejection("bw").unwrap();
+        assert!(msg.starts_with("ERR code=over-quota tenant=bw "), "{msg}");
+    }
+
+    #[test]
+    fn global_budget_sheds_only_above_fair_share() {
+        // Fleet over budget; tenant above its 250-byte share → shed.
+        let hog = Admission::decide(&policy(), 300, 1000, 4, 10);
+        assert!(matches!(hog, Admission::OverBudget { .. }));
+        // Same fleet state, tenant well under its share → still admitted.
+        let small = Admission::decide(&policy(), 40, 1000, 4, 10);
+        assert_eq!(small, Admission::Admit);
+    }
+
+    #[test]
+    fn from_global_derives_quota() {
+        let p = BudgetPolicy::from_global(8 << 20);
+        assert_eq!(p.global_bytes, 8 << 20);
+        assert_eq!(p.quota_bytes, 1 << 20);
+        // Tiny budgets keep a usable floor.
+        assert_eq!(BudgetPolicy::from_global(1024).quota_bytes, 64 << 10);
+    }
+}

@@ -1,0 +1,273 @@
+//! The TCP shell around [`ServeCore`].
+//!
+//! Everything timing- or socket-shaped lives here, behind declared
+//! `logdiver-lint` module allowances: an accept loop that spawns one
+//! lockstep handler thread per connection, and a ticker thread that pumps
+//! the fleet while connections are idle so watermarks keep advancing
+//! between pushes. The core itself stays deterministic — handlers just
+//! move bytes between their socket and [`ServeCore::feed`] under a
+//! mutex.
+//!
+//! Shutdown: a `SHUTDOWN` request (or dropping the listener) checkpoints
+//! every tenant and exits; a SIGKILL loses only queued-but-unapplied
+//! lines, which clients replay from the `HELLO` cursor after restart.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use logdiver::exec;
+use parking_lot::Mutex;
+
+use crate::budget::BudgetPolicy;
+use crate::server::{ServeConfig, ServeCore};
+
+/// How often the ticker pumps an otherwise-idle fleet.
+const TICK: Duration = Duration::from_millis(250);
+
+/// The daemon's flag surface (`logdiver serve` and the standalone
+/// `logdiver-serve` binary parse the same flags into this).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DaemonConfig {
+    /// `--listen`: bind address, e.g. `127.0.0.1:7044` (port `0` picks an
+    /// ephemeral port; the chosen address is printed on startup).
+    pub listen: String,
+    /// `--tenants-dir`: where `<tenant>.ckpt` files live.
+    pub tenants_dir: PathBuf,
+    /// `--checkpoint-every`: auto-checkpoint cadence in applied records
+    /// (0 disables the cadence; explicit `CHECKPOINT` still works).
+    pub checkpoint_every: u64,
+    /// `--mem-budget`: global open-state budget in bytes; the per-tenant
+    /// quota is derived ([`BudgetPolicy::from_global`]).
+    pub mem_budget: usize,
+    /// `--shards`: worker threads for the tenant pump.
+    pub shards: usize,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            listen: "127.0.0.1:7044".to_string(),
+            tenants_dir: PathBuf::from("tenants"),
+            checkpoint_every: 10_000,
+            mem_budget: 256 << 20,
+            shards: exec::default_threads(),
+        }
+    }
+}
+
+/// Usage text shared by the binary and the CLI subcommand.
+pub const USAGE: &str = "\
+usage: logdiver-serve [--listen ADDR] [--tenants-dir DIR]
+                      [--checkpoint-every N] [--mem-budget BYTES]
+                      [--shards N]
+
+  --listen ADDR         bind address (default 127.0.0.1:7044; port 0 = ephemeral)
+  --tenants-dir DIR     checkpoint directory (default ./tenants)
+  --checkpoint-every N  auto-checkpoint every N applied records (default 10000)
+  --mem-budget BYTES    global open-state budget (default 268435456)
+  --shards N            pump worker threads (default: CPU count)";
+
+/// Parses the daemon flags. Accepts `--name value` and `--name=value`;
+/// any unknown, duplicate, or valueless option is an error (the callers
+/// exit 2 with [`USAGE`]).
+pub fn parse_flags(args: &[String]) -> Result<DaemonConfig, String> {
+    let mut config = DaemonConfig::default();
+    let mut seen: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let (name, inline_value) = match arg.split_once('=') {
+            Some((n, v)) => (n, Some(v.to_string())),
+            None => (arg.as_str(), None),
+        };
+        if !name.starts_with("--") {
+            return Err(format!("unexpected argument '{arg}'"));
+        }
+        if seen.iter().any(|s| s == name) {
+            return Err(format!("duplicate option '{name}'"));
+        }
+        seen.push(name.to_string());
+        let mut value = || -> Result<String, String> {
+            match inline_value.clone() {
+                Some(v) => Ok(v),
+                None => it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| format!("option '{name}' needs a value")),
+            }
+        };
+        match name {
+            "--listen" => config.listen = value()?,
+            "--tenants-dir" => config.tenants_dir = PathBuf::from(value()?),
+            "--checkpoint-every" => config.checkpoint_every = parse_num(name, &value()?)?,
+            "--mem-budget" => config.mem_budget = parse_num(name, &value()?)? as usize,
+            "--shards" => {
+                let n = parse_num(name, &value()?)?;
+                if n == 0 {
+                    return Err("option '--shards' must be at least 1".to_string());
+                }
+                config.shards = n as usize;
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    Ok(config)
+}
+
+fn parse_num(name: &str, raw: &str) -> Result<u64, String> {
+    raw.parse()
+        .map_err(|_| format!("option '{name}' expects a non-negative integer, got '{raw}'"))
+}
+
+impl DaemonConfig {
+    /// The equivalent core configuration.
+    pub fn serve_config(&self) -> ServeConfig {
+        ServeConfig {
+            tenants_dir: Some(self.tenants_dir.clone()),
+            budget: BudgetPolicy::from_global(self.mem_budget),
+            shards: self.shards,
+            checkpoint_every: self.checkpoint_every,
+            ..ServeConfig::default()
+        }
+    }
+}
+
+/// Runs the daemon until `SHUTDOWN` (never returns `Ok` in practice).
+/// Prints `logdiver-serve listening on <addr>` once bound so drivers
+/// using an ephemeral port can discover it.
+pub fn run(config: DaemonConfig) -> std::io::Result<()> {
+    let core = ServeCore::new(config.serve_config())?;
+    for warning in core.warnings() {
+        eprintln!("logdiver-serve: warning: {warning}");
+    }
+    let resumed = core.tenant_names();
+    if !resumed.is_empty() {
+        eprintln!(
+            "logdiver-serve: resumed {} tenant(s): {}",
+            resumed.len(),
+            resumed.join(", ")
+        );
+    }
+    let listener = TcpListener::bind(&config.listen)?;
+    println!("logdiver-serve listening on {}", listener.local_addr()?);
+    std::io::stdout().flush()?;
+
+    let core = Arc::new(Mutex::new(core));
+
+    // Idle ticker: advance watermarks and run the checkpoint cadence even
+    // when no pushes are arriving.
+    let ticker_core = Arc::clone(&core);
+    std::thread::spawn(move || loop {
+        std::thread::sleep(TICK);
+        ticker_core.lock().pump();
+    });
+
+    for stream in listener.incoming() {
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let conn_core = Arc::clone(&core);
+        std::thread::spawn(move || handle_connection(stream, conn_core));
+    }
+    Ok(())
+}
+
+/// Moves bytes between one socket and the core, lockstep: read a chunk,
+/// feed it, write the responses, flush.
+fn handle_connection(mut stream: TcpStream, core: Arc<Mutex<ServeCore>>) {
+    let conn = core.lock().open_conn();
+    let mut chunk = [0u8; 4096];
+    loop {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        let (responses, shutdown) = {
+            let mut core = core.lock();
+            let responses = core.feed(conn, &chunk[..n]);
+            (responses, core.shutdown_requested())
+        };
+        let mut out = String::new();
+        for response in &responses {
+            out.push_str(response);
+            out.push('\n');
+        }
+        if stream.write_all(out.as_bytes()).is_err() || stream.flush().is_err() {
+            break;
+        }
+        if shutdown {
+            let mut core = core.lock();
+            match core.checkpoint_all() {
+                Ok(n) => eprintln!("logdiver-serve: shutdown, checkpointed {n} tenant(s)"),
+                Err(e) => eprintln!("logdiver-serve: shutdown checkpoint failed: {e}"),
+            }
+            std::process::exit(0);
+        }
+    }
+    core.lock().close_conn(conn);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_and_overrides() {
+        let d = parse_flags(&[]).unwrap();
+        assert_eq!(d, DaemonConfig::default());
+        let d = parse_flags(&argv(&[
+            "--listen",
+            "0.0.0.0:9000",
+            "--tenants-dir=/tmp/t",
+            "--checkpoint-every",
+            "500",
+            "--mem-budget=1048576",
+            "--shards",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(d.listen, "0.0.0.0:9000");
+        assert_eq!(d.tenants_dir, PathBuf::from("/tmp/t"));
+        assert_eq!(d.checkpoint_every, 500);
+        assert_eq!(d.mem_budget, 1 << 20);
+        assert_eq!(d.shards, 4);
+    }
+
+    #[test]
+    fn unknown_duplicate_and_malformed_flags_error() {
+        assert!(parse_flags(&argv(&["--bogus"]))
+            .unwrap_err()
+            .contains("unknown option"));
+        assert!(parse_flags(&argv(&["--listen", "a", "--listen", "b"]))
+            .unwrap_err()
+            .contains("duplicate"));
+        assert!(parse_flags(&argv(&["--shards"]))
+            .unwrap_err()
+            .contains("needs a value"));
+        assert!(parse_flags(&argv(&["--shards", "zero"]))
+            .unwrap_err()
+            .contains("non-negative integer"));
+        assert!(parse_flags(&argv(&["--shards", "0"]))
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse_flags(&argv(&["positional"]))
+            .unwrap_err()
+            .contains("unexpected"));
+    }
+
+    #[test]
+    fn serve_config_derives_budget() {
+        let d = parse_flags(&argv(&["--mem-budget", "8388608"])).unwrap();
+        let c = d.serve_config();
+        assert_eq!(c.budget.global_bytes, 8 << 20);
+        assert_eq!(c.budget.quota_bytes, 1 << 20);
+        assert_eq!(c.tenants_dir, Some(PathBuf::from("tenants")));
+    }
+}

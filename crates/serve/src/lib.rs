@@ -1,0 +1,37 @@
+//! `logdiver-serve`: a multi-tenant streaming ingestion daemon.
+//!
+//! One daemon hosts N independent *tenants* — clusters pushing their five
+//! raw logs over a newline-delimited TCP line protocol. Each tenant wraps
+//! its own thread-free [`logdiver_stream::InlineEngine`] (private
+//! topology, watermarks, circuit breakers, checkpoints); the fleet is
+//! pumped across the batch pipeline's work-stealing executor instead of
+//! thread-per-tenant, and a global memory budget with per-tenant quotas
+//! sheds load with machine-readable reasons when intake outruns
+//! processing. A killed daemon resumes every tenant from its last
+//! checkpoint; the indexed push protocol makes replay idempotent, so
+//! crash + resume + client replay equals an uninterrupted run — which in
+//! turn equals the batch pipeline's `LogDiver::analyze` on the same
+//! lines.
+//!
+//! Layering, outermost first:
+//!
+//! * [`daemon`] — sockets, threads, timers. The only module allowed to
+//!   spawn threads or read the clock (declared in `logdiver-lint`'s
+//!   module allowances).
+//! * [`server`] — [`server::ServeCore`], the deterministic heart:
+//!   bytes in, responses out, no sockets, no clock.
+//! * [`tenant`] / [`budget`] / [`proto`] — one tenant's engine + queue,
+//!   admission control, and the wire grammar.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod budget;
+pub mod daemon;
+pub mod proto;
+pub mod server;
+pub mod tenant;
+
+pub use budget::BudgetPolicy;
+pub use daemon::DaemonConfig;
+pub use server::{ServeConfig, ServeCore, ServeStats};

@@ -1,0 +1,350 @@
+//! The newline-delimited line protocol.
+//!
+//! Every request is one line; every response is one `OK …` or
+//! `ERR code=<kebab> …` line (except `REPORT`, which frames a multi-line
+//! body behind `OK lines=<n>`). Error responses are machine-readable: the
+//! first token after `ERR` is always `code=<reason>`, and the remaining
+//! tokens are `key=value` detail pairs. The full grammar is in DESIGN.md
+//! §15.
+//!
+//! ```text
+//! HELLO <tenant>
+//! PUSH <tenant> <source> <index> <line…>
+//! FLUSH <tenant>
+//! SNAPSHOT [<tenant>]
+//! CHECKPOINT [<tenant>]
+//! REPORT <tenant>
+//! SHUTDOWN
+//! ```
+//!
+//! `PUSH` carries an explicit 0-based per-(tenant, source) line index so
+//! the protocol is idempotent: after any disconnect the client replays
+//! from the server's `HELLO` cursor, and the server answers `OK dup` for
+//! anything it already accepted instead of double-counting it.
+
+use logdiver_stream::Source;
+
+/// Longest accepted tenant name.
+pub const MAX_TENANT_NAME: usize = 64;
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request<'a> {
+    /// Announce (and auto-create) a tenant; the reply carries the
+    /// per-source accepted-line cursor the client should resume from.
+    Hello {
+        /// Tenant name.
+        tenant: &'a str,
+    },
+    /// Append one raw log line to a tenant's source stream.
+    Push {
+        /// Tenant name.
+        tenant: &'a str,
+        /// Which of the five logs the line belongs to.
+        source: Source,
+        /// 0-based per-(tenant, source) line index.
+        index: u64,
+        /// The raw log line.
+        line: &'a str,
+    },
+    /// Apply everything queued for a tenant and advance its watermarks.
+    Flush {
+        /// Tenant name.
+        tenant: &'a str,
+    },
+    /// Live metrics as a single JSON line — one tenant, or the fleet
+    /// aggregate when no tenant is named.
+    Snapshot {
+        /// Tenant name, or `None` for the fleet aggregate.
+        tenant: Option<&'a str>,
+    },
+    /// Persist checkpoint(s) now.
+    Checkpoint {
+        /// Tenant name, or `None` for every tenant.
+        tenant: Option<&'a str>,
+    },
+    /// The full batch-equivalent text report for one tenant, framed as
+    /// `OK lines=<n>` followed by `<n>` report lines.
+    Report {
+        /// Tenant name.
+        tenant: &'a str,
+    },
+    /// Checkpoint every tenant and stop the daemon.
+    Shutdown,
+}
+
+/// A protocol-level parse failure, rendered as `ERR code=… …`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The first token is not a known verb.
+    BadVerb(String),
+    /// A required argument is missing.
+    MissingArg(&'static str),
+    /// The verb got more arguments than it takes.
+    ExtraArg(&'static str),
+    /// The `<source>` token is not one of the five log names.
+    BadSource(String),
+    /// The `<index>` token is not a non-negative integer.
+    BadIndex(String),
+    /// The tenant name is empty, too long, starts with `.`, or contains
+    /// characters outside `[A-Za-z0-9._-]`.
+    BadTenantName(String),
+}
+
+impl ProtoError {
+    /// The machine-readable `code=` value.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ProtoError::BadVerb(_) => "bad-verb",
+            ProtoError::MissingArg(_) => "missing-arg",
+            ProtoError::ExtraArg(_) => "extra-arg",
+            ProtoError::BadSource(_) => "bad-source",
+            ProtoError::BadIndex(_) => "bad-index",
+            ProtoError::BadTenantName(_) => "bad-tenant-name",
+        }
+    }
+
+    /// The full `ERR …` response line.
+    pub fn response(&self) -> String {
+        match self {
+            ProtoError::BadVerb(verb) => {
+                format!("ERR code={} verb={}", self.code(), sanitize(verb))
+            }
+            ProtoError::MissingArg(what) | ProtoError::ExtraArg(what) => {
+                format!("ERR code={} arg={what}", self.code())
+            }
+            ProtoError::BadSource(tok) => {
+                format!("ERR code={} source={}", self.code(), sanitize(tok))
+            }
+            ProtoError::BadIndex(tok) => {
+                format!("ERR code={} index={}", self.code(), sanitize(tok))
+            }
+            ProtoError::BadTenantName(name) => {
+                format!("ERR code={} tenant={}", self.code(), sanitize(name))
+            }
+        }
+    }
+}
+
+/// Echoed tokens come from the wire; cap them and strip anything that
+/// would break the one-line response framing.
+fn sanitize(token: &str) -> String {
+    token
+        .chars()
+        .filter(|c| !c.is_control())
+        .take(MAX_TENANT_NAME)
+        .collect()
+}
+
+/// Whether `name` is an acceptable tenant name: 1–64 chars from
+/// `[A-Za-z0-9._-]`, not starting with `.` (checkpoint files are named
+/// `<tenant>.ckpt` inside the tenants dir, so names must be safe path
+/// components).
+pub fn valid_tenant_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= MAX_TENANT_NAME
+        && !name.starts_with('.')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '.' || c == '_' || c == '-')
+}
+
+fn check_tenant(name: &str) -> Result<&str, ProtoError> {
+    if valid_tenant_name(name) {
+        Ok(name)
+    } else {
+        Err(ProtoError::BadTenantName(name.to_string()))
+    }
+}
+
+/// Resolves a `<source>` token (`syslog`, `hwerr`, `alps`, `torque`,
+/// `netwatch`).
+pub fn source_by_name(token: &str) -> Option<Source> {
+    Source::ALL.into_iter().find(|s| s.name() == token)
+}
+
+/// Parses one request line. The line must not contain the trailing
+/// newline.
+pub fn parse(line: &str) -> Result<Request<'_>, ProtoError> {
+    let line = line.strip_suffix('\r').unwrap_or(line);
+    let (verb, rest) = match line.split_once(' ') {
+        Some((v, r)) => (v, r),
+        None => (line, ""),
+    };
+    match verb {
+        "HELLO" => {
+            let tenant = one_arg(rest, "tenant")?;
+            Ok(Request::Hello {
+                tenant: check_tenant(tenant)?,
+            })
+        }
+        "PUSH" => {
+            let (tenant, rest) = rest
+                .split_once(' ')
+                .ok_or(ProtoError::MissingArg("tenant"))?;
+            let tenant = check_tenant(tenant)?;
+            let (source_tok, rest) = rest
+                .split_once(' ')
+                .ok_or(ProtoError::MissingArg("source"))?;
+            let source = source_by_name(source_tok)
+                .ok_or_else(|| ProtoError::BadSource(source_tok.to_string()))?;
+            // The line payload is everything after the index, verbatim —
+            // including leading spaces and embedded separators.
+            let (index_tok, payload) = match rest.split_once(' ') {
+                Some((i, p)) => (i, p),
+                None => (rest, ""),
+            };
+            if index_tok.is_empty() {
+                return Err(ProtoError::MissingArg("index"));
+            }
+            let index: u64 = index_tok
+                .parse()
+                .map_err(|_| ProtoError::BadIndex(index_tok.to_string()))?;
+            Ok(Request::Push {
+                tenant,
+                source,
+                index,
+                line: payload,
+            })
+        }
+        "FLUSH" => {
+            let tenant = one_arg(rest, "tenant")?;
+            Ok(Request::Flush {
+                tenant: check_tenant(tenant)?,
+            })
+        }
+        "SNAPSHOT" => Ok(Request::Snapshot {
+            tenant: optional_arg(rest)?,
+        }),
+        "CHECKPOINT" => Ok(Request::Checkpoint {
+            tenant: optional_arg(rest)?,
+        }),
+        "REPORT" => {
+            let tenant = one_arg(rest, "tenant")?;
+            Ok(Request::Report {
+                tenant: check_tenant(tenant)?,
+            })
+        }
+        "SHUTDOWN" => {
+            if rest.is_empty() {
+                Ok(Request::Shutdown)
+            } else {
+                Err(ProtoError::ExtraArg("none expected"))
+            }
+        }
+        other => Err(ProtoError::BadVerb(other.to_string())),
+    }
+}
+
+fn one_arg<'a>(rest: &'a str, what: &'static str) -> Result<&'a str, ProtoError> {
+    if rest.is_empty() {
+        return Err(ProtoError::MissingArg(what));
+    }
+    if rest.contains(' ') {
+        return Err(ProtoError::ExtraArg(what));
+    }
+    Ok(rest)
+}
+
+fn optional_arg(rest: &str) -> Result<Option<&str>, ProtoError> {
+    if rest.is_empty() {
+        return Ok(None);
+    }
+    if rest.contains(' ') {
+        return Err(ProtoError::ExtraArg("tenant"));
+    }
+    Ok(Some(check_tenant(rest)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_keeps_payload_verbatim() {
+        let req = parse("PUSH bw syslog 12 2013-03-28 12:00:00 nid0  double  spaces").unwrap();
+        assert_eq!(
+            req,
+            Request::Push {
+                tenant: "bw",
+                source: Source::Syslog,
+                index: 12,
+                line: "2013-03-28 12:00:00 nid0  double  spaces",
+            }
+        );
+    }
+
+    #[test]
+    fn push_payload_may_be_empty() {
+        let req = parse("PUSH bw hwerr 0").unwrap();
+        assert_eq!(
+            req,
+            Request::Push {
+                tenant: "bw",
+                source: Source::HwErr,
+                index: 0,
+                line: "",
+            }
+        );
+    }
+
+    #[test]
+    fn verbs_parse() {
+        assert_eq!(parse("HELLO a").unwrap(), Request::Hello { tenant: "a" });
+        assert_eq!(parse("FLUSH a").unwrap(), Request::Flush { tenant: "a" });
+        assert_eq!(
+            parse("SNAPSHOT").unwrap(),
+            Request::Snapshot { tenant: None }
+        );
+        assert_eq!(
+            parse("SNAPSHOT a").unwrap(),
+            Request::Snapshot { tenant: Some("a") }
+        );
+        assert_eq!(
+            parse("CHECKPOINT").unwrap(),
+            Request::Checkpoint { tenant: None }
+        );
+        assert_eq!(parse("REPORT a").unwrap(), Request::Report { tenant: "a" });
+        assert_eq!(parse("SHUTDOWN").unwrap(), Request::Shutdown);
+    }
+
+    #[test]
+    fn crlf_is_tolerated() {
+        assert_eq!(parse("SHUTDOWN\r").unwrap(), Request::Shutdown);
+    }
+
+    #[test]
+    fn errors_are_machine_readable() {
+        assert_eq!(
+            parse("NOPE x").unwrap_err().response(),
+            "ERR code=bad-verb verb=NOPE"
+        );
+        assert_eq!(
+            parse("PUSH bw bogus 0 x").unwrap_err().response(),
+            "ERR code=bad-source source=bogus"
+        );
+        assert_eq!(
+            parse("PUSH bw syslog twelve x").unwrap_err().response(),
+            "ERR code=bad-index index=twelve"
+        );
+        assert_eq!(
+            parse("HELLO ../etc").unwrap_err().response(),
+            "ERR code=bad-tenant-name tenant=../etc"
+        );
+        assert_eq!(
+            parse("HELLO .hidden").unwrap_err().code(),
+            "bad-tenant-name"
+        );
+        assert_eq!(parse("HELLO").unwrap_err().code(), "missing-arg");
+        assert_eq!(parse("SHUTDOWN now").unwrap_err().code(), "extra-arg");
+    }
+
+    #[test]
+    fn tenant_names_validate() {
+        assert!(valid_tenant_name("blue-waters.prod_1"));
+        assert!(!valid_tenant_name(""));
+        assert!(!valid_tenant_name(".dot"));
+        assert!(!valid_tenant_name("has space"));
+        assert!(!valid_tenant_name(&"x".repeat(65)));
+    }
+}

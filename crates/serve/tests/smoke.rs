@@ -1,0 +1,280 @@
+//! End-to-end smoke over real TCP: start the `logdiver-serve` binary,
+//! push two tenants' logs over sockets, query `SNAPSHOT`, SIGKILL the
+//! daemon, restart it against the same tenants dir, replay from the
+//! `HELLO` cursors, and require each tenant's `REPORT` to match the batch
+//! pipeline's report for that tenant's logs. This is the same drill the
+//! CI `serve-smoke` job runs.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::process::{Child, ChildStdout, Command, Stdio};
+
+use logdiver::{LogCollection, LogDiver};
+use logdiver_stream::Source;
+
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    fn start(tenants_dir: &Path) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_logdiver-serve"))
+            .args([
+                "--listen",
+                "127.0.0.1:0",
+                "--tenants-dir",
+                tenants_dir.to_str().expect("utf-8 temp path"),
+                "--checkpoint-every",
+                "0",
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn logdiver-serve");
+        let stdout: ChildStdout = child.stdout.take().expect("piped stdout");
+        let mut first = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut first)
+            .expect("startup line");
+        let addr = first
+            .trim()
+            .rsplit(' ')
+            .next()
+            .expect("listen address")
+            .to_string();
+        assert!(
+            first.contains("listening on"),
+            "unexpected startup line: {first:?}"
+        );
+        Daemon { child, addr }
+    }
+
+    fn connect(&self) -> Client {
+        let stream = TcpStream::connect(&self.addr).expect("connect");
+        let reader = BufReader::new(stream.try_clone().expect("clone socket"));
+        Client { stream, reader }
+    }
+
+    fn kill(mut self) {
+        self.child.kill().expect("SIGKILL");
+        self.child.wait().expect("reap");
+    }
+}
+
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Sends one request line and reads one response line.
+    fn request(&mut self, line: &str) -> String {
+        self.stream
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("send");
+        self.read_line()
+    }
+
+    fn read_line(&mut self) -> String {
+        let mut response = String::new();
+        self.reader.read_line(&mut response).expect("response");
+        response.trim_end_matches('\n').to_string()
+    }
+
+    /// `REPORT <tenant>` — reads the `OK lines=<n>` frame then the body.
+    fn report(&mut self, tenant: &str) -> String {
+        let head = self.request(&format!("REPORT {tenant}"));
+        let n: usize = head
+            .strip_prefix("OK lines=")
+            .unwrap_or_else(|| panic!("bad REPORT head: {head}"))
+            .parse()
+            .expect("line count");
+        (0..n).map(|_| self.read_line() + "\n").collect()
+    }
+}
+
+/// Tenant "blue": two jobs, one killed by a node failure.
+fn blue_logs() -> LogCollection {
+    let mut logs = LogCollection::new();
+    logs.torque.extend([
+        "2013-03-28 10:00:00;S;1.bw;user=u0001 queue=normal nodes=4 walltime=86400".to_string(),
+        "2013-03-28 10:00:00;S;2.bw;user=u0002 queue=small nodes=1 walltime=86400".to_string(),
+    ]);
+    logs.alps.extend([
+        "2013-03-28 10:00:05 apsys PLACED apid=100 batch=1.bw user=u0001 cmd=namd2 type=XE width=4 nodelist=nid[0-3]".to_string(),
+        "2013-03-28 10:00:06 apsys PLACED apid=200 batch=2.bw user=u0002 cmd=vasp type=XE width=1 nodelist=nid[100]".to_string(),
+        "2013-03-28 12:00:05 apsys EXIT apid=100 code=137 signal=9 node_failed=yes runtime=7200".to_string(),
+        "2013-03-28 13:00:06 apsys EXIT apid=200 code=0 signal=none node_failed=no runtime=10800".to_string(),
+    ]);
+    logs.syslog.extend([
+        "2013-03-28 09:59:00 nid00050 ntpd: time slew +0.012s".to_string(),
+        "2013-03-28 12:00:00 nid00002 kernel: Machine Check Exception: bank 4 status 0xb200".to_string(),
+        "2013-03-28 12:00:31 smw xtnmd: node heartbeat fault: no response in 60s, declaring node dead".to_string(),
+    ]);
+    logs.hwerr.extend([
+        "2013-03-28 12:00:01|c0-0c0s0n2|MCE|CRIT|bank=4".to_string(),
+        "2013-03-28 12:00:31|c0-0c0s0n2|NODE_DEAD|FATAL|".to_string(),
+    ]);
+    logs
+}
+
+/// Tenant "green": a clean success and a launch failure — a different
+/// corpus, so a cross-tenant leak would change its report.
+fn green_logs() -> LogCollection {
+    let mut logs = LogCollection::new();
+    logs.torque.extend([
+        "2013-03-28 08:00:00;S;9.bw;user=u0009 queue=small nodes=1 walltime=3600".to_string(),
+    ]);
+    logs.alps.extend([
+        "2013-03-28 08:00:02 apsys PLACED apid=900 batch=9.bw user=u0009 cmd=lmp type=XE width=1 nodelist=nid[40]".to_string(),
+        "2013-03-28 09:00:02 apsys EXIT apid=900 code=0 signal=none node_failed=no runtime=3600".to_string(),
+        "2013-03-28 09:30:00 apsys PLACED apid=901 batch=9.bw user=u0009 cmd=lmp type=XE width=1 nodelist=nid[41]".to_string(),
+        "2013-03-28 09:30:03 apsys LAUNCHERR apid=901 reason=placement failed: node unavailable".to_string(),
+    ]);
+    logs.syslog
+        .extend(["2013-03-28 08:30:00 nid00040 ntpd: time slew -0.004s".to_string()]);
+    logs
+}
+
+fn sources_of(logs: &LogCollection) -> [(Source, &Vec<String>); 5] {
+    [
+        (Source::Syslog, &logs.syslog),
+        (Source::HwErr, &logs.hwerr),
+        (Source::Alps, &logs.alps),
+        (Source::Torque, &logs.torque),
+        (Source::Netwatch, &logs.netwatch),
+    ]
+}
+
+/// Pushes `lines[from..]` for every source of one tenant; every response
+/// must be `OK` or `OK dup`.
+fn push_from(client: &mut Client, tenant: &str, logs: &LogCollection, from: &[u64; 5]) {
+    for (source, lines) in sources_of(logs) {
+        for (i, line) in lines.iter().enumerate().skip(from[source.index()] as usize) {
+            let resp = client.request(&format!("PUSH {tenant} {} {i} {line}", source.name()));
+            assert!(resp.starts_with("OK"), "push rejected: {resp}");
+        }
+    }
+}
+
+/// Parses `OK tenant=<t> accepted=a,b,c,d,e` into the five cursors.
+fn hello_cursors(client: &mut Client, tenant: &str) -> [u64; 5] {
+    let resp = client.request(&format!("HELLO {tenant}"));
+    let counts = resp
+        .split("accepted=")
+        .nth(1)
+        .unwrap_or_else(|| panic!("bad HELLO response: {resp}"));
+    let mut cursors = [0u64; 5];
+    for (i, c) in counts.split(',').enumerate() {
+        cursors[i] = c.parse().expect("cursor");
+    }
+    cursors
+}
+
+fn batch_report(logs: &LogCollection) -> String {
+    let analysis = LogDiver::new().analyze(logs);
+    logdiver::report::full_report(&analysis.metrics, &analysis.stats)
+}
+
+#[test]
+fn push_kill_resume_report_matches_batch() {
+    let dir = std::env::temp_dir().join(format!("logdiver-serve-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let tenants: [(&str, LogCollection); 2] = [("blue", blue_logs()), ("green", green_logs())];
+
+    // Phase 1: push roughly half of each tenant's logs, checkpoint, and
+    // SIGKILL the daemon (no clean shutdown).
+    let daemon = Daemon::start(&dir);
+    {
+        let mut client = daemon.connect();
+        for (tenant, logs) in &tenants {
+            let halves: LogCollection = {
+                let mut h = LogCollection::new();
+                h.syslog = logs.syslog[..logs.syslog.len() / 2].to_vec();
+                h.hwerr = logs.hwerr[..logs.hwerr.len() / 2].to_vec();
+                h.alps = logs.alps[..logs.alps.len() / 2].to_vec();
+                h.torque = logs.torque[..logs.torque.len() / 2].to_vec();
+                h.netwatch = logs.netwatch[..logs.netwatch.len() / 2].to_vec();
+                h
+            };
+            push_from(&mut client, tenant, &halves, &[0; 5]);
+        }
+        let resp = client.request("CHECKPOINT");
+        assert_eq!(resp, "OK tenants=2", "checkpoint all tenants");
+        // A fleet snapshot answers with JSON.
+        let snap = client.request("SNAPSHOT");
+        assert!(snap.starts_with("OK {"), "fleet snapshot: {snap}");
+        assert!(snap.contains("\"tenants\":2"), "fleet snapshot: {snap}");
+    }
+    daemon.kill();
+
+    // Phase 2: restart resumes both tenants from the checkpoint dir;
+    // clients replay from the HELLO cursors and finish the corpus.
+    let daemon = Daemon::start(&dir);
+    {
+        let mut client = daemon.connect();
+        for (tenant, logs) in &tenants {
+            let cursors = hello_cursors(&mut client, tenant);
+            assert!(
+                cursors.iter().sum::<u64>() > 0,
+                "{tenant} resumed with empty cursors"
+            );
+            push_from(&mut client, tenant, logs, &cursors);
+            let resp = client.request(&format!("FLUSH {tenant}"));
+            assert!(resp.starts_with("OK applied="), "flush: {resp}");
+        }
+        for (tenant, logs) in &tenants {
+            let served = client.report(tenant);
+            let batch = batch_report(logs);
+            assert_eq!(
+                served.trim_end(),
+                batch.trim_end(),
+                "tenant {tenant}: served REPORT != batch report"
+            );
+            let snap = client.request(&format!("SNAPSHOT {tenant}"));
+            assert!(
+                snap.contains(&format!("\"tenant\":\"{tenant}\"")),
+                "tenant snapshot: {snap}"
+            );
+        }
+        let resp = client.request("SHUTDOWN");
+        assert_eq!(resp, "OK shutting-down");
+    }
+    let mut child = daemon.child;
+    let status = child.wait().expect("daemon exit");
+    assert!(status.success(), "daemon exited {status:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn strict_flags_reject_unknown_options_with_exit_2() {
+    let out = Command::new(env!("CARGO_BIN_EXE_logdiver-serve"))
+        .arg("--bogus")
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--bogus"), "stderr: {stderr}");
+    assert!(stderr.contains("usage"), "stderr: {stderr}");
+}
+
+#[test]
+fn help_prints_usage_and_exits_0() {
+    let out = Command::new(env!("CARGO_BIN_EXE_logdiver-serve"))
+        .arg("--help")
+        .output()
+        .expect("run");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for flag in [
+        "--listen",
+        "--tenants-dir",
+        "--checkpoint-every",
+        "--mem-budget",
+        "--shards",
+    ] {
+        assert!(stdout.contains(flag), "usage missing {flag}");
+    }
+}

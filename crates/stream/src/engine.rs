@@ -413,7 +413,7 @@ fn worker(
 /// Parses one raw line with the batch pipeline's rules: blank lines are
 /// corrupt; entry sources run the filter right here so the pattern table's
 /// substring scans parallelize across shards.
-fn parse_line(source: Source, line: &str, table: &PatternTable) -> Body {
+pub(crate) fn parse_line(source: Source, line: &str, table: &PatternTable) -> Body {
     if line.trim().is_empty() {
         return Body::Bad(line.to_string());
     }

@@ -1,0 +1,431 @@
+//! A thread-free embedding of the streaming engine.
+//!
+//! [`StreamEngine`](crate::StreamEngine) is the right shape for one
+//! process ingesting one machine: a parse-worker pool plus a coordinator
+//! thread. A daemon hosting hundreds of *tenants* cannot afford seven
+//! threads each — `logdiver-serve` instead wraps one [`InlineEngine`] per
+//! tenant and shards the tenants themselves across the batch pipeline's
+//! work-stealing executor ([`logdiver::exec::par_map`]).
+//!
+//! The inline engine owns a [`StreamCore`] directly and runs parse →
+//! filter → accept → advance synchronously on the calling thread. Because
+//! every push applies immediately in per-source sequence order, the engine
+//! is *always quiescent*: [`InlineEngine::checkpoint`] never waits, and
+//! [`InlineEngine::preview`] can materialize the full batch-equivalent
+//! analysis at any time without consuming the engine (it round-trips the
+//! open state through the checkpoint serializer into a scratch core and
+//! finalizes that).
+//!
+//! Output is identical to the threaded engine's — both funnel every state
+//! transition through the same [`StreamCore::accept`]/
+//! [`StreamCore::advance`] pair, which the stream==batch equivalence
+//! proptests pin down — so `drain()` equals
+//! [`logdiver::LogDiver::analyze`] on the same lines for any chunking
+//! within the lateness allowance.
+
+use logdiver::pipeline::Analysis;
+use logdiver_types::SimDuration;
+
+use crate::checkpoint::{ResumeError, StreamCheckpoint};
+use crate::config::{Source, StreamConfig};
+use crate::engine::{parse_line, StreamError, StreamSnapshot};
+use crate::health::HealthReport;
+use crate::state::{cell_is_open, new_health_cells, HealthCells, StreamCore};
+
+/// How many accepted records may elapse between watermark advances. The
+/// threaded coordinator batches up to 256 deliveries per lock hold; the
+/// inline engine amortizes the same way. Advance cadence affects only
+/// *when* events close, never *what* closes — the equivalence proptests
+/// hold for any cadence.
+const ADVANCE_EVERY: u32 = 64;
+
+/// Rough per-item open-state costs for [`InlineEngine::open_cost`], in
+/// bytes. These deliberately over-estimate: the budget they feed exists to
+/// bound worst-case memory, and a conservative estimate sheds slightly
+/// early rather than OOM-ing slightly late.
+const COST_BUFFERED_ENTRY: usize = 256;
+const COST_OPEN_EVENT: usize = 512;
+const COST_OPEN_RUN: usize = 384;
+const COST_CLOSED_EVENT: usize = 448;
+const COST_CLASSIFIED_RUN: usize = 416;
+const COST_QUARANTINED_LINE: usize = 160;
+
+/// A synchronous, single-threaded streaming engine: same pipeline, same
+/// output, no threads. One per tenant in `logdiver-serve`.
+#[derive(Debug)]
+pub struct InlineEngine {
+    config: StreamConfig,
+    core: StreamCore,
+    cells: HealthCells,
+    seqs: [u64; 5],
+    open: [bool; 5],
+    shards: [usize; 5],
+    lateness: SimDuration,
+    since_advance: u32,
+}
+
+impl InlineEngine {
+    /// A fresh engine with the given configuration.
+    pub fn new(config: StreamConfig) -> Self {
+        let cells = new_health_cells();
+        let core = StreamCore::new(config.clone(), cells.clone());
+        Self::build(config, core, cells, [0; 5], [true; 5])
+    }
+
+    /// Rebuilds an engine from a [`StreamCheckpoint`], exactly as
+    /// [`crate::StreamEngine::resume`] does: watermarks, reorder buffer,
+    /// open events and runs, counters, and health machines all carry over,
+    /// and the resumed engine's future output equals an engine that never
+    /// stopped.
+    ///
+    /// # Errors
+    ///
+    /// [`ResumeError::LatenessMismatch`] when `config.lateness` differs
+    /// from the checkpoint's, [`ResumeError::Malformed`] when the
+    /// checkpoint's internal arrays have the wrong shape.
+    pub fn resume(
+        config: StreamConfig,
+        checkpoint: &StreamCheckpoint,
+    ) -> Result<Self, ResumeError> {
+        if config.lateness.as_secs() != checkpoint.lateness_secs {
+            return Err(ResumeError::LatenessMismatch {
+                checkpoint: checkpoint.lateness_secs,
+                config: config.lateness.as_secs(),
+            });
+        }
+        if checkpoint.core.health.len() != 5 || checkpoint.core.quarantine.len() != 5 {
+            return Err(ResumeError::Malformed(format!(
+                "expected 5 sources, found {} health / {} quarantine entries",
+                checkpoint.core.health.len(),
+                checkpoint.core.quarantine.len()
+            )));
+        }
+        let cells = new_health_cells();
+        let core = StreamCore::from_state(config.clone(), cells.clone(), checkpoint.core.clone());
+        Ok(Self::build(
+            config,
+            core,
+            cells,
+            checkpoint.core.next_seq,
+            checkpoint.core.open,
+        ))
+    }
+
+    fn build(
+        config: StreamConfig,
+        core: StreamCore,
+        cells: HealthCells,
+        seqs: [u64; 5],
+        open: [bool; 5],
+    ) -> Self {
+        let mut shards = [1usize; 5];
+        shards[Source::Syslog.index()] = config.syslog_shards.max(1);
+        let lateness = config.lateness;
+        InlineEngine {
+            config,
+            core,
+            cells,
+            seqs,
+            open,
+            shards,
+            lateness,
+            since_advance: 0,
+        }
+    }
+
+    /// Parses, filters, and applies one raw line synchronously.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::SourceClosed`] after [`InlineEngine::close`] on this
+    /// source; [`StreamError::CircuitOpen`] while the source's circuit
+    /// breaker is open (the line is rejected and counted).
+    pub fn push(&mut self, source: Source, line: &str) -> Result<(), StreamError> {
+        let i = source.index();
+        if !self.open[i] {
+            return Err(StreamError::SourceClosed(source));
+        }
+        if cell_is_open(&self.cells, i) {
+            self.core.note_rejected(source);
+            return Err(StreamError::CircuitOpen(source));
+        }
+        let body = parse_line(source, line, &self.config.table);
+        let seq = self.seqs[i];
+        self.core.accept(source, seq, body);
+        self.seqs[i] = seq + 1;
+        self.since_advance += 1;
+        if self.since_advance >= ADVANCE_EVERY {
+            self.advance();
+        }
+        Ok(())
+    }
+
+    /// Advances the watermarks now: releases ripe entries, closes events,
+    /// finalizes runs. Called automatically every [`ADVANCE_EVERY`] pushes;
+    /// drivers call it before reading a snapshot they want current.
+    pub fn advance(&mut self) {
+        self.core.advance();
+        self.since_advance = 0;
+    }
+
+    /// Declares a source exhausted: it stops holding the watermarks down.
+    pub fn close(&mut self, source: Source) {
+        let i = source.index();
+        if !self.open[i] {
+            return;
+        }
+        self.open[i] = false;
+        for _ in 0..self.shards[i] {
+            self.core.shard_done(source);
+        }
+    }
+
+    /// Lines accepted per source so far (the client's resume cursor).
+    pub fn pushed(&self, source: Source) -> u64 {
+        self.seqs[source.index()]
+    }
+
+    /// All five per-source accepted-line counts, in [`Source::ALL`] order.
+    pub fn pushed_all(&self) -> [u64; 5] {
+        self.seqs
+    }
+
+    /// A live snapshot — the same [`StreamSnapshot`] the threaded engine
+    /// produces, with metrics over the closed/classified state.
+    pub fn snapshot(&mut self) -> StreamSnapshot {
+        self.advance();
+        let counters = self.core.counters();
+        let runs = self.core.finished_runs();
+        let events = self.core.closed_events();
+        StreamSnapshot {
+            watermark: counters.watermark,
+            parse: counters.parse,
+            filter: counters.filter,
+            late_dropped: counters.late_dropped,
+            buffered_entries: counters.buffered_entries,
+            open_events: counters.open_events,
+            closed_events: counters.closed_events,
+            lethal_events: counters.lethal_events,
+            open_runs: counters.open_runs,
+            classified_runs: counters.classified_runs,
+            metrics: logdiver::metrics::compute(&runs, &events),
+            health: counters.health,
+            spill_dropped: counters.spill_dropped,
+        }
+    }
+
+    /// Current health of one source.
+    pub fn health(&self, source: Source) -> HealthReport {
+        self.core.health_report(source)
+    }
+
+    /// Half-opens an Open circuit so a bounded probe can flow.
+    pub fn probe(&mut self, source: Source) -> bool {
+        self.core.probe(source)
+    }
+
+    /// The corrupt-line quarantine for one source.
+    pub fn quarantined(&self, source: Source) -> (u64, Vec<String>) {
+        self.core.quarantined(source)
+    }
+
+    /// Drains the quarantine spill queue (see
+    /// [`crate::StreamConfig::spill_quarantined`]).
+    pub fn take_spilled(&mut self) -> Vec<(Source, String)> {
+        self.core.take_spilled()
+    }
+
+    /// A conservative estimate of the engine's open-state footprint in
+    /// bytes — what the serve daemon's global memory budget charges this
+    /// tenant. Counts the reorder buffer, open coalescer windows, open
+    /// runs, the retained closed events and classified runs (they live
+    /// until drain), and the quarantine rings.
+    pub fn open_cost(&mut self) -> usize {
+        let c = self.core.counters();
+        let quarantined: usize = Source::ALL
+            .into_iter()
+            .map(|s| self.core.quarantined(s).1.len())
+            .sum();
+        c.buffered_entries * COST_BUFFERED_ENTRY
+            + c.open_events * COST_OPEN_EVENT
+            + c.open_runs * COST_OPEN_RUN
+            + c.closed_events * COST_CLOSED_EVENT
+            + c.classified_runs * COST_CLASSIFIED_RUN
+            + quarantined * COST_QUARANTINED_LINE
+    }
+
+    /// Captures a [`StreamCheckpoint`]. The inline engine is always
+    /// quiescent, so this never waits. `offsets` is the caller's resume
+    /// cursor per source — `logdiver-serve` stores accepted *line counts*
+    /// there rather than byte offsets (the push API has no files).
+    pub fn checkpoint(&mut self, offsets: [u64; 5]) -> StreamCheckpoint {
+        self.advance();
+        StreamCheckpoint {
+            version: StreamCheckpoint::VERSION,
+            lateness_secs: self.lateness.as_secs(),
+            offsets,
+            core: self.core.checkpoint_state(),
+        }
+    }
+
+    /// The full batch-equivalent analysis *as of now* — what
+    /// [`InlineEngine::drain`] would return if every source closed at this
+    /// instant — without consuming the engine. The open state round-trips
+    /// through the checkpoint serializer into a scratch core, which is
+    /// then finalized; the live engine keeps streaming.
+    pub fn preview(&mut self) -> Analysis {
+        self.advance();
+        let state = self.core.checkpoint_state();
+        let cells = new_health_cells();
+        StreamCore::from_state(self.config.clone(), cells, state).finalize()
+    }
+
+    /// Closes every source and produces the full analysis — equal to
+    /// [`logdiver::LogDiver::analyze`] on the same lines.
+    pub fn drain(mut self) -> Analysis {
+        for source in Source::ALL {
+            self.close(source);
+        }
+        self.core.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logdiver::{LogCollection, LogDiver};
+
+    fn scenario() -> LogCollection {
+        let mut logs = LogCollection::new();
+        logs.torque.extend([
+            "2013-03-28 10:00:00;S;1.bw;user=u0001 queue=normal nodes=4 walltime=86400".to_string(),
+        ]);
+        logs.alps.extend([
+            "2013-03-28 10:00:05 apsys PLACED apid=100 batch=1.bw user=u0001 cmd=namd2 type=XE width=4 nodelist=nid[0-3]".to_string(),
+            "2013-03-28 12:00:05 apsys EXIT apid=100 code=137 signal=9 node_failed=yes runtime=7200".to_string(),
+        ]);
+        logs.syslog.extend([
+            "2013-03-28 12:00:00 nid00002 kernel: Machine Check Exception: bank 4 status 0xb200"
+                .to_string(),
+            "2013-03-28 12:00:31 smw xtnmd: node heartbeat fault: no response in 60s, declaring node dead"
+                .to_string(),
+        ]);
+        logs.hwerr.extend([
+            "2013-03-28 12:00:01|c0-0c0s0n2|MCE|CRIT|bank=4".to_string(),
+            "2013-03-28 12:00:31|c0-0c0s0n2|NODE_DEAD|FATAL|".to_string(),
+        ]);
+        logs
+    }
+
+    fn push_all(engine: &mut InlineEngine, logs: &LogCollection) {
+        for (source, lines) in [
+            (Source::Syslog, &logs.syslog),
+            (Source::HwErr, &logs.hwerr),
+            (Source::Alps, &logs.alps),
+            (Source::Torque, &logs.torque),
+            (Source::Netwatch, &logs.netwatch),
+        ] {
+            for line in lines {
+                engine.push(source, line).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn drain_matches_batch() {
+        let logs = scenario();
+        let batch = LogDiver::new().analyze(&logs);
+        let mut engine = InlineEngine::new(StreamConfig::default());
+        push_all(&mut engine, &logs);
+        let streamed = engine.drain();
+        assert_eq!(streamed.runs, batch.runs);
+        assert_eq!(streamed.events, batch.events);
+        assert_eq!(streamed.metrics, batch.metrics);
+        assert_eq!(streamed.stats, batch.stats);
+    }
+
+    #[test]
+    fn preview_equals_drain_and_does_not_consume() {
+        let logs = scenario();
+        let mut engine = InlineEngine::new(StreamConfig::default());
+        push_all(&mut engine, &logs);
+        let preview = engine.preview();
+        // The engine is still alive and accepts more lines.
+        engine
+            .push(
+                Source::Syslog,
+                "2013-03-28 15:00:00 nid00051 sshd: Accepted publickey for user port 2222",
+            )
+            .unwrap();
+        let drained = engine.drain();
+        assert_eq!(preview.runs, drained.runs);
+        assert_eq!(preview.events, drained.events);
+    }
+
+    #[test]
+    fn checkpoint_resume_continues_exactly() {
+        let logs = scenario();
+        let batch = LogDiver::new().analyze(&logs);
+
+        let mut first = InlineEngine::new(StreamConfig::default());
+        // Push half of each source, checkpoint, resume, push the rest.
+        let halves: Vec<(Source, &Vec<String>)> = vec![
+            (Source::Syslog, &logs.syslog),
+            (Source::HwErr, &logs.hwerr),
+            (Source::Alps, &logs.alps),
+            (Source::Torque, &logs.torque),
+            (Source::Netwatch, &logs.netwatch),
+        ];
+        for (source, lines) in &halves {
+            for line in lines.iter().take(lines.len() / 2) {
+                first.push(*source, line).unwrap();
+            }
+        }
+        let offsets = first.pushed_all();
+        let ckpt = first.checkpoint(offsets);
+        drop(first);
+
+        let mut resumed = InlineEngine::resume(StreamConfig::default(), &ckpt).unwrap();
+        for (source, lines) in &halves {
+            let from = ckpt.offset(*source) as usize;
+            for line in lines.iter().skip(from) {
+                resumed.push(*source, line).unwrap();
+            }
+        }
+        let streamed = resumed.drain();
+        assert_eq!(streamed.runs, batch.runs);
+        assert_eq!(streamed.events, batch.events);
+        assert_eq!(streamed.stats, batch.stats);
+    }
+
+    #[test]
+    fn push_after_close_errors_and_cost_grows() {
+        let mut engine = InlineEngine::new(StreamConfig::default());
+        assert_eq!(engine.open_cost(), 0);
+        engine.close(Source::Netwatch);
+        assert_eq!(
+            engine.push(Source::Netwatch, "x"),
+            Err(StreamError::SourceClosed(Source::Netwatch))
+        );
+        engine
+            .push(
+                Source::Syslog,
+                "2013-03-28 12:00:00 nid00002 kernel: Machine Check Exception: bank 4",
+            )
+            .unwrap();
+        assert!(engine.open_cost() > 0);
+        let analysis = engine.drain();
+        assert!(analysis.runs.is_empty());
+    }
+
+    #[test]
+    fn lateness_mismatch_is_rejected_on_resume() {
+        let mut engine = InlineEngine::new(StreamConfig::default());
+        let ckpt = engine.checkpoint([0; 5]);
+        let other = StreamConfig::default().with_lateness(SimDuration::from_secs(5));
+        assert!(matches!(
+            InlineEngine::resume(other, &ckpt),
+            Err(ResumeError::LatenessMismatch { .. })
+        ));
+    }
+}

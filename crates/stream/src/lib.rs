@@ -54,6 +54,7 @@ mod config;
 mod engine;
 mod health;
 mod index;
+pub mod inline;
 mod state;
 pub mod tail;
 
@@ -62,6 +63,7 @@ pub use config::{Source, StreamConfig};
 pub use engine::{StreamEngine, StreamError, StreamSnapshot};
 pub use health::{HealthPolicy, HealthReport, SourceHealth};
 pub use index::StreamIndex;
+pub use inline::InlineEngine;
 
 #[cfg(test)]
 mod tests {

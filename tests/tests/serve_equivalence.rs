@@ -1,0 +1,287 @@
+//! The serve daemon's hard correctness bar: for any interleaving,
+//! chunking, and connection chaos (mid-line disconnects, duplicates,
+//! stale replays, half-open sockets), each tenant's drained analysis must
+//! equal that tenant's batch `LogDiver::analyze` — and killing the daemon
+//! at any record and resuming from checkpoints must give the same answer
+//! as an uninterrupted run.
+//!
+//! Three concurrent tenants, each fed a different simulated corpus, per
+//! ISSUE 6's acceptance bar.
+
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use bw_faults::{chaos_transcripts, ChaosStream, ConnChaosConfig, Connection};
+use logdiver::{Analysis, LogCollection};
+use logdiver_integration::{run_end_to_end, to_log_collection};
+use logdiver_serve::{BudgetPolicy, ServeConfig, ServeCore};
+use logdiver_stream::{Source, StreamConfig};
+use logdiver_types::{SimDuration, Timestamp};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+const TENANTS: [&str; 3] = ["alpha", "beta", "gamma"];
+
+/// Per-tenant corpora, generated once and shared across proptest cases.
+fn corpus(which: usize) -> &'static (LogCollection, Analysis) {
+    static CORPORA: [OnceLock<(LogCollection, Analysis)>; 3] =
+        [OnceLock::new(), OnceLock::new(), OnceLock::new()];
+    CORPORA[which].get_or_init(|| {
+        let seed = 6401 + which as u64;
+        let e2e = run_end_to_end(bw_sim::SimConfig::scaled(64, 2).with_seed(seed));
+        (to_log_collection(&e2e.sim), e2e.analysis)
+    })
+}
+
+fn sources_of(logs: &LogCollection) -> [(Source, &Vec<String>); 5] {
+    [
+        (Source::Syslog, &logs.syslog),
+        (Source::HwErr, &logs.hwerr),
+        (Source::Alps, &logs.alps),
+        (Source::Torque, &logs.torque),
+        (Source::Netwatch, &logs.netwatch),
+    ]
+}
+
+fn line_timestamp(line: &str) -> Option<Timestamp> {
+    line.get(..19)?.parse().ok()
+}
+
+/// The smallest lateness under which no in-order line is late, across all
+/// tenants (one `StreamConfig` serves the whole fleet).
+fn fleet_lateness() -> SimDuration {
+    let mut worst = SimDuration::ZERO;
+    for which in 0..TENANTS.len() {
+        let (logs, _) = corpus(which);
+        for (_, lines) in sources_of(logs) {
+            let mut high: Option<Timestamp> = None;
+            for line in lines {
+                let Some(ts) = line_timestamp(line) else {
+                    continue;
+                };
+                if let Some(h) = high {
+                    worst = worst.max(h - ts);
+                }
+                high = Some(high.map_or(ts, |h| h.max(ts)));
+            }
+        }
+    }
+    worst + SimDuration::from_secs(1)
+}
+
+/// A serve config with an effectively unlimited budget (shedding is
+/// covered by the serve crate's own tests; equivalence requires every
+/// line to land) and no persistence unless `dir` is given.
+fn serve_config(dir: Option<PathBuf>, checkpoint_every: u64) -> ServeConfig {
+    ServeConfig {
+        tenants_dir: dir,
+        budget: BudgetPolicy {
+            global_bytes: usize::MAX / 2,
+            quota_bytes: usize::MAX / 4,
+        },
+        shards: 2,
+        checkpoint_every,
+        stream: StreamConfig::default().with_lateness(fleet_lateness()),
+    }
+}
+
+/// One chaos stream per (tenant, source), starting at index `from` —
+/// within-stream order is per-source push order, which is all the indexed
+/// protocol requires.
+fn push_streams(from: &dyn Fn(&str, Source) -> u64) -> Vec<ChaosStream> {
+    let mut streams = Vec::new();
+    for (which, tenant) in TENANTS.iter().enumerate() {
+        let (logs, _) = corpus(which);
+        for (source, lines) in sources_of(logs) {
+            let start = from(tenant, source) as usize;
+            if start >= lines.len() {
+                continue;
+            }
+            streams.push(ChaosStream {
+                key: format!("{tenant}/{}", source.name()),
+                commands: lines
+                    .iter()
+                    .enumerate()
+                    .skip(start)
+                    .map(|(i, line)| format!("PUSH {tenant} {} {i} {line}", source.name()))
+                    .collect(),
+            });
+        }
+    }
+    streams
+}
+
+/// Feeds whole connections into the core in arbitrary byte chunks. Every
+/// complete line must be answered `OK`/`OK dup` — in-order indexed
+/// delivery can never produce a gap, and the budget never sheds.
+fn deliver(core: &mut ServeCore, conns: &[Connection], rng: &mut StdRng) {
+    for conn in conns {
+        let id = core.open_conn();
+        let mut off = 0;
+        while off < conn.bytes.len() {
+            let n = rng.random_range(1..=(conn.bytes.len() - off).min(1500));
+            for resp in core.feed(id, &conn.bytes[off..off + n]) {
+                assert!(resp.starts_with("OK"), "unexpected response: {resp}");
+            }
+            off += n;
+        }
+        if conn.closed {
+            core.close_conn(id);
+        }
+    }
+}
+
+/// Asks the daemon where to resume one (tenant, source) stream, exactly
+/// as a reconnecting client does.
+fn hello_cursor(core: &mut ServeCore, tenant: &str, source: Source) -> u64 {
+    let resp = core.handle_line(&format!("HELLO {tenant}"));
+    let accepted = resp
+        .split("accepted=")
+        .nth(1)
+        .unwrap_or_else(|| panic!("bad HELLO response: {resp}"));
+    let counts: Vec<u64> = accepted
+        .split(',')
+        .map(|c| c.parse().expect("cursor count"))
+        .collect();
+    counts[source.index()]
+}
+
+fn drain_and_compare(mut core: ServeCore) {
+    for (which, tenant) in TENANTS.iter().enumerate() {
+        let (_, batch) = corpus(which);
+        let served = core
+            .drain_tenant(tenant)
+            .unwrap_or_else(|| panic!("tenant {tenant} missing at drain"));
+        assert_eq!(served.runs, batch.runs, "tenant {tenant} runs");
+        assert_eq!(served.events, batch.events, "tenant {tenant} events");
+        assert_eq!(served.coverage, batch.coverage, "tenant {tenant} coverage");
+        assert_eq!(served.metrics, batch.metrics, "tenant {tenant} metrics");
+        assert_eq!(served.stats, batch.stats, "tenant {tenant} stats");
+    }
+}
+
+fn temp_tenants_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("logdiver-serve-eq-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Any connection chaos over three interleaved tenants: each tenant
+    /// drains to exactly its batch analysis.
+    #[test]
+    fn chaotic_ingest_equals_batch_per_tenant(
+        chaos_seed in 0u64..10_000,
+        feed_seed in 0u64..10_000,
+        mild in any::<bool>(),
+    ) {
+        let chaos = if mild { ConnChaosConfig::mild() } else { ConnChaosConfig::default() };
+        let streams = push_streams(&|_, _| 0);
+        let mut rng = StdRng::seed_from_u64(chaos_seed);
+        let conns = chaos_transcripts(&streams, &chaos, &mut rng);
+
+        let mut core = ServeCore::new(serve_config(None, 0)).expect("core");
+        let mut feed_rng = StdRng::seed_from_u64(feed_seed);
+        deliver(&mut core, &conns, &mut feed_rng);
+        drain_and_compare(core);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Kill the daemon at an arbitrary point mid-ingest (queued lines and
+    /// connections lost, checkpoints durable), restart from the tenants
+    /// dir, and let each client replay from its `HELLO` cursor — under
+    /// fresh connection chaos. The final answer must equal an
+    /// uninterrupted batch run.
+    #[test]
+    fn kill_and_resume_equals_batch(
+        chaos_seed in 0u64..10_000,
+        kill_frac in 0.0f64..1.0,
+        replay_seed in 0u64..10_000,
+    ) {
+        let dir = temp_tenants_dir(&format!("{chaos_seed}-{replay_seed}"));
+        let streams = push_streams(&|_, _| 0);
+        let mut rng = StdRng::seed_from_u64(chaos_seed);
+        let conns = chaos_transcripts(&streams, &ConnChaosConfig::default(), &mut rng);
+
+        // Phase 1: ingest with a tight auto-checkpoint cadence, then die
+        // abruptly partway through — possibly mid-connection, possibly
+        // before the first checkpoint ever fires.
+        let kill_at = ((conns.len() as f64) * kill_frac) as usize;
+        {
+            let mut core = ServeCore::new(serve_config(Some(dir.clone()), 257)).expect("core");
+            let mut feed_rng = StdRng::seed_from_u64(chaos_seed ^ 0x5eed);
+            deliver(&mut core, &conns[..kill_at.min(conns.len())], &mut feed_rng);
+            if let Some(partial) = conns.get(kill_at) {
+                let cut = partial.bytes.len() / 2;
+                let id = core.open_conn();
+                for resp in core.feed(id, &partial.bytes[..cut]) {
+                    prop_assert!(resp.starts_with("OK"), "unexpected response: {}", resp);
+                }
+            }
+            // SIGKILL: the core is dropped on the floor — no shutdown
+            // checkpoint, queued-but-unapplied lines are gone.
+        }
+
+        // Phase 2: restart resumes every checkpointed tenant; clients ask
+        // HELLO where to resume and replay from there, chaotically again.
+        let mut core = ServeCore::new(serve_config(Some(dir.clone()), 257)).expect("restart");
+        let mut cursors = std::collections::HashMap::new();
+        for tenant in TENANTS {
+            for source in Source::ALL {
+                cursors.insert((tenant, source.index()), hello_cursor(&mut core, tenant, source));
+            }
+        }
+        let replays = push_streams(&|tenant: &str, source: Source| cursors[&(tenant, source.index())]);
+        let mut rng = StdRng::seed_from_u64(replay_seed);
+        let replay_conns = chaos_transcripts(&replays, &ConnChaosConfig::default(), &mut rng);
+        let mut feed_rng = StdRng::seed_from_u64(replay_seed ^ 0x5eed);
+        deliver(&mut core, &replay_conns, &mut feed_rng);
+        drain_and_compare(core);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Deterministic sanity path: no chaos, round-robin interleaving of the
+/// three tenants over one connection, drain equals batch.
+#[test]
+fn interleaved_tenants_without_chaos_equal_batch() {
+    let streams = push_streams(&|_, _| 0);
+    let mut core = ServeCore::new(serve_config(None, 0)).expect("core");
+    let conn = core.open_conn();
+    let longest = streams.iter().map(|s| s.commands.len()).max().unwrap_or(0);
+    for i in 0..longest {
+        for stream in &streams {
+            if let Some(command) = stream.commands.get(i) {
+                let resp = core.feed(conn, format!("{command}\n").as_bytes());
+                assert_eq!(resp, vec!["OK".to_string()], "push {command:?}");
+            }
+        }
+    }
+    drain_and_compare(core);
+}
+
+/// A half-open connection's buffered fragment must not block or corrupt
+/// later connections carrying the same tenant.
+#[test]
+fn half_open_fragment_does_not_leak_into_later_connections() {
+    let mut core = ServeCore::new(serve_config(None, 0)).expect("core");
+    let (logs, _) = corpus(0);
+    let line = &logs.syslog[0];
+    // A torn prefix on a connection that never closes...
+    let torn = core.open_conn();
+    let fragment = format!("PUSH alpha syslog 0 {line}");
+    assert!(core
+        .feed(torn, &fragment.as_bytes()[..fragment.len() / 2])
+        .is_empty());
+    // ...while a healthy connection delivers the same push completely.
+    let ok = core.open_conn();
+    let resp = core.feed(ok, format!("{fragment}\n").as_bytes());
+    assert_eq!(resp, vec!["OK".to_string()]);
+    let resp = core.handle_line("HELLO alpha");
+    assert_eq!(resp, "OK tenant=alpha accepted=1,0,0,0,0");
+}
