@@ -1,0 +1,270 @@
+//! P4 — serve availability under replica failure: the durability study
+//! for the replicated checkpoint store. Drives a multi-tenant fleet over
+//! a seeded chaos filesystem and measures (a) ingest throughput with
+//! 0 / 1 / N−1 of the N checkpoint replicas failed, (b) recovery when a
+//! replica's at-rest checkpoints are corrupted mid-run, and (c) crash +
+//! resume with one replica dead at restart.
+//!
+//! Writes `BENCH_availability.json` for tracking (the CI
+//! `availability-smoke` job uploads it as an artifact).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use bw_bench::banner;
+use bw_faults::ChaosFs;
+use bw_sim::{MemoryOutput, SimConfig, Simulation};
+use logdiver_serve::{store, BudgetPolicy, ServeConfig, ServeCore};
+use logdiver_stream::{Source, StreamConfig};
+use logdiver_types::SimDuration;
+use serde::Serialize;
+
+const TENANTS: usize = 24;
+const REPLICAS: usize = 3;
+/// Auto-checkpoint cadence: small enough that the store sits on the hot
+/// ingest path of every sweep point.
+const CHECKPOINT_EVERY: u64 = 2_000;
+
+#[derive(Serialize)]
+struct FailurePoint {
+    replicas_failed: usize,
+    durability: String,
+    pushes: usize,
+    lines_per_sec: f64,
+    checkpoint_all_ms: f64,
+    tenants_persisted: usize,
+}
+
+#[derive(Serialize)]
+struct RecoveryPoint {
+    scenario: String,
+    recovery_ms: f64,
+    resumed_tenants: usize,
+    corrupt_preserved: u64,
+    durability_after: String,
+}
+
+#[derive(Serialize)]
+struct AvailabilityBench {
+    bench: String,
+    tenants: usize,
+    replicas: usize,
+    checkpoint_every: u64,
+    failure_sweep: Vec<FailurePoint>,
+    recovery: Vec<RecoveryPoint>,
+}
+
+/// Protocol command suffixes (`<source> <index> <line>`) shared by every
+/// tenant, round-robin across sources.
+fn command_suffixes() -> Vec<String> {
+    let mut config = SimConfig::scaled(64, 1)
+        .with_seed(1301)
+        .without_calibration();
+    config.noise_lines_per_hour = 400.0;
+    let mut raw = MemoryOutput::new();
+    Simulation::new(config).expect("valid config").run(&mut raw);
+    let sources: [(Source, &Vec<String>); 5] = [
+        (Source::Syslog, &raw.syslog),
+        (Source::HwErr, &raw.hwerr),
+        (Source::Alps, &raw.alps),
+        (Source::Torque, &raw.torque),
+        (Source::Netwatch, &raw.netwatch),
+    ];
+    let mut suffixes = Vec::new();
+    let mut offsets = [0usize; 5];
+    loop {
+        let mut moved = false;
+        for (i, (source, lines)) in sources.iter().enumerate() {
+            if let Some(line) = lines.get(offsets[i]) {
+                suffixes.push(format!("{} {} {line}", source.name(), offsets[i]));
+                offsets[i] += 1;
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    suffixes
+}
+
+fn replica_dirs() -> Vec<PathBuf> {
+    (0..REPLICAS)
+        .map(|i| PathBuf::from(format!("/r{i}")))
+        .collect()
+}
+
+fn config() -> ServeConfig {
+    ServeConfig {
+        tenants_dirs: replica_dirs(),
+        budget: BudgetPolicy {
+            global_bytes: usize::MAX / 2,
+            quota_bytes: usize::MAX / 4,
+        },
+        shards: 4,
+        checkpoint_every: CHECKPOINT_EVERY,
+        stream: StreamConfig::default().with_lateness(SimDuration::from_secs(3_600)),
+        ..ServeConfig::default()
+    }
+}
+
+/// Pushes `commands[lo..hi]` for every tenant; every response must be OK.
+fn drive(core: &mut ServeCore, commands: &[Vec<String>], lo: usize, hi: usize) -> f64 {
+    let start = Instant::now();
+    let mut errors = 0usize;
+    for tenant_cmds in commands {
+        for command in &tenant_cmds[lo..hi] {
+            if !core.handle_line(command).starts_with("OK") {
+                errors += 1;
+            }
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(errors, 0, "load generator saw rejected pushes");
+    secs
+}
+
+fn tenant_commands(suffixes: &[String], per_tenant: usize) -> Vec<Vec<String>> {
+    (0..TENANTS)
+        .map(|t| {
+            suffixes[..per_tenant]
+                .iter()
+                .map(|s| format!("PUSH t{t:03} {s}"))
+                .collect()
+        })
+        .collect()
+}
+
+fn main() {
+    banner(
+        "P4",
+        "serve availability under replica failure (3-way checkpoint store)",
+    );
+    let suffixes = command_suffixes();
+    let per_tenant = suffixes.len().min(1_500);
+    let commands = tenant_commands(&suffixes, per_tenant);
+    let pushes = TENANTS * per_tenant;
+    println!("corpus           : {per_tenant} lines x {TENANTS} tenants over {REPLICAS} replicas");
+
+    // (a) Throughput with 0 / 1 / N-1 replicas failed: each point is a
+    // fresh chaos disk with the first k replica subtrees down.
+    let mut failure_sweep = Vec::new();
+    for failed in [0usize, 1, REPLICAS - 1] {
+        let fs = Arc::new(ChaosFs::clean());
+        let mut core = ServeCore::with_fs(config(), fs.clone()).expect("serve core");
+        for k in 0..failed {
+            fs.set_down(&PathBuf::from(format!("/r{k}")), true);
+        }
+        let secs = drive(&mut core, &commands, 0, per_tenant);
+        let t0 = Instant::now();
+        let persisted = core.checkpoint_all();
+        let ckpt_ms = t0.elapsed().as_secs_f64() * 1_000.0;
+        assert_eq!(persisted, TENANTS, "a live replica must hold every tenant");
+        let durability = core.durability().label().to_string();
+        let rate = pushes as f64 / secs;
+        println!(
+            "{failed} replica(s) down : {rate:>10.0} lines/s  durability={durability}  \
+             checkpoint-all {ckpt_ms:>6.1} ms"
+        );
+        failure_sweep.push(FailurePoint {
+            replicas_failed: failed,
+            durability,
+            pushes,
+            lines_per_sec: rate,
+            checkpoint_all_ms: ckpt_ms,
+            tenants_persisted: persisted,
+        });
+    }
+
+    // (b) Corruption mid-run: checkpoint everywhere, rot every checkpoint
+    // on replica 0 at rest, crash, and time a restart that must fall back
+    // to the intact replicas (preserving the corrupt copies for autopsy).
+    let mut recovery = Vec::new();
+    {
+        let fs = Arc::new(ChaosFs::clean());
+        let half = per_tenant / 2;
+        {
+            let mut core = ServeCore::with_fs(config(), fs.clone()).expect("serve core");
+            drive(&mut core, &commands, 0, half);
+            assert_eq!(core.checkpoint_all(), TENANTS);
+        }
+        for t in 0..TENANTS {
+            assert!(
+                fs.corrupt(&store::ckpt_path(
+                    &PathBuf::from("/r0"),
+                    &format!("t{t:03}")
+                )),
+                "replica 0 must hold t{t:03} to rot it"
+            );
+        }
+        let t0 = Instant::now();
+        let mut core = ServeCore::with_fs(config(), fs.clone()).expect("resume");
+        let recovery_ms = t0.elapsed().as_secs_f64() * 1_000.0;
+        let resumed = core.tenant_names().len();
+        assert_eq!(resumed, TENANTS, "every tenant must resume past the rot");
+        let snap = core.store_snapshot().expect("store is on");
+        assert_eq!(snap.corrupt_preserved, TENANTS as u64);
+        drive(&mut core, &commands, half, per_tenant);
+        println!(
+            "corruption-mid-run: recovery {recovery_ms:>6.1} ms  ({resumed} resumed, \
+             {} corrupt preserved)",
+            snap.corrupt_preserved
+        );
+        recovery.push(RecoveryPoint {
+            scenario: "corrupt-one-replica-at-rest".to_string(),
+            recovery_ms,
+            resumed_tenants: resumed,
+            corrupt_preserved: snap.corrupt_preserved,
+            durability_after: core.durability().label().to_string(),
+        });
+    }
+
+    // (c) Crash + resume with one replica dead at restart.
+    {
+        let fs = Arc::new(ChaosFs::clean());
+        let half = per_tenant / 2;
+        {
+            let mut core = ServeCore::with_fs(config(), fs.clone()).expect("serve core");
+            drive(&mut core, &commands, 0, half);
+            assert_eq!(core.checkpoint_all(), TENANTS);
+        }
+        fs.remove_tree(&PathBuf::from("/r0"));
+        fs.set_down(&PathBuf::from("/r0"), true);
+        let t0 = Instant::now();
+        let mut core = ServeCore::with_fs(config(), fs.clone()).expect("resume");
+        let recovery_ms = t0.elapsed().as_secs_f64() * 1_000.0;
+        let resumed = core.tenant_names().len();
+        assert_eq!(resumed, TENANTS, "survivors must carry the fleet");
+        drive(&mut core, &commands, half, per_tenant);
+        let persisted = core.checkpoint_all();
+        assert_eq!(persisted, TENANTS);
+        let durability_after = core.durability().label().to_string();
+        println!(
+            "crash+replica-dead: recovery {recovery_ms:>6.1} ms  ({resumed} resumed, \
+             durability={durability_after})"
+        );
+        recovery.push(RecoveryPoint {
+            scenario: "crash-resume-one-replica-dead".to_string(),
+            recovery_ms,
+            resumed_tenants: resumed,
+            corrupt_preserved: 0,
+            durability_after,
+        });
+    }
+
+    let out = AvailabilityBench {
+        bench: "perf_availability".to_string(),
+        tenants: TENANTS,
+        replicas: REPLICAS,
+        checkpoint_every: CHECKPOINT_EVERY,
+        failure_sweep,
+        recovery,
+    };
+    let text = serde_json::to_string_pretty(&out).expect("serializable");
+    let path = "BENCH_availability.json";
+    match std::fs::write(path, text) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+}

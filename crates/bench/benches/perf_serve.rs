@@ -84,7 +84,7 @@ fn command_suffixes() -> Vec<String> {
 
 fn serve_config(dir: &std::path::Path) -> ServeConfig {
     ServeConfig {
-        tenants_dir: Some(dir.to_path_buf()),
+        tenants_dirs: vec![dir.to_path_buf()],
         budget: BudgetPolicy {
             global_bytes: usize::MAX / 2,
             quota_bytes: usize::MAX / 4,
@@ -92,6 +92,7 @@ fn serve_config(dir: &std::path::Path) -> ServeConfig {
         shards: 4,
         checkpoint_every: 0,
         stream: StreamConfig::default().with_lateness(SimDuration::from_secs(3_600)),
+        ..ServeConfig::default()
     }
 }
 
@@ -165,7 +166,8 @@ fn main() {
         // floor, and time how long a cold start takes to resume the fleet.
         let half = per_tenant / 2;
         let (secs_a, mut lat_a) = drive(&mut core, &commands, 0, half);
-        core.checkpoint_all().expect("checkpoint");
+        let persisted = core.checkpoint_all();
+        assert_eq!(persisted, tenants, "every tenant must checkpoint");
         drop(core);
         let t0 = Instant::now();
         let mut core = ServeCore::new(serve_config(&dir)).expect("resume");

@@ -13,7 +13,7 @@
 //! logdiver reproduce [--divisor N] [--days N] [--seed N] [--boost-capability]
 //! logdiver swf       --out FILE [--divisor N] [--days N] [--seed N]
 //! logdiver lint      [--json] [--deny warnings] [--root DIR] [--rules]
-//! logdiver serve     [--listen ADDR] [--tenants-dir DIR]
+//! logdiver serve     [--listen ADDR] [--tenants-dir DIR]...
 //!                    [--checkpoint-every N] [--mem-budget BYTES] [--shards N]
 //! ```
 //!
@@ -50,7 +50,7 @@ use logdiver::{report, LogCollection, LogDiver};
 use rand::SeedableRng;
 
 fn usage() -> &'static str {
-    "usage:\n  logdiver simulate  --out DIR [--divisor N] [--days N] [--seed N]\n  logdiver analyze   --logs DIR [--csv DIR] [--threads N] [--timings]\n  logdiver validate  --logs DIR [--json] [--min-precision X] [--min-recall X]\n  logdiver campaign  --out DIR [--divisor N] [--days N] [--seed N] [--seeds N]\n                     [--severities LIST] [--gate-f1 X]\n  logdiver stream    --logs DIR [--chunk N] [--follow] [--shards N]\n                     [--lateness SECS] [--checkpoint FILE] [--resume FILE]\n                     [--checkpoint-every N] [--checkpoint-secs N]\n                     [--quarantine-out FILE] [--quarantine-keep N]\n  logdiver reproduce [--divisor N] [--days N] [--seed N] [--boost-capability]\n  logdiver swf       --out FILE [--divisor N] [--days N] [--seed N]\n  logdiver lint      [--json] [--deny warnings] [--root DIR] [--rules]\n  logdiver serve     [--listen ADDR] [--tenants-dir DIR] [--checkpoint-every N]\n                     [--mem-budget BYTES] [--shards N]\n\noptions:\n  --divisor N   machine scale divisor (1 = full Blue Waters; default 16)\n  --days N      production days to simulate (default 30; the paper is 518)\n  --seed N      RNG seed (default 1)\n  --out DIR     output directory for raw logs\n  --logs DIR    directory holding messages.log / hwerr.log / apsys.log /\n                torque.log / netwatch.log\n  --csv DIR     also write scale-curve CSVs there\n  --threads N   worker threads for the parallel analyze stages (default: all\n                cores; output is identical for every N)\n  --timings     print a per-stage wall-clock breakdown to stderr\n  --json        print validation results as JSON instead of text\n  --min-precision X  exit nonzero when attribution precision < X\n  --min-recall X     exit nonzero when attribution recall < X\n  --seeds N     campaign: number of consecutive seeds to sweep (default 2)\n  --severities LIST  campaign: comma-separated severity grid in [0,1]\n                (default 0,0.25,0.5,0.75,1)\n  --gate-f1 X   campaign: exit nonzero when the clean point's F1 < X\n  --chunk N     lines pushed per source per round when streaming (default 1024)\n  --follow      keep tailing the log files for appended lines; SIGINT writes\n                a final checkpoint and report, then exits cleanly\n  --shards N    parallel syslog parse workers (default 2)\n  --lateness SECS  allowed out-of-order lateness within a source (default 60)\n  --checkpoint FILE     write crash-safe checkpoints to FILE (atomic\n                temp+rename); resume later with --resume FILE\n  --resume FILE         restore engine state and file offsets from a\n                checkpoint; also the checkpoint target unless --checkpoint\n                says otherwise\n  --checkpoint-every N  checkpoint after N accepted lines (default 50000)\n  --checkpoint-secs N   also checkpoint every N seconds while lines flow\n                (default 5)\n  --quarantine-out FILE append every quarantined (corrupt) raw line to FILE\n  --quarantine-keep N   recent corrupt lines kept in memory per source\n                (default 16)\n  --boost-capability  multiply capability-job frequency ×8 (dense sampling\n                of the full-scale buckets on small machines)\n  --deny warnings  lint: fail on warnings too, not just errors (CI mode)\n  --root DIR    lint: workspace root (default: walk up from the cwd)\n  --rules       lint: print the rule catalog and exit\n  --listen ADDR serve: bind address (default 127.0.0.1:7044; port 0 picks an\n                ephemeral port, printed on startup)\n  --tenants-dir DIR     serve: checkpoint directory, one <tenant>.ckpt per\n                tenant (default ./tenants); a restarted daemon resumes every\n                tenant found there\n  --mem-budget BYTES    serve: global open-state budget; per-tenant quota is\n                an eighth of it (default 268435456)\n\nserve reuses --checkpoint-every (auto-checkpoint every N applied records,\ndefault 10000) and --shards (pump worker threads, default: CPU count)."
+    "usage:\n  logdiver simulate  --out DIR [--divisor N] [--days N] [--seed N]\n  logdiver analyze   --logs DIR [--csv DIR] [--threads N] [--timings]\n  logdiver validate  --logs DIR [--json] [--min-precision X] [--min-recall X]\n  logdiver campaign  --out DIR [--divisor N] [--days N] [--seed N] [--seeds N]\n                     [--severities LIST] [--gate-f1 X]\n  logdiver stream    --logs DIR [--chunk N] [--follow] [--shards N]\n                     [--lateness SECS] [--checkpoint FILE] [--resume FILE]\n                     [--checkpoint-every N] [--checkpoint-secs N]\n                     [--quarantine-out FILE] [--quarantine-keep N]\n  logdiver reproduce [--divisor N] [--days N] [--seed N] [--boost-capability]\n  logdiver swf       --out FILE [--divisor N] [--days N] [--seed N]\n  logdiver lint      [--json] [--deny warnings] [--root DIR] [--rules]\n  logdiver serve     [--listen ADDR] [--tenants-dir DIR]... [--checkpoint-every N]\n                     [--evict-after N] [--mem-budget BYTES] [--shards N]\n                     [--tenant-config FILE]\n\noptions:\n  --divisor N   machine scale divisor (1 = full Blue Waters; default 16)\n  --days N      production days to simulate (default 30; the paper is 518)\n  --seed N      RNG seed (default 1)\n  --out DIR     output directory for raw logs\n  --logs DIR    directory holding messages.log / hwerr.log / apsys.log /\n                torque.log / netwatch.log\n  --csv DIR     also write scale-curve CSVs there\n  --threads N   worker threads for the parallel analyze stages (default: all\n                cores; output is identical for every N)\n  --timings     print a per-stage wall-clock breakdown to stderr\n  --json        print validation results as JSON instead of text\n  --min-precision X  exit nonzero when attribution precision < X\n  --min-recall X     exit nonzero when attribution recall < X\n  --seeds N     campaign: number of consecutive seeds to sweep (default 2)\n  --severities LIST  campaign: comma-separated severity grid in [0,1]\n                (default 0,0.25,0.5,0.75,1)\n  --gate-f1 X   campaign: exit nonzero when the clean point's F1 < X\n  --chunk N     lines pushed per source per round when streaming (default 1024)\n  --follow      keep tailing the log files for appended lines; SIGINT writes\n                a final checkpoint and report, then exits cleanly\n  --shards N    parallel syslog parse workers (default 2)\n  --lateness SECS  allowed out-of-order lateness within a source (default 60)\n  --checkpoint FILE     write crash-safe checkpoints to FILE (atomic\n                temp+rename); resume later with --resume FILE\n  --resume FILE         restore engine state and file offsets from a\n                checkpoint; also the checkpoint target unless --checkpoint\n                says otherwise\n  --checkpoint-every N  checkpoint after N accepted lines (default 50000)\n  --checkpoint-secs N   also checkpoint every N seconds while lines flow\n                (default 5)\n  --quarantine-out FILE append every quarantined (corrupt) raw line to FILE\n  --quarantine-keep N   recent corrupt lines kept in memory per source\n                (default 16)\n  --boost-capability  multiply capability-job frequency ×8 (dense sampling\n                of the full-scale buckets on small machines)\n  --deny warnings  lint: fail on warnings too, not just errors (CI mode)\n  --root DIR    lint: workspace root (default: walk up from the cwd)\n  --rules       lint: print the rule catalog and exit\n  --listen ADDR serve: bind address (default 127.0.0.1:7044; port 0 picks an\n                ephemeral port, printed on startup)\n  --tenants-dir DIR     serve: checkpoint directory, one <tenant>.ckpt per\n                tenant (default ./tenants); repeat the flag to replicate\n                every checkpoint across several directories, and a restarted\n                daemon resumes each tenant from the newest valid replica\n  --evict-after N       serve: checkpoint and evict a tenant idle for N pump\n                sweeps; it is resurrected transparently on its next PUSH\n                (default 0 = never evict)\n  --tenant-config FILE  serve: per-tenant StreamConfig overrides, one\n                `<tenant> key=value ...` per line (keys: lateness,\n                quarantine-keep)\n  --mem-budget BYTES    serve: global open-state budget; per-tenant quota is\n                an eighth of it (default 268435456)\n\nserve reuses --checkpoint-every (auto-checkpoint every N applied records,\ndefault 10000) and --shards (pump worker threads, default: CPU count)."
 }
 
 /// What one subcommand accepts: value-taking options and bare switches.
@@ -127,16 +127,25 @@ const COMMANDS: &[CommandSpec] = &[
             "listen",
             "tenants-dir",
             "checkpoint-every",
+            "evict-after",
             "mem-budget",
             "shards",
+            "tenant-config",
         ],
         switches: &[],
     },
 ];
 
+/// Flags that may be given more than once; every occurrence is kept, in
+/// order, in `Args::multi`. `serve --tenants-dir A --tenants-dir B` is
+/// how checkpoint replicas are declared.
+const REPEATABLE: &[&str] = &["tenants-dir"];
+
 #[derive(Debug, Default)]
 struct Args {
     flags: HashMap<String, String>,
+    /// Values of `REPEATABLE` flags, in command-line order.
+    multi: HashMap<String, Vec<String>>,
     switches: Vec<String>,
 }
 
@@ -160,7 +169,9 @@ fn parse_args(spec: &CommandSpec, argv: &[String]) -> Result<Args, String> {
                     .cloned()
                     .ok_or_else(|| format!("option --{name} requires a value"))?,
             };
-            if args.flags.insert(name.to_string(), value).is_some() {
+            if REPEATABLE.contains(&name) {
+                args.multi.entry(name.to_string()).or_default().push(value);
+            } else if args.flags.insert(name.to_string(), value).is_some() {
                 return Err(format!("option --{name} given more than once"));
             }
         } else if spec.switches.contains(&name) {
@@ -778,10 +789,14 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     if let Some(listen) = args.flags.get("listen") {
         config.listen = listen.clone();
     }
-    if let Some(dir) = args.flags.get("tenants-dir") {
-        config.tenants_dir = std::path::PathBuf::from(dir);
+    if let Some(dirs) = args.multi.get("tenants-dir") {
+        config.tenants_dirs = dirs.iter().map(std::path::PathBuf::from).collect();
+    }
+    if let Some(path) = args.flags.get("tenant-config") {
+        config.tenant_config = Some(std::path::PathBuf::from(path));
     }
     config.checkpoint_every = get_u64(args, "checkpoint-every", config.checkpoint_every)?;
+    config.evict_after = get_u64(args, "evict-after", config.evict_after)?;
     config.mem_budget = get_u64(args, "mem-budget", config.mem_budget as u64)? as usize;
     let shards = get_u64(args, "shards", config.shards as u64)?;
     if shards == 0 {
@@ -983,19 +998,33 @@ mod tests {
                 "--listen",
                 "127.0.0.1:0",
                 "--tenants-dir=/tmp/tenants",
+                "--tenants-dir",
+                "/mnt/replica",
                 "--checkpoint-every",
                 "500",
+                "--evict-after=32",
                 "--mem-budget=1048576",
                 "--shards",
                 "4",
+                "--tenant-config",
+                "/tmp/overrides.conf",
             ]),
         )
         .unwrap();
         assert_eq!(args.flags.get("listen").unwrap(), "127.0.0.1:0");
-        assert_eq!(args.flags.get("tenants-dir").unwrap(), "/tmp/tenants");
+        // --tenants-dir is repeatable: both replicas survive, in order.
+        assert_eq!(
+            args.multi.get("tenants-dir").unwrap(),
+            &["/tmp/tenants".to_string(), "/mnt/replica".to_string()]
+        );
         assert_eq!(get_u64(&args, "checkpoint-every", 0).unwrap(), 500);
+        assert_eq!(get_u64(&args, "evict-after", 0).unwrap(), 32);
         assert_eq!(get_u64(&args, "mem-budget", 0).unwrap(), 1 << 20);
         assert_eq!(get_u64(&args, "shards", 0).unwrap(), 4);
+        assert_eq!(
+            args.flags.get("tenant-config").unwrap(),
+            "/tmp/overrides.conf"
+        );
     }
 
     #[test]

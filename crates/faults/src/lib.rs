@@ -55,6 +55,7 @@ pub use config::{BurnIn, FaultConfig};
 pub use conn::{chaos_transcripts, ChaosStream, ConnChaosConfig, Connection};
 pub use detection::{Detectability, DetectionModel};
 pub use injector::FaultInjector;
+pub use io::{ChaosFs, ChaosFsConfig, ChaosWriter, IoFault, SimulatedLog};
 pub use kinds::{FaultEvent, FaultKind, GpuFaultKind, NodeCrashCause, WideKillModel};
 pub use perturb::{
     Mutation, PerturbSource, Perturbation, PerturbationPipeline, PerturbationTruth, RawLogs,

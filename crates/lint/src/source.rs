@@ -58,6 +58,7 @@ const CHECKPOINT_STATE: &[&str] = &[
     "crates/stream/src/index.rs",
     "crates/stream/src/health.rs",
     "crates/core/src/checkpoint.rs",
+    "crates/serve/src/store.rs",
     "crates/types/src/time.rs",
 ];
 

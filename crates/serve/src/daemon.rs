@@ -22,7 +22,7 @@ use logdiver::exec;
 use parking_lot::Mutex;
 
 use crate::budget::BudgetPolicy;
-use crate::server::{ServeConfig, ServeCore};
+use crate::server::{parse_tenant_config, ServeConfig, ServeCore, TenantOverrides};
 
 /// How often the ticker pumps an otherwise-idle fleet.
 const TICK: Duration = Duration::from_millis(250);
@@ -34,48 +34,65 @@ pub struct DaemonConfig {
     /// `--listen`: bind address, e.g. `127.0.0.1:7044` (port `0` picks an
     /// ephemeral port; the chosen address is printed on startup).
     pub listen: String,
-    /// `--tenants-dir`: where `<tenant>.ckpt` files live.
-    pub tenants_dir: PathBuf,
+    /// `--tenants-dir` (repeatable): checkpoint replica directories.
+    /// Every checkpoint is written to all of them; resume restores each
+    /// tenant from the newest valid copy.
+    pub tenants_dirs: Vec<PathBuf>,
     /// `--checkpoint-every`: auto-checkpoint cadence in applied records
     /// (0 disables the cadence; explicit `CHECKPOINT` still works).
     pub checkpoint_every: u64,
+    /// `--evict-after`: evict a tenant to its checkpoint after this many
+    /// idle pump sweeps (0 = never).
+    pub evict_after: u64,
     /// `--mem-budget`: global open-state budget in bytes; the per-tenant
     /// quota is derived ([`BudgetPolicy::from_global`]).
     pub mem_budget: usize,
     /// `--shards`: worker threads for the tenant pump.
     pub shards: usize,
+    /// `--tenant-config`: optional per-tenant `StreamConfig` override
+    /// file (see [`parse_tenant_config`] for the format).
+    pub tenant_config: Option<PathBuf>,
 }
 
 impl Default for DaemonConfig {
     fn default() -> Self {
         DaemonConfig {
             listen: "127.0.0.1:7044".to_string(),
-            tenants_dir: PathBuf::from("tenants"),
+            tenants_dirs: vec![PathBuf::from("tenants")],
             checkpoint_every: 10_000,
+            evict_after: 0,
             mem_budget: 256 << 20,
             shards: exec::default_threads(),
+            tenant_config: None,
         }
     }
 }
 
 /// Usage text shared by the binary and the CLI subcommand.
 pub const USAGE: &str = "\
-usage: logdiver-serve [--listen ADDR] [--tenants-dir DIR]
-                      [--checkpoint-every N] [--mem-budget BYTES]
-                      [--shards N]
+usage: logdiver-serve [--listen ADDR] [--tenants-dir DIR]...
+                      [--checkpoint-every N] [--evict-after N]
+                      [--mem-budget BYTES] [--shards N]
+                      [--tenant-config FILE]
 
   --listen ADDR         bind address (default 127.0.0.1:7044; port 0 = ephemeral)
-  --tenants-dir DIR     checkpoint directory (default ./tenants)
+  --tenants-dir DIR     checkpoint replica directory (default ./tenants);
+                        repeat the flag to replicate checkpoints across
+                        several directories and resume from the newest
+                        valid copy
   --checkpoint-every N  auto-checkpoint every N applied records (default 10000)
+  --evict-after N       evict tenants idle for N pump sweeps (default 0 = never)
   --mem-budget BYTES    global open-state budget (default 268435456)
-  --shards N            pump worker threads (default: CPU count)";
+  --shards N            pump worker threads (default: CPU count)
+  --tenant-config FILE  per-tenant overrides: '<tenant> key=value ...' lines";
 
 /// Parses the daemon flags. Accepts `--name value` and `--name=value`;
-/// any unknown, duplicate, or valueless option is an error (the callers
-/// exit 2 with [`USAGE`]).
+/// any unknown, duplicate (except the repeatable `--tenants-dir`), or
+/// valueless option is an error (the callers exit 2 with [`USAGE`]).
 pub fn parse_flags(args: &[String]) -> Result<DaemonConfig, String> {
     let mut config = DaemonConfig::default();
     let mut seen: Vec<String> = Vec::new();
+    let mut dirs_given = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let (name, inline_value) = match arg.split_once('=') {
@@ -85,10 +102,12 @@ pub fn parse_flags(args: &[String]) -> Result<DaemonConfig, String> {
         if !name.starts_with("--") {
             return Err(format!("unexpected argument '{arg}'"));
         }
-        if seen.iter().any(|s| s == name) {
-            return Err(format!("duplicate option '{name}'"));
+        if name != "--tenants-dir" {
+            if seen.iter().any(|s| s == name) {
+                return Err(format!("duplicate option '{name}'"));
+            }
+            seen.push(name.to_string());
         }
-        seen.push(name.to_string());
         let mut value = || -> Result<String, String> {
             match inline_value.clone() {
                 Some(v) => Ok(v),
@@ -100,8 +119,18 @@ pub fn parse_flags(args: &[String]) -> Result<DaemonConfig, String> {
         };
         match name {
             "--listen" => config.listen = value()?,
-            "--tenants-dir" => config.tenants_dir = PathBuf::from(value()?),
+            "--tenants-dir" => {
+                // The first occurrence replaces the default; later ones
+                // add replicas.
+                if !dirs_given {
+                    config.tenants_dirs.clear();
+                    dirs_given = true;
+                }
+                config.tenants_dirs.push(PathBuf::from(value()?));
+            }
             "--checkpoint-every" => config.checkpoint_every = parse_num(name, &value()?)?,
+            "--evict-after" => config.evict_after = parse_num(name, &value()?)?,
+            "--tenant-config" => config.tenant_config = Some(PathBuf::from(value()?)),
             "--mem-budget" => config.mem_budget = parse_num(name, &value()?)? as usize,
             "--shards" => {
                 let n = parse_num(name, &value()?)?;
@@ -122,15 +151,30 @@ fn parse_num(name: &str, raw: &str) -> Result<u64, String> {
 }
 
 impl DaemonConfig {
-    /// The equivalent core configuration.
+    /// The equivalent core configuration (overrides from
+    /// `--tenant-config` are loaded separately by
+    /// [`DaemonConfig::load_overrides`]).
     pub fn serve_config(&self) -> ServeConfig {
         ServeConfig {
-            tenants_dir: Some(self.tenants_dir.clone()),
+            tenants_dirs: self.tenants_dirs.clone(),
             budget: BudgetPolicy::from_global(self.mem_budget),
             shards: self.shards,
             checkpoint_every: self.checkpoint_every,
+            evict_after: self.evict_after,
             ..ServeConfig::default()
         }
+    }
+
+    /// Reads and parses the `--tenant-config` file, if one was given.
+    pub fn load_overrides(
+        &self,
+    ) -> Result<std::collections::BTreeMap<String, TenantOverrides>, String> {
+        let Some(path) = &self.tenant_config else {
+            return Ok(std::collections::BTreeMap::new());
+        };
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("--tenant-config {}: {e}", path.display()))?;
+        parse_tenant_config(&text).map_err(|e| format!("--tenant-config {}: {e}", path.display()))
     }
 }
 
@@ -138,10 +182,19 @@ impl DaemonConfig {
 /// Prints `logdiver-serve listening on <addr>` once bound so drivers
 /// using an ephemeral port can discover it.
 pub fn run(config: DaemonConfig) -> std::io::Result<()> {
-    let core = ServeCore::new(config.serve_config())?;
+    let mut serve = config.serve_config();
+    serve.overrides = config
+        .load_overrides()
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+    let core = ServeCore::new(serve)?;
     for warning in core.warnings() {
         eprintln!("logdiver-serve: warning: {warning}");
     }
+    eprintln!(
+        "logdiver-serve: {} checkpoint replica(s), durability={}",
+        config.tenants_dirs.len(),
+        core.durability().label()
+    );
     let resumed = core.tenant_names();
     if !resumed.is_empty() {
         eprintln!(
@@ -200,10 +253,11 @@ fn handle_connection(mut stream: TcpStream, core: Arc<Mutex<ServeCore>>) {
         }
         if shutdown {
             let mut core = core.lock();
-            match core.checkpoint_all() {
-                Ok(n) => eprintln!("logdiver-serve: shutdown, checkpointed {n} tenant(s)"),
-                Err(e) => eprintln!("logdiver-serve: shutdown checkpoint failed: {e}"),
-            }
+            let n = core.checkpoint_all();
+            eprintln!(
+                "logdiver-serve: shutdown, checkpointed {n} tenant(s), durability={}",
+                core.durability().label()
+            );
             std::process::exit(0);
         }
     }
@@ -228,16 +282,33 @@ mod tests {
             "--tenants-dir=/tmp/t",
             "--checkpoint-every",
             "500",
+            "--evict-after=64",
             "--mem-budget=1048576",
             "--shards",
             "4",
+            "--tenant-config",
+            "/tmp/overrides.conf",
         ]))
         .unwrap();
         assert_eq!(d.listen, "0.0.0.0:9000");
-        assert_eq!(d.tenants_dir, PathBuf::from("/tmp/t"));
+        assert_eq!(d.tenants_dirs, vec![PathBuf::from("/tmp/t")]);
         assert_eq!(d.checkpoint_every, 500);
+        assert_eq!(d.evict_after, 64);
         assert_eq!(d.mem_budget, 1 << 20);
         assert_eq!(d.shards, 4);
+        assert_eq!(d.tenant_config, Some(PathBuf::from("/tmp/overrides.conf")));
+    }
+
+    #[test]
+    fn tenants_dir_is_repeatable_and_replaces_the_default() {
+        let d = parse_flags(&argv(&["--tenants-dir", "/a", "--tenants-dir=/b"])).unwrap();
+        assert_eq!(
+            d.tenants_dirs,
+            vec![PathBuf::from("/a"), PathBuf::from("/b")]
+        );
+        // No flag: the single default dir.
+        let d = parse_flags(&[]).unwrap();
+        assert_eq!(d.tenants_dirs, vec![PathBuf::from("tenants")]);
     }
 
     #[test]
@@ -268,6 +339,7 @@ mod tests {
         let c = d.serve_config();
         assert_eq!(c.budget.global_bytes, 8 << 20);
         assert_eq!(c.budget.quota_bytes, 1 << 20);
-        assert_eq!(c.tenants_dir, Some(PathBuf::from("tenants")));
+        assert_eq!(c.tenants_dirs, vec![PathBuf::from("tenants")]);
+        assert_eq!(c.evict_after, 0);
     }
 }

@@ -20,6 +20,9 @@
 //!   module allowances).
 //! * [`server`] — [`server::ServeCore`], the deterministic heart:
 //!   bytes in, responses out, no sockets, no clock.
+//! * [`store`] — [`store::CheckpointStore`], replicated checkpoint
+//!   durability across N replica dirs with per-replica health machines
+//!   and newest-valid restore.
 //! * [`tenant`] / [`budget`] / [`proto`] — one tenant's engine + queue,
 //!   admission control, and the wire grammar.
 
@@ -30,8 +33,10 @@ pub mod budget;
 pub mod daemon;
 pub mod proto;
 pub mod server;
+pub mod store;
 pub mod tenant;
 
 pub use budget::BudgetPolicy;
 pub use daemon::DaemonConfig;
-pub use server::{ServeConfig, ServeCore, ServeStats};
+pub use server::{ServeConfig, ServeCore, ServeStats, TenantOverrides};
+pub use store::{CheckpointStore, Durability, StorePolicy};

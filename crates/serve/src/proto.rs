@@ -8,12 +8,13 @@
 //! §15.
 //!
 //! ```text
-//! HELLO <tenant>
+//! HELLO <tenant> [key=value …]
 //! PUSH <tenant> <source> <index> <line…>
 //! FLUSH <tenant>
 //! SNAPSHOT [<tenant>]
 //! CHECKPOINT [<tenant>]
 //! REPORT <tenant>
+//! DROP <tenant>
 //! SHUTDOWN
 //! ```
 //!
@@ -21,6 +22,13 @@
 //! the protocol is idempotent: after any disconnect the client replays
 //! from the server's `HELLO` cursor, and the server answers `OK dup` for
 //! anything it already accepted instead of double-counting it.
+//!
+//! `HELLO` may carry per-tenant `StreamConfig` overrides as `key=value`
+//! options (`lateness=<secs>`, `quarantine-keep=<n>`); the server rejects
+//! unknown keys, unparseable values, and options that conflict with an
+//! existing tenant's configuration — each with a machine-readable `ERR`.
+//! `DROP` destroys a tenant and tombstones its checkpoints so a restart
+//! does not resurrect it.
 
 use logdiver_stream::Source;
 
@@ -35,6 +43,9 @@ pub enum Request<'a> {
     Hello {
         /// Tenant name.
         tenant: &'a str,
+        /// Per-tenant `StreamConfig` override options, in wire order.
+        /// Keys are validated by the server, not the parser.
+        options: Vec<(&'a str, &'a str)>,
     },
     /// Append one raw log line to a tenant's source stream.
     Push {
@@ -64,8 +75,14 @@ pub enum Request<'a> {
         tenant: Option<&'a str>,
     },
     /// The full batch-equivalent text report for one tenant, framed as
-    /// `OK lines=<n>` followed by `<n>` report lines.
+    /// `OK lines=<n> …` followed by `<n>` report lines.
     Report {
+        /// Tenant name.
+        tenant: &'a str,
+    },
+    /// Destroy a tenant: discard its live engine and tombstone its
+    /// checkpoints on every replica so a restart does not resurrect it.
+    Drop {
         /// Tenant name.
         tenant: &'a str,
     },
@@ -89,6 +106,8 @@ pub enum ProtoError {
     /// The tenant name is empty, too long, starts with `.`, or contains
     /// characters outside `[A-Za-z0-9._-]`.
     BadTenantName(String),
+    /// A `HELLO` option token is not of the form `key=value`.
+    BadOption(String),
 }
 
 impl ProtoError {
@@ -101,6 +120,7 @@ impl ProtoError {
             ProtoError::BadSource(_) => "bad-source",
             ProtoError::BadIndex(_) => "bad-index",
             ProtoError::BadTenantName(_) => "bad-tenant-name",
+            ProtoError::BadOption(_) => "bad-option",
         }
     }
 
@@ -122,13 +142,16 @@ impl ProtoError {
             ProtoError::BadTenantName(name) => {
                 format!("ERR code={} tenant={}", self.code(), sanitize(name))
             }
+            ProtoError::BadOption(tok) => {
+                format!("ERR code={} option={}", self.code(), sanitize(tok))
+            }
         }
     }
 }
 
 /// Echoed tokens come from the wire; cap them and strip anything that
 /// would break the one-line response framing.
-fn sanitize(token: &str) -> String {
+pub(crate) fn sanitize(token: &str) -> String {
     token
         .chars()
         .filter(|c| !c.is_control())
@@ -173,10 +196,20 @@ pub fn parse(line: &str) -> Result<Request<'_>, ProtoError> {
     };
     match verb {
         "HELLO" => {
-            let tenant = one_arg(rest, "tenant")?;
-            Ok(Request::Hello {
-                tenant: check_tenant(tenant)?,
-            })
+            let mut tokens = rest.split(' ').filter(|t| !t.is_empty());
+            let tenant = tokens.next().ok_or(ProtoError::MissingArg("tenant"))?;
+            let tenant = check_tenant(tenant)?;
+            let mut options = Vec::new();
+            for token in tokens {
+                let (key, value) = token
+                    .split_once('=')
+                    .ok_or_else(|| ProtoError::BadOption(token.to_string()))?;
+                if key.is_empty() {
+                    return Err(ProtoError::BadOption(token.to_string()));
+                }
+                options.push((key, value));
+            }
+            Ok(Request::Hello { tenant, options })
         }
         "PUSH" => {
             let (tenant, rest) = rest
@@ -222,6 +255,12 @@ pub fn parse(line: &str) -> Result<Request<'_>, ProtoError> {
         "REPORT" => {
             let tenant = one_arg(rest, "tenant")?;
             Ok(Request::Report {
+                tenant: check_tenant(tenant)?,
+            })
+        }
+        "DROP" => {
+            let tenant = one_arg(rest, "tenant")?;
+            Ok(Request::Drop {
                 tenant: check_tenant(tenant)?,
             })
         }
@@ -290,7 +329,14 @@ mod tests {
 
     #[test]
     fn verbs_parse() {
-        assert_eq!(parse("HELLO a").unwrap(), Request::Hello { tenant: "a" });
+        assert_eq!(
+            parse("HELLO a").unwrap(),
+            Request::Hello {
+                tenant: "a",
+                options: vec![]
+            }
+        );
+        assert_eq!(parse("DROP a").unwrap(), Request::Drop { tenant: "a" });
         assert_eq!(parse("FLUSH a").unwrap(), Request::Flush { tenant: "a" });
         assert_eq!(
             parse("SNAPSHOT").unwrap(),
@@ -306,6 +352,31 @@ mod tests {
         );
         assert_eq!(parse("REPORT a").unwrap(), Request::Report { tenant: "a" });
         assert_eq!(parse("SHUTDOWN").unwrap(), Request::Shutdown);
+    }
+
+    #[test]
+    fn hello_options_parse_as_key_value_pairs() {
+        assert_eq!(
+            parse("HELLO bw lateness=120 quarantine-keep=8").unwrap(),
+            Request::Hello {
+                tenant: "bw",
+                options: vec![("lateness", "120"), ("quarantine-keep", "8")],
+            }
+        );
+        // The parser only enforces the key=value shape; key vocabulary is
+        // the server's business.
+        assert_eq!(
+            parse("HELLO bw anything=goes").unwrap(),
+            Request::Hello {
+                tenant: "bw",
+                options: vec![("anything", "goes")],
+            }
+        );
+        assert_eq!(
+            parse("HELLO bw lateness").unwrap_err().response(),
+            "ERR code=bad-option option=lateness"
+        );
+        assert_eq!(parse("HELLO bw =5").unwrap_err().code(), "bad-option");
     }
 
     #[test]

@@ -14,18 +14,35 @@
 //! lines (or on any control verb) the queued work for *all* tenants is
 //! sharded across `shards` workers. Five hundred tenants cost five
 //! hundred engines but only `shards` threads.
+//!
+//! Durability goes through [`crate::store::CheckpointStore`]: every
+//! checkpoint is replicated across the configured replica dirs, resume
+//! restores each tenant from the newest valid copy, and a dead replica
+//! degrades the reported durability level instead of stalling ingestion.
+//! All filesystem traffic runs through the [`Fs`] seam, so the chaos
+//! tests can inject torn writes, ENOSPC, and bit rot deterministically
+//! via [`ServeCore::with_fs`].
+//!
+//! Tenants have a lifecycle: a tenant idle for more than `evict_after`
+//! pump sweeps is checkpointed and dropped from memory, then
+//! transparently resurrected from the store the next time any verb
+//! references it; `DROP` destroys a tenant outright, leaving tombstones
+//! so a restart does not bring it back.
 
-use std::collections::{BTreeMap, HashMap};
-use std::path::{Path, PathBuf};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::path::PathBuf;
+use std::sync::Arc;
 
 use logdiver::exec;
 use logdiver::pipeline::Analysis;
 use logdiver_stream::{Source, StreamCheckpoint, StreamConfig};
-use logdiver_types::Timestamp;
+use logdiver_types::fsio::{Fs, RealFs};
+use logdiver_types::{SimDuration, Timestamp};
 use serde::Serialize;
 
 use crate::budget::{Admission, BudgetPolicy};
 use crate::proto::{self, Request};
+use crate::store::{CheckpointStore, Durability, StorePolicy, StoreSnapshot};
 use crate::tenant::{Offer, Tenant};
 
 /// How many accepted pushes may queue fleet-wide before the core pumps
@@ -37,9 +54,11 @@ const PUMP_EVERY: u64 = 1024;
 /// Daemon-level configuration (the flag surface of `logdiver serve`).
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Where tenant checkpoints live (`<dir>/<tenant>.ckpt`); `None`
-    /// disables persistence (and `CHECKPOINT` returns an error).
-    pub tenants_dir: Option<PathBuf>,
+    /// Replica directories for tenant checkpoints (`--tenants-dir`,
+    /// repeatable): every checkpoint is written to all of them, resume
+    /// restores from the newest valid copy. Empty disables persistence
+    /// (and `CHECKPOINT` returns an error).
+    pub tenants_dirs: Vec<PathBuf>,
     /// Global/per-tenant memory limits.
     pub budget: BudgetPolicy,
     /// Worker threads for the tenant pump (the `--shards` flag).
@@ -47,20 +66,138 @@ pub struct ServeConfig {
     /// Auto-checkpoint every N applied records fleet-wide (0 = only on
     /// explicit `CHECKPOINT`/shutdown).
     pub checkpoint_every: u64,
-    /// Per-tenant engine configuration.
+    /// Evict a tenant to its checkpoint after this many consecutive pump
+    /// sweeps with no traffic and nothing queued (0 = never evict).
+    pub evict_after: u64,
+    /// Fleet-default per-tenant engine configuration.
     pub stream: StreamConfig,
+    /// Per-tenant `StreamConfig` overrides (from `--tenant-config`;
+    /// `HELLO` options add to this at runtime).
+    pub overrides: BTreeMap<String, TenantOverrides>,
+    /// Replica health machine tuning.
+    pub store: StorePolicy,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
-            tenants_dir: None,
+            tenants_dirs: Vec::new(),
             budget: BudgetPolicy::default(),
             shards: exec::default_threads(),
             checkpoint_every: 10_000,
+            evict_after: 0,
             stream: StreamConfig::default(),
+            overrides: BTreeMap::new(),
+            store: StorePolicy::default(),
         }
     }
+}
+
+/// Per-tenant overrides of the fleet-default [`StreamConfig`], settable
+/// via `HELLO <tenant> key=value …` or a `--tenant-config` file. `None`
+/// means "use the fleet default".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantOverrides {
+    /// Allowed lateness in seconds (`lateness=<secs>`).
+    pub lateness_secs: Option<i64>,
+    /// Quarantined lines kept per source (`quarantine-keep=<n>`).
+    pub quarantine_keep: Option<usize>,
+}
+
+impl TenantOverrides {
+    /// Applies one `key=value` option. Unknown keys and unparseable
+    /// values produce the full machine-readable `ERR` line.
+    pub fn set(&mut self, key: &str, value: &str) -> Result<(), String> {
+        match key {
+            "lateness" => match value.parse::<i64>() {
+                Ok(secs) if secs >= 0 => {
+                    self.lateness_secs = Some(secs);
+                    Ok(())
+                }
+                _ => Err(bad_option(key, value)),
+            },
+            "quarantine-keep" => match value.parse::<usize>() {
+                Ok(keep) => {
+                    self.quarantine_keep = Some(keep);
+                    Ok(())
+                }
+                Err(_) => Err(bad_option(key, value)),
+            },
+            _ => Err(format!(
+                "ERR code=unknown-option key={}",
+                proto::sanitize(key)
+            )),
+        }
+    }
+}
+
+fn bad_option(key: &str, value: &str) -> String {
+    format!(
+        "ERR code=bad-option key={} value={}",
+        proto::sanitize(key),
+        proto::sanitize(value)
+    )
+}
+
+/// Parses a `--tenant-config` file: one tenant per line,
+/// `<tenant> key=value [key=value …]`, `#` comments and blank lines
+/// ignored. Unknown keys, bad values, bad tenant names, and duplicate
+/// tenant lines are errors (reported with their line number).
+pub fn parse_tenant_config(text: &str) -> Result<BTreeMap<String, TenantOverrides>, String> {
+    let mut overrides = BTreeMap::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let Some(tenant) = tokens.next() else {
+            continue;
+        };
+        if !proto::valid_tenant_name(tenant) {
+            return Err(format!("line {}: bad tenant name {tenant:?}", lineno + 1));
+        }
+        let mut ov = TenantOverrides::default();
+        for token in tokens {
+            let Some((key, value)) = token.split_once('=') else {
+                return Err(format!(
+                    "line {}: expected key=value, got {token:?}",
+                    lineno + 1
+                ));
+            };
+            if let Err(err) = ov.set(key, value) {
+                return Err(format!("line {}: {err}", lineno + 1));
+            }
+        }
+        if overrides.insert(tenant.to_string(), ov).is_some() {
+            return Err(format!("line {}: duplicate tenant {tenant}", lineno + 1));
+        }
+    }
+    Ok(overrides)
+}
+
+/// The effective engine config for one tenant: fleet default, overlaid
+/// with the tenant's overrides. When resuming and no explicit lateness
+/// override exists, the checkpoint's own recorded lateness is adopted —
+/// the checkpoint is self-describing, and the released watermark already
+/// baked that value in.
+fn stream_for(
+    config: &ServeConfig,
+    overrides: &BTreeMap<String, TenantOverrides>,
+    name: &str,
+    ckpt: Option<&StreamCheckpoint>,
+) -> StreamConfig {
+    let ov = overrides.get(name).copied().unwrap_or_default();
+    let mut stream = config.stream.clone();
+    match (ov.lateness_secs, ckpt) {
+        (Some(secs), _) => stream = stream.with_lateness(SimDuration::from_secs(secs)),
+        (None, Some(c)) => stream = stream.with_lateness(SimDuration::from_secs(c.lateness_secs)),
+        (None, None) => {}
+    }
+    if let Some(keep) = ov.quarantine_keep {
+        stream = stream.with_quarantine_keep(keep);
+    }
+    stream
 }
 
 /// Fleet-wide counters, serialized by the aggregate `SNAPSHOT`.
@@ -78,15 +215,26 @@ pub struct ServeStats {
     pub shed_quota: u64,
     /// Pushes shed over the global budget.
     pub shed_budget: u64,
-    /// Auto-checkpoint sweeps that failed with an I/O error.
+    /// Checkpoint sweeps in which at least one tenant could not be
+    /// persisted to any replica.
     pub checkpoint_errors: u64,
+    /// Idle tenants evicted to their checkpoints.
+    pub evicted: u64,
+    /// Evicted tenants resurrected from the store on a later reference.
+    pub resurrected: u64,
+    /// `DROP` requests processed.
+    pub dropped: u64,
 }
 
 /// The multi-tenant core. See the module docs.
 #[derive(Debug)]
 pub struct ServeCore {
     config: ServeConfig,
+    store: Option<CheckpointStore>,
+    overrides: BTreeMap<String, TenantOverrides>,
     tenants: BTreeMap<String, Tenant>,
+    /// Tenants checkpointed out of memory, resurrectable from the store.
+    evicted: BTreeSet<String>,
     conns: HashMap<u64, Vec<u8>>,
     next_conn: u64,
     fleet_cost: usize,
@@ -98,61 +246,76 @@ pub struct ServeCore {
 }
 
 impl ServeCore {
-    /// Builds a core, resuming every tenant that has a checkpoint in
-    /// `tenants_dir`. A missing dir is created; an unreadable or
-    /// mismatched checkpoint skips that tenant and records a warning
-    /// (fetchable via [`ServeCore::warnings`]) rather than refusing to
-    /// start the rest of the fleet.
+    /// Builds a core over the real filesystem, resuming every tenant
+    /// that has a valid checkpoint on any replica. See
+    /// [`ServeCore::with_fs`].
     pub fn new(config: ServeConfig) -> std::io::Result<Self> {
-        let mut core = ServeCore {
+        Self::with_fs(config, Arc::new(RealFs))
+    }
+
+    /// Builds a core over an arbitrary [`Fs`] (the chaos tests inject
+    /// faulty filesystems here). Each tenant with a checkpoint resumes
+    /// from the *newest valid* replica copy; corrupt copies are moved
+    /// aside and warned about ([`ServeCore::warnings`]), and a tenant
+    /// with no valid copy anywhere is skipped rather than refusing to
+    /// start the rest of the fleet. Replica dirs that cannot even be
+    /// created start out Failed — durability degrades, startup proceeds.
+    pub fn with_fs(config: ServeConfig, fs: Arc<dyn Fs>) -> std::io::Result<Self> {
+        let mut warnings = Vec::new();
+        let overrides = config.overrides.clone();
+        let mut store = if config.tenants_dirs.is_empty() {
+            None
+        } else {
+            Some(CheckpointStore::open(
+                fs,
+                &config.tenants_dirs,
+                config.store,
+            ))
+        };
+        let mut tenants = BTreeMap::new();
+        let mut fleet_cost = 0;
+        if let Some(store) = store.as_mut() {
+            let names: Vec<String> = store
+                .list_tenants(&mut warnings)
+                .into_iter()
+                .filter(|n| proto::valid_tenant_name(n))
+                .collect();
+            for name in names {
+                match store.read_newest(&name, &mut warnings) {
+                    Some(ckpt) => {
+                        let stream = stream_for(&config, &overrides, &name, Some(&ckpt));
+                        match Tenant::resume(name.clone(), stream, &ckpt) {
+                            Ok(tenant) => {
+                                fleet_cost += tenant.cost();
+                                tenants.insert(name, tenant);
+                            }
+                            Err(e) => warnings.push(format!("tenant {name}: {e}")),
+                        }
+                    }
+                    None => {
+                        warnings.push(format!("tenant {name}: no valid checkpoint on any replica"))
+                    }
+                }
+            }
+        }
+        Ok(ServeCore {
             config,
-            tenants: BTreeMap::new(),
+            store,
+            overrides,
+            tenants,
+            evicted: BTreeSet::new(),
             conns: HashMap::new(),
             next_conn: 0,
-            fleet_cost: 0,
+            fleet_cost,
             unpumped: 0,
             since_checkpoint: 0,
             stats: ServeStats::default(),
             shutdown: false,
-            warnings: Vec::new(),
-        };
-        if let Some(dir) = core.config.tenants_dir.clone() {
-            std::fs::create_dir_all(&dir)?;
-            let mut names: Vec<String> = Vec::new();
-            for entry in std::fs::read_dir(&dir)? {
-                let path = entry?.path();
-                let (Some(stem), Some(ext)) = (path.file_stem(), path.extension()) else {
-                    continue;
-                };
-                if ext != "ckpt" {
-                    continue;
-                }
-                let name = stem.to_string_lossy().into_owned();
-                if proto::valid_tenant_name(&name) {
-                    names.push(name);
-                }
-            }
-            names.sort();
-            for name in names {
-                let path = checkpoint_path(&dir, &name);
-                match StreamCheckpoint::read(&path) {
-                    Ok(ckpt) => {
-                        match Tenant::resume(name.clone(), core.config.stream.clone(), &ckpt) {
-                            Ok(tenant) => {
-                                core.fleet_cost += tenant.cost();
-                                core.tenants.insert(name, tenant);
-                            }
-                            Err(e) => core.warnings.push(format!("tenant {name}: {e}")),
-                        }
-                    }
-                    Err(e) => core.warnings.push(format!("tenant {name}: {e}")),
-                }
-            }
-        }
-        Ok(core)
+            warnings,
+        })
     }
 
-    /// Problems encountered while resuming tenants at startup.
+    /// Problems encountered while resuming or resurrecting tenants.
     pub fn warnings(&self) -> &[String] {
         &self.warnings
     }
@@ -162,14 +325,33 @@ impl ServeCore {
         self.shutdown
     }
 
-    /// Names of the tenants currently hosted, sorted.
+    /// Names of the tenants currently hot in memory, sorted. Evicted
+    /// tenants ([`ServeCore::evicted_names`]) are not listed here.
     pub fn tenant_names(&self) -> Vec<String> {
         self.tenants.keys().cloned().collect()
+    }
+
+    /// Names of tenants evicted to their checkpoints, sorted.
+    pub fn evicted_names(&self) -> Vec<String> {
+        self.evicted.iter().cloned().collect()
     }
 
     /// Fleet counters so far.
     pub fn stats(&self) -> &ServeStats {
         &self.stats
+    }
+
+    /// The current fleet durability level ([`Durability::None`] when no
+    /// replica dirs are configured).
+    pub fn durability(&self) -> Durability {
+        self.store
+            .as_ref()
+            .map_or(Durability::None, CheckpointStore::durability)
+    }
+
+    /// The store's health/durability snapshot, when persistence is on.
+    pub fn store_snapshot(&self) -> Option<StoreSnapshot> {
+        self.store.as_ref().map(CheckpointStore::snapshot)
     }
 
     /// Registers a connection and returns its id.
@@ -212,10 +394,7 @@ impl ServeCore {
             Err(e) => return e.response(),
         };
         match request {
-            Request::Hello { tenant } => {
-                let t = self.tenant_entry(tenant);
-                format!("OK tenant={} accepted={}", t.name, cursor(&t.accepted()))
-            }
+            Request::Hello { tenant, options } => self.handle_hello(tenant, &options),
             Request::Push {
                 tenant,
                 source,
@@ -223,9 +402,10 @@ impl ServeCore {
                 line,
             } => self.handle_push(tenant, source, index, line),
             Request::Flush { tenant } => {
-                if !self.tenants.contains_key(tenant) {
+                if !self.is_known(tenant) {
                     return unknown_tenant(tenant);
                 }
+                self.tenant_entry(tenant);
                 self.pump();
                 // Pump is fleet-wide; the reply reports this tenant.
                 match self.tenants.get(tenant) {
@@ -236,27 +416,95 @@ impl ServeCore {
             Request::Snapshot { tenant } => self.handle_snapshot(tenant),
             Request::Checkpoint { tenant } => self.handle_checkpoint(tenant),
             Request::Report { tenant } => {
-                if !self.tenants.contains_key(tenant) {
+                if !self.is_known(tenant) {
                     return unknown_tenant(tenant);
                 }
+                self.tenant_entry(tenant);
                 self.pump();
-                match self.tenants.get_mut(tenant) {
+                let body = match self.tenants.get_mut(tenant) {
                     Some(t) => {
                         let analysis = t.preview();
-                        let text =
-                            logdiver::report::full_report(&analysis.metrics, &analysis.stats);
-                        let body = text.trim_end_matches('\n');
-                        let n = body.lines().count();
-                        format!("OK lines={n}\n{body}")
+                        logdiver::report::full_report(&analysis.metrics, &analysis.stats)
                     }
-                    None => unknown_tenant(tenant),
-                }
+                    None => return unknown_tenant(tenant),
+                };
+                let body = body.trim_end_matches('\n');
+                let n = body.lines().count();
+                let durability = self.durability().label();
+                let corrupt = self
+                    .store
+                    .as_ref()
+                    .map_or(0, CheckpointStore::corrupt_preserved);
+                format!("OK lines={n} durability={durability} corrupt-preserved={corrupt}\n{body}")
             }
+            Request::Drop { tenant } => self.handle_drop(tenant),
             Request::Shutdown => {
                 self.shutdown = true;
                 "OK shutting-down".to_string()
             }
         }
+    }
+
+    /// Whether `name` is a tenant this core knows — hot or evicted.
+    fn is_known(&self, name: &str) -> bool {
+        self.tenants.contains_key(name) || self.evicted.contains(name)
+    }
+
+    fn handle_hello(&mut self, tenant: &str, options: &[(&str, &str)]) -> String {
+        // Validate all options before any side effect.
+        let mut requested = TenantOverrides::default();
+        for (key, value) in options {
+            if let Err(err) = requested.set(key, value) {
+                return err;
+            }
+        }
+        if self.is_known(tenant) {
+            // An existing tenant's engine already baked its config in:
+            // options must agree with the effective values, else the
+            // client gets a machine-readable conflict.
+            let current = self.overrides.get(tenant).copied().unwrap_or_default();
+            for (key, _) in options {
+                let agrees = match *key {
+                    "lateness" => {
+                        let effective = current
+                            .lateness_secs
+                            .unwrap_or_else(|| self.config.stream.lateness.as_secs());
+                        requested.lateness_secs == Some(effective)
+                    }
+                    "quarantine-keep" => {
+                        let effective = current
+                            .quarantine_keep
+                            .unwrap_or(self.config.stream.quarantine_keep);
+                        requested.quarantine_keep == Some(effective)
+                    }
+                    _ => true,
+                };
+                if !agrees {
+                    return format!(
+                        "ERR code=config-conflict tenant={tenant} key={}",
+                        proto::sanitize(key)
+                    );
+                }
+            }
+        } else if !options.is_empty() {
+            self.overrides.insert(tenant.to_string(), requested);
+        }
+        let t = self.tenant_entry(tenant);
+        format!("OK tenant={} accepted={}", t.name, cursor(&t.accepted()))
+    }
+
+    fn handle_drop(&mut self, tenant: &str) -> String {
+        if let Some(t) = self.tenants.remove(tenant) {
+            self.fleet_cost = self.fleet_cost.saturating_sub(t.cost());
+        }
+        self.evicted.remove(tenant);
+        self.overrides.remove(tenant);
+        let tombstones = match self.store.as_mut() {
+            Some(store) => store.drop_tenant(tenant),
+            None => 0,
+        };
+        self.stats.dropped += 1;
+        format!("OK tenant={tenant} tombstones={tombstones}")
     }
 
     fn handle_push(&mut self, tenant: &str, source: Source, index: u64, line: &str) -> String {
@@ -343,22 +591,32 @@ impl ServeCore {
     }
 
     fn handle_snapshot(&mut self, tenant: Option<&str>) -> String {
-        self.pump();
         let quota = self.config.budget.quota_bytes;
         match tenant {
-            Some(name) => match self.tenants.get_mut(name) {
-                Some(t) => {
-                    let json = tenant_snapshot_json(t, quota);
-                    format!("OK {json}")
+            Some(name) => {
+                if !self.is_known(name) {
+                    return unknown_tenant(name);
                 }
-                None => unknown_tenant(name),
-            },
+                self.tenant_entry(name);
+                self.pump();
+                match self.tenants.get_mut(name) {
+                    Some(t) => {
+                        let json = tenant_snapshot_json(t, quota);
+                        format!("OK {json}")
+                    }
+                    None => unknown_tenant(name),
+                }
+            }
             None => {
+                self.pump();
                 let fleet = FleetSnapshot {
                     tenants: self.tenants.len(),
+                    evicted: self.evicted.len(),
                     queued: self.tenants.values().map(Tenant::queued).sum(),
                     cost: self.fleet_cost,
                     global: self.config.budget.global_bytes,
+                    durability: self.durability().label(),
+                    store: self.store_snapshot(),
                     stats: self.stats.clone(),
                 };
                 match serde_json::to_string(&fleet) {
@@ -370,33 +628,49 @@ impl ServeCore {
     }
 
     fn handle_checkpoint(&mut self, tenant: Option<&str>) -> String {
-        let Some(dir) = self.config.tenants_dir.clone() else {
+        if self.store.is_none() {
             return "ERR code=no-checkpoint-dir".to_string();
-        };
-        self.pump();
+        }
         match tenant {
-            Some(name) => match self.tenants.get_mut(name) {
-                Some(t) => {
-                    let path = checkpoint_path(&dir, name);
-                    match t.checkpoint().write_atomic(&path) {
-                        Ok(()) => format!("OK path={}", path.display()),
-                        Err(e) => format!("ERR code=io detail={e}"),
-                    }
+            Some(name) => {
+                if !self.is_known(name) {
+                    return unknown_tenant(name);
                 }
-                None => unknown_tenant(name),
-            },
-            None => match self.checkpoint_all() {
-                Ok(n) => format!("OK tenants={n}"),
-                Err(e) => format!("ERR code=io detail={e}"),
-            },
+                self.tenant_entry(name);
+                self.pump();
+                let ckpt = match self.tenants.get_mut(name) {
+                    Some(t) => t.checkpoint(),
+                    None => return unknown_tenant(name),
+                };
+                let Some(store) = self.store.as_mut() else {
+                    return "ERR code=no-checkpoint-dir".to_string();
+                };
+                let written = store.write_tenant(name, &ckpt);
+                let total = store.replica_count();
+                let durability = store.durability().label();
+                if written == 0 {
+                    format!("ERR code=io tenant={name} detail=no-replica-writable")
+                } else {
+                    format!("OK replicas={written}/{total} durability={durability}")
+                }
+            }
+            None => {
+                self.pump();
+                let n = self.checkpoint_all();
+                format!("OK tenants={n} durability={}", self.durability().label())
+            }
         }
     }
 
     /// Applies every queued line across the fleet, sharded over the
-    /// work-stealing executor, then refreshes the budget charge and runs
-    /// the auto-checkpoint cadence.
+    /// work-stealing executor, then refreshes the budget charge, runs the
+    /// auto-checkpoint cadence, and evicts long-idle tenants. One call is
+    /// one "sweep" — the store's logical clock for replica backoff.
     pub fn pump(&mut self) {
         self.unpumped = 0;
+        if let Some(store) = self.store.as_mut() {
+            store.begin_sweep();
+        }
         let shards = self.config.shards.max(1);
         let work: Vec<&mut Tenant> = self
             .tenants
@@ -411,19 +685,62 @@ impl ServeCore {
         self.fleet_cost = self.tenants.values().map(Tenant::cost).sum();
         if self.config.checkpoint_every > 0
             && self.since_checkpoint >= self.config.checkpoint_every
-            && self.config.tenants_dir.is_some()
-            && self.checkpoint_all().is_err()
+            && self.store.is_some()
         {
-            self.stats.checkpoint_errors += 1;
+            self.checkpoint_all();
+        }
+        self.evict_idle();
+    }
+
+    /// Ages idle tenants and evicts the ones past `evict_after`: each is
+    /// checkpointed to the store and removed from memory (resurrectable
+    /// on the next reference). A tenant whose checkpoint lands on zero
+    /// replicas is kept hot — losing memory *and* durability at once is
+    /// the one trade this daemon refuses.
+    fn evict_idle(&mut self) {
+        if self.config.evict_after == 0 || self.store.is_none() {
+            return;
+        }
+        let mut victims = Vec::new();
+        for (name, t) in self.tenants.iter_mut() {
+            if t.has_pending() {
+                t.idle_pumps = 0;
+                continue;
+            }
+            t.idle_pumps += 1;
+            if t.idle_pumps > self.config.evict_after {
+                victims.push(name.clone());
+            }
+        }
+        for name in victims {
+            let Some(mut tenant) = self.tenants.remove(&name) else {
+                continue;
+            };
+            let cost = tenant.cost();
+            let ckpt = tenant.checkpoint();
+            let written = match self.store.as_mut() {
+                Some(store) => store.write_tenant(&name, &ckpt),
+                None => 0,
+            };
+            if written == 0 {
+                self.tenants.insert(name, tenant);
+                continue;
+            }
+            self.fleet_cost = self.fleet_cost.saturating_sub(cost);
+            self.evicted.insert(name);
+            self.stats.evicted += 1;
         }
     }
 
-    /// Checkpoints every tenant (pump first). Returns how many were
-    /// written.
-    pub fn checkpoint_all(&mut self) -> std::io::Result<usize> {
-        let Some(dir) = self.config.tenants_dir.clone() else {
-            return Ok(0);
-        };
+    /// Checkpoints every hot tenant to all writable replicas (draining
+    /// queues first). Returns how many tenants were persisted to at
+    /// least one replica; a sweep in which any tenant landed on zero
+    /// replicas counts one `checkpoint_errors`. Never blocks or fails
+    /// outright — replica trouble degrades durability instead.
+    pub fn checkpoint_all(&mut self) -> usize {
+        if self.store.is_none() {
+            return 0;
+        }
         // Drain queues outside the auto-cadence to avoid recursion.
         let shards = self.config.shards.max(1);
         let work: Vec<&mut Tenant> = self
@@ -436,35 +753,86 @@ impl ServeCore {
             self.stats.applied += applied as u64;
         }
         self.fleet_cost = self.tenants.values().map(Tenant::cost).sum();
-        let mut written = 0;
+        let Some(store) = self.store.as_mut() else {
+            return 0;
+        };
+        let mut persisted = 0;
+        let mut failed = false;
         for (name, tenant) in self.tenants.iter_mut() {
-            tenant
-                .checkpoint()
-                .write_atomic(&checkpoint_path(&dir, name))?;
-            written += 1;
+            let ckpt = tenant.checkpoint();
+            if store.write_tenant(name, &ckpt) > 0 {
+                persisted += 1;
+            } else {
+                failed = true;
+            }
+        }
+        if failed {
+            self.stats.checkpoint_errors += 1;
         }
         self.since_checkpoint = 0;
-        Ok(written)
+        persisted
     }
 
     /// Removes a tenant and produces its final batch-equivalent analysis
     /// (test/tooling hook; the wire protocol exposes `REPORT` instead).
+    /// Resurrects the tenant first if it was evicted.
     pub fn drain_tenant(&mut self, name: &str) -> Option<Analysis> {
+        if self.evicted.contains(name) {
+            self.tenant_entry(name);
+        }
         let tenant = self.tenants.remove(name)?;
         self.fleet_cost = self.fleet_cost.saturating_sub(tenant.cost());
         Some(tenant.drain())
     }
 
+    /// Returns the hot tenant for `name`, creating or resurrecting it as
+    /// needed, and marks it touched (idle counter reset).
     fn tenant_entry(&mut self, name: &str) -> &mut Tenant {
+        if !self.tenants.contains_key(name) {
+            let tenant = self.restore_or_create(name);
+            self.fleet_cost += tenant.cost();
+            self.tenants.insert(name.to_string(), tenant);
+        }
         let stream = self.config.stream.clone();
-        self.tenants
+        let t = self
+            .tenants
             .entry(name.to_string())
-            .or_insert_with(|| Tenant::new(name.to_string(), stream))
+            .or_insert_with(|| Tenant::new(name.to_string(), stream)); // unreachable: inserted above
+        t.idle_pumps = 0;
+        t
     }
-}
 
-fn checkpoint_path(dir: &Path, tenant: &str) -> PathBuf {
-    dir.join(format!("{tenant}.ckpt"))
+    /// Builds the tenant that should answer for `name`: resurrected from
+    /// the store if it was evicted (falling back to fresh, with a
+    /// warning, if every replica copy is gone or corrupt), or fresh —
+    /// clearing any tombstone left by an earlier `DROP`.
+    fn restore_or_create(&mut self, name: &str) -> Tenant {
+        let was_evicted = self.evicted.remove(name);
+        if let Some(store) = self.store.as_mut() {
+            if was_evicted {
+                if let Some(ckpt) = store.read_newest(name, &mut self.warnings) {
+                    let stream = stream_for(&self.config, &self.overrides, name, Some(&ckpt));
+                    match Tenant::resume(name.to_string(), stream, &ckpt) {
+                        Ok(t) => {
+                            self.stats.resurrected += 1;
+                            return t;
+                        }
+                        Err(e) => self.warnings.push(format!(
+                            "tenant {name}: resurrect failed: {e}; starting fresh"
+                        )),
+                    }
+                } else {
+                    self.warnings.push(format!(
+                        "tenant {name}: no valid checkpoint to resurrect; starting fresh"
+                    ));
+                }
+            } else if store.tombstoned(name) {
+                store.clear_tombstone(name);
+            }
+        }
+        let stream = stream_for(&self.config, &self.overrides, name, None);
+        Tenant::new(name.to_string(), stream)
+    }
 }
 
 fn unknown_tenant(name: &str) -> String {
@@ -508,9 +876,12 @@ struct TenantSnapshot {
 #[derive(Debug, Serialize)]
 struct FleetSnapshot {
     tenants: usize,
+    evicted: usize,
     queued: usize,
     cost: usize,
     global: usize,
+    durability: &'static str,
+    store: Option<StoreSnapshot>,
     stats: ServeStats,
 }
 
@@ -552,6 +923,7 @@ fn tenant_snapshot_json(t: &mut Tenant, quota: usize) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bw_faults::{ChaosFs, ChaosFsConfig};
     use logdiver::{LogCollection, LogDiver};
 
     fn scenario() -> LogCollection {
@@ -589,6 +961,17 @@ mod tests {
                 assert_eq!(resp, "OK", "push rejected: {resp}");
             }
         }
+    }
+
+    fn replicated_config(dirs: &[PathBuf]) -> ServeConfig {
+        ServeConfig {
+            tenants_dirs: dirs.to_vec(),
+            ..ServeConfig::default()
+        }
+    }
+
+    fn chaos_dirs(n: usize) -> Vec<PathBuf> {
+        (0..n).map(|i| PathBuf::from(format!("/r{i}"))).collect()
     }
 
     #[test]
@@ -664,6 +1047,7 @@ mod tests {
         let fleet = core.handle_line("SNAPSHOT");
         let json = serde_json::parse(fleet.strip_prefix("OK ").unwrap()).unwrap();
         assert_eq!(field(&json, "tenants").as_u64(), Some(1));
+        assert_eq!(field(&json, "durability").as_str(), Some("none"));
         assert_eq!(
             core.handle_line("SNAPSHOT nope"),
             "ERR code=unknown-tenant tenant=nope"
@@ -677,13 +1061,18 @@ mod tests {
         let expected = logdiver::report::full_report(&batch.metrics, &batch.stats);
         let mut core = ServeCore::new(ServeConfig::default()).unwrap();
         push_lines(&mut core, "bw", &logs);
-        // Close every source so preview == final batch analysis... the
-        // serve protocol never closes sources, so instead compare against
-        // the batch analysis of the same lines: preview finalizes open
-        // state the same way drain does.
         let resp = core.handle_line("REPORT bw");
         let (header, body) = resp.split_once('\n').unwrap();
-        let n: usize = header.strip_prefix("OK lines=").unwrap().parse().unwrap();
+        let n: usize = header
+            .strip_prefix("OK lines=")
+            .unwrap()
+            .split(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(header.contains("durability=none"), "{header}");
+        assert!(header.contains("corrupt-preserved=0"), "{header}");
         assert_eq!(body.lines().count(), n);
         assert_eq!(body, expected.trim_end_matches('\n'));
     }
@@ -694,14 +1083,14 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let logs = scenario();
         let batch = LogDiver::new().analyze(&logs);
-        let config = ServeConfig {
-            tenants_dir: Some(dir.clone()),
-            ..ServeConfig::default()
-        };
+        let config = replicated_config(std::slice::from_ref(&dir));
         let mut core = ServeCore::new(config.clone()).unwrap();
         push_lines(&mut core, "alpha", &logs);
         push_lines(&mut core, "beta", &logs);
-        assert_eq!(core.handle_line("CHECKPOINT"), "OK tenants=2");
+        assert_eq!(
+            core.handle_line("CHECKPOINT"),
+            "OK tenants=2 durability=full"
+        );
         drop(core);
 
         let mut resumed = ServeCore::new(config).unwrap();
@@ -715,6 +1104,194 @@ mod tests {
             assert_eq!(analysis.events, batch.events, "{name}");
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_uses_newest_valid_replica_and_preserves_corrupt_copies() {
+        let fs = ChaosFs::clean();
+        let dirs = chaos_dirs(2);
+        let logs = scenario();
+        let config = replicated_config(&dirs);
+        let mut core = ServeCore::with_fs(config.clone(), Arc::new(fs.clone())).unwrap();
+        push_lines(&mut core, "bw", &logs);
+        assert_eq!(
+            core.handle_line("CHECKPOINT"),
+            "OK tenants=1 durability=full"
+        );
+        drop(core);
+        // Rot the copy on replica 0; replica 1 stays valid.
+        assert!(fs.corrupt(&dirs[0].join("bw.ckpt")));
+
+        let mut resumed = ServeCore::with_fs(config, Arc::new(fs.clone())).unwrap();
+        assert_eq!(resumed.tenant_names(), vec!["bw"]);
+        assert_eq!(resumed.warnings().len(), 1, "{:?}", resumed.warnings());
+        assert_eq!(
+            resumed.handle_line("HELLO bw"),
+            "OK tenant=bw accepted=2,2,2,1,0"
+        );
+        // The corrupt copy was moved aside, not destroyed, and REPORT
+        // counts it.
+        assert!(fs.contents(&dirs[0].join("bw.ckpt.corrupt-0")).is_some());
+        let report = resumed.handle_line("REPORT bw");
+        let header = report.lines().next().unwrap();
+        assert!(header.contains("corrupt-preserved=1"), "{header}");
+    }
+
+    #[test]
+    fn dead_replica_degrades_durability_without_stopping_ingestion() {
+        let fs = ChaosFs::clean();
+        let dirs = chaos_dirs(2);
+        let logs = scenario();
+        let mut core = ServeCore::with_fs(replicated_config(&dirs), Arc::new(fs.clone())).unwrap();
+        fs.set_down(&dirs[1], true);
+        push_lines(&mut core, "bw", &logs);
+        let resp = core.handle_line("CHECKPOINT");
+        assert_eq!(resp, "OK tenants=1 durability=degraded", "{resp}");
+        // Pushes keep landing while one replica is dark.
+        assert_eq!(
+            core.handle_line("PUSH bw netwatch 0 2013-03-28 12:01:00 link c0-0c0s0n2 degraded"),
+            "OK"
+        );
+        let fleet = core.handle_line("SNAPSHOT");
+        assert!(fleet.contains("\"durability\":\"degraded\""), "{fleet}");
+        // Survivor still holds a restorable checkpoint.
+        drop(core);
+        let resumed = ServeCore::with_fs(replicated_config(&dirs), Arc::new(fs.clone())).unwrap();
+        assert_eq!(resumed.tenant_names(), vec!["bw"]);
+    }
+
+    #[test]
+    fn idle_tenant_evicts_and_resurrects_transparently() {
+        let fs = ChaosFs::clean();
+        let dirs = chaos_dirs(2);
+        let logs = scenario();
+        let config = ServeConfig {
+            evict_after: 2,
+            ..replicated_config(&dirs)
+        };
+        let mut core = ServeCore::with_fs(config, Arc::new(fs.clone())).unwrap();
+        push_lines(&mut core, "bw", &logs);
+        for _ in 0..4 {
+            core.pump();
+        }
+        assert_eq!(core.tenant_names(), Vec::<String>::new(), "evicted");
+        assert_eq!(core.evicted_names(), vec!["bw"]);
+        assert_eq!(core.stats().evicted, 1);
+        // The next push resurrects it with its cursors intact.
+        assert_eq!(
+            core.handle_line("PUSH bw netwatch 0 2013-03-28 12:01:00 link c0-0c0s0n2 degraded"),
+            "OK"
+        );
+        assert_eq!(core.stats().resurrected, 1);
+        assert_eq!(
+            core.handle_line("HELLO bw"),
+            "OK tenant=bw accepted=2,2,2,1,1"
+        );
+        let analysis = core.drain_tenant("bw").unwrap();
+        let mut full = scenario();
+        full.netwatch
+            .push("2013-03-28 12:01:00 link c0-0c0s0n2 degraded".to_string());
+        let batch = LogDiver::new().analyze(&full);
+        assert_eq!(analysis.runs, batch.runs);
+        assert_eq!(analysis.events, batch.events);
+    }
+
+    #[test]
+    fn drop_tombstones_across_restart_until_recreated() {
+        let fs = ChaosFs::clean();
+        let dirs = chaos_dirs(2);
+        let logs = scenario();
+        let config = replicated_config(&dirs);
+        let mut core = ServeCore::with_fs(config.clone(), Arc::new(fs.clone())).unwrap();
+        push_lines(&mut core, "bw", &logs);
+        push_lines(&mut core, "keep", &logs);
+        assert_eq!(
+            core.handle_line("CHECKPOINT"),
+            "OK tenants=2 durability=full"
+        );
+        assert_eq!(core.handle_line("DROP bw"), "OK tenant=bw tombstones=2");
+        assert_eq!(core.tenant_names(), vec!["keep"]);
+        assert_eq!(core.stats().dropped, 1);
+        drop(core);
+        // Restart: the tombstone keeps bw dead, keep survives.
+        let mut resumed = ServeCore::with_fs(config, Arc::new(fs.clone())).unwrap();
+        assert_eq!(resumed.tenant_names(), vec!["keep"]);
+        // Re-creating bw clears the tombstone and starts from scratch.
+        assert_eq!(
+            resumed.handle_line("HELLO bw"),
+            "OK tenant=bw accepted=0,0,0,0,0"
+        );
+    }
+
+    #[test]
+    fn hello_options_set_overrides_and_conflicts_are_rejected() {
+        let mut core = ServeCore::new(ServeConfig::default()).unwrap();
+        assert!(core
+            .handle_line("HELLO tuned lateness=120 quarantine-keep=8")
+            .starts_with("OK tenant=tuned"));
+        // Reconnecting with the same options is idempotent.
+        assert!(core
+            .handle_line("HELLO tuned lateness=120")
+            .starts_with("OK tenant=tuned"));
+        // A different value for a live tenant is a conflict.
+        assert_eq!(
+            core.handle_line("HELLO tuned lateness=999"),
+            "ERR code=config-conflict tenant=tuned key=lateness"
+        );
+        // Unknown keys and bad values are machine-readable errors, and
+        // reject before creating the tenant.
+        assert_eq!(
+            core.handle_line("HELLO fresh turbo=on"),
+            "ERR code=unknown-option key=turbo"
+        );
+        assert_eq!(
+            core.handle_line("HELLO fresh lateness=-5"),
+            "ERR code=bad-option key=lateness value=-5"
+        );
+        assert!(!core.tenant_names().contains(&"fresh".to_string()));
+    }
+
+    #[test]
+    fn tenant_config_file_parses_and_rejects_bad_lines() {
+        let text = "\
+# fleet overrides
+alpha lateness=120 quarantine-keep=4
+beta quarantine-keep=16   # trailing comment
+";
+        let overrides = parse_tenant_config(text).unwrap();
+        assert_eq!(
+            overrides["alpha"],
+            TenantOverrides {
+                lateness_secs: Some(120),
+                quarantine_keep: Some(4),
+            }
+        );
+        assert_eq!(overrides["beta"].quarantine_keep, Some(16));
+        assert!(parse_tenant_config("alpha turbo=on").is_err());
+        assert!(parse_tenant_config("alpha lateness").is_err());
+        assert!(parse_tenant_config(".bad lateness=1").is_err());
+        assert!(parse_tenant_config("a lateness=1\na lateness=2\n")
+            .unwrap_err()
+            .contains("duplicate"));
+    }
+
+    #[test]
+    fn chaos_fs_checkpoints_degrade_but_never_stall() {
+        // A flaky (not dead) filesystem: writes fail sometimes, yet every
+        // CHECKPOINT returns and ingestion continues.
+        let fs = ChaosFs::new(23, ChaosFsConfig::default());
+        let dirs = chaos_dirs(3);
+        let logs = scenario();
+        let mut core = ServeCore::with_fs(replicated_config(&dirs), Arc::new(fs.clone())).unwrap();
+        push_lines(&mut core, "bw", &logs);
+        for _ in 0..20 {
+            let resp = core.handle_line("CHECKPOINT");
+            assert!(
+                resp.starts_with("OK tenants=") || resp.starts_with("ERR code=io"),
+                "{resp}"
+            );
+        }
+        assert_eq!(core.handle_line("FLUSH bw"), "OK applied=2,2,2,1,0");
     }
 
     #[test]

@@ -54,6 +54,11 @@ pub struct Tenant {
     pub dups: u64,
     /// Out-of-order pushes answered `ERR code=gap`.
     pub gaps: u64,
+    /// Consecutive fleet pumps this tenant sat through with nothing
+    /// queued and no protocol traffic. The core resets it on any touch
+    /// and evicts the tenant to its checkpoint once it exceeds
+    /// `evict_after`.
+    pub idle_pumps: u64,
 }
 
 impl Tenant {
@@ -88,6 +93,7 @@ impl Tenant {
             shed_budget: 0,
             dups: 0,
             gaps: 0,
+            idle_pumps: 0,
         }
     }
 
@@ -123,6 +129,7 @@ impl Tenant {
     /// duplicates are answered before any budget check so replay after
     /// reconnect is never shed.
     pub fn offer(&mut self, source: Source, index: u64, line: &str) -> Offer {
+        self.idle_pumps = 0;
         let i = source.index();
         let expected = self.accepted[i];
         if index < expected {

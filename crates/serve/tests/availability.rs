@@ -1,0 +1,244 @@
+//! Availability drill over real TCP — the CI `availability-smoke` job in
+//! test form: run the daemon with TWO checkpoint replica dirs, destroy
+//! one mid-run, keep pushing (ingestion must not stall; `SNAPSHOT` must
+//! say `degraded`), SIGKILL the daemon, restart it against the same pair
+//! of dirs, and require it to resume every tenant from the surviving
+//! replica — finishing with `REPORT` == the batch pipeline's report.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::process::{Child, ChildStdout, Command, Stdio};
+
+use logdiver::{LogCollection, LogDiver};
+use logdiver_stream::Source;
+
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    fn start(replicas: &[&Path]) -> Daemon {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_logdiver-serve"));
+        cmd.args(["--listen", "127.0.0.1:0", "--checkpoint-every", "0"]);
+        for dir in replicas {
+            cmd.args(["--tenants-dir", dir.to_str().expect("utf-8 temp path")]);
+        }
+        let mut child = cmd
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn logdiver-serve");
+        let stdout: ChildStdout = child.stdout.take().expect("piped stdout");
+        let mut first = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut first)
+            .expect("startup line");
+        let addr = first
+            .trim()
+            .rsplit(' ')
+            .next()
+            .expect("listen address")
+            .to_string();
+        assert!(
+            first.contains("listening on"),
+            "unexpected startup line: {first:?}"
+        );
+        Daemon { child, addr }
+    }
+
+    fn connect(&self) -> Client {
+        let stream = TcpStream::connect(&self.addr).expect("connect");
+        let reader = BufReader::new(stream.try_clone().expect("clone socket"));
+        Client { stream, reader }
+    }
+
+    fn kill(mut self) {
+        self.child.kill().expect("SIGKILL");
+        self.child.wait().expect("reap");
+    }
+}
+
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn request(&mut self, line: &str) -> String {
+        self.stream
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("send");
+        self.read_line()
+    }
+
+    fn read_line(&mut self) -> String {
+        let mut response = String::new();
+        self.reader.read_line(&mut response).expect("response");
+        response.trim_end_matches('\n').to_string()
+    }
+
+    fn report(&mut self, tenant: &str) -> String {
+        let head = self.request(&format!("REPORT {tenant}"));
+        let n: usize = head
+            .strip_prefix("OK lines=")
+            .and_then(|rest| rest.split(' ').next())
+            .unwrap_or_else(|| panic!("bad REPORT head: {head}"))
+            .parse()
+            .expect("line count");
+        (0..n).map(|_| self.read_line() + "\n").collect()
+    }
+}
+
+fn corpus() -> LogCollection {
+    let mut logs = LogCollection::new();
+    logs.torque.extend([
+        "2013-03-28 10:00:00;S;1.bw;user=u0001 queue=normal nodes=4 walltime=86400".to_string(),
+        "2013-03-28 10:00:00;S;2.bw;user=u0002 queue=small nodes=1 walltime=86400".to_string(),
+    ]);
+    logs.alps.extend([
+        "2013-03-28 10:00:05 apsys PLACED apid=100 batch=1.bw user=u0001 cmd=namd2 type=XE width=4 nodelist=nid[0-3]".to_string(),
+        "2013-03-28 10:00:06 apsys PLACED apid=200 batch=2.bw user=u0002 cmd=vasp type=XE width=1 nodelist=nid[100]".to_string(),
+        "2013-03-28 12:00:05 apsys EXIT apid=100 code=137 signal=9 node_failed=yes runtime=7200".to_string(),
+        "2013-03-28 13:00:06 apsys EXIT apid=200 code=0 signal=none node_failed=no runtime=10800".to_string(),
+    ]);
+    logs.syslog.extend([
+        "2013-03-28 09:59:00 nid00050 ntpd: time slew +0.012s".to_string(),
+        "2013-03-28 12:00:00 nid00002 kernel: Machine Check Exception: bank 4 status 0xb200"
+            .to_string(),
+        "2013-03-28 12:00:31 smw xtnmd: node heartbeat fault: no response in 60s, declaring node dead"
+            .to_string(),
+    ]);
+    logs.hwerr.extend([
+        "2013-03-28 12:00:01|c0-0c0s0n2|MCE|CRIT|bank=4".to_string(),
+        "2013-03-28 12:00:31|c0-0c0s0n2|NODE_DEAD|FATAL|".to_string(),
+    ]);
+    logs
+}
+
+fn sources_of(logs: &LogCollection) -> [(Source, &Vec<String>); 5] {
+    [
+        (Source::Syslog, &logs.syslog),
+        (Source::HwErr, &logs.hwerr),
+        (Source::Alps, &logs.alps),
+        (Source::Torque, &logs.torque),
+        (Source::Netwatch, &logs.netwatch),
+    ]
+}
+
+fn push_from(client: &mut Client, tenant: &str, logs: &LogCollection, from: &[u64; 5]) {
+    for (source, lines) in sources_of(logs) {
+        for (i, line) in lines.iter().enumerate().skip(from[source.index()] as usize) {
+            let resp = client.request(&format!("PUSH {tenant} {} {i} {line}", source.name()));
+            assert!(resp.starts_with("OK"), "push rejected: {resp}");
+        }
+    }
+}
+
+fn hello_cursors(client: &mut Client, tenant: &str) -> [u64; 5] {
+    let resp = client.request(&format!("HELLO {tenant}"));
+    let counts = resp
+        .split("accepted=")
+        .nth(1)
+        .unwrap_or_else(|| panic!("bad HELLO response: {resp}"));
+    let mut cursors = [0u64; 5];
+    for (i, c) in counts.split(',').enumerate() {
+        cursors[i] = c.parse().expect("cursor");
+    }
+    cursors
+}
+
+#[test]
+fn replica_loss_degrades_then_survivor_resumes() {
+    let base = std::env::temp_dir().join(format!("logdiver-serve-avail-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let replica_a = base.join("replica-a");
+    let replica_b = base.join("replica-b");
+    let logs = corpus();
+    let tenants = ["blue", "green"];
+
+    // Phase 1: both replicas healthy; checkpoint lands on both.
+    let daemon = Daemon::start(&[&replica_a, &replica_b]);
+    {
+        let mut client = daemon.connect();
+        for tenant in tenants {
+            push_from(&mut client, tenant, &logs, &[0; 5]);
+        }
+        assert_eq!(client.request("CHECKPOINT"), "OK tenants=2 durability=full");
+        for tenant in tenants {
+            assert!(
+                replica_a.join(format!("{tenant}.ckpt")).exists(),
+                "replica A holds {tenant}"
+            );
+            assert!(
+                replica_b.join(format!("{tenant}.ckpt")).exists(),
+                "replica B holds {tenant}"
+            );
+        }
+
+        // Disaster: replica A is wiped out mid-run. Ingestion must keep
+        // going and durability must degrade, not vanish.
+        std::fs::remove_dir_all(&replica_a).expect("wipe replica A");
+        assert_eq!(
+            client.request("PUSH blue netwatch 0 2013-03-28 12:01:00 link c0-0c0s0n2 degraded"),
+            "OK",
+            "ingestion survives the wipe"
+        );
+        let ckpt = client.request("CHECKPOINT");
+        assert!(
+            ckpt.contains("durability=degraded"),
+            "checkpoint after wipe: {ckpt}"
+        );
+        let snap = client.request("SNAPSHOT");
+        assert!(
+            snap.contains("\"durability\":\"degraded\""),
+            "fleet snapshot after wipe: {snap}"
+        );
+    }
+    daemon.kill();
+
+    // Phase 2: restart with the same two dirs — replica A is empty (it
+    // gets recreated), so every tenant must resume from survivor B.
+    let daemon = Daemon::start(&[&replica_a, &replica_b]);
+    {
+        let mut client = daemon.connect();
+        for tenant in tenants {
+            let cursors = hello_cursors(&mut client, tenant);
+            assert!(
+                cursors.iter().sum::<u64>() > 0,
+                "{tenant} did not resume from the survivor"
+            );
+            push_from(&mut client, tenant, &logs, &cursors);
+        }
+        // blue replays its post-wipe netwatch line too (it was only
+        // checkpointed on the survivor).
+        let blue = hello_cursors(&mut client, "blue");
+        if blue[Source::Netwatch.index()] == 0 {
+            assert_eq!(
+                client.request("PUSH blue netwatch 0 2013-03-28 12:01:00 link c0-0c0s0n2 degraded"),
+                "OK"
+            );
+        }
+        for tenant in tenants {
+            let resp = client.request(&format!("FLUSH {tenant}"));
+            assert!(resp.starts_with("OK applied="), "flush: {resp}");
+        }
+        // green saw exactly the corpus: its report must equal batch.
+        let analysis = LogDiver::new().analyze(&logs);
+        let batch = logdiver::report::full_report(&analysis.metrics, &analysis.stats);
+        let served = client.report("green");
+        assert_eq!(
+            served.trim_end(),
+            batch.trim_end(),
+            "green: served REPORT != batch report after replica loss + kill + resume"
+        );
+        // Both replicas are writable again after the restart recreated A.
+        assert_eq!(client.request("CHECKPOINT"), "OK tenants=2 durability=full");
+        assert_eq!(client.request("SHUTDOWN"), "OK shutting-down");
+    }
+    let mut child = daemon.child;
+    let status = child.wait().expect("daemon exit");
+    assert!(status.success(), "daemon exited {status:?}");
+    let _ = std::fs::remove_dir_all(&base);
+}

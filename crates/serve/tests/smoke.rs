@@ -83,14 +83,17 @@ impl Client {
         response.trim_end_matches('\n').to_string()
     }
 
-    /// `REPORT <tenant>` — reads the `OK lines=<n>` frame then the body.
+    /// `REPORT <tenant>` — reads the `OK lines=<n> durability=<l> …`
+    /// frame then the body.
     fn report(&mut self, tenant: &str) -> String {
         let head = self.request(&format!("REPORT {tenant}"));
         let n: usize = head
             .strip_prefix("OK lines=")
+            .and_then(|rest| rest.split(' ').next())
             .unwrap_or_else(|| panic!("bad REPORT head: {head}"))
             .parse()
             .expect("line count");
+        assert!(head.contains("durability="), "REPORT head: {head}");
         (0..n).map(|_| self.read_line() + "\n").collect()
     }
 }
@@ -202,7 +205,10 @@ fn push_kill_resume_report_matches_batch() {
             push_from(&mut client, tenant, &halves, &[0; 5]);
         }
         let resp = client.request("CHECKPOINT");
-        assert_eq!(resp, "OK tenants=2", "checkpoint all tenants");
+        assert_eq!(
+            resp, "OK tenants=2 durability=full",
+            "checkpoint all tenants"
+        );
         // A fleet snapshot answers with JSON.
         let snap = client.request("SNAPSHOT");
         assert!(snap.starts_with("OK {"), "fleet snapshot: {snap}");
@@ -272,8 +278,10 @@ fn help_prints_usage_and_exits_0() {
         "--listen",
         "--tenants-dir",
         "--checkpoint-every",
+        "--evict-after",
         "--mem-budget",
         "--shards",
+        "--tenant-config",
     ] {
         assert!(stdout.contains(flag), "usage missing {flag}");
     }

@@ -1,0 +1,168 @@
+//! A narrow filesystem seam for durable state.
+//!
+//! Everything the checkpoint layer needs from a filesystem fits in seven
+//! operations — read a file, write-and-sync a file, rename, remove,
+//! create a directory, list a directory, probe existence. [`Fs`] names
+//! exactly that surface so the production path ([`RealFs`], plain
+//! `std::fs`) and the fault-injection path (`bw-faults`' seeded chaos
+//! filesystem) are interchangeable: `logdiver-stream` writes checkpoints
+//! through it, `logdiver-serve` replicates them through it, and the chaos
+//! tests drive both through a filesystem that tears writes, runs out of
+//! space, and rots bytes at rest — deterministically, from a seed.
+//!
+//! The trait lives in `logdiver-types` (the dependency-light root of the
+//! workspace) so both the writers (`stream`, `serve`) and the fault
+//! injector (`bw-faults`) can see it without coupling to each other.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The filesystem operations durable state is allowed to use.
+///
+/// Contract notes:
+///
+/// * [`Fs::write`] creates-or-truncates, writes all bytes, and syncs them
+///   to stable storage before returning `Ok` — callers get atomicity by
+///   writing a temp sibling and then [`Fs::rename`]-ing over the target.
+/// * [`Fs::list`] returns the *file names* (not paths) of plain files
+///   directly under `dir`, sorted, so replica scans are deterministic.
+/// * Errors are plain [`io::Error`]s; injected faults use the matching
+///   [`io::ErrorKind`] (`StorageFull` for ENOSPC, `TimedOut` for stalled
+///   I/O, …) so production error handling is exercised unchanged.
+pub trait Fs: std::fmt::Debug + Send + Sync {
+    /// Reads the entire file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::NotFound`] when absent; any other I/O failure.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Creates (or truncates) `path`, writes `bytes`, and syncs to stable
+    /// storage.
+    ///
+    /// # Errors
+    ///
+    /// Any create/write/sync failure. A failed write may leave a partial
+    /// file behind — which is why durable writers go through a temp
+    /// sibling plus [`Fs::rename`].
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Atomically renames `from` to `to` (same directory in practice).
+    ///
+    /// # Errors
+    ///
+    /// Any rename failure, including `from` being absent.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Removes the file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::NotFound`] when absent; any other I/O failure.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+
+    /// Creates `dir` and any missing parents.
+    ///
+    /// # Errors
+    ///
+    /// Any failure other than the directory already existing.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+
+    /// The sorted file names (not paths) of plain files directly under
+    /// `dir`.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::NotFound`] when the directory is absent; any
+    /// other I/O failure.
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>>;
+
+    /// Whether anything exists at `path`.
+    fn exists(&self, path: &Path) -> bool;
+}
+
+/// The production [`Fs`]: plain `std::fs`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RealFs;
+
+impl Fs for RealFs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        use std::io::Write;
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(bytes)?;
+        file.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                names.push(entry.file_name().to_string_lossy().into_owned());
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+/// The temp-sibling path used for atomic writes: `<path>.tmp`.
+pub fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    PathBuf::from(tmp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_fs_round_trips_and_lists_sorted() {
+        let dir = std::env::temp_dir().join(format!("logdiver-fsio-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let fs = RealFs;
+        fs.create_dir_all(&dir).unwrap();
+        fs.write(&dir.join("b.txt"), b"bee").unwrap();
+        fs.write(&dir.join("a.txt"), b"ay").unwrap();
+        assert_eq!(fs.read(&dir.join("a.txt")).unwrap(), b"ay");
+        assert_eq!(fs.list(&dir).unwrap(), vec!["a.txt", "b.txt"]);
+        fs.rename(&dir.join("a.txt"), &dir.join("c.txt")).unwrap();
+        assert!(!fs.exists(&dir.join("a.txt")));
+        assert!(fs.exists(&dir.join("c.txt")));
+        fs.remove_file(&dir.join("c.txt")).unwrap();
+        assert_eq!(
+            fs.read(&dir.join("c.txt")).unwrap_err().kind(),
+            std::io::ErrorKind::NotFound
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tmp_sibling_appends_suffix() {
+        assert_eq!(
+            tmp_sibling(Path::new("/x/t.ckpt")),
+            PathBuf::from("/x/t.ckpt.tmp")
+        );
+    }
+}

@@ -24,6 +24,9 @@
 //!   spatial joins at the heart of LogDiver.
 //! - [`intern`] — [`Sym`], a global string interner for hot repeated log
 //!   fields (hostnames, tags, commands, queues).
+//! - [`fsio`] — the narrow [`fsio::Fs`] filesystem seam behind every
+//!   checkpoint read/write, so fault-injecting filesystems can stand in
+//!   for the real one in tests.
 //!
 //! ## Example
 //!
@@ -64,6 +67,7 @@
 pub mod category;
 pub mod error;
 pub mod exit;
+pub mod fsio;
 pub mod ids;
 pub mod intern;
 pub mod node;
@@ -73,6 +77,7 @@ pub mod time;
 pub use category::{ErrorCategory, Severity, Subsystem};
 pub use error::TypesError;
 pub use exit::{ExitClass, ExitStatus, FailureCause, UserFailureKind};
+pub use fsio::{Fs, RealFs};
 pub use ids::{AppId, CabinetId, JobId, NodeId, UserId};
 pub use intern::Sym;
 pub use node::NodeType;

@@ -1,33 +1,31 @@
-//! The serve daemon's hard correctness bar: for any interleaving,
-//! chunking, and connection chaos (mid-line disconnects, duplicates,
-//! stale replays, half-open sockets), each tenant's drained analysis must
-//! equal that tenant's batch `LogDiver::analyze` — and killing the daemon
-//! at any record and resuming from checkpoints must give the same answer
-//! as an uninterrupted run.
-//!
-//! Three concurrent tenants, each fed a different simulated corpus, per
-//! ISSUE 6's acceptance bar.
+//! Durability bar for the replicated checkpoint store (ISSUE 7): under a
+//! seeded chaos filesystem, killing the daemon at any record and resuming
+//! with any single replica corrupted, torn, or absent must give exactly
+//! the batch answer — and evicting idle tenants to the store at any point
+//! (with transparent resurrection on their next PUSH) must too. Both run
+//! under the same connection chaos as `serve_equivalence`.
 
 use std::path::PathBuf;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
-use bw_faults::{chaos_transcripts, ChaosStream, ConnChaosConfig, Connection};
+use bw_faults::{chaos_transcripts, ChaosFs, ChaosStream, ConnChaosConfig, Connection};
 use logdiver::{Analysis, LogCollection};
 use logdiver_integration::{run_end_to_end, to_log_collection};
-use logdiver_serve::{BudgetPolicy, ServeConfig, ServeCore};
+use logdiver_serve::{store, BudgetPolicy, ServeConfig, ServeCore};
 use logdiver_stream::{Source, StreamConfig};
 use logdiver_types::{SimDuration, Timestamp};
 use proptest::prelude::*;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 const TENANTS: [&str; 3] = ["alpha", "beta", "gamma"];
+const REPLICAS: usize = 3;
 
 /// Per-tenant corpora, generated once and shared across proptest cases.
 fn corpus(which: usize) -> &'static (LogCollection, Analysis) {
     static CORPORA: [OnceLock<(LogCollection, Analysis)>; 3] =
         [OnceLock::new(), OnceLock::new(), OnceLock::new()];
     CORPORA[which].get_or_init(|| {
-        let seed = 6401 + which as u64;
+        let seed = 7001 + which as u64;
         let e2e = run_end_to_end(bw_sim::SimConfig::scaled(64, 2).with_seed(seed));
         (to_log_collection(&e2e.sim), e2e.analysis)
     })
@@ -48,7 +46,7 @@ fn line_timestamp(line: &str) -> Option<Timestamp> {
 }
 
 /// The smallest lateness under which no in-order line is late, across all
-/// tenants (one `StreamConfig` serves the whole fleet).
+/// tenants (one fleet-wide `StreamConfig`).
 fn fleet_lateness() -> SimDuration {
     let mut worst = SimDuration::ZERO;
     for which in 0..TENANTS.len() {
@@ -69,26 +67,28 @@ fn fleet_lateness() -> SimDuration {
     worst + SimDuration::from_secs(1)
 }
 
-/// A serve config with an effectively unlimited budget (shedding is
-/// covered by the serve crate's own tests; equivalence requires every
-/// line to land) and no persistence unless `dir` is given.
-fn serve_config(dir: Option<PathBuf>, checkpoint_every: u64) -> ServeConfig {
+fn replica_dirs() -> Vec<PathBuf> {
+    (0..REPLICAS)
+        .map(|i| PathBuf::from(format!("/r{i}")))
+        .collect()
+}
+
+fn serve_config(dirs: Vec<PathBuf>, checkpoint_every: u64, evict_after: u64) -> ServeConfig {
     ServeConfig {
-        tenants_dirs: dir.into_iter().collect(),
+        tenants_dirs: dirs,
         budget: BudgetPolicy {
             global_bytes: usize::MAX / 2,
             quota_bytes: usize::MAX / 4,
         },
         shards: 2,
         checkpoint_every,
+        evict_after,
         stream: StreamConfig::default().with_lateness(fleet_lateness()),
         ..ServeConfig::default()
     }
 }
 
-/// One chaos stream per (tenant, source), starting at index `from` —
-/// within-stream order is per-source push order, which is all the indexed
-/// protocol requires.
+/// One chaos stream per (tenant, source), starting at index `from`.
 fn push_streams(from: &dyn Fn(&str, Source) -> u64) -> Vec<ChaosStream> {
     let mut streams = Vec::new();
     for (which, tenant) in TENANTS.iter().enumerate() {
@@ -112,9 +112,8 @@ fn push_streams(from: &dyn Fn(&str, Source) -> u64) -> Vec<ChaosStream> {
     streams
 }
 
-/// Feeds whole connections into the core in arbitrary byte chunks. Every
-/// complete line must be answered `OK`/`OK dup` — in-order indexed
-/// delivery can never produce a gap, and the budget never sheds.
+/// Feeds whole connections into the core in arbitrary byte chunks; every
+/// complete line must be answered `OK`/`OK dup`.
 fn deliver(core: &mut ServeCore, conns: &[Connection], rng: &mut StdRng) {
     for conn in conns {
         let id = core.open_conn();
@@ -132,8 +131,6 @@ fn deliver(core: &mut ServeCore, conns: &[Connection], rng: &mut StdRng) {
     }
 }
 
-/// Asks the daemon where to resume one (tenant, source) stream, exactly
-/// as a reconnecting client does.
 fn hello_cursor(core: &mut ServeCore, tenant: &str, source: Source) -> u64 {
     let resp = core.handle_line(&format!("HELLO {tenant}"));
     let accepted = resp
@@ -161,60 +158,55 @@ fn drain_and_compare(mut core: ServeCore) {
     }
 }
 
-fn temp_tenants_dir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("logdiver-serve-eq-{}-{tag}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    dir
+/// How one replica is sabotaged between the kill and the restart.
+#[derive(Debug, Clone, Copy)]
+enum Sabotage {
+    /// Flip bits in every checkpoint the replica holds (at-rest bit rot).
+    Corrupt,
+    /// Keep only a prefix of every checkpoint (torn write).
+    Truncate,
+    /// The whole replica directory is gone (disk replaced).
+    Absent,
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(6))]
-
-    /// Any connection chaos over three interleaved tenants: each tenant
-    /// drains to exactly its batch analysis.
-    #[test]
-    fn chaotic_ingest_equals_batch_per_tenant(
-        chaos_seed in 0u64..10_000,
-        feed_seed in 0u64..10_000,
-        mild in any::<bool>(),
-    ) {
-        let chaos = if mild { ConnChaosConfig::mild() } else { ConnChaosConfig::default() };
-        let streams = push_streams(&|_, _| 0);
-        let mut rng = StdRng::seed_from_u64(chaos_seed);
-        let conns = chaos_transcripts(&streams, &chaos, &mut rng);
-
-        let mut core = ServeCore::new(serve_config(None, 0)).expect("core");
-        let mut feed_rng = StdRng::seed_from_u64(feed_seed);
-        deliver(&mut core, &conns, &mut feed_rng);
-        drain_and_compare(core);
+impl Sabotage {
+    fn pick(which: usize) -> Sabotage {
+        match which % 3 {
+            0 => Sabotage::Corrupt,
+            1 => Sabotage::Truncate,
+            _ => Sabotage::Absent,
+        }
     }
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(4))]
 
-    /// Kill the daemon at an arbitrary point mid-ingest (queued lines and
-    /// connections lost, checkpoints durable), restart from the tenants
-    /// dir, and let each client replay from its `HELLO` cursor — under
-    /// fresh connection chaos. The final answer must equal an
-    /// uninterrupted batch run.
+    /// Kill at any record, sabotage any single replica (bit rot, torn
+    /// write, or total loss), restart against the same chaos disk, replay
+    /// from the HELLO cursors under fresh connection chaos: the drained
+    /// analysis must equal batch for every tenant.
     #[test]
-    fn kill_and_resume_equals_batch(
+    fn kill_and_resume_with_one_replica_sabotaged_equals_batch(
         chaos_seed in 0u64..10_000,
         kill_frac in 0.0f64..1.0,
+        victim in 0usize..REPLICAS,
+        sabotage_pick in 0usize..3,
         replay_seed in 0u64..10_000,
     ) {
-        let dir = temp_tenants_dir(&format!("{chaos_seed}-{replay_seed}"));
+        let fs = Arc::new(ChaosFs::clean());
         let streams = push_streams(&|_, _| 0);
         let mut rng = StdRng::seed_from_u64(chaos_seed);
         let conns = chaos_transcripts(&streams, &ConnChaosConfig::default(), &mut rng);
 
         // Phase 1: ingest with a tight auto-checkpoint cadence, then die
-        // abruptly partway through — possibly mid-connection, possibly
-        // before the first checkpoint ever fires.
+        // abruptly partway through.
         let kill_at = ((conns.len() as f64) * kill_frac) as usize;
         {
-            let mut core = ServeCore::new(serve_config(Some(dir.clone()), 257)).expect("core");
+            let mut core = ServeCore::with_fs(
+                serve_config(replica_dirs(), 257, 0),
+                fs.clone(),
+            ).expect("core");
             let mut feed_rng = StdRng::seed_from_u64(chaos_seed ^ 0x5eed);
             deliver(&mut core, &conns[..kill_at.min(conns.len())], &mut feed_rng);
             if let Some(partial) = conns.get(kill_at) {
@@ -224,13 +216,34 @@ proptest! {
                     prop_assert!(resp.starts_with("OK"), "unexpected response: {}", resp);
                 }
             }
-            // SIGKILL: the core is dropped on the floor — no shutdown
-            // checkpoint, queued-but-unapplied lines are gone.
+            // SIGKILL: core dropped, no shutdown checkpoint.
         }
 
-        // Phase 2: restart resumes every checkpointed tenant; clients ask
-        // HELLO where to resume and replay from there, chaotically again.
-        let mut core = ServeCore::new(serve_config(Some(dir.clone()), 257)).expect("restart");
+        // The victim replica is damaged while the daemon is down. The
+        // ChaosFs clone shares the disk, so this is exactly what the
+        // restarted daemon will see.
+        let victim_dir = PathBuf::from(format!("/r{victim}"));
+        let sabotage = Sabotage::pick(sabotage_pick);
+        match sabotage {
+            Sabotage::Corrupt => {
+                for tenant in TENANTS {
+                    fs.corrupt(&store::ckpt_path(&victim_dir, tenant));
+                }
+            }
+            Sabotage::Truncate => {
+                for tenant in TENANTS {
+                    fs.truncate(&store::ckpt_path(&victim_dir, tenant), 17);
+                }
+            }
+            Sabotage::Absent => fs.remove_tree(&victim_dir),
+        }
+
+        // Phase 2: restart on the same disk. Resume must pick the newest
+        // VALID replica for each tenant and never trust the sabotaged one.
+        let mut core = ServeCore::with_fs(
+            serve_config(replica_dirs(), 257, 0),
+            fs.clone(),
+        ).expect("restart");
         let mut cursors = std::collections::HashMap::new();
         for tenant in TENANTS {
             for source in Source::ALL {
@@ -243,46 +256,49 @@ proptest! {
         let mut feed_rng = StdRng::seed_from_u64(replay_seed ^ 0x5eed);
         deliver(&mut core, &replay_conns, &mut feed_rng);
         drain_and_compare(core);
-        std::fs::remove_dir_all(&dir).ok();
     }
 }
 
-/// Deterministic sanity path: no chaos, round-robin interleaving of the
-/// three tenants over one connection, drain equals batch.
-#[test]
-fn interleaved_tenants_without_chaos_equal_batch() {
-    let streams = push_streams(&|_, _| 0);
-    let mut core = ServeCore::new(serve_config(None, 0)).expect("core");
-    let conn = core.open_conn();
-    let longest = streams.iter().map(|s| s.commands.len()).max().unwrap_or(0);
-    for i in 0..longest {
-        for stream in &streams {
-            if let Some(command) = stream.commands.get(i) {
-                let resp = core.feed(conn, format!("{command}\n").as_bytes());
-                assert_eq!(resp, vec!["OK".to_string()], "push {command:?}");
-            }
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Evict every idle tenant to the store at an arbitrary record, then
+    /// keep pushing: each PUSH resurrects its tenant transparently and
+    /// the drained analysis equals the never-evicted (batch) answer.
+    #[test]
+    fn evict_and_resurrect_at_any_record_equals_batch(
+        chaos_seed in 0u64..10_000,
+        evict_frac in 0.0f64..1.0,
+        evict_after in 1u64..6,
+    ) {
+        let fs = Arc::new(ChaosFs::clean());
+        let streams = push_streams(&|_, _| 0);
+        let mut rng = StdRng::seed_from_u64(chaos_seed);
+        let conns = chaos_transcripts(&streams, &ConnChaosConfig::mild(), &mut rng);
+
+        let mut core = ServeCore::with_fs(
+            serve_config(replica_dirs(), 0, evict_after),
+            fs.clone(),
+        ).expect("core");
+        let mut feed_rng = StdRng::seed_from_u64(chaos_seed ^ 0x5eed);
+
+        // Deliver a prefix, then force enough idle sweeps that every
+        // drained-queue tenant is checkpointed out of memory.
+        let split = ((conns.len() as f64) * evict_frac) as usize;
+        deliver(&mut core, &conns[..split.min(conns.len())], &mut feed_rng);
+        for _ in 0..=evict_after + 1 {
+            core.pump();
         }
-    }
-    drain_and_compare(core);
-}
+        prop_assert!(
+            core.tenant_names().is_empty(),
+            "idle tenants not evicted: {:?}", core.tenant_names()
+        );
 
-/// A half-open connection's buffered fragment must not block or corrupt
-/// later connections carrying the same tenant.
-#[test]
-fn half_open_fragment_does_not_leak_into_later_connections() {
-    let mut core = ServeCore::new(serve_config(None, 0)).expect("core");
-    let (logs, _) = corpus(0);
-    let line = &logs.syslog[0];
-    // A torn prefix on a connection that never closes...
-    let torn = core.open_conn();
-    let fragment = format!("PUSH alpha syslog 0 {line}");
-    assert!(core
-        .feed(torn, &fragment.as_bytes()[..fragment.len() / 2])
-        .is_empty());
-    // ...while a healthy connection delivers the same push completely.
-    let ok = core.open_conn();
-    let resp = core.feed(ok, format!("{fragment}\n").as_bytes());
-    assert_eq!(resp, vec!["OK".to_string()]);
-    let resp = core.handle_line("HELLO alpha");
-    assert_eq!(resp, "OK tenant=alpha accepted=1,0,0,0,0");
+        // The rest of the corpus resurrects each tenant mid-stream.
+        deliver(&mut core, &conns[split.min(conns.len())..], &mut feed_rng);
+        if split > 0 && !conns.is_empty() {
+            prop_assert!(core.stats().evicted > 0, "nothing was ever evicted");
+        }
+        drain_and_compare(core);
+    }
 }
