@@ -1,0 +1,347 @@
+//! P8 — serving resilience under hostile load: goodput vs offered load
+//! with pressure-based admission control, p99 push latency while slowloris
+//! clients dribble bytes, and graceful-drain latency across tenant-fleet
+//! sizes.
+//!
+//! Three questions, one JSON artifact (`BENCH_overload.json`, uploaded by
+//! the CI `overload-smoke` job):
+//!
+//! 1. **Does shedding protect goodput?** A backlog model converts excess
+//!    accepted work into pump pressure (ms of sweep debt); the core sheds
+//!    with `ERR code=overload retry-ms=N` once pressure passes the
+//!    deadline. Offered load sweeps 0.5× → 4× capacity; goodput should
+//!    plateau near capacity instead of collapsing.
+//! 2. **Do slow clients hurt the fast ones?** Eight dribblers feed one
+//!    byte of an oversized line per round while a well-behaved client
+//!    pushes normally; its p99 is compared against an uncontended run, and
+//!    the largest buffered partial line is reported (bounded by
+//!    `max_line_bytes`).
+//! 3. **How long does a drain take?** `DRAIN` flushes and checkpoints the
+//!    whole fleet; latency is reported per fleet size.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use bw_bench::banner;
+use bw_sim::{MemoryOutput, SimConfig, Simulation};
+use logdiver_serve::{BudgetPolicy, ServeConfig, ServeCore};
+use logdiver_stream::{Source, StreamConfig};
+use logdiver_types::SimDuration;
+use serde::Serialize;
+
+/// Virtual tick the offered-load model advances per round.
+const TICK_MS: u64 = 10;
+/// Lines the "machine" can absorb per tick in the backlog model — the
+/// work unit the offered-load multiples scale against.
+const CAPACITY_PER_TICK: usize = 100;
+/// Ticks per offered-load point (1.5 virtual seconds past the deadline).
+const TICKS: usize = 150;
+/// Load-generator tenants the offered stream round-robins across.
+const LOAD_TENANTS: usize = 8;
+
+#[derive(Serialize)]
+struct GoodputPoint {
+    offered_multiple: f64,
+    offered_lines: usize,
+    accepted_lines: usize,
+    shed_lines: usize,
+    goodput_fraction: f64,
+    peak_pressure_ms: u64,
+}
+
+#[derive(Serialize)]
+struct SlowClientPoint {
+    dribblers: usize,
+    pushes: usize,
+    p99_push_us: f64,
+    max_partial_line_bytes: usize,
+}
+
+#[derive(Serialize)]
+struct DrainPoint {
+    tenants: usize,
+    lines_per_tenant: usize,
+    drain_ms: f64,
+}
+
+#[derive(Serialize)]
+struct OverloadBench {
+    bench: String,
+    tick_ms: u64,
+    capacity_per_tick: usize,
+    goodput: Vec<GoodputPoint>,
+    slow_client: Vec<SlowClientPoint>,
+    drain: Vec<DrainPoint>,
+}
+
+/// Protocol command suffixes (`<source> <index> <line>`), round-robin
+/// across sources — same corpus recipe as `perf_serve`.
+fn command_suffixes() -> Vec<String> {
+    let mut config = SimConfig::scaled(64, 1)
+        .with_seed(1201)
+        .without_calibration();
+    config.noise_lines_per_hour = 600.0;
+    let mut raw = MemoryOutput::new();
+    Simulation::new(config).expect("valid config").run(&mut raw);
+    let sources: [(Source, &Vec<String>); 5] = [
+        (Source::Syslog, &raw.syslog),
+        (Source::HwErr, &raw.hwerr),
+        (Source::Alps, &raw.alps),
+        (Source::Torque, &raw.torque),
+        (Source::Netwatch, &raw.netwatch),
+    ];
+    let mut suffixes = Vec::new();
+    let mut offsets = [0usize; 5];
+    loop {
+        let mut moved = false;
+        for (i, (source, lines)) in sources.iter().enumerate() {
+            if let Some(line) = lines.get(offsets[i]) {
+                suffixes.push(format!("{} {} {line}", source.name(), offsets[i]));
+                offsets[i] += 1;
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    suffixes
+}
+
+fn serve_config(dir: &std::path::Path) -> ServeConfig {
+    ServeConfig {
+        tenants_dirs: vec![dir.to_path_buf()],
+        budget: BudgetPolicy {
+            global_bytes: usize::MAX / 2,
+            quota_bytes: usize::MAX / 4,
+        },
+        shards: 4,
+        checkpoint_every: 0,
+        stream: StreamConfig::default().with_lateness(SimDuration::from_secs(3_600)),
+        ..ServeConfig::default()
+    }
+}
+
+/// One offered-load point: a lockstep client stream retries shed pushes
+/// (head-of-line, like the real `logdiver-push`), the backlog model turns
+/// surplus accepted work into pump pressure, and the core's admission
+/// control does the rest.
+fn goodput_point(suffixes: &[String], multiple: f64) -> GoodputPoint {
+    let dir = std::env::temp_dir().join("logdiver-perf-overload-goodput");
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = serve_config(&dir);
+    let deadline_ms = config.overload.deadline_ms;
+    let mut core = ServeCore::new(config).expect("serve core");
+
+    // Per-tenant command queues; shed commands are retried before new ones.
+    let tag = (multiple * 10.0) as usize;
+    let mut queues: Vec<VecDeque<String>> = (0..LOAD_TENANTS)
+        .map(|t| {
+            suffixes
+                .iter()
+                .map(|s| format!("PUSH ld{tag}t{t:02} {s}"))
+                .collect()
+        })
+        .collect();
+
+    let mut offered = 0usize;
+    let mut accepted = 0usize;
+    let mut shed = 0usize;
+    let mut backlog_lines = 0usize;
+    let mut peak_pressure = 0u64;
+    let per_tick = ((CAPACITY_PER_TICK as f64) * multiple) as usize;
+
+    for _ in 0..TICKS {
+        // Pressure = backlog expressed as milliseconds of sweep debt.
+        let pressure_ms = (backlog_lines as u64) * TICK_MS / CAPACITY_PER_TICK as u64;
+        peak_pressure = peak_pressure.max(pressure_ms);
+        core.set_pressure(pressure_ms);
+        let mut tick_accepted = 0usize;
+        for slot in 0..per_tick {
+            let queue = &mut queues[slot % LOAD_TENANTS];
+            let Some(command) = queue.front() else {
+                continue;
+            };
+            offered += 1;
+            let resp = core.handle_line(command);
+            if resp.starts_with("OK") {
+                queue.pop_front();
+                accepted += 1;
+                tick_accepted += 1;
+            } else {
+                assert!(
+                    resp.starts_with("ERR code=overload retry-ms="),
+                    "unexpected rejection: {resp}"
+                );
+                shed += 1;
+            }
+        }
+        backlog_lines += tick_accepted;
+        backlog_lines = backlog_lines.saturating_sub(CAPACITY_PER_TICK);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(
+        peak_pressure <= deadline_ms + (2.0 * multiple * TICK_MS as f64) as u64 + TICK_MS,
+        "admission control let pressure run away: {peak_pressure}ms"
+    );
+
+    GoodputPoint {
+        offered_multiple: multiple,
+        offered_lines: offered,
+        accepted_lines: accepted,
+        shed_lines: shed,
+        goodput_fraction: if offered == 0 {
+            0.0
+        } else {
+            accepted as f64 / offered as f64
+        },
+        peak_pressure_ms: peak_pressure,
+    }
+}
+
+/// p99 push latency for a well-behaved client while `dribblers` stalled
+/// connections trickle one byte of an oversized line per round.
+fn slow_client_point(suffixes: &[String], dribblers: usize) -> SlowClientPoint {
+    let dir = std::env::temp_dir().join("logdiver-perf-overload-slow");
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = serve_config(&dir);
+    let max_line = config.max_line_bytes;
+    let mut core = ServeCore::new(config).expect("serve core");
+
+    let slow_ids: Vec<u64> = (0..dribblers).map(|_| core.open_conn()).collect();
+    let good = core.open_conn();
+    let pushes = suffixes.len().min(20_000);
+
+    let mut latencies = Vec::with_capacity(pushes);
+    let mut max_partial = 0usize;
+    for suffix in &suffixes[..pushes] {
+        for &slow in &slow_ids {
+            // One byte of a line that will never complete.
+            let responses = core.feed(slow, b"x");
+            assert!(responses.is_empty(), "a dribbled byte completed a line");
+            max_partial = max_partial.max(core.pending_fragment(slow));
+        }
+        let command = format!("PUSH slowbench {suffix}\n");
+        let t0 = Instant::now();
+        let responses = core.feed(good, command.as_bytes());
+        latencies.push(t0.elapsed().as_nanos() as u64);
+        assert!(
+            responses.len() == 1 && responses[0].starts_with("OK"),
+            "push rejected: {responses:?}"
+        );
+    }
+    for slow in slow_ids {
+        core.close_conn(slow);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(
+        max_partial <= max_line,
+        "partial-line buffer exceeded the max-line bound: {max_partial} > {max_line}"
+    );
+
+    SlowClientPoint {
+        dribblers,
+        pushes,
+        p99_push_us: p99_us(&mut latencies),
+        max_partial_line_bytes: max_partial,
+    }
+}
+
+/// Time one `DRAIN` (flush + checkpoint every tenant) for a fleet.
+fn drain_point(suffixes: &[String], tenants: usize) -> DrainPoint {
+    let dir = std::env::temp_dir().join("logdiver-perf-overload-drain");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut core = ServeCore::new(serve_config(&dir)).expect("serve core");
+    let lines_per_tenant = suffixes.len().min(500);
+    for t in 0..tenants {
+        for suffix in &suffixes[..lines_per_tenant] {
+            let resp = core.handle_line(&format!("PUSH dr{t:03} {suffix}"));
+            assert!(resp.starts_with("OK"), "push rejected: {resp}");
+        }
+    }
+    let t0 = Instant::now();
+    let resp = core.handle_line("DRAIN");
+    let drain_ms = t0.elapsed().as_secs_f64() * 1_000.0;
+    assert!(
+        resp.starts_with(&format!("OK draining tenants={tenants}")),
+        "drain response: {resp}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    DrainPoint {
+        tenants,
+        lines_per_tenant,
+        drain_ms,
+    }
+}
+
+fn p99_us(latencies: &mut [u64]) -> f64 {
+    if latencies.is_empty() {
+        return 0.0;
+    }
+    latencies.sort_unstable();
+    let idx = (latencies.len() as f64 * 0.99) as usize;
+    latencies[idx.min(latencies.len() - 1)] as f64 / 1_000.0
+}
+
+fn main() {
+    banner(
+        "P8",
+        "overload resilience: goodput under shedding, slowloris p99, drain latency",
+    );
+    let suffixes = command_suffixes();
+    println!(
+        "corpus           : {} lines per tenant (max)",
+        suffixes.len()
+    );
+
+    let mut goodput = Vec::new();
+    for multiple in [0.5, 1.0, 2.0, 4.0] {
+        let point = goodput_point(&suffixes, multiple);
+        println!(
+            "offered {multiple:>3.1}x     : accepted {:>6} / {:>6}  \
+             (goodput {:>5.1}%, shed {:>6}, peak pressure {:>5} ms)",
+            point.accepted_lines,
+            point.offered_lines,
+            point.goodput_fraction * 100.0,
+            point.shed_lines,
+            point.peak_pressure_ms,
+        );
+        goodput.push(point);
+    }
+
+    let mut slow_client = Vec::new();
+    for dribblers in [0usize, 8] {
+        let point = slow_client_point(&suffixes, dribblers);
+        println!(
+            "{dribblers} dribblers      : p99 {:>7.1} us over {} pushes  \
+             (max partial {} bytes)",
+            point.p99_push_us, point.pushes, point.max_partial_line_bytes,
+        );
+        slow_client.push(point);
+    }
+
+    let mut drain = Vec::new();
+    for tenants in [8usize, 32] {
+        let point = drain_point(&suffixes, tenants);
+        println!(
+            "drain {tenants:>3} tenants : {:>8.1} ms ({} lines each)",
+            point.drain_ms, point.lines_per_tenant,
+        );
+        drain.push(point);
+    }
+
+    let out = OverloadBench {
+        bench: "perf_overload".to_string(),
+        tick_ms: TICK_MS,
+        capacity_per_tick: CAPACITY_PER_TICK,
+        goodput,
+        slow_client,
+        drain,
+    };
+    let text = serde_json::to_string_pretty(&out).expect("serializable");
+    let path = "BENCH_overload.json";
+    match std::fs::write(path, text) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+}

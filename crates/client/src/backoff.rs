@@ -1,0 +1,108 @@
+//! Bounded exponential backoff with deterministic splitmix64 jitter.
+//!
+//! The policy is a pure function of `(attempt, salt)`: no clocks, no global
+//! RNG state. Delays double per attempt from `base_ms` up to `cap_ms`, and
+//! each delay is jittered into `[v/2, v]` so a fleet of clients retrying
+//! after the same daemon restart spreads its reconnects instead of
+//! stampeding — the same idiom `logdiver-serve` uses for its retry hints.
+
+use serde::Serialize;
+
+/// Exponential backoff schedule: `base · 2^attempt` capped at `cap_ms`,
+/// jittered into `[v/2, v]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct BackoffPolicy {
+    /// Delay before the first retry, in milliseconds.
+    pub base_ms: u64,
+    /// Upper bound on any single delay, in milliseconds.
+    pub cap_ms: u64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            base_ms: 50,
+            cap_ms: 10_000,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// Delay before retry number `attempt` (0-based), jittered by `salt`.
+    ///
+    /// Deterministic: the same `(attempt, salt)` always yields the same
+    /// delay. The exponent is clamped so large attempt counts cannot
+    /// overflow; the result is clamped to `[1, cap_ms]` before jitter so a
+    /// zero-base policy still makes progress.
+    pub fn delay_ms(&self, attempt: u32, salt: u64) -> u64 {
+        let exp = attempt.min(16);
+        let raw = self.base_ms.max(1).saturating_mul(1u64 << exp);
+        let v = raw.min(self.cap_ms.max(1));
+        jittered(
+            v,
+            salt ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        )
+    }
+}
+
+/// Jitter `v` into `[v/2, v]` deterministically from `salt`.
+pub(crate) fn jittered(v: u64, salt: u64) -> u64 {
+    let half = v / 2;
+    half + splitmix64(salt) % (v - half + 1)
+}
+
+/// The splitmix64 finalizer — cheap, stateless, well distributed.
+pub(crate) fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_double_then_cap() {
+        let p = BackoffPolicy {
+            base_ms: 100,
+            cap_ms: 1_000,
+        };
+        // Jitter keeps each delay within [v/2, v] of the un-jittered curve.
+        for (attempt, v) in [(0u32, 100u64), (1, 200), (2, 400), (3, 800), (4, 1_000)] {
+            for salt in 0..50 {
+                let d = p.delay_ms(attempt, salt);
+                assert!(
+                    (v / 2..=v).contains(&d),
+                    "attempt {attempt} salt {salt}: {d} outside [{}..={v}]",
+                    v / 2
+                );
+            }
+        }
+        // Far past the cap the delay never exceeds it.
+        assert!(p.delay_ms(60, 7) <= 1_000);
+    }
+
+    #[test]
+    fn deterministic_and_spread() {
+        let p = BackoffPolicy::default();
+        assert_eq!(p.delay_ms(3, 42), p.delay_ms(3, 42));
+        let distinct: std::collections::HashSet<u64> = (0..200).map(|s| p.delay_ms(5, s)).collect();
+        assert!(
+            distinct.len() > 50,
+            "only {} distinct delays",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn degenerate_policies_still_progress() {
+        let p = BackoffPolicy {
+            base_ms: 0,
+            cap_ms: 0,
+        };
+        let d = p.delay_ms(0, 9);
+        assert!(d <= 1, "zero policy should clamp to at most 1ms, got {d}");
+    }
+}

@@ -1,0 +1,40 @@
+//! # logdiver-push
+//!
+//! Resilient push client for `logdiver-serve`. The daemon's wire contract
+//! (see `crates/serve/src/proto.rs`) is deliberately minimal — newline-framed
+//! verbs, indexed idempotent `PUSH`es, and a `HELLO` handshake that reports
+//! the server's per-source cursors — so the hard part of exactly-once
+//! delivery lives here, on the client side:
+//!
+//! * **Bounded exponential backoff** with splitmix64 jitter
+//!   ([`BackoffPolicy`]): retries are deterministic under a seed, capped,
+//!   and de-synchronised so a fleet of clients does not stampede a
+//!   recovering daemon.
+//! * **Cursor replay** ([`Session`]): after any reconnect the client
+//!   re-`HELLO`s, adopts the server's `accepted=` cursors, and resumes from
+//!   there. Lines the server already accepted answer `OK dup` and are never
+//!   double-counted, so delivery is exactly-once across crashes of either
+//!   side.
+//! * **Retry-hint obedience**: `ERR code=overload retry-ms=N` and
+//!   `ERR code=draining retry-ms=N` responses are honoured by sleeping the
+//!   hinted interval and resending — shedding is flow control, not failure.
+//! * **Machine-readable outcome** ([`DeliverySummary`]): one JSON object
+//!   per run stating exactly what was delivered, retried, shed, and healed.
+//!
+//! The state machine in [`Session`] is pure (no sockets, no clocks): a
+//! driver asks for the next [`Action`], performs it against the real world,
+//! and reports what happened. The blocking TCP driver lives in [`net`];
+//! tests drive the same machine through in-memory and chaos-injected wires.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod backoff;
+pub mod net;
+pub mod session;
+pub mod summary;
+
+pub use backoff::BackoffPolicy;
+pub use net::{deliver, NetConfig};
+pub use session::{Action, PushPlan, Session, SessionConfig, SOURCES};
+pub use summary::DeliverySummary;

@@ -1,0 +1,258 @@
+//! `logdiver-push` — resilient delivery of a log directory to
+//! `logdiver-serve`.
+//!
+//! Reads the five canonical Blue Waters log files from `--logs DIR`
+//! (missing files are treated as empty), pushes every line under
+//! `--tenant` with indexed exactly-once semantics, and prints a delivery
+//! summary. Exit status: 0 when every line landed, 1 when delivery was
+//! incomplete, 2 on usage errors.
+
+use logdiver_push::{deliver, NetConfig, PushPlan, Session, SessionConfig};
+
+const USAGE: &str = "\
+logdiver-push — resilient push client for logdiver-serve
+
+USAGE:
+    logdiver-push --addr HOST:PORT --tenant NAME --logs DIR [OPTIONS]
+
+OPTIONS:
+    --addr HOST:PORT        daemon address (required)
+    --tenant NAME           tenant to push under (required)
+    --logs DIR              directory holding messages.log / hwerr.log /
+                            apsys.log / torque.log / netwatch.log;
+                            missing files count as empty (required)
+    --timeout-ms N          per-op socket timeout, 0 disables [default: 5000]
+    --max-wall-ms N         overall wall-clock budget, 0 disables [default: 0]
+    --backoff-base-ms N     first retry delay [default: 50]
+    --backoff-cap-ms N      retry delay ceiling [default: 10000]
+    --max-attempts N        consecutive failures tolerated [default: 8]
+    --seed N                jitter seed (vary per client) [default: 0]
+    --json                  print the summary as JSON instead of prose
+    --help                  show this help
+
+EXIT STATUS:
+    0  every line delivered (new or duplicate)
+    1  delivery incomplete (see the summary's error / dead_sources)
+    2  usage error
+";
+
+/// Log file per source, in `SOURCES` order.
+const LOG_FILES: [&str; 5] = [
+    "messages.log",
+    "hwerr.log",
+    "apsys.log",
+    "torque.log",
+    "netwatch.log",
+];
+
+#[derive(Debug)]
+struct Cli {
+    net: NetConfig,
+    session: SessionConfig,
+    tenant: String,
+    logs: String,
+    json: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
+    let mut net = NetConfig::default();
+    let mut session = SessionConfig::default();
+    let mut addr = None;
+    let mut tenant = None;
+    let mut logs = None;
+    let mut json = false;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            return Ok(None);
+        }
+        if flag == "--json" {
+            json = true;
+            continue;
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("{flag} requires a value"))?;
+        let num = || -> Result<u64, String> {
+            value
+                .parse::<u64>()
+                .map_err(|_| format!("{flag} wants a number, got {value:?}"))
+        };
+        match flag.as_str() {
+            "--addr" => addr = Some(value.clone()),
+            "--tenant" => tenant = Some(value.clone()),
+            "--logs" => logs = Some(value.clone()),
+            "--timeout-ms" => net.timeout_ms = num()?,
+            "--max-wall-ms" => net.max_wall_ms = num()?,
+            "--backoff-base-ms" => session.backoff.base_ms = num()?,
+            "--backoff-cap-ms" => session.backoff.cap_ms = num()?,
+            "--max-attempts" => session.max_attempts = num()? as u32,
+            "--seed" => session.seed = num()?,
+            _ => return Err(format!("unknown flag {flag}")),
+        }
+    }
+
+    net.addr = addr.ok_or("--addr is required")?;
+    let tenant = tenant.ok_or("--tenant is required")?;
+    let logs = logs.ok_or("--logs is required")?;
+    Ok(Some(Cli {
+        net,
+        session,
+        tenant,
+        logs,
+        json,
+    }))
+}
+
+/// Read the five log files from `dir`; missing files are empty, unreadable
+/// ones are an error.
+fn load_plan(tenant: &str, dir: &str) -> Result<PushPlan, String> {
+    let mut lines: [Vec<String>; 5] = Default::default();
+    for (i, file) in LOG_FILES.iter().enumerate() {
+        let path = std::path::Path::new(dir).join(file);
+        match std::fs::read_to_string(&path) {
+            Ok(text) => lines[i] = text.lines().map(|l| l.to_string()).collect(),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                eprintln!(
+                    "logdiver-push: {} missing, treating as empty",
+                    path.display()
+                );
+            }
+            Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+        }
+    }
+    Ok(PushPlan {
+        tenant: tenant.to_string(),
+        lines,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(Some(cli)) => cli,
+        Ok(None) => {
+            println!("{USAGE}");
+            return;
+        }
+        Err(e) => {
+            eprintln!("logdiver-push: {e}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    let plan = match load_plan(&cli.tenant, &cli.logs) {
+        Ok(plan) => plan,
+        Err(e) => {
+            eprintln!("logdiver-push: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let summary = deliver(Session::new(plan, cli.session), &cli.net);
+    if cli.json {
+        match serde_json::to_string_pretty(&summary) {
+            Ok(json) => println!("{json}"),
+            Err(e) => eprintln!("logdiver-push: summary serialisation failed: {e}"),
+        }
+    } else {
+        println!(
+            "logdiver-push: tenant={} pushed={} dups={} retries={} reconnects={} \
+             shed={}+{} gaps={} rejected={} wall_ms={} complete={}",
+            summary.tenant,
+            summary.pushed,
+            summary.dups,
+            summary.retries,
+            summary.reconnects,
+            summary.shed_overload,
+            summary.shed_draining,
+            summary.gaps_healed,
+            summary.rejected,
+            summary.wall_ms,
+            summary.complete,
+        );
+        if let Some(err) = &summary.error {
+            eprintln!("logdiver-push: {err}");
+        }
+        for dead in &summary.dead_sources {
+            eprintln!("logdiver-push: source {dead} abandoned (rejected line)");
+        }
+    }
+    if !summary.complete {
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logdiver_push::SOURCES;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|t| t.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_required_and_optional_flags() {
+        let cli = parse_args(&argv(
+            "--addr 127.0.0.1:9 --tenant bw --logs /tmp/x --timeout-ms 100 \
+             --max-wall-ms 2000 --backoff-base-ms 10 --backoff-cap-ms 99 \
+             --max-attempts 3 --seed 7 --json",
+        ))
+        .unwrap()
+        .unwrap();
+        assert_eq!(cli.net.addr, "127.0.0.1:9");
+        assert_eq!(cli.net.timeout_ms, 100);
+        assert_eq!(cli.net.max_wall_ms, 2000);
+        assert_eq!(cli.session.backoff.base_ms, 10);
+        assert_eq!(cli.session.backoff.cap_ms, 99);
+        assert_eq!(cli.session.max_attempts, 3);
+        assert_eq!(cli.session.seed, 7);
+        assert_eq!(cli.tenant, "bw");
+        assert_eq!(cli.logs, "/tmp/x");
+        assert!(cli.json);
+    }
+
+    #[test]
+    fn missing_required_flags_error() {
+        assert!(parse_args(&argv("--tenant bw --logs /x")).is_err());
+        assert!(parse_args(&argv("--addr a:1 --logs /x")).is_err());
+        assert!(parse_args(&argv("--addr a:1 --tenant bw")).is_err());
+        assert!(parse_args(&argv("--addr a:1 --tenant bw --logs /x --bogus 1")).is_err());
+        assert!(parse_args(&argv("--addr")).is_err());
+        assert!(parse_args(&argv("--timeout-ms abc --addr a:1 --tenant t --logs /x")).is_err());
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        assert!(parse_args(&argv("--help")).unwrap().is_none());
+        assert!(parse_args(&argv("--addr a:1 -h")).unwrap().is_none());
+    }
+
+    #[test]
+    fn load_plan_treats_missing_files_as_empty() {
+        let dir = std::env::temp_dir().join("logdiver-push-test-plan");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("messages.log"), "a\nb\n").unwrap();
+        std::fs::write(dir.join("torque.log"), "t0\n").unwrap();
+        let plan = load_plan("bw", dir.to_str().unwrap()).unwrap();
+        assert_eq!(plan.lines[0], vec!["a".to_string(), "b".to_string()]);
+        assert!(plan.lines[1].is_empty());
+        assert!(plan.lines[2].is_empty());
+        assert_eq!(plan.lines[3], vec!["t0".to_string()]);
+        assert_eq!(plan.total_lines(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn log_files_match_source_order() {
+        assert_eq!(SOURCES.len(), LOG_FILES.len());
+        assert_eq!(SOURCES[0], "syslog");
+        assert_eq!(LOG_FILES[0], "messages.log");
+        assert_eq!(SOURCES[2], "alps");
+        assert_eq!(LOG_FILES[2], "apsys.log");
+    }
+}

@@ -1,0 +1,145 @@
+//! Blocking TCP driver for [`Session`].
+//!
+//! This is the only impure module in the crate: it owns the socket, the
+//! sleeps, and the wall clock. Everything decision-shaped stays in the
+//! session; the driver mechanically performs [`Action`]s and reports
+//! outcomes. Per-op timeouts come from the socket's read/write deadlines,
+//! and `max_wall_ms` bounds the whole run — a session stuck in an
+//! obey-the-hint loop against a daemon that never recovers eventually gives
+//! up with a truthful summary instead of hanging a rolling restart forever.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use crate::session::{Action, Session};
+use crate::summary::DeliverySummary;
+
+/// Wire-level knobs for [`deliver`].
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// `host:port` of the daemon.
+    pub addr: String,
+    /// Per-operation (connect / send / response-read) timeout in
+    /// milliseconds; 0 disables.
+    pub timeout_ms: u64,
+    /// Overall wall-clock budget in milliseconds; 0 disables. When spent,
+    /// the run stops and the summary reports the timeout as its error.
+    pub max_wall_ms: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            addr: "127.0.0.1:4815".to_string(),
+            timeout_ms: 5_000,
+            max_wall_ms: 0,
+        }
+    }
+}
+
+impl NetConfig {
+    fn op_timeout(&self) -> Option<Duration> {
+        (self.timeout_ms > 0).then(|| Duration::from_millis(self.timeout_ms))
+    }
+}
+
+/// One live connection: the writer half plus a buffered reader on a clone.
+#[derive(Debug)]
+struct Wire {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Wire {
+    fn open(config: &NetConfig) -> std::io::Result<Wire> {
+        let stream = TcpStream::connect(&config.addr)?;
+        // Lockstep request/response: Nagle would hold every request until
+        // the previous segment's (possibly delayed) ACK, stalling each
+        // round trip by tens of milliseconds.
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(config.op_timeout())?;
+        stream.set_write_timeout(config.op_timeout())?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Wire { stream, reader })
+    }
+
+    /// Send one line and read the one-line response (lockstep protocol).
+    fn round_trip(&mut self, line: &str) -> std::io::Result<String> {
+        // One write per request: splitting the newline into a second tiny
+        // segment reintroduces the Nagle/delayed-ACK stall.
+        let mut framed = Vec::with_capacity(line.len() + 1);
+        framed.extend_from_slice(line.as_bytes());
+        framed.push(b'\n');
+        self.stream.write_all(&framed)?;
+        let mut resp = String::new();
+        let n = self.reader.read_line(&mut resp)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response",
+            ));
+        }
+        Ok(resp.trim_end().to_string())
+    }
+}
+
+/// Drive `session` to completion over TCP and return its summary with
+/// `wall_ms` stamped.
+pub fn deliver(mut session: Session, config: &NetConfig) -> DeliverySummary {
+    // lint: allow(wall-clock) driver measures real elapsed time by design
+    let started = Instant::now();
+    let deadline = (config.max_wall_ms > 0).then(|| Duration::from_millis(config.max_wall_ms));
+    let mut wire: Option<Wire> = None;
+    let mut timed_out = false;
+
+    while !session.finished() {
+        if let Some(d) = deadline {
+            if started.elapsed() >= d {
+                timed_out = true;
+                break;
+            }
+        }
+        match session.action() {
+            Action::Connect => match Wire::open(config) {
+                Ok(w) => {
+                    wire = Some(w);
+                    session.on_connected();
+                }
+                Err(_) => {
+                    wire = None;
+                    session.on_connect_failed();
+                }
+            },
+            Action::Send(line) => match wire.as_mut().map(|w| w.round_trip(&line)) {
+                Some(Ok(resp)) => session.on_response(&resp),
+                _ => {
+                    wire = None;
+                    session.on_wire_error();
+                }
+            },
+            Action::Sleep(ms) => {
+                // Never sleep past the overall deadline.
+                let mut ms = ms;
+                if let Some(d) = deadline {
+                    let left = d.saturating_sub(started.elapsed());
+                    ms = ms.min(left.as_millis() as u64);
+                }
+                std::thread::sleep(Duration::from_millis(ms));
+                session.on_slept(ms);
+            }
+            Action::Done => break,
+        }
+    }
+
+    let mut summary = session.summary();
+    summary.wall_ms = started.elapsed().as_millis() as u64;
+    if timed_out && summary.error.is_none() {
+        summary.complete = false;
+        summary.error = Some(format!(
+            "wall-clock budget {}ms exhausted",
+            config.max_wall_ms
+        ));
+    }
+    summary
+}

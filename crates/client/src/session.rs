@@ -1,0 +1,690 @@
+//! The pure delivery state machine.
+//!
+//! [`Session`] owns everything about *what to do next* — which line to push,
+//! when to sleep, when to reconnect and re-`HELLO` — but performs no I/O and
+//! reads no clocks. A driver loop asks for the next [`Action`], performs it
+//! against a real (or chaos-injected) wire, and reports the outcome through
+//! the `on_*` callbacks:
+//!
+//! ```text
+//! loop {
+//!     match session.action() {
+//!         Action::Connect  => … then on_connected() / on_connect_failed()
+//!         Action::Send(l)  => … then on_response(&resp) / on_wire_error()
+//!         Action::Sleep(n) => … then on_slept(n)
+//!         Action::Done     => break,
+//!     }
+//! }
+//! ```
+//!
+//! The exactly-once invariant: every `PUSH` carries the explicit per-source
+//! index the server expects next. After any reconnect the session re-sends
+//! `HELLO`, adopts the server's `accepted=` cursors, and resumes from there;
+//! lines the server already accepted answer `OK dup` and are counted as
+//! duplicates, never as new deliveries. Shedding hints (`ERR code=overload`
+//! / `code=draining` with `retry-ms=N`) are obeyed verbatim and retried
+//! without limit — they are flow control. Hard errors and wire faults burn
+//! bounded-backoff attempts and eventually fail the session.
+
+use crate::backoff::{splitmix64, BackoffPolicy};
+use crate::summary::DeliverySummary;
+
+/// Source names in the server's cursor order (`Source::ALL`).
+pub const SOURCES: [&str; 5] = ["syslog", "hwerr", "alps", "torque", "netwatch"];
+
+/// What one session wants delivered: a tenant and up to five per-source
+/// line vectors, indexed in [`SOURCES`] order.
+#[derive(Debug, Clone, Default)]
+pub struct PushPlan {
+    /// Tenant to push under.
+    pub tenant: String,
+    /// Lines per source, in [`SOURCES`] order. Lines must not contain
+    /// newlines (they are the wire framing).
+    pub lines: [Vec<String>; 5],
+}
+
+impl PushPlan {
+    /// Total lines across all sources.
+    pub fn total_lines(&self) -> u64 {
+        self.lines.iter().map(|v| v.len() as u64).sum()
+    }
+}
+
+/// Knobs for retry behaviour.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionConfig {
+    /// Backoff schedule for connect failures, wire errors, and retryable
+    /// hard errors.
+    pub backoff: BackoffPolicy,
+    /// Consecutive failed attempts (connect failures, wire errors,
+    /// retryable hard errors) tolerated before the session fails. Shedding
+    /// hints do not count.
+    pub max_attempts: u32,
+    /// Seed for backoff jitter; vary per client to de-synchronise a fleet.
+    pub seed: u64,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            backoff: BackoffPolicy::default(),
+            max_attempts: 8,
+            seed: 0,
+        }
+    }
+}
+
+/// The next thing the driver must do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Open (or re-open) the connection, then call `on_connected` or
+    /// `on_connect_failed`.
+    Connect,
+    /// Send this line (newline appended by the wire), read one response
+    /// line, then call `on_response` or `on_wire_error`.
+    Send(String),
+    /// Sleep this many milliseconds, then call `on_slept`.
+    Sleep(u64),
+    /// The session is finished; consult [`Session::summary`].
+    Done,
+}
+
+/// What to do after a sleep completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Resume {
+    /// Re-open the connection and re-`HELLO`.
+    Reconnect,
+    /// Re-send the current `PUSH`.
+    Push,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Phase {
+    Connect,
+    SendHello,
+    SendPush,
+    Sleep { ms: u64, then: Resume },
+    Done,
+    Failed,
+}
+
+/// Pure exactly-once delivery state machine. See the module docs for the
+/// driver contract.
+#[derive(Debug)]
+pub struct Session {
+    plan: PushPlan,
+    config: SessionConfig,
+    phase: Phase,
+    /// Next index to push per source — advanced by `OK`/`OK dup`, rewound
+    /// by `ERR code=gap expected=N`, adopted wholesale from `HELLO`.
+    cursors: [u64; 5],
+    /// Sources permanently abandoned after `ERR code=line-too-long`.
+    dead: [bool; 5],
+    /// Round-robin pointer into [`SOURCES`].
+    current: usize,
+    /// Consecutive failures since the last success.
+    attempt: u32,
+    /// Monotone counter salting each jittered delay.
+    salt: u64,
+    connected_once: bool,
+    stats: DeliverySummary,
+}
+
+impl Session {
+    /// Start a session for `plan`.
+    pub fn new(plan: PushPlan, config: SessionConfig) -> Self {
+        let stats = DeliverySummary {
+            tenant: plan.tenant.clone(),
+            total_lines: plan.total_lines(),
+            ..DeliverySummary::default()
+        };
+        Session {
+            plan,
+            config,
+            phase: Phase::Connect,
+            cursors: [0; 5],
+            dead: [false; 5],
+            current: 0,
+            attempt: 0,
+            salt: config.seed,
+            connected_once: false,
+            stats,
+        }
+    }
+
+    /// The next action the driver must perform. Idempotent: repeated calls
+    /// without an intervening callback return the same action.
+    pub fn action(&self) -> Action {
+        match &self.phase {
+            Phase::Connect => Action::Connect,
+            Phase::SendHello => Action::Send(format!("HELLO {}", self.plan.tenant)),
+            Phase::SendPush => match self.current_line() {
+                Some((source, index, line)) => {
+                    Action::Send(format!("PUSH {} {source} {index} {line}", self.plan.tenant))
+                }
+                // Scheduling always lands on a source with work before
+                // entering SendPush; an empty schedule means done.
+                None => Action::Done,
+            },
+            Phase::Sleep { ms, .. } => Action::Sleep(*ms),
+            Phase::Done | Phase::Failed => Action::Done,
+        }
+    }
+
+    /// True when the session has terminated (successfully or not).
+    pub fn finished(&self) -> bool {
+        matches!(self.phase, Phase::Done | Phase::Failed)
+    }
+
+    /// True when the session terminated with every line delivered.
+    pub fn complete(&self) -> bool {
+        matches!(self.phase, Phase::Done) && self.stats.rejected == 0
+    }
+
+    /// The connection opened: send `HELLO` next.
+    pub fn on_connected(&mut self) {
+        if self.phase != Phase::Connect {
+            return;
+        }
+        if self.connected_once {
+            self.stats.reconnects += 1;
+        }
+        self.connected_once = true;
+        self.phase = Phase::SendHello;
+    }
+
+    /// The connection attempt failed (refused / timed out).
+    pub fn on_connect_failed(&mut self) {
+        if self.phase != Phase::Connect {
+            return;
+        }
+        self.fault("connect failed", Resume::Reconnect);
+    }
+
+    /// A full response line arrived for the last `Send`.
+    pub fn on_response(&mut self, response: &str) {
+        match self.phase {
+            Phase::SendHello => self.on_hello_response(response),
+            Phase::SendPush => self.on_push_response(response),
+            _ => {}
+        }
+    }
+
+    /// The send or the response read failed mid-stream; the connection is
+    /// unusable.
+    pub fn on_wire_error(&mut self) {
+        if !matches!(self.phase, Phase::SendHello | Phase::SendPush) {
+            return;
+        }
+        self.fault("wire error", Resume::Reconnect);
+    }
+
+    /// The requested sleep completed.
+    pub fn on_slept(&mut self, ms: u64) {
+        let Phase::Sleep { then, .. } = self.phase else {
+            return;
+        };
+        self.stats.slept_ms += ms;
+        self.phase = match then {
+            Resume::Reconnect => Phase::Connect,
+            Resume::Push => Phase::SendPush,
+        };
+    }
+
+    /// Delivery summary so far; terminal fields (`complete`, `error`) are
+    /// meaningful once [`finished`](Self::finished) is true. `wall_ms` is
+    /// left for the driver to stamp.
+    pub fn summary(&self) -> DeliverySummary {
+        let mut s = self.stats.clone();
+        s.complete = self.complete();
+        s.dead_sources = SOURCES
+            .iter()
+            .zip(self.dead)
+            .filter(|(_, d)| *d)
+            .map(|(n, _)| n.to_string())
+            .collect();
+        s
+    }
+
+    fn on_hello_response(&mut self, response: &str) {
+        if response.starts_with("OK") {
+            if let Some(cursors) = kv(response, "accepted").and_then(parse_cursors) {
+                self.cursors = cursors;
+            }
+            self.attempt = 0;
+            self.schedule();
+        } else {
+            // A rejected handshake (bad tenant name, protocol error) cannot
+            // be retried into success.
+            self.fail(format!("HELLO rejected: {response}"));
+        }
+    }
+
+    fn on_push_response(&mut self, response: &str) {
+        let Some((src_idx, _, _, _)) = self.current_slot() else {
+            self.schedule();
+            return;
+        };
+        if response.starts_with("OK") {
+            if response.starts_with("OK dup") {
+                self.stats.dups += 1;
+            } else {
+                self.stats.pushed += 1;
+            }
+            self.cursors[src_idx] += 1;
+            self.attempt = 0;
+            self.schedule();
+            return;
+        }
+        match kv(response, "code") {
+            Some("overload") | Some("draining") => {
+                // Flow control, not failure: obey the hint and resend the
+                // same line, without limit.
+                if kv(response, "code") == Some("overload") {
+                    self.stats.shed_overload += 1;
+                } else {
+                    self.stats.shed_draining += 1;
+                }
+                self.stats.retries += 1;
+                let ms = kv(response, "retry-ms")
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .unwrap_or(100)
+                    .max(1);
+                self.phase = Phase::Sleep {
+                    ms,
+                    then: Resume::Push,
+                };
+            }
+            Some("gap") => {
+                // The server expects a different index — adopt it. This
+                // heals both directions: behind (another pusher got ahead)
+                // and ahead (a stale cursor after the server lost state).
+                if let Some(expected) = kv(response, "expected").and_then(|v| v.parse().ok()) {
+                    self.cursors[src_idx] = expected;
+                    self.stats.gaps_healed += 1;
+                    self.attempt = 0;
+                    self.schedule();
+                } else {
+                    self.fail(format!("unparseable gap response: {response}"));
+                }
+            }
+            Some("line-too-long") => {
+                // Skipping the line would leave a permanent index gap, so
+                // the whole source is abandoned; the rest keep going.
+                self.stats.rejected += 1;
+                self.dead[src_idx] = true;
+                self.attempt = 0;
+                self.schedule();
+            }
+            Some("over-quota") | Some("over-budget") => {
+                // Admission pressure that may clear as the window rolls —
+                // worth bounded retries.
+                self.stats.retries += 1;
+                self.fault("quota rejection", Resume::Push);
+            }
+            _ => {
+                // bad-line, bad-source, … : a client-side bug; retrying the
+                // identical frame cannot help.
+                self.fail(format!("push rejected: {response}"));
+            }
+        }
+    }
+
+    /// Record a retryable failure: burn an attempt, back off, resume — or
+    /// fail the session once the attempts are spent.
+    fn fault(&mut self, what: &str, then: Resume) {
+        self.attempt += 1;
+        if self.attempt > self.config.max_attempts {
+            self.fail(format!(
+                "{what} after {} attempts",
+                self.config.max_attempts
+            ));
+            return;
+        }
+        self.salt = self.salt.wrapping_add(1);
+        let ms = self
+            .config
+            .backoff
+            .delay_ms(self.attempt - 1, splitmix64(self.salt));
+        self.stats.backoffs += 1;
+        self.phase = Phase::Sleep { ms, then };
+    }
+
+    fn fail(&mut self, error: String) {
+        self.stats.error = Some(error);
+        self.phase = Phase::Failed;
+    }
+
+    /// Pick the next source with undelivered work (round-robin from
+    /// `current`), or finish.
+    fn schedule(&mut self) {
+        for step in 0..SOURCES.len() {
+            let idx = (self.current + step) % SOURCES.len();
+            if !self.dead[idx] && self.cursors[idx] < self.plan.lines[idx].len() as u64 {
+                self.current = idx;
+                self.phase = Phase::SendPush;
+                return;
+            }
+        }
+        self.phase = Phase::Done;
+    }
+
+    /// The `(source index, name, line index, line)` currently being pushed.
+    fn current_slot(&self) -> Option<(usize, &'static str, u64, &str)> {
+        let idx = self.current;
+        if self.dead[idx] {
+            return None;
+        }
+        let cursor = self.cursors[idx];
+        let line = self.plan.lines[idx].get(cursor as usize)?;
+        Some((idx, SOURCES[idx], cursor, line))
+    }
+
+    fn current_line(&self) -> Option<(&'static str, u64, &str)> {
+        self.current_slot().map(|(_, name, i, l)| (name, i, l))
+    }
+}
+
+/// Find `key=value` in a whitespace-separated response and return `value`.
+fn kv<'a>(response: &'a str, key: &str) -> Option<&'a str> {
+    response
+        .split_whitespace()
+        .find_map(|tok| tok.strip_prefix(key)?.strip_prefix('='))
+}
+
+/// Parse the `a,b,c,d,e` cursor vector from `HELLO`'s `accepted=` field.
+fn parse_cursors(s: &str) -> Option<[u64; 5]> {
+    let mut out = [0u64; 5];
+    let mut parts = s.split(',');
+    for slot in &mut out {
+        *slot = parts.next()?.parse().ok()?;
+    }
+    parts.next().is_none().then_some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(counts: [usize; 5]) -> PushPlan {
+        let mut lines: [Vec<String>; 5] = Default::default();
+        for (s, n) in counts.iter().enumerate() {
+            lines[s] = (0..*n)
+                .map(|i| format!("{} line {i}", SOURCES[s]))
+                .collect();
+        }
+        PushPlan {
+            tenant: "bw".to_string(),
+            lines,
+        }
+    }
+
+    /// Drive the session against a scripted server: each closure call gets
+    /// the sent line and returns the response.
+    fn drive(session: &mut Session, mut server: impl FnMut(&str) -> String, max_steps: usize) {
+        for _ in 0..max_steps {
+            match session.action() {
+                Action::Connect => session.on_connected(),
+                Action::Send(line) => {
+                    let resp = server(&line);
+                    session.on_response(&resp);
+                }
+                Action::Sleep(ms) => session.on_slept(ms),
+                Action::Done => return,
+            }
+        }
+        panic!("session did not finish in {max_steps} steps");
+    }
+
+    /// A minimal in-memory server honouring indexed idempotent pushes.
+    struct FakeServer {
+        accepted: [u64; 5],
+    }
+
+    impl FakeServer {
+        fn new() -> Self {
+            FakeServer { accepted: [0; 5] }
+        }
+
+        fn respond(&mut self, line: &str) -> String {
+            let toks: Vec<&str> = line.splitn(5, ' ').collect();
+            match toks.first() {
+                Some(&"HELLO") => format!(
+                    "OK tenant=bw accepted={}",
+                    self.accepted.map(|c| c.to_string()).join(",")
+                ),
+                Some(&"PUSH") => {
+                    let src = SOURCES
+                        .iter()
+                        .position(|s| Some(*s) == toks.get(2).copied());
+                    let (Some(src), Some(Ok(index))) = (src, toks.get(3).map(|t| t.parse::<u64>()))
+                    else {
+                        return "ERR code=bad-line".to_string();
+                    };
+                    let expected = self.accepted[src];
+                    if index < expected {
+                        "OK dup".to_string()
+                    } else if index > expected {
+                        format!("ERR code=gap expected={expected}")
+                    } else {
+                        self.accepted[src] += 1;
+                        "OK".to_string()
+                    }
+                }
+                _ => "ERR code=bad-line".to_string(),
+            }
+        }
+    }
+
+    #[test]
+    fn happy_path_delivers_everything_round_robin() {
+        let mut server = FakeServer::new();
+        let mut s = Session::new(plan([3, 2, 0, 1, 0]), SessionConfig::default());
+        drive(&mut s, |l| server.respond(l), 100);
+        assert!(s.complete());
+        let sum = s.summary();
+        assert_eq!(sum.pushed, 6);
+        assert_eq!(sum.dups, 0);
+        assert_eq!(sum.total_lines, 6);
+        assert!(sum.complete);
+        assert_eq!(server.accepted, [3, 2, 0, 1, 0]);
+    }
+
+    #[test]
+    fn reconnect_replays_from_hello_cursors_exactly_once() {
+        let mut server = FakeServer::new();
+        let mut s = Session::new(plan([4, 0, 0, 0, 0]), SessionConfig::default());
+        // Deliver lines until the third PUSH, which the server processes but
+        // whose ack is lost on the wire — the worst case for exactly-once.
+        let mut sent = 0;
+        for _ in 0..50 {
+            match s.action() {
+                Action::Connect => s.on_connected(),
+                Action::Send(line) => {
+                    if line.starts_with("PUSH") {
+                        sent += 1;
+                        if sent == 3 {
+                            server.respond(&line); // accepted server-side…
+                            s.on_wire_error(); // …but the ack never arrived
+                            break;
+                        }
+                    }
+                    let resp = server.respond(&line);
+                    s.on_response(&resp);
+                }
+                Action::Sleep(ms) => s.on_slept(ms),
+                Action::Done => break,
+            }
+        }
+        // Resume: sleep → reconnect → HELLO adopts accepted=3 → pushes 3.
+        drive(&mut s, |l| server.respond(l), 100);
+        assert!(s.complete());
+        let sum = s.summary();
+        // Line 2 was accepted server-side without a client ack; HELLO's
+        // cursor (3) skips past it, so nothing is double-pushed.
+        assert_eq!(sum.pushed + sum.dups, 3, "{sum:?}");
+        assert_eq!(sum.reconnects, 1);
+        assert_eq!(sum.backoffs, 1);
+        assert!(sum.slept_ms > 0);
+        assert_eq!(server.accepted, [4, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn shedding_hints_are_obeyed_and_unlimited() {
+        let mut server = FakeServer::new();
+        let mut sheds = 0;
+        let mut s = Session::new(
+            plan([2, 0, 0, 0, 0]),
+            SessionConfig {
+                max_attempts: 1, // hints must not burn attempts
+                ..SessionConfig::default()
+            },
+        );
+        let mut slept = Vec::new();
+        for _ in 0..200 {
+            match s.action() {
+                Action::Connect => s.on_connected(),
+                Action::Send(line) => {
+                    if line.starts_with("PUSH") && sheds < 5 {
+                        sheds += 1;
+                        s.on_response("ERR code=overload retry-ms=123");
+                    } else {
+                        let resp = server.respond(&line);
+                        s.on_response(&resp);
+                    }
+                }
+                Action::Sleep(ms) => {
+                    slept.push(ms);
+                    s.on_slept(ms);
+                }
+                Action::Done => break,
+            }
+        }
+        assert!(s.complete());
+        let sum = s.summary();
+        assert_eq!(sum.shed_overload, 5);
+        assert_eq!(sum.retries, 5);
+        assert_eq!(slept, vec![123; 5], "hint obeyed verbatim");
+        assert_eq!(sum.slept_ms, 5 * 123);
+        assert_eq!(sum.pushed, 2);
+    }
+
+    #[test]
+    fn gap_response_rewinds_the_cursor() {
+        let mut server = FakeServer::new();
+        server.accepted[0] = 1; // server already has line 0
+        let mut s = Session::new(plan([3, 0, 0, 0, 0]), SessionConfig::default());
+        // Sabotage HELLO so the client starts from 0 and collides.
+        drive(
+            &mut s,
+            |l| {
+                if l.starts_with("HELLO") {
+                    "OK tenant=bw".to_string() // no accepted= field
+                } else {
+                    server.respond(l)
+                }
+            },
+            100,
+        );
+        assert!(s.complete());
+        let sum = s.summary();
+        assert_eq!(sum.dups, 1, "{sum:?}"); // push 0 answers OK dup
+        assert_eq!(sum.pushed, 2);
+        assert_eq!(server.accepted[0], 3);
+    }
+
+    #[test]
+    fn line_too_long_kills_one_source_and_the_rest_finish() {
+        let mut server = FakeServer::new();
+        let mut s = Session::new(plan([2, 3, 0, 0, 0]), SessionConfig::default());
+        drive(
+            &mut s,
+            |l| {
+                if l.starts_with("PUSH bw hwerr 1 ") {
+                    "ERR code=line-too-long limit=64".to_string()
+                } else {
+                    server.respond(l)
+                }
+            },
+            100,
+        );
+        assert!(s.finished());
+        assert!(!s.complete());
+        let sum = s.summary();
+        assert_eq!(sum.rejected, 1);
+        assert_eq!(sum.dead_sources, vec!["hwerr".to_string()]);
+        assert!(!sum.complete);
+        // syslog still fully delivered, hwerr got line 0 only.
+        assert_eq!(server.accepted[0], 2);
+        assert_eq!(server.accepted[1], 1);
+    }
+
+    #[test]
+    fn connect_failures_back_off_then_fail_the_session() {
+        let mut s = Session::new(
+            plan([1, 0, 0, 0, 0]),
+            SessionConfig {
+                max_attempts: 3,
+                ..SessionConfig::default()
+            },
+        );
+        let mut sleeps = 0;
+        for _ in 0..50 {
+            match s.action() {
+                Action::Connect => s.on_connect_failed(),
+                Action::Sleep(ms) => {
+                    sleeps += 1;
+                    s.on_slept(ms);
+                }
+                Action::Send(_) => unreachable!("never connected"),
+                Action::Done => break,
+            }
+        }
+        assert!(s.finished());
+        assert!(!s.complete());
+        let sum = s.summary();
+        assert_eq!(sleeps, 3);
+        assert_eq!(sum.backoffs, 3);
+        assert!(sum
+            .error
+            .as_deref()
+            .unwrap_or("")
+            .contains("connect failed"));
+    }
+
+    #[test]
+    fn hello_rejection_fails_fast() {
+        let mut s = Session::new(plan([1, 0, 0, 0, 0]), SessionConfig::default());
+        s.on_connected();
+        s.on_response("ERR code=bad-tenant tenant=../etc");
+        assert!(s.finished());
+        assert!(s
+            .summary()
+            .error
+            .as_deref()
+            .unwrap_or("")
+            .contains("HELLO rejected"));
+    }
+
+    #[test]
+    fn server_ahead_of_plan_counts_as_done() {
+        // Another pusher already delivered more than this plan holds.
+        let mut s = Session::new(plan([2, 0, 0, 0, 0]), SessionConfig::default());
+        s.on_connected();
+        s.on_response("OK tenant=bw accepted=5,0,0,0,0");
+        assert!(s.finished());
+        assert!(s.complete());
+        assert_eq!(s.summary().pushed, 0);
+    }
+
+    #[test]
+    fn kv_and_cursor_parsing() {
+        assert_eq!(kv("ERR code=gap expected=7", "expected"), Some("7"));
+        assert_eq!(kv("ERR code=gap expected=7", "code"), Some("gap"));
+        assert_eq!(kv("OK", "code"), None);
+        assert_eq!(parse_cursors("1,2,3,4,5"), Some([1, 2, 3, 4, 5]));
+        assert_eq!(parse_cursors("1,2,3"), None);
+        assert_eq!(parse_cursors("1,2,3,4,5,6"), None);
+        assert_eq!(parse_cursors("1,x,3,4,5"), None);
+    }
+}

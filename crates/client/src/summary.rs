@@ -1,0 +1,70 @@
+//! Machine-readable delivery summary.
+//!
+//! One JSON object per `logdiver-push` run. Everything an operator (or a
+//! rolling-restart script) needs to know: did every line land, how much
+//! shedding and chaos the run absorbed, and which sources — if any — the
+//! server permanently rejected.
+
+use serde::Serialize;
+
+/// Outcome of one delivery session, serialised with `--json`.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct DeliverySummary {
+    /// Tenant the lines were pushed under.
+    pub tenant: String,
+    /// Total lines the plan wanted delivered, across all five sources.
+    pub total_lines: u64,
+    /// Lines newly accepted by the server (`OK`).
+    pub pushed: u64,
+    /// Lines the server had already accepted (`OK dup`) — replay after a
+    /// reconnect or a competing pusher; still exactly-once.
+    pub dups: u64,
+    /// `PUSH` resends caused by shedding hints or wire faults.
+    pub retries: u64,
+    /// Connections re-established after a wire error or refused connect.
+    pub reconnects: u64,
+    /// Backoff sleeps taken (connect failures and hard errors).
+    pub backoffs: u64,
+    /// Total milliseconds the session asked to sleep (hints + backoff).
+    pub slept_ms: u64,
+    /// Pushes answered `ERR code=overload retry-ms=N`.
+    pub shed_overload: u64,
+    /// Pushes answered `ERR code=draining retry-ms=N`.
+    pub shed_draining: u64,
+    /// Cursor gaps healed by rewinding to the server's `expected=` index.
+    pub gaps_healed: u64,
+    /// Lines the server permanently rejected (`ERR code=line-too-long`).
+    pub rejected: u64,
+    /// Sources abandoned after a permanent rejection (a skipped line would
+    /// leave an unfillable index gap, so the whole source stops).
+    pub dead_sources: Vec<String>,
+    /// True iff every line of every source was delivered (`pushed + dups ==
+    /// total_lines` and nothing was rejected).
+    pub complete: bool,
+    /// Wall-clock duration of the run in milliseconds (driver-measured; 0
+    /// for pure in-memory drivers).
+    pub wall_ms: u64,
+    /// Terminal error, if the session failed before completing.
+    pub error: Option<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialises_the_full_outcome() {
+        let s = DeliverySummary {
+            tenant: "bw".to_string(),
+            total_lines: 10,
+            pushed: 9,
+            dups: 1,
+            complete: true,
+            ..DeliverySummary::default()
+        };
+        let json = serde_json::to_string(&s).unwrap_or_default();
+        assert!(json.contains("\"tenant\":\"bw\""), "{json}");
+        assert!(json.contains("\"complete\":true"), "{json}");
+        assert!(json.contains("\"error\":null"), "{json}");
+    }
+}

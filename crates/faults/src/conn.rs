@@ -180,6 +180,183 @@ pub fn chaos_transcripts<R: Rng>(
     connections
 }
 
+/// Knobs for [`NetFaultPlan`]: per-operation network faults between a
+/// resilient client and the serve daemon. Where [`chaos_transcripts`]
+/// generates *what the server reads*, this plan decides *what happens to
+/// each wire operation* a live client attempts — so a client state
+/// machine can be driven through latency, slowloris dribble, stalls,
+/// resets, and refused connections, deterministically.
+#[derive(Debug, Clone, Copy)]
+pub struct NetChaosConfig {
+    /// Baseline one-way latency attached to delivered operations, ms.
+    pub latency_ms: u64,
+    /// Extra jitter on top of the baseline, ms (uniform in `0..=jitter`).
+    pub jitter_ms: u64,
+    /// Chance a send is dribbled byte-wise (slowloris) instead of
+    /// arriving in one piece.
+    pub dribble_prob: f64,
+    /// Largest chunk of a dribbled send, bytes (≥ 1).
+    pub max_dribble_chunk: usize,
+    /// Chance a send stalls: the bytes vanish into a half-open socket
+    /// and the client's next receive times out.
+    pub stall_prob: f64,
+    /// Chance an operation dies with a connection reset.
+    pub reset_prob: f64,
+    /// Chance a connection attempt is refused outright.
+    pub connect_fail_prob: f64,
+}
+
+impl Default for NetChaosConfig {
+    fn default() -> Self {
+        NetChaosConfig {
+            latency_ms: 2,
+            jitter_ms: 8,
+            dribble_prob: 0.05,
+            max_dribble_chunk: 7,
+            stall_prob: 0.03,
+            reset_prob: 0.05,
+            connect_fail_prob: 0.1,
+        }
+    }
+}
+
+impl NetChaosConfig {
+    /// A fault-free profile: everything delivers with bounded latency.
+    pub fn calm() -> Self {
+        NetChaosConfig {
+            dribble_prob: 0.0,
+            stall_prob: 0.0,
+            reset_prob: 0.0,
+            connect_fail_prob: 0.0,
+            ..NetChaosConfig::default()
+        }
+    }
+}
+
+/// The fate of one client send.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// The bytes arrive, split into these chunk sizes (one entry = one
+    /// piece the server's reader sees; `[len]` means a single write),
+    /// after `delay_ms` of network time.
+    Delivered {
+        /// Simulated one-way delay.
+        delay_ms: u64,
+        /// Chunk sizes summing to the sent length (empty for a
+        /// zero-length send).
+        chunks: Vec<usize>,
+    },
+    /// The bytes vanish into a half-open socket: the peer never sees
+    /// them and the client's next receive times out.
+    Stalled,
+    /// The connection dies mid-send (ECONNRESET).
+    Reset,
+}
+
+/// The fate of one client receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvOutcome {
+    /// The response arrives after `delay_ms`.
+    Delivered {
+        /// Simulated one-way delay.
+        delay_ms: u64,
+    },
+    /// The connection dies before the response (mid-response reset).
+    Reset,
+}
+
+/// A seeded, self-contained stream of network-fault decisions (splitmix64
+/// inside — no external RNG needed, so the client crate does not have to
+/// depend on `rand` to be tested under chaos). Two plans with the same
+/// seed and config produce identical outcome sequences.
+#[derive(Debug, Clone)]
+pub struct NetFaultPlan {
+    state: u64,
+    config: NetChaosConfig,
+}
+
+impl NetFaultPlan {
+    /// A plan drawing from `seed`.
+    pub fn new(seed: u64, config: NetChaosConfig) -> Self {
+        NetFaultPlan {
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5851_F42D_4C95_7F2D,
+            config,
+        }
+    }
+
+    /// The next raw splitmix64 draw.
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw in `[0, 1)`.
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p
+    }
+
+    /// Latency + jitter for one delivered operation.
+    fn delay_ms(&mut self) -> u64 {
+        let jitter = if self.config.jitter_ms == 0 {
+            0
+        } else {
+            self.next_u64() % (self.config.jitter_ms + 1)
+        };
+        self.config.latency_ms + jitter
+    }
+
+    /// Whether a connection attempt succeeds.
+    pub fn connect_ok(&mut self) -> bool {
+        !self.chance(self.config.connect_fail_prob)
+    }
+
+    /// Decides the fate of a `len`-byte send.
+    pub fn send(&mut self, len: usize) -> SendOutcome {
+        if self.chance(self.config.reset_prob) {
+            return SendOutcome::Reset;
+        }
+        if self.chance(self.config.stall_prob) {
+            return SendOutcome::Stalled;
+        }
+        let delay_ms = self.delay_ms();
+        let chunks = if len > 0 && self.chance(self.config.dribble_prob) {
+            let mut chunks = Vec::new();
+            let mut left = len;
+            while left > 0 {
+                let take = 1 + (self.next_u64() as usize) % self.config.max_dribble_chunk.max(1);
+                let take = take.min(left);
+                chunks.push(take);
+                left -= take;
+            }
+            chunks
+        } else if len > 0 {
+            vec![len]
+        } else {
+            Vec::new()
+        };
+        SendOutcome::Delivered { delay_ms, chunks }
+    }
+
+    /// Decides the fate of one receive (the response to a send that was
+    /// delivered).
+    pub fn recv(&mut self) -> RecvOutcome {
+        if self.chance(self.config.reset_prob) {
+            RecvOutcome::Reset
+        } else {
+            RecvOutcome::Delivered {
+                delay_ms: self.delay_ms(),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -314,5 +491,84 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let conns = chaos_transcripts(&[], &ConnChaosConfig::default(), &mut rng);
         assert!(conns.is_empty());
+    }
+
+    #[test]
+    fn net_plan_is_deterministic_under_a_seed() {
+        let config = NetChaosConfig::default();
+        let mut a = NetFaultPlan::new(42, config);
+        let mut b = NetFaultPlan::new(42, config);
+        for len in [0usize, 1, 17, 300, 4096] {
+            assert_eq!(a.connect_ok(), b.connect_ok());
+            assert_eq!(a.send(len), b.send(len));
+            assert_eq!(a.recv(), b.recv());
+        }
+        let mut c = NetFaultPlan::new(43, config);
+        let seq_a: Vec<SendOutcome> = (0..50).map(|_| NetFaultPlan::send(&mut a, 100)).collect();
+        let seq_c: Vec<SendOutcome> = (0..50).map(|_| c.send(100)).collect();
+        assert_ne!(seq_a, seq_c, "different seeds diverge");
+    }
+
+    #[test]
+    fn dribble_chunks_sum_to_the_sent_length() {
+        let config = NetChaosConfig {
+            dribble_prob: 1.0,
+            stall_prob: 0.0,
+            reset_prob: 0.0,
+            max_dribble_chunk: 5,
+            ..NetChaosConfig::default()
+        };
+        let mut plan = NetFaultPlan::new(9, config);
+        for len in [1usize, 2, 64, 999] {
+            match plan.send(len) {
+                SendOutcome::Delivered { chunks, .. } => {
+                    assert_eq!(chunks.iter().sum::<usize>(), len);
+                    assert!(chunks.iter().all(|&c| (1..=5).contains(&c)), "{chunks:?}");
+                    // Chunks are ≤ 5 bytes, so anything longer must split.
+                    assert!(chunks.len() > 1 || len <= 5, "len {len} not dribbled");
+                }
+                other => panic!("expected delivery, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn every_fault_kind_occurs_and_calm_never_faults() {
+        let mut plan = NetFaultPlan::new(5, NetChaosConfig::default());
+        let mut stalls = 0;
+        let mut resets = 0;
+        let mut dribbles = 0;
+        let mut refused = 0;
+        for _ in 0..2_000 {
+            if !plan.connect_ok() {
+                refused += 1;
+            }
+            match plan.send(100) {
+                SendOutcome::Stalled => stalls += 1,
+                SendOutcome::Reset => resets += 1,
+                SendOutcome::Delivered { chunks, delay_ms } => {
+                    assert!(delay_ms <= 10);
+                    if chunks.len() > 1 {
+                        dribbles += 1;
+                    }
+                }
+            }
+            if plan.recv() == RecvOutcome::Reset {
+                resets += 1;
+            }
+        }
+        assert!(stalls > 0, "no stalls");
+        assert!(resets > 0, "no resets");
+        assert!(dribbles > 0, "no dribbles");
+        assert!(refused > 0, "no refused connects");
+
+        let mut calm = NetFaultPlan::new(5, NetChaosConfig::calm());
+        for _ in 0..500 {
+            assert!(calm.connect_ok());
+            assert!(
+                matches!(calm.send(64), SendOutcome::Delivered { chunks, .. } if chunks == vec![64])
+            );
+            assert!(matches!(calm.recv(), RecvOutcome::Delivered { .. }));
+        }
     }
 }

@@ -52,7 +52,10 @@ pub mod kinds;
 pub mod perturb;
 
 pub use config::{BurnIn, FaultConfig};
-pub use conn::{chaos_transcripts, ChaosStream, ConnChaosConfig, Connection};
+pub use conn::{
+    chaos_transcripts, ChaosStream, ConnChaosConfig, Connection, NetChaosConfig, NetFaultPlan,
+    RecvOutcome, SendOutcome,
+};
 pub use detection::{Detectability, DetectionModel};
 pub use injector::FaultInjector;
 pub use io::{ChaosFs, ChaosFsConfig, ChaosWriter, IoFault, SimulatedLog};

@@ -6,8 +6,10 @@
 //! - **`no-panic`** — `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!`
 //!   in the guarded pipeline modules (`core::{parse, filter, coalesce,
 //!   matcher, classify, pipeline, exec}`) and everything in
-//!   `crates/stream/src`. These are the crash-safety-bearing paths: a
-//!   panic there kills a streaming coordinator mid-checkpoint.
+//!   `crates/stream/src`, `crates/serve/src`, and `crates/client/src`.
+//!   These are the crash-safety-bearing paths: a panic there kills a
+//!   streaming coordinator mid-checkpoint, a multi-tenant daemon, or an
+//!   unattended push client mid-replay.
 //! - **`wall-clock`** — `Instant::now`/`SystemTime::now` anywhere except
 //!   the CLI, the bench crate, and `core/src/exec.rs`. Determinism
 //!   (parallel == serial, resume == uninterrupted) depends on the engine
@@ -64,12 +66,16 @@ const CHECKPOINT_STATE: &[&str] = &[
 
 /// Is `path` (workspace-relative, `/`-separated) under the panic guard?
 /// The serve crate is included wholesale: a panic in a tenant's ingest
-/// path kills the daemon for every other tenant.
+/// path kills the daemon for every other tenant. The push client is too:
+/// it runs unattended inside rolling-restart scripts, where a panic turns
+/// a recoverable wire fault into silent data loss.
 fn no_panic_scope(path: &str) -> bool {
     if let Some(rest) = path.strip_prefix("crates/core/src/") {
         return GUARDED_CORE.contains(&rest);
     }
-    path.starts_with("crates/stream/src/") || path.starts_with("crates/serve/src/")
+    path.starts_with("crates/stream/src/")
+        || path.starts_with("crates/serve/src/")
+        || path.starts_with("crates/client/src/")
 }
 
 /// Files allowed to read the wall clock / spawn threads freely: the CLI
@@ -319,6 +325,8 @@ mod tests {
         assert!(no_panic_scope("crates/stream/src/engine.rs"));
         assert!(no_panic_scope("crates/serve/src/server.rs"));
         assert!(no_panic_scope("crates/serve/src/daemon.rs"));
+        assert!(no_panic_scope("crates/client/src/session.rs"));
+        assert!(no_panic_scope("crates/client/src/net.rs"));
         assert!(!no_panic_scope("crates/core/src/report.rs"));
         assert!(!no_panic_scope("crates/stats/src/lib.rs"));
         assert!(clock_exempt("crates/cli/src/main.rs"));

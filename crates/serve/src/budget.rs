@@ -19,6 +19,16 @@
 //! Rejected pushes are *not* accepted: the cursor does not advance, and
 //! the client retries the same index after backoff — exactly-once intake
 //! is preserved under shedding.
+//!
+//! A third, *time*-shaped limit lives in [`OverloadPolicy`]: the daemon
+//! measures how long each pump sweep takes and reports it to the core as
+//! "pressure". When pressure exceeds the configured deadline the core is
+//! falling behind its latency target, and new pushes are shed with
+//! `ERR code=overload retry-ms=N` — a machine-readable hint telling the
+//! client exactly how long to back off. The hint is jittered with a
+//! splitmix64 draw so a fleet of shed clients does not return in one
+//! thundering herd. The same hint shape answers pushes during a drain
+//! (`ERR code=draining retry-ms=N`).
 
 use serde::Serialize;
 
@@ -55,6 +65,70 @@ impl BudgetPolicy {
     pub fn fair_share(&self, active_tenants: usize) -> usize {
         self.global_bytes / active_tenants.max(1)
     }
+}
+
+/// Deadline-aware overload shedding: how much observed pump pressure the
+/// daemon tolerates before new pushes are shed, and the shape of the
+/// `retry-ms` hints handed to shed clients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct OverloadPolicy {
+    /// Shed new pushes while the reported pump pressure exceeds this
+    /// many milliseconds (`--deadline-ms`; 0 disables shedding).
+    pub deadline_ms: u64,
+    /// Floor of the `retry-ms` hint.
+    pub retry_min_ms: u64,
+    /// Ceiling of the `retry-ms` hint.
+    pub retry_max_ms: u64,
+    /// Nominal `retry-ms` hint while draining — long enough for the
+    /// replacement daemon to come up in a rolling restart.
+    pub drain_retry_ms: u64,
+}
+
+impl Default for OverloadPolicy {
+    fn default() -> Self {
+        OverloadPolicy {
+            deadline_ms: 1_000,
+            retry_min_ms: 100,
+            retry_max_ms: 5_000,
+            drain_retry_ms: 500,
+        }
+    }
+}
+
+impl OverloadPolicy {
+    /// Whether the given pump pressure calls for shedding new pushes.
+    pub fn overloaded(&self, pressure_ms: u64) -> bool {
+        self.deadline_ms > 0 && pressure_ms > self.deadline_ms
+    }
+
+    /// The `retry-ms` hint for a push shed under overload: the observed
+    /// pressure, clamped to `[retry_min_ms, retry_max_ms]`, then jittered
+    /// down into `[v/2, v]` so a fleet of shed clients desynchronizes.
+    pub fn overload_retry_ms(&self, pressure_ms: u64, salt: u64) -> u64 {
+        jittered(
+            pressure_ms.clamp(self.retry_min_ms, self.retry_max_ms.max(self.retry_min_ms)),
+            salt,
+        )
+    }
+
+    /// The `retry-ms` hint for a push shed during a drain.
+    pub fn drain_retry_ms(&self, salt: u64) -> u64 {
+        jittered(self.drain_retry_ms.max(1), salt)
+    }
+}
+
+/// Jitters `v` down into `[v/2, v]` with a splitmix64 draw on `salt`.
+fn jittered(v: u64, salt: u64) -> u64 {
+    let half = v / 2;
+    half + splitmix64(salt) % (v - half + 1)
+}
+
+/// The splitmix64 finalizer: a cheap, well-mixed hash of `x`.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// The verdict for one incoming push of `line_bytes` more state.
@@ -160,6 +234,39 @@ mod tests {
         // Same fleet state, tenant well under its share → still admitted.
         let small = Admission::decide(&policy(), 40, 1000, 4, 10);
         assert_eq!(small, Admission::Admit);
+    }
+
+    #[test]
+    fn overload_trips_only_past_the_deadline() {
+        let p = OverloadPolicy::default();
+        assert!(!p.overloaded(0));
+        assert!(!p.overloaded(1_000));
+        assert!(p.overloaded(1_001));
+        let off = OverloadPolicy {
+            deadline_ms: 0,
+            ..p
+        };
+        assert!(!off.overloaded(u64::MAX), "0 disables shedding");
+    }
+
+    #[test]
+    fn retry_hints_are_clamped_jittered_and_deterministic() {
+        let p = OverloadPolicy::default();
+        for salt in 0..200 {
+            let hint = p.overload_retry_ms(2_000, salt);
+            assert!((1_000..=2_000).contains(&hint), "{hint}");
+            assert_eq!(hint, p.overload_retry_ms(2_000, salt), "deterministic");
+            let floor = p.overload_retry_ms(1, salt);
+            assert!((50..=100).contains(&floor), "{floor}");
+            let ceil = p.overload_retry_ms(u64::MAX, salt);
+            assert!((2_500..=5_000).contains(&ceil), "{ceil}");
+            let drain = p.drain_retry_ms(salt);
+            assert!((250..=500).contains(&drain), "{drain}");
+        }
+        // The jitter actually spreads: not every salt lands on one value.
+        let spread: std::collections::BTreeSet<u64> =
+            (0..200).map(|s| p.overload_retry_ms(2_000, s)).collect();
+        assert!(spread.len() > 50, "only {} distinct hints", spread.len());
     }
 
     #[test]

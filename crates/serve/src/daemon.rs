@@ -8,15 +8,41 @@
 //! move bytes between their socket and [`ServeCore::feed`] under a
 //! mutex.
 //!
-//! Shutdown: a `SHUTDOWN` request (or dropping the listener) checkpoints
-//! every tenant and exits; a SIGKILL loses only queued-but-unapplied
-//! lines, which clients replay from the `HELLO` cursor after restart.
+//! Slow-client defense: every socket gets read/write deadlines
+//! (`--io-timeout-ms`), so a peer that stops reading its responses is
+//! disconnected by the write timeout instead of growing an unbounded
+//! response buffer — handlers are lockstep, one chunk of responses in
+//! flight at a time. A peer that dribbles bytes without ever finishing a
+//! line (slowloris) is evicted with `ERR code=slow-client` once its
+//! partial line is older than `--line-deadline-ms`; per-connection
+//! receive memory is bounded by the core's `--max-line` cap either way.
+//!
+//! Overload: the ticker measures each pump sweep and reports the
+//! duration to the core as pressure ([`ServeCore::set_pressure`]); while
+//! pressure exceeds `--deadline-ms` the core sheds new pushes with
+//! `ERR code=overload retry-ms=N`.
+//!
+//! Shutdown paths, all ending in a final checkpoint and a clean `Ok(())`
+//! from [`run`] (exit 0):
+//!
+//! * `SHUTDOWN` — checkpoint everything and exit now.
+//! * `DRAIN` or SIGTERM — flush + checkpoint everything, answer
+//!   straggler pushes with `ERR code=draining retry-ms=N` for a short
+//!   grace, then exit. Zero-loss rolling restart: everything accepted is
+//!   applied and persisted; anything un-acked is replayed by the client
+//!   against the `HELLO` cursor of the replacement daemon.
+//! * SIGKILL — loses only queued-but-unapplied lines, which clients
+//!   replay from the `HELLO` cursor after restart.
+//!
+//! `SHUTDOWN` and `DRAIN` are idempotent: repeats answer the same `OK`
+//! and the final checkpoint runs once, in [`run`]'s exit path.
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use logdiver::exec;
 use parking_lot::Mutex;
@@ -52,6 +78,19 @@ pub struct DaemonConfig {
     /// `--tenant-config`: optional per-tenant `StreamConfig` override
     /// file (see [`parse_tenant_config`] for the format).
     pub tenant_config: Option<PathBuf>,
+    /// `--max-line`: longest accepted protocol line in bytes; longer
+    /// lines answer `ERR code=line-too-long` without disconnecting.
+    pub max_line: usize,
+    /// `--deadline-ms`: shed new pushes with `ERR code=overload` while a
+    /// pump sweep takes longer than this (0 disables shedding).
+    pub deadline_ms: u64,
+    /// `--io-timeout-ms`: per-connection socket read/write deadline (0
+    /// disables; an expired *write* drops the connection, an expired
+    /// read just re-polls).
+    pub io_timeout_ms: u64,
+    /// `--line-deadline-ms`: evict a connection whose partial line has
+    /// been dribbling for longer than this (0 disables the check).
+    pub line_deadline_ms: u64,
 }
 
 impl Default for DaemonConfig {
@@ -64,6 +103,10 @@ impl Default for DaemonConfig {
             mem_budget: 256 << 20,
             shards: exec::default_threads(),
             tenant_config: None,
+            max_line: 64 << 10,
+            deadline_ms: 1_000,
+            io_timeout_ms: 5_000,
+            line_deadline_ms: 10_000,
         }
     }
 }
@@ -73,7 +116,9 @@ pub const USAGE: &str = "\
 usage: logdiver-serve [--listen ADDR] [--tenants-dir DIR]...
                       [--checkpoint-every N] [--evict-after N]
                       [--mem-budget BYTES] [--shards N]
-                      [--tenant-config FILE]
+                      [--tenant-config FILE] [--max-line BYTES]
+                      [--deadline-ms MS] [--io-timeout-ms MS]
+                      [--line-deadline-ms MS]
 
   --listen ADDR         bind address (default 127.0.0.1:7044; port 0 = ephemeral)
   --tenants-dir DIR     checkpoint replica directory (default ./tenants);
@@ -84,7 +129,14 @@ usage: logdiver-serve [--listen ADDR] [--tenants-dir DIR]...
   --evict-after N       evict tenants idle for N pump sweeps (default 0 = never)
   --mem-budget BYTES    global open-state budget (default 268435456)
   --shards N            pump worker threads (default: CPU count)
-  --tenant-config FILE  per-tenant overrides: '<tenant> key=value ...' lines";
+  --tenant-config FILE  per-tenant overrides: '<tenant> key=value ...' lines
+  --max-line BYTES      longest accepted protocol line (default 65536);
+                        longer lines answer ERR code=line-too-long
+  --deadline-ms MS      shed pushes with ERR code=overload while a pump
+                        sweep exceeds MS (default 1000; 0 = never shed)
+  --io-timeout-ms MS    socket read/write deadline (default 5000; 0 = none)
+  --line-deadline-ms MS evict a connection dribbling one line for longer
+                        than MS (default 10000; 0 = never)";
 
 /// Parses the daemon flags. Accepts `--name value` and `--name=value`;
 /// any unknown, duplicate (except the repeatable `--tenants-dir`), or
@@ -139,6 +191,16 @@ pub fn parse_flags(args: &[String]) -> Result<DaemonConfig, String> {
                 }
                 config.shards = n as usize;
             }
+            "--max-line" => {
+                let n = parse_num(name, &value()?)?;
+                if n == 0 {
+                    return Err("option '--max-line' must be at least 1".to_string());
+                }
+                config.max_line = n as usize;
+            }
+            "--deadline-ms" => config.deadline_ms = parse_num(name, &value()?)?,
+            "--io-timeout-ms" => config.io_timeout_ms = parse_num(name, &value()?)?,
+            "--line-deadline-ms" => config.line_deadline_ms = parse_num(name, &value()?)?,
             other => return Err(format!("unknown option '{other}'")),
         }
     }
@@ -155,14 +217,17 @@ impl DaemonConfig {
     /// `--tenant-config` are loaded separately by
     /// [`DaemonConfig::load_overrides`]).
     pub fn serve_config(&self) -> ServeConfig {
-        ServeConfig {
+        let mut serve = ServeConfig {
             tenants_dirs: self.tenants_dirs.clone(),
             budget: BudgetPolicy::from_global(self.mem_budget),
             shards: self.shards,
             checkpoint_every: self.checkpoint_every,
             evict_after: self.evict_after,
+            max_line_bytes: self.max_line,
             ..ServeConfig::default()
-        }
+        };
+        serve.overload.deadline_ms = self.deadline_ms;
+        serve
     }
 
     /// Reads and parses the `--tenant-config` file, if one was given.
@@ -176,11 +241,28 @@ impl DaemonConfig {
             .map_err(|e| format!("--tenant-config {}: {e}", path.display()))?;
         parse_tenant_config(&text).map_err(|e| format!("--tenant-config {}: {e}", path.display()))
     }
+
+    /// The socket-facing half of the flags, handed to each handler.
+    fn conn_policy(&self) -> ConnPolicy {
+        ConnPolicy {
+            io_timeout: (self.io_timeout_ms > 0).then(|| Duration::from_millis(self.io_timeout_ms)),
+            line_deadline: (self.line_deadline_ms > 0)
+                .then(|| Duration::from_millis(self.line_deadline_ms)),
+        }
+    }
 }
 
-/// Runs the daemon until `SHUTDOWN` (never returns `Ok` in practice).
-/// Prints `logdiver-serve listening on <addr>` once bound so drivers
-/// using an ephemeral port can discover it.
+/// Per-connection socket policy derived from the flags.
+#[derive(Debug, Clone, Copy)]
+struct ConnPolicy {
+    io_timeout: Option<Duration>,
+    line_deadline: Option<Duration>,
+}
+
+/// Runs the daemon until `SHUTDOWN`, `DRAIN`, or SIGTERM, then
+/// checkpoints every tenant a final time and returns `Ok(())` — the
+/// binary's exit 0. Prints `logdiver-serve listening on <addr>` once
+/// bound so drivers using an ephemeral port can discover it.
 pub fn run(config: DaemonConfig) -> std::io::Result<()> {
     let mut serve = config.serve_config();
     serve.overrides = config
@@ -204,45 +286,128 @@ pub fn run(config: DaemonConfig) -> std::io::Result<()> {
         );
     }
     let listener = TcpListener::bind(&config.listen)?;
-    println!("logdiver-serve listening on {}", listener.local_addr()?);
+    let addr = listener.local_addr()?;
+    println!("logdiver-serve listening on {addr}");
     std::io::stdout().flush()?;
 
+    sigterm::install();
     let core = Arc::new(Mutex::new(core));
+    let exit = Arc::new(AtomicBool::new(false));
 
-    // Idle ticker: advance watermarks and run the checkpoint cadence even
-    // when no pushes are arriving.
+    // Idle ticker: advance watermarks, run the checkpoint cadence, feed
+    // the measured sweep duration back as overload pressure, translate
+    // SIGTERM into a DRAIN, and trip the exit path once the core says so.
     let ticker_core = Arc::clone(&core);
+    let ticker_exit = Arc::clone(&exit);
     std::thread::spawn(move || loop {
         std::thread::sleep(TICK);
-        ticker_core.lock().pump();
+        if ticker_exit.load(Ordering::SeqCst) {
+            break;
+        }
+        if sigterm::pending() {
+            let mut core = ticker_core.lock();
+            if !core.draining() {
+                eprintln!("logdiver-serve: SIGTERM, draining");
+                let resp = core.handle_line("DRAIN");
+                eprintln!("logdiver-serve: {resp}");
+            }
+        }
+        let t0 = Instant::now();
+        let mut core = ticker_core.lock();
+        core.pump();
+        core.set_pressure(t0.elapsed().as_millis() as u64);
+        let stop = core.should_exit();
+        drop(core);
+        if stop {
+            request_exit(&ticker_exit, addr);
+            break;
+        }
     });
 
     for stream in listener.incoming() {
+        if exit.load(Ordering::SeqCst) {
+            break;
+        }
         let stream = match stream {
             Ok(s) => s,
             Err(_) => continue,
         };
         let conn_core = Arc::clone(&core);
-        std::thread::spawn(move || handle_connection(stream, conn_core));
+        let conn_exit = Arc::clone(&exit);
+        let policy = config.conn_policy();
+        std::thread::spawn(move || handle_connection(stream, conn_core, conn_exit, addr, policy));
     }
+
+    let mut core = core.lock();
+    let n = core.checkpoint_all();
+    eprintln!(
+        "logdiver-serve: exiting, checkpointed {n} tenant(s), durability={}",
+        core.durability().label()
+    );
     Ok(())
 }
 
+/// Flags the accept loop down and pokes it awake with a throwaway
+/// connection so the blocking `accept` returns. Idempotent.
+fn request_exit(exit: &AtomicBool, addr: std::net::SocketAddr) {
+    exit.store(true, Ordering::SeqCst);
+    let _ = TcpStream::connect(addr);
+}
+
 /// Moves bytes between one socket and the core, lockstep: read a chunk,
-/// feed it, write the responses, flush.
-fn handle_connection(mut stream: TcpStream, core: Arc<Mutex<ServeCore>>) {
+/// feed it, write the responses, flush. The lockstep is itself the
+/// response-buffer bound — at most one chunk's responses are ever in
+/// flight, and the write deadline disconnects a peer that stops reading
+/// them.
+fn handle_connection(
+    mut stream: TcpStream,
+    core: Arc<Mutex<ServeCore>>,
+    exit: Arc<AtomicBool>,
+    addr: std::net::SocketAddr,
+    policy: ConnPolicy,
+) {
     let conn = core.lock().open_conn();
+    if let Some(t) = policy.io_timeout {
+        let _ = stream.set_read_timeout(Some(t));
+        let _ = stream.set_write_timeout(Some(t));
+    }
     let mut chunk = [0u8; 4096];
+    // When the partial line now buffered for this connection started —
+    // the slowloris clock. `None` between lines.
+    let mut line_started: Option<Instant> = None;
     loop {
         let n = match stream.read(&mut chunk) {
-            Ok(0) | Err(_) => break,
+            Ok(0) => break,
             Ok(n) => n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Idle is fine; a stalled partial line is not.
+                if is_slow(line_started, policy) {
+                    evict_slow(&mut stream, policy);
+                    break;
+                }
+                continue;
+            }
+            Err(_) => break,
         };
-        let (responses, shutdown) = {
+        let (responses, fragment, stop) = {
             let mut core = core.lock();
             let responses = core.feed(conn, &chunk[..n]);
-            (responses, core.shutdown_requested())
+            (responses, core.pending_fragment(conn), core.should_exit())
         };
+        line_started = if fragment > 0 {
+            line_started.or_else(|| Some(Instant::now()))
+        } else {
+            None
+        };
+        if is_slow(line_started, policy) {
+            evict_slow(&mut stream, policy);
+            break;
+        }
         let mut out = String::new();
         for response in &responses {
             out.push_str(response);
@@ -251,17 +416,68 @@ fn handle_connection(mut stream: TcpStream, core: Arc<Mutex<ServeCore>>) {
         if stream.write_all(out.as_bytes()).is_err() || stream.flush().is_err() {
             break;
         }
-        if shutdown {
-            let mut core = core.lock();
-            let n = core.checkpoint_all();
-            eprintln!(
-                "logdiver-serve: shutdown, checkpointed {n} tenant(s), durability={}",
-                core.durability().label()
-            );
-            std::process::exit(0);
+        if stop {
+            request_exit(&exit, addr);
+            break;
         }
     }
     core.lock().close_conn(conn);
+}
+
+/// Whether this connection's partial line has been dribbling past the
+/// deadline.
+fn is_slow(line_started: Option<Instant>, policy: ConnPolicy) -> bool {
+    match (line_started, policy.line_deadline) {
+        (Some(t0), Some(deadline)) => t0.elapsed() >= deadline,
+        _ => false,
+    }
+}
+
+/// Best-effort goodbye to a slowloris peer, then the caller disconnects.
+fn evict_slow(stream: &mut TcpStream, policy: ConnPolicy) {
+    let deadline_ms = policy.line_deadline.map_or(0, |d| d.as_millis() as u64);
+    let msg = format!("ERR code=slow-client deadline-ms={deadline_ms}\n");
+    let _ = stream.write_all(msg.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Graceful SIGTERM: the handler only flips a flag; the ticker notices
+/// it between sweeps and runs the normal `DRAIN` path (flush, final
+/// checkpoint, retry hints for stragglers, exit 0).
+#[cfg(unix)]
+mod sigterm {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static STOP: AtomicBool = AtomicBool::new(false);
+
+    type SigHandler = extern "C" fn(i32);
+
+    extern "C" {
+        fn signal(signum: i32, handler: SigHandler) -> usize;
+    }
+
+    extern "C" fn on_sigterm(_signum: i32) {
+        STOP.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGTERM, on_sigterm);
+        }
+    }
+
+    pub fn pending() -> bool {
+        STOP.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sigterm {
+    pub fn install() {}
+    pub fn pending() -> bool {
+        false
+    }
 }
 
 #[cfg(test)]
@@ -288,6 +504,12 @@ mod tests {
             "4",
             "--tenant-config",
             "/tmp/overrides.conf",
+            "--max-line=1024",
+            "--deadline-ms",
+            "250",
+            "--io-timeout-ms=2000",
+            "--line-deadline-ms",
+            "3000",
         ]))
         .unwrap();
         assert_eq!(d.listen, "0.0.0.0:9000");
@@ -297,6 +519,10 @@ mod tests {
         assert_eq!(d.mem_budget, 1 << 20);
         assert_eq!(d.shards, 4);
         assert_eq!(d.tenant_config, Some(PathBuf::from("/tmp/overrides.conf")));
+        assert_eq!(d.max_line, 1024);
+        assert_eq!(d.deadline_ms, 250);
+        assert_eq!(d.io_timeout_ms, 2000);
+        assert_eq!(d.line_deadline_ms, 3000);
     }
 
     #[test]
@@ -328,18 +554,46 @@ mod tests {
         assert!(parse_flags(&argv(&["--shards", "0"]))
             .unwrap_err()
             .contains("at least 1"));
+        assert!(parse_flags(&argv(&["--max-line", "0"]))
+            .unwrap_err()
+            .contains("at least 1"));
         assert!(parse_flags(&argv(&["positional"]))
             .unwrap_err()
             .contains("unexpected"));
     }
 
     #[test]
-    fn serve_config_derives_budget() {
-        let d = parse_flags(&argv(&["--mem-budget", "8388608"])).unwrap();
+    fn serve_config_derives_budget_and_hardening() {
+        let d = parse_flags(&argv(&[
+            "--mem-budget",
+            "8388608",
+            "--max-line=2048",
+            "--deadline-ms=750",
+        ]))
+        .unwrap();
         let c = d.serve_config();
         assert_eq!(c.budget.global_bytes, 8 << 20);
         assert_eq!(c.budget.quota_bytes, 1 << 20);
         assert_eq!(c.tenants_dirs, vec![PathBuf::from("tenants")]);
         assert_eq!(c.evict_after, 0);
+        assert_eq!(c.max_line_bytes, 2048);
+        assert_eq!(c.overload.deadline_ms, 750);
+    }
+
+    #[test]
+    fn conn_policy_zero_disables() {
+        let mut d = DaemonConfig {
+            io_timeout_ms: 0,
+            line_deadline_ms: 0,
+            ..DaemonConfig::default()
+        };
+        let p = d.conn_policy();
+        assert!(p.io_timeout.is_none());
+        assert!(p.line_deadline.is_none());
+        d.io_timeout_ms = 100;
+        d.line_deadline_ms = 200;
+        let p = d.conn_policy();
+        assert_eq!(p.io_timeout, Some(Duration::from_millis(100)));
+        assert_eq!(p.line_deadline, Some(Duration::from_millis(200)));
     }
 }

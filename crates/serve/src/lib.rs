@@ -36,7 +36,7 @@ pub mod server;
 pub mod store;
 pub mod tenant;
 
-pub use budget::BudgetPolicy;
+pub use budget::{BudgetPolicy, OverloadPolicy};
 pub use daemon::DaemonConfig;
 pub use server::{ServeConfig, ServeCore, ServeStats, TenantOverrides};
 pub use store::{CheckpointStore, Durability, StorePolicy};

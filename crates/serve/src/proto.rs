@@ -15,6 +15,7 @@
 //! CHECKPOINT [<tenant>]
 //! REPORT <tenant>
 //! DROP <tenant>
+//! DRAIN
 //! SHUTDOWN
 //! ```
 //!
@@ -86,6 +87,11 @@ pub enum Request<'a> {
         /// Tenant name.
         tenant: &'a str,
     },
+    /// Enter drain mode: flush and checkpoint every tenant, answer new
+    /// pushes with `ERR code=draining retry-ms=N`, and let the daemon
+    /// exit 0 shortly after — the zero-loss half of a rolling restart.
+    /// Idempotent: a repeated `DRAIN` re-flushes and answers `OK` again.
+    Drain,
     /// Checkpoint every tenant and stop the daemon.
     Shutdown,
 }
@@ -264,6 +270,13 @@ pub fn parse(line: &str) -> Result<Request<'_>, ProtoError> {
                 tenant: check_tenant(tenant)?,
             })
         }
+        "DRAIN" => {
+            if rest.is_empty() {
+                Ok(Request::Drain)
+            } else {
+                Err(ProtoError::ExtraArg("none expected"))
+            }
+        }
         "SHUTDOWN" => {
             if rest.is_empty() {
                 Ok(Request::Shutdown)
@@ -351,6 +364,8 @@ mod tests {
             Request::Checkpoint { tenant: None }
         );
         assert_eq!(parse("REPORT a").unwrap(), Request::Report { tenant: "a" });
+        assert_eq!(parse("DRAIN").unwrap(), Request::Drain);
+        assert_eq!(parse("DRAIN now").unwrap_err().code(), "extra-arg");
         assert_eq!(parse("SHUTDOWN").unwrap(), Request::Shutdown);
     }
 

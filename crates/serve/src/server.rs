@@ -28,6 +28,19 @@
 //! transparently resurrected from the store the next time any verb
 //! references it; `DROP` destroys a tenant outright, leaving tombstones
 //! so a restart does not bring it back.
+//!
+//! The core also carries the overload and drain machinery (DESIGN.md
+//! §17): per-connection receive buffers are bounded by
+//! [`ServeConfig::max_line_bytes`] (over-long lines answer
+//! `ERR code=line-too-long` without disconnecting), the shell reports
+//! each pump sweep's duration via [`ServeCore::set_pressure`] and pushes
+//! are shed with `ERR code=overload retry-ms=N` while that pressure
+//! exceeds the configured deadline, and the `DRAIN` verb flushes and
+//! checkpoints every tenant, answers straggler pushes with
+//! `ERR code=draining retry-ms=N`, and flips [`ServeCore::should_exit`]
+//! after a short grace — the zero-loss half of a rolling restart.
+//! Replayed duplicates answer `OK dup` through all of it, so a resilient
+//! client can always settle its cursor.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::path::PathBuf;
@@ -40,7 +53,7 @@ use logdiver_types::fsio::{Fs, RealFs};
 use logdiver_types::{SimDuration, Timestamp};
 use serde::Serialize;
 
-use crate::budget::{Admission, BudgetPolicy};
+use crate::budget::{Admission, BudgetPolicy, OverloadPolicy};
 use crate::proto::{self, Request};
 use crate::store::{CheckpointStore, Durability, StorePolicy, StoreSnapshot};
 use crate::tenant::{Offer, Tenant};
@@ -50,6 +63,12 @@ use crate::tenant::{Offer, Tenant};
 /// always pump first, so this only bounds staleness and queue memory on
 /// a pure push workload.
 const PUMP_EVERY: u64 = 1024;
+
+/// How many pump sweeps a draining core stays alive after the drain
+/// completed, answering straggler requests with retry hints, before
+/// [`ServeCore::should_exit`] turns true. At the daemon's tick cadence
+/// this is roughly half a second of grace.
+const DRAIN_GRACE_SWEEPS: u64 = 2;
 
 /// Daemon-level configuration (the flag surface of `logdiver serve`).
 #[derive(Debug, Clone)]
@@ -76,6 +95,13 @@ pub struct ServeConfig {
     pub overrides: BTreeMap<String, TenantOverrides>,
     /// Replica health machine tuning.
     pub store: StorePolicy,
+    /// Longest accepted protocol line in bytes (`--max-line`). A
+    /// connection feeding a longer line has the excess discarded (its
+    /// buffer stays bounded) and is answered `ERR code=line-too-long`
+    /// once the line finally terminates; the connection stays usable.
+    pub max_line_bytes: usize,
+    /// Deadline-aware overload shedding and retry-hint shaping.
+    pub overload: OverloadPolicy,
 }
 
 impl Default for ServeConfig {
@@ -89,6 +115,8 @@ impl Default for ServeConfig {
             stream: StreamConfig::default(),
             overrides: BTreeMap::new(),
             store: StorePolicy::default(),
+            max_line_bytes: 64 << 10,
+            overload: OverloadPolicy::default(),
         }
     }
 }
@@ -224,6 +252,25 @@ pub struct ServeStats {
     pub resurrected: u64,
     /// `DROP` requests processed.
     pub dropped: u64,
+    /// Pushes shed with `ERR code=overload` (pump pressure over the
+    /// deadline).
+    pub shed_overload: u64,
+    /// Pushes shed with `ERR code=draining` while the core drains.
+    pub shed_draining: u64,
+    /// Over-long lines rejected with `ERR code=line-too-long`.
+    pub line_too_long: u64,
+    /// Lines rejected with `ERR code=bad-utf8`.
+    pub bad_utf8: u64,
+}
+
+/// One connection's receive state: the partial line being assembled, and
+/// whether the line under assembly already blew past `max_line_bytes`
+/// (its bytes are being discarded until the terminating newline, at
+/// which point one `ERR code=line-too-long` is answered).
+#[derive(Debug, Default)]
+struct ConnBuf {
+    buf: Vec<u8>,
+    discarding: bool,
 }
 
 /// The multi-tenant core. See the module docs.
@@ -235,13 +282,23 @@ pub struct ServeCore {
     tenants: BTreeMap<String, Tenant>,
     /// Tenants checkpointed out of memory, resurrectable from the store.
     evicted: BTreeSet<String>,
-    conns: HashMap<u64, Vec<u8>>,
+    conns: HashMap<u64, ConnBuf>,
     next_conn: u64,
     fleet_cost: usize,
     unpumped: u64,
     since_checkpoint: u64,
     stats: ServeStats,
     shutdown: bool,
+    /// Drain mode: set by `DRAIN`, never cleared — the daemon restarts
+    /// instead.
+    draining: bool,
+    /// Pump sweeps completed since drain mode began (the grace clock).
+    drained_sweeps: u64,
+    /// Last pump-sweep duration reported by the shell via
+    /// [`ServeCore::set_pressure`] — the overload signal.
+    pressure_ms: u64,
+    /// Monotonic salt for retry-hint jitter.
+    retry_salt: u64,
     warnings: Vec<String>,
 }
 
@@ -311,6 +368,10 @@ impl ServeCore {
             since_checkpoint: 0,
             stats: ServeStats::default(),
             shutdown: false,
+            draining: false,
+            drained_sweeps: 0,
+            pressure_ms: 0,
+            retry_salt: 0,
             warnings,
         })
     }
@@ -323,6 +384,37 @@ impl ServeCore {
     /// Whether a `SHUTDOWN` request has been received.
     pub fn shutdown_requested(&self) -> bool {
         self.shutdown
+    }
+
+    /// Whether the core is in drain mode (a `DRAIN` request arrived).
+    pub fn draining(&self) -> bool {
+        self.draining
+    }
+
+    /// Whether the shell should stop accepting connections and exit 0:
+    /// after `SHUTDOWN`, or once a drain has sat through its grace
+    /// sweeps (straggler clients got their retry hints).
+    pub fn should_exit(&self) -> bool {
+        self.shutdown || (self.draining && self.drained_sweeps >= DRAIN_GRACE_SWEEPS)
+    }
+
+    /// Reports the latest observed pump-sweep duration. The shell is the
+    /// only party with a wall clock; the core just compares this against
+    /// [`OverloadPolicy::deadline_ms`] to decide when to shed.
+    pub fn set_pressure(&mut self, pump_ms: u64) {
+        self.pressure_ms = pump_ms;
+    }
+
+    /// The pressure last reported via [`ServeCore::set_pressure`].
+    pub fn pressure_ms(&self) -> u64 {
+        self.pressure_ms
+    }
+
+    /// Bytes of the partial line currently buffered for `conn` (0 when
+    /// the connection is between lines). The shell uses this to tell a
+    /// dribbling slowloris connection from an idle one.
+    pub fn pending_fragment(&self, conn: u64) -> usize {
+        self.conns.get(&conn).map_or(0, |c| c.buf.len())
     }
 
     /// Names of the tenants currently hot in memory, sorted. Evicted
@@ -358,7 +450,7 @@ impl ServeCore {
     pub fn open_conn(&mut self) -> u64 {
         let id = self.next_conn;
         self.next_conn += 1;
-        self.conns.insert(id, Vec::new());
+        self.conns.insert(id, ConnBuf::default());
         id
     }
 
@@ -372,19 +464,49 @@ impl ServeCore {
     /// Feeds raw bytes from a connection and returns one response per
     /// complete protocol line, in order. Bytes after the last newline
     /// stay buffered until the next feed.
+    ///
+    /// Per-connection memory is bounded by `max_line_bytes`: once a line
+    /// under assembly exceeds the limit its buffer is released and the
+    /// rest of the line is discarded as it arrives; the terminating
+    /// newline yields one `ERR code=line-too-long` and the connection
+    /// keeps working. Lines that are not valid UTF-8 answer
+    /// `ERR code=bad-utf8` — a torn multi-byte sequence must not be
+    /// half-applied as a mangled request.
     pub fn feed(&mut self, conn: u64, bytes: &[u8]) -> Vec<String> {
-        let buf = self.conns.entry(conn).or_default();
-        buf.extend_from_slice(bytes);
-        let Some(last_newline) = buf.iter().rposition(|&b| b == b'\n') else {
-            return Vec::new();
-        };
-        let complete: Vec<u8> = buf.drain(..=last_newline).collect();
-        let mut lines: Vec<String> = complete
-            .split(|&b| b == b'\n')
-            .map(|raw| String::from_utf8_lossy(raw).into_owned())
-            .collect();
-        lines.pop(); // the empty tail after the final newline
-        lines.iter().map(|line| self.handle_line(line)).collect()
+        let max = self.config.max_line_bytes.max(1);
+        let mut state = self.conns.remove(&conn).unwrap_or_default();
+        let mut responses = Vec::new();
+        let mut rest = bytes;
+        while let Some(nl) = rest.iter().position(|&b| b == b'\n') {
+            let (head, tail) = rest.split_at(nl);
+            rest = &tail[1..];
+            if state.discarding || state.buf.len() + head.len() > max {
+                state.buf = Vec::new();
+                state.discarding = false;
+                self.stats.line_too_long += 1;
+                responses.push(format!("ERR code=line-too-long limit={max}"));
+                continue;
+            }
+            state.buf.extend_from_slice(head);
+            let raw = std::mem::take(&mut state.buf);
+            match String::from_utf8(raw) {
+                Ok(line) => responses.push(self.handle_line(&line)),
+                Err(_) => {
+                    self.stats.bad_utf8 += 1;
+                    responses.push("ERR code=bad-utf8".to_string());
+                }
+            }
+        }
+        if !state.discarding {
+            if state.buf.len() + rest.len() > max {
+                state.buf = Vec::new();
+                state.discarding = true;
+            } else {
+                state.buf.extend_from_slice(rest);
+            }
+        }
+        self.conns.insert(conn, state);
+        responses
     }
 
     /// Handles one complete request line.
@@ -438,11 +560,38 @@ impl ServeCore {
                 format!("OK lines={n} durability={durability} corrupt-preserved={corrupt}\n{body}")
             }
             Request::Drop { tenant } => self.handle_drop(tenant),
+            Request::Drain => self.handle_drain(),
             Request::Shutdown => {
                 self.shutdown = true;
                 "OK shutting-down".to_string()
             }
         }
+    }
+
+    /// Enters drain mode: flush every queued record, checkpoint every
+    /// tenant, and from now on answer new pushes with a retry hint so
+    /// stragglers move on to the replacement daemon. Idempotent — a
+    /// repeated `DRAIN` re-flushes (a no-op when nothing arrived) and
+    /// answers the same `OK`. [`ServeCore::should_exit`] turns true a
+    /// couple of sweeps later.
+    fn handle_drain(&mut self) -> String {
+        let first = !self.draining;
+        self.draining = true;
+        if first {
+            self.drained_sweeps = 0;
+        }
+        self.pump();
+        let n = if self.store.is_some() {
+            self.checkpoint_all()
+        } else {
+            // No persistence configured: drained state lives only in
+            // memory, but queues are flushed and cursors settled.
+            self.tenants.len()
+        };
+        format!(
+            "OK draining tenants={n} durability={}",
+            self.durability().label()
+        )
     }
 
     /// Whether `name` is a tenant this core knows — hot or evicted.
@@ -510,6 +659,14 @@ impl ServeCore {
     fn handle_push(&mut self, tenant: &str, source: Source, index: u64, line: &str) -> String {
         let fleet_cost = self.fleet_cost;
         let budget = self.config.budget;
+        let draining = self.draining;
+        let overloaded = self.config.overload.overloaded(self.pressure_ms);
+        // A shed push of a tenant this core has never seen must not
+        // materialize it — a drained or overloaded daemon does not grow
+        // its fleet for work it is refusing.
+        if (draining || overloaded) && !self.is_known(tenant) {
+            return self.shed_hint(draining);
+        }
         // Materialize the tenant first so a brand-new tenant's first push
         // sees itself in the fair-share denominator.
         self.tenant_entry(tenant);
@@ -519,6 +676,7 @@ impl ServeCore {
             Dup,
             Gap(u64),
             Shed { msg: String, quota: bool },
+            Hint,
             Accepted,
         }
         let outcome = {
@@ -526,7 +684,8 @@ impl ServeCore {
                 return unknown_tenant(tenant);
             };
             // Duplicates are resolved before admission: replays of
-            // already-accepted lines must succeed even under shedding.
+            // already-accepted lines must succeed even under shedding —
+            // and even while draining, so recovering clients can settle.
             let expected = t.accepted()[source.index()];
             if index < expected {
                 t.dups += 1;
@@ -534,6 +693,8 @@ impl ServeCore {
             } else if index > expected {
                 t.gaps += 1;
                 Outcome::Gap(expected)
+            } else if draining || overloaded {
+                Outcome::Hint
             } else {
                 let admission =
                     Admission::decide(&budget, t.cost(), fleet_cost, active, line.len());
@@ -578,6 +739,7 @@ impl ServeCore {
                 }
                 msg
             }
+            Outcome::Hint => self.shed_hint(draining),
             Outcome::Accepted => {
                 self.fleet_cost += line.len();
                 self.stats.accepted += 1;
@@ -587,6 +749,24 @@ impl ServeCore {
                 }
                 "OK".to_string()
             }
+        }
+    }
+
+    /// The retry-hint rejection for a push shed by drain mode (which
+    /// wins: the daemon is leaving, pressure is moot) or overload.
+    fn shed_hint(&mut self, draining: bool) -> String {
+        self.retry_salt = self.retry_salt.wrapping_add(1);
+        if draining {
+            self.stats.shed_draining += 1;
+            let ms = self.config.overload.drain_retry_ms(self.retry_salt);
+            format!("ERR code=draining retry-ms={ms}")
+        } else {
+            self.stats.shed_overload += 1;
+            let ms = self
+                .config
+                .overload
+                .overload_retry_ms(self.pressure_ms, self.retry_salt);
+            format!("ERR code=overload retry-ms={ms}")
         }
     }
 
@@ -668,6 +848,9 @@ impl ServeCore {
     /// one "sweep" — the store's logical clock for replica backoff.
     pub fn pump(&mut self) {
         self.unpumped = 0;
+        if self.draining {
+            self.drained_sweeps += 1;
+        }
         if let Some(store) = self.store.as_mut() {
             store.begin_sweep();
         }
@@ -1316,5 +1499,122 @@ beta quarantine-keep=16   # trailing comment
     fn checkpoint_without_dir_errors() {
         let mut core = ServeCore::new(ServeConfig::default()).unwrap();
         assert_eq!(core.handle_line("CHECKPOINT"), "ERR code=no-checkpoint-dir");
+    }
+
+    fn retry_ms_of(resp: &str) -> u64 {
+        resp.split(' ')
+            .find_map(|tok| tok.strip_prefix("retry-ms="))
+            .unwrap_or_else(|| panic!("no retry-ms in {resp}"))
+            .parse()
+            .unwrap()
+    }
+
+    #[test]
+    fn drain_flushes_checkpoints_and_sheds_with_hints() {
+        let fs = ChaosFs::clean();
+        let dirs = chaos_dirs(2);
+        let logs = scenario();
+        let config = replicated_config(&dirs);
+        let mut core = ServeCore::with_fs(config.clone(), Arc::new(fs.clone())).unwrap();
+        push_lines(&mut core, "bw", &logs);
+
+        let resp = core.handle_line("DRAIN");
+        assert_eq!(resp, "OK draining tenants=1 durability=full");
+        assert!(core.draining());
+        assert!(!core.should_exit(), "grace sweeps first");
+
+        // New work is refused with a machine-readable retry hint…
+        let shed = core.handle_line("PUSH bw netwatch 0 2013-03-28 12:01:00 link up");
+        assert!(shed.starts_with("ERR code=draining retry-ms="), "{shed}");
+        let ms = retry_ms_of(&shed);
+        assert!((250..=500).contains(&ms), "{ms}");
+        // …and so is a push for a tenant the core has never seen, without
+        // materializing it.
+        let other = core.handle_line("PUSH newguy syslog 0 x");
+        assert!(other.starts_with("ERR code=draining"), "{other}");
+        assert!(!core.tenant_names().contains(&"newguy".to_string()));
+        // Replayed duplicates still settle.
+        assert_eq!(
+            core.handle_line("PUSH bw torque 0 2013-03-28 10:00:00;S;1.bw;user=u0001 queue=normal nodes=4 walltime=86400"),
+            "OK dup"
+        );
+        assert_eq!(core.stats().shed_draining, 2);
+
+        // A second DRAIN is idempotent.
+        assert_eq!(
+            core.handle_line("DRAIN"),
+            "OK draining tenants=1 durability=full"
+        );
+        // After the grace sweeps the shell may exit…
+        core.pump();
+        core.pump();
+        assert!(core.should_exit());
+        // …and the checkpoint is restartable with nothing lost.
+        drop(core);
+        let resumed = ServeCore::with_fs(config, Arc::new(fs.clone())).unwrap();
+        assert_eq!(resumed.tenant_names(), vec!["bw"]);
+    }
+
+    #[test]
+    fn overload_sheds_with_pressure_shaped_hints_until_pressure_drops() {
+        let mut core = ServeCore::new(ServeConfig::default()).unwrap();
+        assert_eq!(core.handle_line("PUSH bw syslog 0 line zero"), "OK");
+        core.set_pressure(2_000);
+        let shed = core.handle_line("PUSH bw syslog 1 line one");
+        assert!(shed.starts_with("ERR code=overload retry-ms="), "{shed}");
+        let ms = retry_ms_of(&shed);
+        assert!((1_000..=2_000).contains(&ms), "{ms}");
+        // Hints are jittered per rejection, not one constant.
+        let hints: std::collections::BTreeSet<u64> = (0..50)
+            .map(|_| retry_ms_of(&core.handle_line("PUSH bw syslog 1 line one")))
+            .collect();
+        assert!(hints.len() > 5, "hints did not spread: {hints:?}");
+        // Replays of accepted work still answer OK dup under overload.
+        assert_eq!(core.handle_line("PUSH bw syslog 0 line zero"), "OK dup");
+        // The cursor never advanced, so nothing was lost…
+        core.set_pressure(0);
+        assert_eq!(core.handle_line("PUSH bw syslog 1 line one"), "OK");
+        assert!(core.stats().shed_overload >= 51);
+        assert_eq!(core.stats().accepted, 2);
+    }
+
+    #[test]
+    fn oversized_lines_are_rejected_without_disconnecting() {
+        let config = ServeConfig {
+            max_line_bytes: 64,
+            ..ServeConfig::default()
+        };
+        let mut core = ServeCore::new(config).unwrap();
+        let conn = core.open_conn();
+        // A single complete over-long line.
+        let long = format!("PUSH bw syslog 0 {}\n", "x".repeat(200));
+        let responses = core.feed(conn, long.as_bytes());
+        assert_eq!(responses, vec!["ERR code=line-too-long limit=64"]);
+        // Dribbled in fragments, the buffer stays bounded and the answer
+        // arrives when the line finally terminates.
+        for _ in 0..50 {
+            assert!(core.feed(conn, b"yyyyyyyyyy").is_empty());
+            assert!(core.pending_fragment(conn) <= 64);
+        }
+        let responses = core.feed(conn, b"\nHELLO bw\n");
+        assert_eq!(responses.len(), 2);
+        assert_eq!(responses[0], "ERR code=line-too-long limit=64");
+        assert!(responses[1].starts_with("OK tenant=bw"), "{}", responses[1]);
+        assert_eq!(core.stats().line_too_long, 2);
+    }
+
+    #[test]
+    fn invalid_utf8_lines_answer_bad_utf8_and_keep_the_connection() {
+        let mut core = ServeCore::new(ServeConfig::default()).unwrap();
+        let conn = core.open_conn();
+        let mut bytes = b"PUSH bw syslog 0 ".to_vec();
+        bytes.extend_from_slice(&[0xff, 0xfe, 0x80]);
+        bytes.extend_from_slice(b"\nHELLO bw\n");
+        let responses = core.feed(conn, &bytes);
+        assert_eq!(responses[0], "ERR code=bad-utf8");
+        assert!(responses[1].starts_with("OK tenant=bw"));
+        assert_eq!(core.stats().bad_utf8, 1);
+        // The rejected push did not advance the cursor.
+        assert_eq!(core.handle_line("PUSH bw syslog 0 clean line"), "OK");
     }
 }

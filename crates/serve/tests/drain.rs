@@ -1,0 +1,431 @@
+//! Overload-hardening drills over real TCP: graceful drain (`DRAIN` verb
+//! and SIGTERM), slow-client eviction, malformed-frame tolerance, and a
+//! zero-loss rolling restart driven by the resilient `logdiver-push`
+//! client. Companion to `smoke.rs`, which covers the happy path and
+//! SIGKILL crash recovery.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use logdiver::{LogCollection, LogDiver};
+use logdiver_push::{deliver, NetConfig, PushPlan, Session, SessionConfig};
+
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    /// Start on an ephemeral port with hardening flags.
+    fn start(tenants_dir: &Path, extra: &[&str]) -> Daemon {
+        Self::try_start(tenants_dir, "127.0.0.1:0", extra).expect("spawn logdiver-serve")
+    }
+
+    /// Start on a specific address, retrying briefly — a just-exited
+    /// predecessor may still hold the port for a moment.
+    fn restart_at(tenants_dir: &Path, addr: &str, extra: &[&str]) -> Daemon {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match Self::try_start(tenants_dir, addr, extra) {
+                Some(d) => return d,
+                None => {
+                    assert!(Instant::now() < deadline, "could not rebind {addr}");
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+            }
+        }
+    }
+
+    fn try_start(tenants_dir: &Path, listen: &str, extra: &[&str]) -> Option<Daemon> {
+        let mut args = vec![
+            "--listen",
+            listen,
+            "--tenants-dir",
+            tenants_dir.to_str().expect("utf-8 temp path"),
+        ];
+        args.extend_from_slice(extra);
+        let mut child = Command::new(env!("CARGO_BIN_EXE_logdiver-serve"))
+            .args(&args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn logdiver-serve");
+        let stdout: ChildStdout = child.stdout.take().expect("piped stdout");
+        let mut first = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut first)
+            .expect("startup line");
+        if !first.contains("listening on") {
+            let _ = child.kill();
+            let _ = child.wait();
+            return None;
+        }
+        let addr = first
+            .trim()
+            .rsplit(' ')
+            .next()
+            .expect("listen address")
+            .to_string();
+        Some(Daemon { child, addr })
+    }
+
+    fn connect(&self) -> Client {
+        let stream = TcpStream::connect(&self.addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("read timeout");
+        let reader = BufReader::new(stream.try_clone().expect("clone socket"));
+        Client { stream, reader }
+    }
+
+    /// Wait (bounded) for the daemon to exit and return its status.
+    fn wait_exit(mut self, secs: u64) -> std::process::ExitStatus {
+        let deadline = Instant::now() + Duration::from_secs(secs);
+        loop {
+            if let Some(status) = self.child.try_wait().expect("try_wait") {
+                return status;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "daemon did not exit within {secs}s"
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+}
+
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn request(&mut self, line: &str) -> String {
+        self.stream
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("send");
+        self.read_line()
+    }
+
+    fn read_line(&mut self) -> String {
+        let mut response = String::new();
+        self.reader.read_line(&mut response).expect("response");
+        response.trim_end_matches('\n').to_string()
+    }
+
+    /// Send several request lines in one write, then read one response
+    /// per request — the lockstep server answers them as a batch, which
+    /// keeps multi-step checks ahead of a draining daemon's exit.
+    fn request_many(&mut self, lines: &[&str]) -> Vec<String> {
+        let batch: String = lines.iter().map(|l| format!("{l}\n")).collect();
+        self.stream.write_all(batch.as_bytes()).expect("send batch");
+        lines.iter().map(|_| self.read_line()).collect()
+    }
+
+    fn report(&mut self, tenant: &str) -> String {
+        let head = self.request(&format!("REPORT {tenant}"));
+        let n: usize = head
+            .strip_prefix("OK lines=")
+            .and_then(|rest| rest.split(' ').next())
+            .unwrap_or_else(|| panic!("bad REPORT head: {head}"))
+            .parse()
+            .expect("line count");
+        (0..n).map(|_| self.read_line() + "\n").collect()
+    }
+}
+
+/// One tenant's corpus: two jobs, one killed by a node failure.
+fn corpus() -> LogCollection {
+    let mut logs = LogCollection::new();
+    logs.torque.extend([
+        "2013-03-28 10:00:00;S;1.bw;user=u0001 queue=normal nodes=4 walltime=86400".to_string(),
+        "2013-03-28 10:00:00;S;2.bw;user=u0002 queue=small nodes=1 walltime=86400".to_string(),
+    ]);
+    logs.alps.extend([
+        "2013-03-28 10:00:05 apsys PLACED apid=100 batch=1.bw user=u0001 cmd=namd2 type=XE width=4 nodelist=nid[0-3]".to_string(),
+        "2013-03-28 10:00:06 apsys PLACED apid=200 batch=2.bw user=u0002 cmd=vasp type=XE width=1 nodelist=nid[100]".to_string(),
+        "2013-03-28 12:00:05 apsys EXIT apid=100 code=137 signal=9 node_failed=yes runtime=7200".to_string(),
+        "2013-03-28 13:00:06 apsys EXIT apid=200 code=0 signal=none node_failed=no runtime=10800".to_string(),
+    ]);
+    logs.syslog.extend([
+        "2013-03-28 09:59:00 nid00050 ntpd: time slew +0.012s".to_string(),
+        "2013-03-28 12:00:00 nid00002 kernel: Machine Check Exception: bank 4 status 0xb200".to_string(),
+        "2013-03-28 12:00:31 smw xtnmd: node heartbeat fault: no response in 60s, declaring node dead".to_string(),
+    ]);
+    logs.hwerr.extend([
+        "2013-03-28 12:00:01|c0-0c0s0n2|MCE|CRIT|bank=4".to_string(),
+        "2013-03-28 12:00:31|c0-0c0s0n2|NODE_DEAD|FATAL|".to_string(),
+    ]);
+    logs
+}
+
+/// The corpus as a push plan, in the server's source order.
+fn corpus_plan(tenant: &str) -> PushPlan {
+    let logs = corpus();
+    PushPlan {
+        tenant: tenant.to_string(),
+        lines: [
+            logs.syslog.clone(),
+            logs.hwerr.clone(),
+            logs.alps.clone(),
+            logs.torque.clone(),
+            logs.netwatch.clone(),
+        ],
+    }
+}
+
+fn batch_report(logs: &LogCollection) -> String {
+    let analysis = LogDiver::new().analyze(logs);
+    logdiver::report::full_report(&analysis.metrics, &analysis.stats)
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("logdiver-drain-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn drain_checkpoints_sheds_and_exits_zero() {
+    let dir = temp_dir("verb");
+    let daemon = Daemon::start(&dir, &[]);
+    let mut client = daemon.connect();
+    assert!(client
+        .request("PUSH bw syslog 0 2013-03-28 09:59:00 nid1 ntpd: ok")
+        .starts_with("OK"));
+
+    // One batch: DRAIN, a shed push, a duplicate replay, and a second
+    // DRAIN — answered together before the grace period can expire.
+    let resps = client.request_many(&[
+        "DRAIN",
+        "PUSH bw syslog 1 2013-03-28 10:00:00 nid1 ntpd: more",
+        "PUSH bw syslog 0 2013-03-28 09:59:00 nid1 ntpd: ok",
+        "DRAIN",
+    ]);
+    assert!(
+        resps[0].starts_with("OK draining tenants=1"),
+        "DRAIN response: {}",
+        resps[0]
+    );
+    // New work is shed with a machine-readable retry hint; replayed
+    // duplicates still settle; a second DRAIN is idempotent, not an error.
+    assert!(
+        resps[1].starts_with("ERR code=draining retry-ms="),
+        "{}",
+        resps[1]
+    );
+    assert_eq!(resps[2], "OK dup");
+    assert!(resps[3].starts_with("OK draining"), "{}", resps[3]);
+
+    let status = daemon.wait_exit(15);
+    assert!(status.success(), "drained daemon exited {status:?}");
+
+    // The pre-exit checkpoint preserved the accepted line.
+    let daemon = Daemon::start(&dir, &[]);
+    let mut client = daemon.connect();
+    assert_eq!(
+        client.request("HELLO bw"),
+        "OK tenant=bw accepted=1,0,0,0,0"
+    );
+    assert_eq!(client.request("SHUTDOWN"), "OK shutting-down");
+    assert!(daemon.wait_exit(15).success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[cfg(unix)]
+#[test]
+fn sigterm_drains_and_exits_zero() {
+    let dir = temp_dir("sigterm");
+    let daemon = Daemon::start(&dir, &[]);
+    let mut client = daemon.connect();
+    assert!(client
+        .request("PUSH bw hwerr 0 2013-03-28 12:00:01|c0-0c0s0n2|MCE|CRIT|bank=4")
+        .starts_with("OK"));
+
+    let pid = daemon.child.id().to_string();
+    let status = Command::new("kill")
+        .args(["-TERM", &pid])
+        .status()
+        .expect("send SIGTERM");
+    assert!(status.success(), "kill -TERM failed");
+
+    let status = daemon.wait_exit(15);
+    assert!(status.success(), "SIGTERM'd daemon exited {status:?}");
+
+    let daemon = Daemon::start(&dir, &[]);
+    let mut client = daemon.connect();
+    assert_eq!(
+        client.request("HELLO bw"),
+        "OK tenant=bw accepted=0,1,0,0,0"
+    );
+    assert_eq!(client.request("SHUTDOWN"), "OK shutting-down");
+    assert!(daemon.wait_exit(15).success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn slow_client_is_evicted_with_a_reasoned_error() {
+    let dir = temp_dir("slowloris");
+    let daemon = Daemon::start(
+        &dir,
+        &["--io-timeout-ms", "100", "--line-deadline-ms", "300"],
+    );
+
+    // A well-behaved client on the same daemon, before and after.
+    let mut good = daemon.connect();
+    assert!(good
+        .request("PUSH bw syslog 0 2013-03-28 09:59:00 nid1 ntpd: ok")
+        .starts_with("OK"));
+
+    // The slowloris: send half a line, then stall forever.
+    let mut slow = daemon.connect();
+    slow.stream
+        .write_all(b"PUSH bw syslog 1 2013-03-28 ")
+        .expect("partial write");
+    let verdict = slow.read_line();
+    assert!(
+        verdict.starts_with("ERR code=slow-client deadline-ms=300"),
+        "eviction notice: {verdict:?}"
+    );
+    // The connection is closed after the notice.
+    let mut rest = String::new();
+    let n = slow.reader.read_to_string(&mut rest).unwrap_or(0);
+    assert_eq!(n, 0, "connection should be closed, got {rest:?}");
+
+    // The eviction did not disturb the healthy connection.
+    assert!(good
+        .request("PUSH bw syslog 1 2013-03-28 10:00:00 nid1 ntpd: again")
+        .starts_with("OK"));
+    assert_eq!(good.request("SHUTDOWN"), "OK shutting-down");
+    assert!(daemon.wait_exit(15).success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_frames_answer_err_and_keep_the_connection_usable() {
+    let dir = temp_dir("malformed");
+    let daemon = Daemon::start(&dir, &["--max-line", "128"]);
+    let mut client = daemon.connect();
+
+    // Truncated PUSH: missing the index and payload.
+    let resp = client.request("PUSH bw");
+    assert!(resp.starts_with("ERR code=missing-arg"), "{resp}");
+    // Unknown source token.
+    let resp = client.request("PUSH bw bogus 0 x");
+    assert!(resp.starts_with("ERR code=bad-source"), "{resp}");
+    // Non-numeric index.
+    let resp = client.request("PUSH bw syslog twelve x");
+    assert!(resp.starts_with("ERR code=bad-index"), "{resp}");
+    // Oversized tenant name (past MAX_TENANT_NAME = 64).
+    let resp = client.request(&format!("HELLO {}", "t".repeat(80)));
+    assert!(resp.starts_with("ERR code=bad-tenant-name"), "{resp}");
+    // Non-UTF-8 payload.
+    client
+        .stream
+        .write_all(b"PUSH bw syslog 0 \xff\xfe broken\n")
+        .expect("send");
+    let resp = client.read_line();
+    assert_eq!(resp, "ERR code=bad-utf8");
+    // A line past --max-line, dribbled in two writes to prove the bound
+    // applies to the reassembled line, not one read.
+    let long = "x".repeat(200);
+    client
+        .stream
+        .write_all(&long.as_bytes()[..100])
+        .expect("send");
+    client
+        .stream
+        .write_all(format!("{}\n", &long[100..]).as_bytes())
+        .expect("send");
+    let resp = client.read_line();
+    assert_eq!(resp, "ERR code=line-too-long limit=128");
+
+    // After all that abuse the same connection still serves.
+    assert!(client
+        .request("PUSH bw syslog 0 2013-03-28 09:59:00 nid1 ntpd: ok")
+        .starts_with("OK"));
+    assert_eq!(client.request("SHUTDOWN"), "OK shutting-down");
+    assert!(daemon.wait_exit(15).success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The rolling-restart runbook, end to end: a resilient client keeps
+/// pushing while the daemon drains, exits 0, and a successor takes over
+/// the same address and checkpoint dir. Delivery is exactly-once and the
+/// final report matches the batch pipeline.
+#[test]
+fn rolling_restart_is_zero_loss_for_a_resilient_client() {
+    let dir = temp_dir("rolling");
+    let daemon = Daemon::start(&dir, &[]);
+    let addr = daemon.addr.clone();
+
+    // Pre-seed a little history so the tenant exists across the drain.
+    let mut client = daemon.connect();
+    let logs = corpus();
+    for (i, line) in logs.syslog.iter().take(2).enumerate() {
+        assert!(client
+            .request(&format!("PUSH bw syslog {i} {line}"))
+            .starts_with("OK"));
+    }
+    let resp = client.request("DRAIN");
+    assert!(resp.starts_with("OK draining"), "{resp}");
+
+    // Start the resilient client *while the daemon is draining*: it will
+    // be shed with hints, lose the connection when the daemon exits, back
+    // off through connection-refused, and finish against the successor.
+    let push_thread = std::thread::spawn({
+        let addr = addr.clone();
+        move || {
+            let session = Session::new(
+                corpus_plan("bw"),
+                SessionConfig {
+                    max_attempts: 40,
+                    seed: 7,
+                    ..SessionConfig::default()
+                },
+            );
+            deliver(
+                session,
+                &NetConfig {
+                    addr,
+                    timeout_ms: 2_000,
+                    max_wall_ms: 60_000,
+                },
+            )
+        }
+    });
+
+    let status = daemon.wait_exit(15);
+    assert!(status.success(), "drained daemon exited {status:?}");
+    let daemon = Daemon::restart_at(&dir, &addr, &[]);
+
+    let summary = push_thread.join().expect("push thread");
+    assert!(summary.complete, "delivery incomplete: {summary:?}");
+    // Exactly-once: every line accounted for, pre-seeded ones never
+    // double-pushed (they are skipped via HELLO cursors or answer OK dup).
+    assert_eq!(
+        summary.pushed + summary.dups,
+        summary.total_lines - 2,
+        "{summary:?}"
+    );
+    assert!(
+        summary.reconnects + summary.shed_draining + summary.backoffs > 0,
+        "client never saw the restart: {summary:?}"
+    );
+
+    let mut client = daemon.connect();
+    let resp = client.request("FLUSH bw");
+    assert!(resp.starts_with("OK applied="), "{resp}");
+    let served = client.report("bw");
+    assert_eq!(
+        served.trim_end(),
+        batch_report(&logs).trim_end(),
+        "drained-and-restarted REPORT != batch report"
+    );
+    assert_eq!(client.request("SHUTDOWN"), "OK shutting-down");
+    assert!(daemon.wait_exit(15).success());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,315 @@
+//! The overload chaos drill (ISSUE 8): resilient `logdiver-push` sessions
+//! deliver their corpora through a seeded chaotic network — latency,
+//! dribbled writes, stalls, mid-response resets, refused connects — into
+//! an in-process `ServeCore` that is overloaded (pressure-shed), drained,
+//! killed, and restarted mid-run. The bar: every tenant's drained analysis
+//! equals the batch pipeline's answer, every server cursor lands exactly
+//! at the corpus length (zero lost, zero double-applied records), and
+//! every client finishes `complete` with only retry-shaped scars.
+//!
+//! Everything is deterministic under the proptest seed; CI additionally
+//! sweeps `CHAOS_SEED` to widen coverage across runs.
+
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+
+use bw_faults::{ChaosFs, NetChaosConfig, NetFaultPlan, RecvOutcome, SendOutcome};
+use logdiver::{Analysis, LogCollection};
+use logdiver_integration::{run_end_to_end, to_log_collection};
+use logdiver_push::{Action, PushPlan, Session, SessionConfig};
+use logdiver_serve::{BudgetPolicy, ServeConfig, ServeCore};
+use logdiver_stream::StreamConfig;
+use logdiver_types::{SimDuration, Timestamp};
+use proptest::prelude::*;
+
+const TENANTS: [&str; 2] = ["alpha", "beta"];
+
+/// Per-tenant corpora, generated once and shared across proptest cases.
+fn corpus(which: usize) -> &'static (LogCollection, Analysis) {
+    static CORPORA: [OnceLock<(LogCollection, Analysis)>; 2] = [OnceLock::new(), OnceLock::new()];
+    CORPORA[which].get_or_init(|| {
+        let seed = 8101 + which as u64;
+        let e2e = run_end_to_end(bw_sim::SimConfig::scaled(64, 1).with_seed(seed));
+        (to_log_collection(&e2e.sim), e2e.analysis)
+    })
+}
+
+/// The tenant's corpus as a push plan, in the server's source order.
+fn plan_for(which: usize) -> PushPlan {
+    let (logs, _) = corpus(which);
+    PushPlan {
+        tenant: TENANTS[which].to_string(),
+        lines: [
+            logs.syslog.clone(),
+            logs.hwerr.clone(),
+            logs.alps.clone(),
+            logs.torque.clone(),
+            logs.netwatch.clone(),
+        ],
+    }
+}
+
+fn line_timestamp(line: &str) -> Option<Timestamp> {
+    line.get(..19)?.parse().ok()
+}
+
+/// Smallest lateness under which no in-order line is late, fleet-wide.
+fn fleet_lateness() -> SimDuration {
+    let mut worst = SimDuration::ZERO;
+    for which in 0..TENANTS.len() {
+        let plan = plan_for(which);
+        for lines in &plan.lines {
+            let mut high: Option<Timestamp> = None;
+            for line in lines {
+                let Some(ts) = line_timestamp(line) else {
+                    continue;
+                };
+                if let Some(h) = high {
+                    worst = worst.max(h - ts);
+                }
+                high = Some(high.map_or(ts, |h| h.max(ts)));
+            }
+        }
+    }
+    worst + SimDuration::from_secs(1)
+}
+
+fn serve_config() -> ServeConfig {
+    ServeConfig {
+        tenants_dirs: vec![PathBuf::from("/tenants")],
+        budget: BudgetPolicy {
+            global_bytes: usize::MAX / 2,
+            quota_bytes: usize::MAX / 4,
+        },
+        shards: 2,
+        checkpoint_every: 509,
+        stream: StreamConfig::default().with_lateness(fleet_lateness()),
+        ..ServeConfig::default()
+    }
+}
+
+/// One client's seat at the drill: its session, its fault plan, and its
+/// current connection (validated against the server generation, so a
+/// restart invalidates it).
+struct Seat {
+    session: Session,
+    plan: NetFaultPlan,
+    conn: Option<(u64, u64)>,
+}
+
+/// The shared server side: `None` while the daemon is "down" between the
+/// kill and the restart.
+struct Harness {
+    core: Option<ServeCore>,
+    generation: u64,
+    fs: Arc<ChaosFs>,
+}
+
+impl Harness {
+    fn kill(&mut self) {
+        self.core = None; // dropped without any shutdown checkpoint
+        self.generation += 1;
+    }
+
+    fn restart(&mut self) {
+        self.core = Some(ServeCore::with_fs(serve_config(), self.fs.clone()).expect("restart"));
+    }
+}
+
+/// Advance one seat by one action. Fault injection happens at the same
+/// seams a real TCP wire has: the connect, the send, and the response.
+fn step(seat: &mut Seat, harness: &mut Harness) {
+    match seat.session.action() {
+        Action::Connect => {
+            if harness.core.is_some() && seat.plan.connect_ok() {
+                let id = harness
+                    .core
+                    .as_mut()
+                    .map(|c| c.open_conn())
+                    .unwrap_or_default();
+                seat.conn = Some((harness.generation, id));
+                seat.session.on_connected();
+            } else {
+                seat.session.on_connect_failed();
+            }
+        }
+        Action::Send(line) => {
+            let live = seat
+                .conn
+                .map(|(generation, _)| generation == harness.generation)
+                .unwrap_or(false);
+            let (Some(core), Some((_, id)), true) = (harness.core.as_mut(), seat.conn, live) else {
+                seat.conn = None;
+                seat.session.on_wire_error();
+                return;
+            };
+            match seat.plan.send(line.len()) {
+                SendOutcome::Delivered { .. } => {
+                    let responses = core.feed(id, format!("{line}\n").as_bytes());
+                    assert_eq!(responses.len(), 1, "lockstep broken for {line:?}");
+                    match seat.plan.recv() {
+                        RecvOutcome::Delivered { .. } => seat.session.on_response(&responses[0]),
+                        RecvOutcome::Reset => {
+                            // Delivered server-side, ack lost — the hard
+                            // exactly-once case.
+                            core.close_conn(id);
+                            seat.conn = None;
+                            seat.session.on_wire_error();
+                        }
+                    }
+                }
+                SendOutcome::Stalled | SendOutcome::Reset => {
+                    core.close_conn(id);
+                    seat.conn = None;
+                    seat.session.on_wire_error();
+                }
+            }
+        }
+        Action::Sleep(ms) => seat.session.on_slept(ms),
+        Action::Done => {}
+    }
+}
+
+/// Drive all unfinished seats round-robin until `stop` says so (or they
+/// all finish). Returns the number of sweeps driven.
+fn drive(
+    seats: &mut [Seat],
+    harness: &mut Harness,
+    max_sweeps: usize,
+    mut stop: impl FnMut(&[Seat]) -> bool,
+) -> usize {
+    for sweep in 0..max_sweeps {
+        if seats.iter().all(|s| s.session.finished()) || stop(seats) {
+            return sweep;
+        }
+        for seat in seats.iter_mut() {
+            if !seat.session.finished() {
+                step(seat, harness);
+            }
+        }
+    }
+    max_sweeps
+}
+
+fn pushed(seats: &[Seat]) -> u64 {
+    seats.iter().map(|s| s.session.summary().pushed).sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Overload → drain → kill → restart, all mid-delivery, all under
+    /// network chaos: exactly-once end to end.
+    #[test]
+    fn resilient_clients_survive_overload_drain_kill_restart(case_seed in 0u64..10_000) {
+        let seed = case_seed ^ seed_base().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let fs = Arc::new(ChaosFs::clean());
+        let mut harness = Harness {
+            core: Some(ServeCore::with_fs(serve_config(), fs.clone()).expect("core")),
+            generation: 0,
+            fs,
+        };
+        let mut seats: Vec<Seat> = (0..TENANTS.len())
+            .map(|which| Seat {
+                session: Session::new(
+                    plan_for(which),
+                    SessionConfig {
+                        max_attempts: 100_000,
+                        seed: seed ^ which as u64,
+                        ..SessionConfig::default()
+                    },
+                ),
+                plan: NetFaultPlan::new(seed.wrapping_add(which as u64), NetChaosConfig::default()),
+                conn: None,
+            })
+            .collect();
+
+        // Phase A: normal chaotic delivery until every client has landed
+        // some lines (so every tenant exists server-side).
+        drive(&mut seats, &mut harness, 100_000, |seats| {
+            seats.iter().all(|s| s.session.summary().pushed >= 10)
+        });
+        prop_assert!(seats.iter().all(|s| !s.session.finished()), "corpus too small for the drill");
+
+        // Phase B: overload. With pump pressure past the deadline every
+        // new push is shed with a retry hint; obedient clients make no
+        // progress but never fail.
+        if let Some(core) = harness.core.as_mut() {
+            core.set_pressure(10_000);
+        }
+        let before = pushed(&seats);
+        drive(&mut seats, &mut harness, 5_000, |seats| {
+            seats.iter().map(|s| s.session.summary().shed_overload).sum::<u64>() >= 5
+        });
+        let sheds: u64 = seats.iter().map(|s| s.session.summary().shed_overload).sum();
+        prop_assert!(sheds >= 5, "overload window shed nothing");
+        prop_assert!(
+            pushed(&seats) == before,
+            "pushes slipped through a saturated server"
+        );
+        if let Some(core) = harness.core.as_mut() {
+            core.set_pressure(0);
+        }
+
+        // Phase C: drain, then die. The drain checkpoints every tenant, so
+        // the kill loses nothing; clients see hints, then dead sockets.
+        if let Some(core) = harness.core.as_mut() {
+            let resp = core.handle_line("DRAIN");
+            prop_assert!(resp.starts_with("OK draining tenants=2"), "{}", resp);
+        }
+        drive(&mut seats, &mut harness, 2_000, |seats| {
+            seats.iter().map(|s| s.session.summary().shed_draining).sum::<u64>() >= 1
+        });
+        harness.kill();
+        drive(&mut seats, &mut harness, 200, |_| false);
+        harness.restart();
+
+        // Phase D: the successor serves the stragglers to completion.
+        drive(&mut seats, &mut harness, 2_000_000, |_| false);
+
+        for (which, seat) in seats.iter().enumerate() {
+            let summary = seat.session.summary();
+            prop_assert!(summary.complete, "tenant {} incomplete: {:?}", TENANTS[which], summary);
+            // Exactly-once on the client's ledger: every slot advanced
+            // once, as a fresh push or an acknowledged duplicate.
+            prop_assert!(
+                summary.pushed + summary.dups <= summary.total_lines,
+                "over-delivered: {:?}", summary
+            );
+            prop_assert!(summary.reconnects >= 1, "never reconnected: {:?}", summary);
+            prop_assert!(summary.backoffs >= 1, "never backed off: {:?}", summary);
+        }
+
+        // Zero loss / zero duplicates server-side: each cursor sits exactly
+        // at its corpus length, and the analyses are byte-equal to batch.
+        let mut core = harness.core.take().expect("core");
+        for (which, tenant) in TENANTS.iter().enumerate() {
+            let plan = plan_for(which);
+            let expected: Vec<String> = plan.lines.iter().map(|l| l.len().to_string()).collect();
+            prop_assert_eq!(
+                core.handle_line(&format!("HELLO {tenant}")),
+                format!("OK tenant={tenant} accepted={}", expected.join(","))
+            );
+            let (_, batch) = corpus(which);
+            let served = core
+                .drain_tenant(tenant)
+                .unwrap_or_else(|| panic!("tenant {tenant} missing at drain"));
+            prop_assert!(served.runs == batch.runs, "tenant {} runs differ", tenant);
+            prop_assert!(served.events == batch.events, "tenant {} events differ", tenant);
+            prop_assert!(
+                served.metrics == batch.metrics,
+                "tenant {} metrics differ",
+                tenant
+            );
+            prop_assert!(served.stats == batch.stats, "tenant {} stats differ", tenant);
+        }
+    }
+}
+
+/// CI sweeps seeds via `CHAOS_SEED`; locally it defaults to 0.
+fn seed_base() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
