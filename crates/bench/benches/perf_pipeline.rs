@@ -32,6 +32,10 @@ struct PipelineBench {
     /// Cores the host actually offers; speedup saturates here. A ~1.0x
     /// curve on a 1-core host is the hardware ceiling, not a pipeline bug.
     host_cpus: usize,
+    /// Parse-stage throughput at the best point — what the zero-copy
+    /// parser rewrite is measured by (CI gates it via
+    /// `PARSE_THROUGHPUT_FLOOR`).
+    parse_lines_per_sec: f64,
     points: Vec<ThreadPoint>,
 }
 
@@ -204,11 +208,40 @@ fn main() {
         });
     }
 
+    // Parse-stage throughput over the best point: the number the
+    // zero-copy parser rewrite is accountable for, independent of the
+    // filter/classify stages sharing the wall clock.
+    let best_parse_secs = points
+        .iter()
+        .map(|p| p.stage_secs.parse_secs)
+        .fold(f64::INFINITY, f64::min);
+    let parse_lines_per_sec = total as f64 / best_parse_secs;
+    println!("parse stage      : {parse_lines_per_sec:>10.0} lines/s (best point)");
+    if let Ok(floor) = std::env::var("PARSE_THROUGHPUT_FLOOR") {
+        let floor: f64 = floor
+            .parse()
+            .expect("PARSE_THROUGHPUT_FLOOR must be lines/s");
+        if parse_lines_per_sec >= floor {
+            println!("parse gate       : ok (>= {floor:.0} lines/s)");
+        } else if host_cpus <= 1 {
+            // 1-core containers time-share the measurement with the OS;
+            // report but do not fail there.
+            eprintln!(
+                "parse gate       : WARNING {parse_lines_per_sec:.0} lines/s is below \
+                 {floor:.0}, but host has 1 cpu — not failing"
+            );
+        } else {
+            eprintln!("parse gate       : FAILED {parse_lines_per_sec:.0} < {floor:.0} lines/s");
+            std::process::exit(1);
+        }
+    }
+
     let out = PipelineBench {
         bench: "perf_pipeline".to_string(),
         total_lines: total,
         reps: REPS,
         host_cpus,
+        parse_lines_per_sec,
         points,
     };
     let text = serde_json::to_string_pretty(&out).expect("serializable");

@@ -3,6 +3,7 @@
 //! ```text
 //! logdiver simulate  --out DIR [--divisor N] [--days N] [--seed N]
 //! logdiver analyze   --logs DIR [--csv DIR] [--threads N] [--timings]
+//!                    [--quarantine-out FILE]
 //! logdiver validate  --logs DIR [--json] [--min-precision X] [--min-recall X]
 //! logdiver campaign  --out DIR [--divisor N] [--days N] [--seed N]
 //!                    [--seeds N] [--severities LIST] [--gate-f1 X]
@@ -50,7 +51,7 @@ use logdiver::{report, LogCollection, LogDiver};
 use rand::SeedableRng;
 
 fn usage() -> &'static str {
-    "usage:\n  logdiver simulate  --out DIR [--divisor N] [--days N] [--seed N]\n  logdiver analyze   --logs DIR [--csv DIR] [--threads N] [--timings]\n  logdiver validate  --logs DIR [--json] [--min-precision X] [--min-recall X]\n  logdiver campaign  --out DIR [--divisor N] [--days N] [--seed N] [--seeds N]\n                     [--severities LIST] [--gate-f1 X]\n  logdiver stream    --logs DIR [--chunk N] [--follow] [--shards N]\n                     [--lateness SECS] [--checkpoint FILE] [--resume FILE]\n                     [--checkpoint-every N] [--checkpoint-secs N]\n                     [--quarantine-out FILE] [--quarantine-keep N]\n  logdiver reproduce [--divisor N] [--days N] [--seed N] [--boost-capability]\n  logdiver swf       --out FILE [--divisor N] [--days N] [--seed N]\n  logdiver lint      [--json] [--deny warnings] [--root DIR] [--rules]\n  logdiver serve     [--listen ADDR] [--tenants-dir DIR]... [--checkpoint-every N]\n                     [--evict-after N] [--mem-budget BYTES] [--shards N]\n                     [--tenant-config FILE] [--max-line BYTES] [--deadline-ms N]\n                     [--io-timeout-ms N] [--line-deadline-ms N]\n\noptions:\n  --divisor N   machine scale divisor (1 = full Blue Waters; default 16)\n  --days N      production days to simulate (default 30; the paper is 518)\n  --seed N      RNG seed (default 1)\n  --out DIR     output directory for raw logs\n  --logs DIR    directory holding messages.log / hwerr.log / apsys.log /\n                torque.log / netwatch.log\n  --csv DIR     also write scale-curve CSVs there\n  --threads N   worker threads for the parallel analyze stages (default: all\n                cores; output is identical for every N)\n  --timings     print a per-stage wall-clock breakdown to stderr\n  --json        print validation results as JSON instead of text\n  --min-precision X  exit nonzero when attribution precision < X\n  --min-recall X     exit nonzero when attribution recall < X\n  --seeds N     campaign: number of consecutive seeds to sweep (default 2)\n  --severities LIST  campaign: comma-separated severity grid in [0,1]\n                (default 0,0.25,0.5,0.75,1)\n  --gate-f1 X   campaign: exit nonzero when the clean point's F1 < X\n  --chunk N     lines pushed per source per round when streaming (default 1024)\n  --follow      keep tailing the log files for appended lines; SIGINT writes\n                a final checkpoint and report, then exits cleanly\n  --shards N    parallel syslog parse workers (default 2)\n  --lateness SECS  allowed out-of-order lateness within a source (default 60)\n  --checkpoint FILE     write crash-safe checkpoints to FILE (atomic\n                temp+rename); resume later with --resume FILE\n  --resume FILE         restore engine state and file offsets from a\n                checkpoint; also the checkpoint target unless --checkpoint\n                says otherwise\n  --checkpoint-every N  checkpoint after N accepted lines (default 50000)\n  --checkpoint-secs N   also checkpoint every N seconds while lines flow\n                (default 5)\n  --quarantine-out FILE append every quarantined (corrupt) raw line to FILE\n  --quarantine-keep N   recent corrupt lines kept in memory per source\n                (default 16)\n  --boost-capability  multiply capability-job frequency ×8 (dense sampling\n                of the full-scale buckets on small machines)\n  --deny warnings  lint: fail on warnings too, not just errors (CI mode)\n  --root DIR    lint: workspace root (default: walk up from the cwd)\n  --rules       lint: print the rule catalog and exit\n  --listen ADDR serve: bind address (default 127.0.0.1:7044; port 0 picks an\n                ephemeral port, printed on startup)\n  --tenants-dir DIR     serve: checkpoint directory, one <tenant>.ckpt per\n                tenant (default ./tenants); repeat the flag to replicate\n                every checkpoint across several directories, and a restarted\n                daemon resumes each tenant from the newest valid replica\n  --evict-after N       serve: checkpoint and evict a tenant idle for N pump\n                sweeps; it is resurrected transparently on its next PUSH\n                (default 0 = never evict)\n  --tenant-config FILE  serve: per-tenant StreamConfig overrides, one\n                `<tenant> key=value ...` per line (keys: lateness,\n                quarantine-keep)\n  --mem-budget BYTES    serve: global open-state budget; per-tenant quota is\n                an eighth of it (default 268435456)\n  --max-line BYTES      serve: longest accepted protocol line; longer lines\n                answer ERR code=line-too-long (default 65536)\n  --deadline-ms N       serve: shed pushes with ERR code=overload when a pump\n                sweep exceeds N ms; 0 disables shedding (default 1000)\n  --io-timeout-ms N     serve: per-connection socket read/write timeout;\n                0 disables (default 5000)\n  --line-deadline-ms N  serve: evict a client whose partial line is older\n                than N ms (slowloris defense); 0 disables (default 10000)\n\nserve reuses --checkpoint-every (auto-checkpoint every N applied records,\ndefault 10000) and --shards (pump worker threads, default: CPU count)."
+    "usage:\n  logdiver simulate  --out DIR [--divisor N] [--days N] [--seed N]\n  logdiver analyze   --logs DIR [--csv DIR] [--threads N] [--timings]\n                     [--quarantine-out FILE]\n  logdiver validate  --logs DIR [--json] [--min-precision X] [--min-recall X]\n  logdiver campaign  --out DIR [--divisor N] [--days N] [--seed N] [--seeds N]\n                     [--severities LIST] [--gate-f1 X]\n  logdiver stream    --logs DIR [--chunk N] [--follow] [--shards N]\n                     [--lateness SECS] [--checkpoint FILE] [--resume FILE]\n                     [--checkpoint-every N] [--checkpoint-secs N]\n                     [--quarantine-out FILE] [--quarantine-keep N]\n  logdiver reproduce [--divisor N] [--days N] [--seed N] [--boost-capability]\n  logdiver swf       --out FILE [--divisor N] [--days N] [--seed N]\n  logdiver lint      [--json] [--deny warnings] [--root DIR] [--rules]\n  logdiver serve     [--listen ADDR] [--tenants-dir DIR]... [--checkpoint-every N]\n                     [--evict-after N] [--mem-budget BYTES] [--shards N]\n                     [--tenant-config FILE] [--max-line BYTES] [--deadline-ms N]\n                     [--io-timeout-ms N] [--line-deadline-ms N]\n\noptions:\n  --divisor N   machine scale divisor (1 = full Blue Waters; default 16)\n  --days N      production days to simulate (default 30; the paper is 518)\n  --seed N      RNG seed (default 1)\n  --out DIR     output directory for raw logs\n  --logs DIR    directory holding messages.log / hwerr.log / apsys.log /\n                torque.log / netwatch.log\n  --csv DIR     also write scale-curve CSVs there\n  --threads N   worker threads for the parallel analyze stages (default: all\n                cores; output is identical for every N)\n  --timings     print a per-stage wall-clock breakdown to stderr\n  --json        print validation results as JSON instead of text\n  --min-precision X  exit nonzero when attribution precision < X\n  --min-recall X     exit nonzero when attribution recall < X\n  --seeds N     campaign: number of consecutive seeds to sweep (default 2)\n  --severities LIST  campaign: comma-separated severity grid in [0,1]\n                (default 0,0.25,0.5,0.75,1)\n  --gate-f1 X   campaign: exit nonzero when the clean point's F1 < X\n  --chunk N     lines pushed per source per round when streaming (default 1024)\n  --follow      keep tailing the log files for appended lines; SIGINT writes\n                a final checkpoint and report, then exits cleanly\n  --shards N    parallel syslog parse workers (default 2)\n  --lateness SECS  allowed out-of-order lateness within a source (default 60)\n  --checkpoint FILE     write crash-safe checkpoints to FILE (atomic\n                temp+rename); resume later with --resume FILE\n  --resume FILE         restore engine state and file offsets from a\n                checkpoint; also the checkpoint target unless --checkpoint\n                says otherwise\n  --checkpoint-every N  checkpoint after N accepted lines (default 50000)\n  --checkpoint-secs N   also checkpoint every N seconds while lines flow\n                (default 5)\n  --quarantine-out FILE stream: append every quarantined (corrupt) raw line\n                to FILE; analyze: write `file@offset (reason): line`\n                provenance for every rejected line\n  --quarantine-keep N   recent corrupt lines kept in memory per source\n                (default 16)\n  --boost-capability  multiply capability-job frequency ×8 (dense sampling\n                of the full-scale buckets on small machines)\n  --deny warnings  lint: fail on warnings too, not just errors (CI mode)\n  --root DIR    lint: workspace root (default: walk up from the cwd)\n  --rules       lint: print the rule catalog and exit\n  --listen ADDR serve: bind address (default 127.0.0.1:7044; port 0 picks an\n                ephemeral port, printed on startup)\n  --tenants-dir DIR     serve: checkpoint directory, one <tenant>.ckpt per\n                tenant (default ./tenants); repeat the flag to replicate\n                every checkpoint across several directories, and a restarted\n                daemon resumes each tenant from the newest valid replica\n  --evict-after N       serve: checkpoint and evict a tenant idle for N pump\n                sweeps; it is resurrected transparently on its next PUSH\n                (default 0 = never evict)\n  --tenant-config FILE  serve: per-tenant StreamConfig overrides, one\n                `<tenant> key=value ...` per line (keys: lateness,\n                quarantine-keep)\n  --mem-budget BYTES    serve: global open-state budget; per-tenant quota is\n                an eighth of it (default 268435456)\n  --max-line BYTES      serve: longest accepted protocol line; longer lines\n                answer ERR code=line-too-long (default 65536)\n  --deadline-ms N       serve: shed pushes with ERR code=overload when a pump\n                sweep exceeds N ms; 0 disables shedding (default 1000)\n  --io-timeout-ms N     serve: per-connection socket read/write timeout;\n                0 disables (default 5000)\n  --line-deadline-ms N  serve: evict a client whose partial line is older\n                than N ms (slowloris defense); 0 disables (default 10000)\n\nserve reuses --checkpoint-every (auto-checkpoint every N applied records,\ndefault 10000) and --shards (pump worker threads, default: CPU count)."
 }
 
 /// What one subcommand accepts: value-taking options and bare switches.
@@ -69,7 +70,7 @@ const COMMANDS: &[CommandSpec] = &[
     },
     CommandSpec {
         name: "analyze",
-        flags: &["logs", "csv", "threads"],
+        flags: &["logs", "csv", "threads", "quarantine-out"],
         switches: &["timings"],
     },
     CommandSpec {
@@ -250,11 +251,17 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
         Some(_) => get_u64(args, "threads", 1)?.max(1) as usize,
         None => logdiver::exec::default_threads(),
     };
-    // Streaming parse: the raw text never lives in memory.
-    let (analysis, timings) = LogDiver::new()
+    // One arena block per source file: parse and filter borrow from it,
+    // and rejected lines are recovered by byte offset only if
+    // --quarantine-out asks for them.
+    let arena = logdiver::input::LogArena::from_dir(dir).map_err(|e| e.to_string())?;
+    let (analysis, timings, quarantine) = LogDiver::new()
         .with_threads(threads)
-        .analyze_dir_timed(dir)
-        .map_err(|e| e.to_string())?;
+        .analyze_arena_timed(&arena);
+    if let Some(path) = args.flags.get("quarantine-out") {
+        write_quarantine_offsets(path, &arena, &quarantine)?;
+        eprintln!("{} quarantined line(s) written to {path}", quarantine.len());
+    }
     println!(
         "{}",
         report::full_report(&analysis.metrics, &analysis.stats)
@@ -731,6 +738,35 @@ fn write_checkpoint(
         .checkpoint(offsets)
         .write_atomic(path)
         .map_err(|e| format!("cannot write checkpoint {}: {e}", path.display()))
+}
+
+/// Writes batch-mode quarantine provenance to the `--quarantine-out`
+/// file: one `file@offset (reason): line` record per rejected line, the
+/// bytes sliced straight out of the arena (lossily re-encoded only if a
+/// rejected line was not valid UTF-8).
+fn write_quarantine_offsets(
+    path: &str,
+    arena: &logdiver::input::LogArena,
+    quarantine: &[logdiver::parse::QuarantinedLine],
+) -> Result<(), String> {
+    use std::io::Write as _;
+    let file = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    let mut out = std::io::BufWriter::new(file);
+    for q in quarantine {
+        let i = q.source as usize;
+        let start = q.offset as usize;
+        let bytes = &arena.block(i)[start..start + q.len as usize];
+        writeln!(
+            out,
+            "{}@{} ({}): {}",
+            logdiver::input::SOURCE_FILES[i],
+            q.offset,
+            q.reason,
+            String::from_utf8_lossy(bytes)
+        )
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    out.flush().map_err(|e| format!("cannot flush {path}: {e}"))
 }
 
 /// Drains spilled quarantine lines to the `--quarantine-out` file, one

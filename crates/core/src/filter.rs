@@ -7,11 +7,29 @@
 //! base was reverse-engineered from Cray's `craylog` output) — it is
 //! deliberately independent of the emitting code and is exercised against
 //! both matching and non-matching corpora in the tests.
+//!
+//! ## The byte hot path
+//!
+//! Classification runs on **raw message bytes**: [`Pattern::matches_bytes`]
+//! is a byte substring conjunction, and the `&str` entry points delegate to
+//! it. The two agree exactly — `str::contains` is byte substring search,
+//! and because UTF-8 is self-synchronizing a byte-level match of a valid
+//! UTF-8 needle always lands on a character boundary. This is what lets
+//! [`filter_columns`] classify borrowed arena slices **before** any record
+//! materializes: a discarded line (the overwhelming majority) never
+//! allocates, and a kept line only resolves its host to a [`NodeId`].
+//!
+//! Each pattern carries a precomputed *screen* — the set of its fragments'
+//! first bytes plus the longest fragment's length. Per message, one pass
+//! builds a 256-bit byte-presence bitmap; a pattern whose screen bytes are
+//! not all present (or whose longest fragment cannot fit) is skipped
+//! without any substring search. Screens are conservative, never changing
+//! the match result — a property the tests pin against the naive scan.
 
 use logdiver_types::{ErrorCategory, NodeId, Severity, Timestamp};
 use serde::{Deserialize, Serialize};
 
-use crate::parse::ParsedLogs;
+use crate::parse::{ParsedColumns, ParsedLogs};
 
 /// Which source a filtered entry came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -68,8 +86,63 @@ impl Pattern {
 
     /// True when every fragment occurs in `message`.
     pub fn matches(&self, message: &str) -> bool {
-        self.fragments.iter().all(|f| message.contains(f))
+        self.matches_bytes(message.as_bytes())
     }
+
+    /// True when every fragment occurs in `message`, scanned as raw bytes.
+    ///
+    /// For valid UTF-8 input this is exactly [`Pattern::matches`]; for
+    /// damaged input it degrades gracefully (a fragment simply cannot
+    /// start inside a torn multi-byte sequence).
+    pub fn matches_bytes(&self, message: &[u8]) -> bool {
+        self.fragments
+            .iter()
+            .all(|f| craylog::scan::find_seq(message, f.as_bytes()).is_some())
+    }
+}
+
+/// Precomputed skip data for one pattern: the set of fragment first bytes
+/// (as a 256-bit mask) and the longest fragment's length. A message that
+/// lacks any screened byte, or is shorter than the longest fragment,
+/// cannot match — checked against a per-message presence bitmap before any
+/// substring search runs.
+#[derive(Debug, Clone, Copy)]
+struct Screen {
+    need: [u64; 4],
+    min_len: usize,
+}
+
+impl Screen {
+    fn for_pattern(p: &Pattern) -> Self {
+        let mut need = [0u64; 4];
+        let mut min_len = 0;
+        for f in p.fragments {
+            if let Some(&b) = f.as_bytes().first() {
+                need[(b >> 6) as usize] |= 1 << (b & 63);
+            }
+            min_len = min_len.max(f.len());
+        }
+        Screen { need, min_len }
+    }
+
+    #[inline]
+    fn admits(&self, have: &[u64; 4], len: usize) -> bool {
+        len >= self.min_len
+            && self.need[0] & have[0] == self.need[0]
+            && self.need[1] & have[1] == self.need[1]
+            && self.need[2] & have[2] == self.need[2]
+            && self.need[3] & have[3] == self.need[3]
+    }
+}
+
+/// Which byte values occur in `message`, as a 256-bit bitmap.
+#[inline]
+fn byte_presence(message: &[u8]) -> [u64; 4] {
+    let mut have = [0u64; 4];
+    for &b in message {
+        have[(b >> 6) as usize] |= 1 << (b & 63);
+    }
+    have
 }
 
 /// A declared precedence between two lexically overlapping rules of
@@ -92,6 +165,7 @@ pub struct OverlapWaiver {
 pub struct PatternTable {
     patterns: Vec<Pattern>,
     waivers: Vec<OverlapWaiver>,
+    screens: Vec<Screen>,
 }
 
 impl Default for PatternTable {
@@ -285,16 +359,23 @@ impl PatternTable {
                          specific than a generic node hang",
             },
         ];
-        PatternTable { patterns, waivers }
+        Self::build(patterns, waivers)
     }
 
     /// Builds a table from user-supplied rules (first match wins), with no
     /// overlap waivers declared. Chain [`PatternTable::with_waivers`] to
     /// record ordering intent for cross-category overlaps.
     pub fn from_rules(patterns: Vec<Pattern>) -> Self {
+        Self::build(patterns, Vec::new())
+    }
+
+    /// The one place screens are derived, so every constructor agrees.
+    fn build(patterns: Vec<Pattern>, waivers: Vec<OverlapWaiver>) -> Self {
+        let screens = patterns.iter().map(Screen::for_pattern).collect();
         PatternTable {
             patterns,
-            waivers: Vec::new(),
+            waivers,
+            screens,
         }
     }
 
@@ -334,10 +415,26 @@ impl PatternTable {
     /// [`PatternTable::rules`]) won — the introspection hook the rule-set
     /// verifier uses to prove its witness strings resolve as claimed.
     pub fn classify_index(&self, message: &str) -> Option<(usize, ErrorCategory)> {
-        self.patterns
-            .iter()
-            .position(|p| p.matches(message))
-            .map(|i| (i, self.patterns[i].category))
+        self.classify_index_bytes(message.as_bytes())
+    }
+
+    /// Byte-level [`PatternTable::classify`] — the zero-copy hot path.
+    pub fn classify_bytes(&self, message: &[u8]) -> Option<ErrorCategory> {
+        self.classify_index_bytes(message)
+            .map(|(_, category)| category)
+    }
+
+    /// Byte-level [`PatternTable::classify_index`]. One presence-bitmap
+    /// pass over the message, then first-match-wins over the rules with
+    /// each rule's [`Screen`] consulted before its substring scan.
+    pub fn classify_index_bytes(&self, message: &[u8]) -> Option<(usize, ErrorCategory)> {
+        let have = byte_presence(message);
+        for (i, (p, s)) in self.patterns.iter().zip(&self.screens).enumerate() {
+            if s.admits(&have, message.len()) && p.matches_bytes(message) {
+                return Some((i, p.category));
+            }
+        }
+        None
     }
 }
 
@@ -467,6 +564,97 @@ pub fn filter_logs_threads(
         entries.push(entry_from_hwerr(rec));
     }
     for rec in &parsed.netwatch {
+        stats.structured_kept += 1;
+        entries.push(entry_from_netwatch(rec));
+    }
+    entries.sort_by_key(entry_sort_key);
+    (entries, stats)
+}
+
+/// Filters one columnar syslog record from its borrowed field slices;
+/// `None` means "operational chatter, discard". Classification runs on the
+/// raw message bytes, and the host is resolved to a node **only on a
+/// keep** — a discarded line costs one bitmap pass and some screened
+/// substring scans, nothing more.
+pub fn entry_from_syslog_bytes(
+    timestamp: Timestamp,
+    host: &[u8],
+    message: &[u8],
+    table: &PatternTable,
+) -> Option<FilteredEntry> {
+    table.classify_bytes(message).map(|category| FilteredEntry {
+        timestamp,
+        category,
+        severity: category.severity(),
+        node: NodeId::parse_hostname_bytes(host),
+        source: EntrySource::Syslog,
+    })
+}
+
+/// Converts one reduced hardware-error record (always kept).
+fn entry_from_hwerr_parsed(h: &crate::parse::HwErrParsed) -> FilteredEntry {
+    FilteredEntry {
+        timestamp: h.timestamp,
+        category: h.category,
+        severity: h.severity,
+        node: Some(h.node),
+        source: EntrySource::HwErr,
+    }
+}
+
+/// Runs the filter over columnar parse output — the zero-copy pipeline's
+/// stage 2, producing exactly what [`filter_logs_threads`] produces on the
+/// equivalent [`ParsedLogs`]: same entries, same order (chunk-in-record-
+/// order concatenation, then the same stable sort), same stats, for any
+/// thread count.
+pub fn filter_columns(
+    cols: &ParsedColumns<'_>,
+    table: &PatternTable,
+    threads: usize,
+) -> (Vec<FilteredEntry>, FilterStats) {
+    let syslog = &cols.syslog;
+    let mut stats = FilterStats {
+        syslog_examined: syslog.len() as u64,
+        ..FilterStats::default()
+    };
+
+    let mut entries: Vec<FilteredEntry>;
+    if threads <= 1 || syslog.len() < PAR_FILTER_MIN_RECORDS {
+        entries = Vec::new();
+        for i in 0..syslog.len() {
+            if let Some(entry) =
+                entry_from_syslog_bytes(syslog.times[i], syslog.hosts[i], syslog.messages[i], table)
+            {
+                entries.push(entry);
+            }
+        }
+    } else {
+        let chunk_len = (syslog.len() / (threads * 4)).max(PAR_FILTER_MIN_RECORDS / 4);
+        let ranges: Vec<std::ops::Range<usize>> = (0..syslog.len())
+            .step_by(chunk_len)
+            .map(|lo| lo..(lo + chunk_len).min(syslog.len()))
+            .collect();
+        let results = crate::exec::par_map(threads, ranges, |range| {
+            range
+                .filter_map(|i| {
+                    entry_from_syslog_bytes(
+                        syslog.times[i],
+                        syslog.hosts[i],
+                        syslog.messages[i],
+                        table,
+                    )
+                })
+                .collect::<Vec<FilteredEntry>>()
+        });
+        entries = results.into_iter().flatten().collect();
+    }
+    stats.syslog_kept = entries.len() as u64;
+
+    for h in &cols.hwerr {
+        stats.structured_kept += 1;
+        entries.push(entry_from_hwerr_parsed(h));
+    }
+    for rec in &cols.netwatch {
         stats.structured_kept += 1;
         entries.push(entry_from_netwatch(rec));
     }
@@ -612,6 +800,89 @@ mod tests {
                 w.later
             );
             assert!(!w.reason.trim().is_empty(), "waiver reasons are required");
+        }
+    }
+
+    /// The naive scan the screens must never disagree with.
+    fn classify_unscreened(table: &PatternTable, message: &str) -> Option<(usize, ErrorCategory)> {
+        table
+            .rules()
+            .iter()
+            .position(|p| p.fragments().iter().all(|f| message.contains(f)))
+            .map(|i| (i, table.rules()[i].category()))
+    }
+
+    #[test]
+    fn screens_never_change_classification() {
+        let table = PatternTable::curated();
+        let mut corpus: Vec<String> = Vec::new();
+        for cat in ErrorCategory::ALL {
+            for variant in 0..16 {
+                corpus.push(templates::error_message(cat, variant));
+            }
+        }
+        for variant in 0..200 {
+            corpus.push(templates::noise_message(variant).1);
+        }
+        // Truncations exercise the min-len screen; they must degrade to
+        // whatever the naive scan says, never to a different rule.
+        corpus.push("Machine Check Exceptio".into());
+        corpus.push("".into());
+        for msg in &corpus {
+            assert_eq!(
+                table.classify_index(msg),
+                classify_unscreened(&table, msg),
+                "screen diverged on {msg:?}"
+            );
+        }
+    }
+
+    proptest::proptest! {
+        /// Arbitrary (including non-ASCII) messages: the screened byte
+        /// path and the naive `str::contains` scan always agree.
+        #[test]
+        fn classify_bytes_matches_str_contains(msg in ".{0,120}") {
+            let table = PatternTable::curated();
+            proptest::prop_assert_eq!(
+                table.classify_index_bytes(msg.as_bytes()),
+                classify_unscreened(&table, &msg)
+            );
+        }
+    }
+
+    #[test]
+    fn filter_columns_matches_record_filter() {
+        let mut logs = crate::input::LogCollection::new();
+        // Enough volume that threads=4 takes the parallel chunked path.
+        for i in 0..2500u32 {
+            logs.syslog.push(format!(
+                "2013-03-28 12:30:{:02} nid{:05} kernel: Machine Check Exception: bank {i}",
+                i % 60,
+                i % 8
+            ));
+            logs.syslog.push(format!(
+                "2013-03-28 12:31:{:02} nid{:05} ntpd: time slew +0.00{i}s",
+                i % 60,
+                i % 8
+            ));
+        }
+        logs.syslog
+            .push("2013-03-28 12:30:00 smw xtnmd: heartbeat fault on c0-0c1s2n3".into());
+        logs.hwerr
+            .push("2013-03-28 12:30:02|c0-0c0s1n0|MEM_UE|FATAL|dimm=1".into());
+        logs.netwatch
+            .push("2013-03-28 12:30:03 netwatch LINK_FAILED coord=(1,2,3) dim=X".into());
+
+        let table = PatternTable::curated();
+        let parsed = crate::parse::parse_collection(&logs);
+        let (want_entries, want_stats) = filter_logs(&parsed, &table);
+
+        let sources = crate::parse::collection_lines(&logs);
+        let cols = crate::parse::parse_columns_threads(&sources, 1);
+        for threads in [1, 4] {
+            let (entries, stats) = filter_columns(&cols, &table, threads);
+            assert_eq!(entries, want_entries, "threads={threads}");
+            assert_eq!(stats, want_stats, "threads={threads}");
         }
     }
 }

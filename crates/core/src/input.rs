@@ -1,15 +1,35 @@
-//! Input: the raw log collection.
+//! Input: the raw log collection and the zero-copy input arena.
 //!
-//! LogDiver reads *lines*, nothing else — either handed over in memory or
-//! loaded from a directory using the conventional file names the collection
-//! tooling produces (`messages.log`, `hwerr.log`, `apsys.log`,
-//! `torque.log`, `netwatch.log`).
+//! LogDiver reads *lines*, nothing else — either handed over in memory
+//! ([`LogCollection`]), or loaded whole into an owned byte arena
+//! ([`LogArena`]) that the zero-copy parse stage borrows slices from,
+//! using the conventional file names the collection tooling produces
+//! (`messages.log`, `hwerr.log`, `apsys.log`, `torque.log`,
+//! `netwatch.log`).
+//!
+//! The arena loads through the [`Fs`] seam, so the fault-injection
+//! filesystem can drive the batch pipeline exactly like the durable-state
+//! writers. Unlike the line-by-line readers, arena blocks are raw bytes:
+//! encoding damage in one line stays in that line (it is counted and
+//! quarantined by offset) instead of aborting the whole read.
 
 use std::fs::File;
 use std::io::{BufRead, BufReader};
 use std::path::Path;
 
+use logdiver_types::{Fs, RealFs};
+
 use crate::error::LogDiverError;
+
+/// The conventional per-source file names, in canonical source order
+/// (`[syslog, hwerr, alps, torque, netwatch]`).
+pub const SOURCE_FILES: [&str; 5] = [
+    "messages.log",
+    "hwerr.log",
+    "apsys.log",
+    "torque.log",
+    "netwatch.log",
+];
 
 /// Raw log lines, one vector per source.
 #[derive(Debug, Clone, Default)]
@@ -90,6 +110,144 @@ impl LogCollection {
     }
 }
 
+/// Owned byte blocks, one per source — the backing store of the zero-copy
+/// parse stage. Records parsed from an arena borrow their field slices
+/// from these blocks; the arena must therefore outlive the
+/// [`crate::parse::ParsedColumns`] built over it (the borrow checker
+/// enforces exactly that).
+#[derive(Debug, Clone, Default)]
+pub struct LogArena {
+    blocks: [Vec<u8>; 5],
+}
+
+impl LogArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        LogArena::default()
+    }
+
+    /// Loads every conventional file under `dir` through the production
+    /// filesystem. Missing individual files are allowed; a directory with
+    /// *no* recognizable file is an error.
+    ///
+    /// # Errors
+    ///
+    /// [`LogDiverError::Io`] on read failures, [`LogDiverError::NoInput`]
+    /// when nothing was found.
+    pub fn from_dir(dir: impl AsRef<Path>) -> Result<Self, LogDiverError> {
+        Self::from_dir_fs(&RealFs, dir.as_ref())
+    }
+
+    /// Loads every conventional file under `dir` through an [`Fs`]
+    /// implementation — the seam the disk-fault injection tests drive.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LogArena::from_dir`].
+    pub fn from_dir_fs(fs: &dyn Fs, dir: &Path) -> Result<Self, LogDiverError> {
+        let mut arena = LogArena::default();
+        for (i, name) in SOURCE_FILES.iter().enumerate() {
+            let path = dir.join(name);
+            if !fs.exists(&path) {
+                continue;
+            }
+            arena.blocks[i] = fs.read(&path).map_err(|source| LogDiverError::Io {
+                path: path.display().to_string(),
+                source,
+            })?;
+        }
+        if arena.is_empty() {
+            return Err(LogDiverError::NoInput {
+                path: dir.display().to_string(),
+            });
+        }
+        Ok(arena)
+    }
+
+    /// Builds an arena from an in-memory collection by joining each
+    /// source's lines with `\n` — for tests and callers that already hold
+    /// a [`LogCollection`] but want the arena code path.
+    pub fn from_collection(logs: &LogCollection) -> Self {
+        let join = |lines: &[String]| {
+            let mut block = Vec::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
+            for line in lines {
+                block.extend_from_slice(line.as_bytes());
+                block.push(b'\n');
+            }
+            block
+        };
+        LogArena {
+            blocks: [
+                join(&logs.syslog),
+                join(&logs.hwerr),
+                join(&logs.alps),
+                join(&logs.torque),
+                join(&logs.netwatch),
+            ],
+        }
+    }
+
+    /// The raw byte block for source `i` (canonical source order).
+    pub fn block(&self, i: usize) -> &[u8] {
+        &self.blocks[i]
+    }
+
+    /// Iterates source `i`'s lines as `(byte_offset, line)` pairs.
+    pub fn lines(&self, i: usize) -> ByteLines<'_> {
+        ByteLines {
+            block: &self.blocks[i],
+            pos: 0,
+        }
+    }
+
+    /// Total bytes across all blocks.
+    pub fn total_bytes(&self) -> usize {
+        self.blocks.iter().map(Vec::len).sum()
+    }
+
+    /// True when every block is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(Vec::is_empty)
+    }
+}
+
+/// An iterator over the lines of a byte block, yielding each line's byte
+/// offset alongside its contents.
+///
+/// Line splitting matches [`BufRead::lines`] exactly: lines end at `\n`,
+/// a single trailing `\r` is stripped only when the `\n` was there to cut
+/// (so a lone `\r` at end-of-file is kept), and a trailing newline does
+/// not produce a final empty line.
+#[derive(Debug, Clone)]
+pub struct ByteLines<'a> {
+    block: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Iterator for ByteLines<'a> {
+    type Item = (u64, &'a [u8]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos >= self.block.len() {
+            return None;
+        }
+        let start = self.pos;
+        let rest = &self.block[start..];
+        let line = match craylog::scan::find_byte(rest, b'\n') {
+            Some(nl) => {
+                self.pos = start + nl + 1;
+                let cut = &rest[..nl];
+                cut.strip_suffix(b"\r").unwrap_or(cut)
+            }
+            None => {
+                self.pos = self.block.len();
+                rest
+            }
+        };
+        Some((start as u64, line))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,6 +282,78 @@ mod tests {
             LogCollection::from_dir(&dir),
             Err(LogDiverError::NoInput { .. })
         ));
+        assert!(matches!(
+            LogArena::from_dir(&dir),
+            Err(LogDiverError::NoInput { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// ByteLines must split exactly like `BufRead::lines`: `\r\n` strips
+    /// both, a lone `\r` at EOF survives, and a trailing newline yields no
+    /// empty final line.
+    #[test]
+    fn byte_lines_match_bufread_lines() {
+        let cases: [&[u8]; 7] = [
+            b"a\nb\nc\n",
+            b"a\nb\nc",
+            b"a\r\nb\r\n",
+            b"a\r",
+            b"\n\n",
+            b"",
+            b"one line only",
+        ];
+        for block in cases {
+            let mut arena = LogArena::new();
+            arena.blocks[0] = block.to_vec();
+            let got: Vec<Vec<u8>> = arena.lines(0).map(|(_, l)| l.to_vec()).collect();
+            let want: Vec<Vec<u8>> = BufReader::new(block)
+                .lines()
+                .map(|l| l.unwrap().into_bytes())
+                .collect();
+            assert_eq!(got, want, "block {block:?}");
+        }
+    }
+
+    #[test]
+    fn byte_lines_report_offsets() {
+        let mut arena = LogArena::new();
+        arena.blocks[2] = b"first\nsecond\n".to_vec();
+        let lines: Vec<(u64, &[u8])> = arena.lines(2).collect();
+        assert_eq!(
+            lines,
+            vec![(0, b"first".as_slice()), (6, b"second".as_slice())]
+        );
+        assert_eq!(&arena.block(2)[6..6 + 6], b"second");
+    }
+
+    #[test]
+    fn arena_from_collection_round_trips_lines() {
+        let mut logs = LogCollection::new();
+        logs.syslog.push("line one".into());
+        logs.syslog.push("line two".into());
+        logs.torque.push("t".into());
+        let arena = LogArena::from_collection(&logs);
+        let syslog: Vec<&[u8]> = arena.lines(0).map(|(_, l)| l).collect();
+        assert_eq!(syslog, vec![b"line one".as_slice(), b"line two".as_slice()]);
+        assert_eq!(arena.lines(3).count(), 1);
+        assert_eq!(arena.lines(1).count(), 0);
+        assert!(!arena.is_empty());
+        assert_eq!(arena.total_bytes(), 18 + 2);
+    }
+
+    #[test]
+    fn arena_from_dir_loads_via_fs_seam() {
+        let dir = std::env::temp_dir().join(format!("logdiver-arena-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("apsys.log"), b"alps line\n").unwrap();
+        // Invalid UTF-8 must load fine: the arena is raw bytes.
+        std::fs::write(dir.join("messages.log"), b"sys \xff line\n").unwrap();
+        let arena = LogArena::from_dir(&dir).unwrap();
+        assert_eq!(arena.lines(2).next().unwrap().1, b"alps line");
+        assert_eq!(arena.lines(0).next().unwrap().1, b"sys \xff line");
+        assert!(arena.lines(3).next().is_none(), "missing files tolerated");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

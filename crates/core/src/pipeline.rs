@@ -1,7 +1,17 @@
 //! The end-to-end pipeline: one call from raw lines to metrics.
+//!
+//! Both front doors ([`LogDiver::analyze`], [`LogDiver::analyze_dir`]) run
+//! the **columnar zero-copy path**: lines are tagged with provenance
+//! ([`crate::parse::TaggedLines`]), parsed into borrowed columns
+//! ([`ParsedColumns`]), and classified before anything materializes
+//! ([`filter_columns`]). The record-based path
+//! ([`LogDiver::analyze_parsed`]) remains for callers that already hold a
+//! [`ParsedLogs`]; both produce identical analyses — a parity the tests
+//! pin.
 
 use serde::{Deserialize, Serialize};
 
+use std::collections::HashMap;
 use std::time::Instant;
 
 use crate::classify::{classify_runs_threads, ClassifiedRun};
@@ -9,12 +19,17 @@ use crate::coalesce::{Coalescer, ErrorEvent};
 use crate::config::LogDiverConfig;
 use crate::coverage::{qualify_runs, CoverageConfig, CoverageGap, CoverageMap};
 use crate::error::LogDiverError;
-use crate::filter::{filter_logs_threads, EntrySource, FilterStats, PatternTable};
-use crate::input::LogCollection;
+use crate::filter::{
+    filter_columns, filter_logs_threads, EntrySource, FilterStats, FilteredEntry, PatternTable,
+};
+use crate::input::{LogArena, LogCollection};
 use crate::matcher::MatchIndex;
 use crate::metrics::{compute, MetricSet};
-use crate::parse::{parse_collection_threads, parse_dir_threads, ParseCounts, ParsedLogs};
-use crate::workload::{reconstruct, WorkloadStats};
+use crate::parse::{
+    arena_lines, collection_lines, parse_columns_threads, ParseCounts, ParsedColumns, ParsedLogs,
+    QuarantinedLine,
+};
+use crate::workload::{reconstruct, reconstruct_records, AppRun, JobInfo, WorkloadStats};
 
 /// Per-stage accounting (experiment T5: pipeline effectiveness).
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -167,19 +182,23 @@ impl LogDiver {
     pub fn analyze_timed(&self, logs: &LogCollection) -> (Analysis, StageTimings) {
         let started = stage_clock();
         let parse_started = stage_clock();
-        let parsed = parse_collection_threads(logs, self.threads);
+        let sources = collection_lines(logs);
+        let cols = parse_columns_threads(&sources, self.threads);
         let parse_secs = parse_started.elapsed().as_secs_f64();
-        self.finish_timed(parsed, parse_secs, started)
+        self.finish_columns_timed(&cols, parse_secs, started)
     }
 
-    /// Runs the pipeline on a log directory, parsing each file *streaming*
-    /// (the raw text never lives in memory — the mode a full 518-day
-    /// analysis runs in).
+    /// Runs the pipeline on a log directory by loading the conventional
+    /// files into a [`LogArena`] and parsing zero-copy over it.
+    ///
+    /// Unlike the retired line-by-line reader, a line that is not valid
+    /// UTF-8 is *counted and quarantined*, not a fatal I/O error — the
+    /// whole block is raw bytes until a parser proves each line's fields.
     ///
     /// # Errors
     ///
     /// Propagates I/O and empty-directory errors from
-    /// [`crate::parse::parse_dir`].
+    /// [`LogArena::from_dir`].
     pub fn analyze_dir(&self, dir: impl AsRef<std::path::Path>) -> Result<Analysis, LogDiverError> {
         Ok(self.analyze_dir_timed(dir)?.0)
     }
@@ -194,16 +213,82 @@ impl LogDiver {
         &self,
         dir: impl AsRef<std::path::Path>,
     ) -> Result<(Analysis, StageTimings), LogDiverError> {
+        let arena = LogArena::from_dir(dir)?;
+        let (analysis, timings, _) = self.analyze_arena_timed(&arena);
+        Ok((analysis, timings))
+    }
+
+    /// Runs the pipeline over a loaded arena, also returning every
+    /// rejected line's provenance — the offsets `--quarantine-out` slices
+    /// back out of the arena (no rejected text is copied anywhere on this
+    /// path).
+    pub fn analyze_arena_timed(
+        &self,
+        arena: &LogArena,
+    ) -> (Analysis, StageTimings, Vec<QuarantinedLine>) {
         let started = stage_clock();
         let parse_started = stage_clock();
-        let parsed = parse_dir_threads(dir, self.threads)?;
+        let sources = arena_lines(arena);
+        let mut cols = parse_columns_threads(&sources, self.threads);
         let parse_secs = parse_started.elapsed().as_secs_f64();
-        Ok(self.finish_timed(parsed, parse_secs, started))
+        let quarantine = std::mem::take(&mut cols.quarantine);
+        let (analysis, timings) = self.finish_columns_timed(&cols, parse_secs, started);
+        (analysis, timings, quarantine)
     }
 
     /// Runs the pipeline stages downstream of parsing.
     pub fn analyze_parsed(&self, parsed: ParsedLogs) -> Analysis {
         self.finish_timed(parsed, 0.0, stage_clock()).0
+    }
+
+    /// The columnar back half: filter-before-materialize, then the shared
+    /// tail. Field-for-field equivalent to [`LogDiver::finish_timed`] on
+    /// the corresponding [`ParsedLogs`].
+    fn finish_columns_timed(
+        &self,
+        cols: &ParsedColumns<'_>,
+        parse_secs: f64,
+        started: Instant,
+    ) -> (Analysis, StageTimings) {
+        let mut timings = StageTimings {
+            parse_secs,
+            ..StageTimings::default()
+        };
+
+        let stage = stage_clock();
+        let (entries, filter_stats) = filter_columns(cols, &self.table, self.threads);
+        timings.filter_secs = stage.elapsed().as_secs_f64();
+
+        // Coverage watches every parsed record — kept *and* discarded:
+        // operational chatter is what proves a source alive.
+        let stage = stage_clock();
+        let mut coverage = CoverageMap::new(CoverageConfig::default());
+        for &ts in &cols.syslog.times {
+            coverage.observe(EntrySource::Syslog, ts);
+        }
+        for h in &cols.hwerr {
+            coverage.observe(EntrySource::HwErr, h.timestamp);
+        }
+        for rec in &cols.netwatch {
+            coverage.observe(EntrySource::Netwatch, rec.timestamp);
+        }
+        timings.coverage_secs = stage.elapsed().as_secs_f64();
+
+        let stage = stage_clock();
+        let (runs, jobs, workload_stats) = reconstruct_records(&cols.alps, &cols.torque);
+        timings.reconstruct_secs = stage.elapsed().as_secs_f64();
+
+        self.conclude(
+            timings,
+            started,
+            cols.counts,
+            entries,
+            filter_stats,
+            coverage,
+            runs,
+            jobs,
+            workload_stats,
+        )
     }
 
     fn finish_timed(
@@ -237,6 +322,38 @@ impl LogDiver {
         timings.coverage_secs = stage.elapsed().as_secs_f64();
 
         let stage = stage_clock();
+        let (runs, jobs, workload_stats) = reconstruct(&parsed);
+        timings.reconstruct_secs = stage.elapsed().as_secs_f64();
+
+        self.conclude(
+            timings,
+            started,
+            parsed.counts,
+            entries,
+            filter_stats,
+            coverage,
+            runs,
+            jobs,
+            workload_stats,
+        )
+    }
+
+    /// The shared pipeline tail — coalesce, classify, qualify, metrics —
+    /// identical for the columnar and record paths.
+    #[allow(clippy::too_many_arguments)]
+    fn conclude(
+        &self,
+        mut timings: StageTimings,
+        started: Instant,
+        counts: [ParseCounts; 5],
+        entries: Vec<FilteredEntry>,
+        filter_stats: FilterStats,
+        coverage: CoverageMap,
+        runs: Vec<AppRun>,
+        jobs: HashMap<u64, JobInfo>,
+        workload_stats: WorkloadStats,
+    ) -> (Analysis, StageTimings) {
+        let stage = stage_clock();
         let mut coalescer = Coalescer::new(self.config.coalesce_gap);
         for e in &entries {
             coalescer.push(e);
@@ -245,13 +362,9 @@ impl LogDiver {
         let events = coalescer.finish();
         timings.coalesce_secs = stage.elapsed().as_secs_f64();
 
-        let stage = stage_clock();
-        let (runs, jobs, workload_stats) = reconstruct(&parsed);
-        timings.reconstruct_secs = stage.elapsed().as_secs_f64();
-
         let lethal_events = events.iter().filter(|e| e.is_lethal()).count() as u64;
         let stats = PipelineStats {
-            parse: parsed.counts,
+            parse: counts,
             filter: filter_stats,
             workload: workload_stats,
             entries: entries.len() as u64,
@@ -443,6 +556,43 @@ mod tests {
             ExitClass::SystemFailure(FailureCause::Undetermined)
         );
         assert_eq!(by_apid(2).confidence, AttributionConfidence::Full);
+    }
+
+    /// The columnar front door and the record-based compat path must
+    /// produce identical analyses — entries, events, metrics, stats, the
+    /// lot — on the same input, for any thread count.
+    #[test]
+    fn columnar_and_record_paths_agree() {
+        let mut logs = scenario();
+        logs.syslog.push("¡corrupted±line···".to_string());
+        logs.syslog.push(String::new());
+        for threads in [1, 3] {
+            let diver = LogDiver::new().with_threads(threads);
+            let columnar = diver.analyze(&logs);
+            let parsed = crate::parse::parse_collection_threads(&logs, threads);
+            let record = diver.analyze_parsed(parsed);
+            assert_eq!(columnar.runs, record.runs, "threads={threads}");
+            assert_eq!(columnar.events, record.events);
+            assert_eq!(columnar.metrics, record.metrics);
+            assert_eq!(columnar.stats, record.stats);
+            assert_eq!(columnar.coverage, record.coverage);
+        }
+    }
+
+    /// The arena door agrees with the collection door and surfaces
+    /// rejected-line provenance.
+    #[test]
+    fn arena_path_agrees_and_reports_quarantine() {
+        let mut logs = scenario();
+        logs.syslog.push("¡corrupted±line···".to_string());
+        let diver = LogDiver::new();
+        let want = diver.analyze(&logs);
+        let arena = crate::input::LogArena::from_collection(&logs);
+        let (got, _, quarantine) = diver.analyze_arena_timed(&arena);
+        assert_eq!(got.runs, want.runs);
+        assert_eq!(got.stats, want.stats);
+        assert_eq!(quarantine.len(), 1);
+        assert_eq!(quarantine[0].source, 0);
     }
 
     #[test]

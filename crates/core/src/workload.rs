@@ -299,11 +299,20 @@ pub struct ReconstructorState {
 
 /// Reconstructs runs and job context from parsed logs.
 pub fn reconstruct(parsed: &ParsedLogs) -> (Vec<AppRun>, HashMap<u64, JobInfo>, WorkloadStats) {
+    reconstruct_records(&parsed.alps, &parsed.torque)
+}
+
+/// Reconstructs runs and job context from the record slices directly —
+/// the entry point the columnar pipeline uses (it has no [`ParsedLogs`]).
+pub fn reconstruct_records(
+    alps: &[craylog::alps::AlpsRecord],
+    torque: &[craylog::torque::TorqueRecord],
+) -> (Vec<AppRun>, HashMap<u64, JobInfo>, WorkloadStats) {
     let mut reconstructor = RunReconstructor::new();
-    for rec in &parsed.alps {
+    for rec in alps {
         reconstructor.push_alps(rec);
     }
-    for rec in &parsed.torque {
+    for rec in torque {
         reconstructor.push_torque(rec);
     }
     reconstructor.finish()

@@ -9,14 +9,20 @@
 //! 2013-03-28 16:30:00 apsys EXIT apid=1000321 code=0 signal=none node_failed=no runtime=14400
 //! 2013-03-28 12:29:59 apsys LAUNCHERR apid=1000322 reason=placement timeout
 //! ```
+//!
+//! Parsing is byte-level ([`AlpsRecord::parse_bytes`]): fields are located
+//! with [`crate::scan`] helpers and decoded from exact subslices; the only
+//! per-record allocations are the ones the owning record itself demands
+//! (the placed [`NodeSet`] and a LAUNCHERR reason string).
 
 use std::fmt;
 
 use logdiver_types::{AppId, ExitStatus, JobId, NodeSet, NodeType, Sym, Timestamp, UserId};
 use serde::{Deserialize, Serialize};
 
-use crate::error::CraylogError;
-use crate::nodelist::{format_nodelist, parse_nodelist};
+use crate::error::{CraylogError, CraylogFault};
+use crate::nodelist::{format_nodelist, parse_nodelist_bytes};
+use crate::scan::{field_value, parse_int, split_once_byte, split_once_seq};
 
 /// Application placement record, written at launch.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -95,67 +101,57 @@ impl AlpsRecord {
         }
     }
 
-    /// Parses one `apsys` line.
+    /// Parses one `apsys` line from raw bytes — the zero-copy path.
     ///
     /// # Errors
     ///
-    /// Returns [`CraylogError`] when the line is not a well-formed PLACED,
-    /// EXIT or LAUNCHERR record.
-    pub fn parse(line: &str) -> Result<Self, CraylogError> {
-        let err = |reason: &'static str| CraylogError::new("alps", reason, line);
+    /// Returns an allocation-free [`CraylogFault`] when the line is not a
+    /// well-formed PLACED, EXIT or LAUNCHERR record.
+    pub fn parse_bytes(line: &[u8]) -> Result<Self, CraylogFault> {
+        let err = |reason: &'static str| CraylogFault::new("alps", reason);
         if line.len() < 20 {
             return Err(err("line shorter than a timestamp"));
         }
-        let (ts_str, rest) = line
-            .split_at_checked(19)
-            .ok_or_else(|| err("timestamp spans a non-ASCII boundary"))?;
-        let timestamp: Timestamp = ts_str.parse().map_err(|_| err("bad timestamp"))?;
+        let (ts, rest) = line.split_at(19);
+        let timestamp = Timestamp::parse_bytes(ts).ok_or_else(|| err("bad timestamp"))?;
         let rest = rest
-            .strip_prefix(" apsys ")
+            .strip_prefix(b" apsys ")
             .ok_or_else(|| err("missing apsys tag"))?;
-        let (verb, fields_str) = rest.split_once(' ').ok_or_else(|| err("missing verb"))?;
+        let (verb, fields) = split_once_byte(rest, b' ').ok_or_else(|| err("missing verb"))?;
 
         // key=value fields; values never contain spaces except `reason`,
         // which is always last.
-        let get = |key: &str| -> Option<&str> {
-            let pat = format!("{key}=");
-            fields_str
-                .split(' ')
-                .find_map(|f| f.strip_prefix(pat.as_str()))
-        };
+        let get = |key: &[u8]| field_value(fields, key);
 
         match verb {
-            "PLACED" => {
+            b"PLACED" => {
                 let apid = AppId::new(
-                    get("apid")
-                        .ok_or_else(|| err("missing apid"))?
-                        .parse()
-                        .map_err(|_| err("bad apid"))?,
+                    parse_int(get(b"apid").ok_or_else(|| err("missing apid"))?)
+                        .ok_or_else(|| err("bad apid"))?,
                 );
-                let job_str = get("batch").ok_or_else(|| err("missing batch"))?;
-                let job_num = job_str
-                    .strip_suffix(".bw")
-                    .ok_or_else(|| err("bad batch id"))?
-                    .parse()
-                    .map_err(|_| err("bad batch id"))?;
-                let user_str = get("user").ok_or_else(|| err("missing user"))?;
+                let job_num = get(b"batch")
+                    .ok_or_else(|| err("missing batch"))?
+                    .strip_suffix(b".bw")
+                    .and_then(parse_int)
+                    .ok_or_else(|| err("bad batch id"))?;
                 let user = UserId::new(
-                    user_str
-                        .strip_prefix('u')
-                        .ok_or_else(|| err("bad user"))?
-                        .parse()
-                        .map_err(|_| err("bad user"))?,
+                    get(b"user")
+                        .ok_or_else(|| err("missing user"))?
+                        .strip_prefix(b"u")
+                        .and_then(parse_int)
+                        .ok_or_else(|| err("bad user"))?,
                 );
-                let command = Sym::intern(get("cmd").ok_or_else(|| err("missing cmd"))?);
-                let node_type =
-                    NodeType::parse_label(get("type").ok_or_else(|| err("missing type"))?)
-                        .ok_or_else(|| err("bad node type"))?;
-                let width: u32 = get("width")
-                    .ok_or_else(|| err("missing width"))?
-                    .parse()
-                    .map_err(|_| err("bad width"))?;
-                let nodes = parse_nodelist(get("nodelist").ok_or_else(|| err("missing nodelist"))?)
-                    .map_err(|e| CraylogError::new("alps", e.reason().to_string(), line))?;
+                let command = Sym::resolve_bytes(get(b"cmd").ok_or_else(|| err("missing cmd"))?)
+                    .ok_or_else(|| err("bad cmd"))?;
+                let node_type = get(b"type")
+                    .ok_or_else(|| err("missing type"))
+                    .map(|t| std::str::from_utf8(t).ok().and_then(NodeType::parse_label))?
+                    .ok_or_else(|| err("bad node type"))?;
+                let width: u32 = parse_int(get(b"width").ok_or_else(|| err("missing width"))?)
+                    .ok_or_else(|| err("bad width"))?;
+                let nodes =
+                    parse_nodelist_bytes(get(b"nodelist").ok_or_else(|| err("missing nodelist"))?)
+                        .map_err(|f| CraylogFault::new("alps", f.reason()))?;
                 if nodes.len() as u32 != width {
                     return Err(err("width disagrees with nodelist"));
                 }
@@ -170,31 +166,26 @@ impl AlpsRecord {
                     nodes,
                 }))
             }
-            "EXIT" => {
+            b"EXIT" => {
                 let apid = AppId::new(
-                    get("apid")
-                        .ok_or_else(|| err("missing apid"))?
-                        .parse()
-                        .map_err(|_| err("bad apid"))?,
+                    parse_int(get(b"apid").ok_or_else(|| err("missing apid"))?)
+                        .ok_or_else(|| err("bad apid"))?,
                 );
-                let code: i32 = get("code")
-                    .ok_or_else(|| err("missing code"))?
-                    .parse()
-                    .map_err(|_| err("bad code"))?;
-                let signal = match get("signal").ok_or_else(|| err("missing signal"))? {
-                    "none" => None,
-                    s => Some(s.parse().map_err(|_| err("bad signal"))?),
+                let code: i32 = parse_int(get(b"code").ok_or_else(|| err("missing code"))?)
+                    .ok_or_else(|| err("bad code"))?;
+                let signal = match get(b"signal").ok_or_else(|| err("missing signal"))? {
+                    b"none" => None,
+                    s => Some(parse_int(s).ok_or_else(|| err("bad signal"))?),
                 };
                 let node_failed =
-                    match get("node_failed").ok_or_else(|| err("missing node_failed"))? {
-                        "yes" => true,
-                        "no" => false,
+                    match get(b"node_failed").ok_or_else(|| err("missing node_failed"))? {
+                        b"yes" => true,
+                        b"no" => false,
                         _ => return Err(err("bad node_failed")),
                     };
-                let runtime_secs: i64 = get("runtime")
-                    .ok_or_else(|| err("missing runtime"))?
-                    .parse()
-                    .map_err(|_| err("bad runtime"))?;
+                let runtime_secs: i64 =
+                    parse_int(get(b"runtime").ok_or_else(|| err("missing runtime"))?)
+                        .ok_or_else(|| err("bad runtime"))?;
                 Ok(AlpsRecord::Exit(AppExitRecord {
                     timestamp,
                     apid,
@@ -206,29 +197,35 @@ impl AlpsRecord {
                     runtime_secs,
                 }))
             }
-            "LAUNCHERR" => {
+            b"LAUNCHERR" => {
                 let apid = AppId::new(
-                    get("apid")
-                        .ok_or_else(|| err("missing apid"))?
-                        .parse()
-                        .map_err(|_| err("bad apid"))?,
+                    parse_int(get(b"apid").ok_or_else(|| err("missing apid"))?)
+                        .ok_or_else(|| err("bad apid"))?,
                 );
-                let reason = fields_str
-                    .split_once("reason=")
-                    .map(|(_, r)| r.to_string())
-                    .ok_or_else(|| err("missing reason"))?;
+                let (_, reason) =
+                    split_once_seq(fields, b"reason=").ok_or_else(|| err("missing reason"))?;
+                let reason = std::str::from_utf8(reason)
+                    .map_err(|_| err("bad reason"))?
+                    // lint: allow(hot-path-alloc) LAUNCHERR is rare by construction; the record owns its reason text
+                    .to_string();
                 Ok(AlpsRecord::LaunchErr(AppLaunchErrRecord {
                     timestamp,
                     apid,
                     reason,
                 }))
             }
-            other => Err(CraylogError::new(
-                "alps",
-                format!("unknown verb {other}"),
-                line,
-            )),
+            _ => Err(err("unknown verb")),
         }
+    }
+
+    /// Parses one `apsys` line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CraylogError`] when the line is not a well-formed PLACED,
+    /// EXIT or LAUNCHERR record.
+    pub fn parse(line: &str) -> Result<Self, CraylogError> {
+        Self::parse_bytes(line.as_bytes()).map_err(|f| f.with_line(line))
     }
 }
 
@@ -249,7 +246,9 @@ impl fmt::Display for AlpsRecord {
             ),
             AlpsRecord::Exit(r) => {
                 let signal = match r.exit.signal {
+                    // lint: allow(hot-path-alloc) Display is the simulator's emit side, not the parse loop
                     Some(s) => s.to_string(),
+                    // lint: allow(hot-path-alloc) Display is the simulator's emit side, not the parse loop
                     None => "none".to_string(),
                 };
                 write!(
@@ -346,6 +345,19 @@ mod tests {
         )
         .is_err());
         assert!(AlpsRecord::parse("2013-03-28 12:30:00 other EXIT apid=1").is_err());
+    }
+
+    #[test]
+    fn byte_parse_matches_str_parse() {
+        let line =
+            "2013-03-28 12:30:00 apsys EXIT apid=1 code=0 signal=none node_failed=no runtime=1";
+        assert_eq!(
+            AlpsRecord::parse_bytes(line.as_bytes()).unwrap(),
+            AlpsRecord::parse(line).unwrap()
+        );
+        let f = AlpsRecord::parse_bytes(b"2013-03-28 12:30:00 apsys EXIT apid=x").unwrap_err();
+        assert_eq!(f.source_name(), "alps");
+        assert_eq!(f.reason(), "bad apid");
     }
 
     #[test]

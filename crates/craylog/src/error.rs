@@ -1,8 +1,64 @@
-//! Error type for log parsing.
+//! Error types for log parsing.
+//!
+//! Two tiers, one per ingest path:
+//!
+//! - [`CraylogFault`] — what the zero-copy byte parsers return: two
+//!   `&'static str`s, `Copy`, no allocation ever. The batch pipeline
+//!   records the *byte offset* of the rejected line alongside it, so
+//!   quarantine output is allocation-free on the happy path and the
+//!   offending bytes are recovered (lossily, if not UTF-8) from the
+//!   retained input only when someone actually asks for them.
+//! - [`CraylogError`] — the public `parse(&str)` error, which clones and
+//!   truncates the offending line for standalone diagnostics. Built from
+//!   a [`CraylogFault`] via [`CraylogFault::with_line`] on the cold path.
 
 use std::borrow::Cow;
 use std::error::Error;
 use std::fmt;
+
+/// A parse rejection from the zero-copy byte parsers: which source the
+/// line claimed to be from and a fixed diagnostic. `Copy`, allocation-free
+/// — rejected lines are identified by position in the input, not by a
+/// cloned copy of their bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CraylogFault {
+    source_name: &'static str,
+    reason: &'static str,
+}
+
+impl CraylogFault {
+    /// Creates a fault.
+    pub const fn new(source_name: &'static str, reason: &'static str) -> Self {
+        CraylogFault {
+            source_name,
+            reason,
+        }
+    }
+
+    /// Which log source the line claimed to be from.
+    pub const fn source_name(self) -> &'static str {
+        self.source_name
+    }
+
+    /// Why the line failed to parse.
+    pub const fn reason(self) -> &'static str {
+        self.reason
+    }
+
+    /// Upgrades to a [`CraylogError`] carrying (a truncated copy of) the
+    /// offending line — the cold diagnostic path used by `parse(&str)`.
+    pub fn with_line(self, line: &str) -> CraylogError {
+        CraylogError::new(self.source_name, self.reason, line)
+    }
+}
+
+impl fmt::Display for CraylogFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad {} record ({})", self.source_name, self.reason)
+    }
+}
+
+impl Error for CraylogFault {}
 
 /// Errors produced while parsing log records.
 ///
@@ -27,6 +83,7 @@ impl CraylogError {
         reason: impl Into<Cow<'static, str>>,
         line: &str,
     ) -> Self {
+        // lint: allow(hot-path-alloc) diagnostic construction is the cold path; the hot path returns CraylogFault
         let mut line = line.to_string();
         if line.len() > 160 {
             line.truncate(160);
@@ -83,5 +140,18 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<CraylogError>();
+        assert_send_sync::<CraylogFault>();
+    }
+
+    #[test]
+    fn fault_upgrades_to_error() {
+        let f = CraylogFault::new("alps", "missing verb");
+        assert_eq!(f.source_name(), "alps");
+        assert_eq!(f.reason(), "missing verb");
+        assert!(f.to_string().contains("missing verb"));
+        let e = f.with_line("2013-03-28 12:30:00 apsys");
+        assert_eq!(e.source_name(), "alps");
+        assert_eq!(e.reason(), "missing verb");
+        assert_eq!(e.line(), "2013-03-28 12:30:00 apsys");
     }
 }

@@ -9,14 +9,96 @@
 //! Unlike syslog, these records carry the machine-room location rather than
 //! a hostname — LogDiver must map locations back to nids through the
 //! topology model, exactly as the real tool resolves Cray location codes.
+//!
+//! [`RawHwErr::parse_bytes`] is the zero-copy hot path: every field except
+//! the free-form detail is decoded in place (the short location/category/
+//! severity tokens are UTF-8-checked as subslices, never copied), and the
+//! detail stays a borrowed slice until [`RawHwErr::materialize`].
 
 use std::fmt;
 
 use bw_topology::Location;
-use logdiver_types::{ErrorCategory, Severity, Timestamp};
+use logdiver_types::{ErrorCategory, LazyTimestamp, Severity, Timestamp};
 use serde::{Deserialize, Serialize};
 
-use crate::error::CraylogError;
+use crate::error::{CraylogError, CraylogFault};
+use crate::scan::split_once_byte;
+
+/// One hardware-error record with the detail field still borrowed from the
+/// input buffer. All structured fields are already decoded.
+#[derive(Debug, Clone, Copy)]
+pub struct RawHwErr<'a> {
+    /// Wall-clock timestamp, decoded lazily.
+    pub timestamp: LazyTimestamp,
+    /// Physical location of the reporting component.
+    pub location: Location,
+    /// Error category token.
+    pub category: ErrorCategory,
+    /// Severity as recorded by the hardware supervisory system.
+    pub severity: Severity,
+    /// Free-form detail bytes, unvalidated UTF-8.
+    pub detail: &'a [u8],
+}
+
+impl<'a> RawHwErr<'a> {
+    /// Parses one record line from raw bytes without allocating.
+    ///
+    /// # Errors
+    ///
+    /// Returns an allocation-free [`CraylogFault`] when a field is missing
+    /// or malformed.
+    pub fn parse_bytes(line: &'a [u8]) -> Result<Self, CraylogFault> {
+        let err = |reason: &'static str| CraylogFault::new("hwerr", reason);
+        // `splitn(5, '|')` shape: four separators, fifth chunk keeps pipes.
+        let (ts, rest) = match split_once_byte(line, b'|') {
+            Some(x) => x,
+            None => (line, &b""[..]),
+        };
+        let timestamp = LazyTimestamp::validate(ts).ok_or_else(|| err("bad timestamp"))?;
+        let (loc, rest) = split_once_byte(rest, b'|').unwrap_or((rest, b""));
+        let location = std::str::from_utf8(loc)
+            .ok()
+            .and_then(Location::parse)
+            .ok_or_else(|| err("bad location code"))?;
+        let (cat, rest) = split_once_byte(rest, b'|').unwrap_or((rest, b""));
+        let category = std::str::from_utf8(cat)
+            .ok()
+            .and_then(ErrorCategory::parse_token)
+            .ok_or_else(|| err("unknown category"))?;
+        let (sev, detail) = split_once_byte(rest, b'|').unwrap_or((rest, b""));
+        let severity = std::str::from_utf8(sev)
+            .ok()
+            .and_then(Severity::parse_label)
+            .ok_or_else(|| err("unknown severity"))?;
+        Ok(RawHwErr {
+            timestamp,
+            location,
+            category,
+            severity,
+            detail,
+        })
+    }
+
+    /// Converts to an owning [`HwErrRecord`], copying the detail field.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CraylogFault`] when the detail is not valid UTF-8
+    /// (impossible for lines parsed from a `&str`).
+    pub fn materialize(&self) -> Result<HwErrRecord, CraylogFault> {
+        let detail = std::str::from_utf8(self.detail)
+            .map_err(|_| CraylogFault::new("hwerr", "detail is not UTF-8"))?
+            // lint: allow(hot-path-alloc) materialization is the explicit exit from the zero-copy representation
+            .to_string();
+        Ok(HwErrRecord {
+            timestamp: self.timestamp.decode(),
+            location: self.location,
+            category: self.category,
+            severity: self.severity,
+            detail,
+        })
+    }
+}
 
 /// One hardware-error-log record.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -56,24 +138,9 @@ impl HwErrRecord {
     ///
     /// Returns [`CraylogError`] when a field is missing or malformed.
     pub fn parse(line: &str) -> Result<Self, CraylogError> {
-        let err = |reason: &'static str| CraylogError::new("hwerr", reason, line);
-        let mut fields = line.splitn(5, '|');
-        let ts = fields.next().ok_or_else(|| err("missing timestamp"))?;
-        let timestamp: Timestamp = ts.parse().map_err(|_| err("bad timestamp"))?;
-        let loc = fields.next().ok_or_else(|| err("missing location"))?;
-        let location = Location::parse(loc).ok_or_else(|| err("bad location code"))?;
-        let cat = fields.next().ok_or_else(|| err("missing category"))?;
-        let category = ErrorCategory::parse_token(cat).ok_or_else(|| err("unknown category"))?;
-        let sev = fields.next().ok_or_else(|| err("missing severity"))?;
-        let severity = Severity::parse_label(sev).ok_or_else(|| err("unknown severity"))?;
-        let detail = fields.next().unwrap_or("").to_string();
-        Ok(HwErrRecord {
-            timestamp,
-            location,
-            category,
-            severity,
-            detail,
-        })
+        RawHwErr::parse_bytes(line.as_bytes())
+            .and_then(|raw| raw.materialize())
+            .map_err(|f| f.with_line(line))
     }
 }
 
@@ -126,6 +193,22 @@ mod tests {
         assert!(HwErrRecord::parse("2013-03-28 12:30:00|c0-0c0s0n0|NOPE|CRIT|x").is_err());
         assert!(HwErrRecord::parse("2013-03-28 12:30:00|c0-0c0s0n0|MCE|LOUD|x").is_err());
         assert!(HwErrRecord::parse("nots|c0-0c0s0n0|MCE|CRIT|x").is_err());
+    }
+
+    #[test]
+    fn raw_parse_borrows_detail() {
+        let line = b"2013-03-28 12:30:00|c0-0c0s0n0|MCE|CRIT|status=a|b";
+        let raw = RawHwErr::parse_bytes(line).unwrap();
+        assert_eq!(raw.detail, b"status=a|b");
+        let rec = raw.materialize().unwrap();
+        assert_eq!(rec.detail, "status=a|b");
+        // Invalid UTF-8 in the detail parses but refuses to materialize.
+        let torn = b"2013-03-28 12:30:00|c0-0c0s0n0|MCE|CRIT|x\xFF";
+        let raw = RawHwErr::parse_bytes(torn).unwrap();
+        assert_eq!(
+            raw.materialize().unwrap_err().reason(),
+            "detail is not UTF-8"
+        );
     }
 
     #[test]

@@ -19,6 +19,19 @@
 //! phrasings per [`logdiver_types::ErrorCategory`] — LogDiver's filter keeps
 //! its own independent pattern table, as the real tool had to.
 //!
+//! ## The zero-copy hot path
+//!
+//! Each parser's real implementation is a byte-level `parse_bytes` over
+//! `&[u8]` (borrowed from an mmap-style input arena), built on the [`scan`]
+//! field scanners: no `String` is allocated per record, timestamps decode
+//! lazily ([`logdiver_types::LazyTimestamp`]), and rejections are the
+//! allocation-free [`CraylogFault`]. High-volume sources additionally keep
+//! their free-text fields borrowed ([`syslog::RawSyslog`],
+//! [`hwerr::RawHwErr`]) until an explicit `materialize()`. The `parse(&str)`
+//! entry points are thin wrappers, byte-for-byte equivalent to the retired
+//! allocating parsers — an equivalence pinned by differential proptests
+//! against the frozen copies in the hidden `reference` module.
+//!
 //! ## Example
 //!
 //! ```
@@ -41,9 +54,11 @@ pub mod error;
 pub mod hwerr;
 pub mod netwatch;
 pub mod nodelist;
+pub mod reference;
+pub mod scan;
 pub mod syslog;
 pub mod templates;
 pub mod torque;
 
-pub use error::CraylogError;
-pub use nodelist::{format_nodelist, parse_nodelist};
+pub use error::{CraylogError, CraylogFault};
+pub use nodelist::{format_nodelist, parse_nodelist, parse_nodelist_bytes};

@@ -10,6 +10,9 @@
 //! A failed link triggers a machine-wide route recomputation during which
 //! the fabric quiesces; the `REROUTE_*` pair brackets the stall. These are
 //! the events behind the paper's interconnect-related failure bucket.
+//!
+//! Parsing is byte-level ([`NetwatchRecord::parse_bytes`]) and
+//! allocation-free — the record is `Copy`.
 
 use std::fmt;
 
@@ -18,7 +21,8 @@ use bw_topology::TorusCoord;
 use logdiver_types::Timestamp;
 use serde::{Deserialize, Serialize};
 
-use crate::error::CraylogError;
+use crate::error::{CraylogError, CraylogFault};
+use crate::scan::{field_value, parse_int, split_once_byte};
 
 /// Body of a netwatch record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -68,90 +72,79 @@ fn dim_label(d: Dim) -> &'static str {
     }
 }
 
-fn parse_dim(s: &str) -> Option<Dim> {
-    match s {
-        "X" => Some(Dim::X),
-        "Y" => Some(Dim::Y),
-        "Z" => Some(Dim::Z),
+fn parse_dim(b: &[u8]) -> Option<Dim> {
+    match b {
+        b"X" => Some(Dim::X),
+        b"Y" => Some(Dim::Y),
+        b"Z" => Some(Dim::Z),
         _ => None,
     }
 }
 
-fn parse_coord(s: &str) -> Option<TorusCoord> {
-    let inner = s.strip_prefix('(')?.strip_suffix(')')?;
-    let mut it = inner.split(',');
-    let x = it.next()?.parse().ok()?;
-    let y = it.next()?.parse().ok()?;
-    let z = it.next()?.parse().ok()?;
-    if it.next().is_some() {
-        return None;
-    }
-    Some(TorusCoord { x, y, z })
+fn parse_coord(b: &[u8]) -> Option<TorusCoord> {
+    let inner = b.strip_prefix(b"(")?.strip_suffix(b")")?;
+    let (x, rest) = split_once_byte(inner, b',')?;
+    let (y, z) = split_once_byte(rest, b',')?;
+    Some(TorusCoord {
+        x: parse_int(x)?,
+        y: parse_int(y)?,
+        z: parse_int(z)?,
+    })
 }
 
 impl NetwatchRecord {
+    /// Parses one netwatch line from raw bytes — the zero-copy path.
+    ///
+    /// # Errors
+    ///
+    /// Returns an allocation-free [`CraylogFault`] for malformed records.
+    pub fn parse_bytes(line: &[u8]) -> Result<Self, CraylogFault> {
+        let err = |reason: &'static str| CraylogFault::new("netwatch", reason);
+        if line.len() < 20 {
+            return Err(err("line shorter than a timestamp"));
+        }
+        let (ts, rest) = line.split_at(19);
+        let timestamp = Timestamp::parse_bytes(ts).ok_or_else(|| err("bad timestamp"))?;
+        let rest = rest
+            .strip_prefix(b" netwatch ")
+            .ok_or_else(|| err("missing netwatch tag"))?;
+        let (verb, fields) = split_once_byte(rest, b' ').unwrap_or((rest, b""));
+        let get = |key: &[u8]| field_value(fields, key);
+        let event = match verb {
+            b"LINK_FAILED" => NetwatchEvent::LinkFailed {
+                coord: parse_coord(get(b"coord").ok_or_else(|| err("missing coord"))?)
+                    .ok_or_else(|| err("bad coord"))?,
+                dim: parse_dim(get(b"dim").ok_or_else(|| err("missing dim"))?)
+                    .ok_or_else(|| err("bad dim"))?,
+            },
+            b"LANE_DEGRADE" => NetwatchEvent::LaneDegrade {
+                coord: parse_coord(get(b"coord").ok_or_else(|| err("missing coord"))?)
+                    .ok_or_else(|| err("bad coord"))?,
+                dim: parse_dim(get(b"dim").ok_or_else(|| err("missing dim"))?)
+                    .ok_or_else(|| err("bad dim"))?,
+                lanes: parse_int(get(b"lanes").ok_or_else(|| err("missing lanes"))?)
+                    .ok_or_else(|| err("bad lanes"))?,
+            },
+            b"REROUTE_START" => NetwatchEvent::RerouteStart {
+                affected: parse_int(get(b"affected").ok_or_else(|| err("missing affected"))?)
+                    .ok_or_else(|| err("bad affected"))?,
+            },
+            b"REROUTE_DONE" => NetwatchEvent::RerouteDone {
+                duration_secs: parse_int(get(b"duration").ok_or_else(|| err("missing duration"))?)
+                    .ok_or_else(|| err("bad duration"))?,
+            },
+            _ => return Err(err("unknown verb")),
+        };
+        Ok(NetwatchRecord { timestamp, event })
+    }
+
     /// Parses one netwatch line.
     ///
     /// # Errors
     ///
     /// Returns [`CraylogError`] for malformed records.
     pub fn parse(line: &str) -> Result<Self, CraylogError> {
-        let err = |reason: &'static str| CraylogError::new("netwatch", reason, line);
-        if line.len() < 20 {
-            return Err(err("line shorter than a timestamp"));
-        }
-        let (ts_str, rest) = line
-            .split_at_checked(19)
-            .ok_or_else(|| err("timestamp spans a non-ASCII boundary"))?;
-        let timestamp: Timestamp = ts_str.parse().map_err(|_| err("bad timestamp"))?;
-        let rest = rest
-            .strip_prefix(" netwatch ")
-            .ok_or_else(|| err("missing netwatch tag"))?;
-        let (verb, fields_str) = rest.split_once(' ').unwrap_or((rest, ""));
-        let get = |key: &str| -> Option<&str> {
-            let pat = format!("{key}=");
-            fields_str
-                .split(' ')
-                .find_map(|f| f.strip_prefix(pat.as_str()))
-        };
-        let event = match verb {
-            "LINK_FAILED" => NetwatchEvent::LinkFailed {
-                coord: parse_coord(get("coord").ok_or_else(|| err("missing coord"))?)
-                    .ok_or_else(|| err("bad coord"))?,
-                dim: parse_dim(get("dim").ok_or_else(|| err("missing dim"))?)
-                    .ok_or_else(|| err("bad dim"))?,
-            },
-            "LANE_DEGRADE" => NetwatchEvent::LaneDegrade {
-                coord: parse_coord(get("coord").ok_or_else(|| err("missing coord"))?)
-                    .ok_or_else(|| err("bad coord"))?,
-                dim: parse_dim(get("dim").ok_or_else(|| err("missing dim"))?)
-                    .ok_or_else(|| err("bad dim"))?,
-                lanes: get("lanes")
-                    .ok_or_else(|| err("missing lanes"))?
-                    .parse()
-                    .map_err(|_| err("bad lanes"))?,
-            },
-            "REROUTE_START" => NetwatchEvent::RerouteStart {
-                affected: get("affected")
-                    .ok_or_else(|| err("missing affected"))?
-                    .parse()
-                    .map_err(|_| err("bad affected"))?,
-            },
-            "REROUTE_DONE" => NetwatchEvent::RerouteDone {
-                duration_secs: get("duration")
-                    .ok_or_else(|| err("missing duration"))?
-                    .parse()
-                    .map_err(|_| err("bad duration"))?,
-            },
-            other => {
-                return Err(CraylogError::new(
-                    "netwatch",
-                    format!("unknown verb {other}"),
-                    line,
-                ))
-            }
-        };
-        Ok(NetwatchRecord { timestamp, event })
+        Self::parse_bytes(line.as_bytes()).map_err(|f| f.with_line(line))
     }
 }
 
@@ -244,6 +237,15 @@ mod tests {
         assert!(
             NetwatchRecord::parse("2013-03-28 12:30:00 other LINK_FAILED coord=(1,2,3) dim=X")
                 .is_err()
+        );
+    }
+
+    #[test]
+    fn byte_parse_matches_str_parse() {
+        let line = "2013-03-28 12:30:12 netwatch REROUTE_START affected=41472";
+        assert_eq!(
+            NetwatchRecord::parse_bytes(line.as_bytes()).unwrap(),
+            NetwatchRecord::parse(line).unwrap()
         );
     }
 

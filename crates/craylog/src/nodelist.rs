@@ -4,37 +4,48 @@
 //! this module parses that notation back into a [`NodeSet`]. Formatting is
 //! provided by [`NodeSet`]'s `Display`; [`format_nodelist`] is a thin alias
 //! so both directions live next to each other.
+//!
+//! [`parse_nodelist_bytes`] is the zero-copy hot path (returns an
+//! allocation-free [`CraylogFault`]); [`parse_nodelist`] wraps it for
+//! standalone `&str` callers that want a line-carrying diagnostic.
 
 use logdiver_types::{NodeId, NodeSet};
 
-use crate::error::CraylogError;
+use crate::error::{CraylogError, CraylogFault};
+use crate::scan::{parse_int, split_once_byte};
 
 /// Formats a node set in `nid[...]` notation (same as `set.to_string()`).
 pub fn format_nodelist(set: &NodeSet) -> String {
+    // lint: allow(hot-path-alloc) emit-side formatter for the simulator and Display impls
     set.to_string()
 }
 
-/// Parses `nid[100-227,300]` notation.
+/// Parses `nid[100-227,300]` notation from raw bytes — the zero-copy path.
 ///
 /// # Errors
 ///
-/// Returns [`CraylogError`] on malformed syntax, inverted ranges, or
-/// numbers that do not fit in a nid.
-pub fn parse_nodelist(s: &str) -> Result<NodeSet, CraylogError> {
-    let err = |reason: &'static str| CraylogError::new("nodelist", reason, s);
-    let inner = s
-        .strip_prefix("nid[")
-        .and_then(|r| r.strip_suffix(']'))
+/// Returns an allocation-free [`CraylogFault`] on malformed syntax,
+/// inverted ranges, or numbers that do not fit in a nid.
+pub fn parse_nodelist_bytes(b: &[u8]) -> Result<NodeSet, CraylogFault> {
+    let err = |reason: &'static str| CraylogFault::new("nodelist", reason);
+    let inner = b
+        .strip_prefix(b"nid[")
+        .and_then(|r| r.strip_suffix(b"]"))
         .ok_or_else(|| err("missing nid[...] wrapper"))?;
     let mut set = NodeSet::new();
     if inner.is_empty() {
         return Ok(set);
     }
-    for part in inner.split(',') {
-        match part.split_once('-') {
+    let mut rest = inner;
+    loop {
+        let (part, more) = match split_once_byte(rest, b',') {
+            Some((p, m)) => (p, Some(m)),
+            None => (rest, None),
+        };
+        match split_once_byte(part, b'-') {
             Some((a, b)) => {
-                let first: u32 = a.parse().map_err(|_| err("bad range start"))?;
-                let last: u32 = b.parse().map_err(|_| err("bad range end"))?;
+                let first: u32 = parse_int(a).ok_or_else(|| err("bad range start"))?;
+                let last: u32 = parse_int(b).ok_or_else(|| err("bad range end"))?;
                 if first > last {
                     return Err(err("inverted range"));
                 }
@@ -46,12 +57,26 @@ pub fn parse_nodelist(s: &str) -> Result<NodeSet, CraylogError> {
                 }
             }
             None => {
-                let nid: u32 = part.parse().map_err(|_| err("bad nid"))?;
+                let nid: u32 = parse_int(part).ok_or_else(|| err("bad nid"))?;
                 set.insert(NodeId::new(nid));
             }
         }
+        match more {
+            Some(m) => rest = m,
+            None => break,
+        }
     }
     Ok(set)
+}
+
+/// Parses `nid[100-227,300]` notation.
+///
+/// # Errors
+///
+/// Returns [`CraylogError`] on malformed syntax, inverted ranges, or
+/// numbers that do not fit in a nid.
+pub fn parse_nodelist(s: &str) -> Result<NodeSet, CraylogError> {
+    parse_nodelist_bytes(s.as_bytes()).map_err(|f| f.with_line(s))
 }
 
 #[cfg(test)]
@@ -86,6 +111,17 @@ mod tests {
         assert!(parse_nodelist("nid[a-b]").is_err());
         assert!(parse_nodelist("nid[1,,2]").is_err());
         assert!(parse_nodelist("nid[0-99999999]").is_err());
+    }
+
+    #[test]
+    fn fault_reasons_match_wrapper() {
+        let f = parse_nodelist_bytes(b"nid[3-1]").unwrap_err();
+        assert_eq!(f.source_name(), "nodelist");
+        assert_eq!(f.reason(), "inverted range");
+        assert_eq!(
+            parse_nodelist("nid[3-1]").unwrap_err().reason(),
+            "inverted range"
+        );
     }
 
     proptest! {

@@ -1,0 +1,183 @@
+//! Byte-level field scanning for the zero-copy parsers.
+//!
+//! Every parser in this crate works over `&[u8]` slices of the raw input:
+//! fields are located with [`find_byte`]-style scans (word-at-a-time SWAR,
+//! no `split`/`chars()` iterators), numbers are decoded from the exact
+//! subslice, and nothing is ever copied into an intermediate `String`.
+//! The helpers here are deliberately *extensionally equal* to the `str`
+//! idioms they replace (`split_once`, `strip_prefix`, `split(' ')` +
+//! `strip_prefix`), which is what lets the differential proptests pin the
+//! zero-copy parsers byte-for-byte against the retired allocating ones.
+//!
+//! All separators used by the log formats are ASCII, and ASCII bytes never
+//! occur inside a multi-byte UTF-8 sequence — so scanning bytes finds
+//! exactly the boundaries the old `str` code found, on valid UTF-8 input,
+//! while also behaving sensibly (reject, never panic) on torn or invalid
+//! bytes that the `str` path could not even represent.
+
+/// Finds the first occurrence of `needle`, scanning a word at a time.
+///
+/// The SWAR "has-zero-byte" trick: XOR each 8-byte word with the needle
+/// splatted across all lanes, then detect a zero lane arithmetically.
+/// Equivalent to `memchr` for our input sizes without taking a dependency.
+#[inline]
+pub fn find_byte(haystack: &[u8], needle: u8) -> Option<usize> {
+    const LO: u64 = 0x0101_0101_0101_0101;
+    const HI: u64 = 0x8080_8080_8080_8080;
+    let splat = LO * needle as u64;
+    let mut i = 0;
+    let len = haystack.len();
+    while i + 8 <= len {
+        // lint: allow(no-panic) in-bounds by the loop condition
+        let word = u64::from_le_bytes(haystack[i..i + 8].try_into().expect("8-byte chunk"));
+        let x = word ^ splat;
+        let found = x.wrapping_sub(LO) & !x & HI;
+        if found != 0 {
+            return Some(i + (found.trailing_zeros() / 8) as usize);
+        }
+        i += 8;
+    }
+    haystack[i..]
+        .iter()
+        .position(|&b| b == needle)
+        .map(|p| p + i)
+}
+
+/// `str::split_once(sep)` over bytes: the slices before and after the
+/// first occurrence of `sep`.
+#[inline]
+pub fn split_once_byte(b: &[u8], sep: u8) -> Option<(&[u8], &[u8])> {
+    let i = find_byte(b, sep)?;
+    Some((&b[..i], &b[i + 1..]))
+}
+
+/// Finds the first occurrence of a multi-byte `needle` (used for the
+/// `": "` tag separator and the `reason=` scan). First-byte skip loop —
+/// needles here are 2..=7 bytes, haystacks are single log lines.
+#[inline]
+pub fn find_seq(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    let n = needle.len();
+    if n == 0 {
+        return Some(0);
+    }
+    let mut from = 0;
+    while from + n <= haystack.len() {
+        let i = find_byte(&haystack[from..], needle[0])? + from;
+        if i + n > haystack.len() {
+            return None;
+        }
+        if &haystack[i..i + n] == needle {
+            return Some(i);
+        }
+        from = i + 1;
+    }
+    None
+}
+
+/// `str::split_once(sep)` for a multi-byte separator.
+#[inline]
+pub fn split_once_seq<'a>(b: &'a [u8], sep: &[u8]) -> Option<(&'a [u8], &'a [u8])> {
+    let i = find_seq(b, sep)?;
+    Some((&b[..i], &b[i + sep.len()..]))
+}
+
+/// Parses an integer from the exact byte subslice with `std`'s grammar.
+///
+/// Goes through `str::parse` on the validated slice (no allocation) so
+/// the accepted forms — leading `+`, leading zeros, `-` for signed types
+/// — match the retired allocating parsers exactly.
+#[inline]
+pub fn parse_int<T: std::str::FromStr>(b: &[u8]) -> Option<T> {
+    // Integers are pure ASCII; a fast reject here keeps torn multi-byte
+    // input off the UTF-8 validation path.
+    if !b.is_ascii() {
+        return None;
+    }
+    std::str::from_utf8(b).ok()?.parse().ok()
+}
+
+/// The value of the first space-separated `key=value` field, exactly as
+/// `fields.split(' ').find_map(|f| f.strip_prefix("<key>="))` found it:
+/// fields split at every single space (consecutive spaces yield empty
+/// fields), first match wins, empty values allowed.
+#[inline]
+pub fn field_value<'a>(fields: &'a [u8], key: &[u8]) -> Option<&'a [u8]> {
+    let mut rest = fields;
+    loop {
+        let (field, more) = match find_byte(rest, b' ') {
+            Some(i) => (&rest[..i], Some(&rest[i + 1..])),
+            None => (rest, None),
+        };
+        if field.len() > key.len() && &field[..key.len()] == key && field[key.len()] == b'=' {
+            return Some(&field[key.len() + 1..]);
+        }
+        match more {
+            Some(m) => rest = m,
+            None => return None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn find_byte_matches_position() {
+        assert_eq!(find_byte(b"", b'x'), None);
+        assert_eq!(find_byte(b"x", b'x'), Some(0));
+        assert_eq!(find_byte(b"abcdefghij", b'j'), Some(9));
+        assert_eq!(find_byte(b"abcdefghij", b'a'), Some(0));
+        assert_eq!(find_byte(b"abcdefghij", b'z'), None);
+        // Crossing the 8-byte word boundary.
+        assert_eq!(find_byte(b"0123456789abcdef ", b' '), Some(16));
+    }
+
+    #[test]
+    fn field_value_first_match_and_empty_fields() {
+        let f = b"apid=1 batch=2.bw  user= apid=9";
+        assert_eq!(field_value(f, b"apid"), Some(&b"1"[..]));
+        assert_eq!(field_value(f, b"user"), Some(&b""[..]));
+        assert_eq!(field_value(f, b"batch"), Some(&b"2.bw"[..]));
+        assert_eq!(field_value(f, b"missing"), None);
+        // A key that only appears as a substring of another key is not a hit.
+        assert_eq!(field_value(b"xapid=1", b"apid"), None);
+    }
+
+    proptest! {
+        #[test]
+        fn find_byte_equals_iter_position(hay in proptest::collection::vec(any::<u8>(), 0..64),
+                                          needle in any::<u8>()) {
+            prop_assert_eq!(
+                find_byte(&hay, needle),
+                hay.iter().position(|&b| b == needle)
+            );
+        }
+
+        #[test]
+        fn split_once_seq_equals_str_split_once(s in "[ -~]{0,40}", sep in "[:= ]{1,2}") {
+            let via_str = s.split_once(sep.as_str())
+                .map(|(a, b)| (a.as_bytes().to_vec(), b.as_bytes().to_vec()));
+            let via_bytes = split_once_seq(s.as_bytes(), sep.as_bytes())
+                .map(|(a, b)| (a.to_vec(), b.to_vec()));
+            prop_assert_eq!(via_bytes, via_str);
+        }
+
+        #[test]
+        fn field_value_equals_split_strip(fields in "[a-z=0-9 ]{0,60}", key in "[a-z]{1,6}") {
+            let pat = format!("{key}=");
+            let via_str = fields.split(' ')
+                .find_map(|f| f.strip_prefix(pat.as_str()))
+                .map(|v| v.as_bytes().to_vec());
+            let via_bytes = field_value(fields.as_bytes(), key.as_bytes()).map(<[u8]>::to_vec);
+            prop_assert_eq!(via_bytes, via_str);
+        }
+
+        #[test]
+        fn parse_int_equals_str_parse(s in "[-+0-9a ]{0,12}") {
+            prop_assert_eq!(parse_int::<u32>(s.as_bytes()), s.parse::<u32>().ok());
+            prop_assert_eq!(parse_int::<i64>(s.as_bytes()), s.parse::<i64>().ok());
+        }
+    }
+}

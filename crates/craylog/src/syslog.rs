@@ -4,13 +4,100 @@
 //! the five sources (free-text messages), and by far the highest-volume one:
 //! the overwhelming majority of lines are operational chatter that
 //! LogDiver's filtering stage must discard.
+//!
+//! Because almost every line is discarded, the hot path is
+//! [`RawSyslog::parse_bytes`]: borrowed slices into the input buffer, a
+//! [`LazyTimestamp`] that defers civil-date arithmetic until the record is
+//! known to survive filtering, and no `String` per record. The owning
+//! [`SyslogRecord`] (and its `parse(&str)` entry point) remains for
+//! callers that need a standalone value.
 
 use std::fmt;
 
-use logdiver_types::{NodeId, Sym, Timestamp};
+use logdiver_types::{LazyTimestamp, NodeId, Sym, Timestamp};
 use serde::{Deserialize, Serialize};
 
-use crate::error::CraylogError;
+use crate::error::{CraylogError, CraylogFault};
+use crate::scan::{find_byte, split_once_byte, split_once_seq};
+
+/// One syslog line as borrowed slices of the raw input — the zero-copy
+/// parse result. Field boundaries are byte-exact matches of what
+/// [`SyslogRecord::parse`] would produce on the same (UTF-8) input.
+#[derive(Debug, Clone, Copy)]
+pub struct RawSyslog<'a> {
+    /// Wall-clock timestamp, decoded lazily.
+    pub timestamp: LazyTimestamp,
+    /// Reporting host bytes (`nid04008`, `smw`, …), unvalidated UTF-8.
+    pub host: &'a [u8],
+    /// Subsystem tag bytes (`kernel`, `lustre`, …), unvalidated UTF-8.
+    pub tag: &'a [u8],
+    /// Free-text message bytes.
+    pub message: &'a [u8],
+}
+
+impl<'a> RawSyslog<'a> {
+    /// Parses one syslog line from raw bytes without allocating.
+    ///
+    /// # Errors
+    ///
+    /// Returns an allocation-free [`CraylogFault`] when the line does not
+    /// follow `<ts> <host> <tag>: <message>`.
+    pub fn parse_bytes(line: &'a [u8]) -> Result<Self, CraylogFault> {
+        let err = |reason: &'static str| CraylogFault::new("syslog", reason);
+        if line.len() < 21 {
+            return Err(err("line shorter than a timestamp"));
+        }
+        let (ts, rest) = line.split_at(19);
+        let timestamp = LazyTimestamp::validate(ts).ok_or_else(|| err("bad timestamp"))?;
+        let rest = rest
+            .strip_prefix(b" ")
+            .ok_or_else(|| err("missing space after timestamp"))?;
+        let (host, rest) = split_once_byte(rest, b' ').ok_or_else(|| err("missing host field"))?;
+        if host.is_empty() {
+            return Err(err("empty host"));
+        }
+        let (tag, message) =
+            split_once_seq(rest, b": ").ok_or_else(|| err("missing tag separator"))?;
+        if tag.is_empty() || find_byte(tag, b' ').is_some() {
+            return Err(err("bad tag"));
+        }
+        Ok(RawSyslog {
+            timestamp,
+            host,
+            tag,
+            message,
+        })
+    }
+
+    /// The reporting node, when the host is a nid hostname.
+    pub fn node(&self) -> Option<NodeId> {
+        NodeId::parse_hostname_bytes(self.host)
+    }
+
+    /// Converts to an owning [`SyslogRecord`] — interning host and tag,
+    /// copying the message. The cold path: only records that survive
+    /// filtering (or standalone `parse(&str)` callers) pay for it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CraylogFault`] when a field is not valid UTF-8 (which
+    /// cannot happen for lines parsed from a `&str`).
+    pub fn materialize(&self) -> Result<SyslogRecord, CraylogFault> {
+        let err = |reason: &'static str| CraylogFault::new("syslog", reason);
+        let host = Sym::resolve_bytes(self.host).ok_or_else(|| err("host is not UTF-8"))?;
+        let tag = Sym::resolve_bytes(self.tag).ok_or_else(|| err("tag is not UTF-8"))?;
+        let message = std::str::from_utf8(self.message)
+            .map_err(|_| err("message is not UTF-8"))?
+            // lint: allow(hot-path-alloc) materialization is the explicit exit from the zero-copy representation
+            .to_string();
+        Ok(SyslogRecord {
+            timestamp: self.timestamp.decode(),
+            host,
+            tag,
+            message,
+        })
+    }
+}
 
 /// One syslog line.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -49,35 +136,9 @@ impl SyslogRecord {
     /// Returns [`CraylogError`] when the line does not follow
     /// `<ts> <host> <tag>: <message>`.
     pub fn parse(line: &str) -> Result<Self, CraylogError> {
-        let err = |reason: &'static str| CraylogError::new("syslog", reason, line);
-        if line.len() < 21 {
-            return Err(err("line shorter than a timestamp"));
-        }
-        let (ts_str, rest) = line
-            .split_at_checked(19)
-            .ok_or_else(|| err("timestamp spans a non-ASCII boundary"))?;
-        let timestamp: Timestamp = ts_str.parse().map_err(|_| err("bad timestamp"))?;
-        let rest = rest
-            .strip_prefix(' ')
-            .ok_or_else(|| err("missing space after timestamp"))?;
-        let (host, rest) = rest
-            .split_once(' ')
-            .ok_or_else(|| err("missing host field"))?;
-        if host.is_empty() {
-            return Err(err("empty host"));
-        }
-        let (tag, message) = rest
-            .split_once(": ")
-            .ok_or_else(|| err("missing tag separator"))?;
-        if tag.is_empty() || tag.contains(' ') {
-            return Err(err("bad tag"));
-        }
-        Ok(SyslogRecord {
-            timestamp,
-            host: Sym::intern(host),
-            tag: Sym::intern(tag),
-            message: message.to_string(),
-        })
+        RawSyslog::parse_bytes(line.as_bytes())
+            .and_then(|raw| raw.materialize())
+            .map_err(|f| f.with_line(line))
     }
 }
 
@@ -134,6 +195,34 @@ mod tests {
         assert!(SyslogRecord::parse("2013-03-28 12:30:00 host").is_err());
         assert!(SyslogRecord::parse("2013-03-28 12:30:00 host no-separator").is_err());
         assert!(SyslogRecord::parse("not-a-date 12:30:00 h k: m").is_err());
+    }
+
+    #[test]
+    fn raw_parse_borrows_and_defers() {
+        let line = b"2013-03-28 12:30:00 nid04008 kernel: MCE bank 4";
+        let raw = RawSyslog::parse_bytes(line).unwrap();
+        assert_eq!(raw.host, b"nid04008");
+        assert_eq!(raw.tag, b"kernel");
+        assert_eq!(raw.message, b"MCE bank 4");
+        assert_eq!(raw.node(), Some(NodeId::new(4008)));
+        let rec = raw.materialize().unwrap();
+        assert_eq!(
+            rec,
+            SyslogRecord::parse("2013-03-28 12:30:00 nid04008 kernel: MCE bank 4").unwrap()
+        );
+    }
+
+    #[test]
+    fn raw_parse_handles_invalid_utf8() {
+        // A torn multi-byte sequence in the message still parses (the
+        // boundaries are ASCII); materialization is where UTF-8 is enforced.
+        let line = b"2013-03-28 12:30:00 smw kernel: torn \xE2\x98";
+        let raw = RawSyslog::parse_bytes(line).unwrap();
+        assert!(raw.materialize().is_err());
+        // Invalid bytes in the host reject at materialization too.
+        let line = b"2013-03-28 12:30:00 \xFF\xFE kernel: m";
+        let raw = RawSyslog::parse_bytes(line).unwrap();
+        assert_eq!(raw.materialize().unwrap_err().reason(), "host is not UTF-8");
     }
 
     #[test]

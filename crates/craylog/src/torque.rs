@@ -9,13 +9,17 @@
 //!
 //! Jobs wrap application runs: one job may `aprun` many applications. The
 //! study joins jobs (Torque) with applications (ALPS) through the batch id.
+//!
+//! Parsing is byte-level ([`TorqueRecord::parse_bytes`]) and allocation-free
+//! — every field of the record is a scalar or an interned symbol.
 
 use std::fmt;
 
 use logdiver_types::{JobId, Sym, Timestamp, UserId};
 use serde::{Deserialize, Serialize};
 
-use crate::error::CraylogError;
+use crate::error::{CraylogError, CraylogFault};
+use crate::scan::{field_value, parse_int, split_once_byte};
 
 /// Kind of accounting event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -111,68 +115,66 @@ impl TorqueRecord {
         }
     }
 
-    /// Parses one accounting line.
+    /// Parses one accounting line from raw bytes — the zero-copy path.
     ///
     /// # Errors
     ///
-    /// Returns [`CraylogError`] for malformed records.
-    pub fn parse(line: &str) -> Result<Self, CraylogError> {
-        let err = |reason: &'static str| CraylogError::new("torque", reason, line);
-        let mut parts = line.splitn(4, ';');
-        let ts = parts.next().ok_or_else(|| err("missing timestamp"))?;
-        let timestamp: Timestamp = ts.parse().map_err(|_| err("bad timestamp"))?;
-        let kind = match parts.next().ok_or_else(|| err("missing kind"))? {
-            "S" => TorqueEventKind::Start,
-            "E" => TorqueEventKind::End,
+    /// Returns an allocation-free [`CraylogFault`] for malformed records.
+    pub fn parse_bytes(line: &[u8]) -> Result<Self, CraylogFault> {
+        let err = |reason: &'static str| CraylogFault::new("torque", reason);
+        // `splitn(4, ';')` shape: three separators, fourth chunk keeps `;`.
+        let (ts, rest) = match split_once_byte(line, b';') {
+            Some((a, b)) => (a, Some(b)),
+            None => (line, None),
+        };
+        let timestamp = Timestamp::parse_bytes(ts).ok_or_else(|| err("bad timestamp"))?;
+        let rest = rest.ok_or_else(|| err("missing kind"))?;
+        let (kind_b, rest) = match split_once_byte(rest, b';') {
+            Some((a, b)) => (a, Some(b)),
+            None => (rest, None),
+        };
+        let kind = match kind_b {
+            b"S" => TorqueEventKind::Start,
+            b"E" => TorqueEventKind::End,
             _ => return Err(err("unknown kind")),
         };
-        let job_str = parts.next().ok_or_else(|| err("missing job id"))?;
-        let job = JobId::new(
-            job_str
-                .strip_suffix(".bw")
-                .ok_or_else(|| err("bad job id"))?
-                .parse()
-                .map_err(|_| err("bad job id"))?,
-        );
-        let fields_str = parts.next().ok_or_else(|| err("missing fields"))?;
-        let get = |key: &str| -> Option<&str> {
-            let pat = format!("{key}=");
-            fields_str
-                .split(' ')
-                .find_map(|f| f.strip_prefix(pat.as_str()))
+        let rest = rest.ok_or_else(|| err("missing job id"))?;
+        let (job_b, fields) = match split_once_byte(rest, b';') {
+            Some((a, b)) => (a, Some(b)),
+            None => (rest, None),
         };
-        let user_str = get("user").ok_or_else(|| err("missing user"))?;
-        let user = UserId::new(
-            user_str
-                .strip_prefix('u')
-                .ok_or_else(|| err("bad user"))?
-                .parse()
-                .map_err(|_| err("bad user"))?,
+        let job = JobId::new(
+            job_b
+                .strip_suffix(b".bw")
+                .and_then(parse_int)
+                .ok_or_else(|| err("bad job id"))?,
         );
-        let queue = Sym::intern(get("queue").ok_or_else(|| err("missing queue"))?);
-        let nodes: u32 = get("nodes")
-            .ok_or_else(|| err("missing nodes"))?
-            .parse()
-            .map_err(|_| err("bad nodes"))?;
-        let walltime_secs: i64 = get("walltime")
-            .ok_or_else(|| err("missing walltime"))?
-            .parse()
-            .map_err(|_| err("bad walltime"))?;
+        let fields = fields.ok_or_else(|| err("missing fields"))?;
+        let get = |key: &[u8]| field_value(fields, key);
+        let user = UserId::new(
+            get(b"user")
+                .ok_or_else(|| err("missing user"))?
+                .strip_prefix(b"u")
+                .and_then(parse_int)
+                .ok_or_else(|| err("bad user"))?,
+        );
+        let queue = Sym::resolve_bytes(get(b"queue").ok_or_else(|| err("missing queue"))?)
+            .ok_or_else(|| err("bad queue"))?;
+        let nodes: u32 = parse_int(get(b"nodes").ok_or_else(|| err("missing nodes"))?)
+            .ok_or_else(|| err("bad nodes"))?;
+        let walltime_secs: i64 =
+            parse_int(get(b"walltime").ok_or_else(|| err("missing walltime"))?)
+                .ok_or_else(|| err("bad walltime"))?;
         let (start, end, exit_status) = match kind {
             TorqueEventKind::Start => (None, None, None),
             TorqueEventKind::End => {
-                let s: i64 = get("start")
-                    .ok_or_else(|| err("missing start"))?
-                    .parse()
-                    .map_err(|_| err("bad start"))?;
-                let e: i64 = get("end")
-                    .ok_or_else(|| err("missing end"))?
-                    .parse()
-                    .map_err(|_| err("bad end"))?;
-                let x: i32 = get("exit_status")
-                    .ok_or_else(|| err("missing exit_status"))?
-                    .parse()
-                    .map_err(|_| err("bad exit_status"))?;
+                let s: i64 = parse_int(get(b"start").ok_or_else(|| err("missing start"))?)
+                    .ok_or_else(|| err("bad start"))?;
+                let e: i64 = parse_int(get(b"end").ok_or_else(|| err("missing end"))?)
+                    .ok_or_else(|| err("bad end"))?;
+                let x: i32 =
+                    parse_int(get(b"exit_status").ok_or_else(|| err("missing exit_status"))?)
+                        .ok_or_else(|| err("bad exit_status"))?;
                 (
                     Some(Timestamp::from_unix(s)),
                     Some(Timestamp::from_unix(e)),
@@ -192,6 +194,15 @@ impl TorqueRecord {
             end,
             exit_status,
         })
+    }
+
+    /// Parses one accounting line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CraylogError`] for malformed records.
+    pub fn parse(line: &str) -> Result<Self, CraylogError> {
+        Self::parse_bytes(line.as_bytes()).map_err(|f| f.with_line(line))
     }
 }
 
@@ -277,6 +288,18 @@ mod tests {
                 .is_err(),
             "end record without start/end/exit fields"
         );
+    }
+
+    #[test]
+    fn byte_parse_matches_str_parse() {
+        let line =
+            "2013-03-28 12:00:00;S;98765.bw;user=u0421 queue=normal nodes=4096 walltime=86400";
+        assert_eq!(
+            TorqueRecord::parse_bytes(line.as_bytes()).unwrap(),
+            TorqueRecord::parse(line).unwrap()
+        );
+        let f = TorqueRecord::parse_bytes(b"2013-03-28 12:00:00;Q;1.bw;x").unwrap_err();
+        assert_eq!(f.reason(), "unknown kind");
     }
 
     proptest! {

@@ -20,6 +20,15 @@
 //! - **`checkpoint-state-clock`** — the *types* `Instant`/`SystemTime`
 //!   named at all in checkpointable-state modules; state that survives a
 //!   resume must be wall-clock-free by construction.
+//! - **`hot-path-alloc`** — `.to_string()`/`.to_owned()`/`String::from`/
+//!   `format!` in the zero-copy hot path (all of `crates/craylog/src` plus
+//!   `core::{parse, filter}`). The multi-M-lines/sec throughput contract
+//!   rests on the per-record loop never allocating; an allocation that
+//!   sneaks in shows up as a silent 2-3× regression, not a test failure.
+//!   Cold paths (error display, `materialize()`, quarantine rendering)
+//!   carry per-line allows; whole modules that exist to build strings
+//!   (templates, anonymize, the frozen reference parsers) carry module
+//!   allowances.
 //!
 //! Escapes: `// lint: allow(<rule>) <reason>` on the finding's line or the
 //! line above. The reason is mandatory and the rule id must exist —
@@ -76,6 +85,15 @@ fn no_panic_scope(path: &str) -> bool {
     path.starts_with("crates/stream/src/")
         || path.starts_with("crates/serve/src/")
         || path.starts_with("crates/client/src/")
+}
+
+/// Is `path` in the zero-copy allocation guard? All of craylog (the
+/// parsers) plus the two core stages that run per record before
+/// materialization.
+fn hot_path_alloc_scope(path: &str) -> bool {
+    path.starts_with("crates/craylog/src/")
+        || path == "crates/core/src/parse.rs"
+        || path == "crates/core/src/filter.rs"
 }
 
 /// Files allowed to read the wall clock / spawn threads freely: the CLI
@@ -164,6 +182,7 @@ pub fn lint_source(path: &str, text: &str) -> Vec<Finding> {
     let guard_wall_clock = !exempt_clock && !waived("wall-clock");
     let guard_spawn = !exempt_clock && !waived("thread-spawn");
     let guard_state = CHECKPOINT_STATE.contains(&path) && !waived("checkpoint-state-clock");
+    let guard_alloc = hot_path_alloc_scope(path) && !waived("hot-path-alloc");
 
     for (idx, line) in src.lines.iter().enumerate() {
         let ln = idx as u32 + 1;
@@ -232,6 +251,51 @@ pub fn lint_source(path: &str, text: &str) -> Vec<Finding> {
                         "std::thread::spawn outside the executor".to_string(),
                         "route parallelism through core::exec::par_map (or annotate an audited \
                          engine site with `// lint: allow(thread-spawn) <determinism argument>`)",
+                        &mut out,
+                    );
+                }
+            }
+        }
+
+        if guard_alloc && !src.allowed("hot-path-alloc", ln) {
+            for method in ["to_string", "to_owned"] {
+                for at in lexer::ident_positions(line, method) {
+                    if line[..at].ends_with('.') {
+                        finding(
+                            path,
+                            ln,
+                            "hot-path-alloc",
+                            format!(".{method}() in the zero-copy hot path"),
+                            "keep the field a borrowed &[u8]/&str (resolve through Sym or \
+                             materialize() off the hot path), or annotate the cold site with \
+                             `// lint: allow(hot-path-alloc) <why this never runs per record>`",
+                            &mut out,
+                        );
+                    }
+                }
+            }
+            for at in lexer::ident_positions(line, "from") {
+                if path_qualifier(line, at) == Some("String") {
+                    finding(
+                        path,
+                        ln,
+                        "hot-path-alloc",
+                        "String::from in the zero-copy hot path".to_string(),
+                        "borrow instead of owning; per-record strings are what the rewrite \
+                         removed",
+                        &mut out,
+                    );
+                }
+            }
+            for at in lexer::ident_positions(line, "format") {
+                if line[at + "format".len()..].starts_with('!') {
+                    finding(
+                        path,
+                        ln,
+                        "hot-path-alloc",
+                        "format! in the zero-copy hot path".to_string(),
+                        "build rejection reasons as &'static str (CraylogFault) and render \
+                         text only at the quarantine/report boundary",
                         &mut out,
                     );
                 }
@@ -440,6 +504,52 @@ mod tests {
         // The same field is fine in a non-state module (wall-clock only
         // fires on ::now()).
         assert!(lint_source("crates/stream/src/config.rs", field).is_empty());
+    }
+
+    #[test]
+    fn hot_path_alloc_is_scoped_and_token_exact() {
+        assert!(hot_path_alloc_scope("crates/craylog/src/syslog.rs"));
+        assert!(hot_path_alloc_scope("crates/core/src/parse.rs"));
+        assert!(hot_path_alloc_scope("crates/core/src/filter.rs"));
+        assert!(!hot_path_alloc_scope("crates/core/src/pipeline.rs"));
+        assert!(!hot_path_alloc_scope("crates/stream/src/engine.rs"));
+
+        for bad in [
+            "fn f(x: u8) -> String { x.to_string() }\n",
+            "fn f(x: &str) -> String { x.to_owned() }\n",
+            "fn f() -> String { String::from(\"x\") }\n",
+            "fn f(x: u8) -> String { format!(\"{x}\") }\n",
+        ] {
+            let got = lint_source("crates/craylog/src/syslog.rs", bad);
+            assert_eq!(got.len(), 1, "{bad}");
+            assert_eq!(got[0].rule, "hot-path-alloc");
+            // Outside the guard the same code is fine.
+            assert!(lint_source("crates/core/src/coalesce.rs", bad).is_empty());
+        }
+
+        // Token-exactness: look-alikes must not trip.
+        for ok in [
+            "fn f(x: &[u8]) -> Vec<u8> { x.to_vec() }\n",
+            "fn f() { let _ = Vec::from([1u8]); }\n",
+            "fn f(x: u8) { let _ = x.to_string_lossy_not_really(); }\n",
+            "// to_string() discussed in a comment; \"format!\" in a string\n",
+        ] {
+            assert!(
+                lint_source("crates/craylog/src/syslog.rs", ok).is_empty(),
+                "{ok}"
+            );
+        }
+
+        // An annotated cold site is suppressed.
+        let allowed = "// lint: allow(hot-path-alloc) materialize() is the explicit cold exit\n\
+                       fn f(x: &str) -> String { x.to_owned() }\n";
+        assert!(lint_source("crates/craylog/src/syslog.rs", allowed).is_empty());
+
+        // Module allowances cover the emit-side modules wholesale.
+        let bad = "fn f(x: u8) -> String { format!(\"{x}\") }\n";
+        assert!(lint_source("crates/craylog/src/templates.rs", bad).is_empty());
+        assert!(lint_source("crates/craylog/src/reference.rs", bad).is_empty());
+        assert!(lint_source("crates/craylog/src/anonymize.rs", bad).is_empty());
     }
 
     #[test]

@@ -149,22 +149,52 @@ impl Tenant {
     /// Parses and applies every queued line, advances the watermarks, and
     /// refreshes the cached engine cost. Returns how many lines were
     /// applied. Runs inside the work-stealing executor.
+    ///
+    /// Consecutive same-source lines go through
+    /// [`InlineEngine::push_chunk`] as one run, so a replaying client's
+    /// burst pays one watermark advance per run instead of one per
+    /// `ADVANCE_EVERY` lines.
     pub fn pump(&mut self) -> usize {
         let mut applied = 0;
+        let mut run: Vec<String> = Vec::new();
         while let Some((source, line)) = self.queue.pop_front() {
             self.queue_bytes = self.queue_bytes.saturating_sub(line.len());
-            match self.engine.push(source, &line) {
-                Ok(()) => applied += 1,
-                Err(_) => {
-                    // CircuitOpen: the breaker tripped on this source.
-                    // Probe once (half-open) and retry so a recovered
-                    // source resumes; if still rejected, the rejection is
-                    // counted by the engine and the line is dropped —
-                    // the same contract the threaded engine gives its
-                    // callers.
-                    self.engine.probe(source);
-                    if self.engine.push(source, &line).is_ok() {
-                        applied += 1;
+            run.clear();
+            run.push(line);
+            while self.queue.front().is_some_and(|(s, _)| *s == source) {
+                let Some((_, next)) = self.queue.pop_front() else {
+                    break;
+                };
+                self.queue_bytes = self.queue_bytes.saturating_sub(next.len());
+                run.push(next);
+            }
+            let mut at = 0usize;
+            while at < run.len() {
+                let before = self.engine.pushed(source);
+                match self
+                    .engine
+                    .push_chunk(source, run[at..].iter().map(String::as_str))
+                {
+                    Ok(n) => {
+                        applied += n;
+                        break;
+                    }
+                    Err(_) => {
+                        // CircuitOpen: the breaker tripped mid-run (the
+                        // applied prefix stays applied). Probe once
+                        // (half-open) and retry the rejected line so a
+                        // recovered source resumes; if still rejected, the
+                        // rejection is counted by the engine and the line
+                        // is dropped — the same contract the threaded
+                        // engine gives its callers.
+                        let done = (self.engine.pushed(source) - before) as usize;
+                        applied += done;
+                        at += done;
+                        self.engine.probe(source);
+                        if self.engine.push(source, &run[at]).is_ok() {
+                            applied += 1;
+                        }
+                        at += 1;
                     }
                 }
             }

@@ -2,30 +2,38 @@
 //! coordinator that owns the [`StreamCore`].
 //!
 //! ```text
-//!  push(source, line)
-//!    │  bounded input channel per shard (backpressure)
+//!  push(source, line) / push_batch(source, lines)
+//!    │  bounded input channel per shard, carrying CHUNKS of lines
 //!    ▼
 //!  parse workers — syslog is shardable; workers also run the pattern
 //!    │             table, so filtering parallelizes with parsing
-//!    ▼  bounded result channel
+//!    ▼  bounded result channel (one message per parsed chunk)
 //!  coordinator — re-sequences per source, advances watermarks, feeds the
 //!    │           incremental coalescer/reconstructor/classifier
 //!    ▼
 //!  StreamCore behind parking_lot::Mutex — snapshot() reads it live,
 //!                                         drain() consumes it
 //! ```
+//!
+//! Lines travel in chunks of up to [`PUSH_CHUNK`] so the per-line cost is
+//! a vector push, not a channel rendezvous: one send per chunk, one
+//! coordinator lock per bundle of chunks, one watermark advance per lock
+//! hold. Per-line ordering is untouched — every line carries its per-source
+//! sequence number and [`StreamCore::accept`] re-sequences exactly as
+//! before, so the analysis is byte-identical for any chunking.
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use craylog::alps::AlpsRecord;
-use craylog::hwerr::HwErrRecord;
+use craylog::hwerr::RawHwErr;
 use craylog::netwatch::NetwatchRecord;
-use craylog::syslog::SyslogRecord;
+use craylog::syslog::RawSyslog;
 use craylog::torque::TorqueRecord;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use logdiver::filter::{
-    entry_from_hwerr, entry_from_netwatch, entry_from_syslog, FilterStats, PatternTable,
+    entry_from_netwatch, entry_from_syslog_bytes, EntrySource, FilterStats, FilteredEntry,
+    PatternTable,
 };
 use logdiver::metrics::{compute, MetricSet};
 use logdiver::parse::ParseCounts;
@@ -99,11 +107,19 @@ pub struct StreamSnapshot {
     pub spill_dropped: u64,
 }
 
+/// How many lines ride in one channel message. Bounds per-chunk memory
+/// while amortizing channel and lock traffic ~256× relative to the old
+/// line-at-a-time protocol.
+const PUSH_CHUNK: usize = 256;
+
+/// One chunk of raw lines on an input channel, each tagged with its
+/// per-source sequence number.
+type LineChunk = Vec<(u64, String)>;
+
 enum CoordMsg {
-    Line {
+    Chunk {
         source: Source,
-        seq: u64,
-        body: Body,
+        items: Vec<(u64, Body)>,
     },
     ShardDone(Source),
 }
@@ -117,7 +133,7 @@ enum CoordMsg {
 /// lines, for any chunking of the input (within the lateness allowance).
 #[derive(Debug)]
 pub struct StreamEngine {
-    inputs: Vec<Vec<Sender<(u64, String)>>>,
+    inputs: Vec<Vec<Sender<LineChunk>>>,
     seqs: [u64; 5],
     lateness: SimDuration,
     core: Arc<Mutex<StreamCore>>,
@@ -199,7 +215,7 @@ impl StreamEngine {
             };
             let mut senders = Vec::with_capacity(shards);
             for _ in 0..shards {
-                let (in_tx, in_rx) = bounded::<(u64, String)>(capacity);
+                let (in_tx, in_rx) = bounded::<LineChunk>(capacity);
                 let tx = out_tx.clone();
                 let table = Arc::clone(&table);
                 // lint: allow(thread-spawn) the parse-worker pool IS the engine's concurrency; merges are seq-stamped, so output stays deterministic (DESIGN §10)
@@ -241,8 +257,7 @@ impl StreamEngine {
     /// breaker is open.
     pub fn push(&mut self, source: Source, line: impl Into<String>) -> Result<(), StreamError> {
         let i = source.index();
-        let senders = &self.inputs[i];
-        if senders.is_empty() {
+        if self.inputs[i].is_empty() {
             return Err(StreamError::SourceClosed(source));
         }
         if cell_is_open(&self.cells, i) {
@@ -250,27 +265,66 @@ impl StreamEngine {
             return Err(StreamError::CircuitOpen(source));
         }
         let seq = self.seqs[i];
-        let shard = (seq % senders.len() as u64) as usize;
-        senders[shard]
-            .send((seq, line.into()))
-            .map_err(|_| StreamError::SourceClosed(source))?;
         self.seqs[i] = seq + 1;
-        Ok(())
+        self.send_chunk(source, vec![(seq, line.into())])
     }
 
-    /// Feeds many lines to one source.
+    /// Feeds many lines to one source, bundling them into chunks of
+    /// [`PUSH_CHUNK`] so high-volume replay pays one channel send per
+    /// chunk instead of per line. The circuit breaker is still consulted
+    /// per line (a relaxed atomic load); on a trip, everything accepted so
+    /// far is flushed before the error returns.
     ///
     /// # Errors
     ///
     /// [`StreamError::SourceClosed`] after [`StreamEngine::close`] on this
-    /// source.
+    /// source; [`StreamError::CircuitOpen`] when the breaker trips
+    /// mid-batch (remaining lines are not consumed).
     pub fn push_batch<L: Into<String>>(
         &mut self,
         source: Source,
         lines: impl IntoIterator<Item = L>,
     ) -> Result<(), StreamError> {
+        let i = source.index();
+        if self.inputs[i].is_empty() {
+            return Err(StreamError::SourceClosed(source));
+        }
+        let mut chunk: LineChunk = Vec::with_capacity(PUSH_CHUNK);
         for line in lines {
-            self.push(source, line)?;
+            if cell_is_open(&self.cells, i) {
+                if !chunk.is_empty() {
+                    self.send_chunk(source, chunk)?;
+                }
+                self.core.lock().note_rejected(source);
+                return Err(StreamError::CircuitOpen(source));
+            }
+            chunk.push((self.seqs[i], line.into()));
+            self.seqs[i] += 1;
+            if chunk.len() >= PUSH_CHUNK {
+                self.send_chunk(source, std::mem::take(&mut chunk))?;
+                chunk.reserve(PUSH_CHUNK);
+            }
+        }
+        if chunk.is_empty() {
+            Ok(())
+        } else {
+            self.send_chunk(source, chunk)
+        }
+    }
+
+    /// Routes one chunk to a shard. Chunks rotate over shards at chunk
+    /// granularity (first seq / chunk size), keeping runs of consecutive
+    /// lines on one worker for cache locality while still spreading load.
+    /// The caller advances `seqs` optimistically; a failed send (worker
+    /// gone) rolls the counter back so quiescence tracking stays exact.
+    fn send_chunk(&mut self, source: Source, chunk: LineChunk) -> Result<(), StreamError> {
+        let i = source.index();
+        let senders = &self.inputs[i];
+        let shard = ((chunk[0].0 / PUSH_CHUNK as u64) % senders.len() as u64) as usize;
+        let n = chunk.len() as u64;
+        if senders[shard].send(chunk).is_err() {
+            self.seqs[i] -= n;
+            return Err(StreamError::SourceClosed(source));
         }
         Ok(())
     }
@@ -398,12 +452,23 @@ impl StreamEngine {
 fn worker(
     source: Source,
     table: &PatternTable,
-    input: &Receiver<(u64, String)>,
+    input: &Receiver<LineChunk>,
     out: &Sender<CoordMsg>,
 ) {
-    for (seq, line) in input.iter() {
-        let body = parse_line(source, &line, table);
-        if out.send(CoordMsg::Line { source, seq, body }).is_err() {
+    for chunk in input.iter() {
+        let items: Vec<(u64, Body)> = chunk
+            .into_iter()
+            .map(|(seq, line)| {
+                let body = match parse_line(source, &line, table) {
+                    Some(parsed) => Body::Ok(parsed),
+                    // The owned line moves straight into quarantine — the
+                    // only per-line allocation left is the push-side one.
+                    None => Body::Bad(line),
+                };
+                (seq, body)
+            })
+            .collect();
+        if out.send(CoordMsg::Chunk { source, items }).is_err() {
             return;
         }
     }
@@ -412,28 +477,38 @@ fn worker(
 
 /// Parses one raw line with the batch pipeline's rules: blank lines are
 /// corrupt; entry sources run the filter right here so the pattern table's
-/// substring scans parallelize across shards.
-pub(crate) fn parse_line(source: Source, line: &str, table: &PatternTable) -> Body {
-    if line.trim().is_empty() {
-        return Body::Bad(line.to_string());
+/// substring scans parallelize across shards. Runs entirely on the
+/// zero-copy byte parsers — `None` means the caller still owns the raw
+/// line and should quarantine it.
+pub(crate) fn parse_line(source: Source, line: &str, table: &PatternTable) -> Option<Parsed> {
+    let bytes = line.as_bytes();
+    // Same decision as the old `line.trim().is_empty()`: non-ASCII
+    // whitespace falls through to the parser, which rejects it anyway.
+    if bytes.iter().all(u8::is_ascii_whitespace) {
+        return None;
     }
-    let parsed = match source {
-        Source::Syslog => SyslogRecord::parse(line).ok().map(|rec| Parsed::Syslog {
-            timestamp: rec.timestamp,
-            entry: entry_from_syslog(&rec, table),
+    match source {
+        Source::Syslog => RawSyslog::parse_bytes(bytes).ok().map(|raw| {
+            let timestamp = raw.timestamp.decode();
+            Parsed::Syslog {
+                timestamp,
+                entry: entry_from_syslog_bytes(timestamp, raw.host, raw.message, table),
+            }
         }),
-        Source::HwErr => HwErrRecord::parse(line)
-            .ok()
-            .map(|rec| Parsed::HwErr(entry_from_hwerr(&rec))),
-        Source::Alps => AlpsRecord::parse(line).ok().map(Parsed::Alps),
-        Source::Torque => TorqueRecord::parse(line).ok().map(Parsed::Torque),
-        Source::Netwatch => NetwatchRecord::parse(line)
+        Source::HwErr => RawHwErr::parse_bytes(bytes).ok().map(|raw| {
+            Parsed::HwErr(FilteredEntry {
+                timestamp: raw.timestamp.decode(),
+                category: raw.category,
+                severity: raw.severity,
+                node: Some(raw.location.to_nid()),
+                source: EntrySource::HwErr,
+            })
+        }),
+        Source::Alps => AlpsRecord::parse_bytes(bytes).ok().map(Parsed::Alps),
+        Source::Torque => TorqueRecord::parse_bytes(bytes).ok().map(Parsed::Torque),
+        Source::Netwatch => NetwatchRecord::parse_bytes(bytes)
             .ok()
             .map(|rec| Parsed::Netwatch(entry_from_netwatch(&rec))),
-    };
-    match parsed {
-        Some(p) => Body::Ok(p),
-        None => Body::Bad(line.to_string()),
     }
 }
 
@@ -443,8 +518,9 @@ fn coordinate(input: &Receiver<CoordMsg>, core: &Mutex<StreamCore>) {
         let mut guard = core.lock();
         deliver(&mut guard, first);
         // Batch whatever else is already queued under one lock hold, then
-        // advance the watermarks once.
-        for _ in 0..255 {
+        // advance the watermarks once. Each message is now a whole chunk,
+        // so the bound stays small to keep snapshot() latency low.
+        for _ in 0..15 {
             match input.try_recv() {
                 Ok(msg) => deliver(&mut guard, msg),
                 Err(_) => break,
@@ -456,7 +532,11 @@ fn coordinate(input: &Receiver<CoordMsg>, core: &Mutex<StreamCore>) {
 
 fn deliver(core: &mut StreamCore, msg: CoordMsg) {
     match msg {
-        CoordMsg::Line { source, seq, body } => core.accept(source, seq, body),
+        CoordMsg::Chunk { source, items } => {
+            for (seq, body) in items {
+                core.accept(source, seq, body);
+            }
+        }
         CoordMsg::ShardDone(source) => core.shard_done(source),
     }
 }

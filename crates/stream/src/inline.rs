@@ -30,7 +30,7 @@ use crate::checkpoint::{ResumeError, StreamCheckpoint};
 use crate::config::{Source, StreamConfig};
 use crate::engine::{parse_line, StreamError, StreamSnapshot};
 use crate::health::HealthReport;
-use crate::state::{cell_is_open, new_health_cells, HealthCells, StreamCore};
+use crate::state::{cell_is_open, new_health_cells, Body, HealthCells, StreamCore};
 
 /// How many accepted records may elapse between watermark advances. The
 /// threaded coordinator batches up to 256 deliveries per lock hold; the
@@ -149,7 +149,10 @@ impl InlineEngine {
             self.core.note_rejected(source);
             return Err(StreamError::CircuitOpen(source));
         }
-        let body = parse_line(source, line, &self.config.table);
+        let body = match parse_line(source, line, &self.config.table) {
+            Some(parsed) => Body::Ok(parsed),
+            None => Body::Bad(line.to_string()),
+        };
         let seq = self.seqs[i];
         self.core.accept(source, seq, body);
         self.seqs[i] = seq + 1;
@@ -158,6 +161,46 @@ impl InlineEngine {
             self.advance();
         }
         Ok(())
+    }
+
+    /// Parses, filters, and applies a run of raw lines for one source,
+    /// advancing the watermarks once at the end instead of every
+    /// [`ADVANCE_EVERY`] lines — the inline analogue of the threaded
+    /// engine's chunked channel protocol. Returns how many lines were
+    /// accepted; on a mid-chunk circuit trip the prefix stays applied.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::SourceClosed`] after [`InlineEngine::close`] on this
+    /// source; [`StreamError::CircuitOpen`] when the breaker trips
+    /// mid-chunk (remaining lines are not consumed).
+    pub fn push_chunk<'a>(
+        &mut self,
+        source: Source,
+        lines: impl IntoIterator<Item = &'a str>,
+    ) -> Result<usize, StreamError> {
+        let i = source.index();
+        if !self.open[i] {
+            return Err(StreamError::SourceClosed(source));
+        }
+        let mut accepted = 0usize;
+        for line in lines {
+            if cell_is_open(&self.cells, i) {
+                self.advance();
+                self.core.note_rejected(source);
+                return Err(StreamError::CircuitOpen(source));
+            }
+            let body = match parse_line(source, line, &self.config.table) {
+                Some(parsed) => Body::Ok(parsed),
+                None => Body::Bad(line.to_string()),
+            };
+            let seq = self.seqs[i];
+            self.core.accept(source, seq, body);
+            self.seqs[i] = seq + 1;
+            accepted += 1;
+        }
+        self.advance();
+        Ok(accepted)
     }
 
     /// Advances the watermarks now: releases ripe entries, closes events,

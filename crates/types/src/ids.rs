@@ -49,6 +49,24 @@ impl NodeId {
         }
         digits.parse::<u32>().ok().map(NodeId)
     }
+
+    /// [`NodeId::parse_hostname`] over raw bytes — the zero-copy parse
+    /// path. Accepts exactly the same inputs (the convention is pure
+    /// ASCII, so no UTF-8 decoding is ever needed).
+    pub fn parse_hostname_bytes(b: &[u8]) -> Option<Self> {
+        let digits = b.strip_prefix(b"nid")?;
+        if digits.is_empty() || digits.len() > 8 {
+            return None;
+        }
+        let mut nid: u32 = 0;
+        for &d in digits {
+            if !d.is_ascii_digit() {
+                return None;
+            }
+            nid = nid * 10 + (d - b'0') as u32;
+        }
+        Some(NodeId(nid))
+    }
 }
 
 impl fmt::Display for NodeId {
@@ -217,6 +235,29 @@ mod tests {
         assert_eq!(NodeId::parse_hostname("nid12ab"), None);
         assert_eq!(NodeId::parse_hostname("node00012"), None);
         assert_eq!(NodeId::parse_hostname("nid999999999"), None);
+    }
+
+    #[test]
+    fn node_id_byte_parse_matches_str_parse() {
+        for s in [
+            "",
+            "nid",
+            "nid0",
+            "nid04008",
+            "nid99999999",
+            "nid999999999",
+            "nid12ab",
+            "node00012",
+            "nidÿ12",
+            "nid+1",
+        ] {
+            assert_eq!(
+                NodeId::parse_hostname_bytes(s.as_bytes()),
+                NodeId::parse_hostname(s),
+                "disagreement on {s:?}"
+            );
+        }
+        assert_eq!(NodeId::parse_hostname_bytes(b"nid\xFF\xFE"), None);
     }
 
     #[test]

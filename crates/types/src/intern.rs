@@ -88,6 +88,16 @@ impl Sym {
         Sym(id)
     }
 
+    /// Interns a field straight from raw log bytes: the zero-copy parser
+    /// fast path. Validates UTF-8 in place (no `String` is ever built) and
+    /// then takes the same sharded hash lookup as [`Sym::intern`] — a hit
+    /// touches no allocator at all. Returns `None` for invalid UTF-8,
+    /// which callers treat as a parse rejection.
+    pub fn resolve_bytes(bytes: &[u8]) -> Option<Sym> {
+        let s = std::str::from_utf8(bytes).ok()?;
+        Some(Sym::intern(s))
+    }
+
     /// The interned string. Lives for the program's lifetime.
     pub fn as_str(self) -> &'static str {
         let table = global().table.read().expect("intern table poisoned");
@@ -188,6 +198,15 @@ mod tests {
         assert_eq!("nid00042", s);
         assert!(s != "nid00043");
         assert_eq!(format!("{s:?}"), "\"nid00042\"");
+    }
+
+    #[test]
+    fn resolve_bytes_matches_intern_and_rejects_bad_utf8() {
+        let a = Sym::intern("lustre");
+        assert_eq!(Sym::resolve_bytes(b"lustre"), Some(a));
+        assert_eq!(Sym::resolve_bytes("κρίσιμο".as_bytes()).unwrap(), "κρίσιμο");
+        assert_eq!(Sym::resolve_bytes(b"\xFF\xFEbad"), None);
+        assert_eq!(Sym::resolve_bytes(b""), Some(Sym::intern("")));
     }
 
     #[test]

@@ -82,4 +82,4 @@ pub use ids::{AppId, CabinetId, JobId, NodeId, UserId};
 pub use intern::Sym;
 pub use node::NodeType;
 pub use nodeset::NodeSet;
-pub use time::{SimDuration, Timestamp};
+pub use time::{LazyTimestamp, SimDuration, Timestamp};

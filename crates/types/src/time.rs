@@ -128,10 +128,134 @@ impl Timestamp {
         Timestamp(self.0.saturating_add(d.0))
     }
 
+    /// Parses `YYYY-MM-DD HH:MM:SS` directly from bytes.
+    ///
+    /// Accepts exactly the same inputs as the [`FromStr`] grammar (the
+    /// canonical fixed-width form takes a branch-light fast path; anything
+    /// else — leading `+`, extra zeros, variable widths — falls back to
+    /// the loose parser), but never allocates and never inspects the
+    /// input as UTF-8 on the fast path.
+    pub fn parse_bytes(b: &[u8]) -> Option<Timestamp> {
+        LazyTimestamp::validate(b).map(LazyTimestamp::decode)
+    }
+
     /// Absolute difference between two instants.
     pub fn abs_diff(self, other: Timestamp) -> SimDuration {
         SimDuration((self.0 - other.0).abs())
     }
+}
+
+/// A timestamp whose bytes have been *validated* but whose epoch value may
+/// not have been computed yet.
+///
+/// The zero-copy parsers validate the timestamp field eagerly (a record
+/// with a torn or garbage timestamp must be rejected up front, before any
+/// other field is trusted) but defer the civil-date → epoch arithmetic
+/// until the record is known to survive downstream validation. For the
+/// canonical fixed-width form this stores the six decoded fields; inputs
+/// that only the loose [`FromStr`] grammar accepts (leading `+`, extra
+/// zeros, variable widths) are decoded eagerly on the slow path so both
+/// representations agree with `str::parse::<Timestamp>` byte-for-byte.
+///
+/// This is a transient parse-time value: it deliberately implements
+/// neither `PartialEq` nor serde, so it cannot leak into checkpointable
+/// state — compare or store [`LazyTimestamp::decode`] results instead.
+#[derive(Debug, Clone, Copy)]
+pub enum LazyTimestamp {
+    /// Canonical `YYYY-MM-DD HH:MM:SS`: fields range-checked, epoch
+    /// arithmetic deferred.
+    Fields {
+        /// Four-digit year.
+        year: u16,
+        /// Month, `1..=12`.
+        month: u8,
+        /// Day of month, `1..=31`.
+        day: u8,
+        /// Hour, `0..24`.
+        hour: u8,
+        /// Minute, `0..60`.
+        min: u8,
+        /// Second, `0..60`.
+        sec: u8,
+    },
+    /// A non-canonical form the loose grammar accepts; decoded eagerly.
+    Decoded(Timestamp),
+}
+
+impl LazyTimestamp {
+    /// Validates timestamp bytes without computing the epoch value.
+    ///
+    /// Returns `None` exactly when `str::parse::<Timestamp>` would fail on
+    /// the same (UTF-8) bytes.
+    pub fn validate(b: &[u8]) -> Option<LazyTimestamp> {
+        if let Some(t) = canonical_fields(b) {
+            return Some(t);
+        }
+        // Slow path: whatever the loose split-based grammar accepts
+        // (`+2013-3-28 1:02:3` and friends). Decode now — laziness only
+        // pays on the canonical form, which is all real logs emit.
+        let s = std::str::from_utf8(b).ok()?;
+        s.parse::<Timestamp>().ok().map(LazyTimestamp::Decoded)
+    }
+
+    /// Computes the epoch value (the deferred half of parsing).
+    pub fn decode(self) -> Timestamp {
+        match self {
+            LazyTimestamp::Fields {
+                year,
+                month,
+                day,
+                hour,
+                min,
+                sec,
+            } => {
+                let days = days_from_civil(year as i64, month as u32, day as u32);
+                Timestamp(days * 86_400 + hour as i64 * 3_600 + min as i64 * 60 + sec as i64)
+            }
+            LazyTimestamp::Decoded(t) => t,
+        }
+    }
+}
+
+/// The canonical fixed-width fast path: exactly 19 bytes, digits and
+/// separators at fixed positions, same range checks as the loose grammar.
+fn canonical_fields(b: &[u8]) -> Option<LazyTimestamp> {
+    if b.len() != 19 {
+        return None;
+    }
+    if b[4] != b'-' || b[7] != b'-' || b[10] != b' ' || b[13] != b':' || b[16] != b':' {
+        return None;
+    }
+    let two = |i: usize| -> Option<u16> {
+        let (hi, lo) = (b[i].wrapping_sub(b'0'), b[i + 1].wrapping_sub(b'0'));
+        if hi < 10 && lo < 10 {
+            Some(hi as u16 * 10 + lo as u16)
+        } else {
+            None
+        }
+    };
+    let year = two(0)? * 100 + two(2)?;
+    let month = two(5)? as u8;
+    let day = two(8)? as u8;
+    let hour = two(11)? as u8;
+    let min = two(14)? as u8;
+    let sec = two(17)? as u8;
+    if !(1..=12).contains(&month)
+        || !(1..=31).contains(&day)
+        || hour >= 24
+        || min >= 60
+        || sec >= 60
+    {
+        return None;
+    }
+    Some(LazyTimestamp::Fields {
+        year,
+        month,
+        day,
+        hour,
+        min,
+        sec,
+    })
 }
 
 impl fmt::Display for Timestamp {
@@ -370,6 +494,76 @@ mod tests {
             proptest::prop_assert_eq!(back, t);
             let (y, mo, d, h, mi, s) = t.to_ymd_hms();
             proptest::prop_assert_eq!(Timestamp::from_ymd_hms(y, mo, d, h, mi, s), t);
+        }
+    }
+
+    #[test]
+    fn parse_bytes_agrees_with_from_str() {
+        // Canonical, loose-but-accepted, and rejected forms all agree.
+        for s in [
+            "2013-03-28 12:30:00",
+            "0001-01-01 00:00:00",
+            "9999-12-31 23:59:59",
+            "+2013-3-28 1:2:3",
+            "02013-03-28 12:30:00",
+            "2013-003-28 12:30:00",
+            "2013-13-28 12:30:00",
+            "2013-03-28 24:00:00",
+            "2013-03-28 12:30:0",
+            "2013-03-28 12:30:000",
+            "2013-03-28T12:30:00",
+            "2013-03-28",
+            "",
+            "garbage here 1234567",
+        ] {
+            let via_str = s.parse::<Timestamp>().ok();
+            let via_bytes = Timestamp::parse_bytes(s.as_bytes());
+            assert_eq!(via_bytes, via_str, "disagreement on {s:?}");
+        }
+        // Invalid UTF-8 is rejected, never a panic.
+        assert_eq!(Timestamp::parse_bytes(b"2013-03-28 12:30:\xFF\xFE"), None);
+    }
+
+    #[test]
+    fn lazy_timestamp_defers_canonical_decode() {
+        let lazy = LazyTimestamp::validate(b"2013-03-28 12:30:05").unwrap();
+        assert!(matches!(lazy, LazyTimestamp::Fields { .. }));
+        assert_eq!(
+            lazy.decode(),
+            Timestamp::from_ymd_hms(2013, 3, 28, 12, 30, 5)
+        );
+        let eager = LazyTimestamp::validate(b"+2013-3-28 1:2:3").unwrap();
+        assert!(matches!(eager, LazyTimestamp::Decoded(_)));
+        assert_eq!(
+            eager.decode(),
+            Timestamp::from_ymd_hms(2013, 3, 28, 1, 2, 3)
+        );
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(256))]
+
+        /// The byte parser is extensionally equal to the str parser on
+        /// arbitrary input, printable or not.
+        #[test]
+        fn parse_bytes_matches_from_str_on_arbitrary_input(s in "\\PC{0,30}") {
+            proptest::prop_assert_eq!(
+                Timestamp::parse_bytes(s.as_bytes()),
+                s.parse::<Timestamp>().ok()
+            );
+        }
+
+        /// Every representable second's display form takes the lazy fast
+        /// path and decodes to the same instant.
+        #[test]
+        fn canonical_display_takes_fast_path(
+            secs in MIN_FOUR_DIGIT_UNIX..MAX_FOUR_DIGIT_UNIX + 1,
+        ) {
+            let t = Timestamp::from_unix(secs);
+            let shown = t.to_string();
+            let lazy = LazyTimestamp::validate(shown.as_bytes()).unwrap();
+            proptest::prop_assert!(matches!(lazy, LazyTimestamp::Fields { .. }));
+            proptest::prop_assert_eq!(lazy.decode(), t);
         }
     }
 
