@@ -51,7 +51,7 @@ use logdiver::{report, LogCollection, LogDiver};
 use rand::SeedableRng;
 
 fn usage() -> &'static str {
-    "usage:\n  logdiver simulate  --out DIR [--divisor N] [--days N] [--seed N]\n  logdiver analyze   --logs DIR [--csv DIR] [--threads N] [--timings]\n                     [--quarantine-out FILE]\n  logdiver validate  --logs DIR [--json] [--min-precision X] [--min-recall X]\n  logdiver campaign  --out DIR [--divisor N] [--days N] [--seed N] [--seeds N]\n                     [--severities LIST] [--gate-f1 X]\n  logdiver stream    --logs DIR [--chunk N] [--follow] [--shards N]\n                     [--lateness SECS] [--checkpoint FILE] [--resume FILE]\n                     [--checkpoint-every N] [--checkpoint-secs N]\n                     [--quarantine-out FILE] [--quarantine-keep N]\n  logdiver reproduce [--divisor N] [--days N] [--seed N] [--boost-capability]\n  logdiver swf       --out FILE [--divisor N] [--days N] [--seed N]\n  logdiver lint      [--json] [--deny warnings] [--root DIR] [--rules]\n  logdiver serve     [--listen ADDR] [--tenants-dir DIR]... [--checkpoint-every N]\n                     [--evict-after N] [--mem-budget BYTES] [--shards N]\n                     [--tenant-config FILE] [--max-line BYTES] [--deadline-ms N]\n                     [--io-timeout-ms N] [--line-deadline-ms N]\n\noptions:\n  --divisor N   machine scale divisor (1 = full Blue Waters; default 16)\n  --days N      production days to simulate (default 30; the paper is 518)\n  --seed N      RNG seed (default 1)\n  --out DIR     output directory for raw logs\n  --logs DIR    directory holding messages.log / hwerr.log / apsys.log /\n                torque.log / netwatch.log\n  --csv DIR     also write scale-curve CSVs there\n  --threads N   worker threads for the parallel analyze stages (default: all\n                cores; output is identical for every N)\n  --timings     print a per-stage wall-clock breakdown to stderr\n  --json        print validation results as JSON instead of text\n  --min-precision X  exit nonzero when attribution precision < X\n  --min-recall X     exit nonzero when attribution recall < X\n  --seeds N     campaign: number of consecutive seeds to sweep (default 2)\n  --severities LIST  campaign: comma-separated severity grid in [0,1]\n                (default 0,0.25,0.5,0.75,1)\n  --gate-f1 X   campaign: exit nonzero when the clean point's F1 < X\n  --chunk N     lines pushed per source per round when streaming (default 1024)\n  --follow      keep tailing the log files for appended lines; SIGINT writes\n                a final checkpoint and report, then exits cleanly\n  --shards N    parallel syslog parse workers (default 2)\n  --lateness SECS  allowed out-of-order lateness within a source (default 60)\n  --checkpoint FILE     write crash-safe checkpoints to FILE (atomic\n                temp+rename); resume later with --resume FILE\n  --resume FILE         restore engine state and file offsets from a\n                checkpoint; also the checkpoint target unless --checkpoint\n                says otherwise\n  --checkpoint-every N  checkpoint after N accepted lines (default 50000)\n  --checkpoint-secs N   also checkpoint every N seconds while lines flow\n                (default 5)\n  --quarantine-out FILE stream: append every quarantined (corrupt) raw line\n                to FILE; analyze: write `file@offset (reason): line`\n                provenance for every rejected line\n  --quarantine-keep N   recent corrupt lines kept in memory per source\n                (default 16)\n  --boost-capability  multiply capability-job frequency ×8 (dense sampling\n                of the full-scale buckets on small machines)\n  --deny warnings  lint: fail on warnings too, not just errors (CI mode)\n  --root DIR    lint: workspace root (default: walk up from the cwd)\n  --rules       lint: print the rule catalog and exit\n  --listen ADDR serve: bind address (default 127.0.0.1:7044; port 0 picks an\n                ephemeral port, printed on startup)\n  --tenants-dir DIR     serve: checkpoint directory, one <tenant>.ckpt per\n                tenant (default ./tenants); repeat the flag to replicate\n                every checkpoint across several directories, and a restarted\n                daemon resumes each tenant from the newest valid replica\n  --evict-after N       serve: checkpoint and evict a tenant idle for N pump\n                sweeps; it is resurrected transparently on its next PUSH\n                (default 0 = never evict)\n  --tenant-config FILE  serve: per-tenant StreamConfig overrides, one\n                `<tenant> key=value ...` per line (keys: lateness,\n                quarantine-keep)\n  --mem-budget BYTES    serve: global open-state budget; per-tenant quota is\n                an eighth of it (default 268435456)\n  --max-line BYTES      serve: longest accepted protocol line; longer lines\n                answer ERR code=line-too-long (default 65536)\n  --deadline-ms N       serve: shed pushes with ERR code=overload when a pump\n                sweep exceeds N ms; 0 disables shedding (default 1000)\n  --io-timeout-ms N     serve: per-connection socket read/write timeout;\n                0 disables (default 5000)\n  --line-deadline-ms N  serve: evict a client whose partial line is older\n                than N ms (slowloris defense); 0 disables (default 10000)\n\nserve reuses --checkpoint-every (auto-checkpoint every N applied records,\ndefault 10000) and --shards (pump worker threads, default: CPU count)."
+    "usage:\n  logdiver simulate  --out DIR [--divisor N] [--days N] [--seed N]\n  logdiver analyze   --logs DIR [--csv DIR] [--threads N] [--timings]\n                     [--quarantine-out FILE]\n  logdiver validate  --logs DIR [--json] [--min-precision X] [--min-recall X]\n  logdiver campaign  --out DIR [--divisor N] [--days N] [--seed N] [--seeds N]\n                     [--severities LIST] [--gate-f1 X]\n  logdiver stream    --logs DIR [--chunk N] [--follow] [--shards N]\n                     [--lateness SECS] [--checkpoint FILE] [--resume FILE]\n                     [--checkpoint-every N] [--checkpoint-secs N]\n                     [--quarantine-out FILE] [--quarantine-keep N]\n  logdiver reproduce [--divisor N] [--days N] [--seed N] [--boost-capability]\n  logdiver swf       --out FILE [--divisor N] [--days N] [--seed N]\n  logdiver lint      [--json] [--deny warnings] [--root DIR] [--rules]\n  logdiver serve     [--listen ADDR] [--tenants-dir DIR]... [--checkpoint-every N]\n                     [--evict-after N] [--mem-budget BYTES] [--shards N]\n                     [--tenant-config FILE] [--max-line BYTES] [--deadline-ms N]\n                     [--io-timeout-ms N] [--line-deadline-ms N]\n\noptions:\n  --divisor N   machine scale divisor (1 = full Blue Waters; default 16)\n  --days N      production days to simulate (default 30; the paper is 518)\n  --seed N      RNG seed (default 1)\n  --out DIR     output directory for raw logs\n  --logs DIR    directory holding messages.log / hwerr.log / apsys.log /\n                torque.log / netwatch.log\n  --csv DIR     also write scale-curve CSVs there\n  --threads N   worker threads for the parallel analyze stages (default: all\n                cores; output is identical for every N)\n  --timings     print a per-stage wall-clock breakdown to stderr\n  --json        print validation results as JSON instead of text\n  --min-precision X  exit nonzero when attribution precision < X\n  --min-recall X     exit nonzero when attribution recall < X\n  --seeds N     campaign: number of consecutive seeds to sweep (default 2)\n  --severities LIST  campaign: comma-separated severity grid in [0,1]\n                (default 0,0.25,0.5,0.75,1)\n  --gate-f1 X   campaign: exit nonzero when the clean point's F1 < X\n  --chunk N     lines pushed per source per round when streaming (default 1024)\n  --follow      keep tailing the log files for appended lines; SIGINT writes\n                a final checkpoint and report, then exits cleanly\n  --shards N    parallel syslog parse workers (default 2)\n  --lateness SECS  allowed out-of-order lateness within a source (default 60)\n  --checkpoint FILE     write crash-safe checkpoints to FILE (atomic\n                temp+rename); resume later with --resume FILE\n  --resume FILE         restore engine state and file offsets from a\n                checkpoint; also the checkpoint target unless --checkpoint\n                says otherwise\n  --checkpoint-every N  checkpoint after N accepted lines (default 50000)\n  --checkpoint-secs N   also checkpoint every N seconds while lines flow\n                (default 5)\n  --quarantine-out FILE stream: append every quarantined (corrupt) raw line\n                to FILE; analyze: write `file@offset (reason): line`\n                provenance for every rejected line\n  --quarantine-keep N   recent corrupt lines kept in memory per source\n                (default 16)\n  --boost-capability  multiply capability-job frequency ×8 (dense sampling\n                of the full-scale buckets on small machines)\n  --deny warnings  lint: fail on warnings too, not just errors (CI mode)\n  --root DIR    lint: workspace root (default: walk up from the cwd)\n  --rules       lint: print the rule catalog and exit\n                lint exits 0 clean, 1 findings, 2 usage error, 3 when an\n                analyzer could not run (unreadable workspace, internal panic)\n  --listen ADDR serve: bind address (default 127.0.0.1:7044; port 0 picks an\n                ephemeral port, printed on startup)\n  --tenants-dir DIR     serve: checkpoint directory, one <tenant>.ckpt per\n                tenant (default ./tenants); repeat the flag to replicate\n                every checkpoint across several directories, and a restarted\n                daemon resumes each tenant from the newest valid replica\n  --evict-after N       serve: checkpoint and evict a tenant idle for N pump\n                sweeps; it is resurrected transparently on its next PUSH\n                (default 0 = never evict)\n  --tenant-config FILE  serve: per-tenant StreamConfig overrides, one\n                `<tenant> key=value ...` per line (keys: lateness,\n                quarantine-keep)\n  --mem-budget BYTES    serve: global open-state budget; per-tenant quota is\n                an eighth of it (default 268435456)\n  --max-line BYTES      serve: longest accepted protocol line; longer lines\n                answer ERR code=line-too-long (default 65536)\n  --deadline-ms N       serve: shed pushes with ERR code=overload when a pump\n                sweep exceeds N ms; 0 disables shedding (default 1000)\n  --io-timeout-ms N     serve: per-connection socket read/write timeout;\n                0 disables (default 5000)\n  --line-deadline-ms N  serve: evict a client whose partial line is older\n                than N ms (slowloris defense); 0 disables (default 10000)\n\nserve reuses --checkpoint-every (auto-checkpoint every N applied records,\ndefault 10000) and --shards (pump worker threads, default: CPU count)."
 }
 
 /// What one subcommand accepts: value-taking options and bare switches.
@@ -854,7 +854,15 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     daemon::run(config).map_err(|e| format!("serve: {e}"))
 }
 
-fn cmd_lint(args: &Args) -> Result<(), String> {
+/// Why `lint` failed — findings exit 1 like every other command failure,
+/// while an analyzer that could not run at all exits 3 so CI can tell
+/// "the tree is dirty" from "the verdict is meaningless".
+enum LintFailure {
+    Findings(String),
+    Internal(String),
+}
+
+fn cmd_lint(args: &Args) -> Result<(), LintFailure> {
     use logdiver_lint::{driver, report as lint_report};
     if args.switches.iter().any(|s| s == "rules") {
         print!("{}", driver::rule_catalog());
@@ -863,17 +871,21 @@ fn cmd_lint(args: &Args) -> Result<(), String> {
     let deny_warnings = match args.flags.get("deny").map(String::as_str) {
         None => false,
         Some("warnings") => true,
-        Some(other) => return Err(format!("--deny takes `warnings`, got {other:?}")),
+        Some(other) => {
+            return Err(LintFailure::Internal(format!(
+                "--deny takes `warnings`, got {other:?}"
+            )))
+        }
     };
     let root = args.flags.get("root").map(std::path::PathBuf::from);
-    let report = driver::run_analyzers(root)?;
+    let report = driver::run_analyzers(root).map_err(LintFailure::Internal)?;
     if args.switches.iter().any(|s| s == "json") {
         println!("{}", lint_report::render_json(&report));
     } else {
         print!("{}", lint_report::render_text(&report));
     }
     if report.failed(deny_warnings) {
-        return Err(format!(
+        return Err(LintFailure::Findings(format!(
             "lint failed: {} error(s), {} warning(s){}",
             report.errors(),
             report.warnings(),
@@ -882,7 +894,7 @@ fn cmd_lint(args: &Args) -> Result<(), String> {
             } else {
                 ""
             }
-        ));
+        )));
     }
     Ok(())
 }
@@ -916,7 +928,19 @@ fn main() -> ExitCode {
         "stream" => cmd_stream(&args),
         "reproduce" => cmd_reproduce(&args),
         "swf" => cmd_swf(&args),
-        "lint" => cmd_lint(&args),
+        "lint" => {
+            return match cmd_lint(&args) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(LintFailure::Findings(e)) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+                Err(LintFailure::Internal(e)) => {
+                    eprintln!("error: {e}");
+                    ExitCode::from(3)
+                }
+            }
+        }
         "serve" => cmd_serve(&args),
         _ => unreachable!("dispatch covers every CommandSpec"),
     };

@@ -26,6 +26,8 @@
 //! without limit — they are flow control. Hard errors and wire faults burn
 //! bounded-backoff attempts and eventually fail the session.
 
+use logdiver_types::protocol as codes;
+
 use crate::backoff::{splitmix64, BackoffPolicy};
 use crate::summary::DeliverySummary;
 
@@ -277,10 +279,10 @@ impl Session {
             return;
         }
         match kv(response, "code") {
-            Some("overload") | Some("draining") => {
+            Some(codes::OVERLOAD) | Some(codes::DRAINING) => {
                 // Flow control, not failure: obey the hint and resend the
                 // same line, without limit.
-                if kv(response, "code") == Some("overload") {
+                if kv(response, "code") == Some(codes::OVERLOAD) {
                     self.stats.shed_overload += 1;
                 } else {
                     self.stats.shed_draining += 1;
@@ -295,7 +297,7 @@ impl Session {
                     then: Resume::Push,
                 };
             }
-            Some("gap") => {
+            Some(codes::GAP) => {
                 // The server expects a different index — adopt it. This
                 // heals both directions: behind (another pusher got ahead)
                 // and ahead (a stale cursor after the server lost state).
@@ -308,7 +310,7 @@ impl Session {
                     self.fail(format!("unparseable gap response: {response}"));
                 }
             }
-            Some("line-too-long") => {
+            Some(codes::LINE_TOO_LONG) => {
                 // Skipping the line would leave a permanent index gap, so
                 // the whole source is abandoned; the rest keep going.
                 self.stats.rejected += 1;
@@ -316,11 +318,19 @@ impl Session {
                 self.attempt = 0;
                 self.schedule();
             }
-            Some("over-quota") | Some("over-budget") => {
+            Some(codes::OVER_QUOTA) | Some(codes::OVER_BUDGET) => {
                 // Admission pressure that may clear as the window rolls —
                 // worth bounded retries.
                 self.stats.retries += 1;
                 self.fault("quota rejection", Resume::Push);
+            }
+            Some(codes::SLOW_CLIENT) => {
+                // The daemon's slowloris guard evicted this connection and
+                // is about to close it; the session is fine. Reconnect,
+                // re-HELLO, and resume from the server's cursors — burning
+                // a bounded attempt so a persistently-too-slow link still
+                // fails instead of thrashing.
+                self.fault("evicted as slow client", Resume::Reconnect);
             }
             _ => {
                 // bad-line, bad-source, … : a client-side bug; retrying the
@@ -617,6 +627,33 @@ mod tests {
         // syslog still fully delivered, hwerr got line 0 only.
         assert_eq!(server.accepted[0], 2);
         assert_eq!(server.accepted[1], 1);
+    }
+
+    #[test]
+    fn slow_client_eviction_reconnects_and_resumes() {
+        let mut server = FakeServer::new();
+        let mut evicted = false;
+        let mut s = Session::new(plan([3, 0, 0, 0, 0]), SessionConfig::default());
+        drive(
+            &mut s,
+            |l| {
+                if l.starts_with("PUSH bw syslog 1 ") && !evicted {
+                    evicted = true;
+                    "ERR code=slow-client deadline-ms=2000".to_string()
+                } else {
+                    server.respond(l)
+                }
+            },
+            100,
+        );
+        assert!(s.complete());
+        let sum = s.summary();
+        assert_eq!(sum.reconnects, 1, "{sum:?}");
+        assert_eq!(sum.backoffs, 1);
+        // Line 1 was never applied server-side, so after re-HELLO it is
+        // pushed for real — nothing lost, nothing doubled.
+        assert_eq!(sum.pushed, 3);
+        assert_eq!(server.accepted, [3, 0, 0, 0, 0]);
     }
 
     #[test]

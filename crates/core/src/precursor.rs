@@ -59,6 +59,7 @@ impl PrecursorReport {
         if v.is_empty() {
             return None;
         }
+        // lint: allow(no-panic) lead times are differences of finite event timestamps; NaN cannot enter the vec
         v.sort_by(|a, b| a.partial_cmp(b).expect("lead times are finite"));
         Some(v[v.len() / 2])
     }
@@ -133,6 +134,7 @@ pub fn analyze_precursors(events: &[ErrorEvent], lookback: SimDuration) -> Precu
                     events: 0,
                     with_precursor: 0,
                 });
+                // lint: allow(no-panic) the vec cannot be empty on the line after a push
                 report.by_category.last_mut().expect("just pushed")
             }
         };

@@ -277,12 +277,14 @@ fn quartiles(points: &[(f64, f64)]) -> Option<(f64, f64, f64, f64)> {
             .iter()
             .find(|&&(_, f)| f >= p)
             .map(|&(x, _)| x)
+            // lint: allow(no-panic) the is_empty early return above guarantees a last element
             .unwrap_or(points.last().expect("non-empty").0)
     };
     Some((
         at(0.25),
         at(0.5),
         at(0.75),
+        // lint: allow(no-panic) the is_empty early return above guarantees a last element
         points.last().expect("non-empty").0,
     ))
 }

@@ -203,6 +203,7 @@ impl RunReconstructor {
             .map(|(&seq, _)| seq)
             .collect();
         seqs.into_iter()
+            // lint: allow(no-panic) every seq was collected from self.runs two lines up, with &mut self held throughout
             .map(|seq| (seq, self.runs.remove(&seq).expect("seq was just observed")))
             .collect()
     }

@@ -1,0 +1,628 @@
+//! The serve↔client protocol-contract verifier.
+//!
+//! Three parties describe the wire protocol's `ERR code=<kebab>` vocabulary:
+//! the daemon's emit sites (`crates/serve/src`), the push client's `Session`
+//! matcher (`crates/client/src`), and DESIGN.md's protocol grammar. The
+//! catalog in `logdiver_types::protocol` is the declared single source of
+//! truth, carrying each code's required client [`Disposition`]. This
+//! analyzer extracts all four sets and proves they agree:
+//!
+//! - **`unhandled-code`** — the server emits a code whose disposition is
+//!   not [`Disposition::Fatal`] and the client has no match arm for it:
+//!   the exact detection gap that turns a recoverable rejection into a
+//!   failed session.
+//! - **`phantom-code`** — the client handles (or the catalog declares) a
+//!   code no serve emit site can produce: dead contract surface that will
+//!   silently rot.
+//! - **`undocumented-code`** — an emitted code DESIGN.md's grammar never
+//!   mentions.
+//! - **`uncentralized-code`** — a string literal spelling a catalog code
+//!   in non-test serve/client source instead of referencing
+//!   `codes::<IDENT>`: the drift vector the codes module exists to close.
+//!
+//! Extraction is token-level on two views of each file: the lexer's
+//! cleaned lines (for `codes::IDENT` references) and a comment-stripped
+//! view that *keeps* string literals (for `code=<kebab>` spelled in
+//! format strings — the lexer blanks those, and doc comments quoting the
+//! grammar must not count as emit sites).
+
+use logdiver_types::protocol::{self as codes, Disposition};
+
+use crate::lexer::{self, CleanSource};
+use crate::source::in_exempt_dir;
+use crate::{Finding, Level};
+
+/// One reference to a protocol code in source.
+#[derive(Debug, Clone)]
+struct CodeRef {
+    file: String,
+    line: u32,
+    /// The wire value (`"line-too-long"`).
+    value: String,
+    /// True when spelled as a string literal rather than `codes::IDENT`.
+    literal: bool,
+}
+
+/// Runs the contract checks over `(workspace-relative path, text)` pairs
+/// plus the DESIGN.md text. Pure — mutation self-tests feed doctored
+/// file sets.
+pub fn analyze(files: &[(String, String)], design: &str) -> Vec<Finding> {
+    let mut emitted: Vec<CodeRef> = Vec::new();
+    let mut handled: Vec<CodeRef> = Vec::new();
+    let mut sources: Vec<(&str, CleanSource)> = Vec::new();
+
+    for (path, text) in files {
+        if !path.ends_with(".rs") || in_exempt_dir(path) {
+            continue;
+        }
+        let serve_side = path.starts_with("crates/serve/src/");
+        let client_side = path.starts_with("crates/client/src/");
+        if !serve_side && !client_side {
+            continue;
+        }
+        let clean = lexer::scan(text);
+        let stripped = strip_comments(text);
+        let mut refs = Vec::new();
+        for (idx, line) in clean.lines.iter().enumerate() {
+            let ln = idx as u32 + 1;
+            if clean.is_test_line(ln) {
+                continue;
+            }
+            // `codes::IDENT` references on the blanked view.
+            for at in lexer::ident_positions(line, "codes") {
+                let rest = &line[at + "codes".len()..];
+                let Some(ident_part) = rest.strip_prefix("::") else {
+                    continue;
+                };
+                let end = ident_part
+                    .find(|c: char| !lexer::is_ident_char(c))
+                    .unwrap_or(ident_part.len());
+                let ident = &ident_part[..end];
+                if let Some(spec) = codes::CATALOG.iter().find(|c| c.ident == ident) {
+                    refs.push(CodeRef {
+                        file: path.clone(),
+                        line: ln,
+                        value: spec.value.to_string(),
+                        literal: false,
+                    });
+                }
+            }
+            // Literal `code=<kebab>` on the comment-stripped view.
+            let raw_line = stripped.get(idx).map(String::as_str).unwrap_or("");
+            for value in literal_codes(raw_line) {
+                refs.push(CodeRef {
+                    file: path.clone(),
+                    line: ln,
+                    value,
+                    literal: true,
+                });
+            }
+        }
+        if serve_side {
+            emitted.extend(refs);
+        } else {
+            handled.extend(refs);
+        }
+        sources.push((path.as_str(), clean));
+    }
+
+    let documented = design_codes(design);
+    let mut out = Vec::new();
+    let allowed = |rule: &str, file: &str, line: u32| {
+        crate::module_allowance(file, rule).is_some()
+            || sources
+                .iter()
+                .find(|(p, _)| *p == file)
+                .is_some_and(|(_, c)| c.allowed(rule, line))
+    };
+    let push = |rule: &'static str,
+                file: &str,
+                line: u32,
+                message: String,
+                hint: &str,
+                witness: String,
+                out: &mut Vec<Finding>| {
+        if allowed(rule, file, line) {
+            return;
+        }
+        out.push(Finding {
+            file: file.to_string(),
+            line,
+            rule,
+            level: crate::rule_level(rule).unwrap_or(Level::Error),
+            message,
+            hint: hint.to_string(),
+            witness: Some(witness),
+        });
+    };
+
+    // Every emitted non-Fatal code needs a client match arm.
+    for spec in codes::CATALOG {
+        let emit = pick(&emitted, spec.value);
+        let handle = pick(&handled, spec.value);
+        match (emit, handle) {
+            (Some(e), None) if spec.disposition != Disposition::Fatal => {
+                push(
+                    "unhandled-code",
+                    &e.file,
+                    e.line,
+                    format!(
+                        "server emits `{}` ({:?}) but the client has no match arm for it",
+                        spec.value, spec.disposition
+                    ),
+                    "add a Session arm implementing the catalog disposition (codes::CATALOG), \
+                     or re-classify the code as Fatal if failing the session really is correct",
+                    format!(
+                        "emitted at {}:{}; no codes::{} reference under crates/client/src",
+                        e.file, e.line, spec.ident
+                    ),
+                    &mut out,
+                );
+            }
+            (None, Some(h)) => {
+                push(
+                    "phantom-code",
+                    &h.file,
+                    h.line,
+                    format!("client handles `{}` but no serve site emits it", spec.value),
+                    "delete the dead arm, or wire the emit site the arm was written for",
+                    format!(
+                        "handled at {}:{}; no emit site under crates/serve/src",
+                        h.file, h.line
+                    ),
+                    &mut out,
+                );
+            }
+            (None, None) => {
+                // A catalog entry nobody uses is contract surface rotting
+                // in place; report it on the catalog itself.
+                let (file, line) = catalog_site(files, spec.value);
+                push(
+                    "phantom-code",
+                    &file,
+                    line,
+                    format!(
+                        "catalog declares `{}` but no serve site emits it",
+                        spec.value
+                    ),
+                    "remove the catalog entry or add the emit site it was declared for",
+                    format!("declared at {file}:{line}; no emit site under crates/serve/src"),
+                    &mut out,
+                );
+            }
+            _ => {}
+        }
+        if let Some(e) = emit {
+            if !documented.contains(&spec.value.to_string()) {
+                push(
+                    "undocumented-code",
+                    &e.file,
+                    e.line,
+                    format!(
+                        "emitted code `{}` is not in DESIGN.md's protocol grammar",
+                        spec.value
+                    ),
+                    "add the code to the DESIGN.md §15/§19 response-code table",
+                    format!(
+                        "emitted at {}:{}; DESIGN.md never mentions code={}",
+                        e.file, e.line, spec.value
+                    ),
+                    &mut out,
+                );
+            }
+        }
+    }
+
+    // Literals that should be codes:: references.
+    for r in emitted.iter().chain(handled.iter()) {
+        if !r.literal {
+            continue;
+        }
+        if let Some(spec) = codes::CATALOG.iter().find(|c| c.value == r.value) {
+            push(
+                "uncentralized-code",
+                &r.file,
+                r.line,
+                format!(
+                    "protocol code `{}` spelled as a string literal instead of codes::{}",
+                    r.value, spec.ident
+                ),
+                "reference logdiver_types::protocol so the contract verifier (and the compiler) \
+                 see every use of the code",
+                format!("literal at {}:{}", r.file, r.line),
+                &mut out,
+            );
+        }
+    }
+
+    out.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+    });
+    out
+}
+
+/// The representative reference for `value`: a `codes::IDENT` reference
+/// when one exists — the canonical site — falling back to a string
+/// literal spelling.
+fn pick<'a>(refs: &'a [CodeRef], value: &str) -> Option<&'a CodeRef> {
+    refs.iter()
+        .find(|r| r.value == value && !r.literal)
+        .or_else(|| refs.iter().find(|r| r.value == value))
+}
+
+/// Where the catalog declares `value`: the `protocol.rs` line spelling
+/// its string literal.
+fn catalog_site(files: &[(String, String)], value: &str) -> (String, u32) {
+    let needle = format!("\"{value}\"");
+    for (path, text) in files {
+        if !path.ends_with("src/protocol.rs") {
+            continue;
+        }
+        for (idx, line) in text.lines().enumerate() {
+            if line.contains(&needle) {
+                return (path.clone(), idx as u32 + 1);
+            }
+        }
+        return (path.clone(), 1);
+    }
+    ("<catalog>".to_string(), 1)
+}
+
+/// Every kebab token following `code=` in one line of text (handles the
+/// grammar's alternation form `code=<a|b|c>` too).
+fn literal_codes(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(rel) = line[from..].find("code=") {
+        let at = from + rel + "code=".len();
+        from = at;
+        // Boundary: `code=` must not be the tail of another identifier
+        // (e.g. `exit_code=`); `=` handles the right side already.
+        let head = from - "code=".len();
+        if head > 0
+            && line[..head]
+                .chars()
+                .next_back()
+                .is_some_and(lexer::is_ident_char)
+        {
+            continue;
+        }
+        let rest = &line[at..];
+        if let Some(alts) = rest.strip_prefix('<') {
+            let Some(close) = alts.find('>') else {
+                continue;
+            };
+            for tok in alts[..close].split('|') {
+                if is_kebab(tok) {
+                    out.push(tok.to_string());
+                }
+            }
+        } else {
+            let end = rest
+                .find(|c: char| !(c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'))
+                .unwrap_or(rest.len());
+            let tok = rest[..end].trim_end_matches('-');
+            if is_kebab(tok) {
+                out.push(tok.to_string());
+            }
+        }
+    }
+    out
+}
+
+fn is_kebab(tok: &str) -> bool {
+    !tok.is_empty()
+        && tok.chars().next().is_some_and(|c| c.is_ascii_lowercase())
+        && tok
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+        && !tok.ends_with('-')
+}
+
+/// Every code DESIGN.md mentions as `code=<kebab>` (plain or alternation).
+fn design_codes(design: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for line in design.lines() {
+        out.extend(literal_codes(line));
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Blanks comments but keeps string literals: the inverse selectivity of
+/// [`lexer::scan`], for finding codes spelled inside format strings
+/// without counting the doc comments that quote the same grammar.
+fn strip_comments(text: &str) -> Vec<String> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut out = String::with_capacity(text.len());
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        if c == '/' && next == Some('/') {
+            while i < chars.len() && chars[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+            continue;
+        }
+        if c == '/' && next == Some('*') {
+            let mut depth = 1usize;
+            out.push_str("  ");
+            i += 2;
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    out.push_str("  ");
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    out.push_str("  ");
+                    i += 2;
+                } else {
+                    out.push(if chars[i] == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        if c == '"' {
+            // Keep the string, but honour escapes so an embedded `\"` or
+            // `//` cannot derail the scan.
+            out.push(c);
+            i += 1;
+            while i < chars.len() {
+                out.push(chars[i]);
+                match chars[i] {
+                    '\\' => {
+                        i += 1;
+                        if i < chars.len() {
+                            out.push(chars[i]);
+                            i += 1;
+                        }
+                    }
+                    '"' => {
+                        i += 1;
+                        break;
+                    }
+                    _ => i += 1,
+                }
+            }
+            continue;
+        }
+        if c == 'r' && (next == Some('"') || next == Some('#')) {
+            // Raw string: keep verbatim to its matching close.
+            let start = i;
+            let mut j = i + 1;
+            let mut hashes = 0usize;
+            while chars.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if chars.get(j) == Some(&'"') {
+                j += 1;
+                'raw: while j < chars.len() {
+                    if chars[j] == '"' {
+                        let mut k = 0usize;
+                        while k < hashes && chars.get(j + 1 + k) == Some(&'#') {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            j += 1 + hashes;
+                            break 'raw;
+                        }
+                    }
+                    j += 1;
+                }
+                for &rc in &chars[start..j] {
+                    out.push(rc);
+                }
+                i = j;
+                continue;
+            }
+        }
+        out.push(c);
+        i += 1;
+    }
+    out.lines().map(str::to_string).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(files: &[(&str, &str)], design: &str) -> Vec<Finding> {
+        let owned: Vec<(String, String)> = files
+            .iter()
+            .map(|(p, t)| (p.to_string(), t.to_string()))
+            .collect();
+        analyze(&owned, design)
+    }
+
+    /// A minimal serve+client pair referencing every catalog code, plus a
+    /// design doc documenting them — the fixture the negative tests
+    /// perturb.
+    fn full_serve() -> String {
+        let refs: Vec<String> = logdiver_types::protocol::CATALOG
+            .iter()
+            .map(|c| format!("    let _ = codes::{};", c.ident))
+            .collect();
+        format!("pub fn emit_all() {{\n{}\n}}\n", refs.join("\n"))
+    }
+
+    fn full_client() -> String {
+        let refs: Vec<String> = logdiver_types::protocol::CATALOG
+            .iter()
+            .filter(|c| c.disposition != Disposition::Fatal)
+            .map(|c| format!("    let _ = codes::{};", c.ident))
+            .collect();
+        format!("pub fn handle_all() {{\n{}\n}}\n", refs.join("\n"))
+    }
+
+    fn full_design() -> String {
+        logdiver_types::protocol::CATALOG
+            .iter()
+            .map(|c| format!("`ERR code={}`", c.value))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn agreeing_sets_are_clean() {
+        assert!(run(
+            &[
+                ("crates/serve/src/server.rs", &full_serve()),
+                ("crates/client/src/session.rs", &full_client()),
+            ],
+            &full_design(),
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn missing_client_arm_is_unhandled() {
+        let client = full_client().replace("codes::SLOW_CLIENT", "codes::BAD_VERB");
+        let got = run(
+            &[
+                ("crates/serve/src/server.rs", &full_serve()),
+                ("crates/client/src/session.rs", &client),
+            ],
+            &full_design(),
+        );
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].rule, "unhandled-code");
+        assert_eq!(got[0].file, "crates/serve/src/server.rs");
+        assert!(got[0].message.contains("slow-client"));
+        assert!(got[0]
+            .witness
+            .as_deref()
+            .unwrap_or("")
+            .contains("SLOW_CLIENT"));
+    }
+
+    #[test]
+    fn fatal_codes_need_no_arm() {
+        // full_client() already omits every Fatal code; agreeing run above
+        // proves it. Dropping a Fatal code server-side instead:
+        let serve = full_serve().replace("    let _ = codes::BAD_VERB;\n", "");
+        let got = run(
+            &[
+                ("crates/serve/src/server.rs", &serve),
+                ("crates/client/src/session.rs", &full_client()),
+            ],
+            &full_design(),
+        );
+        // bad-verb becomes catalog-declared-but-never-emitted.
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].rule, "phantom-code");
+    }
+
+    #[test]
+    fn client_arm_without_emitter_is_phantom() {
+        let serve = full_serve().replace("    let _ = codes::GAP;\n", "");
+        let got = run(
+            &[
+                ("crates/serve/src/server.rs", &serve),
+                ("crates/client/src/session.rs", &full_client()),
+            ],
+            &full_design(),
+        );
+        let phantom: Vec<_> = got.iter().filter(|f| f.rule == "phantom-code").collect();
+        assert_eq!(phantom.len(), 1, "{got:?}");
+        assert_eq!(phantom[0].file, "crates/client/src/session.rs");
+        assert!(phantom[0].message.contains("gap"));
+    }
+
+    #[test]
+    fn undocumented_emitted_code_is_flagged() {
+        let design = full_design().replace("`ERR code=overload`", "");
+        let got = run(
+            &[
+                ("crates/serve/src/server.rs", &full_serve()),
+                ("crates/client/src/session.rs", &full_client()),
+            ],
+            &design,
+        );
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].rule, "undocumented-code");
+        assert_eq!(got[0].level, Level::Warning);
+        assert!(got[0].message.contains("overload"));
+    }
+
+    #[test]
+    fn string_literal_codes_are_uncentralized_and_still_count() {
+        let serve = format!(
+            "{}pub fn extra() -> String {{\n    format!(\"ERR code=overload retry-ms=5\")\n}}\n",
+            full_serve()
+        );
+        let got = run(
+            &[
+                ("crates/serve/src/server.rs", &serve),
+                ("crates/client/src/session.rs", &full_client()),
+            ],
+            &full_design(),
+        );
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].rule, "uncentralized-code");
+        assert!(got[0].message.contains("codes::OVERLOAD"));
+    }
+
+    #[test]
+    fn doc_comments_do_not_count_as_emit_sites() {
+        // Only a doc comment mentions gap in serve: the client's gap arm
+        // must be flagged phantom, not satisfied by prose.
+        let serve = format!(
+            "//! answers `ERR code=gap expected=N` on out-of-order pushes\n{}",
+            full_serve().replace("    let _ = codes::GAP;\n", "")
+        );
+        let got = run(
+            &[
+                ("crates/serve/src/server.rs", &serve),
+                ("crates/client/src/session.rs", &full_client()),
+            ],
+            &full_design(),
+        );
+        assert!(got.iter().any(|f| f.rule == "phantom-code"), "{got:?}");
+    }
+
+    #[test]
+    fn test_code_is_ignored() {
+        let serve = format!(
+            "{}#[cfg(test)]\nmod tests {{\n    fn t() {{ let _ = \"ERR code=overload\"; }}\n}}\n",
+            full_serve()
+        );
+        assert!(run(
+            &[
+                ("crates/serve/src/server.rs", &serve),
+                ("crates/client/src/session.rs", &full_client()),
+            ],
+            &full_design(),
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn literal_code_parsing() {
+        assert_eq!(literal_codes("ERR code=gap expected=3"), vec!["gap"]);
+        assert_eq!(
+            literal_codes("code=<bad-verb|missing-arg|...>"),
+            vec!["bad-verb", "missing-arg"]
+        );
+        assert!(literal_codes("exit_code=3").is_empty());
+        assert!(literal_codes("ERR code={} tenant=x").is_empty());
+        assert_eq!(
+            literal_codes("\"ERR code=over-quota \""),
+            vec!["over-quota"]
+        );
+    }
+
+    #[test]
+    fn strip_comments_keeps_strings() {
+        let text = "// ERR code=gap\nlet x = \"ERR code=overload\"; /* code=draining */\n";
+        let lines = strip_comments(text);
+        assert!(!lines[0].contains("gap"));
+        assert!(lines[1].contains("code=overload"));
+        assert!(!lines[1].contains("draining"));
+    }
+}

@@ -6,7 +6,7 @@ use std::path::PathBuf;
 use logdiver::filter::PatternTable;
 
 use crate::rules::{verify_table, TableCheckOptions};
-use crate::source::{find_workspace_root, lint_workspace};
+use crate::source::{collect_workspace, find_workspace_root, lint_source};
 use crate::{report, LintReport, MODULE_ALLOWANCES, RULES};
 
 /// Parsed command-line options.
@@ -58,7 +58,15 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--help" | "-h" => {
                 return Err(
-                    "usage: logdiver-lint [--json] [--deny warnings] [--root DIR] [--rules]"
+                    "usage: logdiver-lint [--json] [--deny warnings] [--root DIR] [--rules]\n\
+                     \n\
+                     exit status:\n\
+                     \x20 0  clean (or --rules)\n\
+                     \x20 1  findings failed the run (any error, or any finding with --deny \
+                     warnings)\n\
+                     \x20 2  usage error (bad flag or argument)\n\
+                     \x20 3  analyzer internal error (unreadable workspace/DESIGN.md, or an \
+                     analyzer panic)"
                         .to_string(),
                 )
             }
@@ -86,28 +94,47 @@ pub fn rule_catalog() -> String {
     out
 }
 
-/// Runs both analyzers over the curated table and the workspace under
-/// `root` (autodetected when `None`).
+/// Runs all four analyzers — rule-set verifier, per-file linter,
+/// interprocedural graph analysis, protocol-contract verifier — over the
+/// curated table and the workspace under `root` (autodetected when
+/// `None`). Sources are read once and shared.
 ///
 /// # Errors
 ///
-/// A message when no workspace root can be found or a source file cannot
-/// be read.
+/// A message when no workspace root can be found, a source file or
+/// DESIGN.md cannot be read, or an analyzer panics — all of which are
+/// *internal* errors (exit 3), distinct from findings (exit 1).
 pub fn run_analyzers(root: Option<PathBuf>) -> Result<LintReport, String> {
     let root = root
         .or_else(|| find_workspace_root(&std::env::current_dir().unwrap_or_default()))
         .ok_or("cannot find a workspace root (no Cargo.toml with [workspace]); use --root")?;
+    let files = collect_workspace(&root)?;
+    let design = std::fs::read_to_string(root.join("DESIGN.md"))
+        .map_err(|e| format!("cannot read {}: {e}", root.join("DESIGN.md").display()))?;
     let mut report = LintReport::default();
     report.findings.extend(verify_table(
         &PatternTable::curated(),
         &TableCheckOptions::default(),
     ));
-    report.findings.extend(lint_workspace(&root)?);
+    for (rel, text) in &files {
+        report.findings.extend(lint_source(rel, text));
+    }
+    // The interprocedural analyzers parse arbitrary workspace source with
+    // heuristics; a panic in them is an analyzer bug, not a finding, and
+    // must not masquerade as either "clean" or "findings".
+    let deep = std::panic::catch_unwind(|| {
+        let mut v = crate::graph::analyze(&files);
+        v.extend(crate::contract::analyze(&files, &design));
+        v
+    })
+    .map_err(|_| "analyzer panic in graph/contract analysis (this is a lint bug)".to_string())?;
+    report.findings.extend(deep);
     Ok(report)
 }
 
 /// Full driver: parse, analyze, render to stdout. Returns the process exit
-/// status (0 pass, 1 findings failed the run, 2 usage/I-O error).
+/// status (0 pass, 1 findings failed the run, 2 usage error, 3 analyzer
+/// internal error).
 pub fn run(args: &[String]) -> u8 {
     let opts = match parse_args(args) {
         Ok(o) => o,
@@ -124,7 +151,7 @@ pub fn run(args: &[String]) -> u8 {
         Ok(r) => r,
         Err(msg) => {
             eprintln!("lint: {msg}");
-            return 2;
+            return 3;
         }
     };
     if opts.json {

@@ -1,0 +1,1519 @@
+//! The interprocedural layer: a workspace symbol table and call graph
+//! built on the token [`lexer`], plus the analyses that need it.
+//!
+//! Three rule families live here (DESIGN.md §19):
+//!
+//! - **`lock-order`** — every `Mutex`/`RwLock` guard's lifetime is
+//!   tracked per function (`let g = x.lock()` lives to the end of its
+//!   enclosing block or an explicit `drop(g)`); acquisitions reached
+//!   while another guard is live — directly or through any resolved
+//!   call chain — become edges of a lock-order digraph, and any cycle
+//!   (including a self-cycle: re-acquiring a non-reentrant lock you
+//!   already hold) is reported with both acquisition sites.
+//! - **`blocking-under-lock`** — channel sends/receives, file and
+//!   socket I/O, and `sleep` reached while a guard is live, reported at
+//!   the *acquisition* site with the call chain to the blocking
+//!   operation as the witness. Scoped to `crates/serve/src` and
+//!   `crates/stream/src`, the two places where a stalled guard freezes
+//!   a fleet.
+//! - **`panic-path`** — panic capability (`unwrap`/`expect`/`panic!`/
+//!   `todo!`/`unimplemented!`) propagated bottom-up through the call
+//!   graph. The lexical `no-panic` rule already flags direct panics
+//!   inside the guarded scope, so this rule reports exactly the
+//!   frontier the lexical rule cannot see: a call site in a guarded
+//!   file whose resolved callee lives *outside* the guard and can
+//!   (transitively) panic.
+//!
+//! ## Soundness posture
+//!
+//! The graph is name-resolved, not type-resolved: a call binds to every
+//! workspace function of that name (filtered by the `module::`/`Type::`
+//! qualifier when one is written, preferring same-file candidates for
+//! bare names, and skipping ubiquitous std-shadowed method names).
+//! That over-approximates dispatch — deliberately: a false edge costs
+//! an audited `// lint: allow(<rule>) <reason>` annotation; a missed
+//! edge costs a deadlocked daemon. Lock identity is `(crate, binding
+//! name)`, which merges distinct locks that share a field name within
+//! a crate — also the conservative direction. The escape hatches are
+//! the same as every other rule: a per-line allow on the reported line
+//! (the acquisition for lock rules, the call for `panic-path`) or a
+//! declared [`crate::MODULE_ALLOWANCES`] entry.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use crate::lexer::{self, CleanSource};
+use crate::source::{in_exempt_dir, no_panic_scope};
+use crate::{Finding, Level};
+
+/// Method names that never resolve into the workspace call graph: they
+/// shadow std/collection methods so thoroughly that name resolution
+/// would wire half the workspace to the other half.
+const COMMON_METHODS: &[&str] = &[
+    "new",
+    "clone",
+    "default",
+    "len",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "get",
+    "get_mut",
+    "contains",
+    "contains_key",
+    "unwrap_or",
+    "map",
+    "map_err",
+    "and_then",
+    "filter",
+    "filter_map",
+    "collect",
+    "to_string",
+    "fmt",
+    "eq",
+    "cmp",
+    "partial_cmp",
+    "hash",
+    "drop",
+    "clear",
+    "extend",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "join",
+    "split",
+    "trim",
+    "parse",
+    "name",
+    "label",
+    "code",
+    "value",
+    "as_str",
+    "as_bytes",
+    "as_ref",
+    "as_mut",
+    "into",
+    "from",
+    "try_from",
+    "try_into",
+    "index",
+    "min",
+    "max",
+    "abs",
+    "entry",
+    "or_insert_with",
+    "or_default",
+    "starts_with",
+    "ends_with",
+    "find",
+    "position",
+    "any",
+    "all",
+    "sum",
+    "count",
+    "chars",
+    "bytes",
+    "lines",
+    "take",
+    "skip",
+    "rev",
+    "zip",
+    "enumerate",
+    "flat_map",
+    "flatten",
+    "fold",
+    "last",
+    "first",
+    "expect",
+    "ok",
+    "err",
+    "is_some",
+    "is_none",
+    "is_ok",
+    "is_err",
+    "ok_or",
+    "ok_or_else",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "then",
+    "then_some",
+    "get_or_insert_with",
+    "retain",
+    "truncate",
+    "resize",
+    "swap",
+    "replace",
+    "id",
+    "keys",
+    "values",
+    "values_mut",
+    "range",
+    "binary_search",
+    "to_vec",
+    "windows",
+    "chunks",
+];
+
+/// Method calls that block: channel traffic, file/socket I/O, sleeps.
+/// `read`/`write` with a non-empty argument list are handled separately
+/// (empty-argument `.lock()`/`.read()`/`.write()` are lock
+/// acquisitions).
+const BLOCKING_METHODS: &[&str] = &[
+    "send",
+    "recv",
+    "recv_timeout",
+    "write_all",
+    "flush",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "read_line",
+    "sleep",
+    "connect",
+    "accept",
+    "sync_all",
+    "sync_data",
+    "set_len",
+    "wait",
+    "wait_timeout",
+];
+
+/// Keywords that look like calls when followed by `(`.
+const KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "fn", "in", "as", "move", "else", "unsafe",
+    "let", "pub", "where", "impl", "use", "mod", "ref", "mut", "dyn", "break", "continue",
+];
+
+/// One source file, lexed once and indexed for position→line queries.
+struct FileSrc {
+    path: String,
+    crate_name: String,
+    clean: CleanSource,
+    /// Cleaned lines joined with `\n` (strings/comments blanked), the
+    /// text every structural scan runs over.
+    joined: String,
+    /// Byte offset of each line start in `joined` (0-based line index).
+    line_start: Vec<usize>,
+    /// `(open, close)` byte offsets of every matched `{}` pair.
+    braces: Vec<(usize, usize)>,
+}
+
+impl FileSrc {
+    fn build(path: &str, text: &str) -> FileSrc {
+        let clean = lexer::scan(text);
+        let joined = clean.lines.join("\n");
+        let mut line_start = Vec::with_capacity(clean.lines.len());
+        let mut at = 0usize;
+        for l in &clean.lines {
+            line_start.push(at);
+            at += l.len() + 1;
+        }
+        let braces = brace_pairs(joined.as_bytes());
+        let crate_name = path
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+            .unwrap_or("")
+            .to_string();
+        FileSrc {
+            path: path.to_string(),
+            crate_name,
+            clean,
+            joined,
+            line_start,
+            braces,
+        }
+    }
+
+    /// 1-based line containing byte offset `pos` of `joined`.
+    fn pos_line(&self, pos: usize) -> u32 {
+        match self.line_start.binary_search(&pos) {
+            Ok(i) => i as u32 + 1,
+            Err(i) => i as u32,
+        }
+    }
+
+    /// Byte offset in `joined` of column `col` on 1-based line `ln`.
+    fn line_pos(&self, ln: u32, col: usize) -> usize {
+        self.line_start[(ln as usize) - 1] + col
+    }
+
+    /// The close offset of the innermost `{}` pair containing `pos`
+    /// (`joined.len()` when none does).
+    fn enclosing_block_end(&self, pos: usize) -> usize {
+        self.braces
+            .iter()
+            .filter(|(o, c)| *o < pos && pos < *c)
+            .min_by_key(|(o, c)| c - o)
+            .map(|(_, c)| *c)
+            .unwrap_or(self.joined.len())
+    }
+}
+
+/// Every `{}` pair in `bytes` (already comment/string-blanked).
+fn brace_pairs(bytes: &[u8]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut stack = Vec::new();
+    for (i, b) in bytes.iter().enumerate() {
+        match b {
+            b'{' => stack.push(i),
+            b'}' => {
+                if let Some(open) = stack.pop() {
+                    out.push((open, i));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// A `(crate, binding-name)` lock identity.
+type LockId = (String, String);
+
+/// One guard acquisition inside a function body.
+#[derive(Debug, Clone)]
+struct LockSite {
+    lock: LockId,
+    line: u32,
+    /// Last line (inclusive) the guard can still be live on.
+    live_end: u32,
+}
+
+/// One call site, resolved to zero or more workspace functions.
+#[derive(Debug, Clone)]
+struct CallSite {
+    line: u32,
+    name: String,
+    callees: Vec<usize>,
+}
+
+/// A direct effect (panic or blocking operation) inside a body.
+#[derive(Debug, Clone)]
+struct EffectSite {
+    line: u32,
+    desc: String,
+}
+
+/// One workspace function.
+struct FnDef {
+    file: usize,
+    name: String,
+    calls: Vec<CallSite>,
+    locks: Vec<LockSite>,
+    panics: Vec<EffectSite>,
+    blocking: Vec<EffectSite>,
+}
+
+/// Bottom-up summaries, each with one shortest witness chain.
+#[derive(Default)]
+struct Summaries {
+    /// `fn index -> witness chain ending in a panic site`.
+    panic: Vec<Option<Vec<String>>>,
+    /// `fn index -> witness chain ending in a blocking operation`.
+    blocking: Vec<Option<Vec<String>>>,
+    /// `fn index -> every lock (transitively) acquired, with a chain`.
+    acquires: Vec<BTreeMap<LockId, Vec<String>>>,
+}
+
+/// Runs the interprocedural analyses over `(workspace-relative path,
+/// text)` pairs. Pure — the mutation self-tests feed it doctored file
+/// sets.
+pub fn analyze(files: &[(String, String)]) -> Vec<Finding> {
+    let srcs: Vec<FileSrc> = files
+        .iter()
+        .filter(|(p, _)| p.ends_with(".rs") && !in_exempt_dir(p))
+        .map(|(p, t)| FileSrc::build(p, t))
+        .collect();
+    let fns = parse_workspace(&srcs);
+    let sums = summarize(&srcs, &fns);
+    let mut out = Vec::new();
+    report_panic_paths(&srcs, &fns, &sums, &mut out);
+    report_lock_rules(&srcs, &fns, &sums, &mut out);
+    out.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+    });
+    out.dedup_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.message) == (&b.file, b.line, b.rule, &b.message)
+    });
+    out
+}
+
+// ---------------------------------------------------------------------
+// symbol table + call graph construction
+// ---------------------------------------------------------------------
+
+/// `(name, 1-based sig line, body byte range)` — one lexed `fn` item.
+type FnItem = (String, u32, Option<(usize, usize)>);
+/// `(file idx, name, impl type, sig line, body range)` — a pre-resolution
+/// symbol-table row.
+type FnRow = (usize, String, Option<String>, u32, Option<(usize, usize)>);
+
+fn parse_workspace(srcs: &[FileSrc]) -> Vec<FnDef> {
+    let mut fns = Vec::new();
+    // (file, body range, impl type) per fn, resolved in a second pass.
+    for (fi, src) in srcs.iter().enumerate() {
+        let impls = parse_impls(src);
+        for (name, sig_line, body) in parse_fn_items(src) {
+            if src.clean.is_test_line(sig_line) {
+                continue;
+            }
+            let impl_type = body.and_then(|(open, _)| {
+                impls
+                    .iter()
+                    .filter(|(o, c, _)| *o < open && open < *c)
+                    .min_by_key(|(o, c, _)| c - o)
+                    .map(|(_, _, t)| t.clone())
+            });
+            fns.push((fi, name, impl_type, sig_line, body));
+        }
+    }
+
+    // Name index for resolution.
+    let mut by_name: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (i, (_, name, _, _, _)) in fns.iter().enumerate() {
+        by_name.entry(name.as_str()).or_default().push(i);
+    }
+
+    fns.iter()
+        .enumerate()
+        .map(|(ci, (fi, name, _, _sig_line, body))| {
+            let src = &srcs[*fi];
+            let mut def = FnDef {
+                file: *fi,
+                name: name.clone(),
+                calls: Vec::new(),
+                locks: Vec::new(),
+                panics: Vec::new(),
+                blocking: Vec::new(),
+            };
+            if let Some((open, close)) = body {
+                scan_body(
+                    src,
+                    *fi,
+                    ci,
+                    (*open, *close),
+                    &fns,
+                    &by_name,
+                    srcs,
+                    &mut def,
+                );
+            }
+            def
+        })
+        .collect()
+}
+
+/// `(open, close, Self type)` for every inherent/trait `impl` block.
+fn parse_impls(src: &FileSrc) -> Vec<(usize, usize, String)> {
+    let mut out = Vec::new();
+    for (idx, line) in src.clean.lines.iter().enumerate() {
+        for at in lexer::ident_positions(line, "impl") {
+            // Item position only: nothing (or `unsafe`) before it on the
+            // line, so `fn f(x: impl Trait)` does not read as a block.
+            let before = line[..at].trim();
+            if !(before.is_empty() || before == "unsafe") {
+                continue;
+            }
+            let jpos = src.line_pos(idx as u32 + 1, at);
+            let Some(open_rel) = src.joined[jpos..].find('{') else {
+                continue;
+            };
+            let open = jpos + open_rel;
+            let close = src
+                .braces
+                .iter()
+                .find(|(o, _)| *o == open)
+                .map(|(_, c)| *c)
+                .unwrap_or(src.joined.len());
+            let header = &src.joined[jpos + "impl".len()..open];
+            out.push((open, close, impl_self_type(header)));
+        }
+    }
+    out
+}
+
+/// The Self type name out of an impl header: the last path segment of
+/// the type after `for` (trait impls) or after the generics (inherent).
+fn impl_self_type(header: &str) -> String {
+    let mut rest = header.trim();
+    if let Some(stripped) = rest.strip_prefix('<') {
+        // Skip the generic parameter list.
+        let mut depth = 1usize;
+        let mut cut = stripped.len();
+        for (i, c) in stripped.char_indices() {
+            match c {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        cut = i + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        rest = stripped[cut.min(stripped.len())..].trim();
+    }
+    if let Some(at) = rest.rfind(" for ") {
+        rest = rest[at + " for ".len()..].trim();
+    }
+    // `std::fmt::Display` -> `Display`; `Request<'a>` -> `Request`.
+    let rest = rest.split('<').next().unwrap_or(rest);
+    rest.rsplit("::").next().unwrap_or(rest).trim().to_string()
+}
+
+/// `(name, 1-based sig line, body byte range)` for every `fn` item.
+fn parse_fn_items(src: &FileSrc) -> Vec<FnItem> {
+    let mut out = Vec::new();
+    let bytes = src.joined.as_bytes();
+    for (idx, line) in src.clean.lines.iter().enumerate() {
+        for at in lexer::ident_positions(line, "fn") {
+            let before = line[..at].trim();
+            let item_position = before.is_empty()
+                || before.split_whitespace().all(|tok| {
+                    matches!(
+                        tok,
+                        "pub"
+                            | "pub(crate)"
+                            | "pub(super)"
+                            | "unsafe"
+                            | "async"
+                            | "const"
+                            | "extern"
+                            | "default"
+                    )
+                });
+            if !item_position {
+                continue;
+            }
+            let jpos = src.line_pos(idx as u32 + 1, at);
+            let mut j = jpos + 2;
+            while j < bytes.len() && (bytes[j] as char).is_whitespace() {
+                j += 1;
+            }
+            let name_start = j;
+            while j < bytes.len() && lexer::is_ident_char(bytes[j] as char) {
+                j += 1;
+            }
+            if j == name_start {
+                continue; // `fn(` — a function-pointer type, not an item
+            }
+            let name = src.joined[name_start..j].to_string();
+            // Find the body `{` (or a trait-decl `;`) at bracket depth 0.
+            let mut depth = 0i32;
+            let mut body = None;
+            while j < bytes.len() {
+                match bytes[j] {
+                    b'(' | b'[' => depth += 1,
+                    b')' | b']' => depth -= 1,
+                    b';' if depth == 0 => break,
+                    b'{' if depth == 0 => {
+                        let close = src
+                            .braces
+                            .iter()
+                            .find(|(o, _)| *o == j)
+                            .map(|(_, c)| *c)
+                            .unwrap_or(src.joined.len());
+                        body = Some((j, close));
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            out.push((name, idx as u32 + 1, body));
+        }
+    }
+    out
+}
+
+/// Extracts calls, lock acquisitions, and direct effects from one body.
+#[allow(clippy::too_many_arguments)]
+fn scan_body(
+    src: &FileSrc,
+    file_idx: usize,
+    caller_idx: usize,
+    body: (usize, usize),
+    fns: &[FnRow],
+    by_name: &HashMap<&str, Vec<usize>>,
+    srcs: &[FileSrc],
+    def: &mut FnDef,
+) {
+    let first = src.pos_line(body.0);
+    let last = src.pos_line(body.1.min(src.joined.len().saturating_sub(1)));
+    for ln in first..=last {
+        let line = src.clean.line(ln);
+        if src.clean.is_test_line(ln) {
+            continue;
+        }
+
+        // Direct panic sites (same token rules as the lexical no-panic
+        // pass; an allow there asserts the site cannot actually panic,
+        // so it must not seed propagation either).
+        if !src.clean.allowed("no-panic", ln) {
+            for method in ["unwrap", "expect"] {
+                for at in lexer::ident_positions(line, method) {
+                    if line[..at].ends_with('.') {
+                        def.panics.push(EffectSite {
+                            line: ln,
+                            desc: format!(".{method}()"),
+                        });
+                    }
+                }
+            }
+            for mac in ["panic", "todo", "unimplemented"] {
+                for at in lexer::ident_positions(line, mac) {
+                    if line[at + mac.len()..].starts_with('!') {
+                        def.panics.push(EffectSite {
+                            line: ln,
+                            desc: format!("{mac}!"),
+                        });
+                    }
+                }
+            }
+        }
+
+        for raw in scan_raw_calls(line) {
+            let jpos = src.line_pos(ln, raw.col);
+            if jpos < body.0 || jpos > body.1 {
+                continue;
+            }
+            // Lock acquisition: `.lock()` / `.read()` / `.write()` with
+            // an empty argument list (io::Read/Write always take one).
+            if raw.method
+                && raw.args_empty
+                && matches!(raw.name.as_str(), "lock" | "read" | "write")
+            {
+                let lock_name = receiver_name(line, raw.col).unwrap_or_else(|| "<expr>".into());
+                let live_end = guard_live_end(src, line, ln, raw.col, jpos);
+                def.locks.push(LockSite {
+                    lock: (src.crate_name.clone(), lock_name),
+                    line: ln,
+                    live_end,
+                });
+                continue;
+            }
+            // Direct blocking operations. `accept` only blocks in its
+            // nullary socket form — `sink.accept(record)` is the visitor
+            // idiom, not `TcpListener::accept()`.
+            if (raw.method
+                && BLOCKING_METHODS.contains(&raw.name.as_str())
+                && (raw.name != "accept" || raw.args_empty))
+                || (raw.method && !raw.args_empty && matches!(raw.name.as_str(), "read" | "write"))
+            {
+                def.blocking.push(EffectSite {
+                    line: ln,
+                    desc: format!(".{}()", raw.name),
+                });
+            } else if raw.qualifier.as_deref() == Some("fs")
+                || (raw.qualifier.as_deref() == Some("thread") && raw.name == "sleep")
+                || (raw.qualifier.as_deref() == Some("TcpStream") && raw.name == "connect")
+            {
+                def.blocking.push(EffectSite {
+                    line: ln,
+                    desc: format!("{}::{}()", raw.qualifier.as_deref().unwrap_or(""), raw.name),
+                });
+            }
+
+            // Workspace resolution.
+            let callees = resolve(&raw, file_idx, caller_idx, fns, by_name, srcs);
+            if !callees.is_empty() {
+                def.calls.push(CallSite {
+                    line: ln,
+                    name: raw.name.clone(),
+                    callees,
+                });
+            }
+        }
+    }
+}
+
+/// A syntactic call candidate on one line.
+struct RawCall {
+    col: usize,
+    name: String,
+    method: bool,
+    qualifier: Option<String>,
+    args_empty: bool,
+}
+
+fn scan_raw_calls(line: &str) -> Vec<RawCall> {
+    let mut out = Vec::new();
+    let bytes = line.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if !lexer::is_ident_char(c) || c.is_ascii_digit() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < bytes.len() && lexer::is_ident_char(bytes[i] as char) {
+            i += 1;
+        }
+        let name = &line[start..i];
+        if i >= bytes.len() || bytes[i] != b'(' {
+            continue;
+        }
+        if KEYWORDS.contains(&name) || name.chars().next().is_some_and(char::is_uppercase) {
+            continue;
+        }
+        // The defining `fn name(` is not a call of itself.
+        let before = line[..start].trim_end();
+        if before.ends_with("fn")
+            && !before[..before.len() - 2]
+                .chars()
+                .next_back()
+                .is_some_and(lexer::is_ident_char)
+        {
+            continue;
+        }
+        let method = start > 0 && bytes[start - 1] == b'.';
+        let qualifier = if !method && line[..start].ends_with("::") {
+            let q = &line[..start - 2];
+            let qs = q
+                .rfind(|ch: char| !lexer::is_ident_char(ch))
+                .map(|p| p + 1)
+                .unwrap_or(0);
+            (!q[qs..].is_empty()).then(|| q[qs..].to_string())
+        } else {
+            None
+        };
+        let mut j = i + 1;
+        while j < bytes.len() && bytes[j] == b' ' {
+            j += 1;
+        }
+        let args_empty = j < bytes.len() && bytes[j] == b')';
+        out.push(RawCall {
+            col: start,
+            name: name.to_string(),
+            method,
+            qualifier,
+            args_empty,
+        });
+    }
+    out
+}
+
+/// The receiver binding a method call hangs off: the identifier (or the
+/// identifier before a call's parens) immediately left of the dot at
+/// `col - 1`. `self.core.lock()` → `core`; `tenants().lock()` → `tenants`.
+fn receiver_name(line: &str, col: usize) -> Option<String> {
+    let mut end = col.checked_sub(1)?; // the '.'
+    let bytes = line.as_bytes();
+    if end > 0 && bytes[end - 1] == b')' {
+        // Walk back over the balanced parens of `foo(...)`.
+        let mut depth = 0i32;
+        let mut k = end - 1;
+        loop {
+            match bytes[k] {
+                b')' => depth += 1,
+                b'(' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            if k == 0 {
+                return None;
+            }
+            k -= 1;
+        }
+        end = k;
+    }
+    let start = line[..end]
+        .rfind(|c: char| !lexer::is_ident_char(c))
+        .map(|p| p + 1)
+        .unwrap_or(0);
+    let name = &line[start..end];
+    (!name.is_empty()).then(|| name.to_string())
+}
+
+/// Last line a guard acquired at (`ln`, byte `jpos`) can be live on:
+/// the end of the enclosing block for `let`-bound guards (cut short by
+/// an explicit `drop(<guard>)`), the acquisition line itself for
+/// unbound temporaries (`x.lock().f()` drops at the statement's end).
+fn guard_live_end(src: &FileSrc, line: &str, ln: u32, col: usize, jpos: usize) -> u32 {
+    let before = line[..col].trim_start();
+    let bound = before.strip_prefix("let ").map(|rest| {
+        let rest = rest
+            .trim_start()
+            .strip_prefix("mut ")
+            .unwrap_or(rest)
+            .trim_start();
+        let end = rest
+            .find(|c: char| !lexer::is_ident_char(c))
+            .unwrap_or(rest.len());
+        rest[..end].to_string()
+    });
+    // `let conn = core.lock().open_conn();` binds open_conn's result, not
+    // the guard — the guard is a temporary dropped at the statement's
+    // end. Only `.unwrap()`/`.expect(..)` chains (the std-Mutex poison
+    // idiom) still bind the guard itself.
+    if let Some(tail) = line[col..]
+        .find(')')
+        .map(|p| line[col + p + 1..].trim_start())
+    {
+        if let Some(chained) = tail.strip_prefix('.') {
+            let end = chained
+                .find(|c: char| !lexer::is_ident_char(c))
+                .unwrap_or(chained.len());
+            if !matches!(&chained[..end], "unwrap" | "expect") {
+                return ln;
+            }
+        }
+    }
+    let Some(guard) = bound.filter(|g| !g.is_empty()) else {
+        return ln;
+    };
+    let block_end = src.pos_line(
+        src.enclosing_block_end(jpos)
+            .min(src.joined.len().saturating_sub(1)),
+    );
+    for probe in ln + 1..=block_end {
+        let l = src.clean.line(probe);
+        for at in lexer::ident_positions(l, "drop") {
+            let rest = l[at + "drop".len()..].trim_start();
+            if let Some(arg) = rest.strip_prefix('(') {
+                if arg.trim_start().starts_with(&guard) {
+                    return probe;
+                }
+            }
+        }
+    }
+    block_end
+}
+
+/// Resolves a raw call to workspace function indices.
+fn resolve(
+    raw: &RawCall,
+    caller_file: usize,
+    caller_idx: usize,
+    fns: &[FnRow],
+    by_name: &HashMap<&str, Vec<usize>>,
+    srcs: &[FileSrc],
+) -> Vec<usize> {
+    if raw.method && COMMON_METHODS.contains(&raw.name.as_str()) {
+        return Vec::new();
+    }
+    // `drop(g)` is `mem::drop`; linking it to the workspace's `Drop::drop`
+    // impls (which are never called by name) wires destructors into every
+    // caller.
+    if raw.name == "drop" {
+        return Vec::new();
+    }
+    let Some(all) = by_name.get(raw.name.as_str()) else {
+        return Vec::new();
+    };
+    // A method call sharing the caller's own name is almost always the
+    // wrapper idiom — `fn probe(&mut self) { self.core.lock().probe(s) }`
+    // — not recursion; resolving it to the caller fabricates a self-loop
+    // (and with a lock held, a phantom self-deadlock).
+    let all: Vec<usize> = if raw.method {
+        all.iter().copied().filter(|i| *i != caller_idx).collect()
+    } else {
+        all.clone()
+    };
+    let all = &all;
+    let candidates: Vec<usize> = match raw.qualifier.as_deref() {
+        Some("self") | Some("crate") => {
+            let caller_crate = &srcs[caller_file].crate_name;
+            all.iter()
+                .copied()
+                .filter(|&i| &srcs[fns[i].0].crate_name == caller_crate)
+                .collect()
+        }
+        Some(q) if q.chars().next().is_some_and(char::is_uppercase) => all
+            .iter()
+            .copied()
+            .filter(|&i| fns[i].2.as_deref() == Some(q))
+            .collect(),
+        Some(q) => all
+            .iter()
+            .copied()
+            .filter(|&i| {
+                let path = &srcs[fns[i].0].path;
+                path.ends_with(&format!("/{q}.rs")) || path.ends_with(&format!("/{q}/mod.rs"))
+            })
+            .collect(),
+        None => {
+            // Bare name: same-file candidates win; otherwise any.
+            let same_file: Vec<usize> = all
+                .iter()
+                .copied()
+                .filter(|&i| fns[i].0 == caller_file)
+                .collect();
+            if !same_file.is_empty() {
+                same_file
+            } else if raw.method && all.len() > 1 {
+                // An unqualified method name matching several same-named
+                // methods across crates (`pump`, `drain`, `flush`...) is
+                // the wrapper idiom again: linking the call to ALL of
+                // them fabricates call chains — and with locks in play,
+                // phantom deadlock cycles — between unrelated layers.
+                // Without types, only a unique name is trustworthy.
+                Vec::new()
+            } else {
+                all.clone()
+            }
+        }
+    };
+    // A huge fan-out means the name is effectively ambient; linking it
+    // would wire unrelated crates together.
+    if candidates.len() > 8 {
+        return Vec::new();
+    }
+    candidates
+}
+
+// ---------------------------------------------------------------------
+// bottom-up summaries
+// ---------------------------------------------------------------------
+
+fn summarize(srcs: &[FileSrc], fns: &[FnDef]) -> Summaries {
+    let mut sums = Summaries {
+        panic: vec![None; fns.len()],
+        blocking: vec![None; fns.len()],
+        acquires: vec![BTreeMap::new(); fns.len()],
+    };
+    // Reverse edges: callee -> (caller, line).
+    let mut callers: Vec<Vec<(usize, u32)>> = vec![Vec::new(); fns.len()];
+    for (ci, f) in fns.iter().enumerate() {
+        for call in &f.calls {
+            for &callee in &call.callees {
+                callers[callee].push((ci, call.line));
+            }
+        }
+    }
+
+    let site = |f: &FnDef, e: &EffectSite| {
+        format!(
+            "{}:{} {}() does {}",
+            srcs[f.file].path, e.line, f.name, e.desc
+        )
+    };
+    let hop = |f: &FnDef, line: u32, callee: &FnDef| {
+        format!(
+            "{}:{} {}() calls {}()",
+            srcs[f.file].path, line, f.name, callee.name
+        )
+    };
+
+    // Panic capability: BFS from direct panic sites gives each function
+    // a shortest-hop witness chain.
+    let mut queue: Vec<usize> = Vec::new();
+    for (i, f) in fns.iter().enumerate() {
+        if let Some(e) = f.panics.first() {
+            sums.panic[i] = Some(vec![site(f, e)]);
+            queue.push(i);
+        }
+    }
+    let mut head = 0;
+    while head < queue.len() {
+        let callee = queue[head];
+        head += 1;
+        let chain = sums.panic[callee].clone().unwrap_or_default();
+        for &(caller, line) in &callers[callee] {
+            if sums.panic[caller].is_some() {
+                continue;
+            }
+            // An allow on the call line asserts the callee cannot panic
+            // from here; it stops propagation through this edge.
+            if srcs[fns[caller].file].clean.allowed("panic-path", line) {
+                continue;
+            }
+            let mut c = vec![hop(&fns[caller], line, &fns[callee])];
+            c.extend(chain.iter().cloned());
+            sums.panic[caller] = Some(c);
+            queue.push(caller);
+        }
+    }
+
+    // Blocking effects: same shape.
+    let mut queue: Vec<usize> = Vec::new();
+    for (i, f) in fns.iter().enumerate() {
+        if let Some(e) = f.blocking.first() {
+            sums.blocking[i] = Some(vec![site(f, e)]);
+            queue.push(i);
+        }
+    }
+    let mut head = 0;
+    while head < queue.len() {
+        let callee = queue[head];
+        head += 1;
+        let chain = sums.blocking[callee].clone().unwrap_or_default();
+        for &(caller, line) in &callers[callee] {
+            if sums.blocking[caller].is_some() {
+                continue;
+            }
+            let mut c = vec![hop(&fns[caller], line, &fns[callee])];
+            c.extend(chain.iter().cloned());
+            sums.blocking[caller] = Some(c);
+            queue.push(caller);
+        }
+    }
+
+    // Transitive lock acquisition sets: monotone worklist to fixpoint.
+    for (i, f) in fns.iter().enumerate() {
+        for l in &f.locks {
+            sums.acquires[i].entry(l.lock.clone()).or_insert_with(|| {
+                vec![format!(
+                    "{}:{} {}() locks `{}`",
+                    srcs[f.file].path, l.line, f.name, l.lock.1
+                )]
+            });
+        }
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (ci, f) in fns.iter().enumerate() {
+            for call in &f.calls {
+                for &callee in &call.callees {
+                    if callee == ci {
+                        continue;
+                    }
+                    let add: Vec<(LockId, Vec<String>)> = sums.acquires[callee]
+                        .iter()
+                        .filter(|(id, _)| !sums.acquires[ci].contains_key(*id))
+                        .map(|(id, chain)| {
+                            let mut c = vec![hop(f, call.line, &fns[callee])];
+                            c.extend(chain.iter().cloned());
+                            (id.clone(), c)
+                        })
+                        .collect();
+                    if !add.is_empty() {
+                        changed = true;
+                        sums.acquires[ci].extend(add);
+                    }
+                }
+            }
+        }
+    }
+    sums
+}
+
+// ---------------------------------------------------------------------
+// reporting
+// ---------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+fn emit(
+    srcs: &[FileSrc],
+    file: usize,
+    line: u32,
+    rule: &'static str,
+    message: String,
+    hint: &str,
+    witness: Option<String>,
+    out: &mut Vec<Finding>,
+) {
+    let src = &srcs[file];
+    if src.clean.allowed(rule, line) || crate::module_allowance(&src.path, rule).is_some() {
+        return;
+    }
+    out.push(Finding {
+        file: src.path.clone(),
+        line,
+        rule,
+        level: crate::rule_level(rule).unwrap_or(Level::Error),
+        message,
+        hint: hint.to_string(),
+        witness,
+    });
+}
+
+/// `panic-path`: guarded call sites whose resolved callee lives outside
+/// the guard and can (transitively) panic.
+fn report_panic_paths(srcs: &[FileSrc], fns: &[FnDef], sums: &Summaries, out: &mut Vec<Finding>) {
+    for f in fns {
+        if !no_panic_scope(&srcs[f.file].path) {
+            continue;
+        }
+        for call in &f.calls {
+            if srcs[f.file].clean.allowed("panic-path", call.line) {
+                continue;
+            }
+            let Some(&culprit) = call
+                .callees
+                .iter()
+                .find(|&&c| sums.panic[c].is_some() && !no_panic_scope(&srcs[fns[c].file].path))
+            else {
+                continue;
+            };
+            let chain = sums.panic[culprit].as_ref().cloned().unwrap_or_default();
+            let mut witness = vec![format!(
+                "{}:{} {}() calls {}()",
+                srcs[f.file].path, call.line, f.name, fns[culprit].name
+            )];
+            witness.extend(chain);
+            emit(
+                srcs,
+                f.file,
+                call.line,
+                "panic-path",
+                format!(
+                    "{}() can panic and is outside the no-panic guard",
+                    call.name
+                ),
+                "make the helper infallible (typed error), move it under the guard, or annotate \
+                 this call with `// lint: allow(panic-path) <why the input is safe here>`",
+                Some(witness.join(" -> ")),
+                out,
+            );
+        }
+    }
+}
+
+/// A lock-order edge: `from` held while `to` is acquired.
+struct LockEdge {
+    from: LockId,
+    to: LockId,
+    file: usize,
+    line: u32,
+    witness: String,
+}
+
+/// `lock-order` + `blocking-under-lock` over guard live ranges.
+fn report_lock_rules(srcs: &[FileSrc], fns: &[FnDef], sums: &Summaries, out: &mut Vec<Finding>) {
+    let in_scope =
+        |p: &str| p.starts_with("crates/serve/src/") || p.starts_with("crates/stream/src/");
+    let mut edges: Vec<LockEdge> = Vec::new();
+
+    for f in fns {
+        for held in &f.locks {
+            // What does this guard's live range reach?
+            let mut block_witness: Option<(u32, String)> = None;
+
+            // Direct blocking operations inside the range.
+            for e in &f.blocking {
+                if e.line >= held.line && e.line <= held.live_end {
+                    let w = format!(
+                        "guard on `{}` taken at {}:{} -> {}:{} {}() does {}",
+                        held.lock.1,
+                        srcs[f.file].path,
+                        held.line,
+                        srcs[f.file].path,
+                        e.line,
+                        f.name,
+                        e.desc
+                    );
+                    if block_witness.as_ref().is_none_or(|(l, _)| e.line < *l) {
+                        block_witness = Some((e.line, w));
+                    }
+                }
+            }
+
+            // Later direct acquisitions inside the range: lock-order edges.
+            for later in &f.locks {
+                if later.line > held.line && later.line <= held.live_end && later.lock != held.lock
+                {
+                    edges.push(LockEdge {
+                        from: held.lock.clone(),
+                        to: later.lock.clone(),
+                        file: f.file,
+                        line: held.line,
+                        witness: format!(
+                            "`{}` taken at {}:{}, then `{}` at {}:{} ({}())",
+                            held.lock.1,
+                            srcs[f.file].path,
+                            held.line,
+                            later.lock.1,
+                            srcs[f.file].path,
+                            later.line,
+                            f.name
+                        ),
+                    });
+                }
+                // Re-acquiring the same lock while it is live deadlocks a
+                // non-reentrant mutex outright.
+                if later.line > held.line && later.line <= held.live_end && later.lock == held.lock
+                {
+                    edges.push(LockEdge {
+                        from: held.lock.clone(),
+                        to: later.lock.clone(),
+                        file: f.file,
+                        line: held.line,
+                        witness: format!(
+                            "`{}` taken at {}:{} is still live when {}:{} takes it again ({}())",
+                            held.lock.1,
+                            srcs[f.file].path,
+                            held.line,
+                            srcs[f.file].path,
+                            later.line,
+                            f.name
+                        ),
+                    });
+                }
+            }
+
+            // Calls inside the range: pull in callee summaries.
+            for call in &f.calls {
+                if call.line < held.line || call.line > held.live_end {
+                    continue;
+                }
+                for &callee in &call.callees {
+                    if let Some(chain) = &sums.blocking[callee] {
+                        let line = call.line;
+                        if block_witness.as_ref().is_none_or(|(l, _)| line < *l) {
+                            let mut w = vec![format!(
+                                "guard on `{}` taken at {}:{}",
+                                held.lock.1, srcs[f.file].path, held.line
+                            )];
+                            w.push(format!(
+                                "{}:{} {}() calls {}()",
+                                srcs[f.file].path, call.line, f.name, fns[callee].name
+                            ));
+                            w.extend(chain.iter().cloned());
+                            block_witness = Some((line, w.join(" -> ")));
+                        }
+                    }
+                    for (id, chain) in &sums.acquires[callee] {
+                        if *id == held.lock {
+                            // Transitive re-acquisition: a self-cycle.
+                            edges.push(LockEdge {
+                                from: held.lock.clone(),
+                                to: id.clone(),
+                                file: f.file,
+                                line: held.line,
+                                witness: format!(
+                                    "`{}` taken at {}:{} is still live on this path: {}",
+                                    held.lock.1,
+                                    srcs[f.file].path,
+                                    held.line,
+                                    chain.join(" -> ")
+                                ),
+                            });
+                        } else {
+                            edges.push(LockEdge {
+                                from: held.lock.clone(),
+                                to: id.clone(),
+                                file: f.file,
+                                line: held.line,
+                                witness: format!(
+                                    "`{}` taken at {}:{}, then via {}",
+                                    held.lock.1,
+                                    srcs[f.file].path,
+                                    held.line,
+                                    chain.join(" -> ")
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+
+            if let Some((_, w)) = block_witness {
+                if in_scope(&srcs[f.file].path) {
+                    emit(
+                        srcs,
+                        f.file,
+                        held.line,
+                        "blocking-under-lock",
+                        format!(
+                            "guard on `{}` is held across a blocking operation",
+                            held.lock.1
+                        ),
+                        "drop the guard before the blocking call (stage the data out of the \
+                         critical section), or annotate the acquisition with \
+                         `// lint: allow(blocking-under-lock) <why the stall is bounded>`",
+                        Some(w),
+                        out,
+                    );
+                }
+            }
+        }
+    }
+
+    // Cycle detection over the lock digraph.
+    let mut adj: BTreeMap<&LockId, BTreeSet<&LockId>> = BTreeMap::new();
+    for e in &edges {
+        adj.entry(&e.from).or_default().insert(&e.to);
+    }
+    let reaches = |from: &LockId, to: &LockId| -> bool {
+        let mut seen: BTreeSet<&LockId> = BTreeSet::new();
+        let mut stack = vec![from];
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            if let Some(next) = adj.get(n) {
+                for m in next {
+                    if seen.insert(m) {
+                        stack.push(m);
+                    }
+                }
+            }
+        }
+        false
+    };
+    let mut reported: BTreeSet<(LockId, LockId)> = BTreeSet::new();
+    for e in &edges {
+        let cyclic = if e.from == e.to {
+            true
+        } else {
+            reaches(&e.to, &e.from)
+        };
+        if !cyclic {
+            continue;
+        }
+        let key = if e.from <= e.to {
+            (e.from.clone(), e.to.clone())
+        } else {
+            (e.to.clone(), e.from.clone())
+        };
+        if !reported.insert(key) {
+            continue;
+        }
+        if !in_scope(&srcs[e.file].path) {
+            continue;
+        }
+        // The counter-direction edge, for the two-sided witness.
+        let counter = edges
+            .iter()
+            .find(|c| c.from == e.to && c.to == e.from && (c.file, c.line) != (e.file, e.line));
+        let mut witness = e.witness.clone();
+        if let Some(c) = counter {
+            witness.push_str("; opposite order: ");
+            witness.push_str(&c.witness);
+        }
+        let message = if e.from == e.to {
+            format!(
+                "lock `{}` can be re-acquired while already held (self-deadlock)",
+                e.from.1
+            )
+        } else {
+            format!("lock-order cycle between `{}` and `{}`", e.from.1, e.to.1)
+        };
+        emit(
+            srcs,
+            e.file,
+            e.line,
+            "lock-order",
+            message,
+            "pick one global acquisition order (document it at the lock declarations) and \
+             restructure the violating path, or narrow a guard so the orders never overlap",
+            Some(witness),
+            out,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(files: &[(&str, &str)]) -> Vec<Finding> {
+        let owned: Vec<(String, String)> = files
+            .iter()
+            .map(|(p, t)| (p.to_string(), t.to_string()))
+            .collect();
+        analyze(&owned)
+    }
+
+    #[test]
+    fn interprocedural_panic_crosses_the_guard_frontier() {
+        let helper = "pub fn helper_that_unwraps(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+        let caller =
+            "pub fn classify_one(x: Option<u32>) -> u32 {\n    helper_that_unwraps(x)\n}\n";
+        let got = run(&[
+            ("crates/stats/src/lib.rs", helper),
+            ("crates/core/src/classify.rs", caller),
+        ]);
+        assert_eq!(got.len(), 1, "{got:?}");
+        let f = &got[0];
+        assert_eq!(f.rule, "panic-path");
+        assert_eq!(f.file, "crates/core/src/classify.rs");
+        assert_eq!(f.line, 2);
+        let w = f.witness.as_deref().unwrap_or("");
+        assert!(w.contains("crates/stats/src/lib.rs:2"), "{w}");
+        assert!(w.contains(".unwrap()"), "{w}");
+    }
+
+    #[test]
+    fn panic_inside_the_guard_is_left_to_the_lexical_rule() {
+        let both = "pub fn helper(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\npub fn caller(x: Option<u32>) -> u32 {\n    helper(x)\n}\n";
+        // Both functions are in a guarded file: the direct unwrap belongs
+        // to `no-panic` (lexical), and the call is not re-reported.
+        assert!(run(&[("crates/core/src/classify.rs", both)]).is_empty());
+    }
+
+    #[test]
+    fn allow_on_the_call_site_stops_propagation() {
+        let helper = "pub fn helper_that_unwraps(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+        let caller = "pub fn classify_one(x: Option<u32>) -> u32 {\n    // lint: allow(panic-path) input validated at parse time\n    helper_that_unwraps(x)\n}\n";
+        assert!(run(&[
+            ("crates/stats/src/lib.rs", helper),
+            ("crates/core/src/classify.rs", caller),
+        ])
+        .is_empty());
+    }
+
+    #[test]
+    fn ab_ba_cycle_is_one_finding_with_both_sites() {
+        let src = "\
+pub fn ab(a: &parking_lot::Mutex<u32>, b: &parking_lot::Mutex<u32>) -> u32 {
+    let ga = a.lock();
+    let gb = b.lock();
+    *ga + *gb
+}
+pub fn ba(a: &parking_lot::Mutex<u32>, b: &parking_lot::Mutex<u32>) -> u32 {
+    let gb = b.lock();
+    let ga = a.lock();
+    *ga + *gb
+}
+";
+        let got = run(&[("crates/serve/src/seeded.rs", src)]);
+        assert_eq!(got.len(), 1, "{got:?}");
+        let f = &got[0];
+        assert_eq!(f.rule, "lock-order");
+        assert_eq!(f.line, 2);
+        let w = f.witness.as_deref().unwrap_or("");
+        assert!(w.contains("seeded.rs:2"), "{w}");
+        assert!(w.contains("opposite order"), "{w}");
+    }
+
+    #[test]
+    fn blocking_under_lock_reports_at_the_acquisition() {
+        let src = "\
+pub fn ckpt(m: &parking_lot::Mutex<u32>, p: &std::path::Path) {
+    let g = m.lock();
+    let _ = std::fs::rename(p, p);
+    let _ = *g;
+}
+";
+        let got = run(&[("crates/serve/src/seeded.rs", src)]);
+        assert_eq!(got.len(), 1, "{got:?}");
+        let f = &got[0];
+        assert_eq!(f.rule, "blocking-under-lock");
+        assert_eq!(f.line, 2);
+        assert!(f.witness.as_deref().unwrap_or("").contains("fs::rename"));
+    }
+
+    #[test]
+    fn dropping_the_guard_first_is_clean() {
+        let src = "\
+pub fn ckpt(m: &parking_lot::Mutex<u32>, p: &std::path::Path) {
+    let g = m.lock();
+    let _ = *g;
+    drop(g);
+    let _ = std::fs::rename(p, p);
+}
+";
+        assert!(run(&[("crates/serve/src/seeded.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn blocking_reached_through_a_call_chain_is_found() {
+        let src = "\
+fn write_out(p: &std::path::Path) {
+    let _ = std::fs::write(p, b\"x\");
+}
+pub fn pumped(m: &parking_lot::Mutex<u32>, p: &std::path::Path) {
+    let g = m.lock();
+    write_out(p);
+    let _ = *g;
+}
+";
+        let got = run(&[("crates/stream/src/seeded.rs", src)]);
+        assert_eq!(got.len(), 1, "{got:?}");
+        let f = &got[0];
+        assert_eq!(f.rule, "blocking-under-lock");
+        assert_eq!(f.line, 5);
+        let w = f.witness.as_deref().unwrap_or("");
+        assert!(w.contains("calls write_out()"), "{w}");
+        assert!(w.contains("fs::write"), "{w}");
+    }
+
+    #[test]
+    fn lock_rules_are_scoped_to_serve_and_stream() {
+        let src = "\
+pub fn ckpt(m: &parking_lot::Mutex<u32>, p: &std::path::Path) {
+    let g = m.lock();
+    let _ = std::fs::rename(p, p);
+    let _ = *g;
+}
+";
+        assert!(run(&[("crates/stats/src/seeded.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn unbound_guard_lives_one_statement() {
+        let src = "\
+pub fn quick(m: &parking_lot::Mutex<Vec<u32>>, p: &std::path::Path) {
+    m.lock().push(1);
+    let _ = std::fs::rename(p, p);
+}
+";
+        assert!(run(&[("crates/serve/src/seeded.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn io_read_write_with_args_are_not_lock_acquisitions() {
+        let src = "\
+pub fn io(mut s: std::net::TcpStream, buf: &mut [u8]) {
+    let _ = std::io::Read::read(&mut s, buf);
+}
+";
+        // No lock, no findings — and no phantom `read` guard either.
+        assert!(run(&[("crates/serve/src/seeded.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_outside_the_graph() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    pub fn ab(a: &parking_lot::Mutex<u32>, b: &parking_lot::Mutex<u32>) {
+        let ga = a.lock();
+        let gb = b.lock();
+        let _ = (*ga, *gb);
+    }
+    pub fn ba(a: &parking_lot::Mutex<u32>, b: &parking_lot::Mutex<u32>) {
+        let gb = b.lock();
+        let ga = a.lock();
+        let _ = (*ga, *gb);
+    }
+}
+";
+        assert!(run(&[("crates/serve/src/seeded.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn impl_self_types_parse() {
+        assert_eq!(impl_self_type(" ServeCore "), "ServeCore");
+        assert_eq!(impl_self_type("<'a> Request<'a> "), "Request");
+        assert_eq!(impl_self_type(" std::fmt::Display for Finding "), "Finding");
+        assert_eq!(impl_self_type("<T: Clone> Holder<T> "), "Holder");
+    }
+
+    #[test]
+    fn qualified_calls_resolve_by_module_and_type() {
+        let lib = "pub fn helper(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+        // `other::helper(...)` must not resolve to stats' helper.
+        let caller = "pub fn f(x: Option<u32>) -> u32 {\n    other::helper(x)\n}\n";
+        assert!(run(&[
+            ("crates/stats/src/lib.rs", lib),
+            ("crates/core/src/classify.rs", caller),
+        ])
+        .is_empty());
+        // …while `lib::helper(...)` does.
+        let caller = "pub fn f(x: Option<u32>) -> u32 {\n    lib::helper(x)\n}\n";
+        assert_eq!(
+            run(&[
+                ("crates/stats/src/lib.rs", lib),
+                ("crates/core/src/classify.rs", caller),
+            ])
+            .len(),
+            1
+        );
+    }
+}

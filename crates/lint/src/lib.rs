@@ -19,12 +19,27 @@
 //!    in checkpointable state. Escapes go through
 //!    `// lint: allow(<rule>) <reason>` annotations, reason required.
 //!
+//! 3. **Interprocedural analyzer** ([`graph`]) — a workspace symbol table
+//!    and intra-workspace call graph built on the same lexer, propagating
+//!    two effect summaries bottom-up: *may panic* (so the guarded scopes
+//!    are panic-free through helper calls, not just lexically) and
+//!    *may block / acquires locks* (so lock-order cycles and blocking
+//!    syscalls under held guards surface with a concrete call-chain
+//!    witness). See DESIGN.md §19 for the soundness posture.
+//!
+//! 4. **Protocol-contract verifier** ([`contract`]) — extracts the
+//!    `ERR code=<kebab>` vocabulary from serve emit sites, the client
+//!    `Session` matcher, DESIGN.md, and the declared catalog in
+//!    `logdiver_types::protocol`, and proves the sets agree.
+//!
 //! Findings carry `file:line`, a stable rule id, a message, and a fix hint;
 //! [`report`] renders them as text or JSON.
 //!
 //! [`ErrorCategory`]: logdiver_types::ErrorCategory
 
+pub mod contract;
 pub mod driver;
+pub mod graph;
 pub mod lexer;
 pub mod report;
 pub mod rules;
@@ -157,6 +172,45 @@ pub const RULES: &[(&str, Level, &str)] = &[
         Level::Warning,
         "a lint allow annotation with an unknown rule id or no reason",
     ),
+    (
+        "panic-path",
+        Level::Error,
+        "a call in guarded scope reaches unwrap/expect/panic! through an unguarded helper \
+         (witness: the shortest call chain to the panic site)",
+    ),
+    (
+        "lock-order",
+        Level::Error,
+        "two locks are acquired in opposite orders on different call paths, or a lock is \
+         re-acquired while already held (witness: both acquisition chains)",
+    ),
+    (
+        "blocking-under-lock",
+        Level::Error,
+        "a blocking operation (fs/network/channel/sleep) runs while a serve/stream lock guard \
+         is held, possibly through helper calls",
+    ),
+    (
+        "unhandled-code",
+        Level::Error,
+        "the server emits a non-Fatal protocol code the client Session has no match arm for",
+    ),
+    (
+        "phantom-code",
+        Level::Error,
+        "the client handles (or the catalog declares) a protocol code no serve site emits",
+    ),
+    (
+        "undocumented-code",
+        Level::Warning,
+        "an emitted protocol code missing from DESIGN.md's response-code grammar",
+    ),
+    (
+        "uncentralized-code",
+        Level::Warning,
+        "a protocol code spelled as a string literal instead of a logdiver_types::protocol \
+         constant",
+    ),
 ];
 
 /// Looks a rule id up in [`RULES`].
@@ -213,6 +267,19 @@ pub const MODULE_ALLOWANCES: &[(&str, &str, &str)] = &[
         "hot-path-alloc",
         "the frozen pre-rewrite allocating parsers, kept verbatim as the differential-fuzz \
          oracle; allocating is exactly what they are preserved to do",
+    ),
+    (
+        "crates/serve/src/daemon.rs",
+        "blocking-under-lock",
+        "the daemon deliberately holds the fleet mutex across pump and checkpoint: the \
+         deterministic ServeCore is single-writer by contract, and the equivalence proptests \
+         depend on no interleaving inside a sweep; stalls are bounded by --deadline-ms shedding",
+    ),
+    (
+        "crates/serve/src/daemon.rs",
+        "uncentralized-code",
+        "the --help text quotes the wire spelling of the shed and limit codes for operators; \
+         prose inside a usage string, not an emit site",
     ),
 ];
 

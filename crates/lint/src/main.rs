@@ -6,8 +6,9 @@
 //! ```
 //!
 //! Exit status: 0 when the run passes, 1 when findings fail it (any error,
-//! or any finding at all under `--deny warnings`), 2 on usage or I/O
-//! problems.
+//! or any finding at all under `--deny warnings`), 2 on usage errors, 3 on
+//! analyzer internal errors (unreadable workspace or DESIGN.md, or an
+//! analyzer panic).
 
 use std::process::ExitCode;
 

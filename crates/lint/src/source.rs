@@ -78,7 +78,7 @@ const CHECKPOINT_STATE: &[&str] = &[
 /// path kills the daemon for every other tenant. The push client is too:
 /// it runs unattended inside rolling-restart scripts, where a panic turns
 /// a recoverable wire fault into silent data loss.
-fn no_panic_scope(path: &str) -> bool {
+pub(crate) fn no_panic_scope(path: &str) -> bool {
     if let Some(rest) = path.strip_prefix("crates/core/src/") {
         return GUARDED_CORE.contains(&rest);
     }
@@ -106,7 +106,7 @@ fn clock_exempt(path: &str) -> bool {
 
 /// True when the path contains a `tests` or `benches` directory component —
 /// integration tests and benchmarks are exempt wholesale.
-fn in_exempt_dir(path: &str) -> bool {
+pub(crate) fn in_exempt_dir(path: &str) -> bool {
     path.split('/').any(|c| c == "tests" || c == "benches")
 }
 
@@ -356,15 +356,18 @@ fn collect_rs(dir: &Path, acc: &mut Vec<PathBuf>) {
     }
 }
 
-/// Lints every `.rs` file under `<root>/crates`, in sorted path order.
+/// Reads every `.rs` file under `<root>/crates` as
+/// `(workspace-relative path, text)` pairs, in sorted path order — the
+/// shared input for the per-file linter and the interprocedural
+/// analyzers ([`crate::graph`], [`crate::contract`]).
 ///
 /// # Errors
 ///
 /// Returns a message when a discovered source file cannot be read.
-pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, String> {
+pub fn collect_workspace(root: &Path) -> Result<Vec<(String, String)>, String> {
     let mut files = Vec::new();
     collect_rs(&root.join("crates"), &mut files);
-    let mut findings = Vec::new();
+    let mut out = Vec::new();
     for file in files {
         let rel: String = file
             .strip_prefix(root)
@@ -374,7 +377,21 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, String> {
             .collect::<Vec<_>>()
             .join("/");
         let text = fs::read_to_string(&file).map_err(|e| format!("{}: {e}", file.display()))?;
-        findings.extend(lint_source(&rel, &text));
+        out.push((rel, text));
+    }
+    Ok(out)
+}
+
+/// Lints every `.rs` file under `<root>/crates`, in sorted path order.
+///
+/// # Errors
+///
+/// Returns a message when a discovered source file cannot be read.
+pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, String> {
+    let files = collect_workspace(root)?;
+    let mut findings = Vec::new();
+    for (rel, text) in &files {
+        findings.extend(lint_source(rel, text));
     }
     Ok(findings)
 }

@@ -240,3 +240,140 @@ fn stale_waiver_is_flagged() {
     assert_eq!(findings.len(), 1);
     assert_eq!(findings[0].rule, "stale-waiver");
 }
+
+// ---------------------------------------------------------------------------
+// interprocedural seeds: the graph and contract analyzers must bite too
+// ---------------------------------------------------------------------------
+
+/// The real workspace sources, with `mutate` applied to the file at `rel`
+/// (empty `rel` mutates nothing).
+fn workspace_with(rel: &str, mutate: impl Fn(&str) -> String) -> Vec<(String, String)> {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut files = logdiver_lint::source::collect_workspace(&root).expect("workspace readable");
+    if !rel.is_empty() {
+        let slot = files
+            .iter_mut()
+            .find(|(p, _)| p == rel)
+            .unwrap_or_else(|| panic!("{rel} not in workspace"));
+        slot.1 = mutate(&slot.1);
+    }
+    files
+}
+
+fn design_md() -> String {
+    workspace_file("DESIGN.md")
+}
+
+#[test]
+fn committed_tree_is_clean_for_graph_and_contract() {
+    // Every seed below is attributable only because the unmutated tree
+    // produces zero findings from both deep analyzers.
+    let files = workspace_with("", |t| t.to_string());
+    let graph = logdiver_lint::graph::analyze(&files);
+    assert!(graph.is_empty(), "graph findings on clean tree: {graph:#?}");
+    let contract = logdiver_lint::contract::analyze(&files, &design_md());
+    assert!(
+        contract.is_empty(),
+        "contract findings on clean tree: {contract:#?}"
+    );
+}
+
+#[test]
+fn seeded_ab_ba_lock_cycle_in_serve() {
+    let server = "crates/serve/src/server.rs";
+    let clean_lines = workspace_file(server).lines().count() as u32;
+    let files = workspace_with(server, |t| {
+        format!(
+            "{t}fn seeded_ab(a: &M, b: &M) {{\n    let ga = a.lock();\n    let gb = b.lock();\n    drop(gb);\n    drop(ga);\n}}\nfn seeded_ba(a: &M, b: &M) {{\n    let gb = b.lock();\n    let ga = a.lock();\n    drop(ga);\n    drop(gb);\n}}\n"
+        )
+    });
+    let findings = logdiver_lint::graph::analyze(&files);
+    assert_eq!(findings.len(), 1, "exactly one finding: {findings:#?}");
+    assert_eq!(findings[0].rule, "lock-order");
+    assert_eq!(findings[0].file, server);
+    // Reported at the first acquisition of the first edge: `let ga`.
+    assert_eq!(findings[0].line, clean_lines + 2);
+    let w = findings[0].witness.as_deref().expect("two-sided witness");
+    assert!(
+        w.contains("seeded_ab") && w.contains("seeded_ba") && w.contains("opposite order"),
+        "witness names both chains: {w}"
+    );
+}
+
+#[test]
+fn seeded_checkpoint_write_under_held_guard() {
+    let server = "crates/serve/src/server.rs";
+    let clean_lines = workspace_file(server).lines().count() as u32;
+    let files = workspace_with(server, |t| {
+        format!(
+            "{t}fn seeded_hold(m: &M) {{\n    let g = m.lock();\n    let _ = std::fs::rename(\"a.ckpt\", \"b.ckpt\");\n    drop(g);\n}}\n"
+        )
+    });
+    let findings = logdiver_lint::graph::analyze(&files);
+    assert_eq!(findings.len(), 1, "exactly one finding: {findings:#?}");
+    assert_eq!(findings[0].rule, "blocking-under-lock");
+    assert_eq!(findings[0].file, server);
+    // Reported at the acquisition, where the hold window opens.
+    assert_eq!(findings[0].line, clean_lines + 2);
+    assert!(findings[0]
+        .witness
+        .as_deref()
+        .expect("witness")
+        .contains("fs::rename"));
+}
+
+#[test]
+fn seeded_unwrap_reached_only_through_a_helper_call() {
+    // The panic site lives in crates/stats (outside the no-panic guard, so
+    // the lexical rule is silent); the *call* is in guarded serve code.
+    // Only the interprocedural frontier rule can connect the two.
+    let server = "crates/serve/src/server.rs";
+    let clean_lines = workspace_file(server).lines().count() as u32;
+    let mut files = workspace_with(server, |t| {
+        format!("{t}fn seeded_caller() -> u8 {{ seeded_helper(None) }}\n")
+    });
+    let stats = files
+        .iter_mut()
+        .find(|(p, _)| p == "crates/stats/src/lib.rs")
+        .expect("stats lib present");
+    stats
+        .1
+        .push_str("pub fn seeded_helper(x: Option<u8>) -> u8 { x.unwrap() }\n");
+    let findings = logdiver_lint::graph::analyze(&files);
+    assert_eq!(findings.len(), 1, "exactly one finding: {findings:#?}");
+    assert_eq!(findings[0].rule, "panic-path");
+    assert_eq!(findings[0].file, server);
+    assert_eq!(findings[0].line, clean_lines + 1);
+    let w = findings[0].witness.as_deref().expect("witness chain");
+    assert!(
+        w.contains("seeded_caller") && w.contains("seeded_helper") && w.contains(".unwrap()"),
+        "witness walks the call chain to the unwrap: {w}"
+    );
+}
+
+#[test]
+fn seeded_emitted_but_unhandled_code() {
+    // Retarget the client's line-too-long arm at over-quota: the server
+    // still emits line-too-long (AbandonSource, non-Fatal), but nothing
+    // client-side matches it any more.
+    let session = "crates/client/src/session.rs";
+    let files = workspace_with(session, |t| {
+        assert!(t.contains("codes::LINE_TOO_LONG"), "arm exists to retarget");
+        t.replace("codes::LINE_TOO_LONG", "codes::OVER_QUOTA")
+    });
+    let emit_line = workspace_file("crates/serve/src/server.rs")
+        .lines()
+        .position(|l| l.contains("codes::LINE_TOO_LONG"))
+        .expect("server emit site") as u32
+        + 1;
+    let findings = logdiver_lint::contract::analyze(&files, &design_md());
+    assert_eq!(findings.len(), 1, "exactly one finding: {findings:#?}");
+    assert_eq!(findings[0].rule, "unhandled-code");
+    assert_eq!(findings[0].file, "crates/serve/src/server.rs");
+    assert_eq!(findings[0].line, emit_line);
+    let w = findings[0].witness.as_deref().expect("two-sided witness");
+    assert!(
+        w.contains("crates/client/src") && findings[0].message.contains("line-too-long"),
+        "witness names the missing client side: {w}"
+    );
+}

@@ -30,6 +30,7 @@
 //! thundering herd. The same hint shape answers pushes during a drain
 //! (`ERR code=draining retry-ms=N`).
 
+use logdiver_types::protocol as codes;
 use serde::Serialize;
 
 /// Memory-budget limits, in bytes of estimated open state.
@@ -187,14 +188,16 @@ impl Admission {
         match self {
             Admission::Admit => None,
             Admission::OverQuota { used, quota } => Some(format!(
-                "ERR code=over-quota tenant={tenant} used={used} quota={quota}"
+                "ERR code={} tenant={tenant} used={used} quota={quota}",
+                codes::OVER_QUOTA
             )),
             Admission::OverBudget {
                 total,
                 global,
                 share,
             } => Some(format!(
-                "ERR code=over-budget tenant={tenant} total={total} global={global} share={share}"
+                "ERR code={} tenant={tenant} total={total} global={global} share={share}",
+                codes::OVER_BUDGET
             )),
         }
     }

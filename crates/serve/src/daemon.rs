@@ -45,6 +45,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use logdiver::exec;
+use logdiver_types::protocol as codes;
 use parking_lot::Mutex;
 
 use crate::budget::BudgetPolicy;
@@ -436,7 +437,10 @@ fn is_slow(line_started: Option<Instant>, policy: ConnPolicy) -> bool {
 /// Best-effort goodbye to a slowloris peer, then the caller disconnects.
 fn evict_slow(stream: &mut TcpStream, policy: ConnPolicy) {
     let deadline_ms = policy.line_deadline.map_or(0, |d| d.as_millis() as u64);
-    let msg = format!("ERR code=slow-client deadline-ms={deadline_ms}\n");
+    let msg = format!(
+        "ERR code={} deadline-ms={deadline_ms}\n",
+        codes::SLOW_CLIENT
+    );
     let _ = stream.write_all(msg.as_bytes());
     let _ = stream.flush();
 }

@@ -32,6 +32,7 @@
 //! does not resurrect it.
 
 use logdiver_stream::Source;
+use logdiver_types::protocol as codes;
 
 /// Longest accepted tenant name.
 pub const MAX_TENANT_NAME: usize = 64;
@@ -120,13 +121,13 @@ impl ProtoError {
     /// The machine-readable `code=` value.
     pub fn code(&self) -> &'static str {
         match self {
-            ProtoError::BadVerb(_) => "bad-verb",
-            ProtoError::MissingArg(_) => "missing-arg",
-            ProtoError::ExtraArg(_) => "extra-arg",
-            ProtoError::BadSource(_) => "bad-source",
-            ProtoError::BadIndex(_) => "bad-index",
-            ProtoError::BadTenantName(_) => "bad-tenant-name",
-            ProtoError::BadOption(_) => "bad-option",
+            ProtoError::BadVerb(_) => codes::BAD_VERB,
+            ProtoError::MissingArg(_) => codes::MISSING_ARG,
+            ProtoError::ExtraArg(_) => codes::EXTRA_ARG,
+            ProtoError::BadSource(_) => codes::BAD_SOURCE,
+            ProtoError::BadIndex(_) => codes::BAD_INDEX,
+            ProtoError::BadTenantName(_) => codes::BAD_TENANT_NAME,
+            ProtoError::BadOption(_) => codes::BAD_OPTION,
         }
     }
 

@@ -50,6 +50,7 @@ use logdiver::exec;
 use logdiver::pipeline::Analysis;
 use logdiver_stream::{Source, StreamCheckpoint, StreamConfig};
 use logdiver_types::fsio::{Fs, RealFs};
+use logdiver_types::protocol as codes;
 use logdiver_types::{SimDuration, Timestamp};
 use serde::Serialize;
 
@@ -152,7 +153,8 @@ impl TenantOverrides {
                 Err(_) => Err(bad_option(key, value)),
             },
             _ => Err(format!(
-                "ERR code=unknown-option key={}",
+                "ERR code={} key={}",
+                codes::UNKNOWN_OPTION,
                 proto::sanitize(key)
             )),
         }
@@ -161,7 +163,8 @@ impl TenantOverrides {
 
 fn bad_option(key: &str, value: &str) -> String {
     format!(
-        "ERR code=bad-option key={} value={}",
+        "ERR code={} key={} value={}",
+        codes::BAD_OPTION,
         proto::sanitize(key),
         proto::sanitize(value)
     )
@@ -484,7 +487,7 @@ impl ServeCore {
                 state.buf = Vec::new();
                 state.discarding = false;
                 self.stats.line_too_long += 1;
-                responses.push(format!("ERR code=line-too-long limit={max}"));
+                responses.push(format!("ERR code={} limit={max}", codes::LINE_TOO_LONG));
                 continue;
             }
             state.buf.extend_from_slice(head);
@@ -493,7 +496,7 @@ impl ServeCore {
                 Ok(line) => responses.push(self.handle_line(&line)),
                 Err(_) => {
                     self.stats.bad_utf8 += 1;
-                    responses.push("ERR code=bad-utf8".to_string());
+                    responses.push(format!("ERR code={}", codes::BAD_UTF8));
                 }
             }
         }
@@ -630,7 +633,8 @@ impl ServeCore {
                 };
                 if !agrees {
                     return format!(
-                        "ERR code=config-conflict tenant={tenant} key={}",
+                        "ERR code={} tenant={tenant} key={}",
+                        codes::CONFIG_CONFLICT,
                         proto::sanitize(key)
                     );
                 }
@@ -727,7 +731,8 @@ impl ServeCore {
             Outcome::Gap(expected) => {
                 self.stats.gaps += 1;
                 format!(
-                    "ERR code=gap tenant={tenant} source={} expected={expected}",
+                    "ERR code={} tenant={tenant} source={} expected={expected}",
+                    codes::GAP,
                     source.name()
                 )
             }
@@ -759,14 +764,14 @@ impl ServeCore {
         if draining {
             self.stats.shed_draining += 1;
             let ms = self.config.overload.drain_retry_ms(self.retry_salt);
-            format!("ERR code=draining retry-ms={ms}")
+            format!("ERR code={} retry-ms={ms}", codes::DRAINING)
         } else {
             self.stats.shed_overload += 1;
             let ms = self
                 .config
                 .overload
                 .overload_retry_ms(self.pressure_ms, self.retry_salt);
-            format!("ERR code=overload retry-ms={ms}")
+            format!("ERR code={} retry-ms={ms}", codes::OVERLOAD)
         }
     }
 
@@ -801,7 +806,7 @@ impl ServeCore {
                 };
                 match serde_json::to_string(&fleet) {
                     Ok(json) => format!("OK {json}"),
-                    Err(e) => format!("ERR code=serialize detail={e}"),
+                    Err(e) => format!("ERR code={} detail={e}", codes::SERIALIZE),
                 }
             }
         }
@@ -809,7 +814,7 @@ impl ServeCore {
 
     fn handle_checkpoint(&mut self, tenant: Option<&str>) -> String {
         if self.store.is_none() {
-            return "ERR code=no-checkpoint-dir".to_string();
+            return format!("ERR code={}", codes::NO_CHECKPOINT_DIR);
         }
         match tenant {
             Some(name) => {
@@ -823,13 +828,16 @@ impl ServeCore {
                     None => return unknown_tenant(name),
                 };
                 let Some(store) = self.store.as_mut() else {
-                    return "ERR code=no-checkpoint-dir".to_string();
+                    return format!("ERR code={}", codes::NO_CHECKPOINT_DIR);
                 };
                 let written = store.write_tenant(name, &ckpt);
                 let total = store.replica_count();
                 let durability = store.durability().label();
                 if written == 0 {
-                    format!("ERR code=io tenant={name} detail=no-replica-writable")
+                    format!(
+                        "ERR code={} tenant={name} detail=no-replica-writable",
+                        codes::IO
+                    )
                 } else {
                     format!("OK replicas={written}/{total} durability={durability}")
                 }
@@ -1019,7 +1027,7 @@ impl ServeCore {
 }
 
 fn unknown_tenant(name: &str) -> String {
-    format!("ERR code=unknown-tenant tenant={name}")
+    format!("ERR code={} tenant={name}", codes::UNKNOWN_TENANT)
 }
 
 fn cursor(counts: &[u64; 5]) -> String {

@@ -81,6 +81,7 @@ where
         }
         stats.push(stat(&buf));
     }
+    // lint: allow(no-panic) the statistic is computed over finite-checked samples; NaN cannot reach the sort
     stats.sort_by(|a, b| a.partial_cmp(b).expect("statistics are finite"));
     let lo_idx = (((1.0 - level) / 2.0) * resamples as f64) as usize;
     let hi_idx = ((((1.0 + level) / 2.0) * resamples as f64) as usize).min(resamples - 1);

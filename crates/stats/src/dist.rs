@@ -745,6 +745,7 @@ impl Zipf {
         let idx = self
             .cumulative
             .binary_search_by(|c| {
+                // lint: allow(no-panic) the constructor validates weights, so every cumulative entry is finite
                 c.partial_cmp(&u)
                     .expect("cumulative probabilities are finite")
             })

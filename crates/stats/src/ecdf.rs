@@ -35,6 +35,7 @@ impl Ecdf {
         if sample.is_empty() || sample.iter().any(|x| !x.is_finite()) {
             return Err(StatsError::EmptySample);
         }
+        // lint: allow(no-panic) the emptiness/finiteness guard two lines up rejects NaN before the sort
         sample.sort_by(|a, b| a.partial_cmp(b).expect("values checked finite"));
         Ok(Ecdf { sorted: sample })
     }
@@ -79,6 +80,7 @@ impl Ecdf {
 
     /// Maximum observation.
     pub fn max(&self) -> f64 {
+        // lint: allow(no-panic) from_sample rejects empty samples, so sorted is never empty
         *self.sorted.last().expect("non-empty by construction")
     }
 

@@ -59,6 +59,7 @@ impl KaplanMeier {
             return Err(StatsError::OutOfSupport { value: bad.time });
         }
         let mut obs: Vec<SurvivalObservation> = observations.to_vec();
+        // lint: allow(no-panic) the finiteness guard above rejects NaN times before the sort
         obs.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("times checked finite"));
 
         let mut points = Vec::new();
@@ -179,6 +180,7 @@ impl NelsonAalen {
             return Err(StatsError::OutOfSupport { value: bad.time });
         }
         let mut obs: Vec<SurvivalObservation> = observations.to_vec();
+        // lint: allow(no-panic) the finiteness guard above rejects NaN times before the sort
         obs.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("times checked finite"));
         let mut points = Vec::new();
         let mut at_risk = obs.len() as u64;

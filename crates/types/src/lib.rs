@@ -27,6 +27,10 @@
 //! - [`fsio`] — the narrow [`fsio::Fs`] filesystem seam behind every
 //!   checkpoint read/write, so fault-injecting filesystems can stand in
 //!   for the real one in tests.
+//! - [`protocol`] — the serve↔client wire-protocol code catalog: every
+//!   `ERR code=<kebab>` value as a named constant, with the client
+//!   disposition each code demands, cross-checked by `logdiver lint`'s
+//!   protocol-contract verifier.
 //!
 //! ## Example
 //!
@@ -72,6 +76,7 @@ pub mod ids;
 pub mod intern;
 pub mod node;
 pub mod nodeset;
+pub mod protocol;
 pub mod time;
 
 pub use category::{ErrorCategory, Severity, Subsystem};

@@ -1,0 +1,208 @@
+//! The serve↔client wire-protocol code catalog.
+//!
+//! Every machine-readable `ERR code=<kebab>` value the daemon can put on
+//! the wire is declared here exactly once, as a named constant plus a
+//! [`CATALOG`] entry carrying its required client [`Disposition`]. Both
+//! sides of the wire compile against these constants — the serve emit
+//! sites (`logdiver-serve`) and the push client's `Session` matcher
+//! (`logdiver-push`) — so adding a response code without deciding how
+//! clients must react is a compile-visible, lint-visible event instead
+//! of a silent drift between two piles of string literals.
+//!
+//! `logdiver lint`'s protocol-contract verifier closes the loop: it
+//! cross-checks this catalog against the actual serve emit sites, the
+//! client match arms, and the DESIGN.md grammar, and reports
+//! `unhandled-code` / `phantom-code` / `undocumented-code` findings with
+//! `file:line` witnesses on both sides (DESIGN.md §19).
+
+/// What a well-behaved push client must do when a response carries this
+/// code.
+///
+/// The disposition is part of the protocol contract, not advice: the
+/// lint's `unhandled-code` rule requires an explicit client match arm
+/// for every code whose disposition is *not* [`Disposition::Fatal`],
+/// because those are exactly the codes where "give up on the session"
+/// is the wrong answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Back off for the server's `retry-ms` hint, then retry the same
+    /// request on the same connection.
+    RetryHint,
+    /// Adopt the server's `expected=` cursor and resume pushing from it;
+    /// the index-idempotent protocol makes the replay safe.
+    HealCursor,
+    /// Stop pushing this (tenant, source) stream permanently; the server
+    /// has rejected the record itself, so replaying it can never succeed.
+    AbandonSource,
+    /// Count the rejection against a bounded fault budget and retry;
+    /// give up only when the budget is exhausted.
+    RetryBounded,
+    /// Drop the connection and reconnect fresh (re-`HELLO`, resume from
+    /// the server's cursors); the server has evicted this connection,
+    /// not this client.
+    Reconnect,
+    /// The request itself was malformed or unrecoverable; failing the
+    /// session is correct, so the client's catch-all arm suffices.
+    Fatal,
+}
+
+/// One row of the [`CATALOG`]: a code's constant name, wire value, and
+/// required client disposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodeSpec {
+    /// The Rust identifier of the constant (e.g. `"OVERLOAD"`).
+    pub ident: &'static str,
+    /// The kebab-case value on the wire (e.g. `"overload"`).
+    pub value: &'static str,
+    /// What a client must do on receipt.
+    pub disposition: Disposition,
+}
+
+macro_rules! codes {
+    ($($(#[$doc:meta])* $ident:ident = $value:literal => $disp:ident;)*) => {
+        $(
+            $(#[$doc])*
+            pub const $ident: &str = $value;
+        )*
+
+        /// Every protocol code, in wire-grammar order. This is the single
+        /// source of truth the lint's protocol-contract verifier checks
+        /// serve emit sites, client match arms, and DESIGN.md against.
+        pub const CATALOG: &[CodeSpec] = &[
+            $(
+                CodeSpec {
+                    ident: stringify!($ident),
+                    value: $value,
+                    disposition: Disposition::$disp,
+                },
+            )*
+        ];
+    };
+}
+
+codes! {
+    // ---- request-shape errors (proto.rs parser) -----------------------
+    /// The first token of the request is not a known verb.
+    BAD_VERB = "bad-verb" => Fatal;
+    /// A required argument is missing.
+    MISSING_ARG = "missing-arg" => Fatal;
+    /// The verb got more arguments than it takes.
+    EXTRA_ARG = "extra-arg" => Fatal;
+    /// The `<source>` token is not one of the five log names.
+    BAD_SOURCE = "bad-source" => Fatal;
+    /// The `<index>` token is not a non-negative integer.
+    BAD_INDEX = "bad-index" => Fatal;
+    /// The tenant name is empty, too long, dot-prefixed, or has
+    /// characters outside `[A-Za-z0-9._-]`.
+    BAD_TENANT_NAME = "bad-tenant-name" => Fatal;
+    /// A `HELLO` option token is not of the form `key=value`.
+    BAD_OPTION = "bad-option" => Fatal;
+
+    // ---- framing errors (connection feed) -----------------------------
+    /// A request line exceeded the frame limit; the connection is poisoned
+    /// to the next newline.
+    LINE_TOO_LONG = "line-too-long" => AbandonSource;
+    /// The request bytes are not valid UTF-8.
+    BAD_UTF8 = "bad-utf8" => Fatal;
+
+    // ---- tenant configuration (HELLO) ---------------------------------
+    /// A `HELLO` option key is not in the per-tenant config vocabulary,
+    /// or its value does not parse.
+    UNKNOWN_OPTION = "unknown-option" => Fatal;
+    /// A `HELLO` option conflicts with an existing tenant's configuration.
+    CONFIG_CONFLICT = "config-conflict" => Fatal;
+    /// The named tenant does not exist (control verbs only; `HELLO` and
+    /// `PUSH` auto-create).
+    UNKNOWN_TENANT = "unknown-tenant" => Fatal;
+
+    // ---- push admission ------------------------------------------------
+    /// The push index skipped ahead of the accepted cursor; the response
+    /// carries `expected=<n>` for the client to resume from.
+    GAP = "gap" => HealCursor;
+    /// The tenant is over its per-tenant memory quota.
+    OVER_QUOTA = "over-quota" => RetryBounded;
+    /// The fleet is over the global memory budget and this tenant is
+    /// above its fair share.
+    OVER_BUDGET = "over-budget" => RetryBounded;
+    /// Pressure-based admission control is shedding pushes; the response
+    /// carries a `retry-ms` hint.
+    OVERLOAD = "overload" => RetryHint;
+    /// The daemon is draining for a rolling restart; retry against the
+    /// replacement after the `retry-ms` hint.
+    DRAINING = "draining" => RetryHint;
+
+    // ---- connection lifecycle ------------------------------------------
+    /// The connection missed its write deadline (slowloris eviction); the
+    /// server is about to close it. Reconnect and resume from cursors.
+    SLOW_CLIENT = "slow-client" => Reconnect;
+
+    // ---- durability (CHECKPOINT / SNAPSHOT) ----------------------------
+    /// Checkpointing is disabled: the daemon has no tenants dir.
+    NO_CHECKPOINT_DIR = "no-checkpoint-dir" => Fatal;
+    /// A checkpoint write failed on every replica.
+    IO = "io" => Fatal;
+    /// Snapshot/checkpoint serialization failed.
+    SERIALIZE = "serialize" => Fatal;
+}
+
+/// Looks `value` up in the [`CATALOG`].
+pub fn spec(value: &str) -> Option<&'static CodeSpec> {
+    CATALOG.iter().find(|c| c.value == value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_values_are_unique_kebab_case() {
+        let mut seen = std::collections::HashSet::new();
+        for c in CATALOG {
+            assert!(seen.insert(c.value), "duplicate code value {}", c.value);
+            assert!(
+                c.value
+                    .chars()
+                    .all(|ch| ch.is_ascii_lowercase() || ch.is_ascii_digit() || ch == '-'),
+                "code {} is not kebab-case",
+                c.value
+            );
+            assert!(!c.value.starts_with('-') && !c.value.ends_with('-'));
+        }
+    }
+
+    #[test]
+    fn idents_match_values() {
+        for c in CATALOG {
+            assert_eq!(
+                c.ident.to_ascii_lowercase().replace('_', "-"),
+                c.value,
+                "constant {} does not spell its value {}",
+                c.ident,
+                c.value
+            );
+        }
+    }
+
+    #[test]
+    fn spec_lookup() {
+        assert_eq!(
+            spec("overload").unwrap().disposition,
+            Disposition::RetryHint
+        );
+        assert_eq!(spec("gap").unwrap().disposition, Disposition::HealCursor);
+        assert_eq!(
+            spec(SLOW_CLIENT).unwrap().disposition,
+            Disposition::Reconnect
+        );
+        assert!(spec("no-such-code").is_none());
+    }
+
+    #[test]
+    fn constants_usable_in_match_patterns() {
+        // The emit/handle sites match on these constants; keep them
+        // pattern-compatible (plain `&'static str` consts).
+        let code = "draining";
+        let hit = matches!(code, DRAINING | OVERLOAD);
+        assert!(hit);
+    }
+}
